@@ -1,0 +1,91 @@
+// Engine-core micro-benchmarks: scan / filter / project / aggregate / sort
+// / join throughput. These anchor the overhead percentages of the other
+// benches (they show what the governance layers are measured against).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace lakeguard {
+namespace bench {
+namespace {
+
+BenchEnv* SharedEnv() {
+  static BenchEnv* env = [] {
+    auto* e = new BenchEnv(MakeBenchEnv({}, 20000));
+    e->MustSql("CREATE TABLE main.b.dim (b BIGINT, label STRING)");
+    std::string sql = "INSERT INTO main.b.dim VALUES (0, 'l0')";
+    for (int i = 1; i < 50; ++i) {
+      sql += ", (" + std::to_string(i) + ", 'l" + std::to_string(i) + "')";
+    }
+    e->MustSql(sql);
+    return e;
+  }();
+  return env;
+}
+
+void RunSql(benchmark::State& state, const std::string& sql) {
+  BenchEnv* env = SharedEnv();
+  for (auto _ : state) {
+    auto rows = env->cluster->engine->ExecuteSql(sql, env->ctx);
+    if (!rows.ok()) state.SkipWithError(rows.status().ToString().c_str());
+    benchmark::DoNotOptimize(rows);
+  }
+}
+
+void BM_Scan(benchmark::State& state) {
+  RunSql(state, "SELECT * FROM main.b.data");
+}
+BENCHMARK(BM_Scan)->Unit(benchmark::kMillisecond);
+
+void BM_Filter(benchmark::State& state) {
+  RunSql(state, "SELECT a FROM main.b.data WHERE a % 10 = 3 AND b < 500");
+}
+BENCHMARK(BM_Filter)->Unit(benchmark::kMillisecond);
+
+void BM_Project(benchmark::State& state) {
+  RunSql(state,
+         "SELECT a + b AS s, a * 2 AS d, UPPER(s) AS u FROM main.b.data");
+}
+BENCHMARK(BM_Project)->Unit(benchmark::kMillisecond);
+
+void BM_Aggregate(benchmark::State& state) {
+  RunSql(state,
+         "SELECT b % 100 AS g, SUM(a) AS s, COUNT(*) AS n, AVG(a) AS m "
+         "FROM main.b.data GROUP BY b % 100");
+}
+BENCHMARK(BM_Aggregate)->Unit(benchmark::kMillisecond);
+
+void BM_Sort(benchmark::State& state) {
+  RunSql(state, "SELECT a, b FROM main.b.data ORDER BY b DESC, a LIMIT 100");
+}
+BENCHMARK(BM_Sort)->Unit(benchmark::kMillisecond);
+
+void BM_Join(benchmark::State& state) {
+  RunSql(state,
+         "SELECT d.a, m.label FROM (SELECT a, b FROM main.b.data LIMIT 500) "
+         "AS d JOIN main.b.dim m ON d.b % 50 = m.b");
+}
+BENCHMARK(BM_Join)->Unit(benchmark::kMillisecond);
+
+void BM_SecureViewOverhead(benchmark::State& state) {
+  // The same scan with a TRUE row filter: measures policy-machinery cost.
+  static bool initialized = [] {
+    SharedEnv()->MustSql(
+        "CREATE TABLE main.b.guarded (a BIGINT, b BIGINT, s STRING)");
+    SharedEnv()->MustSql(
+        "INSERT INTO main.b.guarded VALUES (1, 2, 'x'), (3, 4, 'y')");
+    SharedEnv()->MustSql(
+        "ALTER TABLE main.b.guarded SET ROW FILTER (TRUE)");
+    return true;
+  }();
+  (void)initialized;
+  RunSql(state, "SELECT a FROM main.b.guarded");
+}
+BENCHMARK(BM_SecureViewOverhead)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace lakeguard
+
+BENCHMARK_MAIN();

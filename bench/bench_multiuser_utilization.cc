@@ -1,0 +1,124 @@
+// Regenerates the **multi-user utilization comparison** implicit in §2.5
+// and §7: one shared Lakeguard Standard cluster vs (a) an EMR-Membrane-
+// style split cluster and (b) legacy per-user clusters, on the same bursty
+// multi-user workload and the same total hardware. Also prints the §2.2
+// replica-cost comparison.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <random>
+
+#include "baselines/capabilities.h"
+#include "baselines/membrane.h"
+
+namespace lakeguard {
+namespace bench {
+namespace {
+
+std::vector<SimJob> MakeWorkload(int users, int jobs_per_user,
+                                 double user_code_fraction, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::exponential_distribution<double> inter_arrival(1.0 / 30'000.0);
+  std::lognormal_distribution<double> duration(11.0, 0.8);  // ~60 ms median
+  std::uniform_real_distribution<double> coin(0, 1);
+  std::vector<SimJob> jobs;
+  for (int u = 0; u < users; ++u) {
+    double t = 0;
+    for (int j = 0; j < jobs_per_user; ++j) {
+      t += inter_arrival(rng);
+      SimJob job;
+      job.user = "user-" + std::to_string(u);
+      job.arrival_micros = static_cast<int64_t>(t);
+      job.duration_micros =
+          std::max<int64_t>(1000, static_cast<int64_t>(duration(rng)));
+      job.has_user_code = coin(rng) < user_code_fraction;
+      jobs.push_back(job);
+    }
+  }
+  std::sort(jobs.begin(), jobs.end(), [](const SimJob& a, const SimJob& b) {
+    return a.arrival_micros < b.arrival_micros;
+  });
+  return jobs;
+}
+
+void PrintRow(const char* name, const SimResult& r) {
+  std::printf("  %-28s makespan %8.1f ms | mean wait %8.1f ms | "
+              "utilization %5.1f%%\n",
+              name, static_cast<double>(r.makespan_micros) / 1000,
+              r.mean_wait_micros / 1000, r.utilization * 100);
+}
+
+void PrintUtilizationTables() {
+  std::printf("=== Multi-user compute sharing: Lakeguard shared pool vs "
+              "Membrane split vs per-user clusters ===\n");
+  std::printf("(same total slots in every configuration)\n");
+  for (auto [users, udf_frac] :
+       std::vector<std::pair<int, double>>{{4, 0.8}, {8, 0.8}, {8, 0.2},
+                                           {16, 0.5}}) {
+    const size_t total_slots = 16;
+    auto jobs = MakeWorkload(users, 50, udf_frac, 42 + users);
+    std::printf("\n%d users, %zu jobs, %.0f%% with user code, %zu slots:\n",
+                users, jobs.size(), udf_frac * 100, total_slots);
+    PrintRow("Lakeguard shared pool",
+             RunSharedPoolSimulation(jobs, total_slots));
+    MembraneConfig membrane;
+    membrane.total_slots = total_slots;
+    membrane.untrusted_fraction = 0.5;
+    PrintRow("Membrane split 50/50", RunMembraneSimulation(jobs, membrane));
+    membrane.untrusted_fraction = 0.25;
+    PrintRow("Membrane split 75/25", RunMembraneSimulation(jobs, membrane));
+    PrintRow("per-user clusters",
+             RunPerUserClustersSimulation(
+                 jobs, std::max<size_t>(1, total_slots / users)));
+  }
+
+  std::printf("\n=== §2.2 replica-based FGAC vs catalog policies "
+              "(storage & churn) ===\n");
+  std::printf("%12s | %10s | %16s | %16s | %14s\n", "table", "audiences",
+              "replica storage", "policy storage", "daily churn");
+  for (auto [gb, audiences] :
+       std::vector<std::pair<int, int>>{{10, 2}, {10, 5}, {100, 5},
+                                        {100, 20}}) {
+    ReplicaCostModel model;
+    model.base_table_bytes = static_cast<uint64_t>(gb) * (1ULL << 30);
+    model.policy_audiences = static_cast<size_t>(audiences);
+    model.refreshes_per_day = 1.0;
+    std::printf("%10d GB | %10d | %13.0f GB | %13.0f GB | %11.0f GB\n", gb,
+                audiences,
+                static_cast<double>(model.ReplicaStorageBytes()) / (1 << 30),
+                static_cast<double>(model.PolicyStorageBytes()) / (1 << 30),
+                model.ReplicaDailyChurnBytes() / (1 << 30));
+  }
+}
+
+void BM_SharedPoolSim(benchmark::State& state) {
+  auto jobs = MakeWorkload(8, 100, 0.5, 7);
+  for (auto _ : state) {
+    SimResult r = RunSharedPoolSimulation(jobs, 16);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SharedPoolSim);
+
+void BM_MembraneSim(benchmark::State& state) {
+  auto jobs = MakeWorkload(8, 100, 0.5, 7);
+  MembraneConfig config;
+  config.total_slots = 16;
+  for (auto _ : state) {
+    SimResult r = RunMembraneSimulation(jobs, config);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_MembraneSim);
+
+}  // namespace
+}  // namespace bench
+}  // namespace lakeguard
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  lakeguard::bench::PrintUtilizationTables();
+  return 0;
+}

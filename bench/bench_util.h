@@ -1,0 +1,115 @@
+#ifndef LAKEGUARD_BENCH_BENCH_UTIL_H_
+#define LAKEGUARD_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include "core/platform.h"
+#include "udf/builder.h"
+
+namespace lakeguard {
+namespace bench {
+
+/// A ready-to-measure platform: admin user, catalog main.b, one standard
+/// cluster, and a data table with integer and string columns.
+struct BenchEnv {
+  std::unique_ptr<LakeguardPlatform> platform;
+  ClusterHandle* cluster = nullptr;
+  ExecutionContext ctx;
+
+  Table MustSql(const std::string& sql) {
+    auto result = cluster->engine->ExecuteSql(sql, ctx);
+    if (!result.ok()) {
+      std::fprintf(stderr, "bench setup failed: %s\n  sql: %s\n",
+                   result.status().ToString().c_str(), sql.c_str());
+      std::abort();
+    }
+    return *result;
+  }
+};
+
+/// Builds a platform for wall-clock measurement: real clock, zero modeled
+/// sandbox cold-start (cold start is studied separately on virtual time).
+inline BenchEnv MakeBenchEnv(QueryEngineConfig engine_config = {},
+                             size_t rows = 0,
+                             const std::string& payload = "payload-") {
+  BenchEnv env;
+  LakeguardPlatform::Options options;
+  options.use_simulated_clock = false;
+  options.sandbox_cold_start_micros = 0;
+  options.engine_config = engine_config;
+  env.platform = std::make_unique<LakeguardPlatform>(options);
+  (void)env.platform->AddUser("admin");
+  env.platform->AddMetastoreAdmin("admin");
+  env.platform->RegisterToken("tok-admin", "admin");
+  (void)env.platform->catalog().CreateCatalog("admin", "main");
+  (void)env.platform->catalog().CreateSchema("admin", "main.b");
+  env.cluster = env.platform->CreateStandardCluster();
+  env.ctx = *env.platform->DirectContext(env.cluster, "admin");
+  env.MustSql("CREATE TABLE main.b.data (a BIGINT, b BIGINT, s STRING)");
+  size_t inserted = 0;
+  while (inserted < rows) {
+    std::string sql = "INSERT INTO main.b.data VALUES ";
+    size_t chunk = std::min<size_t>(500, rows - inserted);
+    for (size_t i = 0; i < chunk; ++i) {
+      if (i > 0) sql += ", ";
+      size_t n = inserted + i;
+      sql += "(" + std::to_string(n) + ", " + std::to_string(n * 7 % 1000) +
+             ", '" + payload + std::to_string(n % 97) + "')";
+    }
+    env.MustSql(sql);
+    inserted += chunk;
+  }
+  return env;
+}
+
+/// Registers `count` two-argument SUM UDFs named main.b.u0..u<count-1>.
+inline void RegisterSumUdfs(BenchEnv* env, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    FunctionInfo fn;
+    fn.full_name = "main.b.u" + std::to_string(i);
+    fn.num_args = 2;
+    fn.return_type = TypeKind::kInt64;
+    fn.body = canned::SumUdf();
+    (void)env->platform->catalog().CreateFunction("admin", fn);
+  }
+}
+
+/// Registers `count` one-argument 100x-SHA256 UDFs named main.b.h0...
+inline void RegisterHashUdfs(BenchEnv* env, size_t count,
+                             int64_t iterations = 100) {
+  for (size_t i = 0; i < count; ++i) {
+    FunctionInfo fn;
+    fn.full_name = "main.b.h" + std::to_string(i);
+    fn.num_args = 1;
+    fn.return_type = TypeKind::kString;
+    fn.body = canned::HashUdf(iterations);
+    (void)env->platform->catalog().CreateFunction("admin", fn);
+  }
+}
+
+/// SELECT with `count` sum-UDF columns over main.b.data.
+inline std::string SumUdfQuery(size_t count) {
+  std::string sql = "SELECT ";
+  for (size_t i = 0; i < count; ++i) {
+    if (i > 0) sql += ", ";
+    sql += "main.b.u" + std::to_string(i) + "(a, b) AS r" +
+           std::to_string(i);
+  }
+  return sql + " FROM main.b.data";
+}
+
+/// SELECT with `count` hash-UDF columns over main.b.data.
+inline std::string HashUdfQuery(size_t count) {
+  std::string sql = "SELECT ";
+  for (size_t i = 0; i < count; ++i) {
+    if (i > 0) sql += ", ";
+    sql += "main.b.h" + std::to_string(i) + "(s) AS r" + std::to_string(i);
+  }
+  return sql + " FROM main.b.data";
+}
+
+}  // namespace bench
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,185 @@
+// The paper's motivating healthcare example (Fig. 1, 3, 4, 6):
+//  * raw_data_table holds PII next to binary sensor payloads;
+//  * a dedicated sensor_view hides PII from the data-science team;
+//  * a cataloged UDF extracts features from the binary payloads — running
+//    in a sandbox, never inside the engine;
+//  * a second UDF calls an external air-quality service, allowed by an
+//    admin-configured egress policy (Fig. 6);
+//  * malicious UDFs try to steal credentials/files — blocked by the
+//    sandbox, demonstrated working in the legacy unisolated engine.
+//
+// Run: build/examples/healthcare_pipeline
+
+#include <iostream>
+
+#include "core/platform.h"
+#include "udf/builder.h"
+
+using namespace lakeguard;  // NOLINT — example brevity
+
+#define CHECK_OK(expr)                                                       \
+  do {                                                                       \
+    auto _s = (expr);                                                        \
+    if (!_s.ok()) {                                                          \
+      std::cerr << "FATAL at " << __LINE__ << ": " << _s.ToString() << "\n"; \
+      return 1;                                                              \
+    }                                                                        \
+  } while (false)
+
+#define CHECK_VALUE(var, expr)                                     \
+  auto var##_result = (expr);                                      \
+  if (!var##_result.ok()) {                                        \
+    std::cerr << "FATAL at " << __LINE__ << ": "                   \
+              << var##_result.status().ToString() << "\n";         \
+    return 1;                                                      \
+  }                                                                \
+  auto& var = *var##_result
+
+int main() {
+  LakeguardPlatform platform;
+
+  CHECK_OK(platform.AddUser("admin"));
+  CHECK_OK(platform.AddUser("dana"));  // data scientist
+  CHECK_OK(platform.AddGroup("data_scientists"));
+  CHECK_OK(platform.AddUserToGroup("dana", "data_scientists"));
+  platform.AddMetastoreAdmin("admin");
+  platform.RegisterToken("tok-admin", "admin");
+  platform.RegisterToken("tok-dana", "dana");
+
+  UnityCatalog& catalog = platform.catalog();
+  CHECK_OK(catalog.CreateCatalog("admin", "main"));
+  CHECK_OK(catalog.CreateSchema("admin", "main.clinical"));
+
+  ClusterHandle* cluster = platform.CreateStandardCluster();
+  CHECK_VALUE(admin, platform.Connect(cluster, "tok-admin"));
+
+  // The machine holds real secrets (instance credentials) — the asset §2.4
+  // says user code must never reach.
+  SimulatedHostEnvironment& host = cluster->cluster->driver_host().env();
+  host.SetEnv("AWS_SECRET_ACCESS_KEY", "AKIA-SUPER-SECRET");
+  host.WriteFile("/etc/instance-credentials", "root-credential-material");
+  host.RegisterHttpHandler("http://air.example.com/zip/",
+                           [](const std::string&) { return "42.5"; });
+
+  // ---- Raw table with PII --------------------------------------------------
+  CHECK_VALUE(t, admin.Sql(
+      "CREATE TABLE main.clinical.raw_data_table ("
+      "  patient_name STRING, patient_ssn STRING, zip STRING,"
+      "  sensor BINARY, ts STRING)"));
+  CHECK_VALUE(ins, admin.Sql(
+      "INSERT INTO main.clinical.raw_data_table VALUES "
+      "('Ada Health', '111-22-3333', '94105', 'wave:0110101101', 't1'), "
+      "('Bo Patient', '444-55-6666', '10001', 'wave:10', 't2'), "
+      "('Cy Subject', '777-88-9999', '60601', 'wave:110011001100110011', "
+      "'t3')"));
+
+  // ---- PII-free dynamic view for the DS team (Fig. 1's sensor_view) --------
+  CHECK_VALUE(v, admin.Sql(
+      "CREATE VIEW main.clinical.sensor_view AS "
+      "SELECT zip, sensor, ts FROM main.clinical.raw_data_table"));
+  CHECK_VALUE(g1, admin.Sql("GRANT USE CATALOG ON main TO data_scientists"));
+  CHECK_VALUE(g2,
+              admin.Sql("GRANT USE SCHEMA ON main.clinical TO data_scientists"));
+  CHECK_VALUE(g3, admin.Sql(
+      "GRANT SELECT ON main.clinical.sensor_view TO data_scientists"));
+  // NOTE: no grant on raw_data_table — the view is definer's-rights.
+
+  // ---- Cataloged UDFs (user code as governed assets, §3.3) ------------------
+  FunctionInfo feature_fn;
+  feature_fn.full_name = "main.clinical.extract_feature";
+  feature_fn.return_type = TypeKind::kFloat64;
+  feature_fn.num_args = 1;
+  feature_fn.body = canned::SensorFeatureUdf(/*scale=*/0.5, /*offset=*/1.0);
+  CHECK_OK(catalog.CreateFunction("admin", feature_fn));
+
+  FunctionInfo air_fn;
+  air_fn.full_name = "main.clinical.air_quality";
+  air_fn.return_type = TypeKind::kFloat64;
+  air_fn.num_args = 1;
+  air_fn.body = canned::AirQualityUdf("air.example.com");
+  air_fn.allowed_egress = {"air.example.com"};  // admin-approved egress
+  CHECK_OK(catalog.CreateFunction("admin", air_fn));
+
+  FunctionInfo steal_fn;
+  steal_fn.full_name = "main.clinical.steal_credentials";
+  steal_fn.return_type = TypeKind::kString;
+  steal_fn.num_args = 0;
+  steal_fn.body = canned::EnvProbeUdf("AWS_SECRET_ACCESS_KEY");
+  CHECK_OK(catalog.CreateFunction("admin", steal_fn));
+
+  for (const char* fn :
+       {"main.clinical.extract_feature", "main.clinical.air_quality",
+        "main.clinical.steal_credentials"}) {
+    CHECK_OK(catalog.Grant("admin", fn, Privilege::kExecute,
+                           "data_scientists"));
+  }
+
+  // ---- Dana's feature-extraction pipeline -----------------------------------
+  CHECK_VALUE(dana, platform.Connect(cluster, "tok-dana"));
+  CHECK_VALUE(features, dana.Sql(
+      "SELECT zip, main.clinical.extract_feature(sensor) AS feature, "
+      "       main.clinical.air_quality(zip) AS aqi "
+      "FROM main.clinical.sensor_view ORDER BY zip"));
+  std::cout << "dana's sandboxed feature pipeline:\n" << features.ToString();
+
+  // Dana cannot touch the raw table directly (no grant):
+  auto denied = dana.Sql("SELECT patient_ssn FROM main.clinical.raw_data_table");
+  std::cout << "\ndirect PII access: "
+            << (denied.ok() ? "!!! LEAKED !!!" : denied.status().message())
+            << "\n";
+
+  // ---- The sandbox stops credential theft ------------------------------------
+  auto stolen = dana.Sql("SELECT main.clinical.steal_credentials() AS loot "
+                         "FROM main.clinical.sensor_view LIMIT 1");
+  std::cout << "\nsandboxed credential theft: "
+            << (stolen.ok() ? "!!! " + stolen->ToString() + " !!!"
+                            : std::string("BLOCKED (") +
+                                  stolen.status().message() + ")")
+            << "\n";
+
+  // ---- The same attack in the legacy engine (user code in the JVM) -----------
+  LakeguardPlatform::Options legacy_options;
+  legacy_options.engine_config.exec.isolate_udfs = false;
+  LakeguardPlatform legacy(legacy_options);
+  CHECK_OK(legacy.AddUser("admin"));
+  CHECK_OK(legacy.AddUser("mallory"));
+  legacy.AddMetastoreAdmin("admin");
+  legacy.RegisterToken("tok-admin", "admin");
+  legacy.RegisterToken("tok-mallory", "mallory");
+  CHECK_OK(legacy.catalog().CreateCatalog("admin", "main"));
+  CHECK_OK(legacy.catalog().CreateSchema("admin", "main.clinical"));
+  ClusterHandle* legacy_cluster = legacy.CreateStandardCluster();
+  legacy_cluster->cluster->driver_host().env().SetEnv(
+      "AWS_SECRET_ACCESS_KEY", "AKIA-SUPER-SECRET");
+  CHECK_VALUE(legacy_admin, legacy.Connect(legacy_cluster, "tok-admin"));
+  CHECK_VALUE(lt, legacy_admin.Sql(
+      "CREATE TABLE main.clinical.dummy (x BIGINT)"));
+  CHECK_VALUE(li, legacy_admin.Sql(
+      "INSERT INTO main.clinical.dummy VALUES (1)"));
+  FunctionInfo legacy_steal = steal_fn;
+  CHECK_OK(legacy.catalog().CreateFunction("admin", legacy_steal));
+  CHECK_OK(legacy.catalog().Grant("admin", steal_fn.full_name,
+                                  Privilege::kExecute, "mallory"));
+  CHECK_OK(legacy.catalog().Grant("admin", "main",
+                                  Privilege::kUseCatalog, "mallory"));
+  CHECK_OK(legacy.catalog().Grant("admin", "main.clinical",
+                                  Privilege::kUseSchema, "mallory"));
+  CHECK_OK(legacy.catalog().Grant("admin", "main.clinical.dummy",
+                                  Privilege::kSelect, "mallory"));
+  CHECK_VALUE(mallory, legacy.Connect(legacy_cluster, "tok-mallory"));
+  CHECK_VALUE(loot, mallory.Sql(
+      "SELECT main.clinical.steal_credentials() AS loot "
+      "FROM main.clinical.dummy"));
+  std::cout << "\nunisolated legacy engine, same UDF:\n" << loot.ToString();
+
+  // ---- Egress control: only the approved host is reachable --------------------
+  std::cout << "\negress attempts recorded on the Lakeguard cluster: ";
+  size_t allowed = 0, blocked = 0;
+  for (const EgressRecord& r : host.egress_log()) {
+    r.allowed ? ++allowed : ++blocked;
+  }
+  std::cout << allowed << " allowed / " << blocked << " blocked\n";
+
+  std::cout << "\nhealthcare pipeline finished OK\n";
+  return 0;
+}

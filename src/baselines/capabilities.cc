@@ -1,0 +1,95 @@
+#include "baselines/capabilities.h"
+
+#include <functional>
+#include <sstream>
+
+namespace lakeguard {
+
+std::vector<PlatformCapabilities> ReferencePlatforms() {
+  std::vector<PlatformCapabilities> out;
+
+  PlatformCapabilities membrane;
+  membrane.name = "AWS EMR Membrane";
+  membrane.unified_policies = "no";
+  membrane.catalog_udfs = "no";
+  membrane.single_user_langs = "SQL, Python, Scala, R";
+  membrane.multi_user_langs = "none";
+  membrane.row_filter = true;
+  membrane.column_masks = true;
+  membrane.views = true;
+  membrane.materialized_views = false;
+  membrane.external_filtering = "no";
+  out.push_back(membrane);
+
+  PlatformCapabilities lakeformation;
+  lakeformation.name = "AWS Lake Formation";
+  lakeformation.unified_policies = "no";
+  lakeformation.catalog_udfs = "no";
+  lakeformation.single_user_langs = "n/a";
+  lakeformation.multi_user_langs = "n/a";
+  lakeformation.row_filter = true;
+  lakeformation.column_masks = true;
+  lakeformation.views = false;
+  lakeformation.materialized_views = false;
+  lakeformation.external_filtering = "yes";
+  out.push_back(lakeformation);
+
+  PlatformCapabilities fabric;
+  fabric.name = "Microsoft Fabric OneLake (Spark)";
+  fabric.unified_policies = "DWH only";
+  fabric.catalog_udfs = "no";
+  fabric.single_user_langs = "SQL, Python, Scala, R";
+  fabric.multi_user_langs = "SQL (DWH only)";
+  fabric.row_filter = false;
+  fabric.column_masks = false;
+  fabric.views = true;
+  fabric.materialized_views = false;
+  fabric.external_filtering = "no";
+  out.push_back(fabric);
+
+  PlatformCapabilities biglake;
+  biglake.name = "Google Dataproc with BigLake";
+  biglake.unified_policies = "yes";
+  biglake.catalog_udfs = "BigQuery Spark stored procedures";
+  biglake.single_user_langs = "SQL, Python, Scala, R";
+  biglake.multi_user_langs = "none";
+  biglake.row_filter = true;
+  biglake.column_masks = true;
+  biglake.views = false;
+  biglake.materialized_views = false;
+  biglake.external_filtering = "BQ Storage API";
+  out.push_back(biglake);
+
+  return out;
+}
+
+std::string RenderCapabilityTable(
+    const std::vector<PlatformCapabilities>& platforms) {
+  std::ostringstream os;
+  auto row = [&](const std::string& label,
+                 const std::function<std::string(
+                     const PlatformCapabilities&)>& get) {
+    os << "  " << label << ":\n";
+    for (const PlatformCapabilities& p : platforms) {
+      os << "    " << p.name << ": " << get(p) << "\n";
+    }
+  };
+  auto yn = [](bool b) { return b ? std::string("yes") : std::string("no"); };
+  row("Unified policies for DW and DS/DE",
+      [](const auto& p) { return p.unified_policies; });
+  row("Catalog UDFs", [](const auto& p) { return p.catalog_udfs; });
+  row("Single-user user code",
+      [](const auto& p) { return p.single_user_langs; });
+  row("Multi-user user code",
+      [](const auto& p) { return p.multi_user_langs; });
+  row("Row filters", [&](const auto& p) { return yn(p.row_filter); });
+  row("Column masks", [&](const auto& p) { return yn(p.column_masks); });
+  row("Views", [&](const auto& p) { return yn(p.views); });
+  row("Materialized views",
+      [&](const auto& p) { return yn(p.materialized_views); });
+  row("External filtering",
+      [](const auto& p) { return p.external_filtering; });
+  return os.str();
+}
+
+}  // namespace lakeguard

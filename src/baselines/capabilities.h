@@ -1,0 +1,55 @@
+#ifndef LAKEGUARD_BASELINES_CAPABILITIES_H_
+#define LAKEGUARD_BASELINES_CAPABILITIES_H_
+
+#include <string>
+#include <vector>
+
+namespace lakeguard {
+
+/// One row of the paper's Table 1: what a governance platform supports.
+/// Lakeguard's row is *measured* by running probes against this library
+/// (see bench/bench_table1_capabilities.cc); the competitor rows are the
+/// published product properties quoted in the paper.
+struct PlatformCapabilities {
+  std::string name;
+  std::string unified_policies;     // "yes" / "no" / qualifier
+  std::string catalog_udfs;         // language or "no"
+  std::string single_user_langs;    // e.g. "SQL, Python, Scala, R"
+  std::string multi_user_langs;
+  bool row_filter = false;
+  bool column_masks = false;
+  bool views = false;
+  bool materialized_views = false;
+  std::string external_filtering;   // "yes" / "no" / mechanism
+};
+
+/// The four comparison platforms exactly as Table 1 reports them.
+std::vector<PlatformCapabilities> ReferencePlatforms();
+
+/// Renders the capability matrix in the paper's row order.
+std::string RenderCapabilityTable(
+    const std::vector<PlatformCapabilities>& platforms);
+
+/// Storage/maintenance cost of the legacy replica-per-audience approach to
+/// FGAC (§2.2) versus policy-based enforcement. Pure arithmetic model.
+struct ReplicaCostModel {
+  uint64_t base_table_bytes = 0;
+  size_t policy_audiences = 0;  // distinct filtered copies needed
+  double refreshes_per_day = 1.0;
+
+  /// Bytes stored under the replica approach (original + copies).
+  uint64_t ReplicaStorageBytes() const {
+    return base_table_bytes * (1 + policy_audiences);
+  }
+  /// Bytes stored under catalog-policy enforcement (original only).
+  uint64_t PolicyStorageBytes() const { return base_table_bytes; }
+  /// Bytes rewritten per day keeping replicas fresh.
+  double ReplicaDailyChurnBytes() const {
+    return static_cast<double>(base_table_bytes) *
+           static_cast<double>(policy_audiences) * refreshes_per_day;
+  }
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_BASELINES_CAPABILITIES_H_

@@ -1,0 +1,69 @@
+#include "baselines/membrane.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace lakeguard {
+
+SimResult RunMembraneSimulation(const std::vector<SimJob>& jobs,
+                                const MembraneConfig& config) {
+  SimResult result;
+  result.jobs = jobs.size();
+  if (jobs.empty()) return result;
+
+  size_t untrusted_slots = static_cast<size_t>(
+      static_cast<double>(config.total_slots) * config.untrusted_fraction);
+  untrusted_slots = std::max<size_t>(1, untrusted_slots);
+  size_t trusted_slots =
+      std::max<size_t>(1, config.total_slots - untrusted_slots);
+
+  using MinHeap = std::priority_queue<int64_t, std::vector<int64_t>,
+                                      std::greater<int64_t>>;
+  MinHeap trusted, untrusted;
+  for (size_t i = 0; i < trusted_slots; ++i) trusted.push(0);
+  for (size_t i = 0; i < untrusted_slots; ++i) untrusted.push(0);
+
+  double total_wait = 0;
+  int64_t busy = 0;
+  int64_t makespan = 0;
+  for (const SimJob& job : jobs) {
+    int64_t trusted_free = trusted.top();
+    trusted.pop();
+    int64_t start = std::max(job.arrival_micros, trusted_free);
+    if (job.has_user_code) {
+      int64_t untrusted_free = untrusted.top();
+      untrusted.pop();
+      start = std::max(start, untrusted_free);
+      untrusted.push(start + job.duration_micros);
+    }
+    trusted.push(start + job.duration_micros);
+    // Useful work is counted once per job: the second slot a user-code job
+    // pins in the other domain is pure overhead of the split architecture.
+    busy += job.duration_micros;
+    total_wait += static_cast<double>(start - job.arrival_micros);
+    makespan = std::max(makespan, start + job.duration_micros);
+  }
+  result.makespan_micros = makespan;
+  result.mean_wait_micros = total_wait / static_cast<double>(jobs.size());
+  result.utilization =
+      makespan > 0
+          ? static_cast<double>(busy) /
+                (static_cast<double>(trusted_slots + untrusted_slots) *
+                 static_cast<double>(makespan))
+          : 0;
+  return result;
+}
+
+SimResult RunSharedPoolSimulation(const std::vector<SimJob>& jobs,
+                                  size_t total_slots) {
+  SlotPool pool(total_slots);
+  return pool.Run(jobs);
+}
+
+SimResult RunPerUserClustersSimulation(const std::vector<SimJob>& jobs,
+                                       size_t slots_per_user) {
+  return RunPartitionedPools(jobs, slots_per_user,
+                             [](const SimJob& job) { return job.user; });
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,38 @@
+#ifndef LAKEGUARD_BASELINES_MEMBRANE_H_
+#define LAKEGUARD_BASELINES_MEMBRANE_H_
+
+#include "cluster/slot_pool.h"
+
+namespace lakeguard {
+
+/// Model of AWS EMR Membrane's architecture (§7): one cluster statically
+/// split into a *trusted engine* domain and an *untrusted user-code*
+/// domain, exchanging data via shuffles. Domains never overlap ("residual
+/// data and state"), so capacity is provisioned per domain up front.
+struct MembraneConfig {
+  size_t total_slots = 16;
+  /// Fraction of slots assigned to the untrusted (user-code) domain.
+  double untrusted_fraction = 0.5;
+};
+
+/// Simulates FIFO placement of `jobs` on the split cluster: a job with user
+/// code holds one trusted AND one untrusted slot for its duration (engine
+/// work + user code proceed coupled through the shuffle boundary); a pure
+/// SQL job holds only a trusted slot. Utilization is measured over ALL
+/// slots — idle capacity stranded in the wrong domain is the cost the paper
+/// calls out.
+SimResult RunMembraneSimulation(const std::vector<SimJob>& jobs,
+                                const MembraneConfig& config);
+
+/// Lakeguard's counterpart on the same hardware: one shared pool (sandboxes
+/// ride along on the same hosts), every job takes one slot.
+SimResult RunSharedPoolSimulation(const std::vector<SimJob>& jobs,
+                                  size_t total_slots);
+
+/// Legacy per-user clusters: each user gets `slots_per_user` of their own.
+SimResult RunPerUserClustersSimulation(const std::vector<SimJob>& jobs,
+                                       size_t slots_per_user);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_BASELINES_MEMBRANE_H_

@@ -1,0 +1,65 @@
+#include "catalog/audit.h"
+
+namespace lakeguard {
+
+void AuditLog::Record(const std::string& principal,
+                      const std::string& compute_id, const std::string& action,
+                      const std::string& securable, bool allowed,
+                      const std::string& detail) {
+  AuditEvent event;
+  event.time_micros = clock_->NowMicros();
+  event.principal = principal;
+  event.compute_id = compute_id;
+  event.action = action;
+  event.securable = securable;
+  event.allowed = allowed;
+  event.detail = detail;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<AuditEvent> AuditLog::All() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::vector<AuditEvent> AuditLog::ForPrincipal(
+    const std::string& principal) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AuditEvent> out;
+  for (const AuditEvent& e : events_) {
+    if (e.principal == principal) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<AuditEvent> AuditLog::ForSecurable(
+    const std::string& securable) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AuditEvent> out;
+  for (const AuditEvent& e : events_) {
+    if (e.securable == securable) out.push_back(e);
+  }
+  return out;
+}
+
+size_t AuditLog::DeniedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const AuditEvent& e : events_) {
+    if (!e.allowed) ++n;
+  }
+  return n;
+}
+
+size_t AuditLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void AuditLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,51 @@
+#ifndef LAKEGUARD_CATALOG_AUDIT_H_
+#define LAKEGUARD_CATALOG_AUDIT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace lakeguard {
+
+/// One governed action. Every catalog decision — resolution, grant check,
+/// credential vending, policy change — lands here with the *original* user
+/// identity, even when permissions were group-down-scoped (§4.2) or the
+/// request arrived via a cluster.
+struct AuditEvent {
+  int64_t time_micros = 0;
+  std::string principal;
+  std::string compute_id;
+  std::string action;     // e.g. "RESOLVE_TABLE", "VEND_CREDENTIAL"
+  std::string securable;  // full name of the object acted on
+  bool allowed = false;
+  std::string detail;
+};
+
+/// Append-only audit trail with simple query helpers.
+class AuditLog {
+ public:
+  explicit AuditLog(Clock* clock) : clock_(clock) {}
+
+  void Record(const std::string& principal, const std::string& compute_id,
+              const std::string& action, const std::string& securable,
+              bool allowed, const std::string& detail = "");
+
+  std::vector<AuditEvent> All() const;
+  std::vector<AuditEvent> ForPrincipal(const std::string& principal) const;
+  std::vector<AuditEvent> ForSecurable(const std::string& securable) const;
+  size_t DeniedCount() const;
+  size_t size() const;
+  void Clear();
+
+ private:
+  Clock* clock_;
+  mutable std::mutex mu_;
+  std::vector<AuditEvent> events_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_CATALOG_AUDIT_H_

@@ -1,0 +1,108 @@
+#include "catalog/principal.h"
+
+namespace lakeguard {
+
+Status UserDirectory::AddUser(const std::string& user) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!users_.insert(user).second) {
+    return Status::AlreadyExists("user '" + user + "' already exists");
+  }
+  return Status::OK();
+}
+
+Status UserDirectory::AddGroup(const std::string& group) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (group_members_.count(group)) {
+    return Status::AlreadyExists("group '" + group + "' already exists");
+  }
+  group_members_[group] = {};
+  return Status::OK();
+}
+
+Status UserDirectory::AddUserToGroup(const std::string& user,
+                                     const std::string& group) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!users_.count(user)) {
+    return Status::NotFound("user '" + user + "' does not exist");
+  }
+  auto it = group_members_.find(group);
+  if (it == group_members_.end()) {
+    return Status::NotFound("group '" + group + "' does not exist");
+  }
+  it->second.insert(user);
+  return Status::OK();
+}
+
+Status UserDirectory::RemoveUserFromGroup(const std::string& user,
+                                          const std::string& group) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = group_members_.find(group);
+  if (it == group_members_.end()) {
+    return Status::NotFound("group '" + group + "' does not exist");
+  }
+  it->second.erase(user);
+  return Status::OK();
+}
+
+bool UserDirectory::UserExists(const std::string& user) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return users_.count(user) > 0;
+}
+
+bool UserDirectory::GroupExists(const std::string& group) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return group_members_.count(group) > 0;
+}
+
+bool UserDirectory::IsMember(const std::string& user,
+                             const std::string& group) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = group_members_.find(group);
+  return it != group_members_.end() && it->second.count(user) > 0;
+}
+
+Status UserDirectory::SetAttribute(const std::string& user,
+                                   const std::string& key,
+                                   const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!users_.count(user)) {
+    return Status::NotFound("user '" + user + "' does not exist");
+  }
+  attributes_[user][key] = value;
+  return Status::OK();
+}
+
+Result<std::string> UserDirectory::GetAttribute(const std::string& user,
+                                                const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto user_it = attributes_.find(user);
+  if (user_it != attributes_.end()) {
+    auto attr_it = user_it->second.find(key);
+    if (attr_it != user_it->second.end()) return attr_it->second;
+  }
+  return Status::NotFound("no attribute '" + key + "' on user '" + user +
+                          "'");
+}
+
+std::vector<std::string> UserDirectory::GroupsOf(
+    const std::string& user) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [group, members] : group_members_) {
+    if (members.count(user)) out.push_back(group);
+  }
+  return out;
+}
+
+std::vector<std::string> UserDirectory::MembersOf(
+    const std::string& group) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  auto it = group_members_.find(group);
+  if (it != group_members_.end()) {
+    out.assign(it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+}  // namespace lakeguard

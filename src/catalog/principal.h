@@ -1,0 +1,54 @@
+#ifndef LAKEGUARD_CATALOG_PRINCIPAL_H_
+#define LAKEGUARD_CATALOG_PRINCIPAL_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lakeguard {
+
+/// Account-level user/group directory. Groups are flat (no nesting) and
+/// membership drives both grant resolution (grants to groups apply to
+/// members) and the IS_ACCOUNT_GROUP_MEMBER() policy function.
+class UserDirectory {
+ public:
+  UserDirectory() = default;
+
+  Status AddUser(const std::string& user);
+  Status AddGroup(const std::string& group);
+  Status AddUserToGroup(const std::string& user, const std::string& group);
+  Status RemoveUserFromGroup(const std::string& user,
+                             const std::string& group);
+
+  bool UserExists(const std::string& user) const;
+  bool GroupExists(const std::string& group) const;
+  bool IsMember(const std::string& user, const std::string& group) const;
+
+  /// Sets an ABAC attribute on a user ("dept" -> "oncology"); policies
+  /// reference it via USER_ATTRIBUTE('dept') (§2.3's attribute-based
+  /// access control).
+  Status SetAttribute(const std::string& user, const std::string& key,
+                      const std::string& value);
+  /// Returns the attribute value, or NotFound.
+  Result<std::string> GetAttribute(const std::string& user,
+                                   const std::string& key) const;
+
+  /// Groups `user` belongs to, sorted.
+  std::vector<std::string> GroupsOf(const std::string& user) const;
+  /// Members of `group`, sorted.
+  std::vector<std::string> MembersOf(const std::string& group) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::set<std::string> users_;
+  std::map<std::string, std::set<std::string>> group_members_;
+  std::map<std::string, std::map<std::string, std::string>> attributes_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_CATALOG_PRINCIPAL_H_

@@ -1,0 +1,113 @@
+#ifndef LAKEGUARD_CATALOG_SECURABLE_H_
+#define LAKEGUARD_CATALOG_SECURABLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "columnar/types.h"
+#include "expr/expr.h"
+#include "udf/bytecode.h"
+
+namespace lakeguard {
+
+/// Kinds of governed objects. Unity Catalog governs far more than tables
+/// (§3.1): views (incl. materialized), functions (cataloged UDFs) and
+/// storage volumes are first-class securables here too.
+enum class SecurableType : uint8_t {
+  kCatalog = 0,
+  kSchema = 1,
+  kTable = 2,
+  kView = 3,
+  kFunction = 4,
+  kVolume = 5,
+};
+
+const char* SecurableTypeName(SecurableType type);
+
+/// Privileges grantable on securables.
+enum class Privilege : uint8_t {
+  kUseCatalog = 0,
+  kUseSchema = 1,
+  kSelect = 2,
+  kModify = 3,
+  kExecute = 4,   // run a cataloged function
+  kCreate = 5,    // create child objects
+  kManage = 6,    // set policies, grant/revoke
+  kReadVolume = 7,
+  kWriteVolume = 8,
+};
+
+const char* PrivilegeName(Privilege p);
+Result<Privilege> PrivilegeFromName(const std::string& name);
+
+/// A row-level filter policy: rows are visible iff `predicate` evaluates to
+/// true for the querying user. The predicate may use CURRENT_USER() and
+/// IS_ACCOUNT_GROUP_MEMBER() (§2.3's dynamic FGAC).
+struct RowFilterPolicy {
+  ExprPtr predicate;
+};
+
+/// A column mask policy: reads of `column` see `mask_expr` (which may
+/// reference the column itself) instead of the raw value, unless the user is
+/// in an exempt group.
+struct ColumnMaskPolicy {
+  std::string column;
+  ExprPtr mask_expr;
+  std::vector<std::string> exempt_groups;
+};
+
+/// A governed table.
+struct TableInfo {
+  std::string full_name;  // "catalog.schema.table"
+  std::string owner;
+  std::string storage_root;
+  Schema schema;
+  std::optional<RowFilterPolicy> row_filter;
+  std::vector<ColumnMaskPolicy> column_masks;
+
+  bool HasFineGrainedPolicies() const {
+    return row_filter.has_value() || !column_masks.empty();
+  }
+};
+
+/// A (possibly materialized) view. The definition is stored as SQL text and
+/// expanded by the analyzer under the *definer's* identity boundary
+/// (SecureView). Materialized views additionally own a storage root where
+/// refreshed data lives.
+struct ViewInfo {
+  std::string full_name;
+  std::string owner;
+  std::string sql_text;
+  bool materialized = false;
+  std::string storage_root;        // only for materialized views
+  bool materialization_fresh = false;
+  /// Schema of the refreshed data (recorded by the refresh pipeline so the
+  /// analyzer can type queries over the MV without reading storage).
+  Schema materialized_schema;
+};
+
+/// A cataloged user-defined function — user code as a governed asset
+/// (§3.3). `owner` is the trust domain its sandbox executions belong to.
+struct FunctionInfo {
+  std::string full_name;
+  std::string owner;
+  TypeKind return_type = TypeKind::kNull;
+  uint32_t num_args = 0;
+  UdfBytecode body;
+  /// Egress hosts this function is allowed to call (admin-configured;
+  /// empty = no egress).
+  std::vector<std::string> allowed_egress;
+};
+
+/// A governed storage path prefix (raw-file access, §3.1: Unity Catalog
+/// manages paths as well as tables).
+struct VolumeInfo {
+  std::string full_name;
+  std::string owner;
+  std::string storage_prefix;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_CATALOG_SECURABLE_H_

@@ -1,0 +1,734 @@
+#include "catalog/unity_catalog.h"
+
+#include "common/strings.h"
+
+namespace lakeguard {
+
+const char* SecurableTypeName(SecurableType type) {
+  switch (type) {
+    case SecurableType::kCatalog:
+      return "CATALOG";
+    case SecurableType::kSchema:
+      return "SCHEMA";
+    case SecurableType::kTable:
+      return "TABLE";
+    case SecurableType::kView:
+      return "VIEW";
+    case SecurableType::kFunction:
+      return "FUNCTION";
+    case SecurableType::kVolume:
+      return "VOLUME";
+  }
+  return "?";
+}
+
+const char* PrivilegeName(Privilege p) {
+  switch (p) {
+    case Privilege::kUseCatalog:
+      return "USE CATALOG";
+    case Privilege::kUseSchema:
+      return "USE SCHEMA";
+    case Privilege::kSelect:
+      return "SELECT";
+    case Privilege::kModify:
+      return "MODIFY";
+    case Privilege::kExecute:
+      return "EXECUTE";
+    case Privilege::kCreate:
+      return "CREATE";
+    case Privilege::kManage:
+      return "MANAGE";
+    case Privilege::kReadVolume:
+      return "READ VOLUME";
+    case Privilege::kWriteVolume:
+      return "WRITE VOLUME";
+  }
+  return "?";
+}
+
+Result<Privilege> PrivilegeFromName(const std::string& name) {
+  std::string up = ToUpperAscii(name);
+  if (up == "USE CATALOG") return Privilege::kUseCatalog;
+  if (up == "USE SCHEMA") return Privilege::kUseSchema;
+  if (up == "SELECT") return Privilege::kSelect;
+  if (up == "MODIFY") return Privilege::kModify;
+  if (up == "EXECUTE") return Privilege::kExecute;
+  if (up == "CREATE") return Privilege::kCreate;
+  if (up == "MANAGE") return Privilege::kManage;
+  if (up == "READ VOLUME") return Privilege::kReadVolume;
+  if (up == "WRITE VOLUME") return Privilege::kWriteVolume;
+  return Status::InvalidArgument("unknown privilege: " + name);
+}
+
+UnityCatalog::UnityCatalog(Clock* clock, CredentialAuthority* authority)
+    : clock_(clock), authority_(authority), audit_(clock) {
+  // The control plane holds a long-lived token covering the whole metastore
+  // prefix. It backs trusted operations only (writing table parts on create,
+  // MV refresh); query-path reads always use per-user vended tokens.
+  StorageCredential cred = authority_->Issue(
+      "system", "control-plane", {"mem://*"}, /*allow_write=*/true,
+      /*ttl_micros=*/365LL * 24 * 3600 * 1000 * 1000);
+  system_token_ = cred.token_id;
+}
+
+void UnityCatalog::AddMetastoreAdmin(const std::string& user) {
+  std::lock_guard<std::mutex> lock(mu_);
+  admins_.insert(user);
+}
+
+bool UnityCatalog::IsMetastoreAdmin(const std::string& user) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admins_.count(user) > 0;
+}
+
+Status UnityCatalog::SplitQualified(const std::string& full_name,
+                                    std::vector<std::string>* parts,
+                                    size_t want) const {
+  *parts = SplitString(full_name, '.');
+  if (parts->size() != want) {
+    return Status::InvalidArgument("expected " + std::to_string(want) +
+                                   "-part name, got '" + full_name + "'");
+  }
+  for (const std::string& p : *parts) {
+    if (p.empty()) {
+      return Status::InvalidArgument("empty name component in '" + full_name +
+                                     "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status UnityCatalog::CreateCatalog(const std::string& as_user,
+                                   const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!admins_.count(as_user)) {
+    audit_.Record(as_user, "", "CREATE_CATALOG", name, false,
+                  "not a metastore admin");
+    return Status::PermissionDenied("only metastore admins create catalogs");
+  }
+  if (catalogs_.count(name)) {
+    return Status::AlreadyExists("catalog '" + name + "' exists");
+  }
+  catalogs_[name] = as_user;
+  owners_[name] = as_user;
+  audit_.Record(as_user, "", "CREATE_CATALOG", name, true);
+  return Status::OK();
+}
+
+Status UnityCatalog::CreateSchema(const std::string& as_user,
+                                  const std::string& full_name) {
+  std::vector<std::string> parts;
+  LG_RETURN_IF_ERROR(SplitQualified(full_name, &parts, 2));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto cat = catalogs_.find(parts[0]);
+  if (cat == catalogs_.end()) {
+    return Status::NotFound("catalog '" + parts[0] + "' does not exist");
+  }
+  bool allowed = admins_.count(as_user) || cat->second == as_user ||
+                 PrincipalsHavePrivilege(
+                     {as_user}, parts[0], Privilege::kCreate);
+  if (!allowed) {
+    audit_.Record(as_user, "", "CREATE_SCHEMA", full_name, false);
+    return Status::PermissionDenied("no CREATE on catalog '" + parts[0] + "'");
+  }
+  if (schemas_.count(full_name)) {
+    return Status::AlreadyExists("schema '" + full_name + "' exists");
+  }
+  schemas_[full_name] = as_user;
+  owners_[full_name] = as_user;
+  audit_.Record(as_user, "", "CREATE_SCHEMA", full_name, true);
+  return Status::OK();
+}
+
+namespace {
+std::string ParentSchema(const std::vector<std::string>& parts) {
+  return parts[0] + "." + parts[1];
+}
+}  // namespace
+
+Status UnityCatalog::CreateTable(const std::string& as_user, TableInfo info) {
+  std::vector<std::string> parts;
+  LG_RETURN_IF_ERROR(SplitQualified(info.full_name, &parts, 3));
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string schema_name = ParentSchema(parts);
+  auto schema_it = schemas_.find(schema_name);
+  if (schema_it == schemas_.end()) {
+    return Status::NotFound("schema '" + schema_name + "' does not exist");
+  }
+  bool allowed = admins_.count(as_user) || schema_it->second == as_user ||
+                 PrincipalsHavePrivilege({as_user}, schema_name,
+                                         Privilege::kCreate);
+  if (!allowed) {
+    audit_.Record(as_user, "", "CREATE_TABLE", info.full_name, false);
+    return Status::PermissionDenied("no CREATE on schema '" + schema_name +
+                                    "'");
+  }
+  if (tables_.count(info.full_name) || views_.count(info.full_name)) {
+    return Status::AlreadyExists("relation '" + info.full_name + "' exists");
+  }
+  if (info.storage_root.empty()) {
+    info.storage_root = "mem://metastore/" + parts[0] + "/" + parts[1] + "/" +
+                        parts[2];
+  }
+  info.owner = as_user;
+  owners_[info.full_name] = as_user;
+  tables_[info.full_name] = std::move(info);
+  audit_.Record(as_user, "", "CREATE_TABLE",
+                tables_.find(parts[0] + "." + parts[1] + "." + parts[2])
+                    ->second.full_name,
+                true);
+  return Status::OK();
+}
+
+Status UnityCatalog::CreateView(const std::string& as_user, ViewInfo info) {
+  std::vector<std::string> parts;
+  LG_RETURN_IF_ERROR(SplitQualified(info.full_name, &parts, 3));
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string schema_name = ParentSchema(parts);
+  auto schema_it = schemas_.find(schema_name);
+  if (schema_it == schemas_.end()) {
+    return Status::NotFound("schema '" + schema_name + "' does not exist");
+  }
+  bool allowed = admins_.count(as_user) || schema_it->second == as_user ||
+                 PrincipalsHavePrivilege({as_user}, schema_name,
+                                         Privilege::kCreate);
+  if (!allowed) {
+    audit_.Record(as_user, "", "CREATE_VIEW", info.full_name, false);
+    return Status::PermissionDenied("no CREATE on schema '" + schema_name +
+                                    "'");
+  }
+  if (tables_.count(info.full_name) || views_.count(info.full_name)) {
+    return Status::AlreadyExists("relation '" + info.full_name + "' exists");
+  }
+  if (info.materialized && info.storage_root.empty()) {
+    info.storage_root = "mem://metastore/_mv/" + parts[0] + "/" + parts[1] +
+                        "/" + parts[2];
+  }
+  info.owner = as_user;
+  owners_[info.full_name] = as_user;
+  audit_.Record(as_user, "", "CREATE_VIEW", info.full_name, true);
+  views_[info.full_name] = std::move(info);
+  return Status::OK();
+}
+
+Status UnityCatalog::CreateFunction(const std::string& as_user,
+                                    FunctionInfo info) {
+  std::vector<std::string> parts;
+  LG_RETURN_IF_ERROR(SplitQualified(info.full_name, &parts, 3));
+  LG_RETURN_IF_ERROR(ValidateBytecode(info.body));
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string schema_name = ParentSchema(parts);
+  auto schema_it = schemas_.find(schema_name);
+  if (schema_it == schemas_.end()) {
+    return Status::NotFound("schema '" + schema_name + "' does not exist");
+  }
+  bool allowed = admins_.count(as_user) || schema_it->second == as_user ||
+                 PrincipalsHavePrivilege({as_user}, schema_name,
+                                         Privilege::kCreate);
+  if (!allowed) {
+    audit_.Record(as_user, "", "CREATE_FUNCTION", info.full_name, false);
+    return Status::PermissionDenied("no CREATE on schema '" + schema_name +
+                                    "'");
+  }
+  if (functions_.count(info.full_name)) {
+    return Status::AlreadyExists("function '" + info.full_name + "' exists");
+  }
+  info.owner = as_user;
+  owners_[info.full_name] = as_user;
+  audit_.Record(as_user, "", "CREATE_FUNCTION", info.full_name, true);
+  functions_[info.full_name] = std::move(info);
+  return Status::OK();
+}
+
+Status UnityCatalog::CreateVolume(const std::string& as_user,
+                                  VolumeInfo info) {
+  std::vector<std::string> parts;
+  LG_RETURN_IF_ERROR(SplitQualified(info.full_name, &parts, 3));
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string schema_name = ParentSchema(parts);
+  if (!schemas_.count(schema_name)) {
+    return Status::NotFound("schema '" + schema_name + "' does not exist");
+  }
+  if (volumes_.count(info.full_name)) {
+    return Status::AlreadyExists("volume '" + info.full_name + "' exists");
+  }
+  info.owner = as_user;
+  owners_[info.full_name] = as_user;
+  audit_.Record(as_user, "", "CREATE_VOLUME", info.full_name, true);
+  volumes_[info.full_name] = std::move(info);
+  return Status::OK();
+}
+
+Status UnityCatalog::DropTable(const std::string& as_user,
+                               const std::string& full_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(full_name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + full_name + "' does not exist");
+  }
+  if (!admins_.count(as_user) && it->second.owner != as_user) {
+    audit_.Record(as_user, "", "DROP_TABLE", full_name, false);
+    return Status::PermissionDenied("only the owner drops a table");
+  }
+  tables_.erase(it);
+  owners_.erase(full_name);
+  grants_.erase(full_name);
+  audit_.Record(as_user, "", "DROP_TABLE", full_name, true);
+  return Status::OK();
+}
+
+Result<TableInfo> UnityCatalog::GetTable(const std::string& full_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(full_name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + full_name + "' does not exist");
+  }
+  return it->second;
+}
+
+Result<ViewInfo> UnityCatalog::GetView(const std::string& full_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = views_.find(full_name);
+  if (it == views_.end()) {
+    return Status::NotFound("view '" + full_name + "' does not exist");
+  }
+  return it->second;
+}
+
+Result<VolumeInfo> UnityCatalog::GetVolume(
+    const std::string& full_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = volumes_.find(full_name);
+  if (it == volumes_.end()) {
+    return Status::NotFound("volume '" + full_name + "' does not exist");
+  }
+  return it->second;
+}
+
+std::vector<std::string> UnityCatalog::ListTables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, info] : tables_) out.push_back(name);
+  return out;
+}
+
+Status UnityCatalog::SetMaterializationState(const std::string& view_name,
+                                             bool fresh,
+                                             const std::string& storage_root,
+                                             const Schema& schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = views_.find(view_name);
+  if (it == views_.end()) {
+    return Status::NotFound("view '" + view_name + "' does not exist");
+  }
+  if (!it->second.materialized) {
+    return Status::FailedPrecondition("view '" + view_name +
+                                      "' is not materialized");
+  }
+  it->second.materialization_fresh = fresh;
+  if (!storage_root.empty()) it->second.storage_root = storage_root;
+  if (schema.num_fields() > 0) it->second.materialized_schema = schema;
+  return Status::OK();
+}
+
+Status UnityCatalog::Grant(const std::string& as_user,
+                           const std::string& securable, Privilege privilege,
+                           const std::string& principal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto owner_it = owners_.find(securable);
+  if (owner_it == owners_.end()) {
+    return Status::NotFound("securable '" + securable + "' does not exist");
+  }
+  bool allowed = admins_.count(as_user) || owner_it->second == as_user ||
+                 PrincipalsHavePrivilege({as_user}, securable,
+                                         Privilege::kManage);
+  if (!allowed) {
+    audit_.Record(as_user, "", "GRANT", securable, false,
+                  std::string(PrivilegeName(privilege)) + " to " + principal);
+    return Status::PermissionDenied("no MANAGE on '" + securable + "'");
+  }
+  grants_[securable].push_back({principal, privilege});
+  audit_.Record(as_user, "", "GRANT", securable, true,
+                std::string(PrivilegeName(privilege)) + " to " + principal);
+  return Status::OK();
+}
+
+Status UnityCatalog::Revoke(const std::string& as_user,
+                            const std::string& securable, Privilege privilege,
+                            const std::string& principal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto owner_it = owners_.find(securable);
+  if (owner_it == owners_.end()) {
+    return Status::NotFound("securable '" + securable + "' does not exist");
+  }
+  bool allowed = admins_.count(as_user) || owner_it->second == as_user ||
+                 PrincipalsHavePrivilege({as_user}, securable,
+                                         Privilege::kManage);
+  if (!allowed) {
+    return Status::PermissionDenied("no MANAGE on '" + securable + "'");
+  }
+  auto& entries = grants_[securable];
+  for (auto it = entries.begin(); it != entries.end(); ++it) {
+    if (it->principal == principal && it->privilege == privilege) {
+      entries.erase(it);
+      audit_.Record(as_user, "", "REVOKE", securable, true,
+                    std::string(PrivilegeName(privilege)) + " from " +
+                        principal);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no such grant to revoke");
+}
+
+std::vector<std::string> UnityCatalog::EffectivePrincipals(
+    const std::string& user, const ComputeContext& compute) const {
+  if (!compute.downscope_group.empty()) {
+    // §4.2: on dedicated group clusters every attached user's permissions
+    // are reduced to exactly the group's.
+    return {compute.downscope_group};
+  }
+  std::vector<std::string> principals = users_.GroupsOf(user);
+  principals.push_back(user);
+  return principals;
+}
+
+bool UnityCatalog::PrincipalsHavePrivilege(
+    const std::vector<std::string>& principals, const std::string& securable,
+    Privilege privilege) const {
+  auto it = grants_.find(securable);
+  if (it == grants_.end()) return false;
+  for (const GrantEntry& entry : it->second) {
+    if (entry.privilege != privilege) continue;
+    for (const std::string& p : principals) {
+      if (entry.principal == p) return true;
+    }
+  }
+  return false;
+}
+
+bool UnityCatalog::PrincipalsOwn(const std::vector<std::string>& principals,
+                                 const std::string& securable) const {
+  auto it = owners_.find(securable);
+  if (it == owners_.end()) return false;
+  for (const std::string& p : principals) {
+    if (it->second == p) return true;
+  }
+  return false;
+}
+
+bool UnityCatalog::CheckDataAccess(const std::string& user,
+                                   const ComputeContext& compute,
+                                   const std::string& securable,
+                                   Privilege privilege,
+                                   std::string* why) const {
+  std::vector<std::string> principals = EffectivePrincipals(user, compute);
+  // Admin bypass applies to the real user unless down-scoped.
+  if (compute.downscope_group.empty() && admins_.count(user)) return true;
+  if (PrincipalsOwn(principals, securable)) return true;
+
+  std::vector<std::string> parts = SplitString(securable, '.');
+  if (parts.size() == 3) {
+    if (!PrincipalsOwn(principals, parts[0]) &&
+        !PrincipalsHavePrivilege(principals, parts[0],
+                                 Privilege::kUseCatalog)) {
+      if (why) *why = "missing USE CATALOG on '" + parts[0] + "'";
+      return false;
+    }
+    std::string schema_name = parts[0] + "." + parts[1];
+    if (!PrincipalsOwn(principals, schema_name) &&
+        !PrincipalsHavePrivilege(principals, schema_name,
+                                 Privilege::kUseSchema)) {
+      if (why) *why = "missing USE SCHEMA on '" + schema_name + "'";
+      return false;
+    }
+  }
+  if (!PrincipalsHavePrivilege(principals, securable, privilege)) {
+    if (why) {
+      *why = std::string("missing ") + PrivilegeName(privilege) + " on '" +
+             securable + "'";
+    }
+    return false;
+  }
+  return true;
+}
+
+bool UnityCatalog::HasPrivilege(const std::string& user,
+                                const std::string& securable,
+                                Privilege privilege) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ComputeContext none;
+  none.downscope_group.clear();
+  return CheckDataAccess(user, none, securable, privilege, nullptr);
+}
+
+std::set<Privilege> UnityCatalog::EffectivePrivileges(
+    const std::string& user, const std::string& securable) const {
+  std::set<Privilege> out;
+  for (Privilege p :
+       {Privilege::kUseCatalog, Privilege::kUseSchema, Privilege::kSelect,
+        Privilege::kModify, Privilege::kExecute, Privilege::kCreate,
+        Privilege::kManage, Privilege::kReadVolume, Privilege::kWriteVolume}) {
+    if (HasPrivilege(user, securable, p)) out.insert(p);
+  }
+  return out;
+}
+
+Status UnityCatalog::RequireManage(const std::string& as_user,
+                                   const std::string& table) {
+  auto owner_it = owners_.find(table);
+  if (owner_it == owners_.end()) {
+    return Status::NotFound("securable '" + table + "' does not exist");
+  }
+  if (admins_.count(as_user) || owner_it->second == as_user ||
+      PrincipalsHavePrivilege({as_user}, table, Privilege::kManage)) {
+    return Status::OK();
+  }
+  return Status::PermissionDenied("no MANAGE on '" + table + "'");
+}
+
+Status UnityCatalog::SetRowFilter(const std::string& as_user,
+                                  const std::string& table,
+                                  RowFilterPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LG_RETURN_IF_ERROR(RequireManage(as_user, table));
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + table + "' does not exist");
+  }
+  if (!policy.predicate) {
+    return Status::InvalidArgument("row filter predicate is required");
+  }
+  it->second.row_filter = std::move(policy);
+  audit_.Record(as_user, "", "SET_ROW_FILTER", table, true);
+  return Status::OK();
+}
+
+Status UnityCatalog::ClearRowFilter(const std::string& as_user,
+                                    const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LG_RETURN_IF_ERROR(RequireManage(as_user, table));
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + table + "' does not exist");
+  }
+  it->second.row_filter.reset();
+  audit_.Record(as_user, "", "CLEAR_ROW_FILTER", table, true);
+  return Status::OK();
+}
+
+Status UnityCatalog::AddColumnMask(const std::string& as_user,
+                                   const std::string& table,
+                                   ColumnMaskPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LG_RETURN_IF_ERROR(RequireManage(as_user, table));
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + table + "' does not exist");
+  }
+  if (it->second.schema.FindField(policy.column) < 0) {
+    return Status::InvalidArgument("table has no column '" + policy.column +
+                                   "'");
+  }
+  if (!policy.mask_expr) {
+    return Status::InvalidArgument("mask expression is required");
+  }
+  it->second.column_masks.push_back(std::move(policy));
+  audit_.Record(as_user, "", "ADD_COLUMN_MASK", table, true);
+  return Status::OK();
+}
+
+Status UnityCatalog::ClearColumnMasks(const std::string& as_user,
+                                      const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LG_RETURN_IF_ERROR(RequireManage(as_user, table));
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + table + "' does not exist");
+  }
+  it->second.column_masks.clear();
+  audit_.Record(as_user, "", "CLEAR_COLUMN_MASKS", table, true);
+  return Status::OK();
+}
+
+Result<RelationResolution> UnityCatalog::ResolveRelation(
+    const std::string& user, const ComputeContext& compute,
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  auto table_it = tables_.find(name);
+  auto view_it = views_.find(name);
+  if (table_it == tables_.end() && view_it == views_.end()) {
+    audit_.Record(user, compute.compute_id, "RESOLVE_RELATION", name, false,
+                  "not found");
+    return Status::NotFound("relation '" + name + "' does not exist");
+  }
+
+  std::string why;
+  if (!CheckDataAccess(user, compute, name, Privilege::kSelect, &why)) {
+    audit_.Record(user, compute.compute_id, "RESOLVE_RELATION", name, false,
+                  why);
+    return Status::PermissionDenied("user '" + user + "' cannot SELECT from '" +
+                                    name + "': " + why);
+  }
+
+  RelationResolution res;
+
+  if (view_it != views_.end()) {
+    const ViewInfo& view = view_it->second;
+    res.type = SecurableType::kView;
+    res.view = view;
+    // Fresh materialized views behave like tables over their stored data.
+    if (view.materialized && view.materialization_fresh) {
+      res.type = SecurableType::kTable;
+      res.table.full_name = view.full_name;
+      res.table.owner = view.owner;
+      res.table.storage_root = view.storage_root;
+      // Schema is carried by the stored data; engine reads the manifest.
+      if (compute.privileged_access) {
+        res.enforcement = EnforcementMode::kExternal;
+      } else {
+        res.enforcement = EnforcementMode::kLocal;
+        StorageCredential cred = authority_->Issue(
+            user, compute.compute_id, {view.storage_root + "/*"},
+            /*allow_write=*/false, kCredentialTtlMicros);
+        res.read_token = cred.token_id;
+      }
+      audit_.Record(user, compute.compute_id, "RESOLVE_RELATION", name, true,
+                    "materialized view");
+      return res;
+    }
+    // Logical views: a privileged cluster cannot expand the definition
+    // locally (the definition embeds other relations and possibly policy
+    // semantics); enforcement moves external. Standard clusters expand the
+    // view under a SecureView barrier.
+    res.enforcement = compute.privileged_access ? EnforcementMode::kExternal
+                                                : EnforcementMode::kLocal;
+    audit_.Record(user, compute.compute_id, "RESOLVE_RELATION", name, true,
+                  res.enforcement == EnforcementMode::kExternal
+                      ? "view -> external"
+                      : "view -> local expansion");
+    return res;
+  }
+
+  const TableInfo& table = table_it->second;
+  res.type = SecurableType::kTable;
+  res.table = table;
+
+  const bool has_policies = table.HasFineGrainedPolicies();
+  if (has_policies && compute.privileged_access) {
+    // §3.4: the privileged cluster learns only basic metadata — name and
+    // schema — plus the fact that local processing is not allowed. No
+    // predicates, no mask expressions, no storage credential.
+    res.enforcement = EnforcementMode::kExternal;
+    res.table.row_filter.reset();
+    res.table.column_masks.clear();
+    res.table.storage_root.clear();
+    audit_.Record(user, compute.compute_id, "RESOLVE_RELATION", name, true,
+                  "FGAC table on privileged compute -> external enforcement");
+    return res;
+  }
+
+  res.enforcement = EnforcementMode::kLocal;
+  if (has_policies) {
+    res.row_filter = table.row_filter;
+    // Masks whose exempt groups cover this user are dropped at resolution
+    // time (the engine then sees the raw column).
+    for (const ColumnMaskPolicy& mask : table.column_masks) {
+      bool exempt = false;
+      for (const std::string& group : mask.exempt_groups) {
+        if (users_.IsMember(user, group)) {
+          exempt = true;
+          break;
+        }
+      }
+      if (!exempt) res.column_masks.push_back(mask);
+    }
+  }
+  StorageCredential cred = authority_->Issue(
+      user, compute.compute_id, {table.storage_root + "/*"},
+      /*allow_write=*/false, kCredentialTtlMicros);
+  res.read_token = cred.token_id;
+  audit_.Record(user, compute.compute_id, "RESOLVE_RELATION", name, true,
+                has_policies ? "local enforcement with FGAC policies"
+                             : "local enforcement");
+  return res;
+}
+
+Result<FunctionInfo> UnityCatalog::ResolveFunction(
+    const std::string& user, const ComputeContext& compute,
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = functions_.find(name);
+  if (it == functions_.end()) {
+    audit_.Record(user, compute.compute_id, "RESOLVE_FUNCTION", name, false,
+                  "not found");
+    return Status::NotFound("function '" + name + "' does not exist");
+  }
+  std::string why;
+  if (!CheckDataAccess(user, compute, name, Privilege::kExecute, &why)) {
+    audit_.Record(user, compute.compute_id, "RESOLVE_FUNCTION", name, false,
+                  why);
+    return Status::PermissionDenied("user '" + user +
+                                    "' cannot EXECUTE '" + name + "': " + why);
+  }
+  audit_.Record(user, compute.compute_id, "RESOLVE_FUNCTION", name, true);
+  return it->second;
+}
+
+Result<StorageCredential> UnityCatalog::VendWriteCredential(
+    const std::string& user, const ComputeContext& compute,
+    const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + table + "' does not exist");
+  }
+  std::string why;
+  if (!CheckDataAccess(user, compute, table, Privilege::kModify, &why)) {
+    audit_.Record(user, compute.compute_id, "VEND_CREDENTIAL", table, false,
+                  why);
+    return Status::PermissionDenied("user '" + user + "' cannot MODIFY '" +
+                                    table + "': " + why);
+  }
+  if (it->second.HasFineGrainedPolicies() && compute.privileged_access) {
+    audit_.Record(user, compute.compute_id, "VEND_CREDENTIAL", table, false,
+                  "FGAC table on privileged compute");
+    return Status::PermissionDenied(
+        "table '" + table +
+        "' has fine-grained policies; direct storage access from privileged "
+        "compute is not allowed");
+  }
+  StorageCredential cred = authority_->Issue(
+      user, compute.compute_id, {it->second.storage_root + "/*"},
+      /*allow_write=*/true, kCredentialTtlMicros);
+  audit_.Record(user, compute.compute_id, "VEND_CREDENTIAL", table, true,
+                "write token " + cred.token_id);
+  return cred;
+}
+
+Result<StorageCredential> UnityCatalog::VendVolumeCredential(
+    const std::string& user, const ComputeContext& compute,
+    const std::string& volume, bool write) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = volumes_.find(volume);
+  if (it == volumes_.end()) {
+    return Status::NotFound("volume '" + volume + "' does not exist");
+  }
+  Privilege needed = write ? Privilege::kWriteVolume : Privilege::kReadVolume;
+  std::string why;
+  if (!CheckDataAccess(user, compute, volume, needed, &why)) {
+    audit_.Record(user, compute.compute_id, "VEND_VOLUME_CREDENTIAL", volume,
+                  false, why);
+    return Status::PermissionDenied("user '" + user + "' lacks " +
+                                    PrivilegeName(needed) + " on '" + volume +
+                                    "': " + why);
+  }
+  StorageCredential cred = authority_->Issue(
+      user, compute.compute_id, {it->second.storage_prefix + "*"}, write,
+      kCredentialTtlMicros);
+  audit_.Record(user, compute.compute_id, "VEND_VOLUME_CREDENTIAL", volume,
+                true);
+  return cred;
+}
+
+}  // namespace lakeguard

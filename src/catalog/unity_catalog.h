@@ -1,0 +1,210 @@
+#ifndef LAKEGUARD_CATALOG_UNITY_CATALOG_H_
+#define LAKEGUARD_CATALOG_UNITY_CATALOG_H_
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/audit.h"
+#include "catalog/principal.h"
+#include "catalog/securable.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "storage/credential.h"
+
+namespace lakeguard {
+
+/// What the catalog knows about the compute making a request — the
+/// *privilege scope* of §3.4/§4. The catalog reasons about the source of
+/// every request: a Standard cluster can isolate user code and therefore may
+/// receive policy expressions and raw-data credentials; a Dedicated
+/// (privileged) cluster may not.
+struct ComputeContext {
+  std::string compute_id;
+  /// True for Standard clusters / Serverless backends: the engine is
+  /// trusted and user code is sandboxed, so FGAC can be enforced locally.
+  bool can_isolate_user_code = true;
+  /// True for Dedicated clusters: users have machine access, the engine is
+  /// NOT a trust boundary.
+  bool privileged_access = false;
+  /// When set (dedicated group clusters, §4.2), permission checks use
+  /// exactly this group's grants — dynamic permission down-scoping. Audit
+  /// still records the real user.
+  std::string downscope_group;
+};
+
+/// How a resolved relation must be enforced.
+enum class EnforcementMode : uint8_t {
+  /// Engine applies policies itself (SecureView injection). Policies and a
+  /// user-bound storage credential are released to the engine.
+  kLocal = 0,
+  /// Compute must not see policy details or raw data; the engine must
+  /// rewrite to a RemoteScan against a Serverless endpoint (eFGAC).
+  kExternal = 1,
+};
+
+/// Result of resolving a relation name for a (user, compute) pair.
+struct RelationResolution {
+  SecurableType type = SecurableType::kTable;
+  EnforcementMode enforcement = EnforcementMode::kLocal;
+
+  /// Populated for tables and fresh materialized views.
+  TableInfo table;
+  /// Populated for (non-materialized or stale) views.
+  ViewInfo view;
+
+  /// FGAC policies — populated only when enforcement is kLocal. Under
+  /// kExternal these are deliberately absent: the requesting cluster only
+  /// learns *that* the object cannot be processed locally (§3.4).
+  std::optional<RowFilterPolicy> row_filter;
+  std::vector<ColumnMaskPolicy> column_masks;
+
+  /// User-bound read token for the table's parts (kLocal tables only).
+  std::string read_token;
+};
+
+/// The Unity Catalog analogue: one place that governs catalogs, schemas,
+/// tables, views, functions and volumes; resolves relations per
+/// (user, compute) pair; vends scoped storage credentials; and audits every
+/// decision (§3.1).
+class UnityCatalog {
+ public:
+  UnityCatalog(Clock* clock, CredentialAuthority* authority);
+
+  UnityCatalog(const UnityCatalog&) = delete;
+  UnityCatalog& operator=(const UnityCatalog&) = delete;
+
+  // -- Principals ------------------------------------------------------------
+  UserDirectory& users() { return users_; }
+  const UserDirectory& users() const { return users_; }
+  void AddMetastoreAdmin(const std::string& user);
+  bool IsMetastoreAdmin(const std::string& user) const;
+
+  // -- Namespace management ----------------------------------------------------
+  Status CreateCatalog(const std::string& as_user, const std::string& name);
+  Status CreateSchema(const std::string& as_user,
+                      const std::string& full_name);  // "cat.schema"
+  Status CreateTable(const std::string& as_user, TableInfo info);
+  Status CreateView(const std::string& as_user, ViewInfo info);
+  Status CreateFunction(const std::string& as_user, FunctionInfo info);
+  Status CreateVolume(const std::string& as_user, VolumeInfo info);
+  Status DropTable(const std::string& as_user, const std::string& full_name);
+
+  Result<TableInfo> GetTable(const std::string& full_name) const;
+  Result<ViewInfo> GetView(const std::string& full_name) const;
+  Result<VolumeInfo> GetVolume(const std::string& full_name) const;
+  std::vector<std::string> ListTables() const;
+
+  /// Marks a materialized view's stored data fresh/stale (refresh is driven
+  /// by the platform, which owns an engine). `schema` types the stored data.
+  Status SetMaterializationState(const std::string& view_name, bool fresh,
+                                 const std::string& storage_root,
+                                 const Schema& schema = Schema());
+
+  // -- Grants ------------------------------------------------------------------
+  Status Grant(const std::string& as_user, const std::string& securable,
+               Privilege privilege, const std::string& principal);
+  Status Revoke(const std::string& as_user, const std::string& securable,
+                Privilege privilege, const std::string& principal);
+  /// Direct + group-derived privilege check with owner/admin bypass and the
+  /// USE CATALOG / USE SCHEMA hierarchy for data objects.
+  bool HasPrivilege(const std::string& user, const std::string& securable,
+                    Privilege privilege) const;
+  /// All privileges `user` holds on `securable` (including derived).
+  std::set<Privilege> EffectivePrivileges(const std::string& user,
+                                          const std::string& securable) const;
+
+  // -- Policies ----------------------------------------------------------------
+  Status SetRowFilter(const std::string& as_user, const std::string& table,
+                      RowFilterPolicy policy);
+  Status ClearRowFilter(const std::string& as_user, const std::string& table);
+  Status AddColumnMask(const std::string& as_user, const std::string& table,
+                       ColumnMaskPolicy policy);
+  Status ClearColumnMasks(const std::string& as_user,
+                          const std::string& table);
+
+  // -- Query-path API ------------------------------------------------------------
+  /// Resolves `name` for `user` on `compute`: privilege checks (with group
+  /// down-scoping when requested), enforcement-mode decision, policy release
+  /// and user-bound credential vending. This is THE security decision point.
+  Result<RelationResolution> ResolveRelation(const std::string& user,
+                                             const ComputeContext& compute,
+                                             const std::string& name);
+
+  /// Resolves a cataloged function for execution (kExecute check). Returns
+  /// the function (body + trust-domain owner + egress allow-list).
+  Result<FunctionInfo> ResolveFunction(const std::string& user,
+                                       const ComputeContext& compute,
+                                       const std::string& name);
+
+  /// Vends a write credential for a table the user can MODIFY. Denied on
+  /// privileged compute when the table carries FGAC policies.
+  Result<StorageCredential> VendWriteCredential(const std::string& user,
+                                                const ComputeContext& compute,
+                                                const std::string& table);
+
+  /// Vends a read credential for a volume prefix (raw-file workloads).
+  Result<StorageCredential> VendVolumeCredential(const std::string& user,
+                                                 const ComputeContext& compute,
+                                                 const std::string& volume,
+                                                 bool write);
+
+  /// Token for the trusted control plane itself (table creation, MV refresh
+  /// data management). Never handed to user code.
+  const std::string& system_token() const { return system_token_; }
+
+  AuditLog& audit() { return audit_; }
+  const AuditLog& audit() const { return audit_; }
+
+  /// Default TTL of vended credentials.
+  static constexpr int64_t kCredentialTtlMicros = 3600LL * 1000 * 1000;
+
+ private:
+  struct GrantEntry {
+    std::string principal;
+    Privilege privilege;
+  };
+
+  /// Principals whose grants count for `user` under `compute` (the user and
+  /// their groups, or exactly the down-scoped group).
+  std::vector<std::string> EffectivePrincipals(
+      const std::string& user, const ComputeContext& compute) const;
+
+  bool PrincipalsHavePrivilege(const std::vector<std::string>& principals,
+                               const std::string& securable,
+                               Privilege privilege) const;
+  bool PrincipalsOwn(const std::vector<std::string>& principals,
+                     const std::string& securable) const;
+  /// Full access check for data objects: USE chain + object privilege.
+  bool CheckDataAccess(const std::string& user, const ComputeContext& compute,
+                       const std::string& securable, Privilege privilege,
+                       std::string* why) const;
+
+  Status RequireManage(const std::string& as_user, const std::string& table);
+  Status SplitQualified(const std::string& full_name,
+                        std::vector<std::string>* parts, size_t want) const;
+
+  Clock* clock_;
+  CredentialAuthority* authority_;
+  UserDirectory users_;
+  AuditLog audit_;
+  std::string system_token_;
+
+  mutable std::mutex mu_;
+  std::set<std::string> admins_;
+  std::map<std::string, std::string> catalogs_;  // name -> owner
+  std::map<std::string, std::string> schemas_;   // "cat.schema" -> owner
+  std::map<std::string, TableInfo> tables_;
+  std::map<std::string, ViewInfo> views_;
+  std::map<std::string, FunctionInfo> functions_;
+  std::map<std::string, VolumeInfo> volumes_;
+  std::map<std::string, std::vector<GrantEntry>> grants_;
+  std::map<std::string, std::string> owners_;  // securable -> owner
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_CATALOG_UNITY_CATALOG_H_

@@ -1,0 +1,105 @@
+#include "cluster/cluster.h"
+
+#include "common/id.h"
+
+namespace lakeguard {
+
+const char* ClusterTypeName(ClusterType type) {
+  switch (type) {
+    case ClusterType::kStandard:
+      return "STANDARD";
+    case ClusterType::kDedicated:
+      return "DEDICATED";
+  }
+  return "?";
+}
+
+ClusterHost::ClusterHost(std::string host_id, Clock* clock,
+                         int64_t cold_start_micros)
+    : host_id_(std::move(host_id)),
+      env_(clock),
+      provisioner_(&env_, clock, cold_start_micros),
+      dispatcher_(&provisioner_, clock) {}
+
+Cluster::Cluster(ClusterConfig config, Clock* clock,
+                 const UserDirectory* directory)
+    : config_(std::move(config)), directory_(directory) {
+  if (config_.cluster_id.empty()) {
+    config_.cluster_id = IdGenerator::Next("cluster");
+  }
+  for (size_t i = 0; i < config_.num_hosts; ++i) {
+    hosts_.push_back(std::make_unique<ClusterHost>(
+        config_.cluster_id + "-host-" + std::to_string(i), clock,
+        config_.sandbox_cold_start_micros));
+  }
+}
+
+Result<ComputeContext> Cluster::AttachUser(const std::string& user) const {
+  ComputeContext ctx;
+  ctx.compute_id = config_.cluster_id;
+  if (config_.type == ClusterType::kStandard) {
+    ctx.can_isolate_user_code = true;
+    ctx.privileged_access = false;
+    return ctx;
+  }
+  // Dedicated.
+  ctx.can_isolate_user_code = false;
+  ctx.privileged_access = true;
+  if (config_.assigned_principal.empty()) {
+    return Status::FailedPrecondition(
+        "dedicated cluster has no assigned principal");
+  }
+  if (config_.assigned_is_group) {
+    if (!directory_->IsMember(user, config_.assigned_principal)) {
+      return Status::PermissionDenied(
+          "user '" + user + "' is not a member of group '" +
+          config_.assigned_principal + "' assigned to dedicated cluster " +
+          config_.cluster_id);
+    }
+    // §4.2: permissions down-scope to exactly the group's.
+    ctx.downscope_group = config_.assigned_principal;
+    return ctx;
+  }
+  if (user != config_.assigned_principal) {
+    return Status::PermissionDenied("dedicated cluster " + config_.cluster_id +
+                                    " is assigned to '" +
+                                    config_.assigned_principal + "'");
+  }
+  return ctx;
+}
+
+Cluster* ClusterManager::CreateCluster(ClusterConfig config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clusters_.push_back(
+      std::make_unique<Cluster>(std::move(config), clock_, directory_));
+  return clusters_.back().get();
+}
+
+Result<Cluster*> ClusterManager::GetCluster(
+    const std::string& cluster_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& cluster : clusters_) {
+    if (cluster->id() == cluster_id) return cluster.get();
+  }
+  return Status::NotFound("no cluster " + cluster_id);
+}
+
+Status ClusterManager::TerminateCluster(const std::string& cluster_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = clusters_.begin(); it != clusters_.end(); ++it) {
+    if ((*it)->id() == cluster_id) {
+      clusters_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no cluster " + cluster_id);
+}
+
+std::vector<Cluster*> ClusterManager::ActiveClusters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Cluster*> out;
+  for (const auto& cluster : clusters_) out.push_back(cluster.get());
+  return out;
+}
+
+}  // namespace lakeguard

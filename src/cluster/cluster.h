@@ -1,0 +1,113 @@
+#ifndef LAKEGUARD_CLUSTER_CLUSTER_H_
+#define LAKEGUARD_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/principal.h"
+#include "catalog/unity_catalog.h"
+#include "common/clock.h"
+#include "sandbox/dispatcher.h"
+#include "sandbox/host_env.h"
+
+namespace lakeguard {
+
+/// Databricks' two governed compute types (§4, Fig. 9).
+enum class ClusterType : uint8_t {
+  /// Multi-user, fully isolated: client code and UDFs run in sandboxes, the
+  /// engine is trusted, FGAC enforced locally.
+  kStandard = 0,
+  /// Privileged machine access (GPUs, drivers, RDDs): single identity (or a
+  /// group with permission down-scoping), FGAC enforced externally.
+  kDedicated = 1,
+};
+
+const char* ClusterTypeName(ClusterType type);
+
+struct ClusterConfig {
+  std::string cluster_id;  // generated when empty
+  ClusterType type = ClusterType::kStandard;
+  size_t num_hosts = 2;
+  size_t slots_per_host = 4;
+  /// Dedicated clusters: the single user OR group allowed to attach.
+  std::string assigned_principal;
+  bool assigned_is_group = false;
+  /// Sandbox provisioning cold-start (modeled clock time).
+  int64_t sandbox_cold_start_micros = 2'000'000;
+};
+
+/// One machine of a cluster (Fig. 7): a runtime environment plus the
+/// decoupled cluster-management side (dispatcher + provisioner) that creates
+/// sandboxes on it.
+class ClusterHost {
+ public:
+  ClusterHost(std::string host_id, Clock* clock, int64_t cold_start_micros);
+
+  const std::string& id() const { return host_id_; }
+  SimulatedHostEnvironment& env() { return env_; }
+  Dispatcher& dispatcher() { return dispatcher_; }
+
+ private:
+  std::string host_id_;
+  SimulatedHostEnvironment env_;
+  LocalSandboxProvisioner provisioner_;
+  Dispatcher dispatcher_;
+};
+
+/// A governed cluster: hosts, admission control and the ComputeContext its
+/// requests carry to Unity Catalog.
+class Cluster {
+ public:
+  Cluster(ClusterConfig config, Clock* clock, const UserDirectory* directory);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const std::string& id() const { return config_.cluster_id; }
+  ClusterType type() const { return config_.type; }
+  const ClusterConfig& config() const { return config_; }
+  size_t total_slots() const {
+    return config_.num_hosts * config_.slots_per_host;
+  }
+
+  /// Admission control (§4.1/§4.2): Standard admits everyone; Dedicated
+  /// admits only the assigned user, or members of the assigned group.
+  Result<ComputeContext> AttachUser(const std::string& user) const;
+
+  std::vector<std::unique_ptr<ClusterHost>>& hosts() { return hosts_; }
+  /// The host whose dispatcher serves driver-adjacent sandbox requests.
+  ClusterHost& driver_host() { return *hosts_.front(); }
+
+ private:
+  ClusterConfig config_;
+  const UserDirectory* directory_;
+  std::vector<std::unique_ptr<ClusterHost>> hosts_;
+};
+
+/// Creates and tracks clusters for a workspace.
+class ClusterManager {
+ public:
+  ClusterManager(Clock* clock, const UserDirectory* directory)
+      : clock_(clock), directory_(directory) {}
+
+  ClusterManager(const ClusterManager&) = delete;
+  ClusterManager& operator=(const ClusterManager&) = delete;
+
+  Cluster* CreateCluster(ClusterConfig config);
+  Result<Cluster*> GetCluster(const std::string& cluster_id) const;
+  Status TerminateCluster(const std::string& cluster_id);
+  std::vector<Cluster*> ActiveClusters() const;
+
+  Clock* clock() const { return clock_; }
+
+ private:
+  Clock* clock_;
+  const UserDirectory* directory_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Cluster>> clusters_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_CLUSTER_CLUSTER_H_

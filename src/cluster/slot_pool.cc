@@ -1,0 +1,76 @@
+#include "cluster/slot_pool.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+namespace lakeguard {
+
+SimResult SlotPool::Run(const std::vector<SimJob>& jobs) const {
+  SimResult result;
+  result.jobs = jobs.size();
+  if (jobs.empty() || slots_ == 0) return result;
+
+  // Min-heap of slot-free times.
+  std::priority_queue<int64_t, std::vector<int64_t>, std::greater<int64_t>>
+      free_at;
+  for (size_t i = 0; i < slots_; ++i) free_at.push(0);
+
+  double total_wait = 0;
+  int64_t busy_time = 0;
+  int64_t makespan = 0;
+  for (const SimJob& job : jobs) {
+    int64_t slot_free = free_at.top();
+    free_at.pop();
+    int64_t start = std::max(job.arrival_micros, slot_free);
+    int64_t end = start + job.duration_micros;
+    free_at.push(end);
+    total_wait += static_cast<double>(start - job.arrival_micros);
+    busy_time += job.duration_micros;
+    makespan = std::max(makespan, end);
+  }
+  result.makespan_micros = makespan;
+  result.mean_wait_micros = total_wait / static_cast<double>(jobs.size());
+  result.utilization =
+      makespan > 0 ? static_cast<double>(busy_time) /
+                         (static_cast<double>(slots_) *
+                          static_cast<double>(makespan))
+                   : 0;
+  return result;
+}
+
+SimResult RunPartitionedPools(
+    const std::vector<SimJob>& jobs, size_t slots_per_pool,
+    const std::function<std::string(const SimJob&)>& key) {
+  std::map<std::string, std::vector<SimJob>> partitions;
+  for (const SimJob& job : jobs) {
+    partitions[key(job)].push_back(job);
+  }
+  SimResult combined;
+  combined.jobs = jobs.size();
+  double total_wait = 0;
+  int64_t busy = 0;
+  for (const auto& [name, part] : partitions) {
+    SlotPool pool(slots_per_pool);
+    SimResult r = pool.Run(part);
+    combined.makespan_micros =
+        std::max(combined.makespan_micros, r.makespan_micros);
+    total_wait += r.mean_wait_micros * static_cast<double>(part.size());
+    // Recover busy time from utilization to aggregate across pools.
+    busy += static_cast<int64_t>(r.utilization *
+                                 static_cast<double>(slots_per_pool) *
+                                 static_cast<double>(r.makespan_micros));
+  }
+  size_t total_slots = slots_per_pool * partitions.size();
+  combined.mean_wait_micros =
+      jobs.empty() ? 0 : total_wait / static_cast<double>(jobs.size());
+  combined.utilization =
+      combined.makespan_micros > 0 && total_slots > 0
+          ? static_cast<double>(busy) /
+                (static_cast<double>(total_slots) *
+                 static_cast<double>(combined.makespan_micros))
+          : 0;
+  return combined;
+}
+
+}  // namespace lakeguard

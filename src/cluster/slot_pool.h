@@ -1,0 +1,59 @@
+#ifndef LAKEGUARD_CLUSTER_SLOT_POOL_H_
+#define LAKEGUARD_CLUSTER_SLOT_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lakeguard {
+
+/// A job for the discrete-event utilization simulation (used by the
+/// multi-user-vs-Membrane-vs-per-user-clusters comparison, §2.5/§7).
+struct SimJob {
+  std::string user;
+  int64_t arrival_micros = 0;
+  int64_t duration_micros = 0;
+  /// True when the job contains user code (UDFs / driver code). Relevant
+  /// for the Membrane baseline, which segregates such work.
+  bool has_user_code = true;
+};
+
+/// Outcome of one placement simulation.
+struct SimResult {
+  int64_t makespan_micros = 0;
+  double mean_wait_micros = 0;
+  double utilization = 0;  // busy-slot-time / (slots * makespan)
+  uint64_t jobs = 0;
+};
+
+/// A fixed-capacity slot pool driven in virtual time: jobs are admitted
+/// FIFO as slots free up. This is deliberately simple — enough to expose
+/// the *structural* utilization difference between one shared pool and
+/// statically split / per-user pools.
+class SlotPool {
+ public:
+  explicit SlotPool(size_t slots) : slots_(slots) {}
+
+  size_t slots() const { return slots_; }
+
+  /// Schedules `jobs` (must be sorted by arrival) and returns the metrics.
+  SimResult Run(const std::vector<SimJob>& jobs) const;
+
+ private:
+  size_t slots_;
+};
+
+/// Runs `jobs` against N independent pools keyed by `key(job)` (per-user
+/// clusters: key = user; Membrane: key = domain). Returns the combined
+/// metrics over all pools with total slot capacity `slots_per_pool * pools`.
+SimResult RunPartitionedPools(
+    const std::vector<SimJob>& jobs, size_t slots_per_pool,
+    const std::function<std::string(const SimJob&)>& key);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_CLUSTER_SLOT_POOL_H_

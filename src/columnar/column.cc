@@ -1,0 +1,238 @@
+#include "columnar/column.h"
+
+namespace lakeguard {
+
+Value Column::GetValue(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (kind_) {
+    case TypeKind::kNull:
+      return Value::Null();
+    case TypeKind::kBool:
+      return Value::Bool(BoolAt(i));
+    case TypeKind::kInt64:
+      return Value::Int(IntAt(i));
+    case TypeKind::kFloat64:
+      return Value::Double(DoubleAt(i));
+    case TypeKind::kString:
+      return Value::String(StringAt(i));
+    case TypeKind::kBinary:
+      return Value::Binary(StringAt(i));
+  }
+  return Value::Null();
+}
+
+size_t Column::NullCount() const {
+  size_t n = 0;
+  for (uint8_t v : valid_) {
+    if (v == 0) ++n;
+  }
+  return n;
+}
+
+Column Column::Filter(const std::vector<uint8_t>& mask) const {
+  Column out;
+  out.kind_ = kind_;
+  for (size_t i = 0; i < length_; ++i) {
+    if (!mask[i]) continue;
+    out.valid_.push_back(valid_[i]);
+    switch (kind_) {
+      case TypeKind::kInt64:
+        out.ints_.push_back(ints_[i]);
+        break;
+      case TypeKind::kFloat64:
+        out.doubles_.push_back(doubles_[i]);
+        break;
+      case TypeKind::kBool:
+        out.bools_.push_back(bools_[i]);
+        break;
+      case TypeKind::kString:
+      case TypeKind::kBinary:
+        out.strings_.push_back(strings_[i]);
+        break;
+      case TypeKind::kNull:
+        break;
+    }
+    ++out.length_;
+  }
+  return out;
+}
+
+Column Column::Take(const std::vector<int64_t>& indices) const {
+  Column out;
+  out.kind_ = kind_;
+  out.length_ = indices.size();
+  out.valid_.reserve(indices.size());
+  for (int64_t idx : indices) {
+    size_t i = static_cast<size_t>(idx);
+    out.valid_.push_back(valid_[i]);
+    switch (kind_) {
+      case TypeKind::kInt64:
+        out.ints_.push_back(ints_[i]);
+        break;
+      case TypeKind::kFloat64:
+        out.doubles_.push_back(doubles_[i]);
+        break;
+      case TypeKind::kBool:
+        out.bools_.push_back(bools_[i]);
+        break;
+      case TypeKind::kString:
+      case TypeKind::kBinary:
+        out.strings_.push_back(strings_[i]);
+        break;
+      case TypeKind::kNull:
+        break;
+    }
+  }
+  return out;
+}
+
+Column Column::Slice(size_t offset, size_t count) const {
+  std::vector<int64_t> indices;
+  indices.reserve(count);
+  for (size_t i = offset; i < offset + count && i < length_; ++i) {
+    indices.push_back(static_cast<int64_t>(i));
+  }
+  return Take(indices);
+}
+
+size_t Column::ByteSize() const {
+  size_t bytes = valid_.size();
+  bytes += ints_.size() * sizeof(int64_t);
+  bytes += doubles_.size() * sizeof(double);
+  bytes += bools_.size();
+  for (const std::string& s : strings_) {
+    bytes += s.size() + sizeof(size_t);
+  }
+  return bytes;
+}
+
+bool Column::Equals(const Column& other) const {
+  if (kind_ != other.kind_ || length_ != other.length_) return false;
+  for (size_t i = 0; i < length_; ++i) {
+    if (IsNull(i) != other.IsNull(i)) return false;
+    if (IsNull(i)) continue;
+    if (!(GetValue(i) == other.GetValue(i))) return false;
+  }
+  return true;
+}
+
+ColumnBuilder::ColumnBuilder(TypeKind kind) { col_.kind_ = kind; }
+
+void ColumnBuilder::Reserve(size_t n) {
+  col_.valid_.reserve(n);
+  switch (col_.kind_) {
+    case TypeKind::kInt64:
+      col_.ints_.reserve(n);
+      break;
+    case TypeKind::kFloat64:
+      col_.doubles_.reserve(n);
+      break;
+    case TypeKind::kBool:
+      col_.bools_.reserve(n);
+      break;
+    case TypeKind::kString:
+    case TypeKind::kBinary:
+      col_.strings_.reserve(n);
+      break;
+    case TypeKind::kNull:
+      break;
+  }
+}
+
+void ColumnBuilder::AppendNull() {
+  col_.valid_.push_back(0);
+  switch (col_.kind_) {
+    case TypeKind::kInt64:
+      col_.ints_.push_back(0);
+      break;
+    case TypeKind::kFloat64:
+      col_.doubles_.push_back(0.0);
+      break;
+    case TypeKind::kBool:
+      col_.bools_.push_back(0);
+      break;
+    case TypeKind::kString:
+    case TypeKind::kBinary:
+      col_.strings_.emplace_back();
+      break;
+    case TypeKind::kNull:
+      break;
+  }
+  ++col_.length_;
+}
+
+void ColumnBuilder::AppendInt(int64_t v) {
+  col_.valid_.push_back(1);
+  col_.ints_.push_back(v);
+  ++col_.length_;
+}
+
+void ColumnBuilder::AppendDouble(double v) {
+  col_.valid_.push_back(1);
+  col_.doubles_.push_back(v);
+  ++col_.length_;
+}
+
+void ColumnBuilder::AppendBool(bool v) {
+  col_.valid_.push_back(1);
+  col_.bools_.push_back(v ? 1 : 0);
+  ++col_.length_;
+}
+
+void ColumnBuilder::AppendString(std::string v) {
+  col_.valid_.push_back(1);
+  col_.strings_.push_back(std::move(v));
+  ++col_.length_;
+}
+
+Status ColumnBuilder::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  switch (col_.kind_) {
+    case TypeKind::kInt64: {
+      LG_ASSIGN_OR_RETURN(int64_t iv, v.AsInt());
+      AppendInt(iv);
+      return Status::OK();
+    }
+    case TypeKind::kFloat64: {
+      LG_ASSIGN_OR_RETURN(double dv, v.AsDouble());
+      AppendDouble(dv);
+      return Status::OK();
+    }
+    case TypeKind::kBool:
+      if (!v.is_bool()) {
+        return Status::InvalidArgument("expected BOOLEAN, got " +
+                                       v.ToString());
+      }
+      AppendBool(v.bool_value());
+      return Status::OK();
+    case TypeKind::kString:
+      if (v.is_string() || v.is_binary()) {
+        AppendString(v.string_value());
+      } else {
+        AppendString(v.ToString());
+      }
+      return Status::OK();
+    case TypeKind::kBinary:
+      if (!v.is_string() && !v.is_binary()) {
+        return Status::InvalidArgument("expected BINARY, got " + v.ToString());
+      }
+      AppendString(v.string_value());
+      return Status::OK();
+    case TypeKind::kNull:
+      AppendNull();
+      return Status::OK();
+  }
+  return Status::Internal("unreachable column kind");
+}
+
+Column ColumnBuilder::Finish() {
+  Column out = std::move(col_);
+  col_ = Column();
+  col_.kind_ = out.kind_;
+  return out;
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,90 @@
+#ifndef LAKEGUARD_COLUMNAR_COLUMN_H_
+#define LAKEGUARD_COLUMNAR_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "columnar/types.h"
+#include "columnar/value.h"
+#include "common/status.h"
+
+namespace lakeguard {
+
+/// An immutable typed column with a validity vector, the unit of vectorized
+/// execution. Storage is one contiguous vector per physical type; only the
+/// vector matching `kind()` is populated. Strings and binary share the
+/// string storage.
+class Column {
+ public:
+  Column() : kind_(TypeKind::kNull), length_(0) {}
+
+  TypeKind kind() const { return kind_; }
+  size_t length() const { return length_; }
+  bool IsNull(size_t i) const { return valid_[i] == 0; }
+
+  int64_t IntAt(size_t i) const { return ints_[i]; }
+  double DoubleAt(size_t i) const { return doubles_[i]; }
+  bool BoolAt(size_t i) const { return bools_[i] != 0; }
+  const std::string& StringAt(size_t i) const { return strings_[i]; }
+
+  /// Boxed accessor (slow path; prefer typed accessors in operators).
+  Value GetValue(size_t i) const;
+
+  /// Sum of null flags; used by stats and tests.
+  size_t NullCount() const;
+
+  /// Returns a column with rows where `mask[i]` is true.
+  Column Filter(const std::vector<uint8_t>& mask) const;
+
+  /// Returns a column with rows at `indices` (gather).
+  Column Take(const std::vector<int64_t>& indices) const;
+
+  /// Returns rows [offset, offset+count).
+  Column Slice(size_t offset, size_t count) const;
+
+  /// Approximate in-memory footprint in bytes (drives eFGAC inline-vs-spill).
+  size_t ByteSize() const;
+
+  bool Equals(const Column& other) const;
+
+ private:
+  friend class ColumnBuilder;
+
+  TypeKind kind_;
+  size_t length_;
+  std::vector<uint8_t> valid_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<uint8_t> bools_;
+  std::vector<std::string> strings_;
+};
+
+/// Append-only builder producing a `Column`.
+class ColumnBuilder {
+ public:
+  explicit ColumnBuilder(TypeKind kind);
+
+  void AppendNull();
+  void AppendInt(int64_t v);
+  void AppendDouble(double v);
+  void AppendBool(bool v);
+  void AppendString(std::string v);
+
+  /// Appends a boxed value, casting numerics to the column type.
+  /// Type-mismatched values fail with InvalidArgument.
+  Status AppendValue(const Value& v);
+
+  void Reserve(size_t n);
+  size_t length() const { return col_.length_; }
+
+  /// Finalizes the column; the builder is left empty and reusable.
+  Column Finish();
+
+ private:
+  Column col_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_COLUMNAR_COLUMN_H_

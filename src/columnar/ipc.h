@@ -1,0 +1,40 @@
+#ifndef LAKEGUARD_COLUMNAR_IPC_H_
+#define LAKEGUARD_COLUMNAR_IPC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "columnar/record_batch.h"
+#include "common/serde.h"
+
+namespace lakeguard {
+
+/// Framed columnar batch serialization — this library's stand-in for Arrow
+/// IPC. Batches cross three boundaries in this system, always in this
+/// format: engine -> Connect client (result streaming), engine <-> sandbox
+/// (UDF input/output), and eFGAC spill to cloud storage. Every frame is
+/// integrity-checked with an FNV-64 trailer.
+namespace ipc {
+
+/// Serializes `schema` into `writer`.
+void SerializeSchema(const Schema& schema, ByteWriter* writer);
+
+/// Reads a schema previously written by SerializeSchema.
+Result<Schema> DeserializeSchema(ByteReader* reader);
+
+/// Serializes one column (type, validity, payload) into `writer`.
+void SerializeColumn(const Column& column, ByteWriter* writer);
+
+/// Reads a column previously written by SerializeColumn.
+Result<Column> DeserializeColumn(ByteReader* reader);
+
+/// Serializes a full framed batch: magic, schema, columns, checksum.
+std::vector<uint8_t> SerializeBatch(const RecordBatch& batch);
+
+/// Parses and integrity-checks a framed batch.
+Result<RecordBatch> DeserializeBatch(const std::vector<uint8_t>& frame);
+
+}  // namespace ipc
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_COLUMNAR_IPC_H_

@@ -1,0 +1,175 @@
+#include "columnar/record_batch.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lakeguard {
+
+Result<RecordBatch> RecordBatch::Make(Schema schema,
+                                      std::vector<Column> columns) {
+  if (schema.num_fields() != columns.size()) {
+    return Status::InvalidArgument(
+        "schema has " + std::to_string(schema.num_fields()) +
+        " fields but got " + std::to_string(columns.size()) + " columns");
+  }
+  size_t rows = columns.empty() ? 0 : columns[0].length();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].length() != rows) {
+      return Status::InvalidArgument("column " + std::to_string(i) +
+                                     " length mismatch");
+    }
+    if (columns[i].kind() != schema.field(i).type &&
+        columns[i].kind() != TypeKind::kNull) {
+      return Status::InvalidArgument(
+          "column '" + schema.field(i).name + "' type mismatch: schema " +
+          TypeKindName(schema.field(i).type) + " vs column " +
+          TypeKindName(columns[i].kind()));
+    }
+  }
+  return RecordBatch(std::move(schema), std::move(columns));
+}
+
+RecordBatch RecordBatch::Empty(Schema schema) {
+  std::vector<Column> cols;
+  cols.reserve(schema.num_fields());
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    ColumnBuilder b(schema.field(i).type);
+    cols.push_back(b.Finish());
+  }
+  return RecordBatch(std::move(schema), std::move(cols));
+}
+
+std::vector<Value> RecordBatch::Row(size_t row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const Column& col : columns_) {
+    out.push_back(col.GetValue(row));
+  }
+  return out;
+}
+
+RecordBatch RecordBatch::Filter(const std::vector<uint8_t>& mask) const {
+  std::vector<Column> cols;
+  cols.reserve(columns_.size());
+  for (const Column& col : columns_) {
+    cols.push_back(col.Filter(mask));
+  }
+  return RecordBatch(schema_, std::move(cols));
+}
+
+RecordBatch RecordBatch::Take(const std::vector<int64_t>& indices) const {
+  std::vector<Column> cols;
+  cols.reserve(columns_.size());
+  for (const Column& col : columns_) {
+    cols.push_back(col.Take(indices));
+  }
+  return RecordBatch(schema_, std::move(cols));
+}
+
+RecordBatch RecordBatch::SelectColumns(const std::vector<int>& indices) const {
+  std::vector<Column> cols;
+  cols.reserve(indices.size());
+  for (int i : indices) {
+    cols.push_back(columns_[static_cast<size_t>(i)]);
+  }
+  return RecordBatch(schema_.Project(indices), std::move(cols));
+}
+
+RecordBatch RecordBatch::Slice(size_t offset, size_t count) const {
+  std::vector<Column> cols;
+  cols.reserve(columns_.size());
+  for (const Column& col : columns_) {
+    cols.push_back(col.Slice(offset, count));
+  }
+  return RecordBatch(schema_, std::move(cols));
+}
+
+size_t RecordBatch::ByteSize() const {
+  size_t bytes = 0;
+  for (const Column& col : columns_) {
+    bytes += col.ByteSize();
+  }
+  return bytes;
+}
+
+bool RecordBatch::Equals(const RecordBatch& other) const {
+  if (!schema_.Equals(other.schema_)) return false;
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!columns_[i].Equals(other.columns_[i])) return false;
+  }
+  return true;
+}
+
+std::string RecordBatch::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  std::vector<size_t> widths(schema_.num_fields());
+  size_t rows = std::min(num_rows(), max_rows);
+  std::vector<std::vector<std::string>> cells(rows);
+  for (size_t c = 0; c < schema_.num_fields(); ++c) {
+    widths[c] = schema_.field(c).name.size();
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    cells[r].resize(schema_.num_fields());
+    for (size_t c = 0; c < schema_.num_fields(); ++c) {
+      cells[r][c] = columns_[c].GetValue(r).ToString();
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  auto rule = [&]() {
+    os << "+";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << "+";
+    }
+    os << "\n";
+  };
+  rule();
+  os << "|";
+  for (size_t c = 0; c < schema_.num_fields(); ++c) {
+    const std::string& name = schema_.field(c).name;
+    os << " " << name << std::string(widths[c] - name.size() + 1, ' ') << "|";
+  }
+  os << "\n";
+  rule();
+  for (size_t r = 0; r < rows; ++r) {
+    os << "|";
+    for (size_t c = 0; c < schema_.num_fields(); ++c) {
+      os << " " << cells[r][c]
+         << std::string(widths[c] - cells[r][c].size() + 1, ' ') << "|";
+    }
+    os << "\n";
+  }
+  rule();
+  if (num_rows() > rows) {
+    os << "(" << num_rows() - rows << " more rows)\n";
+  }
+  return os.str();
+}
+
+Result<RecordBatch> ConcatBatches(const Schema& schema,
+                                  const std::vector<RecordBatch>& batches) {
+  std::vector<ColumnBuilder> builders;
+  builders.reserve(schema.num_fields());
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    builders.emplace_back(schema.field(i).type);
+  }
+  for (const RecordBatch& batch : batches) {
+    if (batch.num_columns() != schema.num_fields()) {
+      return Status::InvalidArgument("batch schema mismatch in concat");
+    }
+    for (size_t c = 0; c < schema.num_fields(); ++c) {
+      const Column& col = batch.column(c);
+      for (size_t r = 0; r < col.length(); ++r) {
+        LG_RETURN_IF_ERROR(builders[c].AppendValue(col.GetValue(r)));
+      }
+    }
+  }
+  std::vector<Column> cols;
+  cols.reserve(builders.size());
+  for (ColumnBuilder& b : builders) {
+    cols.push_back(b.Finish());
+  }
+  return RecordBatch(schema, std::move(cols));
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,75 @@
+#ifndef LAKEGUARD_COLUMNAR_RECORD_BATCH_H_
+#define LAKEGUARD_COLUMNAR_RECORD_BATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "columnar/column.h"
+#include "columnar/types.h"
+#include "common/status.h"
+
+namespace lakeguard {
+
+/// A horizontal slice of a table: a schema plus one column per field, all of
+/// equal length. RecordBatch is the unit that flows between operators,
+/// across the sandbox channel, and over the Connect wire.
+class RecordBatch {
+ public:
+  RecordBatch() = default;
+  RecordBatch(Schema schema, std::vector<Column> columns)
+      : schema_(std::move(schema)), columns_(std::move(columns)) {}
+
+  /// Verifies column count/length/type agreement with the schema.
+  static Result<RecordBatch> Make(Schema schema, std::vector<Column> columns);
+
+  /// An empty batch carrying only the schema.
+  static RecordBatch Empty(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].length();
+  }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Boxed cell accessor (row-oriented slow path).
+  Value CellAt(size_t row, size_t col) const {
+    return columns_[col].GetValue(row);
+  }
+
+  /// One row as boxed values.
+  std::vector<Value> Row(size_t row) const;
+
+  /// Keeps rows where mask[i] != 0.
+  RecordBatch Filter(const std::vector<uint8_t>& mask) const;
+
+  /// Gathers rows at `indices`.
+  RecordBatch Take(const std::vector<int64_t>& indices) const;
+
+  /// Keeps columns at `indices`, in order.
+  RecordBatch SelectColumns(const std::vector<int>& indices) const;
+
+  /// Rows [offset, offset+count).
+  RecordBatch Slice(size_t offset, size_t count) const;
+
+  /// Approximate memory footprint.
+  size_t ByteSize() const;
+
+  bool Equals(const RecordBatch& other) const;
+
+  /// ASCII-table rendering (bounded to `max_rows`).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+};
+
+/// Concatenates batches with identical schemas into one.
+Result<RecordBatch> ConcatBatches(const Schema& schema,
+                                  const std::vector<RecordBatch>& batches);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_COLUMNAR_RECORD_BATCH_H_

@@ -1,0 +1,87 @@
+#include "columnar/table.h"
+
+namespace lakeguard {
+
+size_t Table::num_rows() const {
+  size_t n = 0;
+  for (const RecordBatch& b : batches_) {
+    n += b.num_rows();
+  }
+  return n;
+}
+
+size_t Table::ByteSize() const {
+  size_t n = 0;
+  for (const RecordBatch& b : batches_) {
+    n += b.ByteSize();
+  }
+  return n;
+}
+
+Status Table::AppendBatch(RecordBatch batch) {
+  if (!batch.schema().Equals(schema_)) {
+    return Status::InvalidArgument("batch schema " +
+                                   batch.schema().ToString() +
+                                   " does not match table schema " +
+                                   schema_.ToString());
+  }
+  batches_.push_back(std::move(batch));
+  return Status::OK();
+}
+
+Result<RecordBatch> Table::Combine() const {
+  return ConcatBatches(schema_, batches_);
+}
+
+bool Table::Equals(const Table& other) const {
+  // Compares logical content (batch boundaries are not significant).
+  auto a = Combine();
+  auto b = other.Combine();
+  if (!a.ok() || !b.ok()) return false;
+  return a->Equals(*b);
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  auto combined = Combine();
+  if (!combined.ok()) return "<invalid table: " + combined.status().ToString() + ">";
+  return combined->ToString(max_rows);
+}
+
+TableBuilder::TableBuilder(Schema schema) : schema_(std::move(schema)) {
+  builders_.reserve(schema_.num_fields());
+  for (size_t i = 0; i < schema_.num_fields(); ++i) {
+    builders_.emplace_back(schema_.field(i).type);
+  }
+}
+
+Status TableBuilder::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != builders_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, schema expects " +
+        std::to_string(builders_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    LG_RETURN_IF_ERROR(builders_[i].AppendValue(row[i]).WithContext(
+        "column '" + schema_.field(i).name + "'"));
+  }
+  ++rows_in_batch_;
+  return Status::OK();
+}
+
+void TableBuilder::FinishBatch() {
+  if (rows_in_batch_ == 0) return;
+  std::vector<Column> cols;
+  cols.reserve(builders_.size());
+  for (ColumnBuilder& b : builders_) {
+    cols.push_back(b.Finish());
+  }
+  batches_.emplace_back(schema_, std::move(cols));
+  rows_in_batch_ = 0;
+}
+
+Table TableBuilder::Build() {
+  FinishBatch();
+  return Table(schema_, std::move(batches_));
+}
+
+}  // namespace lakeguard

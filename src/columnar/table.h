@@ -1,0 +1,63 @@
+#ifndef LAKEGUARD_COLUMNAR_TABLE_H_
+#define LAKEGUARD_COLUMNAR_TABLE_H_
+
+#include <vector>
+
+#include "columnar/record_batch.h"
+
+namespace lakeguard {
+
+/// An in-memory table: a schema and a sequence of batches. Materialized
+/// query results and the storage layer's decoded parts both use this shape.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  Table(Schema schema, std::vector<RecordBatch> batches)
+      : schema_(std::move(schema)), batches_(std::move(batches)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<RecordBatch>& batches() const { return batches_; }
+
+  size_t num_rows() const;
+  size_t ByteSize() const;
+
+  Status AppendBatch(RecordBatch batch);
+
+  /// All batches merged into one.
+  Result<RecordBatch> Combine() const;
+
+  bool Equals(const Table& other) const;
+
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<RecordBatch> batches_;
+};
+
+/// Convenience row-oriented builder for tests, examples and workload
+/// generators: declare a schema, append rows of boxed values, build batches.
+class TableBuilder {
+ public:
+  explicit TableBuilder(Schema schema);
+
+  /// Appends one row; values must match the schema arity.
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Closes the current batch if it has rows (controls batch granularity).
+  void FinishBatch();
+
+  /// Returns the accumulated table.
+  Table Build();
+
+ private:
+  Schema schema_;
+  std::vector<ColumnBuilder> builders_;
+  size_t rows_in_batch_ = 0;
+  std::vector<RecordBatch> batches_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_COLUMNAR_TABLE_H_

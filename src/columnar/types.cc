@@ -1,0 +1,81 @@
+#include "columnar/types.h"
+
+#include "common/strings.h"
+
+namespace lakeguard {
+
+const char* TypeKindName(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kNull:
+      return "NULL";
+    case TypeKind::kBool:
+      return "BOOLEAN";
+    case TypeKind::kInt64:
+      return "BIGINT";
+    case TypeKind::kFloat64:
+      return "DOUBLE";
+    case TypeKind::kString:
+      return "STRING";
+    case TypeKind::kBinary:
+      return "BINARY";
+  }
+  return "UNKNOWN";
+}
+
+Result<TypeKind> TypeKindFromName(const std::string& name) {
+  std::string up = ToUpperAscii(name);
+  if (up == "BOOLEAN" || up == "BOOL") return TypeKind::kBool;
+  if (up == "BIGINT" || up == "INT" || up == "INTEGER" || up == "LONG" ||
+      up == "SMALLINT" || up == "TINYINT") {
+    return TypeKind::kInt64;
+  }
+  if (up == "DOUBLE" || up == "FLOAT" || up == "FLOAT8" || up == "REAL" ||
+      up == "DECIMAL") {
+    return TypeKind::kFloat64;
+  }
+  if (up == "STRING" || up == "TEXT" || up == "VARCHAR" || up == "CHAR" ||
+      up == "DATE" || up == "TIMESTAMP") {
+    // Dates/timestamps are carried as ISO-8601 strings in this engine.
+    return TypeKind::kString;
+  }
+  if (up == "BINARY" || up == "BYTES" || up == "BLOB") return TypeKind::kBinary;
+  if (up == "NULL" || up == "VOID") return TypeKind::kNull;
+  return Status::InvalidArgument("unknown type name: " + name);
+}
+
+int Schema::FindField(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (EqualsIgnoreCase(fields_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<FieldDef> Schema::GetField(const std::string& name) const {
+  int idx = FindField(name);
+  if (idx < 0) return Status::NotFound("no field named '" + name + "'");
+  return fields_[static_cast<size_t>(idx)];
+}
+
+Schema Schema::Project(const std::vector<int>& indices) const {
+  std::vector<FieldDef> out;
+  out.reserve(indices.size());
+  for (int i : indices) {
+    out.push_back(fields_[static_cast<size_t>(i)]);
+  }
+  return Schema(std::move(out));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += " ";
+    out += TypeKindName(fields_[i].type);
+    if (!fields_[i].nullable) out += " NOT NULL";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,77 @@
+#ifndef LAKEGUARD_COLUMNAR_TYPES_H_
+#define LAKEGUARD_COLUMNAR_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lakeguard {
+
+/// Physical/logical column types supported by the engine. The set matches
+/// what the paper's workloads exercise: relational scalars plus BINARY for
+/// the healthcare example's raw sensor payloads.
+enum class TypeKind : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kFloat64 = 3,
+  kString = 4,
+  kBinary = 5,
+};
+
+/// Returns the SQL-ish name of `kind` ("BIGINT", "STRING", ...).
+const char* TypeKindName(TypeKind kind);
+
+/// Parses a SQL type name (case-insensitive); accepts common aliases
+/// (INT/LONG/BIGINT, DOUBLE/FLOAT8, TEXT/VARCHAR/STRING, ...).
+Result<TypeKind> TypeKindFromName(const std::string& name);
+
+/// A named, typed column slot in a schema.
+struct FieldDef {
+  std::string name;
+  TypeKind type = TypeKind::kNull;
+  bool nullable = true;
+
+  bool operator==(const FieldDef& other) const {
+    return name == other.name && type == other.type &&
+           nullable == other.nullable;
+  }
+};
+
+/// Ordered collection of fields describing a RecordBatch / Table / plan
+/// output. Field lookup is case-insensitive, as in Spark SQL.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<FieldDef> fields) : fields_(std::move(fields)) {}
+
+  const std::vector<FieldDef>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const FieldDef& field(size_t i) const { return fields_[i]; }
+
+  /// Returns the index of the field named `name` (case-insensitive), or -1.
+  int FindField(const std::string& name) const;
+
+  /// Returns the field named `name` or NotFound.
+  Result<FieldDef> GetField(const std::string& name) const;
+
+  void AddField(FieldDef field) { fields_.push_back(std::move(field)); }
+
+  /// Schema with only the fields at `indices`, in that order.
+  Schema Project(const std::vector<int>& indices) const;
+
+  bool Equals(const Schema& other) const { return fields_ == other.fields_; }
+  bool operator==(const Schema& other) const { return Equals(other); }
+
+  /// "(a BIGINT, b STRING NOT NULL)" rendering for messages and plans.
+  std::string ToString() const;
+
+ private:
+  std::vector<FieldDef> fields_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_COLUMNAR_TYPES_H_

@@ -1,0 +1,175 @@
+#include "columnar/value.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/sha256.h"
+
+namespace lakeguard {
+
+TypeKind Value::type() const {
+  if (is_null()) return TypeKind::kNull;
+  if (is_bool()) return TypeKind::kBool;
+  if (is_int()) return TypeKind::kInt64;
+  if (is_double()) return TypeKind::kFloat64;
+  if (is_binary()) return TypeKind::kBinary;
+  return TypeKind::kString;
+}
+
+Result<double> Value::AsDouble() const {
+  if (is_int()) return static_cast<double>(int_value());
+  if (is_double()) return double_value();
+  if (is_bool()) return bool_value() ? 1.0 : 0.0;
+  return Status::InvalidArgument("value is not numeric: " + ToString());
+}
+
+Result<int64_t> Value::AsInt() const {
+  if (is_int()) return int_value();
+  if (is_double()) return static_cast<int64_t>(double_value());
+  if (is_bool()) return static_cast<int64_t>(bool_value() ? 1 : 0);
+  return Status::InvalidArgument("value is not numeric: " + ToString());
+}
+
+Result<Value> Value::CastTo(TypeKind target) const {
+  if (is_null()) return Null();
+  switch (target) {
+    case TypeKind::kNull:
+      return Null();
+    case TypeKind::kBool:
+      if (is_bool()) return *this;
+      if (is_int()) return Bool(int_value() != 0);
+      if (is_double()) return Bool(double_value() != 0.0);
+      if (is_string()) {
+        const std::string& s = string_value();
+        if (s == "true" || s == "TRUE" || s == "1") return Bool(true);
+        if (s == "false" || s == "FALSE" || s == "0") return Bool(false);
+        return Status::InvalidArgument("cannot cast '" + s + "' to BOOLEAN");
+      }
+      break;
+    case TypeKind::kInt64:
+      if (is_int()) return *this;
+      if (is_bool()) return Int(bool_value() ? 1 : 0);
+      if (is_double()) return Int(static_cast<int64_t>(double_value()));
+      if (is_string()) {
+        errno = 0;
+        char* end = nullptr;
+        long long v = std::strtoll(string_value().c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || errno != 0) {
+          return Status::InvalidArgument("cannot cast '" + string_value() +
+                                         "' to BIGINT");
+        }
+        return Int(static_cast<int64_t>(v));
+      }
+      break;
+    case TypeKind::kFloat64:
+      if (is_double()) return *this;
+      if (is_int()) return Double(static_cast<double>(int_value()));
+      if (is_bool()) return Double(bool_value() ? 1.0 : 0.0);
+      if (is_string()) {
+        errno = 0;
+        char* end = nullptr;
+        double v = std::strtod(string_value().c_str(), &end);
+        if (end == nullptr || *end != '\0' || errno != 0) {
+          return Status::InvalidArgument("cannot cast '" + string_value() +
+                                         "' to DOUBLE");
+        }
+        return Double(v);
+      }
+      break;
+    case TypeKind::kString:
+      if (is_string()) return *this;
+      return String(ToString());
+    case TypeKind::kBinary:
+      if (is_binary()) return *this;
+      if (is_string()) return Binary(string_value());
+      break;
+  }
+  return Status::InvalidArgument(std::string("cannot cast ") +
+                                 TypeKindName(type()) + " to " +
+                                 TypeKindName(target));
+}
+
+bool Value::SqlEquals(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  return Compare(other) == 0;
+}
+
+int Value::Compare(const Value& other) const {
+  // NULLs sort first.
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+  if (is_numeric() && other.is_numeric()) {
+    double a = *AsDouble();
+    double b = *other.AsDouble();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (is_bool() && other.is_bool()) {
+    return static_cast<int>(bool_value()) - static_cast<int>(other.bool_value());
+  }
+  if (std::holds_alternative<std::string>(payload_) &&
+      std::holds_alternative<std::string>(other.payload_)) {
+    return string_value().compare(other.string_value());
+  }
+  // Heterogeneous comparison falls back to type ordering (stable, arbitrary).
+  return static_cast<int>(type()) - static_cast<int>(other.type());
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_null() && other.is_null()) return true;
+  if (is_null() != other.is_null()) return false;
+  if (is_binary() != other.is_binary()) return false;
+  if (type() != other.type()) {
+    // int 1 and double 1.0 are distinct structurally.
+    return false;
+  }
+  return Compare(other) == 0;
+}
+
+uint64_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b97f4a7c15ULL;
+  if (is_bool()) return bool_value() ? 0xabcd1234 : 0x4321dcba;
+  if (is_int()) {
+    int64_t v = int_value();
+    return Fnv1a64(&v, sizeof(v)) ^ 0x1;
+  }
+  if (is_double()) {
+    double v = double_value();
+    if (v == 0.0) v = 0.0;  // normalize -0.0
+    return Fnv1a64(&v, sizeof(v)) ^ 0x2;
+  }
+  return Fnv1a64(string_value()) ^ (is_binary_ ? 0x4 : 0x3);
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_bool()) return bool_value() ? "true" : "false";
+  if (is_int()) return std::to_string(int_value());
+  if (is_double()) {
+    double v = double_value();
+    if (std::floor(v) == v && std::abs(v) < 1e15) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f", v);
+      return buf;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+  }
+  if (is_binary()) {
+    static const char kHex[] = "0123456789abcdef";
+    std::string out = "0x";
+    for (unsigned char c : string_value()) {
+      out.push_back(kHex[c >> 4]);
+      out.push_back(kHex[c & 0xF]);
+    }
+    return out;
+  }
+  return string_value();
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,104 @@
+#ifndef LAKEGUARD_COLUMNAR_VALUE_H_
+#define LAKEGUARD_COLUMNAR_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "columnar/types.h"
+#include "common/status.h"
+
+namespace lakeguard {
+
+/// A single dynamically-typed scalar. Used at row granularity: literals in
+/// expressions, UDF arguments crossing the sandbox boundary, and result
+/// extraction on the Connect client. Binary values share the std::string
+/// payload with kString and are distinguished by `is_binary_`.
+class Value {
+ public:
+  /// NULL value.
+  Value() : payload_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) {
+    Value out;
+    out.payload_ = v;
+    return out;
+  }
+  static Value Int(int64_t v) {
+    Value out;
+    out.payload_ = v;
+    return out;
+  }
+  static Value Double(double v) {
+    Value out;
+    out.payload_ = v;
+    return out;
+  }
+  static Value String(std::string v) {
+    Value out;
+    out.payload_ = std::move(v);
+    return out;
+  }
+  static Value Binary(std::string v) {
+    Value out;
+    out.payload_ = std::move(v);
+    out.is_binary_ = true;
+    return out;
+  }
+
+  bool is_null() const {
+    return std::holds_alternative<std::monostate>(payload_);
+  }
+  bool is_bool() const { return std::holds_alternative<bool>(payload_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(payload_); }
+  bool is_double() const { return std::holds_alternative<double>(payload_); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(payload_) && !is_binary_;
+  }
+  bool is_binary() const {
+    return std::holds_alternative<std::string>(payload_) && is_binary_;
+  }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  TypeKind type() const;
+
+  bool bool_value() const { return std::get<bool>(payload_); }
+  int64_t int_value() const { return std::get<int64_t>(payload_); }
+  double double_value() const { return std::get<double>(payload_); }
+  const std::string& string_value() const {
+    return std::get<std::string>(payload_);
+  }
+
+  /// Numeric widening: int -> double; error for non-numerics.
+  Result<double> AsDouble() const;
+  /// Narrowing to int64 (doubles truncate); error for non-numerics.
+  Result<int64_t> AsInt() const;
+  /// SQL CAST semantics to `target`; NULL casts to NULL of any type.
+  Result<Value> CastTo(TypeKind target) const;
+
+  /// SQL equality. NULLs are never equal to anything (returns false);
+  /// use is_null() checks for three-valued logic at the caller.
+  bool SqlEquals(const Value& other) const;
+
+  /// Total ordering for sorting: NULL first, then by numeric/string value.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  /// Structural equality (NULL == NULL) for tests and maps.
+  bool operator==(const Value& other) const;
+
+  /// Stable hash consistent with operator== (used by hash agg/join).
+  uint64_t Hash() const;
+
+  /// Display rendering ("NULL", "42", "3.5", "abc", "0x1a2b" for binary).
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> payload_;
+  bool is_binary_ = false;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_COLUMNAR_VALUE_H_

@@ -1,0 +1,23 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace lakeguard {
+
+int64_t RealClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RealClock::AdvanceMicros(int64_t micros) {
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+RealClock* RealClock::Instance() {
+  static RealClock* const kInstance = new RealClock();
+  return kInstance;
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,52 @@
+#ifndef LAKEGUARD_COMMON_CLOCK_H_
+#define LAKEGUARD_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace lakeguard {
+
+/// Abstract time source. Credential expiry, session idle-timeouts, sandbox
+/// provisioning latency and autoscaling decisions are all driven through a
+/// `Clock` so tests and benchmarks can use virtual time deterministically.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds since an arbitrary epoch.
+  virtual int64_t NowMicros() const = 0;
+
+  /// Advances time by `micros` (virtual clocks) or sleeps (real clocks).
+  virtual void AdvanceMicros(int64_t micros) = 0;
+
+  int64_t NowMillis() const { return NowMicros() / 1000; }
+};
+
+/// Wall-clock backed by std::chrono::steady_clock. `AdvanceMicros` sleeps.
+class RealClock : public Clock {
+ public:
+  int64_t NowMicros() const override;
+  void AdvanceMicros(int64_t micros) override;
+
+  /// Process-wide instance (never destroyed; trivially leaked by design).
+  static RealClock* Instance();
+};
+
+/// Manually-advanced clock for deterministic tests and latency modeling.
+/// The Lakeguard paper's 2s sandbox cold-start is replayed on this clock so
+/// benchmarks report the modeled latency without actually sleeping.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() const override { return now_.load(); }
+  void AdvanceMicros(int64_t micros) override { now_ += micros; }
+  void SetMicros(int64_t micros) { now_ = micros; }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_COMMON_CLOCK_H_

@@ -1,0 +1,15 @@
+#include "common/id.h"
+
+namespace lakeguard {
+
+namespace {
+std::atomic<uint64_t> g_next{1};
+}  // namespace
+
+std::string IdGenerator::Next(const std::string& prefix) {
+  return prefix + "-" + std::to_string(NextInt());
+}
+
+uint64_t IdGenerator::NextInt() { return g_next.fetch_add(1); }
+
+}  // namespace lakeguard

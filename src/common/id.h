@@ -1,0 +1,24 @@
+#ifndef LAKEGUARD_COMMON_ID_H_
+#define LAKEGUARD_COMMON_ID_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace lakeguard {
+
+/// Process-wide monotonically increasing id generator. Ids are prefixed by
+/// kind ("sess-42", "sbx-7", "tok-19") so logs and audit entries are
+/// self-describing. Deterministic within a process, which keeps tests stable.
+class IdGenerator {
+ public:
+  /// Returns "<prefix>-<n>" with a process-unique n.
+  static std::string Next(const std::string& prefix);
+
+  /// Returns a bare increasing integer id.
+  static uint64_t NextInt();
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_COMMON_ID_H_

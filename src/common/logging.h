@@ -1,0 +1,46 @@
+#ifndef LAKEGUARD_COMMON_LOGGING_H_
+#define LAKEGUARD_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace lakeguard {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Minimal leveled logger. Messages below the global threshold are dropped;
+/// the threshold defaults to kWarn so tests and benchmarks stay quiet.
+class Logger {
+ public:
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+  static void Log(LogLevel level, const std::string& message);
+};
+
+/// Stream-style log statement: `LG_LOG(kInfo) << "session " << id;`
+#define LG_LOG(level_suffix)                                        \
+  for (bool _lg_once =                                              \
+           ::lakeguard::Logger::GetLevel() <=                       \
+           ::lakeguard::LogLevel::level_suffix;                     \
+       _lg_once; _lg_once = false)                                  \
+  ::lakeguard::internal_logging::LogMessage(                        \
+      ::lakeguard::LogLevel::level_suffix)                          \
+      .stream()
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_COMMON_LOGGING_H_

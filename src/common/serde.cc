@@ -1,0 +1,181 @@
+#include "common/serde.h"
+
+namespace lakeguard {
+
+void ByteWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::PutZigzag(int64_t v) {
+  PutVarint((static_cast<uint64_t>(v) << 1) ^
+            static_cast<uint64_t>(v >> 63));
+}
+
+void ByteWriter::PutFixed64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutFixed64(bits);
+}
+
+void ByteWriter::PutString(std::string_view s) {
+  PutVarint(s.size());
+  PutRaw(s.data(), s.size());
+}
+
+void ByteWriter::PutTag(uint32_t field, WireType type) {
+  PutVarint((static_cast<uint64_t>(field) << 3) |
+            static_cast<uint64_t>(type));
+}
+
+void ByteWriter::PutTaggedVarint(uint32_t field, uint64_t v) {
+  PutTag(field, WireType::kVarint);
+  PutVarint(v);
+}
+
+void ByteWriter::PutTaggedZigzag(uint32_t field, int64_t v) {
+  PutTag(field, WireType::kVarint);
+  PutZigzag(v);
+}
+
+void ByteWriter::PutTaggedDouble(uint32_t field, double v) {
+  PutTag(field, WireType::kFixed64);
+  PutDouble(v);
+}
+
+void ByteWriter::PutTaggedString(uint32_t field, std::string_view s) {
+  PutTag(field, WireType::kBytes);
+  PutString(s);
+}
+
+void ByteWriter::PutTaggedBytes(uint32_t field,
+                                const std::vector<uint8_t>& bytes) {
+  PutTag(field, WireType::kBytes);
+  PutVarint(bytes.size());
+  PutRaw(bytes.data(), bytes.size());
+}
+
+void ByteWriter::PutTaggedMessage(uint32_t field, const ByteWriter& nested) {
+  PutTag(field, WireType::kBytes);
+  PutVarint(nested.size());
+  PutRaw(nested.data().data(), nested.size());
+}
+
+Status ByteReader::Truncated(const char* what) const {
+  return Status::DataLoss(std::string("truncated input while reading ") +
+                          what);
+}
+
+Result<uint8_t> ByteReader::ReadByte() {
+  if (pos_ >= size_) return Truncated("byte");
+  return data_[pos_++];
+}
+
+Result<uint64_t> ByteReader::ReadVarint() {
+  uint64_t result = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= size_) return Truncated("varint");
+    if (shift >= 64) return Status::DataLoss("varint too long");
+    uint8_t b = data_[pos_++];
+    result |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return result;
+}
+
+Result<int64_t> ByteReader::ReadZigzag() {
+  LG_ASSIGN_OR_RETURN(uint64_t u, ReadVarint());
+  return static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+Result<uint64_t> ByteReader::ReadFixed64() {
+  if (remaining() < 8) return Truncated("fixed64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<double> ByteReader::ReadDouble() {
+  LG_ASSIGN_OR_RETURN(uint64_t bits, ReadFixed64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> ByteReader::ReadString() {
+  LG_ASSIGN_OR_RETURN(uint64_t len, ReadVarint());
+  if (remaining() < len) return Truncated("string body");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                static_cast<size_t>(len));
+  pos_ += static_cast<size_t>(len);
+  return s;
+}
+
+Result<std::vector<uint8_t>> ByteReader::ReadBytes() {
+  LG_ASSIGN_OR_RETURN(uint64_t len, ReadVarint());
+  if (remaining() < len) return Truncated("bytes body");
+  std::vector<uint8_t> out(data_ + pos_, data_ + pos_ + len);
+  pos_ += static_cast<size_t>(len);
+  return out;
+}
+
+Result<bool> ByteReader::ReadBool() {
+  LG_ASSIGN_OR_RETURN(uint64_t v, ReadVarint());
+  return v != 0;
+}
+
+Result<ByteReader::Tag> ByteReader::ReadTag() {
+  LG_ASSIGN_OR_RETURN(uint64_t raw, ReadVarint());
+  uint8_t wire = static_cast<uint8_t>(raw & 0x7);
+  if (wire > 2) {
+    return Status::DataLoss("unknown wire type " + std::to_string(wire));
+  }
+  Tag tag;
+  tag.field = static_cast<uint32_t>(raw >> 3);
+  tag.type = static_cast<WireType>(wire);
+  return tag;
+}
+
+Status ByteReader::SkipValue(WireType type) {
+  switch (type) {
+    case WireType::kVarint: {
+      auto r = ReadVarint();
+      return r.status();
+    }
+    case WireType::kFixed64: {
+      auto r = ReadFixed64();
+      return r.status();
+    }
+    case WireType::kBytes: {
+      LG_ASSIGN_OR_RETURN(uint64_t len, ReadVarint());
+      if (remaining() < len) return Truncated("skipped bytes");
+      pos_ += static_cast<size_t>(len);
+      return Status::OK();
+    }
+  }
+  return Status::DataLoss("unknown wire type");
+}
+
+Result<ByteReader> ByteReader::ReadMessage() {
+  LG_ASSIGN_OR_RETURN(uint64_t len, ReadVarint());
+  if (remaining() < len) return Truncated("nested message");
+  ByteReader sub(data_ + pos_, static_cast<size_t>(len));
+  pos_ += static_cast<size_t>(len);
+  return sub;
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,112 @@
+#ifndef LAKEGUARD_COMMON_SERDE_H_
+#define LAKEGUARD_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lakeguard {
+
+/// Wire types of the tagged binary encoding used by the Connect protocol and
+/// the columnar IPC format. The encoding deliberately mirrors Protocol
+/// Buffers' field-tagged varint scheme (the paper's Spark Connect is
+/// protobuf-based) so that unknown fields can be skipped and old clients can
+/// talk to new servers — the property §6.3 ("versionless workloads") rests on.
+enum class WireType : uint8_t {
+  kVarint = 0,   // varint-encoded unsigned integer (zigzag for signed)
+  kFixed64 = 1,  // 8 little-endian bytes (doubles, fixed ids)
+  kBytes = 2,    // varint length followed by raw bytes
+};
+
+/// Append-only byte sink with varint/tagged-field encoders.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void PutByte(uint8_t b) { buf_.push_back(b); }
+  void PutRaw(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  void PutVarint(uint64_t v);
+  void PutZigzag(int64_t v);
+  void PutFixed64(uint64_t v);
+  void PutDouble(double v);
+  void PutString(std::string_view s);
+  void PutBool(bool b) { PutVarint(b ? 1 : 0); }
+
+  /// Writes a field tag: (field_number << 3) | wire_type.
+  void PutTag(uint32_t field, WireType type);
+
+  // Tagged-field convenience writers. Zero/empty values are still written;
+  // the protocol relies on explicit presence, not proto3 default-elision.
+  void PutTaggedVarint(uint32_t field, uint64_t v);
+  void PutTaggedZigzag(uint32_t field, int64_t v);
+  void PutTaggedDouble(uint32_t field, double v);
+  void PutTaggedString(uint32_t field, std::string_view s);
+  void PutTaggedBytes(uint32_t field, const std::vector<uint8_t>& bytes);
+  void PutTaggedBool(uint32_t field, bool b) { PutTaggedVarint(field, b); }
+
+  /// Writes a nested message as a length-delimited bytes field.
+  void PutTaggedMessage(uint32_t field, const ByteWriter& nested);
+
+  const std::vector<uint8_t>& data() const { return buf_; }
+  std::vector<uint8_t> Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Cursor over an immutable byte span with varint/tagged-field decoders.
+/// All reads are bounds-checked and report `kDataLoss` on truncation.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size), pos_(0) {}
+  explicit ByteReader(const std::vector<uint8_t>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  bool AtEnd() const { return pos_ >= size_; }
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+
+  Result<uint8_t> ReadByte();
+  Result<uint64_t> ReadVarint();
+  Result<int64_t> ReadZigzag();
+  Result<uint64_t> ReadFixed64();
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+  Result<std::vector<uint8_t>> ReadBytes();
+  Result<bool> ReadBool();
+
+  /// Reads a field tag. Returns {field_number, wire_type}.
+  struct Tag {
+    uint32_t field;
+    WireType type;
+  };
+  Result<Tag> ReadTag();
+
+  /// Skips one value of the given wire type (unknown-field tolerance).
+  Status SkipValue(WireType type);
+
+  /// Returns a sub-reader over the next length-delimited region and advances
+  /// past it. Used to decode nested messages without copying.
+  Result<ByteReader> ReadMessage();
+
+ private:
+  Status Truncated(const char* what) const;
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_COMMON_SERDE_H_

@@ -1,0 +1,50 @@
+#ifndef LAKEGUARD_COMMON_SHA256_H_
+#define LAKEGUARD_COMMON_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lakeguard {
+
+/// Incremental SHA-256 (FIPS 180-4). Used by the Hash-UDF workload of the
+/// paper's Table 2 (100×SHA256 per row), by column-masking helpers, and by
+/// the IPC checksum path.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const void* data, size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  /// Finalizes and returns the 32-byte digest. The object must be Reset()
+  /// before reuse.
+  std::array<uint8_t, 32> Finish();
+
+  /// One-shot digest.
+  static std::array<uint8_t, 32> Digest(std::string_view data);
+
+  /// One-shot digest rendered as lowercase hex.
+  static std::string HexDigest(std::string_view data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+/// Stable 64-bit FNV-1a hash; used for checksums and hash partitioning where
+/// cryptographic strength is unnecessary.
+uint64_t Fnv1a64(const void* data, size_t len);
+inline uint64_t Fnv1a64(std::string_view s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_COMMON_SHA256_H_

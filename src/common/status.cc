@@ -1,0 +1,56 @@
+#include "common/status.h"
+
+namespace lakeguard {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kPermissionDenied:
+      return "permission_denied";
+    case StatusCode::kUnauthenticated:
+      return "unauthenticated";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kAborted:
+      return "aborted";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kDataLoss:
+      return "data_loss";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code_, context + ": " + message_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,181 @@
+#ifndef LAKEGUARD_COMMON_STATUS_H_
+#define LAKEGUARD_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace lakeguard {
+
+/// Canonical error space used across the whole library. Mirrors the error
+/// classes a governance platform has to distinguish: authorization failures
+/// (`kPermissionDenied`), authentication failures (`kUnauthenticated`),
+/// missing securables (`kNotFound`), protocol violations
+/// (`kInvalidArgument`), and engine-internal faults (`kInternal`).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kPermissionDenied = 4,
+  kUnauthenticated = 5,
+  kFailedPrecondition = 6,
+  kResourceExhausted = 7,
+  kDeadlineExceeded = 8,
+  kAborted = 9,
+  kUnimplemented = 10,
+  kDataLoss = 11,
+  kInternal = 12,
+};
+
+/// Returns the canonical lower_snake name of `code` (e.g. "permission_denied").
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation that produces no value. All public APIs in
+/// this library report failure through `Status` / `Result<T>`; exceptions are
+/// never thrown across module boundaries.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status Unauthenticated(std::string msg) {
+    return Status(StatusCode::kUnauthenticated, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsPermissionDenied() const {
+    return code_ == StatusCode::kPermissionDenied;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsUnauthenticated() const {
+    return code_ == StatusCode::kUnauthenticated;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+
+  /// Human-readable "code: message" rendering.
+  std::string ToString() const;
+
+  /// Prefixes `context` to the message, preserving the code. No-op on OK.
+  Status WithContext(const std::string& context) const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Result of a fallible operation that produces a `T` on success.
+/// Modeled after `arrow::Result`: holds either an OK value or a non-OK
+/// `Status`, never both.
+template <typename T>
+class Result {
+ public:
+  /// Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the value or `fallback` when the result is an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace lakeguard
+
+/// Propagates a non-OK `Status` to the caller.
+#define LG_RETURN_IF_ERROR(expr)                       \
+  do {                                                 \
+    ::lakeguard::Status _lg_status = (expr);           \
+    if (!_lg_status.ok()) return _lg_status;           \
+  } while (false)
+
+#define LG_CONCAT_IMPL(a, b) a##b
+#define LG_CONCAT(a, b) LG_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a `Result<T>`), propagating the error or binding the
+/// value to `lhs`. `lhs` may include a declaration, e.g.
+/// `LG_ASSIGN_OR_RETURN(auto batch, ReadBatch());`.
+#define LG_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto LG_CONCAT(_lg_result_, __LINE__) = (rexpr);             \
+  if (!LG_CONCAT(_lg_result_, __LINE__).ok())                  \
+    return LG_CONCAT(_lg_result_, __LINE__).status();          \
+  lhs = std::move(LG_CONCAT(_lg_result_, __LINE__)).value()
+
+#endif  // LAKEGUARD_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+#ifndef LAKEGUARD_COMMON_STRINGS_H_
+#define LAKEGUARD_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lakeguard {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a.b").
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Splits `s` on `sep`, keeping empty segments.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// ASCII lowercase copy.
+std::string ToLowerAscii(std::string_view s);
+
+/// ASCII uppercase copy.
+std::string ToUpperAscii(std::string_view s);
+
+/// Case-insensitive ASCII equality (SQL identifiers/keywords).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `name` matches `pattern` where '*' matches any suffix; used by
+/// storage-prefix grants and sandbox egress allow-lists
+/// ("s3://bucket/raw/*", "*.aqi.com").
+bool MatchesWildcard(std::string_view pattern, std::string_view name);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_COMMON_STRINGS_H_

@@ -1,0 +1,120 @@
+#include "connect/client.h"
+
+#include "columnar/ipc.h"
+#include "plan/plan_serde.h"
+
+namespace lakeguard {
+
+Result<ConnectClient> ConnectClient::Open(ConnectService* service,
+                                          const std::string& auth_token) {
+  LG_ASSIGN_OR_RETURN(std::string session_id,
+                      service->OpenSession(auth_token));
+  return ConnectClient(service, auth_token, session_id);
+}
+
+DataFrame ConnectClient::ReadTable(const std::string& name) const {
+  return DataFrame(this, MakeTableRef(name));
+}
+
+DataFrame ConnectClient::FromBatch(RecordBatch batch) const {
+  return DataFrame(this, MakeLocalRelation(std::move(batch)));
+}
+
+DataFrame ConnectClient::FromExtension(const std::string& name,
+                                       std::vector<uint8_t> payload) const {
+  return DataFrame(this, MakeExtension(name, std::move(payload)));
+}
+
+Result<::lakeguard::Table> ConnectClient::Sql(const std::string& sql) const {
+  ConnectRequest request;
+  request.session_id = session_id_;
+  request.auth_token = auth_token_;
+  request.sql = sql;
+  return RoundTrip(std::move(request));
+}
+
+Result<::lakeguard::Table> ConnectClient::ExecutePlanRemote(const PlanPtr& plan) const {
+  ConnectRequest request;
+  request.session_id = session_id_;
+  request.auth_token = auth_token_;
+  request.plan_bytes = PlanToBytes(plan);
+  return RoundTrip(std::move(request));
+}
+
+Result<::lakeguard::Table> ConnectClient::RoundTrip(ConnectRequest request) const {
+  // Encode -> wire -> decode on the server; response comes back the same
+  // way. Both directions cross a real byte boundary.
+  std::vector<uint8_t> response_bytes =
+      service_->HandleRpc(EncodeRequest(request));
+  LG_ASSIGN_OR_RETURN(ConnectResponse response,
+                      DecodeResponse(response_bytes));
+  if (!response.ok) {
+    return Status(StatusCode::kInternal,
+                  "server error [" + response.error_code + "]: " +
+                      response.error_message);
+  }
+  Table out(response.schema);
+  if (!response.inline_chunks.empty()) {
+    for (const ResultChunk& chunk : response.inline_chunks) {
+      LG_ASSIGN_OR_RETURN(RecordBatch batch,
+                          ipc::DeserializeBatch(chunk.frame));
+      if (batch.num_rows() == 0) continue;
+      LG_RETURN_IF_ERROR(out.AppendBatch(std::move(batch)));
+    }
+    return out;
+  }
+  // Large result: stream chunk by chunk (reattachable).
+  for (uint64_t i = 0; i < response.total_chunks; ++i) {
+    LG_ASSIGN_OR_RETURN(
+        ResultChunk chunk,
+        service_->FetchChunk(session_id_, response.operation_id, i));
+    LG_ASSIGN_OR_RETURN(RecordBatch batch, ipc::DeserializeBatch(chunk.frame));
+    if (batch.num_rows() > 0) {
+      LG_RETURN_IF_ERROR(out.AppendBatch(std::move(batch)));
+    }
+  }
+  service_->CloseOperation(session_id_, response.operation_id);
+  return out;
+}
+
+Status ConnectClient::Close() { return service_->CloseSession(session_id_); }
+
+DataFrame DataFrame::Select(std::vector<ExprPtr> exprs,
+                            std::vector<std::string> names) const {
+  return DataFrame(client_,
+                   MakeProject(plan_, std::move(exprs), std::move(names)));
+}
+
+DataFrame DataFrame::Filter(ExprPtr condition) const {
+  return DataFrame(client_, MakeFilter(plan_, std::move(condition)));
+}
+
+DataFrame DataFrame::Join(const DataFrame& right, JoinType type,
+                          ExprPtr cond) const {
+  return DataFrame(client_,
+                   MakeJoin(plan_, right.plan_, type, std::move(cond)));
+}
+
+DataFrame DataFrame::GroupByAgg(std::vector<ExprPtr> group_exprs,
+                                std::vector<std::string> group_names,
+                                std::vector<ExprPtr> agg_exprs,
+                                std::vector<std::string> agg_names) const {
+  return DataFrame(client_,
+                   MakeAggregate(plan_, std::move(group_exprs),
+                                 std::move(group_names), std::move(agg_exprs),
+                                 std::move(agg_names)));
+}
+
+DataFrame DataFrame::OrderBy(std::vector<SortKey> keys) const {
+  return DataFrame(client_, MakeSort(plan_, std::move(keys)));
+}
+
+DataFrame DataFrame::Limit(int64_t n) const {
+  return DataFrame(client_, MakeLimit(plan_, n));
+}
+
+Result<::lakeguard::Table> DataFrame::Collect() const {
+  return client_->ExecutePlanRemote(plan_);
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,97 @@
+#ifndef LAKEGUARD_CONNECT_CLIENT_H_
+#define LAKEGUARD_CONNECT_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/table.h"
+#include "connect/service.h"
+#include "plan/plan.h"
+
+namespace lakeguard {
+
+class DataFrame;
+
+/// The Spark Connect *client* (§3.2.1): builds unresolved plans from a
+/// DataFrame API, serializes them over the wire, and decodes streamed IPC
+/// results. The client process holds no engine state, no credentials and no
+/// data — the separation that makes client code untrusted-by-construction.
+///
+/// Transport note: calls go through `ConnectService::HandleRpc` on encoded
+/// byte buffers, so every request/response crosses a real serialization
+/// boundary (our stand-in for gRPC/HTTP2).
+class ConnectClient {
+ public:
+  /// Connects and opens a session. `auth_token` identifies the user.
+  static Result<ConnectClient> Open(ConnectService* service,
+                                    const std::string& auth_token);
+
+  /// DataFrame over a catalog relation ("spark.table(...)").
+  DataFrame ReadTable(const std::string& name) const;
+
+  /// DataFrame over inline data ("spark.createDataFrame(...)").
+  DataFrame FromBatch(RecordBatch batch) const;
+
+  /// DataFrame over a protocol-extension relation (§3.2.2): `payload` is an
+  /// opaque message a server-side plugin registered under `name` expands.
+  DataFrame FromExtension(const std::string& name,
+                          std::vector<uint8_t> payload) const;
+
+  /// Runs a SQL string (query or command) and collects the full result.
+  Result<::lakeguard::Table> Sql(const std::string& sql) const;
+
+  /// Executes a plan and collects the full result (used by DataFrame).
+  Result<::lakeguard::Table> ExecutePlanRemote(const PlanPtr& plan) const;
+
+  /// Closes the session server-side.
+  Status Close();
+
+  const std::string& session_id() const { return session_id_; }
+
+ private:
+  ConnectClient(ConnectService* service, std::string auth_token,
+                std::string session_id)
+      : service_(service),
+        auth_token_(std::move(auth_token)),
+        session_id_(std::move(session_id)) {}
+
+  Result<::lakeguard::Table> RoundTrip(ConnectRequest request) const;
+
+  ConnectService* service_;
+  std::string auth_token_;
+  std::string session_id_;
+};
+
+/// Lazily-built unresolved plan with Spark-flavoured combinators. All
+/// methods are cheap plan constructions; `Collect` ships the plan to the
+/// server (Fig. 5 flow).
+class DataFrame {
+ public:
+  DataFrame(const ConnectClient* client, PlanPtr plan)
+      : client_(client), plan_(std::move(plan)) {}
+
+  const PlanPtr& plan() const { return plan_; }
+
+  DataFrame Select(std::vector<ExprPtr> exprs,
+                   std::vector<std::string> names) const;
+  DataFrame Filter(ExprPtr condition) const;
+  DataFrame Join(const DataFrame& right, JoinType type, ExprPtr cond) const;
+  DataFrame GroupByAgg(std::vector<ExprPtr> group_exprs,
+                       std::vector<std::string> group_names,
+                       std::vector<ExprPtr> agg_exprs,
+                       std::vector<std::string> agg_names) const;
+  DataFrame OrderBy(std::vector<SortKey> keys) const;
+  DataFrame Limit(int64_t n) const;
+
+  /// Executes remotely and materializes the full result client-side.
+  Result<::lakeguard::Table> Collect() const;
+
+ private:
+  const ConnectClient* client_;
+  PlanPtr plan_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_CONNECT_CLIENT_H_

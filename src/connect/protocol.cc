@@ -1,0 +1,194 @@
+#include "connect/protocol.h"
+
+#include "columnar/ipc.h"
+
+namespace lakeguard {
+
+namespace {
+// Field tags. Append-only; never renumber.
+enum ReqField : uint32_t {
+  kReqVersion = 1,
+  kReqSession = 2,
+  kReqToken = 3,
+  kReqPlan = 4,
+  kReqSql = 5,
+  kReqOperation = 6,
+};
+enum RespField : uint32_t {
+  kRespVersion = 1,
+  kRespOperation = 2,
+  kRespSchema = 3,
+  kRespChunk = 4,
+  kRespTotalChunks = 5,
+  kRespOk = 6,
+  kRespErrorCode = 7,
+  kRespErrorMessage = 8,
+};
+enum ChunkField : uint32_t {
+  kChunkIndex = 1,
+  kChunkFrame = 2,
+  kChunkLast = 3,
+};
+}  // namespace
+
+std::vector<uint8_t> EncodeRequest(const ConnectRequest& request) {
+  ByteWriter w;
+  w.PutTaggedVarint(kReqVersion, request.client_version);
+  w.PutTaggedString(kReqSession, request.session_id);
+  w.PutTaggedString(kReqToken, request.auth_token);
+  if (!request.plan_bytes.empty()) {
+    w.PutTaggedBytes(kReqPlan, request.plan_bytes);
+  }
+  if (!request.sql.empty()) {
+    w.PutTaggedString(kReqSql, request.sql);
+  }
+  w.PutTaggedString(kReqOperation, request.operation_id);
+  return w.Release();
+}
+
+Result<ConnectRequest> DecodeRequest(const std::vector<uint8_t>& bytes) {
+  ConnectRequest request;
+  request.client_version = 0;
+  ByteReader r(bytes);
+  while (!r.AtEnd()) {
+    LG_ASSIGN_OR_RETURN(ByteReader::Tag tag, r.ReadTag());
+    switch (tag.field) {
+      case kReqVersion: {
+        LG_ASSIGN_OR_RETURN(uint64_t v, r.ReadVarint());
+        request.client_version = static_cast<uint32_t>(v);
+        break;
+      }
+      case kReqSession: {
+        LG_ASSIGN_OR_RETURN(request.session_id, r.ReadString());
+        break;
+      }
+      case kReqToken: {
+        LG_ASSIGN_OR_RETURN(request.auth_token, r.ReadString());
+        break;
+      }
+      case kReqPlan: {
+        LG_ASSIGN_OR_RETURN(request.plan_bytes, r.ReadBytes());
+        break;
+      }
+      case kReqSql: {
+        LG_ASSIGN_OR_RETURN(request.sql, r.ReadString());
+        break;
+      }
+      case kReqOperation: {
+        LG_ASSIGN_OR_RETURN(request.operation_id, r.ReadString());
+        break;
+      }
+      default:
+        // Unknown field from a newer client: skip (forward compatibility).
+        LG_RETURN_IF_ERROR(r.SkipValue(tag.type));
+        break;
+    }
+  }
+  return request;
+}
+
+namespace {
+
+void EncodeChunk(const ResultChunk& chunk, ByteWriter* w) {
+  ByteWriter nested;
+  nested.PutTaggedVarint(kChunkIndex, chunk.chunk_index);
+  nested.PutTaggedBytes(kChunkFrame, chunk.frame);
+  nested.PutTaggedBool(kChunkLast, chunk.last);
+  w->PutTaggedMessage(kRespChunk, nested);
+}
+
+Result<ResultChunk> DecodeChunk(ByteReader* r) {
+  ResultChunk chunk;
+  while (!r->AtEnd()) {
+    LG_ASSIGN_OR_RETURN(ByteReader::Tag tag, r->ReadTag());
+    switch (tag.field) {
+      case kChunkIndex: {
+        LG_ASSIGN_OR_RETURN(chunk.chunk_index, r->ReadVarint());
+        break;
+      }
+      case kChunkFrame: {
+        LG_ASSIGN_OR_RETURN(chunk.frame, r->ReadBytes());
+        break;
+      }
+      case kChunkLast: {
+        LG_ASSIGN_OR_RETURN(chunk.last, r->ReadBool());
+        break;
+      }
+      default:
+        LG_RETURN_IF_ERROR(r->SkipValue(tag.type));
+        break;
+    }
+  }
+  return chunk;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeResponse(const ConnectResponse& response) {
+  ByteWriter w;
+  w.PutTaggedVarint(kRespVersion, response.server_version);
+  w.PutTaggedString(kRespOperation, response.operation_id);
+  ByteWriter schema_bytes;
+  ipc::SerializeSchema(response.schema, &schema_bytes);
+  w.PutTaggedMessage(kRespSchema, schema_bytes);
+  for (const ResultChunk& chunk : response.inline_chunks) {
+    EncodeChunk(chunk, &w);
+  }
+  w.PutTaggedVarint(kRespTotalChunks, response.total_chunks);
+  w.PutTaggedBool(kRespOk, response.ok);
+  w.PutTaggedString(kRespErrorCode, response.error_code);
+  w.PutTaggedString(kRespErrorMessage, response.error_message);
+  return w.Release();
+}
+
+Result<ConnectResponse> DecodeResponse(const std::vector<uint8_t>& bytes) {
+  ConnectResponse response;
+  ByteReader r(bytes);
+  while (!r.AtEnd()) {
+    LG_ASSIGN_OR_RETURN(ByteReader::Tag tag, r.ReadTag());
+    switch (tag.field) {
+      case kRespVersion: {
+        LG_ASSIGN_OR_RETURN(uint64_t v, r.ReadVarint());
+        response.server_version = static_cast<uint32_t>(v);
+        break;
+      }
+      case kRespOperation: {
+        LG_ASSIGN_OR_RETURN(response.operation_id, r.ReadString());
+        break;
+      }
+      case kRespSchema: {
+        LG_ASSIGN_OR_RETURN(ByteReader nested, r.ReadMessage());
+        LG_ASSIGN_OR_RETURN(response.schema, ipc::DeserializeSchema(&nested));
+        break;
+      }
+      case kRespChunk: {
+        LG_ASSIGN_OR_RETURN(ByteReader nested, r.ReadMessage());
+        LG_ASSIGN_OR_RETURN(ResultChunk chunk, DecodeChunk(&nested));
+        response.inline_chunks.push_back(std::move(chunk));
+        break;
+      }
+      case kRespTotalChunks: {
+        LG_ASSIGN_OR_RETURN(response.total_chunks, r.ReadVarint());
+        break;
+      }
+      case kRespOk: {
+        LG_ASSIGN_OR_RETURN(response.ok, r.ReadBool());
+        break;
+      }
+      case kRespErrorCode: {
+        LG_ASSIGN_OR_RETURN(response.error_code, r.ReadString());
+        break;
+      }
+      case kRespErrorMessage: {
+        LG_ASSIGN_OR_RETURN(response.error_message, r.ReadString());
+        break;
+      }
+      default:
+        LG_RETURN_IF_ERROR(r.SkipValue(tag.type));
+        break;
+    }
+  }
+  return response;
+}
+
+}  // namespace lakeguard

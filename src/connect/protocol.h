@@ -1,0 +1,62 @@
+#ifndef LAKEGUARD_CONNECT_PROTOCOL_H_
+#define LAKEGUARD_CONNECT_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "columnar/types.h"
+#include "common/serde.h"
+
+namespace lakeguard {
+
+/// Protocol version spoken by this library. The wire format is
+/// *field-tagged* (proto-style): decoders skip unknown fields, so newer
+/// clients/servers interoperate with older ones — the versionless-workloads
+/// property of §6.3. Bump when adding fields; never renumber.
+inline constexpr uint32_t kConnectProtocolVersion = 3;
+
+/// ExecutePlan / AnalyzePlan request (§3.2.2). Exactly one of `plan_bytes`
+/// (a serialized unresolved relation) or `sql` (a command or query in text
+/// form) is set: relations compose, commands side-effect.
+struct ConnectRequest {
+  uint32_t client_version = kConnectProtocolVersion;
+  std::string session_id;
+  std::string auth_token;
+  std::vector<uint8_t> plan_bytes;
+  std::string sql;
+  /// Client-generated id allowing reattach to a running operation.
+  std::string operation_id;
+};
+
+/// One streamed result chunk: a serialized IPC batch frame.
+struct ResultChunk {
+  uint64_t chunk_index = 0;
+  std::vector<uint8_t> frame;
+  bool last = false;
+};
+
+/// ExecutePlan response header: operation handle, result schema, and —
+/// for small results — the inline chunks (§3.4 result modes use the same
+/// shape).
+struct ConnectResponse {
+  uint32_t server_version = kConnectProtocolVersion;
+  std::string operation_id;
+  Schema schema;
+  std::vector<ResultChunk> inline_chunks;
+  uint64_t total_chunks = 0;
+  bool ok = false;
+  std::string error_code;     // canonical status-code name on failure
+  std::string error_message;
+};
+
+// Tagged wire encodings; all fields are individually tagged and unknown
+// tags are skipped on decode.
+std::vector<uint8_t> EncodeRequest(const ConnectRequest& request);
+Result<ConnectRequest> DecodeRequest(const std::vector<uint8_t>& bytes);
+std::vector<uint8_t> EncodeResponse(const ConnectResponse& response);
+Result<ConnectResponse> DecodeResponse(const std::vector<uint8_t>& bytes);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_CONNECT_PROTOCOL_H_

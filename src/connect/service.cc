@@ -1,0 +1,261 @@
+#include "connect/service.h"
+
+#include "columnar/ipc.h"
+#include "common/id.h"
+#include "plan/plan_serde.h"
+
+namespace lakeguard {
+
+void ConnectService::RegisterUserToken(const std::string& token,
+                                       const std::string& user) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_[token] = user;
+}
+
+Result<std::string> ConnectService::OpenSession(
+    const std::string& auth_token) {
+  std::string user;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tokens_.find(auth_token);
+    if (it == tokens_.end()) {
+      return Status::Unauthenticated("unknown auth token");
+    }
+    user = it->second;
+  }
+  // Cluster admission establishes the privilege scope of this session.
+  LG_ASSIGN_OR_RETURN(ComputeContext compute, cluster_->AttachUser(user));
+
+  SessionInfo session;
+  session.session_id = IdGenerator::Next("sess");
+  session.user = user;
+  session.compute = compute;
+  session.created_micros = clock_->NowMicros();
+  session.last_activity_micros = session.created_micros;
+  session.temp_views =
+      std::make_shared<std::map<std::string, std::string>>();
+  std::string id = session.session_id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_[id] = std::move(session);
+  }
+  catalog_->audit().Record(user, cluster_->id(), "OPEN_SESSION", id, true);
+  return id;
+}
+
+ConnectResponse ConnectService::ErrorResponse(
+    const Status& status, const std::string& operation_id) const {
+  ConnectResponse response;
+  response.operation_id = operation_id;
+  response.ok = false;
+  response.error_code = StatusCodeToString(status.code());
+  response.error_message = status.message();
+  return response;
+}
+
+std::vector<uint8_t> ConnectService::HandleRpc(
+    const std::vector<uint8_t>& request_bytes) {
+  auto request = DecodeRequest(request_bytes);
+  if (!request.ok()) {
+    return EncodeResponse(ErrorResponse(request.status(), ""));
+  }
+  return EncodeResponse(Execute(*request));
+}
+
+ConnectResponse ConnectService::Execute(const ConnectRequest& request) {
+  std::string operation_id = request.operation_id.empty()
+                                 ? IdGenerator::Next("op")
+                                 : request.operation_id;
+  // Session lookup + liveness.
+  SessionInfo session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(request.session_id);
+    if (it == sessions_.end() || it->second.tombstoned) {
+      return ErrorResponse(
+          Status::NotFound("no live session " + request.session_id),
+          operation_id);
+    }
+    it->second.last_activity_micros = clock_->NowMicros();
+    session = it->second;
+  }
+
+  // Reattach (§3.2.3): a client retrying with the operation id of a
+  // buffered result gets the original header back — the query is not
+  // re-executed.
+  if (!request.operation_id.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = operations_.find(request.operation_id);
+    if (it != operations_.end()) {
+      if (it->second.session_id != session.session_id) {
+        return ErrorResponse(
+            Status::PermissionDenied("operation " + request.operation_id +
+                                     " belongs to a different session"),
+            operation_id);
+      }
+      ConnectResponse response;
+      response.operation_id = request.operation_id;
+      response.ok = true;
+      response.schema = it->second.schema;
+      response.total_chunks = it->second.frames.size();
+      return response;
+    }
+  }
+
+  ExecutionContext context;
+  context.user = session.user;
+  context.session_id = session.session_id;
+  context.compute = session.compute;
+  context.temp_views = session.temp_views;
+
+  Result<Table> result = Status::Internal("no request payload");
+  if (!request.plan_bytes.empty()) {
+    auto plan = PlanFromBytes(request.plan_bytes);
+    if (!plan.ok()) return ErrorResponse(plan.status(), operation_id);
+    result = engine_->ExecutePlan(*plan, context);
+  } else if (!request.sql.empty()) {
+    result = engine_->ExecuteSql(request.sql, context);
+  } else {
+    return ErrorResponse(
+        Status::InvalidArgument("request carries neither plan nor sql"),
+        operation_id);
+  }
+  if (!result.ok()) return ErrorResponse(result.status(), operation_id);
+
+  // Chunk the result (Arrow-IPC-style streaming).
+  ConnectResponse response;
+  response.operation_id = operation_id;
+  response.ok = true;
+  response.schema = result->schema();
+
+  Operation op;
+  op.session_id = session.session_id;
+  op.schema = result->schema();
+  auto combined = result->Combine();
+  if (!combined.ok()) return ErrorResponse(combined.status(), operation_id);
+  size_t rows = combined->num_rows();
+  size_t offset = 0;
+  do {
+    size_t take = std::min(kRowsPerChunk, rows - offset);
+    RecordBatch chunk_batch = combined->Slice(offset, take);
+    op.frames.push_back(ipc::SerializeBatch(chunk_batch));
+    offset += take;
+  } while (offset < rows);
+  response.total_chunks = op.frames.size();
+
+  if (op.frames.size() <= kInlineChunkLimit) {
+    // Small result: return inline with the response (§3.4 inline mode).
+    for (size_t i = 0; i < op.frames.size(); ++i) {
+      ResultChunk chunk;
+      chunk.chunk_index = i;
+      chunk.frame = op.frames[i];
+      chunk.last = (i + 1 == op.frames.size());
+      response.inline_chunks.push_back(std::move(chunk));
+    }
+  } else {
+    // Large result: buffer server-side, client fetches chunk by chunk.
+    std::lock_guard<std::mutex> lock(mu_);
+    operations_[operation_id] = std::move(op);
+  }
+  return response;
+}
+
+Result<ResultChunk> ConnectService::FetchChunk(const std::string& session_id,
+                                               const std::string& operation_id,
+                                               uint64_t chunk_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto session_it = sessions_.find(session_id);
+  if (session_it == sessions_.end() || session_it->second.tombstoned) {
+    return Status::NotFound("no live session " + session_id);
+  }
+  session_it->second.last_activity_micros = clock_->NowMicros();
+  auto it = operations_.find(operation_id);
+  if (it == operations_.end()) {
+    return Status::NotFound("no buffered operation " + operation_id);
+  }
+  if (it->second.session_id != session_id) {
+    // A session must never read another session's results.
+    return Status::PermissionDenied("operation " + operation_id +
+                                    " belongs to a different session");
+  }
+  if (chunk_index >= it->second.frames.size()) {
+    return Status::InvalidArgument("chunk index out of range");
+  }
+  ResultChunk chunk;
+  chunk.chunk_index = chunk_index;
+  chunk.frame = it->second.frames[static_cast<size_t>(chunk_index)];
+  chunk.last = (chunk_index + 1 == it->second.frames.size());
+  return chunk;
+}
+
+void ConnectService::CloseOperation(const std::string& session_id,
+                                    const std::string& operation_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = operations_.find(operation_id);
+  if (it != operations_.end() && it->second.session_id == session_id) {
+    operations_.erase(it);
+  }
+}
+
+Status ConnectService::CloseSession(const std::string& session_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no session " + session_id);
+    }
+    it->second.tombstoned = true;
+    for (auto op = operations_.begin(); op != operations_.end();) {
+      if (op->second.session_id == session_id) {
+        op = operations_.erase(op);
+      } else {
+        ++op;
+      }
+    }
+  }
+  // Destroy the session's sandboxes on every host.
+  for (auto& host : cluster_->hosts()) {
+    host->dispatcher().ReleaseSession(session_id);
+  }
+  return Status::OK();
+}
+
+size_t ConnectService::ExpireIdleSessions(int64_t idle_micros) {
+  int64_t now = clock_->NowMicros();
+  std::vector<std::string> expired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, session] : sessions_) {
+      if (!session.tombstoned &&
+          now - session.last_activity_micros > idle_micros) {
+        expired.push_back(id);
+      }
+    }
+  }
+  for (const std::string& id : expired) {
+    Status s = CloseSession(id);
+    (void)s;
+  }
+  return expired.size();
+}
+
+Result<SessionInfo> ConnectService::GetSession(
+    const std::string& session_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session " + session_id);
+  }
+  return it->second;
+}
+
+size_t ConnectService::ActiveSessionCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [id, session] : sessions_) {
+    if (!session.tombstoned) ++n;
+  }
+  return n;
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,109 @@
+#ifndef LAKEGUARD_CONNECT_SERVICE_H_
+#define LAKEGUARD_CONNECT_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "connect/protocol.h"
+#include "engine/engine.h"
+
+namespace lakeguard {
+
+/// State of one multi-user Spark session on the server (§3.2.3): the
+/// authenticated identity, its privilege scope, activity timestamps and the
+/// operations it owns.
+struct SessionInfo {
+  std::string session_id;
+  std::string user;
+  ComputeContext compute;
+  int64_t created_micros = 0;
+  int64_t last_activity_micros = 0;
+  bool tombstoned = false;
+  /// Session-scoped temporary views (shared with every execution context
+  /// this session produces; §3.2.3).
+  std::shared_ptr<std::map<std::string, std::string>> temp_views;
+};
+
+/// Result-chunking policy: results at most this many rows per chunk.
+inline constexpr size_t kRowsPerChunk = 1024;
+/// Results up to this many chunks come back inline; larger ones stream via
+/// FetchChunk (reattach-friendly).
+inline constexpr size_t kInlineChunkLimit = 4;
+
+/// The Spark Connect service of one cluster: authenticates tokens to users,
+/// maps connections to sessions, runs plans/commands through the engine
+/// under the session identity, and streams results back as IPC chunks.
+/// Multi-user by construction — every session carries its own identity and
+/// its own sandboxes (§3.2.3, §4.1).
+class ConnectService {
+ public:
+  ConnectService(QueryEngine* engine, Cluster* cluster, UnityCatalog* catalog,
+                 Clock* clock)
+      : engine_(engine), cluster_(cluster), catalog_(catalog), clock_(clock) {}
+
+  ConnectService(const ConnectService&) = delete;
+  ConnectService& operator=(const ConnectService&) = delete;
+
+  /// Registers a bearer token for a user (the platform's auth system).
+  void RegisterUserToken(const std::string& token, const std::string& user);
+
+  /// Opens a session: authenticates the token, runs cluster admission and
+  /// captures the resulting privilege scope.
+  Result<std::string> OpenSession(const std::string& auth_token);
+
+  /// The single RPC entry point: decodes the request, executes, encodes the
+  /// response. This is the function a gRPC handler would wrap.
+  std::vector<uint8_t> HandleRpc(const std::vector<uint8_t>& request_bytes);
+
+  /// Typed counterpart of HandleRpc (used by in-process clients).
+  ConnectResponse Execute(const ConnectRequest& request);
+
+  /// Fetches one chunk of a large (non-inline) result; supports reattach.
+  Result<ResultChunk> FetchChunk(const std::string& session_id,
+                                 const std::string& operation_id,
+                                 uint64_t chunk_index);
+
+  /// Releases an operation's buffered result.
+  void CloseOperation(const std::string& session_id,
+                      const std::string& operation_id);
+
+  /// Closes the session, destroys its sandboxes, tombstones its operations.
+  Status CloseSession(const std::string& session_id);
+
+  /// Abandons sessions idle for longer than `idle_micros` (the paper's
+  /// lifecycle management of disappeared clients). Returns the count.
+  size_t ExpireIdleSessions(int64_t idle_micros);
+
+  Result<SessionInfo> GetSession(const std::string& session_id) const;
+  size_t ActiveSessionCount() const;
+
+  QueryEngine* engine() { return engine_; }
+  Cluster* cluster() { return cluster_; }
+
+ private:
+  struct Operation {
+    std::string session_id;
+    Schema schema;
+    std::vector<std::vector<uint8_t>> frames;  // all chunks
+  };
+
+  ConnectResponse ErrorResponse(const Status& status,
+                                const std::string& operation_id) const;
+
+  QueryEngine* engine_;
+  Cluster* cluster_;
+  UnityCatalog* catalog_;
+  Clock* clock_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> tokens_;  // token -> user
+  std::map<std::string, SessionInfo> sessions_;
+  std::map<std::string, Operation> operations_;  // operation_id -> op
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_CONNECT_SERVICE_H_

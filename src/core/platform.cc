@@ -1,0 +1,162 @@
+#include "core/platform.h"
+
+#include "common/id.h"
+
+namespace lakeguard {
+
+namespace {
+
+/// Gateway backend wrapper over a ClusterHandle owned by the platform.
+class PlatformGatewayBackend : public GatewayBackend {
+ public:
+  explicit PlatformGatewayBackend(ClusterHandle* handle) : handle_(handle) {}
+  const std::string& id() const override { return handle_->cluster->id(); }
+  ConnectService* service() override { return handle_->service.get(); }
+
+ private:
+  ClusterHandle* handle_;
+};
+
+}  // namespace
+
+LakeguardPlatform::LakeguardPlatform() : LakeguardPlatform(Options()) {}
+
+LakeguardPlatform::LakeguardPlatform(Options options)
+    : options_(options) {
+  if (options_.use_simulated_clock) {
+    simulated_clock_ = std::make_unique<SimulatedClock>();
+    clock_ = simulated_clock_.get();
+  } else {
+    clock_ = RealClock::Instance();
+  }
+  authority_ = std::make_unique<CredentialAuthority>(clock_);
+  store_ = std::make_unique<ObjectStore>(authority_.get());
+  catalog_ = std::make_unique<UnityCatalog>(clock_, authority_.get());
+  cluster_manager_ =
+      std::make_unique<ClusterManager>(clock_, &catalog_->users());
+
+  // The serverless backbone: one Standard-architecture cluster that serves
+  // eFGAC sub-queries (§3.4) and is also usable as a gateway backend.
+  ClusterConfig serverless_config;
+  serverless_config.type = ClusterType::kStandard;
+  serverless_config.num_hosts = 2;
+  serverless_config.sandbox_cold_start_micros =
+      options_.sandbox_cold_start_micros;
+  Cluster* serverless_cluster =
+      cluster_manager_->CreateCluster(serverless_config);
+  serverless_handle_ = MakeHandle(serverless_cluster, /*dedicated=*/false);
+  serverless_backend_ = std::make_unique<ServerlessBackend>(
+      serverless_handle_->engine.get(), store_.get(), catalog_.get(),
+      options_.efgac_spill_threshold_bytes);
+  efgac_remote_ =
+      std::make_unique<EfgacRemoteExecutor>(serverless_backend_.get());
+  efgac_rewriter_ = std::make_unique<EfgacRewriter>(
+      catalog_.get(), serverless_backend_.get(), &extensions_);
+  // The serverless engine may itself contain RemoteScan-free plans only;
+  // still wire the remote executor for completeness.
+  serverless_handle_->engine->services().remote = efgac_remote_.get();
+
+  gateway_ = std::make_unique<SparkConnectGateway>(
+      clock_,
+      [this]() -> std::unique_ptr<GatewayBackend> {
+        ClusterHandle* handle = CreateStandardCluster(2);
+        return std::make_unique<PlatformGatewayBackend>(handle);
+      },
+      options_.gateway_config);
+}
+
+LakeguardPlatform::~LakeguardPlatform() = default;
+
+Status LakeguardPlatform::AddUser(const std::string& user) {
+  return catalog_->users().AddUser(user);
+}
+
+Status LakeguardPlatform::AddGroup(const std::string& group) {
+  return catalog_->users().AddGroup(group);
+}
+
+Status LakeguardPlatform::AddUserToGroup(const std::string& user,
+                                         const std::string& group) {
+  return catalog_->users().AddUserToGroup(user, group);
+}
+
+void LakeguardPlatform::AddMetastoreAdmin(const std::string& user) {
+  catalog_->AddMetastoreAdmin(user);
+}
+
+void LakeguardPlatform::RegisterToken(const std::string& token,
+                                      const std::string& user) {
+  tokens_[token] = user;
+  serverless_handle_->service->RegisterUserToken(token, user);
+  for (const auto& handle : handles_) {
+    handle->service->RegisterUserToken(token, user);
+  }
+}
+
+std::unique_ptr<ClusterHandle> LakeguardPlatform::MakeHandle(Cluster* cluster,
+                                                             bool dedicated) {
+  auto handle = std::make_unique<ClusterHandle>();
+  handle->cluster = cluster;
+
+  EngineServices services;
+  services.catalog = catalog_.get();
+  services.store = store_.get();
+  services.dispatcher = &cluster->driver_host().dispatcher();
+  services.host_env = &cluster->driver_host().env();
+  services.remote = efgac_remote_.get();  // null for the serverless handle
+  services.extensions = &extensions_;
+  handle->engine =
+      std::make_unique<QueryEngine>(services, options_.engine_config);
+  if (dedicated) {
+    handle->engine->set_pre_rewriter(efgac_rewriter_.get());
+  }
+  handle->service = std::make_unique<ConnectService>(
+      handle->engine.get(), cluster, catalog_.get(), clock_);
+  for (const auto& [token, user] : tokens_) {
+    handle->service->RegisterUserToken(token, user);
+  }
+  return handle;
+}
+
+ClusterHandle* LakeguardPlatform::CreateStandardCluster(size_t num_hosts) {
+  ClusterConfig config;
+  config.type = ClusterType::kStandard;
+  config.num_hosts = num_hosts;
+  config.sandbox_cold_start_micros = options_.sandbox_cold_start_micros;
+  Cluster* cluster = cluster_manager_->CreateCluster(config);
+  handles_.push_back(MakeHandle(cluster, /*dedicated=*/false));
+  return handles_.back().get();
+}
+
+ClusterHandle* LakeguardPlatform::CreateDedicatedCluster(
+    const std::string& principal, bool is_group, size_t num_hosts) {
+  ClusterConfig config;
+  config.type = ClusterType::kDedicated;
+  config.num_hosts = num_hosts;
+  config.assigned_principal = principal;
+  config.assigned_is_group = is_group;
+  config.sandbox_cold_start_micros = options_.sandbox_cold_start_micros;
+  Cluster* cluster = cluster_manager_->CreateCluster(config);
+  handles_.push_back(MakeHandle(cluster, /*dedicated=*/true));
+  return handles_.back().get();
+}
+
+Result<ConnectClient> LakeguardPlatform::Connect(ClusterHandle* handle,
+                                                 const std::string& token) {
+  return ConnectClient::Open(handle->service.get(), token);
+}
+
+Result<ExecutionContext> LakeguardPlatform::DirectContext(
+    ClusterHandle* handle, const std::string& user) {
+  LG_ASSIGN_OR_RETURN(ComputeContext compute,
+                      handle->cluster->AttachUser(user));
+  ExecutionContext context;
+  context.user = user;
+  context.session_id = IdGenerator::Next("direct");
+  context.compute = compute;
+  context.temp_views =
+      std::make_shared<std::map<std::string, std::string>>();
+  return context;
+}
+
+}  // namespace lakeguard

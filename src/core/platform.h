@@ -1,0 +1,125 @@
+#ifndef LAKEGUARD_CORE_PLATFORM_H_
+#define LAKEGUARD_CORE_PLATFORM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "connect/client.h"
+#include "connect/service.h"
+#include "efgac/rewriter.h"
+#include "efgac/serverless_backend.h"
+#include "engine/engine.h"
+#include "engine/extensions.h"
+#include "serverless/gateway.h"
+#include "serverless/workload_env.h"
+
+namespace lakeguard {
+
+/// One governed cluster with its engine and Connect service — what a
+/// workspace user attaches to (Fig. 9).
+struct ClusterHandle {
+  Cluster* cluster = nullptr;
+  std::unique_ptr<QueryEngine> engine;
+  std::unique_ptr<ConnectService> service;
+};
+
+/// The whole platform in one object: clock, storage, Unity Catalog, cluster
+/// manager, the Serverless eFGAC backend, and the Spark Connect gateway.
+/// This is the top-level public API — examples, tests and benchmarks build
+/// a `LakeguardPlatform` and drive everything through it.
+class LakeguardPlatform {
+ public:
+  struct Options {
+    /// Virtual time by default: cold starts and expirations are modeled
+    /// deterministically. Switch off only for wall-clock benchmarks.
+    bool use_simulated_clock = true;
+    int64_t sandbox_cold_start_micros = 2'000'000;
+    QueryEngineConfig engine_config;
+    GatewayConfig gateway_config;
+    size_t efgac_spill_threshold_bytes = 256 * 1024;
+  };
+
+  LakeguardPlatform();
+  explicit LakeguardPlatform(Options options);
+  ~LakeguardPlatform();
+
+  LakeguardPlatform(const LakeguardPlatform&) = delete;
+  LakeguardPlatform& operator=(const LakeguardPlatform&) = delete;
+
+  // -- Principals & auth -------------------------------------------------------
+  Status AddUser(const std::string& user);
+  Status AddGroup(const std::string& group);
+  Status AddUserToGroup(const std::string& user, const std::string& group);
+  void AddMetastoreAdmin(const std::string& user);
+  /// Registers a bearer token for `user` on every current and future
+  /// Connect service of this platform.
+  void RegisterToken(const std::string& token, const std::string& user);
+
+  // -- Compute ----------------------------------------------------------------
+  /// Creates a multi-user Standard cluster (full Lakeguard isolation).
+  ClusterHandle* CreateStandardCluster(size_t num_hosts = 2);
+  /// Creates a Dedicated cluster assigned to a user or group; its engine is
+  /// wired with the eFGAC rewriter and the serverless remote executor.
+  ClusterHandle* CreateDedicatedCluster(const std::string& principal,
+                                        bool is_group, size_t num_hosts = 2);
+
+  /// Opens a Connect client session on `handle` as the owner of `token`.
+  Result<ConnectClient> Connect(ClusterHandle* handle,
+                                const std::string& token);
+
+  /// Direct engine access for a user on a cluster (bypasses the Connect
+  /// wire; used by tests/benchmarks that isolate engine behaviour).
+  Result<ExecutionContext> DirectContext(ClusterHandle* handle,
+                                         const std::string& user);
+
+  // -- Serverless --------------------------------------------------------------
+  SparkConnectGateway& gateway() { return *gateway_; }
+  ServerlessBackend& serverless_backend() { return *serverless_backend_; }
+  EfgacRewriter& efgac_rewriter() { return *efgac_rewriter_; }
+  WorkloadEnvironmentRegistry& workload_environments() {
+    return workload_envs_;
+  }
+  /// Connect protocol extensions installed on every engine of this
+  /// platform (§3.2.2). Register before running queries that use them.
+  ExtensionRegistry& extensions() { return extensions_; }
+
+  // -- Infrastructure accessors -------------------------------------------------
+  Clock* clock() { return clock_; }
+  SimulatedClock* simulated_clock() { return simulated_clock_.get(); }
+  CredentialAuthority& authority() { return *authority_; }
+  ObjectStore& store() { return *store_; }
+  UnityCatalog& catalog() { return *catalog_; }
+  ClusterManager& clusters() { return *cluster_manager_; }
+  ClusterHandle* serverless_handle() { return serverless_handle_.get(); }
+
+ private:
+  ClusterHandle* FinishClusterHandle(Cluster* cluster, bool dedicated);
+  std::unique_ptr<ClusterHandle> MakeHandle(Cluster* cluster, bool dedicated);
+
+  Options options_;
+  std::unique_ptr<SimulatedClock> simulated_clock_;
+  Clock* clock_;
+  std::unique_ptr<CredentialAuthority> authority_;
+  std::unique_ptr<ObjectStore> store_;
+  std::unique_ptr<UnityCatalog> catalog_;
+  std::unique_ptr<ClusterManager> cluster_manager_;
+
+  // Serverless backbone (eFGAC + gateway backends).
+  std::unique_ptr<ClusterHandle> serverless_handle_;
+  std::unique_ptr<ServerlessBackend> serverless_backend_;
+  std::unique_ptr<EfgacRemoteExecutor> efgac_remote_;
+  std::unique_ptr<EfgacRewriter> efgac_rewriter_;
+  std::unique_ptr<SparkConnectGateway> gateway_;
+  WorkloadEnvironmentRegistry workload_envs_;
+  ExtensionRegistry extensions_;
+
+  std::vector<std::unique_ptr<ClusterHandle>> handles_;
+  std::map<std::string, std::string> tokens_;  // token -> user
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_CORE_PLATFORM_H_

@@ -1,0 +1,135 @@
+#include "efgac/rewriter.h"
+
+namespace lakeguard {
+
+Result<PlanPtr> EfgacRewriter::Rewrite(const PlanPtr& plan,
+                                       const ExecutionContext& context) {
+  if (!context.compute.privileged_access) {
+    return plan;  // Standard compute enforces locally; nothing to do.
+  }
+  return RewriteNode(plan, context);
+}
+
+Result<PlanPtr> EfgacRewriter::TypedRemoteScan(
+    PlanPtr remote_plan, const ExecutionContext& context) {
+  LG_ASSIGN_OR_RETURN(Schema schema,
+                      backend_->AnalyzeRemote(remote_plan, context.user));
+  return MakeRemoteScan(std::move(remote_plan), "serverless-efgac",
+                        std::move(schema));
+}
+
+Result<PlanPtr> EfgacRewriter::RewriteNode(const PlanPtr& plan,
+                                           const ExecutionContext& context) {
+  switch (plan->kind()) {
+    case PlanKind::kTableRef: {
+      const auto& ref = static_cast<const TableRefNode&>(*plan);
+      LG_ASSIGN_OR_RETURN(RelationResolution res,
+                          catalog_->ResolveRelation(
+                              context.user, context.compute, ref.name()));
+      if (res.enforcement == EnforcementMode::kLocal) return plan;
+      ++stats_.relations_externalized;
+      return TypedRemoteScan(plan, context);
+    }
+    case PlanKind::kLocalRelation:
+    case PlanKind::kResolvedScan:
+    case PlanKind::kRemoteScan:
+      return plan;
+
+    case PlanKind::kFilter: {
+      const auto& node = static_cast<const FilterNode&>(*plan);
+      LG_ASSIGN_OR_RETURN(PlanPtr child, RewriteNode(node.child(), context));
+      if (child->kind() == PlanKind::kRemoteScan &&
+          !ContainsUdfCall(node.condition())) {
+        const auto& scan = static_cast<const RemoteScanNode&>(*child);
+        ++stats_.filters_pushed;
+        return TypedRemoteScan(
+            MakeFilter(scan.remote_plan(), node.condition()), context);
+      }
+      return MakeFilter(std::move(child), node.condition());
+    }
+    case PlanKind::kProject: {
+      const auto& node = static_cast<const ProjectNode&>(*plan);
+      LG_ASSIGN_OR_RETURN(PlanPtr child, RewriteNode(node.child(), context));
+      bool udf_free = true;
+      for (const ExprPtr& e : node.exprs()) {
+        if (ContainsUdfCall(e)) udf_free = false;
+      }
+      if (child->kind() == PlanKind::kRemoteScan && udf_free) {
+        const auto& scan = static_cast<const RemoteScanNode&>(*child);
+        ++stats_.projects_pushed;
+        return TypedRemoteScan(
+            MakeProject(scan.remote_plan(), node.exprs(), node.names()),
+            context);
+      }
+      return MakeProject(std::move(child), node.exprs(), node.names());
+    }
+    case PlanKind::kLimit: {
+      const auto& node = static_cast<const LimitNode&>(*plan);
+      LG_ASSIGN_OR_RETURN(PlanPtr child, RewriteNode(node.child(), context));
+      if (child->kind() == PlanKind::kRemoteScan) {
+        const auto& scan = static_cast<const RemoteScanNode&>(*child);
+        ++stats_.limits_pushed;
+        return TypedRemoteScan(MakeLimit(scan.remote_plan(), node.limit()),
+                               context);
+      }
+      return MakeLimit(std::move(child), node.limit());
+    }
+    case PlanKind::kAggregate: {
+      const auto& node = static_cast<const AggregateNode&>(*plan);
+      LG_ASSIGN_OR_RETURN(PlanPtr child, RewriteNode(node.child(), context));
+      bool udf_free = true;
+      for (const ExprPtr& e : node.group_exprs()) {
+        if (ContainsUdfCall(e)) udf_free = false;
+      }
+      for (const ExprPtr& e : node.agg_exprs()) {
+        if (ContainsUdfCall(e)) udf_free = false;
+      }
+      // The aggregate's entire input is remote, so the complete aggregation
+      // can run remotely (§3.4's pushed partial aggregation, taken to its
+      // exact special case).
+      if (child->kind() == PlanKind::kRemoteScan && udf_free) {
+        const auto& scan = static_cast<const RemoteScanNode&>(*child);
+        ++stats_.aggregates_pushed;
+        return TypedRemoteScan(
+            MakeAggregate(scan.remote_plan(), node.group_exprs(),
+                          node.group_names(), node.agg_exprs(),
+                          node.agg_names()),
+            context);
+      }
+      return MakeAggregate(std::move(child), node.group_exprs(),
+                           node.group_names(), node.agg_exprs(),
+                           node.agg_names());
+    }
+    case PlanKind::kJoin: {
+      const auto& node = static_cast<const JoinNode&>(*plan);
+      LG_ASSIGN_OR_RETURN(PlanPtr left, RewriteNode(node.left(), context));
+      LG_ASSIGN_OR_RETURN(PlanPtr right, RewriteNode(node.right(), context));
+      return MakeJoin(std::move(left), std::move(right), node.join_type(),
+                      node.condition());
+    }
+    case PlanKind::kSort: {
+      const auto& node = static_cast<const SortNode&>(*plan);
+      LG_ASSIGN_OR_RETURN(PlanPtr child, RewriteNode(node.child(), context));
+      return MakeSort(std::move(child), node.keys());
+    }
+    case PlanKind::kSecureView: {
+      const auto& node = static_cast<const SecureViewNode&>(*plan);
+      LG_ASSIGN_OR_RETURN(PlanPtr child, RewriteNode(node.child(), context));
+      return MakeSecureView(std::move(child), node.securable_name());
+    }
+    case PlanKind::kExtension: {
+      // Expand first so relations the extension references get the same
+      // external-enforcement treatment as hand-written ones.
+      const auto& node = static_cast<const ExtensionNode&>(*plan);
+      if (extensions_ == nullptr) return plan;
+      LG_ASSIGN_OR_RETURN(ConnectExtension * ext,
+                          extensions_->Lookup(node.extension_name()));
+      LG_ASSIGN_OR_RETURN(PlanPtr expanded,
+                          ext->Expand(node.payload(), context));
+      return RewriteNode(expanded, context);
+    }
+  }
+  return Status::Internal("unreachable plan kind in eFGAC rewrite");
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,58 @@
+#ifndef LAKEGUARD_EFGAC_REWRITER_H_
+#define LAKEGUARD_EFGAC_REWRITER_H_
+
+#include "efgac/serverless_backend.h"
+#include "engine/engine.h"
+
+namespace lakeguard {
+
+/// Statistics on what the rewriter pushed into remote scans.
+struct EfgacRewriteStats {
+  uint64_t relations_externalized = 0;
+  uint64_t filters_pushed = 0;
+  uint64_t projects_pushed = 0;
+  uint64_t limits_pushed = 0;
+  uint64_t aggregates_pushed = 0;
+};
+
+/// The eFGAC query rewrite of §3.4, installed as the pre-analysis hook of a
+/// Dedicated cluster's engine. Operating on the *unresolved* plan:
+///
+///  1. every relation Unity Catalog reports as externally-enforced is
+///     replaced by a RemoteScan leaf capturing the relation reference;
+///  2. refinement pushdown: Filters, Projects, Limits and whole Aggregates
+///     sitting directly on a RemoteScan move into the captured sub-plan
+///     (never user code — UDF-bearing expressions stay local);
+///  3. each final sub-plan is submitted to the serverless endpoint's
+///     AnalyzePlan to type the RemoteScan.
+///
+/// The rewritten tree never contains policy expressions: the origin cluster
+/// learned only that the relations "cannot be processed locally".
+class EfgacRewriter : public PreAnalysisRewriter {
+ public:
+  EfgacRewriter(UnityCatalog* catalog, ServerlessBackend* backend,
+                const ExtensionRegistry* extensions = nullptr)
+      : catalog_(catalog), backend_(backend), extensions_(extensions) {}
+
+  Result<PlanPtr> Rewrite(const PlanPtr& plan,
+                          const ExecutionContext& context) override;
+
+  const EfgacRewriteStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = EfgacRewriteStats(); }
+
+ private:
+  Result<PlanPtr> RewriteNode(const PlanPtr& plan,
+                              const ExecutionContext& context);
+  /// Re-analyzes `remote_plan` remotely and returns a typed RemoteScan.
+  Result<PlanPtr> TypedRemoteScan(PlanPtr remote_plan,
+                                  const ExecutionContext& context);
+
+  UnityCatalog* catalog_;
+  ServerlessBackend* backend_;
+  const ExtensionRegistry* extensions_;
+  EfgacRewriteStats stats_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_EFGAC_REWRITER_H_

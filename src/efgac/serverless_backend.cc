@@ -1,0 +1,75 @@
+#include "efgac/serverless_backend.h"
+
+#include "columnar/ipc.h"
+#include "common/id.h"
+
+namespace lakeguard {
+
+ExecutionContext ServerlessBackend::MakeContext(
+    const std::string& user) const {
+  ExecutionContext context;
+  context.user = user;
+  context.session_id = IdGenerator::Next("efgac-sess");
+  context.compute.compute_id = "serverless-efgac";
+  context.compute.can_isolate_user_code = true;
+  context.compute.privileged_access = false;
+  return context;
+}
+
+Result<Schema> ServerlessBackend::AnalyzeRemote(const PlanPtr& plan,
+                                                const std::string& user) {
+  ++stats_.analyze_calls;
+  LG_ASSIGN_OR_RETURN(AnalysisResult analysis,
+                      engine_->AnalyzePlan(plan, MakeContext(user)));
+  return analysis.output_schema;
+}
+
+Result<Table> ServerlessBackend::ExecuteRemote(const PlanPtr& plan,
+                                               const std::string& user) {
+  ++stats_.execute_calls;
+  LG_ASSIGN_OR_RETURN(Table result,
+                      engine_->ExecutePlan(plan, MakeContext(user)));
+
+  if (result.ByteSize() <= spill_threshold_bytes_) {
+    ++stats_.inline_results;
+    return result;
+  }
+
+  // Large result: persist intermediate data in cloud storage (parallel on a
+  // real deployment) and re-read on the origin side. The spill objects are
+  // managed by the trusted control plane.
+  ++stats_.spilled_results;
+  const std::string& token = catalog_->system_token();
+  std::string prefix = "mem://efgac-spill/" + IdGenerator::Next("res") + "/";
+  size_t index = 0;
+  std::vector<std::string> paths;
+  for (const RecordBatch& batch : result.batches()) {
+    std::vector<uint8_t> frame = ipc::SerializeBatch(batch);
+    stats_.spilled_bytes += frame.size();
+    std::string path = prefix + "part-" + std::to_string(index++);
+    LG_RETURN_IF_ERROR(store_->Put(token, path, std::move(frame)));
+    paths.push_back(std::move(path));
+  }
+
+  Table reread(result.schema());
+  for (const std::string& path : paths) {
+    LG_ASSIGN_OR_RETURN(std::vector<uint8_t> frame, store_->Get(token, path));
+    LG_ASSIGN_OR_RETURN(RecordBatch batch, ipc::DeserializeBatch(frame));
+    LG_RETURN_IF_ERROR(reread.AppendBatch(std::move(batch)));
+  }
+  // Spill objects are ephemeral; delete after the origin has consumed them.
+  for (const std::string& path : paths) {
+    LG_RETURN_IF_ERROR(store_->Delete(token, path));
+  }
+  return reread;
+}
+
+Result<Table> EfgacRemoteExecutor::ExecuteRemote(
+    const RemoteScanNode& scan, const ExecutionContext& context) {
+  if (!scan.remote_plan()) {
+    return Status::InvalidArgument("RemoteScan has no captured sub-plan");
+  }
+  return backend_->ExecuteRemote(scan.remote_plan(), context.user);
+}
+
+}  // namespace lakeguard

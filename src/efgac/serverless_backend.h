@@ -1,0 +1,76 @@
+#ifndef LAKEGUARD_EFGAC_SERVERLESS_BACKEND_H_
+#define LAKEGUARD_EFGAC_SERVERLESS_BACKEND_H_
+
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "engine/engine.h"
+
+namespace lakeguard {
+
+/// Counters distinguishing the two result-return modes of §3.4.
+struct EfgacStats {
+  uint64_t analyze_calls = 0;
+  uint64_t execute_calls = 0;
+  uint64_t inline_results = 0;
+  uint64_t spilled_results = 0;
+  uint64_t spilled_bytes = 0;
+};
+
+/// The Serverless Spark endpoint that executes eFGAC sub-queries (§3.4).
+/// It is a Standard-architecture engine: the incoming plan is analyzed with
+/// the *same user identity* but a trusted, isolating compute context — so
+/// Unity Catalog releases the row filters / masks here, and they are
+/// enforced before any byte returns to the privileged origin cluster.
+class ServerlessBackend {
+ public:
+  /// `engine` must be wired with a Standard-cluster dispatcher; `store` is
+  /// used for large-result spill.
+  ServerlessBackend(QueryEngine* engine, ObjectStore* store,
+                    UnityCatalog* catalog,
+                    size_t spill_threshold_bytes = 256 * 1024)
+      : engine_(engine),
+        store_(store),
+        catalog_(catalog),
+        spill_threshold_bytes_(spill_threshold_bytes) {}
+
+  /// Remote AnalyzePlan: types the sub-query for the origin cluster's
+  /// RemoteScan node without releasing policy details.
+  Result<Schema> AnalyzeRemote(const PlanPtr& plan, const std::string& user);
+
+  /// Remote ExecutePlan. Results at most `spill_threshold_bytes` return
+  /// inline; larger results are persisted to cloud storage as IPC frames
+  /// and re-read by the origin side (both modes produce the same Table).
+  Result<Table> ExecuteRemote(const PlanPtr& plan, const std::string& user);
+
+  const EfgacStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = EfgacStats(); }
+
+ private:
+  ExecutionContext MakeContext(const std::string& user) const;
+
+  QueryEngine* engine_;
+  ObjectStore* store_;
+  UnityCatalog* catalog_;
+  size_t spill_threshold_bytes_;
+  EfgacStats stats_;
+};
+
+/// Engine-side RemoteScan operator implementation: forwards the captured
+/// sub-plan to the serverless backend under the querying user's identity.
+class EfgacRemoteExecutor : public RemoteQueryExecutor {
+ public:
+  explicit EfgacRemoteExecutor(ServerlessBackend* backend)
+      : backend_(backend) {}
+
+  Result<Table> ExecuteRemote(const RemoteScanNode& scan,
+                              const ExecutionContext& context) override;
+
+ private:
+  ServerlessBackend* backend_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_EFGAC_SERVERLESS_BACKEND_H_

@@ -1,0 +1,40 @@
+#ifndef LAKEGUARD_ENGINE_ANALYSIS_H_
+#define LAKEGUARD_ENGINE_ANALYSIS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "catalog/securable.h"
+#include "catalog/unity_catalog.h"
+#include "plan/plan.h"
+
+namespace lakeguard {
+
+/// Identity and placement of one query execution.
+struct ExecutionContext {
+  std::string user;         // the querying identity (audit, CURRENT_USER())
+  std::string session_id;   // sandbox pooling key
+  ComputeContext compute;   // privilege scope of the cluster
+  /// Session-scoped temporary views (name -> SELECT text). Owned by the
+  /// Connect session (§3.2.3); never visible to other sessions. Null means
+  /// "no session state".
+  std::shared_ptr<std::map<std::string, std::string>> temp_views;
+};
+
+/// Output of the analyzer: the fully resolved plan plus the side state the
+/// executor needs — user-bound storage tokens per table and the resolved
+/// function bodies per cataloged UDF. Keeping tokens/bodies out of the plan
+/// tree keeps serialized plans free of credentials and user code.
+struct AnalysisResult {
+  PlanPtr plan;
+  Schema output_schema;
+  /// table full name -> vended read token (user-bound).
+  std::map<std::string, std::string> read_tokens;
+  /// function full name -> resolved definition (body, owner, egress).
+  std::map<std::string, FunctionInfo> udfs;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_ENGINE_ANALYSIS_H_

@@ -1,0 +1,491 @@
+#include "engine/analyzer.h"
+
+#include "common/strings.h"
+#include "expr/evaluator.h"
+#include "expr/functions.h"
+#include "sql/parser.h"
+
+namespace lakeguard {
+
+namespace {
+
+constexpr int kMaxViewDepth = 16;
+
+std::string LastSegment(const std::string& name) {
+  size_t dot = name.rfind('.');
+  return dot == std::string::npos ? name : name.substr(dot + 1);
+}
+
+}  // namespace
+
+Result<Schema> Analyzer::ResolvedSchema(const PlanPtr& plan) {
+  switch (plan->kind()) {
+    case PlanKind::kTableRef:
+    case PlanKind::kExtension:
+      return Status::FailedPrecondition(
+          "plan still contains an unresolved relation: " + plan->Describe());
+    case PlanKind::kLocalRelation:
+      return static_cast<const LocalRelationNode&>(*plan).data().schema();
+    case PlanKind::kResolvedScan:
+      return static_cast<const ResolvedScanNode&>(*plan).schema();
+    case PlanKind::kRemoteScan:
+      return static_cast<const RemoteScanNode&>(*plan).schema();
+    case PlanKind::kProject: {
+      const auto& node = static_cast<const ProjectNode&>(*plan);
+      LG_ASSIGN_OR_RETURN(Schema child, ResolvedSchema(node.child()));
+      std::vector<FieldDef> fields;
+      for (size_t i = 0; i < node.exprs().size(); ++i) {
+        LG_ASSIGN_OR_RETURN(TypeKind type,
+                            InferExprType(node.exprs()[i], child));
+        fields.push_back({node.names()[i], type, true});
+      }
+      return Schema(std::move(fields));
+    }
+    case PlanKind::kFilter:
+    case PlanKind::kSort:
+    case PlanKind::kLimit:
+    case PlanKind::kSecureView:
+      return ResolvedSchema(plan->children()[0]);
+    case PlanKind::kAggregate: {
+      const auto& node = static_cast<const AggregateNode&>(*plan);
+      LG_ASSIGN_OR_RETURN(Schema child, ResolvedSchema(node.child()));
+      std::vector<FieldDef> fields;
+      for (size_t i = 0; i < node.group_exprs().size(); ++i) {
+        LG_ASSIGN_OR_RETURN(TypeKind type,
+                            InferExprType(node.group_exprs()[i], child));
+        fields.push_back({node.group_names()[i], type, true});
+      }
+      for (size_t i = 0; i < node.agg_exprs().size(); ++i) {
+        LG_ASSIGN_OR_RETURN(TypeKind type,
+                            InferExprType(node.agg_exprs()[i], child));
+        fields.push_back({node.agg_names()[i], type, true});
+      }
+      return Schema(std::move(fields));
+    }
+    case PlanKind::kJoin: {
+      const auto& node = static_cast<const JoinNode&>(*plan);
+      LG_ASSIGN_OR_RETURN(Schema left, ResolvedSchema(node.left()));
+      LG_ASSIGN_OR_RETURN(Schema right, ResolvedSchema(node.right()));
+      std::vector<FieldDef> fields = left.fields();
+      for (const FieldDef& f : right.fields()) fields.push_back(f);
+      return Schema(std::move(fields));
+    }
+  }
+  return Status::Internal("unreachable plan kind in schema derivation");
+}
+
+Result<AnalysisResult> Analyzer::Analyze(const PlanPtr& plan) {
+  AnalysisResult out;
+  ScopeInfo scope;
+  LG_ASSIGN_OR_RETURN(out.plan,
+                      ResolveNode(plan, context_.user, 0, &out, &scope));
+  LG_ASSIGN_OR_RETURN(out.output_schema, ResolvedSchema(out.plan));
+  return out;
+}
+
+namespace {
+
+/// Resolves `name` against the scope: qualified names ("o.region") match a
+/// part whose alias equals the qualifier; bare names match the first field
+/// of that name across all parts. Returns the GLOBAL column ordinal.
+Result<int> FindInScope(const std::vector<std::pair<std::string, Schema>>&,
+                        const std::string&);
+
+}  // namespace
+
+Result<ExprPtr> Analyzer::ResolveExpr(const ExprPtr& expr,
+                                      const ScopeInfo& scope,
+                                      AnalysisResult* out) {
+  auto find_column = [&scope](const std::string& name)
+      -> Result<std::pair<int, std::string>> {
+    // Literal match first (covers fields whose names themselves contain
+    // dots, e.g. un-aliased projections of qualified references).
+    {
+      int offset = 0;
+      for (const ScopePart& part : scope) {
+        int idx = part.schema.FindField(name);
+        if (idx >= 0) {
+          return std::make_pair(
+              offset + idx, part.schema.field(static_cast<size_t>(idx)).name);
+        }
+        offset += static_cast<int>(part.schema.num_fields());
+      }
+    }
+    // Qualified lookup.
+    size_t dot = name.rfind('.');
+    if (dot != std::string::npos) {
+      std::string qualifier = name.substr(0, dot);
+      std::string column = name.substr(dot + 1);
+      // The qualifier itself may be dotted ("main.s.orders.region"):
+      // match against the part alias's suffix.
+      int offset = 0;
+      for (const ScopePart& part : scope) {
+        if (!part.alias.empty() &&
+            (EqualsIgnoreCase(part.alias, qualifier) ||
+             EqualsIgnoreCase(part.alias, LastSegment(qualifier)))) {
+          int idx = part.schema.FindField(column);
+          if (idx >= 0) {
+            return std::make_pair(
+                offset + idx,
+                part.schema.field(static_cast<size_t>(idx)).name);
+          }
+        }
+        offset += static_cast<int>(part.schema.num_fields());
+      }
+      // Fall through: treat the last segment as a bare column name.
+      offset = 0;
+      for (const ScopePart& part : scope) {
+        int idx = part.schema.FindField(column);
+        if (idx >= 0) {
+          return std::make_pair(
+              offset + idx, part.schema.field(static_cast<size_t>(idx)).name);
+        }
+        offset += static_cast<int>(part.schema.num_fields());
+      }
+      return Status::InvalidArgument("column '" + name + "' not found");
+    }
+    int offset = 0;
+    for (const ScopePart& part : scope) {
+      int idx = part.schema.FindField(name);
+      if (idx >= 0) {
+        return std::make_pair(offset + idx,
+                              part.schema.field(static_cast<size_t>(idx)).name);
+      }
+      offset += static_cast<int>(part.schema.num_fields());
+    }
+    std::string visible;
+    for (const ScopePart& part : scope) {
+      visible += (part.alias.empty() ? "?" : part.alias) +
+                 part.schema.ToString() + " ";
+    }
+    return Status::InvalidArgument("column '" + name + "' not found in " +
+                                   visible);
+  };
+
+  Status failure = Status::OK();
+  ExprPtr resolved = RewriteExpr(expr, [&](const ExprPtr& e) -> ExprPtr {
+    if (!failure.ok()) return nullptr;
+    if (e->kind() == ExprKind::kColumnRef) {
+      const auto& ref = static_cast<const ColumnRefExpr&>(*e);
+      auto found = find_column(ref.name());
+      if (!found.ok()) {
+        failure = found.status();
+        return nullptr;
+      }
+      return ColIdx(found->second, found->first);
+    }
+    if (e->kind() == ExprKind::kFunctionCall) {
+      const auto& call = static_cast<const FunctionCallExpr&>(*e);
+      if (IsAggregateFunctionName(call.name())) return nullptr;
+      if (LookupBuiltin(call.name()).ok()) return nullptr;
+      // Cataloged UDF: resolve through the catalog (EXECUTE check + audit).
+      auto fn = catalog_->ResolveFunction(context_.user, context_.compute,
+                                          call.name());
+      if (!fn.ok()) {
+        failure = fn.status();
+        return nullptr;
+      }
+      if (call.args().size() != fn->num_args) {
+        failure = Status::InvalidArgument(
+            "function " + call.name() + " expects " +
+            std::to_string(fn->num_args) + " arguments, got " +
+            std::to_string(call.args().size()));
+        return nullptr;
+      }
+      for (const ExprPtr& arg : call.args()) {
+        if (ContainsUdfCall(arg)) {
+          failure = Status::Unimplemented(
+              "nested UDF calls are not supported (argument of " +
+              call.name() + ")");
+          return nullptr;
+        }
+      }
+      out->udfs[fn->full_name] = *fn;
+      return Udf(fn->full_name, fn->owner, fn->return_type, call.args());
+    }
+    return nullptr;
+  });
+  if (!failure.ok()) return failure;
+  return resolved;
+}
+
+Result<PlanPtr> Analyzer::ResolveTableRef(const TableRefNode& node,
+                                          const std::string& as_user,
+                                          int depth, AnalysisResult* out,
+                                          ScopeInfo* scope) {
+  if (depth > kMaxViewDepth) {
+    return Status::InvalidArgument("view expansion too deep (cycle?) at '" +
+                                   node.name() + "'");
+  }
+  // Session-scoped temporary views shadow catalog relations (§3.2.3). They
+  // are invoker's-rights macros: the expansion resolves as the querying
+  // user, so underlying permissions and policies still apply.
+  if (context_.temp_views != nullptr) {
+    auto temp_it = context_.temp_views->find(node.name());
+    if (temp_it != context_.temp_views->end()) {
+      LG_ASSIGN_OR_RETURN(ParsedStatement stmt, ParseSql(temp_it->second));
+      auto* select = std::get_if<SelectStatement>(&stmt);
+      if (select == nullptr) {
+        return Status::Internal("temporary view '" + node.name() +
+                                "' definition is not a SELECT");
+      }
+      return ResolveNode(select->plan, as_user, depth + 1, out, scope);
+    }
+  }
+  LG_ASSIGN_OR_RETURN(
+      RelationResolution res,
+      catalog_->ResolveRelation(as_user, context_.compute, node.name()));
+
+  if (res.enforcement == EnforcementMode::kExternal) {
+    return Status::FailedPrecondition(
+        "relation '" + node.name() +
+        "' requires external fine-grained access control on this compute; "
+        "the eFGAC rewrite must run before analysis");
+  }
+
+  const std::string alias =
+      node.alias().empty() ? LastSegment(node.name()) : node.alias();
+
+  if (res.type == SecurableType::kView) {
+    // Logical view: parse the stored definition and expand it. Underlying
+    // relations resolve under the view OWNER (definer's rights); context
+    // functions keep binding to the querying user at evaluation time.
+    LG_ASSIGN_OR_RETURN(ParsedStatement stmt, ParseSql(res.view.sql_text));
+    auto* select = std::get_if<SelectStatement>(&stmt);
+    if (select == nullptr) {
+      return Status::Internal("view '" + node.name() +
+                              "' definition is not a SELECT");
+    }
+    ScopeInfo inner_scope;
+    LG_ASSIGN_OR_RETURN(PlanPtr expanded,
+                        ResolveNode(select->plan, res.view.owner, depth + 1,
+                                    out, &inner_scope));
+    PlanPtr guarded = MakeSecureView(std::move(expanded), node.name());
+    LG_ASSIGN_OR_RETURN(Schema view_schema, ResolvedSchema(guarded));
+    scope->clear();
+    scope->push_back({alias, std::move(view_schema)});
+    return guarded;
+  }
+
+  // Table (or fresh materialized view behaving as one).
+  Schema schema = res.table.schema;
+  if (schema.num_fields() == 0) {
+    // Materialized view: the catalog recorded the schema at refresh time.
+    auto view = catalog_->GetView(node.name());
+    if (view.ok()) schema = view->materialized_schema;
+  }
+  if (schema.num_fields() == 0) {
+    return Status::Internal("relation '" + node.name() + "' has no schema");
+  }
+  PlanPtr scan =
+      MakeResolvedScan(res.table.full_name, res.table.storage_root, schema);
+  if (!res.read_token.empty()) {
+    out->read_tokens[res.table.full_name] = res.read_token;
+  }
+
+  scope->clear();
+  scope->push_back({alias, schema});
+
+  const bool has_policies =
+      res.row_filter.has_value() || !res.column_masks.empty();
+  if (!has_policies) return scan;
+
+  // Inject policies (Fig. 8): Filter for the row filter, Project for masks,
+  // both under a SecureView barrier so user expressions can never be pushed
+  // beneath them. Policy expressions resolve against the raw table scope.
+  ScopeInfo table_scope = {{alias, schema}};
+  PlanPtr guarded = scan;
+  if (res.row_filter.has_value()) {
+    LG_ASSIGN_OR_RETURN(
+        ExprPtr predicate,
+        ResolveExpr(res.row_filter->predicate, table_scope, out));
+    guarded = MakeFilter(std::move(guarded), std::move(predicate));
+  }
+  if (!res.column_masks.empty()) {
+    std::vector<ExprPtr> exprs;
+    std::vector<std::string> names;
+    for (size_t i = 0; i < schema.num_fields(); ++i) {
+      const FieldDef& field = schema.field(i);
+      ExprPtr column_expr;
+      for (const ColumnMaskPolicy& mask : res.column_masks) {
+        if (EqualsIgnoreCase(mask.column, field.name)) {
+          LG_ASSIGN_OR_RETURN(column_expr,
+                              ResolveExpr(mask.mask_expr, table_scope, out));
+          break;
+        }
+      }
+      if (!column_expr) {
+        column_expr = ColIdx(field.name, static_cast<int>(i));
+      }
+      exprs.push_back(std::move(column_expr));
+      names.push_back(field.name);
+    }
+    guarded =
+        MakeProject(std::move(guarded), std::move(exprs), std::move(names));
+  }
+  return MakeSecureView(std::move(guarded), res.table.full_name);
+}
+
+Result<PlanPtr> Analyzer::ResolveNode(const PlanPtr& plan,
+                                      const std::string& as_user, int depth,
+                                      AnalysisResult* out, ScopeInfo* scope) {
+  switch (plan->kind()) {
+    case PlanKind::kTableRef:
+      return ResolveTableRef(static_cast<const TableRefNode&>(*plan), as_user,
+                             depth, out, scope);
+    case PlanKind::kLocalRelation: {
+      scope->clear();
+      scope->push_back(
+          {"", static_cast<const LocalRelationNode&>(*plan).data().schema()});
+      return plan;
+    }
+    case PlanKind::kResolvedScan: {
+      const auto& node = static_cast<const ResolvedScanNode&>(*plan);
+      scope->clear();
+      scope->push_back({LastSegment(node.table_name()), node.schema()});
+      return plan;
+    }
+    case PlanKind::kRemoteScan: {
+      // eFGAC leaf produced by the pre-analysis rewrite: already typed by
+      // the remote AnalyzePlan round-trip; treated as a leaf relation.
+      const auto& node = static_cast<const RemoteScanNode&>(*plan);
+      if (node.schema().num_fields() == 0) {
+        return Status::FailedPrecondition(
+            "RemoteScan has no schema; the eFGAC rewriter must analyze the "
+            "remote sub-plan first");
+      }
+      std::string alias;
+      if (node.remote_plan() &&
+          node.remote_plan()->kind() == PlanKind::kTableRef) {
+        const auto& inner =
+            static_cast<const TableRefNode&>(*node.remote_plan());
+        alias = inner.alias().empty() ? LastSegment(inner.name())
+                                      : inner.alias();
+      }
+      scope->clear();
+      scope->push_back({alias, node.schema()});
+      return plan;
+    }
+    case PlanKind::kProject: {
+      const auto& node = static_cast<const ProjectNode&>(*plan);
+      ScopeInfo child_scope;
+      LG_ASSIGN_OR_RETURN(
+          PlanPtr child,
+          ResolveNode(node.child(), as_user, depth, out, &child_scope));
+      std::vector<ExprPtr> exprs;
+      for (const ExprPtr& e : node.exprs()) {
+        LG_ASSIGN_OR_RETURN(ExprPtr resolved,
+                            ResolveExpr(e, child_scope, out));
+        exprs.push_back(std::move(resolved));
+      }
+      PlanPtr resolved =
+          MakeProject(std::move(child), std::move(exprs), node.names());
+      LG_ASSIGN_OR_RETURN(Schema schema, ResolvedSchema(resolved));
+      scope->clear();
+      scope->push_back({"", std::move(schema)});
+      return resolved;
+    }
+    case PlanKind::kFilter: {
+      const auto& node = static_cast<const FilterNode&>(*plan);
+      LG_ASSIGN_OR_RETURN(
+          PlanPtr child, ResolveNode(node.child(), as_user, depth, out, scope));
+      LG_ASSIGN_OR_RETURN(ExprPtr cond,
+                          ResolveExpr(node.condition(), *scope, out));
+      return MakeFilter(std::move(child), std::move(cond));
+    }
+    case PlanKind::kAggregate: {
+      const auto& node = static_cast<const AggregateNode&>(*plan);
+      ScopeInfo child_scope;
+      LG_ASSIGN_OR_RETURN(
+          PlanPtr child,
+          ResolveNode(node.child(), as_user, depth, out, &child_scope));
+      std::vector<ExprPtr> group_exprs;
+      for (const ExprPtr& e : node.group_exprs()) {
+        LG_ASSIGN_OR_RETURN(ExprPtr resolved,
+                            ResolveExpr(e, child_scope, out));
+        group_exprs.push_back(std::move(resolved));
+      }
+      std::vector<ExprPtr> agg_exprs;
+      for (const ExprPtr& e : node.agg_exprs()) {
+        LG_ASSIGN_OR_RETURN(ExprPtr resolved,
+                            ResolveExpr(e, child_scope, out));
+        if (resolved->kind() != ExprKind::kFunctionCall) {
+          return Status::InvalidArgument(
+              "aggregate item must be an aggregate function call, got " +
+              resolved->ToString());
+        }
+        agg_exprs.push_back(std::move(resolved));
+      }
+      PlanPtr resolved =
+          MakeAggregate(std::move(child), std::move(group_exprs),
+                        node.group_names(), std::move(agg_exprs),
+                        node.agg_names());
+      LG_ASSIGN_OR_RETURN(Schema schema, ResolvedSchema(resolved));
+      scope->clear();
+      scope->push_back({"", std::move(schema)});
+      return resolved;
+    }
+    case PlanKind::kJoin: {
+      const auto& node = static_cast<const JoinNode&>(*plan);
+      ScopeInfo left_scope, right_scope;
+      LG_ASSIGN_OR_RETURN(
+          PlanPtr left,
+          ResolveNode(node.left(), as_user, depth, out, &left_scope));
+      LG_ASSIGN_OR_RETURN(
+          PlanPtr right,
+          ResolveNode(node.right(), as_user, depth, out, &right_scope));
+      scope->clear();
+      for (ScopePart& part : left_scope) scope->push_back(std::move(part));
+      for (ScopePart& part : right_scope) scope->push_back(std::move(part));
+      ExprPtr cond = node.condition();
+      if (cond) {
+        LG_ASSIGN_OR_RETURN(cond, ResolveExpr(cond, *scope, out));
+      }
+      return MakeJoin(std::move(left), std::move(right), node.join_type(),
+                      std::move(cond));
+    }
+    case PlanKind::kSort: {
+      const auto& node = static_cast<const SortNode&>(*plan);
+      LG_ASSIGN_OR_RETURN(
+          PlanPtr child, ResolveNode(node.child(), as_user, depth, out, scope));
+      std::vector<SortKey> keys;
+      for (const SortKey& key : node.keys()) {
+        SortKey resolved;
+        resolved.ascending = key.ascending;
+        LG_ASSIGN_OR_RETURN(resolved.expr, ResolveExpr(key.expr, *scope, out));
+        keys.push_back(std::move(resolved));
+      }
+      return MakeSort(std::move(child), std::move(keys));
+    }
+    case PlanKind::kLimit: {
+      const auto& node = static_cast<const LimitNode&>(*plan);
+      LG_ASSIGN_OR_RETURN(
+          PlanPtr child, ResolveNode(node.child(), as_user, depth, out, scope));
+      return MakeLimit(std::move(child), node.limit());
+    }
+    case PlanKind::kSecureView: {
+      const auto& node = static_cast<const SecureViewNode&>(*plan);
+      LG_ASSIGN_OR_RETURN(
+          PlanPtr child, ResolveNode(node.child(), as_user, depth, out, scope));
+      return MakeSecureView(std::move(child), node.securable_name());
+    }
+    case PlanKind::kExtension: {
+      // Protocol extension (§3.2.2): expand via the installed server-side
+      // handler, then resolve the expansion like any other plan — the
+      // extension cannot bypass governance.
+      const auto& node = static_cast<const ExtensionNode&>(*plan);
+      if (extensions_ == nullptr) {
+        return Status::NotFound("no Connect extensions installed; cannot "
+                                "expand '" + node.extension_name() + "'");
+      }
+      LG_ASSIGN_OR_RETURN(ConnectExtension * ext,
+                          extensions_->Lookup(node.extension_name()));
+      LG_ASSIGN_OR_RETURN(PlanPtr expanded,
+                          ext->Expand(node.payload(), context_));
+      return ResolveNode(expanded, as_user, depth + 1, out, scope);
+    }
+  }
+  return Status::Internal("unreachable plan kind in analysis");
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,68 @@
+#ifndef LAKEGUARD_ENGINE_ANALYZER_H_
+#define LAKEGUARD_ENGINE_ANALYZER_H_
+
+#include "engine/analysis.h"
+#include "engine/extensions.h"
+
+namespace lakeguard {
+
+/// The analyzer binds an unresolved logical plan to the catalog under a
+/// (user, compute) pair. This is where governance becomes structural:
+///
+///  * TableRef -> ResolvedScan, with row filters / column masks injected as
+///    Filter/Project nodes under a SecureView barrier (Fig. 8's "resolved"
+///    tree). Policies come from Unity Catalog, already filtered by the
+///    compute's privilege scope.
+///  * Views expand recursively: SELECT is checked for the querying user,
+///    underlying relations resolve under the *view owner* (definer's
+///    rights), while CURRENT_USER()/IS_ACCOUNT_GROUP_MEMBER() keep binding
+///    to the querying user — exactly the dynamic-view semantics of §2.3.
+///  * Unknown function names resolve against cataloged UDFs (EXECUTE
+///    check); the call becomes an UdfCallExpr tagged with its trust domain.
+///  * Qualified column references ("o.region") resolve against the *scope*
+///    of the subtree: each relation contributes a part named by its alias
+///    (or its table's last name segment).
+///  * If the catalog reports kExternal enforcement, analysis FAILS — on
+///    privileged compute the eFGAC rewrite (src/efgac) must replace the
+///    relation before analysis; reaching the analyzer with an external-only
+///    relation means a bypass attempt.
+class Analyzer {
+ public:
+  Analyzer(UnityCatalog* catalog, ExecutionContext context,
+           const ExtensionRegistry* extensions = nullptr)
+      : catalog_(catalog),
+        context_(std::move(context)),
+        extensions_(extensions) {}
+
+  /// Resolves `plan`. On success the result plan contains no kTableRef and
+  /// no unresolved column references.
+  Result<AnalysisResult> Analyze(const PlanPtr& plan);
+
+  /// Computes the output schema of an already-resolved plan.
+  static Result<Schema> ResolvedSchema(const PlanPtr& plan);
+
+ private:
+  /// One named relation visible in a subtree's output.
+  struct ScopePart {
+    std::string alias;  // "" when anonymous (projections, aggregates)
+    Schema schema;
+  };
+  using ScopeInfo = std::vector<ScopePart>;
+
+  Result<PlanPtr> ResolveNode(const PlanPtr& plan, const std::string& as_user,
+                              int depth, AnalysisResult* out,
+                              ScopeInfo* scope);
+  Result<PlanPtr> ResolveTableRef(const TableRefNode& node,
+                                  const std::string& as_user, int depth,
+                                  AnalysisResult* out, ScopeInfo* scope);
+  Result<ExprPtr> ResolveExpr(const ExprPtr& expr, const ScopeInfo& scope,
+                              AnalysisResult* out);
+
+  UnityCatalog* catalog_;
+  ExecutionContext context_;
+  const ExtensionRegistry* extensions_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_ENGINE_ANALYZER_H_

@@ -1,0 +1,245 @@
+#include "engine/engine.h"
+
+#include "sql/parser.h"
+#include "storage/delta_table.h"
+
+namespace lakeguard {
+
+Table CommandResult(const std::string& message) {
+  Schema schema(std::vector<FieldDef>{{"result", TypeKind::kString, false}});
+  TableBuilder builder(schema);
+  Status s = builder.AppendRow({Value::String(message)});
+  (void)s;
+  return builder.Build();
+}
+
+Result<AnalysisResult> QueryEngine::AnalyzePlan(
+    const PlanPtr& plan, const ExecutionContext& context) {
+  PlanPtr current = plan;
+  if (pre_rewriter_ != nullptr) {
+    LG_ASSIGN_OR_RETURN(current, pre_rewriter_->Rewrite(current, context));
+  }
+  Analyzer analyzer(services_.catalog, context, services_.extensions);
+  return analyzer.Analyze(current);
+}
+
+Result<Table> QueryEngine::ExecutePlan(const PlanPtr& plan,
+                                       const ExecutionContext& context) {
+  LG_ASSIGN_OR_RETURN(ExplainedExecution exec,
+                      ExecutePlanExplained(plan, context));
+  return std::move(exec.result);
+}
+
+Result<QueryEngine::ExplainedExecution> QueryEngine::ExecutePlanExplained(
+    const PlanPtr& plan, const ExecutionContext& context) {
+  ExplainedExecution out;
+  out.source = plan;
+  out.rewritten = plan;
+  if (pre_rewriter_ != nullptr) {
+    LG_ASSIGN_OR_RETURN(out.rewritten, pre_rewriter_->Rewrite(plan, context));
+  }
+  Analyzer analyzer(services_.catalog, context, services_.extensions);
+  LG_ASSIGN_OR_RETURN(AnalysisResult analysis,
+                      analyzer.Analyze(out.rewritten));
+  out.resolved = analysis.plan;
+  Optimizer optimizer(config_.opt);
+  LG_ASSIGN_OR_RETURN(out.optimized, optimizer.Optimize(analysis.plan));
+  Executor executor(services_, config_.exec, context, &analysis);
+  LG_ASSIGN_OR_RETURN(out.result, executor.Execute(out.optimized));
+  return out;
+}
+
+Result<Table> QueryEngine::ExecuteSql(const std::string& sql,
+                                      const ExecutionContext& context) {
+  LG_ASSIGN_OR_RETURN(ParsedStatement stmt, ParseSql(sql));
+  if (auto* select = std::get_if<SelectStatement>(&stmt)) {
+    return ExecutePlan(select->plan, context);
+  }
+  return RunCommand(stmt, context);
+}
+
+Result<Table> QueryEngine::RunCommand(const ParsedStatement& stmt,
+                                      const ExecutionContext& context) {
+  if (const auto* create = std::get_if<CreateTableStatement>(&stmt)) {
+    TableInfo info;
+    info.full_name = create->name;
+    info.schema = create->schema;
+    LG_RETURN_IF_ERROR(services_.catalog->CreateTable(context.user, info));
+    // Initialize version 0 (empty) so reads work immediately.
+    LG_ASSIGN_OR_RETURN(TableInfo created,
+                        services_.catalog->GetTable(create->name));
+    LG_ASSIGN_OR_RETURN(StorageCredential cred,
+                        services_.catalog->VendWriteCredential(
+                            context.user, context.compute, create->name));
+    DeltaTableFormat format(services_.store);
+    LG_RETURN_IF_ERROR(format.CreateTable(cred.token_id, created.storage_root,
+                                          Table(created.schema)));
+    return CommandResult("created table " + create->name);
+  }
+
+  if (const auto* view = std::get_if<CreateViewStatement>(&stmt)) {
+    // Validate the definition under the creating user: every referenced
+    // relation must exist and be selectable by the definer.
+    Analyzer analyzer(services_.catalog, context, services_.extensions);
+    auto check = analyzer.Analyze(view->plan);
+    if (!check.ok()) {
+      return check.status().WithContext("invalid view definition");
+    }
+    if (view->temporary) {
+      // Session state (§3.2.3): never touches the catalog.
+      if (context.temp_views == nullptr) {
+        return Status::FailedPrecondition(
+            "temporary views require a session (none attached)");
+      }
+      (*context.temp_views)[view->name] = view->sql_text;
+      return CommandResult("created temporary view " + view->name);
+    }
+    ViewInfo info;
+    info.full_name = view->name;
+    info.sql_text = view->sql_text;
+    info.materialized = view->materialized;
+    LG_RETURN_IF_ERROR(services_.catalog->CreateView(context.user, info));
+    if (view->materialized) {
+      LG_RETURN_IF_ERROR(RefreshMaterializedView(view->name, context));
+    }
+    return CommandResult("created view " + view->name);
+  }
+
+  if (const auto* insert = std::get_if<InsertStatement>(&stmt)) {
+    LG_ASSIGN_OR_RETURN(TableInfo info,
+                        services_.catalog->GetTable(insert->table));
+    LG_ASSIGN_OR_RETURN(StorageCredential cred,
+                        services_.catalog->VendWriteCredential(
+                            context.user, context.compute, insert->table));
+    TableBuilder builder(info.schema);
+    size_t inserted = 0;
+    if (insert->query) {
+      // INSERT INTO ... SELECT: the source runs through the full governed
+      // pipeline (row filters etc. apply to what this user can read).
+      LG_ASSIGN_OR_RETURN(Table source, ExecutePlan(insert->query, context));
+      if (source.schema().num_fields() != info.schema.num_fields()) {
+        return Status::InvalidArgument(
+            "INSERT source has " +
+            std::to_string(source.schema().num_fields()) +
+            " columns, table expects " +
+            std::to_string(info.schema.num_fields()));
+      }
+      LG_ASSIGN_OR_RETURN(RecordBatch rows, source.Combine());
+      for (size_t r = 0; r < rows.num_rows(); ++r) {
+        LG_RETURN_IF_ERROR(builder.AppendRow(rows.Row(r)));
+      }
+      inserted = rows.num_rows();
+    } else {
+      for (const std::vector<Value>& row : insert->rows) {
+        LG_RETURN_IF_ERROR(builder.AppendRow(row));
+      }
+      inserted = insert->rows.size();
+    }
+    DeltaTableFormat format(services_.store);
+    LG_RETURN_IF_ERROR(format.AppendToTable(cred.token_id, info.storage_root,
+                                            builder.Build()));
+    services_.catalog->audit().Record(
+        context.user, context.compute.compute_id, "INSERT", insert->table,
+        true, std::to_string(inserted) + " rows");
+    return CommandResult("inserted " + std::to_string(inserted) +
+                         " rows into " + insert->table);
+  }
+
+  if (const auto* grant = std::get_if<GrantStatement>(&stmt)) {
+    LG_ASSIGN_OR_RETURN(Privilege privilege,
+                        PrivilegeFromName(grant->privilege));
+    if (grant->revoke) {
+      LG_RETURN_IF_ERROR(services_.catalog->Revoke(
+          context.user, grant->securable, privilege, grant->principal));
+      return CommandResult("revoked " + grant->privilege + " on " +
+                           grant->securable + " from " + grant->principal);
+    }
+    LG_RETURN_IF_ERROR(services_.catalog->Grant(
+        context.user, grant->securable, privilege, grant->principal));
+    return CommandResult("granted " + grant->privilege + " on " +
+                         grant->securable + " to " + grant->principal);
+  }
+
+  if (const auto* alter = std::get_if<AlterPolicyStatement>(&stmt)) {
+    switch (alter->action) {
+      case AlterPolicyStatement::Action::kSetRowFilter: {
+        RowFilterPolicy policy;
+        policy.predicate = alter->expr;
+        LG_RETURN_IF_ERROR(services_.catalog->SetRowFilter(
+            context.user, alter->table, std::move(policy)));
+        return CommandResult("set row filter on " + alter->table);
+      }
+      case AlterPolicyStatement::Action::kDropRowFilter:
+        LG_RETURN_IF_ERROR(
+            services_.catalog->ClearRowFilter(context.user, alter->table));
+        return CommandResult("dropped row filter on " + alter->table);
+      case AlterPolicyStatement::Action::kSetColumnMask: {
+        ColumnMaskPolicy policy;
+        policy.column = alter->column;
+        policy.mask_expr = alter->expr;
+        LG_RETURN_IF_ERROR(services_.catalog->AddColumnMask(
+            context.user, alter->table, std::move(policy)));
+        return CommandResult("set mask on " + alter->table + "." +
+                             alter->column);
+      }
+      case AlterPolicyStatement::Action::kDropColumnMask:
+        LG_RETURN_IF_ERROR(
+            services_.catalog->ClearColumnMasks(context.user, alter->table));
+        return CommandResult("dropped masks on " + alter->table);
+    }
+  }
+
+  if (const auto* drop = std::get_if<DropTableStatement>(&stmt)) {
+    if (drop->is_view) {
+      if (context.temp_views != nullptr &&
+          context.temp_views->erase(drop->name) > 0) {
+        return CommandResult("dropped temporary view " + drop->name);
+      }
+      return Status::NotFound("no temporary view named " + drop->name +
+                              " in this session");
+    }
+    LG_RETURN_IF_ERROR(services_.catalog->DropTable(context.user, drop->name));
+    return CommandResult("dropped table " + drop->name);
+  }
+
+  if (const auto* refresh = std::get_if<RefreshStatement>(&stmt)) {
+    LG_RETURN_IF_ERROR(RefreshMaterializedView(refresh->view, context));
+    return CommandResult("refreshed " + refresh->view);
+  }
+
+  return Status::Unimplemented("unsupported statement type");
+}
+
+Status QueryEngine::RefreshMaterializedView(const std::string& view_name,
+                                            const ExecutionContext& context) {
+  LG_ASSIGN_OR_RETURN(ViewInfo view, services_.catalog->GetView(view_name));
+  if (!view.materialized) {
+    return Status::FailedPrecondition("view '" + view_name +
+                                      "' is not materialized");
+  }
+  // The refresh pipeline runs on trusted compute as the view owner.
+  LG_ASSIGN_OR_RETURN(ParsedStatement stmt, ParseSql(view.sql_text));
+  auto* select = std::get_if<SelectStatement>(&stmt);
+  if (select == nullptr) {
+    return Status::Internal("materialized view definition is not a SELECT");
+  }
+  ExecutionContext refresh_context;
+  refresh_context.user = view.owner;
+  refresh_context.session_id = context.session_id + "-mv-refresh";
+  refresh_context.compute.compute_id = "mv-refresh";
+  refresh_context.compute.can_isolate_user_code = true;
+  refresh_context.compute.privileged_access = false;
+  LG_ASSIGN_OR_RETURN(Table data,
+                      ExecutePlan(select->plan, refresh_context));
+
+  // Materialized data is managed by the control plane.
+  DeltaTableFormat format(services_.store);
+  std::string root = view.storage_root + "/v" +
+                     std::to_string(IdGenerator::NextInt());
+  LG_RETURN_IF_ERROR(format.CreateTable(services_.catalog->system_token(),
+                                        root, data));
+  return services_.catalog->SetMaterializationState(view_name, true, root,
+                                                    data.schema());
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,90 @@
+#ifndef LAKEGUARD_ENGINE_ENGINE_H_
+#define LAKEGUARD_ENGINE_ENGINE_H_
+
+#include <string>
+
+#include "engine/analyzer.h"
+#include "engine/executor.h"
+#include "engine/optimizer.h"
+#include "sql/ast.h"
+
+namespace lakeguard {
+
+/// Pre-analysis plan rewriting hook. The eFGAC rewriter (src/efgac) plugs in
+/// here on privileged compute: it replaces externally-enforced relations
+/// with RemoteScan leaves *before* the analyzer runs (§3.4 operates on the
+/// unresolved plan level).
+class PreAnalysisRewriter {
+ public:
+  virtual ~PreAnalysisRewriter() = default;
+  virtual Result<PlanPtr> Rewrite(const PlanPtr& plan,
+                                  const ExecutionContext& context) = 0;
+};
+
+struct QueryEngineConfig {
+  ExecutionOptions exec;
+  OptimizerOptions opt;
+};
+
+/// The query engine of one cluster: SQL/plan in, table out, governance
+/// enforced. Pipeline: [pre-analysis rewrite] -> analyze -> optimize ->
+/// execute. Also executes *commands* (DDL, INSERT, GRANT, policy DDL) —
+/// the side-effecting half of the Connect protocol.
+class QueryEngine {
+ public:
+  QueryEngine(EngineServices services, QueryEngineConfig config = {})
+      : services_(services), config_(config) {}
+
+  /// Hook used on Dedicated clusters (set by the platform wiring).
+  void set_pre_rewriter(PreAnalysisRewriter* rewriter) {
+    pre_rewriter_ = rewriter;
+  }
+  void set_config(QueryEngineConfig config) { config_ = config; }
+  const QueryEngineConfig& config() const { return config_; }
+  EngineServices& services() { return services_; }
+
+  /// Analyze only: resolved plan + output schema (Connect AnalyzePlan).
+  Result<AnalysisResult> AnalyzePlan(const PlanPtr& plan,
+                                     const ExecutionContext& context);
+
+  /// Full pipeline for a relation plan.
+  Result<Table> ExecutePlan(const PlanPtr& plan,
+                            const ExecutionContext& context);
+
+  /// Like ExecutePlan, also returning the intermediate plans (Fig. 8
+  /// demonstrations print these).
+  struct ExplainedExecution {
+    PlanPtr source;
+    PlanPtr rewritten;  // after the pre-analysis (eFGAC) rewrite
+    PlanPtr resolved;   // after analysis
+    PlanPtr optimized;
+    Table result;
+  };
+  Result<ExplainedExecution> ExecutePlanExplained(
+      const PlanPtr& plan, const ExecutionContext& context);
+
+  /// SQL entry point: SELECT goes through the relation pipeline; DDL/DML/
+  /// grants execute as commands. Command results are one-row status tables.
+  Result<Table> ExecuteSql(const std::string& sql,
+                           const ExecutionContext& context);
+
+  /// Re-runs a materialized view's definition as its owner and stores the
+  /// result; afterwards the MV serves reads as a table.
+  Status RefreshMaterializedView(const std::string& view_name,
+                                 const ExecutionContext& context);
+
+ private:
+  Result<Table> RunCommand(const ParsedStatement& stmt,
+                           const ExecutionContext& context);
+
+  EngineServices services_;
+  QueryEngineConfig config_;
+  PreAnalysisRewriter* pre_rewriter_ = nullptr;
+};
+
+/// One-row, one-column status table ("OK", row counts, ...).
+Table CommandResult(const std::string& message);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_ENGINE_ENGINE_H_

@@ -1,0 +1,723 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+#include "engine/analyzer.h"
+#include "expr/evaluator.h"
+#include "storage/delta_table.h"
+#include "udf/vm.h"
+
+namespace lakeguard {
+
+namespace {
+
+/// Host interface of the *unisolated* baseline: user code runs inside the
+/// engine process with the engine's ambient authority — full file system,
+/// environment (credentials!) and unrestricted network. This is the §2.4
+/// vulnerability, kept on purpose for comparison tests and Table 2.
+class UnrestrictedHost : public HostInterface {
+ public:
+  explicit UnrestrictedHost(SimulatedHostEnvironment* env) : env_(env) {}
+
+  Result<Value> CallHost(HostFn fn, const std::vector<Value>& args) override {
+    switch (fn) {
+      case HostFn::kReadFile: {
+        LG_ASSIGN_OR_RETURN(std::string data,
+                            env_->ReadFile(args[0].string_value()));
+        return Value::String(std::move(data));
+      }
+      case HostFn::kWriteFile:
+        env_->WriteFile(args[0].string_value(), args[1].ToString());
+        return Value::Bool(true);
+      case HostFn::kHttpGet: {
+        LG_ASSIGN_OR_RETURN(
+            std::string body,
+            env_->HttpGet(args[0].string_value(), "", /*allowed=*/true));
+        return Value::String(std::move(body));
+      }
+      case HostFn::kGetEnv: {
+        LG_ASSIGN_OR_RETURN(std::string v,
+                            env_->GetEnv(args[0].string_value()));
+        return Value::String(std::move(v));
+      }
+      case HostFn::kClockNow:
+        return Value::Int(env_->clock()->NowMicros());
+      case HostFn::kLog:
+        return Value::Null();
+    }
+    return Status::Internal("unreachable host fn");
+  }
+
+ private:
+  SimulatedHostEnvironment* env_;
+};
+
+/// Lexicographic row-key comparator for grouping/sorting (NULLs first).
+struct ValueVectorLess {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+struct AggState {
+  int64_t count = 0;       // non-null inputs seen
+  int64_t rows = 0;        // rows seen (COUNT semantics over literal args)
+  int64_t int_sum = 0;
+  double double_sum = 0;
+  bool saw_double = false;
+  Value min_value;
+  Value max_value;
+  bool has_minmax = false;
+};
+
+/// Collects distinct UdfCall subtrees of `exprs` (structural dedup).
+std::vector<std::shared_ptr<const UdfCallExpr>> CollectUdfCalls(
+    const std::vector<ExprPtr>& exprs) {
+  std::vector<std::shared_ptr<const UdfCallExpr>> calls;
+  std::function<void(const ExprPtr&)> walk = [&](const ExprPtr& e) {
+    if (e->kind() == ExprKind::kUdfCall) {
+      for (const auto& existing : calls) {
+        if (existing->Equals(*e)) return;
+      }
+      calls.push_back(std::static_pointer_cast<const UdfCallExpr>(e));
+      return;  // analyzer bans nested UDFs in arguments
+    }
+    for (const ExprPtr& child : e->children()) walk(child);
+  };
+  for (const ExprPtr& e : exprs) walk(e);
+  return calls;
+}
+
+}  // namespace
+
+EvalContext Executor::MakeEvalContext() const {
+  EvalContext ctx;
+  ctx.current_user = context_.user;
+  const UserDirectory* directory = &services_.catalog->users();
+  ctx.is_group_member = [directory](const std::string& user,
+                                    const std::string& group) {
+    return directory->IsMember(user, group);
+  };
+  ctx.user_attribute = [directory](const std::string& user,
+                                   const std::string& key) {
+    auto value = directory->GetAttribute(user, key);
+    return value.ok() ? *value : std::string();
+  };
+  return ctx;
+}
+
+Result<Table> Executor::Execute(const PlanPtr& plan) {
+  return ExecNode(plan);
+}
+
+Result<Table> Executor::ExecNode(const PlanPtr& plan) {
+  switch (plan->kind()) {
+    case PlanKind::kTableRef:
+      return Status::FailedPrecondition(
+          "executor received an unresolved relation: " + plan->Describe());
+    case PlanKind::kLocalRelation: {
+      const auto& node = static_cast<const LocalRelationNode&>(*plan);
+      Table out(node.data().schema());
+      LG_RETURN_IF_ERROR(out.AppendBatch(node.data()));
+      return out;
+    }
+    case PlanKind::kResolvedScan:
+      return ExecScan(static_cast<const ResolvedScanNode&>(*plan));
+    case PlanKind::kRemoteScan: {
+      if (services_.remote == nullptr) {
+        return Status::FailedPrecondition(
+            "plan contains a RemoteScan but no serverless endpoint is "
+            "configured");
+      }
+      return services_.remote->ExecuteRemote(
+          static_cast<const RemoteScanNode&>(*plan), context_);
+    }
+    case PlanKind::kProject:
+      return ExecProject(static_cast<const ProjectNode&>(*plan));
+    case PlanKind::kFilter:
+      return ExecFilter(static_cast<const FilterNode&>(*plan));
+    case PlanKind::kAggregate:
+      return ExecAggregate(static_cast<const AggregateNode&>(*plan));
+    case PlanKind::kJoin:
+      return ExecJoin(static_cast<const JoinNode&>(*plan));
+    case PlanKind::kSort:
+      return ExecSort(static_cast<const SortNode&>(*plan));
+    case PlanKind::kLimit:
+      return ExecLimit(static_cast<const LimitNode&>(*plan));
+    case PlanKind::kSecureView:
+      // Execution-time no-op; its meaning is an analysis/optimizer barrier.
+      return ExecNode(static_cast<const SecureViewNode&>(*plan).child());
+    case PlanKind::kExtension:
+      return Status::FailedPrecondition(
+          "extension node reached the executor without analysis: " +
+          plan->Describe());
+  }
+  return Status::Internal("unreachable plan kind in executor");
+}
+
+Result<Table> Executor::ExecScan(const ResolvedScanNode& node) {
+  auto token_it = analysis_ == nullptr
+                      ? std::map<std::string, std::string>::const_iterator()
+                      : analysis_->read_tokens.find(node.table_name());
+  if (analysis_ == nullptr ||
+      token_it == analysis_->read_tokens.end()) {
+    return Status::PermissionDenied(
+        "no user-bound storage token for table '" + node.table_name() +
+        "' (scan without catalog resolution)");
+  }
+  DeltaTableFormat format(services_.store);
+  LG_ASSIGN_OR_RETURN(Table table,
+                      format.ReadTable(token_it->second, node.storage_root()));
+  for (const RecordBatch& b : table.batches()) {
+    ++stats_.batches_scanned;
+    stats_.rows_scanned += b.num_rows();
+  }
+  return table;
+}
+
+Result<std::vector<Column>> Executor::EvaluateWithUdfs(
+    const std::vector<ExprPtr>& exprs, const RecordBatch& batch) {
+  EvalContext ctx = MakeEvalContext();
+  auto calls = CollectUdfCalls(exprs);
+
+  std::vector<ExprPtr> rewritten = exprs;
+  RecordBatch extended = batch;
+
+  if (!calls.empty()) {
+    // 1) Evaluate every call's argument columns (UDF-free by construction).
+    // 2) Execute calls grouped by trust domain (fusion) or singly.
+    // 3) Append result columns and rewrite calls into column references.
+    struct PendingCall {
+      std::shared_ptr<const UdfCallExpr> call;
+      std::vector<Column> arg_columns;
+      int result_index = -1;
+    };
+    std::vector<PendingCall> pending;
+    for (const auto& call : calls) {
+      PendingCall p;
+      p.call = call;
+      for (const ExprPtr& arg : call->args()) {
+        LG_ASSIGN_OR_RETURN(Column c, EvaluateExpr(arg, batch, ctx));
+        p.arg_columns.push_back(std::move(c));
+      }
+      pending.push_back(std::move(p));
+    }
+
+    // Group: fusion on -> one group per trust domain; off -> one per call.
+    std::map<std::string, std::vector<size_t>> groups;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      std::string key = pending[i].call->owner();
+      if (!options_.fuse_udfs) {
+        key += "#" + pending[i].call->function_name() + "#" +
+               std::to_string(i);
+      }
+      groups[key].push_back(i);
+    }
+
+    std::vector<FieldDef> extended_fields = batch.schema().fields();
+    std::vector<Column> extended_columns = batch.columns();
+
+    for (const auto& [key, members] : groups) {
+      // Assemble the argument batch shipped to this sandbox. Identical
+      // argument expressions across fused invocations share one column —
+      // the batch crosses the boundary once, not once per UDF (§3.3).
+      std::vector<FieldDef> arg_fields;
+      std::vector<Column> arg_columns;
+      std::vector<ExprPtr> arg_exprs_shipped;
+      std::vector<UdfInvocation> invocations;
+      for (size_t member : members) {
+        PendingCall& p = pending[member];
+        UdfInvocation inv;
+        auto fn_it = analysis_ == nullptr
+                         ? std::map<std::string, FunctionInfo>::const_iterator()
+                         : analysis_->udfs.find(p.call->function_name());
+        if (analysis_ == nullptr || fn_it == analysis_->udfs.end()) {
+          return Status::FailedPrecondition(
+              "UDF '" + p.call->function_name() +
+              "' was not resolved by the analyzer");
+        }
+        inv.bytecode = fn_it->second.body;
+        inv.result_name = "__udf" + std::to_string(member);
+        inv.result_type = p.call->return_type();
+        for (size_t j = 0; j < p.arg_columns.size(); ++j) {
+          const ExprPtr& arg_expr = p.call->args()[j];
+          size_t existing = arg_exprs_shipped.size();
+          for (size_t k = 0; k < arg_exprs_shipped.size(); ++k) {
+            if (arg_exprs_shipped[k]->Equals(*arg_expr)) {
+              existing = k;
+              break;
+            }
+          }
+          if (existing < arg_exprs_shipped.size()) {
+            inv.arg_indices.push_back(existing);
+            continue;
+          }
+          inv.arg_indices.push_back(arg_columns.size());
+          arg_fields.push_back({"a" + std::to_string(arg_columns.size()),
+                                p.arg_columns[j].kind(), true});
+          arg_exprs_shipped.push_back(arg_expr);
+          arg_columns.push_back(std::move(p.arg_columns[j]));
+        }
+        invocations.push_back(std::move(inv));
+      }
+      if (arg_columns.empty()) {
+        // Zero-arg UDFs: ship a row-count carrier column so the sandbox
+        // still evaluates once per input row.
+        ColumnBuilder rows_col(TypeKind::kInt64);
+        rows_col.Reserve(batch.num_rows());
+        for (size_t r = 0; r < batch.num_rows(); ++r) {
+          rows_col.AppendInt(0);
+        }
+        arg_fields.push_back({"__rows", TypeKind::kInt64, false});
+        arg_columns.push_back(rows_col.Finish());
+      }
+      RecordBatch arg_batch(Schema(std::move(arg_fields)),
+                            std::move(arg_columns));
+
+      const std::string& owner = pending[members.front()].call->owner();
+      RecordBatch results;
+      if (options_.isolate_udfs) {
+        if (services_.dispatcher == nullptr) {
+          return Status::FailedPrecondition(
+              "isolated UDF execution requires a dispatcher");
+        }
+        // Egress policy: union of the members' allow-lists (same owner).
+        SandboxPolicy policy = SandboxPolicy::LockedDown();
+        for (size_t member : members) {
+          auto fn_it =
+              analysis_->udfs.find(pending[member].call->function_name());
+          for (const std::string& host : fn_it->second.allowed_egress) {
+            policy.egress_allow.push_back(host);
+          }
+        }
+        LG_ASSIGN_OR_RETURN(
+            Sandbox * sandbox,
+            services_.dispatcher->Acquire(context_.session_id, key, policy));
+        LG_ASSIGN_OR_RETURN(results,
+                            sandbox->ExecuteBatch(arg_batch, invocations));
+        ++stats_.udf_sandbox_batches;
+      } else {
+        // Unisolated baseline: run the VM in-process with full authority.
+        UnrestrictedHost host(services_.host_env);
+        std::vector<FieldDef> out_fields;
+        std::vector<Column> out_columns;
+        for (const UdfInvocation& inv : invocations) {
+          ColumnBuilder builder(inv.result_type);
+          builder.Reserve(arg_batch.num_rows());
+          std::vector<Value> row_args(inv.arg_indices.size());
+          for (size_t r = 0; r < arg_batch.num_rows(); ++r) {
+            for (size_t j = 0; j < inv.arg_indices.size(); ++j) {
+              row_args[j] = arg_batch.column(inv.arg_indices[j]).GetValue(r);
+            }
+            auto value = ExecuteUdf(inv.bytecode, row_args, &host);
+            if (!value.ok()) {
+              return value.status().WithContext("UDF '" + inv.bytecode.name +
+                                                "' (unisolated)");
+            }
+            LG_ASSIGN_OR_RETURN(Value casted,
+                                value->CastTo(inv.result_type));
+            LG_RETURN_IF_ERROR(builder.AppendValue(casted));
+          }
+          out_fields.push_back({inv.result_name, inv.result_type, true});
+          out_columns.push_back(builder.Finish());
+        }
+        results = RecordBatch(Schema(std::move(out_fields)),
+                              std::move(out_columns));
+      }
+      stats_.udf_rows += results.num_rows();
+
+      for (size_t i = 0; i < members.size(); ++i) {
+        pending[members[i]].result_index =
+            static_cast<int>(extended_columns.size());
+        extended_fields.push_back(results.schema().field(i));
+        extended_columns.push_back(results.column(i));
+      }
+    }
+
+    extended = RecordBatch(Schema(extended_fields), extended_columns);
+
+    // Rewrite each expression: UdfCall -> reference to its result column.
+    for (ExprPtr& e : rewritten) {
+      e = RewriteExpr(e, [&](const ExprPtr& sub) -> ExprPtr {
+        if (sub->kind() != ExprKind::kUdfCall) return nullptr;
+        for (const PendingCall& p : pending) {
+          if (p.call->Equals(*sub)) {
+            return ColIdx(extended.schema()
+                              .field(static_cast<size_t>(p.result_index))
+                              .name,
+                          p.result_index);
+          }
+        }
+        return nullptr;
+      });
+    }
+  }
+
+  std::vector<Column> out;
+  out.reserve(rewritten.size());
+  for (const ExprPtr& e : rewritten) {
+    LG_ASSIGN_OR_RETURN(Column c, EvaluateExpr(e, extended, ctx));
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+Result<Table> Executor::ExecProject(const ProjectNode& node) {
+  LG_ASSIGN_OR_RETURN(Table child, ExecNode(node.child()));
+  LG_ASSIGN_OR_RETURN(Schema out_schema, Analyzer::ResolvedSchema(
+                                             PlanPtr(&node, [](auto*) {})));
+  Table out(out_schema);
+  for (const RecordBatch& batch : child.batches()) {
+    LG_ASSIGN_OR_RETURN(std::vector<Column> columns,
+                        EvaluateWithUdfs(node.exprs(), batch));
+    LG_RETURN_IF_ERROR(out.AppendBatch(RecordBatch(out_schema,
+                                                   std::move(columns))));
+  }
+  return out;
+}
+
+Result<Table> Executor::ExecFilter(const FilterNode& node) {
+  LG_ASSIGN_OR_RETURN(Table child, ExecNode(node.child()));
+  Table out(child.schema());
+  EvalContext ctx = MakeEvalContext();
+  for (const RecordBatch& batch : child.batches()) {
+    std::vector<uint8_t> mask;
+    if (ContainsUdfCall(node.condition())) {
+      LG_ASSIGN_OR_RETURN(std::vector<Column> cols,
+                          EvaluateWithUdfs({node.condition()}, batch));
+      mask.assign(batch.num_rows(), 0);
+      const Column& c = cols[0];
+      for (size_t i = 0; i < batch.num_rows(); ++i) {
+        mask[i] = (!c.IsNull(i) && c.kind() == TypeKind::kBool && c.BoolAt(i))
+                      ? 1
+                      : 0;
+      }
+    } else {
+      LG_ASSIGN_OR_RETURN(mask,
+                          EvaluatePredicateMask(node.condition(), batch, ctx));
+    }
+    LG_RETURN_IF_ERROR(out.AppendBatch(batch.Filter(mask)));
+  }
+  return out;
+}
+
+Result<Table> Executor::ExecAggregate(const AggregateNode& node) {
+  LG_ASSIGN_OR_RETURN(Table child, ExecNode(node.child()));
+  LG_ASSIGN_OR_RETURN(RecordBatch input, child.Combine());
+  EvalContext ctx = MakeEvalContext();
+
+  // Evaluate group keys and aggregate argument columns.
+  std::vector<Column> group_cols;
+  for (const ExprPtr& e : node.group_exprs()) {
+    LG_ASSIGN_OR_RETURN(std::vector<Column> c, EvaluateWithUdfs({e}, input));
+    group_cols.push_back(std::move(c[0]));
+  }
+  struct AggSpec {
+    std::string func;  // SUM/COUNT/AVG/MIN/MAX (uppercased)
+    Column arg;
+  };
+  std::vector<AggSpec> specs;
+  for (const ExprPtr& e : node.agg_exprs()) {
+    const auto& call = static_cast<const FunctionCallExpr&>(*e);
+    AggSpec spec;
+    spec.func = ToUpperAscii(call.name());
+    if (call.args().empty()) {
+      return Status::InvalidArgument("aggregate " + spec.func +
+                                     " needs an argument");
+    }
+    LG_ASSIGN_OR_RETURN(std::vector<Column> c,
+                        EvaluateWithUdfs({call.args()[0]}, input));
+    spec.arg = std::move(c[0]);
+    specs.push_back(std::move(spec));
+  }
+
+  std::map<std::vector<Value>, std::vector<AggState>, ValueVectorLess> groups;
+  const size_t rows = input.num_rows();
+  const bool global = node.group_exprs().empty();
+  if (global) {
+    groups[{}] = std::vector<AggState>(specs.size());
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<Value> key;
+    key.reserve(group_cols.size());
+    for (const Column& c : group_cols) key.push_back(c.GetValue(r));
+    auto [it, inserted] =
+        groups.try_emplace(std::move(key), std::vector<AggState>(specs.size()));
+    std::vector<AggState>& states = it->second;
+    for (size_t s = 0; s < specs.size(); ++s) {
+      AggState& state = states[s];
+      ++state.rows;
+      Value v = specs[s].arg.GetValue(r);
+      if (v.is_null()) continue;
+      ++state.count;
+      if (v.is_double()) {
+        state.saw_double = true;
+        state.double_sum += v.double_value();
+      } else if (v.is_int()) {
+        state.int_sum += v.int_value();
+        state.double_sum += static_cast<double>(v.int_value());
+      } else if (v.is_bool()) {
+        state.int_sum += v.bool_value() ? 1 : 0;
+        state.double_sum += v.bool_value() ? 1 : 0;
+      }
+      if (!state.has_minmax) {
+        state.min_value = v;
+        state.max_value = v;
+        state.has_minmax = true;
+      } else {
+        if (v.Compare(state.min_value) < 0) state.min_value = v;
+        if (v.Compare(state.max_value) > 0) state.max_value = v;
+      }
+    }
+  }
+
+  LG_ASSIGN_OR_RETURN(
+      Schema out_schema,
+      Analyzer::ResolvedSchema(PlanPtr(&node, [](auto*) {})));
+  TableBuilder builder(out_schema);
+  for (const auto& [key, states] : groups) {
+    std::vector<Value> row = key;
+    for (size_t s = 0; s < specs.size(); ++s) {
+      const AggState& state = states[s];
+      const std::string& func = specs[s].func;
+      if (func == "COUNT") {
+        row.push_back(Value::Int(state.count));
+      } else if (func == "SUM") {
+        if (state.count == 0) {
+          row.push_back(Value::Null());
+        } else if (state.saw_double) {
+          row.push_back(Value::Double(state.double_sum));
+        } else {
+          row.push_back(Value::Int(state.int_sum));
+        }
+      } else if (func == "AVG") {
+        row.push_back(state.count == 0
+                          ? Value::Null()
+                          : Value::Double(state.double_sum /
+                                          static_cast<double>(state.count)));
+      } else if (func == "MIN") {
+        row.push_back(state.has_minmax ? state.min_value : Value::Null());
+      } else if (func == "MAX") {
+        row.push_back(state.has_minmax ? state.max_value : Value::Null());
+      } else {
+        return Status::InvalidArgument("unknown aggregate " + func);
+      }
+    }
+    LG_RETURN_IF_ERROR(builder.AppendRow(row));
+  }
+  return builder.Build();
+}
+
+namespace {
+
+/// Extracts pure equi-join key pairs from `cond`: a conjunction of
+/// `left_col = right_col` over *resolved* refs. Returns false when the
+/// condition has any other shape (the caller falls back to nested-loop).
+bool ExtractEquiKeys(const ExprPtr& cond, size_t left_fields,
+                     std::vector<std::pair<int, int>>* keys) {
+  if (cond->kind() == ExprKind::kBinaryOp) {
+    const auto& bin = static_cast<const BinaryOpExpr&>(*cond);
+    if (bin.op() == BinaryOpKind::kAnd) {
+      return ExtractEquiKeys(bin.left(), left_fields, keys) &&
+             ExtractEquiKeys(bin.right(), left_fields, keys);
+    }
+    if (bin.op() == BinaryOpKind::kEq &&
+        bin.left()->kind() == ExprKind::kColumnRef &&
+        bin.right()->kind() == ExprKind::kColumnRef) {
+      const auto& a = static_cast<const ColumnRefExpr&>(*bin.left());
+      const auto& b = static_cast<const ColumnRefExpr&>(*bin.right());
+      if (!a.resolved() || !b.resolved()) return false;
+      int ai = a.index(), bi = b.index();
+      int ln = static_cast<int>(left_fields);
+      if (ai < ln && bi >= ln) {
+        keys->emplace_back(ai, bi - ln);
+        return true;
+      }
+      if (bi < ln && ai >= ln) {
+        keys->emplace_back(bi, ai - ln);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Table> Executor::ExecJoin(const JoinNode& node) {
+  LG_ASSIGN_OR_RETURN(Table left, ExecNode(node.left()));
+  LG_ASSIGN_OR_RETURN(Table right, ExecNode(node.right()));
+  LG_ASSIGN_OR_RETURN(RecordBatch lbatch, left.Combine());
+  LG_ASSIGN_OR_RETURN(RecordBatch rbatch, right.Combine());
+
+  std::vector<FieldDef> fields = lbatch.schema().fields();
+  for (const FieldDef& f : rbatch.schema().fields()) fields.push_back(f);
+  Schema out_schema(std::move(fields));
+  EvalContext ctx = MakeEvalContext();
+
+  const size_t ln = lbatch.num_rows();
+  const size_t rn = rbatch.num_rows();
+  const size_t rcols = rbatch.num_columns();
+
+  std::vector<int64_t> left_indices;
+  std::vector<int64_t> right_indices;  // -1 = null-padded (left join)
+
+  std::vector<std::pair<int, int>> equi_keys;
+  const bool is_equi =
+      node.condition() != nullptr &&
+      ExtractEquiKeys(node.condition(), lbatch.num_columns(), &equi_keys);
+
+  if (is_equi) {
+    // Hash join: build on the right side, probe with the left.
+    std::map<std::vector<Value>, std::vector<int64_t>, ValueVectorLess> table;
+    for (size_t j = 0; j < rn; ++j) {
+      std::vector<Value> key;
+      key.reserve(equi_keys.size());
+      bool has_null = false;
+      for (auto [li, ri] : equi_keys) {
+        Value v = rbatch.column(static_cast<size_t>(ri)).GetValue(j);
+        has_null |= v.is_null();
+        key.push_back(std::move(v));
+      }
+      if (has_null) continue;  // SQL: NULL keys never match
+      table[std::move(key)].push_back(static_cast<int64_t>(j));
+    }
+    for (size_t i = 0; i < ln; ++i) {
+      std::vector<Value> key;
+      key.reserve(equi_keys.size());
+      bool has_null = false;
+      for (auto [li, ri] : equi_keys) {
+        Value v = lbatch.column(static_cast<size_t>(li)).GetValue(i);
+        has_null |= v.is_null();
+        key.push_back(std::move(v));
+      }
+      auto it = has_null ? table.end() : table.find(key);
+      if (it != table.end()) {
+        for (int64_t j : it->second) {
+          left_indices.push_back(static_cast<int64_t>(i));
+          right_indices.push_back(j);
+        }
+      } else if (node.join_type() == JoinType::kLeft) {
+        left_indices.push_back(static_cast<int64_t>(i));
+        right_indices.push_back(-1);
+      }
+    }
+  } else {
+    // Vectorized nested loop: evaluate the predicate for one left row
+    // against ALL right rows at once.
+    for (size_t i = 0; i < ln; ++i) {
+      std::vector<uint8_t> mask(rn, 1);
+      if (node.condition() && rn > 0) {
+        std::vector<Column> combined_cols;
+        combined_cols.reserve(lbatch.num_columns() + rcols);
+        for (size_t c = 0; c < lbatch.num_columns(); ++c) {
+          ColumnBuilder b(lbatch.column(c).kind());
+          b.Reserve(rn);
+          Value v = lbatch.column(c).GetValue(i);
+          for (size_t j = 0; j < rn; ++j) {
+            LG_RETURN_IF_ERROR(b.AppendValue(v));
+          }
+          combined_cols.push_back(b.Finish());
+        }
+        for (size_t c = 0; c < rcols; ++c) {
+          combined_cols.push_back(rbatch.column(c));
+        }
+        RecordBatch combined(out_schema, std::move(combined_cols));
+        LG_ASSIGN_OR_RETURN(
+            mask, EvaluatePredicateMask(node.condition(), combined, ctx));
+      }
+      bool matched = false;
+      for (size_t j = 0; j < rn; ++j) {
+        if (!mask[j]) continue;
+        matched = true;
+        left_indices.push_back(static_cast<int64_t>(i));
+        right_indices.push_back(static_cast<int64_t>(j));
+      }
+      if (!matched && node.join_type() == JoinType::kLeft) {
+        left_indices.push_back(static_cast<int64_t>(i));
+        right_indices.push_back(-1);
+      }
+    }
+  }
+
+  // Materialize the output from the index pairs.
+  std::vector<Column> out_cols;
+  out_cols.reserve(out_schema.num_fields());
+  for (size_t c = 0; c < lbatch.num_columns(); ++c) {
+    out_cols.push_back(lbatch.column(c).Take(left_indices));
+  }
+  for (size_t c = 0; c < rcols; ++c) {
+    ColumnBuilder b(rbatch.column(c).kind());
+    b.Reserve(right_indices.size());
+    for (int64_t j : right_indices) {
+      if (j < 0) {
+        b.AppendNull();
+      } else {
+        LG_RETURN_IF_ERROR(b.AppendValue(
+            rbatch.column(c).GetValue(static_cast<size_t>(j))));
+      }
+    }
+    out_cols.push_back(b.Finish());
+  }
+  Table out(out_schema);
+  LG_RETURN_IF_ERROR(
+      out.AppendBatch(RecordBatch(out_schema, std::move(out_cols))));
+  return out;
+}
+
+Result<Table> Executor::ExecSort(const SortNode& node) {
+  LG_ASSIGN_OR_RETURN(Table child, ExecNode(node.child()));
+  LG_ASSIGN_OR_RETURN(RecordBatch input, child.Combine());
+  std::vector<Column> key_cols;
+  for (const SortKey& key : node.keys()) {
+    LG_ASSIGN_OR_RETURN(std::vector<Column> c,
+                        EvaluateWithUdfs({key.expr}, input));
+    key_cols.push_back(std::move(c[0]));
+  }
+  std::vector<int64_t> indices(input.num_rows());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = static_cast<int64_t>(i);
+  }
+  std::stable_sort(indices.begin(), indices.end(),
+                   [&](int64_t a, int64_t b) {
+                     for (size_t k = 0; k < key_cols.size(); ++k) {
+                       Value va = key_cols[k].GetValue(static_cast<size_t>(a));
+                       Value vb = key_cols[k].GetValue(static_cast<size_t>(b));
+                       int c = va.Compare(vb);
+                       if (c != 0) {
+                         return node.keys()[k].ascending ? c < 0 : c > 0;
+                       }
+                     }
+                     return false;
+                   });
+  Table out(input.schema());
+  LG_RETURN_IF_ERROR(out.AppendBatch(input.Take(indices)));
+  return out;
+}
+
+Result<Table> Executor::ExecLimit(const LimitNode& node) {
+  LG_ASSIGN_OR_RETURN(Table child, ExecNode(node.child()));
+  Table out(child.schema());
+  int64_t remaining = node.limit();
+  for (const RecordBatch& batch : child.batches()) {
+    if (remaining <= 0) break;
+    if (static_cast<int64_t>(batch.num_rows()) <= remaining) {
+      remaining -= static_cast<int64_t>(batch.num_rows());
+      LG_RETURN_IF_ERROR(out.AppendBatch(batch));
+    } else {
+      LG_RETURN_IF_ERROR(
+          out.AppendBatch(batch.Slice(0, static_cast<size_t>(remaining))));
+      remaining = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace lakeguard

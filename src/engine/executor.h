@@ -1,0 +1,96 @@
+#ifndef LAKEGUARD_ENGINE_EXECUTOR_H_
+#define LAKEGUARD_ENGINE_EXECUTOR_H_
+
+#include "catalog/unity_catalog.h"
+#include "columnar/table.h"
+#include "engine/analysis.h"
+#include "expr/evaluator.h"
+#include "sandbox/dispatcher.h"
+#include "sandbox/host_env.h"
+#include "storage/object_store.h"
+
+namespace lakeguard {
+
+/// Executes an eFGAC RemoteScan on a Serverless endpoint (implemented in
+/// src/efgac; injected here to keep the engine free of a dependency cycle).
+class RemoteQueryExecutor {
+ public:
+  virtual ~RemoteQueryExecutor() = default;
+  virtual Result<Table> ExecuteRemote(const RemoteScanNode& scan,
+                                      const ExecutionContext& context) = 0;
+};
+
+/// Execution-time switches. `isolate_udfs=false` reproduces the legacy
+/// "user code in the engine" world — the unisolated baseline of Table 2 and
+/// of the escape tests (it must be *vulnerable*).
+struct ExecutionOptions {
+  bool isolate_udfs = true;
+  bool fuse_udfs = true;
+};
+
+/// Everything the executor touches outside the plan.
+struct EngineServices {
+  UnityCatalog* catalog = nullptr;
+  ObjectStore* store = nullptr;
+  /// Sandbox dispatcher of the executing host (isolated UDF path).
+  Dispatcher* dispatcher = nullptr;
+  /// The machine itself (unisolated UDF path reaches it directly — that is
+  /// the point of the baseline).
+  SimulatedHostEnvironment* host_env = nullptr;
+  RemoteQueryExecutor* remote = nullptr;
+  /// Installed Connect protocol extensions (may be null).
+  const class ExtensionRegistry* extensions = nullptr;
+};
+
+/// Operator counters for one execution.
+struct ExecutorStats {
+  uint64_t batches_scanned = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t udf_sandbox_batches = 0;
+  uint64_t udf_rows = 0;
+};
+
+/// Vectorized recursive executor over resolved plans. UDF-bearing
+/// expressions route user code through the Dispatcher into sandboxes (or
+/// the in-process VM in the unisolated baseline); everything else is
+/// evaluated by the trusted expression evaluator.
+class Executor {
+ public:
+  Executor(EngineServices services, ExecutionOptions options,
+           ExecutionContext context, const AnalysisResult* analysis)
+      : services_(services),
+        options_(options),
+        context_(std::move(context)),
+        analysis_(analysis) {}
+
+  Result<Table> Execute(const PlanPtr& plan);
+
+  const ExecutorStats& stats() const { return stats_; }
+
+ private:
+  Result<Table> ExecNode(const PlanPtr& plan);
+  Result<Table> ExecScan(const ResolvedScanNode& node);
+  Result<Table> ExecProject(const ProjectNode& node);
+  Result<Table> ExecFilter(const FilterNode& node);
+  Result<Table> ExecAggregate(const AggregateNode& node);
+  Result<Table> ExecJoin(const JoinNode& node);
+  Result<Table> ExecSort(const SortNode& node);
+  Result<Table> ExecLimit(const LimitNode& node);
+
+  /// Evaluates `exprs` over `batch`, executing embedded UDF calls according
+  /// to the isolation/fusion options. Core of the user-code data path.
+  Result<std::vector<Column>> EvaluateWithUdfs(
+      const std::vector<ExprPtr>& exprs, const RecordBatch& batch);
+
+  EvalContext MakeEvalContext() const;
+
+  EngineServices services_;
+  ExecutionOptions options_;
+  ExecutionContext context_;
+  const AnalysisResult* analysis_;
+  ExecutorStats stats_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_ENGINE_EXECUTOR_H_

@@ -1,0 +1,29 @@
+#include "engine/extensions.h"
+
+namespace lakeguard {
+
+void ExtensionRegistry::Register(const std::string& name,
+                                 std::shared_ptr<ConnectExtension> extension) {
+  std::lock_guard<std::mutex> lock(mu_);
+  extensions_[name] = std::move(extension);
+}
+
+Result<ConnectExtension*> ExtensionRegistry::Lookup(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = extensions_.find(name);
+  if (it == extensions_.end()) {
+    return Status::NotFound("no Connect extension named '" + name +
+                            "' installed on this server");
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> ExtensionRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, ext] : extensions_) out.push_back(name);
+  return out;
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,48 @@
+#ifndef LAKEGUARD_ENGINE_EXTENSIONS_H_
+#define LAKEGUARD_ENGINE_EXTENSIONS_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/analysis.h"
+#include "plan/plan.h"
+
+namespace lakeguard {
+
+/// Server-side handler of one Connect protocol extension (§3.2.2): given
+/// the opaque payload a client plugin embedded in the plan, produce the
+/// logical plan it stands for. The expansion is *unresolved* — it goes
+/// through the normal analyzer afterwards, so extensions cannot bypass
+/// governance (every relation they reference is still resolved, checked
+/// and policy-wrapped for the querying user).
+class ConnectExtension {
+ public:
+  virtual ~ConnectExtension() = default;
+  virtual Result<PlanPtr> Expand(const std::vector<uint8_t>& payload,
+                                 const ExecutionContext& context) = 0;
+};
+
+/// Registry of installed extensions, keyed by name. Mirrors how the paper's
+/// Delta extension plugs custom relation/command types into Spark Connect
+/// without modifying the core protocol.
+class ExtensionRegistry {
+ public:
+  /// Registers `extension` under `name`; replaces an existing handler.
+  void Register(const std::string& name,
+                std::shared_ptr<ConnectExtension> extension);
+
+  Result<ConnectExtension*> Lookup(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<ConnectExtension>> extensions_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_ENGINE_EXTENSIONS_H_

@@ -1,0 +1,240 @@
+#include "engine/optimizer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "expr/evaluator.h"
+#include "expr/functions.h"
+
+#include "common/strings.h"
+
+namespace lakeguard {
+
+namespace {
+
+/// Substitutes resolved column references in `expr` by the corresponding
+/// expression from `replacements` (indexed by ordinal).
+ExprPtr SubstituteRefs(const ExprPtr& expr,
+                       const std::vector<ExprPtr>& replacements) {
+  return RewriteExpr(expr, [&](const ExprPtr& e) -> ExprPtr {
+    if (e->kind() != ExprKind::kColumnRef) return ExprPtr(nullptr);
+    const auto& ref = static_cast<const ColumnRefExpr&>(*e);
+    if (!ref.resolved() ||
+        ref.index() >= static_cast<int>(replacements.size())) {
+      return ExprPtr(nullptr);
+    }
+    return replacements[static_cast<size_t>(ref.index())];
+  });
+}
+
+/// Counts how many times each child ordinal is referenced in `expr`.
+void CountRefs(const ExprPtr& expr, std::vector<int>* counts) {
+  if (expr->kind() == ExprKind::kColumnRef) {
+    const auto& ref = static_cast<const ColumnRefExpr&>(*expr);
+    if (ref.resolved() && ref.index() < static_cast<int>(counts->size())) {
+      ++(*counts)[static_cast<size_t>(ref.index())];
+    }
+    return;
+  }
+  for (const ExprPtr& child : expr->children()) CountRefs(child, counts);
+}
+
+bool IsContextDependent(const Expr& e) {
+  if (e.kind() != ExprKind::kFunctionCall) return false;
+  const auto& call = static_cast<const FunctionCallExpr&>(e);
+  const std::string& name = call.name();
+  if (EqualsIgnoreCase(name, "USER_ATTRIBUTE")) return true;
+  return name == "CURRENT_USER" || name == "current_user" ||
+         name == "IS_ACCOUNT_GROUP_MEMBER" || name == "IS_MEMBER" ||
+         name == "is_account_group_member" || name == "is_member";
+}
+
+}  // namespace
+
+std::vector<std::string> CollectUdfOwners(const ExprPtr& expr) {
+  std::set<std::string> owners;
+  std::function<void(const ExprPtr&)> walk = [&](const ExprPtr& e) {
+    if (e->kind() == ExprKind::kUdfCall) {
+      owners.insert(static_cast<const UdfCallExpr&>(*e).owner());
+    }
+    for (const ExprPtr& child : e->children()) walk(child);
+  };
+  walk(expr);
+  return {owners.begin(), owners.end()};
+}
+
+ExprPtr Optimizer::FoldConstants(const ExprPtr& expr, bool* changed) const {
+  return RewriteExpr(expr, [&](const ExprPtr& e) -> ExprPtr {
+    if (e->kind() == ExprKind::kLiteral) return ExprPtr(nullptr);
+    // Only fold pure, input-free, engine-evaluable subtrees.
+    bool pure = !ExprContains(e, [](const Expr& sub) {
+      return sub.kind() == ExprKind::kColumnRef ||
+             sub.kind() == ExprKind::kUdfCall || IsContextDependent(sub);
+    });
+    if (!pure) return ExprPtr(nullptr);
+    // Aggregates cannot be folded either.
+    if (ExprContains(e, [](const Expr& sub) {
+          return sub.kind() == ExprKind::kFunctionCall &&
+                 IsAggregateFunctionName(
+                     static_cast<const FunctionCallExpr&>(sub).name());
+        })) {
+      return ExprPtr(nullptr);
+    }
+    EvalContext ctx;
+    auto value = EvaluateScalar(e, ctx);
+    if (!value.ok()) return ExprPtr(nullptr);
+    *changed = true;
+    return Lit(std::move(*value));
+  });
+}
+
+Result<PlanPtr> Optimizer::TryCollapseProjects(const ProjectNode& outer,
+                                               bool* changed) const {
+  if (outer.child()->kind() != PlanKind::kProject) return PlanPtr(nullptr);
+  const auto& inner = static_cast<const ProjectNode&>(*outer.child());
+
+  // Trust domains are pipeline breakers: never merge user code of different
+  // owners into one Project (§3.3).
+  std::set<std::string> owners;
+  for (const ExprPtr& e : outer.exprs()) {
+    for (const std::string& o : CollectUdfOwners(e)) owners.insert(o);
+  }
+  std::set<std::string> inner_owners;
+  for (const ExprPtr& e : inner.exprs()) {
+    for (const std::string& o : CollectUdfOwners(e)) inner_owners.insert(o);
+  }
+  if (!owners.empty() && !inner_owners.empty() && owners != inner_owners) {
+    return PlanPtr(nullptr);
+  }
+
+  // Never duplicate a UDF call: if the outer references a UDF-bearing inner
+  // column more than once, collapsing would execute the user code twice.
+  std::vector<int> ref_counts(inner.exprs().size(), 0);
+  for (const ExprPtr& e : outer.exprs()) CountRefs(e, &ref_counts);
+  for (size_t i = 0; i < inner.exprs().size(); ++i) {
+    if (ref_counts[i] > 1 && ContainsUdfCall(inner.exprs()[i])) {
+      return PlanPtr(nullptr);
+    }
+  }
+
+  std::vector<ExprPtr> merged;
+  merged.reserve(outer.exprs().size());
+  for (const ExprPtr& e : outer.exprs()) {
+    merged.push_back(SubstituteRefs(e, inner.exprs()));
+  }
+  *changed = true;
+  return MakeProject(inner.child(), std::move(merged), outer.names());
+}
+
+Result<PlanPtr> Optimizer::TryPushFilter(const FilterNode& filter,
+                                         bool* changed) const {
+  const PlanPtr& child = filter.child();
+  // Merge adjacent filters.
+  if (child->kind() == PlanKind::kFilter) {
+    const auto& inner = static_cast<const FilterNode&>(*child);
+    *changed = true;
+    return MakeFilter(inner.child(),
+                      And(filter.condition(), inner.condition()));
+  }
+  // SecureView is a barrier: user predicates stay above it.
+  if (child->kind() != PlanKind::kProject) return PlanPtr(nullptr);
+  const auto& project = static_cast<const ProjectNode&>(*child);
+  if (ContainsUdfCall(filter.condition())) return PlanPtr(nullptr);
+
+  // Only push when every referenced projection is itself UDF-free (pushing
+  // would re-evaluate those expressions below; never move user code).
+  std::vector<int> ref_counts(project.exprs().size(), 0);
+  CountRefs(filter.condition(), &ref_counts);
+  for (size_t i = 0; i < project.exprs().size(); ++i) {
+    if (ref_counts[i] > 0 && ContainsUdfCall(project.exprs()[i])) {
+      return PlanPtr(nullptr);
+    }
+  }
+  ExprPtr pushed = SubstituteRefs(filter.condition(), project.exprs());
+  *changed = true;
+  return MakeProject(MakeFilter(project.child(), std::move(pushed)),
+                     project.exprs(), project.names());
+}
+
+Result<PlanPtr> Optimizer::OptimizeOnce(const PlanPtr& plan,
+                                        bool* changed) const {
+  // Bottom-up: optimize children first.
+  PlanPtr node = plan;
+  switch (plan->kind()) {
+    case PlanKind::kProject: {
+      const auto& p = static_cast<const ProjectNode&>(*plan);
+      LG_ASSIGN_OR_RETURN(PlanPtr child, OptimizeOnce(p.child(), changed));
+      std::vector<ExprPtr> exprs = p.exprs();
+      if (options_.enable_constant_folding) {
+        for (ExprPtr& e : exprs) e = FoldConstants(e, changed);
+      }
+      node = MakeProject(std::move(child), std::move(exprs), p.names());
+      if (options_.enable_fusion) {
+        LG_ASSIGN_OR_RETURN(
+            PlanPtr collapsed,
+            TryCollapseProjects(static_cast<const ProjectNode&>(*node),
+                                changed));
+        if (collapsed) node = collapsed;
+      }
+      return node;
+    }
+    case PlanKind::kFilter: {
+      const auto& f = static_cast<const FilterNode&>(*plan);
+      LG_ASSIGN_OR_RETURN(PlanPtr child, OptimizeOnce(f.child(), changed));
+      ExprPtr cond = f.condition();
+      if (options_.enable_constant_folding) {
+        cond = FoldConstants(cond, changed);
+      }
+      node = MakeFilter(std::move(child), std::move(cond));
+      if (options_.enable_filter_pushdown) {
+        LG_ASSIGN_OR_RETURN(
+            PlanPtr pushed,
+            TryPushFilter(static_cast<const FilterNode&>(*node), changed));
+        if (pushed) node = pushed;
+      }
+      return node;
+    }
+    case PlanKind::kAggregate: {
+      const auto& a = static_cast<const AggregateNode&>(*plan);
+      LG_ASSIGN_OR_RETURN(PlanPtr child, OptimizeOnce(a.child(), changed));
+      return MakeAggregate(std::move(child), a.group_exprs(), a.group_names(),
+                           a.agg_exprs(), a.agg_names());
+    }
+    case PlanKind::kJoin: {
+      const auto& j = static_cast<const JoinNode&>(*plan);
+      LG_ASSIGN_OR_RETURN(PlanPtr left, OptimizeOnce(j.left(), changed));
+      LG_ASSIGN_OR_RETURN(PlanPtr right, OptimizeOnce(j.right(), changed));
+      return MakeJoin(std::move(left), std::move(right), j.join_type(),
+                      j.condition());
+    }
+    case PlanKind::kSort: {
+      const auto& s = static_cast<const SortNode&>(*plan);
+      LG_ASSIGN_OR_RETURN(PlanPtr child, OptimizeOnce(s.child(), changed));
+      return MakeSort(std::move(child), s.keys());
+    }
+    case PlanKind::kLimit: {
+      const auto& l = static_cast<const LimitNode&>(*plan);
+      LG_ASSIGN_OR_RETURN(PlanPtr child, OptimizeOnce(l.child(), changed));
+      return MakeLimit(std::move(child), l.limit());
+    }
+    case PlanKind::kSecureView: {
+      const auto& sv = static_cast<const SecureViewNode&>(*plan);
+      LG_ASSIGN_OR_RETURN(PlanPtr child, OptimizeOnce(sv.child(), changed));
+      return MakeSecureView(std::move(child), sv.securable_name());
+    }
+    default:
+      return plan;
+  }
+}
+
+Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan) const {
+  PlanPtr current = plan;
+  for (int pass = 0; pass < options_.max_passes; ++pass) {
+    bool changed = false;
+    LG_ASSIGN_OR_RETURN(current, OptimizeOnce(current, &changed));
+    if (!changed) break;
+  }
+  return current;
+}
+
+}  // namespace lakeguard

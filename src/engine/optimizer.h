@@ -1,0 +1,43 @@
+#ifndef LAKEGUARD_ENGINE_OPTIMIZER_H_
+#define LAKEGUARD_ENGINE_OPTIMIZER_H_
+
+#include "plan/plan.h"
+
+namespace lakeguard {
+
+struct OptimizerOptions {
+  /// Project-collapse fusion: brings UDF calls into as few Project nodes
+  /// (and hence sandbox round-trips) as possible (§3.3). Ablation toggle.
+  bool enable_fusion = true;
+  bool enable_filter_pushdown = true;
+  bool enable_constant_folding = true;
+  int max_passes = 5;
+};
+
+/// Rule-based optimizer over *resolved* plans. Security-relevant behaviour:
+///  * SecureView is a barrier — no user expression is ever pushed below it
+///    (the policy Filter/Project underneath must see raw data first);
+///  * Project collapse never crosses trust-domain boundaries and never
+///    duplicates a UDF call.
+class Optimizer {
+ public:
+  explicit Optimizer(OptimizerOptions options = {}) : options_(options) {}
+
+  Result<PlanPtr> Optimize(const PlanPtr& plan) const;
+
+ private:
+  Result<PlanPtr> OptimizeOnce(const PlanPtr& plan, bool* changed) const;
+  Result<PlanPtr> TryCollapseProjects(const ProjectNode& outer,
+                                      bool* changed) const;
+  Result<PlanPtr> TryPushFilter(const FilterNode& filter, bool* changed) const;
+  ExprPtr FoldConstants(const ExprPtr& expr, bool* changed) const;
+
+  OptimizerOptions options_;
+};
+
+/// Owners (trust domains) of all UDF calls in `expr`, deduplicated.
+std::vector<std::string> CollectUdfOwners(const ExprPtr& expr);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_ENGINE_OPTIMIZER_H_

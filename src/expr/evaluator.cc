@@ -1,0 +1,519 @@
+#include "expr/evaluator.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "expr/functions.h"
+
+namespace lakeguard {
+
+namespace {
+
+// ---- Type inference --------------------------------------------------------
+
+Result<TypeKind> InferBinaryType(const BinaryOpExpr& e, const Schema& input) {
+  LG_ASSIGN_OR_RETURN(TypeKind lt, InferExprType(e.left(), input));
+  LG_ASSIGN_OR_RETURN(TypeKind rt, InferExprType(e.right(), input));
+  switch (e.op()) {
+    case BinaryOpKind::kAdd:
+    case BinaryOpKind::kSub:
+    case BinaryOpKind::kMul:
+    case BinaryOpKind::kMod:
+      if (lt == TypeKind::kFloat64 || rt == TypeKind::kFloat64) {
+        return TypeKind::kFloat64;
+      }
+      if (e.op() == BinaryOpKind::kAdd &&
+          (lt == TypeKind::kString || rt == TypeKind::kString)) {
+        return TypeKind::kString;  // string concatenation via '+'
+      }
+      return TypeKind::kInt64;
+    case BinaryOpKind::kDiv:
+      return TypeKind::kFloat64;  // Spark semantics: '/' is always fractional
+    case BinaryOpKind::kEq:
+    case BinaryOpKind::kNe:
+    case BinaryOpKind::kLt:
+    case BinaryOpKind::kLe:
+    case BinaryOpKind::kGt:
+    case BinaryOpKind::kGe:
+    case BinaryOpKind::kAnd:
+    case BinaryOpKind::kOr:
+      return TypeKind::kBool;
+  }
+  return Status::Internal("unreachable binary op");
+}
+
+// ---- Row-wise value combination --------------------------------------------
+
+Result<Value> EvalBinaryValues(BinaryOpKind op, const Value& l,
+                               const Value& r) {
+  // Three-valued logic for AND/OR must look at nulls specially.
+  if (op == BinaryOpKind::kAnd) {
+    if (!l.is_null() && l.is_bool() && !l.bool_value()) {
+      return Value::Bool(false);
+    }
+    if (!r.is_null() && r.is_bool() && !r.bool_value()) {
+      return Value::Bool(false);
+    }
+    if (l.is_null() || r.is_null()) return Value::Null();
+    if (!l.is_bool() || !r.is_bool()) {
+      return Status::InvalidArgument("AND requires BOOLEAN operands");
+    }
+    return Value::Bool(true);
+  }
+  if (op == BinaryOpKind::kOr) {
+    if (!l.is_null() && l.is_bool() && l.bool_value()) {
+      return Value::Bool(true);
+    }
+    if (!r.is_null() && r.is_bool() && r.bool_value()) {
+      return Value::Bool(true);
+    }
+    if (l.is_null() || r.is_null()) return Value::Null();
+    if (!l.is_bool() || !r.is_bool()) {
+      return Status::InvalidArgument("OR requires BOOLEAN operands");
+    }
+    return Value::Bool(false);
+  }
+
+  if (l.is_null() || r.is_null()) return Value::Null();
+
+  switch (op) {
+    case BinaryOpKind::kAdd:
+      if (l.is_string() || r.is_string()) {
+        return Value::String(l.ToString() + r.ToString());
+      }
+      if (l.is_int() && r.is_int()) {
+        return Value::Int(l.int_value() + r.int_value());
+      }
+      {
+        LG_ASSIGN_OR_RETURN(double a, l.AsDouble());
+        LG_ASSIGN_OR_RETURN(double b, r.AsDouble());
+        return Value::Double(a + b);
+      }
+    case BinaryOpKind::kSub:
+      if (l.is_int() && r.is_int()) {
+        return Value::Int(l.int_value() - r.int_value());
+      }
+      {
+        LG_ASSIGN_OR_RETURN(double a, l.AsDouble());
+        LG_ASSIGN_OR_RETURN(double b, r.AsDouble());
+        return Value::Double(a - b);
+      }
+    case BinaryOpKind::kMul:
+      if (l.is_int() && r.is_int()) {
+        return Value::Int(l.int_value() * r.int_value());
+      }
+      {
+        LG_ASSIGN_OR_RETURN(double a, l.AsDouble());
+        LG_ASSIGN_OR_RETURN(double b, r.AsDouble());
+        return Value::Double(a * b);
+      }
+    case BinaryOpKind::kDiv: {
+      LG_ASSIGN_OR_RETURN(double a, l.AsDouble());
+      LG_ASSIGN_OR_RETURN(double b, r.AsDouble());
+      if (b == 0.0) return Value::Null();  // SQL: division by zero -> NULL
+      return Value::Double(a / b);
+    }
+    case BinaryOpKind::kMod: {
+      LG_ASSIGN_OR_RETURN(int64_t a, l.AsInt());
+      LG_ASSIGN_OR_RETURN(int64_t b, r.AsInt());
+      if (b == 0) return Value::Null();
+      return Value::Int(a % b);
+    }
+    case BinaryOpKind::kEq:
+      return Value::Bool(l.SqlEquals(r));
+    case BinaryOpKind::kNe:
+      return Value::Bool(!l.SqlEquals(r));
+    case BinaryOpKind::kLt:
+      return Value::Bool(l.Compare(r) < 0);
+    case BinaryOpKind::kLe:
+      return Value::Bool(l.Compare(r) <= 0);
+    case BinaryOpKind::kGt:
+      return Value::Bool(l.Compare(r) > 0);
+    case BinaryOpKind::kGe:
+      return Value::Bool(l.Compare(r) >= 0);
+    case BinaryOpKind::kAnd:
+    case BinaryOpKind::kOr:
+      break;  // handled above
+  }
+  return Status::Internal("unreachable binary op eval");
+}
+
+Result<int> ResolveColumn(const ColumnRefExpr& ref, const Schema& schema) {
+  if (ref.resolved()) {
+    if (ref.index() >= static_cast<int>(schema.num_fields())) {
+      return Status::Internal("column index " + std::to_string(ref.index()) +
+                              " out of range for schema " + schema.ToString());
+    }
+    return ref.index();
+  }
+  int idx = schema.FindField(ref.name());
+  if (idx < 0) {
+    return Status::NotFound("unresolved column '" + ref.name() +
+                            "' not in schema " + schema.ToString());
+  }
+  return idx;
+}
+
+}  // namespace
+
+bool SqlLikeMatch(const std::string& s, const std::string& pattern) {
+  // Iterative wildcard match over '%' (any run) and '_' (single char).
+  size_t si = 0, pi = 0;
+  size_t star_p = std::string::npos, star_s = 0;
+  while (si < s.size()) {
+    if (pi < pattern.size() &&
+        (pattern[pi] == '_' || pattern[pi] == s[si])) {
+      ++si;
+      ++pi;
+    } else if (pi < pattern.size() && pattern[pi] == '%') {
+      star_p = pi++;
+      star_s = si;
+    } else if (star_p != std::string::npos) {
+      pi = star_p + 1;
+      si = ++star_s;
+    } else {
+      return false;
+    }
+  }
+  while (pi < pattern.size() && pattern[pi] == '%') ++pi;
+  return pi == pattern.size();
+}
+
+Result<TypeKind> InferExprType(const ExprPtr& expr, const Schema& input) {
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(*expr).value().type();
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(*expr);
+      LG_ASSIGN_OR_RETURN(int idx, ResolveColumn(ref, input));
+      return input.field(static_cast<size_t>(idx)).type;
+    }
+    case ExprKind::kBinaryOp:
+      return InferBinaryType(static_cast<const BinaryOpExpr&>(*expr), input);
+    case ExprKind::kUnaryOp: {
+      const auto& e = static_cast<const UnaryOpExpr&>(*expr);
+      if (e.op() == UnaryOpKind::kNot) return TypeKind::kBool;
+      return InferExprType(e.child(), input);
+    }
+    case ExprKind::kFunctionCall: {
+      const auto& e = static_cast<const FunctionCallExpr&>(*expr);
+      if (IsAggregateFunctionName(e.name())) {
+        // COUNT is int, AVG double, SUM widens its argument, MIN/MAX follow
+        // the argument type.
+        std::string up = ToUpperAscii(e.name());
+        if (up == "COUNT") return TypeKind::kInt64;
+        if (up == "AVG") return TypeKind::kFloat64;
+        if (e.args().empty()) {
+          return Status::InvalidArgument(up + " requires an argument");
+        }
+        LG_ASSIGN_OR_RETURN(TypeKind arg_t, InferExprType(e.args()[0], input));
+        if (up == "SUM") {
+          return arg_t == TypeKind::kFloat64 ? TypeKind::kFloat64
+                                             : TypeKind::kInt64;
+        }
+        return arg_t;  // MIN/MAX
+      }
+      LG_ASSIGN_OR_RETURN(const BuiltinFunction* fn, LookupBuiltin(e.name()));
+      std::vector<TypeKind> arg_types;
+      for (const ExprPtr& a : e.args()) {
+        LG_ASSIGN_OR_RETURN(TypeKind t, InferExprType(a, input));
+        arg_types.push_back(t);
+      }
+      if (arg_types.size() < fn->min_args || arg_types.size() > fn->max_args) {
+        return Status::InvalidArgument(
+            "wrong argument count for " + e.name() + ": got " +
+            std::to_string(arg_types.size()));
+      }
+      return fn->infer(arg_types);
+    }
+    case ExprKind::kCast:
+      return static_cast<const CastExpr&>(*expr).target();
+    case ExprKind::kCase: {
+      const auto& e = static_cast<const CaseExpr&>(*expr);
+      TypeKind result = TypeKind::kNull;
+      for (const CaseExpr::Branch& b : e.branches()) {
+        LG_ASSIGN_OR_RETURN(TypeKind t, InferExprType(b.value, input));
+        if (result == TypeKind::kNull) result = t;
+        if (t == TypeKind::kFloat64 && result == TypeKind::kInt64) result = t;
+      }
+      if (e.else_value()) {
+        LG_ASSIGN_OR_RETURN(TypeKind t, InferExprType(e.else_value(), input));
+        if (result == TypeKind::kNull) result = t;
+        if (t == TypeKind::kFloat64 && result == TypeKind::kInt64) result = t;
+      }
+      return result;
+    }
+    case ExprKind::kIn:
+    case ExprKind::kIsNull:
+    case ExprKind::kLike:
+      return TypeKind::kBool;
+    case ExprKind::kUdfCall:
+      return static_cast<const UdfCallExpr&>(*expr).return_type();
+  }
+  return Status::Internal("unreachable expr kind");
+}
+
+Result<Column> EvaluateExpr(const ExprPtr& expr, const RecordBatch& batch,
+                            const EvalContext& ctx) {
+  const size_t rows = batch.num_rows();
+  switch (expr->kind()) {
+    case ExprKind::kLiteral: {
+      const Value& v = static_cast<const LiteralExpr&>(*expr).value();
+      ColumnBuilder b(v.type() == TypeKind::kNull ? TypeKind::kNull
+                                                  : v.type());
+      b.Reserve(rows);
+      for (size_t i = 0; i < rows; ++i) {
+        LG_RETURN_IF_ERROR(b.AppendValue(v));
+      }
+      return b.Finish();
+    }
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(*expr);
+      LG_ASSIGN_OR_RETURN(int idx, ResolveColumn(ref, batch.schema()));
+      return batch.column(static_cast<size_t>(idx));
+    }
+    case ExprKind::kBinaryOp: {
+      const auto& e = static_cast<const BinaryOpExpr&>(*expr);
+      LG_ASSIGN_OR_RETURN(Column l, EvaluateExpr(e.left(), batch, ctx));
+      LG_ASSIGN_OR_RETURN(Column r, EvaluateExpr(e.right(), batch, ctx));
+
+      // Fast vectorized paths for the hot arithmetic/compare cases.
+      if (l.kind() == TypeKind::kInt64 && r.kind() == TypeKind::kInt64 &&
+          e.op() == BinaryOpKind::kAdd) {
+        ColumnBuilder b(TypeKind::kInt64);
+        b.Reserve(rows);
+        for (size_t i = 0; i < rows; ++i) {
+          if (l.IsNull(i) || r.IsNull(i)) {
+            b.AppendNull();
+          } else {
+            b.AppendInt(l.IntAt(i) + r.IntAt(i));
+          }
+        }
+        return b.Finish();
+      }
+
+      LG_ASSIGN_OR_RETURN(TypeKind out_type,
+                          InferBinaryType(e, batch.schema()));
+      ColumnBuilder b(out_type);
+      b.Reserve(rows);
+      for (size_t i = 0; i < rows; ++i) {
+        LG_ASSIGN_OR_RETURN(
+            Value v, EvalBinaryValues(e.op(), l.GetValue(i), r.GetValue(i)));
+        LG_RETURN_IF_ERROR(b.AppendValue(v));
+      }
+      return b.Finish();
+    }
+    case ExprKind::kUnaryOp: {
+      const auto& e = static_cast<const UnaryOpExpr&>(*expr);
+      LG_ASSIGN_OR_RETURN(Column c, EvaluateExpr(e.child(), batch, ctx));
+      if (e.op() == UnaryOpKind::kNot) {
+        ColumnBuilder b(TypeKind::kBool);
+        b.Reserve(rows);
+        for (size_t i = 0; i < rows; ++i) {
+          if (c.IsNull(i)) {
+            b.AppendNull();
+          } else if (c.kind() != TypeKind::kBool) {
+            return Status::InvalidArgument("NOT requires BOOLEAN input");
+          } else {
+            b.AppendBool(!c.BoolAt(i));
+          }
+        }
+        return b.Finish();
+      }
+      // Negation.
+      ColumnBuilder b(c.kind());
+      b.Reserve(rows);
+      for (size_t i = 0; i < rows; ++i) {
+        if (c.IsNull(i)) {
+          b.AppendNull();
+        } else if (c.kind() == TypeKind::kInt64) {
+          b.AppendInt(-c.IntAt(i));
+        } else if (c.kind() == TypeKind::kFloat64) {
+          b.AppendDouble(-c.DoubleAt(i));
+        } else {
+          return Status::InvalidArgument("unary '-' requires numeric input");
+        }
+      }
+      return b.Finish();
+    }
+    case ExprKind::kFunctionCall: {
+      const auto& e = static_cast<const FunctionCallExpr&>(*expr);
+      if (IsAggregateFunctionName(e.name())) {
+        return Status::InvalidArgument(
+            "aggregate function " + e.name() +
+            " cannot be evaluated row-wise (analyzer must lift it)");
+      }
+      LG_ASSIGN_OR_RETURN(const BuiltinFunction* fn, LookupBuiltin(e.name()));
+      if (e.args().size() < fn->min_args || e.args().size() > fn->max_args) {
+        return Status::InvalidArgument("wrong argument count for " + e.name());
+      }
+      std::vector<Column> args;
+      args.reserve(e.args().size());
+      for (const ExprPtr& a : e.args()) {
+        LG_ASSIGN_OR_RETURN(Column c, EvaluateExpr(a, batch, ctx));
+        args.push_back(std::move(c));
+      }
+      LG_ASSIGN_OR_RETURN(TypeKind out_type,
+                          InferExprType(expr, batch.schema()));
+      ColumnBuilder b(out_type);
+      b.Reserve(rows);
+      std::vector<Value> row_args(args.size());
+      for (size_t i = 0; i < rows; ++i) {
+        for (size_t j = 0; j < args.size(); ++j) {
+          row_args[j] = args[j].GetValue(i);
+        }
+        LG_ASSIGN_OR_RETURN(Value v, fn->eval(row_args, ctx));
+        LG_RETURN_IF_ERROR(b.AppendValue(v));
+      }
+      return b.Finish();
+    }
+    case ExprKind::kCast: {
+      const auto& e = static_cast<const CastExpr&>(*expr);
+      LG_ASSIGN_OR_RETURN(Column c, EvaluateExpr(e.child(), batch, ctx));
+      ColumnBuilder b(e.target());
+      b.Reserve(rows);
+      for (size_t i = 0; i < rows; ++i) {
+        LG_ASSIGN_OR_RETURN(Value v, c.GetValue(i).CastTo(e.target()));
+        LG_RETURN_IF_ERROR(b.AppendValue(v));
+      }
+      return b.Finish();
+    }
+    case ExprKind::kCase: {
+      const auto& e = static_cast<const CaseExpr&>(*expr);
+      std::vector<Column> conditions;
+      std::vector<Column> values;
+      for (const CaseExpr::Branch& br : e.branches()) {
+        LG_ASSIGN_OR_RETURN(Column c, EvaluateExpr(br.condition, batch, ctx));
+        LG_ASSIGN_OR_RETURN(Column v, EvaluateExpr(br.value, batch, ctx));
+        conditions.push_back(std::move(c));
+        values.push_back(std::move(v));
+      }
+      Column else_col;
+      bool has_else = e.else_value() != nullptr;
+      if (has_else) {
+        LG_ASSIGN_OR_RETURN(else_col, EvaluateExpr(e.else_value(), batch, ctx));
+      }
+      LG_ASSIGN_OR_RETURN(TypeKind out_type,
+                          InferExprType(expr, batch.schema()));
+      ColumnBuilder b(out_type);
+      b.Reserve(rows);
+      for (size_t i = 0; i < rows; ++i) {
+        bool matched = false;
+        for (size_t k = 0; k < conditions.size(); ++k) {
+          const Column& c = conditions[k];
+          if (!c.IsNull(i) && c.kind() == TypeKind::kBool && c.BoolAt(i)) {
+            LG_RETURN_IF_ERROR(b.AppendValue(values[k].GetValue(i)));
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          if (has_else) {
+            LG_RETURN_IF_ERROR(b.AppendValue(else_col.GetValue(i)));
+          } else {
+            b.AppendNull();
+          }
+        }
+      }
+      return b.Finish();
+    }
+    case ExprKind::kIn: {
+      const auto& e = static_cast<const InExpr&>(*expr);
+      LG_ASSIGN_OR_RETURN(Column c, EvaluateExpr(e.child(), batch, ctx));
+      ColumnBuilder b(TypeKind::kBool);
+      b.Reserve(rows);
+      for (size_t i = 0; i < rows; ++i) {
+        if (c.IsNull(i)) {
+          b.AppendNull();
+          continue;
+        }
+        Value v = c.GetValue(i);
+        bool found = false;
+        for (const Value& item : e.list()) {
+          if (v.SqlEquals(item)) {
+            found = true;
+            break;
+          }
+        }
+        b.AppendBool(e.negated() ? !found : found);
+      }
+      return b.Finish();
+    }
+    case ExprKind::kIsNull: {
+      const auto& e = static_cast<const IsNullExpr&>(*expr);
+      LG_ASSIGN_OR_RETURN(Column c, EvaluateExpr(e.child(), batch, ctx));
+      ColumnBuilder b(TypeKind::kBool);
+      b.Reserve(rows);
+      for (size_t i = 0; i < rows; ++i) {
+        bool is_null = c.IsNull(i);
+        b.AppendBool(e.negated() ? !is_null : is_null);
+      }
+      return b.Finish();
+    }
+    case ExprKind::kLike: {
+      const auto& e = static_cast<const LikeExpr&>(*expr);
+      LG_ASSIGN_OR_RETURN(Column c, EvaluateExpr(e.child(), batch, ctx));
+      ColumnBuilder b(TypeKind::kBool);
+      b.Reserve(rows);
+      for (size_t i = 0; i < rows; ++i) {
+        if (c.IsNull(i)) {
+          b.AppendNull();
+          continue;
+        }
+        bool hit = SqlLikeMatch(c.StringAt(i), e.pattern());
+        b.AppendBool(e.negated() ? !hit : hit);
+      }
+      return b.Finish();
+    }
+    case ExprKind::kUdfCall: {
+      const auto& e = static_cast<const UdfCallExpr&>(*expr);
+      if (ctx.udf_evaluator == nullptr) {
+        return Status::FailedPrecondition(
+            "UDF '" + e.function_name() +
+            "' reached the evaluator without a sandbox-backed executor; "
+            "user code must not run inside the engine");
+      }
+      std::vector<Column> args;
+      args.reserve(e.args().size());
+      for (const ExprPtr& a : e.args()) {
+        LG_ASSIGN_OR_RETURN(Column c, EvaluateExpr(a, batch, ctx));
+        args.push_back(std::move(c));
+      }
+      return ctx.udf_evaluator->EvalUdf(e, args, rows, ctx);
+    }
+  }
+  return Status::Internal("unreachable expr kind in eval");
+}
+
+Result<Value> EvaluateScalar(const ExprPtr& expr, const EvalContext& ctx) {
+  // Evaluate over a one-row batch with a placeholder column.
+  ColumnBuilder dummy(TypeKind::kInt64);
+  dummy.AppendInt(0);
+  Schema one_col(std::vector<FieldDef>{{"__dummy", TypeKind::kInt64, false}});
+  RecordBatch batch(one_col, {dummy.Finish()});
+  LG_ASSIGN_OR_RETURN(Column c, EvaluateExpr(expr, batch, ctx));
+  if (c.length() != 1) {
+    return Status::Internal("scalar evaluation produced " +
+                            std::to_string(c.length()) + " rows");
+  }
+  return c.GetValue(0);
+}
+
+Result<std::vector<uint8_t>> EvaluatePredicateMask(const ExprPtr& predicate,
+                                                   const RecordBatch& batch,
+                                                   const EvalContext& ctx) {
+  LG_ASSIGN_OR_RETURN(Column c, EvaluateExpr(predicate, batch, ctx));
+  if (c.kind() != TypeKind::kBool && c.kind() != TypeKind::kNull) {
+    return Status::InvalidArgument("predicate must be BOOLEAN, got " +
+                                   std::string(TypeKindName(c.kind())));
+  }
+  std::vector<uint8_t> mask(batch.num_rows(), 0);
+  for (size_t i = 0; i < mask.size(); ++i) {
+    mask[i] = (!c.IsNull(i) && c.kind() == TypeKind::kBool && c.BoolAt(i))
+                  ? 1
+                  : 0;
+  }
+  return mask;
+}
+
+}  // namespace lakeguard

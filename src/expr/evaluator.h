@@ -1,0 +1,64 @@
+#ifndef LAKEGUARD_EXPR_EVALUATOR_H_
+#define LAKEGUARD_EXPR_EVALUATOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "columnar/record_batch.h"
+#include "expr/expr.h"
+
+namespace lakeguard {
+
+class UdfColumnEvaluator;
+
+/// Per-query evaluation context. Carries the identity the query runs as —
+/// the hook that makes dynamic views / row filters *user-bound* — plus the
+/// group-membership oracle and the (engine-injected) UDF evaluation channel.
+struct EvalContext {
+  std::string current_user;
+  std::function<bool(const std::string& user, const std::string& group)>
+      is_group_member;
+  /// ABAC attribute oracle: returns the value of `key` for `user`, or empty
+  /// when unset (USER_ATTRIBUTE then evaluates to NULL).
+  std::function<std::string(const std::string& user, const std::string& key)>
+      user_attribute;
+  /// Set by the physical UDF operator; expressions containing UdfCall fail
+  /// to evaluate when absent (user code must never run implicitly).
+  UdfColumnEvaluator* udf_evaluator = nullptr;
+};
+
+/// Engine hook that evaluates a user-defined function over argument columns.
+/// Implementations: in-process (unisolated baseline) and sandboxed via the
+/// Dispatcher (Lakeguard). Keeping this behind an interface is what lets
+/// Table 2 compare the two with everything else identical.
+class UdfColumnEvaluator {
+ public:
+  virtual ~UdfColumnEvaluator() = default;
+  virtual Result<Column> EvalUdf(const UdfCallExpr& udf,
+                                 const std::vector<Column>& args,
+                                 size_t num_rows, const EvalContext& ctx) = 0;
+};
+
+/// Computes the result type of `expr` against `input` (analyzer use).
+Result<TypeKind> InferExprType(const ExprPtr& expr, const Schema& input);
+
+/// Vectorized evaluation of `expr` over `batch`.
+Result<Column> EvaluateExpr(const ExprPtr& expr, const RecordBatch& batch,
+                            const EvalContext& ctx);
+
+/// Evaluates an input-free expression (constants + context functions).
+Result<Value> EvaluateScalar(const ExprPtr& expr, const EvalContext& ctx);
+
+/// Evaluates `predicate` to a selection mask (NULL -> excluded, SQL WHERE
+/// semantics).
+Result<std::vector<uint8_t>> EvaluatePredicateMask(const ExprPtr& predicate,
+                                                   const RecordBatch& batch,
+                                                   const EvalContext& ctx);
+
+/// True if `s` matches SQL LIKE `pattern` ('%' any run, '_' one char).
+bool SqlLikeMatch(const std::string& s, const std::string& pattern);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_EXPR_EVALUATOR_H_

@@ -1,0 +1,407 @@
+#include "expr/expr.h"
+
+#include "common/strings.h"
+
+namespace lakeguard {
+
+const char* BinaryOpName(BinaryOpKind op) {
+  switch (op) {
+    case BinaryOpKind::kAdd:
+      return "+";
+    case BinaryOpKind::kSub:
+      return "-";
+    case BinaryOpKind::kMul:
+      return "*";
+    case BinaryOpKind::kDiv:
+      return "/";
+    case BinaryOpKind::kMod:
+      return "%";
+    case BinaryOpKind::kEq:
+      return "=";
+    case BinaryOpKind::kNe:
+      return "<>";
+    case BinaryOpKind::kLt:
+      return "<";
+    case BinaryOpKind::kLe:
+      return "<=";
+    case BinaryOpKind::kGt:
+      return ">";
+    case BinaryOpKind::kGe:
+      return ">=";
+    case BinaryOpKind::kAnd:
+      return "AND";
+    case BinaryOpKind::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+const char* UnaryOpName(UnaryOpKind op) {
+  switch (op) {
+    case UnaryOpKind::kNot:
+      return "NOT";
+    case UnaryOpKind::kNegate:
+      return "-";
+  }
+  return "?";
+}
+
+std::string LiteralExpr::ToString() const {
+  if (value_.is_string()) return "'" + value_.string_value() + "'";
+  return value_.ToString();
+}
+
+bool LiteralExpr::Equals(const Expr& other) const {
+  if (other.kind() != ExprKind::kLiteral) return false;
+  return value_ == static_cast<const LiteralExpr&>(other).value_;
+}
+
+std::string ColumnRefExpr::ToString() const {
+  if (resolved()) return name_ + "#" + std::to_string(index_);
+  return name_;
+}
+
+bool ColumnRefExpr::Equals(const Expr& other) const {
+  if (other.kind() != ExprKind::kColumnRef) return false;
+  const auto& o = static_cast<const ColumnRefExpr&>(other);
+  return EqualsIgnoreCase(name_, o.name_) && index_ == o.index_;
+}
+
+std::string BinaryOpExpr::ToString() const {
+  return "(" + left_->ToString() + " " + BinaryOpName(op_) + " " +
+         right_->ToString() + ")";
+}
+
+bool BinaryOpExpr::Equals(const Expr& other) const {
+  if (other.kind() != ExprKind::kBinaryOp) return false;
+  const auto& o = static_cast<const BinaryOpExpr&>(other);
+  return op_ == o.op_ && left_->Equals(*o.left_) && right_->Equals(*o.right_);
+}
+
+std::string UnaryOpExpr::ToString() const {
+  return std::string("(") + UnaryOpName(op_) + " " + child_->ToString() + ")";
+}
+
+bool UnaryOpExpr::Equals(const Expr& other) const {
+  if (other.kind() != ExprKind::kUnaryOp) return false;
+  const auto& o = static_cast<const UnaryOpExpr&>(other);
+  return op_ == o.op_ && child_->Equals(*o.child_);
+}
+
+std::string FunctionCallExpr::ToString() const {
+  std::string out = ToUpperAscii(name_) + "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args_[i]->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+bool FunctionCallExpr::Equals(const Expr& other) const {
+  if (other.kind() != ExprKind::kFunctionCall) return false;
+  const auto& o = static_cast<const FunctionCallExpr&>(other);
+  if (!EqualsIgnoreCase(name_, o.name_) || args_.size() != o.args_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (!args_[i]->Equals(*o.args_[i])) return false;
+  }
+  return true;
+}
+
+std::string CastExpr::ToString() const {
+  return "CAST(" + child_->ToString() + " AS " + TypeKindName(target_) + ")";
+}
+
+bool CastExpr::Equals(const Expr& other) const {
+  if (other.kind() != ExprKind::kCast) return false;
+  const auto& o = static_cast<const CastExpr&>(other);
+  return target_ == o.target_ && child_->Equals(*o.child_);
+}
+
+std::string CaseExpr::ToString() const {
+  std::string out = "CASE";
+  for (const Branch& b : branches_) {
+    out += " WHEN " + b.condition->ToString() + " THEN " +
+           b.value->ToString();
+  }
+  if (else_value_) out += " ELSE " + else_value_->ToString();
+  out += " END";
+  return out;
+}
+
+bool CaseExpr::Equals(const Expr& other) const {
+  if (other.kind() != ExprKind::kCase) return false;
+  const auto& o = static_cast<const CaseExpr&>(other);
+  if (branches_.size() != o.branches_.size()) return false;
+  for (size_t i = 0; i < branches_.size(); ++i) {
+    if (!branches_[i].condition->Equals(*o.branches_[i].condition)) {
+      return false;
+    }
+    if (!branches_[i].value->Equals(*o.branches_[i].value)) return false;
+  }
+  if ((else_value_ == nullptr) != (o.else_value_ == nullptr)) return false;
+  return else_value_ == nullptr || else_value_->Equals(*o.else_value_);
+}
+
+std::vector<ExprPtr> CaseExpr::children() const {
+  std::vector<ExprPtr> out;
+  for (const Branch& b : branches_) {
+    out.push_back(b.condition);
+    out.push_back(b.value);
+  }
+  if (else_value_) out.push_back(else_value_);
+  return out;
+}
+
+std::string InExpr::ToString() const {
+  std::string out = child_->ToString();
+  out += negated_ ? " NOT IN (" : " IN (";
+  for (size_t i = 0; i < list_.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (list_[i].is_string()) {
+      out += "'" + list_[i].string_value() + "'";
+    } else {
+      out += list_[i].ToString();
+    }
+  }
+  out += ")";
+  return out;
+}
+
+bool InExpr::Equals(const Expr& other) const {
+  if (other.kind() != ExprKind::kIn) return false;
+  const auto& o = static_cast<const InExpr&>(other);
+  if (negated_ != o.negated_ || list_.size() != o.list_.size()) return false;
+  for (size_t i = 0; i < list_.size(); ++i) {
+    if (!(list_[i] == o.list_[i])) return false;
+  }
+  return child_->Equals(*o.child_);
+}
+
+std::string IsNullExpr::ToString() const {
+  return child_->ToString() + (negated_ ? " IS NOT NULL" : " IS NULL");
+}
+
+bool IsNullExpr::Equals(const Expr& other) const {
+  if (other.kind() != ExprKind::kIsNull) return false;
+  const auto& o = static_cast<const IsNullExpr&>(other);
+  return negated_ == o.negated_ && child_->Equals(*o.child_);
+}
+
+std::string LikeExpr::ToString() const {
+  return child_->ToString() + (negated_ ? " NOT LIKE '" : " LIKE '") +
+         pattern_ + "'";
+}
+
+bool LikeExpr::Equals(const Expr& other) const {
+  if (other.kind() != ExprKind::kLike) return false;
+  const auto& o = static_cast<const LikeExpr&>(other);
+  return negated_ == o.negated_ && pattern_ == o.pattern_ &&
+         child_->Equals(*o.child_);
+}
+
+std::string UdfCallExpr::ToString() const {
+  std::string out = "UDF:" + function_name_ + "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args_[i]->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+bool UdfCallExpr::Equals(const Expr& other) const {
+  if (other.kind() != ExprKind::kUdfCall) return false;
+  const auto& o = static_cast<const UdfCallExpr&>(other);
+  if (function_name_ != o.function_name_ || owner_ != o.owner_ ||
+      return_type_ != o.return_type_ || args_.size() != o.args_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (!args_[i]->Equals(*o.args_[i])) return false;
+  }
+  return true;
+}
+
+ExprPtr Lit(Value v) { return std::make_shared<LiteralExpr>(std::move(v)); }
+ExprPtr LitInt(int64_t v) { return Lit(Value::Int(v)); }
+ExprPtr LitDouble(double v) { return Lit(Value::Double(v)); }
+ExprPtr LitString(std::string v) { return Lit(Value::String(std::move(v))); }
+ExprPtr LitBool(bool v) { return Lit(Value::Bool(v)); }
+ExprPtr LitNull() { return Lit(Value::Null()); }
+ExprPtr Col(std::string name) {
+  return std::make_shared<ColumnRefExpr>(std::move(name));
+}
+ExprPtr ColIdx(std::string name, int index) {
+  return std::make_shared<ColumnRefExpr>(std::move(name), index);
+}
+ExprPtr BinOp(BinaryOpKind op, ExprPtr l, ExprPtr r) {
+  return std::make_shared<BinaryOpExpr>(op, std::move(l), std::move(r));
+}
+ExprPtr Eq(ExprPtr l, ExprPtr r) {
+  return BinOp(BinaryOpKind::kEq, std::move(l), std::move(r));
+}
+ExprPtr And(ExprPtr l, ExprPtr r) {
+  return BinOp(BinaryOpKind::kAnd, std::move(l), std::move(r));
+}
+ExprPtr Or(ExprPtr l, ExprPtr r) {
+  return BinOp(BinaryOpKind::kOr, std::move(l), std::move(r));
+}
+ExprPtr Not(ExprPtr e) {
+  return std::make_shared<UnaryOpExpr>(UnaryOpKind::kNot, std::move(e));
+}
+ExprPtr Func(std::string name, std::vector<ExprPtr> args) {
+  return std::make_shared<FunctionCallExpr>(std::move(name), std::move(args));
+}
+ExprPtr CastTo(ExprPtr e, TypeKind target) {
+  return std::make_shared<CastExpr>(std::move(e), target);
+}
+ExprPtr Udf(std::string name, std::string owner, TypeKind return_type,
+            std::vector<ExprPtr> args) {
+  return std::make_shared<UdfCallExpr>(std::move(name), std::move(owner),
+                                       return_type, std::move(args));
+}
+
+void CollectColumnRefs(const ExprPtr& expr, std::vector<std::string>* out) {
+  if (expr->kind() == ExprKind::kColumnRef) {
+    out->push_back(static_cast<const ColumnRefExpr&>(*expr).name());
+    return;
+  }
+  for (const ExprPtr& child : expr->children()) {
+    CollectColumnRefs(child, out);
+  }
+}
+
+ExprPtr RewriteExpr(const ExprPtr& expr,
+                    const std::function<ExprPtr(const ExprPtr&)>& fn) {
+  // Rewrite children first, then the node itself.
+  ExprPtr with_children = expr;
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+    case ExprKind::kColumnRef:
+      break;
+    case ExprKind::kBinaryOp: {
+      const auto& e = static_cast<const BinaryOpExpr&>(*expr);
+      ExprPtr l = RewriteExpr(e.left(), fn);
+      ExprPtr r = RewriteExpr(e.right(), fn);
+      if (l != e.left() || r != e.right()) {
+        with_children = std::make_shared<BinaryOpExpr>(e.op(), l, r);
+      }
+      break;
+    }
+    case ExprKind::kUnaryOp: {
+      const auto& e = static_cast<const UnaryOpExpr&>(*expr);
+      ExprPtr c = RewriteExpr(e.child(), fn);
+      if (c != e.child()) {
+        with_children = std::make_shared<UnaryOpExpr>(e.op(), c);
+      }
+      break;
+    }
+    case ExprKind::kFunctionCall: {
+      const auto& e = static_cast<const FunctionCallExpr&>(*expr);
+      std::vector<ExprPtr> args;
+      bool changed = false;
+      for (const ExprPtr& a : e.args()) {
+        ExprPtr na = RewriteExpr(a, fn);
+        changed |= (na != a);
+        args.push_back(na);
+      }
+      if (changed) {
+        with_children =
+            std::make_shared<FunctionCallExpr>(e.name(), std::move(args));
+      }
+      break;
+    }
+    case ExprKind::kCast: {
+      const auto& e = static_cast<const CastExpr&>(*expr);
+      ExprPtr c = RewriteExpr(e.child(), fn);
+      if (c != e.child()) {
+        with_children = std::make_shared<CastExpr>(c, e.target());
+      }
+      break;
+    }
+    case ExprKind::kCase: {
+      const auto& e = static_cast<const CaseExpr&>(*expr);
+      std::vector<CaseExpr::Branch> branches;
+      bool changed = false;
+      for (const CaseExpr::Branch& b : e.branches()) {
+        CaseExpr::Branch nb;
+        nb.condition = RewriteExpr(b.condition, fn);
+        nb.value = RewriteExpr(b.value, fn);
+        changed |= (nb.condition != b.condition || nb.value != b.value);
+        branches.push_back(std::move(nb));
+      }
+      ExprPtr else_value = e.else_value();
+      if (else_value) {
+        ExprPtr ne = RewriteExpr(else_value, fn);
+        changed |= (ne != else_value);
+        else_value = ne;
+      }
+      if (changed) {
+        with_children =
+            std::make_shared<CaseExpr>(std::move(branches), else_value);
+      }
+      break;
+    }
+    case ExprKind::kIn: {
+      const auto& e = static_cast<const InExpr&>(*expr);
+      ExprPtr c = RewriteExpr(e.child(), fn);
+      if (c != e.child()) {
+        with_children = std::make_shared<InExpr>(c, e.list(), e.negated());
+      }
+      break;
+    }
+    case ExprKind::kIsNull: {
+      const auto& e = static_cast<const IsNullExpr&>(*expr);
+      ExprPtr c = RewriteExpr(e.child(), fn);
+      if (c != e.child()) {
+        with_children = std::make_shared<IsNullExpr>(c, e.negated());
+      }
+      break;
+    }
+    case ExprKind::kLike: {
+      const auto& e = static_cast<const LikeExpr&>(*expr);
+      ExprPtr c = RewriteExpr(e.child(), fn);
+      if (c != e.child()) {
+        with_children =
+            std::make_shared<LikeExpr>(c, e.pattern(), e.negated());
+      }
+      break;
+    }
+    case ExprKind::kUdfCall: {
+      const auto& e = static_cast<const UdfCallExpr&>(*expr);
+      std::vector<ExprPtr> args;
+      bool changed = false;
+      for (const ExprPtr& a : e.args()) {
+        ExprPtr na = RewriteExpr(a, fn);
+        changed |= (na != a);
+        args.push_back(na);
+      }
+      if (changed) {
+        with_children = std::make_shared<UdfCallExpr>(
+            e.function_name(), e.owner(), e.return_type(), std::move(args));
+      }
+      break;
+    }
+  }
+  ExprPtr replaced = fn(with_children);
+  return replaced ? replaced : with_children;
+}
+
+bool ExprContains(const ExprPtr& expr,
+                  const std::function<bool(const Expr&)>& pred) {
+  if (pred(*expr)) return true;
+  for (const ExprPtr& child : expr->children()) {
+    if (ExprContains(child, pred)) return true;
+  }
+  return false;
+}
+
+bool ContainsUdfCall(const ExprPtr& expr) {
+  return ExprContains(
+      expr, [](const Expr& e) { return e.kind() == ExprKind::kUdfCall; });
+}
+
+}  // namespace lakeguard

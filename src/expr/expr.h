@@ -1,0 +1,344 @@
+#ifndef LAKEGUARD_EXPR_EXPR_H_
+#define LAKEGUARD_EXPR_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/types.h"
+#include "columnar/value.h"
+#include "common/status.h"
+
+namespace lakeguard {
+
+class Expr;
+/// Expressions are immutable and shared; plan rewrites share subtrees.
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class ExprKind : uint8_t {
+  kLiteral = 0,
+  kColumnRef = 1,
+  kBinaryOp = 2,
+  kUnaryOp = 3,
+  kFunctionCall = 4,
+  kCast = 5,
+  kCase = 6,
+  kIn = 7,
+  kIsNull = 8,
+  kLike = 9,
+  kUdfCall = 10,
+};
+
+enum class BinaryOpKind : uint8_t {
+  kAdd = 0,
+  kSub = 1,
+  kMul = 2,
+  kDiv = 3,
+  kMod = 4,
+  kEq = 5,
+  kNe = 6,
+  kLt = 7,
+  kLe = 8,
+  kGt = 9,
+  kGe = 10,
+  kAnd = 11,
+  kOr = 12,
+};
+
+enum class UnaryOpKind : uint8_t {
+  kNot = 0,
+  kNegate = 1,
+};
+
+const char* BinaryOpName(BinaryOpKind op);
+const char* UnaryOpName(UnaryOpKind op);
+
+/// Base of the expression AST. Construction goes through the factory
+/// functions below; nodes are immutable after construction.
+///
+/// Design note: this mirrors Spark Connect's `Expression` protobuf — the
+/// client and the SQL frontend both build *unresolved* expressions
+/// (ColumnRef by name); the analyzer resolves names against the input schema
+/// and records ordinal indices.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  ExprKind kind() const { return kind_; }
+
+  /// SQL-ish rendering used by plan printing (Fig. 8 reproductions).
+  virtual std::string ToString() const = 0;
+
+  /// Deep structural equality.
+  virtual bool Equals(const Expr& other) const = 0;
+
+  /// Child expressions, for generic traversal.
+  virtual std::vector<ExprPtr> children() const = 0;
+
+ protected:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+
+ private:
+  ExprKind kind_;
+};
+
+/// Constant value.
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(Value value)
+      : Expr(ExprKind::kLiteral), value_(std::move(value)) {}
+  const Value& value() const { return value_; }
+
+  std::string ToString() const override;
+  bool Equals(const Expr& other) const override;
+  std::vector<ExprPtr> children() const override { return {}; }
+
+ private:
+  Value value_;
+};
+
+/// Column reference. `index() < 0` means unresolved (by-name only);
+/// the analyzer produces copies with the ordinal filled in.
+class ColumnRefExpr : public Expr {
+ public:
+  explicit ColumnRefExpr(std::string name, int index = -1)
+      : Expr(ExprKind::kColumnRef), name_(std::move(name)), index_(index) {}
+  const std::string& name() const { return name_; }
+  int index() const { return index_; }
+  bool resolved() const { return index_ >= 0; }
+
+  std::string ToString() const override;
+  bool Equals(const Expr& other) const override;
+  std::vector<ExprPtr> children() const override { return {}; }
+
+ private:
+  std::string name_;
+  int index_;
+};
+
+class BinaryOpExpr : public Expr {
+ public:
+  BinaryOpExpr(BinaryOpKind op, ExprPtr left, ExprPtr right)
+      : Expr(ExprKind::kBinaryOp),
+        op_(op),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+  BinaryOpKind op() const { return op_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+
+  std::string ToString() const override;
+  bool Equals(const Expr& other) const override;
+  std::vector<ExprPtr> children() const override { return {left_, right_}; }
+
+ private:
+  BinaryOpKind op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+class UnaryOpExpr : public Expr {
+ public:
+  UnaryOpExpr(UnaryOpKind op, ExprPtr child)
+      : Expr(ExprKind::kUnaryOp), op_(op), child_(std::move(child)) {}
+  UnaryOpKind op() const { return op_; }
+  const ExprPtr& child() const { return child_; }
+
+  std::string ToString() const override;
+  bool Equals(const Expr& other) const override;
+  std::vector<ExprPtr> children() const override { return {child_}; }
+
+ private:
+  UnaryOpKind op_;
+  ExprPtr child_;
+};
+
+/// Builtin scalar function call (UPPER, CONCAT, SHA2, CURRENT_USER, ...).
+/// Aggregate function names (SUM/COUNT/AVG/MIN/MAX) also parse into this
+/// node; the analyzer lifts them into Aggregate plan nodes.
+class FunctionCallExpr : public Expr {
+ public:
+  FunctionCallExpr(std::string name, std::vector<ExprPtr> args)
+      : Expr(ExprKind::kFunctionCall),
+        name_(std::move(name)),
+        args_(std::move(args)) {}
+  const std::string& name() const { return name_; }
+  const std::vector<ExprPtr>& args() const { return args_; }
+
+  std::string ToString() const override;
+  bool Equals(const Expr& other) const override;
+  std::vector<ExprPtr> children() const override { return args_; }
+
+ private:
+  std::string name_;
+  std::vector<ExprPtr> args_;
+};
+
+class CastExpr : public Expr {
+ public:
+  CastExpr(ExprPtr child, TypeKind target)
+      : Expr(ExprKind::kCast), child_(std::move(child)), target_(target) {}
+  const ExprPtr& child() const { return child_; }
+  TypeKind target() const { return target_; }
+
+  std::string ToString() const override;
+  bool Equals(const Expr& other) const override;
+  std::vector<ExprPtr> children() const override { return {child_}; }
+
+ private:
+  ExprPtr child_;
+  TypeKind target_;
+};
+
+/// CASE WHEN c1 THEN v1 [WHEN c2 THEN v2 ...] [ELSE e] END
+class CaseExpr : public Expr {
+ public:
+  struct Branch {
+    ExprPtr condition;
+    ExprPtr value;
+  };
+  CaseExpr(std::vector<Branch> branches, ExprPtr else_value)
+      : Expr(ExprKind::kCase),
+        branches_(std::move(branches)),
+        else_value_(std::move(else_value)) {}
+  const std::vector<Branch>& branches() const { return branches_; }
+  const ExprPtr& else_value() const { return else_value_; }  // may be null
+
+  std::string ToString() const override;
+  bool Equals(const Expr& other) const override;
+  std::vector<ExprPtr> children() const override;
+
+ private:
+  std::vector<Branch> branches_;
+  ExprPtr else_value_;
+};
+
+/// `child IN (v1, v2, ...)` over literal lists.
+class InExpr : public Expr {
+ public:
+  InExpr(ExprPtr child, std::vector<Value> list, bool negated)
+      : Expr(ExprKind::kIn),
+        child_(std::move(child)),
+        list_(std::move(list)),
+        negated_(negated) {}
+  const ExprPtr& child() const { return child_; }
+  const std::vector<Value>& list() const { return list_; }
+  bool negated() const { return negated_; }
+
+  std::string ToString() const override;
+  bool Equals(const Expr& other) const override;
+  std::vector<ExprPtr> children() const override { return {child_}; }
+
+ private:
+  ExprPtr child_;
+  std::vector<Value> list_;
+  bool negated_;
+};
+
+class IsNullExpr : public Expr {
+ public:
+  IsNullExpr(ExprPtr child, bool negated)
+      : Expr(ExprKind::kIsNull), child_(std::move(child)), negated_(negated) {}
+  const ExprPtr& child() const { return child_; }
+  bool negated() const { return negated_; }
+
+  std::string ToString() const override;
+  bool Equals(const Expr& other) const override;
+  std::vector<ExprPtr> children() const override { return {child_}; }
+
+ private:
+  ExprPtr child_;
+  bool negated_;
+};
+
+/// SQL LIKE with % and _ wildcards.
+class LikeExpr : public Expr {
+ public:
+  LikeExpr(ExprPtr child, std::string pattern, bool negated)
+      : Expr(ExprKind::kLike),
+        child_(std::move(child)),
+        pattern_(std::move(pattern)),
+        negated_(negated) {}
+  const ExprPtr& child() const { return child_; }
+  const std::string& pattern() const { return pattern_; }
+  bool negated() const { return negated_; }
+
+  std::string ToString() const override;
+  bool Equals(const Expr& other) const override;
+  std::vector<ExprPtr> children() const override { return {child_}; }
+
+ private:
+  ExprPtr child_;
+  std::string pattern_;
+  bool negated_;
+};
+
+/// Call of a *cataloged or session* user-defined function. UDF bodies are
+/// untrusted user code: they never run inside the engine. The physical
+/// UDF operator routes evaluation through the sandbox dispatcher, and
+/// `owner()` names the trust domain the paper's fusion rules must respect.
+class UdfCallExpr : public Expr {
+ public:
+  UdfCallExpr(std::string function_name, std::string owner,
+              TypeKind return_type, std::vector<ExprPtr> args)
+      : Expr(ExprKind::kUdfCall),
+        function_name_(std::move(function_name)),
+        owner_(std::move(owner)),
+        return_type_(return_type),
+        args_(std::move(args)) {}
+  const std::string& function_name() const { return function_name_; }
+  const std::string& owner() const { return owner_; }
+  TypeKind return_type() const { return return_type_; }
+  const std::vector<ExprPtr>& args() const { return args_; }
+
+  std::string ToString() const override;
+  bool Equals(const Expr& other) const override;
+  std::vector<ExprPtr> children() const override { return args_; }
+
+ private:
+  std::string function_name_;
+  std::string owner_;
+  TypeKind return_type_;
+  std::vector<ExprPtr> args_;
+};
+
+// ---- Factory helpers -------------------------------------------------------
+
+ExprPtr Lit(Value v);
+ExprPtr LitInt(int64_t v);
+ExprPtr LitDouble(double v);
+ExprPtr LitString(std::string v);
+ExprPtr LitBool(bool v);
+ExprPtr LitNull();
+ExprPtr Col(std::string name);
+ExprPtr ColIdx(std::string name, int index);
+ExprPtr BinOp(BinaryOpKind op, ExprPtr l, ExprPtr r);
+ExprPtr Eq(ExprPtr l, ExprPtr r);
+ExprPtr And(ExprPtr l, ExprPtr r);
+ExprPtr Or(ExprPtr l, ExprPtr r);
+ExprPtr Not(ExprPtr e);
+ExprPtr Func(std::string name, std::vector<ExprPtr> args);
+ExprPtr CastTo(ExprPtr e, TypeKind target);
+ExprPtr Udf(std::string name, std::string owner, TypeKind return_type,
+            std::vector<ExprPtr> args);
+
+// ---- Traversal utilities ---------------------------------------------------
+
+/// Appends the names of all (unresolved or resolved) column refs in `expr`.
+void CollectColumnRefs(const ExprPtr& expr, std::vector<std::string>* out);
+
+/// Rewrites `expr` bottom-up with `fn`; `fn` returns nullptr to keep a node
+/// (with possibly-rewritten children) or a replacement node.
+ExprPtr RewriteExpr(const ExprPtr& expr,
+                    const std::function<ExprPtr(const ExprPtr&)>& fn);
+
+/// True if any node in `expr` satisfies `pred`.
+bool ExprContains(const ExprPtr& expr,
+                  const std::function<bool(const Expr&)>& pred);
+
+/// True if `expr` contains a UdfCall anywhere.
+bool ContainsUdfCall(const ExprPtr& expr);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_EXPR_EXPR_H_

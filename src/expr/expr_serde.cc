@@ -1,0 +1,253 @@
+#include "expr/expr_serde.h"
+
+namespace lakeguard {
+
+void SerializeValue(const Value& v, ByteWriter* writer) {
+  writer->PutByte(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case TypeKind::kNull:
+      break;
+    case TypeKind::kBool:
+      writer->PutBool(v.bool_value());
+      break;
+    case TypeKind::kInt64:
+      writer->PutZigzag(v.int_value());
+      break;
+    case TypeKind::kFloat64:
+      writer->PutDouble(v.double_value());
+      break;
+    case TypeKind::kString:
+    case TypeKind::kBinary:
+      writer->PutString(v.string_value());
+      break;
+  }
+}
+
+Result<Value> DeserializeValue(ByteReader* reader) {
+  LG_ASSIGN_OR_RETURN(uint8_t kind_byte, reader->ReadByte());
+  if (kind_byte > static_cast<uint8_t>(TypeKind::kBinary)) {
+    return Status::DataLoss("invalid value kind " + std::to_string(kind_byte));
+  }
+  TypeKind kind = static_cast<TypeKind>(kind_byte);
+  switch (kind) {
+    case TypeKind::kNull:
+      return Value::Null();
+    case TypeKind::kBool: {
+      LG_ASSIGN_OR_RETURN(bool b, reader->ReadBool());
+      return Value::Bool(b);
+    }
+    case TypeKind::kInt64: {
+      LG_ASSIGN_OR_RETURN(int64_t i, reader->ReadZigzag());
+      return Value::Int(i);
+    }
+    case TypeKind::kFloat64: {
+      LG_ASSIGN_OR_RETURN(double d, reader->ReadDouble());
+      return Value::Double(d);
+    }
+    case TypeKind::kString: {
+      LG_ASSIGN_OR_RETURN(std::string s, reader->ReadString());
+      return Value::String(std::move(s));
+    }
+    case TypeKind::kBinary: {
+      LG_ASSIGN_OR_RETURN(std::string s, reader->ReadString());
+      return Value::Binary(std::move(s));
+    }
+  }
+  return Status::Internal("unreachable value kind");
+}
+
+void SerializeExpr(const ExprPtr& expr, ByteWriter* writer) {
+  writer->PutByte(static_cast<uint8_t>(expr->kind()));
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+      SerializeValue(static_cast<const LiteralExpr&>(*expr).value(), writer);
+      break;
+    case ExprKind::kColumnRef: {
+      const auto& e = static_cast<const ColumnRefExpr&>(*expr);
+      writer->PutString(e.name());
+      writer->PutZigzag(e.index());
+      break;
+    }
+    case ExprKind::kBinaryOp: {
+      const auto& e = static_cast<const BinaryOpExpr&>(*expr);
+      writer->PutByte(static_cast<uint8_t>(e.op()));
+      SerializeExpr(e.left(), writer);
+      SerializeExpr(e.right(), writer);
+      break;
+    }
+    case ExprKind::kUnaryOp: {
+      const auto& e = static_cast<const UnaryOpExpr&>(*expr);
+      writer->PutByte(static_cast<uint8_t>(e.op()));
+      SerializeExpr(e.child(), writer);
+      break;
+    }
+    case ExprKind::kFunctionCall: {
+      const auto& e = static_cast<const FunctionCallExpr&>(*expr);
+      writer->PutString(e.name());
+      writer->PutVarint(e.args().size());
+      for (const ExprPtr& a : e.args()) SerializeExpr(a, writer);
+      break;
+    }
+    case ExprKind::kCast: {
+      const auto& e = static_cast<const CastExpr&>(*expr);
+      writer->PutByte(static_cast<uint8_t>(e.target()));
+      SerializeExpr(e.child(), writer);
+      break;
+    }
+    case ExprKind::kCase: {
+      const auto& e = static_cast<const CaseExpr&>(*expr);
+      writer->PutVarint(e.branches().size());
+      for (const CaseExpr::Branch& b : e.branches()) {
+        SerializeExpr(b.condition, writer);
+        SerializeExpr(b.value, writer);
+      }
+      writer->PutBool(e.else_value() != nullptr);
+      if (e.else_value()) SerializeExpr(e.else_value(), writer);
+      break;
+    }
+    case ExprKind::kIn: {
+      const auto& e = static_cast<const InExpr&>(*expr);
+      SerializeExpr(e.child(), writer);
+      writer->PutVarint(e.list().size());
+      for (const Value& v : e.list()) SerializeValue(v, writer);
+      writer->PutBool(e.negated());
+      break;
+    }
+    case ExprKind::kIsNull: {
+      const auto& e = static_cast<const IsNullExpr&>(*expr);
+      SerializeExpr(e.child(), writer);
+      writer->PutBool(e.negated());
+      break;
+    }
+    case ExprKind::kLike: {
+      const auto& e = static_cast<const LikeExpr&>(*expr);
+      SerializeExpr(e.child(), writer);
+      writer->PutString(e.pattern());
+      writer->PutBool(e.negated());
+      break;
+    }
+    case ExprKind::kUdfCall: {
+      const auto& e = static_cast<const UdfCallExpr&>(*expr);
+      writer->PutString(e.function_name());
+      writer->PutString(e.owner());
+      writer->PutByte(static_cast<uint8_t>(e.return_type()));
+      writer->PutVarint(e.args().size());
+      for (const ExprPtr& a : e.args()) SerializeExpr(a, writer);
+      break;
+    }
+  }
+}
+
+Result<ExprPtr> DeserializeExpr(ByteReader* reader) {
+  LG_ASSIGN_OR_RETURN(uint8_t kind_byte, reader->ReadByte());
+  if (kind_byte > static_cast<uint8_t>(ExprKind::kUdfCall)) {
+    return Status::DataLoss("invalid expr kind " + std::to_string(kind_byte));
+  }
+  switch (static_cast<ExprKind>(kind_byte)) {
+    case ExprKind::kLiteral: {
+      LG_ASSIGN_OR_RETURN(Value v, DeserializeValue(reader));
+      return Lit(std::move(v));
+    }
+    case ExprKind::kColumnRef: {
+      LG_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+      LG_ASSIGN_OR_RETURN(int64_t index, reader->ReadZigzag());
+      return ColIdx(std::move(name), static_cast<int>(index));
+    }
+    case ExprKind::kBinaryOp: {
+      LG_ASSIGN_OR_RETURN(uint8_t op, reader->ReadByte());
+      if (op > static_cast<uint8_t>(BinaryOpKind::kOr)) {
+        return Status::DataLoss("invalid binary op");
+      }
+      LG_ASSIGN_OR_RETURN(ExprPtr l, DeserializeExpr(reader));
+      LG_ASSIGN_OR_RETURN(ExprPtr r, DeserializeExpr(reader));
+      return BinOp(static_cast<BinaryOpKind>(op), std::move(l), std::move(r));
+    }
+    case ExprKind::kUnaryOp: {
+      LG_ASSIGN_OR_RETURN(uint8_t op, reader->ReadByte());
+      if (op > static_cast<uint8_t>(UnaryOpKind::kNegate)) {
+        return Status::DataLoss("invalid unary op");
+      }
+      LG_ASSIGN_OR_RETURN(ExprPtr c, DeserializeExpr(reader));
+      return ExprPtr(std::make_shared<UnaryOpExpr>(
+          static_cast<UnaryOpKind>(op), std::move(c)));
+    }
+    case ExprKind::kFunctionCall: {
+      LG_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+      LG_ASSIGN_OR_RETURN(uint64_t n, reader->ReadVarint());
+      std::vector<ExprPtr> args;
+      for (uint64_t i = 0; i < n; ++i) {
+        LG_ASSIGN_OR_RETURN(ExprPtr a, DeserializeExpr(reader));
+        args.push_back(std::move(a));
+      }
+      return Func(std::move(name), std::move(args));
+    }
+    case ExprKind::kCast: {
+      LG_ASSIGN_OR_RETURN(uint8_t target, reader->ReadByte());
+      if (target > static_cast<uint8_t>(TypeKind::kBinary)) {
+        return Status::DataLoss("invalid cast target");
+      }
+      LG_ASSIGN_OR_RETURN(ExprPtr c, DeserializeExpr(reader));
+      return CastTo(std::move(c), static_cast<TypeKind>(target));
+    }
+    case ExprKind::kCase: {
+      LG_ASSIGN_OR_RETURN(uint64_t n, reader->ReadVarint());
+      std::vector<CaseExpr::Branch> branches;
+      for (uint64_t i = 0; i < n; ++i) {
+        CaseExpr::Branch b;
+        LG_ASSIGN_OR_RETURN(b.condition, DeserializeExpr(reader));
+        LG_ASSIGN_OR_RETURN(b.value, DeserializeExpr(reader));
+        branches.push_back(std::move(b));
+      }
+      LG_ASSIGN_OR_RETURN(bool has_else, reader->ReadBool());
+      ExprPtr else_value;
+      if (has_else) {
+        LG_ASSIGN_OR_RETURN(else_value, DeserializeExpr(reader));
+      }
+      return ExprPtr(std::make_shared<CaseExpr>(std::move(branches),
+                                                std::move(else_value)));
+    }
+    case ExprKind::kIn: {
+      LG_ASSIGN_OR_RETURN(ExprPtr c, DeserializeExpr(reader));
+      LG_ASSIGN_OR_RETURN(uint64_t n, reader->ReadVarint());
+      std::vector<Value> list;
+      for (uint64_t i = 0; i < n; ++i) {
+        LG_ASSIGN_OR_RETURN(Value v, DeserializeValue(reader));
+        list.push_back(std::move(v));
+      }
+      LG_ASSIGN_OR_RETURN(bool negated, reader->ReadBool());
+      return ExprPtr(
+          std::make_shared<InExpr>(std::move(c), std::move(list), negated));
+    }
+    case ExprKind::kIsNull: {
+      LG_ASSIGN_OR_RETURN(ExprPtr c, DeserializeExpr(reader));
+      LG_ASSIGN_OR_RETURN(bool negated, reader->ReadBool());
+      return ExprPtr(std::make_shared<IsNullExpr>(std::move(c), negated));
+    }
+    case ExprKind::kLike: {
+      LG_ASSIGN_OR_RETURN(ExprPtr c, DeserializeExpr(reader));
+      LG_ASSIGN_OR_RETURN(std::string pattern, reader->ReadString());
+      LG_ASSIGN_OR_RETURN(bool negated, reader->ReadBool());
+      return ExprPtr(std::make_shared<LikeExpr>(std::move(c),
+                                                std::move(pattern), negated));
+    }
+    case ExprKind::kUdfCall: {
+      LG_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+      LG_ASSIGN_OR_RETURN(std::string owner, reader->ReadString());
+      LG_ASSIGN_OR_RETURN(uint8_t ret, reader->ReadByte());
+      if (ret > static_cast<uint8_t>(TypeKind::kBinary)) {
+        return Status::DataLoss("invalid udf return type");
+      }
+      LG_ASSIGN_OR_RETURN(uint64_t n, reader->ReadVarint());
+      std::vector<ExprPtr> args;
+      for (uint64_t i = 0; i < n; ++i) {
+        LG_ASSIGN_OR_RETURN(ExprPtr a, DeserializeExpr(reader));
+        args.push_back(std::move(a));
+      }
+      return Udf(std::move(name), std::move(owner),
+                 static_cast<TypeKind>(ret), std::move(args));
+    }
+  }
+  return Status::Internal("unreachable expr kind");
+}
+
+}  // namespace lakeguard

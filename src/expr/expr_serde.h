@@ -1,0 +1,22 @@
+#ifndef LAKEGUARD_EXPR_EXPR_SERDE_H_
+#define LAKEGUARD_EXPR_EXPR_SERDE_H_
+
+#include "common/serde.h"
+#include "expr/expr.h"
+
+namespace lakeguard {
+
+/// Wire encoding for scalars (literals, IN-lists, parameters).
+void SerializeValue(const Value& v, ByteWriter* writer);
+Result<Value> DeserializeValue(ByteReader* reader);
+
+/// Wire encoding for expression trees — the Expression message family of the
+/// Connect protocol. The encoding is tag-free positional within a node but
+/// each node starts with its kind byte, so decoding is unambiguous;
+/// version-tolerance for *plans* is handled one level up.
+void SerializeExpr(const ExprPtr& expr, ByteWriter* writer);
+Result<ExprPtr> DeserializeExpr(ByteReader* reader);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_EXPR_EXPR_SERDE_H_

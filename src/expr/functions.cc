@@ -1,0 +1,315 @@
+#include "expr/functions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/sha256.h"
+#include "common/strings.h"
+#include "expr/evaluator.h"
+
+namespace lakeguard {
+
+namespace {
+
+Result<TypeKind> InferString(const std::vector<TypeKind>&) {
+  return TypeKind::kString;
+}
+Result<TypeKind> InferInt(const std::vector<TypeKind>&) {
+  return TypeKind::kInt64;
+}
+Result<TypeKind> InferDouble(const std::vector<TypeKind>&) {
+  return TypeKind::kFloat64;
+}
+Result<TypeKind> InferBool(const std::vector<TypeKind>&) {
+  return TypeKind::kBool;
+}
+Result<TypeKind> InferFirstArg(const std::vector<TypeKind>& args) {
+  for (TypeKind t : args) {
+    if (t != TypeKind::kNull) return t;
+  }
+  return TypeKind::kNull;
+}
+Result<TypeKind> InferNumericWiden(const std::vector<TypeKind>& args) {
+  for (TypeKind t : args) {
+    if (t == TypeKind::kFloat64) return TypeKind::kFloat64;
+  }
+  return TypeKind::kInt64;
+}
+
+bool AnyNull(const std::vector<Value>& args) {
+  for (const Value& v : args) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+/// Builds the registry once. Names are stored uppercase.
+const std::map<std::string, BuiltinFunction>& Registry() {
+  static const std::map<std::string, BuiltinFunction>* const kRegistry = [] {
+    auto* reg = new std::map<std::string, BuiltinFunction>();
+    auto add = [reg](BuiltinFunction fn) { (*reg)[fn.name] = std::move(fn); };
+
+    add({"UPPER", 1, 1, InferString,
+         [](const std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+           if (AnyNull(a)) return Value::Null();
+           return Value::String(ToUpperAscii(a[0].ToString()));
+         }});
+    add({"LOWER", 1, 1, InferString,
+         [](const std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+           if (AnyNull(a)) return Value::Null();
+           return Value::String(ToLowerAscii(a[0].ToString()));
+         }});
+    add({"LENGTH", 1, 1, InferInt,
+         [](const std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+           if (AnyNull(a)) return Value::Null();
+           if (!a[0].is_string() && !a[0].is_binary()) {
+             return Value::Int(
+                 static_cast<int64_t>(a[0].ToString().size()));
+           }
+           return Value::Int(static_cast<int64_t>(a[0].string_value().size()));
+         }});
+    add({"CONCAT", 1, 64, InferString,
+         [](const std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+           std::string out;
+           for (const Value& v : a) {
+             if (v.is_null()) return Value::Null();
+             out += v.is_string() ? v.string_value() : v.ToString();
+           }
+           return Value::String(std::move(out));
+         }});
+    add({"SUBSTRING", 2, 3, InferString,
+         [](const std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+           if (AnyNull(a)) return Value::Null();
+           const std::string& s =
+               a[0].is_string() ? a[0].string_value() : a[0].ToString();
+           LG_ASSIGN_OR_RETURN(int64_t start, a[1].AsInt());
+           // SQL SUBSTRING is 1-based.
+           int64_t begin = std::max<int64_t>(start - 1, 0);
+           if (begin >= static_cast<int64_t>(s.size())) {
+             return Value::String("");
+           }
+           int64_t len = static_cast<int64_t>(s.size()) - begin;
+           if (a.size() == 3) {
+             LG_ASSIGN_OR_RETURN(int64_t want, a[2].AsInt());
+             len = std::min(len, std::max<int64_t>(want, 0));
+           }
+           return Value::String(s.substr(static_cast<size_t>(begin),
+                                         static_cast<size_t>(len)));
+         }});
+    add({"TRIM", 1, 1, InferString,
+         [](const std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+           if (AnyNull(a)) return Value::Null();
+           const std::string& s = a[0].string_value();
+           size_t b = s.find_first_not_of(' ');
+           if (b == std::string::npos) return Value::String("");
+           size_t e = s.find_last_not_of(' ');
+           return Value::String(s.substr(b, e - b + 1));
+         }});
+    add({"REPLACE", 3, 3, InferString,
+         [](const std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+           if (AnyNull(a)) return Value::Null();
+           std::string s = a[0].string_value();
+           const std::string& from = a[1].string_value();
+           const std::string& to = a[2].string_value();
+           if (from.empty()) return Value::String(std::move(s));
+           std::string out;
+           size_t pos = 0;
+           while (true) {
+             size_t hit = s.find(from, pos);
+             if (hit == std::string::npos) {
+               out += s.substr(pos);
+               break;
+             }
+             out += s.substr(pos, hit - pos);
+             out += to;
+             pos = hit + from.size();
+           }
+           return Value::String(std::move(out));
+         }});
+    add({"ABS", 1, 1, InferNumericWiden,
+         [](const std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+           if (AnyNull(a)) return Value::Null();
+           if (a[0].is_int()) return Value::Int(std::llabs(a[0].int_value()));
+           LG_ASSIGN_OR_RETURN(double d, a[0].AsDouble());
+           return Value::Double(std::fabs(d));
+         }});
+    add({"ROUND", 1, 2, InferDouble,
+         [](const std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+           if (AnyNull(a)) return Value::Null();
+           LG_ASSIGN_OR_RETURN(double d, a[0].AsDouble());
+           int64_t digits = 0;
+           if (a.size() == 2) {
+             LG_ASSIGN_OR_RETURN(digits, a[1].AsInt());
+           }
+           double scale = std::pow(10.0, static_cast<double>(digits));
+           return Value::Double(std::round(d * scale) / scale);
+         }});
+    add({"FLOOR", 1, 1, InferInt,
+         [](const std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+           if (AnyNull(a)) return Value::Null();
+           LG_ASSIGN_OR_RETURN(double d, a[0].AsDouble());
+           return Value::Int(static_cast<int64_t>(std::floor(d)));
+         }});
+    add({"CEIL", 1, 1, InferInt,
+         [](const std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+           if (AnyNull(a)) return Value::Null();
+           LG_ASSIGN_OR_RETURN(double d, a[0].AsDouble());
+           return Value::Int(static_cast<int64_t>(std::ceil(d)));
+         }});
+    add({"SQRT", 1, 1, InferDouble,
+         [](const std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+           if (AnyNull(a)) return Value::Null();
+           LG_ASSIGN_OR_RETURN(double d, a[0].AsDouble());
+           if (d < 0) return Status::InvalidArgument("SQRT of negative value");
+           return Value::Double(std::sqrt(d));
+         }});
+    add({"POW", 2, 2, InferDouble,
+         [](const std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+           if (AnyNull(a)) return Value::Null();
+           LG_ASSIGN_OR_RETURN(double base, a[0].AsDouble());
+           LG_ASSIGN_OR_RETURN(double exp, a[1].AsDouble());
+           return Value::Double(std::pow(base, exp));
+         }});
+    add({"GREATEST", 2, 64, InferFirstArg,
+         [](const std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+           if (AnyNull(a)) return Value::Null();
+           Value best = a[0];
+           for (size_t i = 1; i < a.size(); ++i) {
+             if (a[i].Compare(best) > 0) best = a[i];
+           }
+           return best;
+         }});
+    add({"LEAST", 2, 64, InferFirstArg,
+         [](const std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+           if (AnyNull(a)) return Value::Null();
+           Value best = a[0];
+           for (size_t i = 1; i < a.size(); ++i) {
+             if (a[i].Compare(best) < 0) best = a[i];
+           }
+           return best;
+         }});
+    add({"COALESCE", 1, 64, InferFirstArg,
+         [](const std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+           for (const Value& v : a) {
+             if (!v.is_null()) return v;
+           }
+           return Value::Null();
+         }});
+    add({"NULLIF", 2, 2, InferFirstArg,
+         [](const std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+           if (a[0].is_null()) return Value::Null();
+           if (!a[1].is_null() && a[0].SqlEquals(a[1])) return Value::Null();
+           return a[0];
+         }});
+    add({"IF", 3, 3,
+         [](const std::vector<TypeKind>& args) -> Result<TypeKind> {
+           if (args[1] != TypeKind::kNull) return args[1];
+           return args[2];
+         },
+         [](const std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+           if (a[0].is_null()) return a[2];
+           if (!a[0].is_bool()) {
+             return Status::InvalidArgument("IF condition must be BOOLEAN");
+           }
+           return a[0].bool_value() ? a[1] : a[2];
+         }});
+    add({"IFNULL", 2, 2, InferFirstArg,
+         [](const std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+           return a[0].is_null() ? a[1] : a[0];
+         }});
+    // SHA2(expr [, bits]) — only 256 supported, matching the paper's UDF
+    // workload; returns the hex digest.
+    add({"SHA2", 1, 2, InferString,
+         [](const std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+           if (a[0].is_null()) return Value::Null();
+           if (a.size() == 2) {
+             LG_ASSIGN_OR_RETURN(int64_t bits, a[1].AsInt());
+             if (bits != 256) {
+               return Status::InvalidArgument("SHA2 supports only 256 bits");
+             }
+           }
+           const std::string payload =
+               (a[0].is_string() || a[0].is_binary()) ? a[0].string_value()
+                                                      : a[0].ToString();
+           return Value::String(Sha256::HexDigest(payload));
+         }});
+    add({"HASH", 1, 1, InferInt,
+         [](const std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+           if (AnyNull(a)) return Value::Null();
+           return Value::Int(static_cast<int64_t>(a[0].Hash()));
+         }});
+    // MASK(s): keeps the last 4 characters, masks the rest — the stock
+    // column-mask helper used in examples and tests (cf. Fig. 3 cell-level
+    // masking of PII columns).
+    add({"MASK", 1, 1, InferString,
+         [](const std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+           if (AnyNull(a)) return Value::Null();
+           const std::string& s = a[0].is_string() ? a[0].string_value()
+                                                   : a[0].ToString();
+           if (s.size() <= 4) return Value::String(std::string(s.size(), '*'));
+           return Value::String(std::string(s.size() - 4, '*') +
+                                s.substr(s.size() - 4));
+         }});
+    add({"REDACT", 1, 1, InferString,
+         [](const std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+           (void)a;
+           return Value::String("[REDACTED]");
+         }});
+    add({"CURRENT_USER", 0, 0, InferString,
+         [](const std::vector<Value>&, const EvalContext& ctx)
+             -> Result<Value> { return Value::String(ctx.current_user); }});
+    add({"USER_ATTRIBUTE", 1, 1, InferString,
+         [](const std::vector<Value>& a, const EvalContext& ctx)
+             -> Result<Value> {
+           if (AnyNull(a)) return Value::Null();
+           if (!ctx.user_attribute) return Value::Null();
+           std::string v =
+               ctx.user_attribute(ctx.current_user, a[0].string_value());
+           if (v.empty()) return Value::Null();
+           return Value::String(std::move(v));
+         }});
+    add({"IS_ACCOUNT_GROUP_MEMBER", 1, 1, InferBool,
+         [](const std::vector<Value>& a, const EvalContext& ctx)
+             -> Result<Value> {
+           if (AnyNull(a)) return Value::Null();
+           if (!ctx.is_group_member) return Value::Bool(false);
+           return Value::Bool(
+               ctx.is_group_member(ctx.current_user, a[0].string_value()));
+         }});
+
+    // Aliases.
+    (*reg)["LEN"] = (*reg)["LENGTH"];
+    (*reg)["IS_MEMBER"] = (*reg)["IS_ACCOUNT_GROUP_MEMBER"];
+    (*reg)["SHA256"] = (*reg)["SHA2"];
+    return reg;
+  }();
+  return *kRegistry;
+}
+
+}  // namespace
+
+Result<const BuiltinFunction*> LookupBuiltin(const std::string& name) {
+  const auto& reg = Registry();
+  auto it = reg.find(ToUpperAscii(name));
+  if (it == reg.end()) {
+    return Status::NotFound("no builtin function named " + name);
+  }
+  return &it->second;
+}
+
+bool IsAggregateFunctionName(const std::string& name) {
+  std::string up = ToUpperAscii(name);
+  return up == "SUM" || up == "COUNT" || up == "AVG" || up == "MIN" ||
+         up == "MAX";
+}
+
+std::vector<std::string> BuiltinFunctionNames() {
+  std::vector<std::string> out;
+  for (const auto& [name, fn] : Registry()) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace lakeguard

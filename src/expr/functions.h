@@ -1,0 +1,42 @@
+#ifndef LAKEGUARD_EXPR_FUNCTIONS_H_
+#define LAKEGUARD_EXPR_FUNCTIONS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "columnar/types.h"
+#include "columnar/value.h"
+#include "common/status.h"
+
+namespace lakeguard {
+
+struct EvalContext;
+
+/// A builtin scalar function: fixed arity range, a result-type rule and a
+/// row-wise evaluator. Builtins are *trusted* engine code (unlike UDFs,
+/// which run sandboxed); they include the context-sensitive governance
+/// functions CURRENT_USER() and IS_ACCOUNT_GROUP_MEMBER() that dynamic views
+/// and row filters are written against (§2.3).
+struct BuiltinFunction {
+  std::string name;
+  size_t min_args = 0;
+  size_t max_args = 0;
+  std::function<Result<TypeKind>(const std::vector<TypeKind>&)> infer;
+  std::function<Result<Value>(const std::vector<Value>&, const EvalContext&)>
+      eval;
+};
+
+/// Looks up a builtin by case-insensitive name; NotFound if absent.
+Result<const BuiltinFunction*> LookupBuiltin(const std::string& name);
+
+/// True for SUM/COUNT/AVG/MIN/MAX — these parse as FunctionCall but are
+/// executed by the Aggregate plan operator, never row-wise.
+bool IsAggregateFunctionName(const std::string& name);
+
+/// All registered builtin names (for error messages and docs).
+std::vector<std::string> BuiltinFunctionNames();
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_EXPR_FUNCTIONS_H_

@@ -1,0 +1,313 @@
+#include "plan/plan.h"
+
+#include <sstream>
+
+namespace lakeguard {
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kTableRef:
+      return "TableRef";
+    case PlanKind::kLocalRelation:
+      return "LocalRelation";
+    case PlanKind::kProject:
+      return "Project";
+    case PlanKind::kFilter:
+      return "Filter";
+    case PlanKind::kAggregate:
+      return "Aggregate";
+    case PlanKind::kJoin:
+      return "Join";
+    case PlanKind::kSort:
+      return "Sort";
+    case PlanKind::kLimit:
+      return "Limit";
+    case PlanKind::kSecureView:
+      return "SecureView";
+    case PlanKind::kResolvedScan:
+      return "ResolvedScan";
+    case PlanKind::kRemoteScan:
+      return "RemoteScan";
+    case PlanKind::kExtension:
+      return "Extension";
+  }
+  return "?";
+}
+
+const char* JoinTypeName(JoinType type) {
+  switch (type) {
+    case JoinType::kInner:
+      return "INNER";
+    case JoinType::kLeft:
+      return "LEFT";
+    case JoinType::kCross:
+      return "CROSS";
+  }
+  return "?";
+}
+
+namespace {
+void RenderTree(const PlanNode& node, int depth, std::ostringstream* os) {
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  if (depth > 0) *os << "+- ";
+  *os << node.Describe() << "\n";
+  for (const PlanPtr& child : node.children()) {
+    RenderTree(*child, depth + 1, os);
+  }
+  // RemoteScan renders its remote sub-plan as a nested, clearly-marked block.
+  if (node.kind() == PlanKind::kRemoteScan) {
+    const auto& remote = static_cast<const RemoteScanNode&>(node);
+    if (remote.remote_plan()) {
+      for (int i = 0; i <= depth; ++i) *os << "  ";
+      *os << "[remote sub-plan]\n";
+      RenderTree(*remote.remote_plan(), depth + 2, os);
+    }
+  }
+}
+}  // namespace
+
+std::string PlanNode::ToTreeString() const {
+  std::ostringstream os;
+  RenderTree(*this, 0, &os);
+  return os.str();
+}
+
+bool TableRefNode::Equals(const PlanNode& other) const {
+  if (other.kind() != PlanKind::kTableRef) return false;
+  const auto& o = static_cast<const TableRefNode&>(other);
+  return name_ == o.name_ && alias_ == o.alias_;
+}
+std::string TableRefNode::Describe() const {
+  std::string out = "UnresolvedRelation [" + name_ + "]";
+  if (!alias_.empty()) out += " AS " + alias_;
+  return out;
+}
+
+bool LocalRelationNode::Equals(const PlanNode& other) const {
+  if (other.kind() != PlanKind::kLocalRelation) return false;
+  return data_.Equals(static_cast<const LocalRelationNode&>(other).data_);
+}
+std::string LocalRelationNode::Describe() const {
+  return "LocalRelation " + data_.schema().ToString() + ", rows=" +
+         std::to_string(data_.num_rows());
+}
+
+bool ProjectNode::Equals(const PlanNode& other) const {
+  if (other.kind() != PlanKind::kProject) return false;
+  const auto& o = static_cast<const ProjectNode&>(other);
+  if (names_ != o.names_ || exprs_.size() != o.exprs_.size()) return false;
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (!exprs_[i]->Equals(*o.exprs_[i])) return false;
+  }
+  return child_->Equals(*o.child_);
+}
+std::string ProjectNode::Describe() const {
+  std::string out = "Project [";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += exprs_[i]->ToString();
+    if (!names_[i].empty()) out += " AS " + names_[i];
+  }
+  return out + "]";
+}
+
+bool FilterNode::Equals(const PlanNode& other) const {
+  if (other.kind() != PlanKind::kFilter) return false;
+  const auto& o = static_cast<const FilterNode&>(other);
+  return condition_->Equals(*o.condition_) && child_->Equals(*o.child_);
+}
+std::string FilterNode::Describe() const {
+  return "Filter [" + condition_->ToString() + "]";
+}
+
+bool AggregateNode::Equals(const PlanNode& other) const {
+  if (other.kind() != PlanKind::kAggregate) return false;
+  const auto& o = static_cast<const AggregateNode&>(other);
+  if (group_names_ != o.group_names_ || agg_names_ != o.agg_names_ ||
+      group_exprs_.size() != o.group_exprs_.size() ||
+      agg_exprs_.size() != o.agg_exprs_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < group_exprs_.size(); ++i) {
+    if (!group_exprs_[i]->Equals(*o.group_exprs_[i])) return false;
+  }
+  for (size_t i = 0; i < agg_exprs_.size(); ++i) {
+    if (!agg_exprs_[i]->Equals(*o.agg_exprs_[i])) return false;
+  }
+  return child_->Equals(*o.child_);
+}
+std::string AggregateNode::Describe() const {
+  std::string out = "Aggregate [";
+  for (size_t i = 0; i < group_exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += group_exprs_[i]->ToString();
+  }
+  out += "], [";
+  for (size_t i = 0; i < agg_exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += agg_exprs_[i]->ToString();
+    if (!agg_names_[i].empty()) out += " AS " + agg_names_[i];
+  }
+  return out + "]";
+}
+
+bool JoinNode::Equals(const PlanNode& other) const {
+  if (other.kind() != PlanKind::kJoin) return false;
+  const auto& o = static_cast<const JoinNode&>(other);
+  if (join_type_ != o.join_type_) return false;
+  if ((condition_ == nullptr) != (o.condition_ == nullptr)) return false;
+  if (condition_ && !condition_->Equals(*o.condition_)) return false;
+  return left_->Equals(*o.left_) && right_->Equals(*o.right_);
+}
+std::string JoinNode::Describe() const {
+  std::string out = std::string("Join ") + JoinTypeName(join_type_);
+  if (condition_) out += " [" + condition_->ToString() + "]";
+  return out;
+}
+
+bool SortNode::Equals(const PlanNode& other) const {
+  if (other.kind() != PlanKind::kSort) return false;
+  const auto& o = static_cast<const SortNode&>(other);
+  if (keys_.size() != o.keys_.size()) return false;
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i].ascending != o.keys_[i].ascending) return false;
+    if (!keys_[i].expr->Equals(*o.keys_[i].expr)) return false;
+  }
+  return child_->Equals(*o.child_);
+}
+std::string SortNode::Describe() const {
+  std::string out = "Sort [";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += keys_[i].expr->ToString();
+    out += keys_[i].ascending ? " ASC" : " DESC";
+  }
+  return out + "]";
+}
+
+bool LimitNode::Equals(const PlanNode& other) const {
+  if (other.kind() != PlanKind::kLimit) return false;
+  const auto& o = static_cast<const LimitNode&>(other);
+  return limit_ == o.limit_ && child_->Equals(*o.child_);
+}
+std::string LimitNode::Describe() const {
+  return "Limit " + std::to_string(limit_);
+}
+
+bool SecureViewNode::Equals(const PlanNode& other) const {
+  if (other.kind() != PlanKind::kSecureView) return false;
+  const auto& o = static_cast<const SecureViewNode&>(other);
+  return securable_name_ == o.securable_name_ && child_->Equals(*o.child_);
+}
+std::string SecureViewNode::Describe() const {
+  return "SecureView [" + securable_name_ + "]";
+}
+
+bool ResolvedScanNode::Equals(const PlanNode& other) const {
+  if (other.kind() != PlanKind::kResolvedScan) return false;
+  const auto& o = static_cast<const ResolvedScanNode&>(other);
+  return table_name_ == o.table_name_ && storage_root_ == o.storage_root_ &&
+         schema_.Equals(o.schema_);
+}
+std::string ResolvedScanNode::Describe() const {
+  return "Relation " + table_name_ + " " + schema_.ToString();
+}
+
+bool RemoteScanNode::Equals(const PlanNode& other) const {
+  if (other.kind() != PlanKind::kRemoteScan) return false;
+  const auto& o = static_cast<const RemoteScanNode&>(other);
+  if (endpoint_ != o.endpoint_ || !schema_.Equals(o.schema_)) return false;
+  if ((remote_plan_ == nullptr) != (o.remote_plan_ == nullptr)) return false;
+  return remote_plan_ == nullptr || remote_plan_->Equals(*o.remote_plan_);
+}
+std::string RemoteScanNode::Describe() const {
+  return "RemoteFilteredScan endpoint=" + endpoint_ + " " +
+         schema_.ToString();
+}
+
+bool ExtensionNode::Equals(const PlanNode& other) const {
+  if (other.kind() != PlanKind::kExtension) return false;
+  const auto& o = static_cast<const ExtensionNode&>(other);
+  return extension_name_ == o.extension_name_ && payload_ == o.payload_;
+}
+std::string ExtensionNode::Describe() const {
+  return "Extension [" + extension_name_ + ", " +
+         std::to_string(payload_.size()) + " payload bytes]";
+}
+
+PlanPtr MakeTableRef(std::string name, std::string alias) {
+  return std::make_shared<TableRefNode>(std::move(name), std::move(alias));
+}
+PlanPtr MakeLocalRelation(RecordBatch data) {
+  return std::make_shared<LocalRelationNode>(std::move(data));
+}
+PlanPtr MakeProject(PlanPtr child, std::vector<ExprPtr> exprs,
+                    std::vector<std::string> names) {
+  return std::make_shared<ProjectNode>(std::move(child), std::move(exprs),
+                                       std::move(names));
+}
+PlanPtr MakeFilter(PlanPtr child, ExprPtr condition) {
+  return std::make_shared<FilterNode>(std::move(child), std::move(condition));
+}
+PlanPtr MakeAggregate(PlanPtr child, std::vector<ExprPtr> group_exprs,
+                      std::vector<std::string> group_names,
+                      std::vector<ExprPtr> agg_exprs,
+                      std::vector<std::string> agg_names) {
+  return std::make_shared<AggregateNode>(
+      std::move(child), std::move(group_exprs), std::move(group_names),
+      std::move(agg_exprs), std::move(agg_names));
+}
+PlanPtr MakeJoin(PlanPtr left, PlanPtr right, JoinType type, ExprPtr cond) {
+  return std::make_shared<JoinNode>(std::move(left), std::move(right), type,
+                                    std::move(cond));
+}
+PlanPtr MakeSort(PlanPtr child, std::vector<SortKey> keys) {
+  return std::make_shared<SortNode>(std::move(child), std::move(keys));
+}
+PlanPtr MakeLimit(PlanPtr child, int64_t limit) {
+  return std::make_shared<LimitNode>(std::move(child), limit);
+}
+PlanPtr MakeSecureView(PlanPtr child, std::string securable_name) {
+  return std::make_shared<SecureViewNode>(std::move(child),
+                                          std::move(securable_name));
+}
+PlanPtr MakeResolvedScan(std::string table, std::string root, Schema schema) {
+  return std::make_shared<ResolvedScanNode>(std::move(table), std::move(root),
+                                            std::move(schema));
+}
+PlanPtr MakeRemoteScan(PlanPtr remote_plan, std::string endpoint,
+                       Schema schema) {
+  return std::make_shared<RemoteScanNode>(std::move(remote_plan),
+                                          std::move(endpoint),
+                                          std::move(schema));
+}
+PlanPtr MakeExtension(std::string extension_name,
+                      std::vector<uint8_t> payload) {
+  return std::make_shared<ExtensionNode>(std::move(extension_name),
+                                         std::move(payload));
+}
+
+bool PlanContains(const PlanPtr& plan,
+                  const std::function<bool(const PlanNode&)>& pred) {
+  if (pred(*plan)) return true;
+  for (const PlanPtr& child : plan->children()) {
+    if (PlanContains(child, pred)) return true;
+  }
+  if (plan->kind() == PlanKind::kRemoteScan) {
+    const auto& remote = static_cast<const RemoteScanNode&>(*plan);
+    if (remote.remote_plan() && PlanContains(remote.remote_plan(), pred)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t CountPlanNodes(const PlanPtr& plan, PlanKind kind) {
+  size_t n = plan->kind() == kind ? 1 : 0;
+  for (const PlanPtr& child : plan->children()) {
+    n += CountPlanNodes(child, kind);
+  }
+  return n;
+}
+
+}  // namespace lakeguard

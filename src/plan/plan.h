@@ -1,0 +1,364 @@
+#ifndef LAKEGUARD_PLAN_PLAN_H_
+#define LAKEGUARD_PLAN_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/record_batch.h"
+#include "expr/expr.h"
+
+namespace lakeguard {
+
+class PlanNode;
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+/// Logical relation kinds — the Relation message family of the Connect
+/// protocol (§3.2.2). Clients and the SQL frontend build *unresolved* trees
+/// (kTableRef leaves); the analyzer resolves them into trees whose leaves
+/// are kResolvedScan / kLocalRelation / kRemoteScan, with governance nodes
+/// (kSecureView) injected along the way.
+enum class PlanKind : uint8_t {
+  kTableRef = 0,
+  kLocalRelation = 1,
+  kProject = 2,
+  kFilter = 3,
+  kAggregate = 4,
+  kJoin = 5,
+  kSort = 6,
+  kLimit = 7,
+  kSecureView = 8,
+  kResolvedScan = 9,
+  kRemoteScan = 10,
+  kExtension = 11,
+};
+
+enum class JoinType : uint8_t {
+  kInner = 0,
+  kLeft = 1,
+  kCross = 2,
+};
+
+const char* PlanKindName(PlanKind kind);
+const char* JoinTypeName(JoinType type);
+
+/// Base of the logical plan tree. Immutable; rewrites share subtrees.
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+  PlanKind kind() const { return kind_; }
+
+  virtual std::vector<PlanPtr> children() const = 0;
+  virtual bool Equals(const PlanNode& other) const = 0;
+
+  /// One-line description of this node (no children).
+  virtual std::string Describe() const = 0;
+
+  /// Indented multi-line tree rendering (the Fig. 8 reproductions print
+  /// source / resolved / rewritten trees with this).
+  std::string ToTreeString() const;
+
+ protected:
+  explicit PlanNode(PlanKind kind) : kind_(kind) {}
+
+ private:
+  PlanKind kind_;
+};
+
+/// Unresolved named relation: "main.clinical.sensor_view". The optional
+/// alias ("o" in `FROM orders o`) qualifies column references in joins.
+class TableRefNode : public PlanNode {
+ public:
+  explicit TableRefNode(std::string name, std::string alias = "")
+      : PlanNode(PlanKind::kTableRef),
+        name_(std::move(name)),
+        alias_(std::move(alias)) {}
+  const std::string& name() const { return name_; }
+  const std::string& alias() const { return alias_; }
+
+  std::vector<PlanPtr> children() const override { return {}; }
+  bool Equals(const PlanNode& other) const override;
+  std::string Describe() const override;
+
+ private:
+  std::string name_;
+  std::string alias_;
+};
+
+/// Inline client-provided data (`spark.createDataFrame` analogue).
+class LocalRelationNode : public PlanNode {
+ public:
+  explicit LocalRelationNode(RecordBatch data)
+      : PlanNode(PlanKind::kLocalRelation), data_(std::move(data)) {}
+  const RecordBatch& data() const { return data_; }
+
+  std::vector<PlanPtr> children() const override { return {}; }
+  bool Equals(const PlanNode& other) const override;
+  std::string Describe() const override;
+
+ private:
+  RecordBatch data_;
+};
+
+/// Projection with output names.
+class ProjectNode : public PlanNode {
+ public:
+  ProjectNode(PlanPtr child, std::vector<ExprPtr> exprs,
+              std::vector<std::string> names)
+      : PlanNode(PlanKind::kProject),
+        child_(std::move(child)),
+        exprs_(std::move(exprs)),
+        names_(std::move(names)) {}
+  const PlanPtr& child() const { return child_; }
+  const std::vector<ExprPtr>& exprs() const { return exprs_; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  std::vector<PlanPtr> children() const override { return {child_}; }
+  bool Equals(const PlanNode& other) const override;
+  std::string Describe() const override;
+
+ private:
+  PlanPtr child_;
+  std::vector<ExprPtr> exprs_;
+  std::vector<std::string> names_;
+};
+
+class FilterNode : public PlanNode {
+ public:
+  FilterNode(PlanPtr child, ExprPtr condition)
+      : PlanNode(PlanKind::kFilter),
+        child_(std::move(child)),
+        condition_(std::move(condition)) {}
+  const PlanPtr& child() const { return child_; }
+  const ExprPtr& condition() const { return condition_; }
+
+  std::vector<PlanPtr> children() const override { return {child_}; }
+  bool Equals(const PlanNode& other) const override;
+  std::string Describe() const override;
+
+ private:
+  PlanPtr child_;
+  ExprPtr condition_;
+};
+
+/// Hash aggregation: GROUP BY `group_exprs`, computing `agg_exprs`
+/// (FunctionCall nodes named SUM/COUNT/AVG/MIN/MAX).
+class AggregateNode : public PlanNode {
+ public:
+  AggregateNode(PlanPtr child, std::vector<ExprPtr> group_exprs,
+                std::vector<std::string> group_names,
+                std::vector<ExprPtr> agg_exprs,
+                std::vector<std::string> agg_names)
+      : PlanNode(PlanKind::kAggregate),
+        child_(std::move(child)),
+        group_exprs_(std::move(group_exprs)),
+        group_names_(std::move(group_names)),
+        agg_exprs_(std::move(agg_exprs)),
+        agg_names_(std::move(agg_names)) {}
+  const PlanPtr& child() const { return child_; }
+  const std::vector<ExprPtr>& group_exprs() const { return group_exprs_; }
+  const std::vector<std::string>& group_names() const { return group_names_; }
+  const std::vector<ExprPtr>& agg_exprs() const { return agg_exprs_; }
+  const std::vector<std::string>& agg_names() const { return agg_names_; }
+
+  std::vector<PlanPtr> children() const override { return {child_}; }
+  bool Equals(const PlanNode& other) const override;
+  std::string Describe() const override;
+
+ private:
+  PlanPtr child_;
+  std::vector<ExprPtr> group_exprs_;
+  std::vector<std::string> group_names_;
+  std::vector<ExprPtr> agg_exprs_;
+  std::vector<std::string> agg_names_;
+};
+
+class JoinNode : public PlanNode {
+ public:
+  JoinNode(PlanPtr left, PlanPtr right, JoinType join_type, ExprPtr condition)
+      : PlanNode(PlanKind::kJoin),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        join_type_(join_type),
+        condition_(std::move(condition)) {}
+  const PlanPtr& left() const { return left_; }
+  const PlanPtr& right() const { return right_; }
+  JoinType join_type() const { return join_type_; }
+  const ExprPtr& condition() const { return condition_; }  // null for CROSS
+
+  std::vector<PlanPtr> children() const override { return {left_, right_}; }
+  bool Equals(const PlanNode& other) const override;
+  std::string Describe() const override;
+
+ private:
+  PlanPtr left_;
+  PlanPtr right_;
+  JoinType join_type_;
+  ExprPtr condition_;
+};
+
+struct SortKey {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+class SortNode : public PlanNode {
+ public:
+  SortNode(PlanPtr child, std::vector<SortKey> keys)
+      : PlanNode(PlanKind::kSort),
+        child_(std::move(child)),
+        keys_(std::move(keys)) {}
+  const PlanPtr& child() const { return child_; }
+  const std::vector<SortKey>& keys() const { return keys_; }
+
+  std::vector<PlanPtr> children() const override { return {child_}; }
+  bool Equals(const PlanNode& other) const override;
+  std::string Describe() const override;
+
+ private:
+  PlanPtr child_;
+  std::vector<SortKey> keys_;
+};
+
+class LimitNode : public PlanNode {
+ public:
+  LimitNode(PlanPtr child, int64_t limit)
+      : PlanNode(PlanKind::kLimit), child_(std::move(child)), limit_(limit) {}
+  const PlanPtr& child() const { return child_; }
+  int64_t limit() const { return limit_; }
+
+  std::vector<PlanPtr> children() const override { return {child_}; }
+  bool Equals(const PlanNode& other) const override;
+  std::string Describe() const override;
+
+ private:
+  PlanPtr child_;
+  int64_t limit_;
+};
+
+/// Governance barrier injected by the analyzer when expanding views, row
+/// filters and column masks (Fig. 8's "SecureView"). Optimizer rules must
+/// not push user expressions below this node, and UDF fusion must not cross
+/// it — it marks the boundary between policy expressions (trusted) and user
+/// expressions (untrusted).
+class SecureViewNode : public PlanNode {
+ public:
+  SecureViewNode(PlanPtr child, std::string securable_name)
+      : PlanNode(PlanKind::kSecureView),
+        child_(std::move(child)),
+        securable_name_(std::move(securable_name)) {}
+  const PlanPtr& child() const { return child_; }
+  const std::string& securable_name() const { return securable_name_; }
+
+  std::vector<PlanPtr> children() const override { return {child_}; }
+  bool Equals(const PlanNode& other) const override;
+  std::string Describe() const override;
+
+ private:
+  PlanPtr child_;
+  std::string securable_name_;
+};
+
+/// Analyzer output leaf: a governed table bound to its storage location.
+class ResolvedScanNode : public PlanNode {
+ public:
+  ResolvedScanNode(std::string table_name, std::string storage_root,
+                   Schema schema)
+      : PlanNode(PlanKind::kResolvedScan),
+        table_name_(std::move(table_name)),
+        storage_root_(std::move(storage_root)),
+        schema_(std::move(schema)) {}
+  const std::string& table_name() const { return table_name_; }
+  const std::string& storage_root() const { return storage_root_; }
+  const Schema& schema() const { return schema_; }
+
+  std::vector<PlanPtr> children() const override { return {}; }
+  bool Equals(const PlanNode& other) const override;
+  std::string Describe() const override;
+
+ private:
+  std::string table_name_;
+  std::string storage_root_;
+  Schema schema_;
+};
+
+/// eFGAC leaf (§3.4): the relation is processed *externally* on a Serverless
+/// endpoint. Carries the unresolved sub-plan to submit remotely (into which
+/// the optimizer pushes projections, filters and partial aggregations) and
+/// the schema the remote endpoint reported at analyze time. Note what is
+/// deliberately absent: any policy expression — the privileged cluster never
+/// sees row-filter predicates or mask expressions.
+class RemoteScanNode : public PlanNode {
+ public:
+  RemoteScanNode(PlanPtr remote_plan, std::string endpoint, Schema schema)
+      : PlanNode(PlanKind::kRemoteScan),
+        remote_plan_(std::move(remote_plan)),
+        endpoint_(std::move(endpoint)),
+        schema_(std::move(schema)) {}
+  const PlanPtr& remote_plan() const { return remote_plan_; }
+  const std::string& endpoint() const { return endpoint_; }
+  const Schema& schema() const { return schema_; }
+
+  std::vector<PlanPtr> children() const override { return {}; }
+  bool Equals(const PlanNode& other) const override;
+  std::string Describe() const override;
+
+ private:
+  PlanPtr remote_plan_;
+  std::string endpoint_;
+  Schema schema_;
+};
+
+/// A client-plugin relation embedded in the protocol (§3.2.2's extension
+/// points, e.g. the Delta extension): an opaque payload the server-side
+/// extension registered under `extension_name` expands into a plan during
+/// analysis. Unknown extensions fail analysis with NotFound.
+class ExtensionNode : public PlanNode {
+ public:
+  ExtensionNode(std::string extension_name, std::vector<uint8_t> payload)
+      : PlanNode(PlanKind::kExtension),
+        extension_name_(std::move(extension_name)),
+        payload_(std::move(payload)) {}
+  const std::string& extension_name() const { return extension_name_; }
+  const std::vector<uint8_t>& payload() const { return payload_; }
+
+  std::vector<PlanPtr> children() const override { return {}; }
+  bool Equals(const PlanNode& other) const override;
+  std::string Describe() const override;
+
+ private:
+  std::string extension_name_;
+  std::vector<uint8_t> payload_;
+};
+
+// ---- Factory helpers -------------------------------------------------------
+
+PlanPtr MakeTableRef(std::string name, std::string alias = "");
+PlanPtr MakeLocalRelation(RecordBatch data);
+PlanPtr MakeProject(PlanPtr child, std::vector<ExprPtr> exprs,
+                    std::vector<std::string> names);
+PlanPtr MakeFilter(PlanPtr child, ExprPtr condition);
+PlanPtr MakeAggregate(PlanPtr child, std::vector<ExprPtr> group_exprs,
+                      std::vector<std::string> group_names,
+                      std::vector<ExprPtr> agg_exprs,
+                      std::vector<std::string> agg_names);
+PlanPtr MakeJoin(PlanPtr left, PlanPtr right, JoinType type, ExprPtr cond);
+PlanPtr MakeSort(PlanPtr child, std::vector<SortKey> keys);
+PlanPtr MakeLimit(PlanPtr child, int64_t limit);
+PlanPtr MakeSecureView(PlanPtr child, std::string securable_name);
+PlanPtr MakeResolvedScan(std::string table, std::string root, Schema schema);
+PlanPtr MakeRemoteScan(PlanPtr remote_plan, std::string endpoint,
+                       Schema schema);
+PlanPtr MakeExtension(std::string extension_name,
+                      std::vector<uint8_t> payload);
+
+/// True if any node in the tree satisfies `pred`.
+bool PlanContains(const PlanPtr& plan,
+                  const std::function<bool(const PlanNode&)>& pred);
+
+/// Counts nodes of `kind` in the tree.
+size_t CountPlanNodes(const PlanPtr& plan, PlanKind kind);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_PLAN_PLAN_H_

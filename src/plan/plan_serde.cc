@@ -1,0 +1,244 @@
+#include "plan/plan_serde.h"
+
+#include "columnar/ipc.h"
+#include "expr/expr_serde.h"
+
+namespace lakeguard {
+
+void SerializePlan(const PlanPtr& plan, ByteWriter* writer) {
+  writer->PutByte(static_cast<uint8_t>(plan->kind()));
+  switch (plan->kind()) {
+    case PlanKind::kTableRef: {
+      const auto& node = static_cast<const TableRefNode&>(*plan);
+      writer->PutString(node.name());
+      writer->PutString(node.alias());
+      break;
+    }
+    case PlanKind::kLocalRelation: {
+      const auto& node = static_cast<const LocalRelationNode&>(*plan);
+      std::vector<uint8_t> frame = ipc::SerializeBatch(node.data());
+      writer->PutVarint(frame.size());
+      writer->PutRaw(frame.data(), frame.size());
+      break;
+    }
+    case PlanKind::kProject: {
+      const auto& node = static_cast<const ProjectNode&>(*plan);
+      writer->PutVarint(node.exprs().size());
+      for (size_t i = 0; i < node.exprs().size(); ++i) {
+        SerializeExpr(node.exprs()[i], writer);
+        writer->PutString(node.names()[i]);
+      }
+      SerializePlan(node.child(), writer);
+      break;
+    }
+    case PlanKind::kFilter: {
+      const auto& node = static_cast<const FilterNode&>(*plan);
+      SerializeExpr(node.condition(), writer);
+      SerializePlan(node.child(), writer);
+      break;
+    }
+    case PlanKind::kAggregate: {
+      const auto& node = static_cast<const AggregateNode&>(*plan);
+      writer->PutVarint(node.group_exprs().size());
+      for (size_t i = 0; i < node.group_exprs().size(); ++i) {
+        SerializeExpr(node.group_exprs()[i], writer);
+        writer->PutString(node.group_names()[i]);
+      }
+      writer->PutVarint(node.agg_exprs().size());
+      for (size_t i = 0; i < node.agg_exprs().size(); ++i) {
+        SerializeExpr(node.agg_exprs()[i], writer);
+        writer->PutString(node.agg_names()[i]);
+      }
+      SerializePlan(node.child(), writer);
+      break;
+    }
+    case PlanKind::kJoin: {
+      const auto& node = static_cast<const JoinNode&>(*plan);
+      writer->PutByte(static_cast<uint8_t>(node.join_type()));
+      writer->PutBool(node.condition() != nullptr);
+      if (node.condition()) SerializeExpr(node.condition(), writer);
+      SerializePlan(node.left(), writer);
+      SerializePlan(node.right(), writer);
+      break;
+    }
+    case PlanKind::kSort: {
+      const auto& node = static_cast<const SortNode&>(*plan);
+      writer->PutVarint(node.keys().size());
+      for (const SortKey& key : node.keys()) {
+        SerializeExpr(key.expr, writer);
+        writer->PutBool(key.ascending);
+      }
+      SerializePlan(node.child(), writer);
+      break;
+    }
+    case PlanKind::kLimit: {
+      const auto& node = static_cast<const LimitNode&>(*plan);
+      writer->PutZigzag(node.limit());
+      SerializePlan(node.child(), writer);
+      break;
+    }
+    case PlanKind::kSecureView: {
+      const auto& node = static_cast<const SecureViewNode&>(*plan);
+      writer->PutString(node.securable_name());
+      SerializePlan(node.child(), writer);
+      break;
+    }
+    case PlanKind::kResolvedScan: {
+      const auto& node = static_cast<const ResolvedScanNode&>(*plan);
+      writer->PutString(node.table_name());
+      writer->PutString(node.storage_root());
+      ipc::SerializeSchema(node.schema(), writer);
+      break;
+    }
+    case PlanKind::kRemoteScan: {
+      const auto& node = static_cast<const RemoteScanNode&>(*plan);
+      writer->PutString(node.endpoint());
+      ipc::SerializeSchema(node.schema(), writer);
+      writer->PutBool(node.remote_plan() != nullptr);
+      if (node.remote_plan()) SerializePlan(node.remote_plan(), writer);
+      break;
+    }
+    case PlanKind::kExtension: {
+      const auto& node = static_cast<const ExtensionNode&>(*plan);
+      writer->PutString(node.extension_name());
+      writer->PutVarint(node.payload().size());
+      writer->PutRaw(node.payload().data(), node.payload().size());
+      break;
+    }
+  }
+}
+
+Result<PlanPtr> DeserializePlan(ByteReader* reader) {
+  LG_ASSIGN_OR_RETURN(uint8_t kind_byte, reader->ReadByte());
+  if (kind_byte > static_cast<uint8_t>(PlanKind::kExtension)) {
+    return Status::DataLoss("invalid plan kind " + std::to_string(kind_byte));
+  }
+  switch (static_cast<PlanKind>(kind_byte)) {
+    case PlanKind::kTableRef: {
+      LG_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+      LG_ASSIGN_OR_RETURN(std::string alias, reader->ReadString());
+      return MakeTableRef(std::move(name), std::move(alias));
+    }
+    case PlanKind::kLocalRelation: {
+      LG_ASSIGN_OR_RETURN(std::vector<uint8_t> frame, reader->ReadBytes());
+      LG_ASSIGN_OR_RETURN(RecordBatch batch, ipc::DeserializeBatch(frame));
+      return MakeLocalRelation(std::move(batch));
+    }
+    case PlanKind::kProject: {
+      LG_ASSIGN_OR_RETURN(uint64_t n, reader->ReadVarint());
+      std::vector<ExprPtr> exprs;
+      std::vector<std::string> names;
+      for (uint64_t i = 0; i < n; ++i) {
+        LG_ASSIGN_OR_RETURN(ExprPtr e, DeserializeExpr(reader));
+        LG_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+        exprs.push_back(std::move(e));
+        names.push_back(std::move(name));
+      }
+      LG_ASSIGN_OR_RETURN(PlanPtr child, DeserializePlan(reader));
+      return MakeProject(std::move(child), std::move(exprs), std::move(names));
+    }
+    case PlanKind::kFilter: {
+      LG_ASSIGN_OR_RETURN(ExprPtr cond, DeserializeExpr(reader));
+      LG_ASSIGN_OR_RETURN(PlanPtr child, DeserializePlan(reader));
+      return MakeFilter(std::move(child), std::move(cond));
+    }
+    case PlanKind::kAggregate: {
+      LG_ASSIGN_OR_RETURN(uint64_t ng, reader->ReadVarint());
+      std::vector<ExprPtr> group_exprs;
+      std::vector<std::string> group_names;
+      for (uint64_t i = 0; i < ng; ++i) {
+        LG_ASSIGN_OR_RETURN(ExprPtr e, DeserializeExpr(reader));
+        LG_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+        group_exprs.push_back(std::move(e));
+        group_names.push_back(std::move(name));
+      }
+      LG_ASSIGN_OR_RETURN(uint64_t na, reader->ReadVarint());
+      std::vector<ExprPtr> agg_exprs;
+      std::vector<std::string> agg_names;
+      for (uint64_t i = 0; i < na; ++i) {
+        LG_ASSIGN_OR_RETURN(ExprPtr e, DeserializeExpr(reader));
+        LG_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+        agg_exprs.push_back(std::move(e));
+        agg_names.push_back(std::move(name));
+      }
+      LG_ASSIGN_OR_RETURN(PlanPtr child, DeserializePlan(reader));
+      return MakeAggregate(std::move(child), std::move(group_exprs),
+                           std::move(group_names), std::move(agg_exprs),
+                           std::move(agg_names));
+    }
+    case PlanKind::kJoin: {
+      LG_ASSIGN_OR_RETURN(uint8_t type, reader->ReadByte());
+      if (type > static_cast<uint8_t>(JoinType::kCross)) {
+        return Status::DataLoss("invalid join type");
+      }
+      LG_ASSIGN_OR_RETURN(bool has_cond, reader->ReadBool());
+      ExprPtr cond;
+      if (has_cond) {
+        LG_ASSIGN_OR_RETURN(cond, DeserializeExpr(reader));
+      }
+      LG_ASSIGN_OR_RETURN(PlanPtr left, DeserializePlan(reader));
+      LG_ASSIGN_OR_RETURN(PlanPtr right, DeserializePlan(reader));
+      return MakeJoin(std::move(left), std::move(right),
+                      static_cast<JoinType>(type), std::move(cond));
+    }
+    case PlanKind::kSort: {
+      LG_ASSIGN_OR_RETURN(uint64_t n, reader->ReadVarint());
+      std::vector<SortKey> keys;
+      for (uint64_t i = 0; i < n; ++i) {
+        SortKey key;
+        LG_ASSIGN_OR_RETURN(key.expr, DeserializeExpr(reader));
+        LG_ASSIGN_OR_RETURN(key.ascending, reader->ReadBool());
+        keys.push_back(std::move(key));
+      }
+      LG_ASSIGN_OR_RETURN(PlanPtr child, DeserializePlan(reader));
+      return MakeSort(std::move(child), std::move(keys));
+    }
+    case PlanKind::kLimit: {
+      LG_ASSIGN_OR_RETURN(int64_t limit, reader->ReadZigzag());
+      LG_ASSIGN_OR_RETURN(PlanPtr child, DeserializePlan(reader));
+      return MakeLimit(std::move(child), limit);
+    }
+    case PlanKind::kSecureView: {
+      LG_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+      LG_ASSIGN_OR_RETURN(PlanPtr child, DeserializePlan(reader));
+      return MakeSecureView(std::move(child), std::move(name));
+    }
+    case PlanKind::kResolvedScan: {
+      LG_ASSIGN_OR_RETURN(std::string table, reader->ReadString());
+      LG_ASSIGN_OR_RETURN(std::string root, reader->ReadString());
+      LG_ASSIGN_OR_RETURN(Schema schema, ipc::DeserializeSchema(reader));
+      return MakeResolvedScan(std::move(table), std::move(root),
+                              std::move(schema));
+    }
+    case PlanKind::kRemoteScan: {
+      LG_ASSIGN_OR_RETURN(std::string endpoint, reader->ReadString());
+      LG_ASSIGN_OR_RETURN(Schema schema, ipc::DeserializeSchema(reader));
+      LG_ASSIGN_OR_RETURN(bool has_plan, reader->ReadBool());
+      PlanPtr remote;
+      if (has_plan) {
+        LG_ASSIGN_OR_RETURN(remote, DeserializePlan(reader));
+      }
+      return MakeRemoteScan(std::move(remote), std::move(endpoint),
+                            std::move(schema));
+    }
+    case PlanKind::kExtension: {
+      LG_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+      LG_ASSIGN_OR_RETURN(std::vector<uint8_t> payload, reader->ReadBytes());
+      return MakeExtension(std::move(name), std::move(payload));
+    }
+  }
+  return Status::Internal("unreachable plan kind");
+}
+
+std::vector<uint8_t> PlanToBytes(const PlanPtr& plan) {
+  ByteWriter writer;
+  SerializePlan(plan, &writer);
+  return writer.Release();
+}
+
+Result<PlanPtr> PlanFromBytes(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  return DeserializePlan(&reader);
+}
+
+}  // namespace lakeguard

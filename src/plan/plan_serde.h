@@ -1,0 +1,23 @@
+#ifndef LAKEGUARD_PLAN_PLAN_SERDE_H_
+#define LAKEGUARD_PLAN_PLAN_SERDE_H_
+
+#include "common/serde.h"
+#include "plan/plan.h"
+
+namespace lakeguard {
+
+/// Wire encoding of logical plan trees — the payload of ExecutePlan /
+/// AnalyzePlan in the Connect protocol. Plans serialize recursively with a
+/// kind byte per node; all plan kinds round-trip, including RemoteScan's
+/// nested remote plan (eFGAC submits exactly this encoding to the serverless
+/// endpoint).
+void SerializePlan(const PlanPtr& plan, ByteWriter* writer);
+Result<PlanPtr> DeserializePlan(ByteReader* reader);
+
+/// Whole-message helpers.
+std::vector<uint8_t> PlanToBytes(const PlanPtr& plan);
+Result<PlanPtr> PlanFromBytes(const std::vector<uint8_t>& bytes);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_PLAN_PLAN_SERDE_H_

@@ -1,0 +1,85 @@
+#include "sandbox/dispatcher.h"
+
+namespace lakeguard {
+
+Result<std::unique_ptr<Sandbox>> LocalSandboxProvisioner::Provision(
+    const std::string& trust_domain, const SandboxPolicy& policy) {
+  // Provisioning the container and starting the interpreter inside it is
+  // modeled as clock time (virtual in tests/benchmarks of cold start).
+  clock_->AdvanceMicros(cold_start_micros_);
+  return std::make_unique<Sandbox>(IdGenerator::Next("sbx"), trust_domain,
+                                   policy, env_, clock_);
+}
+
+bool Dispatcher::PolicyEquals(const SandboxPolicy& a, const SandboxPolicy& b) {
+  return a.allow_file_read == b.allow_file_read &&
+         a.allow_file_write == b.allow_file_write &&
+         a.allow_env_read == b.allow_env_read &&
+         a.allow_clock == b.allow_clock &&
+         a.egress_allow == b.egress_allow && a.fuel == b.fuel &&
+         a.max_stack == b.max_stack;
+}
+
+Result<Sandbox*> Dispatcher::Acquire(const std::string& session_id,
+                                     const std::string& trust_domain,
+                                     const SandboxPolicy& policy) {
+  std::string key = session_id + "\n" + trust_domain;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sandboxes_.find(key);
+  if (it != sandboxes_.end()) {
+    if (PolicyEquals(it->second->policy(), policy)) {
+      ++stats_.reuses;
+      return it->second.get();
+    }
+    // Policy changed: the old sandbox must not survive with stale rights.
+    sandboxes_.erase(it);
+    ++stats_.evictions;
+  }
+  LG_ASSIGN_OR_RETURN(std::unique_ptr<Sandbox> sandbox,
+                      provisioner_->Provision(trust_domain, policy));
+  ++stats_.cold_starts;
+  Sandbox* raw = sandbox.get();
+  sandboxes_[key] = std::move(sandbox);
+  return raw;
+}
+
+void Dispatcher::ReleaseSession(const std::string& session_id) {
+  std::string prefix = session_id + "\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = sandboxes_.begin(); it != sandboxes_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = sandboxes_.erase(it);
+      ++stats_.evictions;
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t Dispatcher::EvictIdle(int64_t idle_micros) {
+  int64_t now = clock_->NowMicros();
+  size_t evicted = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = sandboxes_.begin(); it != sandboxes_.end();) {
+    if (now - it->second->last_used_micros() > idle_micros) {
+      it = sandboxes_.erase(it);
+      ++evicted;
+      ++stats_.evictions;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+size_t Dispatcher::ActiveSandboxCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sandboxes_.size();
+}
+
+DispatcherStats Dispatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,95 @@
+#ifndef LAKEGUARD_SANDBOX_DISPATCHER_H_
+#define LAKEGUARD_SANDBOX_DISPATCHER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/id.h"
+#include "sandbox/sandbox.h"
+
+namespace lakeguard {
+
+/// Provisions sandboxes on behalf of the dispatcher — the cluster-manager
+/// interface of Fig. 7. Implementations decide where the sandbox runs and
+/// what provisioning costs; provisioning latency is charged to the clock.
+class SandboxProvisioner {
+ public:
+  virtual ~SandboxProvisioner() = default;
+  virtual Result<std::unique_ptr<Sandbox>> Provision(
+      const std::string& trust_domain, const SandboxPolicy& policy) = 0;
+};
+
+/// Default provisioner: sandboxes run on the local host environment, and a
+/// cold start costs `cold_start_micros` of (possibly simulated) clock time —
+/// the ≈2 s the paper measures for provisioning + interpreter start (§5).
+class LocalSandboxProvisioner : public SandboxProvisioner {
+ public:
+  LocalSandboxProvisioner(SimulatedHostEnvironment* env, Clock* clock,
+                          int64_t cold_start_micros = 2'000'000)
+      : env_(env), clock_(clock), cold_start_micros_(cold_start_micros) {}
+
+  Result<std::unique_ptr<Sandbox>> Provision(
+      const std::string& trust_domain, const SandboxPolicy& policy) override;
+
+  int64_t cold_start_micros() const { return cold_start_micros_; }
+
+ private:
+  SimulatedHostEnvironment* env_;
+  Clock* clock_;
+  int64_t cold_start_micros_;
+};
+
+/// Dispatcher counters (cold-start amortization analysis, §5).
+struct DispatcherStats {
+  uint64_t cold_starts = 0;
+  uint64_t reuses = 0;
+  uint64_t evictions = 0;
+};
+
+/// Manages the sandboxes of one host (Fig. 7): acquisition keyed by
+/// (session, trust domain), reuse across queries of the same session, and
+/// idle eviction. Two invariants:
+///  * code of different owners (trust domains) never shares a sandbox;
+///  * code of different sessions never shares a sandbox (multi-user
+///    isolation, §2.5).
+class Dispatcher {
+ public:
+  explicit Dispatcher(SandboxProvisioner* provisioner, Clock* clock)
+      : provisioner_(provisioner), clock_(clock) {}
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Returns the sandbox for (session, trust_domain), provisioning on first
+  /// use. If the cached sandbox's policy no longer matches, it is replaced
+  /// (policies are immutable per sandbox lifetime).
+  Result<Sandbox*> Acquire(const std::string& session_id,
+                           const std::string& trust_domain,
+                           const SandboxPolicy& policy);
+
+  /// Destroys all sandboxes of a session (session close / tombstone).
+  void ReleaseSession(const std::string& session_id);
+
+  /// Destroys sandboxes idle for longer than `idle_micros`.
+  size_t EvictIdle(int64_t idle_micros);
+
+  size_t ActiveSandboxCount() const;
+  DispatcherStats stats() const;
+
+ private:
+  static bool PolicyEquals(const SandboxPolicy& a, const SandboxPolicy& b);
+
+  SandboxProvisioner* provisioner_;
+  Clock* clock_;
+  mutable std::mutex mu_;
+  // key: session_id + '\n' + trust_domain
+  std::map<std::string, std::unique_ptr<Sandbox>> sandboxes_;
+  DispatcherStats stats_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_SANDBOX_DISPATCHER_H_

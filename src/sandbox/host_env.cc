@@ -1,0 +1,75 @@
+#include "sandbox/host_env.h"
+
+#include "common/strings.h"
+
+namespace lakeguard {
+
+void SimulatedHostEnvironment::WriteFile(const std::string& path,
+                                         const std::string& contents) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path] = contents;
+}
+
+Result<std::string> SimulatedHostEnvironment::ReadFile(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no file at " + path);
+  return it->second;
+}
+
+bool SimulatedHostEnvironment::FileExists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+void SimulatedHostEnvironment::SetEnv(const std::string& name,
+                                      const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  env_[name] = value;
+}
+
+Result<std::string> SimulatedHostEnvironment::GetEnv(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = env_.find(name);
+  if (it == env_.end()) return Status::NotFound("no env var " + name);
+  return it->second;
+}
+
+void SimulatedHostEnvironment::RegisterHttpHandler(
+    const std::string& url_prefix,
+    std::function<std::string(const std::string&)> handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  http_handlers_.emplace_back(url_prefix, std::move(handler));
+}
+
+Result<std::string> SimulatedHostEnvironment::HttpGet(
+    const std::string& url, const std::string& sandbox_id, bool allowed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  egress_.push_back({url, sandbox_id, allowed});
+  if (!allowed) {
+    return Status::PermissionDenied("egress to " + url +
+                                    " blocked by sandbox policy");
+  }
+  for (const auto& [prefix, handler] : http_handlers_) {
+    if (StartsWith(url, prefix)) return handler(url);
+  }
+  return Status::NotFound("no route to " + url);
+}
+
+std::vector<EgressRecord> SimulatedHostEnvironment::egress_log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return egress_;
+}
+
+size_t SimulatedHostEnvironment::BlockedEgressCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const EgressRecord& r : egress_) {
+    if (!r.allowed) ++n;
+  }
+  return n;
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,68 @@
+#ifndef LAKEGUARD_SANDBOX_HOST_ENV_H_
+#define LAKEGUARD_SANDBOX_HOST_ENV_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace lakeguard {
+
+/// One recorded outbound network request (tests assert on these to prove
+/// exfiltration attempts never left the sandbox).
+struct EgressRecord {
+  std::string url;
+  std::string sandbox_id;  // empty when issued by unisolated code
+  bool allowed = false;
+};
+
+/// The simulated machine a cluster host runs on: a file system, environment
+/// variables (where credentials and secrets live in real deployments), and
+/// a network. Trusted engine code accesses it directly; user code can only
+/// reach it through a policy-checked `SandboxHost`. This is the asset §2.4
+/// says must be protected from UDFs.
+class SimulatedHostEnvironment {
+ public:
+  explicit SimulatedHostEnvironment(Clock* clock) : clock_(clock) {}
+
+  // -- Files -----------------------------------------------------------------
+  void WriteFile(const std::string& path, const std::string& contents);
+  Result<std::string> ReadFile(const std::string& path) const;
+  bool FileExists(const std::string& path) const;
+
+  // -- Environment -------------------------------------------------------------
+  void SetEnv(const std::string& name, const std::string& value);
+  Result<std::string> GetEnv(const std::string& name) const;
+
+  // -- Network -----------------------------------------------------------------
+  /// Registers a canned HTTP endpoint: exact-URL-prefix -> handler(url).
+  void RegisterHttpHandler(
+      const std::string& url_prefix,
+      std::function<std::string(const std::string&)> handler);
+  /// Performs a request; records it in the egress log with attribution.
+  Result<std::string> HttpGet(const std::string& url,
+                              const std::string& sandbox_id, bool allowed);
+
+  std::vector<EgressRecord> egress_log() const;
+  size_t BlockedEgressCount() const;
+
+  Clock* clock() const { return clock_; }
+
+ private:
+  Clock* clock_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> files_;
+  std::map<std::string, std::string> env_;
+  std::vector<std::pair<std::string,
+                        std::function<std::string(const std::string&)>>>
+      http_handlers_;
+  std::vector<EgressRecord> egress_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_SANDBOX_HOST_ENV_H_

@@ -1,0 +1,41 @@
+#ifndef LAKEGUARD_SANDBOX_POLICY_H_
+#define LAKEGUARD_SANDBOX_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lakeguard {
+
+/// Capability policy of one sandbox — the analogue of the container's
+/// seccomp/namespace/network-rule configuration (§3.3). Everything defaults
+/// to denied; the dispatcher grants exactly what the workload's governance
+/// configuration allows (e.g. the egress hosts registered for a cataloged
+/// UDF).
+struct SandboxPolicy {
+  bool allow_file_read = false;
+  bool allow_file_write = false;
+  bool allow_env_read = false;
+  bool allow_clock = true;
+  /// Wildcard host patterns egress is allowed to ("*.aqi.example.com").
+  /// Empty means no network at all.
+  std::vector<std::string> egress_allow;
+
+  /// Execution limits enforced on user code.
+  int64_t fuel = 50'000'000;
+  size_t max_stack = 4096;
+
+  /// A fully-locked-down policy (the default for ad-hoc session UDFs).
+  static SandboxPolicy LockedDown() { return SandboxPolicy{}; }
+
+  /// Policy with the given egress allow-list and nothing else.
+  static SandboxPolicy WithEgress(std::vector<std::string> hosts) {
+    SandboxPolicy policy;
+    policy.egress_allow = std::move(hosts);
+    return policy;
+  }
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_SANDBOX_POLICY_H_

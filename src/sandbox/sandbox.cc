@@ -1,0 +1,162 @@
+#include "sandbox/sandbox.h"
+
+#include "columnar/ipc.h"
+#include "common/strings.h"
+
+namespace lakeguard {
+
+namespace {
+
+/// Extracts the host from an URL ("http://a.b.c/x" -> "a.b.c").
+std::string UrlHost(const std::string& url) {
+  size_t scheme = url.find("://");
+  size_t start = scheme == std::string::npos ? 0 : scheme + 3;
+  size_t end = url.find('/', start);
+  return url.substr(start,
+                    end == std::string::npos ? std::string::npos : end - start);
+}
+
+}  // namespace
+
+Result<Value> SandboxHost::CallHost(HostFn fn, const std::vector<Value>& args) {
+  ++stats_->host_calls;
+  auto deny = [this, fn](const std::string& why) -> Result<Value> {
+    ++stats_->denied_host_calls;
+    return Status::PermissionDenied(std::string("sandbox ") + sandbox_id_ +
+                                    ": host call '" + HostFnName(fn) +
+                                    "' denied: " + why);
+  };
+  switch (fn) {
+    case HostFn::kReadFile: {
+      if (!policy_->allow_file_read) return deny("file system not mapped");
+      if (args.size() != 1 || !args[0].is_string()) {
+        return Status::InvalidArgument("read_file(path) expects one string");
+      }
+      LG_ASSIGN_OR_RETURN(std::string data,
+                          env_->ReadFile(args[0].string_value()));
+      return Value::String(std::move(data));
+    }
+    case HostFn::kWriteFile: {
+      if (!policy_->allow_file_write) return deny("file system is read-only");
+      if (args.size() != 2 || !args[0].is_string()) {
+        return Status::InvalidArgument(
+            "write_file(path, contents) expects two strings");
+      }
+      env_->WriteFile(args[0].string_value(), args[1].ToString());
+      return Value::Bool(true);
+    }
+    case HostFn::kHttpGet: {
+      if (args.size() != 1 || !args[0].is_string()) {
+        return Status::InvalidArgument("http_get(url) expects one string");
+      }
+      const std::string& url = args[0].string_value();
+      std::string host = UrlHost(url);
+      bool allowed = false;
+      for (const std::string& pattern : policy_->egress_allow) {
+        if (MatchesWildcard(pattern, host)) {
+          allowed = true;
+          break;
+        }
+      }
+      // The attempt is recorded either way (network-namespace drop log).
+      auto response = env_->HttpGet(url, sandbox_id_, allowed);
+      if (!allowed) {
+        ++stats_->denied_host_calls;
+        return response.status();
+      }
+      LG_ASSIGN_OR_RETURN(std::string body, std::move(response));
+      return Value::String(std::move(body));
+    }
+    case HostFn::kGetEnv: {
+      if (!policy_->allow_env_read) return deny("environment not visible");
+      if (args.size() != 1 || !args[0].is_string()) {
+        return Status::InvalidArgument("get_env(name) expects one string");
+      }
+      LG_ASSIGN_OR_RETURN(std::string v, env_->GetEnv(args[0].string_value()));
+      return Value::String(std::move(v));
+    }
+    case HostFn::kClockNow: {
+      if (!policy_->allow_clock) return deny("clock not available");
+      return Value::Int(env_->clock()->NowMicros());
+    }
+    case HostFn::kLog:
+      // Logging is always allowed; the message is dropped (no side channel).
+      return Value::Null();
+  }
+  return Status::Internal("unreachable host fn");
+}
+
+Sandbox::Sandbox(std::string id, std::string trust_domain,
+                 SandboxPolicy policy, SimulatedHostEnvironment* env,
+                 Clock* clock)
+    : id_(std::move(id)),
+      trust_domain_(std::move(trust_domain)),
+      policy_(std::move(policy)),
+      env_(env),
+      clock_(clock),
+      created_at_micros_(clock->NowMicros()),
+      last_used_micros_(clock->NowMicros()) {}
+
+Result<RecordBatch> Sandbox::ExecuteBatch(
+    const RecordBatch& args, const std::vector<UdfInvocation>& invocations) {
+  last_used_micros_ = clock_->NowMicros();
+  ++stats_.batches;
+  stats_.rows += args.num_rows();
+
+  // --- Boundary in: serialize the argument batch into the sandbox, exactly
+  // as the container boundary would (copy + integrity check + decode).
+  std::vector<uint8_t> frame_in = ipc::SerializeBatch(args);
+  stats_.bytes_in += frame_in.size();
+  LG_ASSIGN_OR_RETURN(RecordBatch inside, ipc::DeserializeBatch(frame_in));
+
+  VmLimits limits;
+  limits.fuel = policy_.fuel;
+  limits.max_stack = policy_.max_stack;
+  SandboxHost host(id_, &policy_, env_, &stats_);
+
+  const size_t rows = inside.num_rows();
+  std::vector<FieldDef> out_fields;
+  std::vector<Column> out_columns;
+  out_fields.reserve(invocations.size());
+  out_columns.reserve(invocations.size());
+
+  for (const UdfInvocation& inv : invocations) {
+    for (size_t idx : inv.arg_indices) {
+      if (idx >= inside.num_columns()) {
+        return Status::InvalidArgument(
+            "UDF '" + inv.bytecode.name + "' references argument column " +
+            std::to_string(idx) + " but batch has " +
+            std::to_string(inside.num_columns()));
+      }
+    }
+    ColumnBuilder builder(inv.result_type);
+    builder.Reserve(rows);
+    std::vector<Value> row_args(inv.arg_indices.size());
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t j = 0; j < inv.arg_indices.size(); ++j) {
+        row_args[j] = inside.column(inv.arg_indices[j]).GetValue(r);
+      }
+      VmStats vm_stats;
+      auto result =
+          ExecuteUdf(inv.bytecode, row_args, &host, limits, &vm_stats);
+      ++stats_.udf_calls;
+      if (!result.ok()) {
+        return result.status().WithContext("UDF '" + inv.bytecode.name +
+                                           "' in sandbox " + id_);
+      }
+      LG_ASSIGN_OR_RETURN(Value casted, result->CastTo(inv.result_type));
+      LG_RETURN_IF_ERROR(builder.AppendValue(casted));
+    }
+    out_fields.push_back({inv.result_name, inv.result_type, true});
+    out_columns.push_back(builder.Finish());
+  }
+
+  RecordBatch result(Schema(std::move(out_fields)), std::move(out_columns));
+
+  // --- Boundary out: serialize results back to the engine.
+  std::vector<uint8_t> frame_out = ipc::SerializeBatch(result);
+  stats_.bytes_out += frame_out.size();
+  return ipc::DeserializeBatch(frame_out);
+}
+
+}  // namespace lakeguard

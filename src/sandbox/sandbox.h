@@ -1,0 +1,106 @@
+#ifndef LAKEGUARD_SANDBOX_SANDBOX_H_
+#define LAKEGUARD_SANDBOX_SANDBOX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/record_batch.h"
+#include "common/clock.h"
+#include "sandbox/host_env.h"
+#include "sandbox/policy.h"
+#include "udf/bytecode.h"
+#include "udf/vm.h"
+
+namespace lakeguard {
+
+/// One user function to run inside a sandbox over a shipped argument batch.
+/// `arg_indices` select the argument columns from that batch.
+struct UdfInvocation {
+  UdfBytecode bytecode;
+  std::vector<size_t> arg_indices;
+  std::string result_name;
+  TypeKind result_type = TypeKind::kNull;
+};
+
+/// Execution counters for one sandbox lifetime.
+struct SandboxStats {
+  uint64_t batches = 0;
+  uint64_t rows = 0;
+  uint64_t udf_calls = 0;
+  uint64_t bytes_in = 0;   // serialized argument bytes crossing the boundary
+  uint64_t bytes_out = 0;  // serialized result bytes crossing the boundary
+  uint64_t host_calls = 0;
+  uint64_t denied_host_calls = 0;
+};
+
+/// `HostInterface` implementation that enforces a `SandboxPolicy` on every
+/// capability request from user code — the seccomp/network-namespace layer.
+class SandboxHost : public HostInterface {
+ public:
+  SandboxHost(std::string sandbox_id, const SandboxPolicy* policy,
+              SimulatedHostEnvironment* env, SandboxStats* stats)
+      : sandbox_id_(std::move(sandbox_id)),
+        policy_(policy),
+        env_(env),
+        stats_(stats) {}
+
+  Result<Value> CallHost(HostFn fn, const std::vector<Value>& args) override;
+
+ private:
+  std::string sandbox_id_;
+  const SandboxPolicy* policy_;
+  SimulatedHostEnvironment* env_;
+  SandboxStats* stats_;
+};
+
+/// An isolated execution environment for user code — the container the
+/// Dispatcher provisions through the cluster manager (§3.3, Fig. 7).
+///
+/// Isolation model (substituting for Linux containers, see DESIGN.md):
+///  * user code runs only in the LGVM, which has no ambient authority;
+///  * every batch entering or leaving is *serialized* through an IPC frame
+///    (real copy + checksum), as the container boundary imposes;
+///  * host access goes through `SandboxHost`, which applies the policy;
+///  * runaway code is killed by fuel/stack limits.
+///
+/// A sandbox belongs to exactly one trust domain (code owner). The
+/// dispatcher never routes another owner's code here.
+class Sandbox {
+ public:
+  Sandbox(std::string id, std::string trust_domain, SandboxPolicy policy,
+          SimulatedHostEnvironment* env, Clock* clock);
+
+  Sandbox(const Sandbox&) = delete;
+  Sandbox& operator=(const Sandbox&) = delete;
+
+  const std::string& id() const { return id_; }
+  const std::string& trust_domain() const { return trust_domain_; }
+  const SandboxPolicy& policy() const { return policy_; }
+  int64_t created_at_micros() const { return created_at_micros_; }
+  int64_t last_used_micros() const { return last_used_micros_; }
+
+  /// Ships `args` across the boundary, evaluates every invocation per row,
+  /// and ships back a batch with one column per invocation. Fused execution
+  /// of N UDFs = one call with N invocations = one boundary round-trip.
+  Result<RecordBatch> ExecuteBatch(
+      const RecordBatch& args,
+      const std::vector<UdfInvocation>& invocations);
+
+  const SandboxStats& stats() const { return stats_; }
+
+ private:
+  std::string id_;
+  std::string trust_domain_;
+  SandboxPolicy policy_;
+  SimulatedHostEnvironment* env_;
+  Clock* clock_;
+  int64_t created_at_micros_;
+  int64_t last_used_micros_;
+  SandboxStats stats_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_SANDBOX_SANDBOX_H_

@@ -1,0 +1,166 @@
+#include "serverless/gateway.h"
+
+#include "columnar/ipc.h"
+#include "common/id.h"
+
+namespace lakeguard {
+
+SparkConnectGateway::SparkConnectGateway(Clock* clock, BackendFactory factory,
+                                         GatewayConfig config)
+    : clock_(clock), factory_(std::move(factory)), config_(config) {}
+
+Result<GatewayBackend*> SparkConnectGateway::AcquireBackend() {
+  // Count live sessions per backend from our own placements.
+  std::map<GatewayBackend*, size_t> load;
+  for (const auto& [id, placement] : placements_) {
+    ++load[placement.backend];
+  }
+  for (const auto& backend : backends_) {
+    if (load[backend.get()] < config_.max_sessions_per_backend) {
+      ++stats_.routed_to_existing;
+      return backend.get();
+    }
+  }
+  // All backends at capacity: provision a new one (cold start).
+  clock_->AdvanceMicros(config_.backend_cold_start_micros);
+  backends_.push_back(factory_());
+  ++stats_.backends_provisioned;
+  return backends_.back().get();
+}
+
+Result<std::string> SparkConnectGateway::OpenSession(
+    const std::string& auth_token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LG_ASSIGN_OR_RETURN(GatewayBackend * backend, AcquireBackend());
+  LG_ASSIGN_OR_RETURN(std::string internal_id,
+                      backend->service()->OpenSession(auth_token));
+  std::string external_id = IdGenerator::Next("xsess");
+  Placement placement;
+  placement.backend = backend;
+  placement.internal_session_id = internal_id;
+  placement.auth_token = auth_token;
+  placements_[external_id] = std::move(placement);
+  ++stats_.sessions_opened;
+  return external_id;
+}
+
+Result<Table> SparkConnectGateway::ExecuteSql(
+    const std::string& external_session_id, const std::string& sql) {
+  Placement placement;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = placements_.find(external_session_id);
+    if (it == placements_.end()) {
+      return Status::NotFound("no gateway session " + external_session_id);
+    }
+    placement = it->second;
+  }
+  ConnectRequest request;
+  request.session_id = placement.internal_session_id;
+  request.auth_token = placement.auth_token;
+  request.sql = sql;
+  ConnectResponse response = placement.backend->service()->Execute(request);
+  if (!response.ok) {
+    return Status(StatusCode::kInternal,
+                  "backend error [" + response.error_code + "]: " +
+                      response.error_message);
+  }
+  Table out(response.schema);
+  for (const ResultChunk& chunk : response.inline_chunks) {
+    auto batch = ipc::DeserializeBatch(chunk.frame);
+    if (!batch.ok()) return batch.status();
+    if (batch->num_rows() == 0) continue;
+    LG_RETURN_IF_ERROR(out.AppendBatch(std::move(*batch)));
+  }
+  for (uint64_t i = response.inline_chunks.size(); i < response.total_chunks;
+       ++i) {
+    LG_ASSIGN_OR_RETURN(ResultChunk chunk,
+                        placement.backend->service()->FetchChunk(
+                            placement.internal_session_id,
+                            response.operation_id, i));
+    LG_ASSIGN_OR_RETURN(RecordBatch batch, ipc::DeserializeBatch(chunk.frame));
+    if (batch.num_rows() > 0) {
+      LG_RETURN_IF_ERROR(out.AppendBatch(std::move(batch)));
+    }
+  }
+  return out;
+}
+
+Status SparkConnectGateway::MigrateSession(
+    const std::string& external_session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = placements_.find(external_session_id);
+  if (it == placements_.end()) {
+    return Status::NotFound("no gateway session " + external_session_id);
+  }
+  Placement& placement = it->second;
+  // Find a different backend with capacity, provisioning one if needed.
+  std::map<GatewayBackend*, size_t> load;
+  for (const auto& [id, p] : placements_) ++load[p.backend];
+  GatewayBackend* target = nullptr;
+  for (const auto& backend : backends_) {
+    if (backend.get() != placement.backend &&
+        load[backend.get()] < config_.max_sessions_per_backend) {
+      target = backend.get();
+      break;
+    }
+  }
+  if (target == nullptr) {
+    clock_->AdvanceMicros(config_.backend_cold_start_micros);
+    backends_.push_back(factory_());
+    ++stats_.backends_provisioned;
+    target = backends_.back().get();
+  }
+  LG_ASSIGN_OR_RETURN(std::string new_internal,
+                      target->service()->OpenSession(placement.auth_token));
+  Status closed =
+      placement.backend->service()->CloseSession(placement.internal_session_id);
+  (void)closed;  // old backend may already be gone
+  placement.backend = target;
+  placement.internal_session_id = new_internal;
+  ++stats_.migrations;
+  return Status::OK();
+}
+
+Status SparkConnectGateway::CloseSession(
+    const std::string& external_session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = placements_.find(external_session_id);
+  if (it == placements_.end()) {
+    return Status::NotFound("no gateway session " + external_session_id);
+  }
+  Status s = it->second.backend->service()->CloseSession(
+      it->second.internal_session_id);
+  placements_.erase(it);
+  return s;
+}
+
+size_t SparkConnectGateway::ScaleDown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<GatewayBackend*, size_t> load;
+  for (const auto& [id, p] : placements_) ++load[p.backend];
+  size_t removed = 0;
+  for (auto it = backends_.begin();
+       it != backends_.end() && backends_.size() > config_.min_backends;) {
+    if (load[it->get()] == 0) {
+      it = backends_.erase(it);
+      ++removed;
+      ++stats_.scale_downs;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+size_t SparkConnectGateway::BackendCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backends_.size();
+}
+
+GatewayStats SparkConnectGateway::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,98 @@
+#ifndef LAKEGUARD_SERVERLESS_GATEWAY_H_
+#define LAKEGUARD_SERVERLESS_GATEWAY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "columnar/table.h"
+#include "common/clock.h"
+#include "connect/service.h"
+
+namespace lakeguard {
+
+/// One Serverless Spark backend a gateway can route sessions to: a Standard
+/// cluster + engine + Connect service bundle. Created by the platform's
+/// factory so the gateway stays wiring-agnostic.
+class GatewayBackend {
+ public:
+  virtual ~GatewayBackend() = default;
+  virtual const std::string& id() const = 0;
+  virtual ConnectService* service() = 0;
+};
+
+struct GatewayConfig {
+  /// Session capacity before the autoscaler provisions a new backend.
+  size_t max_sessions_per_backend = 8;
+  /// Cluster provisioning latency (charged to the clock).
+  int64_t backend_cold_start_micros = 30'000'000;
+  /// Backends kept warm even when idle.
+  size_t min_backends = 1;
+};
+
+struct GatewayStats {
+  uint64_t sessions_opened = 0;
+  uint64_t backends_provisioned = 0;
+  uint64_t routed_to_existing = 0;
+  uint64_t migrations = 0;
+  uint64_t scale_downs = 0;
+};
+
+/// The regional Spark Connect Gateway (§6.2, Fig. 10): every workload of a
+/// workspace connects to one endpoint; the gateway tracks backend capacity
+/// and either routes to an existing Serverless backend or provisions a new
+/// one. Sessions get a stable *external* id; the gateway owns the mapping
+/// to (backend, internal session) and can migrate it without the client
+/// noticing.
+class SparkConnectGateway {
+ public:
+  using BackendFactory = std::function<std::unique_ptr<GatewayBackend>()>;
+
+  SparkConnectGateway(Clock* clock, BackendFactory factory,
+                      GatewayConfig config = {});
+
+  /// Workspace endpoint: authenticates (against the routed backend) and
+  /// returns a stable external session id.
+  Result<std::string> OpenSession(const std::string& auth_token);
+
+  /// Runs SQL on whichever backend currently hosts the session.
+  Result<Table> ExecuteSql(const std::string& external_session_id,
+                           const std::string& sql);
+
+  /// Seamlessly migrates a session to another backend (provisioning one if
+  /// needed). The external id — all the client holds — is unchanged (§6.2).
+  Status MigrateSession(const std::string& external_session_id);
+
+  Status CloseSession(const std::string& external_session_id);
+
+  /// Tears down backends with no live sessions (keeps `min_backends`).
+  size_t ScaleDown();
+
+  size_t BackendCount() const;
+  GatewayStats stats() const;
+
+ private:
+  struct Placement {
+    GatewayBackend* backend = nullptr;
+    std::string internal_session_id;
+    std::string auth_token;  // kept to re-authenticate on migration
+  };
+
+  /// Returns a backend with spare capacity, provisioning when necessary.
+  Result<GatewayBackend*> AcquireBackend();
+
+  Clock* clock_;
+  BackendFactory factory_;
+  GatewayConfig config_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<GatewayBackend>> backends_;
+  std::map<std::string, Placement> placements_;  // external id -> placement
+  GatewayStats stats_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_SERVERLESS_GATEWAY_H_

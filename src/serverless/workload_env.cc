@@ -1,0 +1,41 @@
+#include "serverless/workload_env.h"
+
+namespace lakeguard {
+
+Status WorkloadEnvironmentRegistry::Publish(WorkloadEnvironment env) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (envs_.count(env.version)) {
+    return Status::AlreadyExists("workload environment version '" +
+                                 env.version + "' already published");
+  }
+  envs_[env.version] = std::move(env);
+  return Status::OK();
+}
+
+Result<WorkloadEnvironment> WorkloadEnvironmentRegistry::Get(
+    const std::string& version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = envs_.find(version);
+  if (it == envs_.end()) {
+    return Status::NotFound("no workload environment version '" + version +
+                            "'");
+  }
+  return it->second;
+}
+
+Result<WorkloadEnvironment> WorkloadEnvironmentRegistry::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (envs_.empty()) {
+    return Status::NotFound("no workload environments published");
+  }
+  return envs_.rbegin()->second;
+}
+
+std::vector<std::string> WorkloadEnvironmentRegistry::Versions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [version, env] : envs_) out.push_back(version);
+  return out;
+}
+
+}  // namespace lakeguard

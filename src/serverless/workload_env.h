@@ -1,0 +1,39 @@
+#ifndef LAKEGUARD_SERVERLESS_WORKLOAD_ENV_H_
+#define LAKEGUARD_SERVERLESS_WORKLOAD_ENV_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lakeguard {
+
+/// A versioned client-environment contract (§6.3): the client-library
+/// version plus the dependency set the platform promises to keep stable.
+/// Serverless Spark loads user code inside the workload environment the
+/// client pinned, regardless of the server version — "versionless" Spark.
+struct WorkloadEnvironment {
+  std::string version;          // e.g. "2"
+  std::string client_version;   // pinned Connect client version
+  std::string interpreter;      // pinned user-code interpreter ("lgvm-1")
+  std::map<std::string, std::string> dependencies;  // name -> version
+};
+
+/// Registry of published workload environments.
+class WorkloadEnvironmentRegistry {
+ public:
+  Status Publish(WorkloadEnvironment env);
+  Result<WorkloadEnvironment> Get(const std::string& version) const;
+  Result<WorkloadEnvironment> Latest() const;
+  std::vector<std::string> Versions() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, WorkloadEnvironment> envs_;  // ordered by version
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_SERVERLESS_WORKLOAD_ENV_H_

@@ -1,0 +1,87 @@
+#ifndef LAKEGUARD_SQL_AST_H_
+#define LAKEGUARD_SQL_AST_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "columnar/types.h"
+#include "columnar/value.h"
+#include "plan/plan.h"
+
+namespace lakeguard {
+
+/// SELECT ...: already lowered to an unresolved logical plan.
+struct SelectStatement {
+  PlanPtr plan;
+};
+
+/// CREATE TABLE name (col type [NOT NULL], ...).
+struct CreateTableStatement {
+  std::string name;
+  Schema schema;
+};
+
+/// CREATE [MATERIALIZED] VIEW name AS <select-sql>. The definition is kept
+/// as SQL text (re-parsed at expansion time under the definer's context),
+/// plus the pre-parsed plan for validation.
+struct CreateViewStatement {
+  std::string name;
+  bool materialized = false;
+  /// Session-scoped (CREATE TEMP VIEW): lives in the Spark session, never
+  /// in the catalog (§3.2.3's session state).
+  bool temporary = false;
+  std::string sql_text;
+  PlanPtr plan;
+};
+
+/// INSERT INTO name VALUES (...), ... — or INSERT INTO name SELECT ...
+struct InsertStatement {
+  std::string table;
+  std::vector<std::vector<Value>> rows;  // VALUES form
+  PlanPtr query;                         // SELECT form (null for VALUES)
+};
+
+/// GRANT/REVOKE <privilege> ON <securable> TO/FROM <principal>.
+struct GrantStatement {
+  bool revoke = false;
+  std::string privilege;
+  std::string securable;
+  std::string principal;
+};
+
+/// ALTER TABLE t SET ROW FILTER (expr) | DROP ROW FILTER
+/// ALTER TABLE t ALTER COLUMN c SET MASK (expr) | DROP MASK.
+struct AlterPolicyStatement {
+  enum class Action : uint8_t {
+    kSetRowFilter = 0,
+    kDropRowFilter = 1,
+    kSetColumnMask = 2,
+    kDropColumnMask = 3,
+  };
+  std::string table;
+  Action action = Action::kSetRowFilter;
+  std::string column;  // masks only
+  ExprPtr expr;        // set actions only
+};
+
+/// DROP TABLE name / DROP VIEW name (temporary views only).
+struct DropTableStatement {
+  std::string name;
+  bool is_view = false;
+};
+
+/// REFRESH MATERIALIZED VIEW name.
+struct RefreshStatement {
+  std::string view;
+};
+
+/// Any parsed SQL statement.
+using ParsedStatement =
+    std::variant<SelectStatement, CreateTableStatement, CreateViewStatement,
+                 InsertStatement, GrantStatement, AlterPolicyStatement,
+                 DropTableStatement, RefreshStatement>;
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_SQL_AST_H_

@@ -1,0 +1,166 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <set>
+
+#include "common/strings.h"
+
+namespace lakeguard {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string>* const kKeywords =
+      new std::set<std::string>{
+          "SELECT", "FROM",    "WHERE",  "GROUP",    "BY",       "HAVING",
+          "ORDER",  "LIMIT",   "AS",     "AND",      "OR",       "NOT",
+          "NULL",   "TRUE",    "FALSE",  "IN",       "IS",       "LIKE",
+          "CASE",   "WHEN",    "THEN",   "ELSE",     "END",      "CAST",
+          "JOIN",   "INNER",   "LEFT",   "CROSS",    "ON",       "ASC",
+          "DESC",   "CREATE",  "TABLE",  "VIEW",     "MATERIALIZED",
+          "INSERT", "INTO",    "VALUES", "GRANT",    "REVOKE",   "TO",
+          "ALTER",  "SET",     "ROW",    "FILTER",   "DROP",     "COLUMN",
+          "MASK",   "USE",     "CATALOG","SCHEMA",   "FUNCTION", "REFRESH",
+          "BETWEEN","DISTINCT", "TEMP", "TEMPORARY",
+      };
+  return *kKeywords;
+}
+
+}  // namespace
+
+bool Token::IsKeyword(const char* kw) const {
+  return kind == TokenKind::kKeyword && text == kw;
+}
+
+bool Token::IsSymbol(const char* sym) const {
+  return kind == TokenKind::kSymbol && text == sym;
+}
+
+Result<std::vector<Token>> LexSql(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- comments: "-- ... \n"
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    // -- string literal
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(sql[i++]);
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at " +
+                                       std::to_string(token.position));
+      }
+      token.kind = TokenKind::kString;
+      token.text = std::move(text);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // -- quoted identifier
+    if (c == '`') {
+      std::string text;
+      ++i;
+      while (i < n && sql[i] != '`') text.push_back(sql[i++]);
+      if (i >= n) {
+        return Status::InvalidArgument("unterminated quoted identifier");
+      }
+      ++i;
+      token.kind = TokenKind::kIdentifier;
+      token.text = std::move(text);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // -- number
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string text;
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        if (sql[i] == '.') {
+          // Stop if the next char is not a digit ("1." is invalid anyway,
+          // and "t.1" never happens).
+          if (is_float) break;
+          if (i + 1 >= n || !std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+            break;
+          }
+          is_float = true;
+        }
+        text.push_back(sql[i++]);
+      }
+      token.kind = is_float ? TokenKind::kFloat : TokenKind::kInteger;
+      token.text = std::move(text);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // -- identifier / keyword
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        text.push_back(sql[i++]);
+      }
+      std::string upper = ToUpperAscii(text);
+      if (Keywords().count(upper)) {
+        token.kind = TokenKind::kKeyword;
+        token.text = std::move(upper);
+      } else {
+        token.kind = TokenKind::kIdentifier;
+        token.text = std::move(text);
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // -- multi-char symbols
+    token.kind = TokenKind::kSymbol;
+    if (i + 1 < n) {
+      std::string two = sql.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=" ||
+          two == "||") {
+        token.text = two == "!=" ? "<>" : two;
+        tokens.push_back(std::move(token));
+        i += 2;
+        continue;
+      }
+    }
+    if (std::string("(),.*+-/%=<>").find(c) != std::string::npos) {
+      token.text = std::string(1, c);
+      tokens.push_back(std::move(token));
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at position " +
+                                   std::to_string(i));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,36 @@
+#ifndef LAKEGUARD_SQL_LEXER_H_
+#define LAKEGUARD_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lakeguard {
+
+enum class TokenKind : uint8_t {
+  kIdentifier = 0,  // foo, `quoted id`
+  kKeyword = 1,     // SELECT, FROM, ... (normalized uppercase in text)
+  kInteger = 2,
+  kFloat = 3,
+  kString = 4,      // 'single quoted'
+  kSymbol = 5,      // ( ) , . * + - / % = < > <= >= <> !=
+  kEnd = 6,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // keyword text is uppercased; identifiers keep case
+  size_t position = 0;
+
+  bool IsKeyword(const char* kw) const;
+  bool IsSymbol(const char* sym) const;
+};
+
+/// Tokenizes a SQL string. Keywords are recognized case-insensitively from a
+/// fixed list; everything else alphanumeric is an identifier.
+Result<std::vector<Token>> LexSql(const std::string& sql);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_SQL_LEXER_H_

@@ -1,0 +1,908 @@
+#include "sql/parser.h"
+
+#include "common/strings.h"
+#include "expr/functions.h"
+#include "sql/lexer.h"
+
+namespace lakeguard {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedStatement> ParseStatement();
+  Result<ExprPtr> ParseStandaloneExpr();
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Match(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool MatchSymbol(const char* sym) {
+    if (Peek().IsSymbol(sym)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Expect(const char* kw) {
+    if (!Match(kw)) {
+      return Status::InvalidArgument(std::string("expected ") + kw +
+                                     " near '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!MatchSymbol(sym)) {
+      return Status::InvalidArgument(std::string("expected '") + sym +
+                                     "' near '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::InvalidArgument("expected identifier near '" +
+                                     Peek().text + "'");
+    }
+    return Advance().text;
+  }
+
+  /// Parses a possibly-dotted qualified name: a | a.b | a.b.c.
+  Result<std::string> ParseQualifiedName();
+
+  Result<ParsedStatement> ParseSelect();
+  Result<PlanPtr> ParseSelectPlan();
+  Result<PlanPtr> ParseRelation();
+  Result<ParsedStatement> ParseCreate();
+  Result<ParsedStatement> ParseInsert();
+  Result<ParsedStatement> ParseGrantRevoke(bool revoke);
+  Result<ParsedStatement> ParseAlter();
+  Result<ParsedStatement> ParseDrop();
+  Result<ParsedStatement> ParseRefresh();
+
+  // Expression precedence chain.
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+  Result<Value> ParseLiteralValue();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  size_t select_start_ = 0;  // token index where the last SELECT began
+};
+
+Result<std::string> Parser::ParseQualifiedName() {
+  LG_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+  while (Peek().IsSymbol(".") &&
+         Peek(1).kind == TokenKind::kIdentifier) {
+    ++pos_;  // '.'
+    name += "." + Advance().text;
+  }
+  return name;
+}
+
+Result<ParsedStatement> Parser::ParseStatement() {
+  if (Peek().IsKeyword("SELECT")) return ParseSelect();
+  if (Match("CREATE")) return ParseCreate();
+  if (Match("INSERT")) return ParseInsert();
+  if (Match("GRANT")) return ParseGrantRevoke(false);
+  if (Match("REVOKE")) return ParseGrantRevoke(true);
+  if (Match("ALTER")) return ParseAlter();
+  if (Match("DROP")) return ParseDrop();
+  if (Match("REFRESH")) return ParseRefresh();
+  return Status::InvalidArgument("unsupported statement starting with '" +
+                                 Peek().text + "'");
+}
+
+Result<ExprPtr> Parser::ParseStandaloneExpr() {
+  LG_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+  if (Peek().kind != TokenKind::kEnd) {
+    return Status::InvalidArgument("trailing tokens after expression: '" +
+                                   Peek().text + "'");
+  }
+  return e;
+}
+
+Result<ParsedStatement> Parser::ParseSelect() {
+  LG_ASSIGN_OR_RETURN(PlanPtr plan, ParseSelectPlan());
+  if (Peek().kind != TokenKind::kEnd) {
+    return Status::InvalidArgument("trailing tokens after SELECT: '" +
+                                   Peek().text + "'");
+  }
+  SelectStatement stmt;
+  stmt.plan = std::move(plan);
+  return ParsedStatement(std::move(stmt));
+}
+
+Result<PlanPtr> Parser::ParseSelectPlan() {
+  LG_RETURN_IF_ERROR(Expect("SELECT"));
+  const bool distinct = Match("DISTINCT");
+
+  struct SelectItem {
+    ExprPtr expr;  // null for '*'
+    std::string alias;
+    bool star = false;
+  };
+  std::vector<SelectItem> items;
+  while (true) {
+    SelectItem item;
+    if (MatchSymbol("*")) {
+      item.star = true;
+    } else {
+      LG_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (Match("AS")) {
+        LG_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+      } else if (Peek().kind == TokenKind::kIdentifier) {
+        item.alias = Advance().text;  // bare alias
+      }
+    }
+    items.push_back(std::move(item));
+    if (!MatchSymbol(",")) break;
+  }
+
+  LG_RETURN_IF_ERROR(Expect("FROM"));
+  LG_ASSIGN_OR_RETURN(PlanPtr plan, ParseRelation());
+
+  // JOIN chain.
+  while (true) {
+    JoinType type;
+    if (Peek().IsKeyword("JOIN")) {
+      ++pos_;
+      type = JoinType::kInner;
+    } else if (Peek().IsKeyword("INNER") && Peek(1).IsKeyword("JOIN")) {
+      pos_ += 2;
+      type = JoinType::kInner;
+    } else if (Peek().IsKeyword("LEFT") && Peek(1).IsKeyword("JOIN")) {
+      pos_ += 2;
+      type = JoinType::kLeft;
+    } else if (Peek().IsKeyword("CROSS") && Peek(1).IsKeyword("JOIN")) {
+      pos_ += 2;
+      type = JoinType::kCross;
+    } else {
+      break;
+    }
+    LG_ASSIGN_OR_RETURN(PlanPtr right, ParseRelation());
+    ExprPtr cond;
+    if (type != JoinType::kCross) {
+      LG_RETURN_IF_ERROR(Expect("ON"));
+      LG_ASSIGN_OR_RETURN(cond, ParseExpr());
+    }
+    plan = MakeJoin(std::move(plan), std::move(right), type, std::move(cond));
+  }
+
+  if (Match("WHERE")) {
+    LG_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+    plan = MakeFilter(std::move(plan), std::move(cond));
+  }
+
+  // Aggregation?
+  std::vector<ExprPtr> group_exprs;
+  std::vector<std::string> group_names;
+  bool has_group_by = false;
+  if (Match("GROUP")) {
+    LG_RETURN_IF_ERROR(Expect("BY"));
+    has_group_by = true;
+    while (true) {
+      LG_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      group_exprs.push_back(std::move(e));
+      if (!MatchSymbol(",")) break;
+    }
+  }
+
+  auto is_agg_call = [](const ExprPtr& e) {
+    return e && e->kind() == ExprKind::kFunctionCall &&
+           IsAggregateFunctionName(
+               static_cast<const FunctionCallExpr&>(*e).name());
+  };
+  bool any_agg = false;
+  for (const SelectItem& item : items) {
+    if (is_agg_call(item.expr)) any_agg = true;
+  }
+
+  // SELECT DISTINCT is grouping by every select item (without aggregates).
+  if (distinct) {
+    if (any_agg || has_group_by) {
+      return Status::InvalidArgument(
+          "DISTINCT cannot be combined with aggregates or GROUP BY");
+    }
+    has_group_by = true;
+    for (const SelectItem& item : items) {
+      if (item.star) {
+        return Status::InvalidArgument("SELECT DISTINCT * is not supported");
+      }
+      group_exprs.push_back(item.expr);
+    }
+  }
+
+  auto default_name = [](const ExprPtr& e, size_t i) -> std::string {
+    if (e->kind() == ExprKind::kColumnRef) {
+      // "o.seller" projects as "seller", Spark-style.
+      const std::string& full = static_cast<const ColumnRefExpr&>(*e).name();
+      size_t dot = full.rfind('.');
+      return dot == std::string::npos ? full : full.substr(dot + 1);
+    }
+    return "col" + std::to_string(i + 1);
+  };
+
+  // Non-aggregate projections are deferred past ORDER BY so sort keys may
+  // reference input columns that the select list drops.
+  std::vector<ExprPtr> deferred_proj;
+  std::vector<std::string> deferred_names;
+  bool has_deferred_project = false;
+
+  if (has_group_by || any_agg) {
+    // Build Aggregate: group exprs get names from matching select items (or
+    // synthesized); agg items come from select list and HAVING.
+    if (!has_group_by) {
+      // Global aggregate (no grouping columns).
+    }
+    for (size_t i = 0; i < group_exprs.size(); ++i) {
+      std::string name;
+      for (const SelectItem& item : items) {
+        if (item.expr && item.expr->Equals(*group_exprs[i])) {
+          name = item.alias.empty() ? default_name(item.expr, i) : item.alias;
+          break;
+        }
+      }
+      if (name.empty()) name = default_name(group_exprs[i], i);
+      group_names.push_back(name);
+    }
+    std::vector<ExprPtr> agg_exprs;
+    std::vector<std::string> agg_names;
+    std::vector<std::string> out_names;  // select order
+    for (size_t i = 0; i < items.size(); ++i) {
+      const SelectItem& item = items[i];
+      if (item.star) {
+        return Status::InvalidArgument("SELECT * with GROUP BY is not supported");
+      }
+      std::string name =
+          item.alias.empty() ? default_name(item.expr, i) : item.alias;
+      if (is_agg_call(item.expr)) {
+        agg_exprs.push_back(item.expr);
+        agg_names.push_back(name);
+      } else {
+        // Must correspond to a grouping expression.
+        bool found = false;
+        for (size_t g = 0; g < group_exprs.size(); ++g) {
+          if (item.expr->Equals(*group_exprs[g])) {
+            group_names[g] = name;
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          return Status::InvalidArgument(
+              "select item '" + item.expr->ToString() +
+              "' is neither an aggregate nor a GROUP BY expression");
+        }
+      }
+      out_names.push_back(name);
+    }
+    ExprPtr having;
+    if (Match("HAVING")) {
+      LG_ASSIGN_OR_RETURN(having, ParseExpr());
+      // Rewrite aggregate calls in HAVING into references to aggregate
+      // output columns, adding hidden aggregates when not in the select
+      // list (the final projection drops them again).
+      having = RewriteExpr(having, [&](const ExprPtr& e) -> ExprPtr {
+        if (!is_agg_call(e)) return nullptr;
+        for (size_t i = 0; i < agg_exprs.size(); ++i) {
+          if (agg_exprs[i]->Equals(*e)) return Col(agg_names[i]);
+        }
+        std::string hidden = "__having" + std::to_string(agg_exprs.size());
+        agg_exprs.push_back(e);
+        agg_names.push_back(hidden);
+        return Col(hidden);
+      });
+      // Grouping expressions referenced in HAVING resolve by output name.
+      having = RewriteExpr(having, [&](const ExprPtr& e) -> ExprPtr {
+        for (size_t g = 0; g < group_exprs.size(); ++g) {
+          if (e->kind() != ExprKind::kColumnRef && group_exprs[g]->Equals(*e)) {
+            return Col(group_names[g]);
+          }
+        }
+        return nullptr;
+      });
+    }
+    plan = MakeAggregate(std::move(plan), group_exprs, group_names, agg_exprs,
+                         agg_names);
+    if (having) {
+      plan = MakeFilter(std::move(plan), std::move(having));
+    }
+    // Reorder to select order.
+    std::vector<ExprPtr> proj;
+    std::vector<std::string> proj_names;
+    for (const std::string& name : out_names) {
+      proj.push_back(Col(name));
+      proj_names.push_back(name);
+    }
+    plan = MakeProject(std::move(plan), std::move(proj),
+                       std::move(proj_names));
+  } else {
+    if (Match("HAVING")) {
+      return Status::InvalidArgument("HAVING requires GROUP BY or aggregates");
+    }
+    bool all_star = items.size() == 1 && items[0].star;
+    if (!all_star) {
+      std::vector<ExprPtr> proj;
+      std::vector<std::string> names;
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (items[i].star) {
+          return Status::InvalidArgument(
+              "mixing '*' with other select items is not supported");
+        }
+        proj.push_back(items[i].expr);
+        names.push_back(items[i].alias.empty()
+                            ? default_name(items[i].expr, i)
+                            : items[i].alias);
+      }
+      deferred_proj = std::move(proj);
+      deferred_names = std::move(names);
+      has_deferred_project = true;
+    }
+  }
+
+  if (Match("ORDER")) {
+    LG_RETURN_IF_ERROR(Expect("BY"));
+    std::vector<SortKey> keys;
+    while (true) {
+      SortKey key;
+      LG_ASSIGN_OR_RETURN(key.expr, ParseExpr());
+      if (Match("DESC")) {
+        key.ascending = false;
+      } else {
+        Match("ASC");
+      }
+      keys.push_back(std::move(key));
+      if (!MatchSymbol(",")) break;
+    }
+    if (!has_deferred_project) {
+      plan = MakeSort(std::move(plan), std::move(keys));
+    } else {
+      // Standard SQL: ORDER BY may reference output aliases *or* input
+      // columns not in the select list. If every key is an output-name
+      // reference, sort above the projection; otherwise sort below it,
+      // rewriting alias references to their defining expressions.
+      auto output_index = [&](const ExprPtr& e) -> int {
+        if (e->kind() != ExprKind::kColumnRef) return -1;
+        const std::string& full =
+            static_cast<const ColumnRefExpr&>(*e).name();
+        size_t dot = full.rfind('.');
+        std::string bare =
+            dot == std::string::npos ? full : full.substr(dot + 1);
+        for (size_t i = 0; i < deferred_names.size(); ++i) {
+          if (EqualsIgnoreCase(deferred_names[i], bare)) {
+            return static_cast<int>(i);
+          }
+        }
+        return -1;
+      };
+      bool all_outputs = true;
+      for (const SortKey& key : keys) {
+        if (output_index(key.expr) < 0) all_outputs = false;
+      }
+      if (all_outputs) {
+        plan = MakeProject(std::move(plan), deferred_proj, deferred_names);
+        has_deferred_project = false;
+        plan = MakeSort(std::move(plan), std::move(keys));
+      } else {
+        // Sort below the projection: rewrite alias refs to source exprs.
+        for (SortKey& key : keys) {
+          key.expr = RewriteExpr(key.expr, [&](const ExprPtr& e) -> ExprPtr {
+            int idx = output_index(e);
+            if (idx < 0) return nullptr;
+            return deferred_proj[static_cast<size_t>(idx)];
+          });
+        }
+        plan = MakeSort(std::move(plan), std::move(keys));
+      }
+    }
+  }
+  if (has_deferred_project) {
+    plan = MakeProject(std::move(plan), std::move(deferred_proj),
+                       std::move(deferred_names));
+  }
+
+  if (Match("LIMIT")) {
+    if (Peek().kind != TokenKind::kInteger) {
+      return Status::InvalidArgument("LIMIT expects an integer");
+    }
+    int64_t limit = std::stoll(Advance().text);
+    plan = MakeLimit(std::move(plan), limit);
+  }
+
+  return plan;
+}
+
+Result<PlanPtr> Parser::ParseRelation() {
+  if (MatchSymbol("(")) {
+    LG_ASSIGN_OR_RETURN(PlanPtr sub, ParseSelectPlan());
+    LG_RETURN_IF_ERROR(ExpectSymbol(")"));
+    if (Match("AS")) {
+      LG_ASSIGN_OR_RETURN(std::string alias, ExpectIdentifier());
+      (void)alias;  // aliases are cosmetic in this engine
+    } else if (Peek().kind == TokenKind::kIdentifier) {
+      ++pos_;
+    }
+    return sub;
+  }
+  LG_ASSIGN_OR_RETURN(std::string name, ParseQualifiedName());
+  std::string alias;
+  if (Match("AS")) {
+    LG_ASSIGN_OR_RETURN(alias, ExpectIdentifier());
+  } else if (Peek().kind == TokenKind::kIdentifier) {
+    alias = Advance().text;
+  }
+  return MakeTableRef(std::move(name), std::move(alias));
+}
+
+Result<ParsedStatement> Parser::ParseCreate() {
+  if (Match("TABLE")) {
+    CreateTableStatement stmt;
+    LG_ASSIGN_OR_RETURN(stmt.name, ParseQualifiedName());
+    LG_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<FieldDef> fields;
+    while (true) {
+      FieldDef field;
+      LG_ASSIGN_OR_RETURN(field.name, ExpectIdentifier());
+      if (Peek().kind != TokenKind::kIdentifier &&
+          Peek().kind != TokenKind::kKeyword) {
+        return Status::InvalidArgument("expected type after column name");
+      }
+      LG_ASSIGN_OR_RETURN(field.type, TypeKindFromName(Advance().text));
+      if (Match("NOT")) {
+        LG_RETURN_IF_ERROR(Expect("NULL"));
+        field.nullable = false;
+      }
+      fields.push_back(std::move(field));
+      if (!MatchSymbol(",")) break;
+    }
+    LG_RETURN_IF_ERROR(ExpectSymbol(")"));
+    stmt.schema = Schema(std::move(fields));
+    return ParsedStatement(std::move(stmt));
+  }
+  bool materialized = Match("MATERIALIZED");
+  bool temporary = Match("TEMP") || Match("TEMPORARY");
+  if (Match("VIEW")) {
+    if (materialized && temporary) {
+      return Status::InvalidArgument("a view cannot be both MATERIALIZED "
+                                     "and TEMPORARY");
+    }
+    CreateViewStatement stmt;
+    stmt.materialized = materialized;
+    stmt.temporary = temporary;
+    LG_ASSIGN_OR_RETURN(stmt.name, ParseQualifiedName());
+    LG_RETURN_IF_ERROR(Expect("AS"));
+    // Keep the remaining raw text as the view definition.
+    size_t start_pos = Peek().position;
+    LG_ASSIGN_OR_RETURN(stmt.plan, ParseSelectPlan());
+    (void)start_pos;
+    // Reconstructing the original text needs the raw SQL, which the lexer
+    // dropped; callers of ParseSql capture it (see ParseSql below).
+    return ParsedStatement(std::move(stmt));
+  }
+  return Status::InvalidArgument("unsupported CREATE statement");
+}
+
+Result<ParsedStatement> Parser::ParseInsert() {
+  LG_RETURN_IF_ERROR(Expect("INTO"));
+  InsertStatement stmt;
+  LG_ASSIGN_OR_RETURN(stmt.table, ParseQualifiedName());
+  if (Peek().IsKeyword("SELECT")) {
+    LG_ASSIGN_OR_RETURN(stmt.query, ParseSelectPlan());
+    return ParsedStatement(std::move(stmt));
+  }
+  LG_RETURN_IF_ERROR(Expect("VALUES"));
+  while (true) {
+    LG_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<Value> row;
+    while (true) {
+      LG_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+      row.push_back(std::move(v));
+      if (!MatchSymbol(",")) break;
+    }
+    LG_RETURN_IF_ERROR(ExpectSymbol(")"));
+    stmt.rows.push_back(std::move(row));
+    if (!MatchSymbol(",")) break;
+  }
+  return ParsedStatement(std::move(stmt));
+}
+
+Result<ParsedStatement> Parser::ParseGrantRevoke(bool revoke) {
+  GrantStatement stmt;
+  stmt.revoke = revoke;
+  // Privilege is one or two keywords/identifiers (USE CATALOG, SELECT, ...).
+  std::string priv = Advance().text;
+  if ((priv == "USE" &&
+       (Peek().IsKeyword("CATALOG") || Peek().IsKeyword("SCHEMA"))) ||
+      ((priv == "READ" || priv == "WRITE") &&
+       Peek().kind == TokenKind::kIdentifier)) {
+    priv += " " + Advance().text;
+  }
+  stmt.privilege = ToUpperAscii(priv);
+  LG_RETURN_IF_ERROR(Expect("ON"));
+  // Optional securable type keyword.
+  if (Peek().IsKeyword("TABLE") || Peek().IsKeyword("VIEW") ||
+      Peek().IsKeyword("CATALOG") || Peek().IsKeyword("SCHEMA") ||
+      Peek().IsKeyword("FUNCTION")) {
+    ++pos_;
+  }
+  LG_ASSIGN_OR_RETURN(stmt.securable, ParseQualifiedName());
+  if (revoke) {
+    LG_RETURN_IF_ERROR(Expect("FROM"));
+  } else {
+    LG_RETURN_IF_ERROR(Expect("TO"));
+  }
+  LG_ASSIGN_OR_RETURN(stmt.principal, ParseQualifiedName());
+  return ParsedStatement(std::move(stmt));
+}
+
+Result<ParsedStatement> Parser::ParseAlter() {
+  LG_RETURN_IF_ERROR(Expect("TABLE"));
+  AlterPolicyStatement stmt;
+  LG_ASSIGN_OR_RETURN(stmt.table, ParseQualifiedName());
+  if (Match("SET")) {
+    LG_RETURN_IF_ERROR(Expect("ROW"));
+    LG_RETURN_IF_ERROR(Expect("FILTER"));
+    LG_RETURN_IF_ERROR(ExpectSymbol("("));
+    LG_ASSIGN_OR_RETURN(stmt.expr, ParseExpr());
+    LG_RETURN_IF_ERROR(ExpectSymbol(")"));
+    stmt.action = AlterPolicyStatement::Action::kSetRowFilter;
+    return ParsedStatement(std::move(stmt));
+  }
+  if (Match("DROP")) {
+    LG_RETURN_IF_ERROR(Expect("ROW"));
+    LG_RETURN_IF_ERROR(Expect("FILTER"));
+    stmt.action = AlterPolicyStatement::Action::kDropRowFilter;
+    return ParsedStatement(std::move(stmt));
+  }
+  if (Match("ALTER")) {
+    LG_RETURN_IF_ERROR(Expect("COLUMN"));
+    LG_ASSIGN_OR_RETURN(stmt.column, ExpectIdentifier());
+    if (Match("SET")) {
+      LG_RETURN_IF_ERROR(Expect("MASK"));
+      LG_RETURN_IF_ERROR(ExpectSymbol("("));
+      LG_ASSIGN_OR_RETURN(stmt.expr, ParseExpr());
+      LG_RETURN_IF_ERROR(ExpectSymbol(")"));
+      stmt.action = AlterPolicyStatement::Action::kSetColumnMask;
+      return ParsedStatement(std::move(stmt));
+    }
+    LG_RETURN_IF_ERROR(Expect("DROP"));
+    LG_RETURN_IF_ERROR(Expect("MASK"));
+    stmt.action = AlterPolicyStatement::Action::kDropColumnMask;
+    return ParsedStatement(std::move(stmt));
+  }
+  return Status::InvalidArgument("unsupported ALTER TABLE action");
+}
+
+Result<ParsedStatement> Parser::ParseDrop() {
+  DropTableStatement stmt;
+  if (Match("VIEW")) {
+    stmt.is_view = true;
+  } else {
+    LG_RETURN_IF_ERROR(Expect("TABLE"));
+  }
+  LG_ASSIGN_OR_RETURN(stmt.name, ParseQualifiedName());
+  return ParsedStatement(std::move(stmt));
+}
+
+Result<ParsedStatement> Parser::ParseRefresh() {
+  LG_RETURN_IF_ERROR(Expect("MATERIALIZED"));
+  LG_RETURN_IF_ERROR(Expect("VIEW"));
+  RefreshStatement stmt;
+  LG_ASSIGN_OR_RETURN(stmt.view, ParseQualifiedName());
+  return ParsedStatement(std::move(stmt));
+}
+
+// ---- Expressions -------------------------------------------------------------
+
+Result<ExprPtr> Parser::ParseOr() {
+  LG_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (Match("OR")) {
+    LG_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    left = Or(std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  LG_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (Match("AND")) {
+    LG_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    left = And(std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (Match("NOT")) {
+    LG_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+    return Not(std::move(child));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  LG_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+  // IS [NOT] NULL
+  if (Match("IS")) {
+    bool negated = Match("NOT");
+    LG_RETURN_IF_ERROR(Expect("NULL"));
+    return ExprPtr(std::make_shared<IsNullExpr>(std::move(left), negated));
+  }
+  bool negated = false;
+  if (Peek().IsKeyword("NOT") &&
+      (Peek(1).IsKeyword("IN") || Peek(1).IsKeyword("LIKE") ||
+       Peek(1).IsKeyword("BETWEEN"))) {
+    ++pos_;
+    negated = true;
+  }
+  if (Match("IN")) {
+    LG_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<Value> list;
+    while (true) {
+      LG_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+      list.push_back(std::move(v));
+      if (!MatchSymbol(",")) break;
+    }
+    LG_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return ExprPtr(
+        std::make_shared<InExpr>(std::move(left), std::move(list), negated));
+  }
+  if (Match("LIKE")) {
+    if (Peek().kind != TokenKind::kString) {
+      return Status::InvalidArgument("LIKE expects a string pattern");
+    }
+    std::string pattern = Advance().text;
+    return ExprPtr(std::make_shared<LikeExpr>(std::move(left),
+                                              std::move(pattern), negated));
+  }
+  if (Match("BETWEEN")) {
+    LG_ASSIGN_OR_RETURN(ExprPtr low, ParseAdditive());
+    LG_RETURN_IF_ERROR(Expect("AND"));
+    LG_ASSIGN_OR_RETURN(ExprPtr high, ParseAdditive());
+    ExprPtr range = And(BinOp(BinaryOpKind::kGe, left, std::move(low)),
+                        BinOp(BinaryOpKind::kLe, left, std::move(high)));
+    return negated ? Not(std::move(range)) : range;
+  }
+  struct CmpOp {
+    const char* sym;
+    BinaryOpKind op;
+  };
+  static const CmpOp kOps[] = {
+      {"=", BinaryOpKind::kEq},  {"<>", BinaryOpKind::kNe},
+      {"<=", BinaryOpKind::kLe}, {">=", BinaryOpKind::kGe},
+      {"<", BinaryOpKind::kLt},  {">", BinaryOpKind::kGt},
+  };
+  for (const CmpOp& cmp : kOps) {
+    if (MatchSymbol(cmp.sym)) {
+      LG_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+      return BinOp(cmp.op, std::move(left), std::move(right));
+    }
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  LG_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+  while (true) {
+    if (MatchSymbol("+")) {
+      LG_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = BinOp(BinaryOpKind::kAdd, std::move(left), std::move(right));
+    } else if (MatchSymbol("-")) {
+      LG_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = BinOp(BinaryOpKind::kSub, std::move(left), std::move(right));
+    } else if (MatchSymbol("||")) {
+      LG_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = Func("CONCAT", {std::move(left), std::move(right)});
+    } else {
+      return left;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  LG_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+  while (true) {
+    if (MatchSymbol("*")) {
+      LG_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = BinOp(BinaryOpKind::kMul, std::move(left), std::move(right));
+    } else if (MatchSymbol("/")) {
+      LG_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = BinOp(BinaryOpKind::kDiv, std::move(left), std::move(right));
+    } else if (MatchSymbol("%")) {
+      LG_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = BinOp(BinaryOpKind::kMod, std::move(left), std::move(right));
+    } else {
+      return left;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (MatchSymbol("-")) {
+    LG_ASSIGN_OR_RETURN(ExprPtr child, ParseUnary());
+    if (child->kind() == ExprKind::kLiteral) {
+      const Value& v = static_cast<const LiteralExpr&>(*child).value();
+      if (v.is_int()) return LitInt(-v.int_value());
+      if (v.is_double()) return LitDouble(-v.double_value());
+    }
+    return ExprPtr(
+        std::make_shared<UnaryOpExpr>(UnaryOpKind::kNegate, std::move(child)));
+  }
+  return ParsePrimary();
+}
+
+Result<Value> Parser::ParseLiteralValue() {
+  bool negative = MatchSymbol("-");
+  const Token& token = Peek();
+  switch (token.kind) {
+    case TokenKind::kInteger: {
+      int64_t v = std::stoll(Advance().text);
+      return Value::Int(negative ? -v : v);
+    }
+    case TokenKind::kFloat: {
+      double v = std::stod(Advance().text);
+      return Value::Double(negative ? -v : v);
+    }
+    case TokenKind::kString:
+      if (negative) {
+        return Status::InvalidArgument("cannot negate a string literal");
+      }
+      return Value::String(Advance().text);
+    case TokenKind::kKeyword:
+      if (negative) {
+        return Status::InvalidArgument("cannot negate a keyword literal");
+      }
+      if (Match("NULL")) return Value::Null();
+      if (Match("TRUE")) return Value::Bool(true);
+      if (Match("FALSE")) return Value::Bool(false);
+      break;
+    default:
+      break;
+  }
+  return Status::InvalidArgument("expected literal near '" + Peek().text +
+                                 "'");
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& token = Peek();
+  switch (token.kind) {
+    case TokenKind::kInteger:
+    case TokenKind::kFloat:
+    case TokenKind::kString: {
+      LG_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+      return Lit(std::move(v));
+    }
+    case TokenKind::kKeyword: {
+      if (Peek().IsKeyword("NULL") || Peek().IsKeyword("TRUE") ||
+          Peek().IsKeyword("FALSE")) {
+        LG_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+        return Lit(std::move(v));
+      }
+      if (Match("CAST")) {
+        LG_RETURN_IF_ERROR(ExpectSymbol("("));
+        LG_ASSIGN_OR_RETURN(ExprPtr child, ParseExpr());
+        LG_RETURN_IF_ERROR(Expect("AS"));
+        if (Peek().kind != TokenKind::kIdentifier &&
+            Peek().kind != TokenKind::kKeyword) {
+          return Status::InvalidArgument("expected type in CAST");
+        }
+        LG_ASSIGN_OR_RETURN(TypeKind target, TypeKindFromName(Advance().text));
+        LG_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return CastTo(std::move(child), target);
+      }
+      if (Match("CASE")) {
+        std::vector<CaseExpr::Branch> branches;
+        while (Match("WHEN")) {
+          CaseExpr::Branch branch;
+          LG_ASSIGN_OR_RETURN(branch.condition, ParseExpr());
+          LG_RETURN_IF_ERROR(Expect("THEN"));
+          LG_ASSIGN_OR_RETURN(branch.value, ParseExpr());
+          branches.push_back(std::move(branch));
+        }
+        if (branches.empty()) {
+          return Status::InvalidArgument("CASE requires at least one WHEN");
+        }
+        ExprPtr else_value;
+        if (Match("ELSE")) {
+          LG_ASSIGN_OR_RETURN(else_value, ParseExpr());
+        }
+        LG_RETURN_IF_ERROR(Expect("END"));
+        return ExprPtr(std::make_shared<CaseExpr>(std::move(branches),
+                                                  std::move(else_value)));
+      }
+      // Function-like keywords (MASK, FILTER, ...) used as calls.
+      if (Peek(1).IsSymbol("(")) {
+        std::string name = Advance().text;
+        ++pos_;  // '('
+        std::vector<ExprPtr> args;
+        if (!Peek().IsSymbol(")")) {
+          while (true) {
+            LG_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            args.push_back(std::move(arg));
+            if (!MatchSymbol(",")) break;
+          }
+        }
+        LG_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return Func(std::move(name), std::move(args));
+      }
+      return Status::InvalidArgument("unexpected keyword '" + token.text +
+                                     "' in expression");
+    }
+    case TokenKind::kSymbol:
+      if (MatchSymbol("(")) {
+        LG_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        LG_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return inner;
+      }
+      return Status::InvalidArgument("unexpected symbol '" + token.text +
+                                     "' in expression");
+    case TokenKind::kIdentifier: {
+      LG_ASSIGN_OR_RETURN(std::string name, ParseQualifiedName());
+      if (MatchSymbol("(")) {
+        // Function call. COUNT(*) is special-cased to COUNT(1).
+        std::vector<ExprPtr> args;
+        if (MatchSymbol("*")) {
+          args.push_back(LitInt(1));
+        } else if (!Peek().IsSymbol(")")) {
+          while (true) {
+            LG_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            args.push_back(std::move(arg));
+            if (!MatchSymbol(",")) break;
+          }
+        }
+        LG_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return Func(std::move(name), std::move(args));
+      }
+      return Col(std::move(name));
+    }
+    case TokenKind::kEnd:
+      break;
+  }
+  return Status::InvalidArgument("unexpected end of input in expression");
+}
+
+}  // namespace
+
+Result<ParsedStatement> ParseSql(const std::string& sql) {
+  LG_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexSql(sql));
+  Parser parser(std::move(tokens));
+  LG_ASSIGN_OR_RETURN(ParsedStatement stmt, parser.ParseStatement());
+  // CREATE VIEW keeps the raw definition text for catalog storage: recover
+  // it as the substring after " AS ".
+  if (auto* view = std::get_if<CreateViewStatement>(&stmt)) {
+    std::string upper = ToUpperAscii(sql);
+    size_t as_pos = upper.find(" AS ");
+    if (as_pos == std::string::npos) {
+      return Status::Internal("CREATE VIEW without AS survived parsing");
+    }
+    view->sql_text = sql.substr(as_pos + 4);
+  }
+  return stmt;
+}
+
+Result<ExprPtr> ParseSqlExpr(const std::string& sql) {
+  LG_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexSql(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStandaloneExpr();
+}
+
+}  // namespace lakeguard

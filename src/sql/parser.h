@@ -1,0 +1,22 @@
+#ifndef LAKEGUARD_SQL_PARSER_H_
+#define LAKEGUARD_SQL_PARSER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace lakeguard {
+
+/// Parses one SQL statement. SELECT statements lower directly into
+/// unresolved logical plans (the same shape Connect clients send);
+/// DDL/DML/grant statements parse into their own AST structs and are
+/// executed as *commands* by the Connect service (§3.2.2's
+/// relation-vs-command split).
+Result<ParsedStatement> ParseSql(const std::string& sql);
+
+/// Parses a standalone scalar expression (row-filter and mask definitions).
+Result<ExprPtr> ParseSqlExpr(const std::string& sql);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_SQL_PARSER_H_

@@ -1,0 +1,72 @@
+#include "storage/credential.h"
+
+#include "common/id.h"
+#include "common/strings.h"
+
+namespace lakeguard {
+
+const char* StorageOpName(StorageOp op) {
+  switch (op) {
+    case StorageOp::kRead:
+      return "READ";
+    case StorageOp::kWrite:
+      return "WRITE";
+    case StorageOp::kList:
+      return "LIST";
+    case StorageOp::kDelete:
+      return "DELETE";
+  }
+  return "?";
+}
+
+StorageCredential CredentialAuthority::Issue(
+    const std::string& principal, const std::string& compute_id,
+    std::vector<std::string> allowed_prefixes, bool allow_write,
+    int64_t ttl_micros) {
+  StorageCredential cred;
+  cred.token_id = IdGenerator::Next("tok");
+  cred.principal = principal;
+  cred.compute_id = compute_id;
+  cred.allowed_prefixes = std::move(allowed_prefixes);
+  cred.allow_write = allow_write;
+  cred.expires_at_micros = clock_->NowMicros() + ttl_micros;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_[cred.token_id] = cred;
+  return cred;
+}
+
+void CredentialAuthority::Revoke(const std::string& token_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_.erase(token_id);
+}
+
+Result<std::string> CredentialAuthority::Authorize(const std::string& token_id,
+                                                   const std::string& path,
+                                                   StorageOp op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tokens_.find(token_id);
+  if (it == tokens_.end()) {
+    return Status::Unauthenticated("unknown or revoked storage token");
+  }
+  const StorageCredential& cred = it->second;
+  if (clock_->NowMicros() >= cred.expires_at_micros) {
+    return Status::Unauthenticated("storage token expired");
+  }
+  if ((op == StorageOp::kWrite || op == StorageOp::kDelete) &&
+      !cred.allow_write) {
+    return Status::PermissionDenied(std::string("token is read-only, ") +
+                                    StorageOpName(op) + " denied for " + path);
+  }
+  for (const std::string& prefix : cred.allowed_prefixes) {
+    if (MatchesWildcard(prefix, path)) return cred.principal;
+  }
+  return Status::PermissionDenied("token scope does not cover path " + path);
+}
+
+size_t CredentialAuthority::ActiveTokenCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tokens_.size();
+}
+
+}  // namespace lakeguard

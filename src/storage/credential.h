@@ -1,0 +1,72 @@
+#ifndef LAKEGUARD_STORAGE_CREDENTIAL_H_
+#define LAKEGUARD_STORAGE_CREDENTIAL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace lakeguard {
+
+/// Storage operations a credential can authorize.
+enum class StorageOp { kRead = 0, kWrite = 1, kList = 2, kDelete = 3 };
+
+const char* StorageOpName(StorageOp op);
+
+/// A temporary, scoped storage credential — the unit Unity Catalog vends to
+/// engines (§2.2, Fig. 2). A credential carries the requesting user
+/// identity, the compute that requested it, the path prefixes it unlocks,
+/// whether writes are allowed, and an expiry instant. Data access is
+/// *user-bound*: every token references a principal and every storage access
+/// is attributable to that principal in the audit trail.
+struct StorageCredential {
+  std::string token_id;
+  std::string principal;
+  std::string compute_id;
+  std::vector<std::string> allowed_prefixes;  // wildcard patterns
+  bool allow_write = false;
+  int64_t expires_at_micros = 0;
+};
+
+/// Issues and validates credentials. The object store only honors tokens
+/// registered here and not yet expired or revoked — modeling the cloud
+/// vendor's STS. The catalog is the sole issuer in a correctly-wired
+/// platform; tests also use it directly.
+class CredentialAuthority {
+ public:
+  explicit CredentialAuthority(Clock* clock) : clock_(clock) {}
+
+  CredentialAuthority(const CredentialAuthority&) = delete;
+  CredentialAuthority& operator=(const CredentialAuthority&) = delete;
+
+  /// Issues a credential valid for `ttl_micros` from now.
+  StorageCredential Issue(const std::string& principal,
+                          const std::string& compute_id,
+                          std::vector<std::string> allowed_prefixes,
+                          bool allow_write, int64_t ttl_micros);
+
+  /// Invalidates a token before its natural expiry.
+  void Revoke(const std::string& token_id);
+
+  /// Checks that `token_id` is live, unexpired, and that its scope covers
+  /// `path` for `op`. Returns the credential's principal on success (so the
+  /// store can attribute the access).
+  Result<std::string> Authorize(const std::string& token_id,
+                                const std::string& path, StorageOp op) const;
+
+  /// Number of currently registered (possibly expired) tokens.
+  size_t ActiveTokenCount() const;
+
+ private:
+  Clock* clock_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, StorageCredential> tokens_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_STORAGE_CREDENTIAL_H_

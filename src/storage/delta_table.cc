@@ -1,0 +1,156 @@
+#include "storage/delta_table.h"
+
+#include "columnar/ipc.h"
+#include "common/serde.h"
+
+namespace lakeguard {
+
+namespace {
+
+std::string ManifestPath(const std::string& root, uint64_t version) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%020llu",
+                static_cast<unsigned long long>(version));
+  return root + "/_log/" + buf + ".manifest";
+}
+
+std::string PartPath(const std::string& root, uint64_t version, size_t idx) {
+  return root + "/part-" + std::to_string(version) + "-" +
+         std::to_string(idx);
+}
+
+std::vector<uint8_t> EncodeManifest(const TableManifest& m) {
+  ByteWriter w;
+  w.PutVarint(m.version);
+  ipc::SerializeSchema(m.schema, &w);
+  w.PutVarint(m.parts.size());
+  for (const DataPart& part : m.parts) {
+    w.PutString(part.path);
+    w.PutVarint(part.num_rows);
+    w.PutVarint(part.num_bytes);
+  }
+  return w.Release();
+}
+
+Result<TableManifest> DecodeManifest(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  TableManifest m;
+  LG_ASSIGN_OR_RETURN(m.version, r.ReadVarint());
+  LG_ASSIGN_OR_RETURN(m.schema, ipc::DeserializeSchema(&r));
+  LG_ASSIGN_OR_RETURN(uint64_t n, r.ReadVarint());
+  for (uint64_t i = 0; i < n; ++i) {
+    DataPart part;
+    LG_ASSIGN_OR_RETURN(part.path, r.ReadString());
+    LG_ASSIGN_OR_RETURN(part.num_rows, r.ReadVarint());
+    LG_ASSIGN_OR_RETURN(part.num_bytes, r.ReadVarint());
+    m.parts.push_back(std::move(part));
+  }
+  return m;
+}
+
+}  // namespace
+
+uint64_t TableManifest::TotalRows() const {
+  uint64_t rows = 0;
+  for (const DataPart& part : parts) {
+    rows += part.num_rows;
+  }
+  return rows;
+}
+
+Status DeltaTableFormat::WriteParts(const std::string& token,
+                                    const std::string& root, uint64_t version,
+                                    const Table& table,
+                                    std::vector<DataPart>* parts) {
+  size_t idx = 0;
+  for (const RecordBatch& batch : table.batches()) {
+    if (batch.num_rows() == 0) continue;
+    DataPart part;
+    part.path = PartPath(root, version, idx++);
+    part.num_rows = batch.num_rows();
+    std::vector<uint8_t> frame = ipc::SerializeBatch(batch);
+    part.num_bytes = frame.size();
+    LG_RETURN_IF_ERROR(store_->Put(token, part.path, std::move(frame)));
+    parts->push_back(std::move(part));
+  }
+  return Status::OK();
+}
+
+Status DeltaTableFormat::WriteManifest(const std::string& token,
+                                       const std::string& root,
+                                       const TableManifest& manifest) {
+  return store_->Put(token, ManifestPath(root, manifest.version),
+                     EncodeManifest(manifest));
+}
+
+Status DeltaTableFormat::CreateTable(const std::string& token,
+                                     const std::string& root,
+                                     const Table& table) {
+  if (store_->Exists(ManifestPath(root, 0))) {
+    return Status::AlreadyExists("table already exists at " + root);
+  }
+  TableManifest manifest;
+  manifest.version = 0;
+  manifest.schema = table.schema();
+  LG_RETURN_IF_ERROR(WriteParts(token, root, 0, table, &manifest.parts));
+  return WriteManifest(token, root, manifest);
+}
+
+Status DeltaTableFormat::AppendToTable(const std::string& token,
+                                       const std::string& root,
+                                       const Table& rows) {
+  LG_ASSIGN_OR_RETURN(TableManifest latest, LoadManifest(token, root));
+  if (!rows.schema().Equals(latest.schema)) {
+    return Status::InvalidArgument("append schema " +
+                                   rows.schema().ToString() +
+                                   " does not match table schema " +
+                                   latest.schema.ToString());
+  }
+  TableManifest next;
+  next.version = latest.version + 1;
+  next.schema = latest.schema;
+  next.parts = latest.parts;
+  LG_RETURN_IF_ERROR(WriteParts(token, root, next.version, rows, &next.parts));
+  return WriteManifest(token, root, next);
+}
+
+Result<TableManifest> DeltaTableFormat::LoadManifest(
+    const std::string& token, const std::string& root) const {
+  LG_ASSIGN_OR_RETURN(std::vector<std::string> entries,
+                      store_->List(token, root + "/_log/"));
+  if (entries.empty()) {
+    return Status::NotFound("no table at " + root);
+  }
+  // Entries are zero-padded, so lexical max == latest version.
+  LG_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                      store_->Get(token, entries.back()));
+  return DecodeManifest(bytes);
+}
+
+Result<TableManifest> DeltaTableFormat::LoadManifestVersion(
+    const std::string& token, const std::string& root,
+    uint64_t version) const {
+  LG_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                      store_->Get(token, ManifestPath(root, version)));
+  return DecodeManifest(bytes);
+}
+
+Result<RecordBatch> DeltaTableFormat::ReadPart(const std::string& token,
+                                               const DataPart& part) const {
+  LG_ASSIGN_OR_RETURN(std::vector<uint8_t> frame,
+                      store_->Get(token, part.path));
+  return ipc::DeserializeBatch(frame);
+}
+
+Result<Table> DeltaTableFormat::ReadTable(const std::string& token,
+                                          const std::string& root) const {
+  LG_ASSIGN_OR_RETURN(TableManifest manifest, LoadManifest(token, root));
+  Table out(manifest.schema);
+  for (const DataPart& part : manifest.parts) {
+    LG_ASSIGN_OR_RETURN(RecordBatch batch, ReadPart(token, part));
+    LG_RETURN_IF_ERROR(out.AppendBatch(std::move(batch)));
+  }
+  return out;
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,76 @@
+#ifndef LAKEGUARD_STORAGE_DELTA_TABLE_H_
+#define LAKEGUARD_STORAGE_DELTA_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "columnar/table.h"
+#include "storage/object_store.h"
+
+namespace lakeguard {
+
+/// One data file entry in a table version's manifest.
+struct DataPart {
+  std::string path;
+  uint64_t num_rows = 0;
+  uint64_t num_bytes = 0;
+};
+
+/// A committed table version: schema + list of parts. Versions are
+/// append-only; version N's manifest lives at `<root>/_log/<N>.manifest`.
+struct TableManifest {
+  uint64_t version = 0;
+  Schema schema;
+  std::vector<DataPart> parts;
+
+  uint64_t TotalRows() const;
+};
+
+/// Delta-/Iceberg-flavoured table layout over the object store: immutable
+/// IPC-framed part files plus a versioned manifest log. This is the "open
+/// file format on cheap cloud storage" substrate of the Lakehouse stack
+/// (§1): the catalog stores only the root path; engines read parts directly
+/// with vended credentials.
+class DeltaTableFormat {
+ public:
+  explicit DeltaTableFormat(ObjectStore* store) : store_(store) {}
+
+  /// Creates version 0 of a table at `root` with `table`'s batches as parts.
+  Status CreateTable(const std::string& token, const std::string& root,
+                     const Table& table);
+
+  /// Commits a new version appending `rows`' batches to the latest version.
+  Status AppendToTable(const std::string& token, const std::string& root,
+                       const Table& rows);
+
+  /// Loads the latest manifest.
+  Result<TableManifest> LoadManifest(const std::string& token,
+                                     const std::string& root) const;
+
+  /// Loads a specific version ("time travel").
+  Result<TableManifest> LoadManifestVersion(const std::string& token,
+                                            const std::string& root,
+                                            uint64_t version) const;
+
+  /// Reads one part file into a batch.
+  Result<RecordBatch> ReadPart(const std::string& token,
+                               const DataPart& part) const;
+
+  /// Reads the entire latest table version.
+  Result<Table> ReadTable(const std::string& token,
+                          const std::string& root) const;
+
+ private:
+  Status WriteManifest(const std::string& token, const std::string& root,
+                       const TableManifest& manifest);
+  Status WriteParts(const std::string& token, const std::string& root,
+                    uint64_t version, const Table& table,
+                    std::vector<DataPart>* parts);
+
+  ObjectStore* store_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_STORAGE_DELTA_TABLE_H_

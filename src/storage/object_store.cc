@@ -1,0 +1,85 @@
+#include "storage/object_store.h"
+
+#include "common/strings.h"
+
+namespace lakeguard {
+
+Status ObjectStore::Put(const std::string& token, const std::string& path,
+                        std::vector<uint8_t> data) {
+  auto auth = authority_->Authorize(token, path, StorageOp::kWrite);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!auth.ok()) {
+    ++stats_.access_denied;
+    return auth.status().WithContext("PUT " + path);
+  }
+  stats_.writes++;
+  stats_.bytes_written += data.size();
+  objects_[path] = std::move(data);
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ObjectStore::Get(const std::string& token,
+                                              const std::string& path) const {
+  auto auth = authority_->Authorize(token, path, StorageOp::kRead);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!auth.ok()) {
+    ++stats_.access_denied;
+    return auth.status().WithContext("GET " + path);
+  }
+  auto it = objects_.find(path);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object at " + path);
+  }
+  stats_.reads++;
+  stats_.bytes_read += it->second.size();
+  return it->second;
+}
+
+Result<std::vector<std::string>> ObjectStore::List(
+    const std::string& token, const std::string& prefix) const {
+  auto auth = authority_->Authorize(token, prefix + "*", StorageOp::kList);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!auth.ok()) {
+    ++stats_.access_denied;
+    return auth.status().WithContext("LIST " + prefix);
+  }
+  std::vector<std::string> out;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (!StartsWith(it->first, prefix)) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+Status ObjectStore::Delete(const std::string& token, const std::string& path) {
+  auto auth = authority_->Authorize(token, path, StorageOp::kDelete);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!auth.ok()) {
+    ++stats_.access_denied;
+    return auth.status().WithContext("DELETE " + path);
+  }
+  objects_.erase(path);
+  return Status::OK();
+}
+
+bool ObjectStore::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.count(path) > 0;
+}
+
+size_t ObjectStore::ObjectCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.size();
+}
+
+ObjectStoreStats ObjectStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ObjectStore::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = ObjectStoreStats();
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,170 @@
+#include "udf/builder.h"
+
+namespace lakeguard {
+
+UdfBuilder::UdfBuilder(std::string name, uint32_t num_args,
+                       TypeKind return_type) {
+  bc_.name = std::move(name);
+  bc_.num_args = num_args;
+  bc_.return_type = return_type;
+}
+
+UdfBuilder& UdfBuilder::Emit(OpCode op, int32_t operand, int32_t operand2) {
+  bc_.code.push_back(Instruction{op, operand, operand2});
+  return *this;
+}
+
+UdfBuilder& UdfBuilder::PushConst(Value v) {
+  bc_.const_pool.push_back(std::move(v));
+  return Emit(OpCode::kPushConst,
+              static_cast<int32_t>(bc_.const_pool.size() - 1));
+}
+UdfBuilder& UdfBuilder::LoadArg(uint32_t idx) {
+  return Emit(OpCode::kLoadArg, static_cast<int32_t>(idx));
+}
+UdfBuilder& UdfBuilder::LoadLocal(uint32_t idx) {
+  return Emit(OpCode::kLoadLocal, static_cast<int32_t>(idx));
+}
+UdfBuilder& UdfBuilder::StoreLocal(uint32_t idx) {
+  return Emit(OpCode::kStoreLocal, static_cast<int32_t>(idx));
+}
+UdfBuilder& UdfBuilder::Dup() { return Emit(OpCode::kDup); }
+UdfBuilder& UdfBuilder::Pop() { return Emit(OpCode::kPop); }
+UdfBuilder& UdfBuilder::Add() { return Emit(OpCode::kAdd); }
+UdfBuilder& UdfBuilder::Sub() { return Emit(OpCode::kSub); }
+UdfBuilder& UdfBuilder::Mul() { return Emit(OpCode::kMul); }
+UdfBuilder& UdfBuilder::Div() { return Emit(OpCode::kDiv); }
+UdfBuilder& UdfBuilder::Mod() { return Emit(OpCode::kMod); }
+UdfBuilder& UdfBuilder::Neg() { return Emit(OpCode::kNeg); }
+UdfBuilder& UdfBuilder::CmpEq() { return Emit(OpCode::kEq); }
+UdfBuilder& UdfBuilder::CmpNe() { return Emit(OpCode::kNe); }
+UdfBuilder& UdfBuilder::CmpLt() { return Emit(OpCode::kLt); }
+UdfBuilder& UdfBuilder::CmpLe() { return Emit(OpCode::kLe); }
+UdfBuilder& UdfBuilder::CmpGt() { return Emit(OpCode::kGt); }
+UdfBuilder& UdfBuilder::CmpGe() { return Emit(OpCode::kGe); }
+UdfBuilder& UdfBuilder::LogicalAnd() { return Emit(OpCode::kAnd); }
+UdfBuilder& UdfBuilder::LogicalOr() { return Emit(OpCode::kOr); }
+UdfBuilder& UdfBuilder::LogicalNot() { return Emit(OpCode::kNot); }
+UdfBuilder& UdfBuilder::Concat() { return Emit(OpCode::kConcat); }
+UdfBuilder& UdfBuilder::LengthOp() { return Emit(OpCode::kLength); }
+UdfBuilder& UdfBuilder::Sha256Op() { return Emit(OpCode::kSha256); }
+UdfBuilder& UdfBuilder::ToStringOp() { return Emit(OpCode::kToString); }
+UdfBuilder& UdfBuilder::ToIntOp() { return Emit(OpCode::kToInt); }
+UdfBuilder& UdfBuilder::ToDoubleOp() { return Emit(OpCode::kToDouble); }
+UdfBuilder& UdfBuilder::CallHost(HostFn fn, uint32_t argc) {
+  return Emit(OpCode::kCallHost, static_cast<int32_t>(fn),
+              static_cast<int32_t>(argc));
+}
+UdfBuilder& UdfBuilder::Ret() { return Emit(OpCode::kReturn); }
+
+uint32_t UdfBuilder::AddLocal() { return bc_.num_locals++; }
+
+size_t UdfBuilder::EmitJump() {
+  Emit(OpCode::kJump, 0);
+  return bc_.code.size() - 1;
+}
+
+size_t UdfBuilder::EmitJumpIfFalse() {
+  Emit(OpCode::kJumpIfFalse, 0);
+  return bc_.code.size() - 1;
+}
+
+void UdfBuilder::PatchJump(size_t at, size_t target) {
+  bc_.code[at].operand = static_cast<int32_t>(target);
+}
+
+size_t UdfBuilder::Here() const { return bc_.code.size(); }
+
+UdfBuilder& UdfBuilder::JumpTo(size_t target) {
+  return Emit(OpCode::kJump, static_cast<int32_t>(target));
+}
+
+Result<UdfBytecode> UdfBuilder::Build() {
+  LG_RETURN_IF_ERROR(ValidateBytecode(bc_));
+  return bc_;
+}
+
+namespace canned {
+
+UdfBytecode SumUdf() {
+  UdfBuilder b("simple_sum", 2, TypeKind::kInt64);
+  b.LoadArg(0).LoadArg(1).Add().Ret();
+  return *b.Build();
+}
+
+UdfBytecode HashUdf(int64_t iterations) {
+  // h = str(arg0); i = 0
+  // while i < iterations: h = sha256(h); i = i + 1
+  // return h
+  UdfBuilder b("hash_100_sha256", 1, TypeKind::kString);
+  uint32_t h = b.AddLocal();
+  uint32_t i = b.AddLocal();
+  b.LoadArg(0).ToStringOp().StoreLocal(h);
+  b.PushConst(Value::Int(0)).StoreLocal(i);
+  size_t loop_start = b.Here();
+  b.LoadLocal(i).PushConst(Value::Int(iterations)).CmpLt();
+  size_t exit_jump = b.EmitJumpIfFalse();
+  b.LoadLocal(h).Sha256Op().StoreLocal(h);
+  b.LoadLocal(i).PushConst(Value::Int(1)).Add().StoreLocal(i);
+  b.JumpTo(loop_start);
+  b.PatchJump(exit_jump, b.Here());
+  b.LoadLocal(h).Ret();
+  return *b.Build();
+}
+
+UdfBytecode SensorFeatureUdf(double scale, double offset) {
+  // feature = length(payload) * scale + offset
+  UdfBuilder b("sensor_feature", 1, TypeKind::kFloat64);
+  b.LoadArg(0).LengthOp().ToDoubleOp();
+  b.PushConst(Value::Double(scale)).Mul();
+  b.PushConst(Value::Double(offset)).Add();
+  b.Ret();
+  return *b.Build();
+}
+
+UdfBytecode AirQualityUdf(const std::string& host) {
+  UdfBuilder b("resolve_zip_to_air_quality", 1, TypeKind::kFloat64);
+  b.PushConst(Value::String("http://" + host + "/zip/"));
+  b.LoadArg(0).ToStringOp().Concat();
+  b.CallHost(HostFn::kHttpGet, 1);
+  b.ToDoubleOp();
+  b.Ret();
+  return *b.Build();
+}
+
+UdfBytecode FileExfiltrationUdf(const std::string& path) {
+  UdfBuilder b("steal_file", 0, TypeKind::kString);
+  b.PushConst(Value::String(path));
+  b.CallHost(HostFn::kReadFile, 1);
+  b.Ret();
+  return *b.Build();
+}
+
+UdfBytecode NetworkExfiltrationUdf(const std::string& url) {
+  UdfBuilder b("exfiltrate", 1, TypeKind::kString);
+  b.PushConst(Value::String(url + "?payload="));
+  b.LoadArg(0).ToStringOp().Concat();
+  b.CallHost(HostFn::kHttpGet, 1);
+  b.Ret();
+  return *b.Build();
+}
+
+UdfBytecode EnvProbeUdf(const std::string& var) {
+  UdfBuilder b("env_probe", 0, TypeKind::kString);
+  b.PushConst(Value::String(var));
+  b.CallHost(HostFn::kGetEnv, 1);
+  b.Ret();
+  return *b.Build();
+}
+
+UdfBytecode InfiniteLoopUdf() {
+  UdfBuilder b("spin", 0, TypeKind::kInt64);
+  size_t start = b.Here();
+  b.PushConst(Value::Int(1)).Pop();
+  b.JumpTo(start);
+  b.PushConst(Value::Int(0)).Ret();
+  return *b.Build();
+}
+
+}  // namespace canned
+}  // namespace lakeguard

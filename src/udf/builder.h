@@ -1,0 +1,101 @@
+#ifndef LAKEGUARD_UDF_BUILDER_H_
+#define LAKEGUARD_UDF_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "udf/bytecode.h"
+
+namespace lakeguard {
+
+/// Fluent assembler for LGVM programs. Produces validated bytecode; tests,
+/// examples and workload generators use it the way the paper's users write
+/// Python UDFs.
+class UdfBuilder {
+ public:
+  UdfBuilder(std::string name, uint32_t num_args, TypeKind return_type);
+
+  UdfBuilder& PushConst(Value v);
+  UdfBuilder& LoadArg(uint32_t idx);
+  UdfBuilder& LoadLocal(uint32_t idx);
+  UdfBuilder& StoreLocal(uint32_t idx);
+  UdfBuilder& Dup();
+  UdfBuilder& Pop();
+  UdfBuilder& Add();
+  UdfBuilder& Sub();
+  UdfBuilder& Mul();
+  UdfBuilder& Div();
+  UdfBuilder& Mod();
+  UdfBuilder& Neg();
+  UdfBuilder& CmpEq();
+  UdfBuilder& CmpNe();
+  UdfBuilder& CmpLt();
+  UdfBuilder& CmpLe();
+  UdfBuilder& CmpGt();
+  UdfBuilder& CmpGe();
+  UdfBuilder& LogicalAnd();
+  UdfBuilder& LogicalOr();
+  UdfBuilder& LogicalNot();
+  UdfBuilder& Concat();
+  UdfBuilder& LengthOp();
+  UdfBuilder& Sha256Op();
+  UdfBuilder& ToStringOp();
+  UdfBuilder& ToIntOp();
+  UdfBuilder& ToDoubleOp();
+  UdfBuilder& CallHost(HostFn fn, uint32_t argc);
+  UdfBuilder& Ret();
+
+  /// Declares a local slot; returns its index.
+  uint32_t AddLocal();
+
+  /// Emits a placeholder jump; call `PatchJump` with the returned position
+  /// once the target is known.
+  size_t EmitJump();
+  size_t EmitJumpIfFalse();
+  void PatchJump(size_t at, size_t target);
+  /// Current instruction position (next emit target).
+  size_t Here() const;
+  /// Emits an unconditional jump to `target` (backward edges, loops).
+  UdfBuilder& JumpTo(size_t target);
+
+  /// Validates and returns the program.
+  Result<UdfBytecode> Build();
+
+ private:
+  UdfBuilder& Emit(OpCode op, int32_t operand = 0, int32_t operand2 = 0);
+  UdfBytecode bc_;
+};
+
+/// Canned user functions used across tests, examples and benchmarks.
+namespace canned {
+
+/// `def f(a, b): return a + b` — the paper's Simple UDF (Table 2 column 1).
+UdfBytecode SumUdf();
+
+/// `def f(s): h=s; for _ in range(iterations): h=sha256(h); return h` —
+/// the paper's Hash UDF with `iterations`=100 (Table 2 column 2).
+UdfBytecode HashUdf(int64_t iterations);
+
+/// Feature extraction over binary sensor payloads (healthcare example,
+/// Fig. 1): length(payload) * scale + offset as DOUBLE.
+UdfBytecode SensorFeatureUdf(double scale, double offset);
+
+/// Fig. 6's PySpark UDF: http_get("http://<host>/zip/{zip}") -> DOUBLE.
+UdfBytecode AirQualityUdf(const std::string& host);
+
+/// A malicious UDF attempting to read a host file and return its contents.
+UdfBytecode FileExfiltrationUdf(const std::string& path);
+
+/// A malicious UDF attempting to POST its argument to an attacker server.
+UdfBytecode NetworkExfiltrationUdf(const std::string& url);
+
+/// A malicious UDF attempting to read an environment secret.
+UdfBytecode EnvProbeUdf(const std::string& var);
+
+/// An infinite loop (sandbox fuel-limit test).
+UdfBytecode InfiniteLoopUdf();
+
+}  // namespace canned
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_UDF_BUILDER_H_

@@ -1,0 +1,151 @@
+#include "udf/bytecode.h"
+
+#include "expr/expr_serde.h"
+
+namespace lakeguard {
+
+const char* HostFnName(HostFn fn) {
+  switch (fn) {
+    case HostFn::kReadFile:
+      return "read_file";
+    case HostFn::kWriteFile:
+      return "write_file";
+    case HostFn::kHttpGet:
+      return "http_get";
+    case HostFn::kGetEnv:
+      return "get_env";
+    case HostFn::kClockNow:
+      return "clock_now";
+    case HostFn::kLog:
+      return "log";
+  }
+  return "?";
+}
+
+bool UdfBytecode::operator==(const UdfBytecode& other) const {
+  if (name != other.name || num_args != other.num_args ||
+      num_locals != other.num_locals || return_type != other.return_type ||
+      code != other.code || const_pool.size() != other.const_pool.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < const_pool.size(); ++i) {
+    if (!(const_pool[i] == other.const_pool[i])) return false;
+  }
+  return true;
+}
+
+void SerializeBytecode(const UdfBytecode& bc, ByteWriter* writer) {
+  writer->PutString(bc.name);
+  writer->PutVarint(bc.num_args);
+  writer->PutVarint(bc.num_locals);
+  writer->PutByte(static_cast<uint8_t>(bc.return_type));
+  writer->PutVarint(bc.const_pool.size());
+  for (const Value& v : bc.const_pool) {
+    SerializeValue(v, writer);
+  }
+  writer->PutVarint(bc.code.size());
+  for (const Instruction& ins : bc.code) {
+    writer->PutByte(static_cast<uint8_t>(ins.op));
+    writer->PutZigzag(ins.operand);
+    writer->PutZigzag(ins.operand2);
+  }
+}
+
+Result<UdfBytecode> DeserializeBytecode(ByteReader* reader) {
+  UdfBytecode bc;
+  LG_ASSIGN_OR_RETURN(bc.name, reader->ReadString());
+  LG_ASSIGN_OR_RETURN(uint64_t num_args, reader->ReadVarint());
+  LG_ASSIGN_OR_RETURN(uint64_t num_locals, reader->ReadVarint());
+  bc.num_args = static_cast<uint32_t>(num_args);
+  bc.num_locals = static_cast<uint32_t>(num_locals);
+  LG_ASSIGN_OR_RETURN(uint8_t ret, reader->ReadByte());
+  if (ret > static_cast<uint8_t>(TypeKind::kBinary)) {
+    return Status::DataLoss("invalid UDF return type");
+  }
+  bc.return_type = static_cast<TypeKind>(ret);
+  LG_ASSIGN_OR_RETURN(uint64_t n_const, reader->ReadVarint());
+  for (uint64_t i = 0; i < n_const; ++i) {
+    LG_ASSIGN_OR_RETURN(Value v, DeserializeValue(reader));
+    bc.const_pool.push_back(std::move(v));
+  }
+  LG_ASSIGN_OR_RETURN(uint64_t n_code, reader->ReadVarint());
+  for (uint64_t i = 0; i < n_code; ++i) {
+    Instruction ins;
+    LG_ASSIGN_OR_RETURN(uint8_t op, reader->ReadByte());
+    if (op > kMaxOpCode) {
+      return Status::DataLoss("invalid opcode " + std::to_string(op));
+    }
+    ins.op = static_cast<OpCode>(op);
+    LG_ASSIGN_OR_RETURN(int64_t operand, reader->ReadZigzag());
+    LG_ASSIGN_OR_RETURN(int64_t operand2, reader->ReadZigzag());
+    ins.operand = static_cast<int32_t>(operand);
+    ins.operand2 = static_cast<int32_t>(operand2);
+    bc.code.push_back(ins);
+  }
+  LG_RETURN_IF_ERROR(ValidateBytecode(bc));
+  return bc;
+}
+
+Status ValidateBytecode(const UdfBytecode& bc) {
+  if (bc.code.empty()) {
+    return Status::InvalidArgument("UDF '" + bc.name + "' has no code");
+  }
+  const int32_t n = static_cast<int32_t>(bc.code.size());
+  bool has_return = false;
+  for (int32_t pc = 0; pc < n; ++pc) {
+    const Instruction& ins = bc.code[static_cast<size_t>(pc)];
+    switch (ins.op) {
+      case OpCode::kPushConst:
+        if (ins.operand < 0 ||
+            ins.operand >= static_cast<int32_t>(bc.const_pool.size())) {
+          return Status::InvalidArgument("const index out of range at pc " +
+                                         std::to_string(pc));
+        }
+        break;
+      case OpCode::kLoadArg:
+        if (ins.operand < 0 ||
+            ins.operand >= static_cast<int32_t>(bc.num_args)) {
+          return Status::InvalidArgument("arg index out of range at pc " +
+                                         std::to_string(pc));
+        }
+        break;
+      case OpCode::kLoadLocal:
+      case OpCode::kStoreLocal:
+        if (ins.operand < 0 ||
+            ins.operand >= static_cast<int32_t>(bc.num_locals)) {
+          return Status::InvalidArgument("local index out of range at pc " +
+                                         std::to_string(pc));
+        }
+        break;
+      case OpCode::kJump:
+      case OpCode::kJumpIfFalse:
+        if (ins.operand < 0 || ins.operand >= n) {
+          return Status::InvalidArgument("jump target out of range at pc " +
+                                         std::to_string(pc));
+        }
+        break;
+      case OpCode::kCallHost:
+        if (ins.operand < 0 ||
+            ins.operand > static_cast<int32_t>(HostFn::kLog)) {
+          return Status::InvalidArgument("unknown host fn at pc " +
+                                         std::to_string(pc));
+        }
+        if (ins.operand2 < 0 || ins.operand2 > 8) {
+          return Status::InvalidArgument("bad host fn arity at pc " +
+                                         std::to_string(pc));
+        }
+        break;
+      case OpCode::kReturn:
+        has_return = true;
+        break;
+      default:
+        break;
+    }
+  }
+  if (!has_return) {
+    return Status::InvalidArgument("UDF '" + bc.name + "' has no return");
+  }
+  return Status::OK();
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,104 @@
+#ifndef LAKEGUARD_UDF_BYTECODE_H_
+#define LAKEGUARD_UDF_BYTECODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "columnar/value.h"
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace lakeguard {
+
+/// LGVM opcodes. LGVM is this library's stand-in for the Python/Scala user
+/// code of the paper: a small stack machine whose programs are genuinely
+/// *untrusted* — they can loop, branch, and attempt host access (files,
+/// network, environment) that only a sandbox policy can grant or deny.
+enum class OpCode : uint8_t {
+  kPushConst = 0,   // push const_pool[operand]
+  kLoadArg = 1,     // push argument #operand
+  kLoadLocal = 2,   // push local slot #operand
+  kStoreLocal = 3,  // pop into local slot #operand
+  kDup = 4,
+  kPop = 5,
+  kAdd = 6,
+  kSub = 7,
+  kMul = 8,
+  kDiv = 9,
+  kMod = 10,
+  kNeg = 11,
+  kEq = 12,
+  kNe = 13,
+  kLt = 14,
+  kLe = 15,
+  kGt = 16,
+  kGe = 17,
+  kAnd = 18,
+  kOr = 19,
+  kNot = 20,
+  kConcat = 21,     // pop b, a; push a||b (string)
+  kSha256 = 22,     // pop s; push hex(sha256(s))
+  kToString = 23,   // pop v; push string rendering
+  kToInt = 24,
+  kToDouble = 25,
+  kJump = 26,        // pc = operand
+  kJumpIfFalse = 27, // pop cond; if !cond: pc = operand
+  kCallHost = 28,    // operand = HostFn id, operand2 = argc; pops argc args
+  kReturn = 29,      // pop result, halt
+  kLength = 30,      // pop s; push its length in bytes
+};
+
+/// Highest valid opcode value (serde validation bound).
+constexpr uint8_t kMaxOpCode = static_cast<uint8_t>(OpCode::kLength);
+
+/// Host capabilities user code can request. Every call is mediated by the
+/// sandbox's `HostInterface`; nothing here executes unless the active policy
+/// grants it (Fig. 6's external HTTP call, §2.4's file-system escape).
+enum class HostFn : uint8_t {
+  kReadFile = 0,   // (path) -> string
+  kWriteFile = 1,  // (path, contents) -> bool
+  kHttpGet = 2,    // (url) -> string (response body)
+  kGetEnv = 3,     // (name) -> string
+  kClockNow = 4,   // () -> int micros
+  kLog = 5,        // (message) -> null
+};
+
+const char* HostFnName(HostFn fn);
+
+struct Instruction {
+  OpCode op = OpCode::kReturn;
+  int32_t operand = 0;
+  int32_t operand2 = 0;
+
+  bool operator==(const Instruction& other) const {
+    return op == other.op && operand == other.operand &&
+           operand2 == other.operand2;
+  }
+};
+
+/// A compiled user function: metadata plus code. Bytecode is what the
+/// catalog stores for cataloged Python UDFs (§3.3) and what travels to
+/// sandboxes for execution.
+struct UdfBytecode {
+  std::string name;
+  uint32_t num_args = 0;
+  uint32_t num_locals = 0;
+  TypeKind return_type = TypeKind::kNull;
+  std::vector<Value> const_pool;
+  std::vector<Instruction> code;
+
+  bool operator==(const UdfBytecode& other) const;
+};
+
+/// Wire encoding (catalog storage, sandbox shipping).
+void SerializeBytecode(const UdfBytecode& bc, ByteWriter* writer);
+Result<UdfBytecode> DeserializeBytecode(ByteReader* reader);
+
+/// Structural validation: jump targets in range, const/arg/local indices in
+/// range, code ends with an unconditional return path.
+Status ValidateBytecode(const UdfBytecode& bc);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_UDF_BYTECODE_H_

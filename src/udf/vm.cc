@@ -1,0 +1,285 @@
+#include "udf/vm.h"
+
+#include "common/sha256.h"
+
+namespace lakeguard {
+
+Result<Value> DenyAllHost::CallHost(HostFn fn, const std::vector<Value>&) {
+  return Status::PermissionDenied(std::string("host call '") +
+                                  HostFnName(fn) +
+                                  "' denied: no capability granted");
+}
+
+namespace {
+
+Result<Value> Arith(OpCode op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  const bool both_int = a.is_int() && b.is_int();
+  switch (op) {
+    case OpCode::kAdd:
+      if (both_int) return Value::Int(a.int_value() + b.int_value());
+      break;
+    case OpCode::kSub:
+      if (both_int) return Value::Int(a.int_value() - b.int_value());
+      break;
+    case OpCode::kMul:
+      if (both_int) return Value::Int(a.int_value() * b.int_value());
+      break;
+    case OpCode::kMod: {
+      LG_ASSIGN_OR_RETURN(int64_t x, a.AsInt());
+      LG_ASSIGN_OR_RETURN(int64_t y, b.AsInt());
+      if (y == 0) return Status::InvalidArgument("modulo by zero in UDF");
+      return Value::Int(x % y);
+    }
+    default:
+      break;
+  }
+  LG_ASSIGN_OR_RETURN(double x, a.AsDouble());
+  LG_ASSIGN_OR_RETURN(double y, b.AsDouble());
+  switch (op) {
+    case OpCode::kAdd:
+      return Value::Double(x + y);
+    case OpCode::kSub:
+      return Value::Double(x - y);
+    case OpCode::kMul:
+      return Value::Double(x * y);
+    case OpCode::kDiv:
+      if (y == 0.0) return Status::InvalidArgument("division by zero in UDF");
+      return Value::Double(x / y);
+    default:
+      return Status::Internal("unreachable arith op");
+  }
+}
+
+Result<bool> AsCondition(const Value& v) {
+  if (v.is_bool()) return v.bool_value();
+  if (v.is_int()) return v.int_value() != 0;
+  if (v.is_null()) return false;
+  return Status::InvalidArgument("UDF condition is not boolean-like");
+}
+
+}  // namespace
+
+Result<Value> ExecuteUdf(const UdfBytecode& bc, const std::vector<Value>& args,
+                         HostInterface* host, const VmLimits& limits,
+                         VmStats* stats) {
+  if (args.size() != bc.num_args) {
+    return Status::InvalidArgument(
+        "UDF '" + bc.name + "' expects " + std::to_string(bc.num_args) +
+        " args, got " + std::to_string(args.size()));
+  }
+  DenyAllHost deny_all;
+  if (host == nullptr) host = &deny_all;
+
+  std::vector<Value> stack;
+  stack.reserve(64);
+  std::vector<Value> locals(bc.num_locals);
+  int64_t fuel = limits.fuel;
+  int64_t executed = 0;
+  int64_t host_calls = 0;
+
+  auto pop = [&stack]() -> Result<Value> {
+    if (stack.empty()) return Status::Internal("UDF stack underflow");
+    Value v = std::move(stack.back());
+    stack.pop_back();
+    return v;
+  };
+
+  size_t pc = 0;
+  const size_t n = bc.code.size();
+  while (pc < n) {
+    if (--fuel <= 0) {
+      return Status::ResourceExhausted("UDF '" + bc.name +
+                                       "' exceeded its instruction budget");
+    }
+    ++executed;
+    if (stack.size() > limits.max_stack) {
+      return Status::ResourceExhausted("UDF '" + bc.name +
+                                       "' exceeded its stack limit");
+    }
+    const Instruction& ins = bc.code[pc];
+    switch (ins.op) {
+      case OpCode::kPushConst:
+        stack.push_back(bc.const_pool[static_cast<size_t>(ins.operand)]);
+        break;
+      case OpCode::kLoadArg:
+        stack.push_back(args[static_cast<size_t>(ins.operand)]);
+        break;
+      case OpCode::kLoadLocal:
+        stack.push_back(locals[static_cast<size_t>(ins.operand)]);
+        break;
+      case OpCode::kStoreLocal: {
+        LG_ASSIGN_OR_RETURN(Value v, pop());
+        locals[static_cast<size_t>(ins.operand)] = std::move(v);
+        break;
+      }
+      case OpCode::kDup:
+        if (stack.empty()) return Status::Internal("UDF stack underflow");
+        stack.push_back(stack.back());
+        break;
+      case OpCode::kPop: {
+        LG_ASSIGN_OR_RETURN(Value v, pop());
+        (void)v;
+        break;
+      }
+      case OpCode::kAdd:
+      case OpCode::kSub:
+      case OpCode::kMul:
+      case OpCode::kDiv:
+      case OpCode::kMod: {
+        LG_ASSIGN_OR_RETURN(Value b, pop());
+        LG_ASSIGN_OR_RETURN(Value a, pop());
+        LG_ASSIGN_OR_RETURN(Value r, Arith(ins.op, a, b));
+        stack.push_back(std::move(r));
+        break;
+      }
+      case OpCode::kNeg: {
+        LG_ASSIGN_OR_RETURN(Value a, pop());
+        if (a.is_null()) {
+          stack.push_back(Value::Null());
+        } else if (a.is_int()) {
+          stack.push_back(Value::Int(-a.int_value()));
+        } else {
+          LG_ASSIGN_OR_RETURN(double d, a.AsDouble());
+          stack.push_back(Value::Double(-d));
+        }
+        break;
+      }
+      case OpCode::kEq:
+      case OpCode::kNe:
+      case OpCode::kLt:
+      case OpCode::kLe:
+      case OpCode::kGt:
+      case OpCode::kGe: {
+        LG_ASSIGN_OR_RETURN(Value b, pop());
+        LG_ASSIGN_OR_RETURN(Value a, pop());
+        if (a.is_null() || b.is_null()) {
+          stack.push_back(Value::Null());
+          break;
+        }
+        int c = a.Compare(b);
+        bool r = false;
+        switch (ins.op) {
+          case OpCode::kEq:
+            r = (c == 0);
+            break;
+          case OpCode::kNe:
+            r = (c != 0);
+            break;
+          case OpCode::kLt:
+            r = (c < 0);
+            break;
+          case OpCode::kLe:
+            r = (c <= 0);
+            break;
+          case OpCode::kGt:
+            r = (c > 0);
+            break;
+          default:
+            r = (c >= 0);
+            break;
+        }
+        stack.push_back(Value::Bool(r));
+        break;
+      }
+      case OpCode::kAnd:
+      case OpCode::kOr: {
+        LG_ASSIGN_OR_RETURN(Value b, pop());
+        LG_ASSIGN_OR_RETURN(Value a, pop());
+        LG_ASSIGN_OR_RETURN(bool ba, AsCondition(a));
+        LG_ASSIGN_OR_RETURN(bool bb, AsCondition(b));
+        stack.push_back(
+            Value::Bool(ins.op == OpCode::kAnd ? (ba && bb) : (ba || bb)));
+        break;
+      }
+      case OpCode::kNot: {
+        LG_ASSIGN_OR_RETURN(Value a, pop());
+        LG_ASSIGN_OR_RETURN(bool b, AsCondition(a));
+        stack.push_back(Value::Bool(!b));
+        break;
+      }
+      case OpCode::kConcat: {
+        LG_ASSIGN_OR_RETURN(Value b, pop());
+        LG_ASSIGN_OR_RETURN(Value a, pop());
+        stack.push_back(Value::String(a.ToString() + b.ToString()));
+        break;
+      }
+      case OpCode::kSha256: {
+        LG_ASSIGN_OR_RETURN(Value a, pop());
+        const std::string payload =
+            (a.is_string() || a.is_binary()) ? a.string_value() : a.ToString();
+        stack.push_back(Value::String(Sha256::HexDigest(payload)));
+        break;
+      }
+      case OpCode::kToString: {
+        LG_ASSIGN_OR_RETURN(Value a, pop());
+        stack.push_back(Value::String(a.ToString()));
+        break;
+      }
+      case OpCode::kToInt: {
+        LG_ASSIGN_OR_RETURN(Value a, pop());
+        LG_ASSIGN_OR_RETURN(Value v, a.CastTo(TypeKind::kInt64));
+        stack.push_back(std::move(v));
+        break;
+      }
+      case OpCode::kToDouble: {
+        LG_ASSIGN_OR_RETURN(Value a, pop());
+        LG_ASSIGN_OR_RETURN(Value v, a.CastTo(TypeKind::kFloat64));
+        stack.push_back(std::move(v));
+        break;
+      }
+      case OpCode::kJump:
+        pc = static_cast<size_t>(ins.operand);
+        continue;
+      case OpCode::kJumpIfFalse: {
+        LG_ASSIGN_OR_RETURN(Value a, pop());
+        LG_ASSIGN_OR_RETURN(bool cond, AsCondition(a));
+        if (!cond) {
+          pc = static_cast<size_t>(ins.operand);
+          continue;
+        }
+        break;
+      }
+      case OpCode::kCallHost: {
+        size_t argc = static_cast<size_t>(ins.operand2);
+        if (stack.size() < argc) return Status::Internal("UDF stack underflow");
+        std::vector<Value> host_args(argc);
+        for (size_t i = argc; i > 0; --i) {
+          host_args[i - 1] = std::move(stack.back());
+          stack.pop_back();
+        }
+        ++host_calls;
+        LG_ASSIGN_OR_RETURN(
+            Value r,
+            host->CallHost(static_cast<HostFn>(ins.operand), host_args));
+        stack.push_back(std::move(r));
+        break;
+      }
+      case OpCode::kReturn: {
+        LG_ASSIGN_OR_RETURN(Value v, pop());
+        if (stats != nullptr) {
+          stats->instructions = executed;
+          stats->host_calls = host_calls;
+        }
+        return v;
+      }
+      case OpCode::kLength: {
+        LG_ASSIGN_OR_RETURN(Value a, pop());
+        if (a.is_null()) {
+          stack.push_back(Value::Null());
+        } else if (a.is_string() || a.is_binary()) {
+          stack.push_back(
+              Value::Int(static_cast<int64_t>(a.string_value().size())));
+        } else {
+          stack.push_back(
+              Value::Int(static_cast<int64_t>(a.ToString().size())));
+        }
+        break;
+      }
+    }
+    ++pc;
+  }
+  return Status::Internal("UDF '" + bc.name + "' fell off the end of code");
+}
+
+}  // namespace lakeguard

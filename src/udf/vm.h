@@ -1,0 +1,50 @@
+#ifndef LAKEGUARD_UDF_VM_H_
+#define LAKEGUARD_UDF_VM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "udf/bytecode.h"
+
+namespace lakeguard {
+
+/// The capability surface user code sees. The *only* way an LGVM program can
+/// touch anything outside its stack is through this interface; the sandbox
+/// provides the implementation and enforces the active policy (allow-listed
+/// egress, no file system, no environment — §3.3).
+class HostInterface {
+ public:
+  virtual ~HostInterface() = default;
+  virtual Result<Value> CallHost(HostFn fn, const std::vector<Value>& args) = 0;
+};
+
+/// A HostInterface denying everything — the default when no sandbox is
+/// wired; also useful as a base class for selective policies.
+class DenyAllHost : public HostInterface {
+ public:
+  Result<Value> CallHost(HostFn fn, const std::vector<Value>& args) override;
+};
+
+/// VM execution limits. Fuel bounds runaway loops; stack depth bounds
+/// memory. Resource exhaustion is reported as kResourceExhausted — a
+/// sandbox kill, not an engine crash.
+struct VmLimits {
+  int64_t fuel = 50'000'000;
+  size_t max_stack = 4096;
+};
+
+/// Statistics from one UDF invocation (drives sandbox accounting).
+struct VmStats {
+  int64_t instructions = 0;
+  int64_t host_calls = 0;
+};
+
+/// Executes `bc` over `args`. Pure interpreter: no globals, no allocation
+/// outside the value stack, deterministic given (bytecode, args, host).
+Result<Value> ExecuteUdf(const UdfBytecode& bc, const std::vector<Value>& args,
+                         HostInterface* host, const VmLimits& limits = {},
+                         VmStats* stats = nullptr);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_UDF_VM_H_

@@ -1,0 +1,427 @@
+// Tests for src/catalog: principals, grants (incl. the USE hierarchy),
+// policies, relation resolution per compute type, credential vending,
+// group down-scoping and audit.
+
+#include <gtest/gtest.h>
+
+#include "catalog/unity_catalog.h"
+#include "common/clock.h"
+#include "sql/parser.h"
+
+namespace lakeguard {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  CatalogTest() : authority_(&clock_), catalog_(&clock_, &authority_) {
+    EXPECT_TRUE(catalog_.users().AddUser("admin").ok());
+    EXPECT_TRUE(catalog_.users().AddUser("alice").ok());
+    EXPECT_TRUE(catalog_.users().AddUser("bob").ok());
+    EXPECT_TRUE(catalog_.users().AddGroup("analysts").ok());
+    EXPECT_TRUE(catalog_.users().AddUserToGroup("bob", "analysts").ok());
+    catalog_.AddMetastoreAdmin("admin");
+    EXPECT_TRUE(catalog_.CreateCatalog("admin", "main").ok());
+    EXPECT_TRUE(catalog_.CreateSchema("admin", "main.s").ok());
+
+    TableInfo t;
+    t.full_name = "main.s.t";
+    t.schema = Schema({{"region", TypeKind::kString, true},
+                       {"amount", TypeKind::kInt64, true},
+                       {"ssn", TypeKind::kString, true}});
+    EXPECT_TRUE(catalog_.CreateTable("admin", t).ok());
+  }
+
+  ComputeContext Standard() {
+    ComputeContext ctx;
+    ctx.compute_id = "std-1";
+    ctx.can_isolate_user_code = true;
+    ctx.privileged_access = false;
+    return ctx;
+  }
+
+  ComputeContext Dedicated() {
+    ComputeContext ctx;
+    ctx.compute_id = "ded-1";
+    ctx.can_isolate_user_code = false;
+    ctx.privileged_access = true;
+    return ctx;
+  }
+
+  void GrantReadChain(const std::string& principal) {
+    EXPECT_TRUE(catalog_.Grant("admin", "main", Privilege::kUseCatalog,
+                               principal).ok());
+    EXPECT_TRUE(catalog_.Grant("admin", "main.s", Privilege::kUseSchema,
+                               principal).ok());
+    EXPECT_TRUE(catalog_.Grant("admin", "main.s.t", Privilege::kSelect,
+                               principal).ok());
+  }
+
+  SimulatedClock clock_;
+  CredentialAuthority authority_;
+  UnityCatalog catalog_;
+};
+
+// ---- Directory ---------------------------------------------------------------------
+
+TEST_F(CatalogTest, DirectoryBasics) {
+  EXPECT_TRUE(catalog_.users().UserExists("alice"));
+  EXPECT_TRUE(catalog_.users().IsMember("bob", "analysts"));
+  EXPECT_FALSE(catalog_.users().IsMember("alice", "analysts"));
+  EXPECT_EQ(catalog_.users().GroupsOf("bob").size(), 1u);
+  EXPECT_EQ(catalog_.users().MembersOf("analysts").size(), 1u);
+  EXPECT_TRUE(catalog_.users().AddUser("alice").code() ==
+              StatusCode::kAlreadyExists);
+  EXPECT_TRUE(catalog_.users().RemoveUserFromGroup("bob", "analysts").ok());
+  EXPECT_FALSE(catalog_.users().IsMember("bob", "analysts"));
+}
+
+// ---- Namespace management ------------------------------------------------------------
+
+TEST_F(CatalogTest, OnlyAdminsCreateCatalogs) {
+  EXPECT_TRUE(catalog_.CreateCatalog("alice", "rogue").IsPermissionDenied());
+  EXPECT_TRUE(catalog_.CreateCatalog("admin", "main").code() ==
+              StatusCode::kAlreadyExists);
+}
+
+TEST_F(CatalogTest, SchemaRequiresCreateOnCatalog) {
+  EXPECT_TRUE(catalog_.CreateSchema("alice", "main.x").IsPermissionDenied());
+  ASSERT_TRUE(
+      catalog_.Grant("admin", "main", Privilege::kCreate, "alice").ok());
+  EXPECT_TRUE(catalog_.CreateSchema("alice", "main.x").ok());
+}
+
+TEST_F(CatalogTest, TableCreationAssignsOwnerAndRoot) {
+  auto t = catalog_.GetTable("main.s.t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->owner, "admin");
+  EXPECT_EQ(t->storage_root, "mem://metastore/main/s/t");
+}
+
+TEST_F(CatalogTest, DuplicateRelationNamesRejected) {
+  TableInfo dup;
+  dup.full_name = "main.s.t";
+  dup.schema = Schema({{"x", TypeKind::kInt64, true}});
+  EXPECT_EQ(catalog_.CreateTable("admin", dup).code(),
+            StatusCode::kAlreadyExists);
+  ViewInfo v;
+  v.full_name = "main.s.t";
+  v.sql_text = "SELECT 1";
+  EXPECT_EQ(catalog_.CreateView("admin", v).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(CatalogTest, DropTableOwnerOnly) {
+  EXPECT_TRUE(catalog_.DropTable("alice", "main.s.t").IsPermissionDenied());
+  EXPECT_TRUE(catalog_.DropTable("admin", "main.s.t").ok());
+  EXPECT_TRUE(catalog_.GetTable("main.s.t").status().IsNotFound());
+}
+
+// ---- Grants -----------------------------------------------------------------------------
+
+TEST_F(CatalogTest, UseHierarchyRequired) {
+  // SELECT alone is not enough: USE CATALOG and USE SCHEMA are required.
+  ASSERT_TRUE(
+      catalog_.Grant("admin", "main.s.t", Privilege::kSelect, "alice").ok());
+  EXPECT_FALSE(catalog_.HasPrivilege("alice", "main.s.t", Privilege::kSelect));
+  ASSERT_TRUE(
+      catalog_.Grant("admin", "main", Privilege::kUseCatalog, "alice").ok());
+  EXPECT_FALSE(catalog_.HasPrivilege("alice", "main.s.t", Privilege::kSelect));
+  ASSERT_TRUE(
+      catalog_.Grant("admin", "main.s", Privilege::kUseSchema, "alice").ok());
+  EXPECT_TRUE(catalog_.HasPrivilege("alice", "main.s.t", Privilege::kSelect));
+}
+
+TEST_F(CatalogTest, GroupGrantsApplyToMembers) {
+  GrantReadChain("analysts");
+  EXPECT_TRUE(catalog_.HasPrivilege("bob", "main.s.t", Privilege::kSelect));
+  EXPECT_FALSE(catalog_.HasPrivilege("alice", "main.s.t", Privilege::kSelect));
+}
+
+TEST_F(CatalogTest, RevokeRemovesAccess) {
+  GrantReadChain("alice");
+  EXPECT_TRUE(catalog_.HasPrivilege("alice", "main.s.t", Privilege::kSelect));
+  ASSERT_TRUE(
+      catalog_.Revoke("admin", "main.s.t", Privilege::kSelect, "alice").ok());
+  EXPECT_FALSE(catalog_.HasPrivilege("alice", "main.s.t", Privilege::kSelect));
+  EXPECT_TRUE(catalog_.Revoke("admin", "main.s.t", Privilege::kSelect,
+                              "alice").IsNotFound());
+}
+
+TEST_F(CatalogTest, NonOwnerCannotGrant) {
+  EXPECT_TRUE(catalog_.Grant("alice", "main.s.t", Privilege::kSelect, "bob")
+                  .IsPermissionDenied());
+  // MANAGE delegates granting.
+  ASSERT_TRUE(
+      catalog_.Grant("admin", "main.s.t", Privilege::kManage, "alice").ok());
+  EXPECT_TRUE(
+      catalog_.Grant("alice", "main.s.t", Privilege::kSelect, "bob").ok());
+}
+
+TEST_F(CatalogTest, EffectivePrivilegesEnumerates) {
+  GrantReadChain("alice");
+  auto privs = catalog_.EffectivePrivileges("alice", "main.s.t");
+  EXPECT_TRUE(privs.count(Privilege::kSelect));
+  EXPECT_FALSE(privs.count(Privilege::kModify));
+}
+
+// ---- Policies ----------------------------------------------------------------------------
+
+TEST_F(CatalogTest, PoliciesRequireManage) {
+  RowFilterPolicy rf;
+  rf.predicate = *ParseSqlExpr("region = 'US'");
+  EXPECT_TRUE(catalog_.SetRowFilter("alice", "main.s.t", rf)
+                  .IsPermissionDenied());
+  EXPECT_TRUE(catalog_.SetRowFilter("admin", "main.s.t", rf).ok());
+  EXPECT_TRUE(catalog_.ClearRowFilter("admin", "main.s.t").ok());
+}
+
+TEST_F(CatalogTest, MaskValidatesColumn) {
+  ColumnMaskPolicy mask;
+  mask.column = "no_such_column";
+  mask.mask_expr = *ParseSqlExpr("REDACT(x)");
+  EXPECT_TRUE(
+      catalog_.AddColumnMask("admin", "main.s.t", mask).IsInvalidArgument());
+  mask.column = "ssn";
+  EXPECT_TRUE(catalog_.AddColumnMask("admin", "main.s.t", mask).ok());
+}
+
+// ---- Relation resolution -------------------------------------------------------------------
+
+TEST_F(CatalogTest, ResolutionDeniedWithoutSelect) {
+  auto res = catalog_.ResolveRelation("alice", Standard(), "main.s.t");
+  EXPECT_TRUE(res.status().IsPermissionDenied());
+  EXPECT_GT(catalog_.audit().DeniedCount(), 0u);
+}
+
+TEST_F(CatalogTest, PlainTableResolvesLocallyWithToken) {
+  GrantReadChain("alice");
+  auto res = catalog_.ResolveRelation("alice", Standard(), "main.s.t");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->enforcement, EnforcementMode::kLocal);
+  EXPECT_FALSE(res->read_token.empty());
+  // The vended token really is user-bound and scoped to the table root.
+  auto who = authority_.Authorize(res->read_token,
+                                  "mem://metastore/main/s/t/part-0",
+                                  StorageOp::kRead);
+  ASSERT_TRUE(who.ok());
+  EXPECT_EQ(*who, "alice");
+  EXPECT_TRUE(authority_
+                  .Authorize(res->read_token, "mem://metastore/main/s/u/x",
+                             StorageOp::kRead)
+                  .status()
+                  .IsPermissionDenied());
+}
+
+TEST_F(CatalogTest, FgacTableOnStandardReleasesPolicies) {
+  GrantReadChain("alice");
+  RowFilterPolicy rf;
+  rf.predicate = *ParseSqlExpr("region = 'US'");
+  ASSERT_TRUE(catalog_.SetRowFilter("admin", "main.s.t", rf).ok());
+  auto res = catalog_.ResolveRelation("alice", Standard(), "main.s.t");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->enforcement, EnforcementMode::kLocal);
+  ASSERT_TRUE(res->row_filter.has_value());
+  EXPECT_FALSE(res->read_token.empty());
+}
+
+TEST_F(CatalogTest, FgacTableOnPrivilegedComputeGoesExternal) {
+  GrantReadChain("alice");
+  RowFilterPolicy rf;
+  rf.predicate = *ParseSqlExpr("region = 'US'");
+  ASSERT_TRUE(catalog_.SetRowFilter("admin", "main.s.t", rf).ok());
+  auto res = catalog_.ResolveRelation("alice", Dedicated(), "main.s.t");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->enforcement, EnforcementMode::kExternal);
+  // §3.4: no predicate, no mask, no credential, no storage root leak.
+  EXPECT_FALSE(res->row_filter.has_value());
+  EXPECT_TRUE(res->column_masks.empty());
+  EXPECT_TRUE(res->read_token.empty());
+  EXPECT_TRUE(res->table.storage_root.empty());
+}
+
+TEST_F(CatalogTest, PlainTableOnPrivilegedComputeStaysLocal) {
+  GrantReadChain("alice");
+  auto res = catalog_.ResolveRelation("alice", Dedicated(), "main.s.t");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->enforcement, EnforcementMode::kLocal);
+  EXPECT_FALSE(res->read_token.empty());
+}
+
+TEST_F(CatalogTest, MaskExemptGroupsDropTheMask) {
+  GrantReadChain("alice");
+  GrantReadChain("analysts");
+  ColumnMaskPolicy mask;
+  mask.column = "ssn";
+  mask.mask_expr = *ParseSqlExpr("MASK(ssn)");
+  mask.exempt_groups = {"analysts"};
+  ASSERT_TRUE(catalog_.AddColumnMask("admin", "main.s.t", mask).ok());
+  auto alice_res = catalog_.ResolveRelation("alice", Standard(), "main.s.t");
+  ASSERT_TRUE(alice_res.ok());
+  EXPECT_EQ(alice_res->column_masks.size(), 1u);
+  auto bob_res = catalog_.ResolveRelation("bob", Standard(), "main.s.t");
+  ASSERT_TRUE(bob_res.ok());
+  EXPECT_TRUE(bob_res->column_masks.empty());  // bob is in analysts
+}
+
+TEST_F(CatalogTest, ViewResolution) {
+  ViewInfo v;
+  v.full_name = "main.s.v";
+  v.sql_text = "SELECT amount FROM main.s.t";
+  ASSERT_TRUE(catalog_.CreateView("admin", v).ok());
+  ASSERT_TRUE(
+      catalog_.Grant("admin", "main", Privilege::kUseCatalog, "alice").ok());
+  ASSERT_TRUE(
+      catalog_.Grant("admin", "main.s", Privilege::kUseSchema, "alice").ok());
+  ASSERT_TRUE(
+      catalog_.Grant("admin", "main.s.v", Privilege::kSelect, "alice").ok());
+  auto std_res = catalog_.ResolveRelation("alice", Standard(), "main.s.v");
+  ASSERT_TRUE(std_res.ok());
+  EXPECT_EQ(std_res->type, SecurableType::kView);
+  EXPECT_EQ(std_res->enforcement, EnforcementMode::kLocal);
+  auto ded_res = catalog_.ResolveRelation("alice", Dedicated(), "main.s.v");
+  ASSERT_TRUE(ded_res.ok());
+  EXPECT_EQ(ded_res->enforcement, EnforcementMode::kExternal);
+}
+
+// ---- Group down-scoping (§4.2) ------------------------------------------------------------
+
+TEST_F(CatalogTest, DownscopeReducesToGroupPermissions) {
+  GrantReadChain("alice");  // alice personally has access
+  ComputeContext group_ctx = Dedicated();
+  group_ctx.downscope_group = "analysts";  // but the cluster is ml_team's
+  auto res = catalog_.ResolveRelation("alice", group_ctx, "main.s.t");
+  EXPECT_TRUE(res.status().IsPermissionDenied());
+
+  // Once the GROUP holds the grants, any member (and attached alice) works.
+  GrantReadChain("analysts");
+  auto res2 = catalog_.ResolveRelation("alice", group_ctx, "main.s.t");
+  EXPECT_TRUE(res2.ok());
+}
+
+TEST_F(CatalogTest, DownscopeDisablesAdminBypass) {
+  ComputeContext group_ctx = Standard();
+  group_ctx.downscope_group = "analysts";
+  auto res = catalog_.ResolveRelation("admin", group_ctx, "main.s.t");
+  EXPECT_TRUE(res.status().IsPermissionDenied());
+}
+
+TEST_F(CatalogTest, AuditKeepsOriginalIdentityUnderDownscope) {
+  GrantReadChain("analysts");
+  ComputeContext group_ctx = Standard();
+  group_ctx.downscope_group = "analysts";
+  ASSERT_TRUE(
+      catalog_.ResolveRelation("bob", group_ctx, "main.s.t").ok());
+  auto events = catalog_.audit().ForPrincipal("bob");
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().action, "RESOLVE_RELATION");
+  EXPECT_TRUE(events.back().allowed);
+}
+
+// ---- Credential vending ----------------------------------------------------------------------
+
+TEST_F(CatalogTest, WriteCredentialNeedsModify) {
+  GrantReadChain("alice");
+  EXPECT_TRUE(catalog_.VendWriteCredential("alice", Standard(), "main.s.t")
+                  .status()
+                  .IsPermissionDenied());
+  ASSERT_TRUE(
+      catalog_.Grant("admin", "main.s.t", Privilege::kModify, "alice").ok());
+  auto cred = catalog_.VendWriteCredential("alice", Standard(), "main.s.t");
+  ASSERT_TRUE(cred.ok());
+  EXPECT_TRUE(cred->allow_write);
+}
+
+TEST_F(CatalogTest, WriteCredentialDeniedOnPrivilegedFgac) {
+  ASSERT_TRUE(
+      catalog_.Grant("admin", "main", Privilege::kUseCatalog, "alice").ok());
+  ASSERT_TRUE(
+      catalog_.Grant("admin", "main.s", Privilege::kUseSchema, "alice").ok());
+  ASSERT_TRUE(
+      catalog_.Grant("admin", "main.s.t", Privilege::kModify, "alice").ok());
+  RowFilterPolicy rf;
+  rf.predicate = *ParseSqlExpr("region = 'US'");
+  ASSERT_TRUE(catalog_.SetRowFilter("admin", "main.s.t", rf).ok());
+  EXPECT_TRUE(catalog_.VendWriteCredential("alice", Dedicated(), "main.s.t")
+                  .status()
+                  .IsPermissionDenied());
+  EXPECT_TRUE(
+      catalog_.VendWriteCredential("alice", Standard(), "main.s.t").ok());
+}
+
+TEST_F(CatalogTest, VolumeCredentials) {
+  VolumeInfo vol;
+  vol.full_name = "main.s.rawfiles";
+  vol.storage_prefix = "mem://landing/raw/";
+  ASSERT_TRUE(catalog_.CreateVolume("admin", vol).ok());
+  ASSERT_TRUE(
+      catalog_.Grant("admin", "main", Privilege::kUseCatalog, "alice").ok());
+  ASSERT_TRUE(
+      catalog_.Grant("admin", "main.s", Privilege::kUseSchema, "alice").ok());
+  EXPECT_TRUE(catalog_.VendVolumeCredential("alice", Standard(),
+                                            "main.s.rawfiles", false)
+                  .status()
+                  .IsPermissionDenied());
+  ASSERT_TRUE(catalog_.Grant("admin", "main.s.rawfiles",
+                             Privilege::kReadVolume, "alice").ok());
+  auto cred = catalog_.VendVolumeCredential("alice", Standard(),
+                                            "main.s.rawfiles", false);
+  ASSERT_TRUE(cred.ok());
+  EXPECT_FALSE(cred->allow_write);
+}
+
+// ---- Functions -----------------------------------------------------------------------------
+
+TEST_F(CatalogTest, FunctionExecutionRequiresExecute) {
+  FunctionInfo fn;
+  fn.full_name = "main.s.f";
+  fn.num_args = 2;
+  fn.return_type = TypeKind::kInt64;
+  fn.body.name = "f";
+  fn.body.num_args = 2;
+  fn.body.code = {{OpCode::kLoadArg, 0, 0},
+                  {OpCode::kLoadArg, 1, 0},
+                  {OpCode::kAdd, 0, 0},
+                  {OpCode::kReturn, 0, 0}};
+  ASSERT_TRUE(catalog_.CreateFunction("admin", fn).ok());
+  ASSERT_TRUE(
+      catalog_.Grant("admin", "main", Privilege::kUseCatalog, "alice").ok());
+  ASSERT_TRUE(
+      catalog_.Grant("admin", "main.s", Privilege::kUseSchema, "alice").ok());
+  EXPECT_TRUE(catalog_.ResolveFunction("alice", Standard(), "main.s.f")
+                  .status()
+                  .IsPermissionDenied());
+  ASSERT_TRUE(
+      catalog_.Grant("admin", "main.s.f", Privilege::kExecute, "alice").ok());
+  auto resolved = catalog_.ResolveFunction("alice", Standard(), "main.s.f");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->owner, "admin");  // trust domain
+}
+
+TEST_F(CatalogTest, InvalidFunctionBodyRejected) {
+  FunctionInfo fn;
+  fn.full_name = "main.s.broken";
+  fn.body.name = "broken";
+  EXPECT_TRUE(catalog_.CreateFunction("admin", fn).IsInvalidArgument());
+}
+
+// ---- Audit ---------------------------------------------------------------------------------
+
+TEST_F(CatalogTest, AuditCapturesDecisions) {
+  size_t before = catalog_.audit().size();
+  (void)catalog_.ResolveRelation("alice", Standard(), "main.s.t");  // denied
+  GrantReadChain("alice");
+  (void)catalog_.ResolveRelation("alice", Standard(), "main.s.t");  // allowed
+  auto events = catalog_.audit().ForSecurable("main.s.t");
+  EXPECT_GE(catalog_.audit().size(), before + 2);
+  bool saw_denied = false, saw_allowed = false;
+  for (const AuditEvent& e : events) {
+    if (e.action == "RESOLVE_RELATION") {
+      (e.allowed ? saw_allowed : saw_denied) = true;
+    }
+  }
+  EXPECT_TRUE(saw_denied);
+  EXPECT_TRUE(saw_allowed);
+}
+
+}  // namespace
+}  // namespace lakeguard

@@ -1,0 +1,332 @@
+// Unit + property tests for src/columnar: values, columns, batches, tables
+// and the IPC frame format.
+
+#include <gtest/gtest.h>
+
+#include "columnar/column.h"
+#include "columnar/ipc.h"
+#include "columnar/record_batch.h"
+#include "columnar/table.h"
+
+namespace lakeguard {
+namespace {
+
+// ---- Value ----------------------------------------------------------------------
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).type(), TypeKind::kBool);
+  EXPECT_EQ(Value::Int(3).int_value(), 3);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("s").string_value(), "s");
+  EXPECT_TRUE(Value::Binary("\x01\x02").is_binary());
+  EXPECT_FALSE(Value::Binary("x").is_string());
+}
+
+TEST(ValueTest, NumericWidening) {
+  EXPECT_DOUBLE_EQ(*Value::Int(4).AsDouble(), 4.0);
+  EXPECT_EQ(*Value::Double(4.9).AsInt(), 4);
+  EXPECT_FALSE(Value::String("x").AsDouble().ok());
+}
+
+TEST(ValueTest, CastSemantics) {
+  EXPECT_EQ(Value::String("42").CastTo(TypeKind::kInt64)->int_value(), 42);
+  EXPECT_DOUBLE_EQ(
+      Value::String("2.5").CastTo(TypeKind::kFloat64)->double_value(), 2.5);
+  EXPECT_EQ(Value::Int(1).CastTo(TypeKind::kBool)->bool_value(), true);
+  EXPECT_EQ(Value::Int(42).CastTo(TypeKind::kString)->string_value(), "42");
+  EXPECT_TRUE(Value::Null().CastTo(TypeKind::kInt64)->is_null());
+  EXPECT_FALSE(Value::String("nope").CastTo(TypeKind::kInt64).ok());
+}
+
+TEST(ValueTest, SqlEqualsNullNeverEqual) {
+  EXPECT_FALSE(Value::Null().SqlEquals(Value::Null()));
+  EXPECT_FALSE(Value::Null().SqlEquals(Value::Int(0)));
+  EXPECT_TRUE(Value::Int(1).SqlEquals(Value::Double(1.0)));  // numeric coerce
+}
+
+TEST(ValueTest, CompareOrdersNullsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(-100)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::String("b").Compare(Value::String("a")), 0);
+}
+
+TEST(ValueTest, StructuralEqualityAndHash) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_EQ(Value::Int(5), Value::Int(5));
+  EXPECT_FALSE(Value::Int(1) == Value::Double(1.0));  // distinct types
+  EXPECT_FALSE(Value::String("x") == Value::Binary("x"));
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Int(5).Hash());
+  EXPECT_NE(Value::String("x").Hash(), Value::Binary("x").Hash());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(7).ToString(), "7");
+  EXPECT_EQ(Value::Double(2.0).ToString(), "2.0");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Binary(std::string("\x0f", 1)).ToString(), "0x0f");
+}
+
+// ---- Schema ---------------------------------------------------------------------
+
+TEST(SchemaTest, LookupIsCaseInsensitive) {
+  Schema schema({{"Amount", TypeKind::kInt64, true},
+                 {"region", TypeKind::kString, false}});
+  EXPECT_EQ(schema.FindField("amount"), 0);
+  EXPECT_EQ(schema.FindField("REGION"), 1);
+  EXPECT_EQ(schema.FindField("missing"), -1);
+  EXPECT_TRUE(schema.GetField("region").ok());
+  EXPECT_TRUE(schema.GetField("nope").status().IsNotFound());
+}
+
+TEST(SchemaTest, ProjectAndToString) {
+  Schema schema({{"a", TypeKind::kInt64, true},
+                 {"b", TypeKind::kString, false},
+                 {"c", TypeKind::kFloat64, true}});
+  Schema projected = schema.Project({2, 0});
+  ASSERT_EQ(projected.num_fields(), 2u);
+  EXPECT_EQ(projected.field(0).name, "c");
+  EXPECT_EQ(schema.ToString(),
+            "(a BIGINT, b STRING NOT NULL, c DOUBLE)");
+}
+
+TEST(TypeNamesTest, ParseAliases) {
+  EXPECT_EQ(*TypeKindFromName("int"), TypeKind::kInt64);
+  EXPECT_EQ(*TypeKindFromName("VARCHAR"), TypeKind::kString);
+  EXPECT_EQ(*TypeKindFromName("float"), TypeKind::kFloat64);
+  EXPECT_EQ(*TypeKindFromName("bytes"), TypeKind::kBinary);
+  EXPECT_FALSE(TypeKindFromName("tensor").ok());
+}
+
+// ---- Column ---------------------------------------------------------------------
+
+Column MakeIntColumn(const std::vector<int64_t>& values,
+                     const std::vector<size_t>& null_at = {}) {
+  ColumnBuilder b(TypeKind::kInt64);
+  for (size_t i = 0; i < values.size(); ++i) {
+    bool is_null = false;
+    for (size_t n : null_at) {
+      if (n == i) is_null = true;
+    }
+    if (is_null) {
+      b.AppendNull();
+    } else {
+      b.AppendInt(values[i]);
+    }
+  }
+  return b.Finish();
+}
+
+TEST(ColumnTest, BuildAndAccess) {
+  Column col = MakeIntColumn({1, 2, 3}, {1});
+  EXPECT_EQ(col.length(), 3u);
+  EXPECT_EQ(col.NullCount(), 1u);
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_EQ(col.IntAt(2), 3);
+  EXPECT_TRUE(col.GetValue(1).is_null());
+}
+
+TEST(ColumnTest, FilterTakeSlice) {
+  Column col = MakeIntColumn({10, 20, 30, 40});
+  Column filtered = col.Filter({1, 0, 1, 0});
+  ASSERT_EQ(filtered.length(), 2u);
+  EXPECT_EQ(filtered.IntAt(1), 30);
+  Column taken = col.Take({3, 0});
+  EXPECT_EQ(taken.IntAt(0), 40);
+  EXPECT_EQ(taken.IntAt(1), 10);
+  Column sliced = col.Slice(1, 2);
+  ASSERT_EQ(sliced.length(), 2u);
+  EXPECT_EQ(sliced.IntAt(0), 20);
+}
+
+TEST(ColumnTest, AppendValueTypeChecks) {
+  ColumnBuilder b(TypeKind::kBool);
+  EXPECT_TRUE(b.AppendValue(Value::Bool(true)).ok());
+  EXPECT_FALSE(b.AppendValue(Value::String("not-bool")).ok());
+  EXPECT_TRUE(b.AppendValue(Value::Null()).ok());
+}
+
+TEST(ColumnTest, EqualsComparesContent) {
+  EXPECT_TRUE(MakeIntColumn({1, 2}).Equals(MakeIntColumn({1, 2})));
+  EXPECT_FALSE(MakeIntColumn({1, 2}).Equals(MakeIntColumn({2, 1})));
+  EXPECT_FALSE(MakeIntColumn({1, 2}, {0}).Equals(MakeIntColumn({1, 2})));
+}
+
+// ---- RecordBatch ------------------------------------------------------------------
+
+RecordBatch MakeTestBatch() {
+  Schema schema({{"id", TypeKind::kInt64, false},
+                 {"name", TypeKind::kString, true},
+                 {"score", TypeKind::kFloat64, true}});
+  TableBuilder builder(schema);
+  EXPECT_TRUE(builder.AppendRow({Value::Int(1), Value::String("ann"),
+                                 Value::Double(0.5)}).ok());
+  EXPECT_TRUE(builder.AppendRow({Value::Int(2), Value::Null(),
+                                 Value::Double(0.9)}).ok());
+  EXPECT_TRUE(builder.AppendRow({Value::Int(3), Value::String("cy"),
+                                 Value::Null()}).ok());
+  auto combined = builder.Build().Combine();
+  EXPECT_TRUE(combined.ok());
+  return *combined;
+}
+
+TEST(RecordBatchTest, MakeValidates) {
+  Schema schema({{"a", TypeKind::kInt64, true}});
+  ColumnBuilder b(TypeKind::kString);
+  b.AppendString("x");
+  EXPECT_FALSE(RecordBatch::Make(schema, {b.Finish()}).ok());
+  EXPECT_FALSE(RecordBatch::Make(schema, {}).ok());
+}
+
+TEST(RecordBatchTest, RowAndCellAccess) {
+  RecordBatch batch = MakeTestBatch();
+  EXPECT_EQ(batch.num_rows(), 3u);
+  EXPECT_EQ(batch.num_columns(), 3u);
+  auto row = batch.Row(1);
+  EXPECT_EQ(row[0].int_value(), 2);
+  EXPECT_TRUE(row[1].is_null());
+  EXPECT_EQ(batch.CellAt(2, 1).string_value(), "cy");
+}
+
+TEST(RecordBatchTest, SelectColumnsReordersSchema) {
+  RecordBatch batch = MakeTestBatch();
+  RecordBatch projected = batch.SelectColumns({2, 0});
+  EXPECT_EQ(projected.schema().field(0).name, "score");
+  EXPECT_EQ(projected.schema().field(1).name, "id");
+  EXPECT_EQ(projected.num_rows(), 3u);
+}
+
+TEST(RecordBatchTest, ToStringBoundsRows) {
+  RecordBatch batch = MakeTestBatch();
+  std::string rendered = batch.ToString(2);
+  EXPECT_NE(rendered.find("(1 more rows)"), std::string::npos);
+}
+
+TEST(RecordBatchTest, ConcatKeepsOrder) {
+  RecordBatch batch = MakeTestBatch();
+  auto combined = ConcatBatches(batch.schema(), {batch, batch});
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(combined->num_rows(), 6u);
+  EXPECT_EQ(combined->CellAt(3, 0).int_value(), 1);
+}
+
+// ---- Table ---------------------------------------------------------------------
+
+TEST(TableTest, AppendRejectsSchemaMismatch) {
+  Table table(Schema({{"a", TypeKind::kInt64, true}}));
+  RecordBatch wrong = MakeTestBatch();
+  EXPECT_FALSE(table.AppendBatch(wrong).ok());
+}
+
+TEST(TableTest, EqualsIgnoresBatchBoundaries) {
+  Schema schema({{"x", TypeKind::kInt64, true}});
+  TableBuilder one(schema);
+  ASSERT_TRUE(one.AppendRow({Value::Int(1)}).ok());
+  ASSERT_TRUE(one.AppendRow({Value::Int(2)}).ok());
+  Table t1 = one.Build();
+
+  TableBuilder two(schema);
+  ASSERT_TRUE(two.AppendRow({Value::Int(1)}).ok());
+  two.FinishBatch();
+  ASSERT_TRUE(two.AppendRow({Value::Int(2)}).ok());
+  Table t2 = two.Build();
+
+  EXPECT_EQ(t2.batches().size(), 2u);
+  EXPECT_TRUE(t1.Equals(t2));
+}
+
+TEST(TableBuilderTest, ArityChecked) {
+  TableBuilder builder(Schema({{"a", TypeKind::kInt64, true}}));
+  EXPECT_FALSE(builder.AppendRow({Value::Int(1), Value::Int(2)}).ok());
+}
+
+// ---- IPC ------------------------------------------------------------------------
+
+TEST(IpcTest, BatchRoundTrip) {
+  RecordBatch batch = MakeTestBatch();
+  auto frame = ipc::SerializeBatch(batch);
+  auto back = ipc::DeserializeBatch(frame);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->Equals(batch));
+}
+
+TEST(IpcTest, EmptyBatchRoundTrip) {
+  RecordBatch batch = RecordBatch::Empty(
+      Schema({{"a", TypeKind::kInt64, true}, {"b", TypeKind::kBinary, true}}));
+  auto back = ipc::DeserializeBatch(ipc::SerializeBatch(batch));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 0u);
+  EXPECT_TRUE(back->schema().Equals(batch.schema()));
+}
+
+TEST(IpcTest, CorruptionDetected) {
+  auto frame = ipc::SerializeBatch(MakeTestBatch());
+  frame[frame.size() / 2] ^= 0xFF;
+  auto back = ipc::DeserializeBatch(frame);
+  EXPECT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(IpcTest, BadMagicRejected) {
+  auto frame = ipc::SerializeBatch(MakeTestBatch());
+  frame[0] ^= 0x1;
+  EXPECT_FALSE(ipc::DeserializeBatch(frame).ok());
+}
+
+TEST(IpcTest, TruncationRejected) {
+  auto frame = ipc::SerializeBatch(MakeTestBatch());
+  frame.resize(frame.size() - 5);
+  EXPECT_FALSE(ipc::DeserializeBatch(frame).ok());
+}
+
+// Property sweep: round-trip batches of every column type and several row
+// counts, with a null sprinkled into each nullable column.
+class IpcRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<TypeKind, int>> {};
+
+TEST_P(IpcRoundTripTest, RoundTrips) {
+  auto [kind, rows] = GetParam();
+  ColumnBuilder builder(kind);
+  for (int i = 0; i < rows; ++i) {
+    if (i % 5 == 3) {
+      builder.AppendNull();
+      continue;
+    }
+    switch (kind) {
+      case TypeKind::kBool:
+        builder.AppendBool(i % 2 == 0);
+        break;
+      case TypeKind::kInt64:
+        builder.AppendInt(i * 1000003 - 500);
+        break;
+      case TypeKind::kFloat64:
+        builder.AppendDouble(i * 0.25 - 3.5);
+        break;
+      case TypeKind::kString:
+      case TypeKind::kBinary:
+        builder.AppendString(std::string(i % 17, 'x') + std::to_string(i));
+        break;
+      case TypeKind::kNull:
+        builder.AppendNull();
+        break;
+    }
+  }
+  Schema schema({{"c", kind, true}});
+  RecordBatch batch(schema, {builder.Finish()});
+  auto back = ipc::DeserializeBatch(ipc::SerializeBatch(batch));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(back->Equals(batch));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypesAndSizes, IpcRoundTripTest,
+    ::testing::Combine(::testing::Values(TypeKind::kBool, TypeKind::kInt64,
+                                         TypeKind::kFloat64, TypeKind::kString,
+                                         TypeKind::kBinary),
+                       ::testing::Values(0, 1, 7, 64, 1000)));
+
+}  // namespace
+}  // namespace lakeguard

@@ -1,0 +1,254 @@
+// Unit tests for src/common: Status/Result, serde, SHA-256, strings, clock,
+// id generation.
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/id.h"
+#include "common/serde.h"
+#include "common/sha256.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace lakeguard {
+namespace {
+
+// ---- Status / Result ---------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::PermissionDenied("no SELECT");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsPermissionDenied());
+  EXPECT_EQ(s.message(), "no SELECT");
+  EXPECT_EQ(s.ToString(), "permission_denied: no SELECT");
+}
+
+TEST(StatusTest, WithContextPrefixes) {
+  Status s = Status::NotFound("table t").WithContext("resolving plan");
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "resolving plan: table t");
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  EXPECT_TRUE(Status::OK().WithContext("ctx").ok());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MacrosPropagate) {
+  auto inner = []() -> Result<int> { return Status::NotFound("x"); };
+  auto outer = [&]() -> Result<int> {
+    LG_ASSIGN_OR_RETURN(int v, inner());
+    return v + 1;
+  };
+  EXPECT_TRUE(outer().status().IsNotFound());
+
+  auto ok_inner = []() -> Result<int> { return 4; };
+  auto ok_outer = [&]() -> Result<int> {
+    LG_ASSIGN_OR_RETURN(int v, ok_inner());
+    return v + 1;
+  };
+  EXPECT_EQ(*ok_outer(), 5);
+}
+
+// ---- Serde --------------------------------------------------------------------
+
+TEST(SerdeTest, VarintRoundTrip) {
+  ByteWriter w;
+  const uint64_t values[] = {0, 1, 127, 128, 300, 1ULL << 31, ~0ULL};
+  for (uint64_t v : values) w.PutVarint(v);
+  ByteReader r(w.data());
+  for (uint64_t v : values) {
+    auto got = r.ReadVarint();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, ZigzagRoundTrip) {
+  ByteWriter w;
+  const int64_t values[] = {0, -1, 1, -64, 64, INT64_MIN, INT64_MAX};
+  for (int64_t v : values) w.PutZigzag(v);
+  ByteReader r(w.data());
+  for (int64_t v : values) {
+    auto got = r.ReadZigzag();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(SerdeTest, DoubleAndStringRoundTrip) {
+  ByteWriter w;
+  w.PutDouble(3.14159);
+  w.PutString("hello lakeguard");
+  w.PutString("");
+  ByteReader r(w.data());
+  EXPECT_DOUBLE_EQ(*r.ReadDouble(), 3.14159);
+  EXPECT_EQ(*r.ReadString(), "hello lakeguard");
+  EXPECT_EQ(*r.ReadString(), "");
+}
+
+TEST(SerdeTest, TruncationIsDataLoss) {
+  ByteWriter w;
+  w.PutString("abcdef");
+  std::vector<uint8_t> cut(w.data().begin(), w.data().begin() + 3);
+  ByteReader r(cut);
+  EXPECT_EQ(r.ReadString().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerdeTest, TaggedFieldsSkipUnknown) {
+  ByteWriter w;
+  w.PutTaggedVarint(1, 7);
+  w.PutTaggedString(99, "future field");  // unknown to the reader below
+  w.PutTaggedDouble(2, 2.5);
+  ByteReader r(w.data());
+  uint64_t got_int = 0;
+  double got_double = 0;
+  while (!r.AtEnd()) {
+    auto tag = r.ReadTag();
+    ASSERT_TRUE(tag.ok());
+    if (tag->field == 1) {
+      got_int = *r.ReadVarint();
+    } else if (tag->field == 2) {
+      got_double = *r.ReadDouble();
+    } else {
+      ASSERT_TRUE(r.SkipValue(tag->type).ok());
+    }
+  }
+  EXPECT_EQ(got_int, 7u);
+  EXPECT_DOUBLE_EQ(got_double, 2.5);
+}
+
+TEST(SerdeTest, NestedMessages) {
+  ByteWriter inner;
+  inner.PutTaggedString(1, "nested");
+  ByteWriter outer;
+  outer.PutTaggedMessage(5, inner);
+  ByteReader r(outer.data());
+  auto tag = r.ReadTag();
+  ASSERT_TRUE(tag.ok());
+  EXPECT_EQ(tag->field, 5u);
+  auto sub = r.ReadMessage();
+  ASSERT_TRUE(sub.ok());
+  auto tag2 = sub->ReadTag();
+  ASSERT_TRUE(tag2.ok());
+  EXPECT_EQ(*sub->ReadString(), "nested");
+}
+
+// ---- SHA-256 -------------------------------------------------------------------
+
+TEST(Sha256Test, KnownVectors) {
+  // FIPS 180-4 test vectors.
+  EXPECT_EQ(Sha256::HexDigest(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(Sha256::HexDigest("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(Sha256::HexDigest(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string data(1000, 'x');
+  Sha256 h;
+  for (size_t i = 0; i < data.size(); i += 7) {
+    h.Update(data.substr(i, 7));
+  }
+  auto incremental = h.Finish();
+  auto oneshot = Sha256::Digest(data);
+  EXPECT_EQ(incremental, oneshot);
+}
+
+TEST(Sha256Test, Fnv1aStable) {
+  EXPECT_EQ(Fnv1a64("lakeguard"), Fnv1a64("lakeguard"));
+  EXPECT_NE(Fnv1a64("lakeguard"), Fnv1a64("lakeguarD"));
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+}
+
+// ---- Strings -------------------------------------------------------------------
+
+TEST(StringsTest, JoinAndSplit) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, "."), "a.b.c");
+  EXPECT_EQ(JoinStrings({}, "."), "");
+  auto parts = SplitString("main.sales.orders", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "main");
+  EXPECT_EQ(parts[2], "orders");
+  EXPECT_EQ(SplitString("a..b", '.').size(), 3u);
+}
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_EQ(ToUpperAscii("SeLeCt"), "SELECT");
+  EXPECT_EQ(ToLowerAscii("SeLeCt"), "select");
+  EXPECT_TRUE(EqualsIgnoreCase("AMOUNT", "amount"));
+  EXPECT_FALSE(EqualsIgnoreCase("amount", "amounts"));
+}
+
+TEST(StringsTest, Wildcards) {
+  EXPECT_TRUE(MatchesWildcard("mem://b/t/*", "mem://b/t/part-0"));
+  EXPECT_FALSE(MatchesWildcard("mem://b/t/*", "mem://b/u/part-0"));
+  EXPECT_TRUE(MatchesWildcard("*.aqi.com", "zip.aqi.com"));
+  EXPECT_FALSE(MatchesWildcard("*.aqi.com", "aqi.com.evil.org"));
+  EXPECT_TRUE(MatchesWildcard("exact", "exact"));
+  EXPECT_FALSE(MatchesWildcard("exact", "exactly"));
+  EXPECT_TRUE(MatchesWildcard("a*b", "a-middle-b"));
+  EXPECT_FALSE(MatchesWildcard("a*b", "ab-no"));
+}
+
+// ---- Clock & ids ----------------------------------------------------------------
+
+TEST(ClockTest, SimulatedClockAdvances) {
+  SimulatedClock clock(1000);
+  EXPECT_EQ(clock.NowMicros(), 1000);
+  clock.AdvanceMicros(2'000'000);
+  EXPECT_EQ(clock.NowMicros(), 2'001'000);
+  EXPECT_EQ(clock.NowMillis(), 2001);
+  clock.SetMicros(5);
+  EXPECT_EQ(clock.NowMicros(), 5);
+}
+
+TEST(ClockTest, RealClockMonotone) {
+  RealClock* clock = RealClock::Instance();
+  int64_t a = clock->NowMicros();
+  int64_t b = clock->NowMicros();
+  EXPECT_LE(a, b);
+}
+
+TEST(IdTest, UniqueAndPrefixed) {
+  std::string a = IdGenerator::Next("sess");
+  std::string b = IdGenerator::Next("sess");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.rfind("sess-", 0), 0u);
+  uint64_t first = IdGenerator::NextInt();
+  uint64_t second = IdGenerator::NextInt();
+  EXPECT_LT(first, second);
+}
+
+}  // namespace
+}  // namespace lakeguard

@@ -1,0 +1,273 @@
+// Tests for src/connect: wire protocol round-trips and version tolerance,
+// the service's session lifecycle / multi-user isolation, and the client
+// DataFrame API over the full wire path.
+
+#include <gtest/gtest.h>
+
+#include "connect/client.h"
+#include "connect/protocol.h"
+#include "connect/service.h"
+#include "core/platform.h"
+#include "udf/builder.h"
+
+namespace lakeguard {
+namespace {
+
+// ---- Protocol --------------------------------------------------------------------
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  ConnectRequest request;
+  request.session_id = "sess-9";
+  request.auth_token = "tok-x";
+  request.plan_bytes = {1, 2, 3, 4};
+  request.operation_id = "op-7";
+  auto back = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->session_id, "sess-9");
+  EXPECT_EQ(back->auth_token, "tok-x");
+  EXPECT_EQ(back->plan_bytes, request.plan_bytes);
+  EXPECT_EQ(back->operation_id, "op-7");
+  EXPECT_EQ(back->client_version, kConnectProtocolVersion);
+}
+
+TEST(ProtocolTest, ResponseRoundTripWithChunks) {
+  ConnectResponse response;
+  response.operation_id = "op-1";
+  response.schema = Schema({{"x", TypeKind::kInt64, true}});
+  response.ok = true;
+  response.total_chunks = 2;
+  ResultChunk chunk;
+  chunk.chunk_index = 0;
+  chunk.frame = {9, 9, 9};
+  response.inline_chunks.push_back(chunk);
+  chunk.chunk_index = 1;
+  chunk.last = true;
+  response.inline_chunks.push_back(chunk);
+  auto back = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->ok);
+  ASSERT_EQ(back->inline_chunks.size(), 2u);
+  EXPECT_TRUE(back->inline_chunks[1].last);
+  EXPECT_TRUE(back->schema.Equals(response.schema));
+}
+
+TEST(ProtocolTest, UnknownFieldsSkippedForwardCompat) {
+  // A "future" client adds field 99; today's server must decode the rest.
+  ConnectRequest request;
+  request.session_id = "s";
+  request.sql = "SELECT 1";
+  ByteWriter w;
+  w.PutRaw(EncodeRequest(request).data(), EncodeRequest(request).size());
+  w.PutTaggedString(99, "from-the-future");
+  w.PutTaggedVarint(100, 12345);
+  auto back = DecodeRequest(w.data());
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->session_id, "s");
+  EXPECT_EQ(back->sql, "SELECT 1");
+}
+
+TEST(ProtocolTest, OldClientMissingFieldsStillDecodes) {
+  // An "old" client that only knows session + sql.
+  ByteWriter w;
+  w.PutTaggedString(2, "sess-old");
+  w.PutTaggedString(5, "SELECT 1");
+  auto back = DecodeRequest(w.data());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->session_id, "sess-old");
+  EXPECT_EQ(back->client_version, 0u);  // absent -> 0, server tolerates
+}
+
+TEST(ProtocolTest, TruncatedRequestRejected) {
+  ConnectRequest request;
+  request.sql = "SELECT 1";
+  auto bytes = EncodeRequest(request);
+  bytes.resize(bytes.size() - 3);
+  EXPECT_FALSE(DecodeRequest(bytes).ok());
+}
+
+// ---- Service + client --------------------------------------------------------------
+
+class ConnectServiceTest : public ::testing::Test {
+ protected:
+  ConnectServiceTest() {
+    EXPECT_TRUE(platform_.AddUser("admin").ok());
+    EXPECT_TRUE(platform_.AddUser("alice").ok());
+    EXPECT_TRUE(platform_.AddUser("bob").ok());
+    platform_.AddMetastoreAdmin("admin");
+    platform_.RegisterToken("tok-admin", "admin");
+    platform_.RegisterToken("tok-alice", "alice");
+    platform_.RegisterToken("tok-bob", "bob");
+    EXPECT_TRUE(platform_.catalog().CreateCatalog("admin", "main").ok());
+    EXPECT_TRUE(platform_.catalog().CreateSchema("admin", "main.s").ok());
+    cluster_ = platform_.CreateStandardCluster();
+
+    auto admin = platform_.Connect(cluster_, "tok-admin");
+    EXPECT_TRUE(admin.ok());
+    EXPECT_TRUE(admin->Sql("CREATE TABLE main.s.t (x BIGINT, tag STRING)")
+                    .ok());
+    EXPECT_TRUE(admin->Sql("INSERT INTO main.s.t VALUES "
+                           "(1, 'a'), (2, 'b'), (3, 'c')")
+                    .ok());
+    EXPECT_TRUE(admin->Sql("GRANT USE CATALOG ON main TO alice").ok());
+    EXPECT_TRUE(admin->Sql("GRANT USE SCHEMA ON main.s TO alice").ok());
+    EXPECT_TRUE(admin->Sql("GRANT SELECT ON main.s.t TO alice").ok());
+  }
+
+  LakeguardPlatform platform_;
+  ClusterHandle* cluster_ = nullptr;
+};
+
+TEST_F(ConnectServiceTest, BadTokenRejected) {
+  auto client = platform_.Connect(cluster_, "tok-wrong");
+  EXPECT_TRUE(client.status().IsUnauthenticated());
+}
+
+TEST_F(ConnectServiceTest, SessionCarriesIdentity) {
+  auto alice = platform_.Connect(cluster_, "tok-alice");
+  ASSERT_TRUE(alice.ok());
+  auto rows = alice->Sql("SELECT CURRENT_USER() AS u FROM main.s.t LIMIT 1");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->Combine()->CellAt(0, 0).string_value(), "alice");
+}
+
+TEST_F(ConnectServiceTest, DataFrameApiOverTheWire) {
+  auto alice = platform_.Connect(cluster_, "tok-alice");
+  ASSERT_TRUE(alice.ok());
+  auto rows = alice->ReadTable("main.s.t")
+                  .Filter(BinOp(BinaryOpKind::kGe, Col("x"), LitInt(2)))
+                  .Select({Col("x"), Col("tag")}, {"x", "tag"})
+                  .OrderBy({{Col("x"), false}})
+                  .Limit(1)
+                  .Collect();
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  auto batch = *rows->Combine();
+  ASSERT_EQ(batch.num_rows(), 1u);
+  EXPECT_EQ(batch.CellAt(0, 0).int_value(), 3);
+}
+
+TEST_F(ConnectServiceTest, DataFrameGroupByAgg) {
+  auto alice = platform_.Connect(cluster_, "tok-alice");
+  ASSERT_TRUE(alice.ok());
+  auto rows = alice->ReadTable("main.s.t")
+                  .GroupByAgg({}, {}, {Func("SUM", {Col("x")})}, {"s"})
+                  .Collect();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->Combine()->CellAt(0, 0).int_value(), 6);
+}
+
+TEST_F(ConnectServiceTest, LocalRelationRoundTrip) {
+  auto alice = platform_.Connect(cluster_, "tok-alice");
+  ASSERT_TRUE(alice.ok());
+  TableBuilder builder(Schema({{"v", TypeKind::kInt64, true}}));
+  ASSERT_TRUE(builder.AppendRow({Value::Int(41)}).ok());
+  auto rows = alice->FromBatch(*builder.Build().Combine())
+                  .Select({BinOp(BinaryOpKind::kAdd, Col("v"), LitInt(1))},
+                          {"v1"})
+                  .Collect();
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->Combine()->CellAt(0, 0).int_value(), 42);
+}
+
+TEST_F(ConnectServiceTest, LargeResultStreamsInChunks) {
+  auto admin = platform_.Connect(cluster_, "tok-admin");
+  ASSERT_TRUE(admin.ok());
+  ASSERT_TRUE(admin->Sql("CREATE TABLE main.s.big (x BIGINT)").ok());
+  for (int chunk = 0; chunk < 6; ++chunk) {
+    std::string sql = "INSERT INTO main.s.big VALUES ";
+    for (int i = 0; i < 1000; ++i) {
+      if (i > 0) sql += ", ";
+      sql += "(" + std::to_string(chunk * 1000 + i) + ")";
+    }
+    ASSERT_TRUE(admin->Sql(sql).ok());
+  }
+  // 6000 rows at 1024 rows/chunk > inline limit -> FetchChunk path.
+  auto rows = admin->Sql("SELECT x FROM main.s.big");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->num_rows(), 6000u);
+}
+
+TEST_F(ConnectServiceTest, CrossSessionResultAccessDenied) {
+  auto admin = platform_.Connect(cluster_, "tok-admin");
+  auto alice = platform_.Connect(cluster_, "tok-alice");
+  ASSERT_TRUE(admin.ok());
+  ASSERT_TRUE(alice.ok());
+  // admin runs a large query whose chunks are buffered server-side.
+  ASSERT_TRUE(admin->Sql("CREATE TABLE main.s.big2 (x BIGINT)").ok());
+  std::string sql = "INSERT INTO main.s.big2 VALUES (0)";
+  for (int i = 1; i < 6000; ++i) sql += ", (" + std::to_string(i) + ")";
+  ASSERT_TRUE(admin->Sql(sql).ok());
+
+  ConnectRequest request;
+  request.session_id = admin->session_id();
+  request.sql = "SELECT x FROM main.s.big2";
+  ConnectResponse response = cluster_->service->Execute(request);
+  ASSERT_TRUE(response.ok);
+  ASSERT_TRUE(response.inline_chunks.empty());  // buffered, not inline
+  // alice must not be able to fetch admin's buffered chunks.
+  auto stolen = cluster_->service->FetchChunk(alice->session_id(),
+                                              response.operation_id, 0);
+  EXPECT_TRUE(stolen.status().IsPermissionDenied());
+  // admin can.
+  EXPECT_TRUE(cluster_->service
+                  ->FetchChunk(admin->session_id(), response.operation_id, 0)
+                  .ok());
+}
+
+TEST_F(ConnectServiceTest, ClosedSessionIsTombstoned) {
+  auto alice = platform_.Connect(cluster_, "tok-alice");
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(alice->Close().ok());
+  auto rows = alice->Sql("SELECT x FROM main.s.t");
+  EXPECT_FALSE(rows.ok());
+}
+
+TEST_F(ConnectServiceTest, IdleSessionsExpire) {
+  auto alice = platform_.Connect(cluster_, "tok-alice");
+  ASSERT_TRUE(alice.ok());
+  size_t before = cluster_->service->ActiveSessionCount();
+  platform_.simulated_clock()->AdvanceMicros(3600LL * 1000 * 1000);
+  size_t expired = cluster_->service->ExpireIdleSessions(
+      /*idle_micros=*/1800LL * 1000 * 1000);
+  EXPECT_GE(expired, 1u);
+  EXPECT_LT(cluster_->service->ActiveSessionCount(), before);
+}
+
+TEST_F(ConnectServiceTest, SessionCloseReleasesSandboxes) {
+  // Run a UDF so a sandbox exists for this session, then close.
+  FunctionInfo fn;
+  fn.full_name = "main.s.f";
+  fn.num_args = 2;
+  fn.return_type = TypeKind::kInt64;
+  fn.body = canned::SumUdf();
+  ASSERT_TRUE(platform_.catalog().CreateFunction("admin", fn).ok());
+  ASSERT_TRUE(platform_.catalog().Grant("admin", "main.s.f",
+                                        Privilege::kExecute, "alice").ok());
+  auto alice = platform_.Connect(cluster_, "tok-alice");
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(
+      alice->Sql("SELECT main.s.f(x, 1) AS y FROM main.s.t").ok());
+  EXPECT_GE(cluster_->cluster->driver_host().dispatcher().ActiveSandboxCount(),
+            1u);
+  ASSERT_TRUE(alice->Close().ok());
+  EXPECT_EQ(cluster_->cluster->driver_host().dispatcher().ActiveSandboxCount(),
+            0u);
+}
+
+TEST_F(ConnectServiceTest, ErrorsTravelTheWireTyped) {
+  auto alice = platform_.Connect(cluster_, "tok-alice");
+  ASSERT_TRUE(alice.ok());
+  auto rows = alice->Sql("SELECT nope FROM main.s.t");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_NE(rows.status().message().find("invalid_argument"),
+            std::string::npos);
+}
+
+TEST_F(ConnectServiceTest, RpcOnGarbageBytesReturnsEncodedError) {
+  auto response_bytes = cluster_->service->HandleRpc({0xFF, 0xFF, 0xFF});
+  auto response = DecodeResponse(response_bytes);
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response->ok);
+}
+
+}  // namespace
+}  // namespace lakeguard

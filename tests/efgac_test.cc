@@ -1,0 +1,206 @@
+// Tests for src/efgac: the pre-analysis rewrite on privileged compute,
+// refinement pushdown, serverless execution, inline-vs-spill result modes,
+// and the security property that policy details never reach the dedicated
+// cluster's plan.
+
+#include <gtest/gtest.h>
+
+#include "core/platform.h"
+#include "plan/plan_serde.h"
+#include "sql/parser.h"
+
+namespace lakeguard {
+namespace {
+
+class EfgacTest : public ::testing::Test {
+ protected:
+  EfgacTest() {
+    EXPECT_TRUE(platform_.AddUser("admin").ok());
+    EXPECT_TRUE(platform_.AddUser("eve").ok());
+    platform_.AddMetastoreAdmin("admin");
+    EXPECT_TRUE(platform_.catalog().CreateCatalog("admin", "main").ok());
+    EXPECT_TRUE(platform_.catalog().CreateSchema("admin", "main.s").ok());
+
+    setup_ = platform_.CreateStandardCluster();
+    admin_ctx_ = *platform_.DirectContext(setup_, "admin");
+    Must("CREATE TABLE main.s.sales ("
+         "region STRING, amount BIGINT, order_date STRING, seller STRING)");
+    Must("INSERT INTO main.s.sales VALUES "
+         "('US', 120, '2024-12-01', 'ann'), ('US', 340, '2024-12-01', 'joe'),"
+         "('EU', 75, '2024-12-01', 'zoe'), ('EU', 410, '2024-12-02', 'max'),"
+         "('US', 55, '2024-12-02', 'kim')");
+    Must("ALTER TABLE main.s.sales SET ROW FILTER (region = 'US')");
+    Must("GRANT USE CATALOG ON main TO eve");
+    Must("GRANT USE SCHEMA ON main.s TO eve");
+    Must("GRANT SELECT ON main.s.sales TO eve");
+
+    dedicated_ = platform_.CreateDedicatedCluster("eve", /*is_group=*/false);
+    eve_ctx_ = *platform_.DirectContext(dedicated_, "eve");
+  }
+
+  void Must(const std::string& sql) {
+    auto result = setup_->engine->ExecuteSql(sql, admin_ctx_);
+    ASSERT_TRUE(result.ok()) << sql << " -> " << result.status();
+  }
+
+  Result<QueryEngine::ExplainedExecution> RunOnDedicated(
+      const std::string& sql) {
+    auto stmt = ParseSql(sql);
+    EXPECT_TRUE(stmt.ok());
+    return dedicated_->engine->ExecutePlanExplained(
+        std::get<SelectStatement>(*stmt).plan, eve_ctx_);
+  }
+
+  LakeguardPlatform platform_;
+  ClusterHandle* setup_ = nullptr;
+  ClusterHandle* dedicated_ = nullptr;
+  ExecutionContext admin_ctx_;
+  ExecutionContext eve_ctx_;
+};
+
+TEST_F(EfgacTest, Fig8QueryRewritesToRemoteScan) {
+  auto exec = RunOnDedicated(
+      "SELECT amount, order_date, seller FROM main.s.sales "
+      "WHERE order_date = '2024-12-01'");
+  ASSERT_TRUE(exec.ok()) << exec.status();
+  // The rewritten tree is a single RemoteScan: filter and project pushed.
+  EXPECT_EQ(exec->rewritten->kind(), PlanKind::kRemoteScan);
+  EXPECT_EQ(CountPlanNodes(exec->rewritten, PlanKind::kRemoteScan), 1u);
+  // Results honour the row filter even though it never appeared locally.
+  EXPECT_EQ(exec->result.num_rows(), 2u);  // only US rows of 2024-12-01
+}
+
+TEST_F(EfgacTest, PolicyPredicateNeverInDedicatedPlan) {
+  auto exec = RunOnDedicated("SELECT amount FROM main.s.sales");
+  ASSERT_TRUE(exec.ok());
+  for (const PlanPtr& plan :
+       {exec->rewritten, exec->resolved, exec->optimized}) {
+    std::string tree = plan->ToTreeString();
+    EXPECT_EQ(tree.find("region"), std::string::npos)
+        << "policy column leaked into dedicated plan:\n"
+        << tree;
+    EXPECT_EQ(tree.find("'US'"), std::string::npos);
+  }
+}
+
+TEST_F(EfgacTest, SerializedRemotePlanCarriesNoPolicies) {
+  auto exec = RunOnDedicated("SELECT amount FROM main.s.sales");
+  ASSERT_TRUE(exec.ok());
+  const auto& scan = static_cast<const RemoteScanNode&>(*exec->rewritten);
+  auto bytes = PlanToBytes(scan.remote_plan());
+  std::string as_string(bytes.begin(), bytes.end());
+  EXPECT_EQ(as_string.find("US"), std::string::npos);
+  EXPECT_EQ(as_string.find("region"), std::string::npos);
+}
+
+TEST_F(EfgacTest, AggregatePushedIntoRemoteScan) {
+  platform_.efgac_rewriter().ResetStats();
+  auto exec = RunOnDedicated(
+      "SELECT SUM(amount) AS total FROM main.s.sales");
+  ASSERT_TRUE(exec.ok()) << exec.status();
+  EXPECT_GE(platform_.efgac_rewriter().stats().aggregates_pushed, 1u);
+  EXPECT_EQ(exec->result.Combine()->CellAt(0, 0).int_value(),
+            120 + 340 + 55);  // US rows only
+}
+
+TEST_F(EfgacTest, LimitPushedIntoRemoteScan) {
+  platform_.efgac_rewriter().ResetStats();
+  auto exec = RunOnDedicated("SELECT amount FROM main.s.sales LIMIT 1");
+  ASSERT_TRUE(exec.ok());
+  EXPECT_GE(platform_.efgac_rewriter().stats().limits_pushed, 1u);
+  EXPECT_EQ(exec->result.num_rows(), 1u);
+}
+
+TEST_F(EfgacTest, PlainTableStaysLocalOnDedicated) {
+  Must("CREATE TABLE main.s.plain (x BIGINT)");
+  Must("INSERT INTO main.s.plain VALUES (1), (2)");
+  Must("GRANT SELECT ON main.s.plain TO eve");
+  auto exec = RunOnDedicated("SELECT x FROM main.s.plain");
+  ASSERT_TRUE(exec.ok()) << exec.status();
+  EXPECT_EQ(CountPlanNodes(exec->rewritten, PlanKind::kRemoteScan), 0u);
+  EXPECT_EQ(exec->result.num_rows(), 2u);
+}
+
+TEST_F(EfgacTest, ViewsServedExternallyOnDedicated) {
+  Must("CREATE VIEW main.s.big_sales AS "
+       "SELECT seller, amount FROM main.s.sales WHERE amount > 100");
+  Must("GRANT SELECT ON main.s.big_sales TO eve");
+  auto exec = RunOnDedicated("SELECT seller FROM main.s.big_sales");
+  ASSERT_TRUE(exec.ok()) << exec.status();
+  EXPECT_EQ(CountPlanNodes(exec->rewritten, PlanKind::kRemoteScan), 1u);
+  // Row filter (US) AND view predicate (>100) both applied remotely.
+  EXPECT_EQ(exec->result.num_rows(), 2u);  // ann(120), joe(340)
+}
+
+TEST_F(EfgacTest, SmallResultReturnsInline) {
+  platform_.serverless_backend().ResetStats();
+  auto exec = RunOnDedicated("SELECT SUM(amount) AS t FROM main.s.sales");
+  ASSERT_TRUE(exec.ok());
+  const EfgacStats& stats = platform_.serverless_backend().stats();
+  EXPECT_EQ(stats.inline_results, 1u);
+  EXPECT_EQ(stats.spilled_results, 0u);
+}
+
+TEST_F(EfgacTest, LargeResultSpillsToCloudStorage) {
+  Must("CREATE TABLE main.s.wide (payload STRING)");
+  std::string filler(1000, 'x');
+  for (int chunk = 0; chunk < 4; ++chunk) {
+    std::string sql = "INSERT INTO main.s.wide VALUES ('" + filler + "')";
+    for (int i = 1; i < 100; ++i) sql += ", ('" + filler + "')";
+    Must(sql);
+  }
+  Must("ALTER TABLE main.s.wide SET ROW FILTER (TRUE)");
+  Must("GRANT SELECT ON main.s.wide TO eve");
+
+  platform_.serverless_backend().ResetStats();
+  size_t objects_before = platform_.store().ObjectCount();
+  auto exec = RunOnDedicated("SELECT payload FROM main.s.wide");
+  ASSERT_TRUE(exec.ok()) << exec.status();
+  EXPECT_EQ(exec->result.num_rows(), 400u);
+  const EfgacStats& stats = platform_.serverless_backend().stats();
+  EXPECT_EQ(stats.spilled_results, 1u);
+  EXPECT_GT(stats.spilled_bytes, 256u * 1024);
+  // Spill objects were cleaned up after the origin consumed them.
+  EXPECT_EQ(platform_.store().ObjectCount(), objects_before);
+}
+
+TEST_F(EfgacTest, DirectAnalysisWithoutRewriteFailsClosed) {
+  // Defense in depth: if the rewriter is bypassed, the analyzer refuses.
+  auto stmt = ParseSql("SELECT amount FROM main.s.sales");
+  ASSERT_TRUE(stmt.ok());
+  Analyzer analyzer(&platform_.catalog(), eve_ctx_);
+  auto analysis = analyzer.Analyze(std::get<SelectStatement>(*stmt).plan);
+  EXPECT_TRUE(analysis.status().IsFailedPrecondition());
+}
+
+TEST_F(EfgacTest, RemoteExecutionRunsAsTheSameUser) {
+  auto exec = RunOnDedicated(
+      "SELECT seller FROM main.s.sales WHERE seller = CURRENT_USER()");
+  ASSERT_TRUE(exec.ok());
+  EXPECT_EQ(exec->result.num_rows(), 0u);  // no 'eve' rows
+  Must("INSERT INTO main.s.sales VALUES ('US', 1, '2024-12-03', 'eve')");
+  auto exec2 = RunOnDedicated(
+      "SELECT seller FROM main.s.sales WHERE seller = CURRENT_USER()");
+  ASSERT_TRUE(exec2.ok());
+  EXPECT_EQ(exec2->result.num_rows(), 1u);
+}
+
+TEST_F(EfgacTest, StorageCredentialNeverVendedToDedicated) {
+  size_t denied_before = platform_.store().stats().access_denied;
+  auto exec = RunOnDedicated("SELECT amount FROM main.s.sales");
+  ASSERT_TRUE(exec.ok());
+  // The dedicated engine performed no denied direct reads — it never even
+  // attempted them, because resolution withheld the storage root.
+  EXPECT_EQ(platform_.store().stats().access_denied, denied_before);
+  // And the catalog audit shows external-enforcement resolution.
+  bool saw_external = false;
+  for (const AuditEvent& e : platform_.catalog().audit().All()) {
+    if (e.principal == "eve" && e.detail.find("external") != std::string::npos) {
+      saw_external = true;
+    }
+  }
+  EXPECT_TRUE(saw_external);
+}
+
+}  // namespace
+}  // namespace lakeguard

@@ -1,0 +1,443 @@
+// Tests for src/engine: analyzer (resolution, SecureView injection, view
+// expansion, UDF resolution), optimizer (fusion, barriers, folding) and
+// executor (operators, sandboxed UDF data path), plus SQL end-to-end on a
+// single engine.
+
+#include <gtest/gtest.h>
+
+#include "core/platform.h"
+#include "engine/analyzer.h"
+#include "engine/optimizer.h"
+#include "sql/parser.h"
+#include "udf/builder.h"
+
+namespace lakeguard {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() {
+    EXPECT_TRUE(platform_.AddUser("admin").ok());
+    EXPECT_TRUE(platform_.AddUser("alice").ok());
+    EXPECT_TRUE(platform_.AddUser("bob").ok());
+    EXPECT_TRUE(platform_.AddGroup("sales_global").ok());
+    EXPECT_TRUE(platform_.AddUserToGroup("bob", "sales_global").ok());
+    platform_.AddMetastoreAdmin("admin");
+    EXPECT_TRUE(platform_.catalog().CreateCatalog("admin", "main").ok());
+    EXPECT_TRUE(platform_.catalog().CreateSchema("admin", "main.s").ok());
+
+    cluster_ = platform_.CreateStandardCluster();
+    admin_ctx_ = *platform_.DirectContext(cluster_, "admin");
+
+    MustSql(
+        "CREATE TABLE main.s.orders ("
+        "  region STRING, amount BIGINT, seller STRING)");
+    MustSql(
+        "INSERT INTO main.s.orders VALUES "
+        "('US', 10, 'ann'), ('US', 20, 'joe'), ('EU', 5, 'zoe'), "
+        "('EU', 40, 'max'), ('APAC', 100, 'kim')");
+    for (const char* u : {"alice", "bob"}) {
+      MustSql(std::string("GRANT USE CATALOG ON main TO ") + u);
+      MustSql(std::string("GRANT USE SCHEMA ON main.s TO ") + u);
+      MustSql(std::string("GRANT SELECT ON main.s.orders TO ") + u);
+    }
+  }
+
+  Table MustSql(const std::string& sql) {
+    auto result = cluster_->engine->ExecuteSql(sql, admin_ctx_);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+    return result.ok() ? *result : Table();
+  }
+
+  Result<Table> SqlAs(const std::string& user, const std::string& sql) {
+    auto ctx = platform_.DirectContext(cluster_, user);
+    EXPECT_TRUE(ctx.ok());
+    return cluster_->engine->ExecuteSql(sql, *ctx);
+  }
+
+  void RegisterSumUdf(const std::string& name, const std::string& owner) {
+    FunctionInfo fn;
+    fn.full_name = name;
+    fn.num_args = 2;
+    fn.return_type = TypeKind::kInt64;
+    fn.body = canned::SumUdf();
+    ASSERT_TRUE(platform_.catalog().CreateFunction("admin", fn).ok());
+    // Trust domain is the creating user; override for tests that need
+    // distinct owners by creating through a different path is overkill —
+    // owner is recorded as creator ("admin"); emulate other owners by
+    // granting and renaming only.
+    (void)owner;
+  }
+
+  LakeguardPlatform platform_;
+  ClusterHandle* cluster_ = nullptr;
+  ExecutionContext admin_ctx_;
+};
+
+// ---- Analyzer -----------------------------------------------------------------------
+
+TEST_F(EngineTest, AnalyzeResolvesColumnsAndSchema) {
+  auto stmt = ParseSql("SELECT amount + 1 AS a1 FROM main.s.orders");
+  ASSERT_TRUE(stmt.ok());
+  auto analysis = cluster_->engine->AnalyzePlan(
+      std::get<SelectStatement>(*stmt).plan, admin_ctx_);
+  ASSERT_TRUE(analysis.ok()) << analysis.status();
+  EXPECT_EQ(analysis->output_schema.ToString(), "(a1 BIGINT)");
+  EXPECT_EQ(CountPlanNodes(analysis->plan, PlanKind::kTableRef), 0u);
+  EXPECT_EQ(CountPlanNodes(analysis->plan, PlanKind::kResolvedScan), 1u);
+  EXPECT_EQ(analysis->read_tokens.count("main.s.orders"), 1u);
+}
+
+TEST_F(EngineTest, AnalyzeUnknownColumnFails) {
+  auto stmt = ParseSql("SELECT nope FROM main.s.orders");
+  ASSERT_TRUE(stmt.ok());
+  auto analysis = cluster_->engine->AnalyzePlan(
+      std::get<SelectStatement>(*stmt).plan, admin_ctx_);
+  EXPECT_TRUE(analysis.status().IsInvalidArgument());
+}
+
+TEST_F(EngineTest, RowFilterInjectedUnderSecureView) {
+  MustSql("ALTER TABLE main.s.orders SET ROW FILTER (region = 'US')");
+  auto stmt = ParseSql("SELECT amount FROM main.s.orders");
+  auto alice_ctx = *platform_.DirectContext(cluster_, "alice");
+  auto analysis = cluster_->engine->AnalyzePlan(
+      std::get<SelectStatement>(*stmt).plan, alice_ctx);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(CountPlanNodes(analysis->plan, PlanKind::kSecureView), 1u);
+  EXPECT_EQ(CountPlanNodes(analysis->plan, PlanKind::kFilter), 1u);
+}
+
+TEST_F(EngineTest, ViewExpandsWithDefinersRights) {
+  MustSql("CREATE VIEW main.s.us_orders AS "
+          "SELECT amount, seller FROM main.s.orders WHERE region = 'US'");
+  MustSql("GRANT SELECT ON main.s.us_orders TO alice");
+  // Revoke alice's direct table access: the view must still work.
+  MustSql("REVOKE SELECT ON main.s.orders FROM alice");
+  auto rows = SqlAs("alice", "SELECT amount FROM main.s.us_orders");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->num_rows(), 2u);
+  // But the table itself stays closed.
+  EXPECT_TRUE(SqlAs("alice", "SELECT amount FROM main.s.orders")
+                  .status()
+                  .IsPermissionDenied());
+}
+
+TEST_F(EngineTest, DynamicViewBindsCurrentUserToInvoker) {
+  MustSql("CREATE VIEW main.s.mine AS "
+          "SELECT seller, amount FROM main.s.orders "
+          "WHERE seller = CURRENT_USER()");
+  MustSql("INSERT INTO main.s.orders VALUES ('US', 77, 'alice')");
+  MustSql("GRANT SELECT ON main.s.mine TO alice");
+  auto rows = SqlAs("alice", "SELECT amount FROM main.s.mine");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->num_rows(), 1u);  // only alice's own row, not admin's
+}
+
+TEST_F(EngineTest, ViewCycleDetected) {
+  // a -> b -> a
+  ViewInfo a;
+  a.full_name = "main.s.va";
+  a.sql_text = "SELECT * FROM main.s.vb";
+  ViewInfo b;
+  b.full_name = "main.s.vb";
+  b.sql_text = "SELECT * FROM main.s.va";
+  ASSERT_TRUE(platform_.catalog().CreateView("admin", a).ok());
+  ASSERT_TRUE(platform_.catalog().CreateView("admin", b).ok());
+  auto rows = SqlAs("admin", "SELECT * FROM main.s.va");
+  EXPECT_FALSE(rows.ok());
+}
+
+TEST_F(EngineTest, NestedUdfArgumentsRejected) {
+  RegisterSumUdf("main.s.add2", "admin");
+  auto rows = SqlAs("admin",
+                    "SELECT main.s.add2(main.s.add2(amount, 1), 2) AS v "
+                    "FROM main.s.orders");
+  EXPECT_EQ(rows.status().code(), StatusCode::kUnimplemented);
+}
+
+// ---- Optimizer -----------------------------------------------------------------------
+
+TEST_F(EngineTest, ProjectsCollapse) {
+  Optimizer optimizer;
+  Schema schema({{"a", TypeKind::kInt64, true}});
+  PlanPtr scan = MakeResolvedScan("t", "mem://t", schema);
+  PlanPtr inner = MakeProject(
+      scan, {BinOp(BinaryOpKind::kAdd, ColIdx("a", 0), LitInt(1))}, {"b"});
+  PlanPtr outer = MakeProject(
+      inner, {BinOp(BinaryOpKind::kMul, ColIdx("b", 0), LitInt(2))}, {"c"});
+  auto optimized = optimizer.Optimize(outer);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(CountPlanNodes(*optimized, PlanKind::kProject), 1u);
+  const auto& project = static_cast<const ProjectNode&>(**optimized);
+  EXPECT_EQ(project.exprs()[0]->ToString(), "((a#0 + 1) * 2)");
+}
+
+TEST_F(EngineTest, CollapseNeverDuplicatesUdf) {
+  Optimizer optimizer;
+  Schema schema({{"a", TypeKind::kInt64, true}});
+  PlanPtr scan = MakeResolvedScan("t", "mem://t", schema);
+  ExprPtr udf = Udf("f", "owner", TypeKind::kInt64, {ColIdx("a", 0)});
+  PlanPtr inner = MakeProject(scan, {udf}, {"u"});
+  // Outer references the UDF result twice.
+  PlanPtr outer = MakeProject(
+      inner, {BinOp(BinaryOpKind::kAdd, ColIdx("u", 0), ColIdx("u", 0))},
+      {"double_u"});
+  auto optimized = optimizer.Optimize(outer);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(CountPlanNodes(*optimized, PlanKind::kProject), 2u);  // no merge
+}
+
+TEST_F(EngineTest, CollapseRespectsTrustDomains) {
+  Optimizer optimizer;
+  Schema schema({{"a", TypeKind::kInt64, true}});
+  PlanPtr scan = MakeResolvedScan("t", "mem://t", schema);
+  PlanPtr inner = MakeProject(
+      scan, {Udf("f", "owner-A", TypeKind::kInt64, {ColIdx("a", 0)})}, {"u"});
+  PlanPtr outer = MakeProject(
+      inner, {Udf("g", "owner-B", TypeKind::kInt64, {ColIdx("u", 0)})},
+      {"v"});
+  auto optimized = optimizer.Optimize(outer);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(CountPlanNodes(*optimized, PlanKind::kProject), 2u);
+}
+
+TEST_F(EngineTest, FusionToggleDisablesCollapse) {
+  OptimizerOptions options;
+  options.enable_fusion = false;
+  Optimizer optimizer(options);
+  Schema schema({{"a", TypeKind::kInt64, true}});
+  PlanPtr scan = MakeResolvedScan("t", "mem://t", schema);
+  PlanPtr inner = MakeProject(scan, {ColIdx("a", 0)}, {"a"});
+  PlanPtr outer = MakeProject(inner, {ColIdx("a", 0)}, {"a"});
+  auto optimized = optimizer.Optimize(outer);
+  EXPECT_EQ(CountPlanNodes(*optimized, PlanKind::kProject), 2u);
+}
+
+TEST_F(EngineTest, FilterNeverPushesBelowSecureView) {
+  Optimizer optimizer;
+  Schema schema({{"a", TypeKind::kInt64, true}});
+  PlanPtr scan = MakeResolvedScan("t", "mem://t", schema);
+  PlanPtr guarded = MakeSecureView(
+      MakeFilter(scan, BinOp(BinaryOpKind::kGt, ColIdx("a", 0), LitInt(0))),
+      "t");
+  PlanPtr user_filter = MakeFilter(
+      guarded, BinOp(BinaryOpKind::kLt, ColIdx("a", 0), LitInt(10)));
+  auto optimized = optimizer.Optimize(user_filter);
+  ASSERT_TRUE(optimized.ok());
+  // The user filter must still sit ABOVE the SecureView.
+  EXPECT_EQ((*optimized)->kind(), PlanKind::kFilter);
+  EXPECT_EQ((*optimized)->children()[0]->kind(), PlanKind::kSecureView);
+}
+
+TEST_F(EngineTest, FiltersMergeAndPushThroughProject) {
+  Optimizer optimizer;
+  Schema schema({{"a", TypeKind::kInt64, true}});
+  PlanPtr scan = MakeResolvedScan("t", "mem://t", schema);
+  PlanPtr project = MakeProject(scan, {ColIdx("a", 0)}, {"a"});
+  PlanPtr f1 = MakeFilter(project,
+                          BinOp(BinaryOpKind::kGt, ColIdx("a", 0), LitInt(0)));
+  PlanPtr f2 =
+      MakeFilter(f1, BinOp(BinaryOpKind::kLt, ColIdx("a", 0), LitInt(9)));
+  auto optimized = optimizer.Optimize(f2);
+  ASSERT_TRUE(optimized.ok());
+  // Both filters merged and pushed below the project.
+  ASSERT_EQ((*optimized)->kind(), PlanKind::kProject);
+  EXPECT_EQ((*optimized)->children()[0]->kind(), PlanKind::kFilter);
+}
+
+TEST_F(EngineTest, ConstantFolding) {
+  Optimizer optimizer;
+  Schema schema({{"a", TypeKind::kInt64, true}});
+  PlanPtr scan = MakeResolvedScan("t", "mem://t", schema);
+  PlanPtr project = MakeProject(
+      scan, {BinOp(BinaryOpKind::kMul, LitInt(6), LitInt(7))}, {"c"});
+  auto optimized = optimizer.Optimize(project);
+  ASSERT_TRUE(optimized.ok());
+  const auto& p = static_cast<const ProjectNode&>(**optimized);
+  EXPECT_EQ(p.exprs()[0]->ToString(), "42");
+}
+
+TEST_F(EngineTest, CurrentUserIsNotFolded) {
+  Optimizer optimizer;
+  Schema schema({{"a", TypeKind::kInt64, true}});
+  PlanPtr scan = MakeResolvedScan("t", "mem://t", schema);
+  PlanPtr project = MakeProject(scan, {Func("CURRENT_USER", {})}, {"u"});
+  auto optimized = optimizer.Optimize(project);
+  const auto& p = static_cast<const ProjectNode&>(**optimized);
+  EXPECT_EQ(p.exprs()[0]->kind(), ExprKind::kFunctionCall);
+}
+
+// ---- Executor / SQL end-to-end ----------------------------------------------------------
+
+TEST_F(EngineTest, FilterProjectSortLimit) {
+  Table t = MustSql(
+      "SELECT seller, amount * 2 AS dbl FROM main.s.orders "
+      "WHERE region = 'US' OR region = 'EU' ORDER BY dbl DESC LIMIT 2");
+  ASSERT_EQ(t.num_rows(), 2u);
+  auto batch = *t.Combine();
+  EXPECT_EQ(batch.CellAt(0, 0).string_value(), "max");
+  EXPECT_EQ(batch.CellAt(0, 1).int_value(), 80);
+  EXPECT_EQ(batch.CellAt(1, 1).int_value(), 40);
+}
+
+TEST_F(EngineTest, GroupByAggregates) {
+  Table t = MustSql(
+      "SELECT region, SUM(amount) AS total, COUNT(*) AS n, AVG(amount) AS m, "
+      "MIN(amount) AS lo, MAX(amount) AS hi "
+      "FROM main.s.orders GROUP BY region ORDER BY region");
+  ASSERT_EQ(t.num_rows(), 3u);
+  auto batch = *t.Combine();
+  // APAC, EU, US
+  EXPECT_EQ(batch.CellAt(0, 1).int_value(), 100);
+  EXPECT_EQ(batch.CellAt(1, 1).int_value(), 45);
+  EXPECT_EQ(batch.CellAt(1, 2).int_value(), 2);
+  EXPECT_DOUBLE_EQ(batch.CellAt(2, 3).double_value(), 15.0);
+  EXPECT_EQ(batch.CellAt(2, 4).int_value(), 10);
+  EXPECT_EQ(batch.CellAt(2, 5).int_value(), 20);
+}
+
+TEST_F(EngineTest, GlobalAggregateOnEmptyInput) {
+  Table t = MustSql(
+      "SELECT COUNT(*) AS n, SUM(amount) AS s FROM main.s.orders "
+      "WHERE region = 'MARS'");
+  ASSERT_EQ(t.num_rows(), 1u);
+  auto batch = *t.Combine();
+  EXPECT_EQ(batch.CellAt(0, 0).int_value(), 0);
+  EXPECT_TRUE(batch.CellAt(0, 1).is_null());
+}
+
+TEST_F(EngineTest, HavingFiltersGroups) {
+  Table t = MustSql(
+      "SELECT region, SUM(amount) AS total FROM main.s.orders "
+      "GROUP BY region HAVING SUM(amount) > 50 ORDER BY region");
+  EXPECT_EQ(t.num_rows(), 1u);  // only APAC (100)
+}
+
+TEST_F(EngineTest, InnerAndLeftJoins) {
+  MustSql("CREATE TABLE main.s.regions (region STRING, name STRING)");
+  MustSql("INSERT INTO main.s.regions VALUES "
+          "('US', 'United States'), ('EU', 'Europe')");
+  Table inner = MustSql(
+      "SELECT o.seller, r.name FROM main.s.orders o "
+      "JOIN main.s.regions r ON o.region = r.region ORDER BY o.seller");
+  EXPECT_EQ(inner.num_rows(), 4u);  // APAC row drops
+  Table left = MustSql(
+      "SELECT o.seller, r.name FROM main.s.orders o "
+      "LEFT JOIN main.s.regions r ON o.region = r.region ORDER BY o.seller");
+  EXPECT_EQ(left.num_rows(), 5u);
+  auto batch = *left.Combine();
+  bool saw_null = false;
+  for (size_t i = 0; i < batch.num_rows(); ++i) {
+    if (batch.CellAt(i, 1).is_null()) saw_null = true;
+  }
+  EXPECT_TRUE(saw_null);  // APAC keeps NULL name
+}
+
+TEST_F(EngineTest, CrossJoinCardinality) {
+  MustSql("CREATE TABLE main.s.two (x BIGINT)");
+  MustSql("INSERT INTO main.s.two VALUES (1), (2)");
+  Table t = MustSql(
+      "SELECT amount, x FROM main.s.orders CROSS JOIN main.s.two");
+  EXPECT_EQ(t.num_rows(), 10u);
+}
+
+TEST_F(EngineTest, InsertThenQuerySeesNewVersion) {
+  Table before = MustSql("SELECT COUNT(*) AS n FROM main.s.orders");
+  MustSql("INSERT INTO main.s.orders VALUES ('US', 1, 'new')");
+  Table after = MustSql("SELECT COUNT(*) AS n FROM main.s.orders");
+  EXPECT_EQ(before.Combine()->CellAt(0, 0).int_value() + 1,
+            after.Combine()->CellAt(0, 0).int_value());
+}
+
+TEST_F(EngineTest, SandboxedUdfProducesCorrectColumn) {
+  RegisterSumUdf("main.s.adder", "admin");
+  MustSql("GRANT EXECUTE ON main.s.adder TO alice");
+  auto rows = SqlAs("alice",
+                    "SELECT main.s.adder(amount, 100) AS v "
+                    "FROM main.s.orders WHERE region = 'US' ORDER BY v");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  auto batch = *rows->Combine();
+  ASSERT_EQ(batch.num_rows(), 2u);
+  EXPECT_EQ(batch.CellAt(0, 0).int_value(), 110);
+  EXPECT_EQ(batch.CellAt(1, 0).int_value(), 120);
+  // It really went through a sandbox.
+  EXPECT_GE(cluster_->cluster->driver_host().dispatcher().ActiveSandboxCount(),
+            1u);
+}
+
+TEST_F(EngineTest, UdfWithoutExecuteGrantDenied) {
+  RegisterSumUdf("main.s.private_fn", "admin");
+  auto rows = SqlAs("alice",
+                    "SELECT main.s.private_fn(amount, 1) AS v "
+                    "FROM main.s.orders");
+  EXPECT_TRUE(rows.status().IsPermissionDenied());
+}
+
+TEST_F(EngineTest, UdfInWhereClause) {
+  RegisterSumUdf("main.s.add_w", "admin");
+  Table t = MustSql(
+      "SELECT seller FROM main.s.orders "
+      "WHERE main.s.add_w(amount, 0) > 30 ORDER BY seller");
+  EXPECT_EQ(t.num_rows(), 2u);  // 40 and 100
+}
+
+TEST_F(EngineTest, MasksComposeWithUserExpressions) {
+  MustSql("ALTER TABLE main.s.orders ALTER COLUMN seller SET MASK "
+          "(REDACT(seller))");
+  auto rows = SqlAs("alice",
+                    "SELECT UPPER(seller) AS s FROM main.s.orders LIMIT 1");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->Combine()->CellAt(0, 0).string_value(), "[REDACTED]");
+}
+
+TEST_F(EngineTest, MaterializedViewRefreshAndRead) {
+  MustSql("CREATE MATERIALIZED VIEW main.s.by_region AS "
+          "SELECT region, SUM(amount) AS total FROM main.s.orders "
+          "GROUP BY region");
+  MustSql("GRANT SELECT ON main.s.by_region TO alice");
+  auto rows = SqlAs("alice",
+                    "SELECT total FROM main.s.by_region ORDER BY total");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->num_rows(), 3u);
+
+  // MV is a snapshot: new inserts are invisible until refresh.
+  MustSql("INSERT INTO main.s.orders VALUES ('MARS', 1000, 'zorg')");
+  auto stale = SqlAs("alice", "SELECT COUNT(*) AS n FROM main.s.by_region");
+  EXPECT_EQ(stale->Combine()->CellAt(0, 0).int_value(), 3);
+  MustSql("REFRESH MATERIALIZED VIEW main.s.by_region");
+  auto fresh = SqlAs("alice", "SELECT COUNT(*) AS n FROM main.s.by_region");
+  EXPECT_EQ(fresh->Combine()->CellAt(0, 0).int_value(), 4);
+}
+
+TEST_F(EngineTest, DistinctDeduplicates) {
+  Table t = MustSql("SELECT DISTINCT region FROM main.s.orders");
+  EXPECT_EQ(t.num_rows(), 3u);  // US, EU, APAC
+  Table pairs = MustSql(
+      "SELECT DISTINCT region, amount FROM main.s.orders WHERE amount < 50");
+  EXPECT_EQ(pairs.num_rows(), 4u);
+  EXPECT_FALSE(
+      cluster_->engine
+          ->ExecuteSql("SELECT DISTINCT region FROM main.s.orders "
+                       "GROUP BY region",
+                       admin_ctx_)
+          .ok());
+}
+
+TEST_F(EngineTest, LargeScanThroughManyBatches) {
+  MustSql("CREATE TABLE main.s.big (x BIGINT)");
+  for (int chunk = 0; chunk < 5; ++chunk) {
+    std::string sql = "INSERT INTO main.s.big VALUES ";
+    for (int i = 0; i < 200; ++i) {
+      if (i > 0) sql += ", ";
+      sql += "(" + std::to_string(chunk * 200 + i) + ")";
+    }
+    MustSql(sql);
+  }
+  Table t = MustSql("SELECT SUM(x) AS s, COUNT(*) AS n FROM main.s.big");
+  auto batch = *t.Combine();
+  EXPECT_EQ(batch.CellAt(0, 1).int_value(), 1000);
+  EXPECT_EQ(batch.CellAt(0, 0).int_value(), 999 * 1000 / 2);
+}
+
+}  // namespace
+}  // namespace lakeguard

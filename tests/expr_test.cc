@@ -1,0 +1,393 @@
+// Tests for src/expr: AST, type inference, vectorized evaluation (incl.
+// SQL three-valued logic), builtin functions, and expression serde.
+
+#include <gtest/gtest.h>
+
+#include "columnar/table.h"
+#include "expr/evaluator.h"
+#include "expr/expr.h"
+#include "expr/expr_serde.h"
+#include "expr/functions.h"
+
+namespace lakeguard {
+namespace {
+
+RecordBatch TestBatch() {
+  Schema schema({{"a", TypeKind::kInt64, true},
+                 {"b", TypeKind::kInt64, true},
+                 {"s", TypeKind::kString, true},
+                 {"d", TypeKind::kFloat64, true}});
+  TableBuilder builder(schema);
+  EXPECT_TRUE(builder.AppendRow({Value::Int(1), Value::Int(10),
+                                 Value::String("alpha"), Value::Double(1.5)})
+                  .ok());
+  EXPECT_TRUE(builder.AppendRow({Value::Int(2), Value::Null(),
+                                 Value::String("Beta"), Value::Double(-2.0)})
+                  .ok());
+  EXPECT_TRUE(builder.AppendRow({Value::Int(3), Value::Int(30), Value::Null(),
+                                 Value::Null()})
+                  .ok());
+  auto combined = builder.Build().Combine();
+  EXPECT_TRUE(combined.ok());
+  return *combined;
+}
+
+Column Eval(const ExprPtr& e, const EvalContext& ctx = {}) {
+  auto col = EvaluateExpr(e, TestBatch(), ctx);
+  EXPECT_TRUE(col.ok()) << col.status();
+  return *col;
+}
+
+// ---- AST basics -------------------------------------------------------------------
+
+TEST(ExprAstTest, ToStringRendering) {
+  ExprPtr e = And(Eq(Col("region"), LitString("US")),
+                  Func("IS_MEMBER", {LitString("sales")}));
+  EXPECT_EQ(e->ToString(), "((region = 'US') AND IS_MEMBER('sales'))");
+  EXPECT_EQ(CastTo(Col("x"), TypeKind::kInt64)->ToString(),
+            "CAST(x AS BIGINT)");
+  EXPECT_EQ(ColIdx("a", 3)->ToString(), "a#3");
+}
+
+TEST(ExprAstTest, EqualsIsStructural) {
+  ExprPtr a = BinOp(BinaryOpKind::kAdd, Col("a"), LitInt(1));
+  ExprPtr b = BinOp(BinaryOpKind::kAdd, Col("A"), LitInt(1));
+  ExprPtr c = BinOp(BinaryOpKind::kAdd, Col("a"), LitInt(2));
+  EXPECT_TRUE(a->Equals(*b));  // column names case-insensitive
+  EXPECT_FALSE(a->Equals(*c));
+}
+
+TEST(ExprAstTest, CollectColumnRefs) {
+  ExprPtr e = And(Eq(Col("x"), Col("y")), Not(Col("z")));
+  std::vector<std::string> refs;
+  CollectColumnRefs(e, &refs);
+  EXPECT_EQ(refs.size(), 3u);
+}
+
+TEST(ExprAstTest, RewriteReplacesNodes) {
+  ExprPtr e = BinOp(BinaryOpKind::kAdd, Col("x"), Col("x"));
+  ExprPtr rewritten = RewriteExpr(e, [](const ExprPtr& node) -> ExprPtr {
+    if (node->kind() == ExprKind::kColumnRef) return LitInt(5);
+    return nullptr;
+  });
+  EXPECT_EQ(rewritten->ToString(), "(5 + 5)");
+}
+
+TEST(ExprAstTest, ContainsUdfCall) {
+  ExprPtr plain = BinOp(BinaryOpKind::kAdd, Col("a"), LitInt(1));
+  EXPECT_FALSE(ContainsUdfCall(plain));
+  ExprPtr with_udf = BinOp(
+      BinaryOpKind::kAdd,
+      Udf("f", "owner", TypeKind::kInt64, {Col("a")}), LitInt(1));
+  EXPECT_TRUE(ContainsUdfCall(with_udf));
+}
+
+// ---- Type inference ------------------------------------------------------------------
+
+TEST(InferTypeTest, Arithmetic) {
+  Schema schema = TestBatch().schema();
+  EXPECT_EQ(*InferExprType(BinOp(BinaryOpKind::kAdd, Col("a"), Col("b")),
+                           schema),
+            TypeKind::kInt64);
+  EXPECT_EQ(*InferExprType(BinOp(BinaryOpKind::kAdd, Col("a"), Col("d")),
+                           schema),
+            TypeKind::kFloat64);
+  EXPECT_EQ(*InferExprType(BinOp(BinaryOpKind::kDiv, Col("a"), Col("b")),
+                           schema),
+            TypeKind::kFloat64);
+  EXPECT_EQ(*InferExprType(Eq(Col("a"), Col("b")), schema), TypeKind::kBool);
+}
+
+TEST(InferTypeTest, AggregatesAndFunctions) {
+  Schema schema = TestBatch().schema();
+  EXPECT_EQ(*InferExprType(Func("COUNT", {Col("a")}), schema),
+            TypeKind::kInt64);
+  EXPECT_EQ(*InferExprType(Func("AVG", {Col("a")}), schema),
+            TypeKind::kFloat64);
+  EXPECT_EQ(*InferExprType(Func("SUM", {Col("d")}), schema),
+            TypeKind::kFloat64);
+  EXPECT_EQ(*InferExprType(Func("MIN", {Col("s")}), schema),
+            TypeKind::kString);
+  EXPECT_EQ(*InferExprType(Func("UPPER", {Col("s")}), schema),
+            TypeKind::kString);
+  EXPECT_FALSE(InferExprType(Func("NO_SUCH_FN", {}), schema).ok());
+  EXPECT_FALSE(InferExprType(Col("missing"), schema).ok());
+}
+
+// ---- Evaluation -----------------------------------------------------------------------
+
+TEST(EvalTest, ArithmeticWithNullPropagation) {
+  Column c = Eval(BinOp(BinaryOpKind::kAdd, Col("a"), Col("b")));
+  EXPECT_EQ(c.IntAt(0), 11);
+  EXPECT_TRUE(c.IsNull(1));  // b is NULL in row 1
+  EXPECT_EQ(c.IntAt(2), 33);
+}
+
+TEST(EvalTest, DivisionByZeroIsNull) {
+  Column c = Eval(BinOp(BinaryOpKind::kDiv, Col("a"), LitInt(0)));
+  EXPECT_TRUE(c.IsNull(0));
+}
+
+TEST(EvalTest, ThreeValuedAnd) {
+  // (b > 100) is false/NULL/false for the three rows; AND false -> false.
+  ExprPtr null_pred = BinOp(BinaryOpKind::kGt, Col("b"), LitInt(100));
+  Column c = Eval(And(null_pred, LitBool(false)));
+  EXPECT_FALSE(c.BoolAt(0));
+  EXPECT_FALSE(c.BoolAt(1));  // NULL AND false = false
+  Column c2 = Eval(And(null_pred, LitBool(true)));
+  EXPECT_TRUE(c2.IsNull(1));  // NULL AND true = NULL
+}
+
+TEST(EvalTest, ThreeValuedOr) {
+  ExprPtr null_pred = BinOp(BinaryOpKind::kGt, Col("b"), LitInt(100));
+  Column c = Eval(Or(null_pred, LitBool(true)));
+  EXPECT_TRUE(c.BoolAt(1));  // NULL OR true = true
+  Column c2 = Eval(Or(null_pred, LitBool(false)));
+  EXPECT_TRUE(c2.IsNull(1));  // NULL OR false = NULL
+}
+
+TEST(EvalTest, NotOfNullIsNull) {
+  ExprPtr null_pred = BinOp(BinaryOpKind::kGt, Col("b"), LitInt(100));
+  Column c = Eval(Not(null_pred));
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_TRUE(c.BoolAt(0));
+}
+
+TEST(EvalTest, StringConcatViaPlus) {
+  Column c = Eval(BinOp(BinaryOpKind::kAdd, Col("s"), LitString("!")));
+  EXPECT_EQ(c.StringAt(0), "alpha!");
+  EXPECT_TRUE(c.IsNull(2));
+}
+
+TEST(EvalTest, CaseExpression) {
+  std::vector<CaseExpr::Branch> branches;
+  branches.push_back({BinOp(BinaryOpKind::kGe, Col("a"), LitInt(3)),
+                      LitString("big")});
+  branches.push_back({BinOp(BinaryOpKind::kGe, Col("a"), LitInt(2)),
+                      LitString("mid")});
+  ExprPtr e = std::make_shared<CaseExpr>(branches, LitString("small"));
+  Column c = Eval(e);
+  EXPECT_EQ(c.StringAt(0), "small");
+  EXPECT_EQ(c.StringAt(1), "mid");
+  EXPECT_EQ(c.StringAt(2), "big");
+}
+
+TEST(EvalTest, CaseWithoutElseYieldsNull) {
+  std::vector<CaseExpr::Branch> branches;
+  branches.push_back({LitBool(false), LitInt(1)});
+  ExprPtr e = std::make_shared<CaseExpr>(branches, nullptr);
+  EXPECT_TRUE(Eval(e).IsNull(0));
+}
+
+TEST(EvalTest, InAndIsNullAndLike) {
+  Column in_col = Eval(std::make_shared<InExpr>(
+      Col("a"), std::vector<Value>{Value::Int(1), Value::Int(3)}, false));
+  EXPECT_TRUE(in_col.BoolAt(0));
+  EXPECT_FALSE(in_col.BoolAt(1));
+
+  Column isnull = Eval(std::make_shared<IsNullExpr>(Col("b"), false));
+  EXPECT_TRUE(isnull.BoolAt(1));
+  EXPECT_FALSE(isnull.BoolAt(0));
+
+  Column like = Eval(std::make_shared<LikeExpr>(Col("s"), "%eta", false));
+  EXPECT_FALSE(like.BoolAt(0));
+  EXPECT_TRUE(like.BoolAt(1));
+  EXPECT_TRUE(like.IsNull(2));
+}
+
+TEST(EvalTest, ContextFunctionsBindToUser) {
+  EvalContext ctx;
+  ctx.current_user = "dana";
+  ctx.is_group_member = [](const std::string& user,
+                           const std::string& group) {
+    return user == "dana" && group == "ds";
+  };
+  Column user_col = Eval(Func("CURRENT_USER", {}), ctx);
+  EXPECT_EQ(user_col.StringAt(0), "dana");
+  Column member = Eval(Func("IS_ACCOUNT_GROUP_MEMBER", {LitString("ds")}),
+                       ctx);
+  EXPECT_TRUE(member.BoolAt(0));
+  Column not_member =
+      Eval(Func("IS_ACCOUNT_GROUP_MEMBER", {LitString("hr")}), ctx);
+  EXPECT_FALSE(not_member.BoolAt(0));
+}
+
+TEST(EvalTest, UdfWithoutExecutorFails) {
+  ExprPtr udf = Udf("f", "owner", TypeKind::kInt64, {Col("a")});
+  auto got = EvaluateExpr(udf, TestBatch(), EvalContext{});
+  EXPECT_TRUE(got.status().IsFailedPrecondition());
+}
+
+TEST(EvalTest, PredicateMaskTreatsNullAsFalse) {
+  auto mask = EvaluatePredicateMask(
+      BinOp(BinaryOpKind::kGt, Col("b"), LitInt(5)), TestBatch(), {});
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ((*mask)[0], 1);
+  EXPECT_EQ((*mask)[1], 0);  // NULL comparison excluded
+  EXPECT_EQ((*mask)[2], 1);
+}
+
+TEST(EvalTest, EvaluateScalar) {
+  auto v = EvaluateScalar(BinOp(BinaryOpKind::kMul, LitInt(6), LitInt(7)), {});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->int_value(), 42);
+}
+
+// ---- Builtin functions ------------------------------------------------------------------
+
+TEST(FunctionsTest, StringFunctions) {
+  EvalContext ctx;
+  auto eval1 = [&](const char* name, std::vector<Value> args) {
+    auto fn = LookupBuiltin(name);
+    EXPECT_TRUE(fn.ok());
+    auto v = (*fn)->eval(args, ctx);
+    EXPECT_TRUE(v.ok()) << v.status();
+    return *v;
+  };
+  EXPECT_EQ(eval1("UPPER", {Value::String("ab")}).string_value(), "AB");
+  EXPECT_EQ(eval1("LOWER", {Value::String("AB")}).string_value(), "ab");
+  EXPECT_EQ(eval1("LENGTH", {Value::String("abc")}).int_value(), 3);
+  EXPECT_EQ(eval1("CONCAT", {Value::String("a"), Value::String("b")})
+                .string_value(),
+            "ab");
+  EXPECT_EQ(eval1("SUBSTRING",
+                  {Value::String("abcdef"), Value::Int(2), Value::Int(3)})
+                .string_value(),
+            "bcd");
+  EXPECT_EQ(eval1("TRIM", {Value::String("  x ")}).string_value(), "x");
+  EXPECT_EQ(eval1("REPLACE", {Value::String("aXbX"), Value::String("X"),
+                              Value::String("-")})
+                .string_value(),
+            "a-b-");
+}
+
+TEST(FunctionsTest, MaskingHelpers) {
+  EvalContext ctx;
+  auto fn = LookupBuiltin("MASK");
+  ASSERT_TRUE(fn.ok());
+  EXPECT_EQ((*fn)->eval({Value::String("111-22-3333")}, ctx)->string_value(),
+            "*******3333");
+  EXPECT_EQ((*fn)->eval({Value::String("ab")}, ctx)->string_value(), "**");
+  auto redact = LookupBuiltin("REDACT");
+  EXPECT_EQ((*redact)->eval({Value::String("anything")}, ctx)->string_value(),
+            "[REDACTED]");
+}
+
+TEST(FunctionsTest, Sha2MatchesLibrary) {
+  EvalContext ctx;
+  auto fn = LookupBuiltin("SHA2");
+  ASSERT_TRUE(fn.ok());
+  EXPECT_EQ((*fn)->eval({Value::String("abc"), Value::Int(256)}, ctx)
+                ->string_value(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_FALSE((*fn)->eval({Value::String("abc"), Value::Int(512)}, ctx).ok());
+}
+
+TEST(FunctionsTest, NullHandling) {
+  EvalContext ctx;
+  auto coalesce = LookupBuiltin("COALESCE");
+  EXPECT_EQ((*coalesce)
+                ->eval({Value::Null(), Value::Null(), Value::Int(3)}, ctx)
+                ->int_value(),
+            3);
+  auto nullif = LookupBuiltin("NULLIF");
+  EXPECT_TRUE(
+      (*nullif)->eval({Value::Int(2), Value::Int(2)}, ctx)->is_null());
+  EXPECT_EQ((*nullif)->eval({Value::Int(2), Value::Int(3)}, ctx)->int_value(),
+            2);
+}
+
+TEST(FunctionsTest, AggregateNamesRecognized) {
+  EXPECT_TRUE(IsAggregateFunctionName("sum"));
+  EXPECT_TRUE(IsAggregateFunctionName("COUNT"));
+  EXPECT_FALSE(IsAggregateFunctionName("UPPER"));
+  EXPECT_FALSE(BuiltinFunctionNames().empty());
+}
+
+// ---- LIKE matcher property sweep ----------------------------------------------------------
+
+struct LikeCase {
+  const char* input;
+  const char* pattern;
+  bool expect;
+};
+
+class LikeMatchTest : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(LikeMatchTest, Matches) {
+  const LikeCase& c = GetParam();
+  EXPECT_EQ(SqlLikeMatch(c.input, c.pattern), c.expect)
+      << c.input << " LIKE " << c.pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, LikeMatchTest,
+    ::testing::Values(LikeCase{"hello", "hello", true},
+                      LikeCase{"hello", "h%", true},
+                      LikeCase{"hello", "%o", true},
+                      LikeCase{"hello", "%ell%", true},
+                      LikeCase{"hello", "h_llo", true},
+                      LikeCase{"hello", "h_lo", false},
+                      LikeCase{"hello", "", false},
+                      LikeCase{"", "%", true},
+                      LikeCase{"", "", true},
+                      LikeCase{"abc", "%%", true},
+                      LikeCase{"abc", "a%c%", true},
+                      LikeCase{"abc", "_%_", true},
+                      LikeCase{"ab", "___", false}));
+
+// ---- Expression serde round-trip -----------------------------------------------------------
+
+class ExprSerdeTest : public ::testing::TestWithParam<int> {
+ public:
+  static std::vector<ExprPtr> Cases() {
+    std::vector<CaseExpr::Branch> branches;
+    branches.push_back({Eq(Col("x"), LitInt(1)), LitString("one")});
+    return {
+        LitNull(),
+        LitInt(-42),
+        LitDouble(3.25),
+        LitString("str'ing"),
+        LitBool(true),
+        Lit(Value::Binary("\x00\x01\x02")),
+        Col("unresolved"),
+        ColIdx("resolved", 7),
+        BinOp(BinaryOpKind::kMod, Col("a"), LitInt(3)),
+        Not(Col("flag")),
+        Func("CONCAT", {Col("a"), Col("b"), LitString("-")}),
+        CastTo(Col("x"), TypeKind::kFloat64),
+        std::make_shared<CaseExpr>(branches, LitString("other")),
+        std::make_shared<InExpr>(
+            Col("r"), std::vector<Value>{Value::String("US")}, true),
+        std::make_shared<IsNullExpr>(Col("x"), true),
+        std::make_shared<LikeExpr>(Col("s"), "a%b_c", false),
+        Udf("main.f", "owner@corp", TypeKind::kString,
+            {Col("payload"), LitInt(2)}),
+        And(Or(Eq(Col("a"), LitInt(1)), Eq(Col("b"), LitInt(2))),
+            Not(std::make_shared<IsNullExpr>(Col("c"), false))),
+    };
+  }
+};
+
+TEST_P(ExprSerdeTest, RoundTrips) {
+  ExprPtr original = Cases()[static_cast<size_t>(GetParam())];
+  ByteWriter w;
+  SerializeExpr(original, &w);
+  ByteReader r(w.data());
+  auto back = DeserializeExpr(&r);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE((*back)->Equals(*original)) << original->ToString();
+  EXPECT_TRUE(r.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, ExprSerdeTest,
+                         ::testing::Range(0, 18));
+
+TEST(ExprSerdeErrorTest, GarbageRejected) {
+  std::vector<uint8_t> garbage = {0xFF, 0x00, 0x01};
+  ByteReader r(garbage);
+  EXPECT_FALSE(DeserializeExpr(&r).ok());
+}
+
+}  // namespace
+}  // namespace lakeguard

@@ -1,0 +1,441 @@
+// Tests for the extended paper features: Connect protocol extensions
+// (§3.2.2), ABAC user attributes (§2.3), operation reattach (§3.2.3),
+// ORDER BY over non-projected columns, and hash-join correctness at scale.
+
+#include <gtest/gtest.h>
+
+#include "core/platform.h"
+#include "plan/plan_serde.h"
+#include "sql/parser.h"
+
+namespace lakeguard {
+namespace {
+
+class FeaturesTest : public ::testing::Test {
+ protected:
+  FeaturesTest() {
+    EXPECT_TRUE(platform_.AddUser("admin").ok());
+    EXPECT_TRUE(platform_.AddUser("alice").ok());
+    platform_.AddMetastoreAdmin("admin");
+    platform_.RegisterToken("tok-admin", "admin");
+    platform_.RegisterToken("tok-alice", "alice");
+    EXPECT_TRUE(platform_.catalog().CreateCatalog("admin", "main").ok());
+    EXPECT_TRUE(platform_.catalog().CreateSchema("admin", "main.s").ok());
+    cluster_ = platform_.CreateStandardCluster();
+    admin_ctx_ = *platform_.DirectContext(cluster_, "admin");
+    Must("CREATE TABLE main.s.t (dept STRING, amount BIGINT)");
+    Must("INSERT INTO main.s.t VALUES ('oncology', 10), ('oncology', 20), "
+         "('cardiology', 30)");
+    Must("GRANT USE CATALOG ON main TO alice");
+    Must("GRANT USE SCHEMA ON main.s TO alice");
+    Must("GRANT SELECT ON main.s.t TO alice");
+  }
+
+  void Must(const std::string& sql) {
+    auto result = cluster_->engine->ExecuteSql(sql, admin_ctx_);
+    ASSERT_TRUE(result.ok()) << sql << " -> " << result.status();
+  }
+
+  LakeguardPlatform platform_;
+  ClusterHandle* cluster_ = nullptr;
+  ExecutionContext admin_ctx_;
+};
+
+// ---- Connect protocol extensions (§3.2.2) --------------------------------------
+
+/// A demo extension in the spirit of the Delta Spark Connect plugin: the
+/// payload encodes N; the server expands it to a generated series relation.
+class GenerateSeriesExtension : public ConnectExtension {
+ public:
+  Result<PlanPtr> Expand(const std::vector<uint8_t>& payload,
+                         const ExecutionContext&) override {
+    ByteReader reader(payload);
+    LG_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
+    if (n > 1'000'000) {
+      return Status::InvalidArgument("series too large");
+    }
+    TableBuilder builder(Schema({{"i", TypeKind::kInt64, false}}));
+    for (uint64_t i = 0; i < n; ++i) {
+      LG_RETURN_IF_ERROR(builder.AppendRow({Value::Int(
+          static_cast<int64_t>(i))}));
+    }
+    LG_ASSIGN_OR_RETURN(RecordBatch batch, builder.Build().Combine());
+    return MakeLocalRelation(std::move(batch));
+  }
+};
+
+/// An extension that references a governed table — proves extensions go
+/// through normal governance.
+class GovernedTableExtension : public ConnectExtension {
+ public:
+  Result<PlanPtr> Expand(const std::vector<uint8_t>&,
+                         const ExecutionContext&) override {
+    return MakeTableRef("main.s.t");
+  }
+};
+
+TEST_F(FeaturesTest, ExtensionExpandsOverTheWire) {
+  platform_.extensions().Register(
+      "generate_series", std::make_shared<GenerateSeriesExtension>());
+  auto client = platform_.Connect(cluster_, "tok-admin");
+  ASSERT_TRUE(client.ok());
+  ByteWriter payload;
+  payload.PutVarint(5);
+  auto rows =
+      client->FromExtension("generate_series", payload.Release())
+          .Filter(BinOp(BinaryOpKind::kGe, Col("i"), LitInt(2)))
+          .Collect();
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->num_rows(), 3u);
+}
+
+TEST_F(FeaturesTest, UnknownExtensionFails) {
+  auto client = platform_.Connect(cluster_, "tok-admin");
+  ASSERT_TRUE(client.ok());
+  auto rows = client->FromExtension("no_such_plugin", {1, 2, 3}).Collect();
+  ASSERT_FALSE(rows.ok());
+  EXPECT_NE(rows.status().message().find("not_found"), std::string::npos);
+}
+
+TEST_F(FeaturesTest, ExtensionCannotBypassGovernance) {
+  platform_.extensions().Register("governed_table",
+                                  std::make_shared<GovernedTableExtension>());
+  // alice HAS SELECT on main.s.t: works.
+  auto alice = platform_.Connect(cluster_, "tok-alice");
+  ASSERT_TRUE(alice.ok());
+  EXPECT_TRUE(alice->FromExtension("governed_table", {}).Collect().ok());
+  // Revoke and the same extension is denied — it resolved through the
+  // catalog like any hand-written relation.
+  Must("REVOKE SELECT ON main.s.t FROM alice");
+  auto denied = alice->FromExtension("governed_table", {}).Collect();
+  ASSERT_FALSE(denied.ok());
+  EXPECT_NE(denied.status().message().find("permission_denied"),
+            std::string::npos);
+}
+
+TEST_F(FeaturesTest, ExtensionNodeSerdeRoundTrips) {
+  PlanPtr plan = MakeExtension("delta.time_travel", {0x01, 0x02, 0xFF});
+  auto back = PlanFromBytes(PlanToBytes(plan));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE((*back)->Equals(*plan));
+  EXPECT_NE(plan->ToTreeString().find("Extension [delta.time_travel"),
+            std::string::npos);
+}
+
+TEST_F(FeaturesTest, ExtensionWorksUnderEfgacRewrite) {
+  platform_.extensions().Register("governed_table",
+                                  std::make_shared<GovernedTableExtension>());
+  Must("ALTER TABLE main.s.t SET ROW FILTER (dept = 'oncology')");
+  ClusterHandle* dedicated =
+      platform_.CreateDedicatedCluster("alice", /*is_group=*/false);
+  auto ctx = *platform_.DirectContext(dedicated, "alice");
+  auto result = dedicated->engine->ExecutePlan(
+      MakeExtension("governed_table", {}), ctx);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->num_rows(), 2u);  // row filter applied remotely
+}
+
+// ---- ABAC user attributes (§2.3) -------------------------------------------------
+
+TEST_F(FeaturesTest, UserAttributeDirectory) {
+  auto& users = platform_.catalog().users();
+  EXPECT_TRUE(users.SetAttribute("alice", "dept", "oncology").ok());
+  EXPECT_EQ(*users.GetAttribute("alice", "dept"), "oncology");
+  EXPECT_TRUE(users.GetAttribute("alice", "nope").status().IsNotFound());
+  EXPECT_TRUE(users.SetAttribute("ghost", "dept", "x").IsNotFound());
+}
+
+TEST_F(FeaturesTest, AbacRowFilter) {
+  ASSERT_TRUE(platform_.catalog()
+                  .users()
+                  .SetAttribute("alice", "dept", "oncology")
+                  .ok());
+  Must("ALTER TABLE main.s.t SET ROW FILTER "
+       "(dept = USER_ATTRIBUTE('dept'))");
+  auto alice_ctx = *platform_.DirectContext(cluster_, "alice");
+  auto rows = cluster_->engine->ExecuteSql(
+      "SELECT amount FROM main.s.t ORDER BY amount", alice_ctx);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->num_rows(), 2u);  // only oncology rows
+  // A user without the attribute sees nothing (NULL comparison).
+  ASSERT_TRUE(platform_.AddUser("bob").ok());
+  Must("GRANT USE CATALOG ON main TO bob");
+  Must("GRANT USE SCHEMA ON main.s TO bob");
+  Must("GRANT SELECT ON main.s.t TO bob");
+  auto bob_ctx = *platform_.DirectContext(cluster_, "bob");
+  auto bob_rows =
+      cluster_->engine->ExecuteSql("SELECT amount FROM main.s.t", bob_ctx);
+  ASSERT_TRUE(bob_rows.ok());
+  EXPECT_EQ(bob_rows->num_rows(), 0u);
+}
+
+TEST_F(FeaturesTest, AbacAttributeChangeTakesEffect) {
+  ASSERT_TRUE(platform_.catalog()
+                  .users()
+                  .SetAttribute("alice", "dept", "cardiology")
+                  .ok());
+  Must("ALTER TABLE main.s.t SET ROW FILTER "
+       "(dept = USER_ATTRIBUTE('dept'))");
+  auto alice_ctx = *platform_.DirectContext(cluster_, "alice");
+  auto before = cluster_->engine->ExecuteSql(
+      "SELECT COUNT(*) AS n FROM main.s.t", alice_ctx);
+  EXPECT_EQ(before->Combine()->CellAt(0, 0).int_value(), 1);
+  ASSERT_TRUE(platform_.catalog()
+                  .users()
+                  .SetAttribute("alice", "dept", "oncology")
+                  .ok());
+  auto after = cluster_->engine->ExecuteSql(
+      "SELECT COUNT(*) AS n FROM main.s.t", alice_ctx);
+  EXPECT_EQ(after->Combine()->CellAt(0, 0).int_value(), 2);
+}
+
+// ---- Operation reattach (§3.2.3) ----------------------------------------------------
+
+TEST_F(FeaturesTest, ReattachReturnsBufferedResultWithoutReexecution) {
+  // Build a result large enough to be buffered (non-inline).
+  Must("CREATE TABLE main.s.big (x BIGINT)");
+  std::string sql = "INSERT INTO main.s.big VALUES (0)";
+  for (int i = 1; i < 6000; ++i) sql += ", (" + std::to_string(i) + ")";
+  Must(sql);
+
+  auto client = platform_.Connect(cluster_, "tok-admin");
+  ASSERT_TRUE(client.ok());
+  ConnectRequest request;
+  request.session_id = client->session_id();
+  request.sql = "SELECT x FROM main.s.big";
+  ConnectResponse first = cluster_->service->Execute(request);
+  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(first.inline_chunks.empty());
+
+  size_t audit_before = platform_.catalog().audit().size();
+  // Client "reconnects" and reattaches with the same operation id.
+  ConnectRequest retry;
+  retry.session_id = client->session_id();
+  retry.operation_id = first.operation_id;
+  retry.sql = "SELECT x FROM main.s.big";  // ignored: buffered result wins
+  ConnectResponse second = cluster_->service->Execute(retry);
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(second.operation_id, first.operation_id);
+  EXPECT_EQ(second.total_chunks, first.total_chunks);
+  // No re-execution happened: no new catalog resolution was audited.
+  EXPECT_EQ(platform_.catalog().audit().size(), audit_before);
+  // And the chunks are still fetchable.
+  EXPECT_TRUE(cluster_->service
+                  ->FetchChunk(client->session_id(), first.operation_id, 0)
+                  .ok());
+}
+
+// ---- ORDER BY over non-projected columns ---------------------------------------------
+
+TEST_F(FeaturesTest, OrderByInputColumnNotInSelect) {
+  auto rows = cluster_->engine->ExecuteSql(
+      "SELECT amount FROM main.s.t ORDER BY dept DESC, amount", admin_ctx_);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  auto batch = *rows->Combine();
+  ASSERT_EQ(batch.num_rows(), 3u);
+  EXPECT_EQ(batch.schema().num_fields(), 1u);  // dept NOT in output
+  // oncology (10, 20) sorts after cardiology (30) with DESC dept.
+  EXPECT_EQ(batch.CellAt(0, 0).int_value(), 10);
+  EXPECT_EQ(batch.CellAt(2, 0).int_value(), 30);
+}
+
+TEST_F(FeaturesTest, OrderByOutputAliasStillWorks) {
+  auto rows = cluster_->engine->ExecuteSql(
+      "SELECT amount * 2 AS dbl FROM main.s.t ORDER BY dbl DESC",
+      admin_ctx_);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->Combine()->CellAt(0, 0).int_value(), 60);
+}
+
+TEST_F(FeaturesTest, OrderByMixedAliasAndInputColumn) {
+  auto rows = cluster_->engine->ExecuteSql(
+      "SELECT amount * 2 AS dbl FROM main.s.t ORDER BY dept, dbl DESC",
+      admin_ctx_);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  auto batch = *rows->Combine();
+  EXPECT_EQ(batch.CellAt(0, 0).int_value(), 60);  // cardiology first
+  EXPECT_EQ(batch.CellAt(1, 0).int_value(), 40);  // oncology desc by dbl
+}
+
+// ---- Hash join at scale ------------------------------------------------------------
+
+TEST_F(FeaturesTest, HashJoinMatchesExpectedCardinality) {
+  Must("CREATE TABLE main.s.fact (k BIGINT, v BIGINT)");
+  Must("CREATE TABLE main.s.dim (k BIGINT, name STRING)");
+  std::string fact = "INSERT INTO main.s.fact VALUES (0, 0)";
+  for (int i = 1; i < 2000; ++i) {
+    fact += ", (" + std::to_string(i % 100) + ", " + std::to_string(i) + ")";
+  }
+  Must(fact);
+  std::string dim = "INSERT INTO main.s.dim VALUES (0, 'k0')";
+  for (int i = 1; i < 50; ++i) {
+    dim += ", (" + std::to_string(i) + ", 'k" + std::to_string(i) + "')";
+  }
+  Must(dim);
+  // Keys 0..49 match (20 fact rows each); 50..99 do not.
+  auto inner = cluster_->engine->ExecuteSql(
+      "SELECT COUNT(*) AS n FROM main.s.fact f "
+      "JOIN main.s.dim d ON f.k = d.k",
+      admin_ctx_);
+  ASSERT_TRUE(inner.ok()) << inner.status();
+  EXPECT_EQ(inner->Combine()->CellAt(0, 0).int_value(), 1000);
+  auto left = cluster_->engine->ExecuteSql(
+      "SELECT COUNT(*) AS n FROM main.s.fact f "
+      "LEFT JOIN main.s.dim d ON f.k = d.k",
+      admin_ctx_);
+  EXPECT_EQ(left->Combine()->CellAt(0, 0).int_value(), 2000);
+}
+
+TEST_F(FeaturesTest, HashJoinNullKeysNeverMatch) {
+  Must("CREATE TABLE main.s.l (k BIGINT)");
+  Must("CREATE TABLE main.s.r (k BIGINT)");
+  Must("INSERT INTO main.s.l VALUES (1), (NULL)");
+  Must("INSERT INTO main.s.r VALUES (1), (NULL)");
+  auto inner = cluster_->engine->ExecuteSql(
+      "SELECT COUNT(*) AS n FROM main.s.l a JOIN main.s.r b ON a.k = b.k",
+      admin_ctx_);
+  ASSERT_TRUE(inner.ok());
+  EXPECT_EQ(inner->Combine()->CellAt(0, 0).int_value(), 1);  // NULL != NULL
+  auto left = cluster_->engine->ExecuteSql(
+      "SELECT COUNT(*) AS n FROM main.s.l a LEFT JOIN main.s.r b "
+      "ON a.k = b.k",
+      admin_ctx_);
+  EXPECT_EQ(left->Combine()->CellAt(0, 0).int_value(), 2);
+}
+
+TEST_F(FeaturesTest, NonEquiJoinFallsBackCorrectly) {
+  Must("CREATE TABLE main.s.a (x BIGINT)");
+  Must("CREATE TABLE main.s.b (y BIGINT)");
+  Must("INSERT INTO main.s.a VALUES (1), (2), (3)");
+  Must("INSERT INTO main.s.b VALUES (2), (3)");
+  auto rows = cluster_->engine->ExecuteSql(
+      "SELECT COUNT(*) AS n FROM main.s.a a JOIN main.s.b b ON a.x < b.y",
+      admin_ctx_);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  // pairs: (1,2),(1,3),(2,3) = 3
+  EXPECT_EQ(rows->Combine()->CellAt(0, 0).int_value(), 3);
+}
+
+// ---- Session-scoped temporary views (§3.2.3) ----------------------------------------
+
+TEST_F(FeaturesTest, TempViewsAreSessionState) {
+  auto admin = platform_.Connect(cluster_, "tok-admin");
+  auto alice = platform_.Connect(cluster_, "tok-alice");
+  ASSERT_TRUE(admin.ok());
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(admin->Sql("CREATE TEMP VIEW big AS "
+                         "SELECT amount FROM main.s.t WHERE amount > 15")
+                  .ok());
+  auto mine = admin->Sql("SELECT COUNT(*) AS n FROM big");
+  ASSERT_TRUE(mine.ok()) << mine.status();
+  EXPECT_EQ(mine->Combine()->CellAt(0, 0).int_value(), 2);
+  // Another session cannot see it.
+  auto theirs = alice->Sql("SELECT COUNT(*) AS n FROM big");
+  EXPECT_FALSE(theirs.ok());
+  // Dropping removes it for this session only.
+  ASSERT_TRUE(admin->Sql("DROP VIEW big").ok());
+  EXPECT_FALSE(admin->Sql("SELECT COUNT(*) AS n FROM big").ok());
+  EXPECT_FALSE(admin->Sql("DROP VIEW big").ok());
+}
+
+TEST_F(FeaturesTest, TempViewsAreInvokersRights) {
+  // alice defines a temp view over a table she can read; after revocation
+  // the temp view stops working — it carries no definer privileges.
+  auto alice = platform_.Connect(cluster_, "tok-alice");
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(
+      alice->Sql("CREATE TEMP VIEW mine AS SELECT amount FROM main.s.t")
+          .ok());
+  EXPECT_TRUE(alice->Sql("SELECT amount FROM mine").ok());
+  Must("REVOKE SELECT ON main.s.t FROM alice");
+  EXPECT_FALSE(alice->Sql("SELECT amount FROM mine").ok());
+}
+
+TEST_F(FeaturesTest, TempViewShadowsNothingInCatalog) {
+  auto admin = platform_.Connect(cluster_, "tok-admin");
+  ASSERT_TRUE(admin.ok());
+  // CREATE MATERIALIZED TEMP VIEW is contradictory.
+  EXPECT_FALSE(
+      admin->Sql("CREATE MATERIALIZED TEMP VIEW x AS SELECT 1 FROM main.s.t")
+          .ok());
+}
+
+// ---- INSERT INTO ... SELECT (ETL write path) ------------------------------------------
+
+TEST_F(FeaturesTest, InsertSelectCopiesGovernedData) {
+  Must("CREATE TABLE main.s.archive (dept STRING, amount BIGINT)");
+  Must("INSERT INTO main.s.archive "
+       "SELECT dept, amount FROM main.s.t WHERE amount > 15");
+  auto rows = cluster_->engine->ExecuteSql(
+      "SELECT COUNT(*) AS n FROM main.s.archive", admin_ctx_);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->Combine()->CellAt(0, 0).int_value(), 2);
+}
+
+TEST_F(FeaturesTest, InsertSelectRespectsReadersPolicies) {
+  // alice may MODIFY the sink but her reads of the source are row-filtered:
+  // the ETL copy contains only what SHE can see.
+  Must("CREATE TABLE main.s.sink (dept STRING, amount BIGINT)");
+  Must("GRANT MODIFY ON main.s.sink TO alice");
+  Must("GRANT SELECT ON main.s.sink TO alice");
+  Must("ALTER TABLE main.s.t SET ROW FILTER (dept = 'oncology')");
+  auto alice_ctx = *platform_.DirectContext(cluster_, "alice");
+  auto copy = cluster_->engine->ExecuteSql(
+      "INSERT INTO main.s.sink SELECT dept, amount FROM main.s.t",
+      alice_ctx);
+  ASSERT_TRUE(copy.ok()) << copy.status();
+  auto rows = cluster_->engine->ExecuteSql(
+      "SELECT COUNT(*) AS n FROM main.s.sink", admin_ctx_);
+  EXPECT_EQ(rows->Combine()->CellAt(0, 0).int_value(), 2);  // no cardiology
+}
+
+TEST_F(FeaturesTest, InsertSelectArityChecked) {
+  Must("CREATE TABLE main.s.narrow (x BIGINT)");
+  auto bad = cluster_->engine->ExecuteSql(
+      "INSERT INTO main.s.narrow SELECT dept, amount FROM main.s.t",
+      admin_ctx_);
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+// ---- Optimizer equivalence property ---------------------------------------------------
+
+class OptimizerEquivalenceTest : public FeaturesTest,
+                                 public ::testing::WithParamInterface<int> {
+ public:
+  static std::vector<std::string> Queries() {
+    return {
+        "SELECT amount FROM main.s.t WHERE dept = 'oncology'",
+        "SELECT amount * 2 AS d FROM main.s.t WHERE amount > 5 "
+        "ORDER BY d DESC",
+        "SELECT dept, SUM(amount) AS s FROM main.s.t GROUP BY dept "
+        "HAVING SUM(amount) > 15 ORDER BY s",
+        "SELECT UPPER(dept) AS u, amount + 1 AS a1 FROM main.s.t "
+        "WHERE amount BETWEEN 5 AND 25",
+        "SELECT a.amount FROM main.s.t a JOIN main.s.t b "
+        "ON a.dept = b.dept WHERE a.amount < b.amount",
+    };
+  }
+};
+
+TEST_P(OptimizerEquivalenceTest, OptimizedMatchesUnoptimized) {
+  std::string query = Queries()[static_cast<size_t>(GetParam())];
+  auto optimized = cluster_->engine->ExecuteSql(query, admin_ctx_);
+  ASSERT_TRUE(optimized.ok()) << optimized.status();
+
+  QueryEngineConfig off;
+  off.opt.enable_fusion = false;
+  off.opt.enable_filter_pushdown = false;
+  off.opt.enable_constant_folding = false;
+  QueryEngineConfig saved = cluster_->engine->config();
+  cluster_->engine->set_config(off);
+  auto raw = cluster_->engine->ExecuteSql(query, admin_ctx_);
+  cluster_->engine->set_config(saved);
+  ASSERT_TRUE(raw.ok()) << raw.status();
+  EXPECT_TRUE(optimized->Equals(*raw)) << query;
+}
+
+INSTANTIATE_TEST_SUITE_P(Queries, OptimizerEquivalenceTest,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace lakeguard

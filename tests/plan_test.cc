@@ -1,0 +1,136 @@
+// Tests for src/plan: node structure, tree rendering and plan serde.
+
+#include <gtest/gtest.h>
+
+#include "columnar/table.h"
+#include "plan/plan.h"
+#include "plan/plan_serde.h"
+
+namespace lakeguard {
+namespace {
+
+RecordBatch OneRowBatch() {
+  TableBuilder builder(Schema({{"x", TypeKind::kInt64, true}}));
+  EXPECT_TRUE(builder.AppendRow({Value::Int(7)}).ok());
+  auto combined = builder.Build().Combine();
+  EXPECT_TRUE(combined.ok());
+  return *combined;
+}
+
+PlanPtr ComplexPlan() {
+  PlanPtr scan = MakeTableRef("main.fin.sales");
+  PlanPtr filtered =
+      MakeFilter(scan, Eq(Col("order_date"), LitString("2024-12-01")));
+  PlanPtr local = MakeLocalRelation(OneRowBatch());
+  PlanPtr joined = MakeJoin(filtered, local, JoinType::kLeft,
+                            Eq(Col("amount"), Col("x")));
+  PlanPtr agg = MakeAggregate(
+      joined, {Col("seller")}, {"seller"},
+      {Func("SUM", {Col("amount")}), Func("COUNT", {LitInt(1)})},
+      {"total", "n"});
+  PlanPtr sorted = MakeSort(agg, {{Col("total"), false}, {Col("n"), true}});
+  return MakeLimit(sorted, 10);
+}
+
+TEST(PlanTest, DescribeAndTree) {
+  PlanPtr plan = ComplexPlan();
+  std::string tree = plan->ToTreeString();
+  EXPECT_NE(tree.find("Limit 10"), std::string::npos);
+  EXPECT_NE(tree.find("Sort [total DESC, n ASC]"), std::string::npos);
+  EXPECT_NE(tree.find("Join LEFT"), std::string::npos);
+  EXPECT_NE(tree.find("UnresolvedRelation [main.fin.sales]"),
+            std::string::npos);
+}
+
+TEST(PlanTest, EqualsIsStructural) {
+  EXPECT_TRUE(ComplexPlan()->Equals(*ComplexPlan()));
+  PlanPtr other = MakeLimit(MakeTableRef("t"), 10);
+  EXPECT_FALSE(ComplexPlan()->Equals(*other));
+}
+
+TEST(PlanTest, CountAndContains) {
+  PlanPtr plan = ComplexPlan();
+  EXPECT_EQ(CountPlanNodes(plan, PlanKind::kTableRef), 1u);
+  EXPECT_EQ(CountPlanNodes(plan, PlanKind::kJoin), 1u);
+  EXPECT_TRUE(PlanContains(plan, [](const PlanNode& n) {
+    return n.kind() == PlanKind::kLocalRelation;
+  }));
+  EXPECT_FALSE(PlanContains(plan, [](const PlanNode& n) {
+    return n.kind() == PlanKind::kRemoteScan;
+  }));
+}
+
+TEST(PlanTest, SecureViewAndScansDescribe) {
+  Schema schema({{"a", TypeKind::kInt64, true}});
+  PlanPtr scan = MakeResolvedScan("main.t", "mem://x", schema);
+  PlanPtr sv = MakeSecureView(scan, "main.t");
+  EXPECT_NE(sv->ToTreeString().find("SecureView [main.t]"),
+            std::string::npos);
+  PlanPtr remote = MakeRemoteScan(MakeTableRef("main.t"), "serverless",
+                                  schema);
+  std::string tree = remote->ToTreeString();
+  EXPECT_NE(tree.find("RemoteFilteredScan"), std::string::npos);
+  EXPECT_NE(tree.find("[remote sub-plan]"), std::string::npos);
+}
+
+TEST(PlanTest, RemoteScanContainsSearchesSubPlan) {
+  Schema schema({{"a", TypeKind::kInt64, true}});
+  PlanPtr remote = MakeRemoteScan(MakeTableRef("inner.t"), "e", schema);
+  EXPECT_TRUE(PlanContains(remote, [](const PlanNode& n) {
+    return n.kind() == PlanKind::kTableRef;
+  }));
+}
+
+// ---- Serde round-trips -------------------------------------------------------------
+
+class PlanSerdeTest : public ::testing::TestWithParam<int> {
+ public:
+  static std::vector<PlanPtr> Cases() {
+    Schema schema({{"a", TypeKind::kInt64, true},
+                   {"s", TypeKind::kString, false}});
+    return {
+        MakeTableRef("cat.sch.tbl"),
+        MakeLocalRelation(OneRowBatch()),
+        MakeProject(MakeTableRef("t"), {Col("a"), LitInt(5)}, {"a", "five"}),
+        MakeFilter(MakeTableRef("t"), Eq(Col("a"), LitInt(1))),
+        MakeAggregate(MakeTableRef("t"), {Col("a")}, {"a"},
+                      {Func("SUM", {Col("b")})}, {"s"}),
+        MakeJoin(MakeTableRef("l"), MakeTableRef("r"), JoinType::kInner,
+                 Eq(Col("x"), Col("y"))),
+        MakeJoin(MakeTableRef("l"), MakeTableRef("r"), JoinType::kCross,
+                 nullptr),
+        MakeSort(MakeTableRef("t"), {{Col("a"), true}, {Col("s"), false}}),
+        MakeLimit(MakeTableRef("t"), 99),
+        MakeSecureView(MakeTableRef("t"), "cat.sch.tbl"),
+        MakeResolvedScan("cat.sch.tbl", "mem://root", schema),
+        MakeRemoteScan(MakeFilter(MakeTableRef("t"),
+                                  Eq(Col("a"), LitInt(2))),
+                       "serverless-efgac", schema),
+        ComplexPlan(),
+    };
+  }
+};
+
+TEST_P(PlanSerdeTest, RoundTrips) {
+  PlanPtr original = Cases()[static_cast<size_t>(GetParam())];
+  auto bytes = PlanToBytes(original);
+  auto back = PlanFromBytes(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE((*back)->Equals(*original)) << original->ToTreeString();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, PlanSerdeTest, ::testing::Range(0, 13));
+
+TEST(PlanSerdeErrorTest, GarbageRejected) {
+  EXPECT_FALSE(PlanFromBytes({0xEE, 0x01, 0x02}).ok());
+  EXPECT_FALSE(PlanFromBytes({}).ok());
+}
+
+TEST(PlanSerdeErrorTest, TruncationRejected) {
+  auto bytes = PlanToBytes(ComplexPlan());
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(PlanFromBytes(bytes).ok());
+}
+
+}  // namespace
+}  // namespace lakeguard

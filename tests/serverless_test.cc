@@ -1,0 +1,155 @@
+// Tests for src/serverless: the Spark Connect Gateway (routing, autoscale,
+// migration, scale-down) and workload environments (§6.2, §6.3).
+
+#include <gtest/gtest.h>
+
+#include "core/platform.h"
+
+namespace lakeguard {
+namespace {
+
+class GatewayTest : public ::testing::Test {
+ protected:
+  GatewayTest() : platform_(MakeOptions()) {
+    EXPECT_TRUE(platform_.AddUser("admin").ok());
+    EXPECT_TRUE(platform_.AddUser("uma").ok());
+    EXPECT_TRUE(platform_.AddUser("vic").ok());
+    platform_.AddMetastoreAdmin("admin");
+    platform_.RegisterToken("tok-admin", "admin");
+    platform_.RegisterToken("tok-uma", "uma");
+    platform_.RegisterToken("tok-vic", "vic");
+    EXPECT_TRUE(platform_.catalog().CreateCatalog("admin", "main").ok());
+    EXPECT_TRUE(platform_.catalog().CreateSchema("admin", "main.s").ok());
+    ClusterHandle* setup = platform_.CreateStandardCluster();
+    auto ctx = *platform_.DirectContext(setup, "admin");
+    EXPECT_TRUE(setup->engine
+                    ->ExecuteSql("CREATE TABLE main.s.t (x BIGINT)", ctx)
+                    .ok());
+    EXPECT_TRUE(setup->engine
+                    ->ExecuteSql("INSERT INTO main.s.t VALUES (1), (2)", ctx)
+                    .ok());
+    for (const char* u : {"uma", "vic"}) {
+      EXPECT_TRUE(platform_.catalog()
+                      .Grant("admin", "main", Privilege::kUseCatalog, u)
+                      .ok());
+      EXPECT_TRUE(platform_.catalog()
+                      .Grant("admin", "main.s", Privilege::kUseSchema, u)
+                      .ok());
+      EXPECT_TRUE(platform_.catalog()
+                      .Grant("admin", "main.s.t", Privilege::kSelect, u)
+                      .ok());
+    }
+  }
+
+  static LakeguardPlatform::Options MakeOptions() {
+    LakeguardPlatform::Options options;
+    options.gateway_config.max_sessions_per_backend = 2;
+    options.gateway_config.backend_cold_start_micros = 30'000'000;
+    return options;
+  }
+
+  LakeguardPlatform platform_;
+};
+
+TEST_F(GatewayTest, FirstSessionProvisionsBackend) {
+  EXPECT_EQ(platform_.gateway().BackendCount(), 0u);
+  int64_t before = platform_.clock()->NowMicros();
+  auto session = platform_.gateway().OpenSession("tok-uma");
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(platform_.gateway().BackendCount(), 1u);
+  EXPECT_EQ(platform_.clock()->NowMicros() - before, 30'000'000);
+}
+
+TEST_F(GatewayTest, SessionsPackUntilCapacityThenScaleOut) {
+  ASSERT_TRUE(platform_.gateway().OpenSession("tok-uma").ok());
+  ASSERT_TRUE(platform_.gateway().OpenSession("tok-vic").ok());
+  EXPECT_EQ(platform_.gateway().BackendCount(), 1u);  // capacity 2
+  ASSERT_TRUE(platform_.gateway().OpenSession("tok-uma").ok());
+  EXPECT_EQ(platform_.gateway().BackendCount(), 2u);  // third -> new backend
+  GatewayStats stats = platform_.gateway().stats();
+  EXPECT_EQ(stats.sessions_opened, 3u);
+  EXPECT_EQ(stats.backends_provisioned, 2u);
+  EXPECT_EQ(stats.routed_to_existing, 1u);
+}
+
+TEST_F(GatewayTest, ExecuteSqlRoutesToPlacement) {
+  auto session = platform_.gateway().OpenSession("tok-uma");
+  ASSERT_TRUE(session.ok());
+  auto rows = platform_.gateway().ExecuteSql(
+      *session, "SELECT COUNT(*) AS n FROM main.s.t");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->Combine()->CellAt(0, 0).int_value(), 2);
+}
+
+TEST_F(GatewayTest, MigrationKeepsExternalIdWorking) {
+  auto session = platform_.gateway().OpenSession("tok-uma");
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(platform_.gateway()
+                  .ExecuteSql(*session, "SELECT x FROM main.s.t")
+                  .ok());
+  ASSERT_TRUE(platform_.gateway().MigrateSession(*session).ok());
+  auto rows = platform_.gateway().ExecuteSql(
+      *session, "SELECT COUNT(*) AS n FROM main.s.t");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(platform_.gateway().stats().migrations, 1u);
+  // Identity survived the migration.
+  auto who = platform_.gateway().ExecuteSql(
+      *session, "SELECT CURRENT_USER() AS u FROM main.s.t LIMIT 1");
+  ASSERT_TRUE(who.ok());
+  EXPECT_EQ(who->Combine()->CellAt(0, 0).string_value(), "uma");
+}
+
+TEST_F(GatewayTest, CloseAndScaleDown) {
+  auto s1 = platform_.gateway().OpenSession("tok-uma");
+  auto s2 = platform_.gateway().OpenSession("tok-vic");
+  auto s3 = platform_.gateway().OpenSession("tok-uma");
+  ASSERT_TRUE(s1.ok() && s2.ok() && s3.ok());
+  EXPECT_EQ(platform_.gateway().BackendCount(), 2u);
+  ASSERT_TRUE(platform_.gateway().CloseSession(*s3).ok());
+  size_t removed = platform_.gateway().ScaleDown();
+  EXPECT_EQ(removed, 1u);  // second backend is now empty; min_backends=1
+  EXPECT_EQ(platform_.gateway().BackendCount(), 1u);
+}
+
+TEST_F(GatewayTest, UnknownSessionRejected) {
+  EXPECT_TRUE(platform_.gateway()
+                  .ExecuteSql("xsess-nope", "SELECT 1")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(platform_.gateway().MigrateSession("xsess-nope").IsNotFound());
+}
+
+// ---- Workload environments ------------------------------------------------------------
+
+TEST(WorkloadEnvTest, PublishAndLookup) {
+  WorkloadEnvironmentRegistry registry;
+  WorkloadEnvironment v1;
+  v1.version = "1";
+  v1.client_version = "3.4";
+  v1.interpreter = "lgvm-1";
+  v1.dependencies = {{"numpyish", "1.21"}};
+  ASSERT_TRUE(registry.Publish(v1).ok());
+  EXPECT_EQ(registry.Publish(v1).code(), StatusCode::kAlreadyExists);
+
+  WorkloadEnvironment v2 = v1;
+  v2.version = "2";
+  v2.dependencies["numpyish"] = "2.0";
+  ASSERT_TRUE(registry.Publish(v2).ok());
+
+  auto got = registry.Get("1");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->dependencies.at("numpyish"), "1.21");
+  auto latest = registry.Latest();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->version, "2");
+  EXPECT_EQ(registry.Versions().size(), 2u);
+  EXPECT_TRUE(registry.Get("99").status().IsNotFound());
+}
+
+TEST(WorkloadEnvTest, EmptyRegistryHasNoLatest) {
+  WorkloadEnvironmentRegistry registry;
+  EXPECT_TRUE(registry.Latest().status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace lakeguard

