@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cold_start.dir/bench_cold_start.cc.o"
+  "CMakeFiles/bench_cold_start.dir/bench_cold_start.cc.o.d"
+  "bench_cold_start"
+  "bench_cold_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cold_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

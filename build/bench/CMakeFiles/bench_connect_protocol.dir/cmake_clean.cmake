@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_connect_protocol.dir/bench_connect_protocol.cc.o"
+  "CMakeFiles/bench_connect_protocol.dir/bench_connect_protocol.cc.o.d"
+  "bench_connect_protocol"
+  "bench_connect_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_connect_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_efgac_modes.dir/bench_efgac_modes.cc.o"
+  "CMakeFiles/bench_efgac_modes.dir/bench_efgac_modes.cc.o.d"
+  "bench_efgac_modes"
+  "bench_efgac_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_efgac_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

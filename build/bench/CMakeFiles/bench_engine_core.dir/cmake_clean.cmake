@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_core.dir/bench_engine_core.cc.o"
+  "CMakeFiles/bench_engine_core.dir/bench_engine_core.cc.o.d"
+  "bench_engine_core"
+  "bench_engine_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

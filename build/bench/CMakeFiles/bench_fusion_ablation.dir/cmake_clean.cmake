@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fusion_ablation.dir/bench_fusion_ablation.cc.o"
+  "CMakeFiles/bench_fusion_ablation.dir/bench_fusion_ablation.cc.o.d"
+  "bench_fusion_ablation"
+  "bench_fusion_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fusion_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

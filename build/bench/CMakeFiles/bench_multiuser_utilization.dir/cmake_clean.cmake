@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiuser_utilization.dir/bench_multiuser_utilization.cc.o"
+  "CMakeFiles/bench_multiuser_utilization.dir/bench_multiuser_utilization.cc.o.d"
+  "bench_multiuser_utilization"
+  "bench_multiuser_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiuser_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

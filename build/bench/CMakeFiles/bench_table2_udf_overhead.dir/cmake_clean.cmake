@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_udf_overhead.dir/bench_table2_udf_overhead.cc.o"
+  "CMakeFiles/bench_table2_udf_overhead.dir/bench_table2_udf_overhead.cc.o.d"
+  "bench_table2_udf_overhead"
+  "bench_table2_udf_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_udf_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efgac_dedicated.dir/efgac_dedicated.cpp.o"
+  "CMakeFiles/efgac_dedicated.dir/efgac_dedicated.cpp.o.d"
+  "efgac_dedicated"
+  "efgac_dedicated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efgac_dedicated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

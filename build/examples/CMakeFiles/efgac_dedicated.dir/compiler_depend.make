@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for efgac_dedicated.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for efgac_dedicated.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healthcare_pipeline.dir/healthcare_pipeline.cpp.o"
+  "CMakeFiles/healthcare_pipeline.dir/healthcare_pipeline.cpp.o.d"
+  "healthcare_pipeline"
+  "healthcare_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healthcare_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

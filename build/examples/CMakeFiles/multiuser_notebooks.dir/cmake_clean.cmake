@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiuser_notebooks.dir/multiuser_notebooks.cpp.o"
+  "CMakeFiles/multiuser_notebooks.dir/multiuser_notebooks.cpp.o.d"
+  "multiuser_notebooks"
+  "multiuser_notebooks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiuser_notebooks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for multiuser_notebooks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for multiuser_notebooks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versionless_etl.dir/versionless_etl.cpp.o"
+  "CMakeFiles/versionless_etl.dir/versionless_etl.cpp.o.d"
+  "versionless_etl"
+  "versionless_etl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versionless_etl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

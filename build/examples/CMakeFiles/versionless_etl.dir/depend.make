@@ -1,0 +1,2 @@
+# Empty dependencies file for versionless_etl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("columnar")
+subdirs("storage")
+subdirs("expr")
+subdirs("udf")
+subdirs("sql")
+subdirs("plan")
+subdirs("catalog")
+subdirs("sandbox")
+subdirs("cluster")
+subdirs("engine")
+subdirs("connect")
+subdirs("efgac")
+subdirs("serverless")
+subdirs("baselines")
+subdirs("core")

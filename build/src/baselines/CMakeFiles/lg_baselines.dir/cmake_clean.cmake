@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_baselines.dir/capabilities.cc.o"
+  "CMakeFiles/lg_baselines.dir/capabilities.cc.o.d"
+  "CMakeFiles/lg_baselines.dir/membrane.cc.o"
+  "CMakeFiles/lg_baselines.dir/membrane.cc.o.d"
+  "liblg_baselines.a"
+  "liblg_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

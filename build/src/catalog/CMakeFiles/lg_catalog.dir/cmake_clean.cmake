@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_catalog.dir/audit.cc.o"
+  "CMakeFiles/lg_catalog.dir/audit.cc.o.d"
+  "CMakeFiles/lg_catalog.dir/principal.cc.o"
+  "CMakeFiles/lg_catalog.dir/principal.cc.o.d"
+  "CMakeFiles/lg_catalog.dir/unity_catalog.cc.o"
+  "CMakeFiles/lg_catalog.dir/unity_catalog.cc.o.d"
+  "liblg_catalog.a"
+  "liblg_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_cluster.dir/cluster.cc.o"
+  "CMakeFiles/lg_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/lg_cluster.dir/slot_pool.cc.o"
+  "CMakeFiles/lg_cluster.dir/slot_pool.cc.o.d"
+  "liblg_cluster.a"
+  "liblg_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

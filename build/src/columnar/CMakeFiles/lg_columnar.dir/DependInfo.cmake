@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/columnar/column.cc" "src/columnar/CMakeFiles/lg_columnar.dir/column.cc.o" "gcc" "src/columnar/CMakeFiles/lg_columnar.dir/column.cc.o.d"
+  "/root/repo/src/columnar/ipc.cc" "src/columnar/CMakeFiles/lg_columnar.dir/ipc.cc.o" "gcc" "src/columnar/CMakeFiles/lg_columnar.dir/ipc.cc.o.d"
+  "/root/repo/src/columnar/record_batch.cc" "src/columnar/CMakeFiles/lg_columnar.dir/record_batch.cc.o" "gcc" "src/columnar/CMakeFiles/lg_columnar.dir/record_batch.cc.o.d"
+  "/root/repo/src/columnar/table.cc" "src/columnar/CMakeFiles/lg_columnar.dir/table.cc.o" "gcc" "src/columnar/CMakeFiles/lg_columnar.dir/table.cc.o.d"
+  "/root/repo/src/columnar/types.cc" "src/columnar/CMakeFiles/lg_columnar.dir/types.cc.o" "gcc" "src/columnar/CMakeFiles/lg_columnar.dir/types.cc.o.d"
+  "/root/repo/src/columnar/value.cc" "src/columnar/CMakeFiles/lg_columnar.dir/value.cc.o" "gcc" "src/columnar/CMakeFiles/lg_columnar.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

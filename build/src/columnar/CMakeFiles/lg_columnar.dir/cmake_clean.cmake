@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_columnar.dir/column.cc.o"
+  "CMakeFiles/lg_columnar.dir/column.cc.o.d"
+  "CMakeFiles/lg_columnar.dir/ipc.cc.o"
+  "CMakeFiles/lg_columnar.dir/ipc.cc.o.d"
+  "CMakeFiles/lg_columnar.dir/record_batch.cc.o"
+  "CMakeFiles/lg_columnar.dir/record_batch.cc.o.d"
+  "CMakeFiles/lg_columnar.dir/table.cc.o"
+  "CMakeFiles/lg_columnar.dir/table.cc.o.d"
+  "CMakeFiles/lg_columnar.dir/types.cc.o"
+  "CMakeFiles/lg_columnar.dir/types.cc.o.d"
+  "CMakeFiles/lg_columnar.dir/value.cc.o"
+  "CMakeFiles/lg_columnar.dir/value.cc.o.d"
+  "liblg_columnar.a"
+  "liblg_columnar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_columnar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

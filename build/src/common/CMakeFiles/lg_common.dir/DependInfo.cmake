@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/clock.cc" "src/common/CMakeFiles/lg_common.dir/clock.cc.o" "gcc" "src/common/CMakeFiles/lg_common.dir/clock.cc.o.d"
+  "/root/repo/src/common/id.cc" "src/common/CMakeFiles/lg_common.dir/id.cc.o" "gcc" "src/common/CMakeFiles/lg_common.dir/id.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/lg_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/lg_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/serde.cc" "src/common/CMakeFiles/lg_common.dir/serde.cc.o" "gcc" "src/common/CMakeFiles/lg_common.dir/serde.cc.o.d"
+  "/root/repo/src/common/sha256.cc" "src/common/CMakeFiles/lg_common.dir/sha256.cc.o" "gcc" "src/common/CMakeFiles/lg_common.dir/sha256.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/lg_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/lg_common.dir/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/common/CMakeFiles/lg_common.dir/strings.cc.o" "gcc" "src/common/CMakeFiles/lg_common.dir/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

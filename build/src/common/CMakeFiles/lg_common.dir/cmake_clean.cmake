@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_common.dir/clock.cc.o"
+  "CMakeFiles/lg_common.dir/clock.cc.o.d"
+  "CMakeFiles/lg_common.dir/id.cc.o"
+  "CMakeFiles/lg_common.dir/id.cc.o.d"
+  "CMakeFiles/lg_common.dir/logging.cc.o"
+  "CMakeFiles/lg_common.dir/logging.cc.o.d"
+  "CMakeFiles/lg_common.dir/serde.cc.o"
+  "CMakeFiles/lg_common.dir/serde.cc.o.d"
+  "CMakeFiles/lg_common.dir/sha256.cc.o"
+  "CMakeFiles/lg_common.dir/sha256.cc.o.d"
+  "CMakeFiles/lg_common.dir/status.cc.o"
+  "CMakeFiles/lg_common.dir/status.cc.o.d"
+  "CMakeFiles/lg_common.dir/strings.cc.o"
+  "CMakeFiles/lg_common.dir/strings.cc.o.d"
+  "liblg_common.a"
+  "liblg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

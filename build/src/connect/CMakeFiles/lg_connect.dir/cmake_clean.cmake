@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_connect.dir/client.cc.o"
+  "CMakeFiles/lg_connect.dir/client.cc.o.d"
+  "CMakeFiles/lg_connect.dir/protocol.cc.o"
+  "CMakeFiles/lg_connect.dir/protocol.cc.o.d"
+  "CMakeFiles/lg_connect.dir/service.cc.o"
+  "CMakeFiles/lg_connect.dir/service.cc.o.d"
+  "liblg_connect.a"
+  "liblg_connect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_connect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lg_connect.
+# This may be replaced when dependencies are built.

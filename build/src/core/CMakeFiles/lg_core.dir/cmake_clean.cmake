@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_core.dir/platform.cc.o"
+  "CMakeFiles/lg_core.dir/platform.cc.o.d"
+  "liblg_core.a"
+  "liblg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

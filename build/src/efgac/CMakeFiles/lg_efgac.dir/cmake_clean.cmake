@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_efgac.dir/rewriter.cc.o"
+  "CMakeFiles/lg_efgac.dir/rewriter.cc.o.d"
+  "CMakeFiles/lg_efgac.dir/serverless_backend.cc.o"
+  "CMakeFiles/lg_efgac.dir/serverless_backend.cc.o.d"
+  "liblg_efgac.a"
+  "liblg_efgac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_efgac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lg_efgac.
+# This may be replaced when dependencies are built.

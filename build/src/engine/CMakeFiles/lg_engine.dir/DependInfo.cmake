@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/analyzer.cc" "src/engine/CMakeFiles/lg_engine.dir/analyzer.cc.o" "gcc" "src/engine/CMakeFiles/lg_engine.dir/analyzer.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/engine/CMakeFiles/lg_engine.dir/engine.cc.o" "gcc" "src/engine/CMakeFiles/lg_engine.dir/engine.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/lg_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/lg_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/extensions.cc" "src/engine/CMakeFiles/lg_engine.dir/extensions.cc.o" "gcc" "src/engine/CMakeFiles/lg_engine.dir/extensions.cc.o.d"
+  "/root/repo/src/engine/optimizer.cc" "src/engine/CMakeFiles/lg_engine.dir/optimizer.cc.o" "gcc" "src/engine/CMakeFiles/lg_engine.dir/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/lg_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/lg_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/sandbox/CMakeFiles/lg_sandbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/lg_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/udf/CMakeFiles/lg_udf.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/lg_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/lg_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_engine.dir/analyzer.cc.o"
+  "CMakeFiles/lg_engine.dir/analyzer.cc.o.d"
+  "CMakeFiles/lg_engine.dir/engine.cc.o"
+  "CMakeFiles/lg_engine.dir/engine.cc.o.d"
+  "CMakeFiles/lg_engine.dir/executor.cc.o"
+  "CMakeFiles/lg_engine.dir/executor.cc.o.d"
+  "CMakeFiles/lg_engine.dir/extensions.cc.o"
+  "CMakeFiles/lg_engine.dir/extensions.cc.o.d"
+  "CMakeFiles/lg_engine.dir/optimizer.cc.o"
+  "CMakeFiles/lg_engine.dir/optimizer.cc.o.d"
+  "liblg_engine.a"
+  "liblg_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/evaluator.cc" "src/expr/CMakeFiles/lg_expr.dir/evaluator.cc.o" "gcc" "src/expr/CMakeFiles/lg_expr.dir/evaluator.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/expr/CMakeFiles/lg_expr.dir/expr.cc.o" "gcc" "src/expr/CMakeFiles/lg_expr.dir/expr.cc.o.d"
+  "/root/repo/src/expr/expr_serde.cc" "src/expr/CMakeFiles/lg_expr.dir/expr_serde.cc.o" "gcc" "src/expr/CMakeFiles/lg_expr.dir/expr_serde.cc.o.d"
+  "/root/repo/src/expr/functions.cc" "src/expr/CMakeFiles/lg_expr.dir/functions.cc.o" "gcc" "src/expr/CMakeFiles/lg_expr.dir/functions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/columnar/CMakeFiles/lg_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_expr.dir/evaluator.cc.o"
+  "CMakeFiles/lg_expr.dir/evaluator.cc.o.d"
+  "CMakeFiles/lg_expr.dir/expr.cc.o"
+  "CMakeFiles/lg_expr.dir/expr.cc.o.d"
+  "CMakeFiles/lg_expr.dir/expr_serde.cc.o"
+  "CMakeFiles/lg_expr.dir/expr_serde.cc.o.d"
+  "CMakeFiles/lg_expr.dir/functions.cc.o"
+  "CMakeFiles/lg_expr.dir/functions.cc.o.d"
+  "liblg_expr.a"
+  "liblg_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/plan.cc" "src/plan/CMakeFiles/lg_plan.dir/plan.cc.o" "gcc" "src/plan/CMakeFiles/lg_plan.dir/plan.cc.o.d"
+  "/root/repo/src/plan/plan_serde.cc" "src/plan/CMakeFiles/lg_plan.dir/plan_serde.cc.o" "gcc" "src/plan/CMakeFiles/lg_plan.dir/plan_serde.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/lg_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/lg_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_plan.dir/plan.cc.o"
+  "CMakeFiles/lg_plan.dir/plan.cc.o.d"
+  "CMakeFiles/lg_plan.dir/plan_serde.cc.o"
+  "CMakeFiles/lg_plan.dir/plan_serde.cc.o.d"
+  "liblg_plan.a"
+  "liblg_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

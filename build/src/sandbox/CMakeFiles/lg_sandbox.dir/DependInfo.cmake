@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sandbox/dispatcher.cc" "src/sandbox/CMakeFiles/lg_sandbox.dir/dispatcher.cc.o" "gcc" "src/sandbox/CMakeFiles/lg_sandbox.dir/dispatcher.cc.o.d"
+  "/root/repo/src/sandbox/host_env.cc" "src/sandbox/CMakeFiles/lg_sandbox.dir/host_env.cc.o" "gcc" "src/sandbox/CMakeFiles/lg_sandbox.dir/host_env.cc.o.d"
+  "/root/repo/src/sandbox/sandbox.cc" "src/sandbox/CMakeFiles/lg_sandbox.dir/sandbox.cc.o" "gcc" "src/sandbox/CMakeFiles/lg_sandbox.dir/sandbox.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/udf/CMakeFiles/lg_udf.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/lg_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/lg_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

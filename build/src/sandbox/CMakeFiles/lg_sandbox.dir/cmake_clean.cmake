@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_sandbox.dir/dispatcher.cc.o"
+  "CMakeFiles/lg_sandbox.dir/dispatcher.cc.o.d"
+  "CMakeFiles/lg_sandbox.dir/host_env.cc.o"
+  "CMakeFiles/lg_sandbox.dir/host_env.cc.o.d"
+  "CMakeFiles/lg_sandbox.dir/sandbox.cc.o"
+  "CMakeFiles/lg_sandbox.dir/sandbox.cc.o.d"
+  "liblg_sandbox.a"
+  "liblg_sandbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_sandbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

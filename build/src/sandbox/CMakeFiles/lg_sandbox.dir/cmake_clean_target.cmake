@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblg_sandbox.a"
+)

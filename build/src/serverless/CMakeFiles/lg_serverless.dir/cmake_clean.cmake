@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_serverless.dir/gateway.cc.o"
+  "CMakeFiles/lg_serverless.dir/gateway.cc.o.d"
+  "CMakeFiles/lg_serverless.dir/workload_env.cc.o"
+  "CMakeFiles/lg_serverless.dir/workload_env.cc.o.d"
+  "liblg_serverless.a"
+  "liblg_serverless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_serverless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_sql.dir/lexer.cc.o"
+  "CMakeFiles/lg_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/lg_sql.dir/parser.cc.o"
+  "CMakeFiles/lg_sql.dir/parser.cc.o.d"
+  "liblg_sql.a"
+  "liblg_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

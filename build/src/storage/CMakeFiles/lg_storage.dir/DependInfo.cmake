@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/credential.cc" "src/storage/CMakeFiles/lg_storage.dir/credential.cc.o" "gcc" "src/storage/CMakeFiles/lg_storage.dir/credential.cc.o.d"
+  "/root/repo/src/storage/delta_table.cc" "src/storage/CMakeFiles/lg_storage.dir/delta_table.cc.o" "gcc" "src/storage/CMakeFiles/lg_storage.dir/delta_table.cc.o.d"
+  "/root/repo/src/storage/object_store.cc" "src/storage/CMakeFiles/lg_storage.dir/object_store.cc.o" "gcc" "src/storage/CMakeFiles/lg_storage.dir/object_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/columnar/CMakeFiles/lg_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

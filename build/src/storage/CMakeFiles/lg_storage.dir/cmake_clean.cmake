@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_storage.dir/credential.cc.o"
+  "CMakeFiles/lg_storage.dir/credential.cc.o.d"
+  "CMakeFiles/lg_storage.dir/delta_table.cc.o"
+  "CMakeFiles/lg_storage.dir/delta_table.cc.o.d"
+  "CMakeFiles/lg_storage.dir/object_store.cc.o"
+  "CMakeFiles/lg_storage.dir/object_store.cc.o.d"
+  "liblg_storage.a"
+  "liblg_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_udf.dir/builder.cc.o"
+  "CMakeFiles/lg_udf.dir/builder.cc.o.d"
+  "CMakeFiles/lg_udf.dir/bytecode.cc.o"
+  "CMakeFiles/lg_udf.dir/bytecode.cc.o.d"
+  "CMakeFiles/lg_udf.dir/vm.cc.o"
+  "CMakeFiles/lg_udf.dir/vm.cc.o.d"
+  "liblg_udf.a"
+  "liblg_udf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_udf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/columnar_test.dir/columnar_test.cc.o"
+  "CMakeFiles/columnar_test.dir/columnar_test.cc.o.d"
+  "columnar_test"
+  "columnar_test.pdb"
+  "columnar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/columnar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

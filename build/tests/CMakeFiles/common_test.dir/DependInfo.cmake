@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/common_test.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/serverless/CMakeFiles/lg_serverless.dir/DependInfo.cmake"
+  "/root/repo/build/src/efgac/CMakeFiles/lg_efgac.dir/DependInfo.cmake"
+  "/root/repo/build/src/connect/CMakeFiles/lg_connect.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/lg_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/lg_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/lg_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/lg_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sandbox/CMakeFiles/lg_sandbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/lg_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/udf/CMakeFiles/lg_udf.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/lg_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/lg_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

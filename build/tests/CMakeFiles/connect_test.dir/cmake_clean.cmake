@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connect_test.dir/connect_test.cc.o"
+  "CMakeFiles/connect_test.dir/connect_test.cc.o.d"
+  "connect_test"
+  "connect_test.pdb"
+  "connect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efgac_test.dir/efgac_test.cc.o"
+  "CMakeFiles/efgac_test.dir/efgac_test.cc.o.d"
+  "efgac_test"
+  "efgac_test.pdb"
+  "efgac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efgac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

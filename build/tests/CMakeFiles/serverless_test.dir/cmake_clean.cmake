@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_test.dir/serverless_test.cc.o"
+  "CMakeFiles/serverless_test.dir/serverless_test.cc.o.d"
+  "serverless_test"
+  "serverless_test.pdb"
+  "serverless_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

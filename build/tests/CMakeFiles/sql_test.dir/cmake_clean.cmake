@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_test.dir/sql_test.cc.o"
+  "CMakeFiles/sql_test.dir/sql_test.cc.o.d"
+  "sql_test"
+  "sql_test.pdb"
+  "sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udf_test.dir/udf_test.cc.o"
+  "CMakeFiles/udf_test.dir/udf_test.cc.o.d"
+  "udf_test"
+  "udf_test.pdb"
+  "udf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
