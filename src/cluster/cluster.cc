@@ -1,5 +1,6 @@
 #include "cluster/cluster.h"
 
+#include "common/fault.h"
 #include "common/id.h"
 
 namespace lakeguard {
@@ -35,6 +36,9 @@ Cluster::Cluster(ClusterConfig config, Clock* clock,
 }
 
 Result<ComputeContext> Cluster::AttachUser(const std::string& user) const {
+  // Admission runs against the cluster manager's control plane; a transient
+  // failure here must not be mistaken for a permission denial.
+  LG_RETURN_IF_ERROR(fault::Inject("cluster.attach"));
   ComputeContext ctx;
   ctx.compute_id = config_.cluster_id;
   if (config_.type == ClusterType::kStandard) {

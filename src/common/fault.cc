@@ -1,0 +1,137 @@
+#include "common/fault.h"
+
+namespace lakeguard {
+
+namespace {
+
+/// splitmix64 — mixes the process seed with the point-name hash so each
+/// point gets an independent, order-insensitive stream.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xorshift64* step; never returns 0 for non-zero state.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  *state = x;
+  return x * 0x2545f4914f6cdd1dULL;
+}
+
+/// Uniform double in [0, 1) from the top 53 bits.
+double ToUnit(uint64_t r) {
+  return static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+uint64_t FaultInjector::StreamSeed(const std::string& point) const {
+  uint64_t h = seed_;
+  for (char c : point) h = Mix64(h ^ static_cast<uint8_t>(c));
+  return h == 0 ? 0x9e3779b9 : h;
+}
+
+void FaultInjector::Reseed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  for (auto& [name, state] : points_) {
+    state.rng_state = StreamSeed(name);
+    state.stats = FaultPointStats();
+  }
+}
+
+void FaultInjector::SetDefaultClock(Clock* clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  default_clock_ = clock;
+}
+
+void FaultInjector::Arm(const std::string& point, FaultPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[point];
+  if (!state.armed) {
+    state.armed = true;
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  state.policy = std::move(policy);
+  state.rng_state = StreamSeed(point);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  it->second.policy = FaultPolicy();
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, state] : points_) {
+    if (state.armed) armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    (void)name;
+  }
+  points_.clear();
+}
+
+Status FaultInjector::Inject(const std::string& point, Clock* clock) {
+  int64_t latency = 0;
+  Status result = Status::OK();
+  Clock* charge_to = clock;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(point);
+    if (it == points_.end() || !it->second.armed) return Status::OK();
+    PointState& state = it->second;
+    ++state.stats.evaluations;
+    latency = state.policy.latency_micros;
+    if (latency > 0) state.stats.latency_micros += latency;
+    if (charge_to == nullptr) charge_to = default_clock_;
+
+    bool fire = false;
+    if (state.policy.fail_count > 0) {
+      --state.policy.fail_count;
+      fire = true;
+    } else if (state.policy.fail_probability > 0.0 &&
+               ToUnit(NextRand(&state.rng_state)) <
+                   state.policy.fail_probability) {
+      fire = true;
+    }
+    if (fire) {
+      ++state.stats.faults_injected;
+      result = Status(state.policy.code,
+                      state.policy.message + " at fault point '" + point + "'");
+    }
+  }
+  // Charge latency outside the lock: clocks may sleep (RealClock).
+  if (latency > 0 && charge_to != nullptr) charge_to->AdvanceMicros(latency);
+  return result;
+}
+
+FaultPointStats FaultInjector::StatsFor(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? FaultPointStats() : it->second.stats;
+}
+
+uint64_t FaultInjector::TotalInjected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, state] : points_) {
+    total += state.stats.faults_injected;
+    (void)name;
+  }
+  return total;
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,175 @@
+#ifndef LAKEGUARD_COMMON_FAULT_H_
+#define LAKEGUARD_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace lakeguard {
+
+/// Per-fault-point counters, readable while the point is armed or after it
+/// has been disarmed (counters survive disarming until `Reset`).
+struct FaultPointStats {
+  uint64_t evaluations = 0;       ///< times the point was reached while armed
+  uint64_t faults_injected = 0;   ///< times the point actually fired
+  uint64_t latency_micros = 0;    ///< total injected latency charged to clocks
+};
+
+/// Process-wide, seeded, deterministic fault injector.
+///
+/// Components advertise *named fault points* at their failure seams —
+/// `fault::Inject("dispatcher.provision")` — and return the resulting
+/// `Status` through their normal error path. In production nothing is armed
+/// and the call is a single relaxed atomic load. Tests arm points with a
+/// `ScopedFault` guard and a `FaultPolicy`:
+///
+///   * fail-N-times            — the next `fail_count` evaluations fail;
+///   * fail-with-probability   — each evaluation fails with `fail_probability`
+///                               drawn from a PRNG stream seeded from the
+///                               process seed and the point name (so the
+///                               sequence is independent of arming order and
+///                               reproducible across runs with the same seed);
+///   * add-latency-micros      — every evaluation charges `latency_micros`
+///                               to the call-site clock (or the injector's
+///                               default clock), modeling slow dependencies.
+///
+/// Determinism contract: with the same seed, the same arming sequence and
+/// the same order of `Inject` calls, the injector fires the exact same fault
+/// sequence. All state is guarded by one mutex; the unarmed fast path takes
+/// no lock.
+struct FaultPolicy {
+  /// Fail the next `fail_count` evaluations with `code`. 0 = no count-based
+  /// failures.
+  uint64_t fail_count = 0;
+  /// Probability in [0, 1] that an evaluation fails (after `fail_count` is
+  /// exhausted). Drawn deterministically from the seeded per-point stream.
+  double fail_probability = 0.0;
+  /// Status code injected failures carry. Defaults to `kAborted`, which the
+  /// retry layer classifies as transient.
+  StatusCode code = StatusCode::kAborted;
+  /// Message of injected failures (the point name is appended).
+  std::string message = "injected fault";
+  /// Latency charged to the clock on *every* evaluation while armed.
+  int64_t latency_micros = 0;
+
+  static FaultPolicy FailTimes(uint64_t n,
+                               StatusCode c = StatusCode::kAborted) {
+    FaultPolicy p;
+    p.fail_count = n;
+    p.code = c;
+    return p;
+  }
+  static FaultPolicy FailWithProbability(double prob,
+                                         StatusCode c = StatusCode::kAborted) {
+    FaultPolicy p;
+    p.fail_probability = prob;
+    p.code = c;
+    return p;
+  }
+  static FaultPolicy AddLatencyMicros(int64_t micros) {
+    FaultPolicy p;
+    p.latency_micros = micros;
+    return p;
+  }
+};
+
+class FaultInjector {
+ public:
+  /// The process-wide instance (never destroyed; trivially leaked by design,
+  /// like `RealClock::Instance`).
+  static FaultInjector& Instance();
+
+  /// Reseeds every per-point PRNG stream and clears counters. Armed
+  /// policies stay armed. Tests call this first for reproducible runs.
+  void Reseed(uint64_t seed);
+
+  /// Clock charged with injected latency when the call site passes none.
+  void SetDefaultClock(Clock* clock);
+
+  /// Arms `point` with `policy` (replacing any existing policy).
+  void Arm(const std::string& point, FaultPolicy policy);
+
+  /// Disarms `point`. Counters are kept until `Reset`.
+  void Disarm(const std::string& point);
+
+  /// Disarms everything and clears all counters and PRNG streams.
+  void Reset();
+
+  /// Evaluates the fault point: OK when unarmed (or when the armed policy
+  /// decides not to fire this time). Injected latency is charged to `clock`
+  /// if non-null, else to the default clock, else dropped.
+  Status Inject(const std::string& point, Clock* clock = nullptr);
+
+  /// True when at least one point is armed — lets hot paths skip building
+  /// point-name strings.
+  bool AnyArmed() const {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  FaultPointStats StatsFor(const std::string& point) const;
+  uint64_t TotalInjected() const;
+
+ private:
+  struct PointState {
+    FaultPolicy policy;
+    bool armed = false;
+    uint64_t rng_state = 0;
+    FaultPointStats stats;
+  };
+
+  FaultInjector() = default;
+  uint64_t StreamSeed(const std::string& point) const;
+
+  mutable std::mutex mu_;
+  std::atomic<int> armed_count_{0};
+  uint64_t seed_ = 0x9e3779b97f4a7c15ULL;
+  Clock* default_clock_ = nullptr;
+  std::map<std::string, PointState> points_;
+};
+
+/// RAII guard arming one fault point on the process-wide injector for the
+/// enclosing scope. Destruction disarms the point, so a failing test cannot
+/// leak faults into later tests.
+class ScopedFault {
+ public:
+  ScopedFault(std::string point, FaultPolicy policy)
+      : point_(std::move(point)) {
+    FaultInjector::Instance().Arm(point_, std::move(policy));
+  }
+  ~ScopedFault() { FaultInjector::Instance().Disarm(point_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  /// Faults fired at this point so far (including before this guard).
+  uint64_t injected() const {
+    return FaultInjector::Instance().StatsFor(point_).faults_injected;
+  }
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+namespace fault {
+
+/// Shorthand for `FaultInjector::Instance().Inject(point, clock)`. The
+/// unarmed fast path is one relaxed atomic load — cheap enough for RPC and
+/// storage hot seams.
+inline Status Inject(const char* point, Clock* clock = nullptr) {
+  FaultInjector& injector = FaultInjector::Instance();
+  if (!injector.AnyArmed()) return Status::OK();
+  return injector.Inject(point, clock);
+}
+
+}  // namespace fault
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_COMMON_FAULT_H_

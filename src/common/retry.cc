@@ -1,0 +1,66 @@
+#include "common/retry.h"
+
+#include <algorithm>
+
+namespace lakeguard {
+
+namespace {
+
+uint64_t NextRand(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  *state = x;
+  return x * 0x2545f4914f6cdd1dULL;
+}
+
+double ToUnit(uint64_t r) {
+  return static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+Backoff::Backoff(Options options) : options_(options) { Reset(); }
+
+void Backoff::Reset() {
+  attempts_ = 0;
+  current_micros_ = static_cast<double>(options_.initial_micros);
+  rng_state_ = options_.seed != 0 ? options_.seed : 0x5eedULL;
+}
+
+int64_t Backoff::NextDelayMicros() {
+  double delay = std::min(current_micros_,
+                          static_cast<double>(options_.max_micros));
+  if (options_.jitter > 0.0) {
+    delay *= 1.0 - options_.jitter * ToUnit(NextRand(&rng_state_));
+  }
+  current_micros_ *= options_.multiplier;
+  ++attempts_;
+  return std::max<int64_t>(0, static_cast<int64_t>(delay));
+}
+
+Status AnnotateRetries(const Status& status, int retries) {
+  if (status.ok() || retries <= 0) return status;
+  return Status(status.code(), status.message() + " (after " +
+                                   std::to_string(retries) + " retr" +
+                                   (retries == 1 ? "y" : "ies") + ")");
+}
+
+Status RetryStatusCall(const RetryPolicy& policy, Clock* clock,
+                       const std::function<Status()>& fn, RetryStats* stats) {
+  // Reuse the Result<T> loop with a unit payload so the two helpers cannot
+  // drift apart.
+  struct Unit {};
+  Result<Unit> result = RetryCall<Unit>(
+      policy, clock,
+      [&fn]() -> Result<Unit> {
+        Status s = fn();
+        if (!s.ok()) return s;
+        return Unit{};
+      },
+      stats);
+  return result.ok() ? Status::OK() : result.status();
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,139 @@
+#ifndef LAKEGUARD_COMMON_RETRY_H_
+#define LAKEGUARD_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace lakeguard {
+
+/// True for error codes a caller may reasonably retry: the failure is a
+/// property of the *attempt* (dropped stream, contended resource, corrupted
+/// frame in transit), not of the request. Permission, auth, not-found and
+/// invalid-argument failures are deterministic and must never be retried —
+/// retrying a `kPermissionDenied` would hammer the governance layer with
+/// requests it already answered.
+inline bool IsTransientError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kAborted:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDataLoss:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Deterministic exponential backoff schedule with optional jitter. Delays
+/// are *charged to a `Clock`* by the retry helpers, so under
+/// `SimulatedClock` a whole retry storm runs in zero wall time while still
+/// exercising deadline math. Jitter is drawn from a seeded xorshift stream,
+/// making schedules reproducible run-to-run.
+class Backoff {
+ public:
+  struct Options {
+    int64_t initial_micros = 50'000;   ///< first delay
+    double multiplier = 2.0;           ///< growth factor per retry
+    int64_t max_micros = 2'000'000;    ///< delay cap
+    /// Fraction of the delay randomized away: delay *= (1 - jitter * u),
+    /// u uniform in [0, 1). 0 disables jitter.
+    double jitter = 0.0;
+    uint64_t seed = 0x5eedULL;         ///< jitter stream seed
+  };
+
+  Backoff() : Backoff(Options()) {}
+  explicit Backoff(Options options);
+
+  /// Delay before the next retry; advances the schedule.
+  int64_t NextDelayMicros();
+
+  /// Restarts the schedule (and the jitter stream).
+  void Reset();
+
+  int attempts() const { return attempts_; }
+
+ private:
+  Options options_;
+  int attempts_ = 0;
+  double current_micros_ = 0;
+  uint64_t rng_state_ = 0;
+};
+
+/// Bounds a retried operation: at most `max_attempts` tries, backing off
+/// between them, giving up early when the accumulated clock time would
+/// exceed `deadline_micros`.
+struct RetryPolicy {
+  /// Total tries including the first (1 = no retries).
+  int max_attempts = 3;
+  Backoff::Options backoff;
+  /// Overall budget measured on the clock from the first attempt;
+  /// 0 = unbounded.
+  int64_t deadline_micros = 0;
+
+  static RetryPolicy NoRetry() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+};
+
+/// Counters a retry loop reports back to its owner's stats block.
+struct RetryStats {
+  uint64_t attempts = 0;
+  uint64_t retries = 0;
+  uint64_t deadline_hits = 0;
+  uint64_t backoff_micros = 0;
+};
+
+/// Appends a retry-count annotation to a terminal failure so operators can
+/// see "gave up after N retries" instead of just the last error.
+Status AnnotateRetries(const Status& status, int retries);
+
+/// Runs `fn` under `policy`. Retries only `IsTransientError` failures,
+/// charging each backoff delay to `clock` (nullptr = no delay charging and
+/// no deadline enforcement). On success returns the value; on exhaustion
+/// returns the last error annotated with the retry count; on deadline
+/// overrun returns `kDeadlineExceeded` wrapping the last error. `stats`,
+/// when non-null, is incremented (not reset) so call sites can aggregate.
+template <typename T>
+Result<T> RetryCall(const RetryPolicy& policy, Clock* clock,
+                    const std::function<Result<T>()>& fn,
+                    RetryStats* stats = nullptr) {
+  Backoff backoff(policy.backoff);
+  const int64_t start_micros = clock != nullptr ? clock->NowMicros() : 0;
+  Status last = Status::Internal("retry loop made no attempts");
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (stats != nullptr) ++stats->attempts;
+    Result<T> result = fn();
+    if (result.ok()) return result;
+    last = result.status();
+    if (!IsTransientError(last) || attempt + 1 >= policy.max_attempts) break;
+    int64_t delay = backoff.NextDelayMicros();
+    if (clock != nullptr && policy.deadline_micros > 0 &&
+        (clock->NowMicros() - start_micros) + delay > policy.deadline_micros) {
+      if (stats != nullptr) ++stats->deadline_hits;
+      return Status::DeadlineExceeded(
+          "retry budget of " + std::to_string(policy.deadline_micros) +
+          "us exhausted after " + std::to_string(attempt + 1) +
+          " attempts; last error: " + last.ToString());
+    }
+    if (clock != nullptr) clock->AdvanceMicros(delay);
+    if (stats != nullptr) {
+      ++stats->retries;
+      stats->backoff_micros += static_cast<uint64_t>(delay);
+    }
+  }
+  return AnnotateRetries(last, backoff.attempts());
+}
+
+/// `Status` counterpart of `RetryCall` for operations without a value.
+Status RetryStatusCall(const RetryPolicy& policy, Clock* clock,
+                       const std::function<Status()>& fn,
+                       RetryStats* stats = nullptr);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_COMMON_RETRY_H_

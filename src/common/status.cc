@@ -34,6 +34,16 @@ const char* StatusCodeToString(StatusCode code) {
   return "unknown";
 }
 
+StatusCode StatusCodeFromString(const std::string& name) {
+  for (int i = 0; i <= static_cast<int>(StatusCode::kInternal); ++i) {
+    StatusCode code = static_cast<StatusCode>(i);
+    if (name == StatusCodeToString(code)) return code;
+  }
+  // Unknown names (e.g. from a newer peer) degrade to kInternal, which the
+  // retry layer treats as permanent — the safe direction for unknowns.
+  return StatusCode::kInternal;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "ok";
   std::string out = StatusCodeToString(code_);

@@ -32,6 +32,11 @@ enum class StatusCode {
 /// Returns the canonical lower_snake name of `code` (e.g. "permission_denied").
 const char* StatusCodeToString(StatusCode code);
 
+/// Inverse of `StatusCodeToString`; unknown names map to `kInternal`. Used
+/// to reconstruct a typed `Status` from the error code a peer sent over the
+/// wire (the Connect client needs the real code to classify retryability).
+StatusCode StatusCodeFromString(const std::string& name);
+
 /// Result of a fallible operation that produces no value. All public APIs in
 /// this library report failure through `Status` / `Result<T>`; exceptions are
 /// never thrown across module boundaries.

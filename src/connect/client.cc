@@ -1,6 +1,7 @@
 #include "connect/client.h"
 
 #include "columnar/ipc.h"
+#include "common/id.h"
 #include "plan/plan_serde.h"
 
 namespace lakeguard {
@@ -41,7 +42,8 @@ Result<::lakeguard::Table> ConnectClient::ExecutePlanRemote(const PlanPtr& plan)
   return RoundTrip(std::move(request));
 }
 
-Result<::lakeguard::Table> ConnectClient::RoundTrip(ConnectRequest request) const {
+Result<ConnectResponse> ConnectClient::Exchange(
+    const ConnectRequest& request) const {
   // Encode -> wire -> decode on the server; response comes back the same
   // way. Both directions cross a real byte boundary.
   std::vector<uint8_t> response_bytes =
@@ -49,13 +51,47 @@ Result<::lakeguard::Table> ConnectClient::RoundTrip(ConnectRequest request) cons
   LG_ASSIGN_OR_RETURN(ConnectResponse response,
                       DecodeResponse(response_bytes));
   if (!response.ok) {
-    return Status(StatusCode::kInternal,
+    // Reconstruct the typed status so the retry loop can tell a dropped
+    // stream (retry) from a permission denial (never retry).
+    return Status(StatusCodeFromString(response.error_code),
                   "server error [" + response.error_code + "]: " +
                       response.error_message);
   }
-  Table out(response.schema);
-  if (!response.inline_chunks.empty()) {
-    for (const ResultChunk& chunk : response.inline_chunks) {
+  return response;
+}
+
+Result<ResultChunk> ConnectClient::FetchChunkWithRetry(
+    const std::string& operation_id, uint64_t chunk_index) const {
+  RetryStats retry_stats;
+  Result<ResultChunk> chunk = RetryCall<ResultChunk>(
+      retry_policy_, service_->clock(),
+      [&] { return service_->FetchChunk(session_id_, operation_id,
+                                        chunk_index); },
+      &retry_stats);
+  stats_.chunk_retries += retry_stats.retries;
+  stats_.deadline_hits += retry_stats.deadline_hits;
+  return chunk;
+}
+
+Result<::lakeguard::Table> ConnectClient::RoundTrip(ConnectRequest request) const {
+  // A client-generated operation id makes the retry loop reattach-safe: a
+  // request that failed after the server buffered its result is answered
+  // from the buffer instead of re-executing (§3.2.3).
+  if (request.operation_id.empty()) {
+    request.operation_id = IdGenerator::Next("cop");
+  }
+  RetryStats retry_stats;
+  Result<ConnectResponse> response = RetryCall<ConnectResponse>(
+      retry_policy_, service_->clock(), [&] { return Exchange(request); },
+      &retry_stats);
+  stats_.rpc_attempts += retry_stats.attempts;
+  stats_.rpc_retries += retry_stats.retries;
+  stats_.deadline_hits += retry_stats.deadline_hits;
+  LG_RETURN_IF_ERROR(response.status());
+
+  Table out(response->schema);
+  if (!response->inline_chunks.empty()) {
+    for (const ResultChunk& chunk : response->inline_chunks) {
       LG_ASSIGN_OR_RETURN(RecordBatch batch,
                           ipc::DeserializeBatch(chunk.frame));
       if (batch.num_rows() == 0) continue;
@@ -63,17 +99,18 @@ Result<::lakeguard::Table> ConnectClient::RoundTrip(ConnectRequest request) cons
     }
     return out;
   }
-  // Large result: stream chunk by chunk (reattachable).
-  for (uint64_t i = 0; i < response.total_chunks; ++i) {
-    LG_ASSIGN_OR_RETURN(
-        ResultChunk chunk,
-        service_->FetchChunk(session_id_, response.operation_id, i));
+  // Large result: stream chunk by chunk. Each chunk is fetched with its own
+  // retry budget; a dropped stream resumes at the failed index — chunks
+  // before it are never re-fetched, chunks after it never skipped.
+  for (uint64_t i = 0; i < response->total_chunks; ++i) {
+    LG_ASSIGN_OR_RETURN(ResultChunk chunk,
+                        FetchChunkWithRetry(response->operation_id, i));
     LG_ASSIGN_OR_RETURN(RecordBatch batch, ipc::DeserializeBatch(chunk.frame));
     if (batch.num_rows() > 0) {
       LG_RETURN_IF_ERROR(out.AppendBatch(std::move(batch)));
     }
   }
-  service_->CloseOperation(session_id_, response.operation_id);
+  service_->CloseOperation(session_id_, response->operation_id);
   return out;
 }
 

@@ -6,12 +6,22 @@
 #include <vector>
 
 #include "columnar/table.h"
+#include "common/retry.h"
 #include "connect/service.h"
 #include "plan/plan.h"
 
 namespace lakeguard {
 
 class DataFrame;
+
+/// Client-side resilience counters (retries are a *client* concern in
+/// Connect: the service stays stateless about transport failures).
+struct ConnectClientStats {
+  uint64_t rpc_attempts = 0;
+  uint64_t rpc_retries = 0;      ///< whole-RPC retries (reattach by op id)
+  uint64_t chunk_retries = 0;    ///< single-chunk re-fetches after a drop
+  uint64_t deadline_hits = 0;
+};
 
 /// The Spark Connect *client* (§3.2.1): builds unresolved plans from a
 /// DataFrame API, serializes them over the wire, and decodes streamed IPC
@@ -49,18 +59,39 @@ class ConnectClient {
 
   const std::string& session_id() const { return session_id_; }
 
+  /// Replaces the transport retry policy (defaults to 4 attempts with
+  /// jittered exponential backoff, charged to the service clock).
+  void set_retry_policy(RetryPolicy policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  const ConnectClientStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ConnectClientStats(); }
+
  private:
   ConnectClient(ConnectService* service, std::string auth_token,
                 std::string session_id)
       : service_(service),
         auth_token_(std::move(auth_token)),
-        session_id_(std::move(session_id)) {}
+        session_id_(std::move(session_id)) {
+    retry_policy_.max_attempts = 4;
+    retry_policy_.backoff.initial_micros = 20'000;
+    retry_policy_.backoff.multiplier = 2.0;
+    retry_policy_.backoff.max_micros = 500'000;
+    retry_policy_.backoff.jitter = 0.25;
+  }
 
   Result<::lakeguard::Table> RoundTrip(ConnectRequest request) const;
+  /// One encode → HandleRpc → decode exchange, with the server error code
+  /// mapped back to a typed `Status` for retry classification.
+  Result<ConnectResponse> Exchange(const ConnectRequest& request) const;
+  Result<ResultChunk> FetchChunkWithRetry(const std::string& operation_id,
+                                          uint64_t chunk_index) const;
 
   ConnectService* service_;
   std::string auth_token_;
   std::string session_id_;
+  RetryPolicy retry_policy_;
+  mutable ConnectClientStats stats_;
 };
 
 /// Lazily-built unresolved plan with Spark-flavoured combinators. All

@@ -1,7 +1,9 @@
 #include "connect/service.h"
 
 #include "columnar/ipc.h"
+#include "common/fault.h"
 #include "common/id.h"
+#include "common/retry.h"
 #include "plan/plan_serde.h"
 
 namespace lakeguard {
@@ -23,8 +25,16 @@ Result<std::string> ConnectService::OpenSession(
     }
     user = it->second;
   }
-  // Cluster admission establishes the privilege scope of this session.
-  LG_ASSIGN_OR_RETURN(ComputeContext compute, cluster_->AttachUser(user));
+  // Cluster admission establishes the privilege scope of this session. The
+  // control-plane call is retried briefly: a transient admission failure
+  // must not bounce an authenticated user.
+  RetryPolicy admission_retry;
+  admission_retry.max_attempts = 3;
+  admission_retry.backoff.initial_micros = 10'000;
+  LG_ASSIGN_OR_RETURN(ComputeContext compute,
+                      RetryCall<ComputeContext>(
+                          admission_retry, clock_,
+                          [&] { return cluster_->AttachUser(user); }));
 
   SessionInfo session;
   session.session_id = IdGenerator::Next("sess");
@@ -55,8 +65,22 @@ ConnectResponse ConnectService::ErrorResponse(
 
 std::vector<uint8_t> ConnectService::HandleRpc(
     const std::vector<uint8_t>& request_bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++service_stats_.rpcs;
+  }
+  // Transport seam: a dropped gRPC stream or corrupted frame surfaces here
+  // as a transient error response the client's retry loop classifies.
+  Status transport = fault::Inject("connect.rpc", clock_);
+  if (!transport.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++service_stats_.rpc_faults;
+    return EncodeResponse(ErrorResponse(transport, ""));
+  }
   auto request = DecodeRequest(request_bytes);
   if (!request.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++service_stats_.rpc_faults;
     return EncodeResponse(ErrorResponse(request.status(), ""));
   }
   return EncodeResponse(Execute(*request));
@@ -93,6 +117,7 @@ ConnectResponse ConnectService::Execute(const ConnectRequest& request) {
                                      " belongs to a different session"),
             operation_id);
       }
+      ++service_stats_.reattaches;
       ConnectResponse response;
       response.operation_id = request.operation_id;
       response.ok = true;
@@ -163,7 +188,16 @@ ConnectResponse ConnectService::Execute(const ConnectRequest& request) {
 Result<ResultChunk> ConnectService::FetchChunk(const std::string& session_id,
                                                const std::string& operation_id,
                                                uint64_t chunk_index) {
+  // Stream seam: models the result stream dropping mid-transfer. The chunk
+  // stays buffered server-side, so a reattaching client resumes at exactly
+  // the index it asked for — no rows duplicated or skipped.
+  Status stream = fault::Inject("connect.stream", clock_);
   std::lock_guard<std::mutex> lock(mu_);
+  ++service_stats_.fetches;
+  if (!stream.ok()) {
+    ++service_stats_.stream_faults;
+    return stream;
+  }
   auto session_it = sessions_.find(session_id);
   if (session_it == sessions_.end() || session_it->second.tombstoned) {
     return Status::NotFound("no live session " + session_id);
@@ -232,11 +266,13 @@ size_t ConnectService::ExpireIdleSessions(int64_t idle_micros) {
       }
     }
   }
+  size_t closed = 0;
   for (const std::string& id : expired) {
-    Status s = CloseSession(id);
-    (void)s;
+    // A session can disappear between the scan and the close (another
+    // expirer or an explicit CloseSession); only count real closes.
+    if (CloseSession(id).ok()) ++closed;
   }
-  return expired.size();
+  return closed;
 }
 
 Result<SessionInfo> ConnectService::GetSession(
@@ -247,6 +283,11 @@ Result<SessionInfo> ConnectService::GetSession(
     return Status::NotFound("no session " + session_id);
   }
   return it->second;
+}
+
+ConnectServiceStats ConnectService::service_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return service_stats_;
 }
 
 size_t ConnectService::ActiveSessionCount() const {

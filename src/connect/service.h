@@ -33,6 +33,17 @@ inline constexpr size_t kRowsPerChunk = 1024;
 /// FetchChunk (reattach-friendly).
 inline constexpr size_t kInlineChunkLimit = 4;
 
+/// Service-level resilience counters: how often the RPC seam and the result
+/// stream failed (injected or real), and how often clients reattached to a
+/// buffered operation instead of re-executing.
+struct ConnectServiceStats {
+  uint64_t rpcs = 0;
+  uint64_t rpc_faults = 0;       ///< HandleRpc failed at the transport seam
+  uint64_t fetches = 0;
+  uint64_t stream_faults = 0;    ///< FetchChunk failed at the stream seam
+  uint64_t reattaches = 0;       ///< Execute served a buffered header again
+};
+
 /// The Spark Connect service of one cluster: authenticates tokens to users,
 /// maps connections to sessions, runs plans/commands through the engine
 /// under the session identity, and streams results back as IPC chunks.
@@ -82,6 +93,10 @@ class ConnectService {
 
   QueryEngine* engine() { return engine_; }
   Cluster* cluster() { return cluster_; }
+  /// The service clock — clients charge their retry backoff here so client
+  /// and server share one (possibly simulated) timeline.
+  Clock* clock() const { return clock_; }
+  ConnectServiceStats service_stats() const;
 
  private:
   struct Operation {
@@ -102,6 +117,7 @@ class ConnectService {
   std::map<std::string, std::string> tokens_;  // token -> user
   std::map<std::string, SessionInfo> sessions_;
   std::map<std::string, Operation> operations_;  // operation_id -> op
+  ConnectServiceStats service_stats_;
 };
 
 }  // namespace lakeguard

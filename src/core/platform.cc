@@ -47,7 +47,7 @@ LakeguardPlatform::LakeguardPlatform(Options options)
   serverless_handle_ = MakeHandle(serverless_cluster, /*dedicated=*/false);
   serverless_backend_ = std::make_unique<ServerlessBackend>(
       serverless_handle_->engine.get(), store_.get(), catalog_.get(),
-      options_.efgac_spill_threshold_bytes);
+      options_.efgac_spill_threshold_bytes, clock_);
   efgac_remote_ =
       std::make_unique<EfgacRemoteExecutor>(serverless_backend_.get());
   efgac_rewriter_ = std::make_unique<EfgacRewriter>(

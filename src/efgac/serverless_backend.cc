@@ -1,6 +1,7 @@
 #include "efgac/serverless_backend.h"
 
 #include "columnar/ipc.h"
+#include "common/fault.h"
 #include "common/id.h"
 
 namespace lakeguard {
@@ -19,14 +20,18 @@ ExecutionContext ServerlessBackend::MakeContext(
 Result<Schema> ServerlessBackend::AnalyzeRemote(const PlanPtr& plan,
                                                 const std::string& user) {
   ++stats_.analyze_calls;
+  // The analyze RPC crosses the same service boundary as execution.
+  LG_RETURN_IF_ERROR(fault::Inject("efgac.analyze", clock_));
   LG_ASSIGN_OR_RETURN(AnalysisResult analysis,
                       engine_->AnalyzePlan(plan, MakeContext(user)));
   return analysis.output_schema;
 }
 
-Result<Table> ServerlessBackend::ExecuteRemote(const PlanPtr& plan,
-                                               const std::string& user) {
-  ++stats_.execute_calls;
+Result<Table> ServerlessBackend::ExecuteOnce(const PlanPtr& plan,
+                                             const std::string& user) {
+  // Remote-scan seam: the serverless endpoint is a separate service the
+  // origin cluster reaches over the network (§3.4).
+  LG_RETURN_IF_ERROR(fault::Inject("efgac.execute", clock_));
   LG_ASSIGN_OR_RETURN(Table result,
                       engine_->ExecutePlan(plan, MakeContext(user)));
 
@@ -37,31 +42,59 @@ Result<Table> ServerlessBackend::ExecuteRemote(const PlanPtr& plan,
 
   // Large result: persist intermediate data in cloud storage (parallel on a
   // real deployment) and re-read on the origin side. The spill objects are
-  // managed by the trusted control plane.
+  // managed by the trusted control plane. Storage IO gets a small per-call
+  // retry budget of its own — object stores fail per-request.
+  RetryPolicy io_retry;
+  io_retry.max_attempts = 3;
+  io_retry.backoff.initial_micros = 20'000;
   ++stats_.spilled_results;
   const std::string& token = catalog_->system_token();
   std::string prefix = "mem://efgac-spill/" + IdGenerator::Next("res") + "/";
   size_t index = 0;
   std::vector<std::string> paths;
+  RetryStats io_stats;
   for (const RecordBatch& batch : result.batches()) {
     std::vector<uint8_t> frame = ipc::SerializeBatch(batch);
     stats_.spilled_bytes += frame.size();
     std::string path = prefix + "part-" + std::to_string(index++);
-    LG_RETURN_IF_ERROR(store_->Put(token, path, std::move(frame)));
+    LG_RETURN_IF_ERROR(RetryStatusCall(
+        io_retry, clock_,
+        [&] { return store_->Put(token, path, frame); }, &io_stats));
     paths.push_back(std::move(path));
   }
 
   Table reread(result.schema());
   for (const std::string& path : paths) {
-    LG_ASSIGN_OR_RETURN(std::vector<uint8_t> frame, store_->Get(token, path));
+    LG_ASSIGN_OR_RETURN(
+        std::vector<uint8_t> frame,
+        RetryCall<std::vector<uint8_t>>(
+            io_retry, clock_, [&] { return store_->Get(token, path); },
+            &io_stats));
     LG_ASSIGN_OR_RETURN(RecordBatch batch, ipc::DeserializeBatch(frame));
     LG_RETURN_IF_ERROR(reread.AppendBatch(std::move(batch)));
   }
+  stats_.remote_retries += io_stats.retries;
   // Spill objects are ephemeral; delete after the origin has consumed them.
   for (const std::string& path : paths) {
     LG_RETURN_IF_ERROR(store_->Delete(token, path));
   }
   return reread;
+}
+
+Result<Table> ServerlessBackend::ExecuteRemote(const PlanPtr& plan,
+                                               const std::string& user) {
+  ++stats_.execute_calls;
+  RetryStats retry_stats;
+  Result<Table> result = RetryCall<Table>(
+      retry_policy_, clock_, [&] { return ExecuteOnce(plan, user); },
+      &retry_stats);
+  stats_.remote_retries += retry_stats.retries;
+  stats_.deadline_hits += retry_stats.deadline_hits;
+  if (!result.ok()) {
+    ++stats_.remote_failures;
+    return result.status().WithContext("eFGAC remote execution");
+  }
+  return result;
 }
 
 Result<Table> EfgacRemoteExecutor::ExecuteRemote(

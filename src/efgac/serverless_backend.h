@@ -5,17 +5,24 @@
 #include <string>
 
 #include "cluster/cluster.h"
+#include "common/retry.h"
 #include "engine/engine.h"
 
 namespace lakeguard {
 
-/// Counters distinguishing the two result-return modes of §3.4.
+/// Counters distinguishing the two result-return modes of §3.4, plus
+/// resilience counters for the remote-scan seam (the origin cluster calls a
+/// *different service* here, so transient failures and deadlines are part of
+/// the contract, not exceptional).
 struct EfgacStats {
   uint64_t analyze_calls = 0;
   uint64_t execute_calls = 0;
   uint64_t inline_results = 0;
   uint64_t spilled_results = 0;
   uint64_t spilled_bytes = 0;
+  uint64_t remote_retries = 0;   ///< retried remote executions / spill IO
+  uint64_t deadline_hits = 0;    ///< retry budgets that ran out of time
+  uint64_t remote_failures = 0;  ///< remote calls that failed terminally
 };
 
 /// The Serverless Spark endpoint that executes eFGAC sub-queries (§3.4).
@@ -26,14 +33,27 @@ struct EfgacStats {
 class ServerlessBackend {
  public:
   /// `engine` must be wired with a Standard-cluster dispatcher; `store` is
-  /// used for large-result spill.
+  /// used for large-result spill. `clock`, when provided, charges retry
+  /// backoff and enforces the remote-call deadline; without one, retries
+  /// are attempt-bounded only.
   ServerlessBackend(QueryEngine* engine, ObjectStore* store,
                     UnityCatalog* catalog,
-                    size_t spill_threshold_bytes = 256 * 1024)
+                    size_t spill_threshold_bytes = 256 * 1024,
+                    Clock* clock = nullptr)
       : engine_(engine),
         store_(store),
         catalog_(catalog),
-        spill_threshold_bytes_(spill_threshold_bytes) {}
+        spill_threshold_bytes_(spill_threshold_bytes),
+        clock_(clock) {
+    // Remote sub-queries get a modest retry budget under an overall
+    // deadline: the origin cluster must fail a query with a typed error
+    // rather than hang when the serverless endpoint is down (§3.4).
+    retry_policy_.max_attempts = 3;
+    retry_policy_.backoff.initial_micros = 100'000;
+    retry_policy_.backoff.multiplier = 4.0;
+    retry_policy_.backoff.max_micros = 5'000'000;
+    retry_policy_.deadline_micros = 30'000'000;
+  }
 
   /// Remote AnalyzePlan: types the sub-query for the origin cluster's
   /// RemoteScan node without releasing policy details.
@@ -47,13 +67,19 @@ class ServerlessBackend {
   const EfgacStats& stats() const { return stats_; }
   void ResetStats() { stats_ = EfgacStats(); }
 
+  /// Replaces the remote-call retry policy (tests tighten deadlines here).
+  void set_retry_policy(RetryPolicy policy) { retry_policy_ = policy; }
+
  private:
   ExecutionContext MakeContext(const std::string& user) const;
+  Result<Table> ExecuteOnce(const PlanPtr& plan, const std::string& user);
 
   QueryEngine* engine_;
   ObjectStore* store_;
   UnityCatalog* catalog_;
   size_t spill_threshold_bytes_;
+  Clock* clock_;
+  RetryPolicy retry_policy_;
   EfgacStats stats_;
 };
 

@@ -1,9 +1,14 @@
 #include "sandbox/dispatcher.h"
 
+#include "common/fault.h"
+
 namespace lakeguard {
 
 Result<std::unique_ptr<Sandbox>> LocalSandboxProvisioner::Provision(
     const std::string& trust_domain, const SandboxPolicy& policy) {
+  // The cluster-manager call that creates the container can fail or stall
+  // independently of this host (§4, Fig. 7).
+  LG_RETURN_IF_ERROR(fault::Inject("dispatcher.provision", clock_));
   // Provisioning the container and starting the interpreter inside it is
   // modeled as clock time (virtual in tests/benchmarks of cold start).
   clock_->AdvanceMicros(cold_start_micros_);
@@ -35,11 +40,23 @@ Result<Sandbox*> Dispatcher::Acquire(const std::string& session_id,
     sandboxes_.erase(it);
     ++stats_.evictions;
   }
-  LG_ASSIGN_OR_RETURN(std::unique_ptr<Sandbox> sandbox,
-                      provisioner_->Provision(trust_domain, policy));
+  // A failed provision attempt leaves no cached entry behind, so each retry
+  // (and any later acquisition) starts from a fresh sandbox.
+  RetryStats retry_stats;
+  Result<std::unique_ptr<Sandbox>> sandbox = RetryCall<std::unique_ptr<Sandbox>>(
+      provision_retry_, clock_,
+      [&] { return provisioner_->Provision(trust_domain, policy); },
+      &retry_stats);
+  stats_.provision_retries += retry_stats.retries;
+  stats_.provision_deadline_hits += retry_stats.deadline_hits;
+  if (!sandbox.ok()) {
+    ++stats_.provision_failures;
+    return sandbox.status().WithContext("provisioning sandbox for '" +
+                                        trust_domain + "'");
+  }
   ++stats_.cold_starts;
-  Sandbox* raw = sandbox.get();
-  sandboxes_[key] = std::move(sandbox);
+  Sandbox* raw = sandbox->get();
+  sandboxes_[key] = std::move(*sandbox);
   return raw;
 }
 

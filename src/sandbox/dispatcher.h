@@ -8,6 +8,7 @@
 
 #include "common/clock.h"
 #include "common/id.h"
+#include "common/retry.h"
 #include "sandbox/sandbox.h"
 
 namespace lakeguard {
@@ -42,11 +43,18 @@ class LocalSandboxProvisioner : public SandboxProvisioner {
   int64_t cold_start_micros_;
 };
 
-/// Dispatcher counters (cold-start amortization analysis, §5).
+/// Dispatcher counters (cold-start amortization analysis, §5; provisioning
+/// resilience counters so chaos benches can report retry behaviour).
 struct DispatcherStats {
   uint64_t cold_starts = 0;
   uint64_t reuses = 0;
   uint64_t evictions = 0;
+  /// Provision attempts beyond the first, across all acquisitions.
+  uint64_t provision_retries = 0;
+  /// Acquisitions that failed even after retrying.
+  uint64_t provision_failures = 0;
+  /// Retry loops aborted because the backoff schedule hit the deadline.
+  uint64_t provision_deadline_hits = 0;
 };
 
 /// Manages the sandboxes of one host (Fig. 7): acquisition keyed by
@@ -58,10 +66,24 @@ struct DispatcherStats {
 class Dispatcher {
  public:
   explicit Dispatcher(SandboxProvisioner* provisioner, Clock* clock)
-      : provisioner_(provisioner), clock_(clock) {}
+      : provisioner_(provisioner), clock_(clock) {
+    // Provisioning talks to the cluster manager, which fails independently
+    // of the dispatcher (§4, Fig. 7): bounded retries with exponential
+    // backoff charged to the clock, then a typed error to the caller.
+    provision_retry_.max_attempts = 3;
+    provision_retry_.backoff.initial_micros = 100'000;
+    provision_retry_.backoff.multiplier = 2.0;
+    provision_retry_.backoff.max_micros = 1'000'000;
+  }
 
   Dispatcher(const Dispatcher&) = delete;
   Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Replaces the provisioning retry policy (tests tighten deadlines here).
+  void set_provision_retry_policy(RetryPolicy policy) {
+    std::lock_guard<std::mutex> lock(mu_);
+    provision_retry_ = policy;
+  }
 
   /// Returns the sandbox for (session, trust_domain), provisioning on first
   /// use. If the cached sandbox's policy no longer matches, it is replaced
@@ -88,6 +110,7 @@ class Dispatcher {
   // key: session_id + '\n' + trust_domain
   std::map<std::string, std::unique_ptr<Sandbox>> sandboxes_;
   DispatcherStats stats_;
+  RetryPolicy provision_retry_;
 };
 
 }  // namespace lakeguard

@@ -1,6 +1,7 @@
 #include "serverless/gateway.h"
 
 #include "columnar/ipc.h"
+#include "common/fault.h"
 #include "common/id.h"
 
 namespace lakeguard {
@@ -21,7 +22,10 @@ Result<GatewayBackend*> SparkConnectGateway::AcquireBackend() {
       return backend.get();
     }
   }
-  // All backends at capacity: provision a new one (cold start).
+  // All backends at capacity: provision a new one (cold start). Backend
+  // provisioning goes to the same cluster manager as sandbox provisioning
+  // and fails independently of the gateway (§6.2, Fig. 10).
+  LG_RETURN_IF_ERROR(fault::Inject("gateway.provision", clock_));
   clock_->AdvanceMicros(config_.backend_cold_start_micros);
   backends_.push_back(factory_());
   ++stats_.backends_provisioned;
@@ -61,7 +65,9 @@ Result<Table> SparkConnectGateway::ExecuteSql(
   request.sql = sql;
   ConnectResponse response = placement.backend->service()->Execute(request);
   if (!response.ok) {
-    return Status(StatusCode::kInternal,
+    // Preserve the backend's typed code (audit: kInternal flattened every
+    // error, hiding permission denials from gateway callers).
+    return Status(StatusCodeFromString(response.error_code),
                   "backend error [" + response.error_code + "]: " +
                       response.error_message);
   }

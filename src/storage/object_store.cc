@@ -1,11 +1,14 @@
 #include "storage/object_store.h"
 
+#include "common/fault.h"
 #include "common/strings.h"
 
 namespace lakeguard {
 
 Status ObjectStore::Put(const std::string& token, const std::string& path,
                         std::vector<uint8_t> data) {
+  // Cloud object stores fail per-request; callers own the retry budget.
+  LG_RETURN_IF_ERROR(fault::Inject("storage.put"));
   auto auth = authority_->Authorize(token, path, StorageOp::kWrite);
   std::lock_guard<std::mutex> lock(mu_);
   if (!auth.ok()) {
@@ -20,6 +23,7 @@ Status ObjectStore::Put(const std::string& token, const std::string& path,
 
 Result<std::vector<uint8_t>> ObjectStore::Get(const std::string& token,
                                               const std::string& path) const {
+  LG_RETURN_IF_ERROR(fault::Inject("storage.get"));
   auto auth = authority_->Authorize(token, path, StorageOp::kRead);
   std::lock_guard<std::mutex> lock(mu_);
   if (!auth.ok()) {

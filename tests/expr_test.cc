@@ -389,5 +389,143 @@ TEST(ExprSerdeErrorTest, GarbageRejected) {
   EXPECT_FALSE(DeserializeExpr(&r).ok());
 }
 
+// ---- Property-style randomized serde ----------------------------------------------
+//
+// Seeded random expression trees: every generated tree must round-trip to a
+// structurally equal tree consuming the whole buffer, every strict prefix of
+// its encoding must fail to decode, and corrupted encodings must return a
+// Status (possibly OK with a still-valid tree) — never crash.
+
+class ExprRng {
+ public:
+  explicit ExprRng(uint64_t seed) : state_(seed ? seed : 0x9e3779b9) {}
+  uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+  size_t Below(size_t n) { return n == 0 ? 0 : Next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+ExprPtr RandomLeaf(ExprRng& rng) {
+  switch (rng.Below(7)) {
+    case 0:
+      return LitInt(static_cast<int64_t>(rng.Below(2000)) - 1000);
+    case 1:
+      return LitDouble(static_cast<double>(rng.Below(1000)) * 0.25);
+    case 2:
+      return LitString("s" + std::to_string(rng.Below(64)));
+    case 3:
+      return LitBool(rng.Below(2) == 0);
+    case 4:
+      return LitNull();
+    case 5:
+      return ColIdx("r" + std::to_string(rng.Below(8)),
+                    static_cast<int>(rng.Below(8)));
+    default:
+      return Col("c" + std::to_string(rng.Below(8)));
+  }
+}
+
+ExprPtr RandomExprTree(ExprRng& rng, int depth) {
+  if (depth <= 0 || rng.Below(4) == 0) return RandomLeaf(rng);
+  switch (rng.Below(10)) {
+    case 0:
+      return Eq(RandomExprTree(rng, depth - 1), RandomExprTree(rng, depth - 1));
+    case 1:
+      return And(RandomExprTree(rng, depth - 1),
+                 RandomExprTree(rng, depth - 1));
+    case 2:
+      return Or(RandomExprTree(rng, depth - 1), RandomExprTree(rng, depth - 1));
+    case 3:
+      return Not(RandomExprTree(rng, depth - 1));
+    case 4: {
+      std::vector<ExprPtr> args;
+      size_t n = 1 + rng.Below(3);
+      for (size_t i = 0; i < n; ++i) args.push_back(RandomExprTree(rng, depth - 1));
+      return Func("F" + std::to_string(rng.Below(4)), std::move(args));
+    }
+    case 5:
+      return CastTo(RandomExprTree(rng, depth - 1),
+                    rng.Below(2) == 0 ? TypeKind::kInt64 : TypeKind::kString);
+    case 6:
+      return std::make_shared<IsNullExpr>(RandomExprTree(rng, depth - 1),
+                                          rng.Below(2) == 0);
+    case 7:
+      return std::make_shared<LikeExpr>(RandomExprTree(rng, depth - 1),
+                                        "a%b_" + std::to_string(rng.Below(4)),
+                                        rng.Below(2) == 0);
+    case 8: {
+      std::vector<CaseExpr::Branch> branches;
+      branches.push_back({Eq(Col("x"), LitInt(static_cast<int64_t>(rng.Below(9)))),
+                          RandomExprTree(rng, depth - 1)});
+      return std::make_shared<CaseExpr>(std::move(branches),
+                                        RandomExprTree(rng, depth - 1));
+    }
+    default:
+      return std::make_shared<InExpr>(
+          RandomExprTree(rng, depth - 1),
+          std::vector<Value>{Value::String("US"),
+                             Value::Int(static_cast<int64_t>(rng.Below(5)))},
+          rng.Below(2) == 0);
+  }
+}
+
+class ExprPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExprPropertyTest, RandomExprRoundTripsExactly) {
+  ExprRng rng(0xE100 + GetParam());
+  for (int i = 0; i < 60; ++i) {
+    ExprPtr original = RandomExprTree(rng, 4);
+    ByteWriter w;
+    SerializeExpr(original, &w);
+    ByteReader r(w.data());
+    auto back = DeserializeExpr(&r);
+    ASSERT_TRUE(back.ok()) << back.status() << "\n" << original->ToString();
+    EXPECT_TRUE((*back)->Equals(*original)) << original->ToString();
+    EXPECT_TRUE(r.AtEnd()) << original->ToString();
+  }
+}
+
+TEST_P(ExprPropertyTest, EveryStrictPrefixIsRejected) {
+  ExprRng rng(0xE200 + GetParam());
+  for (int i = 0; i < 8; ++i) {
+    ByteWriter w;
+    SerializeExpr(RandomExprTree(rng, 3), &w);
+    const std::vector<uint8_t>& full = w.data();
+    for (size_t len = 0; len < full.size(); ++len) {
+      std::vector<uint8_t> prefix(full.begin(),
+                                  full.begin() + static_cast<long>(len));
+      ByteReader r(prefix);
+      EXPECT_FALSE(DeserializeExpr(&r).ok())
+          << "prefix of length " << len << "/" << full.size() << " decoded";
+    }
+  }
+}
+
+TEST_P(ExprPropertyTest, CorruptedBytesErrorOrDecodeNeverCrash) {
+  ExprRng rng(0xE300 + GetParam());
+  for (int i = 0; i < 60; ++i) {
+    ByteWriter w;
+    SerializeExpr(RandomExprTree(rng, 3), &w);
+    std::vector<uint8_t> bytes = w.data();
+    for (int flips = 0; flips < 3; ++flips) {
+      bytes[rng.Below(bytes.size())] ^=
+          static_cast<uint8_t>(1 + rng.Below(255));
+    }
+    ByteReader r(bytes);
+    auto back = DeserializeExpr(&r);  // Status, never a crash
+    if (back.ok()) {
+      EXPECT_FALSE((*back)->ToString().empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprPropertyTest, ::testing::Range(0, 4));
+
 }  // namespace
 }  // namespace lakeguard

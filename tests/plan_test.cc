@@ -132,5 +132,145 @@ TEST(PlanSerdeErrorTest, TruncationRejected) {
   EXPECT_FALSE(PlanFromBytes(bytes).ok());
 }
 
+// ---- Property-style randomized serde ----------------------------------------------
+//
+// A seeded generator builds arbitrary plan trees from every node kind; each
+// must survive a byte round-trip structurally intact, every strict prefix of
+// its encoding must decode to an error (never a silently shorter plan), and
+// corrupted encodings must error or decode — never crash.
+
+class PlanRng {
+ public:
+  explicit PlanRng(uint64_t seed) : state_(seed ? seed : 0x9e3779b9) {}
+  uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+  size_t Below(size_t n) { return n == 0 ? 0 : Next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+ExprPtr RandomPredicate(PlanRng& rng) {
+  ExprPtr probe = Col("c" + std::to_string(rng.Below(4)));
+  ExprPtr lit = LitInt(static_cast<int64_t>(rng.Below(100)));
+  switch (rng.Below(4)) {
+    case 0:
+      return Eq(probe, lit);
+    case 1:
+      return And(Eq(probe, lit), Eq(Col("tag"), LitString("x")));
+    case 2:
+      return Func("ABS", {probe});
+    default:
+      return Eq(Col("k"), lit);
+  }
+}
+
+PlanPtr RandomPlan(PlanRng& rng, int depth) {
+  if (depth <= 0 || rng.Below(5) == 0) {
+    switch (rng.Below(3)) {
+      case 0:
+        return MakeTableRef("cat.s.t" + std::to_string(rng.Below(4)));
+      case 1:
+        return MakeLocalRelation(OneRowBatch());
+      default: {
+        Schema schema({{"a", TypeKind::kInt64, rng.Below(2) == 0},
+                       {"s", TypeKind::kString, true}});
+        return MakeResolvedScan("cat.s.r" + std::to_string(rng.Below(3)),
+                                "mem://loc/" + std::to_string(rng.Below(3)),
+                                schema);
+      }
+    }
+  }
+  switch (rng.Below(8)) {
+    case 0: {
+      size_t n = 1 + rng.Below(3);
+      std::vector<ExprPtr> exprs;
+      std::vector<std::string> names;
+      for (size_t i = 0; i < n; ++i) {
+        exprs.push_back(RandomPredicate(rng));
+        names.push_back("p" + std::to_string(i));
+      }
+      return MakeProject(RandomPlan(rng, depth - 1), std::move(exprs),
+                         std::move(names));
+    }
+    case 1:
+      return MakeFilter(RandomPlan(rng, depth - 1), RandomPredicate(rng));
+    case 2:
+      return MakeLimit(RandomPlan(rng, depth - 1),
+                       static_cast<int64_t>(rng.Below(1000)));
+    case 3:
+      return MakeSort(RandomPlan(rng, depth - 1),
+                      {{Col("a"), rng.Below(2) == 0},
+                       {Col("s"), rng.Below(2) == 0}});
+    case 4: {
+      JoinType type = static_cast<JoinType>(rng.Below(3));
+      ExprPtr cond =
+          type == JoinType::kCross ? nullptr : Eq(Col("x"), Col("y"));
+      return MakeJoin(RandomPlan(rng, depth - 1), RandomPlan(rng, depth - 1),
+                      type, std::move(cond));
+    }
+    case 5:
+      return MakeAggregate(RandomPlan(rng, depth - 1), {Col("g")}, {"g"},
+                           {Func("SUM", {Col("v")}), Func("COUNT", {LitInt(1)})},
+                           {"total", "n"});
+    case 6:
+      return MakeSecureView(RandomPlan(rng, depth - 1),
+                            "cat.s.v" + std::to_string(rng.Below(3)));
+    default: {
+      Schema schema({{"a", TypeKind::kInt64, true}});
+      return MakeRemoteScan(RandomPlan(rng, depth - 1), "serverless-efgac",
+                            schema);
+    }
+  }
+}
+
+class PlanPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanPropertyTest, RandomPlanRoundTripsStructurally) {
+  PlanRng rng(0x9100 + GetParam());
+  for (int i = 0; i < 40; ++i) {
+    PlanPtr original = RandomPlan(rng, 4);
+    auto back = PlanFromBytes(PlanToBytes(original));
+    ASSERT_TRUE(back.ok()) << back.status() << "\n"
+                           << original->ToTreeString();
+    EXPECT_TRUE((*back)->Equals(*original)) << original->ToTreeString();
+  }
+}
+
+TEST_P(PlanPropertyTest, EveryStrictPrefixIsRejected) {
+  PlanRng rng(0x9200 + GetParam());
+  for (int i = 0; i < 5; ++i) {
+    std::vector<uint8_t> full = PlanToBytes(RandomPlan(rng, 3));
+    for (size_t len = 0; len < full.size(); ++len) {
+      std::vector<uint8_t> prefix(full.begin(),
+                                  full.begin() + static_cast<long>(len));
+      EXPECT_FALSE(PlanFromBytes(prefix).ok())
+          << "prefix of length " << len << "/" << full.size() << " decoded";
+    }
+  }
+}
+
+TEST_P(PlanPropertyTest, CorruptedBytesErrorOrDecodeNeverCrash) {
+  PlanRng rng(0x9300 + GetParam());
+  for (int i = 0; i < 40; ++i) {
+    std::vector<uint8_t> bytes = PlanToBytes(RandomPlan(rng, 3));
+    for (int flips = 0; flips < 4; ++flips) {
+      bytes[rng.Below(bytes.size())] ^=
+          static_cast<uint8_t>(1 + rng.Below(255));
+    }
+    auto back = PlanFromBytes(bytes);  // Status, never a crash
+    if (back.ok()) {
+      // Whatever survived must still be a well-formed, printable tree.
+      EXPECT_FALSE((*back)->ToTreeString().empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanPropertyTest, ::testing::Range(0, 4));
+
 }  // namespace
 }  // namespace lakeguard

@@ -7,8 +7,10 @@
 
 #include <atomic>
 #include <thread>
+#include <tuple>
 
 #include "columnar/ipc.h"
+#include "common/fault.h"
 #include "connect/protocol.h"
 #include "core/platform.h"
 #include "expr/expr_serde.h"
@@ -279,6 +281,309 @@ TEST(ConcurrencyTest, ObjectStoreParallelReadersAndWriters) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(errors.load(), 0);
+}
+
+// ---- Chaos: fault-injected failure scenarios --------------------------------------
+//
+// Every scenario arms named fault points (src/common/fault.h) and asserts
+// the retry/backoff machinery masks transient failures without bending
+// correctness: row-exact results, typed terminal errors, no hangs.
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Instance().Reset();
+    FaultInjector::Instance().Reseed(7);
+  }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+
+  /// A batch big enough to force server-side chunk buffering (> 4 chunks of
+  /// 1024 rows) so the client exercises the FetchChunk stream.
+  static RecordBatch BigBatch(int64_t rows) {
+    TableBuilder builder(Schema({{"i", TypeKind::kInt64, false},
+                                 {"tag", TypeKind::kString, false}}));
+    for (int64_t i = 0; i < rows; ++i) {
+      EXPECT_TRUE(builder
+                      .AppendRow({Value::Int(i),
+                                  Value::String("r" + std::to_string(i))})
+                      .ok());
+    }
+    return *builder.Build().Combine();
+  }
+
+  static void VerifyBigBatchRows(const Table& table, int64_t rows) {
+    auto combined = table.Combine();
+    ASSERT_TRUE(combined.ok());
+    ASSERT_EQ(combined->num_rows(), static_cast<size_t>(rows));
+    for (int64_t i = 0; i < rows; i += 617) {  // sampled row-exactness check
+      EXPECT_EQ(combined->CellAt(static_cast<size_t>(i), 0).int_value(), i);
+      EXPECT_EQ(combined->CellAt(static_cast<size_t>(i), 1).string_value(),
+                "r" + std::to_string(i));
+    }
+    EXPECT_EQ(combined->CellAt(static_cast<size_t>(rows - 1), 0).int_value(),
+              rows - 1);
+  }
+};
+
+TEST_F(ChaosTest, ProvisionFailsTwiceThenSucceeds) {
+  SimulatedClock clock(0);
+  SimulatedHostEnvironment env(&clock);
+  LocalSandboxProvisioner provisioner(&env, &clock, 2'000'000);
+  Dispatcher dispatcher(&provisioner, &clock);
+  ScopedFault fault("dispatcher.provision", FaultPolicy::FailTimes(2));
+  auto sandbox = dispatcher.Acquire("s", "owner", SandboxPolicy::LockedDown());
+  ASSERT_TRUE(sandbox.ok()) << sandbox.status();
+  DispatcherStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.provision_retries, 2u);
+  EXPECT_EQ(stats.provision_failures, 0u);
+  EXPECT_EQ(stats.cold_starts, 1u);
+  EXPECT_EQ(dispatcher.ActiveSandboxCount(), 1u);
+  // Two backoffs (100ms, 200ms) plus exactly one cold start: the failed
+  // attempts never charge provisioning time.
+  EXPECT_EQ(clock.NowMicros(), 100'000 + 200'000 + 2'000'000);
+}
+
+TEST_F(ChaosTest, ProvisionExhaustionIsTypedAndLeavesNoSandbox) {
+  SimulatedClock clock(0);
+  SimulatedHostEnvironment env(&clock);
+  LocalSandboxProvisioner provisioner(&env, &clock, 2'000'000);
+  Dispatcher dispatcher(&provisioner, &clock);
+  ScopedFault fault("dispatcher.provision", FaultPolicy::FailTimes(100));
+  auto sandbox = dispatcher.Acquire("s", "owner", SandboxPolicy::LockedDown());
+  ASSERT_FALSE(sandbox.ok());
+  EXPECT_EQ(sandbox.status().code(), StatusCode::kAborted);
+  EXPECT_NE(sandbox.status().message().find("after 2 retries"),
+            std::string::npos)
+      << sandbox.status();
+  DispatcherStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.provision_failures, 1u);
+  EXPECT_EQ(stats.cold_starts, 0u);
+  EXPECT_EQ(dispatcher.ActiveSandboxCount(), 0u);
+}
+
+TEST_F(ChaosTest, ProvisionDeadlineCutsRetryStorm) {
+  SimulatedClock clock(0);
+  SimulatedHostEnvironment env(&clock);
+  LocalSandboxProvisioner provisioner(&env, &clock, 2'000'000);
+  Dispatcher dispatcher(&provisioner, &clock);
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.backoff.initial_micros = 100'000;
+  policy.deadline_micros = 250'000;
+  dispatcher.set_provision_retry_policy(policy);
+  ScopedFault fault("dispatcher.provision", FaultPolicy::FailTimes(1000));
+  auto sandbox = dispatcher.Acquire("s", "owner", SandboxPolicy::LockedDown());
+  ASSERT_FALSE(sandbox.ok());
+  EXPECT_EQ(sandbox.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(dispatcher.stats().provision_deadline_hits, 1u);
+  EXPECT_LE(clock.NowMicros(), 250'000);
+}
+
+TEST_F(ChaosTest, RpcFaultIsRetriedTransparently) {
+  LakeguardPlatform platform;
+  ASSERT_TRUE(platform.AddUser("admin").ok());
+  platform.AddMetastoreAdmin("admin");
+  platform.RegisterToken("tok", "admin");
+  ClusterHandle* cluster = platform.CreateStandardCluster();
+  auto client = platform.Connect(cluster, "tok");
+  ASSERT_TRUE(client.ok());
+  ScopedFault fault("connect.rpc", FaultPolicy::FailTimes(1));
+  auto table = client->FromBatch(BigBatch(10)).Collect();
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->Combine()->num_rows(), 10u);
+  EXPECT_GE(client->stats().rpc_retries, 1u);
+  EXPECT_EQ(cluster->service->service_stats().rpc_faults, 1u);
+}
+
+TEST_F(ChaosTest, StreamDropMidFetchResumesAtExactChunk) {
+  LakeguardPlatform platform;
+  ASSERT_TRUE(platform.AddUser("admin").ok());
+  platform.AddMetastoreAdmin("admin");
+  platform.RegisterToken("tok", "admin");
+  ClusterHandle* cluster = platform.CreateStandardCluster();
+  auto client = platform.Connect(cluster, "tok");
+  ASSERT_TRUE(client.ok());
+  const int64_t kRows = 6000;  // 6 chunks > inline limit -> buffered fetch
+  DataFrame df = client->FromBatch(BigBatch(kRows));
+  ScopedFault fault("connect.stream", FaultPolicy::FailTimes(2));
+  auto table = df.Collect();
+  ASSERT_TRUE(table.ok()) << table.status();
+  VerifyBigBatchRows(*table, kRows);  // no duplicated or skipped rows
+  EXPECT_GE(client->stats().chunk_retries, 2u);
+  ConnectServiceStats stats = cluster->service->service_stats();
+  EXPECT_EQ(stats.stream_faults, 2u);
+  // Every chunk was eventually served exactly once, plus the two re-fetches.
+  EXPECT_EQ(stats.fetches, static_cast<uint64_t>(kRows / 1024 + 1) + 2);
+}
+
+TEST_F(ChaosTest, RetriedExecuteReattachesToBufferedResult) {
+  LakeguardPlatform platform;
+  ASSERT_TRUE(platform.AddUser("admin").ok());
+  platform.AddMetastoreAdmin("admin");
+  platform.RegisterToken("tok", "admin");
+  ClusterHandle* cluster = platform.CreateStandardCluster();
+  auto client = platform.Connect(cluster, "tok");
+  ASSERT_TRUE(client.ok());
+  DataFrame df = client->FromBatch(BigBatch(6000));
+  ConnectRequest request;
+  request.session_id = client->session_id();
+  request.auth_token = "tok";
+  request.operation_id = "op-reattach";
+  request.plan_bytes = PlanToBytes(df.plan());
+  ConnectResponse first = cluster->service->Execute(request);
+  ASSERT_TRUE(first.ok) << first.error_message;
+  ASSERT_GT(first.total_chunks, 0u);
+  // The "response was lost" retry: same operation id answers from the
+  // buffer — the plan is not executed a second time.
+  ConnectResponse second = cluster->service->Execute(request);
+  ASSERT_TRUE(second.ok) << second.error_message;
+  EXPECT_EQ(second.total_chunks, first.total_chunks);
+  EXPECT_EQ(second.operation_id, first.operation_id);
+  EXPECT_EQ(cluster->service->service_stats().reattaches, 1u);
+}
+
+TEST_F(ChaosTest, AttachFaultDoesNotBounceAuthenticatedUser) {
+  LakeguardPlatform platform;
+  ASSERT_TRUE(platform.AddUser("admin").ok());
+  platform.AddMetastoreAdmin("admin");
+  platform.RegisterToken("tok", "admin");
+  ClusterHandle* cluster = platform.CreateStandardCluster();
+  ScopedFault fault("cluster.attach", FaultPolicy::FailTimes(1));
+  auto client = platform.Connect(cluster, "tok");
+  ASSERT_TRUE(client.ok()) << client.status();  // admission retry absorbed it
+}
+
+TEST_F(ChaosTest, ServerlessDeadlineExceededIsTypedNotAHang) {
+  LakeguardPlatform platform;
+  ServerlessBackend& backend = platform.serverless_backend();
+  RetryPolicy policy;
+  policy.max_attempts = 1000;  // deadline, not attempts, must end the loop
+  policy.backoff.initial_micros = 500'000;
+  policy.backoff.multiplier = 2.0;
+  policy.backoff.max_micros = 4'000'000;
+  policy.deadline_micros = 5'000'000;
+  backend.set_retry_policy(policy);
+  ScopedFault fault("efgac.execute", FaultPolicy::FailWithProbability(1.0));
+  auto result = backend.ExecuteRemote(MakeTableRef("main.s.t"), "nobody");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(backend.stats().deadline_hits, 1u);
+  EXPECT_EQ(backend.stats().remote_failures, 1u);
+}
+
+TEST_F(ChaosTest, ServerlessTransientFaultIsRetriedToSuccess) {
+  LakeguardPlatform platform;
+  ServerlessBackend& backend = platform.serverless_backend();
+  ASSERT_TRUE(platform.AddUser("admin").ok());
+  platform.AddMetastoreAdmin("admin");
+  ASSERT_TRUE(platform.catalog().CreateCatalog("admin", "main").ok());
+  ASSERT_TRUE(platform.catalog().CreateSchema("admin", "main.s").ok());
+  ClusterHandle* cluster = platform.CreateStandardCluster();
+  auto ctx = platform.DirectContext(cluster, "admin");
+  ASSERT_TRUE(ctx.ok());
+  ASSERT_TRUE(
+      cluster->engine->ExecuteSql("CREATE TABLE main.s.t (x BIGINT)", *ctx)
+          .ok());
+  ASSERT_TRUE(
+      cluster->engine->ExecuteSql("INSERT INTO main.s.t VALUES (1), (2)", *ctx)
+          .ok());
+  ScopedFault fault("efgac.execute", FaultPolicy::FailTimes(2));
+  auto result = backend.ExecuteRemote(MakeTableRef("main.s.t"), "admin");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->Combine()->num_rows(), 2u);
+  EXPECT_GE(backend.stats().remote_retries, 2u);
+  EXPECT_EQ(backend.stats().remote_failures, 0u);
+}
+
+TEST_F(ChaosTest, ObjectStoreFaultsAreTransientAndRetryable) {
+  SimulatedClock clock(0);
+  CredentialAuthority authority(&clock);
+  ObjectStore store(&authority);
+  auto cred = authority.Issue("w", "c", {"mem://x/*"}, true, 1LL << 40);
+  {
+    ScopedFault fault("storage.put", FaultPolicy::FailTimes(1));
+    Status first = store.Put(cred.token_id, "mem://x/a", {1, 2, 3});
+    EXPECT_TRUE(IsTransientError(first)) << first;  // retry-classifiable
+    EXPECT_TRUE(store.Put(cred.token_id, "mem://x/a", {1, 2, 3}).ok());
+  }
+  {
+    ScopedFault fault("storage.get", FaultPolicy::FailTimes(1));
+    RetryPolicy policy;
+    policy.backoff.initial_micros = 1'000;
+    RetryStats stats;
+    auto got = RetryCall<std::vector<uint8_t>>(
+        policy, &clock, [&] { return store.Get(cred.token_id, "mem://x/a"); },
+        &stats);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(got->size(), 3u);
+    EXPECT_EQ(stats.retries, 1u);
+  }
+}
+
+TEST_F(ChaosTest, GatewayProvisionFaultSurfacesThenRecovers) {
+  LakeguardPlatform platform;
+  ASSERT_TRUE(platform.AddUser("admin").ok());
+  platform.AddMetastoreAdmin("admin");
+  platform.RegisterToken("tok", "admin");
+  {
+    ScopedFault fault("gateway.provision", FaultPolicy::FailTimes(1));
+    auto session = platform.gateway().OpenSession("tok");
+    ASSERT_FALSE(session.ok());
+    EXPECT_TRUE(IsTransientError(session.status())) << session.status();
+  }
+  auto session = platform.gateway().OpenSession("tok");
+  ASSERT_TRUE(session.ok()) << session.status();
+}
+
+TEST_F(ChaosTest, EveryConnectPathPointFailsOnceAndQueryStillSucceeds) {
+  LakeguardPlatform platform;
+  ASSERT_TRUE(platform.AddUser("admin").ok());
+  platform.AddMetastoreAdmin("admin");
+  platform.RegisterToken("tok", "admin");
+  ClusterHandle* cluster = platform.CreateStandardCluster();
+  ScopedFault attach("cluster.attach", FaultPolicy::FailTimes(1));
+  ScopedFault rpc("connect.rpc", FaultPolicy::FailTimes(1));
+  ScopedFault stream("connect.stream", FaultPolicy::FailTimes(1));
+  auto client = platform.Connect(cluster, "tok");
+  ASSERT_TRUE(client.ok()) << client.status();
+  const int64_t kRows = 5000;
+  auto table = client->FromBatch(BigBatch(kRows)).Collect();
+  ASSERT_TRUE(table.ok()) << table.status();
+  VerifyBigBatchRows(*table, kRows);
+  EXPECT_GE(client->stats().rpc_retries, 1u);
+  EXPECT_GE(client->stats().chunk_retries, 1u);
+  EXPECT_EQ(FaultInjector::Instance().TotalInjected(), 3u);
+}
+
+TEST_F(ChaosTest, FixedSeedMakesChaosRunsIdentical) {
+  auto run = [](uint64_t seed) {
+    FaultInjector::Instance().Reset();
+    FaultInjector::Instance().Reseed(seed);
+    LakeguardPlatform platform;
+    (void)platform.AddUser("admin");
+    platform.AddMetastoreAdmin("admin");
+    platform.RegisterToken("tok", "admin");
+    ClusterHandle* cluster = platform.CreateStandardCluster();
+    auto client = platform.Connect(cluster, "tok");
+    EXPECT_TRUE(client.ok());
+    RetryPolicy policy = client->retry_policy();
+    policy.max_attempts = 10;  // plenty of headroom over p=0.3 faults
+    client->set_retry_policy(policy);
+    ScopedFault rpc("connect.rpc", FaultPolicy::FailWithProbability(0.3));
+    ScopedFault stream("connect.stream",
+                       FaultPolicy::FailWithProbability(0.3));
+    auto table = client->FromBatch(BigBatch(6000)).Collect();
+    EXPECT_TRUE(table.ok()) << table.status();
+    ConnectServiceStats stats = cluster->service->service_stats();
+    return std::tuple<size_t, uint64_t, uint64_t, uint64_t, uint64_t>(
+        table.ok() ? (*table->Combine()).num_rows() : 0, stats.rpc_faults,
+        stats.stream_faults, client->stats().rpc_retries,
+        client->stats().chunk_retries);
+  };
+  auto a = run(2024);
+  auto b = run(2024);
+  EXPECT_EQ(a, b);  // same seed -> identical fault sequence and outcome
+  EXPECT_EQ(std::get<0>(a), 6000u);
 }
 
 TEST(ConcurrencyTest, AuditLogParallelWrites) {
