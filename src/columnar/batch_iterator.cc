@@ -1,0 +1,70 @@
+#include "columnar/batch_iterator.h"
+
+namespace lakeguard {
+
+namespace {
+
+class TableBatchIterator : public BatchIterator {
+ public:
+  TableBatchIterator(Table table, size_t max_rows)
+      : table_(std::move(table)), max_rows_(max_rows) {}
+
+  const Schema& schema() const override { return table_.schema(); }
+
+  Result<std::optional<RecordBatch>> Next() override {
+    while (batch_index_ < table_.batches().size()) {
+      const RecordBatch& batch = table_.batches()[batch_index_];
+      if (offset_ >= batch.num_rows()) {
+        ++batch_index_;
+        offset_ = 0;
+        continue;
+      }
+      if (max_rows_ == 0 ||
+          (offset_ == 0 && batch.num_rows() <= max_rows_)) {
+        ++batch_index_;
+        offset_ = 0;
+        return std::optional<RecordBatch>(batch);
+      }
+      size_t take = std::min(max_rows_, batch.num_rows() - offset_);
+      RecordBatch slice = batch.Slice(offset_, take);
+      offset_ += take;
+      return std::optional<RecordBatch>(std::move(slice));
+    }
+    return std::optional<RecordBatch>();
+  }
+
+ private:
+  Table table_;
+  size_t max_rows_;
+  size_t batch_index_ = 0;
+  size_t offset_ = 0;
+};
+
+}  // namespace
+
+BatchIteratorPtr MakeTableIterator(Table table, size_t max_rows) {
+  return std::make_unique<TableBatchIterator>(std::move(table), max_rows);
+}
+
+BatchIteratorPtr MakeBatchIterator(Schema schema, RecordBatch batch,
+                                   size_t max_rows) {
+  Table table(std::move(schema));
+  if (batch.num_rows() > 0 || batch.num_columns() > 0) {
+    Status s = table.AppendBatch(std::move(batch));
+    (void)s;  // schema mismatch is a programming error; surfaces on drain
+  }
+  return std::make_unique<TableBatchIterator>(std::move(table), max_rows);
+}
+
+Result<Table> DrainIterator(BatchIterator* iterator) {
+  Table out(iterator->schema());
+  while (true) {
+    LG_ASSIGN_OR_RETURN(std::optional<RecordBatch> batch, iterator->Next());
+    if (!batch.has_value()) break;
+    if (batch->num_rows() == 0) continue;
+    LG_RETURN_IF_ERROR(out.AppendBatch(std::move(*batch)));
+  }
+  return out;
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,45 @@
+#ifndef LAKEGUARD_COLUMNAR_BATCH_ITERATOR_H_
+#define LAKEGUARD_COLUMNAR_BATCH_ITERATOR_H_
+
+#include <memory>
+#include <optional>
+
+#include "columnar/table.h"
+
+namespace lakeguard {
+
+/// Pull-based stream of record batches — the unit of the streaming
+/// execution pipeline. `Next()` yields the next batch, `std::nullopt` at
+/// end-of-stream, or an error; after end-of-stream (or an error) further
+/// calls keep returning end-of-stream. `schema()` is valid before the
+/// first pull, so consumers (the Connect result header, remote-scan
+/// plumbing) can describe the stream without materializing anything.
+class BatchIterator {
+ public:
+  virtual ~BatchIterator() = default;
+
+  virtual const Schema& schema() const = 0;
+
+  /// Pulls the next batch. Implementations must be cheap to destroy
+  /// mid-stream: a consumer that stops early (LIMIT, a closed Connect
+  /// operation) simply drops the iterator.
+  virtual Result<std::optional<RecordBatch>> Next() = 0;
+};
+
+using BatchIteratorPtr = std::unique_ptr<BatchIterator>;
+
+/// Iterator over an already-materialized table. When `max_rows` is
+/// non-zero, stored batches are re-sliced so no emitted batch exceeds it
+/// (the pipeline's bounded-batch invariant).
+BatchIteratorPtr MakeTableIterator(Table table, size_t max_rows = 0);
+
+/// Iterator over a single batch (optionally re-sliced, as above).
+BatchIteratorPtr MakeBatchIterator(Schema schema, RecordBatch batch,
+                                   size_t max_rows = 0);
+
+/// Drains `iterator` into a table (the collect-all compatibility path).
+Result<Table> DrainIterator(BatchIterator* iterator);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_COLUMNAR_BATCH_ITERATOR_H_

@@ -32,6 +32,11 @@ size_t Column::NullCount() const {
 Column Column::Filter(const std::vector<uint8_t>& mask) const {
   Column out;
   out.kind_ = kind_;
+  size_t selected = 0;
+  for (uint8_t m : mask) {
+    if (m) ++selected;
+  }
+  out.ReserveStorage(selected);
   for (size_t i = 0; i < length_; ++i) {
     if (!mask[i]) continue;
     out.valid_.push_back(valid_[i]);
@@ -61,7 +66,7 @@ Column Column::Take(const std::vector<int64_t>& indices) const {
   Column out;
   out.kind_ = kind_;
   out.length_ = indices.size();
-  out.valid_.reserve(indices.size());
+  out.ReserveStorage(indices.size());
   for (int64_t idx : indices) {
     size_t i = static_cast<size_t>(idx);
     out.valid_.push_back(valid_[i]);
@@ -101,7 +106,14 @@ size_t Column::ByteSize() const {
   bytes += doubles_.size() * sizeof(double);
   bytes += bools_.size();
   for (const std::string& s : strings_) {
-    bytes += s.size() + sizeof(size_t);
+    // Each element costs its object header plus the allocated character
+    // storage (capacity, not size — short strings live in the SSO buffer
+    // already counted by sizeof, longer ones own a heap block). Counting
+    // only s.size() undercounts wide string columns, which skews the
+    // eFGAC inline-vs-spill decision toward "inline" exactly when the
+    // result is most expensive to hold.
+    bytes += sizeof(std::string);
+    if (s.capacity() > sizeof(std::string)) bytes += s.capacity();
   }
   return bytes;
 }
@@ -116,28 +128,30 @@ bool Column::Equals(const Column& other) const {
   return true;
 }
 
-ColumnBuilder::ColumnBuilder(TypeKind kind) { col_.kind_ = kind; }
-
-void ColumnBuilder::Reserve(size_t n) {
-  col_.valid_.reserve(n);
-  switch (col_.kind_) {
+void Column::ReserveStorage(size_t n) {
+  valid_.reserve(n);
+  switch (kind_) {
     case TypeKind::kInt64:
-      col_.ints_.reserve(n);
+      ints_.reserve(n);
       break;
     case TypeKind::kFloat64:
-      col_.doubles_.reserve(n);
+      doubles_.reserve(n);
       break;
     case TypeKind::kBool:
-      col_.bools_.reserve(n);
+      bools_.reserve(n);
       break;
     case TypeKind::kString:
     case TypeKind::kBinary:
-      col_.strings_.reserve(n);
+      strings_.reserve(n);
       break;
     case TypeKind::kNull:
       break;
   }
 }
+
+ColumnBuilder::ColumnBuilder(TypeKind kind) { col_.kind_ = kind; }
+
+void ColumnBuilder::Reserve(size_t n) { col_.ReserveStorage(n); }
 
 void ColumnBuilder::AppendNull() {
   col_.valid_.push_back(0);

@@ -51,6 +51,11 @@ class Column {
  private:
   friend class ColumnBuilder;
 
+  /// Pre-sizes the validity vector and the storage vector matching `kind_`
+  /// for `n` rows — the gather/filter/builder hot paths call this once up
+  /// front instead of reallocating while appending.
+  void ReserveStorage(size_t n);
+
   TypeKind kind_;
   size_t length_;
   std::vector<uint8_t> valid_;

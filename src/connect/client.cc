@@ -101,14 +101,19 @@ Result<::lakeguard::Table> ConnectClient::RoundTrip(ConnectRequest request) cons
   }
   // Large result: stream chunk by chunk. Each chunk is fetched with its own
   // retry budget; a dropped stream resumes at the failed index — chunks
-  // before it are never re-fetched, chunks after it never skipped.
-  for (uint64_t i = 0; i < response->total_chunks; ++i) {
+  // before it are never re-fetched, chunks after it never skipped. The
+  // server produces chunks lazily, so fetch until one carries `last`
+  // (`total_chunks` only counts what was buffered at Execute time); a
+  // legacy non-streaming response is bounded by its exact count instead.
+  for (uint64_t i = 0;; ++i) {
+    if (!response->streaming && i >= response->total_chunks) break;
     LG_ASSIGN_OR_RETURN(ResultChunk chunk,
                         FetchChunkWithRetry(response->operation_id, i));
     LG_ASSIGN_OR_RETURN(RecordBatch batch, ipc::DeserializeBatch(chunk.frame));
     if (batch.num_rows() > 0) {
       LG_RETURN_IF_ERROR(out.AppendBatch(std::move(batch)));
     }
+    if (chunk.last) break;
   }
   service_->CloseOperation(session_id_, response->operation_id);
   return out;

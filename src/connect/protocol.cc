@@ -23,6 +23,7 @@ enum RespField : uint32_t {
   kRespOk = 6,
   kRespErrorCode = 7,
   kRespErrorMessage = 8,
+  kRespStreaming = 9,
 };
 enum ChunkField : uint32_t {
   kChunkIndex = 1,
@@ -138,6 +139,7 @@ std::vector<uint8_t> EncodeResponse(const ConnectResponse& response) {
   w.PutTaggedBool(kRespOk, response.ok);
   w.PutTaggedString(kRespErrorCode, response.error_code);
   w.PutTaggedString(kRespErrorMessage, response.error_message);
+  w.PutTaggedBool(kRespStreaming, response.streaming);
   return w.Release();
 }
 
@@ -181,6 +183,10 @@ Result<ConnectResponse> DecodeResponse(const std::vector<uint8_t>& bytes) {
       }
       case kRespErrorMessage: {
         LG_ASSIGN_OR_RETURN(response.error_message, r.ReadString());
+        break;
+      }
+      case kRespStreaming: {
+        LG_ASSIGN_OR_RETURN(response.streaming, r.ReadBool());
         break;
       }
       default:

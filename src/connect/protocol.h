@@ -48,6 +48,12 @@ struct ConnectResponse {
   bool ok = false;
   std::string error_code;     // canonical status-code name on failure
   std::string error_message;
+  /// True when the result is produced lazily: `total_chunks` then counts
+  /// only the chunks buffered so far and clients must fetch until a chunk
+  /// carries `last` instead of trusting the count. Older clients see only
+  /// `total_chunks` (the field is skipped) and still drain every buffered
+  /// chunk.
+  bool streaming = false;
 };
 
 // Tagged wire encodings; all fields are individually tagged and unknown

@@ -123,6 +123,7 @@ ConnectResponse ConnectService::Execute(const ConnectRequest& request) {
       response.ok = true;
       response.schema = it->second.schema;
       response.total_chunks = it->second.frames.size();
+      response.streaming = true;
       return response;
     }
   }
@@ -133,42 +134,41 @@ ConnectResponse ConnectService::Execute(const ConnectRequest& request) {
   context.compute = session.compute;
   context.temp_views = session.temp_views;
 
-  Result<Table> result = Status::Internal("no request payload");
+  Result<QueryResultStreamPtr> stream =
+      Status::Internal("no request payload");
   if (!request.plan_bytes.empty()) {
     auto plan = PlanFromBytes(request.plan_bytes);
     if (!plan.ok()) return ErrorResponse(plan.status(), operation_id);
-    result = engine_->ExecutePlan(*plan, context);
+    stream = engine_->ExecutePlanStreaming(*plan, context);
   } else if (!request.sql.empty()) {
-    result = engine_->ExecuteSql(request.sql, context);
+    stream = engine_->ExecuteSqlStreaming(request.sql, context);
   } else {
     return ErrorResponse(
         Status::InvalidArgument("request carries neither plan nor sql"),
         operation_id);
   }
-  if (!result.ok()) return ErrorResponse(result.status(), operation_id);
+  if (!stream.ok()) return ErrorResponse(stream.status(), operation_id);
 
-  // Chunk the result (Arrow-IPC-style streaming).
   ConnectResponse response;
   response.operation_id = operation_id;
   response.ok = true;
-  response.schema = result->schema();
+  response.schema = (*stream)->schema();
 
   Operation op;
   op.session_id = session.session_id;
-  op.schema = result->schema();
-  auto combined = result->Combine();
-  if (!combined.ok()) return ErrorResponse(combined.status(), operation_id);
-  size_t rows = combined->num_rows();
-  size_t offset = 0;
-  do {
-    size_t take = std::min(kRowsPerChunk, rows - offset);
-    RecordBatch chunk_batch = combined->Slice(offset, take);
-    op.frames.push_back(ipc::SerializeBatch(chunk_batch));
-    offset += take;
-  } while (offset < rows);
-  response.total_chunks = op.frames.size();
+  op.schema = (*stream)->schema();
+  op.stream = std::move(*stream);
 
-  if (op.frames.size() <= kInlineChunkLimit) {
+  // Probe just past the inline limit: small results come back fully inline
+  // (and execution errors still surface on Execute); anything larger is
+  // buffered with its live stream and produced chunk by chunk on fetch.
+  while (!op.Done() && op.frames.size() <= kInlineChunkLimit) {
+    Status produced = ProduceFrame(op);
+    if (!produced.ok()) return ErrorResponse(produced, operation_id);
+  }
+
+  response.total_chunks = op.frames.size();
+  if (op.Done() && op.frames.size() <= kInlineChunkLimit) {
     // Small result: return inline with the response (§3.4 inline mode).
     for (size_t i = 0; i < op.frames.size(); ++i) {
       ResultChunk chunk;
@@ -179,10 +179,56 @@ ConnectResponse ConnectService::Execute(const ConnectRequest& request) {
     }
   } else {
     // Large result: buffer server-side, client fetches chunk by chunk.
+    // `total_chunks` reports only what is cut so far; the `streaming` flag
+    // tells the client to fetch until a chunk carries `last`.
+    response.streaming = true;
     std::lock_guard<std::mutex> lock(mu_);
     operations_[operation_id] = std::move(op);
   }
   return response;
+}
+
+Status ConnectService::ProduceFrame(Operation& op) {
+  // Pull past one chunk's worth of rows so that when the final frame is cut
+  // we already know the stream is exhausted and can flag it `last`.
+  while (!op.exhausted && op.pending_rows <= kRowsPerChunk) {
+    auto batch = op.stream->Next();
+    LG_RETURN_IF_ERROR(batch.status());
+    if (!batch->has_value()) {
+      op.exhausted = true;
+      break;
+    }
+    if ((*batch)->num_rows() == 0) continue;
+    op.pending_rows += (*batch)->num_rows();
+    op.pending.push_back(std::move(**batch));
+  }
+  if (op.pending_rows == 0) {
+    // Empty result: a single empty frame so the client still sees the
+    // schema (same shape the eager chunker produced).
+    if (op.frames.empty()) {
+      LG_ASSIGN_OR_RETURN(RecordBatch empty, Table(op.schema).Combine());
+      op.frames.push_back(ipc::SerializeBatch(empty));
+    }
+    return Status::OK();
+  }
+  Table assembled(op.schema);
+  for (RecordBatch& b : op.pending) {
+    LG_RETURN_IF_ERROR(assembled.AppendBatch(std::move(b)));
+  }
+  op.pending.clear();
+  LG_ASSIGN_OR_RETURN(RecordBatch combined, assembled.Combine());
+  size_t take = std::min(kRowsPerChunk, combined.num_rows());
+  RecordBatch frame_batch =
+      take == combined.num_rows() ? combined : combined.Slice(0, take);
+  op.frames.push_back(ipc::SerializeBatch(frame_batch));
+  if (take < combined.num_rows()) {
+    RecordBatch rest = combined.Slice(take, combined.num_rows() - take);
+    op.pending_rows = rest.num_rows();
+    op.pending.push_back(std::move(rest));
+  } else {
+    op.pending_rows = 0;
+  }
+  return Status::OK();
 }
 
 Result<ResultChunk> ConnectService::FetchChunk(const std::string& session_id,
@@ -212,13 +258,23 @@ Result<ResultChunk> ConnectService::FetchChunk(const std::string& session_id,
     return Status::PermissionDenied("operation " + operation_id +
                                     " belongs to a different session");
   }
-  if (chunk_index >= it->second.frames.size()) {
+  Operation& op = it->second;
+  // Lazy production: cut frames from the live stream until the requested
+  // index exists (normally exactly one per fetch). Already-cut frames are
+  // replayed from the cache, never re-pulled — so a retried index returns
+  // identical bytes and the stream advances at most once per new chunk.
+  while (chunk_index >= op.frames.size() && !op.Done()) {
+    size_t before = op.frames.size();
+    LG_RETURN_IF_ERROR(ProduceFrame(op));
+    service_stats_.lazy_chunks += op.frames.size() - before;
+  }
+  if (chunk_index >= op.frames.size()) {
     return Status::InvalidArgument("chunk index out of range");
   }
   ResultChunk chunk;
   chunk.chunk_index = chunk_index;
-  chunk.frame = it->second.frames[static_cast<size_t>(chunk_index)];
-  chunk.last = (chunk_index + 1 == it->second.frames.size());
+  chunk.frame = op.frames[static_cast<size_t>(chunk_index)];
+  chunk.last = (op.Done() && chunk_index + 1 == op.frames.size());
   return chunk;
 }
 

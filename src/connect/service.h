@@ -42,6 +42,7 @@ struct ConnectServiceStats {
   uint64_t fetches = 0;
   uint64_t stream_faults = 0;    ///< FetchChunk failed at the stream seam
   uint64_t reattaches = 0;       ///< Execute served a buffered header again
+  uint64_t lazy_chunks = 0;      ///< chunks produced on demand in FetchChunk
 };
 
 /// The Spark Connect service of one cluster: authenticates tokens to users,
@@ -99,11 +100,28 @@ class ConnectService {
   ConnectServiceStats service_stats() const;
 
  private:
+  /// A buffered operation over a *live* query stream. Frames are cut from
+  /// the stream on demand (kRowsPerChunk rows each) and cached: a re-fetched
+  /// chunk index replays its cached frame byte-for-byte — the stream is
+  /// never pulled twice for the same chunk, which is what makes chunk-level
+  /// retry after a dropped stream exact.
   struct Operation {
     std::string session_id;
     Schema schema;
-    std::vector<std::vector<uint8_t>> frames;  // all chunks
+    std::vector<std::vector<uint8_t>> frames;  // chunks cut so far
+    QueryResultStreamPtr stream;               // null for fully-cut results
+    std::vector<RecordBatch> pending;          // pulled but not yet framed
+    size_t pending_rows = 0;
+    bool exhausted = false;                    // stream returned end-of-data
+
+    bool Done() const { return exhausted && pending_rows == 0; }
   };
+
+  /// Cuts the next frame from `op` (requires mu_ held; the engine pull
+  /// happens under the lock — acceptable for this single-process model, a
+  /// real server would move production to a worker). Guarantees progress:
+  /// either `op.frames` grows or `op.Done()` becomes true.
+  Status ProduceFrame(Operation& op);
 
   ConnectResponse ErrorResponse(const Status& status,
                                 const std::string& operation_id) const;

@@ -27,74 +27,152 @@ Result<Schema> ServerlessBackend::AnalyzeRemote(const PlanPtr& plan,
   return analysis.output_schema;
 }
 
-Result<Table> ServerlessBackend::ExecuteOnce(const PlanPtr& plan,
-                                             const std::string& user) {
-  // Remote-scan seam: the serverless endpoint is a separate service the
-  // origin cluster reaches over the network (§3.4).
-  LG_RETURN_IF_ERROR(fault::Inject("efgac.execute", clock_));
-  LG_ASSIGN_OR_RETURN(Table result,
-                      engine_->ExecutePlan(plan, MakeContext(user)));
+namespace {
 
-  if (result.ByteSize() <= spill_threshold_bytes_) {
-    ++stats_.inline_results;
-    return result;
-  }
-
-  // Large result: persist intermediate data in cloud storage (parallel on a
-  // real deployment) and re-read on the origin side. The spill objects are
-  // managed by the trusted control plane. Storage IO gets a small per-call
-  // retry budget of its own — object stores fail per-request.
+/// Storage IO gets a small per-call retry budget of its own — object
+/// stores fail per-request.
+RetryPolicy SpillIoPolicy() {
   RetryPolicy io_retry;
   io_retry.max_attempts = 3;
   io_retry.backoff.initial_micros = 20'000;
-  ++stats_.spilled_results;
+  return io_retry;
+}
+
+}  // namespace
+
+/// Consume phase of a spilled remote result: reads one part object per
+/// pull, deletes it once consumed (spill objects are ephemeral and managed
+/// by the trusted control plane). If the consumer stops early — LIMIT on
+/// the origin side — the destructor removes the unread remainder.
+class SpillPartIterator : public BatchIterator {
+ public:
+  SpillPartIterator(ServerlessBackend* backend, Schema schema,
+                    std::vector<std::string> paths)
+      : backend_(backend), schema_(std::move(schema)),
+        paths_(std::move(paths)) {}
+
+  ~SpillPartIterator() override {
+    for (; index_ < paths_.size(); ++index_) {
+      // Best-effort cleanup; an unreachable store leaves the ephemeral
+      // object for the control plane's garbage sweep.
+      (void)backend_->store_->Delete(backend_->catalog_->system_token(),
+                                     paths_[index_]);
+    }
+  }
+
+  const Schema& schema() const override { return schema_; }
+
+  Result<std::optional<RecordBatch>> Next() override {
+    if (index_ >= paths_.size()) return std::optional<RecordBatch>();
+    const std::string& token = backend_->catalog_->system_token();
+    const std::string& path = paths_[index_];
+    RetryStats io_stats;
+    LG_ASSIGN_OR_RETURN(
+        std::vector<uint8_t> frame,
+        RetryCall<std::vector<uint8_t>>(
+            SpillIoPolicy(), backend_->clock_,
+            [&] { return backend_->store_->Get(token, path); }, &io_stats));
+    backend_->stats_.remote_retries += io_stats.retries;
+    LG_ASSIGN_OR_RETURN(RecordBatch batch, ipc::DeserializeBatch(frame));
+    LG_RETURN_IF_ERROR(backend_->store_->Delete(token, path));
+    ++index_;
+    return std::optional<RecordBatch>(std::move(batch));
+  }
+
+ private:
+  ServerlessBackend* backend_;
+  Schema schema_;
+  std::vector<std::string> paths_;
+  size_t index_ = 0;
+};
+
+Result<ServerlessBackend::ProducedResult> ServerlessBackend::ProduceOnce(
+    const PlanPtr& plan, const std::string& user) {
+  // Remote-scan seam: the serverless endpoint is a separate service the
+  // origin cluster reaches over the network (§3.4).
+  LG_RETURN_IF_ERROR(fault::Inject("efgac.execute", clock_));
+  LG_ASSIGN_OR_RETURN(QueryResultStreamPtr stream,
+                      engine_->ExecutePlanStreaming(plan, MakeContext(user)));
+
+  ProducedResult out;
+  out.schema = stream->schema();
+  Table buffer(out.schema);
+  size_t buffered_bytes = 0;
+  bool spilling = false;
   const std::string& token = catalog_->system_token();
-  std::string prefix = "mem://efgac-spill/" + IdGenerator::Next("res") + "/";
+  std::string prefix;
   size_t index = 0;
-  std::vector<std::string> paths;
   RetryStats io_stats;
-  for (const RecordBatch& batch : result.batches()) {
+
+  auto spill_batch = [&](const RecordBatch& batch) -> Status {
     std::vector<uint8_t> frame = ipc::SerializeBatch(batch);
     stats_.spilled_bytes += frame.size();
     std::string path = prefix + "part-" + std::to_string(index++);
     LG_RETURN_IF_ERROR(RetryStatusCall(
-        io_retry, clock_,
+        SpillIoPolicy(), clock_,
         [&] { return store_->Put(token, path, frame); }, &io_stats));
-    paths.push_back(std::move(path));
-  }
+    out.paths.push_back(std::move(path));
+    return Status::OK();
+  };
 
-  Table reread(result.schema());
-  for (const std::string& path : paths) {
-    LG_ASSIGN_OR_RETURN(
-        std::vector<uint8_t> frame,
-        RetryCall<std::vector<uint8_t>>(
-            io_retry, clock_, [&] { return store_->Get(token, path); },
-            &io_stats));
-    LG_ASSIGN_OR_RETURN(RecordBatch batch, ipc::DeserializeBatch(frame));
-    LG_RETURN_IF_ERROR(reread.AppendBatch(std::move(batch)));
+  while (true) {
+    LG_ASSIGN_OR_RETURN(std::optional<RecordBatch> batch, stream->Next());
+    if (!batch.has_value()) break;
+    if (batch->num_rows() == 0) continue;
+    if (spilling) {
+      LG_RETURN_IF_ERROR(spill_batch(*batch));
+      continue;
+    }
+    buffered_bytes += batch->ByteSize();
+    LG_RETURN_IF_ERROR(buffer.AppendBatch(std::move(*batch)));
+    if (buffered_bytes > spill_threshold_bytes_) {
+      // Crossed the inline threshold: persist intermediate data in cloud
+      // storage (parallel on a real deployment) and have the origin side
+      // read it back part by part. From here on each batch goes straight
+      // to storage — the backend never holds the full result.
+      spilling = true;
+      ++stats_.spilled_results;
+      prefix = "mem://efgac-spill/" + IdGenerator::Next("res") + "/";
+      for (const RecordBatch& b : buffer.batches()) {
+        LG_RETURN_IF_ERROR(spill_batch(b));
+      }
+      buffer = Table(out.schema);
+    }
   }
   stats_.remote_retries += io_stats.retries;
-  // Spill objects are ephemeral; delete after the origin has consumed them.
-  for (const std::string& path : paths) {
-    LG_RETURN_IF_ERROR(store_->Delete(token, path));
+  if (spilling) {
+    out.spilled = true;
+  } else {
+    ++stats_.inline_results;
+    out.inline_table = std::move(buffer);
   }
-  return reread;
+  return out;
+}
+
+Result<BatchIteratorPtr> ServerlessBackend::ExecuteRemoteStream(
+    const PlanPtr& plan, const std::string& user) {
+  ++stats_.execute_calls;
+  RetryStats retry_stats;
+  Result<ProducedResult> produced = RetryCall<ProducedResult>(
+      retry_policy_, clock_, [&] { return ProduceOnce(plan, user); },
+      &retry_stats);
+  stats_.remote_retries += retry_stats.retries;
+  stats_.deadline_hits += retry_stats.deadline_hits;
+  if (!produced.ok()) {
+    ++stats_.remote_failures;
+    return produced.status().WithContext("eFGAC remote execution");
+  }
+  if (!produced->spilled) {
+    return MakeTableIterator(std::move(produced->inline_table));
+  }
+  return BatchIteratorPtr(std::make_unique<SpillPartIterator>(
+      this, std::move(produced->schema), std::move(produced->paths)));
 }
 
 Result<Table> ServerlessBackend::ExecuteRemote(const PlanPtr& plan,
                                                const std::string& user) {
-  ++stats_.execute_calls;
-  RetryStats retry_stats;
-  Result<Table> result = RetryCall<Table>(
-      retry_policy_, clock_, [&] { return ExecuteOnce(plan, user); },
-      &retry_stats);
-  stats_.remote_retries += retry_stats.retries;
-  stats_.deadline_hits += retry_stats.deadline_hits;
-  if (!result.ok()) {
-    ++stats_.remote_failures;
-    return result.status().WithContext("eFGAC remote execution");
-  }
-  return result;
+  LG_ASSIGN_OR_RETURN(BatchIteratorPtr stream, ExecuteRemoteStream(plan, user));
+  return DrainIterator(stream.get());
 }
 
 Result<Table> EfgacRemoteExecutor::ExecuteRemote(
@@ -103,6 +181,14 @@ Result<Table> EfgacRemoteExecutor::ExecuteRemote(
     return Status::InvalidArgument("RemoteScan has no captured sub-plan");
   }
   return backend_->ExecuteRemote(scan.remote_plan(), context.user);
+}
+
+Result<BatchIteratorPtr> EfgacRemoteExecutor::ExecuteRemoteStream(
+    const RemoteScanNode& scan, const ExecutionContext& context) {
+  if (!scan.remote_plan()) {
+    return Status::InvalidArgument("RemoteScan has no captured sub-plan");
+  }
+  return backend_->ExecuteRemoteStream(scan.remote_plan(), context.user);
 }
 
 }  // namespace lakeguard

@@ -64,6 +64,16 @@ class ServerlessBackend {
   /// and re-read by the origin side (both modes produce the same Table).
   Result<Table> ExecuteRemote(const PlanPtr& plan, const std::string& user);
 
+  /// Batched remote execution. The produce phase (serverless execution and,
+  /// for large results, the spill writes) runs eagerly under the remote
+  /// retry policy — a retry never re-runs a half-consumed stream. The
+  /// returned iterator is the consume phase: inline results replay from
+  /// memory; spilled results read one part object per pull and delete it
+  /// once consumed (remaining objects are cleaned up if the consumer stops
+  /// early).
+  Result<BatchIteratorPtr> ExecuteRemoteStream(const PlanPtr& plan,
+                                               const std::string& user);
+
   const EfgacStats& stats() const { return stats_; }
   void ResetStats() { stats_ = EfgacStats(); }
 
@@ -71,8 +81,20 @@ class ServerlessBackend {
   void set_retry_policy(RetryPolicy policy) { retry_policy_ = policy; }
 
  private:
+  friend class SpillPartIterator;
+
+  /// Result of one produce attempt: the data either buffered in memory
+  /// (inline mode) or persisted as spill objects (paths, in order).
+  struct ProducedResult {
+    Schema schema;
+    bool spilled = false;
+    Table inline_table;
+    std::vector<std::string> paths;
+  };
+
   ExecutionContext MakeContext(const std::string& user) const;
-  Result<Table> ExecuteOnce(const PlanPtr& plan, const std::string& user);
+  Result<ProducedResult> ProduceOnce(const PlanPtr& plan,
+                                     const std::string& user);
 
   QueryEngine* engine_;
   ObjectStore* store_;
@@ -92,6 +114,9 @@ class EfgacRemoteExecutor : public RemoteQueryExecutor {
 
   Result<Table> ExecuteRemote(const RemoteScanNode& scan,
                               const ExecutionContext& context) override;
+
+  Result<BatchIteratorPtr> ExecuteRemoteStream(
+      const RemoteScanNode& scan, const ExecutionContext& context) override;
 
  private:
   ServerlessBackend* backend_;

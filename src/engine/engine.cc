@@ -49,6 +49,29 @@ Result<QueryEngine::ExplainedExecution> QueryEngine::ExecutePlanExplained(
   return out;
 }
 
+Result<QueryResultStreamPtr> QueryEngine::ExecutePlanStreaming(
+    const PlanPtr& plan, const ExecutionContext& context) {
+  PlanPtr rewritten = plan;
+  if (pre_rewriter_ != nullptr) {
+    LG_ASSIGN_OR_RETURN(rewritten, pre_rewriter_->Rewrite(plan, context));
+  }
+  Analyzer analyzer(services_.catalog, context, services_.extensions);
+  LG_ASSIGN_OR_RETURN(AnalysisResult analysis, analyzer.Analyze(rewritten));
+  Optimizer optimizer(config_.opt);
+  LG_ASSIGN_OR_RETURN(PlanPtr optimized, optimizer.Optimize(analysis.plan));
+
+  // Assemble in dependency order: the executor borrows the heap-pinned
+  // analysis, the iterator borrows both — all owned by the stream.
+  QueryResultStreamPtr stream(new QueryResultStream());
+  stream->analysis_ = std::make_unique<AnalysisResult>(std::move(analysis));
+  stream->optimized_ = optimized;
+  stream->executor_ = std::make_unique<Executor>(
+      services_, config_.exec, context, stream->analysis_.get());
+  LG_ASSIGN_OR_RETURN(stream->iterator_,
+                      stream->executor_->Open(stream->optimized_));
+  return stream;
+}
+
 Result<Table> QueryEngine::ExecuteSql(const std::string& sql,
                                       const ExecutionContext& context) {
   LG_ASSIGN_OR_RETURN(ParsedStatement stmt, ParseSql(sql));
@@ -56,6 +79,19 @@ Result<Table> QueryEngine::ExecuteSql(const std::string& sql,
     return ExecutePlan(select->plan, context);
   }
   return RunCommand(stmt, context);
+}
+
+Result<QueryResultStreamPtr> QueryEngine::ExecuteSqlStreaming(
+    const std::string& sql, const ExecutionContext& context) {
+  LG_ASSIGN_OR_RETURN(ParsedStatement stmt, ParseSql(sql));
+  if (auto* select = std::get_if<SelectStatement>(&stmt)) {
+    return ExecutePlanStreaming(select->plan, context);
+  }
+  LG_ASSIGN_OR_RETURN(Table result, RunCommand(stmt, context));
+  QueryResultStreamPtr stream(new QueryResultStream());
+  stream->iterator_ =
+      MakeTableIterator(std::move(result), config_.exec.batch_size);
+  return stream;
 }
 
 Result<Table> QueryEngine::RunCommand(const ParsedStatement& stmt,

@@ -1,6 +1,7 @@
 #ifndef LAKEGUARD_ENGINE_ENGINE_H_
 #define LAKEGUARD_ENGINE_ENGINE_H_
 
+#include <memory>
 #include <string>
 
 #include "engine/analyzer.h"
@@ -9,6 +10,34 @@
 #include "sql/ast.h"
 
 namespace lakeguard {
+
+/// A live streaming query: owns the whole execution state (analysis result,
+/// optimized plan, executor, root iterator) so batches can be pulled long
+/// after the engine call returned. `stats()` is live — it advances as the
+/// stream is pulled, which is how callers observe lazy-scan short-circuits.
+class QueryResultStream {
+ public:
+  const Schema& schema() const { return iterator_->schema(); }
+  Result<std::optional<RecordBatch>> Next() { return iterator_->Next(); }
+  /// Executor counters so far. Command statements have no executor; their
+  /// counters stay zero.
+  const ExecutorStats& stats() const {
+    return executor_ ? executor_->stats() : fallback_stats_;
+  }
+  const PlanPtr& optimized_plan() const { return optimized_; }
+
+ private:
+  friend class QueryEngine;
+  QueryResultStream() = default;
+
+  std::unique_ptr<AnalysisResult> analysis_;  // referenced by executor_
+  PlanPtr optimized_;                         // referenced by iterator_
+  std::unique_ptr<Executor> executor_;
+  BatchIteratorPtr iterator_;
+  ExecutorStats fallback_stats_;
+};
+
+using QueryResultStreamPtr = std::unique_ptr<QueryResultStream>;
 
 /// Pre-analysis plan rewriting hook. The eFGAC rewriter (src/efgac) plugs in
 /// here on privileged compute: it replaces externally-enforced relations
@@ -47,9 +76,22 @@ class QueryEngine {
   Result<AnalysisResult> AnalyzePlan(const PlanPtr& plan,
                                      const ExecutionContext& context);
 
-  /// Full pipeline for a relation plan.
+  /// Full pipeline for a relation plan (collect-all wrapper over the
+  /// streaming pipeline).
   Result<Table> ExecutePlan(const PlanPtr& plan,
                             const ExecutionContext& context);
+
+  /// Streaming pipeline: rewrite/analyze/optimize eagerly (errors surface
+  /// here), then return a pull stream — batches are produced on demand, so
+  /// a consumer that stops early never materializes the full result.
+  Result<QueryResultStreamPtr> ExecutePlanStreaming(
+      const PlanPtr& plan, const ExecutionContext& context);
+
+  /// SQL counterpart of ExecutePlanStreaming. Commands still execute
+  /// eagerly (they are side effects); their one-row status table is wrapped
+  /// in a stream for a uniform caller interface.
+  Result<QueryResultStreamPtr> ExecuteSqlStreaming(
+      const std::string& sql, const ExecutionContext& context);
 
   /// Like ExecutePlan, also returning the intermediate plans (Fig. 8
   /// demonstrations print these).

@@ -95,7 +95,406 @@ std::vector<std::shared_ptr<const UdfCallExpr>> CollectUdfCalls(
   return calls;
 }
 
+/// Extracts pure equi-join key pairs from `cond`: a conjunction of
+/// `left_col = right_col` over *resolved* refs. Returns false when the
+/// condition has any other shape (the caller falls back to nested-loop).
+bool ExtractEquiKeys(const ExprPtr& cond, size_t left_fields,
+                     std::vector<std::pair<int, int>>* keys) {
+  if (cond->kind() == ExprKind::kBinaryOp) {
+    const auto& bin = static_cast<const BinaryOpExpr&>(*cond);
+    if (bin.op() == BinaryOpKind::kAnd) {
+      return ExtractEquiKeys(bin.left(), left_fields, keys) &&
+             ExtractEquiKeys(bin.right(), left_fields, keys);
+    }
+    if (bin.op() == BinaryOpKind::kEq &&
+        bin.left()->kind() == ExprKind::kColumnRef &&
+        bin.right()->kind() == ExprKind::kColumnRef) {
+      const auto& a = static_cast<const ColumnRefExpr&>(*bin.left());
+      const auto& b = static_cast<const ColumnRefExpr&>(*bin.right());
+      if (!a.resolved() || !b.resolved()) return false;
+      int ai = a.index(), bi = b.index();
+      int ln = static_cast<int>(left_fields);
+      if (ai < ln && bi >= ln) {
+        keys->emplace_back(ai, bi - ln);
+        return true;
+      }
+      if (bi < ln && ai >= ln) {
+        keys->emplace_back(bi, ai - ln);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Non-owning alias for passing a stack node to Analyzer::ResolvedSchema.
+PlanPtr Alias(const PlanNode& node) {
+  return PlanPtr(&node, [](const PlanNode*) {});
+}
+
+/// Batches a breaker's materialized output occupies, as the resident-memory
+/// proxy (breakers usually hold one combined batch; charge its bounded-batch
+/// equivalent so streaming and materialized plans compare apples-to-apples).
+uint64_t ResidentProxy(size_t rows, size_t batch_size) {
+  if (batch_size == 0) return 1;
+  return std::max<uint64_t>(1, (rows + batch_size - 1) / batch_size);
+}
+
 }  // namespace
+
+// ---- Operator iterators ----------------------------------------------------
+//
+// Nested in one access-granting class so the pipeline stages can use the
+// Executor's private evaluation helpers and stats without widening its API.
+
+class ExecIterators {
+ public:
+  /// Leaf: streams a stored table part by part, re-slicing each part into
+  /// bounded batches. Parts are read lazily — a short-circuiting consumer
+  /// (LIMIT) leaves the tail of the table untouched on storage.
+  class ScanIterator : public BatchIterator {
+   public:
+    ScanIterator(Executor* exec, DeltaTableFormat format, std::string token,
+                 TableManifest manifest)
+        : exec_(exec),
+          format_(format),
+          token_(std::move(token)),
+          manifest_(std::move(manifest)) {}
+
+    ~ScanIterator() override {
+      if (has_part_) exec_->stats_.SubResident(1);
+    }
+
+    const Schema& schema() const override { return manifest_.schema; }
+
+    Result<std::optional<RecordBatch>> Next() override {
+      const size_t batch_size = exec_->options_.batch_size;
+      while (true) {
+        if (has_part_ && offset_ < part_.num_rows()) {
+          size_t take = batch_size == 0
+                            ? part_.num_rows() - offset_
+                            : std::min(batch_size, part_.num_rows() - offset_);
+          RecordBatch out = (offset_ == 0 && take == part_.num_rows())
+                                ? part_
+                                : part_.Slice(offset_, take);
+          offset_ += take;
+          if (offset_ >= part_.num_rows()) {
+            part_ = RecordBatch();
+            has_part_ = false;
+            exec_->stats_.SubResident(1);
+          }
+          ++exec_->stats_.batches_scanned;
+          exec_->stats_.rows_scanned += out.num_rows();
+          exec_->stats_.OnEmit("scan");
+          return std::optional<RecordBatch>(std::move(out));
+        }
+        if (part_index_ >= manifest_.parts.size()) return std::optional<RecordBatch>();
+        LG_ASSIGN_OR_RETURN(
+            part_, format_.ReadPart(token_, manifest_.parts[part_index_]));
+        ++part_index_;
+        offset_ = 0;
+        has_part_ = true;
+        exec_->stats_.AddResident(1);
+      }
+    }
+
+   private:
+    Executor* exec_;
+    DeltaTableFormat format_;
+    std::string token_;
+    TableManifest manifest_;
+    size_t part_index_ = 0;
+    RecordBatch part_;
+    size_t offset_ = 0;
+    bool has_part_ = false;
+  };
+
+  /// Streaming batch-in/batch-out stage (Project, Filter, masking, the UDF
+  /// data path). `fn` returning nullopt means "this input batch produced no
+  /// output" (fully filtered) — the stage pulls again instead of emitting
+  /// empties downstream.
+  class StageIterator : public BatchIterator {
+   public:
+    using Fn =
+        std::function<Result<std::optional<RecordBatch>>(RecordBatch)>;
+
+    StageIterator(Executor* exec, const char* name, Schema schema,
+                  BatchIteratorPtr child, Fn fn)
+        : exec_(exec),
+          name_(name),
+          schema_(std::move(schema)),
+          child_(std::move(child)),
+          fn_(std::move(fn)) {}
+
+    const Schema& schema() const override { return schema_; }
+
+    Result<std::optional<RecordBatch>> Next() override {
+      while (true) {
+        LG_ASSIGN_OR_RETURN(std::optional<RecordBatch> input,
+                            child_->Next());
+        if (!input.has_value()) return std::optional<RecordBatch>();
+        exec_->stats_.AddResident(1);
+        Result<std::optional<RecordBatch>> out = fn_(std::move(*input));
+        exec_->stats_.SubResident(1);
+        LG_RETURN_IF_ERROR(out.status());
+        if (!out->has_value()) continue;
+        exec_->stats_.OnEmit(name_);
+        return std::move(*out);
+      }
+    }
+
+   private:
+    Executor* exec_;
+    const char* name_;
+    Schema schema_;
+    BatchIteratorPtr child_;
+    Fn fn_;
+  };
+
+  /// Explicit pipeline breaker: on first pull, runs `produce` (which drains
+  /// the child pipeline), then streams the materialized result in bounded
+  /// batches. The materialized batches stay resident until the iterator is
+  /// dropped — that is the breaker's O(result) cost, and the stats make it
+  /// visible.
+  class MaterializingIterator : public BatchIterator {
+   public:
+    MaterializingIterator(Executor* exec, const char* name, Schema schema,
+                          std::function<Result<Table>()> produce)
+        : exec_(exec),
+          name_(name),
+          schema_(std::move(schema)),
+          produce_(std::move(produce)) {}
+
+    ~MaterializingIterator() override { exec_->stats_.SubResident(resident_); }
+
+    const Schema& schema() const override { return schema_; }
+
+    Result<std::optional<RecordBatch>> Next() override {
+      if (!inner_) {
+        LG_ASSIGN_OR_RETURN(Table table, produce_());
+        resident_ = ResidentProxy(table.num_rows(), exec_->options_.batch_size);
+        exec_->stats_.AddResident(resident_);
+        inner_ = MakeTableIterator(std::move(table),
+                                   exec_->options_.batch_size);
+      }
+      LG_ASSIGN_OR_RETURN(std::optional<RecordBatch> batch, inner_->Next());
+      if (batch.has_value()) exec_->stats_.OnEmit(name_);
+      return batch;
+    }
+
+   private:
+    Executor* exec_;
+    const char* name_;
+    Schema schema_;
+    std::function<Result<Table>()> produce_;
+    BatchIteratorPtr inner_;
+    uint64_t resident_ = 0;
+  };
+
+  /// Join: the right (build) side is a pipeline breaker — collected once,
+  /// hashed for equi-joins — while the left (probe) side streams through
+  /// batch by batch.
+  class JoinIterator : public BatchIterator {
+   public:
+    JoinIterator(Executor* exec, const JoinNode& node, BatchIteratorPtr left,
+                 BatchIteratorPtr right, Schema out_schema)
+        : exec_(exec),
+          node_(node),
+          left_(std::move(left)),
+          right_(std::move(right)),
+          schema_(std::move(out_schema)) {}
+
+    ~JoinIterator() override { exec_->stats_.SubResident(resident_); }
+
+    const Schema& schema() const override { return schema_; }
+
+    Result<std::optional<RecordBatch>> Next() override {
+      if (!built_) {
+        LG_RETURN_IF_ERROR(Build());
+      }
+      while (true) {
+        LG_ASSIGN_OR_RETURN(std::optional<RecordBatch> lbatch,
+                            left_->Next());
+        if (!lbatch.has_value()) return std::optional<RecordBatch>();
+        exec_->stats_.AddResident(1);
+        Result<RecordBatch> out = ProbeBatch(*lbatch);
+        exec_->stats_.SubResident(1);
+        LG_RETURN_IF_ERROR(out.status());
+        if (out->num_rows() == 0) continue;
+        exec_->stats_.OnEmit("join");
+        return std::optional<RecordBatch>(std::move(*out));
+      }
+    }
+
+   private:
+    Status Build() {
+      LG_ASSIGN_OR_RETURN(Table right_table, DrainIterator(right_.get()));
+      LG_ASSIGN_OR_RETURN(rbatch_, right_table.Combine());
+      right_.reset();  // the upstream pipeline can release its state
+      resident_ = ResidentProxy(rbatch_.num_rows(), exec_->options_.batch_size);
+      exec_->stats_.AddResident(resident_);
+
+      const size_t left_fields =
+          schema_.num_fields() - rbatch_.schema().num_fields();
+      is_equi_ = node_.condition() != nullptr &&
+                 ExtractEquiKeys(node_.condition(), left_fields, &equi_keys_);
+      if (is_equi_) {
+        for (size_t j = 0; j < rbatch_.num_rows(); ++j) {
+          std::vector<Value> key;
+          key.reserve(equi_keys_.size());
+          bool has_null = false;
+          for (auto [li, ri] : equi_keys_) {
+            Value v = rbatch_.column(static_cast<size_t>(ri)).GetValue(j);
+            has_null |= v.is_null();
+            key.push_back(std::move(v));
+          }
+          if (has_null) continue;  // SQL: NULL keys never match
+          hash_table_[std::move(key)].push_back(static_cast<int64_t>(j));
+        }
+      }
+      ctx_ = exec_->MakeEvalContext();
+      built_ = true;
+      return Status::OK();
+    }
+
+    Result<RecordBatch> ProbeBatch(const RecordBatch& lbatch) {
+      const size_t ln = lbatch.num_rows();
+      const size_t rn = rbatch_.num_rows();
+      const size_t rcols = rbatch_.num_columns();
+
+      std::vector<int64_t> left_indices;
+      std::vector<int64_t> right_indices;  // -1 = null-padded (left join)
+
+      if (is_equi_) {
+        // Hash join: probe the built right side with this left batch.
+        for (size_t i = 0; i < ln; ++i) {
+          std::vector<Value> key;
+          key.reserve(equi_keys_.size());
+          bool has_null = false;
+          for (auto [li, ri] : equi_keys_) {
+            Value v = lbatch.column(static_cast<size_t>(li)).GetValue(i);
+            has_null |= v.is_null();
+            key.push_back(std::move(v));
+          }
+          auto it = has_null ? hash_table_.end() : hash_table_.find(key);
+          if (it != hash_table_.end()) {
+            for (int64_t j : it->second) {
+              left_indices.push_back(static_cast<int64_t>(i));
+              right_indices.push_back(j);
+            }
+          } else if (node_.join_type() == JoinType::kLeft) {
+            left_indices.push_back(static_cast<int64_t>(i));
+            right_indices.push_back(-1);
+          }
+        }
+      } else {
+        // Vectorized nested loop: evaluate the predicate for one left row
+        // against ALL right rows at once.
+        for (size_t i = 0; i < ln; ++i) {
+          std::vector<uint8_t> mask(rn, 1);
+          if (node_.condition() && rn > 0) {
+            std::vector<Column> combined_cols;
+            combined_cols.reserve(lbatch.num_columns() + rcols);
+            for (size_t c = 0; c < lbatch.num_columns(); ++c) {
+              ColumnBuilder b(lbatch.column(c).kind());
+              b.Reserve(rn);
+              Value v = lbatch.column(c).GetValue(i);
+              for (size_t j = 0; j < rn; ++j) {
+                LG_RETURN_IF_ERROR(b.AppendValue(v));
+              }
+              combined_cols.push_back(b.Finish());
+            }
+            for (size_t c = 0; c < rcols; ++c) {
+              combined_cols.push_back(rbatch_.column(c));
+            }
+            RecordBatch combined(schema_, std::move(combined_cols));
+            LG_ASSIGN_OR_RETURN(
+                mask, EvaluatePredicateMask(node_.condition(), combined, ctx_));
+          }
+          bool matched = false;
+          for (size_t j = 0; j < rn; ++j) {
+            if (!mask[j]) continue;
+            matched = true;
+            left_indices.push_back(static_cast<int64_t>(i));
+            right_indices.push_back(static_cast<int64_t>(j));
+          }
+          if (!matched && node_.join_type() == JoinType::kLeft) {
+            left_indices.push_back(static_cast<int64_t>(i));
+            right_indices.push_back(-1);
+          }
+        }
+      }
+
+      // Materialize this probe batch's output from the index pairs.
+      std::vector<Column> out_cols;
+      out_cols.reserve(schema_.num_fields());
+      for (size_t c = 0; c < lbatch.num_columns(); ++c) {
+        out_cols.push_back(lbatch.column(c).Take(left_indices));
+      }
+      for (size_t c = 0; c < rcols; ++c) {
+        ColumnBuilder b(rbatch_.column(c).kind());
+        b.Reserve(right_indices.size());
+        for (int64_t j : right_indices) {
+          if (j < 0) {
+            b.AppendNull();
+          } else {
+            LG_RETURN_IF_ERROR(b.AppendValue(
+                rbatch_.column(c).GetValue(static_cast<size_t>(j))));
+          }
+        }
+        out_cols.push_back(b.Finish());
+      }
+      return RecordBatch(schema_, std::move(out_cols));
+    }
+
+    Executor* exec_;
+    const JoinNode& node_;
+    BatchIteratorPtr left_;
+    BatchIteratorPtr right_;
+    Schema schema_;
+    bool built_ = false;
+    bool is_equi_ = false;
+    RecordBatch rbatch_;
+    std::vector<std::pair<int, int>> equi_keys_;
+    std::map<std::vector<Value>, std::vector<int64_t>, ValueVectorLess>
+        hash_table_;
+    EvalContext ctx_;
+    uint64_t resident_ = 0;
+  };
+
+  /// Limit short-circuits its upstream: once satisfied it never pulls the
+  /// child again, so lazily-produced inputs (scans, remote fetches) stop.
+  class LimitIterator : public BatchIterator {
+   public:
+    LimitIterator(Executor* exec, BatchIteratorPtr child, int64_t limit)
+        : exec_(exec), child_(std::move(child)), remaining_(limit) {}
+
+    const Schema& schema() const override { return child_->schema(); }
+
+    Result<std::optional<RecordBatch>> Next() override {
+      if (remaining_ <= 0) return std::optional<RecordBatch>();
+      LG_ASSIGN_OR_RETURN(std::optional<RecordBatch> batch, child_->Next());
+      if (!batch.has_value()) {
+        remaining_ = 0;
+        return std::optional<RecordBatch>();
+      }
+      RecordBatch out = std::move(*batch);
+      if (static_cast<int64_t>(out.num_rows()) > remaining_) {
+        out = out.Slice(0, static_cast<size_t>(remaining_));
+      }
+      remaining_ -= static_cast<int64_t>(out.num_rows());
+      exec_->stats_.OnEmit("limit");
+      return std::optional<RecordBatch>(std::move(out));
+    }
+
+   private:
+    Executor* exec_;
+    BatchIteratorPtr child_;
+    int64_t remaining_;
+  };
+};
+
+// ---- Executor --------------------------------------------------------------
 
 EvalContext Executor::MakeEvalContext() const {
   EvalContext ctx;
@@ -113,47 +512,51 @@ EvalContext Executor::MakeEvalContext() const {
   return ctx;
 }
 
-Result<Table> Executor::Execute(const PlanPtr& plan) {
-  return ExecNode(plan);
+Result<BatchIteratorPtr> Executor::Open(const PlanPtr& plan) {
+  return OpenNode(plan);
 }
 
-Result<Table> Executor::ExecNode(const PlanPtr& plan) {
+Result<Table> Executor::Execute(const PlanPtr& plan) {
+  LG_ASSIGN_OR_RETURN(BatchIteratorPtr it, Open(plan));
+  return DrainIterator(it.get());
+}
+
+Result<BatchIteratorPtr> Executor::OpenNode(const PlanPtr& plan) {
   switch (plan->kind()) {
     case PlanKind::kTableRef:
       return Status::FailedPrecondition(
           "executor received an unresolved relation: " + plan->Describe());
     case PlanKind::kLocalRelation: {
       const auto& node = static_cast<const LocalRelationNode&>(*plan);
-      Table out(node.data().schema());
-      LG_RETURN_IF_ERROR(out.AppendBatch(node.data()));
-      return out;
+      return MakeBatchIterator(node.data().schema(), node.data(),
+                               options_.batch_size);
     }
     case PlanKind::kResolvedScan:
-      return ExecScan(static_cast<const ResolvedScanNode&>(*plan));
+      return OpenScan(static_cast<const ResolvedScanNode&>(*plan));
     case PlanKind::kRemoteScan: {
       if (services_.remote == nullptr) {
         return Status::FailedPrecondition(
             "plan contains a RemoteScan but no serverless endpoint is "
             "configured");
       }
-      return services_.remote->ExecuteRemote(
+      return services_.remote->ExecuteRemoteStream(
           static_cast<const RemoteScanNode&>(*plan), context_);
     }
     case PlanKind::kProject:
-      return ExecProject(static_cast<const ProjectNode&>(*plan));
+      return OpenProject(static_cast<const ProjectNode&>(*plan), plan);
     case PlanKind::kFilter:
-      return ExecFilter(static_cast<const FilterNode&>(*plan));
+      return OpenFilter(static_cast<const FilterNode&>(*plan));
     case PlanKind::kAggregate:
-      return ExecAggregate(static_cast<const AggregateNode&>(*plan));
+      return OpenAggregate(static_cast<const AggregateNode&>(*plan), plan);
     case PlanKind::kJoin:
-      return ExecJoin(static_cast<const JoinNode&>(*plan));
+      return OpenJoin(static_cast<const JoinNode&>(*plan));
     case PlanKind::kSort:
-      return ExecSort(static_cast<const SortNode&>(*plan));
+      return OpenSort(static_cast<const SortNode&>(*plan));
     case PlanKind::kLimit:
-      return ExecLimit(static_cast<const LimitNode&>(*plan));
+      return OpenLimit(static_cast<const LimitNode&>(*plan));
     case PlanKind::kSecureView:
       // Execution-time no-op; its meaning is an analysis/optimizer barrier.
-      return ExecNode(static_cast<const SecureViewNode&>(*plan).child());
+      return OpenNode(static_cast<const SecureViewNode&>(*plan).child());
     case PlanKind::kExtension:
       return Status::FailedPrecondition(
           "extension node reached the executor without analysis: " +
@@ -162,7 +565,7 @@ Result<Table> Executor::ExecNode(const PlanPtr& plan) {
   return Status::Internal("unreachable plan kind in executor");
 }
 
-Result<Table> Executor::ExecScan(const ResolvedScanNode& node) {
+Result<BatchIteratorPtr> Executor::OpenScan(const ResolvedScanNode& node) {
   auto token_it = analysis_ == nullptr
                       ? std::map<std::string, std::string>::const_iterator()
                       : analysis_->read_tokens.find(node.table_name());
@@ -173,13 +576,234 @@ Result<Table> Executor::ExecScan(const ResolvedScanNode& node) {
         "' (scan without catalog resolution)");
   }
   DeltaTableFormat format(services_.store);
-  LG_ASSIGN_OR_RETURN(Table table,
-                      format.ReadTable(token_it->second, node.storage_root()));
-  for (const RecordBatch& b : table.batches()) {
-    ++stats_.batches_scanned;
-    stats_.rows_scanned += b.num_rows();
+  // Only the manifest is read up front; parts stream on demand.
+  LG_ASSIGN_OR_RETURN(
+      TableManifest manifest,
+      format.LoadManifest(token_it->second, node.storage_root()));
+  return BatchIteratorPtr(std::make_unique<ExecIterators::ScanIterator>(
+      this, format, token_it->second, std::move(manifest)));
+}
+
+Result<BatchIteratorPtr> Executor::OpenProject(const ProjectNode& node,
+                                               const PlanPtr& self) {
+  LG_ASSIGN_OR_RETURN(BatchIteratorPtr child, OpenNode(node.child()));
+  LG_ASSIGN_OR_RETURN(Schema out_schema, Analyzer::ResolvedSchema(self));
+  const std::vector<ExprPtr>& exprs = node.exprs();
+  Schema schema_copy = out_schema;
+  auto fn = [this, exprs, schema_copy](RecordBatch batch)
+      -> Result<std::optional<RecordBatch>> {
+    LG_ASSIGN_OR_RETURN(std::vector<Column> columns,
+                        EvaluateWithUdfs(exprs, batch));
+    return std::optional<RecordBatch>(
+        RecordBatch(schema_copy, std::move(columns)));
+  };
+  return BatchIteratorPtr(std::make_unique<ExecIterators::StageIterator>(
+      this, "project", std::move(out_schema), std::move(child), std::move(fn)));
+}
+
+Result<BatchIteratorPtr> Executor::OpenFilter(const FilterNode& node) {
+  LG_ASSIGN_OR_RETURN(BatchIteratorPtr child, OpenNode(node.child()));
+  Schema schema = child->schema();
+  ExprPtr condition = node.condition();
+  EvalContext ctx = MakeEvalContext();
+  const bool has_udf = ContainsUdfCall(condition);
+  auto fn = [this, condition, ctx, has_udf](RecordBatch batch)
+      -> Result<std::optional<RecordBatch>> {
+    std::vector<uint8_t> mask;
+    if (has_udf) {
+      LG_ASSIGN_OR_RETURN(std::vector<Column> cols,
+                          EvaluateWithUdfs({condition}, batch));
+      mask = BoolColumnToMask(cols[0]);
+    } else {
+      LG_ASSIGN_OR_RETURN(mask, EvaluatePredicateMask(condition, batch, ctx));
+    }
+    if (MaskCountSet(mask) == 0) {
+      return std::optional<RecordBatch>();  // fully filtered: pull again
+    }
+    return std::optional<RecordBatch>(ApplyMask(batch, mask));
+  };
+  return BatchIteratorPtr(std::make_unique<ExecIterators::StageIterator>(
+      this, "filter", std::move(schema), std::move(child), std::move(fn)));
+}
+
+Result<Table> Executor::AggregateTable(const AggregateNode& node,
+                                       const RecordBatch& input,
+                                       const Schema& out_schema) {
+  EvalContext ctx = MakeEvalContext();
+
+  // Evaluate group keys and aggregate argument columns.
+  std::vector<Column> group_cols;
+  for (const ExprPtr& e : node.group_exprs()) {
+    LG_ASSIGN_OR_RETURN(std::vector<Column> c, EvaluateWithUdfs({e}, input));
+    group_cols.push_back(std::move(c[0]));
   }
-  return table;
+  struct AggSpec {
+    std::string func;  // SUM/COUNT/AVG/MIN/MAX (uppercased)
+    Column arg;
+  };
+  std::vector<AggSpec> specs;
+  for (const ExprPtr& e : node.agg_exprs()) {
+    const auto& call = static_cast<const FunctionCallExpr&>(*e);
+    AggSpec spec;
+    spec.func = ToUpperAscii(call.name());
+    if (call.args().empty()) {
+      return Status::InvalidArgument("aggregate " + spec.func +
+                                     " needs an argument");
+    }
+    LG_ASSIGN_OR_RETURN(std::vector<Column> c,
+                        EvaluateWithUdfs({call.args()[0]}, input));
+    spec.arg = std::move(c[0]);
+    specs.push_back(std::move(spec));
+  }
+
+  std::map<std::vector<Value>, std::vector<AggState>, ValueVectorLess> groups;
+  const size_t rows = input.num_rows();
+  const bool global = node.group_exprs().empty();
+  if (global) {
+    groups[{}] = std::vector<AggState>(specs.size());
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<Value> key;
+    key.reserve(group_cols.size());
+    for (const Column& c : group_cols) key.push_back(c.GetValue(r));
+    auto [it, inserted] =
+        groups.try_emplace(std::move(key), std::vector<AggState>(specs.size()));
+    std::vector<AggState>& states = it->second;
+    for (size_t s = 0; s < specs.size(); ++s) {
+      AggState& state = states[s];
+      ++state.rows;
+      Value v = specs[s].arg.GetValue(r);
+      if (v.is_null()) continue;
+      ++state.count;
+      if (v.is_double()) {
+        state.saw_double = true;
+        state.double_sum += v.double_value();
+      } else if (v.is_int()) {
+        state.int_sum += v.int_value();
+        state.double_sum += static_cast<double>(v.int_value());
+      } else if (v.is_bool()) {
+        state.int_sum += v.bool_value() ? 1 : 0;
+        state.double_sum += v.bool_value() ? 1 : 0;
+      }
+      if (!state.has_minmax) {
+        state.min_value = v;
+        state.max_value = v;
+        state.has_minmax = true;
+      } else {
+        if (v.Compare(state.min_value) < 0) state.min_value = v;
+        if (v.Compare(state.max_value) > 0) state.max_value = v;
+      }
+    }
+  }
+
+  TableBuilder builder(out_schema);
+  for (const auto& [key, states] : groups) {
+    std::vector<Value> row = key;
+    for (size_t s = 0; s < specs.size(); ++s) {
+      const AggState& state = states[s];
+      const std::string& func = specs[s].func;
+      if (func == "COUNT") {
+        row.push_back(Value::Int(state.count));
+      } else if (func == "SUM") {
+        if (state.count == 0) {
+          row.push_back(Value::Null());
+        } else if (state.saw_double) {
+          row.push_back(Value::Double(state.double_sum));
+        } else {
+          row.push_back(Value::Int(state.int_sum));
+        }
+      } else if (func == "AVG") {
+        row.push_back(state.count == 0
+                          ? Value::Null()
+                          : Value::Double(state.double_sum /
+                                          static_cast<double>(state.count)));
+      } else if (func == "MIN") {
+        row.push_back(state.has_minmax ? state.min_value : Value::Null());
+      } else if (func == "MAX") {
+        row.push_back(state.has_minmax ? state.max_value : Value::Null());
+      } else {
+        return Status::InvalidArgument("unknown aggregate " + func);
+      }
+    }
+    LG_RETURN_IF_ERROR(builder.AppendRow(row));
+  }
+  return builder.Build();
+}
+
+Result<BatchIteratorPtr> Executor::OpenAggregate(const AggregateNode& node,
+                                                 const PlanPtr& self) {
+  LG_ASSIGN_OR_RETURN(BatchIteratorPtr child, OpenNode(node.child()));
+  LG_ASSIGN_OR_RETURN(Schema out_schema, Analyzer::ResolvedSchema(self));
+  std::shared_ptr<BatchIterator> shared_child(child.release());
+  const AggregateNode* node_ptr = &node;
+  Schema schema_copy = out_schema;
+  auto produce = [this, shared_child, node_ptr,
+                  schema_copy]() -> Result<Table> {
+    LG_ASSIGN_OR_RETURN(Table collected, DrainIterator(shared_child.get()));
+    LG_ASSIGN_OR_RETURN(RecordBatch input, collected.Combine());
+    return AggregateTable(*node_ptr, input, schema_copy);
+  };
+  return BatchIteratorPtr(std::make_unique<ExecIterators::MaterializingIterator>(
+      this, "aggregate", std::move(out_schema), std::move(produce)));
+}
+
+Result<Table> Executor::SortTable(const SortNode& node,
+                                  const RecordBatch& input) {
+  std::vector<Column> key_cols;
+  for (const SortKey& key : node.keys()) {
+    LG_ASSIGN_OR_RETURN(std::vector<Column> c,
+                        EvaluateWithUdfs({key.expr}, input));
+    key_cols.push_back(std::move(c[0]));
+  }
+  std::vector<int64_t> indices(input.num_rows());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = static_cast<int64_t>(i);
+  }
+  std::stable_sort(indices.begin(), indices.end(),
+                   [&](int64_t a, int64_t b) {
+                     for (size_t k = 0; k < key_cols.size(); ++k) {
+                       Value va = key_cols[k].GetValue(static_cast<size_t>(a));
+                       Value vb = key_cols[k].GetValue(static_cast<size_t>(b));
+                       int c = va.Compare(vb);
+                       if (c != 0) {
+                         return node.keys()[k].ascending ? c < 0 : c > 0;
+                       }
+                     }
+                     return false;
+                   });
+  Table out(input.schema());
+  LG_RETURN_IF_ERROR(out.AppendBatch(input.Take(indices)));
+  return out;
+}
+
+Result<BatchIteratorPtr> Executor::OpenSort(const SortNode& node) {
+  LG_ASSIGN_OR_RETURN(BatchIteratorPtr child, OpenNode(node.child()));
+  Schema schema = child->schema();
+  std::shared_ptr<BatchIterator> shared_child(child.release());
+  const SortNode* node_ptr = &node;
+  auto produce = [this, shared_child, node_ptr]() -> Result<Table> {
+    LG_ASSIGN_OR_RETURN(Table collected, DrainIterator(shared_child.get()));
+    LG_ASSIGN_OR_RETURN(RecordBatch input, collected.Combine());
+    return SortTable(*node_ptr, input);
+  };
+  return BatchIteratorPtr(std::make_unique<ExecIterators::MaterializingIterator>(
+      this, "sort", std::move(schema), std::move(produce)));
+}
+
+Result<BatchIteratorPtr> Executor::OpenJoin(const JoinNode& node) {
+  LG_ASSIGN_OR_RETURN(BatchIteratorPtr left, OpenNode(node.left()));
+  LG_ASSIGN_OR_RETURN(BatchIteratorPtr right, OpenNode(node.right()));
+  std::vector<FieldDef> fields = left->schema().fields();
+  for (const FieldDef& f : right->schema().fields()) fields.push_back(f);
+  Schema out_schema(std::move(fields));
+  return BatchIteratorPtr(std::make_unique<ExecIterators::JoinIterator>(
+      this, node, std::move(left), std::move(right), std::move(out_schema)));
+}
+
+Result<BatchIteratorPtr> Executor::OpenLimit(const LimitNode& node) {
+  LG_ASSIGN_OR_RETURN(BatchIteratorPtr child, OpenNode(node.child()));
+  return BatchIteratorPtr(std::make_unique<ExecIterators::LimitIterator>(
+      this, std::move(child), node.limit()));
 }
 
 Result<std::vector<Column>> Executor::EvaluateWithUdfs(
@@ -365,357 +989,6 @@ Result<std::vector<Column>> Executor::EvaluateWithUdfs(
   for (const ExprPtr& e : rewritten) {
     LG_ASSIGN_OR_RETURN(Column c, EvaluateExpr(e, extended, ctx));
     out.push_back(std::move(c));
-  }
-  return out;
-}
-
-Result<Table> Executor::ExecProject(const ProjectNode& node) {
-  LG_ASSIGN_OR_RETURN(Table child, ExecNode(node.child()));
-  LG_ASSIGN_OR_RETURN(Schema out_schema, Analyzer::ResolvedSchema(
-                                             PlanPtr(&node, [](auto*) {})));
-  Table out(out_schema);
-  for (const RecordBatch& batch : child.batches()) {
-    LG_ASSIGN_OR_RETURN(std::vector<Column> columns,
-                        EvaluateWithUdfs(node.exprs(), batch));
-    LG_RETURN_IF_ERROR(out.AppendBatch(RecordBatch(out_schema,
-                                                   std::move(columns))));
-  }
-  return out;
-}
-
-Result<Table> Executor::ExecFilter(const FilterNode& node) {
-  LG_ASSIGN_OR_RETURN(Table child, ExecNode(node.child()));
-  Table out(child.schema());
-  EvalContext ctx = MakeEvalContext();
-  for (const RecordBatch& batch : child.batches()) {
-    std::vector<uint8_t> mask;
-    if (ContainsUdfCall(node.condition())) {
-      LG_ASSIGN_OR_RETURN(std::vector<Column> cols,
-                          EvaluateWithUdfs({node.condition()}, batch));
-      mask.assign(batch.num_rows(), 0);
-      const Column& c = cols[0];
-      for (size_t i = 0; i < batch.num_rows(); ++i) {
-        mask[i] = (!c.IsNull(i) && c.kind() == TypeKind::kBool && c.BoolAt(i))
-                      ? 1
-                      : 0;
-      }
-    } else {
-      LG_ASSIGN_OR_RETURN(mask,
-                          EvaluatePredicateMask(node.condition(), batch, ctx));
-    }
-    LG_RETURN_IF_ERROR(out.AppendBatch(batch.Filter(mask)));
-  }
-  return out;
-}
-
-Result<Table> Executor::ExecAggregate(const AggregateNode& node) {
-  LG_ASSIGN_OR_RETURN(Table child, ExecNode(node.child()));
-  LG_ASSIGN_OR_RETURN(RecordBatch input, child.Combine());
-  EvalContext ctx = MakeEvalContext();
-
-  // Evaluate group keys and aggregate argument columns.
-  std::vector<Column> group_cols;
-  for (const ExprPtr& e : node.group_exprs()) {
-    LG_ASSIGN_OR_RETURN(std::vector<Column> c, EvaluateWithUdfs({e}, input));
-    group_cols.push_back(std::move(c[0]));
-  }
-  struct AggSpec {
-    std::string func;  // SUM/COUNT/AVG/MIN/MAX (uppercased)
-    Column arg;
-  };
-  std::vector<AggSpec> specs;
-  for (const ExprPtr& e : node.agg_exprs()) {
-    const auto& call = static_cast<const FunctionCallExpr&>(*e);
-    AggSpec spec;
-    spec.func = ToUpperAscii(call.name());
-    if (call.args().empty()) {
-      return Status::InvalidArgument("aggregate " + spec.func +
-                                     " needs an argument");
-    }
-    LG_ASSIGN_OR_RETURN(std::vector<Column> c,
-                        EvaluateWithUdfs({call.args()[0]}, input));
-    spec.arg = std::move(c[0]);
-    specs.push_back(std::move(spec));
-  }
-
-  std::map<std::vector<Value>, std::vector<AggState>, ValueVectorLess> groups;
-  const size_t rows = input.num_rows();
-  const bool global = node.group_exprs().empty();
-  if (global) {
-    groups[{}] = std::vector<AggState>(specs.size());
-  }
-  for (size_t r = 0; r < rows; ++r) {
-    std::vector<Value> key;
-    key.reserve(group_cols.size());
-    for (const Column& c : group_cols) key.push_back(c.GetValue(r));
-    auto [it, inserted] =
-        groups.try_emplace(std::move(key), std::vector<AggState>(specs.size()));
-    std::vector<AggState>& states = it->second;
-    for (size_t s = 0; s < specs.size(); ++s) {
-      AggState& state = states[s];
-      ++state.rows;
-      Value v = specs[s].arg.GetValue(r);
-      if (v.is_null()) continue;
-      ++state.count;
-      if (v.is_double()) {
-        state.saw_double = true;
-        state.double_sum += v.double_value();
-      } else if (v.is_int()) {
-        state.int_sum += v.int_value();
-        state.double_sum += static_cast<double>(v.int_value());
-      } else if (v.is_bool()) {
-        state.int_sum += v.bool_value() ? 1 : 0;
-        state.double_sum += v.bool_value() ? 1 : 0;
-      }
-      if (!state.has_minmax) {
-        state.min_value = v;
-        state.max_value = v;
-        state.has_minmax = true;
-      } else {
-        if (v.Compare(state.min_value) < 0) state.min_value = v;
-        if (v.Compare(state.max_value) > 0) state.max_value = v;
-      }
-    }
-  }
-
-  LG_ASSIGN_OR_RETURN(
-      Schema out_schema,
-      Analyzer::ResolvedSchema(PlanPtr(&node, [](auto*) {})));
-  TableBuilder builder(out_schema);
-  for (const auto& [key, states] : groups) {
-    std::vector<Value> row = key;
-    for (size_t s = 0; s < specs.size(); ++s) {
-      const AggState& state = states[s];
-      const std::string& func = specs[s].func;
-      if (func == "COUNT") {
-        row.push_back(Value::Int(state.count));
-      } else if (func == "SUM") {
-        if (state.count == 0) {
-          row.push_back(Value::Null());
-        } else if (state.saw_double) {
-          row.push_back(Value::Double(state.double_sum));
-        } else {
-          row.push_back(Value::Int(state.int_sum));
-        }
-      } else if (func == "AVG") {
-        row.push_back(state.count == 0
-                          ? Value::Null()
-                          : Value::Double(state.double_sum /
-                                          static_cast<double>(state.count)));
-      } else if (func == "MIN") {
-        row.push_back(state.has_minmax ? state.min_value : Value::Null());
-      } else if (func == "MAX") {
-        row.push_back(state.has_minmax ? state.max_value : Value::Null());
-      } else {
-        return Status::InvalidArgument("unknown aggregate " + func);
-      }
-    }
-    LG_RETURN_IF_ERROR(builder.AppendRow(row));
-  }
-  return builder.Build();
-}
-
-namespace {
-
-/// Extracts pure equi-join key pairs from `cond`: a conjunction of
-/// `left_col = right_col` over *resolved* refs. Returns false when the
-/// condition has any other shape (the caller falls back to nested-loop).
-bool ExtractEquiKeys(const ExprPtr& cond, size_t left_fields,
-                     std::vector<std::pair<int, int>>* keys) {
-  if (cond->kind() == ExprKind::kBinaryOp) {
-    const auto& bin = static_cast<const BinaryOpExpr&>(*cond);
-    if (bin.op() == BinaryOpKind::kAnd) {
-      return ExtractEquiKeys(bin.left(), left_fields, keys) &&
-             ExtractEquiKeys(bin.right(), left_fields, keys);
-    }
-    if (bin.op() == BinaryOpKind::kEq &&
-        bin.left()->kind() == ExprKind::kColumnRef &&
-        bin.right()->kind() == ExprKind::kColumnRef) {
-      const auto& a = static_cast<const ColumnRefExpr&>(*bin.left());
-      const auto& b = static_cast<const ColumnRefExpr&>(*bin.right());
-      if (!a.resolved() || !b.resolved()) return false;
-      int ai = a.index(), bi = b.index();
-      int ln = static_cast<int>(left_fields);
-      if (ai < ln && bi >= ln) {
-        keys->emplace_back(ai, bi - ln);
-        return true;
-      }
-      if (bi < ln && ai >= ln) {
-        keys->emplace_back(bi, ai - ln);
-        return true;
-      }
-    }
-  }
-  return false;
-}
-
-}  // namespace
-
-Result<Table> Executor::ExecJoin(const JoinNode& node) {
-  LG_ASSIGN_OR_RETURN(Table left, ExecNode(node.left()));
-  LG_ASSIGN_OR_RETURN(Table right, ExecNode(node.right()));
-  LG_ASSIGN_OR_RETURN(RecordBatch lbatch, left.Combine());
-  LG_ASSIGN_OR_RETURN(RecordBatch rbatch, right.Combine());
-
-  std::vector<FieldDef> fields = lbatch.schema().fields();
-  for (const FieldDef& f : rbatch.schema().fields()) fields.push_back(f);
-  Schema out_schema(std::move(fields));
-  EvalContext ctx = MakeEvalContext();
-
-  const size_t ln = lbatch.num_rows();
-  const size_t rn = rbatch.num_rows();
-  const size_t rcols = rbatch.num_columns();
-
-  std::vector<int64_t> left_indices;
-  std::vector<int64_t> right_indices;  // -1 = null-padded (left join)
-
-  std::vector<std::pair<int, int>> equi_keys;
-  const bool is_equi =
-      node.condition() != nullptr &&
-      ExtractEquiKeys(node.condition(), lbatch.num_columns(), &equi_keys);
-
-  if (is_equi) {
-    // Hash join: build on the right side, probe with the left.
-    std::map<std::vector<Value>, std::vector<int64_t>, ValueVectorLess> table;
-    for (size_t j = 0; j < rn; ++j) {
-      std::vector<Value> key;
-      key.reserve(equi_keys.size());
-      bool has_null = false;
-      for (auto [li, ri] : equi_keys) {
-        Value v = rbatch.column(static_cast<size_t>(ri)).GetValue(j);
-        has_null |= v.is_null();
-        key.push_back(std::move(v));
-      }
-      if (has_null) continue;  // SQL: NULL keys never match
-      table[std::move(key)].push_back(static_cast<int64_t>(j));
-    }
-    for (size_t i = 0; i < ln; ++i) {
-      std::vector<Value> key;
-      key.reserve(equi_keys.size());
-      bool has_null = false;
-      for (auto [li, ri] : equi_keys) {
-        Value v = lbatch.column(static_cast<size_t>(li)).GetValue(i);
-        has_null |= v.is_null();
-        key.push_back(std::move(v));
-      }
-      auto it = has_null ? table.end() : table.find(key);
-      if (it != table.end()) {
-        for (int64_t j : it->second) {
-          left_indices.push_back(static_cast<int64_t>(i));
-          right_indices.push_back(j);
-        }
-      } else if (node.join_type() == JoinType::kLeft) {
-        left_indices.push_back(static_cast<int64_t>(i));
-        right_indices.push_back(-1);
-      }
-    }
-  } else {
-    // Vectorized nested loop: evaluate the predicate for one left row
-    // against ALL right rows at once.
-    for (size_t i = 0; i < ln; ++i) {
-      std::vector<uint8_t> mask(rn, 1);
-      if (node.condition() && rn > 0) {
-        std::vector<Column> combined_cols;
-        combined_cols.reserve(lbatch.num_columns() + rcols);
-        for (size_t c = 0; c < lbatch.num_columns(); ++c) {
-          ColumnBuilder b(lbatch.column(c).kind());
-          b.Reserve(rn);
-          Value v = lbatch.column(c).GetValue(i);
-          for (size_t j = 0; j < rn; ++j) {
-            LG_RETURN_IF_ERROR(b.AppendValue(v));
-          }
-          combined_cols.push_back(b.Finish());
-        }
-        for (size_t c = 0; c < rcols; ++c) {
-          combined_cols.push_back(rbatch.column(c));
-        }
-        RecordBatch combined(out_schema, std::move(combined_cols));
-        LG_ASSIGN_OR_RETURN(
-            mask, EvaluatePredicateMask(node.condition(), combined, ctx));
-      }
-      bool matched = false;
-      for (size_t j = 0; j < rn; ++j) {
-        if (!mask[j]) continue;
-        matched = true;
-        left_indices.push_back(static_cast<int64_t>(i));
-        right_indices.push_back(static_cast<int64_t>(j));
-      }
-      if (!matched && node.join_type() == JoinType::kLeft) {
-        left_indices.push_back(static_cast<int64_t>(i));
-        right_indices.push_back(-1);
-      }
-    }
-  }
-
-  // Materialize the output from the index pairs.
-  std::vector<Column> out_cols;
-  out_cols.reserve(out_schema.num_fields());
-  for (size_t c = 0; c < lbatch.num_columns(); ++c) {
-    out_cols.push_back(lbatch.column(c).Take(left_indices));
-  }
-  for (size_t c = 0; c < rcols; ++c) {
-    ColumnBuilder b(rbatch.column(c).kind());
-    b.Reserve(right_indices.size());
-    for (int64_t j : right_indices) {
-      if (j < 0) {
-        b.AppendNull();
-      } else {
-        LG_RETURN_IF_ERROR(b.AppendValue(
-            rbatch.column(c).GetValue(static_cast<size_t>(j))));
-      }
-    }
-    out_cols.push_back(b.Finish());
-  }
-  Table out(out_schema);
-  LG_RETURN_IF_ERROR(
-      out.AppendBatch(RecordBatch(out_schema, std::move(out_cols))));
-  return out;
-}
-
-Result<Table> Executor::ExecSort(const SortNode& node) {
-  LG_ASSIGN_OR_RETURN(Table child, ExecNode(node.child()));
-  LG_ASSIGN_OR_RETURN(RecordBatch input, child.Combine());
-  std::vector<Column> key_cols;
-  for (const SortKey& key : node.keys()) {
-    LG_ASSIGN_OR_RETURN(std::vector<Column> c,
-                        EvaluateWithUdfs({key.expr}, input));
-    key_cols.push_back(std::move(c[0]));
-  }
-  std::vector<int64_t> indices(input.num_rows());
-  for (size_t i = 0; i < indices.size(); ++i) {
-    indices[i] = static_cast<int64_t>(i);
-  }
-  std::stable_sort(indices.begin(), indices.end(),
-                   [&](int64_t a, int64_t b) {
-                     for (size_t k = 0; k < key_cols.size(); ++k) {
-                       Value va = key_cols[k].GetValue(static_cast<size_t>(a));
-                       Value vb = key_cols[k].GetValue(static_cast<size_t>(b));
-                       int c = va.Compare(vb);
-                       if (c != 0) {
-                         return node.keys()[k].ascending ? c < 0 : c > 0;
-                       }
-                     }
-                     return false;
-                   });
-  Table out(input.schema());
-  LG_RETURN_IF_ERROR(out.AppendBatch(input.Take(indices)));
-  return out;
-}
-
-Result<Table> Executor::ExecLimit(const LimitNode& node) {
-  LG_ASSIGN_OR_RETURN(Table child, ExecNode(node.child()));
-  Table out(child.schema());
-  int64_t remaining = node.limit();
-  for (const RecordBatch& batch : child.batches()) {
-    if (remaining <= 0) break;
-    if (static_cast<int64_t>(batch.num_rows()) <= remaining) {
-      remaining -= static_cast<int64_t>(batch.num_rows());
-      LG_RETURN_IF_ERROR(out.AppendBatch(batch));
-    } else {
-      LG_RETURN_IF_ERROR(
-          out.AppendBatch(batch.Slice(0, static_cast<size_t>(remaining))));
-      remaining = 0;
-    }
   }
   return out;
 }

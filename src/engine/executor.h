@@ -1,7 +1,11 @@
 #ifndef LAKEGUARD_ENGINE_EXECUTOR_H_
 #define LAKEGUARD_ENGINE_EXECUTOR_H_
 
+#include <map>
+#include <string>
+
 #include "catalog/unity_catalog.h"
+#include "columnar/batch_iterator.h"
 #include "columnar/table.h"
 #include "engine/analysis.h"
 #include "expr/evaluator.h"
@@ -18,6 +22,16 @@ class RemoteQueryExecutor {
   virtual ~RemoteQueryExecutor() = default;
   virtual Result<Table> ExecuteRemote(const RemoteScanNode& scan,
                                       const ExecutionContext& context) = 0;
+
+  /// Batched counterpart: the remote result arrives as a pull stream so the
+  /// origin pipeline never holds more than one remote batch at a time. The
+  /// default wraps the monolithic call for implementations that predate
+  /// streaming.
+  virtual Result<BatchIteratorPtr> ExecuteRemoteStream(
+      const RemoteScanNode& scan, const ExecutionContext& context) {
+    LG_ASSIGN_OR_RETURN(Table table, ExecuteRemote(scan, context));
+    return MakeTableIterator(std::move(table));
+  }
 };
 
 /// Execution-time switches. `isolate_udfs=false` reproduces the legacy
@@ -26,6 +40,10 @@ class RemoteQueryExecutor {
 struct ExecutionOptions {
   bool isolate_udfs = true;
   bool fuse_udfs = true;
+  /// Upper bound on rows per batch flowing through the pipeline. Scan
+  /// re-slices stored parts to this size; pipeline stages are batch-in /
+  /// batch-out, so this caps per-operator resident memory.
+  size_t batch_size = 1024;
 };
 
 /// Everything the executor touches outside the plan.
@@ -42,18 +60,53 @@ struct EngineServices {
   const class ExtensionRegistry* extensions = nullptr;
 };
 
-/// Operator counters for one execution.
+/// Operator counters for one execution. Scan counters advance as batches
+/// are *pulled*, so a short-circuiting LIMIT shows up directly as
+/// `batches_scanned` < stored batches.
 struct ExecutorStats {
   uint64_t batches_scanned = 0;
   uint64_t rows_scanned = 0;
   uint64_t udf_sandbox_batches = 0;
   uint64_t udf_rows = 0;
+  /// Batches emitted across all operators, and per operator kind
+  /// ("scan", "filter", "project", ...).
+  uint64_t batches_emitted = 0;
+  std::map<std::string, uint64_t> operator_batches;
+  /// Memory proxy: batches concurrently held by the pipeline (streaming
+  /// stages hold at most one in flight; pipeline breakers hold their whole
+  /// materialized input). `peak_resident_batches` is the high-water mark —
+  /// O(pipeline depth) for streaming plans, O(result) across a breaker.
+  uint64_t resident_batches = 0;
+  uint64_t peak_resident_batches = 0;
+
+  void OnEmit(const char* op) {
+    ++batches_emitted;
+    ++operator_batches[op];
+  }
+  void AddResident(uint64_t n) {
+    resident_batches += n;
+    if (resident_batches > peak_resident_batches) {
+      peak_resident_batches = resident_batches;
+    }
+  }
+  void SubResident(uint64_t n) {
+    resident_batches -= (n > resident_batches) ? resident_batches : n;
+  }
 };
 
-/// Vectorized recursive executor over resolved plans. UDF-bearing
-/// expressions route user code through the Dispatcher into sandboxes (or
-/// the in-process VM in the unisolated baseline); everything else is
-/// evaluated by the trusted expression evaluator.
+/// Streaming Volcano-vectorized executor over resolved plans. `Open`
+/// builds a pull-based BatchIterator pipeline: Scan yields bounded batches
+/// straight from storage parts, Project/Filter (and the row-filter /
+/// column-mask stages the analyzer compiled into them) transform batch-in /
+/// batch-out — UDF-bearing expressions route each batch through the
+/// Dispatcher into sandboxes (or the in-process VM in the unisolated
+/// baseline) — while Sort/Aggregate/the build side of Join materialize as
+/// explicit pipeline breakers. Limit stops pulling its child once
+/// satisfied. `Execute` is the collect-all wrapper over `Open` that every
+/// pre-streaming call site keeps using.
+///
+/// Lifetime: iterators returned by `Open` borrow the Executor (services,
+/// analysis, stats) and the plan tree; both must outlive the iterator.
 class Executor {
  public:
   Executor(EngineServices services, ExecutionOptions options,
@@ -63,19 +116,34 @@ class Executor {
         context_(std::move(context)),
         analysis_(analysis) {}
 
+  /// Streaming entry point: the root of the operator pipeline.
+  Result<BatchIteratorPtr> Open(const PlanPtr& plan);
+
+  /// Collect-all wrapper: drains the pipeline into a Table.
   Result<Table> Execute(const PlanPtr& plan);
 
   const ExecutorStats& stats() const { return stats_; }
+  const ExecutionOptions& options() const { return options_; }
 
  private:
-  Result<Table> ExecNode(const PlanPtr& plan);
-  Result<Table> ExecScan(const ResolvedScanNode& node);
-  Result<Table> ExecProject(const ProjectNode& node);
-  Result<Table> ExecFilter(const FilterNode& node);
-  Result<Table> ExecAggregate(const AggregateNode& node);
-  Result<Table> ExecJoin(const JoinNode& node);
-  Result<Table> ExecSort(const SortNode& node);
-  Result<Table> ExecLimit(const LimitNode& node);
+  friend class ExecIterators;  // operator iterators (executor.cc)
+
+  Result<BatchIteratorPtr> OpenNode(const PlanPtr& plan);
+  Result<BatchIteratorPtr> OpenScan(const ResolvedScanNode& node);
+  Result<BatchIteratorPtr> OpenProject(const ProjectNode& node,
+                                       const PlanPtr& self);
+  Result<BatchIteratorPtr> OpenFilter(const FilterNode& node);
+  Result<BatchIteratorPtr> OpenAggregate(const AggregateNode& node,
+                                         const PlanPtr& self);
+  Result<BatchIteratorPtr> OpenJoin(const JoinNode& node);
+  Result<BatchIteratorPtr> OpenSort(const SortNode& node);
+  Result<BatchIteratorPtr> OpenLimit(const LimitNode& node);
+
+  /// Pipeline-breaker bodies (operate on a fully collected child).
+  Result<Table> AggregateTable(const AggregateNode& node,
+                               const RecordBatch& input,
+                               const Schema& out_schema);
+  Result<Table> SortTable(const SortNode& node, const RecordBatch& input);
 
   /// Evaluates `exprs` over `batch`, executing embedded UDF calls according
   /// to the isolation/fusion options. Core of the user-code data path.

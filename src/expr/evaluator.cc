@@ -516,4 +516,36 @@ Result<std::vector<uint8_t>> EvaluatePredicateMask(const ExprPtr& predicate,
   return mask;
 }
 
+size_t MaskCountSet(const std::vector<uint8_t>& mask) {
+  size_t n = 0;
+  for (uint8_t m : mask) {
+    if (m) ++n;
+  }
+  return n;
+}
+
+bool MaskAllSet(const std::vector<uint8_t>& mask) {
+  for (uint8_t m : mask) {
+    if (!m) return false;
+  }
+  return true;
+}
+
+RecordBatch ApplyMask(const RecordBatch& batch,
+                      const std::vector<uint8_t>& mask) {
+  if (MaskAllSet(mask)) return batch;
+  return batch.Filter(mask);
+}
+
+std::vector<uint8_t> BoolColumnToMask(const Column& column) {
+  std::vector<uint8_t> mask(column.length(), 0);
+  for (size_t i = 0; i < column.length(); ++i) {
+    mask[i] = (!column.IsNull(i) && column.kind() == TypeKind::kBool &&
+               column.BoolAt(i))
+                  ? 1
+                  : 0;
+  }
+  return mask;
+}
+
 }  // namespace lakeguard

@@ -56,6 +56,22 @@ Result<std::vector<uint8_t>> EvaluatePredicateMask(const ExprPtr& predicate,
                                                    const RecordBatch& batch,
                                                    const EvalContext& ctx);
 
+/// Number of selected rows in a predicate mask.
+size_t MaskCountSet(const std::vector<uint8_t>& mask);
+
+/// True when the mask selects every row (the batch can pass through a
+/// filter stage untouched).
+bool MaskAllSet(const std::vector<uint8_t>& mask);
+
+/// Applies `mask` to `batch` without copying when the mask selects all
+/// rows — the per-batch fast path of streaming filter / row-policy stages.
+RecordBatch ApplyMask(const RecordBatch& batch,
+                      const std::vector<uint8_t>& mask);
+
+/// Converts a boolean result column to a selection mask (non-true and NULL
+/// rows excluded) — used when a filter condition was computed by a UDF.
+std::vector<uint8_t> BoolColumnToMask(const Column& column);
+
 /// True if `s` matches SQL LIKE `pattern` ('%' any run, '_' one char).
 bool SqlLikeMatch(const std::string& s, const std::string& pattern);
 

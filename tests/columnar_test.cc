@@ -328,5 +328,21 @@ INSTANTIATE_TEST_SUITE_P(
                                          TypeKind::kBinary),
                        ::testing::Values(0, 1, 7, 64, 1000)));
 
+TEST(ColumnByteSizeTest, StringColumnAccountsForHeapCapacity) {
+  ColumnBuilder wide(TypeKind::kString);
+  ColumnBuilder narrow(TypeKind::kString);
+  for (int i = 0; i < 16; ++i) {
+    wide.AppendString(std::string(4096, 'w'));
+    narrow.AppendString("s");
+  }
+  Column wide_col = wide.Finish();
+  Column narrow_col = narrow.Finish();
+  // Heap-allocated string payloads dominate; the memory proxy must see them.
+  EXPECT_GE(wide_col.ByteSize(), 16u * 4096u);
+  // Short strings still charge at least the inline string object itself.
+  EXPECT_GE(narrow_col.ByteSize(), 16u * sizeof(std::string));
+  EXPECT_LT(narrow_col.ByteSize(), wide_col.ByteSize() / 8);
+}
+
 }  // namespace
 }  // namespace lakeguard

@@ -1,0 +1,299 @@
+// Tests for the streaming batch pipeline: pull-based operator iterators
+// (scan laziness, Limit short-circuit, pipeline-breaker materialization),
+// exact ExecutorStats accounting under batching, and lazy Connect chunk
+// production with exact replay.
+
+#include <gtest/gtest.h>
+
+#include "columnar/batch_iterator.h"
+#include "connect/protocol.h"
+#include "core/platform.h"
+#include "plan/plan_serde.h"
+#include "udf/builder.h"
+
+namespace lakeguard {
+namespace {
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  StreamingTest() {
+    EXPECT_TRUE(platform_.AddUser("admin").ok());
+    platform_.AddMetastoreAdmin("admin");
+    EXPECT_TRUE(platform_.catalog().CreateCatalog("admin", "main").ok());
+    EXPECT_TRUE(platform_.catalog().CreateSchema("admin", "main.s").ok());
+    cluster_ = platform_.CreateStandardCluster();
+    admin_ctx_ = *platform_.DirectContext(cluster_, "admin");
+
+    // Small batches make operator behavior observable: each 20-row part
+    // re-slices into 3 batches of (8, 8, 4).
+    QueryEngineConfig config = cluster_->engine->config();
+    config.exec.batch_size = 8;
+    cluster_->engine->set_config(config);
+
+    MustSql("CREATE TABLE main.s.data (a BIGINT, b BIGINT)");
+    for (int part = 0; part < 3; ++part) {
+      std::string sql = "INSERT INTO main.s.data VALUES ";
+      for (int i = 0; i < 20; ++i) {
+        int v = part * 20 + i;
+        if (i > 0) sql += ", ";
+        sql += "(" + std::to_string(v) + ", " + std::to_string(v % 7) + ")";
+      }
+      MustSql(sql);
+    }
+  }
+
+  Table MustSql(const std::string& sql) {
+    auto result = cluster_->engine->ExecuteSql(sql, admin_ctx_);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+    return result.ok() ? *result : Table();
+  }
+
+  /// Opens `sql` as a stream, drains it, and returns (result, final stats).
+  std::pair<Table, ExecutorStats> RunStreaming(const std::string& sql) {
+    auto stream = cluster_->engine->ExecuteSqlStreaming(sql, admin_ctx_);
+    EXPECT_TRUE(stream.ok()) << sql << " -> " << stream.status();
+    if (!stream.ok()) return {Table(), ExecutorStats()};
+    Table out((*stream)->schema());
+    while (true) {
+      auto batch = (*stream)->Next();
+      EXPECT_TRUE(batch.ok()) << batch.status();
+      if (!batch.ok() || !batch->has_value()) break;
+      if ((*batch)->num_rows() == 0) continue;
+      EXPECT_TRUE(out.AppendBatch(std::move(**batch)).ok());
+    }
+    return {std::move(out), (*stream)->stats()};
+  }
+
+  LakeguardPlatform platform_;
+  ClusterHandle* cluster_ = nullptr;
+  ExecutionContext admin_ctx_;
+};
+
+// ---- Exact stats accounting -------------------------------------------------------
+
+TEST_F(StreamingTest, ScanCountsBatchesAndRowsExactly) {
+  auto [table, stats] = RunStreaming("SELECT a FROM main.s.data");
+  EXPECT_EQ(table.num_rows(), 60u);
+  // 3 parts of 20 rows, re-sliced at batch_size=8: 3 batches each.
+  EXPECT_EQ(stats.batches_scanned, 9u);
+  EXPECT_EQ(stats.rows_scanned, 60u);
+  EXPECT_EQ(stats.operator_batches.at("scan"), 9u);
+  EXPECT_EQ(stats.operator_batches.at("project"), 9u);
+  EXPECT_EQ(stats.batches_emitted, 18u);
+  // Pure streaming: at most one in-flight batch per stage plus the resident
+  // scan part — never the whole table.
+  EXPECT_LE(stats.peak_resident_batches, 3u);
+  EXPECT_EQ(stats.resident_batches, 0u);  // everything released after drain
+}
+
+TEST_F(StreamingTest, FullyFilteredBatchesAreNotEmitted) {
+  auto [table, stats] = RunStreaming("SELECT a FROM main.s.data WHERE a < 0");
+  EXPECT_EQ(table.num_rows(), 0u);
+  // The filter pulled everything but never emitted a batch downstream.
+  EXPECT_EQ(stats.batches_scanned, 9u);
+  EXPECT_EQ(stats.operator_batches.count("filter"), 0u);
+  EXPECT_EQ(stats.operator_batches.count("project"), 0u);
+}
+
+TEST_F(StreamingTest, SortMaterializesThenStreamsBoundedBatches) {
+  auto [table, stats] =
+      RunStreaming("SELECT a FROM main.s.data ORDER BY a");
+  auto combined = *table.Combine();
+  ASSERT_EQ(combined.num_rows(), 60u);
+  EXPECT_EQ(combined.CellAt(0, 0).int_value(), 0);
+  EXPECT_EQ(combined.CellAt(59, 0).int_value(), 59);
+  // The breaker re-slices its materialized output: ceil(60/8) = 8 batches.
+  EXPECT_EQ(stats.operator_batches.at("sort"), 8u);
+  // And its materialization shows up in the memory proxy.
+  EXPECT_GE(stats.peak_resident_batches, 8u);
+}
+
+TEST_F(StreamingTest, UdfSandboxDispatchIsPerBatch) {
+  FunctionInfo fn;
+  fn.full_name = "main.s.adder";
+  fn.num_args = 2;
+  fn.return_type = TypeKind::kInt64;
+  fn.body = canned::SumUdf();
+  ASSERT_TRUE(platform_.catalog().CreateFunction("admin", fn).ok());
+
+  auto [table, stats] =
+      RunStreaming("SELECT main.s.adder(a, 100) AS v FROM main.s.data");
+  EXPECT_EQ(table.num_rows(), 60u);
+  // One boundary crossing per pipeline batch: 9 scan batches -> 9 sandbox
+  // batches (fusion groups the single call, so no extra crossings).
+  EXPECT_EQ(stats.udf_sandbox_batches, 9u);
+  EXPECT_EQ(stats.udf_rows, 60u);
+}
+
+// ---- Limit short-circuit ----------------------------------------------------------
+
+TEST_F(StreamingTest, LimitStopsPullingScanBatches) {
+  // One 512-row part -> 64 scan batches at batch_size=8. A LIMIT spanning
+  // exactly two batches must leave the remaining 62 unread.
+  MustSql("CREATE TABLE main.s.wide (x BIGINT)");
+  std::string sql = "INSERT INTO main.s.wide VALUES ";
+  for (int i = 0; i < 512; ++i) {
+    if (i > 0) sql += ", ";
+    sql += "(" + std::to_string(i) + ")";
+  }
+  MustSql(sql);
+
+  auto [table, stats] = RunStreaming("SELECT x FROM main.s.wide LIMIT 12");
+  EXPECT_EQ(table.num_rows(), 12u);
+  EXPECT_LE(stats.batches_scanned, 3u);
+  EXPECT_GE(stats.batches_scanned, 2u);  // 12 rows genuinely span 2 batches
+  EXPECT_LE(stats.rows_scanned, 24u);
+  auto combined = *table.Combine();
+  for (size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(combined.CellAt(i, 0).int_value(), static_cast<int64_t>(i));
+  }
+}
+
+TEST_F(StreamingTest, CollectAllWrapperMatchesStreamedResult) {
+  Table eager = MustSql("SELECT a, b FROM main.s.data WHERE b = 3");
+  auto [streamed, stats] =
+      RunStreaming("SELECT a, b FROM main.s.data WHERE b = 3");
+  (void)stats;
+  EXPECT_TRUE(eager.Equals(streamed));
+}
+
+// ---- Iterator primitives ----------------------------------------------------------
+
+TEST_F(StreamingTest, TableIteratorReslicesToMaxRows) {
+  TableBuilder builder(Schema({{"v", TypeKind::kInt64, false}}));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(builder.AppendRow({Value::Int(i)}).ok());
+  }
+  BatchIteratorPtr it = MakeTableIterator(builder.Build(), 6);
+  size_t batches = 0, rows = 0;
+  while (true) {
+    auto batch = it->Next();
+    ASSERT_TRUE(batch.ok());
+    if (!batch->has_value()) break;
+    EXPECT_LE((*batch)->num_rows(), 6u);
+    ++batches;
+    rows += (*batch)->num_rows();
+  }
+  EXPECT_EQ(rows, 20u);
+  EXPECT_EQ(batches, 4u);  // 6+6+6+2
+}
+
+// ---- Connect: lazy chunk production ----------------------------------------------
+
+RecordBatch BigBatch(int64_t rows) {
+  TableBuilder builder(Schema({{"i", TypeKind::kInt64, false},
+                               {"tag", TypeKind::kString, false}}));
+  for (int64_t i = 0; i < rows; ++i) {
+    EXPECT_TRUE(
+        builder.AppendRow({Value::Int(i), Value::String("r" + std::to_string(i))})
+            .ok());
+  }
+  return *builder.Build().Combine();
+}
+
+class ConnectStreamingTest : public ::testing::Test {
+ protected:
+  ConnectStreamingTest() {
+    EXPECT_TRUE(platform_.AddUser("admin").ok());
+    platform_.AddMetastoreAdmin("admin");
+    platform_.RegisterToken("tok", "admin");
+    cluster_ = platform_.CreateStandardCluster();
+  }
+
+  LakeguardPlatform platform_;
+  ClusterHandle* cluster_ = nullptr;
+};
+
+TEST_F(ConnectStreamingTest, ChunksAreProducedLazilyAndReplayedExactly) {
+  auto client = platform_.Connect(cluster_, "tok");
+  ASSERT_TRUE(client.ok());
+  DataFrame df = client->FromBatch(BigBatch(6000));
+
+  ConnectRequest request;
+  request.session_id = client->session_id();
+  request.auth_token = "tok";
+  request.operation_id = "op-lazy";
+  request.plan_bytes = PlanToBytes(df.plan());
+  ConnectResponse response = cluster_->service->Execute(request);
+  ASSERT_TRUE(response.ok) << response.error_message;
+
+  // 6000 rows = 6 chunks of <=1024. Execute probes only past the inline
+  // limit: 5 chunks are cut eagerly, the rest stays in the live stream.
+  EXPECT_TRUE(response.streaming);
+  EXPECT_TRUE(response.inline_chunks.empty());
+  EXPECT_EQ(response.total_chunks, 5u);
+  EXPECT_EQ(cluster_->service->service_stats().lazy_chunks, 0u);
+
+  const std::string& sess = client->session_id();
+  // Fetching past the buffered frames pulls the stream on demand.
+  auto chunk5 = cluster_->service->FetchChunk(sess, "op-lazy", 5);
+  ASSERT_TRUE(chunk5.ok()) << chunk5.status();
+  EXPECT_TRUE(chunk5->last);
+  EXPECT_EQ(cluster_->service->service_stats().lazy_chunks, 1u);
+
+  // A re-fetched index replays the cached frame byte-for-byte; the stream
+  // is never pulled again.
+  auto chunk5_again = cluster_->service->FetchChunk(sess, "op-lazy", 5);
+  ASSERT_TRUE(chunk5_again.ok());
+  EXPECT_EQ(chunk5->frame, chunk5_again->frame);
+  EXPECT_EQ(cluster_->service->service_stats().lazy_chunks, 1u);
+
+  auto chunk3 = cluster_->service->FetchChunk(sess, "op-lazy", 3);
+  auto chunk3_again = cluster_->service->FetchChunk(sess, "op-lazy", 3);
+  ASSERT_TRUE(chunk3.ok());
+  ASSERT_TRUE(chunk3_again.ok());
+  EXPECT_EQ(chunk3->frame, chunk3_again->frame);
+  EXPECT_FALSE(chunk3->last);
+  EXPECT_EQ(cluster_->service->service_stats().lazy_chunks, 1u);
+
+  // Past the end of an exhausted stream is a typed error, not a hang.
+  EXPECT_TRUE(cluster_->service->FetchChunk(sess, "op-lazy", 6)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(ConnectStreamingTest, ClientDrainsLazyStreamToExactRows) {
+  auto client = platform_.Connect(cluster_, "tok");
+  ASSERT_TRUE(client.ok());
+  const int64_t kRows = 7500;  // 8 chunks: 5 probed + 3 lazy
+  auto table = client->FromBatch(BigBatch(kRows)).Collect();
+  ASSERT_TRUE(table.ok()) << table.status();
+  auto combined = *table->Combine();
+  ASSERT_EQ(combined.num_rows(), static_cast<size_t>(kRows));
+  for (int64_t i = 0; i < kRows; i += 977) {
+    EXPECT_EQ(combined.CellAt(static_cast<size_t>(i), 0).int_value(), i);
+  }
+  EXPECT_EQ(combined.CellAt(static_cast<size_t>(kRows - 1), 1).string_value(),
+            "r" + std::to_string(kRows - 1));
+  EXPECT_EQ(cluster_->service->service_stats().lazy_chunks, 3u);
+}
+
+TEST_F(ConnectStreamingTest, SmallResultsStayFullyInline) {
+  auto client = platform_.Connect(cluster_, "tok");
+  ASSERT_TRUE(client.ok());
+  DataFrame df = client->FromBatch(BigBatch(100));
+  ConnectRequest request;
+  request.session_id = client->session_id();
+  request.auth_token = "tok";
+  request.plan_bytes = PlanToBytes(df.plan());
+  ConnectResponse response = cluster_->service->Execute(request);
+  ASSERT_TRUE(response.ok) << response.error_message;
+  EXPECT_FALSE(response.streaming);
+  ASSERT_EQ(response.inline_chunks.size(), 1u);
+  EXPECT_TRUE(response.inline_chunks[0].last);
+}
+
+TEST_F(ConnectStreamingTest, StreamingFlagSurvivesTheWire) {
+  ConnectResponse response;
+  response.ok = true;
+  response.operation_id = "op";
+  response.streaming = true;
+  response.total_chunks = 5;
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->streaming);
+  EXPECT_EQ(decoded->total_chunks, 5u);
+}
+
+}  // namespace
+}  // namespace lakeguard
