@@ -1,0 +1,208 @@
+// Cancellation & circuit-breaker benchmark.
+//
+// Part 1 (wall clock): cancel latency of the streaming pipeline. A query
+// over 100k rows is started, one batch is pulled, then the stream is
+// cancelled — the measured latency is Cancel() plus the one pull that
+// returns the typed status, i.e. the real time between "user hits cancel"
+// and "the query is gone and its resources are free". Compared against
+// draining the same query to completion, across batch sizes: cancellation
+// cost is O(one batch), drain cost is O(result).
+//
+// Part 2 (virtual clock): cold-start cost saved by the per-trust-domain
+// circuit breaker. A trust domain whose UDF crashes its sandbox on every
+// batch is dispatched to N times. Without a breaker every attempt burns a
+// full 2 s modeled cold start; with the breaker (threshold 3) only the
+// first three do, and the rest fail fast without a provisioner call.
+//
+// Results are printed and written to BENCH_cancel.json.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/fault.h"
+#include "sandbox/dispatcher.h"
+
+namespace lakeguard {
+namespace bench {
+namespace {
+
+constexpr int kReps = 5;
+
+struct CancelMeasurement {
+  size_t batch_size = 0;
+  double cancel_seconds = 0;  // Cancel() + the pull returning the status
+  double drain_seconds = 0;   // pulling the same query to completion
+  uint64_t rows_total = 0;
+};
+
+CancelMeasurement MeasureCancel(BenchEnv* env, size_t batch_size,
+                                const std::string& sql) {
+  QueryEngineConfig config = env->cluster->engine->config();
+  config.exec.batch_size = batch_size;
+  env->cluster->engine->set_config(config);
+
+  CancelMeasurement m;
+  m.batch_size = batch_size;
+  for (int rep = 0; rep < kReps; ++rep) {
+    // Cancel after the first batch.
+    auto stream = env->cluster->engine->ExecuteSqlStreaming(sql, env->ctx);
+    if (!stream.ok()) std::abort();
+    if (!(*stream)->Next().ok()) std::abort();
+    auto start = std::chrono::steady_clock::now();
+    (*stream)->Cancel("bench cancel");
+    auto status = (*stream)->Next().status();
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    if (!status.IsCancelled()) std::abort();
+    if (rep == 0 || secs < m.cancel_seconds) m.cancel_seconds = secs;
+
+    // Drain to completion for comparison.
+    auto full = env->cluster->engine->ExecuteSqlStreaming(sql, env->ctx);
+    if (!full.ok()) std::abort();
+    start = std::chrono::steady_clock::now();
+    uint64_t rows = 0;
+    while (true) {
+      auto batch = (*full)->Next();
+      if (!batch.ok() || !batch->has_value()) break;
+      rows += (*batch)->num_rows();
+    }
+    secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+               .count();
+    if (rep == 0 || secs < m.drain_seconds) m.drain_seconds = secs;
+    m.rows_total = rows;
+  }
+  return m;
+}
+
+struct BreakerMeasurement {
+  std::string name;
+  int attempts = 0;
+  uint64_t cold_starts = 0;
+  uint64_t fast_fails = 0;
+  int64_t clock_micros = 0;  // modeled time burned by the attempts
+};
+
+/// Dispatches `attempts` times to a trust domain whose sandbox crashes on
+/// every batch, under the given breaker threshold. Returns what it cost.
+BreakerMeasurement MeasureBreaker(const std::string& name, int attempts,
+                                  int failure_threshold) {
+  SimulatedClock clock(0);
+  SimulatedHostEnvironment env(&clock);
+  LocalSandboxProvisioner provisioner(&env, &clock);  // 2 s cold start
+  Dispatcher dispatcher(&provisioner, &clock);
+  BreakerConfig breaker;
+  breaker.failure_threshold = failure_threshold;
+  dispatcher.set_breaker_config(breaker);
+
+  TableBuilder builder(Schema({{"a0", TypeKind::kInt64, true},
+                               {"a1", TypeKind::kInt64, true}}));
+  (void)builder.AppendRow({Value::Int(1), Value::Int(2)});
+  RecordBatch args = *builder.Build().Combine();
+  UdfInvocation inv;
+  inv.bytecode = canned::SumUdf();
+  inv.arg_indices = {0, 1};
+  inv.result_name = "sum";
+  inv.result_type = TypeKind::kInt64;
+
+  FaultInjector::Instance().Reset();
+  FaultInjector::Instance().Reseed(23);
+  ScopedFault crash("sandbox.crash",
+                    FaultPolicy::FailTimes(static_cast<uint64_t>(attempts)));
+  int64_t start_micros = clock.NowMicros();
+  for (int i = 0; i < attempts; ++i) {
+    (void)dispatcher.Dispatch("bench-sess", "crashy-owner",
+                              SandboxPolicy::LockedDown(), args, {inv});
+  }
+  BreakerMeasurement m;
+  m.name = name;
+  m.attempts = attempts;
+  m.cold_starts = dispatcher.stats().cold_starts;
+  m.fast_fails = dispatcher.stats().breaker_fast_fails;
+  m.clock_micros = clock.NowMicros() - start_micros;
+  FaultInjector::Instance().Reset();
+  return m;
+}
+
+void Report(const std::vector<CancelMeasurement>& cancels,
+            const std::vector<BreakerMeasurement>& breakers) {
+  std::printf("%-12s %14s %14s %12s\n", "batch_size", "cancel (s)",
+              "drain (s)", "rows");
+  for (const CancelMeasurement& m : cancels) {
+    std::printf("%-12zu %14.6f %14.6f %12llu\n", m.batch_size,
+                m.cancel_seconds, m.drain_seconds,
+                static_cast<unsigned long long>(m.rows_total));
+  }
+  std::printf("\n%-28s %10s %12s %12s %16s\n", "breaker case", "attempts",
+              "cold starts", "fast fails", "clock micros");
+  for (const BreakerMeasurement& m : breakers) {
+    std::printf("%-28s %10d %12llu %12llu %16lld\n", m.name.c_str(),
+                m.attempts, static_cast<unsigned long long>(m.cold_starts),
+                static_cast<unsigned long long>(m.fast_fails),
+                static_cast<long long>(m.clock_micros));
+  }
+
+  FILE* f = std::fopen("BENCH_cancel.json", "w");
+  if (!f) return;
+  std::fprintf(f, "{\n  \"benchmark\": \"cancellation\",\n");
+  std::fprintf(f, "  \"cancel_latency\": [\n");
+  for (size_t i = 0; i < cancels.size(); ++i) {
+    const CancelMeasurement& m = cancels[i];
+    std::fprintf(f,
+                 "    {\"batch_size\": %zu, \"cancel_seconds\": %.6f, "
+                 "\"drain_seconds\": %.6f, \"rows\": %llu}%s\n",
+                 m.batch_size, m.cancel_seconds, m.drain_seconds,
+                 static_cast<unsigned long long>(m.rows_total),
+                 i + 1 < cancels.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"breaker_savings\": [\n");
+  for (size_t i = 0; i < breakers.size(); ++i) {
+    const BreakerMeasurement& m = breakers[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"attempts\": %d, "
+                 "\"cold_starts\": %llu, \"fast_fails\": %llu, "
+                 "\"clock_micros\": %lld}%s\n",
+                 m.name.c_str(), m.attempts,
+                 static_cast<unsigned long long>(m.cold_starts),
+                 static_cast<unsigned long long>(m.fast_fails),
+                 static_cast<long long>(m.clock_micros),
+                 i + 1 < breakers.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_cancel.json\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lakeguard
+
+int main() {
+  using namespace lakeguard;
+  using namespace lakeguard::bench;
+
+  constexpr size_t kRows = 100000;
+  BenchEnv env = MakeBenchEnv({}, kRows);
+  const std::string sql =
+      "SELECT a + b AS v, s FROM main.b.data WHERE a % 10 <> 0";
+
+  std::vector<CancelMeasurement> cancels;
+  for (size_t batch_size : {256u, 1024u, 4096u}) {
+    cancels.push_back(MeasureCancel(&env, batch_size, sql));
+  }
+
+  std::vector<BreakerMeasurement> breakers;
+  breakers.push_back(
+      MeasureBreaker("breaker disabled", /*attempts=*/20,
+                     /*failure_threshold=*/1 << 30));
+  breakers.push_back(
+      MeasureBreaker("breaker threshold=3", /*attempts=*/20,
+                     /*failure_threshold=*/3));
+
+  Report(cancels, breakers);
+  return 0;
+}

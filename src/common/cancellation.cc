@@ -1,0 +1,57 @@
+#include "common/cancellation.h"
+
+namespace lakeguard {
+
+namespace {
+
+Status CheckState(const internal::CancelState* state) {
+  if (state == nullptr) return Status::OK();
+  if (state->cancelled.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    return Status::Cancelled(state->reason);
+  }
+  if (state->clock != nullptr &&
+      state->clock->NowMicros() >= state->deadline_micros) {
+    return Status::DeadlineExceeded(
+        "operation deadline passed at " +
+        std::to_string(state->deadline_micros) + "us");
+  }
+  return CheckState(state->parent.get());
+}
+
+}  // namespace
+
+Status CancellationToken::Check() const { return CheckState(state_.get()); }
+
+CancellationSource CancellationSource::WithDeadline(Clock* clock,
+                                                    int64_t deadline_micros) {
+  CancellationSource source;
+  source.state_->clock = clock;
+  source.state_->deadline_micros = deadline_micros;
+  return source;
+}
+
+CancellationSource CancellationSource::LinkedTo(
+    const CancellationToken& parent) {
+  CancellationSource source;
+  source.state_->parent = parent.state_;
+  return source;
+}
+
+CancellationSource CancellationSource::LinkedWithDeadline(
+    const CancellationToken& parent, Clock* clock, int64_t deadline_micros) {
+  CancellationSource source = LinkedTo(parent);
+  source.state_->clock = clock;
+  source.state_->deadline_micros = deadline_micros;
+  return source;
+}
+
+bool CancellationSource::Cancel(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->cancelled.load(std::memory_order_relaxed)) return false;
+  state_->reason = reason;
+  state_->cancelled.store(true, std::memory_order_release);
+  return true;
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,100 @@
+#ifndef LAKEGUARD_COMMON_CANCELLATION_H_
+#define LAKEGUARD_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace lakeguard {
+
+namespace internal {
+
+/// Shared state behind a CancellationSource and its tokens. A state may
+/// carry a deadline (absolute, on a `Clock`) and may be *linked* to a parent
+/// state — a child is cancelled whenever its parent is, which is how a
+/// query stream inherits the cancellation of its Connect operation without
+/// the two owning each other.
+struct CancelState {
+  std::atomic<bool> cancelled{false};
+  mutable std::mutex mu;
+  std::string reason;  // guarded by mu; set once, before `cancelled`
+
+  Clock* clock = nullptr;       // non-null iff a deadline is armed
+  int64_t deadline_micros = 0;  // absolute on `clock`
+
+  std::shared_ptr<CancelState> parent;  // may be null
+};
+
+}  // namespace internal
+
+/// Read side of cooperative cancellation. Copyable and cheap; a
+/// default-constructed token can never be cancelled (the "no lifecycle
+/// owner" case — direct engine calls without a session). Pipelines call
+/// `Check()` once per batch pull, which bounds abort latency to one batch.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// False for the default token: no source can ever cancel it.
+  bool CanBeCancelled() const { return state_ != nullptr; }
+
+  /// True once the source (or any linked ancestor) cancelled, or a deadline
+  /// passed. Cancellation is sticky — it never resets.
+  bool IsCancelled() const { return !Check().ok(); }
+
+  /// OK while live; `kCancelled` (with the cancel reason) after an explicit
+  /// cancel; `kDeadlineExceeded` once an armed deadline passes. Explicit
+  /// cancel wins over a simultaneously-expired deadline.
+  Status Check() const;
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<internal::CancelState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::CancelState> state_;
+};
+
+/// Write side: owns the right to cancel. Copies share the same state (an
+/// Operation moved inside a map keeps its identity). Destroying all sources
+/// does NOT cancel outstanding tokens — cancellation is always explicit or
+/// deadline-driven, so a caller that abandons a stream without cancelling
+/// simply lets it run to completion.
+class CancellationSource {
+ public:
+  /// A live source with no deadline and no parent.
+  CancellationSource()
+      : state_(std::make_shared<internal::CancelState>()) {}
+
+  /// Source whose tokens report `kDeadlineExceeded` once `clock` reaches
+  /// `deadline_micros` (absolute).
+  static CancellationSource WithDeadline(Clock* clock, int64_t deadline_micros);
+
+  /// Source cancelled transitively whenever `parent` is (and additionally
+  /// cancellable on its own). A null parent token degrades to a plain source.
+  static CancellationSource LinkedTo(const CancellationToken& parent);
+
+  /// Linked source with its own deadline on top.
+  static CancellationSource LinkedWithDeadline(const CancellationToken& parent,
+                                               Clock* clock,
+                                               int64_t deadline_micros);
+
+  /// Requests cancellation. Returns true on the first call, false if the
+  /// state was already cancelled (the recorded reason is never overwritten).
+  bool Cancel(const std::string& reason = "cancelled");
+
+  bool cancelled() const { return token().IsCancelled(); }
+
+  CancellationToken token() const { return CancellationToken(state_); }
+
+ private:
+  std::shared_ptr<internal::CancelState> state_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_COMMON_CANCELLATION_H_

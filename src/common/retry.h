@@ -21,6 +21,11 @@ inline bool IsTransientError(const Status& status) {
     case StatusCode::kAborted:
     case StatusCode::kResourceExhausted:
     case StatusCode::kDataLoss:
+    // A draining replica or an open circuit breaker answers kUnavailable:
+    // the request is fine, this server (right now) is not — retry elsewhere
+    // or later. Cancellation/deadline are *caller* decisions and are never
+    // retried.
+    case StatusCode::kUnavailable:
       return true;
     default:
       return false;

@@ -30,12 +30,16 @@ const char* StatusCodeToString(StatusCode code) {
       return "data_loss";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }
 
 StatusCode StatusCodeFromString(const std::string& name) {
-  for (int i = 0; i <= static_cast<int>(StatusCode::kInternal); ++i) {
+  for (int i = 0; i <= static_cast<int>(StatusCode::kUnavailable); ++i) {
     StatusCode code = static_cast<StatusCode>(i);
     if (name == StatusCodeToString(code)) return code;
   }

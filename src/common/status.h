@@ -27,6 +27,8 @@ enum class StatusCode {
   kUnimplemented = 10,
   kDataLoss = 11,
   kInternal = 12,
+  kCancelled = 13,
+  kUnavailable = 14,
 };
 
 /// Returns the canonical lower_snake name of `code` (e.g. "permission_denied").
@@ -89,6 +91,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -107,6 +115,11 @@ class Status {
   bool IsFailedPrecondition() const {
     return code_ == StatusCode::kFailedPrecondition;
   }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// Human-readable "code: message" rendering.
   std::string ToString() const;

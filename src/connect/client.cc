@@ -26,20 +26,42 @@ DataFrame ConnectClient::FromExtension(const std::string& name,
   return DataFrame(this, MakeExtension(name, std::move(payload)));
 }
 
-Result<::lakeguard::Table> ConnectClient::Sql(const std::string& sql) const {
+Result<::lakeguard::Table> ConnectClient::Sql(
+    const std::string& sql, const std::string& operation_id) const {
   ConnectRequest request;
   request.session_id = session_id_;
   request.auth_token = auth_token_;
   request.sql = sql;
+  request.operation_id = operation_id;
   return RoundTrip(std::move(request));
 }
 
-Result<::lakeguard::Table> ConnectClient::ExecutePlanRemote(const PlanPtr& plan) const {
+Result<::lakeguard::Table> ConnectClient::ExecutePlanRemote(
+    const PlanPtr& plan, const std::string& operation_id) const {
   ConnectRequest request;
   request.session_id = session_id_;
   request.auth_token = auth_token_;
   request.plan_bytes = PlanToBytes(plan);
+  request.operation_id = operation_id;
   return RoundTrip(std::move(request));
+}
+
+Status ConnectClient::CancelOperation(const std::string& operation_id) const {
+  ConnectRequest request;
+  request.session_id = session_id_;
+  request.auth_token = auth_token_;
+  request.cancel_operation_id = operation_id;
+  // The cancel itself rides the transport retry: a dropped RPC must not
+  // leave the server running a query the user asked to stop. Reattempts
+  // are safe — CancelOperation is idempotent server-side.
+  RetryStats retry_stats;
+  Result<ConnectResponse> response = RetryCall<ConnectResponse>(
+      retry_policy_, service_->clock(), [&] { return Exchange(request); },
+      &retry_stats);
+  stats_.rpc_attempts += retry_stats.attempts;
+  stats_.rpc_retries += retry_stats.retries;
+  stats_.deadline_hits += retry_stats.deadline_hits;
+  return response.status();
 }
 
 Result<ConnectResponse> ConnectClient::Exchange(
@@ -80,6 +102,7 @@ Result<::lakeguard::Table> ConnectClient::RoundTrip(ConnectRequest request) cons
   if (request.operation_id.empty()) {
     request.operation_id = IdGenerator::Next("cop");
   }
+  request.deadline_micros = operation_deadline_micros_;
   RetryStats retry_stats;
   Result<ConnectResponse> response = RetryCall<ConnectResponse>(
       retry_policy_, service_->clock(), [&] { return Exchange(request); },

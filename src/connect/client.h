@@ -49,10 +49,27 @@ class ConnectClient {
                           std::vector<uint8_t> payload) const;
 
   /// Runs a SQL string (query or command) and collects the full result.
-  Result<::lakeguard::Table> Sql(const std::string& sql) const;
+  /// `operation_id`, when non-empty, names the operation (otherwise the
+  /// client generates one) — callers that may need to CancelOperation from
+  /// another thread pick the id up front.
+  Result<::lakeguard::Table> Sql(const std::string& sql,
+                                 const std::string& operation_id = "") const;
 
   /// Executes a plan and collects the full result (used by DataFrame).
-  Result<::lakeguard::Table> ExecutePlanRemote(const PlanPtr& plan) const;
+  Result<::lakeguard::Table> ExecutePlanRemote(
+      const PlanPtr& plan, const std::string& operation_id = "") const;
+
+  /// Cancels a server-side operation (idempotent: cancelling an unknown or
+  /// already-cancelled operation succeeds). Goes over the wire with the
+  /// usual transport retry.
+  Status CancelOperation(const std::string& operation_id) const;
+
+  /// Arms a per-operation deadline (service-clock micros, relative) stamped
+  /// on every subsequent Execute; 0 disables. Once it passes server-side,
+  /// pulls/fetches for that operation answer `kDeadlineExceeded`.
+  void set_operation_deadline_micros(int64_t micros) {
+    operation_deadline_micros_ = micros;
+  }
 
   /// Closes the session server-side.
   Status Close();
@@ -91,6 +108,7 @@ class ConnectClient {
   std::string auth_token_;
   std::string session_id_;
   RetryPolicy retry_policy_;
+  int64_t operation_deadline_micros_ = 0;
   mutable ConnectClientStats stats_;
 };
 

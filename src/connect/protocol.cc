@@ -13,6 +13,8 @@ enum ReqField : uint32_t {
   kReqPlan = 4,
   kReqSql = 5,
   kReqOperation = 6,
+  kReqDeadlineMicros = 7,
+  kReqCancelOperation = 8,
 };
 enum RespField : uint32_t {
   kRespVersion = 1,
@@ -44,6 +46,13 @@ std::vector<uint8_t> EncodeRequest(const ConnectRequest& request) {
     w.PutTaggedString(kReqSql, request.sql);
   }
   w.PutTaggedString(kReqOperation, request.operation_id);
+  if (request.deadline_micros > 0) {
+    w.PutTaggedVarint(kReqDeadlineMicros,
+                      static_cast<uint64_t>(request.deadline_micros));
+  }
+  if (!request.cancel_operation_id.empty()) {
+    w.PutTaggedString(kReqCancelOperation, request.cancel_operation_id);
+  }
   return w.Release();
 }
 
@@ -77,6 +86,15 @@ Result<ConnectRequest> DecodeRequest(const std::vector<uint8_t>& bytes) {
       }
       case kReqOperation: {
         LG_ASSIGN_OR_RETURN(request.operation_id, r.ReadString());
+        break;
+      }
+      case kReqDeadlineMicros: {
+        LG_ASSIGN_OR_RETURN(uint64_t v, r.ReadVarint());
+        request.deadline_micros = static_cast<int64_t>(v);
+        break;
+      }
+      case kReqCancelOperation: {
+        LG_ASSIGN_OR_RETURN(request.cancel_operation_id, r.ReadString());
         break;
       }
       default:

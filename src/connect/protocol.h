@@ -14,7 +14,7 @@ namespace lakeguard {
 /// *field-tagged* (proto-style): decoders skip unknown fields, so newer
 /// clients/servers interoperate with older ones — the versionless-workloads
 /// property of §6.3. Bump when adding fields; never renumber.
-inline constexpr uint32_t kConnectProtocolVersion = 3;
+inline constexpr uint32_t kConnectProtocolVersion = 4;
 
 /// ExecutePlan / AnalyzePlan request (§3.2.2). Exactly one of `plan_bytes`
 /// (a serialized unresolved relation) or `sql` (a command or query in text
@@ -27,6 +27,14 @@ struct ConnectRequest {
   std::string sql;
   /// Client-generated id allowing reattach to a running operation.
   std::string operation_id;
+  /// Relative per-operation deadline in microseconds of service-clock time
+  /// (0 = none). The server arms it when the operation starts; once it
+  /// passes, pulls on the operation's stream return `kDeadlineExceeded`.
+  int64_t deadline_micros = 0;
+  /// When set, this request is a CancelOperation RPC for the named
+  /// operation (no plan/sql is executed). Cancelling an unknown or
+  /// already-cancelled operation is a no-op that still answers OK.
+  std::string cancel_operation_id;
 };
 
 /// One streamed result chunk: a serialized IPC batch frame.

@@ -19,6 +19,13 @@ Result<std::string> ConnectService::OpenSession(
   std::string user;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      // Typed retryable rejection: the client's retry/failover loop treats
+      // kUnavailable as "try another replica", not as a user error.
+      ++service_stats_.drain_rejects;
+      return Status::Unavailable(
+          "service is draining; no new sessions are admitted");
+    }
     auto it = tokens_.find(auth_token);
     if (it == tokens_.end()) {
       return Status::Unauthenticated("unknown auth token");
@@ -104,9 +111,21 @@ ConnectResponse ConnectService::Execute(const ConnectRequest& request) {
     session = it->second;
   }
 
+  // CancelOperation RPC: no plan/sql executes; the response acknowledges
+  // the (idempotent) cancel.
+  if (!request.cancel_operation_id.empty()) {
+    Status cancelled =
+        CancelOperation(session.session_id, request.cancel_operation_id);
+    if (!cancelled.ok()) return ErrorResponse(cancelled, operation_id);
+    ConnectResponse response;
+    response.operation_id = request.cancel_operation_id;
+    response.ok = true;
+    return response;
+  }
+
   // Reattach (§3.2.3): a client retrying with the operation id of a
   // buffered result gets the original header back — the query is not
-  // re-executed.
+  // re-executed. A cancelled operation reattaches to its typed error.
   if (!request.operation_id.empty()) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = operations_.find(request.operation_id);
@@ -116,6 +135,12 @@ ConnectResponse ConnectService::Execute(const ConnectRequest& request) {
             Status::PermissionDenied("operation " + request.operation_id +
                                      " belongs to a different session"),
             operation_id);
+      }
+      if (it->second.cancelled) {
+        return ErrorResponse(Status::Cancelled("operation " +
+                                               request.operation_id +
+                                               " was cancelled"),
+                             operation_id);
       }
       ++service_stats_.reattaches;
       ConnectResponse response;
@@ -128,11 +153,24 @@ ConnectResponse ConnectService::Execute(const ConnectRequest& request) {
     }
   }
 
+  // Per-operation lifecycle: the deadline (when requested) is armed now,
+  // so it covers the whole operation — execution, buffering and fetching.
+  CancellationSource op_cancel =
+      request.deadline_micros > 0
+          ? CancellationSource::WithDeadline(
+                clock_, clock_->NowMicros() + request.deadline_micros)
+          : CancellationSource();
+  if (request.deadline_micros > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++service_stats_.deadline_ops;
+  }
+
   ExecutionContext context;
   context.user = session.user;
   context.session_id = session.session_id;
   context.compute = session.compute;
   context.temp_views = session.temp_views;
+  context.cancel = op_cancel.token();
 
   Result<QueryResultStreamPtr> stream =
       Status::Internal("no request payload");
@@ -158,6 +196,7 @@ ConnectResponse ConnectService::Execute(const ConnectRequest& request) {
   op.session_id = session.session_id;
   op.schema = (*stream)->schema();
   op.stream = std::move(*stream);
+  op.cancel = op_cancel;
 
   // Probe just past the inline limit: small results come back fully inline
   // (and execution errors still surface on Execute); anything larger is
@@ -259,6 +298,12 @@ Result<ResultChunk> ConnectService::FetchChunk(const std::string& session_id,
                                     " belongs to a different session");
   }
   Operation& op = it->second;
+  if (op.cancelled) {
+    return Status::Cancelled("operation " + operation_id + " was cancelled");
+  }
+  // Deadline check before producing: an operation past its deadline stops
+  // serving even already-buffered chunks (the client's budget is spent).
+  LG_RETURN_IF_ERROR(op.cancel.token().Check());
   // Lazy production: cut frames from the live stream until the requested
   // index exists (normally exactly one per fetch). Already-cut frames are
   // replayed from the cache, never re-pulled — so a retried index returns
@@ -276,6 +321,87 @@ Result<ResultChunk> ConnectService::FetchChunk(const std::string& session_id,
   chunk.frame = op.frames[static_cast<size_t>(chunk_index)];
   chunk.last = (op.Done() && chunk_index + 1 == op.frames.size());
   return chunk;
+}
+
+void ConnectService::CancelOperationLocked(Operation& op,
+                                           const std::string& reason) {
+  op.cancel.Cancel(reason);
+  if (op.stream) {
+    // Tear the operator pipeline down now: resident batches, breaker
+    // materializations and eFGAC spill objects are released immediately,
+    // not when the client eventually closes the operation.
+    op.stream->Cancel(reason);
+    op.stream.reset();
+  }
+  op.frames.clear();
+  op.pending.clear();
+  op.pending_rows = 0;
+  op.exhausted = true;
+  op.cancelled = true;
+}
+
+Status ConnectService::CancelOperation(const std::string& session_id,
+                                       const std::string& operation_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = operations_.find(operation_id);
+  if (it == operations_.end() || it->second.cancelled) {
+    // Unknown (already completed/closed) or already cancelled: idempotent
+    // no-op — the caller's intent ("this operation must not run") holds.
+    ++service_stats_.cancel_noops;
+    return Status::OK();
+  }
+  if (it->second.session_id != session_id) {
+    return Status::PermissionDenied("operation " + operation_id +
+                                    " belongs to a different session");
+  }
+  CancelOperationLocked(it->second, "cancelled by client");
+  ++service_stats_.cancels;
+  return Status::OK();
+}
+
+void ConnectService::BeginDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+}
+
+void ConnectService::EndDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = false;
+}
+
+bool ConnectService::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+size_t ConnectService::CancelAllOperations(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t cancelled = 0;
+  for (auto& [id, op] : operations_) {
+    if (op.cancelled) continue;
+    CancelOperationLocked(op, reason);
+    ++service_stats_.cancels;
+    ++cancelled;
+  }
+  return cancelled;
+}
+
+size_t ConnectService::LiveOperationCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t live = 0;
+  for (const auto& [id, op] : operations_) {
+    if (!op.cancelled && !op.Done()) ++live;
+  }
+  return live;
+}
+
+bool ConnectService::DrainComplete() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!draining_) return false;
+  for (const auto& [id, op] : operations_) {
+    if (!op.cancelled && !op.Done()) return false;
+  }
+  return true;
 }
 
 void ConnectService::CloseOperation(const std::string& session_id,
@@ -297,6 +423,10 @@ Status ConnectService::CloseSession(const std::string& session_id) {
     it->second.tombstoned = true;
     for (auto op = operations_.begin(); op != operations_.end();) {
       if (op->second.session_id == session_id) {
+        // Cancel before erasing so pipelines sharing the operation's token
+        // (e.g. a mid-pull stream) observe the cancellation, then drop the
+        // buffers/stream in the same lock pass as the tombstone.
+        CancelOperationLocked(op->second, "session closed");
         op = operations_.erase(op);
       } else {
         ++op;
@@ -314,21 +444,38 @@ size_t ConnectService::ExpireIdleSessions(int64_t idle_micros) {
   int64_t now = clock_->NowMicros();
   std::vector<std::string> expired;
   {
+    // One lock pass tombstones the session AND releases its buffered/lazy
+    // operation streams: a FetchChunk racing the expirer either completes
+    // before the tombstone or observes it — there is no window where the
+    // session is gone but a live QueryResultStream lingers in the op map.
     std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& [id, session] : sessions_) {
-      if (!session.tombstoned &&
-          now - session.last_activity_micros > idle_micros) {
-        expired.push_back(id);
+    for (auto& [id, session] : sessions_) {
+      if (session.tombstoned ||
+          now - session.last_activity_micros <= idle_micros) {
+        continue;
       }
+      session.tombstoned = true;
+      for (auto op = operations_.begin(); op != operations_.end();) {
+        if (op->second.session_id == id) {
+          CancelOperationLocked(op->second, "session expired");
+          ++service_stats_.expired_operations;
+          op = operations_.erase(op);
+        } else {
+          ++op;
+        }
+      }
+      expired.push_back(id);
     }
   }
-  size_t closed = 0;
+  // Sandbox teardown happens outside mu_ (the dispatcher has its own lock;
+  // holding both invites ordering deadlocks). The session is already
+  // tombstoned, so no new work can reach those sandboxes meanwhile.
   for (const std::string& id : expired) {
-    // A session can disappear between the scan and the close (another
-    // expirer or an explicit CloseSession); only count real closes.
-    if (CloseSession(id).ok()) ++closed;
+    for (auto& host : cluster_->hosts()) {
+      host->dispatcher().ReleaseSession(id);
+    }
   }
-  return closed;
+  return expired.size();
 }
 
 Result<SessionInfo> ConnectService::GetSession(

@@ -43,6 +43,12 @@ struct ConnectServiceStats {
   uint64_t stream_faults = 0;    ///< FetchChunk failed at the stream seam
   uint64_t reattaches = 0;       ///< Execute served a buffered header again
   uint64_t lazy_chunks = 0;      ///< chunks produced on demand in FetchChunk
+  // --- lifecycle ---
+  uint64_t cancels = 0;          ///< CancelOperation that cancelled a live op
+  uint64_t cancel_noops = 0;     ///< cancels of unknown/already-cancelled ops
+  uint64_t deadline_ops = 0;     ///< operations armed with a deadline
+  uint64_t drain_rejects = 0;    ///< OpenSession rejected while draining
+  uint64_t expired_operations = 0;  ///< op streams torn down by the expirer
 };
 
 /// The Spark Connect service of one cluster: authenticates tokens to users,
@@ -78,9 +84,33 @@ class ConnectService {
                                  const std::string& operation_id,
                                  uint64_t chunk_index);
 
+  /// Cancels a running operation: the live query stream is torn down (all
+  /// resident batches and spill state released) and buffered chunks are
+  /// dropped; further fetches answer `kCancelled`. Cancelling an unknown or
+  /// already-cancelled operation is an idempotent no-op (the first cancel
+  /// may have won a race — the client must not see an error). Cancelling
+  /// another session's operation is `kPermissionDenied`.
+  Status CancelOperation(const std::string& session_id,
+                         const std::string& operation_id);
+
   /// Releases an operation's buffered result.
   void CloseOperation(const std::string& session_id,
                       const std::string& operation_id);
+
+  /// Enters drain mode: new sessions are rejected with `kUnavailable` (a
+  /// typed *retryable* status — clients fail over to another replica) while
+  /// existing sessions keep executing and fetching until their operations
+  /// finish, are cancelled, or hit their deadlines.
+  void BeginDrain();
+  /// Leaves drain mode (tests; a real rollout would restart instead).
+  void EndDrain();
+  bool draining() const;
+  /// Force-drain hammer: cancels every live operation. Returns the count.
+  size_t CancelAllOperations(const std::string& reason);
+  /// Operations whose stream is still live (not exhausted, not cancelled).
+  size_t LiveOperationCount() const;
+  /// True once draining and no operation is live — safe to stop the server.
+  bool DrainComplete() const;
 
   /// Closes the session, destroys its sandboxes, tombstones its operations.
   Status CloseSession(const std::string& session_id);
@@ -113,9 +143,17 @@ class ConnectService {
     std::vector<RecordBatch> pending;          // pulled but not yet framed
     size_t pending_rows = 0;
     bool exhausted = false;                    // stream returned end-of-data
+    /// Lifecycle owner of the operation's query: Execute arms the deadline
+    /// here and CancelOperation fires it; the stream's pipeline checks the
+    /// linked token on every pull.
+    CancellationSource cancel;
+    bool cancelled = false;
 
     bool Done() const { return exhausted && pending_rows == 0; }
   };
+
+  /// Cancels `op` and tears down its stream/buffers; requires mu_ held.
+  void CancelOperationLocked(Operation& op, const std::string& reason);
 
   /// Cuts the next frame from `op` (requires mu_ held; the engine pull
   /// happens under the lock — acceptable for this single-process model, a
@@ -136,6 +174,7 @@ class ConnectService {
   std::map<std::string, SessionInfo> sessions_;
   std::map<std::string, Operation> operations_;  // operation_id -> op
   ConnectServiceStats service_stats_;
+  bool draining_ = false;
 };
 
 }  // namespace lakeguard

@@ -47,22 +47,27 @@ RetryPolicy SpillIoPolicy() {
 class SpillPartIterator : public BatchIterator {
  public:
   SpillPartIterator(ServerlessBackend* backend, Schema schema,
-                    std::vector<std::string> paths)
+                    std::vector<std::string> paths, CancellationToken cancel)
       : backend_(backend), schema_(std::move(schema)),
-        paths_(std::move(paths)) {}
+        paths_(std::move(paths)), cancel_(std::move(cancel)) {}
 
   ~SpillPartIterator() override {
     for (; index_ < paths_.size(); ++index_) {
       // Best-effort cleanup; an unreachable store leaves the ephemeral
       // object for the control plane's garbage sweep.
-      (void)backend_->store_->Delete(backend_->catalog_->system_token(),
-                                     paths_[index_]);
+      if (backend_->store_
+              ->Delete(backend_->catalog_->system_token(), paths_[index_])
+              .ok()) {
+        ++backend_->stats_.spill_parts_deleted;
+      }
     }
   }
 
   const Schema& schema() const override { return schema_; }
 
   Result<std::optional<RecordBatch>> Next() override {
+    // Cancelled consumers stop here; the destructor sweeps the unread parts.
+    LG_RETURN_IF_ERROR(cancel_.Check());
     if (index_ >= paths_.size()) return std::optional<RecordBatch>();
     const std::string& token = backend_->catalog_->system_token();
     const std::string& path = paths_[index_];
@@ -75,6 +80,7 @@ class SpillPartIterator : public BatchIterator {
     backend_->stats_.remote_retries += io_stats.retries;
     LG_ASSIGN_OR_RETURN(RecordBatch batch, ipc::DeserializeBatch(frame));
     LG_RETURN_IF_ERROR(backend_->store_->Delete(token, path));
+    ++backend_->stats_.spill_parts_deleted;
     ++index_;
     return std::optional<RecordBatch>(std::move(batch));
   }
@@ -83,16 +89,23 @@ class SpillPartIterator : public BatchIterator {
   ServerlessBackend* backend_;
   Schema schema_;
   std::vector<std::string> paths_;
+  CancellationToken cancel_;
   size_t index_ = 0;
 };
 
 Result<ServerlessBackend::ProducedResult> ServerlessBackend::ProduceOnce(
-    const PlanPtr& plan, const std::string& user) {
+    const PlanPtr& plan, const std::string& user,
+    const CancellationToken& cancel) {
   // Remote-scan seam: the serverless endpoint is a separate service the
   // origin cluster reaches over the network (§3.4).
+  LG_RETURN_IF_ERROR(cancel.Check());
   LG_RETURN_IF_ERROR(fault::Inject("efgac.execute", clock_));
+  ExecutionContext context = MakeContext(user);
+  // The serverless pipeline inherits the origin query's cancellation: an
+  // abort on the origin side stops the remote execution within one batch.
+  context.cancel = cancel;
   LG_ASSIGN_OR_RETURN(QueryResultStreamPtr stream,
-                      engine_->ExecutePlanStreaming(plan, MakeContext(user)));
+                      engine_->ExecutePlanStreaming(plan, context));
 
   ProducedResult out;
   out.schema = stream->schema();
@@ -115,31 +128,46 @@ Result<ServerlessBackend::ProducedResult> ServerlessBackend::ProduceOnce(
     return Status::OK();
   };
 
-  while (true) {
-    LG_ASSIGN_OR_RETURN(std::optional<RecordBatch> batch, stream->Next());
-    if (!batch.has_value()) break;
-    if (batch->num_rows() == 0) continue;
-    if (spilling) {
-      LG_RETURN_IF_ERROR(spill_batch(*batch));
-      continue;
-    }
-    buffered_bytes += batch->ByteSize();
-    LG_RETURN_IF_ERROR(buffer.AppendBatch(std::move(*batch)));
-    if (buffered_bytes > spill_threshold_bytes_) {
-      // Crossed the inline threshold: persist intermediate data in cloud
-      // storage (parallel on a real deployment) and have the origin side
-      // read it back part by part. From here on each batch goes straight
-      // to storage — the backend never holds the full result.
-      spilling = true;
-      ++stats_.spilled_results;
-      prefix = "mem://efgac-spill/" + IdGenerator::Next("res") + "/";
-      for (const RecordBatch& b : buffer.batches()) {
-        LG_RETURN_IF_ERROR(spill_batch(b));
+  auto produce = [&]() -> Status {
+    while (true) {
+      // Checked per pull on top of the pipeline's own check: bounds abort
+      // latency to one batch even if the plan bypasses the executor.
+      LG_RETURN_IF_ERROR(cancel.Check());
+      LG_ASSIGN_OR_RETURN(std::optional<RecordBatch> batch, stream->Next());
+      if (!batch.has_value()) break;
+      if (batch->num_rows() == 0) continue;
+      if (spilling) {
+        LG_RETURN_IF_ERROR(spill_batch(*batch));
+        continue;
       }
-      buffer = Table(out.schema);
+      buffered_bytes += batch->ByteSize();
+      LG_RETURN_IF_ERROR(buffer.AppendBatch(std::move(*batch)));
+      if (buffered_bytes > spill_threshold_bytes_) {
+        // Crossed the inline threshold: persist intermediate data in cloud
+        // storage (parallel on a real deployment) and have the origin side
+        // read it back part by part. From here on each batch goes straight
+        // to storage — the backend never holds the full result.
+        spilling = true;
+        ++stats_.spilled_results;
+        prefix = "mem://efgac-spill/" + IdGenerator::Next("res") + "/";
+        for (const RecordBatch& b : buffer.batches()) {
+          LG_RETURN_IF_ERROR(spill_batch(b));
+        }
+        buffer = Table(out.schema);
+      }
     }
-  }
+    return Status::OK();
+  };
+  Status produce_status = produce();
   stats_.remote_retries += io_stats.retries;
+  if (!produce_status.ok()) {
+    // A half-produced spill can never be consumed — sweep the parts written
+    // so far instead of leaking them (cancel/deadline/fault mid-produce).
+    for (const std::string& path : out.paths) {
+      if (store_->Delete(token, path).ok()) ++stats_.spill_parts_deleted;
+    }
+    return produce_status;
+  }
   if (spilling) {
     out.spilled = true;
   } else {
@@ -150,11 +178,13 @@ Result<ServerlessBackend::ProducedResult> ServerlessBackend::ProduceOnce(
 }
 
 Result<BatchIteratorPtr> ServerlessBackend::ExecuteRemoteStream(
-    const PlanPtr& plan, const std::string& user) {
+    const PlanPtr& plan, const std::string& user, CancellationToken cancel) {
   ++stats_.execute_calls;
   RetryStats retry_stats;
+  // kCancelled / kDeadlineExceeded are not transient, so a cancelled
+  // produce attempt is never retried — the typed status surfaces directly.
   Result<ProducedResult> produced = RetryCall<ProducedResult>(
-      retry_policy_, clock_, [&] { return ProduceOnce(plan, user); },
+      retry_policy_, clock_, [&] { return ProduceOnce(plan, user, cancel); },
       &retry_stats);
   stats_.remote_retries += retry_stats.retries;
   stats_.deadline_hits += retry_stats.deadline_hits;
@@ -166,12 +196,15 @@ Result<BatchIteratorPtr> ServerlessBackend::ExecuteRemoteStream(
     return MakeTableIterator(std::move(produced->inline_table));
   }
   return BatchIteratorPtr(std::make_unique<SpillPartIterator>(
-      this, std::move(produced->schema), std::move(produced->paths)));
+      this, std::move(produced->schema), std::move(produced->paths),
+      std::move(cancel)));
 }
 
 Result<Table> ServerlessBackend::ExecuteRemote(const PlanPtr& plan,
-                                               const std::string& user) {
-  LG_ASSIGN_OR_RETURN(BatchIteratorPtr stream, ExecuteRemoteStream(plan, user));
+                                               const std::string& user,
+                                               CancellationToken cancel) {
+  LG_ASSIGN_OR_RETURN(BatchIteratorPtr stream,
+                      ExecuteRemoteStream(plan, user, std::move(cancel)));
   return DrainIterator(stream.get());
 }
 
@@ -180,7 +213,8 @@ Result<Table> EfgacRemoteExecutor::ExecuteRemote(
   if (!scan.remote_plan()) {
     return Status::InvalidArgument("RemoteScan has no captured sub-plan");
   }
-  return backend_->ExecuteRemote(scan.remote_plan(), context.user);
+  return backend_->ExecuteRemote(scan.remote_plan(), context.user,
+                                 context.cancel);
 }
 
 Result<BatchIteratorPtr> EfgacRemoteExecutor::ExecuteRemoteStream(
@@ -188,7 +222,8 @@ Result<BatchIteratorPtr> EfgacRemoteExecutor::ExecuteRemoteStream(
   if (!scan.remote_plan()) {
     return Status::InvalidArgument("RemoteScan has no captured sub-plan");
   }
-  return backend_->ExecuteRemoteStream(scan.remote_plan(), context.user);
+  return backend_->ExecuteRemoteStream(scan.remote_plan(), context.user,
+                                       context.cancel);
 }
 
 }  // namespace lakeguard

@@ -23,6 +23,8 @@ struct EfgacStats {
   uint64_t remote_retries = 0;   ///< retried remote executions / spill IO
   uint64_t deadline_hits = 0;    ///< retry budgets that ran out of time
   uint64_t remote_failures = 0;  ///< remote calls that failed terminally
+  uint64_t spill_parts_deleted = 0;  ///< spill objects removed (consumed
+                                     ///< per-pull or swept on early teardown)
 };
 
 /// The Serverless Spark endpoint that executes eFGAC sub-queries (§3.4).
@@ -62,7 +64,8 @@ class ServerlessBackend {
   /// Remote ExecutePlan. Results at most `spill_threshold_bytes` return
   /// inline; larger results are persisted to cloud storage as IPC frames
   /// and re-read by the origin side (both modes produce the same Table).
-  Result<Table> ExecuteRemote(const PlanPtr& plan, const std::string& user);
+  Result<Table> ExecuteRemote(const PlanPtr& plan, const std::string& user,
+                              CancellationToken cancel = {});
 
   /// Batched remote execution. The produce phase (serverless execution and,
   /// for large results, the spill writes) runs eagerly under the remote
@@ -70,9 +73,12 @@ class ServerlessBackend {
   /// returned iterator is the consume phase: inline results replay from
   /// memory; spilled results read one part object per pull and delete it
   /// once consumed (remaining objects are cleaned up if the consumer stops
-  /// early).
+  /// early). `cancel` aborts both phases cooperatively: the produce loop and
+  /// every consume pull check it, and a cancelled spilled result deletes its
+  /// pending part objects on teardown.
   Result<BatchIteratorPtr> ExecuteRemoteStream(const PlanPtr& plan,
-                                               const std::string& user);
+                                               const std::string& user,
+                                               CancellationToken cancel = {});
 
   const EfgacStats& stats() const { return stats_; }
   void ResetStats() { stats_ = EfgacStats(); }
@@ -94,7 +100,8 @@ class ServerlessBackend {
 
   ExecutionContext MakeContext(const std::string& user) const;
   Result<ProducedResult> ProduceOnce(const PlanPtr& plan,
-                                     const std::string& user);
+                                     const std::string& user,
+                                     const CancellationToken& cancel);
 
   QueryEngine* engine_;
   ObjectStore* store_;

@@ -7,6 +7,7 @@
 
 #include "catalog/securable.h"
 #include "catalog/unity_catalog.h"
+#include "common/cancellation.h"
 #include "plan/plan.h"
 
 namespace lakeguard {
@@ -20,6 +21,10 @@ struct ExecutionContext {
   /// Connect session (§3.2.3); never visible to other sessions. Null means
   /// "no session state".
   std::shared_ptr<std::map<std::string, std::string>> temp_views;
+  /// Lifecycle control: the executor checks this once per batch pull, so a
+  /// CancelOperation or a per-operation deadline aborts the query within one
+  /// batch. The default token is never cancelled (no lifecycle owner).
+  CancellationToken cancel;
 };
 
 /// Output of the analyzer: the fully resolved plan plus the side state the

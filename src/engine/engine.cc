@@ -65,10 +65,18 @@ Result<QueryResultStreamPtr> QueryEngine::ExecutePlanStreaming(
   QueryResultStreamPtr stream(new QueryResultStream());
   stream->analysis_ = std::make_unique<AnalysisResult>(std::move(analysis));
   stream->optimized_ = optimized;
+  // The executor runs under a stream-owned source linked to the caller's
+  // token: a CancelOperation upstream and a direct stream->Cancel() both
+  // stop the pipeline at its next pull.
+  stream->cancel_source_ = CancellationSource::LinkedTo(context.cancel);
+  ExecutionContext exec_context = context;
+  exec_context.cancel = stream->cancel_source_.token();
   stream->executor_ = std::make_unique<Executor>(
-      services_, config_.exec, context, stream->analysis_.get());
+      services_, config_.exec, std::move(exec_context),
+      stream->analysis_.get());
   LG_ASSIGN_OR_RETURN(stream->iterator_,
                       stream->executor_->Open(stream->optimized_));
+  stream->schema_ = stream->iterator_->schema();
   return stream;
 }
 
@@ -89,8 +97,10 @@ Result<QueryResultStreamPtr> QueryEngine::ExecuteSqlStreaming(
   }
   LG_ASSIGN_OR_RETURN(Table result, RunCommand(stmt, context));
   QueryResultStreamPtr stream(new QueryResultStream());
+  stream->cancel_source_ = CancellationSource::LinkedTo(context.cancel);
   stream->iterator_ =
       MakeTableIterator(std::move(result), config_.exec.batch_size);
+  stream->schema_ = stream->iterator_->schema();
   return stream;
 }
 

@@ -15,10 +15,30 @@ namespace lakeguard {
 /// optimized plan, executor, root iterator) so batches can be pulled long
 /// after the engine call returned. `stats()` is live — it advances as the
 /// stream is pulled, which is how callers observe lazy-scan short-circuits.
+///
+/// Lifecycle: the stream owns a `CancellationSource` linked to the caller's
+/// `ExecutionContext::cancel` token, so the query dies either way — when the
+/// caller's operation is cancelled (or its deadline passes) or when
+/// `Cancel()` is invoked on the stream directly. Cancelling tears the
+/// operator pipeline down immediately, releasing every resident batch and
+/// any breaker/spill state; further pulls return the typed status.
 class QueryResultStream {
  public:
-  const Schema& schema() const { return iterator_->schema(); }
-  Result<std::optional<RecordBatch>> Next() { return iterator_->Next(); }
+  const Schema& schema() const { return schema_; }
+  Result<std::optional<RecordBatch>> Next() {
+    LG_RETURN_IF_ERROR(cancel_source_.token().Check());
+    if (!iterator_) {
+      return Status::Cancelled("query stream was torn down");
+    }
+    return iterator_->Next();
+  }
+  /// Cancels the query and destroys the operator pipeline. Idempotent; the
+  /// first call's reason sticks. Safe while no `Next()` is in flight.
+  void Cancel(const std::string& reason = "query cancelled") {
+    cancel_source_.Cancel(reason);
+    iterator_.reset();
+  }
+  bool cancelled() const { return cancel_source_.cancelled(); }
   /// Executor counters so far. Command statements have no executor; their
   /// counters stay zero.
   const ExecutorStats& stats() const {
@@ -34,6 +54,8 @@ class QueryResultStream {
   PlanPtr optimized_;                         // referenced by iterator_
   std::unique_ptr<Executor> executor_;
   BatchIteratorPtr iterator_;
+  Schema schema_;
+  CancellationSource cancel_source_;
   ExecutorStats fallback_stats_;
 };
 

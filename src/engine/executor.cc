@@ -168,6 +168,7 @@ class ExecIterators {
     const Schema& schema() const override { return manifest_.schema; }
 
     Result<std::optional<RecordBatch>> Next() override {
+      LG_RETURN_IF_ERROR(exec_->CheckCancel());
       const size_t batch_size = exec_->options_.batch_size;
       while (true) {
         if (has_part_ && offset_ < part_.num_rows()) {
@@ -230,6 +231,7 @@ class ExecIterators {
 
     Result<std::optional<RecordBatch>> Next() override {
       while (true) {
+        LG_RETURN_IF_ERROR(exec_->CheckCancel());
         LG_ASSIGN_OR_RETURN(std::optional<RecordBatch> input,
                             child_->Next());
         if (!input.has_value()) return std::optional<RecordBatch>();
@@ -270,6 +272,7 @@ class ExecIterators {
     const Schema& schema() const override { return schema_; }
 
     Result<std::optional<RecordBatch>> Next() override {
+      LG_RETURN_IF_ERROR(exec_->CheckCancel());
       if (!inner_) {
         LG_ASSIGN_OR_RETURN(Table table, produce_());
         resident_ = ResidentProxy(table.num_rows(), exec_->options_.batch_size);
@@ -313,6 +316,7 @@ class ExecIterators {
         LG_RETURN_IF_ERROR(Build());
       }
       while (true) {
+        LG_RETURN_IF_ERROR(exec_->CheckCancel());
         LG_ASSIGN_OR_RETURN(std::optional<RecordBatch> lbatch,
                             left_->Next());
         if (!lbatch.has_value()) return std::optional<RecordBatch>();
@@ -472,6 +476,7 @@ class ExecIterators {
     const Schema& schema() const override { return child_->schema(); }
 
     Result<std::optional<RecordBatch>> Next() override {
+      LG_RETURN_IF_ERROR(exec_->CheckCancel());
       if (remaining_ <= 0) return std::optional<RecordBatch>();
       LG_ASSIGN_OR_RETURN(std::optional<RecordBatch> batch, child_->Next());
       if (!batch.has_value()) {
@@ -921,11 +926,13 @@ Result<std::vector<Column>> Executor::EvaluateWithUdfs(
             policy.egress_allow.push_back(host);
           }
         }
+        // Supervised dispatch: the dispatcher pins the sandbox for the
+        // batch, detects a crash, quarantines the container and charges the
+        // owner's circuit breaker — the executor only sees the typed error.
         LG_ASSIGN_OR_RETURN(
-            Sandbox * sandbox,
-            services_.dispatcher->Acquire(context_.session_id, key, policy));
-        LG_ASSIGN_OR_RETURN(results,
-                            sandbox->ExecuteBatch(arg_batch, invocations));
+            results, services_.dispatcher->Dispatch(context_.session_id, key,
+                                                    policy, arg_batch,
+                                                    invocations));
         ++stats_.udf_sandbox_batches;
       } else {
         // Unisolated baseline: run the VM in-process with full authority.

@@ -145,6 +145,11 @@ class Executor {
                                const Schema& out_schema);
   Result<Table> SortTable(const SortNode& node, const RecordBatch& input);
 
+  /// Cancellation/deadline gate, called by every operator iterator at the
+  /// top of `Next()` — abort latency is bounded by one batch regardless of
+  /// pipeline depth (breakers drain their child through the same pulls).
+  Status CheckCancel() const { return context_.cancel.Check(); }
+
   /// Evaluates `exprs` over `batch`, executing embedded UDF calls according
   /// to the isolation/fusion options. Core of the user-code data path.
   Result<std::vector<Column>> EvaluateWithUdfs(

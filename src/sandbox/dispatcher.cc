@@ -16,6 +16,18 @@ Result<std::unique_ptr<Sandbox>> LocalSandboxProvisioner::Provision(
                                    policy, env_, clock_);
 }
 
+const char* BreakerStateToString(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
 bool Dispatcher::PolicyEquals(const SandboxPolicy& a, const SandboxPolicy& b) {
   return a.allow_file_read == b.allow_file_read &&
          a.allow_file_write == b.allow_file_write &&
@@ -25,23 +37,95 @@ bool Dispatcher::PolicyEquals(const SandboxPolicy& a, const SandboxPolicy& b) {
          a.max_stack == b.max_stack;
 }
 
-Result<Sandbox*> Dispatcher::Acquire(const std::string& session_id,
-                                     const std::string& trust_domain,
-                                     const SandboxPolicy& policy) {
+Status Dispatcher::CheckBreakerLocked(const std::string& trust_domain) {
+  auto it = breakers_.find(trust_domain);
+  if (it == breakers_.end()) return Status::OK();
+  Breaker& breaker = it->second;
+  if (breaker.state != BreakerState::kOpen) return Status::OK();
+  if (clock_->NowMicros() - breaker.opened_at_micros >=
+      breaker_config_.cooldown_micros) {
+    // Cooldown elapsed: admit exactly one probe dispatch.
+    breaker.state = BreakerState::kHalfOpen;
+    breaker.probe_in_flight = false;
+    return Status::OK();
+  }
+  ++stats_.breaker_fast_fails;
+  return Status::Unavailable(
+      "circuit breaker open for trust domain '" + trust_domain + "' after " +
+      std::to_string(breaker.consecutive_failures) +
+      " consecutive sandbox crashes; retry after cooldown");
+}
+
+void Dispatcher::RecordCrashLocked(const std::string& trust_domain) {
+  Breaker& breaker = breakers_[trust_domain];
+  ++breaker.consecutive_failures;
+  const bool trip =
+      breaker.state == BreakerState::kHalfOpen ||  // failed probe: reopen
+      breaker.consecutive_failures >= breaker_config_.failure_threshold;
+  if (trip && breaker.state != BreakerState::kOpen) {
+    breaker.state = BreakerState::kOpen;
+    ++stats_.breaker_open_events;
+  }
+  if (breaker.state == BreakerState::kOpen) {
+    breaker.opened_at_micros = clock_->NowMicros();
+    breaker.probe_in_flight = false;
+  }
+}
+
+void Dispatcher::RecordSuccessLocked(const std::string& trust_domain) {
+  auto it = breakers_.find(trust_domain);
+  if (it == breakers_.end()) return;
+  Breaker& breaker = it->second;
+  breaker.consecutive_failures = 0;
+  breaker.probe_in_flight = false;
+  if (breaker.state != BreakerState::kClosed) {
+    breaker.state = BreakerState::kClosed;
+    ++stats_.breaker_closes;
+  }
+}
+
+Result<Sandbox*> Dispatcher::AcquireLocked(const std::string& session_id,
+                                           const std::string& trust_domain,
+                                           const SandboxPolicy& policy) {
   std::string key = session_id + "\n" + trust_domain;
-  std::lock_guard<std::mutex> lock(mu_);
+  bool respawn = false;
   auto it = sandboxes_.find(key);
   if (it != sandboxes_.end()) {
-    if (PolicyEquals(it->second->policy(), policy)) {
+    if (!it->second.sandbox->alive()) {
+      if (it->second.busy > 0) {
+        // The in-flight dispatch will quarantine it on completion.
+        return Status::Unavailable("sandbox for trust domain '" +
+                                   trust_domain +
+                                   "' crashed; quarantine pending");
+      }
+      // Dead container found at acquisition (e.g. it died between queries):
+      // quarantine and respawn — unless this crash trips the breaker below.
+      ++stats_.crashes_detected;
+      ++stats_.quarantines;
+      RecordCrashLocked(trust_domain);
+      sandboxes_.erase(it);
+      respawn = true;
+    } else if (!PolicyEquals(it->second.sandbox->policy(), policy)) {
+      // Policy changed: the old sandbox must not survive with stale rights.
+      if (it->second.busy > 0) {
+        return Status::Unavailable(
+            "sandbox policy change for trust domain '" + trust_domain +
+            "' pending on an in-flight dispatch");
+      }
+      sandboxes_.erase(it);
+      ++stats_.evictions;
+    } else {
       ++stats_.reuses;
-      return it->second.get();
+      return it->second.sandbox.get();
     }
-    // Policy changed: the old sandbox must not survive with stale rights.
-    sandboxes_.erase(it);
-    ++stats_.evictions;
   }
+  // Fail fast while the domain's breaker is open: no provisioner call, no
+  // cold start burned on code that keeps killing its container.
+  LG_RETURN_IF_ERROR(CheckBreakerLocked(trust_domain));
   // A failed provision attempt leaves no cached entry behind, so each retry
-  // (and any later acquisition) starts from a fresh sandbox.
+  // (and any later acquisition) starts from a fresh sandbox. Provision
+  // failures are a *cluster manager* problem and do not count against the
+  // trust domain's breaker.
   RetryStats retry_stats;
   Result<std::unique_ptr<Sandbox>> sandbox = RetryCall<std::unique_ptr<Sandbox>>(
       provision_retry_, clock_,
@@ -55,9 +139,103 @@ Result<Sandbox*> Dispatcher::Acquire(const std::string& session_id,
                                         trust_domain + "'");
   }
   ++stats_.cold_starts;
+  if (respawn) ++stats_.respawns;
   Sandbox* raw = sandbox->get();
-  sandboxes_[key] = std::move(*sandbox);
+  Entry entry;
+  entry.sandbox = std::move(*sandbox);
+  sandboxes_[key] = std::move(entry);
   return raw;
+}
+
+Result<Sandbox*> Dispatcher::Acquire(const std::string& session_id,
+                                     const std::string& trust_domain,
+                                     const SandboxPolicy& policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AcquireLocked(session_id, trust_domain, policy);
+}
+
+Result<RecordBatch> Dispatcher::Dispatch(
+    const std::string& session_id, const std::string& trust_domain,
+    const SandboxPolicy& policy, const RecordBatch& args,
+    const std::vector<UdfInvocation>& invocations) {
+  std::string key = session_id + "\n" + trust_domain;
+  Sandbox* sandbox = nullptr;
+  bool is_probe = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LG_ASSIGN_OR_RETURN(sandbox,
+                        AcquireLocked(session_id, trust_domain, policy));
+    auto bit = breakers_.find(trust_domain);
+    if (bit != breakers_.end() &&
+        bit->second.state == BreakerState::kHalfOpen) {
+      if (bit->second.probe_in_flight) {
+        ++stats_.breaker_fast_fails;
+        return Status::Unavailable(
+            "half-open probe already in flight for trust domain '" +
+            trust_domain + "'");
+      }
+      bit->second.probe_in_flight = true;
+      is_probe = true;
+      ++stats_.breaker_half_open_probes;
+    }
+    ++sandboxes_[key].busy;  // pin: no eviction from under this dispatch
+  }
+
+  Result<RecordBatch> result = sandbox->ExecuteBatch(args, invocations);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sandboxes_.find(key);
+    if (it != sandboxes_.end() && it->second.sandbox.get() == sandbox) {
+      --it->second.busy;
+      if (!it->second.sandbox->alive()) {
+        // Crash on dispatch: quarantine the dead container and charge the
+        // trust domain's breaker.
+        ++stats_.crashes_detected;
+        ++stats_.quarantines;
+        RecordCrashLocked(trust_domain);
+        sandboxes_.erase(it);
+      } else {
+        // The sandbox infrastructure worked (even if the UDF itself
+        // trapped): reset the domain's crash streak.
+        RecordSuccessLocked(trust_domain);
+        if (it->second.doomed && it->second.busy == 0) {
+          sandboxes_.erase(it);
+          ++stats_.evictions;
+        }
+      }
+    }
+    if (is_probe) {
+      auto bit = breakers_.find(trust_domain);
+      if (bit != breakers_.end()) bit->second.probe_in_flight = false;
+    }
+  }
+  return result;
+}
+
+size_t Dispatcher::CheckLiveness() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t quarantined = 0;
+  for (auto it = sandboxes_.begin(); it != sandboxes_.end();) {
+    if (it->second.busy > 0) {
+      // The in-flight dispatch reports its own outcome.
+      ++it;
+      continue;
+    }
+    ++stats_.heartbeat_checks;
+    Status probe = it->second.sandbox->Heartbeat();
+    if (probe.ok()) {
+      ++it;
+      continue;
+    }
+    std::string trust_domain = it->second.sandbox->trust_domain();
+    ++stats_.crashes_detected;
+    ++stats_.quarantines;
+    RecordCrashLocked(trust_domain);
+    it = sandboxes_.erase(it);
+    ++quarantined;
+  }
+  return quarantined;
 }
 
 void Dispatcher::ReleaseSession(const std::string& session_id) {
@@ -65,8 +243,15 @@ void Dispatcher::ReleaseSession(const std::string& session_id) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto it = sandboxes_.begin(); it != sandboxes_.end();) {
     if (it->first.compare(0, prefix.size(), prefix) == 0) {
-      it = sandboxes_.erase(it);
-      ++stats_.evictions;
+      if (it->second.busy > 0) {
+        // Never destroy a sandbox under an in-flight dispatch; it is
+        // erased when the dispatch unpins it.
+        it->second.doomed = true;
+        ++it;
+      } else {
+        it = sandboxes_.erase(it);
+        ++stats_.evictions;
+      }
     } else {
       ++it;
     }
@@ -78,7 +263,13 @@ size_t Dispatcher::EvictIdle(int64_t idle_micros) {
   size_t evicted = 0;
   std::lock_guard<std::mutex> lock(mu_);
   for (auto it = sandboxes_.begin(); it != sandboxes_.end();) {
-    if (now - it->second->last_used_micros() > idle_micros) {
+    if (now - it->second.sandbox->last_used_micros() > idle_micros) {
+      if (it->second.busy > 0) {
+        // In-flight dispatch: not idle, whatever the timestamp says.
+        ++stats_.busy_evict_skips;
+        ++it;
+        continue;
+      }
       it = sandboxes_.erase(it);
       ++evicted;
       ++stats_.evictions;
@@ -97,6 +288,12 @@ size_t Dispatcher::ActiveSandboxCount() const {
 DispatcherStats Dispatcher::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+BreakerState Dispatcher::breaker_state(const std::string& trust_domain) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(trust_domain);
+  return it == breakers_.end() ? BreakerState::kClosed : it->second.state;
 }
 
 }  // namespace lakeguard

@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/id.h"
@@ -44,7 +45,8 @@ class LocalSandboxProvisioner : public SandboxProvisioner {
 };
 
 /// Dispatcher counters (cold-start amortization analysis, §5; provisioning
-/// resilience counters so chaos benches can report retry behaviour).
+/// resilience counters so chaos benches can report retry behaviour;
+/// supervisor counters for the crash/quarantine/breaker lifecycle).
 struct DispatcherStats {
   uint64_t cold_starts = 0;
   uint64_t reuses = 0;
@@ -55,7 +57,30 @@ struct DispatcherStats {
   uint64_t provision_failures = 0;
   /// Retry loops aborted because the backoff schedule hit the deadline.
   uint64_t provision_deadline_hits = 0;
+  // --- supervisor ---
+  uint64_t crashes_detected = 0;     ///< sandboxes found dead (any path)
+  uint64_t quarantines = 0;          ///< dead sandboxes torn down
+  uint64_t respawns = 0;             ///< cold starts replacing a crashed one
+  uint64_t heartbeat_checks = 0;     ///< liveness probes run by CheckLiveness
+  uint64_t busy_evict_skips = 0;     ///< EvictIdle passes over in-flight ones
+  // --- circuit breaker ---
+  uint64_t breaker_open_events = 0;      ///< closed/half-open -> open
+  uint64_t breaker_fast_fails = 0;       ///< acquisitions rejected while open
+  uint64_t breaker_half_open_probes = 0; ///< probe dispatches admitted
+  uint64_t breaker_closes = 0;           ///< half-open probe restored service
 };
+
+/// Per-trust-domain circuit breaker tuning. `failure_threshold` consecutive
+/// sandbox crashes open the breaker; it stays open for `cooldown_micros` of
+/// clock time, then admits a single half-open probe.
+struct BreakerConfig {
+  int failure_threshold = 3;
+  int64_t cooldown_micros = 10'000'000;  // 10 s — several cold starts' worth
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateToString(BreakerState state);
 
 /// Manages the sandboxes of one host (Fig. 7): acquisition keyed by
 /// (session, trust domain), reuse across queries of the same session, and
@@ -63,6 +88,15 @@ struct DispatcherStats {
 ///  * code of different owners (trust domains) never shares a sandbox;
 ///  * code of different sessions never shares a sandbox (multi-user
 ///    isolation, §2.5).
+///
+/// The dispatcher is also the sandbox *supervisor*: `Dispatch` detects a
+/// sandbox that died executing a batch, quarantines it (the dead container
+/// is torn down and never reused) and lets the next acquisition respawn it.
+/// Consecutive crashes in one trust domain trip a per-domain circuit
+/// breaker: while open, provisioning for that domain fails fast with
+/// `kUnavailable` — no cold start is burned on code that keeps dying —
+/// until a clock-driven cooldown admits one half-open probe (§3.3's
+/// fail-fast contract for repeatedly-crashing user code).
 class Dispatcher {
  public:
   explicit Dispatcher(SandboxProvisioner* provisioner, Clock* clock)
@@ -85,32 +119,88 @@ class Dispatcher {
     provision_retry_ = policy;
   }
 
+  /// Replaces the circuit-breaker tuning (benches disable the breaker by
+  /// raising the threshold out of reach).
+  void set_breaker_config(BreakerConfig config) {
+    std::lock_guard<std::mutex> lock(mu_);
+    breaker_config_ = config;
+  }
+
   /// Returns the sandbox for (session, trust_domain), provisioning on first
   /// use. If the cached sandbox's policy no longer matches, it is replaced
-  /// (policies are immutable per sandbox lifetime).
+  /// (policies are immutable per sandbox lifetime). A cached sandbox found
+  /// dead is quarantined and respawned; an open breaker for the trust
+  /// domain fails the provision fast with `kUnavailable`.
   Result<Sandbox*> Acquire(const std::string& session_id,
                            const std::string& trust_domain,
                            const SandboxPolicy& policy);
 
+  /// Supervised UDF dispatch: acquires the (session, trust_domain) sandbox,
+  /// pins it busy for the duration of `ExecuteBatch`, and records the
+  /// outcome with the supervisor — a crash quarantines the sandbox and
+  /// counts against the trust domain's breaker; a success closes a
+  /// half-open breaker. This is the entry point the executor uses; `Acquire`
+  /// remains for callers that manage the sandbox lifetime themselves.
+  Result<RecordBatch> Dispatch(const std::string& session_id,
+                               const std::string& trust_domain,
+                               const SandboxPolicy& policy,
+                               const RecordBatch& args,
+                               const std::vector<UdfInvocation>& invocations);
+
+  /// Supervisor sweep: heartbeats every cached sandbox and quarantines the
+  /// dead (skipping busy ones — their in-flight dispatch will report the
+  /// crash itself). Returns the number quarantined.
+  size_t CheckLiveness();
+
   /// Destroys all sandboxes of a session (session close / tombstone).
   void ReleaseSession(const std::string& session_id);
 
-  /// Destroys sandboxes idle for longer than `idle_micros`.
+  /// Destroys sandboxes idle for longer than `idle_micros`. Sandboxes with
+  /// an in-flight dispatch are never evicted from under their caller.
   size_t EvictIdle(int64_t idle_micros);
 
   size_t ActiveSandboxCount() const;
   DispatcherStats stats() const;
 
+  /// Breaker state for one trust domain (tests/observability).
+  BreakerState breaker_state(const std::string& trust_domain) const;
+
  private:
+  struct Entry {
+    std::unique_ptr<Sandbox> sandbox;
+    int busy = 0;        // in-flight dispatches pinning this entry
+    bool doomed = false; // release requested while busy; erased on unpin
+  };
+
+  struct Breaker {
+    BreakerState state = BreakerState::kClosed;
+    int consecutive_failures = 0;
+    int64_t opened_at_micros = 0;
+    bool probe_in_flight = false;
+  };
+
   static bool PolicyEquals(const SandboxPolicy& a, const SandboxPolicy& b);
+
+  /// Acquire body; requires mu_ held.
+  Result<Sandbox*> AcquireLocked(const std::string& session_id,
+                                 const std::string& trust_domain,
+                                 const SandboxPolicy& policy);
+  /// Gate on the trust domain's breaker before provisioning; requires mu_.
+  Status CheckBreakerLocked(const std::string& trust_domain);
+  /// Records a sandbox crash against the domain's breaker; requires mu_.
+  void RecordCrashLocked(const std::string& trust_domain);
+  /// Records a successful dispatch (resets/closes the breaker); requires mu_.
+  void RecordSuccessLocked(const std::string& trust_domain);
 
   SandboxProvisioner* provisioner_;
   Clock* clock_;
   mutable std::mutex mu_;
   // key: session_id + '\n' + trust_domain
-  std::map<std::string, std::unique_ptr<Sandbox>> sandboxes_;
+  std::map<std::string, Entry> sandboxes_;
+  std::map<std::string, Breaker> breakers_;  // key: trust_domain
   DispatcherStats stats_;
   RetryPolicy provision_retry_;
+  BreakerConfig breaker_config_;
 };
 
 }  // namespace lakeguard

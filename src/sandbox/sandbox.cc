@@ -1,6 +1,7 @@
 #include "sandbox/sandbox.h"
 
 #include "columnar/ipc.h"
+#include "common/fault.h"
 #include "common/strings.h"
 
 namespace lakeguard {
@@ -97,8 +98,34 @@ Sandbox::Sandbox(std::string id, std::string trust_domain,
       created_at_micros_(clock->NowMicros()),
       last_used_micros_(clock->NowMicros()) {}
 
+Status Sandbox::Heartbeat() {
+  if (!alive_) {
+    return Status::Unavailable("sandbox " + id_ + " is dead");
+  }
+  Status probe = fault::Inject("sandbox.heartbeat", clock_);
+  if (!probe.ok()) {
+    alive_ = false;
+    return Status::Unavailable("sandbox " + id_ +
+                               " failed liveness probe: " + probe.message());
+  }
+  return Status::OK();
+}
+
 Result<RecordBatch> Sandbox::ExecuteBatch(
     const RecordBatch& args, const std::vector<UdfInvocation>& invocations) {
+  if (!alive_) {
+    return Status::Unavailable("sandbox " + id_ + " is dead");
+  }
+  // Crash seam: the container dying mid-batch (OOM kill, segfault in user
+  // code). The batch is lost (kDataLoss — the attempt, not the request,
+  // failed) and the sandbox never answers again.
+  Status crash = fault::Inject("sandbox.crash", clock_);
+  if (!crash.ok()) {
+    alive_ = false;
+    return Status::DataLoss("sandbox " + id_ +
+                            " crashed executing user code: " +
+                            crash.message());
+  }
   last_used_micros_ = clock_->NowMicros();
   ++stats_.batches;
   stats_.rows += args.num_rows();

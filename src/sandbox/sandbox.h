@@ -1,6 +1,7 @@
 #ifndef LAKEGUARD_SANDBOX_SANDBOX_H_
 #define LAKEGUARD_SANDBOX_SANDBOX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -81,6 +82,16 @@ class Sandbox {
   int64_t created_at_micros() const { return created_at_micros_; }
   int64_t last_used_micros() const { return last_used_micros_; }
 
+  /// False once the sandboxed process died (crash injected at the
+  /// `sandbox.crash` fault point, or a failed liveness probe). A dead
+  /// sandbox never recovers — the dispatcher quarantines and respawns.
+  bool alive() const { return alive_; }
+
+  /// Liveness probe (the supervisor's heartbeat against the host
+  /// environment). The `sandbox.heartbeat` fault point models a probe that
+  /// finds the container gone; a failed probe marks the sandbox dead.
+  Status Heartbeat();
+
   /// Ships `args` across the boundary, evaluates every invocation per row,
   /// and ships back a batch with one column per invocation. Fused execution
   /// of N UDFs = one call with N invocations = one boundary round-trip.
@@ -97,7 +108,12 @@ class Sandbox {
   SimulatedHostEnvironment* env_;
   Clock* clock_;
   int64_t created_at_micros_;
-  int64_t last_used_micros_;
+  // Atomic: ExecuteBatch stamps this outside the dispatcher lock
+  // (mid-dispatch) while EvictIdle reads it under the lock.
+  std::atomic<int64_t> last_used_micros_;
+  // Atomic: crashes flip this outside the dispatcher lock (mid-dispatch)
+  // while the supervisor reads it under the lock.
+  std::atomic<bool> alive_{true};
   SandboxStats stats_;
 };
 

@@ -1,0 +1,825 @@
+// Tests for query-lifecycle hardening: cooperative cancellation and
+// per-operation deadlines through the streaming pipeline, the Connect
+// CancelOperation RPC and service drain mode, sandbox supervision (crash
+// quarantine, liveness sweeps, per-trust-domain circuit breakers) and the
+// resource-release guarantees that ride on cancellation (resident batches,
+// breaker materializations, eFGAC spill objects).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/cancellation.h"
+#include "common/fault.h"
+#include "connect/protocol.h"
+#include "core/platform.h"
+#include "plan/plan_serde.h"
+#include "sql/parser.h"
+#include "udf/builder.h"
+
+namespace lakeguard {
+namespace {
+
+// ---- Cancellation primitive -------------------------------------------------------
+
+TEST(CancellationTest, DefaultTokenCanNeverBeCancelled) {
+  CancellationToken token;
+  EXPECT_FALSE(token.CanBeCancelled());
+  EXPECT_FALSE(token.IsCancelled());
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancellationTest, CancelIsStickyAndFirstReasonWins) {
+  CancellationSource source;
+  CancellationToken token = source.token();
+  EXPECT_TRUE(token.CanBeCancelled());
+  EXPECT_TRUE(token.Check().ok());
+  EXPECT_TRUE(source.Cancel("first"));
+  EXPECT_FALSE(source.Cancel("second"));  // already cancelled
+  Status status = token.Check();
+  EXPECT_TRUE(status.IsCancelled());
+  EXPECT_NE(status.message().find("first"), std::string::npos);
+  EXPECT_EQ(status.message().find("second"), std::string::npos);
+}
+
+TEST(CancellationTest, DeadlineReportsDeadlineExceeded) {
+  SimulatedClock clock(0);
+  CancellationSource source = CancellationSource::WithDeadline(&clock, 1'000);
+  CancellationToken token = source.token();
+  EXPECT_TRUE(token.Check().ok());
+  clock.AdvanceMicros(999);
+  EXPECT_TRUE(token.Check().ok());
+  clock.AdvanceMicros(1);
+  EXPECT_TRUE(token.Check().IsDeadlineExceeded());
+}
+
+TEST(CancellationTest, ExplicitCancelWinsOverExpiredDeadline) {
+  SimulatedClock clock(0);
+  CancellationSource source = CancellationSource::WithDeadline(&clock, 1'000);
+  source.Cancel("user asked");
+  clock.AdvanceMicros(5'000);
+  EXPECT_TRUE(source.token().Check().IsCancelled());
+}
+
+TEST(CancellationTest, LinkedSourceInheritsParentCancellation) {
+  CancellationSource parent;
+  CancellationSource child = CancellationSource::LinkedTo(parent.token());
+  EXPECT_TRUE(child.token().Check().ok());
+  parent.Cancel("parent gone");
+  EXPECT_TRUE(child.token().Check().IsCancelled());
+  // And the link is one-way: cancelling another child never cancels the
+  // parent.
+  CancellationSource sibling = CancellationSource::LinkedTo(parent.token());
+  (void)sibling;
+  EXPECT_TRUE(parent.token().IsCancelled());
+}
+
+TEST(CancellationTest, LinkedChildCancellableOnItsOwn) {
+  CancellationSource parent;
+  CancellationSource child = CancellationSource::LinkedTo(parent.token());
+  child.Cancel("child only");
+  EXPECT_TRUE(child.token().IsCancelled());
+  EXPECT_FALSE(parent.token().IsCancelled());
+}
+
+// ---- Typed-status plumbing --------------------------------------------------------
+
+TEST(LifecycleStatusTest, CancelledAndUnavailableRoundTripTheWire) {
+  EXPECT_EQ(StatusCodeFromString(
+                StatusCodeToString(StatusCode::kCancelled)),
+            StatusCode::kCancelled);
+  EXPECT_EQ(StatusCodeFromString(
+                StatusCodeToString(StatusCode::kUnavailable)),
+            StatusCode::kUnavailable);
+}
+
+TEST(LifecycleStatusTest, RetryClassification) {
+  // A draining replica / open breaker is worth retrying elsewhere; a
+  // cancelled or expired operation must never be silently re-run.
+  EXPECT_TRUE(IsTransientError(Status::Unavailable("draining")));
+  EXPECT_FALSE(IsTransientError(Status::Cancelled("stop")));
+  EXPECT_FALSE(IsTransientError(Status::DeadlineExceeded("late")));
+}
+
+TEST(LifecycleProtocolTest, LifecycleRequestFieldsSurviveTheWire) {
+  ConnectRequest request;
+  request.session_id = "sess-1";
+  request.auth_token = "tok";
+  request.operation_id = "op-9";
+  request.deadline_micros = 123'456;
+  request.cancel_operation_id = "op-8";
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->client_version, kConnectProtocolVersion);
+  EXPECT_EQ(decoded->deadline_micros, 123'456);
+  EXPECT_EQ(decoded->cancel_operation_id, "op-8");
+  EXPECT_EQ(decoded->operation_id, "op-9");
+}
+
+// ---- Engine: cancellation & deadlines in the streaming pipeline -------------------
+
+class EngineLifecycleTest : public ::testing::Test {
+ protected:
+  EngineLifecycleTest() {
+    FaultInjector::Instance().Reset();
+    FaultInjector::Instance().Reseed(11);
+    EXPECT_TRUE(platform_.AddUser("admin").ok());
+    platform_.AddMetastoreAdmin("admin");
+    EXPECT_TRUE(platform_.catalog().CreateCatalog("admin", "main").ok());
+    EXPECT_TRUE(platform_.catalog().CreateSchema("admin", "main.s").ok());
+    cluster_ = platform_.CreateStandardCluster();
+    admin_ctx_ = *platform_.DirectContext(cluster_, "admin");
+
+    QueryEngineConfig config = cluster_->engine->config();
+    config.exec.batch_size = 8;
+    cluster_->engine->set_config(config);
+
+    // 512 rows at batch_size=8 -> 64 scan batches: plenty of pipeline left
+    // to abandon when the query is cancelled after the first pull.
+    MustSql("CREATE TABLE main.s.wide (x BIGINT)");
+    std::string sql = "INSERT INTO main.s.wide VALUES ";
+    for (int i = 0; i < 512; ++i) {
+      if (i > 0) sql += ", ";
+      sql += "(" + std::to_string(i) + ")";
+    }
+    MustSql(sql);
+  }
+
+  ~EngineLifecycleTest() override { FaultInjector::Instance().Reset(); }
+
+  Table MustSql(const std::string& sql) {
+    auto result = cluster_->engine->ExecuteSql(sql, admin_ctx_);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+    return result.ok() ? *result : Table();
+  }
+
+  void RegisterAdder() {
+    FunctionInfo fn;
+    fn.full_name = "main.s.adder";
+    fn.num_args = 2;
+    fn.return_type = TypeKind::kInt64;
+    fn.body = canned::SumUdf();
+    ASSERT_TRUE(platform_.catalog().CreateFunction("admin", fn).ok());
+  }
+
+  Dispatcher& dispatcher() {
+    return cluster_->cluster->driver_host().dispatcher();
+  }
+
+  LakeguardPlatform platform_;
+  ClusterHandle* cluster_ = nullptr;
+  ExecutionContext admin_ctx_;
+};
+
+TEST_F(EngineLifecycleTest, CancelAfterFirstPullStopsWithinOnePull) {
+  auto stream =
+      cluster_->engine->ExecuteSqlStreaming("SELECT x FROM main.s.wide",
+                                            admin_ctx_);
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  auto first = (*stream)->Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+
+  (*stream)->Cancel("user hit ctrl-c");
+  EXPECT_TRUE((*stream)->cancelled());
+
+  // The very next pull is the typed status — not another batch.
+  auto next = (*stream)->Next();
+  EXPECT_TRUE(next.status().IsCancelled()) << next.status();
+  EXPECT_NE(next.status().message().find("ctrl-c"), std::string::npos);
+
+  // Abandoning 60+ unread batches leaks nothing: the pipeline teardown
+  // released every resident batch, and the scan never ran ahead.
+  const ExecutorStats& stats = (*stream)->stats();
+  EXPECT_EQ(stats.resident_batches, 0u);
+  EXPECT_LE(stats.batches_scanned, 4u);
+
+  // Cancellation is idempotent and the first reason sticks.
+  (*stream)->Cancel("second reason");
+  auto again = (*stream)->Next();
+  EXPECT_TRUE(again.status().IsCancelled());
+  EXPECT_NE(again.status().message().find("ctrl-c"), std::string::npos);
+}
+
+TEST_F(EngineLifecycleTest, CancelReleasesBreakerMaterialization) {
+  auto stream = cluster_->engine->ExecuteSqlStreaming(
+      "SELECT x FROM main.s.wide ORDER BY x", admin_ctx_);
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  auto first = (*stream)->Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+  // The sort breaker holds its whole materialized input right now.
+  EXPECT_GT((*stream)->stats().resident_batches, 0u);
+
+  (*stream)->Cancel();
+  EXPECT_EQ((*stream)->stats().resident_batches, 0u);
+  EXPECT_TRUE((*stream)->Next().status().IsCancelled());
+}
+
+TEST_F(EngineLifecycleTest, CallerTokenCancelsTheStream) {
+  CancellationSource source;
+  ExecutionContext ctx = admin_ctx_;
+  ctx.cancel = source.token();
+  auto stream =
+      cluster_->engine->ExecuteSqlStreaming("SELECT x FROM main.s.wide", ctx);
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE((*stream)->Next().ok());
+  // The caller's token (the Connect operation, in production) fires; the
+  // stream observes it without anyone touching the stream object.
+  source.Cancel("operation cancelled");
+  auto next = (*stream)->Next();
+  EXPECT_TRUE(next.status().IsCancelled()) << next.status();
+}
+
+TEST_F(EngineLifecycleTest, DeadlineExceededMidStreamIsTyped) {
+  CancellationSource source = CancellationSource::WithDeadline(
+      platform_.clock(), platform_.clock()->NowMicros() + 1'000'000);
+  ExecutionContext ctx = admin_ctx_;
+  ctx.cancel = source.token();
+  auto stream =
+      cluster_->engine->ExecuteSqlStreaming("SELECT x FROM main.s.wide", ctx);
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE((*stream)->Next().ok());
+  platform_.simulated_clock()->AdvanceMicros(2'000'000);
+  auto next = (*stream)->Next();
+  EXPECT_TRUE(next.status().IsDeadlineExceeded()) << next.status();
+  // Teardown after the deadline releases the scan's in-flight part.
+  (*stream)->Cancel("deadline exceeded");
+  EXPECT_EQ((*stream)->stats().resident_batches, 0u);
+}
+
+TEST_F(EngineLifecycleTest, DeadlineAbortsInsideBreakerDrain) {
+  RegisterAdder();
+  // Budget: less than one sandbox cold start (2 s of modeled clock). The
+  // sort breaker starts draining its child, the first UDF batch burns the
+  // cold start, and the deadline fires *inside* the drain loop — the
+  // breaker's partial materialization must be released, not leaked.
+  CancellationSource source = CancellationSource::WithDeadline(
+      platform_.clock(), platform_.clock()->NowMicros() + 1'000'000);
+  ExecutionContext ctx = admin_ctx_;
+  ctx.cancel = source.token();
+  auto stream = cluster_->engine->ExecuteSqlStreaming(
+      "SELECT main.s.adder(x, 1) AS v FROM main.s.wide ORDER BY v", ctx);
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  auto first = (*stream)->Next();
+  EXPECT_TRUE(first.status().IsDeadlineExceeded()) << first.status();
+  // The breaker's partial materialization and the scan's in-flight part are
+  // all released by teardown — an expired query leaks nothing.
+  (*stream)->Cancel("deadline exceeded");
+  EXPECT_EQ((*stream)->stats().resident_batches, 0u);
+}
+
+// ---- Dispatcher: crash supervision & circuit breaker ------------------------------
+
+TEST_F(EngineLifecycleTest, SandboxCrashIsTypedAndQuarantined) {
+  RegisterAdder();
+  {
+    ScopedFault crash("sandbox.crash",
+                      FaultPolicy::FailTimes(1, StatusCode::kDataLoss));
+    auto result = cluster_->engine->ExecuteSql(
+        "SELECT main.s.adder(x, 1) AS v FROM main.s.wide", admin_ctx_);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss)
+        << result.status();
+  }
+  DispatcherStats stats = dispatcher().stats();
+  EXPECT_EQ(stats.crashes_detected, 1u);
+  EXPECT_EQ(stats.quarantines, 1u);
+  EXPECT_EQ(dispatcher().ActiveSandboxCount(), 0u);  // dead one is gone
+
+  // One crash does not trip the breaker: the next query cold-starts a fresh
+  // sandbox and succeeds.
+  auto retry = cluster_->engine->ExecuteSql(
+      "SELECT main.s.adder(x, 1) AS v FROM main.s.wide", admin_ctx_);
+  ASSERT_TRUE(retry.ok()) << retry.status();
+  EXPECT_EQ(retry->num_rows(), 512u);
+  EXPECT_EQ(dispatcher().breaker_state("admin"), BreakerState::kClosed);
+}
+
+TEST_F(EngineLifecycleTest, ThreeCrashesTripBreakerThenProbeRestores) {
+  RegisterAdder();
+  const std::string sql =
+      "SELECT main.s.adder(x, 1) AS v FROM main.s.wide";
+  {
+    ScopedFault crash("sandbox.crash", FaultPolicy::FailTimes(3));
+    for (int i = 0; i < 3; ++i) {
+      auto result = cluster_->engine->ExecuteSql(sql, admin_ctx_);
+      ASSERT_FALSE(result.ok()) << "crash " << i << " did not surface";
+    }
+  }
+  DispatcherStats tripped = dispatcher().stats();
+  EXPECT_EQ(tripped.crashes_detected, 3u);
+  EXPECT_EQ(tripped.cold_starts, 3u);
+  EXPECT_EQ(tripped.breaker_open_events, 1u);
+  EXPECT_EQ(dispatcher().breaker_state("admin"), BreakerState::kOpen);
+
+  // While open: fail fast with a typed retryable status, and crucially no
+  // provisioner call — no 2 s cold start burned on code that keeps dying.
+  auto fast_fail = cluster_->engine->ExecuteSql(sql, admin_ctx_);
+  ASSERT_FALSE(fast_fail.ok());
+  EXPECT_TRUE(fast_fail.status().IsUnavailable()) << fast_fail.status();
+  EXPECT_TRUE(IsTransientError(fast_fail.status()));
+  DispatcherStats open = dispatcher().stats();
+  EXPECT_EQ(open.cold_starts, 3u);  // unchanged: provisioner never called
+  EXPECT_GE(open.breaker_fast_fails, 1u);
+
+  // Clock-driven cooldown: the breaker admits one half-open probe, the
+  // probe dispatch succeeds (the fault is exhausted) and service resumes.
+  platform_.simulated_clock()->AdvanceMicros(10'000'000);
+  auto probe = cluster_->engine->ExecuteSql(sql, admin_ctx_);
+  ASSERT_TRUE(probe.ok()) << probe.status();
+  EXPECT_EQ(probe->num_rows(), 512u);
+  DispatcherStats closed = dispatcher().stats();
+  EXPECT_EQ(closed.breaker_half_open_probes, 1u);
+  EXPECT_EQ(closed.breaker_closes, 1u);
+  EXPECT_EQ(dispatcher().breaker_state("admin"), BreakerState::kClosed);
+}
+
+TEST_F(EngineLifecycleTest, FailedProbeReopensBreaker) {
+  RegisterAdder();
+  const std::string sql =
+      "SELECT main.s.adder(x, 1) AS v FROM main.s.wide";
+  ScopedFault crash("sandbox.crash", FaultPolicy::FailTimes(4));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_FALSE(cluster_->engine->ExecuteSql(sql, admin_ctx_).ok());
+  }
+  ASSERT_EQ(dispatcher().breaker_state("admin"), BreakerState::kOpen);
+  platform_.simulated_clock()->AdvanceMicros(10'000'000);
+  // The probe itself crashes (4th injected fault): straight back to open,
+  // without needing another full failure streak.
+  ASSERT_FALSE(cluster_->engine->ExecuteSql(sql, admin_ctx_).ok());
+  EXPECT_EQ(dispatcher().breaker_state("admin"), BreakerState::kOpen);
+  EXPECT_EQ(dispatcher().stats().breaker_open_events, 2u);
+}
+
+TEST_F(EngineLifecycleTest, ProvisionFailuresDoNotChargeTheBreaker) {
+  RegisterAdder();
+  // Cluster-manager outage: every provision attempt fails. The breaker is
+  // about *user code* crashing sandboxes, so it must stay closed.
+  ScopedFault outage("dispatcher.provision", FaultPolicy::FailTimes(10));
+  auto result = cluster_->engine->ExecuteSql(
+      "SELECT main.s.adder(x, 1) AS v FROM main.s.wide", admin_ctx_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted) << result.status();
+  EXPECT_EQ(dispatcher().breaker_state("admin"), BreakerState::kClosed);
+  EXPECT_EQ(dispatcher().stats().breaker_open_events, 0u);
+}
+
+TEST_F(EngineLifecycleTest, LivenessSweepQuarantinesSilentlyDeadSandboxes) {
+  RegisterAdder();
+  ASSERT_TRUE(cluster_->engine
+                  ->ExecuteSql("SELECT main.s.adder(x, 1) AS v "
+                               "FROM main.s.wide LIMIT 8",
+                               admin_ctx_)
+                  .ok());
+  ASSERT_EQ(dispatcher().ActiveSandboxCount(), 1u);
+
+  // The container died between queries; only the heartbeat notices.
+  ScopedFault probe("sandbox.heartbeat", FaultPolicy::FailTimes(1));
+  EXPECT_EQ(dispatcher().CheckLiveness(), 1u);
+  DispatcherStats stats = dispatcher().stats();
+  EXPECT_GE(stats.heartbeat_checks, 1u);
+  EXPECT_EQ(stats.crashes_detected, 1u);
+  EXPECT_EQ(stats.quarantines, 1u);
+  EXPECT_EQ(dispatcher().ActiveSandboxCount(), 0u);
+}
+
+class DispatcherSupervisorTest : public ::testing::Test {
+ protected:
+  DispatcherSupervisorTest()
+      : clock_(0), env_(&clock_), provisioner_(&env_, &clock_),
+        dispatcher_(&provisioner_, &clock_) {
+    FaultInjector::Instance().Reset();
+    FaultInjector::Instance().Reseed(13);
+  }
+  ~DispatcherSupervisorTest() override { FaultInjector::Instance().Reset(); }
+
+  RecordBatch ArgBatch() {
+    TableBuilder builder(Schema({{"a0", TypeKind::kInt64, true},
+                                 {"a1", TypeKind::kInt64, true}}));
+    EXPECT_TRUE(builder.AppendRow({Value::Int(1), Value::Int(2)}).ok());
+    EXPECT_TRUE(builder.AppendRow({Value::Int(3), Value::Int(4)}).ok());
+    return *builder.Build().Combine();
+  }
+
+  std::vector<UdfInvocation> SumInvocations() {
+    UdfInvocation inv;
+    inv.bytecode = canned::SumUdf();
+    inv.arg_indices = {0, 1};
+    inv.result_name = "sum";
+    inv.result_type = TypeKind::kInt64;
+    return {inv};
+  }
+
+  SimulatedClock clock_;
+  SimulatedHostEnvironment env_;
+  LocalSandboxProvisioner provisioner_;
+  Dispatcher dispatcher_;
+};
+
+TEST_F(DispatcherSupervisorTest, AcquireRespawnsSandboxFoundDead) {
+  // Legacy Acquire callers manage the sandbox themselves; when their
+  // sandbox dies, the *next acquisition* finds the corpse.
+  auto sandbox = dispatcher_.Acquire("s1", "owner", SandboxPolicy::LockedDown());
+  ASSERT_TRUE(sandbox.ok());
+  {
+    ScopedFault crash("sandbox.crash", FaultPolicy::FailTimes(1));
+    EXPECT_FALSE((*sandbox)->ExecuteBatch(ArgBatch(), SumInvocations()).ok());
+  }
+  EXPECT_FALSE((*sandbox)->alive());
+  std::string dead_id = (*sandbox)->id();  // quarantine frees the sandbox
+
+  auto respawned =
+      dispatcher_.Acquire("s1", "owner", SandboxPolicy::LockedDown());
+  ASSERT_TRUE(respawned.ok());
+  EXPECT_TRUE((*respawned)->alive());
+  EXPECT_NE((*respawned)->id(), dead_id);
+  DispatcherStats stats = dispatcher_.stats();
+  EXPECT_EQ(stats.crashes_detected, 1u);
+  EXPECT_EQ(stats.quarantines, 1u);
+  EXPECT_EQ(stats.respawns, 1u);
+  EXPECT_EQ(stats.cold_starts, 2u);
+}
+
+TEST_F(DispatcherSupervisorTest, DispatchSurvivesConcurrentEvictionPressure) {
+  // A worker dispatches in a loop while the main thread hammers EvictIdle
+  // with "everything is idle". The busy pin must keep every in-flight
+  // sandbox alive under its dispatch (ASan/TSan turn a violation into a
+  // hard failure); idle entries between dispatches may be evicted freely.
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::thread worker([&] {
+    for (int i = 0; i < 200; ++i) {
+      auto result = dispatcher_.Dispatch("sess-w", "owner",
+                                         SandboxPolicy::LockedDown(),
+                                         ArgBatch(), SumInvocations());
+      if (!result.ok() || result->num_rows() != 2) ++failures;
+    }
+    done.store(true);
+  });
+  while (!done.load()) {
+    dispatcher_.EvictIdle(-1);
+    std::this_thread::yield();
+  }
+  worker.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(DispatcherSupervisorTest, EvictIdleSkipsBusyAndReportsIt) {
+  // Deterministic single-threaded variant built on ReleaseSession's doom
+  // path being unavailable here: instead, verify the timestamp contract —
+  // an entry that was just used is not idle, and EvictIdle(-1) with no
+  // in-flight dispatch evicts it (busy_evict_skips only moves when a pin
+  // is held, which the concurrent test above exercises).
+  ASSERT_TRUE(dispatcher_
+                  .Dispatch("sess-1", "owner", SandboxPolicy::LockedDown(),
+                            ArgBatch(), SumInvocations())
+                  .ok());
+  ASSERT_EQ(dispatcher_.ActiveSandboxCount(), 1u);
+  EXPECT_EQ(dispatcher_.EvictIdle(1'000'000), 0u);  // not idle yet
+  clock_.AdvanceMicros(2'000'000);
+  EXPECT_EQ(dispatcher_.EvictIdle(1'000'000), 1u);
+  EXPECT_EQ(dispatcher_.ActiveSandboxCount(), 0u);
+}
+
+// ---- Connect service: cancel, deadline, drain, expiry -----------------------------
+
+RecordBatch BigBatch(int64_t rows) {
+  TableBuilder builder(Schema({{"i", TypeKind::kInt64, false}}));
+  for (int64_t i = 0; i < rows; ++i) {
+    EXPECT_TRUE(builder.AppendRow({Value::Int(i)}).ok());
+  }
+  return *builder.Build().Combine();
+}
+
+class ConnectLifecycleTest : public ::testing::Test {
+ protected:
+  ConnectLifecycleTest() {
+    FaultInjector::Instance().Reset();
+    FaultInjector::Instance().Reseed(17);
+    EXPECT_TRUE(platform_.AddUser("admin").ok());
+    platform_.AddMetastoreAdmin("admin");
+    platform_.RegisterToken("tok", "admin");
+    cluster_ = platform_.CreateStandardCluster();
+  }
+  ~ConnectLifecycleTest() override { FaultInjector::Instance().Reset(); }
+
+  /// Starts a large streaming operation with a known id; returns true when
+  /// the server buffered it with a live stream.
+  bool StartStreamingOp(ConnectClient& client, const std::string& op_id,
+                        int64_t rows = 7000) {
+    ConnectRequest request;
+    request.session_id = client.session_id();
+    request.auth_token = "tok";
+    request.operation_id = op_id;
+    request.plan_bytes =
+        PlanToBytes(client.FromBatch(BigBatch(rows)).plan());
+    ConnectResponse response = cluster_->service->Execute(request);
+    EXPECT_TRUE(response.ok) << response.error_message;
+    return response.ok && response.streaming;
+  }
+
+  LakeguardPlatform platform_;
+  ClusterHandle* cluster_ = nullptr;
+};
+
+TEST_F(ConnectLifecycleTest, CancelOperationTearsDownBufferedStream) {
+  auto client = platform_.Connect(cluster_, "tok");
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(StartStreamingOp(*client, "op-cancel"));
+  ASSERT_EQ(cluster_->service->LiveOperationCount(), 1u);
+
+  EXPECT_TRUE(
+      cluster_->service->CancelOperation(client->session_id(), "op-cancel")
+          .ok());
+  EXPECT_EQ(cluster_->service->service_stats().cancels, 1u);
+  EXPECT_EQ(cluster_->service->LiveOperationCount(), 0u);
+
+  // Buffered chunks are gone and further fetches answer the typed status.
+  auto fetch =
+      cluster_->service->FetchChunk(client->session_id(), "op-cancel", 0);
+  EXPECT_TRUE(fetch.status().IsCancelled()) << fetch.status();
+
+  // Second cancel: idempotent no-op, never an error.
+  EXPECT_TRUE(
+      cluster_->service->CancelOperation(client->session_id(), "op-cancel")
+          .ok());
+  EXPECT_EQ(cluster_->service->service_stats().cancels, 1u);
+  EXPECT_GE(cluster_->service->service_stats().cancel_noops, 1u);
+}
+
+TEST_F(ConnectLifecycleTest, CancelledStatusIsTypedThroughTheClient) {
+  auto client = platform_.Connect(cluster_, "tok");
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(StartStreamingOp(*client, "op-typed"));
+
+  // Cancel over the wire via the client's RPC.
+  ASSERT_TRUE(client->CancelOperation("op-typed").ok());
+
+  // A client retry reattaching to the cancelled operation gets kCancelled
+  // end to end — typed through the wire, and never transparently retried
+  // (kCancelled is not transient).
+  auto table = client->ExecutePlanRemote(
+      client->FromBatch(BigBatch(7000)).plan(), "op-typed");
+  ASSERT_FALSE(table.ok());
+  EXPECT_TRUE(table.status().IsCancelled()) << table.status();
+}
+
+TEST_F(ConnectLifecycleTest, CancellingAnotherSessionsOperationIsDenied) {
+  auto owner = platform_.Connect(cluster_, "tok");
+  ASSERT_TRUE(owner.ok());
+  ASSERT_TRUE(StartStreamingOp(*owner, "op-mine"));
+  auto other = platform_.Connect(cluster_, "tok");
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(cluster_->service
+                  ->CancelOperation(other->session_id(), "op-mine")
+                  .IsPermissionDenied());
+  // The operation is untouched.
+  EXPECT_EQ(cluster_->service->LiveOperationCount(), 1u);
+}
+
+TEST_F(ConnectLifecycleTest, OperationDeadlineBlocksEvenBufferedChunks) {
+  auto client = platform_.Connect(cluster_, "tok");
+  ASSERT_TRUE(client.ok());
+  // 100 ms budget; every result-stream fetch costs 250 ms of modeled time.
+  client->set_operation_deadline_micros(100'000);
+  ScopedFault slow_stream("connect.stream",
+                          FaultPolicy::AddLatencyMicros(250'000));
+  auto table = client->ExecutePlanRemote(
+      client->FromBatch(BigBatch(7000)).plan());
+  ASSERT_FALSE(table.ok());
+  EXPECT_TRUE(table.status().IsDeadlineExceeded()) << table.status();
+  EXPECT_EQ(cluster_->service->service_stats().deadline_ops, 1u);
+}
+
+TEST_F(ConnectLifecycleTest, DrainRejectsNewSessionsButFinishesInFlight) {
+  auto client = platform_.Connect(cluster_, "tok");
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(StartStreamingOp(*client, "op-drain", 6000));
+
+  cluster_->service->BeginDrain();
+  EXPECT_TRUE(cluster_->service->draining());
+
+  // New sessions bounce with a typed *retryable* status: clients fail over
+  // to another replica instead of reporting a user error.
+  auto rejected = platform_.Connect(cluster_, "tok");
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsUnavailable()) << rejected.status();
+  EXPECT_TRUE(IsTransientError(rejected.status()));
+  EXPECT_GE(cluster_->service->service_stats().drain_rejects, 1u);
+
+  // The in-flight operation keeps fetching to completion.
+  EXPECT_FALSE(cluster_->service->DrainComplete());
+  for (uint64_t i = 0;; ++i) {
+    auto chunk =
+        cluster_->service->FetchChunk(client->session_id(), "op-drain", i);
+    ASSERT_TRUE(chunk.ok()) << chunk.status();
+    if (chunk->last) break;
+  }
+  EXPECT_TRUE(cluster_->service->DrainComplete());
+
+  // EndDrain restores admission (test-only convenience).
+  cluster_->service->EndDrain();
+  EXPECT_TRUE(platform_.Connect(cluster_, "tok").ok());
+}
+
+TEST_F(ConnectLifecycleTest, ForceDrainCancelsEveryLiveOperation) {
+  auto client = platform_.Connect(cluster_, "tok");
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(StartStreamingOp(*client, "op-a"));
+  ASSERT_TRUE(StartStreamingOp(*client, "op-b"));
+  cluster_->service->BeginDrain();
+  EXPECT_FALSE(cluster_->service->DrainComplete());
+  EXPECT_EQ(cluster_->service->CancelAllOperations("shutdown"), 2u);
+  EXPECT_TRUE(cluster_->service->DrainComplete());
+  EXPECT_EQ(cluster_->service->LiveOperationCount(), 0u);
+}
+
+TEST_F(ConnectLifecycleTest, ExpireIdleSessionsReleasesOperationsAtomically) {
+  auto client = platform_.Connect(cluster_, "tok");
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(StartStreamingOp(*client, "op-idle"));
+  ASSERT_EQ(cluster_->service->LiveOperationCount(), 1u);
+
+  platform_.simulated_clock()->AdvanceMicros(3'600'000'000LL);
+  EXPECT_EQ(cluster_->service->ExpireIdleSessions(1'800'000'000LL), 1u);
+
+  // One pass: session tombstoned AND its operation stream torn down — no
+  // window where the session is gone but the stream lingers.
+  EXPECT_EQ(cluster_->service->ActiveSessionCount(), 0u);
+  EXPECT_EQ(cluster_->service->LiveOperationCount(), 0u);
+  EXPECT_GE(cluster_->service->service_stats().expired_operations, 1u);
+  EXPECT_TRUE(cluster_->service->FetchChunk(client->session_id(), "op-idle", 0)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(ConnectLifecycleTest, CancelRacesLazyFetchWithoutLeakingAStream) {
+  auto client = platform_.Connect(cluster_, "tok");
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(StartStreamingOp(*client, "op-race", 20'000));
+
+  // One thread fetches lazily-produced chunks; the other cancels mid-way.
+  // Whatever interleaving wins, every fetch answer is either a chunk or the
+  // typed kCancelled — and the operation ends not-live with its stream gone.
+  std::atomic<bool> saw_cancelled{false};
+  std::thread fetcher([&] {
+    for (uint64_t i = 0; i < 20; ++i) {
+      auto chunk =
+          cluster_->service->FetchChunk(client->session_id(), "op-race", i);
+      if (!chunk.ok()) {
+        if (chunk.status().IsCancelled()) saw_cancelled.store(true);
+        break;
+      }
+      if (chunk->last) break;
+    }
+  });
+  std::thread canceller([&] {
+    (void)cluster_->service->CancelOperation(client->session_id(), "op-race");
+  });
+  fetcher.join();
+  canceller.join();
+  EXPECT_EQ(cluster_->service->LiveOperationCount(), 0u);
+  auto after =
+      cluster_->service->FetchChunk(client->session_id(), "op-race", 0);
+  EXPECT_TRUE(after.status().IsCancelled()) << after.status();
+  (void)saw_cancelled;  // interleaving-dependent; the invariants above aren't
+}
+
+TEST_F(ConnectLifecycleTest, ExpirerRacesFetchesWithoutCorruption) {
+  auto client = platform_.Connect(cluster_, "tok");
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(StartStreamingOp(*client, "op-exp", 20'000));
+
+  std::thread fetcher([&] {
+    for (uint64_t i = 0; i < 20; ++i) {
+      auto chunk =
+          cluster_->service->FetchChunk(client->session_id(), "op-exp", i);
+      if (!chunk.ok() || chunk->last) break;
+    }
+  });
+  std::thread expirer([&] {
+    // Idle threshold 0 with a virtual clock that never advances: the
+    // session's last activity equals "now", so expiry only wins the race
+    // when it observes a stale timestamp — either outcome must be clean.
+    platform_.simulated_clock()->AdvanceMicros(1);
+    (void)cluster_->service->ExpireIdleSessions(0);
+  });
+  fetcher.join();
+  expirer.join();
+  // Whichever side won, the map invariants hold.
+  if (cluster_->service->ActiveSessionCount() == 0) {
+    EXPECT_EQ(cluster_->service->LiveOperationCount(), 0u);
+  }
+}
+
+// ---- eFGAC: spill-object lifecycle under cancellation -----------------------------
+
+class EfgacLifecycleTest : public ::testing::Test {
+ protected:
+  EfgacLifecycleTest() {
+    FaultInjector::Instance().Reset();
+    FaultInjector::Instance().Reseed(19);
+    EXPECT_TRUE(platform_.AddUser("admin").ok());
+    EXPECT_TRUE(platform_.AddUser("eve").ok());
+    platform_.AddMetastoreAdmin("admin");
+    EXPECT_TRUE(platform_.catalog().CreateCatalog("admin", "main").ok());
+    EXPECT_TRUE(platform_.catalog().CreateSchema("admin", "main.s").ok());
+    setup_ = platform_.CreateStandardCluster();
+    admin_ctx_ = *platform_.DirectContext(setup_, "admin");
+
+    Must("CREATE TABLE main.s.wide (payload STRING)");
+    std::string filler(1000, 'x');
+    for (int chunk = 0; chunk < 4; ++chunk) {
+      std::string sql = "INSERT INTO main.s.wide VALUES ('" + filler + "')";
+      for (int i = 1; i < 100; ++i) sql += ", ('" + filler + "')";
+      Must(sql);
+    }
+    Must("ALTER TABLE main.s.wide SET ROW FILTER (TRUE)");
+    Must("GRANT USE CATALOG ON main TO eve");
+    Must("GRANT USE SCHEMA ON main.s TO eve");
+    Must("GRANT SELECT ON main.s.wide TO eve");
+
+    dedicated_ = platform_.CreateDedicatedCluster("eve", /*is_group=*/false);
+    eve_ctx_ = *platform_.DirectContext(dedicated_, "eve");
+  }
+  ~EfgacLifecycleTest() override { FaultInjector::Instance().Reset(); }
+
+  void Must(const std::string& sql) {
+    auto result = setup_->engine->ExecuteSql(sql, admin_ctx_);
+    ASSERT_TRUE(result.ok()) << sql << " -> " << result.status();
+  }
+
+  PlanPtr WidePlan() {
+    auto stmt = ParseSql("SELECT payload FROM main.s.wide");
+    EXPECT_TRUE(stmt.ok());
+    return std::get<SelectStatement>(*stmt).plan;
+  }
+
+  LakeguardPlatform platform_;
+  ClusterHandle* setup_ = nullptr;
+  ClusterHandle* dedicated_ = nullptr;
+  ExecutionContext admin_ctx_;
+  ExecutionContext eve_ctx_;
+};
+
+TEST_F(EfgacLifecycleTest, CancelledConsumerDeletesPendingSpillObjects) {
+  platform_.serverless_backend().ResetStats();
+  size_t objects_before = platform_.store().ObjectCount();
+
+  CancellationSource source;
+  auto stream = platform_.serverless_backend().ExecuteRemoteStream(
+      WidePlan(), "eve", source.token());
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  ASSERT_EQ(platform_.serverless_backend().stats().spilled_results, 1u);
+  EXPECT_GT(platform_.store().ObjectCount(), objects_before);
+
+  auto first = (*stream)->Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+
+  source.Cancel("origin query cancelled");
+  auto next = (*stream)->Next();
+  EXPECT_TRUE(next.status().IsCancelled()) << next.status();
+
+  // Teardown sweeps every unread part object — nothing orphaned in the
+  // store, and the counter owns up to each deletion.
+  stream->reset();
+  EXPECT_EQ(platform_.store().ObjectCount(), objects_before);
+  EXPECT_GT(platform_.serverless_backend().stats().spill_parts_deleted, 0u);
+}
+
+TEST_F(EfgacLifecycleTest, PreCancelledTokenFailsTypedWithoutLeak) {
+  platform_.serverless_backend().ResetStats();
+  size_t objects_before = platform_.store().ObjectCount();
+  CancellationSource source;
+  source.Cancel("cancelled before the remote call");
+  auto stream = platform_.serverless_backend().ExecuteRemoteStream(
+      WidePlan(), "eve", source.token());
+  ASSERT_FALSE(stream.ok());
+  EXPECT_TRUE(stream.status().IsCancelled()) << stream.status();
+  EXPECT_EQ(platform_.store().ObjectCount(), objects_before);
+}
+
+TEST_F(EfgacLifecycleTest, OriginStreamCancelCleansRemoteSpill) {
+  size_t objects_before = platform_.store().ObjectCount();
+  // Full integration: the Dedicated cluster's RemoteScan executes on the
+  // serverless backend and spills; cancelling the *origin* stream must tear
+  // down the remote consume iterator, deleting the unread spill parts.
+  auto stream = dedicated_->engine->ExecuteSqlStreaming(
+      "SELECT payload FROM main.s.wide", eve_ctx_);
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  auto first = (*stream)->Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+  EXPECT_GT(platform_.store().ObjectCount(), objects_before);
+
+  (*stream)->Cancel("origin cancelled");
+  EXPECT_TRUE((*stream)->Next().status().IsCancelled());
+  EXPECT_EQ((*stream)->stats().resident_batches, 0u);
+  EXPECT_EQ(platform_.store().ObjectCount(), objects_before);
+}
+
+}  // namespace
+}  // namespace lakeguard
