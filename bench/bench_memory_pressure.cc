@@ -1,0 +1,276 @@
+// Memory-pressure benchmark.
+//
+// Part 1 (wall clock): spill ladder under shrinking budgets. One sort over a
+// fixed working set runs with an operation budget of infinity, 2x, 1x and
+// 0.5x the input's byte size. Reported per point: throughput, the governor's
+// peak charged bytes, and the spill counters — the degradation story is
+// "throughput bends, peak memory stays pinned under the budget, the query
+// still finishes with identical results".
+//
+// Part 2 (wall clock): load shedding vs offered concurrency. A ConnectService
+// with 2 execution slots and a 2-deep admission queue is stormed by K
+// concurrent clients (K = 2, 4, 8, 12); clients retry typed sheds until their
+// query completes. Reported per point: sheds, queue waits, and end-to-end
+// makespan — overload degrades to queuing and retries, never to failure.
+//
+// Results are printed and written to BENCH_memory.json.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/memory_budget.h"
+#include "common/retry.h"
+
+namespace lakeguard {
+namespace bench {
+namespace {
+
+constexpr int kReps = 3;
+
+RecordBatch WideBatch(int64_t rows) {
+  TableBuilder builder(Schema({{"k", TypeKind::kInt64, false},
+                               {"v", TypeKind::kInt64, false},
+                               {"s", TypeKind::kString, false}}));
+  uint64_t x = 88172645463325252ull;
+  for (int64_t i = 0; i < rows; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    (void)builder.AppendRow(
+        {Value::Int(i % 1501), Value::Int(static_cast<int64_t>(x % 100000)),
+         Value::String("payload-" + std::to_string(x % 997) + "-" +
+                       std::to_string(i))});
+  }
+  return *builder.Build().Combine();
+}
+
+struct PressureMeasurement {
+  std::string budget_label;
+  uint64_t budget_bytes = 0;  // 0 = unlimited
+  double seconds = 0;
+  double rows_per_sec = 0;
+  uint64_t peak_bytes = 0;
+  uint64_t spill_runs = 0;
+  uint64_t spill_bytes = 0;
+  uint64_t budget_refusals = 0;
+};
+
+PressureMeasurement MeasurePressure(BenchEnv* env, const PlanPtr& plan,
+                                    int64_t rows,
+                                    const std::string& label,
+                                    uint64_t budget_bytes) {
+  PressureMeasurement m;
+  m.budget_label = label;
+  m.budget_bytes = budget_bytes;
+  for (int rep = 0; rep < kReps; ++rep) {
+    ExecutionContext ctx = env->ctx;
+    auto budget = std::make_shared<MemoryBudget>("bench-op", budget_bytes);
+    ctx.memory = budget;
+    auto start = std::chrono::steady_clock::now();
+    auto stream = env->cluster->engine->ExecutePlanStreaming(plan, ctx);
+    if (!stream.ok()) std::abort();
+    uint64_t out_rows = 0;
+    while (true) {
+      auto batch = (*stream)->Next();
+      if (!batch.ok()) std::abort();
+      if (!batch->has_value()) break;
+      out_rows += (*batch)->num_rows();
+    }
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    if (out_rows != static_cast<uint64_t>(rows)) std::abort();
+    if (rep == 0 || secs < m.seconds) {
+      m.seconds = secs;
+      m.rows_per_sec = static_cast<double>(rows) / secs;
+      const ExecutorStats& stats = (*stream)->stats();
+      m.spill_runs = stats.spill_runs;
+      m.spill_bytes = stats.spill_bytes;
+      m.budget_refusals = stats.budget_refusals;
+    }
+    m.peak_bytes = std::max(m.peak_bytes, budget->peak_bytes());
+  }
+  return m;
+}
+
+struct AdmissionMeasurement {
+  int offered_concurrency = 0;
+  int completed = 0;
+  uint64_t shed_operations = 0;
+  uint64_t queued_operations = 0;
+  uint64_t admitted_operations = 0;
+  double makespan_seconds = 0;
+};
+
+AdmissionMeasurement MeasureAdmission(int clients_count) {
+  LakeguardPlatform::Options options;
+  options.use_simulated_clock = false;
+  options.sandbox_cold_start_micros = 0;
+  options.admission_config.max_concurrent_operations = 2;
+  options.admission_config.max_queue_depth = 2;
+  options.admission_config.max_queue_wait_micros = 100'000;
+  LakeguardPlatform platform(options);
+  (void)platform.AddUser("admin");
+  platform.RegisterToken("tok", "admin");
+  ClusterHandle* cluster = platform.CreateStandardCluster();
+
+  std::vector<ConnectClient> clients;
+  for (int i = 0; i < clients_count; ++i) {
+    auto client = platform.Connect(cluster, "tok");
+    if (!client.ok()) std::abort();
+    clients.push_back(std::move(*client));
+  }
+  RecordBatch batch = WideBatch(6000);  // streaming result: slot held while
+                                        // chunks are fetched
+
+  std::atomic<int> completed{0};
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int i = 0; i < clients_count; ++i) {
+    threads.emplace_back([&, i] {
+      for (int attempt = 0; attempt < 10'000; ++attempt) {
+        auto table = clients[static_cast<size_t>(i)].FromBatch(batch).Collect();
+        if (table.ok()) {
+          ++completed;
+          return;
+        }
+        if (!IsTransientError(table.status())) return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  AdmissionMeasurement m;
+  m.offered_concurrency = clients_count;
+  m.completed = completed.load();
+  m.makespan_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  ConnectServiceStats stats = cluster->service->service_stats();
+  m.shed_operations = stats.shed_operations;
+  m.queued_operations = stats.queued_operations;
+  m.admitted_operations = stats.admitted_operations;
+  return m;
+}
+
+void Report(uint64_t working_set,
+            const std::vector<PressureMeasurement>& pressures,
+            const std::vector<AdmissionMeasurement>& admissions) {
+  std::printf("working set: %llu bytes\n\n",
+              static_cast<unsigned long long>(working_set));
+  std::printf("%-12s %12s %12s %14s %12s %12s %12s %10s\n", "budget",
+              "bytes", "seconds", "rows/s", "peak", "spill runs",
+              "spill bytes", "refusals");
+  for (const PressureMeasurement& m : pressures) {
+    std::printf("%-12s %12llu %12.4f %14.0f %12llu %12llu %12llu %10llu\n",
+                m.budget_label.c_str(),
+                static_cast<unsigned long long>(m.budget_bytes), m.seconds,
+                m.rows_per_sec, static_cast<unsigned long long>(m.peak_bytes),
+                static_cast<unsigned long long>(m.spill_runs),
+                static_cast<unsigned long long>(m.spill_bytes),
+                static_cast<unsigned long long>(m.budget_refusals));
+  }
+  std::printf("\n%-12s %10s %8s %8s %10s %14s\n", "concurrency", "completed",
+              "sheds", "queued", "admitted", "makespan (s)");
+  for (const AdmissionMeasurement& m : admissions) {
+    std::printf("%-12d %10d %8llu %8llu %10llu %14.4f\n",
+                m.offered_concurrency, m.completed,
+                static_cast<unsigned long long>(m.shed_operations),
+                static_cast<unsigned long long>(m.queued_operations),
+                static_cast<unsigned long long>(m.admitted_operations),
+                m.makespan_seconds);
+  }
+
+  FILE* f = std::fopen("BENCH_memory.json", "w");
+  if (!f) return;
+  std::fprintf(f, "{\n  \"benchmark\": \"memory_pressure\",\n");
+  std::fprintf(f, "  \"working_set_bytes\": %llu,\n",
+               static_cast<unsigned long long>(working_set));
+  std::fprintf(f, "  \"spill_ladder\": [\n");
+  for (size_t i = 0; i < pressures.size(); ++i) {
+    const PressureMeasurement& m = pressures[i];
+    std::fprintf(
+        f,
+        "    {\"budget\": \"%s\", \"budget_bytes\": %llu, "
+        "\"seconds\": %.6f, \"rows_per_sec\": %.0f, \"peak_bytes\": %llu, "
+        "\"spill_runs\": %llu, \"spill_bytes\": %llu, "
+        "\"budget_refusals\": %llu}%s\n",
+        m.budget_label.c_str(),
+        static_cast<unsigned long long>(m.budget_bytes), m.seconds,
+        m.rows_per_sec, static_cast<unsigned long long>(m.peak_bytes),
+        static_cast<unsigned long long>(m.spill_runs),
+        static_cast<unsigned long long>(m.spill_bytes),
+        static_cast<unsigned long long>(m.budget_refusals),
+        i + 1 < pressures.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"admission\": [\n");
+  for (size_t i = 0; i < admissions.size(); ++i) {
+    const AdmissionMeasurement& m = admissions[i];
+    std::fprintf(f,
+                 "    {\"offered_concurrency\": %d, \"completed\": %d, "
+                 "\"shed_operations\": %llu, \"queued_operations\": %llu, "
+                 "\"admitted_operations\": %llu, \"makespan_seconds\": "
+                 "%.6f}%s\n",
+                 m.offered_concurrency, m.completed,
+                 static_cast<unsigned long long>(m.shed_operations),
+                 static_cast<unsigned long long>(m.queued_operations),
+                 static_cast<unsigned long long>(m.admitted_operations),
+                 m.makespan_seconds,
+                 i + 1 < admissions.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_memory.json\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lakeguard
+
+int main() {
+  using namespace lakeguard;
+  using namespace lakeguard::bench;
+  namespace fs = std::filesystem;
+
+  const std::string spill_base =
+      (fs::temp_directory_path() / "lg-bench-memory").string();
+  fs::create_directories(spill_base);
+
+  QueryEngineConfig config;
+  config.exec.batch_size = 1024;
+  config.exec.spill_dir = spill_base;
+  BenchEnv env = MakeBenchEnv(config);
+
+  constexpr int64_t kRows = 60'000;
+  RecordBatch input = WideBatch(kRows);
+  const uint64_t working_set = input.ByteSize();
+  PlanPtr plan = MakeSort(MakeLocalRelation(input),
+                          {{Col("v"), true}, {Col("s"), false}});
+
+  std::vector<PressureMeasurement> pressures;
+  pressures.push_back(
+      MeasurePressure(&env, plan, kRows, "unlimited", 0));
+  pressures.push_back(
+      MeasurePressure(&env, plan, kRows, "2x", working_set * 2));
+  pressures.push_back(MeasurePressure(&env, plan, kRows, "1x", working_set));
+  pressures.push_back(
+      MeasurePressure(&env, plan, kRows, "0.5x", working_set / 2));
+
+  std::vector<AdmissionMeasurement> admissions;
+  for (int k : {2, 4, 8, 12}) {
+    admissions.push_back(MeasureAdmission(k));
+  }
+
+  Report(working_set, pressures, admissions);
+
+  std::error_code ec;
+  fs::remove_all(spill_base, ec);
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "columnar/spill.h"
+
+#include <filesystem>
+#include <system_error>
+
+#include "columnar/ipc.h"
+#include "common/fault.h"
+#include "common/id.h"
+
+namespace lakeguard::spill {
+
+namespace fs = std::filesystem;
+
+Result<std::unique_ptr<SpillDir>> SpillDir::Create(const std::string& base) {
+  std::error_code ec;
+  fs::path root = base.empty() ? fs::temp_directory_path(ec) : fs::path(base);
+  if (ec) {
+    return Status::Internal("spill: no temp directory: " + ec.message());
+  }
+  fs::path dir = root / IdGenerator::Next("lg-spill");
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("spill: cannot create " + dir.string() + ": " +
+                            ec.message());
+  }
+  return std::unique_ptr<SpillDir>(new SpillDir(dir.string()));
+}
+
+SpillDir::~SpillDir() {
+  std::error_code ec;
+  fs::remove_all(path_, ec);  // Best effort; nothing to do on failure.
+}
+
+Result<SpillRun> SpillDir::WriteRun(const std::vector<RecordBatch>& batches,
+                                    Clock* clock) {
+  SpillRun run;
+  run.path = (fs::path(path_) / ("run-" + std::to_string(next_run_++))).string();
+  {
+    std::ofstream out(run.path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("spill: cannot open " + run.path);
+    }
+    for (const RecordBatch& batch : batches) {
+      Status faulted = fault::Inject("spill.write", clock);
+      if (!faulted.ok()) {
+        out.close();
+        std::error_code ec;
+        fs::remove(run.path, ec);
+        return faulted.WithContext("spill write");
+      }
+      std::vector<uint8_t> frame = ipc::SerializeBatch(batch);
+      uint64_t len = frame.size();
+      out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+      out.write(reinterpret_cast<const char*>(frame.data()),
+                static_cast<std::streamsize>(frame.size()));
+      if (!out) {
+        out.close();
+        std::error_code ec;
+        fs::remove(run.path, ec);
+        return Status::Internal("spill: short write to " + run.path);
+      }
+      run.bytes += sizeof(len) + frame.size();
+      ++run.batches;
+      run.rows += batch.num_rows();
+    }
+  }
+  return run;
+}
+
+Status SpillDir::DeleteRun(const SpillRun& run, Clock* clock) {
+  LG_RETURN_IF_ERROR(fault::Inject("spill.delete", clock));
+  std::error_code ec;
+  if (!fs::remove(run.path, ec) || ec) {
+    return Status::Internal("spill: cannot delete " + run.path);
+  }
+  return Status::OK();
+}
+
+Result<SpillRunReader> SpillRunReader::Open(const SpillRun& run) {
+  auto in = std::make_unique<std::ifstream>(run.path, std::ios::binary);
+  if (!*in) {
+    return Status::Internal("spill: cannot open " + run.path + " for read");
+  }
+  return SpillRunReader(std::move(in));
+}
+
+Result<std::optional<RecordBatch>> SpillRunReader::Next(Clock* clock) {
+  uint64_t len = 0;
+  in_->read(reinterpret_cast<char*>(&len), sizeof(len));
+  if (in_->eof()) return std::optional<RecordBatch>();
+  if (!*in_) return Status::Internal("spill: truncated run header");
+  LG_RETURN_IF_ERROR(fault::Inject("spill.read", clock));
+  std::vector<uint8_t> frame(len);
+  in_->read(reinterpret_cast<char*>(frame.data()),
+            static_cast<std::streamsize>(len));
+  if (!*in_) return Status::Internal("spill: truncated run frame");
+  LG_ASSIGN_OR_RETURN(RecordBatch batch, ipc::DeserializeBatch(frame));
+  return std::optional<RecordBatch>(std::move(batch));
+}
+
+}  // namespace lakeguard::spill

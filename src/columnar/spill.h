@@ -1,0 +1,73 @@
+#ifndef LAKEGUARD_COLUMNAR_SPILL_H_
+#define LAKEGUARD_COLUMNAR_SPILL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/record_batch.h"
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace lakeguard::spill {
+
+/// One sorted (or insertion-ordered) run persisted to local disk as a file
+/// of length-prefixed IPC frames. Runs are write-once, read-forward.
+struct SpillRun {
+  std::string path;
+  uint64_t bytes = 0;
+  uint64_t batches = 0;
+  uint64_t rows = 0;
+};
+
+/// Owns a unique temp subdirectory holding one query's spill runs. The
+/// destructor removes the whole directory — a crashed merge, a fault-injected
+/// write, or an abandoned iterator can never leave files behind.
+class SpillDir {
+ public:
+  /// Creates a fresh `lg-spill-<id>` directory under `base` (or the system
+  /// temp dir when `base` is empty).
+  static Result<std::unique_ptr<SpillDir>> Create(const std::string& base);
+
+  ~SpillDir();
+  SpillDir(const SpillDir&) = delete;
+  SpillDir& operator=(const SpillDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Writes `batches` as one run file. Every frame write passes the
+  /// "spill.write" fault point; a failure deletes the partial file and
+  /// surfaces the typed (retry-composable) status.
+  Result<SpillRun> WriteRun(const std::vector<RecordBatch>& batches,
+                            Clock* clock = nullptr);
+
+  /// Best-effort single-run delete ("spill.delete" fault point). Callers may
+  /// ignore the status: the directory sweep reclaims anything left.
+  Status DeleteRun(const SpillRun& run, Clock* clock = nullptr);
+
+ private:
+  explicit SpillDir(std::string path) : path_(std::move(path)) {}
+  std::string path_;
+  uint64_t next_run_ = 0;
+};
+
+/// Forward reader over one run. Each pull deserializes one frame; reads pass
+/// the "spill.read" fault point.
+class SpillRunReader {
+ public:
+  static Result<SpillRunReader> Open(const SpillRun& run);
+
+  /// Next batch, or nullopt at end of run.
+  Result<std::optional<RecordBatch>> Next(Clock* clock = nullptr);
+
+ private:
+  explicit SpillRunReader(std::unique_ptr<std::ifstream> in)
+      : in_(std::move(in)) {}
+  std::unique_ptr<std::ifstream> in_;
+};
+
+}  // namespace lakeguard::spill
+
+#endif  // LAKEGUARD_COLUMNAR_SPILL_H_

@@ -1,0 +1,95 @@
+#include "common/memory_budget.h"
+
+namespace lakeguard {
+
+void MemoryBudget::ChargeSelf(uint64_t bytes) {
+  uint64_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+Status MemoryBudget::TryReserve(uint64_t bytes) {
+  if (bytes == 0) return Status::OK();
+  if (limit_ > 0) {
+    uint64_t cur = used_.load(std::memory_order_relaxed);
+    while (true) {
+      if (cur + bytes > limit_) {
+        refusals_.fetch_add(1, std::memory_order_relaxed);
+        return Status::ResourceExhausted(
+            "memory budget '" + name_ + "' exhausted: " +
+            std::to_string(cur) + " of " + std::to_string(limit_) +
+            " bytes in use, requested " + std::to_string(bytes));
+      }
+      if (used_.compare_exchange_weak(cur, cur + bytes,
+                                      std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    uint64_t now = cur + bytes;
+    uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  } else {
+    ChargeSelf(bytes);
+  }
+  if (parent_) {
+    Status up = parent_->TryReserve(bytes);
+    if (!up.ok()) {
+      // Undo the local charge so a refusal higher in the chain leaves the
+      // whole hierarchy untouched.
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      return up;
+    }
+  }
+  return Status::OK();
+}
+
+void MemoryBudget::ForceReserve(uint64_t bytes) {
+  if (bytes == 0) return;
+  ChargeSelf(bytes);
+  if (parent_) parent_->ForceReserve(bytes);
+}
+
+void MemoryBudget::Release(uint64_t bytes) {
+  if (bytes == 0) return;
+  uint64_t cur = used_.load(std::memory_order_relaxed);
+  uint64_t take;
+  do {
+    take = bytes < cur ? bytes : cur;
+  } while (!used_.compare_exchange_weak(cur, cur - take,
+                                        std::memory_order_relaxed));
+  if (parent_) parent_->Release(bytes);
+}
+
+std::shared_ptr<MemoryBudget> MemoryGovernor::SessionBudget(
+    const std::string& session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it != sessions_.end()) return it->second;
+  auto budget = std::make_shared<MemoryBudget>(
+      "session/" + session_id, config_.session_limit_bytes, service_);
+  sessions_.emplace(session_id, budget);
+  return budget;
+}
+
+std::shared_ptr<MemoryBudget> MemoryGovernor::CreateOperationBudget(
+    const std::string& session_id, const std::string& operation_id) {
+  return std::make_shared<MemoryBudget>("operation/" + operation_id,
+                                        config_.operation_limit_bytes,
+                                        SessionBudget(session_id));
+}
+
+void MemoryGovernor::ReleaseSession(const std::string& session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.erase(session_id);
+}
+
+size_t MemoryGovernor::TrackedSessionCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,180 @@
+#ifndef LAKEGUARD_COMMON_MEMORY_BUDGET_H_
+#define LAKEGUARD_COMMON_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace lakeguard {
+
+/// One node in the hierarchical byte budget (service → session → operation).
+/// A reservation charges this node and every ancestor atomically-per-node:
+/// TryReserve either charges the whole chain or nothing. A refusal anywhere
+/// in the chain surfaces as a typed kResourceExhausted, which IsTransientError
+/// treats as retryable — callers can shrink, spill, or back off and retry.
+///
+/// Limits are soft caps on *tracked* allocations: operators charge their
+/// resident working set (input runs, build tables, cached chunk frames), not
+/// every transient vector. A limit of 0 means unlimited (accounting only).
+class MemoryBudget {
+ public:
+  MemoryBudget(std::string name, uint64_t limit_bytes,
+               std::shared_ptr<MemoryBudget> parent = nullptr)
+      : name_(std::move(name)), limit_(limit_bytes),
+        parent_(std::move(parent)) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// A destroyed budget returns whatever it still holds to its ancestors, so
+  /// an operation torn down mid-query cannot leak charge into its session.
+  ~MemoryBudget() {
+    uint64_t residual = used_.exchange(0, std::memory_order_relaxed);
+    if (parent_ && residual > 0) parent_->Release(residual);
+  }
+
+  /// Charges `bytes` against this node and all ancestors, or nothing at all.
+  /// Refusal is typed kResourceExhausted naming the exhausted node.
+  Status TryReserve(uint64_t bytes);
+
+  /// Unconditional charge, allowed to exceed the limit. Used for the one
+  /// in-flight batch an operator must hold to make progress ("+1 batch
+  /// slack") — overshoot is visible in peak_bytes, never refused.
+  void ForceReserve(uint64_t bytes);
+
+  /// Returns `bytes` to this node and all ancestors. Releases are clamped at
+  /// zero per node so an accounting bug degrades to lost tracking, not
+  /// underflow wrap.
+  void Release(uint64_t bytes);
+
+  uint64_t used_bytes() const {
+    return used_.load(std::memory_order_relaxed);
+  }
+  uint64_t peak_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  uint64_t limit_bytes() const { return limit_; }
+  uint64_t refusals() const {
+    return refusals_.load(std::memory_order_relaxed);
+  }
+  /// used/limit, or 0.0 when unlimited — drives the degradation ladder.
+  double UsageFraction() const {
+    if (limit_ == 0) return 0.0;
+    return static_cast<double>(used_bytes()) / static_cast<double>(limit_);
+  }
+  const std::string& name() const { return name_; }
+  const std::shared_ptr<MemoryBudget>& parent() const { return parent_; }
+
+ private:
+  void ChargeSelf(uint64_t bytes);
+
+  std::string name_;
+  uint64_t limit_;
+  std::shared_ptr<MemoryBudget> parent_;
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> peak_{0};
+  std::atomic<uint64_t> refusals_{0};
+};
+
+/// RAII handle over a running total of reserved bytes. Movable; releases the
+/// outstanding total on destruction. Operators grow it per input batch and
+/// shrink it when they spill a run or emit their output.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+  explicit MemoryReservation(std::shared_ptr<MemoryBudget> budget)
+      : budget_(std::move(budget)) {}
+
+  MemoryReservation(MemoryReservation&& other) noexcept
+      : budget_(std::move(other.budget_)), bytes_(other.bytes_) {
+    other.bytes_ = 0;
+  }
+  MemoryReservation& operator=(MemoryReservation&& other) noexcept {
+    if (this != &other) {
+      ReleaseAll();
+      budget_ = std::move(other.budget_);
+      bytes_ = other.bytes_;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+
+  ~MemoryReservation() { ReleaseAll(); }
+
+  Status Grow(uint64_t bytes) {
+    if (budget_) LG_RETURN_IF_ERROR(budget_->TryReserve(bytes));
+    bytes_ += bytes;
+    return Status::OK();
+  }
+  void GrowForced(uint64_t bytes) {
+    if (budget_) budget_->ForceReserve(bytes);
+    bytes_ += bytes;
+  }
+  void Shrink(uint64_t bytes) {
+    if (bytes > bytes_) bytes = bytes_;
+    if (budget_) budget_->Release(bytes);
+    bytes_ -= bytes;
+  }
+  void ReleaseAll() { Shrink(bytes_); }
+
+  uint64_t bytes() const { return bytes_; }
+  const std::shared_ptr<MemoryBudget>& budget() const { return budget_; }
+
+ private:
+  std::shared_ptr<MemoryBudget> budget_;
+  uint64_t bytes_ = 0;
+};
+
+/// Per-tier limits for the governor. 0 at any tier means unlimited there.
+struct MemoryGovernorConfig {
+  uint64_t service_limit_bytes = 0;
+  uint64_t session_limit_bytes = 0;
+  uint64_t operation_limit_bytes = 0;
+};
+
+/// Owns the service-level budget root and vends session / operation children.
+/// Session budgets are created on first use and dropped via ReleaseSession;
+/// operation budgets are plain shared_ptrs whose destructors return any
+/// residual charge up the chain, so teardown order is never a leak.
+class MemoryGovernor {
+ public:
+  explicit MemoryGovernor(MemoryGovernorConfig config = {})
+      : config_(config),
+        service_(std::make_shared<MemoryBudget>(
+            "service", config.service_limit_bytes)) {}
+
+  const std::shared_ptr<MemoryBudget>& service_budget() const {
+    return service_;
+  }
+  const MemoryGovernorConfig& config() const { return config_; }
+
+  /// Get-or-create the session's budget node.
+  std::shared_ptr<MemoryBudget> SessionBudget(const std::string& session_id);
+
+  /// A fresh operation-level child of the session's budget.
+  std::shared_ptr<MemoryBudget> CreateOperationBudget(
+      const std::string& session_id, const std::string& operation_id);
+
+  /// Forgets the session node. Outstanding operation budgets keep the node
+  /// alive through their parent pointer and still release correctly.
+  void ReleaseSession(const std::string& session_id);
+
+  size_t TrackedSessionCount() const;
+
+ private:
+  MemoryGovernorConfig config_;
+  std::shared_ptr<MemoryBudget> service_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<MemoryBudget>> sessions_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_COMMON_MEMORY_BUDGET_H_

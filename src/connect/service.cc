@@ -1,5 +1,8 @@
 #include "connect/service.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "columnar/ipc.h"
 #include "common/fault.h"
 #include "common/id.h"
@@ -165,27 +168,64 @@ ConnectResponse ConnectService::Execute(const ConnectRequest& request) {
     ++service_stats_.deadline_ops;
   }
 
+  // Admission control: bounded execution concurrency. A request beyond the
+  // slot limit waits FIFO (bounded depth, deadline-aware) or is shed with a
+  // typed retryable error the client's backoff loop absorbs.
+  bool holds_slot = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (admission_.max_concurrent_operations > 0) {
+      Status admitted = AdmitOperation(lock, op_cancel.token());
+      if (!admitted.ok()) return ErrorResponse(admitted, operation_id);
+      holds_slot = true;
+    }
+  }
+  // Any exit before the operation is buffered must return the slot.
+  auto release_slot = [&] {
+    if (!holds_slot) return;
+    holds_slot = false;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_operations_ > 0) --running_operations_;
+    admission_cv_.notify_all();
+  };
+
   ExecutionContext context;
   context.user = session.user;
   context.session_id = session.session_id;
   context.compute = session.compute;
   context.temp_views = session.temp_views;
   context.cancel = op_cancel.token();
+  {
+    // Memory governance: the whole pipeline of this operation charges a
+    // budget node scoped under the session's node (service/session/op).
+    std::lock_guard<std::mutex> lock(mu_);
+    if (governor_ != nullptr) {
+      context.memory =
+          governor_->CreateOperationBudget(session.session_id, operation_id);
+    }
+  }
 
   Result<QueryResultStreamPtr> stream =
       Status::Internal("no request payload");
   if (!request.plan_bytes.empty()) {
     auto plan = PlanFromBytes(request.plan_bytes);
-    if (!plan.ok()) return ErrorResponse(plan.status(), operation_id);
+    if (!plan.ok()) {
+      release_slot();
+      return ErrorResponse(plan.status(), operation_id);
+    }
     stream = engine_->ExecutePlanStreaming(*plan, context);
   } else if (!request.sql.empty()) {
     stream = engine_->ExecuteSqlStreaming(request.sql, context);
   } else {
+    release_slot();
     return ErrorResponse(
         Status::InvalidArgument("request carries neither plan nor sql"),
         operation_id);
   }
-  if (!stream.ok()) return ErrorResponse(stream.status(), operation_id);
+  if (!stream.ok()) {
+    release_slot();
+    return ErrorResponse(stream.status(), operation_id);
+  }
 
   ConnectResponse response;
   response.operation_id = operation_id;
@@ -200,10 +240,25 @@ ConnectResponse ConnectService::Execute(const ConnectRequest& request) {
 
   // Probe just past the inline limit: small results come back fully inline
   // (and execution errors still surface on Execute); anything larger is
-  // buffered with its live stream and produced chunk by chunk on fetch.
-  while (!op.Done() && op.frames.size() <= kInlineChunkLimit) {
-    Status produced = ProduceFrame(op);
-    if (!produced.ok()) return ErrorResponse(produced, operation_id);
+  // buffered with its live stream and produced chunk by chunk on fetch. A
+  // full chunk cache cuts the probe short — the result streams and the
+  // client's fetch loop paces production against cache releases.
+  Status produced = Status::OK();
+  bool cache_full = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!op.Done() && op.frames.size() <= kInlineChunkLimit &&
+           !cache_full) {
+      produced = ProduceFrame(op, &cache_full);
+      if (!produced.ok()) {
+        ReleaseFramesLocked(op, op.frames.size());
+        break;
+      }
+    }
+  }
+  if (!produced.ok()) {
+    release_slot();
+    return ErrorResponse(produced, operation_id);
   }
 
   response.total_chunks = op.frames.size();
@@ -216,18 +271,144 @@ ConnectResponse ConnectService::Execute(const ConnectRequest& request) {
       chunk.last = (i + 1 == op.frames.size());
       response.inline_chunks.push_back(std::move(chunk));
     }
+    {
+      // Inline frames leave the server with this response — uncharge them
+      // (quietly: they were never held for a fetch, so this is not an
+      // eviction worth counting).
+      std::lock_guard<std::mutex> lock(mu_);
+      chunk_cache_bytes_ -= std::min(chunk_cache_bytes_, op.cached_bytes);
+      op.cached_bytes = 0;
+    }
+    release_slot();
   } else {
     // Large result: buffer server-side, client fetches chunk by chunk.
     // `total_chunks` reports only what is cut so far; the `streaming` flag
-    // tells the client to fetch until a chunk carries `last`.
+    // tells the client to fetch until a chunk carries `last`. The admission
+    // slot stays with the operation until its last chunk is served (or it
+    // is cancelled/closed/expired).
     response.streaming = true;
+    op.holds_slot = holds_slot;
+    holds_slot = false;
     std::lock_guard<std::mutex> lock(mu_);
     operations_[operation_id] = std::move(op);
   }
   return response;
 }
 
-Status ConnectService::ProduceFrame(Operation& op) {
+Status ConnectService::AdmitOperation(std::unique_lock<std::mutex>& lock,
+                                      const CancellationToken& deadline) {
+  if (running_operations_ < admission_.max_concurrent_operations &&
+      admission_queue_.empty()) {
+    ++running_operations_;
+    ++service_stats_.admitted_operations;
+    return Status::OK();
+  }
+  if (admission_queue_.size() >= admission_.max_queue_depth) {
+    // Load shedding: beyond the queue bound the server refuses typed and
+    // retryable instead of building an unbounded backlog.
+    ++service_stats_.shed_operations;
+    return Status::Unavailable(
+        "admission queue full (" + std::to_string(admission_queue_.size()) +
+        " waiting, " + std::to_string(running_operations_) +
+        " running); retry with backoff");
+  }
+  const uint64_t ticket = next_ticket_++;
+  admission_queue_.push_back(ticket);
+  ++service_stats_.queued_operations;
+  service_stats_.peak_queue_depth = std::max<uint64_t>(
+      service_stats_.peak_queue_depth, admission_queue_.size());
+  const int64_t enqueued_at = clock_->NowMicros();
+
+  auto my_turn = [&] {
+    return !admission_queue_.empty() && admission_queue_.front() == ticket &&
+           running_operations_ < admission_.max_concurrent_operations;
+  };
+  Status verdict = Status::OK();
+  while (!my_turn()) {
+    // The operation's own deadline wins over the queue-wait bound: a
+    // deadline expiry is the client's budget running out, not a shed.
+    Status alive = deadline.Check();
+    if (!alive.ok()) {
+      verdict = alive;
+      break;
+    }
+    int64_t waited = clock_->NowMicros() - enqueued_at;
+    if (waited >= admission_.max_queue_wait_micros) {
+      ++service_stats_.queue_timeouts;
+      ++service_stats_.shed_operations;
+      verdict = Status::Unavailable(
+          "shed after waiting " + std::to_string(waited) +
+          "us for an execution slot; retry with backoff");
+      break;
+    }
+    const int64_t before = clock_->NowMicros();
+    admission_cv_.wait_for(lock, std::chrono::milliseconds(2));
+    if (clock_->NowMicros() == before) {
+      // Simulated clock and nobody advanced it (single-threaded test or
+      // every thread parked here): charge the wait ourselves so queue
+      // timeouts and deadlines still fire on the virtual timeline.
+      lock.unlock();
+      clock_->AdvanceMicros(10'000);
+      lock.lock();
+    }
+  }
+  service_stats_.queue_wait_micros +=
+      static_cast<uint64_t>(clock_->NowMicros() - enqueued_at);
+  auto it =
+      std::find(admission_queue_.begin(), admission_queue_.end(), ticket);
+  if (it != admission_queue_.end()) admission_queue_.erase(it);
+  if (!verdict.ok()) {
+    // Our departure may unblock the next waiter in line.
+    admission_cv_.notify_all();
+    return verdict;
+  }
+  ++running_operations_;
+  ++service_stats_.admitted_operations;
+  admission_cv_.notify_all();
+  return Status::OK();
+}
+
+void ConnectService::ReleaseSlotLocked(Operation& op) {
+  if (!op.holds_slot) return;
+  op.holds_slot = false;
+  if (running_operations_ > 0) --running_operations_;
+  admission_cv_.notify_all();
+}
+
+void ConnectService::ReleaseFramesLocked(Operation& op, size_t upto) {
+  upto = std::min(upto, op.frames.size());
+  for (size_t i = op.released_below; i < upto; ++i) {
+    size_t bytes = op.frames[i].size();
+    if (bytes == 0) continue;
+    // Swap-free so the vector keeps its slot (indices stay aligned) while
+    // the frame's heap allocation is returned now.
+    std::vector<uint8_t>().swap(op.frames[i]);
+    op.cached_bytes -= std::min(op.cached_bytes, bytes);
+    chunk_cache_bytes_ -= std::min(chunk_cache_bytes_, bytes);
+    ++service_stats_.frames_released;
+  }
+  if (upto > op.released_below) op.released_below = upto;
+}
+
+Status ConnectService::ProduceFrame(Operation& op, bool* cache_full) {
+  // Chunk-cache gate: when the cache is at capacity and *other* operations
+  // hold part of it, don't pull — the caller applies backpressure instead.
+  // An operation holding the whole cache itself may always produce one more
+  // frame (progress guarantee: its own fetch is what releases bytes).
+  if (chunk_cache_limit_bytes_ > 0 &&
+      chunk_cache_bytes_ >= chunk_cache_limit_bytes_ &&
+      op.cached_bytes < chunk_cache_bytes_) {
+    if (cache_full != nullptr) *cache_full = true;
+    return Status::OK();
+  }
+  auto push_frame = [&](std::vector<uint8_t> frame) {
+    size_t bytes = frame.size();
+    op.cached_bytes += bytes;
+    chunk_cache_bytes_ += bytes;
+    service_stats_.chunk_cache_peak_bytes = std::max<uint64_t>(
+        service_stats_.chunk_cache_peak_bytes, chunk_cache_bytes_);
+    op.frames.push_back(std::move(frame));
+  };
   // Pull past one chunk's worth of rows so that when the final frame is cut
   // we already know the stream is exhausted and can flag it `last`.
   while (!op.exhausted && op.pending_rows <= kRowsPerChunk) {
@@ -246,7 +427,7 @@ Status ConnectService::ProduceFrame(Operation& op) {
     // schema (same shape the eager chunker produced).
     if (op.frames.empty()) {
       LG_ASSIGN_OR_RETURN(RecordBatch empty, Table(op.schema).Combine());
-      op.frames.push_back(ipc::SerializeBatch(empty));
+      push_frame(ipc::SerializeBatch(empty));
     }
     return Status::OK();
   }
@@ -259,7 +440,7 @@ Status ConnectService::ProduceFrame(Operation& op) {
   size_t take = std::min(kRowsPerChunk, combined.num_rows());
   RecordBatch frame_batch =
       take == combined.num_rows() ? combined : combined.Slice(0, take);
-  op.frames.push_back(ipc::SerializeBatch(frame_batch));
+  push_frame(ipc::SerializeBatch(frame_batch));
   if (take < combined.num_rows()) {
     RecordBatch rest = combined.Slice(take, combined.num_rows() - take);
     op.pending_rows = rest.num_rows();
@@ -304,13 +485,32 @@ Result<ResultChunk> ConnectService::FetchChunk(const std::string& session_id,
   // Deadline check before producing: an operation past its deadline stops
   // serving even already-buffered chunks (the client's budget is spent).
   LG_RETURN_IF_ERROR(op.cancel.token().Check());
+  if (chunk_index < op.released_below) {
+    // The frame was released (acked by a later sequential fetch, or freed
+    // when the last chunk was served): its bytes are gone for good.
+    return Status::InvalidArgument(
+        "chunk " + std::to_string(chunk_index) +
+        " of operation " + operation_id + " was already fetched and released");
+  }
   // Lazy production: cut frames from the live stream until the requested
   // index exists (normally exactly one per fetch). Already-cut frames are
   // replayed from the cache, never re-pulled — so a retried index returns
   // identical bytes and the stream advances at most once per new chunk.
   while (chunk_index >= op.frames.size() && !op.Done()) {
     size_t before = op.frames.size();
-    LG_RETURN_IF_ERROR(ProduceFrame(op));
+    bool cache_full = false;
+    LG_RETURN_IF_ERROR(ProduceFrame(op, &cache_full));
+    if (cache_full) {
+      // Backpressure: the cache budget is spent on other operations'
+      // un-acked frames. Typed retryable — the client's chunk retry loop
+      // backs off and re-asks for the same index.
+      ++service_stats_.cache_backpressure;
+      return Status::Unavailable(
+          "result chunk cache at capacity (" +
+          std::to_string(chunk_cache_bytes_) + " of " +
+          std::to_string(chunk_cache_limit_bytes_) +
+          " bytes); retry after other results are fetched");
+    }
     service_stats_.lazy_chunks += op.frames.size() - before;
   }
   if (chunk_index >= op.frames.size()) {
@@ -320,11 +520,30 @@ Result<ResultChunk> ConnectService::FetchChunk(const std::string& session_id,
   chunk.chunk_index = chunk_index;
   chunk.frame = op.frames[static_cast<size_t>(chunk_index)];
   chunk.last = (op.Done() && chunk_index + 1 == op.frames.size());
+  if (chunk.last) {
+    // The client has (or is about to have) the whole result: free every
+    // cached frame and the admission slot now instead of waiting for
+    // CloseOperation or session expiry. The operation entry itself stays
+    // as a lightweight tombstone so cancel/reattach semantics hold.
+    ReleaseFramesLocked(op, op.frames.size());
+    ++service_stats_.completed_releases;
+    ReleaseSlotLocked(op);
+    op.stream.reset();
+  } else if (chunk_cache_limit_bytes_ > 0) {
+    // Ack-watermark eviction (capped mode only): clients fetch
+    // sequentially, so serving index i acknowledges receipt of everything
+    // before it. Uncapped mode keeps all frames for out-of-order replay.
+    ReleaseFramesLocked(op, static_cast<size_t>(chunk_index));
+  }
   return chunk;
 }
 
 void ConnectService::CancelOperationLocked(Operation& op,
                                            const std::string& reason) {
+  // Return the memory first: cached frames uncharge the chunk cache and the
+  // admission slot frees for the next waiter.
+  ReleaseFramesLocked(op, op.frames.size());
+  ReleaseSlotLocked(op);
   op.cancel.Cancel(reason);
   if (op.stream) {
     // Tear the operator pipeline down now: resident batches, breaker
@@ -409,11 +628,14 @@ void ConnectService::CloseOperation(const std::string& session_id,
   std::lock_guard<std::mutex> lock(mu_);
   auto it = operations_.find(operation_id);
   if (it != operations_.end() && it->second.session_id == session_id) {
+    ReleaseFramesLocked(it->second, it->second.frames.size());
+    ReleaseSlotLocked(it->second);
     operations_.erase(it);
   }
 }
 
 Status ConnectService::CloseSession(const std::string& session_id) {
+  MemoryGovernor* governor = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = sessions_.find(session_id);
@@ -432,17 +654,21 @@ Status ConnectService::CloseSession(const std::string& session_id) {
         ++op;
       }
     }
+    governor = governor_;
   }
-  // Destroy the session's sandboxes on every host.
+  // Destroy the session's sandboxes on every host and drop the session's
+  // budget node (any residual charge returns to the service budget).
   for (auto& host : cluster_->hosts()) {
     host->dispatcher().ReleaseSession(session_id);
   }
+  if (governor != nullptr) governor->ReleaseSession(session_id);
   return Status::OK();
 }
 
 size_t ConnectService::ExpireIdleSessions(int64_t idle_micros) {
   int64_t now = clock_->NowMicros();
   std::vector<std::string> expired;
+  MemoryGovernor* governor = nullptr;
   {
     // One lock pass tombstones the session AND releases its buffered/lazy
     // operation streams: a FetchChunk racing the expirer either completes
@@ -466,6 +692,7 @@ size_t ConnectService::ExpireIdleSessions(int64_t idle_micros) {
       }
       expired.push_back(id);
     }
+    governor = governor_;
   }
   // Sandbox teardown happens outside mu_ (the dispatcher has its own lock;
   // holding both invites ordering deadlocks). The session is already
@@ -474,6 +701,7 @@ size_t ConnectService::ExpireIdleSessions(int64_t idle_micros) {
     for (auto& host : cluster_->hosts()) {
       host->dispatcher().ReleaseSession(id);
     }
+    if (governor != nullptr) governor->ReleaseSession(id);
   }
   return expired.size();
 }

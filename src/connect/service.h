@@ -1,12 +1,16 @@
 #ifndef LAKEGUARD_CONNECT_SERVICE_H_
 #define LAKEGUARD_CONNECT_SERVICE_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 
 #include "cluster/cluster.h"
+#include "common/memory_budget.h"
 #include "connect/protocol.h"
 #include "engine/engine.h"
 
@@ -33,6 +37,19 @@ inline constexpr size_t kRowsPerChunk = 1024;
 /// FetchChunk (reattach-friendly).
 inline constexpr size_t kInlineChunkLimit = 4;
 
+/// Admission control for ExecutePlan: at most `max_concurrent_operations`
+/// operations hold an execution slot at a time; arrivals beyond that wait in
+/// a FIFO queue bounded by `max_queue_depth`. A waiter that exceeds
+/// `max_queue_wait_micros` (or whose operation deadline fires first) is shed
+/// with a typed retryable error — load shedding composes with the client's
+/// retry/backoff loop instead of letting the server melt down.
+/// `max_concurrent_operations == 0` disables admission control entirely.
+struct ConnectAdmissionConfig {
+  size_t max_concurrent_operations = 0;  // 0 = unlimited
+  size_t max_queue_depth = 4;
+  int64_t max_queue_wait_micros = 5'000'000;
+};
+
 /// Service-level resilience counters: how often the RPC seam and the result
 /// stream failed (injected or real), and how often clients reattached to a
 /// buffered operation instead of re-executing.
@@ -49,6 +66,20 @@ struct ConnectServiceStats {
   uint64_t deadline_ops = 0;     ///< operations armed with a deadline
   uint64_t drain_rejects = 0;    ///< OpenSession rejected while draining
   uint64_t expired_operations = 0;  ///< op streams torn down by the expirer
+  // --- admission control ---
+  uint64_t admitted_operations = 0;  ///< operations granted an execution slot
+  uint64_t queued_operations = 0;    ///< operations that had to wait for one
+  uint64_t shed_operations = 0;      ///< typed retryable rejects (full queue
+                                     ///< or queue-wait timeout)
+  uint64_t queue_timeouts = 0;       ///< sheds caused by queue-wait timeout
+  uint64_t peak_queue_depth = 0;     ///< deepest the wait queue ever got
+  uint64_t queue_wait_micros = 0;    ///< total clock time spent queued
+  // --- chunk cache ---
+  uint64_t cache_backpressure = 0;   ///< fetches refused: cache at capacity
+  uint64_t frames_released = 0;      ///< cached frames evicted/released
+  uint64_t completed_releases = 0;   ///< ops whose frames were freed on the
+                                     ///< last-chunk fetch (not session expiry)
+  uint64_t chunk_cache_peak_bytes = 0;  ///< high-water mark of cached bytes
 };
 
 /// The Spark Connect service of one cluster: authenticates tokens to users,
@@ -122,6 +153,31 @@ class ConnectService {
   Result<SessionInfo> GetSession(const std::string& session_id) const;
   size_t ActiveSessionCount() const;
 
+  /// Installs admission control for ExecutePlan (see ConnectAdmissionConfig).
+  void set_admission_config(ConnectAdmissionConfig config) {
+    std::lock_guard<std::mutex> lock(mu_);
+    admission_ = config;
+  }
+
+  /// Caps the total bytes of cached (cut but un-released) result frames
+  /// across all operations (0 = unlimited). When the cap is hit, fetches
+  /// that would cut *new* frames get a typed retryable `kUnavailable` —
+  /// backpressure the client's retry loop absorbs — and each successful
+  /// fetch releases the frames below the served index (the client fetches
+  /// sequentially, so a served index acknowledges everything before it).
+  void set_chunk_cache_limit_bytes(size_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    chunk_cache_limit_bytes_ = bytes;
+  }
+
+  /// Attaches the memory governor: every ExecutePlan charges its pipeline
+  /// to an operation budget under the session's budget, and closing or
+  /// expiring a session drops its budget node.
+  void set_memory_governor(MemoryGovernor* governor) {
+    std::lock_guard<std::mutex> lock(mu_);
+    governor_ = governor;
+  }
+
   QueryEngine* engine() { return engine_; }
   Cluster* cluster() { return cluster_; }
   /// The service clock — clients charge their retry backoff here so client
@@ -148,6 +204,14 @@ class ConnectService {
     /// linked token on every pull.
     CancellationSource cancel;
     bool cancelled = false;
+    /// Bytes this operation currently holds in the chunk cache.
+    size_t cached_bytes = 0;
+    /// Frames below this index have been released (fetched-and-acked, or
+    /// freed wholesale on the last-chunk fetch). The vector keeps its length
+    /// so chunk indices stay aligned; released slots are empty.
+    size_t released_below = 0;
+    /// True while the operation holds an admission slot.
+    bool holds_slot = false;
 
     bool Done() const { return exhausted && pending_rows == 0; }
   };
@@ -158,8 +222,22 @@ class ConnectService {
   /// Cuts the next frame from `op` (requires mu_ held; the engine pull
   /// happens under the lock — acceptable for this single-process model, a
   /// real server would move production to a worker). Guarantees progress:
-  /// either `op.frames` grows or `op.Done()` becomes true.
-  Status ProduceFrame(Operation& op);
+  /// either `op.frames` grows, `op.Done()` becomes true, or — when the
+  /// chunk cache is at capacity and other operations hold part of it —
+  /// `*cache_full` is set and nothing is pulled.
+  Status ProduceFrame(Operation& op, bool* cache_full);
+
+  /// Waits for an execution slot (FIFO, deadline-aware) or sheds the
+  /// request. `lock` must hold mu_ on entry and holds it again on return.
+  Status AdmitOperation(std::unique_lock<std::mutex>& lock,
+                        const CancellationToken& deadline);
+
+  /// Returns `op`'s admission slot (if held) and wakes a waiter; needs mu_.
+  void ReleaseSlotLocked(Operation& op);
+
+  /// Releases the cached frames of `op` below `upto` (swap-frees the byte
+  /// vectors, keeps the vector length for index alignment); requires mu_.
+  void ReleaseFramesLocked(Operation& op, size_t upto);
 
   ConnectResponse ErrorResponse(const Status& status,
                                 const std::string& operation_id) const;
@@ -175,6 +253,19 @@ class ConnectService {
   std::map<std::string, Operation> operations_;  // operation_id -> op
   ConnectServiceStats service_stats_;
   bool draining_ = false;
+
+  // --- admission control (guarded by mu_) ---
+  ConnectAdmissionConfig admission_;
+  std::condition_variable admission_cv_;
+  std::deque<uint64_t> admission_queue_;  // FIFO of waiting tickets
+  uint64_t next_ticket_ = 0;
+  size_t running_operations_ = 0;
+
+  // --- chunk cache (guarded by mu_) ---
+  size_t chunk_cache_limit_bytes_ = 0;  // 0 = unlimited
+  size_t chunk_cache_bytes_ = 0;
+
+  MemoryGovernor* governor_ = nullptr;
 };
 
 }  // namespace lakeguard

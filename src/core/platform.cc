@@ -29,6 +29,7 @@ LakeguardPlatform::LakeguardPlatform(Options options)
   } else {
     clock_ = RealClock::Instance();
   }
+  memory_governor_ = std::make_unique<MemoryGovernor>(options_.memory_config);
   authority_ = std::make_unique<CredentialAuthority>(clock_);
   store_ = std::make_unique<ObjectStore>(authority_.get());
   catalog_ = std::make_unique<UnityCatalog>(clock_, authority_.get());
@@ -48,6 +49,10 @@ LakeguardPlatform::LakeguardPlatform(Options options)
   serverless_backend_ = std::make_unique<ServerlessBackend>(
       serverless_handle_->engine.get(), store_.get(), catalog_.get(),
       options_.efgac_spill_threshold_bytes, clock_);
+  // The backend's inline result buffer charges a session-scoped budget node
+  // of its own; unlimited configs make this pure accounting.
+  serverless_backend_->set_memory_budget(
+      memory_governor_->SessionBudget("efgac-backend"));
   efgac_remote_ =
       std::make_unique<EfgacRemoteExecutor>(serverless_backend_.get());
   efgac_rewriter_ = std::make_unique<EfgacRewriter>(
@@ -112,6 +117,10 @@ std::unique_ptr<ClusterHandle> LakeguardPlatform::MakeHandle(Cluster* cluster,
   }
   handle->service = std::make_unique<ConnectService>(
       handle->engine.get(), cluster, catalog_.get(), clock_);
+  handle->service->set_memory_governor(memory_governor_.get());
+  handle->service->set_admission_config(options_.admission_config);
+  handle->service->set_chunk_cache_limit_bytes(
+      options_.chunk_cache_limit_bytes);
   for (const auto& [token, user] : tokens_) {
     handle->service->RegisterUserToken(token, user);
   }

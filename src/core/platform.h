@@ -40,6 +40,15 @@ class LakeguardPlatform {
     QueryEngineConfig engine_config;
     GatewayConfig gateway_config;
     size_t efgac_spill_threshold_bytes = 256 * 1024;
+    /// Memory governance: hierarchical service/session/operation budgets.
+    /// All-zero (the default) keeps every node unlimited — pure accounting,
+    /// zero behaviour change.
+    MemoryGovernorConfig memory_config;
+    /// Admission control for every ConnectService of the platform. The
+    /// default (max_concurrent_operations = 0) disables it.
+    ConnectAdmissionConfig admission_config;
+    /// Byte cap on each ConnectService's cached result frames (0 = off).
+    size_t chunk_cache_limit_bytes = 0;
   };
 
   LakeguardPlatform();
@@ -87,6 +96,10 @@ class LakeguardPlatform {
   ExtensionRegistry& extensions() { return extensions_; }
 
   // -- Infrastructure accessors -------------------------------------------------
+  /// The platform-wide memory governor (service → session → operation
+  /// budget hierarchy). Always present; unlimited unless Options configured
+  /// limits.
+  MemoryGovernor& memory_governor() { return *memory_governor_; }
   Clock* clock() { return clock_; }
   SimulatedClock* simulated_clock() { return simulated_clock_.get(); }
   CredentialAuthority& authority() { return *authority_; }
@@ -102,6 +115,7 @@ class LakeguardPlatform {
   Options options_;
   std::unique_ptr<SimulatedClock> simulated_clock_;
   Clock* clock_;
+  std::unique_ptr<MemoryGovernor> memory_governor_;
   std::unique_ptr<CredentialAuthority> authority_;
   std::unique_ptr<ObjectStore> store_;
   std::unique_ptr<UnityCatalog> catalog_;

@@ -128,6 +128,10 @@ Result<ServerlessBackend::ProducedResult> ServerlessBackend::ProduceOnce(
     return Status::OK();
   };
 
+  // The inline result buffer is charged against the backend's budget; a
+  // refusal flips to spill mode early, capping the produce-phase footprint
+  // at whatever the governor granted instead of the byte threshold.
+  MemoryReservation reservation(memory_budget_);
   auto produce = [&]() -> Status {
     while (true) {
       // Checked per pull on top of the pipeline's own check: bounds abort
@@ -140,9 +144,15 @@ Result<ServerlessBackend::ProducedResult> ServerlessBackend::ProduceOnce(
         LG_RETURN_IF_ERROR(spill_batch(*batch));
         continue;
       }
+      bool budget_refused = false;
+      if (memory_budget_ != nullptr &&
+          !reservation.Grow(batch->ByteSize()).ok()) {
+        budget_refused = true;
+        ++stats_.budget_spills;
+      }
       buffered_bytes += batch->ByteSize();
       LG_RETURN_IF_ERROR(buffer.AppendBatch(std::move(*batch)));
-      if (buffered_bytes > spill_threshold_bytes_) {
+      if (buffered_bytes > spill_threshold_bytes_ || budget_refused) {
         // Crossed the inline threshold: persist intermediate data in cloud
         // storage (parallel on a real deployment) and have the origin side
         // read it back part by part. From here on each batch goes straight
@@ -154,6 +164,7 @@ Result<ServerlessBackend::ProducedResult> ServerlessBackend::ProduceOnce(
           LG_RETURN_IF_ERROR(spill_batch(b));
         }
         buffer = Table(out.schema);
+        reservation.ReleaseAll();  // the buffer now lives in cloud storage
       }
     }
     return Status::OK();

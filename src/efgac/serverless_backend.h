@@ -5,6 +5,7 @@
 #include <string>
 
 #include "cluster/cluster.h"
+#include "common/memory_budget.h"
 #include "common/retry.h"
 #include "engine/engine.h"
 
@@ -25,6 +26,8 @@ struct EfgacStats {
   uint64_t remote_failures = 0;  ///< remote calls that failed terminally
   uint64_t spill_parts_deleted = 0;  ///< spill objects removed (consumed
                                      ///< per-pull or swept on early teardown)
+  uint64_t budget_spills = 0;  ///< spills forced by a memory-budget refusal
+                               ///< (before the byte threshold was crossed)
 };
 
 /// The Serverless Spark endpoint that executes eFGAC sub-queries (§3.4).
@@ -86,6 +89,13 @@ class ServerlessBackend {
   /// Replaces the remote-call retry policy (tests tighten deadlines here).
   void set_retry_policy(RetryPolicy policy) { retry_policy_ = policy; }
 
+  /// Attaches a memory budget for the produce-phase result buffer. When a
+  /// reservation is refused, the backend switches to spill mode early —
+  /// before the byte threshold — instead of growing the buffer.
+  void set_memory_budget(std::shared_ptr<MemoryBudget> budget) {
+    memory_budget_ = std::move(budget);
+  }
+
  private:
   friend class SpillPartIterator;
 
@@ -109,6 +119,7 @@ class ServerlessBackend {
   size_t spill_threshold_bytes_;
   Clock* clock_;
   RetryPolicy retry_policy_;
+  std::shared_ptr<MemoryBudget> memory_budget_;
   EfgacStats stats_;
 };
 

@@ -8,6 +8,7 @@
 #include "catalog/securable.h"
 #include "catalog/unity_catalog.h"
 #include "common/cancellation.h"
+#include "common/memory_budget.h"
 #include "plan/plan.h"
 
 namespace lakeguard {
@@ -25,6 +26,10 @@ struct ExecutionContext {
   /// CancelOperation or a per-operation deadline aborts the query within one
   /// batch. The default token is never cancelled (no lifecycle owner).
   CancellationToken cancel;
+  /// Operation-level memory budget (child of the session's budget in the
+  /// MemoryGovernor hierarchy). Null means unbudgeted: the executor still
+  /// tracks bytes in its stats but never refuses or spills on budget.
+  std::shared_ptr<MemoryBudget> memory;
 };
 
 /// Output of the analyzer: the fully resolved plan plus the side state the

@@ -71,9 +71,30 @@ Result<QueryResultStreamPtr> QueryEngine::ExecutePlanStreaming(
   stream->cancel_source_ = CancellationSource::LinkedTo(context.cancel);
   ExecutionContext exec_context = context;
   exec_context.cancel = stream->cancel_source_.token();
+  // Degradation ladder, step 1: under session-level memory pressure the new
+  // query starts with a smaller batch_size (halved at 50% usage, halved
+  // again at 75%, floor 64 rows) before any breaker has to spill or the
+  // service sheds load. Pressure is read from the *session* budget — the
+  // operation's own budget is empty at this point by construction.
+  ExecutionOptions exec_options = config_.exec;
+  uint64_t shrinks = 0;
+  if (context.memory && context.memory->parent() &&
+      context.memory->parent()->limit_bytes() > 0) {
+    const double pressure = context.memory->parent()->UsageFraction();
+    constexpr size_t kMinBatchSize = 64;
+    if (pressure >= 0.5 && exec_options.batch_size / 2 >= kMinBatchSize) {
+      exec_options.batch_size /= 2;
+      ++shrinks;
+    }
+    if (pressure >= 0.75 && exec_options.batch_size / 2 >= kMinBatchSize) {
+      exec_options.batch_size /= 2;
+      ++shrinks;
+    }
+  }
   stream->executor_ = std::make_unique<Executor>(
-      services_, config_.exec, std::move(exec_context),
+      services_, exec_options, std::move(exec_context),
       stream->analysis_.get());
+  if (shrinks > 0) stream->executor_->NoteBatchShrinks(shrinks);
   LG_ASSIGN_OR_RETURN(stream->iterator_,
                       stream->executor_->Open(stream->optimized_));
   stream->schema_ = stream->iterator_->schema();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "columnar/spill.h"
 #include "common/strings.h"
 #include "engine/analyzer.h"
 #include "expr/evaluator.h"
@@ -76,6 +77,83 @@ struct AggState {
   Value max_value;
   bool has_minmax = false;
 };
+
+/// Folds one input value into an aggregate accumulator. Shared between the
+/// in-memory hash aggregation and the spilled streaming group-merge so both
+/// paths accumulate identically (same order, same double summation).
+void UpdateAggState(AggState& state, const Value& v) {
+  ++state.rows;
+  if (v.is_null()) return;
+  ++state.count;
+  if (v.is_double()) {
+    state.saw_double = true;
+    state.double_sum += v.double_value();
+  } else if (v.is_int()) {
+    state.int_sum += v.int_value();
+    state.double_sum += static_cast<double>(v.int_value());
+  } else if (v.is_bool()) {
+    state.int_sum += v.bool_value() ? 1 : 0;
+    state.double_sum += v.bool_value() ? 1 : 0;
+  }
+  if (!state.has_minmax) {
+    state.min_value = v;
+    state.max_value = v;
+    state.has_minmax = true;
+  } else {
+    if (v.Compare(state.min_value) < 0) state.min_value = v;
+    if (v.Compare(state.max_value) > 0) state.max_value = v;
+  }
+}
+
+Result<Value> FinalizeAggValue(const std::string& func,
+                               const AggState& state) {
+  if (func == "COUNT") return Value::Int(state.count);
+  if (func == "SUM") {
+    if (state.count == 0) return Value::Null();
+    return state.saw_double ? Value::Double(state.double_sum)
+                            : Value::Int(state.int_sum);
+  }
+  if (func == "AVG") {
+    return state.count == 0
+               ? Value::Null()
+               : Value::Double(state.double_sum /
+                               static_cast<double>(state.count));
+  }
+  if (func == "MIN") {
+    return state.has_minmax ? state.min_value : Value::Null();
+  }
+  if (func == "MAX") {
+    return state.has_minmax ? state.max_value : Value::Null();
+  }
+  return Status::InvalidArgument("unknown aggregate " + func);
+}
+
+/// Stable sort permutation of `rows` rows by the evaluated key columns.
+std::vector<int64_t> SortedIndices(const std::vector<Column>& key_cols,
+                                   const std::vector<SortKey>& keys,
+                                   size_t rows) {
+  std::vector<int64_t> indices(rows);
+  for (size_t i = 0; i < rows; ++i) indices[i] = static_cast<int64_t>(i);
+  std::stable_sort(indices.begin(), indices.end(),
+                   [&](int64_t a, int64_t b) {
+                     for (size_t k = 0; k < key_cols.size(); ++k) {
+                       Value va = key_cols[k].GetValue(static_cast<size_t>(a));
+                       Value vb = key_cols[k].GetValue(static_cast<size_t>(b));
+                       int c = va.Compare(vb);
+                       if (c != 0) return keys[k].ascending ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
+  return indices;
+}
+
+bool KeysEqual(const std::vector<Value>& a, const std::vector<Value>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].Compare(b[i]) != 0) return false;
+  }
+  return true;
+}
 
 /// Collects distinct UdfCall subtrees of `exprs` (structural dedup).
 std::vector<std::shared_ptr<const UdfCallExpr>> CollectUdfCalls(
@@ -162,7 +240,10 @@ class ExecIterators {
           manifest_(std::move(manifest)) {}
 
     ~ScanIterator() override {
-      if (has_part_) exec_->stats_.SubResident(1);
+      if (has_part_) {
+        exec_->stats_.SubResident(1);
+        exec_->ReleaseBytes(part_bytes_);
+      }
     }
 
     const Schema& schema() const override { return manifest_.schema; }
@@ -183,6 +264,8 @@ class ExecIterators {
             part_ = RecordBatch();
             has_part_ = false;
             exec_->stats_.SubResident(1);
+            exec_->ReleaseBytes(part_bytes_);
+            part_bytes_ = 0;
           }
           ++exec_->stats_.batches_scanned;
           exec_->stats_.rows_scanned += out.num_rows();
@@ -196,6 +279,10 @@ class ExecIterators {
         offset_ = 0;
         has_part_ = true;
         exec_->stats_.AddResident(1);
+        // The loaded part is the scan's resident working set: forced (the
+        // scan must hold one part to make progress), released on advance.
+        part_bytes_ = part_.ByteSize();
+        exec_->ChargeBytesForced(part_bytes_);
       }
     }
 
@@ -208,6 +295,7 @@ class ExecIterators {
     RecordBatch part_;
     size_t offset_ = 0;
     bool has_part_ = false;
+    uint64_t part_bytes_ = 0;
   };
 
   /// Streaming batch-in/batch-out stage (Project, Filter, masking, the UDF
@@ -236,8 +324,11 @@ class ExecIterators {
                             child_->Next());
         if (!input.has_value()) return std::optional<RecordBatch>();
         exec_->stats_.AddResident(1);
+        const uint64_t in_bytes = input->ByteSize();
+        exec_->ChargeBytesForced(in_bytes);
         Result<std::optional<RecordBatch>> out = fn_(std::move(*input));
         exec_->stats_.SubResident(1);
+        exec_->ReleaseBytes(in_bytes);
         LG_RETURN_IF_ERROR(out.status());
         if (!out->has_value()) continue;
         exec_->stats_.OnEmit(name_);
@@ -253,34 +344,284 @@ class ExecIterators {
     Fn fn_;
   };
 
-  /// Explicit pipeline breaker: on first pull, runs `produce` (which drains
-  /// the child pipeline), then streams the materialized result in bounded
-  /// batches. The materialized batches stay resident until the iterator is
-  /// dropped — that is the breaker's O(result) cost, and the stats make it
-  /// visible.
-  class MaterializingIterator : public BatchIterator {
+  /// A pipeline breaker's collected child: either a fully buffered table
+  /// (budget permitting) or a set of sorted spill runs on local disk. The
+  /// SpillDir owns the run files and removes them on destruction.
+  struct CollectedInput {
+    Schema schema{std::vector<FieldDef>{}};
+    bool spilled = false;
+    Table table{Schema(std::vector<FieldDef>{})};  // valid when !spilled
+    uint64_t charged = 0;  // bytes charged for the buffered table
+    std::vector<spill::SpillRun> runs;
+    std::unique_ptr<spill::SpillDir> dir;
+  };
+
+  /// Drains `child` under the operation budget. Each buffered batch is
+  /// charged via TryReserve; a refusal flushes the buffer as one run —
+  /// sorted by `keys` when given (stable) so runs can be merge-read — and
+  /// keeps going. The one in-flight batch is force-charged if even the
+  /// emptied buffer cannot fit it ("+1 batch slack").
+  static Result<CollectedInput> CollectWithSpill(
+      Executor* exec, BatchIterator* child,
+      const std::vector<SortKey>* keys) {
+    CollectedInput out;
+    out.schema = child->schema();
+    out.table = Table(out.schema);
+    uint64_t buffered = 0;
+
+    auto flush_to_run = [&]() -> Status {
+      if (out.table.num_rows() == 0) return Status::OK();
+      LG_ASSIGN_OR_RETURN(RecordBatch combined, out.table.Combine());
+      RecordBatch sorted = std::move(combined);
+      if (keys != nullptr && !keys->empty() && sorted.num_rows() > 0) {
+        std::vector<Column> key_cols;
+        for (const SortKey& k : *keys) {
+          LG_ASSIGN_OR_RETURN(std::vector<Column> c,
+                              exec->EvaluateWithUdfs({k.expr}, sorted));
+          key_cols.push_back(std::move(c[0]));
+        }
+        sorted = sorted.Take(SortedIndices(key_cols, *keys,
+                                           sorted.num_rows()));
+      }
+      const size_t bs = exec->options_.batch_size == 0
+                            ? sorted.num_rows()
+                            : exec->options_.batch_size;
+      std::vector<RecordBatch> slices;
+      for (size_t off = 0; off < sorted.num_rows(); off += bs) {
+        slices.push_back(
+            sorted.Slice(off, std::min(bs, sorted.num_rows() - off)));
+      }
+      if (!out.dir) {
+        LG_ASSIGN_OR_RETURN(out.dir,
+                            spill::SpillDir::Create(exec->options_.spill_dir));
+      }
+      LG_ASSIGN_OR_RETURN(spill::SpillRun run, out.dir->WriteRun(slices));
+      ++exec->stats_.spill_runs;
+      exec->stats_.spill_bytes += run.bytes;
+      out.runs.push_back(std::move(run));
+      out.table = Table(out.schema);
+      exec->ReleaseBytes(buffered);
+      buffered = 0;
+      return Status::OK();
+    };
+
+    Status collect = [&]() -> Status {
+      while (true) {
+        LG_RETURN_IF_ERROR(exec->CheckCancel());
+        LG_ASSIGN_OR_RETURN(std::optional<RecordBatch> batch, child->Next());
+        if (!batch.has_value()) break;
+        if (batch->num_rows() == 0) continue;
+        const uint64_t bytes = batch->ByteSize();
+        Status charge = exec->TryChargeBytes(bytes);
+        if (!charge.ok()) {
+          if (!exec->options_.enable_spill) return charge;
+          // Ladder step 2: degrade to spilled execution instead of failing.
+          LG_RETURN_IF_ERROR(flush_to_run());
+          if (!exec->TryChargeBytes(bytes).ok()) {
+            exec->ChargeBytesForced(bytes);
+          }
+        }
+        buffered += bytes;
+        LG_RETURN_IF_ERROR(out.table.AppendBatch(std::move(*batch)));
+      }
+      if (!out.runs.empty()) {
+        LG_RETURN_IF_ERROR(flush_to_run());
+        out.spilled = true;
+        out.table = Table(out.schema);
+      } else {
+        out.charged = buffered;
+        buffered = 0;
+      }
+      return Status::OK();
+    }();
+    if (!collect.ok()) {
+      exec->ReleaseBytes(buffered);
+      return collect;
+    }
+    return out;
+  }
+
+  /// K-way merge over sorted spill runs. Holds one loaded batch (plus its
+  /// evaluated key columns) per run — the merge working set is K batches,
+  /// charged forced. Ties break on the lowest run index; runs are written
+  /// from consecutive input prefixes and sorted stably, so the merge output
+  /// equals a global stable sort of the input. Exhausted runs are deleted
+  /// eagerly (best effort — the SpillDir sweep reclaims stragglers).
+  class MergeIterator : public BatchIterator {
    public:
-    MaterializingIterator(Executor* exec, const char* name, Schema schema,
-                          std::function<Result<Table>()> produce)
+    /// `name` labels emitted batches in operator stats; nullptr when the
+    /// merge feeds a downstream wrapper that does its own accounting.
+    MergeIterator(Executor* exec, const char* name,
+                  std::vector<SortKey> keys, CollectedInput input)
         : exec_(exec),
           name_(name),
-          schema_(std::move(schema)),
-          produce_(std::move(produce)) {}
+          schema_(input.schema),
+          keys_(std::move(keys)),
+          runs_(std::move(input.runs)),
+          dir_(std::move(input.dir)) {}
 
-    ~MaterializingIterator() override { exec_->stats_.SubResident(resident_); }
+    ~MergeIterator() override {
+      for (Source& s : sources_) ReleaseSource(s);
+    }
 
     const Schema& schema() const override { return schema_; }
 
     Result<std::optional<RecordBatch>> Next() override {
       LG_RETURN_IF_ERROR(exec_->CheckCancel());
-      if (!inner_) {
-        LG_ASSIGN_OR_RETURN(Table table, produce_());
-        resident_ = ResidentProxy(table.num_rows(), exec_->options_.batch_size);
-        exec_->stats_.AddResident(resident_);
-        inner_ = MakeTableIterator(std::move(table),
-                                   exec_->options_.batch_size);
+      if (!initialized_) {
+        LG_RETURN_IF_ERROR(Init());
       }
-      LG_ASSIGN_OR_RETURN(std::optional<RecordBatch> batch, inner_->Next());
+      const size_t bs = std::max<size_t>(1, exec_->options_.batch_size);
+      TableBuilder builder(schema_);
+      size_t emitted = 0;
+      while (emitted < bs) {
+        int best = -1;
+        for (size_t s = 0; s < sources_.size(); ++s) {
+          if (!sources_[s].loaded) continue;
+          if (best < 0 || Less(sources_[s], sources_[static_cast<size_t>(
+                                                best)])) {
+            best = static_cast<int>(s);
+          }
+        }
+        if (best < 0) break;
+        Source& src = sources_[static_cast<size_t>(best)];
+        LG_RETURN_IF_ERROR(builder.AppendRow(src.batch.Row(src.row)));
+        ++emitted;
+        LG_RETURN_IF_ERROR(Advance(src));
+      }
+      if (emitted == 0) return std::optional<RecordBatch>();
+      Table t = builder.Build();
+      LG_ASSIGN_OR_RETURN(RecordBatch out, t.Combine());
+      if (name_ != nullptr) exec_->stats_.OnEmit(name_);
+      return std::optional<RecordBatch>(std::move(out));
+    }
+
+   private:
+    struct Source {
+      spill::SpillRunReader reader;
+      size_t run_index = 0;
+      RecordBatch batch;
+      std::vector<Column> key_cols;
+      size_t row = 0;
+      bool loaded = false;
+      uint64_t charged = 0;
+    };
+
+    Status Init() {
+      sources_.reserve(runs_.size());
+      for (size_t r = 0; r < runs_.size(); ++r) {
+        LG_ASSIGN_OR_RETURN(spill::SpillRunReader reader,
+                            spill::SpillRunReader::Open(runs_[r]));
+        Source src{std::move(reader), r, RecordBatch(), {}, 0, false, 0};
+        LG_RETURN_IF_ERROR(LoadNextBatch(src));
+        sources_.push_back(std::move(src));
+      }
+      initialized_ = true;
+      return Status::OK();
+    }
+
+    Status LoadNextBatch(Source& src) {
+      ReleaseSource(src);
+      while (true) {
+        LG_ASSIGN_OR_RETURN(std::optional<RecordBatch> batch,
+                            src.reader.Next());
+        if (!batch.has_value()) {
+          src.loaded = false;
+          if (dir_) {
+            // Consumed: drop the file now rather than at teardown.
+            (void)dir_->DeleteRun(runs_[src.run_index]);
+          }
+          return Status::OK();
+        }
+        if (batch->num_rows() == 0) continue;
+        src.batch = std::move(*batch);
+        src.row = 0;
+        src.loaded = true;
+        src.charged = src.batch.ByteSize();
+        exec_->ChargeBytesForced(src.charged);
+        exec_->stats_.AddResident(1);
+        src.key_cols.clear();
+        for (const SortKey& k : keys_) {
+          LG_ASSIGN_OR_RETURN(std::vector<Column> c,
+                              exec_->EvaluateWithUdfs({k.expr}, src.batch));
+          src.key_cols.push_back(std::move(c[0]));
+        }
+        return Status::OK();
+      }
+    }
+
+    void ReleaseSource(Source& src) {
+      if (!src.loaded) return;
+      exec_->ReleaseBytes(src.charged);
+      exec_->stats_.SubResident(1);
+      src.charged = 0;
+      src.loaded = false;
+    }
+
+    Status Advance(Source& src) {
+      ++src.row;
+      if (src.row >= src.batch.num_rows()) {
+        LG_RETURN_IF_ERROR(LoadNextBatch(src));
+      }
+      return Status::OK();
+    }
+
+    bool Less(const Source& a, const Source& b) const {
+      for (size_t k = 0; k < keys_.size(); ++k) {
+        Value va = a.key_cols[k].GetValue(a.row);
+        Value vb = b.key_cols[k].GetValue(b.row);
+        int c = va.Compare(vb);
+        if (c != 0) return keys_[k].ascending ? c < 0 : c > 0;
+      }
+      return a.run_index < b.run_index;  // stable: earlier input first
+    }
+
+    Executor* exec_;
+    const char* name_;
+    Schema schema_;
+    std::vector<SortKey> keys_;
+    std::vector<spill::SpillRun> runs_;
+    std::unique_ptr<spill::SpillDir> dir_;
+    std::vector<Source> sources_;
+    bool initialized_ = false;
+  };
+
+  /// Explicit pipeline breaker: on first pull, runs `produce` (which drains
+  /// the child pipeline under the budget) and then streams from whatever
+  /// inner iterator it built — a bounded table replay when the input fit in
+  /// budget, a spill merge when it did not. Byte and resident charges for a
+  /// materialized result are owned here and released when the breaker is
+  /// dropped.
+  class BreakerIterator : public BatchIterator {
+   public:
+    struct Inner {
+      BatchIteratorPtr iter;
+      uint64_t charged_bytes = 0;
+      uint64_t resident = 0;
+    };
+    using Producer = std::function<Result<Inner>()>;
+
+    BreakerIterator(Executor* exec, const char* name, Schema schema,
+                    Producer produce)
+        : exec_(exec),
+          name_(name),
+          schema_(std::move(schema)),
+          produce_(std::move(produce)) {}
+
+    ~BreakerIterator() override {
+      exec_->stats_.SubResident(inner_.resident);
+      exec_->ReleaseBytes(inner_.charged_bytes);
+    }
+
+    const Schema& schema() const override { return schema_; }
+
+    Result<std::optional<RecordBatch>> Next() override {
+      LG_RETURN_IF_ERROR(exec_->CheckCancel());
+      if (!inner_.iter) {
+        LG_ASSIGN_OR_RETURN(inner_, produce_());
+      }
+      LG_ASSIGN_OR_RETURN(std::optional<RecordBatch> batch,
+                          inner_.iter->Next());
       if (batch.has_value()) exec_->stats_.OnEmit(name_);
       return batch;
     }
@@ -289,9 +630,139 @@ class ExecIterators {
     Executor* exec_;
     const char* name_;
     Schema schema_;
-    std::function<Result<Table>()> produce_;
-    BatchIteratorPtr inner_;
-    uint64_t resident_ = 0;
+    Producer produce_;
+    Inner inner_;
+  };
+
+  /// Streaming group-by over a key-sorted merge: finalizes a group when its
+  /// key changes, so only the open group's accumulators are resident. The
+  /// merge is a global stable sort on the group key with the same comparator
+  /// as the in-memory std::map aggregation — output group order and
+  /// accumulation order within a group both match the in-memory run.
+  class GroupMergeIterator : public BatchIterator {
+   public:
+    GroupMergeIterator(Executor* exec, const AggregateNode& node,
+                       Schema out_schema, BatchIteratorPtr child)
+        : exec_(exec),
+          node_(node),
+          schema_(std::move(out_schema)),
+          child_(std::move(child)) {}
+
+    const Schema& schema() const override { return schema_; }
+
+    Result<std::optional<RecordBatch>> Next() override {
+      LG_RETURN_IF_ERROR(exec_->CheckCancel());
+      if (done_) return std::optional<RecordBatch>();
+      if (!prepared_) {
+        LG_RETURN_IF_ERROR(Prepare());
+      }
+      const size_t bs = std::max<size_t>(1, exec_->options_.batch_size);
+      TableBuilder builder(schema_);
+      size_t emitted = 0;
+      while (emitted < bs && !done_) {
+        if (!have_batch_) {
+          LG_ASSIGN_OR_RETURN(std::optional<RecordBatch> batch,
+                              child_->Next());
+          if (!batch.has_value()) {
+            if (open_group_) {
+              LG_RETURN_IF_ERROR(AppendGroup(builder));
+              ++emitted;
+              open_group_ = false;
+            }
+            done_ = true;
+            break;
+          }
+          if (batch->num_rows() == 0) continue;
+          batch_ = std::move(*batch);
+          LG_RETURN_IF_ERROR(EvalBatchColumns());
+          row_ = 0;
+          have_batch_ = true;
+        }
+        while (row_ < batch_.num_rows() && emitted < bs) {
+          std::vector<Value> key;
+          key.reserve(group_cols_.size());
+          for (const Column& c : group_cols_) key.push_back(c.GetValue(row_));
+          if (open_group_ && !KeysEqual(key, key_)) {
+            LG_RETURN_IF_ERROR(AppendGroup(builder));
+            ++emitted;
+            open_group_ = false;
+            continue;  // re-examine this row (emitted may be at the cap now)
+          }
+          if (!open_group_) {
+            key_ = std::move(key);
+            states_.assign(agg_specs_.size(), AggState());
+            open_group_ = true;
+          }
+          for (size_t s = 0; s < agg_specs_.size(); ++s) {
+            UpdateAggState(states_[s], agg_cols_[s].GetValue(row_));
+          }
+          ++row_;
+        }
+        if (row_ >= batch_.num_rows()) have_batch_ = false;
+      }
+      if (emitted == 0) return std::optional<RecordBatch>();
+      Table t = builder.Build();
+      // No OnEmit here: the wrapping BreakerIterator counts the emission.
+      LG_ASSIGN_OR_RETURN(RecordBatch out, t.Combine());
+      return std::optional<RecordBatch>(std::move(out));
+    }
+
+   private:
+    Status Prepare() {
+      for (const ExprPtr& e : node_.agg_exprs()) {
+        const auto& call = static_cast<const FunctionCallExpr&>(*e);
+        if (call.args().empty()) {
+          return Status::InvalidArgument("aggregate " +
+                                         ToUpperAscii(call.name()) +
+                                         " needs an argument");
+        }
+        agg_specs_.push_back({ToUpperAscii(call.name()), call.args()[0]});
+      }
+      prepared_ = true;
+      return Status::OK();
+    }
+
+    Status EvalBatchColumns() {
+      group_cols_.clear();
+      for (const ExprPtr& e : node_.group_exprs()) {
+        LG_ASSIGN_OR_RETURN(std::vector<Column> c,
+                            exec_->EvaluateWithUdfs({e}, batch_));
+        group_cols_.push_back(std::move(c[0]));
+      }
+      agg_cols_.clear();
+      for (const auto& [func, arg] : agg_specs_) {
+        LG_ASSIGN_OR_RETURN(std::vector<Column> c,
+                            exec_->EvaluateWithUdfs({arg}, batch_));
+        agg_cols_.push_back(std::move(c[0]));
+      }
+      return Status::OK();
+    }
+
+    Status AppendGroup(TableBuilder& builder) {
+      std::vector<Value> row = key_;
+      for (size_t s = 0; s < agg_specs_.size(); ++s) {
+        LG_ASSIGN_OR_RETURN(Value v,
+                            FinalizeAggValue(agg_specs_[s].first, states_[s]));
+        row.push_back(std::move(v));
+      }
+      return builder.AppendRow(row);
+    }
+
+    Executor* exec_;
+    const AggregateNode& node_;
+    Schema schema_;
+    BatchIteratorPtr child_;
+    std::vector<std::pair<std::string, ExprPtr>> agg_specs_;
+    bool prepared_ = false;
+    RecordBatch batch_;
+    std::vector<Column> group_cols_;
+    std::vector<Column> agg_cols_;
+    size_t row_ = 0;
+    bool have_batch_ = false;
+    std::vector<Value> key_;
+    std::vector<AggState> states_;
+    bool open_group_ = false;
+    bool done_ = false;
   };
 
   /// Join: the right (build) side is a pipeline breaker — collected once,
@@ -307,7 +778,10 @@ class ExecIterators {
           right_(std::move(right)),
           schema_(std::move(out_schema)) {}
 
-    ~JoinIterator() override { exec_->stats_.SubResident(resident_); }
+    ~JoinIterator() override {
+      exec_->stats_.SubResident(resident_);
+      exec_->ReleaseBytes(build_charged_);
+    }
 
     const Schema& schema() const override { return schema_; }
 
@@ -321,8 +795,12 @@ class ExecIterators {
                             left_->Next());
         if (!lbatch.has_value()) return std::optional<RecordBatch>();
         exec_->stats_.AddResident(1);
-        Result<RecordBatch> out = ProbeBatch(*lbatch);
+        const uint64_t probe_bytes = lbatch->ByteSize();
+        exec_->ChargeBytesForced(probe_bytes);
+        Result<RecordBatch> out = spilled_build_ ? ProbeBatchSpilled(*lbatch)
+                                                 : ProbeBatch(*lbatch);
         exec_->stats_.SubResident(1);
+        exec_->ReleaseBytes(probe_bytes);
         LG_RETURN_IF_ERROR(out.status());
         if (out->num_rows() == 0) continue;
         exec_->stats_.OnEmit("join");
@@ -332,33 +810,200 @@ class ExecIterators {
 
    private:
     Status Build() {
-      LG_ASSIGN_OR_RETURN(Table right_table, DrainIterator(right_.get()));
-      LG_ASSIGN_OR_RETURN(rbatch_, right_table.Combine());
+      // The build side is collected under the budget; past it, the build
+      // input lands in insertion-ordered spill runs and every probe batch
+      // block-scans them from disk instead of holding the table resident.
+      LG_ASSIGN_OR_RETURN(CollectedInput in,
+                          CollectWithSpill(exec_, right_.get(), nullptr));
       right_.reset();  // the upstream pipeline can release its state
-      resident_ = ResidentProxy(rbatch_.num_rows(), exec_->options_.batch_size);
-      exec_->stats_.AddResident(resident_);
-
+      right_schema_ = in.schema;
       const size_t left_fields =
-          schema_.num_fields() - rbatch_.schema().num_fields();
+          schema_.num_fields() - right_schema_.num_fields();
       is_equi_ = node_.condition() != nullptr &&
                  ExtractEquiKeys(node_.condition(), left_fields, &equi_keys_);
-      if (is_equi_) {
-        for (size_t j = 0; j < rbatch_.num_rows(); ++j) {
-          std::vector<Value> key;
-          key.reserve(equi_keys_.size());
-          bool has_null = false;
-          for (auto [li, ri] : equi_keys_) {
-            Value v = rbatch_.column(static_cast<size_t>(ri)).GetValue(j);
-            has_null |= v.is_null();
-            key.push_back(std::move(v));
+
+      if (in.spilled) {
+        spilled_build_ = true;
+        runs_ = std::move(in.runs);
+        dir_ = std::move(in.dir);
+      } else {
+        LG_ASSIGN_OR_RETURN(rbatch_, in.table.Combine());
+        in.table = Table(right_schema_);
+        // Re-charge the combined build batch by its actual byte size
+        // (string heap capacity included) in place of the buffered input.
+        build_charged_ = rbatch_.ByteSize();
+        exec_->ChargeBytesForced(build_charged_);
+        exec_->ReleaseBytes(in.charged);
+        in.charged = 0;
+        resident_ =
+            ResidentProxy(rbatch_.num_rows(), exec_->options_.batch_size);
+        exec_->stats_.AddResident(resident_);
+        if (is_equi_) {
+          for (size_t j = 0; j < rbatch_.num_rows(); ++j) {
+            std::vector<Value> key;
+            key.reserve(equi_keys_.size());
+            bool has_null = false;
+            for (auto [li, ri] : equi_keys_) {
+              Value v = rbatch_.column(static_cast<size_t>(ri)).GetValue(j);
+              has_null |= v.is_null();
+              key.push_back(std::move(v));
+            }
+            if (has_null) continue;  // SQL: NULL keys never match
+            hash_table_[std::move(key)].push_back(static_cast<int64_t>(j));
           }
-          if (has_null) continue;  // SQL: NULL keys never match
-          hash_table_[std::move(key)].push_back(static_cast<int64_t>(j));
         }
       }
       ctx_ = exec_->MakeEvalContext();
       built_ = true;
       return Status::OK();
+    }
+
+    /// Block-nested-loop probe against the spilled build side: streams the
+    /// runs block by block, buffering only this probe batch's matched build
+    /// rows. Match pairs are re-ordered to (probe row asc, build row asc) —
+    /// runs hold consecutive build prefixes, so block order IS global build
+    /// order and the output is row-identical to the in-memory join.
+    Result<RecordBatch> ProbeBatchSpilled(const RecordBatch& lbatch) {
+      const size_t ln = lbatch.num_rows();
+      TableBuilder matched(right_schema_);
+      size_t matched_rows = 0;
+      // (probe row, index into `matched`); -1 never appears here — left-join
+      // padding is added after the scan from the per-row matched flags.
+      std::vector<std::pair<int64_t, int64_t>> pairs;
+
+      // Probe keys are computed once per probe batch.
+      std::vector<std::vector<Value>> probe_keys(is_equi_ ? ln : 0);
+      std::vector<uint8_t> probe_key_null(is_equi_ ? ln : 0, 0);
+      if (is_equi_) {
+        for (size_t i = 0; i < ln; ++i) {
+          probe_keys[i].reserve(equi_keys_.size());
+          for (auto [li, ri] : equi_keys_) {
+            Value v = lbatch.column(static_cast<size_t>(li)).GetValue(i);
+            probe_key_null[i] |= v.is_null() ? 1 : 0;
+            probe_keys[i].push_back(std::move(v));
+          }
+        }
+      }
+
+      for (const spill::SpillRun& run : runs_) {
+        LG_ASSIGN_OR_RETURN(spill::SpillRunReader reader,
+                            spill::SpillRunReader::Open(run));
+        while (true) {
+          LG_RETURN_IF_ERROR(exec_->CheckCancel());
+          LG_ASSIGN_OR_RETURN(std::optional<RecordBatch> block_opt,
+                              reader.Next(nullptr));
+          if (!block_opt.has_value()) break;
+          const RecordBatch& block = *block_opt;
+          const size_t rn = block.num_rows();
+          if (rn == 0) continue;
+          if (is_equi_) {
+            std::map<std::vector<Value>, std::vector<int64_t>,
+                     ValueVectorLess>
+                block_table;
+            for (size_t j = 0; j < rn; ++j) {
+              std::vector<Value> key;
+              key.reserve(equi_keys_.size());
+              bool has_null = false;
+              for (auto [li, ri] : equi_keys_) {
+                Value v = block.column(static_cast<size_t>(ri)).GetValue(j);
+                has_null |= v.is_null();
+                key.push_back(std::move(v));
+              }
+              if (has_null) continue;
+              block_table[std::move(key)].push_back(static_cast<int64_t>(j));
+            }
+            for (size_t i = 0; i < ln; ++i) {
+              if (probe_key_null[i]) continue;
+              auto it = block_table.find(probe_keys[i]);
+              if (it == block_table.end()) continue;
+              for (int64_t j : it->second) {
+                LG_RETURN_IF_ERROR(
+                    matched.AppendRow(block.Row(static_cast<size_t>(j))));
+                pairs.emplace_back(static_cast<int64_t>(i),
+                                   static_cast<int64_t>(matched_rows++));
+              }
+            }
+          } else {
+            for (size_t i = 0; i < ln; ++i) {
+              std::vector<uint8_t> mask(rn, 1);
+              if (node_.condition()) {
+                std::vector<Column> combined_cols;
+                combined_cols.reserve(lbatch.num_columns() +
+                                      block.num_columns());
+                for (size_t c = 0; c < lbatch.num_columns(); ++c) {
+                  ColumnBuilder b(lbatch.column(c).kind());
+                  b.Reserve(rn);
+                  Value v = lbatch.column(c).GetValue(i);
+                  for (size_t j = 0; j < rn; ++j) {
+                    LG_RETURN_IF_ERROR(b.AppendValue(v));
+                  }
+                  combined_cols.push_back(b.Finish());
+                }
+                for (size_t c = 0; c < block.num_columns(); ++c) {
+                  combined_cols.push_back(block.column(c));
+                }
+                RecordBatch combined(schema_, std::move(combined_cols));
+                LG_ASSIGN_OR_RETURN(
+                    mask,
+                    EvaluatePredicateMask(node_.condition(), combined, ctx_));
+              }
+              for (size_t j = 0; j < rn; ++j) {
+                if (!mask[j]) continue;
+                LG_RETURN_IF_ERROR(matched.AppendRow(block.Row(j)));
+                pairs.emplace_back(static_cast<int64_t>(i),
+                                   static_cast<int64_t>(matched_rows++));
+              }
+            }
+          }
+        }
+      }
+
+      // Pairs were appended block-major: stable sort by probe row leaves,
+      // per probe row, global build order — identical to the in-memory path.
+      std::stable_sort(pairs.begin(), pairs.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                       });
+      Table mt = matched.Build();
+      LG_ASSIGN_OR_RETURN(RecordBatch mbatch, mt.Combine());
+
+      std::vector<int64_t> left_indices;
+      std::vector<int64_t> buffer_indices;  // -1 = null-padded (left join)
+      size_t p = 0;
+      for (size_t i = 0; i < ln; ++i) {
+        bool any = false;
+        while (p < pairs.size() &&
+               pairs[p].first == static_cast<int64_t>(i)) {
+          left_indices.push_back(static_cast<int64_t>(i));
+          buffer_indices.push_back(pairs[p].second);
+          any = true;
+          ++p;
+        }
+        if (!any && node_.join_type() == JoinType::kLeft) {
+          left_indices.push_back(static_cast<int64_t>(i));
+          buffer_indices.push_back(-1);
+        }
+      }
+
+      std::vector<Column> out_cols;
+      out_cols.reserve(schema_.num_fields());
+      for (size_t c = 0; c < lbatch.num_columns(); ++c) {
+        out_cols.push_back(lbatch.column(c).Take(left_indices));
+      }
+      for (size_t c = 0; c < right_schema_.num_fields(); ++c) {
+        ColumnBuilder b(mbatch.column(c).kind());
+        b.Reserve(buffer_indices.size());
+        for (int64_t j : buffer_indices) {
+          if (j < 0) {
+            b.AppendNull();
+          } else {
+            LG_RETURN_IF_ERROR(b.AppendValue(
+                mbatch.column(c).GetValue(static_cast<size_t>(j))));
+          }
+        }
+        out_cols.push_back(b.Finish());
+      }
+      return RecordBatch(schema_, std::move(out_cols));
     }
 
     Result<RecordBatch> ProbeBatch(const RecordBatch& lbatch) {
@@ -456,14 +1101,19 @@ class ExecIterators {
     BatchIteratorPtr left_;
     BatchIteratorPtr right_;
     Schema schema_;
+    Schema right_schema_{std::vector<FieldDef>{}};
     bool built_ = false;
     bool is_equi_ = false;
+    bool spilled_build_ = false;
     RecordBatch rbatch_;
     std::vector<std::pair<int, int>> equi_keys_;
     std::map<std::vector<Value>, std::vector<int64_t>, ValueVectorLess>
         hash_table_;
+    std::vector<spill::SpillRun> runs_;
+    std::unique_ptr<spill::SpillDir> dir_;
     EvalContext ctx_;
     uint64_t resident_ = 0;
+    uint64_t build_charged_ = 0;
   };
 
   /// Limit short-circuits its upstream: once satisfied it never pulls the
@@ -519,6 +1169,60 @@ EvalContext Executor::MakeEvalContext() const {
 
 Result<BatchIteratorPtr> Executor::Open(const PlanPtr& plan) {
   return OpenNode(plan);
+}
+
+Status Executor::TryChargeBytes(uint64_t bytes) {
+  if (context_.memory) {
+    Status s = context_.memory->TryReserve(bytes);
+    if (!s.ok()) {
+      ++stats_.budget_refusals;
+      return s;
+    }
+  }
+  stats_.AddBytes(bytes);
+  return Status::OK();
+}
+
+void Executor::ChargeBytesForced(uint64_t bytes) {
+  if (context_.memory) context_.memory->ForceReserve(bytes);
+  stats_.AddBytes(bytes);
+}
+
+void Executor::ReleaseBytes(uint64_t bytes) {
+  if (context_.memory) context_.memory->Release(bytes);
+  stats_.SubBytes(bytes);
+}
+
+Result<RecordBatch> Executor::DispatchWithSplit(
+    const std::string& key, const SandboxPolicy& policy,
+    const RecordBatch& arg_batch,
+    const std::vector<UdfInvocation>& invocations) {
+  Result<RecordBatch> result = services_.dispatcher->Dispatch(
+      context_.session_id, key, policy, arg_batch, invocations);
+  if (result.ok()) {
+    ++stats_.udf_sandbox_batches;
+    return result;
+  }
+  if (result.status().code() != StatusCode::kResourceExhausted ||
+      arg_batch.num_rows() <= 1) {
+    return result;
+  }
+  // The batch exceeds the sandbox transfer cap: halve and recurse. Single
+  // rows that still refuse surface the typed error unchanged.
+  ++stats_.udf_batch_splits;
+  const size_t half = arg_batch.num_rows() / 2;
+  LG_ASSIGN_OR_RETURN(
+      RecordBatch lo,
+      DispatchWithSplit(key, policy, arg_batch.Slice(0, half), invocations));
+  LG_ASSIGN_OR_RETURN(
+      RecordBatch hi,
+      DispatchWithSplit(key, policy,
+                        arg_batch.Slice(half, arg_batch.num_rows() - half),
+                        invocations));
+  std::vector<RecordBatch> parts;
+  parts.push_back(std::move(lo));
+  parts.push_back(std::move(hi));
+  return ConcatBatches(parts[0].schema(), parts);
 }
 
 Result<Table> Executor::Execute(const PlanPtr& plan) {
@@ -675,29 +1379,7 @@ Result<Table> Executor::AggregateTable(const AggregateNode& node,
         groups.try_emplace(std::move(key), std::vector<AggState>(specs.size()));
     std::vector<AggState>& states = it->second;
     for (size_t s = 0; s < specs.size(); ++s) {
-      AggState& state = states[s];
-      ++state.rows;
-      Value v = specs[s].arg.GetValue(r);
-      if (v.is_null()) continue;
-      ++state.count;
-      if (v.is_double()) {
-        state.saw_double = true;
-        state.double_sum += v.double_value();
-      } else if (v.is_int()) {
-        state.int_sum += v.int_value();
-        state.double_sum += static_cast<double>(v.int_value());
-      } else if (v.is_bool()) {
-        state.int_sum += v.bool_value() ? 1 : 0;
-        state.double_sum += v.bool_value() ? 1 : 0;
-      }
-      if (!state.has_minmax) {
-        state.min_value = v;
-        state.max_value = v;
-        state.has_minmax = true;
-      } else {
-        if (v.Compare(state.min_value) < 0) state.min_value = v;
-        if (v.Compare(state.max_value) > 0) state.max_value = v;
-      }
+      UpdateAggState(states[s], specs[s].arg.GetValue(r));
     }
   }
 
@@ -705,30 +1387,8 @@ Result<Table> Executor::AggregateTable(const AggregateNode& node,
   for (const auto& [key, states] : groups) {
     std::vector<Value> row = key;
     for (size_t s = 0; s < specs.size(); ++s) {
-      const AggState& state = states[s];
-      const std::string& func = specs[s].func;
-      if (func == "COUNT") {
-        row.push_back(Value::Int(state.count));
-      } else if (func == "SUM") {
-        if (state.count == 0) {
-          row.push_back(Value::Null());
-        } else if (state.saw_double) {
-          row.push_back(Value::Double(state.double_sum));
-        } else {
-          row.push_back(Value::Int(state.int_sum));
-        }
-      } else if (func == "AVG") {
-        row.push_back(state.count == 0
-                          ? Value::Null()
-                          : Value::Double(state.double_sum /
-                                          static_cast<double>(state.count)));
-      } else if (func == "MIN") {
-        row.push_back(state.has_minmax ? state.min_value : Value::Null());
-      } else if (func == "MAX") {
-        row.push_back(state.has_minmax ? state.max_value : Value::Null());
-      } else {
-        return Status::InvalidArgument("unknown aggregate " + func);
-      }
+      LG_ASSIGN_OR_RETURN(Value v, FinalizeAggValue(specs[s].func, states[s]));
+      row.push_back(std::move(v));
     }
     LG_RETURN_IF_ERROR(builder.AppendRow(row));
   }
@@ -743,12 +1403,42 @@ Result<BatchIteratorPtr> Executor::OpenAggregate(const AggregateNode& node,
   const AggregateNode* node_ptr = &node;
   Schema schema_copy = out_schema;
   auto produce = [this, shared_child, node_ptr,
-                  schema_copy]() -> Result<Table> {
-    LG_ASSIGN_OR_RETURN(Table collected, DrainIterator(shared_child.get()));
-    LG_ASSIGN_OR_RETURN(RecordBatch input, collected.Combine());
-    return AggregateTable(*node_ptr, input, schema_copy);
+                  schema_copy]() -> Result<ExecIterators::BreakerIterator::Inner> {
+    // Group keys double as run-sort keys: spilled input merges back in key
+    // order, so grouping degrades to a streaming scan over the merge.
+    std::vector<SortKey> keys;
+    for (const ExprPtr& e : node_ptr->group_exprs()) {
+      keys.push_back({e, /*ascending=*/true});
+    }
+    LG_ASSIGN_OR_RETURN(
+        ExecIterators::CollectedInput in,
+        ExecIterators::CollectWithSpill(this, shared_child.get(), &keys));
+    ExecIterators::BreakerIterator::Inner inner;
+    if (in.spilled) {
+      auto merge = std::make_unique<ExecIterators::MergeIterator>(
+          this, nullptr, keys, std::move(in));
+      inner.iter =
+          BatchIteratorPtr(std::make_unique<ExecIterators::GroupMergeIterator>(
+              this, *node_ptr, schema_copy, std::move(merge)));
+      return inner;
+    }
+    LG_ASSIGN_OR_RETURN(RecordBatch input, in.table.Combine());
+    in.table = Table(in.schema);
+    LG_ASSIGN_OR_RETURN(Table result,
+                        AggregateTable(*node_ptr, input, schema_copy));
+    input = RecordBatch();
+    // Satellite accounting fix: the breaker output is charged by ByteSize
+    // (string heap capacity included), replacing the buffered-input charge.
+    inner.charged_bytes = result.ByteSize();
+    ChargeBytesForced(inner.charged_bytes);
+    ReleaseBytes(in.charged);
+    in.charged = 0;
+    inner.resident = ResidentProxy(result.num_rows(), options_.batch_size);
+    stats_.AddResident(inner.resident);
+    inner.iter = MakeTableIterator(std::move(result), options_.batch_size);
+    return inner;
   };
-  return BatchIteratorPtr(std::make_unique<ExecIterators::MaterializingIterator>(
+  return BatchIteratorPtr(std::make_unique<ExecIterators::BreakerIterator>(
       this, "aggregate", std::move(out_schema), std::move(produce)));
 }
 
@@ -786,12 +1476,34 @@ Result<BatchIteratorPtr> Executor::OpenSort(const SortNode& node) {
   Schema schema = child->schema();
   std::shared_ptr<BatchIterator> shared_child(child.release());
   const SortNode* node_ptr = &node;
-  auto produce = [this, shared_child, node_ptr]() -> Result<Table> {
-    LG_ASSIGN_OR_RETURN(Table collected, DrainIterator(shared_child.get()));
-    LG_ASSIGN_OR_RETURN(RecordBatch input, collected.Combine());
-    return SortTable(*node_ptr, input);
+  auto produce =
+      [this, shared_child,
+       node_ptr]() -> Result<ExecIterators::BreakerIterator::Inner> {
+    LG_ASSIGN_OR_RETURN(ExecIterators::CollectedInput in,
+                        ExecIterators::CollectWithSpill(
+                            this, shared_child.get(), &node_ptr->keys()));
+    ExecIterators::BreakerIterator::Inner inner;
+    if (in.spilled) {
+      // Runs are stably sorted prefixes; the tie-on-run-index merge is a
+      // global stable sort — row-identical to the in-memory path.
+      inner.iter = BatchIteratorPtr(std::make_unique<ExecIterators::MergeIterator>(
+          this, nullptr, node_ptr->keys(), std::move(in)));
+      return inner;
+    }
+    LG_ASSIGN_OR_RETURN(RecordBatch input, in.table.Combine());
+    in.table = Table(in.schema);
+    LG_ASSIGN_OR_RETURN(Table sorted, SortTable(*node_ptr, input));
+    input = RecordBatch();
+    inner.charged_bytes = sorted.ByteSize();
+    ChargeBytesForced(inner.charged_bytes);
+    ReleaseBytes(in.charged);
+    in.charged = 0;
+    inner.resident = ResidentProxy(sorted.num_rows(), options_.batch_size);
+    stats_.AddResident(inner.resident);
+    inner.iter = MakeTableIterator(std::move(sorted), options_.batch_size);
+    return inner;
   };
-  return BatchIteratorPtr(std::make_unique<ExecIterators::MaterializingIterator>(
+  return BatchIteratorPtr(std::make_unique<ExecIterators::BreakerIterator>(
       this, "sort", std::move(schema), std::move(produce)));
 }
 
@@ -929,11 +1641,9 @@ Result<std::vector<Column>> Executor::EvaluateWithUdfs(
         // Supervised dispatch: the dispatcher pins the sandbox for the
         // batch, detects a crash, quarantines the container and charges the
         // owner's circuit breaker — the executor only sees the typed error.
+        // An oversized-batch refusal splits the argument batch and retries.
         LG_ASSIGN_OR_RETURN(
-            results, services_.dispatcher->Dispatch(context_.session_id, key,
-                                                    policy, arg_batch,
-                                                    invocations));
-        ++stats_.udf_sandbox_batches;
+            results, DispatchWithSplit(key, policy, arg_batch, invocations));
       } else {
         // Unisolated baseline: run the VM in-process with full authority.
         UnrestrictedHost host(services_.host_env);

@@ -44,6 +44,12 @@ struct ExecutionOptions {
   /// re-slices stored parts to this size; pipeline stages are batch-in /
   /// batch-out, so this caps per-operator resident memory.
   size_t batch_size = 1024;
+  /// Base directory for pipeline-breaker spill runs (empty = system temp
+  /// dir). Each query gets its own subdirectory, removed on teardown.
+  std::string spill_dir;
+  /// When false, a breaker that exceeds its operation budget surfaces the
+  /// typed kResourceExhausted instead of degrading to spilled execution.
+  bool enable_spill = true;
 };
 
 /// Everything the executor touches outside the plan.
@@ -78,6 +84,18 @@ struct ExecutorStats {
   /// O(pipeline depth) for streaming plans, O(result) across a breaker.
   uint64_t resident_batches = 0;
   uint64_t peak_resident_batches = 0;
+  /// Byte-accurate companion to the batch proxy: bytes the pipeline holds
+  /// resident right now (governor-charged when a budget is attached), and
+  /// its high-water mark. Breaker outputs are charged by ByteSize — string
+  /// heap capacity included — so this agrees with governor accounting.
+  uint64_t bytes_reserved = 0;
+  uint64_t peak_bytes = 0;
+  /// Degradation-ladder transitions for this execution.
+  uint64_t budget_refusals = 0;  ///< budget TryReserve refusals observed
+  uint64_t spill_runs = 0;       ///< breaker runs written to local disk
+  uint64_t spill_bytes = 0;      ///< bytes written across those runs
+  uint64_t batch_shrinks = 0;    ///< ladder step 1: batch_size halvings
+  uint64_t udf_batch_splits = 0; ///< sandbox arg batches split on byte cap
 
   void OnEmit(const char* op) {
     ++batches_emitted;
@@ -91,6 +109,13 @@ struct ExecutorStats {
   }
   void SubResident(uint64_t n) {
     resident_batches -= (n > resident_batches) ? resident_batches : n;
+  }
+  void AddBytes(uint64_t n) {
+    bytes_reserved += n;
+    if (bytes_reserved > peak_bytes) peak_bytes = bytes_reserved;
+  }
+  void SubBytes(uint64_t n) {
+    bytes_reserved -= (n > bytes_reserved) ? bytes_reserved : n;
   }
 };
 
@@ -125,6 +150,10 @@ class Executor {
   const ExecutorStats& stats() const { return stats_; }
   const ExecutionOptions& options() const { return options_; }
 
+  /// Ladder bookkeeping: the engine shrinks batch_size under session
+  /// pressure before constructing the executor and records it here.
+  void NoteBatchShrinks(uint64_t n) { stats_.batch_shrinks += n; }
+
  private:
   friend class ExecIterators;  // operator iterators (executor.cc)
 
@@ -154,6 +183,22 @@ class Executor {
   /// to the isolation/fusion options. Core of the user-code data path.
   Result<std::vector<Column>> EvaluateWithUdfs(
       const std::vector<ExprPtr>& exprs, const RecordBatch& batch);
+
+  /// Sandbox dispatch that recovers from the dispatcher's per-batch byte
+  /// cap: a typed kResourceExhausted splits the argument batch in half and
+  /// retries, down to single rows.
+  Result<RecordBatch> DispatchWithSplit(
+      const std::string& key, const SandboxPolicy& policy,
+      const RecordBatch& arg_batch,
+      const std::vector<UdfInvocation>& invocations);
+
+  /// Memory accounting, shared by every operator iterator. Bytes flow to
+  /// the operation budget (when attached) and to the stats mirror. Try
+  /// refuses with typed kResourceExhausted; Forced is the "+1 in-flight
+  /// batch" slack that keeps pipelines deadlock-free.
+  Status TryChargeBytes(uint64_t bytes);
+  void ChargeBytesForced(uint64_t bytes);
+  void ReleaseBytes(uint64_t bytes);
 
   EvalContext MakeEvalContext() const;
 

@@ -163,6 +163,15 @@ Result<RecordBatch> Dispatcher::Dispatch(
   bool is_probe = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (max_batch_bytes_ > 0 && args.ByteSize() > max_batch_bytes_) {
+      // Refused before provisioning: an oversized transfer never reaches
+      // the sandbox boundary. Typed so the executor can split and retry.
+      ++stats_.oversized_batches;
+      return Status::ResourceExhausted(
+          "UDF argument batch of " + std::to_string(args.ByteSize()) +
+          " bytes exceeds the sandbox transfer cap of " +
+          std::to_string(max_batch_bytes_) + " bytes");
+    }
     LG_ASSIGN_OR_RETURN(sandbox,
                         AcquireLocked(session_id, trust_domain, policy));
     auto bit = breakers_.find(trust_domain);

@@ -68,6 +68,8 @@ struct DispatcherStats {
   uint64_t breaker_fast_fails = 0;       ///< acquisitions rejected while open
   uint64_t breaker_half_open_probes = 0; ///< probe dispatches admitted
   uint64_t breaker_closes = 0;           ///< half-open probe restored service
+  // --- memory governance ---
+  uint64_t oversized_batches = 0;  ///< dispatches refused by the byte cap
 };
 
 /// Per-trust-domain circuit breaker tuning. `failure_threshold` consecutive
@@ -124,6 +126,14 @@ class Dispatcher {
   void set_breaker_config(BreakerConfig config) {
     std::lock_guard<std::mutex> lock(mu_);
     breaker_config_ = config;
+  }
+
+  /// Caps the bytes of one dispatched argument batch (0 = unlimited). An
+  /// oversized batch is refused with typed kResourceExhausted *before* the
+  /// sandbox boundary — the executor reacts by splitting the batch.
+  void set_max_batch_bytes(size_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_batch_bytes_ = bytes;
   }
 
   /// Returns the sandbox for (session, trust_domain), provisioning on first
@@ -201,6 +211,7 @@ class Dispatcher {
   DispatcherStats stats_;
   RetryPolicy provision_retry_;
   BreakerConfig breaker_config_;
+  size_t max_batch_bytes_ = 0;  // 0 = unlimited
 };
 
 }  // namespace lakeguard

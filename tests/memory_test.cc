@@ -1,0 +1,843 @@
+// Memory-governance tests: hierarchical budget semantics (refusal, RAII,
+// concurrent hammering), breaker spill correctness (byte-identical to the
+// in-memory run, bounded peak, no leaked files), the Connect chunk cache
+// (eviction + backpressure), ExecutePlan admission control (FIFO queue,
+// deadline, load shedding) and the degradation ladder.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+
+#include "columnar/spill.h"
+#include "common/fault.h"
+#include "common/memory_budget.h"
+#include "common/retry.h"
+#include "connect/protocol.h"
+#include "core/platform.h"
+#include "plan/plan_serde.h"
+#include "udf/builder.h"
+
+namespace lakeguard {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- Budget hierarchy -------------------------------------------------------------
+
+TEST(MemoryBudgetTest, TryReserveChargesWholeChainOrNothing) {
+  auto service = std::make_shared<MemoryBudget>("service", 1000);
+  auto session = std::make_shared<MemoryBudget>("session", 500, service);
+  auto op = std::make_shared<MemoryBudget>("op", 300, session);
+
+  ASSERT_TRUE(op->TryReserve(200).ok());
+  EXPECT_EQ(op->used_bytes(), 200u);
+  EXPECT_EQ(session->used_bytes(), 200u);
+  EXPECT_EQ(service->used_bytes(), 200u);
+
+  Status refused = op->TryReserve(200);  // 400 > 300 at the op node
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(IsTransientError(refused)) << refused.ToString();
+  EXPECT_NE(refused.message().find("op"), std::string::npos);
+  // Nothing was charged anywhere.
+  EXPECT_EQ(op->used_bytes(), 200u);
+  EXPECT_EQ(session->used_bytes(), 200u);
+  EXPECT_EQ(service->used_bytes(), 200u);
+  EXPECT_EQ(op->refusals(), 1u);
+}
+
+TEST(MemoryBudgetTest, AncestorRefusalUndoesLocalCharge) {
+  auto service = std::make_shared<MemoryBudget>("service", 250);
+  auto op = std::make_shared<MemoryBudget>("op", 0, service);  // unlimited
+
+  ASSERT_TRUE(op->TryReserve(200).ok());
+  Status refused = op->TryReserve(100);  // op accepts, service refuses
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(refused.message().find("service"), std::string::npos);
+  EXPECT_EQ(op->used_bytes(), 200u) << "local charge must be undone";
+  EXPECT_EQ(service->used_bytes(), 200u);
+}
+
+TEST(MemoryBudgetTest, ForceReserveOverrunsVisibleInPeak) {
+  MemoryBudget budget("b", 100);
+  ASSERT_TRUE(budget.TryReserve(90).ok());
+  budget.ForceReserve(50);  // the "+1 batch" slack may exceed the limit
+  EXPECT_EQ(budget.used_bytes(), 140u);
+  EXPECT_EQ(budget.peak_bytes(), 140u);
+  budget.Release(140);
+  EXPECT_EQ(budget.used_bytes(), 0u);
+  EXPECT_EQ(budget.peak_bytes(), 140u);  // high-water mark sticks
+}
+
+TEST(MemoryBudgetTest, ReleaseClampsAtZero) {
+  MemoryBudget budget("b", 0);
+  budget.ForceReserve(10);
+  budget.Release(1000);  // over-release degrades to lost tracking, not wrap
+  EXPECT_EQ(budget.used_bytes(), 0u);
+  EXPECT_TRUE(budget.TryReserve(5).ok());
+}
+
+TEST(MemoryBudgetTest, DestructorReturnsResidualToAncestors) {
+  auto service = std::make_shared<MemoryBudget>("service", 0);
+  {
+    auto op = std::make_shared<MemoryBudget>("op", 0, service);
+    ASSERT_TRUE(op->TryReserve(777).ok());
+    EXPECT_EQ(service->used_bytes(), 777u);
+    // op destroyed holding 777 bytes.
+  }
+  EXPECT_EQ(service->used_bytes(), 0u);
+}
+
+TEST(MemoryBudgetTest, ReservationRaiiReleasesOnScopeExit) {
+  auto budget = std::make_shared<MemoryBudget>("b", 1000);
+  {
+    MemoryReservation reservation(budget);
+    ASSERT_TRUE(reservation.Grow(400).ok());
+    reservation.GrowForced(100);
+    EXPECT_EQ(reservation.bytes(), 500u);
+    reservation.Shrink(200);
+    EXPECT_EQ(budget->used_bytes(), 300u);
+    // Moving transfers ownership of the outstanding bytes.
+    MemoryReservation moved(std::move(reservation));
+    EXPECT_EQ(moved.bytes(), 300u);
+  }
+  EXPECT_EQ(budget->used_bytes(), 0u);
+}
+
+TEST(MemoryBudgetTest, GovernorVendsHierarchyAndReleasesSessions) {
+  MemoryGovernorConfig config;
+  config.service_limit_bytes = 10'000;
+  config.session_limit_bytes = 5'000;
+  config.operation_limit_bytes = 2'000;
+  MemoryGovernor governor(config);
+
+  auto s1 = governor.SessionBudget("s1");
+  EXPECT_EQ(s1.get(), governor.SessionBudget("s1").get());  // get-or-create
+  EXPECT_EQ(governor.TrackedSessionCount(), 1u);
+  EXPECT_EQ(s1->limit_bytes(), 5'000u);
+
+  auto op = governor.CreateOperationBudget("s1", "op1");
+  EXPECT_EQ(op->parent().get(), s1.get());
+  EXPECT_EQ(op->limit_bytes(), 2'000u);
+  ASSERT_TRUE(op->TryReserve(1'500).ok());
+  EXPECT_EQ(governor.service_budget()->used_bytes(), 1'500u);
+
+  // Releasing the session while an op budget is live is safe: the op keeps
+  // the node alive through its parent pointer and still releases correctly.
+  governor.ReleaseSession("s1");
+  EXPECT_EQ(governor.TrackedSessionCount(), 0u);
+  op.reset();
+  EXPECT_EQ(governor.service_budget()->used_bytes(), 0u);
+}
+
+TEST(MemoryBudgetTest, ConcurrentReserveReleaseHammerStaysConsistent) {
+  auto service = std::make_shared<MemoryBudget>("service", 1 << 20);
+  auto session = std::make_shared<MemoryBudget>("session", 1 << 19, service);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 4000;
+  std::vector<std::shared_ptr<MemoryBudget>> ops;
+  for (int t = 0; t < kThreads; ++t) {
+    ops.push_back(std::make_shared<MemoryBudget>("op" + std::to_string(t),
+                                                 1 << 18, session));
+  }
+  std::atomic<uint64_t> granted{0};
+  std::atomic<uint64_t> refused{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto& op = *ops[static_cast<size_t>(t)];
+      for (int i = 0; i < kIters; ++i) {
+        uint64_t size = 64 + (static_cast<uint64_t>(t) * 2654435761u +
+                              static_cast<uint64_t>(i) * 40503u) %
+                                 4096;
+        if (i % 97 == 0) {
+          op.ForceReserve(size);
+          op.Release(size);
+          continue;
+        }
+        if (op.TryReserve(size).ok()) {
+          ++granted;
+          op.Release(size);
+        } else {
+          ++refused;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_GT(granted.load(), 0u);
+  for (const auto& op : ops) EXPECT_EQ(op->used_bytes(), 0u);
+  EXPECT_EQ(session->used_bytes(), 0u);
+  EXPECT_EQ(service->used_bytes(), 0u);
+  EXPECT_GT(service->peak_bytes(), 0u);
+}
+
+// ---- Spill primitives -------------------------------------------------------------
+
+class SpillFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Instance().Reset(); }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+
+  static RecordBatch MakeBatch(int64_t start, int64_t rows) {
+    TableBuilder builder(Schema(
+        {{"i", TypeKind::kInt64, false}, {"s", TypeKind::kString, true}}));
+    for (int64_t i = start; i < start + rows; ++i) {
+      EXPECT_TRUE(builder
+                      .AppendRow({Value::Int(i),
+                                  i % 7 == 0
+                                      ? Value::Null()
+                                      : Value::String("payload-" +
+                                                      std::to_string(i))})
+                      .ok());
+    }
+    return *builder.Build().Combine();
+  }
+};
+
+TEST_F(SpillFileTest, RoundtripIsByteIdenticalAndDirSweeps) {
+  std::string dir_path;
+  {
+    auto dir = spill::SpillDir::Create("");
+    ASSERT_TRUE(dir.ok()) << dir.status().ToString();
+    dir_path = (*dir)->path();
+    EXPECT_TRUE(fs::exists(dir_path));
+
+    std::vector<RecordBatch> batches = {MakeBatch(0, 100), MakeBatch(100, 57)};
+    auto run = (*dir)->WriteRun(batches);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run->batches, 2u);
+    EXPECT_EQ(run->rows, 157u);
+    EXPECT_GT(run->bytes, 0u);
+
+    auto reader = spill::SpillRunReader::Open(*run);
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    for (const RecordBatch& expected : batches) {
+      auto got = reader->Next();
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_TRUE(got->has_value());
+      EXPECT_TRUE((*got)->Equals(expected));
+    }
+    auto end = reader->Next();
+    ASSERT_TRUE(end.ok());
+    EXPECT_FALSE(end->has_value());
+
+    EXPECT_TRUE((*dir)->DeleteRun(*run).ok());
+  }
+  // The destructor swept the whole directory.
+  EXPECT_FALSE(fs::exists(dir_path));
+}
+
+TEST_F(SpillFileTest, WriteFaultRemovesPartialRunAndIsRetryComposable) {
+  auto dir = spill::SpillDir::Create("");
+  ASSERT_TRUE(dir.ok());
+  std::vector<RecordBatch> batches = {MakeBatch(0, 50), MakeBatch(50, 50)};
+  {
+    ScopedFault fault("spill.write", FaultPolicy::FailTimes(1));
+    auto run = (*dir)->WriteRun(batches);
+    ASSERT_FALSE(run.ok());
+    EXPECT_TRUE(IsTransientError(run.status())) << run.status().ToString();
+    EXPECT_TRUE(fs::is_empty((*dir)->path()))
+        << "half-written run must not survive";
+  }
+  // A retry (fault exhausted) succeeds cleanly.
+  auto retried = (*dir)->WriteRun(batches);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(retried->rows, 100u);
+}
+
+// ---- Governed query execution -----------------------------------------------------
+
+class MemoryQueryTest : public ::testing::Test {
+ protected:
+  MemoryQueryTest() {
+    spill_base_ = (fs::temp_directory_path() /
+                   ("lg-memtest-" + std::to_string(::getpid())))
+                      .string();
+    fs::create_directories(spill_base_);
+    LakeguardPlatform::Options options;
+    // Small batches so a modest working set spans many batches and the
+    // spill machinery is exercised across several runs.
+    options.engine_config.exec.batch_size = 256;
+    options.engine_config.exec.spill_dir = spill_base_;
+    platform_ = std::make_unique<LakeguardPlatform>(options);
+    EXPECT_TRUE(platform_->AddUser("admin").ok());
+    platform_->AddMetastoreAdmin("admin");
+    cluster_ = platform_->CreateStandardCluster();
+    admin_ctx_ = *platform_->DirectContext(cluster_, "admin");
+  }
+
+  ~MemoryQueryTest() override {
+    std::error_code ec;
+    fs::remove_all(spill_base_, ec);
+  }
+
+  size_t SpillEntriesLeft() const {
+    size_t n = 0;
+    for (const auto& entry : fs::directory_iterator(spill_base_)) {
+      (void)entry;
+      ++n;
+    }
+    return n;
+  }
+
+  /// Rows with a grouping key, a pseudo-random value and a widening string
+  /// payload (string-heap bytes must be charged too).
+  static RecordBatch WideBatch(int64_t rows, int64_t groups = 1501) {
+    TableBuilder builder(Schema({{"k", TypeKind::kInt64, false},
+                                 {"v", TypeKind::kInt64, false},
+                                 {"s", TypeKind::kString, false}}));
+    uint64_t x = 88172645463325252ull;
+    for (int64_t i = 0; i < rows; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      EXPECT_TRUE(
+          builder
+              .AppendRow({Value::Int(i % groups),
+                          Value::Int(static_cast<int64_t>(x % 100000)),
+                          Value::String("payload-" + std::to_string(x % 997) +
+                                        "-row-" + std::to_string(i))})
+              .ok());
+    }
+    return *builder.Build().Combine();
+  }
+
+  /// Streams `plan` to completion under `budget`, returning the collected
+  /// table and (optionally) the executor counters observed at end-of-stream.
+  Result<Table> Run(const PlanPtr& plan, std::shared_ptr<MemoryBudget> budget,
+                    ExecutorStats* stats_out = nullptr) {
+    ExecutionContext ctx = admin_ctx_;
+    ctx.memory = std::move(budget);
+    LG_ASSIGN_OR_RETURN(QueryResultStreamPtr stream,
+                        cluster_->engine->ExecutePlanStreaming(plan, ctx));
+    Table out(stream->schema());
+    while (true) {
+      auto batch = stream->Next();
+      LG_RETURN_IF_ERROR(batch.status());
+      if (!batch->has_value()) break;
+      if ((*batch)->num_rows() == 0) continue;
+      LG_RETURN_IF_ERROR(out.AppendBatch(std::move(**batch)));
+    }
+    if (stats_out != nullptr) *stats_out = stream->stats();
+    return out;
+  }
+
+  void ExpectByteIdentical(const Table& a, const Table& b) {
+    auto ca = a.Combine();
+    auto cb = b.Combine();
+    ASSERT_TRUE(ca.ok());
+    ASSERT_TRUE(cb.ok());
+    ASSERT_EQ(ca->num_rows(), cb->num_rows());
+    EXPECT_TRUE(ca->Equals(*cb));
+  }
+
+  std::string spill_base_;
+  std::unique_ptr<LakeguardPlatform> platform_;
+  ClusterHandle* cluster_ = nullptr;
+  ExecutionContext admin_ctx_;
+};
+
+TEST_F(MemoryQueryTest, SortSpillsUnderBudgetAndMatchesInMemoryRun) {
+  RecordBatch input = WideBatch(8192);
+  const uint64_t working_set = input.ByteSize();
+  const uint64_t limit = working_set / 4;  // 4x over budget
+  PlanPtr plan = MakeSort(MakeLocalRelation(input),
+                          {{Col("v"), true}, {Col("s"), false}});
+
+  auto baseline = Run(plan, nullptr);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  auto budget = std::make_shared<MemoryBudget>("operation/sort", limit);
+  ExecutorStats stats;
+  auto governed = Run(plan, budget, &stats);
+  ASSERT_TRUE(governed.ok()) << governed.status().ToString();
+
+  ExpectByteIdentical(*baseline, *governed);
+  EXPECT_GT(stats.budget_refusals, 0u);
+  EXPECT_GT(stats.spill_runs, 0u);
+  EXPECT_GT(stats.spill_bytes, 0u);
+  // Peak stays within the budget plus bounded slack (the forced in-flight
+  // batches a merge must hold to make progress).
+  EXPECT_LE(budget->peak_bytes(), limit + limit / 4)
+      << "peak " << budget->peak_bytes() << " vs limit " << limit;
+  EXPECT_LT(budget->peak_bytes(), working_set);
+  EXPECT_EQ(budget->used_bytes(), 0u) << "all charges returned on teardown";
+  EXPECT_EQ(SpillEntriesLeft(), 0u) << "no spill files may survive the query";
+}
+
+TEST_F(MemoryQueryTest, AggregateSpillMatchesInMemoryRun) {
+  RecordBatch input = WideBatch(8192, /*groups=*/1501);
+  const uint64_t limit = input.ByteSize() / 4;
+  PlanPtr plan = MakeAggregate(
+      MakeLocalRelation(input), {Col("k")}, {"k"},
+      {Func("SUM", {Col("v")}), Func("COUNT", {LitInt(1)}),
+       Func("MIN", {Col("v")}), Func("MAX", {Col("v")}),
+       Func("AVG", {Col("v")})},
+      {"total", "n", "lo", "hi", "avg"});
+
+  auto baseline = Run(plan, nullptr);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  auto budget = std::make_shared<MemoryBudget>("operation/agg", limit);
+  ExecutorStats stats;
+  auto governed = Run(plan, budget, &stats);
+  ASSERT_TRUE(governed.ok()) << governed.status().ToString();
+
+  ExpectByteIdentical(*baseline, *governed);
+  EXPECT_GT(stats.spill_runs, 0u);
+  EXPECT_EQ(budget->used_bytes(), 0u);
+  EXPECT_EQ(SpillEntriesLeft(), 0u);
+}
+
+TEST_F(MemoryQueryTest, JoinBuildSpillMatchesInMemoryRun) {
+  RecordBatch build = WideBatch(8192, /*groups=*/700);
+  TableBuilder probe_builder(Schema(
+      {{"pk", TypeKind::kInt64, false}, {"pv", TypeKind::kInt64, false}}));
+  for (int64_t i = 0; i < 900; ++i) {
+    // Some keys match several build rows, some (>= 700) match none — the
+    // left join must pad those with NULLs identically in both modes.
+    ASSERT_TRUE(
+        probe_builder.AppendRow({Value::Int(i), Value::Int(i * 10)}).ok());
+  }
+  RecordBatch probe = *probe_builder.Build().Combine();
+  const uint64_t limit = build.ByteSize() / 4;
+
+  for (JoinType type : {JoinType::kInner, JoinType::kLeft}) {
+    PlanPtr plan = MakeJoin(MakeLocalRelation(probe), MakeLocalRelation(build),
+                            type, Eq(Col("pk"), Col("k")));
+    auto baseline = Run(plan, nullptr);
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+    auto budget = std::make_shared<MemoryBudget>("operation/join", limit);
+    ExecutorStats stats;
+    auto governed = Run(plan, budget, &stats);
+    ASSERT_TRUE(governed.ok()) << governed.status().ToString();
+
+    ExpectByteIdentical(*baseline, *governed);
+    EXPECT_GT(stats.spill_runs, 0u);
+    EXPECT_EQ(budget->used_bytes(), 0u);
+    EXPECT_EQ(SpillEntriesLeft(), 0u);
+  }
+}
+
+TEST_F(MemoryQueryTest, SpillDisabledSurfacesTypedRetryableError) {
+  QueryEngineConfig original = cluster_->engine->config();
+  QueryEngineConfig strict = original;
+  strict.exec.enable_spill = false;
+  cluster_->engine->set_config(strict);
+
+  RecordBatch input = WideBatch(8192);
+  PlanPtr plan = MakeSort(MakeLocalRelation(input), {{Col("v"), true}});
+  auto budget =
+      std::make_shared<MemoryBudget>("operation/strict", input.ByteSize() / 4);
+  auto result = Run(plan, budget);
+  cluster_->engine->set_config(original);
+
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(IsTransientError(result.status()));
+  EXPECT_EQ(SpillEntriesLeft(), 0u);
+}
+
+TEST_F(MemoryQueryTest, SessionPressureShrinksBatchSize) {
+  MemoryGovernorConfig config;
+  config.session_limit_bytes = 1 << 20;
+  MemoryGovernor governor(config);
+  auto session = governor.SessionBudget("s1");
+
+  RecordBatch input = WideBatch(2000);
+  PlanPtr plan = MakeSort(MakeLocalRelation(input), {{Col("v"), true}});
+
+  // No pressure: full batch size, no shrink counted.
+  {
+    ExecutorStats stats;
+    auto out = Run(plan, governor.CreateOperationBudget("s1", "op0"), &stats);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(stats.batch_shrinks, 0u);
+  }
+  // Session above 50%: one halving (ladder step 1).
+  session->ForceReserve(static_cast<uint64_t>(0.6 * (1 << 20)));
+  {
+    ExecutorStats stats;
+    auto out = Run(plan, governor.CreateOperationBudget("s1", "op1"), &stats);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(stats.batch_shrinks, 1u);
+  }
+  // Session above 75%: two halvings.
+  session->ForceReserve(static_cast<uint64_t>(0.2 * (1 << 20)));
+  {
+    ExecutorStats stats;
+    auto out = Run(plan, governor.CreateOperationBudget("s1", "op2"), &stats);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(stats.batch_shrinks, 2u);
+  }
+  session->Release(1 << 20);
+}
+
+TEST_F(MemoryQueryTest, DispatcherByteCapSplitsUdfBatchesTransparently) {
+  ASSERT_TRUE(platform_->catalog().CreateCatalog("admin", "main").ok());
+  ASSERT_TRUE(platform_->catalog().CreateSchema("admin", "main.s").ok());
+  FunctionInfo fn;
+  fn.full_name = "main.s.adder";
+  fn.num_args = 2;
+  fn.return_type = TypeKind::kInt64;
+  fn.body = canned::SumUdf();
+  ASSERT_TRUE(platform_->catalog().CreateFunction("admin", fn).ok());
+  auto setup = cluster_->engine->ExecuteSql(
+      "CREATE TABLE main.s.nums (a BIGINT, b BIGINT)", admin_ctx_);
+  ASSERT_TRUE(setup.ok()) << setup.status().ToString();
+  std::string values = "INSERT INTO main.s.nums VALUES ";
+  for (int i = 0; i < 40; ++i) {
+    values += (i ? ", (" : "(") + std::to_string(i) + ", " +
+              std::to_string(i * 2) + ")";
+  }
+  ASSERT_TRUE(cluster_->engine->ExecuteSql(values, admin_ctx_).ok());
+
+  const std::string query =
+      "SELECT main.s.adder(a, b) AS v FROM main.s.nums ORDER BY v";
+  ExecutorStats last_stats;
+  auto run_query = [&]() -> Result<Table> {
+    LG_ASSIGN_OR_RETURN(
+        QueryResultStreamPtr stream,
+        cluster_->engine->ExecuteSqlStreaming(query, admin_ctx_));
+    Table out(stream->schema());
+    while (true) {
+      auto batch = stream->Next();
+      LG_RETURN_IF_ERROR(batch.status());
+      if (!batch->has_value()) break;
+      LG_RETURN_IF_ERROR(out.AppendBatch(std::move(**batch)));
+    }
+    last_stats = stream->stats();
+    return out;
+  };
+
+  auto baseline = run_query();
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_EQ(last_stats.udf_batch_splits, 0u);
+
+  // Cap the sandbox transfer below the 40-row argument batch: the executor
+  // must split recursively and stitch the results back together.
+  Dispatcher& dispatcher = cluster_->cluster->driver_host().dispatcher();
+  dispatcher.set_max_batch_bytes(256);
+  auto capped = run_query();
+  dispatcher.set_max_batch_bytes(0);
+  ASSERT_TRUE(capped.ok()) << capped.status().ToString();
+
+  ExpectByteIdentical(*baseline, *capped);
+  EXPECT_GT(last_stats.udf_batch_splits, 0u);
+  EXPECT_GT(dispatcher.stats().oversized_batches, 0u);
+}
+
+// ---- eFGAC backend budget ---------------------------------------------------------
+
+TEST_F(MemoryQueryTest, EfgacBackendBudgetRefusalForcesEarlySpill) {
+  // A byte threshold far above the result size: only the budget refusal can
+  // flip the backend into spill mode.
+  ServerlessBackend backend(cluster_->engine.get(), &platform_->store(),
+                            &platform_->catalog(),
+                            /*spill_threshold_bytes=*/64 * 1024 * 1024,
+                            platform_->clock());
+  backend.set_memory_budget(
+      std::make_shared<MemoryBudget>("efgac-backend", 4096));
+
+  RecordBatch input = WideBatch(4000);
+  PlanPtr plan = MakeLocalRelation(input);
+  auto result = backend.ExecuteRemote(plan, "admin");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows(), 4000u);
+
+  const EfgacStats& stats = backend.stats();
+  EXPECT_GE(stats.budget_spills, 1u);
+  EXPECT_EQ(stats.spilled_results, 1u);
+  EXPECT_EQ(stats.inline_results, 0u);
+  EXPECT_GT(stats.spill_parts_deleted, 0u);
+}
+
+// ---- Connect service: chunk cache and admission control ---------------------------
+
+class ConnectOverloadTest : public ::testing::Test {
+ protected:
+  /// A batch big enough to force server-side chunk buffering (> 4 chunks of
+  /// 1024 rows) so results stream through the FetchChunk path.
+  static RecordBatch BigBatch(int64_t rows) {
+    TableBuilder builder(Schema(
+        {{"i", TypeKind::kInt64, false}, {"tag", TypeKind::kString, false}}));
+    for (int64_t i = 0; i < rows; ++i) {
+      EXPECT_TRUE(builder
+                      .AppendRow({Value::Int(i),
+                                  Value::String("r" + std::to_string(i))})
+                      .ok());
+    }
+    return *builder.Build().Combine();
+  }
+
+  static ConnectRequest ExecRequest(const std::string& session_id,
+                                    const std::string& operation_id,
+                                    const RecordBatch& batch,
+                                    int64_t deadline_micros = 0) {
+    ConnectRequest request;
+    request.session_id = session_id;
+    request.auth_token = "tok";
+    request.operation_id = operation_id;
+    request.plan_bytes = PlanToBytes(MakeLocalRelation(batch));
+    request.deadline_micros = deadline_micros;
+    return request;
+  }
+
+  /// Fetches every chunk of a streaming operation; returns the chunk count.
+  static size_t Drain(ConnectService* service, const std::string& session_id,
+                      const std::string& operation_id) {
+    size_t fetched = 0;
+    for (uint64_t index = 0;; ++index) {
+      auto chunk = service->FetchChunk(session_id, operation_id, index);
+      EXPECT_TRUE(chunk.ok()) << chunk.status().ToString();
+      if (!chunk.ok()) return fetched;
+      ++fetched;
+      if (chunk->last) return fetched;
+    }
+  }
+
+  static std::unique_ptr<LakeguardPlatform> MakePlatform(
+      LakeguardPlatform::Options options) {
+    auto platform = std::make_unique<LakeguardPlatform>(std::move(options));
+    EXPECT_TRUE(platform->AddUser("u").ok());
+    platform->RegisterToken("tok", "u");
+    return platform;
+  }
+};
+
+TEST_F(ConnectOverloadTest, ChunkCacheCapSheddsFetchesUntilHolderDrains) {
+  LakeguardPlatform::Options options;
+  options.chunk_cache_limit_bytes = 16 * 1024;  // below one 1024-row frame
+  auto platform = MakePlatform(options);
+  ClusterHandle* cluster = platform->CreateStandardCluster();
+  auto client = platform->Connect(cluster, "tok");
+  ASSERT_TRUE(client.ok());
+  const std::string session = client->session_id();
+  RecordBatch batch = BigBatch(6000);  // 6 chunks -> streaming result
+
+  // Operation A fills the cache past its cap (a sole holder may always make
+  // progress, so its own frames exceed the limit rather than deadlocking).
+  ConnectResponse a =
+      cluster->service->Execute(ExecRequest(session, "op-a", batch));
+  ASSERT_TRUE(a.ok) << a.error_message;
+  ASSERT_TRUE(a.streaming);
+  EXPECT_GT(a.total_chunks, 0u);
+
+  // Operation B cannot buffer anything while A holds the cache.
+  ConnectResponse b =
+      cluster->service->Execute(ExecRequest(session, "op-b", batch));
+  ASSERT_TRUE(b.ok) << b.error_message;
+  ASSERT_TRUE(b.streaming);
+  EXPECT_EQ(b.total_chunks, 0u);
+
+  auto blocked = cluster->service->FetchChunk(session, "op-b", 0);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsTransientError(blocked.status()));
+  EXPECT_GE(cluster->service->service_stats().cache_backpressure, 1u);
+
+  // Draining A releases acked frames as the fetch watermark advances and
+  // frees everything on the last chunk — capacity returns to B.
+  EXPECT_EQ(Drain(cluster->service.get(), session, "op-a"), 6u);
+  EXPECT_EQ(Drain(cluster->service.get(), session, "op-b"), 6u);
+
+  ConnectServiceStats stats = cluster->service->service_stats();
+  EXPECT_GT(stats.frames_released, 0u);
+  EXPECT_EQ(stats.completed_releases, 2u);
+  EXPECT_GE(stats.chunk_cache_peak_bytes, options.chunk_cache_limit_bytes);
+}
+
+TEST_F(ConnectOverloadTest, AdmissionShedsAtFullQueueAndRecoversAfterDrain) {
+  LakeguardPlatform::Options options;
+  options.admission_config.max_concurrent_operations = 1;
+  options.admission_config.max_queue_depth = 0;  // no waiting room: shed
+  auto platform = MakePlatform(std::move(options));
+  ClusterHandle* cluster = platform->CreateStandardCluster();
+  auto client = platform->Connect(cluster, "tok");
+  ASSERT_TRUE(client.ok());
+  const std::string session = client->session_id();
+  RecordBatch batch = BigBatch(6000);
+
+  // A streaming operation holds its admission slot until fully fetched.
+  ConnectResponse holder =
+      cluster->service->Execute(ExecRequest(session, "op-hold", batch));
+  ASSERT_TRUE(holder.ok) << holder.error_message;
+  ASSERT_TRUE(holder.streaming);
+
+  ConnectResponse shed =
+      cluster->service->Execute(ExecRequest(session, "op-b", batch));
+  EXPECT_FALSE(shed.ok);
+  EXPECT_EQ(shed.error_code, "unavailable") << shed.error_message;
+  EXPECT_EQ(cluster->service->service_stats().shed_operations, 1u);
+
+  // Draining the holder frees the slot; the same operation now succeeds.
+  EXPECT_EQ(Drain(cluster->service.get(), session, "op-hold"), 6u);
+  ConnectResponse retried =
+      cluster->service->Execute(ExecRequest(session, "op-b", batch));
+  EXPECT_TRUE(retried.ok) << retried.error_message;
+  EXPECT_EQ(cluster->service->service_stats().admitted_operations, 2u);
+}
+
+TEST_F(ConnectOverloadTest, QueueWaitTimeoutShedsWithTypedError) {
+  LakeguardPlatform::Options options;
+  options.admission_config.max_concurrent_operations = 1;
+  options.admission_config.max_queue_depth = 4;
+  options.admission_config.max_queue_wait_micros = 50'000;
+  auto platform = MakePlatform(options);
+  ClusterHandle* cluster = platform->CreateStandardCluster();
+  auto client = platform->Connect(cluster, "tok");
+  ASSERT_TRUE(client.ok());
+  const std::string session = client->session_id();
+  RecordBatch batch = BigBatch(6000);
+
+  ConnectResponse holder =
+      cluster->service->Execute(ExecRequest(session, "op-hold", batch));
+  ASSERT_TRUE(holder.ok) << holder.error_message;
+
+  // Single-threaded: the waiter itself advances the simulated clock while
+  // queued, so the wait deterministically times out.
+  ConnectResponse timed_out =
+      cluster->service->Execute(ExecRequest(session, "op-b", batch));
+  EXPECT_FALSE(timed_out.ok);
+  EXPECT_EQ(timed_out.error_code, "unavailable") << timed_out.error_message;
+
+  ConnectServiceStats stats = cluster->service->service_stats();
+  EXPECT_EQ(stats.queued_operations, 1u);
+  EXPECT_EQ(stats.queue_timeouts, 1u);
+  EXPECT_EQ(stats.shed_operations, 1u);
+  EXPECT_EQ(stats.peak_queue_depth, 1u);
+  EXPECT_GE(stats.queue_wait_micros,
+            static_cast<uint64_t>(
+                options.admission_config.max_queue_wait_micros));
+}
+
+TEST_F(ConnectOverloadTest, OperationDeadlineFiresBeforeQueueTimeout) {
+  LakeguardPlatform::Options options;
+  options.admission_config.max_concurrent_operations = 1;
+  options.admission_config.max_queue_depth = 4;
+  options.admission_config.max_queue_wait_micros = 10'000'000;
+  auto platform = MakePlatform(std::move(options));
+  ClusterHandle* cluster = platform->CreateStandardCluster();
+  auto client = platform->Connect(cluster, "tok");
+  ASSERT_TRUE(client.ok());
+  const std::string session = client->session_id();
+  RecordBatch batch = BigBatch(6000);
+
+  ConnectResponse holder =
+      cluster->service->Execute(ExecRequest(session, "op-hold", batch));
+  ASSERT_TRUE(holder.ok) << holder.error_message;
+
+  ConnectResponse expired = cluster->service->Execute(
+      ExecRequest(session, "op-b", batch, /*deadline_micros=*/40'000));
+  EXPECT_FALSE(expired.ok);
+  EXPECT_EQ(expired.error_code, "deadline_exceeded") << expired.error_message;
+
+  // A deadline miss is the client's bound, not server overload: no shed.
+  ConnectServiceStats stats = cluster->service->service_stats();
+  EXPECT_EQ(stats.queue_timeouts, 0u);
+  EXPECT_EQ(stats.shed_operations, 0u);
+}
+
+TEST_F(ConnectOverloadTest, ConcurrentStormAllSucceedThroughQueueAndRetry) {
+  LakeguardPlatform::Options options;
+  options.admission_config.max_concurrent_operations = 2;
+  options.admission_config.max_queue_depth = 1;
+  options.admission_config.max_queue_wait_micros = 200'000;
+  auto platform = MakePlatform(std::move(options));
+  ClusterHandle* cluster = platform->CreateStandardCluster();
+
+  constexpr int kClients = 6;
+  constexpr int64_t kRows = 6000;
+  std::vector<ConnectClient> clients;
+  for (int i = 0; i < kClients; ++i) {
+    auto client = platform->Connect(cluster, "tok");
+    ASSERT_TRUE(client.ok());
+    clients.push_back(std::move(*client));
+  }
+  RecordBatch batch = BigBatch(kRows);
+
+  // Deterministically provoke a shed before the storm: pin both execution
+  // slots with streaming holders, then queue one more operation. The queued
+  // waiter self-advances the simulated clock past the wait bound and is shed.
+  // (The storm below is timing-dependent — under load its threads can
+  // serialize so cleanly that no client ever sees a full queue.)
+  auto holder_client = platform->Connect(cluster, "tok");
+  ASSERT_TRUE(holder_client.ok());
+  const std::string holder_session = holder_client->session_id();
+  ConnectResponse hold_a = cluster->service->Execute(
+      ExecRequest(holder_session, "op-hold-a", batch));
+  ASSERT_TRUE(hold_a.ok) << hold_a.error_message;
+  ASSERT_TRUE(hold_a.streaming);
+  ConnectResponse hold_b = cluster->service->Execute(
+      ExecRequest(holder_session, "op-hold-b", batch));
+  ASSERT_TRUE(hold_b.ok) << hold_b.error_message;
+  ConnectResponse shed = cluster->service->Execute(
+      ExecRequest(holder_session, "op-shed", batch));
+  ASSERT_FALSE(shed.ok);
+  EXPECT_EQ(shed.error_code, "unavailable") << shed.error_message;
+  ASSERT_GT(cluster->service->service_stats().shed_operations, 0u);
+  EXPECT_EQ(Drain(cluster->service.get(), holder_session, "op-hold-a"), 6u);
+  EXPECT_EQ(Drain(cluster->service.get(), holder_session, "op-hold-b"), 6u);
+
+  std::atomic<int> succeeded{0};
+  std::atomic<int> hard_failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      for (int attempt = 0; attempt < 20'000; ++attempt) {
+        auto table =
+            clients[static_cast<size_t>(i)].FromBatch(batch).Collect();
+        if (table.ok()) {
+          if (table->num_rows() == static_cast<size_t>(kRows)) ++succeeded;
+          return;
+        }
+        if (!IsTransientError(table.status())) {
+          ++hard_failures;
+          ADD_FAILURE() << "non-retryable: " << table.status().ToString();
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      ++hard_failures;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(succeeded.load(), kClients)
+      << "every client must eventually complete via queue + retry";
+  EXPECT_EQ(hard_failures.load(), 0);
+  ConnectServiceStats stats = cluster->service->service_stats();
+  EXPECT_GT(stats.shed_operations, 0u) << "overload must have shed some load";
+  // The two holders plus every storm client were eventually admitted.
+  EXPECT_GE(stats.admitted_operations, static_cast<uint64_t>(kClients) + 2);
+}
+
+TEST_F(ConnectOverloadTest, GovernorDropsSessionNodesOnCloseAndExpiry) {
+  auto platform = MakePlatform(LakeguardPlatform::Options());
+  ClusterHandle* cluster = platform->CreateStandardCluster();
+  MemoryGovernor& governor = platform->memory_governor();
+  // The platform pre-registers the eFGAC backend's session node.
+  const size_t baseline = governor.TrackedSessionCount();
+
+  auto closing = platform->Connect(cluster, "tok");
+  ASSERT_TRUE(closing.ok());
+  ASSERT_TRUE(closing->FromBatch(BigBatch(10)).Collect().ok());
+  EXPECT_EQ(governor.TrackedSessionCount(), baseline + 1);
+  ASSERT_TRUE(closing->Close().ok());
+  EXPECT_EQ(governor.TrackedSessionCount(), baseline);
+
+  auto idle = platform->Connect(cluster, "tok");
+  ASSERT_TRUE(idle.ok());
+  ASSERT_TRUE(idle->FromBatch(BigBatch(10)).Collect().ok());
+  EXPECT_EQ(governor.TrackedSessionCount(), baseline + 1);
+  platform->simulated_clock()->AdvanceMicros(3'600'000'000);
+  EXPECT_GE(cluster->service->ExpireIdleSessions(1'000'000), 1u);
+  EXPECT_EQ(governor.TrackedSessionCount(), baseline);
+}
+
+}  // namespace
+}  // namespace lakeguard

@@ -5,12 +5,17 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <filesystem>
 #include <thread>
 #include <tuple>
 
 #include "columnar/ipc.h"
 #include "common/fault.h"
+#include "common/memory_budget.h"
+#include "common/retry.h"
 #include "connect/protocol.h"
 #include "core/platform.h"
 #include "expr/expr_serde.h"
@@ -584,6 +589,111 @@ TEST_F(ChaosTest, FixedSeedMakesChaosRunsIdentical) {
   auto b = run(2024);
   EXPECT_EQ(a, b);  // same seed -> identical fault sequence and outcome
   EXPECT_EQ(std::get<0>(a), 6000u);
+}
+
+// ---- Chaos: spill-IO fault scenarios ----------------------------------------------
+//
+// Pipeline breakers spill sorted runs to local disk under memory pressure
+// (src/columnar/spill.{h,cc}); the write/read/delete seams are fault points.
+// A failed spill must surface a typed, retry-composable error and must never
+// leak run files — the per-query spill directory is empty after teardown.
+
+class SpillChaosTest : public ChaosTest {
+ protected:
+  void SetUp() override {
+    ChaosTest::SetUp();
+    base_ = (std::filesystem::temp_directory_path() /
+             ("lg-chaos-spill-" + std::to_string(::getpid())))
+                .string();
+    std::filesystem::create_directories(base_);
+    LakeguardPlatform::Options options;
+    options.engine_config.exec.batch_size = 256;
+    options.engine_config.exec.spill_dir = base_;
+    platform_ = std::make_unique<LakeguardPlatform>(options);
+    ASSERT_TRUE(platform_->AddUser("u").ok());
+    cluster_ = platform_->CreateStandardCluster();
+    ctx_ = *platform_->DirectContext(cluster_, "u");
+    input_ = BigBatch(4096);
+    plan_ = MakeSort(MakeLocalRelation(input_), {{Col("i"), false}});
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(base_, ec);
+    ChaosTest::TearDown();
+  }
+
+  /// Runs the sort at 4x over an operation budget (so it must spill) and
+  /// drains the stream; the stream is destroyed before returning, which is
+  /// when spill files must be gone.
+  Result<Table> RunBudgeted(ExecutorStats* stats_out = nullptr) {
+    ExecutionContext ctx = ctx_;
+    ctx.memory =
+        std::make_shared<MemoryBudget>("chaos-op", input_.ByteSize() / 4);
+    LG_ASSIGN_OR_RETURN(QueryResultStreamPtr stream,
+                        cluster_->engine->ExecutePlanStreaming(plan_, ctx));
+    Table out(stream->schema());
+    while (true) {
+      auto batch = stream->Next();
+      LG_RETURN_IF_ERROR(batch.status());
+      if (!batch->has_value()) break;
+      LG_RETURN_IF_ERROR(out.AppendBatch(std::move(**batch)));
+    }
+    if (stats_out != nullptr) *stats_out = stream->stats();
+    return out;
+  }
+
+  size_t SpillEntriesLeft() const {
+    size_t n = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(base_)) {
+      (void)entry;
+      ++n;
+    }
+    return n;
+  }
+
+  std::string base_;
+  std::unique_ptr<LakeguardPlatform> platform_;
+  ClusterHandle* cluster_ = nullptr;
+  ExecutionContext ctx_;
+  RecordBatch input_;
+  PlanPtr plan_;
+};
+
+TEST_F(SpillChaosTest, SpillWriteFaultIsTypedAndLeaksNoFiles) {
+  ScopedFault fault("spill.write", FaultPolicy::FailTimes(1));
+  auto result = RunBudgeted();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(IsTransientError(result.status())) << result.status();
+  EXPECT_GE(fault.injected(), 1u);
+  EXPECT_EQ(SpillEntriesLeft(), 0u)
+      << "a failed spill write must not leave run files behind";
+}
+
+TEST_F(SpillChaosTest, SpillReadFaultSurfacesDuringMergeAndCleansUp) {
+  ScopedFault fault("spill.read", FaultPolicy::FailTimes(1));
+  auto result = RunBudgeted();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(IsTransientError(result.status())) << result.status();
+  EXPECT_GE(fault.injected(), 1u);
+  EXPECT_EQ(SpillEntriesLeft(), 0u)
+      << "an aborted merge must sweep its spill directory";
+}
+
+TEST_F(SpillChaosTest, SpillDeleteFaultIsBestEffortAndQueryStillSucceeds) {
+  auto baseline = RunBudgeted();
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  // Every per-run delete fails; the directory sweep is the backstop.
+  ScopedFault fault("spill.delete", FaultPolicy::FailTimes(100));
+  ExecutorStats stats;
+  auto result = RunBudgeted(&stats);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(stats.spill_runs, 0u);
+  EXPECT_GE(fault.injected(), 1u);
+  EXPECT_TRUE(baseline->Combine()->Equals(*result->Combine()));
+  EXPECT_EQ(SpillEntriesLeft(), 0u)
+      << "the spill-dir sweep must reclaim runs the delete fault kept alive";
 }
 
 TEST(ConcurrencyTest, AuditLogParallelWrites) {

@@ -225,26 +225,33 @@ TEST_F(ConnectStreamingTest, ChunksAreProducedLazilyAndReplayedExactly) {
   EXPECT_EQ(cluster_->service->service_stats().lazy_chunks, 0u);
 
   const std::string& sess = client->session_id();
-  // Fetching past the buffered frames pulls the stream on demand.
-  auto chunk5 = cluster_->service->FetchChunk(sess, "op-lazy", 5);
-  ASSERT_TRUE(chunk5.ok()) << chunk5.status();
-  EXPECT_TRUE(chunk5->last);
-  EXPECT_EQ(cluster_->service->service_stats().lazy_chunks, 1u);
-
-  // A re-fetched index replays the cached frame byte-for-byte; the stream
-  // is never pulled again.
-  auto chunk5_again = cluster_->service->FetchChunk(sess, "op-lazy", 5);
-  ASSERT_TRUE(chunk5_again.ok());
-  EXPECT_EQ(chunk5->frame, chunk5_again->frame);
-  EXPECT_EQ(cluster_->service->service_stats().lazy_chunks, 1u);
-
+  // A re-fetched buffered index replays the cached frame byte-for-byte; the
+  // stream is never pulled for it.
   auto chunk3 = cluster_->service->FetchChunk(sess, "op-lazy", 3);
   auto chunk3_again = cluster_->service->FetchChunk(sess, "op-lazy", 3);
   ASSERT_TRUE(chunk3.ok());
   ASSERT_TRUE(chunk3_again.ok());
   EXPECT_EQ(chunk3->frame, chunk3_again->frame);
   EXPECT_FALSE(chunk3->last);
+  EXPECT_EQ(cluster_->service->service_stats().lazy_chunks, 0u);
+
+  // Fetching past the buffered frames pulls the stream on demand.
+  auto chunk5 = cluster_->service->FetchChunk(sess, "op-lazy", 5);
+  ASSERT_TRUE(chunk5.ok()) << chunk5.status();
+  EXPECT_TRUE(chunk5->last);
   EXPECT_EQ(cluster_->service->service_stats().lazy_chunks, 1u);
+
+  // Serving the last chunk released every cached frame (the client has the
+  // whole result): re-fetching a released index is a typed error, and the
+  // stream is never pulled again.
+  EXPECT_TRUE(cluster_->service->FetchChunk(sess, "op-lazy", 5)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(cluster_->service->FetchChunk(sess, "op-lazy", 3)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_EQ(cluster_->service->service_stats().lazy_chunks, 1u);
+  EXPECT_GE(cluster_->service->service_stats().completed_releases, 1u);
 
   // Past the end of an exhausted stream is a typed error, not a hang.
   EXPECT_TRUE(cluster_->service->FetchChunk(sess, "op-lazy", 6)
