@@ -29,7 +29,7 @@ using namespace lakeguard;  // NOLINT — example brevity
               << var##_result.status().ToString() << "\n";      \
     return 1;                                                   \
   }                                                             \
-  auto& var = *var##_result
+  [[maybe_unused]] auto& var = *var##_result
 
 int main() {
   LakeguardPlatform platform;

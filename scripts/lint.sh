@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (checks from .clang-tidy) over every translation unit in
+# src/, using the compile_commands.json of an existing build directory.
+#
+# Usage: scripts/lint.sh [clang-tidy-binary] [build-dir]
+# Typically invoked via the CMake target:  cmake --build build --target lint
+set -u
+
+TIDY="${1:-clang-tidy}"
+BUILD_DIR="${2:-build}"
+
+if ! command -v "${TIDY}" >/dev/null 2>&1; then
+  echo "lint: ${TIDY} not found; install clang-tidy to run the lint target"
+  exit 0
+fi
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+  echo "lint: ${BUILD_DIR}/compile_commands.json missing;" \
+       "configure with cmake first (CMAKE_EXPORT_COMPILE_COMMANDS is on)"
+  exit 1
+fi
+
+FAILED=0
+while IFS= read -r file; do
+  if ! "${TIDY}" -p "${BUILD_DIR}" --quiet "${file}"; then
+    FAILED=1
+  fi
+done < <(find src -name '*.cc' | sort)
+
+if [ "${FAILED}" -ne 0 ]; then
+  echo "lint: clang-tidy reported findings"
+  exit 1
+fi
+echo "lint: clean"

@@ -654,6 +654,73 @@ Result<RelationResolution> UnityCatalog::ResolveRelation(
   return res;
 }
 
+PolicyInspection UnityCatalog::InspectPolicies(const std::string& user,
+                                               const ComputeContext& compute,
+                                               const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PolicyInspection out;
+
+  auto view_it = views_.find(name);
+  if (view_it != views_.end()) {
+    const ViewInfo& view = view_it->second;
+    out.found = true;
+    out.owner = view.owner;
+    if (view.materialized && view.materialization_fresh) {
+      // Fresh MV behaves as a policy-free table over its stored data.
+      out.is_table = true;
+      out.schema = view.materialized_schema;
+      out.storage_root = view.storage_root;
+      out.enforcement = compute.privileged_access ? EnforcementMode::kExternal
+                                                  : EnforcementMode::kLocal;
+      return out;
+    }
+    out.is_table = false;
+    out.enforcement = compute.privileged_access ? EnforcementMode::kExternal
+                                                : EnforcementMode::kLocal;
+    return out;
+  }
+
+  auto table_it = tables_.find(name);
+  if (table_it == tables_.end()) return out;
+  const TableInfo& table = table_it->second;
+  out.found = true;
+  out.is_table = true;
+  out.owner = table.owner;
+  out.schema = table.schema;
+  out.storage_root = table.storage_root;
+
+  if (table.HasFineGrainedPolicies() && compute.privileged_access) {
+    // Same decision ResolveRelation makes: the policies themselves stay
+    // hidden from privileged compute; only the enforcement mode is visible.
+    out.enforcement = EnforcementMode::kExternal;
+    out.storage_root.clear();
+    return out;
+  }
+
+  out.enforcement = EnforcementMode::kLocal;
+  out.row_filter = table.row_filter;
+  for (const ColumnMaskPolicy& mask : table.column_masks) {
+    bool exempt = false;
+    for (const std::string& group : mask.exempt_groups) {
+      if (users_.IsMember(user, group)) {
+        exempt = true;
+        break;
+      }
+    }
+    if (!exempt) out.column_masks.push_back(mask);
+  }
+  return out;
+}
+
+Result<FunctionInfo> UnityCatalog::GetFunction(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = functions_.find(name);
+  if (it == functions_.end()) {
+    return Status::NotFound("function '" + name + "' does not exist");
+  }
+  return it->second;
+}
+
 Result<FunctionInfo> UnityCatalog::ResolveFunction(
     const std::string& user, const ComputeContext& compute,
     const std::string& name) {

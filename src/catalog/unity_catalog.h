@@ -66,6 +66,28 @@ struct RelationResolution {
   std::string read_token;
 };
 
+/// Side-effect-free answer to "what must enforcement look like for this
+/// (user, compute, relation)?" — the PlanVerifier's view of the catalog.
+/// Unlike `RelationResolution` this carries no credential and is produced
+/// without audit records or token vending, so the verifier can ask as often
+/// as it likes without perturbing the security-relevant state it checks.
+struct PolicyInspection {
+  bool found = false;
+  /// True for tables and fresh materialized views (relations that resolve to
+  /// a ResolvedScan); false for logical views (SecureView expansion).
+  bool is_table = false;
+  EnforcementMode enforcement = EnforcementMode::kLocal;
+  /// Definer of a logical view (the identity its expansion resolves under).
+  std::string owner;
+  /// Effective policies for this user: exempt-group masks already dropped,
+  /// mirroring the decisions `ResolveRelation` bakes into the plan. Empty
+  /// under kExternal (the policies live remotely).
+  std::optional<RowFilterPolicy> row_filter;
+  std::vector<ColumnMaskPolicy> column_masks;
+  Schema schema;
+  std::string storage_root;
+};
+
 /// The Unity Catalog analogue: one place that governs catalogs, schemas,
 /// tables, views, functions and volumes; resolves relations per
 /// (user, compute) pair; vends scoped storage credentials; and audits every
@@ -139,6 +161,24 @@ class UnityCatalog {
   Result<FunctionInfo> ResolveFunction(const std::string& user,
                                        const ComputeContext& compute,
                                        const std::string& name);
+
+  /// Side-effect-free mirror of `ResolveRelation`'s enforcement decision:
+  /// no privilege check, no audit record, no credential vending. Intended
+  /// for the PlanVerifier, which must observe the expected policy shape of a
+  /// plan without changing any state the plan's execution depends on.
+  PolicyInspection InspectPolicies(const std::string& user,
+                                   const ComputeContext& compute,
+                                   const std::string& name) const;
+
+  /// Plain metadata lookup of a cataloged function (no EXECUTE check, no
+  /// audit). Verifier-only: resolving policy expressions for comparison.
+  Result<FunctionInfo> GetFunction(const std::string& name) const;
+
+  /// The authority this catalog vends credentials through (verifier needs
+  /// it to inspect the scope of tokens referenced by a plan).
+  const CredentialAuthority* credential_authority() const {
+    return authority_;
+  }
 
   /// Vends a write credential for a table the user can MODIFY. Denied on
   /// privileged compute when the table carries FGAC policies.

@@ -1,0 +1,73 @@
+#include "common/diagnostics.h"
+
+namespace lakeguard {
+
+const char* DiagSeverityName(DiagSeverity severity) {
+  switch (severity) {
+    case DiagSeverity::kWarning:
+      return "warning";
+    case DiagSeverity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = DiagSeverityName(severity);
+  out += " ";
+  out += code;
+  if (!plan_path.empty()) {
+    out += " at ";
+    out += plan_path;
+  }
+  out += ": ";
+  out += message;
+  return out;
+}
+
+void Diagnostics::AddError(std::string code, std::string plan_path,
+                           std::string message) {
+  items_.push_back(Diagnostic{std::move(code), DiagSeverity::kError,
+                              std::move(plan_path), std::move(message)});
+}
+
+void Diagnostics::AddWarning(std::string code, std::string plan_path,
+                             std::string message) {
+  items_.push_back(Diagnostic{std::move(code), DiagSeverity::kWarning,
+                              std::move(plan_path), std::move(message)});
+}
+
+size_t Diagnostics::error_count() const {
+  size_t n = 0;
+  for (const Diagnostic& d : items_) {
+    if (d.severity == DiagSeverity::kError) ++n;
+  }
+  return n;
+}
+
+bool Diagnostics::HasCode(const std::string& code) const {
+  for (const Diagnostic& d : items_) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+std::string Diagnostics::ToString() const {
+  std::string out;
+  for (const Diagnostic& d : items_) {
+    if (!out.empty()) out += "\n";
+    out += d.ToString();
+  }
+  return out;
+}
+
+Status Diagnostics::ToStatus(const std::string& context) const {
+  if (!HasErrors()) return Status::OK();
+  return Status::FailedPrecondition(context + ": " + ToString());
+}
+
+void Diagnostics::Merge(const Diagnostics& other) {
+  items_.insert(items_.end(), other.items_.begin(), other.items_.end());
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,73 @@
+#ifndef LAKEGUARD_COMMON_DIAGNOSTICS_H_
+#define LAKEGUARD_COMMON_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lakeguard {
+
+/// Severity of one diagnostic. Errors make a plan unexecutable; warnings are
+/// advisory (reported but never block admission).
+enum class DiagSeverity : uint8_t {
+  kWarning = 0,
+  kError = 1,
+};
+
+const char* DiagSeverityName(DiagSeverity severity);
+
+/// One finding of a static analysis pass, in the spirit of an MLIR/LLVM IR
+/// verifier diagnostic: a stable error code (grep-able, asserted by the
+/// mutation suite), a severity, the *plan path* of the offending node (a
+/// slash-separated chain of node descriptions from the root, so the finding
+/// is locatable in a printed tree), and a human message.
+struct Diagnostic {
+  std::string code;       // e.g. "PV001"
+  DiagSeverity severity = DiagSeverity::kError;
+  std::string plan_path;  // e.g. "Limit/SecureView(main.s.t)/Filter"
+  std::string message;
+
+  /// "error PV001 at Limit/SecureView(main.s.t)/Filter: ..." rendering.
+  std::string ToString() const;
+};
+
+/// Ordered collection of diagnostics produced by one verifier run, plus the
+/// conversion to the typed `Status` the query path surfaces. Deterministic:
+/// findings appear in plan-walk order, so the same broken plan always
+/// produces the same payload.
+class Diagnostics {
+ public:
+  void AddError(std::string code, std::string plan_path, std::string message);
+  void AddWarning(std::string code, std::string plan_path,
+                  std::string message);
+
+  bool empty() const { return items_.empty(); }
+  size_t size() const { return items_.size(); }
+  const std::vector<Diagnostic>& items() const { return items_; }
+
+  size_t error_count() const;
+  bool HasErrors() const { return error_count() > 0; }
+
+  /// True if any diagnostic carries `code`.
+  bool HasCode(const std::string& code) const;
+
+  /// Multi-line payload: one `Diagnostic::ToString()` line per finding.
+  std::string ToString() const;
+
+  /// OK when no *errors* are present; otherwise a non-retryable
+  /// `kFailedPrecondition` whose message is "`context`: " followed by the
+  /// full diagnostic payload — the typed failure ExecutePlan admission
+  /// surfaces to Connect clients.
+  Status ToStatus(const std::string& context) const;
+
+  /// Appends all findings of `other`.
+  void Merge(const Diagnostics& other);
+
+ private:
+  std::vector<Diagnostic> items_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_COMMON_DIAGNOSTICS_H_

@@ -42,7 +42,11 @@ StatusCode StatusCodeFromString(const std::string& name);
 /// Result of a fallible operation that produces no value. All public APIs in
 /// this library report failure through `Status` / `Result<T>`; exceptions are
 /// never thrown across module boundaries.
-class Status {
+///
+/// `[[nodiscard]]` at class level: silently dropping a returned `Status`
+/// swallows the error — call sites that genuinely do not care must say so
+/// with an explicit `(void)` cast and a comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -140,9 +144,9 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 
 /// Result of a fallible operation that produces a `T` on success.
 /// Modeled after `arrow::Result`: holds either an OK value or a non-OK
-/// `Status`, never both.
+/// `Status`, never both. `[[nodiscard]]` for the same reason as `Status`.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Intentionally implicit so `return value;` and `return status;` both work.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

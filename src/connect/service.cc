@@ -168,6 +168,40 @@ ConnectResponse ConnectService::Execute(const ConnectRequest& request) {
     ++service_stats_.deadline_ops;
   }
 
+  ExecutionContext context;
+  context.user = session.user;
+  context.session_id = session.session_id;
+  context.compute = session.compute;
+  context.temp_views = session.temp_views;
+  context.cancel = op_cancel.token();
+  {
+    // Memory governance: the whole pipeline of this operation charges a
+    // budget node scoped under the session's node (service/session/op).
+    std::lock_guard<std::mutex> lock(mu_);
+    if (governor_ != nullptr) {
+      context.memory =
+          governor_->CreateOperationBudget(session.session_id, operation_id);
+    }
+  }
+
+  // Preparation — parse, rewrite, analyze, optimize and *verify* — runs
+  // before admission: a plan the PlanVerifier rejects surfaces its typed
+  // non-retryable kFailedPrecondition here without ever consuming an
+  // execution slot. Only verified plans compete for capacity.
+  Result<PreparedQuery> prepared = Status::Internal("no request payload");
+  if (!request.plan_bytes.empty()) {
+    auto plan = PlanFromBytes(request.plan_bytes);
+    if (!plan.ok()) return ErrorResponse(plan.status(), operation_id);
+    prepared = engine_->PreparePlan(*plan, context);
+  } else if (!request.sql.empty()) {
+    prepared = engine_->PrepareSql(request.sql, context);
+  } else {
+    return ErrorResponse(
+        Status::InvalidArgument("request carries neither plan nor sql"),
+        operation_id);
+  }
+  if (!prepared.ok()) return ErrorResponse(prepared.status(), operation_id);
+
   // Admission control: bounded execution concurrency. A request beyond the
   // slot limit waits FIFO (bounded depth, deadline-aware) or is shed with a
   // typed retryable error the client's backoff loop absorbs.
@@ -189,39 +223,8 @@ ConnectResponse ConnectService::Execute(const ConnectRequest& request) {
     admission_cv_.notify_all();
   };
 
-  ExecutionContext context;
-  context.user = session.user;
-  context.session_id = session.session_id;
-  context.compute = session.compute;
-  context.temp_views = session.temp_views;
-  context.cancel = op_cancel.token();
-  {
-    // Memory governance: the whole pipeline of this operation charges a
-    // budget node scoped under the session's node (service/session/op).
-    std::lock_guard<std::mutex> lock(mu_);
-    if (governor_ != nullptr) {
-      context.memory =
-          governor_->CreateOperationBudget(session.session_id, operation_id);
-    }
-  }
-
   Result<QueryResultStreamPtr> stream =
-      Status::Internal("no request payload");
-  if (!request.plan_bytes.empty()) {
-    auto plan = PlanFromBytes(request.plan_bytes);
-    if (!plan.ok()) {
-      release_slot();
-      return ErrorResponse(plan.status(), operation_id);
-    }
-    stream = engine_->ExecutePlanStreaming(*plan, context);
-  } else if (!request.sql.empty()) {
-    stream = engine_->ExecuteSqlStreaming(request.sql, context);
-  } else {
-    release_slot();
-    return ErrorResponse(
-        Status::InvalidArgument("request carries neither plan nor sql"),
-        operation_id);
-  }
+      engine_->ExecutePrepared(std::move(*prepared), context);
   if (!stream.ok()) {
     release_slot();
     return ErrorResponse(stream.status(), operation_id);

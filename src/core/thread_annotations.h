@@ -1,0 +1,73 @@
+#ifndef LAKEGUARD_CORE_THREAD_ANNOTATIONS_H_
+#define LAKEGUARD_CORE_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+
+/// Clang thread-safety-analysis capability attributes (-Wthread-safety),
+/// compiled away on every other compiler. libstdc++'s std::mutex carries no
+/// capability attributes, so annotated code locks through the `Mutex` /
+/// `MutexLock` wrappers below — drop-in equivalents whose lock/unlock the
+/// analysis understands.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define LG_THREAD_ANNOTATION__(x) __attribute__((x))
+#endif
+#endif
+#ifndef LG_THREAD_ANNOTATION__
+#define LG_THREAD_ANNOTATION__(x)
+#endif
+
+#define LG_CAPABILITY(x) LG_THREAD_ANNOTATION__(capability(x))
+#define LG_SCOPED_CAPABILITY LG_THREAD_ANNOTATION__(scoped_lockable)
+#define LG_GUARDED_BY(x) LG_THREAD_ANNOTATION__(guarded_by(x))
+#define LG_PT_GUARDED_BY(x) LG_THREAD_ANNOTATION__(pt_guarded_by(x))
+#define LG_REQUIRES(...) \
+  LG_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define LG_ACQUIRE(...) \
+  LG_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define LG_RELEASE(...) \
+  LG_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define LG_TRY_ACQUIRE(...) \
+  LG_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define LG_EXCLUDES(...) LG_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define LG_RETURN_CAPABILITY(x) LG_THREAD_ANNOTATION__(lock_returned(x))
+#define LG_NO_THREAD_SAFETY_ANALYSIS \
+  LG_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace lakeguard {
+
+/// std::mutex with the capability attribute the analysis needs. Satisfies
+/// BasicLockable, so it also works with std::lock_guard/std::unique_lock in
+/// code that is not under analysis.
+class LG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() LG_ACQUIRE() { mu_.lock(); }
+  void unlock() LG_RELEASE() { mu_.unlock(); }
+  bool try_lock() LG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over `Mutex`, annotated as a scoped capability so the analysis
+/// tracks the critical section (std::lock_guard over an annotated mutex is
+/// opaque to it).
+class LG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LG_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() LG_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_CORE_THREAD_ANNOTATIONS_H_

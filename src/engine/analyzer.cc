@@ -83,16 +83,6 @@ Result<AnalysisResult> Analyzer::Analyze(const PlanPtr& plan) {
   return out;
 }
 
-namespace {
-
-/// Resolves `name` against the scope: qualified names ("o.region") match a
-/// part whose alias equals the qualifier; bare names match the first field
-/// of that name across all parts. Returns the GLOBAL column ordinal.
-Result<int> FindInScope(const std::vector<std::pair<std::string, Schema>>&,
-                        const std::string&);
-
-}  // namespace
-
 Result<ExprPtr> Analyzer::ResolveExpr(const ExprPtr& expr,
                                       const ScopeInfo& scope,
                                       AnalysisResult* out) {

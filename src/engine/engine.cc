@@ -30,41 +30,94 @@ Result<Table> QueryEngine::ExecutePlan(const PlanPtr& plan,
   return std::move(exec.result);
 }
 
-Result<QueryEngine::ExplainedExecution> QueryEngine::ExecutePlanExplained(
-    const PlanPtr& plan, const ExecutionContext& context) {
-  ExplainedExecution out;
+Result<PreparedQuery> QueryEngine::PreparePlan(const PlanPtr& plan,
+                                               const ExecutionContext& context) {
+  PreparedQuery out;
   out.source = plan;
   out.rewritten = plan;
   if (pre_rewriter_ != nullptr) {
     LG_ASSIGN_OR_RETURN(out.rewritten, pre_rewriter_->Rewrite(plan, context));
   }
   Analyzer analyzer(services_.catalog, context, services_.extensions);
-  LG_ASSIGN_OR_RETURN(AnalysisResult analysis,
-                      analyzer.Analyze(out.rewritten));
-  out.resolved = analysis.plan;
+  LG_ASSIGN_OR_RETURN(AnalysisResult analysis, analyzer.Analyze(out.rewritten));
+  out.analysis = std::make_unique<AnalysisResult>(std::move(analysis));
+
+  PlanVerifier verifier(services_.catalog);
+  if (config_.verify.verify_after_analysis) {
+    LG_RETURN_IF_ERROR(verifier.VerifyToStatus(
+        out.analysis->plan, context, out.analysis.get(),
+        "plan verification failed after analysis"));
+  }
   Optimizer optimizer(config_.opt);
-  LG_ASSIGN_OR_RETURN(out.optimized, optimizer.Optimize(analysis.plan));
-  Executor executor(services_, config_.exec, context, &analysis);
+#ifdef LAKEGUARD_VERIFY_REWRITES
+  if (config_.verify.verify_rewrites) {
+    // Debug mode: the optimizer applies one rule at a time and this hook
+    // re-verifies after every step, so a violation is attributed to the
+    // rewrite that introduced it rather than the fixpoint end state.
+    AnalysisResult* analysis_ptr = out.analysis.get();
+    optimizer.set_verify_hook(
+        [this, &verifier, &context, analysis_ptr](const PlanPtr& p,
+                                                  const char* rule) {
+          return verifier.VerifyToStatus(
+              p, context, analysis_ptr,
+              std::string("plan verification failed after optimizer "
+                          "rewrite '") +
+                  rule + "'");
+        });
+  }
+#endif
+  LG_ASSIGN_OR_RETURN(out.optimized, optimizer.Optimize(out.analysis->plan));
+  if (config_.verify.verify_after_optimize) {
+    LG_RETURN_IF_ERROR(verifier.VerifyToStatus(
+        out.optimized, context, out.analysis.get(),
+        "plan verification failed after optimization"));
+  }
+  return out;
+}
+
+Result<PreparedQuery> QueryEngine::PrepareSql(const std::string& sql,
+                                              const ExecutionContext& context) {
+  LG_ASSIGN_OR_RETURN(ParsedStatement stmt, ParseSql(sql));
+  if (auto* select = std::get_if<SelectStatement>(&stmt)) {
+    return PreparePlan(select->plan, context);
+  }
+  PreparedQuery out;
+  out.command = std::move(stmt);
+  return out;
+}
+
+Result<QueryEngine::ExplainedExecution> QueryEngine::ExecutePlanExplained(
+    const PlanPtr& plan, const ExecutionContext& context) {
+  LG_ASSIGN_OR_RETURN(PreparedQuery prepared, PreparePlan(plan, context));
+  ExplainedExecution out;
+  out.source = prepared.source;
+  out.rewritten = prepared.rewritten;
+  out.resolved = prepared.analysis->plan;
+  out.optimized = prepared.optimized;
+  Executor executor(services_, config_.exec, context, prepared.analysis.get());
   LG_ASSIGN_OR_RETURN(out.result, executor.Execute(out.optimized));
   return out;
 }
 
-Result<QueryResultStreamPtr> QueryEngine::ExecutePlanStreaming(
-    const PlanPtr& plan, const ExecutionContext& context) {
-  PlanPtr rewritten = plan;
-  if (pre_rewriter_ != nullptr) {
-    LG_ASSIGN_OR_RETURN(rewritten, pre_rewriter_->Rewrite(plan, context));
+Result<QueryResultStreamPtr> QueryEngine::ExecutePrepared(
+    PreparedQuery prepared, const ExecutionContext& context) {
+  if (prepared.command.has_value()) {
+    // Commands execute eagerly (they are side effects); their one-row
+    // status table is wrapped in a stream for a uniform caller interface.
+    LG_ASSIGN_OR_RETURN(Table result, RunCommand(*prepared.command, context));
+    QueryResultStreamPtr stream(new QueryResultStream());
+    stream->cancel_source_ = CancellationSource::LinkedTo(context.cancel);
+    stream->iterator_ =
+        MakeTableIterator(std::move(result), config_.exec.batch_size);
+    stream->schema_ = stream->iterator_->schema();
+    return stream;
   }
-  Analyzer analyzer(services_.catalog, context, services_.extensions);
-  LG_ASSIGN_OR_RETURN(AnalysisResult analysis, analyzer.Analyze(rewritten));
-  Optimizer optimizer(config_.opt);
-  LG_ASSIGN_OR_RETURN(PlanPtr optimized, optimizer.Optimize(analysis.plan));
 
   // Assemble in dependency order: the executor borrows the heap-pinned
   // analysis, the iterator borrows both — all owned by the stream.
   QueryResultStreamPtr stream(new QueryResultStream());
-  stream->analysis_ = std::make_unique<AnalysisResult>(std::move(analysis));
-  stream->optimized_ = optimized;
+  stream->analysis_ = std::move(prepared.analysis);
+  stream->optimized_ = prepared.optimized;
   // The executor runs under a stream-owned source linked to the caller's
   // token: a CancelOperation upstream and a direct stream->Cancel() both
   // stop the pipeline at its next pull.
@@ -101,6 +154,12 @@ Result<QueryResultStreamPtr> QueryEngine::ExecutePlanStreaming(
   return stream;
 }
 
+Result<QueryResultStreamPtr> QueryEngine::ExecutePlanStreaming(
+    const PlanPtr& plan, const ExecutionContext& context) {
+  LG_ASSIGN_OR_RETURN(PreparedQuery prepared, PreparePlan(plan, context));
+  return ExecutePrepared(std::move(prepared), context);
+}
+
 Result<Table> QueryEngine::ExecuteSql(const std::string& sql,
                                       const ExecutionContext& context) {
   LG_ASSIGN_OR_RETURN(ParsedStatement stmt, ParseSql(sql));
@@ -112,17 +171,8 @@ Result<Table> QueryEngine::ExecuteSql(const std::string& sql,
 
 Result<QueryResultStreamPtr> QueryEngine::ExecuteSqlStreaming(
     const std::string& sql, const ExecutionContext& context) {
-  LG_ASSIGN_OR_RETURN(ParsedStatement stmt, ParseSql(sql));
-  if (auto* select = std::get_if<SelectStatement>(&stmt)) {
-    return ExecutePlanStreaming(select->plan, context);
-  }
-  LG_ASSIGN_OR_RETURN(Table result, RunCommand(stmt, context));
-  QueryResultStreamPtr stream(new QueryResultStream());
-  stream->cancel_source_ = CancellationSource::LinkedTo(context.cancel);
-  stream->iterator_ =
-      MakeTableIterator(std::move(result), config_.exec.batch_size);
-  stream->schema_ = stream->iterator_->schema();
-  return stream;
+  LG_ASSIGN_OR_RETURN(PreparedQuery prepared, PrepareSql(sql, context));
+  return ExecutePrepared(std::move(prepared), context);
 }
 
 Result<Table> QueryEngine::RunCommand(const ParsedStatement& stmt,

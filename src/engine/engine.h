@@ -7,6 +7,7 @@
 #include "engine/analyzer.h"
 #include "engine/executor.h"
 #include "engine/optimizer.h"
+#include "engine/plan_verifier.h"
 #include "sql/ast.h"
 
 namespace lakeguard {
@@ -75,6 +76,23 @@ class PreAnalysisRewriter {
 struct QueryEngineConfig {
   ExecutionOptions exec;
   OptimizerOptions opt;
+  PlanVerifierOptions verify;
+};
+
+/// A query that went through rewrite/analysis/optimization — and through
+/// the PlanVerifier — but has not started executing. Splitting preparation
+/// from execution lets the Connect service verify a plan *before* spending
+/// an admission slot on it, without re-running analysis (which has side
+/// effects: credential vending and audit records). Commands (DDL/DML) defer
+/// entirely: their side effects belong to execution, not preparation.
+struct PreparedQuery {
+  PlanPtr source;
+  PlanPtr rewritten;  // after the pre-analysis (eFGAC) rewrite
+  /// Null for commands. Heap-pinned: the executor keeps a pointer to it.
+  std::unique_ptr<AnalysisResult> analysis;
+  PlanPtr optimized;  // null for commands
+  /// Set for non-SELECT SQL; executed when the prepared query runs.
+  std::optional<ParsedStatement> command;
 };
 
 /// The query engine of one cluster: SQL/plan in, table out, governance
@@ -97,6 +115,24 @@ class QueryEngine {
   /// Analyze only: resolved plan + output schema (Connect AnalyzePlan).
   Result<AnalysisResult> AnalyzePlan(const PlanPtr& plan,
                                      const ExecutionContext& context);
+
+  /// Runs rewrite -> analyze -> [verify] -> optimize -> [verify] without
+  /// executing. Verifier failures surface here as kFailedPrecondition with
+  /// the diagnostic payload. In LAKEGUARD_VERIFY_REWRITES builds the
+  /// optimizer additionally re-verifies after every individual rewrite, so
+  /// a violation names the rule that introduced it.
+  Result<PreparedQuery> PreparePlan(const PlanPtr& plan,
+                                    const ExecutionContext& context);
+
+  /// SQL counterpart: SELECT prepares like PreparePlan; other statements
+  /// come back as a deferred command (side effects happen at execution).
+  Result<PreparedQuery> PrepareSql(const std::string& sql,
+                                   const ExecutionContext& context);
+
+  /// Executes a prepared query as a pull stream (commands run eagerly and
+  /// wrap their one-row status table).
+  Result<QueryResultStreamPtr> ExecutePrepared(PreparedQuery prepared,
+                                               const ExecutionContext& context);
 
   /// Full pipeline for a relation plan (collect-all wrapper over the
   /// streaming pipeline).

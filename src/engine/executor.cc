@@ -205,11 +205,6 @@ bool ExtractEquiKeys(const ExprPtr& cond, size_t left_fields,
   return false;
 }
 
-/// Non-owning alias for passing a stack node to Analyzer::ResolvedSchema.
-PlanPtr Alias(const PlanNode& node) {
-  return PlanPtr(&node, [](const PlanNode*) {});
-}
-
 /// Batches a breaker's materialized output occupies, as the resident-memory
 /// proxy (breakers usually hold one combined batch; charge its bounded-batch
 /// equivalent so streaming and materialized plans compare apples-to-apples).
@@ -1622,7 +1617,6 @@ Result<std::vector<Column>> Executor::EvaluateWithUdfs(
       RecordBatch arg_batch(Schema(std::move(arg_fields)),
                             std::move(arg_columns));
 
-      const std::string& owner = pending[members.front()].call->owner();
       RecordBatch results;
       if (options_.isolate_udfs) {
         if (services_.dispatcher == nullptr) {

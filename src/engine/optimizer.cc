@@ -63,7 +63,7 @@ std::vector<std::string> CollectUdfOwners(const ExprPtr& expr) {
   return {owners.begin(), owners.end()};
 }
 
-ExprPtr Optimizer::FoldConstants(const ExprPtr& expr, bool* changed) const {
+ExprPtr FoldPureConstants(const ExprPtr& expr, bool* changed) {
   return RewriteExpr(expr, [&](const ExprPtr& e) -> ExprPtr {
     if (e->kind() == ExprKind::kLiteral) return ExprPtr(nullptr);
     // Only fold pure, input-free, engine-evaluable subtrees.
@@ -83,7 +83,7 @@ ExprPtr Optimizer::FoldConstants(const ExprPtr& expr, bool* changed) const {
     EvalContext ctx;
     auto value = EvaluateScalar(e, ctx);
     if (!value.ok()) return ExprPtr(nullptr);
-    *changed = true;
+    if (changed != nullptr) *changed = true;
     return Lit(std::move(*value));
   });
 }
@@ -156,70 +156,108 @@ Result<PlanPtr> Optimizer::TryPushFilter(const FilterNode& filter,
                      project.exprs(), project.names());
 }
 
-Result<PlanPtr> Optimizer::OptimizeOnce(const PlanPtr& plan,
-                                        bool* changed) const {
+Result<PlanPtr> Optimizer::OptimizeOnce(const PlanPtr& plan, bool* changed,
+                                        StepState* step) const {
+  // In single-step mode at most one rule fires per traversal; after it
+  // fires, the rest of the walk only reassembles unchanged nodes.
+  auto may_fire = [&] { return step == nullptr || !step->fired; };
+  auto record = [&](const char* rule) {
+    if (step != nullptr) {
+      step->fired = true;
+      step->rule = rule;
+    }
+  };
+
   // Bottom-up: optimize children first.
   PlanPtr node = plan;
   switch (plan->kind()) {
     case PlanKind::kProject: {
       const auto& p = static_cast<const ProjectNode&>(*plan);
-      LG_ASSIGN_OR_RETURN(PlanPtr child, OptimizeOnce(p.child(), changed));
+      LG_ASSIGN_OR_RETURN(PlanPtr child,
+                          OptimizeOnce(p.child(), changed, step));
       std::vector<ExprPtr> exprs = p.exprs();
-      if (options_.enable_constant_folding) {
-        for (ExprPtr& e : exprs) e = FoldConstants(e, changed);
+      if (options_.enable_constant_folding && may_fire()) {
+        bool folded = false;
+        for (ExprPtr& e : exprs) e = FoldPureConstants(e, &folded);
+        if (folded) {
+          *changed = true;
+          record("fold_constants");
+        }
       }
       node = MakeProject(std::move(child), std::move(exprs), p.names());
-      if (options_.enable_fusion) {
+      if (options_.enable_fusion && may_fire()) {
+        bool fused = false;
         LG_ASSIGN_OR_RETURN(
             PlanPtr collapsed,
             TryCollapseProjects(static_cast<const ProjectNode&>(*node),
-                                changed));
+                                &fused));
+        if (fused) {
+          *changed = true;
+          record("collapse_projects");
+        }
         if (collapsed) node = collapsed;
       }
       return node;
     }
     case PlanKind::kFilter: {
       const auto& f = static_cast<const FilterNode&>(*plan);
-      LG_ASSIGN_OR_RETURN(PlanPtr child, OptimizeOnce(f.child(), changed));
+      LG_ASSIGN_OR_RETURN(PlanPtr child,
+                          OptimizeOnce(f.child(), changed, step));
       ExprPtr cond = f.condition();
-      if (options_.enable_constant_folding) {
-        cond = FoldConstants(cond, changed);
+      if (options_.enable_constant_folding && may_fire()) {
+        bool folded = false;
+        cond = FoldPureConstants(cond, &folded);
+        if (folded) {
+          *changed = true;
+          record("fold_constants");
+        }
       }
       node = MakeFilter(std::move(child), std::move(cond));
-      if (options_.enable_filter_pushdown) {
+      if (options_.enable_filter_pushdown && may_fire()) {
+        bool pushed_down = false;
         LG_ASSIGN_OR_RETURN(
             PlanPtr pushed,
-            TryPushFilter(static_cast<const FilterNode&>(*node), changed));
+            TryPushFilter(static_cast<const FilterNode&>(*node),
+                          &pushed_down));
+        if (pushed_down) {
+          *changed = true;
+          record("push_filter");
+        }
         if (pushed) node = pushed;
       }
       return node;
     }
     case PlanKind::kAggregate: {
       const auto& a = static_cast<const AggregateNode&>(*plan);
-      LG_ASSIGN_OR_RETURN(PlanPtr child, OptimizeOnce(a.child(), changed));
+      LG_ASSIGN_OR_RETURN(PlanPtr child,
+                          OptimizeOnce(a.child(), changed, step));
       return MakeAggregate(std::move(child), a.group_exprs(), a.group_names(),
                            a.agg_exprs(), a.agg_names());
     }
     case PlanKind::kJoin: {
       const auto& j = static_cast<const JoinNode&>(*plan);
-      LG_ASSIGN_OR_RETURN(PlanPtr left, OptimizeOnce(j.left(), changed));
-      LG_ASSIGN_OR_RETURN(PlanPtr right, OptimizeOnce(j.right(), changed));
+      LG_ASSIGN_OR_RETURN(PlanPtr left, OptimizeOnce(j.left(), changed, step));
+      LG_ASSIGN_OR_RETURN(PlanPtr right,
+                          OptimizeOnce(j.right(), changed, step));
       return MakeJoin(std::move(left), std::move(right), j.join_type(),
                       j.condition());
     }
     case PlanKind::kSort: {
       const auto& s = static_cast<const SortNode&>(*plan);
-      LG_ASSIGN_OR_RETURN(PlanPtr child, OptimizeOnce(s.child(), changed));
+      LG_ASSIGN_OR_RETURN(PlanPtr child,
+                          OptimizeOnce(s.child(), changed, step));
       return MakeSort(std::move(child), s.keys());
     }
     case PlanKind::kLimit: {
       const auto& l = static_cast<const LimitNode&>(*plan);
-      LG_ASSIGN_OR_RETURN(PlanPtr child, OptimizeOnce(l.child(), changed));
+      LG_ASSIGN_OR_RETURN(PlanPtr child,
+                          OptimizeOnce(l.child(), changed, step));
       return MakeLimit(std::move(child), l.limit());
     }
     case PlanKind::kSecureView: {
       const auto& sv = static_cast<const SecureViewNode&>(*plan);
-      LG_ASSIGN_OR_RETURN(PlanPtr child, OptimizeOnce(sv.child(), changed));
+      LG_ASSIGN_OR_RETURN(PlanPtr child,
+                          OptimizeOnce(sv.child(), changed, step));
       return MakeSecureView(std::move(child), sv.securable_name());
     }
     default:
@@ -228,10 +266,25 @@ Result<PlanPtr> Optimizer::OptimizeOnce(const PlanPtr& plan,
 }
 
 Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan) const {
+  if (verify_hook_) {
+    // Verified mode: run to the same fixpoint one rewrite at a time, with
+    // the hook inspecting the plan after every step. The step cap is a
+    // safety net far above what converging rules can ever need.
+    constexpr int kMaxSteps = 10000;
+    PlanPtr current = plan;
+    for (int i = 0; i < kMaxSteps; ++i) {
+      bool changed = false;
+      StepState step;
+      LG_ASSIGN_OR_RETURN(current, OptimizeOnce(current, &changed, &step));
+      if (!step.fired) return current;
+      LG_RETURN_IF_ERROR(verify_hook_(current, step.rule));
+    }
+    return Status::Internal("optimizer did not converge in verified mode");
+  }
   PlanPtr current = plan;
   for (int pass = 0; pass < options_.max_passes; ++pass) {
     bool changed = false;
-    LG_ASSIGN_OR_RETURN(current, OptimizeOnce(current, &changed));
+    LG_ASSIGN_OR_RETURN(current, OptimizeOnce(current, &changed, nullptr));
     if (!changed) break;
   }
   return current;

@@ -1,6 +1,8 @@
 #ifndef LAKEGUARD_ENGINE_OPTIMIZER_H_
 #define LAKEGUARD_ENGINE_OPTIMIZER_H_
 
+#include <functional>
+
 #include "plan/plan.h"
 
 namespace lakeguard {
@@ -21,22 +23,52 @@ struct OptimizerOptions {
 ///    duplicates a UDF call.
 class Optimizer {
  public:
+  /// Called after each individual rewrite when installed (the
+  /// LAKEGUARD_VERIFY_REWRITES debug mode): receives the whole plan after
+  /// the rewrite plus the name of the rule that fired, so a verifier
+  /// failure names the rewrite that *introduced* the violation. A non-OK
+  /// return aborts optimization with that status.
+  using RewriteVerifyHook =
+      std::function<Status(const PlanPtr& plan, const char* rule)>;
+
   explicit Optimizer(OptimizerOptions options = {}) : options_(options) {}
+
+  void set_verify_hook(RewriteVerifyHook hook) {
+    verify_hook_ = std::move(hook);
+  }
 
   Result<PlanPtr> Optimize(const PlanPtr& plan) const;
 
  private:
-  Result<PlanPtr> OptimizeOnce(const PlanPtr& plan, bool* changed) const;
+  /// Single-step mode: when non-null, at most one rule application happens
+  /// per OptimizeOnce traversal and its name is recorded — this is how the
+  /// verify hook attributes a violation to one rewrite. The rules are
+  /// monotone and confluent, so the stepwise fixpoint equals the batched
+  /// one.
+  struct StepState {
+    bool fired = false;
+    const char* rule = "";
+  };
+
+  Result<PlanPtr> OptimizeOnce(const PlanPtr& plan, bool* changed,
+                               StepState* step) const;
   Result<PlanPtr> TryCollapseProjects(const ProjectNode& outer,
                                       bool* changed) const;
   Result<PlanPtr> TryPushFilter(const FilterNode& filter, bool* changed) const;
-  ExprPtr FoldConstants(const ExprPtr& expr, bool* changed) const;
 
   OptimizerOptions options_;
+  RewriteVerifyHook verify_hook_;
 };
 
 /// Owners (trust domains) of all UDF calls in `expr`, deduplicated.
 std::vector<std::string> CollectUdfOwners(const ExprPtr& expr);
+
+/// Replaces pure, input-free, non-context-dependent, non-aggregate subtrees
+/// of `expr` by their literal value. This is the optimizer's constant-fold
+/// rule, exported so the PlanVerifier can compare policy expressions modulo
+/// folding (a folded mask must still count as the mask). `changed` (when
+/// non-null) is set to true iff anything folded.
+ExprPtr FoldPureConstants(const ExprPtr& expr, bool* changed = nullptr);
 
 }  // namespace lakeguard
 

@@ -1,0 +1,516 @@
+#include "engine/plan_verifier.h"
+
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "engine/optimizer.h"
+#include "expr/functions.h"
+
+namespace lakeguard {
+
+namespace {
+
+/// Compact node label for diagnostic plan paths ("Limit/SecureView(x)/...").
+std::string ShortLabel(const PlanNode& node) {
+  switch (node.kind()) {
+    case PlanKind::kSecureView:
+      return "SecureView(" +
+             static_cast<const SecureViewNode&>(node).securable_name() + ")";
+    case PlanKind::kResolvedScan:
+      return "Scan(" +
+             static_cast<const ResolvedScanNode&>(node).table_name() + ")";
+    case PlanKind::kRemoteScan:
+      return "RemoteScan";
+    default:
+      return PlanKindName(node.kind());
+  }
+}
+
+std::string Join(const std::string& parent, const std::string& label) {
+  return parent.empty() ? label : parent + "/" + label;
+}
+
+/// Resolves a *raw* policy expression (as stored in the catalog) against the
+/// table schema exactly the way the analyzer does: column names become
+/// ColIdx(canonical_name, ordinal), cataloged function calls become UdfCall
+/// nodes. This lets the verifier compute the expression it expects to find
+/// in the plan without calling the side-effecting resolution path.
+Result<ExprPtr> ResolvePolicyExpr(const ExprPtr& raw, const Schema& schema,
+                                  const UnityCatalog* catalog) {
+  Status failure = Status::OK();
+  ExprPtr resolved = RewriteExpr(raw, [&](const ExprPtr& e) -> ExprPtr {
+    if (!failure.ok()) return nullptr;
+    if (e->kind() == ExprKind::kColumnRef) {
+      const auto& ref = static_cast<const ColumnRefExpr&>(*e);
+      if (ref.resolved()) return nullptr;
+      int idx = schema.FindField(ref.name());
+      if (idx < 0) {
+        failure = Status::NotFound("policy references unknown column '" +
+                                   ref.name() + "'");
+        return nullptr;
+      }
+      return ColIdx(schema.field(static_cast<size_t>(idx)).name, idx);
+    }
+    if (e->kind() == ExprKind::kFunctionCall) {
+      const auto& call = static_cast<const FunctionCallExpr&>(*e);
+      if (IsAggregateFunctionName(call.name())) return nullptr;
+      if (LookupBuiltin(call.name()).ok()) return nullptr;
+      auto fn = catalog->GetFunction(call.name());
+      if (!fn.ok()) {
+        failure = fn.status();
+        return nullptr;
+      }
+      return Udf(fn->full_name, fn->owner, fn->return_type, call.args());
+    }
+    return nullptr;
+  });
+  if (!failure.ok()) return failure;
+  return resolved;
+}
+
+/// Expression equality modulo constant folding: the optimizer may have
+/// folded literal subtrees of a policy expression in place, which must still
+/// count as the same policy.
+bool EquivalentExprs(const ExprPtr& a, const ExprPtr& b) {
+  ExprPtr fa = FoldPureConstants(a);
+  ExprPtr fb = FoldPureConstants(b);
+  return fa->Equals(*fb);
+}
+
+class Checker {
+ public:
+  Checker(const UnityCatalog* catalog, const ExecutionContext& context,
+          const AnalysisResult* analysis)
+      : catalog_(catalog), context_(context), analysis_(analysis) {}
+
+  Diagnostics Run(const PlanPtr& plan) {
+    Walk(plan, "", context_.user);
+    CheckCredentials();
+    return std::move(diags_);
+  }
+
+ private:
+  // ---- plan walk ----------------------------------------------------------
+
+  void Walk(const PlanPtr& plan, const std::string& parent,
+            const std::string& user) {
+    const std::string path = Join(parent, ShortLabel(*plan));
+    switch (plan->kind()) {
+      case PlanKind::kTableRef:
+        diags_.AddError(PlanVerifier::kMalformed, path,
+                        "unresolved relation '" +
+                            static_cast<const TableRefNode&>(*plan).name() +
+                            "' in a plan submitted for execution");
+        return;
+      case PlanKind::kExtension:
+        diags_.AddError(PlanVerifier::kMalformed, path,
+                        "unexpanded protocol extension '" +
+                            static_cast<const ExtensionNode&>(*plan)
+                                .extension_name() +
+                            "' in a plan submitted for execution");
+        return;
+      case PlanKind::kLocalRelation:
+        return;
+      case PlanKind::kResolvedScan:
+        CheckScan(static_cast<const ResolvedScanNode&>(*plan), plan.get(),
+                  path, user);
+        return;
+      case PlanKind::kRemoteScan: {
+        const auto& remote = static_cast<const RemoteScanNode&>(*plan);
+        if (!remote.remote_plan()) {
+          diags_.AddError(PlanVerifier::kMalformed, path,
+                          "RemoteScan carries no remote sub-plan");
+        }
+        if (remote.schema().num_fields() == 0) {
+          diags_.AddError(PlanVerifier::kMalformed, path,
+                          "RemoteScan carries no schema");
+        }
+        // The remote sub-plan is deliberately unresolved (the Serverless
+        // endpoint analyzes and enforces it); nothing to check inside.
+        return;
+      }
+      case PlanKind::kSecureView:
+        CheckSecureView(static_cast<const SecureViewNode&>(*plan), path,
+                        user);
+        return;
+      case PlanKind::kProject: {
+        const auto& p = static_cast<const ProjectNode&>(*plan);
+        for (const ExprPtr& e : p.exprs()) CheckExpr(e, path);
+        Walk(p.child(), path, user);
+        return;
+      }
+      case PlanKind::kFilter: {
+        const auto& f = static_cast<const FilterNode&>(*plan);
+        CheckExpr(f.condition(), path);
+        Walk(f.child(), path, user);
+        return;
+      }
+      case PlanKind::kAggregate: {
+        const auto& a = static_cast<const AggregateNode&>(*plan);
+        for (const ExprPtr& e : a.group_exprs()) CheckExpr(e, path);
+        for (const ExprPtr& e : a.agg_exprs()) CheckExpr(e, path);
+        Walk(a.child(), path, user);
+        return;
+      }
+      case PlanKind::kJoin: {
+        const auto& j = static_cast<const JoinNode&>(*plan);
+        if (j.condition()) CheckExpr(j.condition(), path);
+        Walk(j.left(), path, user);
+        Walk(j.right(), path, user);
+        return;
+      }
+      case PlanKind::kSort: {
+        const auto& s = static_cast<const SortNode&>(*plan);
+        for (const SortKey& k : s.keys()) CheckExpr(k.expr, path);
+        Walk(s.child(), path, user);
+        return;
+      }
+      case PlanKind::kLimit:
+        Walk(static_cast<const LimitNode&>(*plan).child(), path, user);
+        return;
+    }
+  }
+
+  // ---- V0: expression well-formedness; V3: trust-domain fusion ------------
+
+  void CheckExpr(const ExprPtr& expr, const std::string& path) {
+    std::function<void(const ExprPtr&)> walk = [&](const ExprPtr& e) {
+      if (e->kind() == ExprKind::kColumnRef) {
+        const auto& ref = static_cast<const ColumnRefExpr&>(*e);
+        if (!ref.resolved()) {
+          diags_.AddError(PlanVerifier::kMalformed, path,
+                          "unresolved column reference '" + ref.name() +
+                              "' in a plan submitted for execution");
+        }
+        return;
+      }
+      if (e->kind() == ExprKind::kUdfCall) {
+        const auto& call = static_cast<const UdfCallExpr&>(*e);
+        for (const ExprPtr& arg : call.args()) {
+          bool crosses = ExprContains(arg, [&](const Expr& sub) {
+            return sub.kind() == ExprKind::kUdfCall &&
+                   static_cast<const UdfCallExpr&>(sub).owner() !=
+                       call.owner();
+          });
+          if (crosses) {
+            diags_.AddError(
+                PlanVerifier::kTrustDomainFusion, path,
+                "UDF pipeline spans two trust domains: output of a foreign-"
+                "owner UDF feeds '" +
+                    call.function_name() + "' (owner '" + call.owner() +
+                    "') within one fused expression");
+          }
+        }
+      }
+      for (const ExprPtr& child : e->children()) walk(child);
+    };
+    walk(expr);
+  }
+
+  // ---- V1/V4/V5 bookkeeping at scan leaves --------------------------------
+
+  void CheckScan(const ResolvedScanNode& scan, const PlanNode* node,
+                 const std::string& path, const std::string& user) {
+    PolicyInspection info =
+        catalog_->InspectPolicies(user, context_.compute, scan.table_name());
+    scan_users_[scan.table_name()].insert(user);
+    if (scan_paths_.find(scan.table_name()) == scan_paths_.end()) {
+      scan_paths_[scan.table_name()] = path;
+    }
+    if (!info.found) {
+      diags_.AddWarning(PlanVerifier::kMalformed, path,
+                        "scan of '" + scan.table_name() +
+                            "' which no longer exists in the catalog");
+      return;
+    }
+    scan_roots_[scan.table_name()] = info.storage_root;
+    if (info.enforcement == EnforcementMode::kExternal) {
+      diags_.AddError(
+          PlanVerifier::kResidualLocalScan, path,
+          "relation '" + scan.table_name() +
+              "' requires external (eFGAC) enforcement on compute '" +
+              context_.compute.compute_id +
+              "' but remains a local scan — it must be a RemoteScan leaf");
+      return;
+    }
+    const bool policies_expected =
+        info.row_filter.has_value() || !info.column_masks.empty();
+    if (policies_expected && covered_.find(node) == covered_.end()) {
+      diags_.AddError(
+          PlanVerifier::kPolicyMissing, path,
+          "scan of policy-bearing table '" + scan.table_name() +
+              "' is not dominated by its row-filter/column-mask operators");
+    }
+  }
+
+  // ---- V1/V2: policy-region shape under a SecureView ----------------------
+
+  void CheckSecureView(const SecureViewNode& sv, const std::string& path,
+                       const std::string& user) {
+    PolicyInspection info = catalog_->InspectPolicies(
+        user, context_.compute, sv.securable_name());
+    if (!info.found) {
+      diags_.AddWarning(PlanVerifier::kMalformed, path,
+                        "SecureView guards '" + sv.securable_name() +
+                            "' which no longer exists in the catalog");
+      Walk(sv.child(), path, user);
+      return;
+    }
+    if (!info.is_table) {
+      // Logical view: its expansion resolved under the definer (definer's
+      // rights), so everything below is checked as the view owner.
+      Walk(sv.child(), path, info.owner);
+      return;
+    }
+    if (info.enforcement == EnforcementMode::kLocal &&
+        (info.row_filter.has_value() || !info.column_masks.empty())) {
+      VerifyRegion(sv, info, path);
+    }
+    Walk(sv.child(), path, user);
+  }
+
+  /// The policy region under SecureView(T) must be, exactly:
+  ///   [Project(masks)] -> [Filter(row filter)] -> Scan(T)
+  /// with each expected operator present iff the catalog expects it, in
+  /// that order, carrying expressions equal (modulo folding) to the
+  /// cataloged policies, and nothing else in between.
+  void VerifyRegion(const SecureViewNode& sv, const PolicyInspection& info,
+                    const std::string& path) {
+    PlanPtr cur = sv.child();
+    std::string cur_path = path;
+    const bool expect_masks = !info.column_masks.empty();
+    const bool expect_filter = info.row_filter.has_value();
+
+    if (expect_masks) {
+      if (cur->kind() != PlanKind::kProject) {
+        // Missing expected operator vs. a foreign operator standing in its
+        // place: both break the region, with distinct codes.
+        if (cur->kind() == PlanKind::kFilter ||
+            cur->kind() == PlanKind::kResolvedScan) {
+          diags_.AddError(PlanVerifier::kPolicyMissing,
+                          Join(cur_path, ShortLabel(*cur)),
+                          "column-mask Project missing from the policy "
+                          "region of '" +
+                              sv.securable_name() + "'");
+        } else {
+          diags_.AddError(PlanVerifier::kRegionContaminated,
+                          Join(cur_path, ShortLabel(*cur)),
+                          "foreign operator inside the policy region of '" +
+                              sv.securable_name() +
+                              "' where the column-mask Project belongs");
+          return;
+        }
+      } else {
+        const auto& project = static_cast<const ProjectNode&>(*cur);
+        cur_path = Join(cur_path, "Project");
+        CheckMaskProject(project, info, sv.securable_name(), cur_path);
+        cur = project.child();
+      }
+    }
+
+    if (expect_filter) {
+      if (cur->kind() != PlanKind::kFilter) {
+        if (cur->kind() == PlanKind::kResolvedScan) {
+          diags_.AddError(PlanVerifier::kPolicyMissing,
+                          Join(cur_path, ShortLabel(*cur)),
+                          "row-filter Filter missing from the policy region "
+                          "of '" +
+                              sv.securable_name() + "'");
+        } else {
+          diags_.AddError(PlanVerifier::kRegionContaminated,
+                          Join(cur_path, ShortLabel(*cur)),
+                          "foreign operator inside the policy region of '" +
+                              sv.securable_name() +
+                              "' where the row-filter Filter belongs");
+          return;
+        }
+      } else {
+        const auto& filter = static_cast<const FilterNode&>(*cur);
+        cur_path = Join(cur_path, "Filter");
+        auto expected =
+            ResolvePolicyExpr(info.row_filter->predicate, info.schema,
+                              catalog_);
+        if (!expected.ok()) {
+          diags_.AddWarning(PlanVerifier::kMalformed, cur_path,
+                            "cannot resolve cataloged row filter of '" +
+                                sv.securable_name() +
+                                "' for comparison: " +
+                                expected.status().message());
+        } else if (!EquivalentExprs(filter.condition(), *expected)) {
+          diags_.AddError(
+              PlanVerifier::kRegionContaminated, cur_path,
+              "row-filter predicate of '" + sv.securable_name() +
+                  "' was altered inside the policy region: plan has " +
+                  filter.condition()->ToString() + ", policy is " +
+                  (*expected)->ToString());
+        }
+        cur = filter.child();
+      }
+    }
+
+    if (cur->kind() == PlanKind::kResolvedScan) {
+      const auto& scan = static_cast<const ResolvedScanNode&>(*cur);
+      if (scan.table_name() != sv.securable_name()) {
+        diags_.AddError(PlanVerifier::kRegionContaminated,
+                        Join(cur_path, ShortLabel(scan)),
+                        "policy region of '" + sv.securable_name() +
+                            "' scans a different table '" +
+                            scan.table_name() + "'");
+      } else {
+        // The region dominates this scan; the V1 check at the leaf passes.
+        covered_.insert(cur.get());
+      }
+    } else if (cur->kind() != PlanKind::kRemoteScan) {
+      diags_.AddError(PlanVerifier::kRegionContaminated,
+                      Join(cur_path, ShortLabel(*cur)),
+                      "unexpected operator at the leaf of the policy region "
+                      "of '" +
+                          sv.securable_name() + "'");
+    }
+  }
+
+  void CheckMaskProject(const ProjectNode& project,
+                        const PolicyInspection& info,
+                        const std::string& securable,
+                        const std::string& path) {
+    if (project.exprs().size() != info.schema.num_fields()) {
+      diags_.AddError(PlanVerifier::kRegionContaminated, path,
+                      "mask Project of '" + securable + "' emits " +
+                          std::to_string(project.exprs().size()) +
+                          " columns, table has " +
+                          std::to_string(info.schema.num_fields()));
+      return;
+    }
+    for (size_t i = 0; i < info.schema.num_fields(); ++i) {
+      const FieldDef& field = info.schema.field(i);
+      const ColumnMaskPolicy* mask = nullptr;
+      for (const ColumnMaskPolicy& m : info.column_masks) {
+        if (EqualsIgnoreCase(m.column, field.name)) {
+          mask = &m;
+          break;
+        }
+      }
+      const ExprPtr& actual = project.exprs()[i];
+      if (mask == nullptr) {
+        // Unmasked columns pass through as themselves.
+        ExprPtr expected = ColIdx(field.name, static_cast<int>(i));
+        if (!EquivalentExprs(actual, expected)) {
+          diags_.AddError(PlanVerifier::kRegionContaminated, path,
+                          "mask Project of '" + securable +
+                              "' computes an unexpected expression " +
+                              actual->ToString() + " for unmasked column '" +
+                              field.name + "'");
+        }
+        continue;
+      }
+      auto expected = ResolvePolicyExpr(mask->mask_expr, info.schema,
+                                        catalog_);
+      if (!expected.ok()) {
+        diags_.AddWarning(PlanVerifier::kMalformed, path,
+                          "cannot resolve cataloged mask for column '" +
+                              field.name + "' of '" + securable +
+                              "' for comparison: " +
+                              expected.status().message());
+        continue;
+      }
+      if (EquivalentExprs(actual, *expected)) continue;
+      if (actual->kind() == ExprKind::kColumnRef) {
+        diags_.AddError(PlanVerifier::kPolicyMissing, path,
+                        "mask for column '" + field.name + "' of '" +
+                            securable +
+                            "' was stripped — the raw column is exposed");
+      } else {
+        diags_.AddError(PlanVerifier::kRegionContaminated, path,
+                        "mask expression for column '" + field.name +
+                            "' of '" + securable +
+                            "' was altered: plan has " + actual->ToString() +
+                            ", policy is " + (*expected)->ToString());
+      }
+    }
+  }
+
+  // ---- V5: credential scope, checked once per vended token ----------------
+
+  void CheckCredentials() {
+    if (analysis_ == nullptr) return;
+    const CredentialAuthority* authority = catalog_->credential_authority();
+    if (authority == nullptr) return;
+    for (const auto& [table, token] : analysis_->read_tokens) {
+      auto path_it = scan_paths_.find(table);
+      const std::string path =
+          path_it != scan_paths_.end() ? path_it->second : table;
+      auto cred = authority->Inspect(token);
+      if (!cred.ok()) {
+        diags_.AddWarning(PlanVerifier::kOverbroadCredential, path,
+                          "read token for '" + table +
+                              "' is unknown or was revoked");
+        continue;
+      }
+      if (cred->allow_write) {
+        diags_.AddError(PlanVerifier::kOverbroadCredential, path,
+                        "credential for '" + table +
+                            "' allows writes; the subtree only reads");
+      }
+      // Principal must be one of the identities this plan scans the table
+      // as (the querying user, or a view definer under definer's rights).
+      std::set<std::string> users;
+      auto users_it = scan_users_.find(table);
+      if (users_it != scan_users_.end()) users = users_it->second;
+      if (users.empty()) users.insert(context_.user);
+      if (users.find(cred->principal) == users.end()) {
+        diags_.AddError(PlanVerifier::kOverbroadCredential, path,
+                        "credential for '" + table + "' is bound to '" +
+                            cred->principal +
+                            "', which is not an identity this plan scans "
+                            "the table as");
+      }
+      auto root_it = scan_roots_.find(table);
+      if (root_it == scan_roots_.end() || root_it->second.empty()) continue;
+      const std::string& root = root_it->second;
+      for (const std::string& prefix : cred->allowed_prefixes) {
+        std::string trimmed = prefix;
+        while (!trimmed.empty() &&
+               (trimmed.back() == '*' || trimmed.back() == '/')) {
+          trimmed.pop_back();
+        }
+        if (trimmed.rfind(root, 0) != 0) {
+          diags_.AddError(PlanVerifier::kOverbroadCredential, path,
+                          "credential for '" + table +
+                              "' unlocks prefix '" + prefix +
+                              "' outside the table's storage root '" + root +
+                              "'");
+        }
+      }
+    }
+  }
+
+  const UnityCatalog* catalog_;
+  const ExecutionContext& context_;
+  const AnalysisResult* analysis_;
+  Diagnostics diags_;
+  /// Scans dominated by a verified policy region (V1 satisfied).
+  std::set<const PlanNode*> covered_;
+  /// Per-table bookkeeping for the credential post-pass.
+  std::map<std::string, std::set<std::string>> scan_users_;
+  std::map<std::string, std::string> scan_paths_;
+  std::map<std::string, std::string> scan_roots_;
+};
+
+}  // namespace
+
+Diagnostics PlanVerifier::Verify(const PlanPtr& plan,
+                                 const ExecutionContext& context,
+                                 const AnalysisResult* analysis) const {
+  Checker checker(catalog_, context, analysis);
+  return checker.Run(plan);
+}
+
+Status PlanVerifier::VerifyToStatus(const PlanPtr& plan,
+                                    const ExecutionContext& context,
+                                    const AnalysisResult* analysis,
+                                    const std::string& label) const {
+  return Verify(plan, context, analysis).ToStatus(label);
+}
+
+}  // namespace lakeguard

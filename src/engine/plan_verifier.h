@@ -1,0 +1,80 @@
+#ifndef LAKEGUARD_ENGINE_PLAN_VERIFIER_H_
+#define LAKEGUARD_ENGINE_PLAN_VERIFIER_H_
+
+#include <string>
+
+#include "catalog/unity_catalog.h"
+#include "common/diagnostics.h"
+#include "engine/analysis.h"
+#include "plan/plan.h"
+
+namespace lakeguard {
+
+/// When the query pipeline runs the verifier. `verify_rewrites` only takes
+/// effect in builds configured with -DLAKEGUARD_VERIFY_REWRITES=ON (the
+/// per-rewrite hook is compiled out otherwise — it turns the optimizer into
+/// a single-step machine and is strictly a debugging mode).
+struct PlanVerifierOptions {
+  bool verify_after_analysis = true;
+  bool verify_after_optimize = true;
+  bool verify_rewrites = true;
+};
+
+/// Policy-soundness static analysis over resolved logical plans, in the
+/// spirit of an MLIR/LLVM IR verifier. Lakeguard's security argument is that
+/// analysis *injects* FGAC enforcement and rewrites *preserve* it; this pass
+/// is the machine check of that claim. Invariants:
+///
+///   V1 (PV001) every scan of a securable carrying a row filter or column
+///      mask is dominated by the corresponding Filter/mask-Project region
+///      under a SecureView barrier — no policy-free leaf escapes;
+///   V2 (PV002) nothing inside a policy region was reordered, altered or
+///      augmented — the region is exactly [mask Project] -> [policy Filter]
+///      -> Scan with expressions equal (modulo constant folding) to the
+///      cataloged policies;
+///   V3 (PV003) no UDF pipeline spans two trust domains — a UdfCall never
+///      feeds a UdfCall of a different owner;
+///   V4 (PV004) every relation the catalog flags as externally enforced on
+///      this compute was actually replaced by an eFGAC RemoteScan — no
+///      residual local scan on privileged clusters;
+///   V5 (PV005) vended credentials referenced by the plan carry no broader
+///      scope than the scans need: read-only, principal-bound to the
+///      effective (definer-aware) user, prefixes confined to the table's
+///      storage root.
+///
+/// PV000 flags malformed input (unresolved relations/columns in a plan that
+/// claims to be analyzed). The verifier is read-only end to end: it uses
+/// `UnityCatalog::InspectPolicies` / `GetFunction` and
+/// `CredentialAuthority::Inspect`, which audit nothing and vend nothing.
+class PlanVerifier {
+ public:
+  // Diagnostic codes (stable; asserted by the mutation suite).
+  static constexpr const char* kMalformed = "PV000";
+  static constexpr const char* kPolicyMissing = "PV001";
+  static constexpr const char* kRegionContaminated = "PV002";
+  static constexpr const char* kTrustDomainFusion = "PV003";
+  static constexpr const char* kResidualLocalScan = "PV004";
+  static constexpr const char* kOverbroadCredential = "PV005";
+
+  explicit PlanVerifier(const UnityCatalog* catalog) : catalog_(catalog) {}
+
+  /// Checks V1..V5 over `plan` for the identity/compute in `context`.
+  /// `analysis` (optional) supplies the vended read tokens for V5; without
+  /// it the credential checks are skipped (execution then fails closed on
+  /// the missing tokens anyway).
+  Diagnostics Verify(const PlanPtr& plan, const ExecutionContext& context,
+                     const AnalysisResult* analysis) const;
+
+  /// Verify + `Diagnostics::ToStatus(label)`: OK or a typed non-retryable
+  /// kFailedPrecondition carrying the full diagnostic payload.
+  Status VerifyToStatus(const PlanPtr& plan, const ExecutionContext& context,
+                        const AnalysisResult* analysis,
+                        const std::string& label) const;
+
+ private:
+  const UnityCatalog* catalog_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_ENGINE_PLAN_VERIFIER_H_

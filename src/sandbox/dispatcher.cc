@@ -150,7 +150,7 @@ Result<Sandbox*> Dispatcher::AcquireLocked(const std::string& session_id,
 Result<Sandbox*> Dispatcher::Acquire(const std::string& session_id,
                                      const std::string& trust_domain,
                                      const SandboxPolicy& policy) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return AcquireLocked(session_id, trust_domain, policy);
 }
 
@@ -162,7 +162,7 @@ Result<RecordBatch> Dispatcher::Dispatch(
   Sandbox* sandbox = nullptr;
   bool is_probe = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (max_batch_bytes_ > 0 && args.ByteSize() > max_batch_bytes_) {
       // Refused before provisioning: an oversized transfer never reaches
       // the sandbox boundary. Typed so the executor can split and retry.
@@ -193,7 +193,7 @@ Result<RecordBatch> Dispatcher::Dispatch(
   Result<RecordBatch> result = sandbox->ExecuteBatch(args, invocations);
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = sandboxes_.find(key);
     if (it != sandboxes_.end() && it->second.sandbox.get() == sandbox) {
       --it->second.busy;
@@ -223,7 +223,7 @@ Result<RecordBatch> Dispatcher::Dispatch(
 }
 
 size_t Dispatcher::CheckLiveness() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t quarantined = 0;
   for (auto it = sandboxes_.begin(); it != sandboxes_.end();) {
     if (it->second.busy > 0) {
@@ -249,7 +249,7 @@ size_t Dispatcher::CheckLiveness() {
 
 void Dispatcher::ReleaseSession(const std::string& session_id) {
   std::string prefix = session_id + "\n";
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = sandboxes_.begin(); it != sandboxes_.end();) {
     if (it->first.compare(0, prefix.size(), prefix) == 0) {
       if (it->second.busy > 0) {
@@ -270,7 +270,7 @@ void Dispatcher::ReleaseSession(const std::string& session_id) {
 size_t Dispatcher::EvictIdle(int64_t idle_micros) {
   int64_t now = clock_->NowMicros();
   size_t evicted = 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = sandboxes_.begin(); it != sandboxes_.end();) {
     if (now - it->second.sandbox->last_used_micros() > idle_micros) {
       if (it->second.busy > 0) {
@@ -290,17 +290,17 @@ size_t Dispatcher::EvictIdle(int64_t idle_micros) {
 }
 
 size_t Dispatcher::ActiveSandboxCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sandboxes_.size();
 }
 
 DispatcherStats Dispatcher::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 BreakerState Dispatcher::breaker_state(const std::string& trust_domain) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = breakers_.find(trust_domain);
   return it == breakers_.end() ? BreakerState::kClosed : it->second.state;
 }

@@ -10,6 +10,7 @@
 #include "common/clock.h"
 #include "common/id.h"
 #include "common/retry.h"
+#include "core/thread_annotations.h"
 #include "sandbox/sandbox.h"
 
 namespace lakeguard {
@@ -117,14 +118,14 @@ class Dispatcher {
 
   /// Replaces the provisioning retry policy (tests tighten deadlines here).
   void set_provision_retry_policy(RetryPolicy policy) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     provision_retry_ = policy;
   }
 
   /// Replaces the circuit-breaker tuning (benches disable the breaker by
   /// raising the threshold out of reach).
   void set_breaker_config(BreakerConfig config) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     breaker_config_ = config;
   }
 
@@ -132,7 +133,7 @@ class Dispatcher {
   /// oversized batch is refused with typed kResourceExhausted *before* the
   /// sandbox boundary — the executor reacts by splitting the batch.
   void set_max_batch_bytes(size_t bytes) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     max_batch_bytes_ = bytes;
   }
 
@@ -194,24 +195,25 @@ class Dispatcher {
   /// Acquire body; requires mu_ held.
   Result<Sandbox*> AcquireLocked(const std::string& session_id,
                                  const std::string& trust_domain,
-                                 const SandboxPolicy& policy);
+                                 const SandboxPolicy& policy)
+      LG_REQUIRES(mu_);
   /// Gate on the trust domain's breaker before provisioning; requires mu_.
-  Status CheckBreakerLocked(const std::string& trust_domain);
+  Status CheckBreakerLocked(const std::string& trust_domain) LG_REQUIRES(mu_);
   /// Records a sandbox crash against the domain's breaker; requires mu_.
-  void RecordCrashLocked(const std::string& trust_domain);
+  void RecordCrashLocked(const std::string& trust_domain) LG_REQUIRES(mu_);
   /// Records a successful dispatch (resets/closes the breaker); requires mu_.
-  void RecordSuccessLocked(const std::string& trust_domain);
+  void RecordSuccessLocked(const std::string& trust_domain) LG_REQUIRES(mu_);
 
   SandboxProvisioner* provisioner_;
   Clock* clock_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // key: session_id + '\n' + trust_domain
-  std::map<std::string, Entry> sandboxes_;
-  std::map<std::string, Breaker> breakers_;  // key: trust_domain
-  DispatcherStats stats_;
-  RetryPolicy provision_retry_;
-  BreakerConfig breaker_config_;
-  size_t max_batch_bytes_ = 0;  // 0 = unlimited
+  std::map<std::string, Entry> sandboxes_ LG_GUARDED_BY(mu_);
+  std::map<std::string, Breaker> breakers_ LG_GUARDED_BY(mu_);  // key: trust_domain
+  DispatcherStats stats_ LG_GUARDED_BY(mu_);
+  RetryPolicy provision_retry_ LG_GUARDED_BY(mu_);
+  BreakerConfig breaker_config_ LG_GUARDED_BY(mu_);
+  size_t max_batch_bytes_ LG_GUARDED_BY(mu_) = 0;  // 0 = unlimited
 };
 
 }  // namespace lakeguard

@@ -69,4 +69,14 @@ size_t CredentialAuthority::ActiveTokenCount() const {
   return tokens_.size();
 }
 
+Result<StorageCredential> CredentialAuthority::Inspect(
+    const std::string& token_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tokens_.find(token_id);
+  if (it == tokens_.end()) {
+    return Status::NotFound("unknown or revoked storage token");
+  }
+  return it->second;
+}
+
 }  // namespace lakeguard

@@ -61,6 +61,11 @@ class CredentialAuthority {
   /// Number of currently registered (possibly expired) tokens.
   size_t ActiveTokenCount() const;
 
+  /// Returns a copy of the credential behind `token_id` (live or expired),
+  /// or NotFound. Read-only: used by the PlanVerifier to check that tokens
+  /// referenced by a plan carry no broader scope than the plan needs.
+  Result<StorageCredential> Inspect(const std::string& token_id) const;
+
  private:
   Clock* clock_;
   mutable std::mutex mu_;

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/platform.h"
+#include "engine/plan_verifier.h"
 #include "plan/plan_serde.h"
 #include "sql/parser.h"
 
@@ -183,6 +184,32 @@ TEST_F(EfgacTest, RemoteExecutionRunsAsTheSameUser) {
       "SELECT seller FROM main.s.sales WHERE seller = CURRENT_USER()");
   ASSERT_TRUE(exec2.ok());
   EXPECT_EQ(exec2->result.num_rows(), 1u);
+}
+
+TEST_F(EfgacTest, OptimizerNeverRelocalizesPolicyBearingScan) {
+  // V4 regression: filter/project/aggregate/limit pushdown on a Dedicated
+  // cluster must push *into* the RemoteScan's unresolved sub-plan, never
+  // materialize a local ResolvedScan of the policy-bearing table. The
+  // PlanVerifier flags any such residual scan as PV004; here we also pin
+  // the structural property directly across every optimized shape.
+  for (const char* sql : {
+           "SELECT amount FROM main.s.sales WHERE amount > 100",
+           "SELECT SUM(amount) AS t FROM main.s.sales",
+           "SELECT seller FROM main.s.sales "
+           "WHERE order_date = '2024-12-01' LIMIT 2",
+       }) {
+    auto exec = RunOnDedicated(sql);
+    ASSERT_TRUE(exec.ok()) << sql << " -> " << exec.status();
+    for (const PlanPtr& plan : {exec->rewritten, exec->optimized}) {
+      EXPECT_EQ(CountPlanNodes(plan, PlanKind::kResolvedScan), 0u)
+          << sql << " re-localized the scan:\n" << plan->ToTreeString();
+      EXPECT_EQ(CountPlanNodes(plan, PlanKind::kRemoteScan), 1u) << sql;
+    }
+    PlanVerifier verifier(&platform_.catalog());
+    Diagnostics diags = verifier.Verify(exec->optimized, eve_ctx_, nullptr);
+    EXPECT_FALSE(diags.HasCode(PlanVerifier::kResidualLocalScan))
+        << diags.ToString();
+  }
 }
 
 TEST_F(EfgacTest, StorageCredentialNeverVendedToDedicated) {

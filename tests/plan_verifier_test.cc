@@ -1,0 +1,458 @@
+// Mutation suite for src/engine/plan_verifier: every violation class the
+// verifier guards against (V1..V5 plus malformed input) is seeded into an
+// otherwise-correct plan and must be rejected with its distinct diagnostic
+// code — and clean analyzed plans must produce zero findings (no false
+// positives). Also covers the per-rewrite attribution hook and the Connect
+// pre-admission call site (a hand-crafted ResolvedScan that skips policy
+// injection must die with kFailedPrecondition before consuming a slot).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/platform.h"
+#include "engine/optimizer.h"
+#include "engine/plan_verifier.h"
+#include "sql/parser.h"
+
+namespace lakeguard {
+namespace {
+
+/// Bottom-up rebuild of a plan tree: `fn` sees each node and returns a
+/// replacement, or nullptr to keep the node (children are then rebuilt).
+/// Only the node kinds the mutations traverse are handled.
+PlanPtr Rebuild(const PlanPtr& plan,
+                const std::function<PlanPtr(const PlanPtr&)>& fn) {
+  PlanPtr replaced = fn(plan);
+  if (replaced) return replaced;
+  switch (plan->kind()) {
+    case PlanKind::kProject: {
+      const auto& p = static_cast<const ProjectNode&>(*plan);
+      return MakeProject(Rebuild(p.child(), fn), p.exprs(), p.names());
+    }
+    case PlanKind::kFilter: {
+      const auto& f = static_cast<const FilterNode&>(*plan);
+      return MakeFilter(Rebuild(f.child(), fn), f.condition());
+    }
+    case PlanKind::kSecureView: {
+      const auto& sv = static_cast<const SecureViewNode&>(*plan);
+      return MakeSecureView(Rebuild(sv.child(), fn), sv.securable_name());
+    }
+    case PlanKind::kLimit: {
+      const auto& l = static_cast<const LimitNode&>(*plan);
+      return MakeLimit(Rebuild(l.child(), fn), l.limit());
+    }
+    case PlanKind::kSort: {
+      const auto& s = static_cast<const SortNode&>(*plan);
+      return MakeSort(Rebuild(s.child(), fn), s.keys());
+    }
+    case PlanKind::kAggregate: {
+      const auto& a = static_cast<const AggregateNode&>(*plan);
+      return MakeAggregate(Rebuild(a.child(), fn), a.group_exprs(),
+                           a.group_names(), a.agg_exprs(), a.agg_names());
+    }
+    default:
+      return plan;
+  }
+}
+
+class PlanVerifierTest : public ::testing::Test {
+ protected:
+  PlanVerifierTest() {
+    EXPECT_TRUE(platform_.AddUser("admin").ok());
+    EXPECT_TRUE(platform_.AddUser("eve").ok());
+    platform_.AddMetastoreAdmin("admin");
+    platform_.RegisterToken("tok-eve", "eve");
+    EXPECT_TRUE(platform_.catalog().CreateCatalog("admin", "main").ok());
+    EXPECT_TRUE(platform_.catalog().CreateSchema("admin", "main.s").ok());
+
+    cluster_ = platform_.CreateStandardCluster();
+    admin_ctx_ = *platform_.DirectContext(cluster_, "admin");
+    Must("CREATE TABLE main.s.sales (region STRING, amount BIGINT, "
+         "seller STRING)");
+    Must("INSERT INTO main.s.sales VALUES ('US', 120, 'ann'), "
+         "('EU', 75, 'zoe')");
+    Must("ALTER TABLE main.s.sales SET ROW FILTER (region = 'US')");
+    Must("CREATE TABLE main.s.customers (name STRING, ssn STRING)");
+    Must("INSERT INTO main.s.customers VALUES ('ann', '123-45-6789')");
+    Must("ALTER TABLE main.s.customers ALTER COLUMN ssn SET MASK "
+         "(REDACT(ssn))");
+    Must("CREATE TABLE main.s.plain (x BIGINT)");
+    Must("INSERT INTO main.s.plain VALUES (1), (2)");
+    Must("GRANT USE CATALOG ON main TO eve");
+    Must("GRANT USE SCHEMA ON main.s TO eve");
+    Must("GRANT SELECT ON main.s.sales TO eve");
+  }
+
+  void Must(const std::string& sql) {
+    auto result = cluster_->engine->ExecuteSql(sql, admin_ctx_);
+    ASSERT_TRUE(result.ok()) << sql << " -> " << result.status();
+  }
+
+  /// Analyzes `sql` as `ctx`, checking success.
+  AnalysisResult Analyzed(const std::string& sql,
+                          const ExecutionContext& ctx) {
+    auto stmt = ParseSql(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status();
+    Analyzer analyzer(&platform_.catalog(), ctx);
+    auto analysis = analyzer.Analyze(std::get<SelectStatement>(*stmt).plan);
+    EXPECT_TRUE(analysis.ok()) << sql << " -> " << analysis.status();
+    return std::move(*analysis);
+  }
+
+  Diagnostics Verify(const PlanPtr& plan, const ExecutionContext& ctx,
+                     const AnalysisResult* analysis = nullptr) {
+    PlanVerifier verifier(&platform_.catalog());
+    return verifier.Verify(plan, ctx, analysis);
+  }
+
+  LakeguardPlatform platform_;
+  ClusterHandle* cluster_ = nullptr;
+  ExecutionContext admin_ctx_;
+};
+
+// ---- No false positives -----------------------------------------------------
+
+TEST_F(PlanVerifierTest, CleanAnalyzedPlansProduceNoDiagnostics) {
+  for (const char* sql : {
+           "SELECT amount FROM main.s.sales",
+           "SELECT region, SUM(amount) AS t FROM main.s.sales "
+           "GROUP BY region",
+           "SELECT name, ssn FROM main.s.customers ORDER BY name LIMIT 5",
+           "SELECT x FROM main.s.plain WHERE x > 1",
+       }) {
+    AnalysisResult analysis = Analyzed(sql, admin_ctx_);
+    Diagnostics diags = Verify(analysis.plan, admin_ctx_, &analysis);
+    EXPECT_TRUE(diags.empty()) << sql << ":\n" << diags.ToString();
+  }
+}
+
+TEST_F(PlanVerifierTest, OptimizedPlansProduceNoDiagnostics) {
+  auto exec = cluster_->engine->ExecutePlanExplained(
+      std::get<SelectStatement>(
+          *ParseSql("SELECT seller FROM main.s.sales WHERE amount > 100"))
+          .plan,
+      admin_ctx_);
+  ASSERT_TRUE(exec.ok()) << exec.status();
+  Diagnostics diags = Verify(exec->optimized, admin_ctx_);
+  EXPECT_TRUE(diags.empty()) << diags.ToString();
+}
+
+// ---- V1 (PV001): stripped enforcement ---------------------------------------
+
+TEST_F(PlanVerifierTest, RemovedRowFilterFlagsPV001) {
+  AnalysisResult analysis = Analyzed("SELECT amount FROM main.s.sales",
+                                     admin_ctx_);
+  // Mutation: delete the policy Filter under the SecureView, exposing the
+  // raw scan.
+  PlanPtr mutated = Rebuild(analysis.plan, [](const PlanPtr& p) -> PlanPtr {
+    if (p->kind() != PlanKind::kSecureView) return nullptr;
+    const auto& sv = static_cast<const SecureViewNode&>(*p);
+    if (sv.child()->kind() != PlanKind::kFilter) return nullptr;
+    return MakeSecureView(
+        static_cast<const FilterNode&>(*sv.child()).child(),
+        sv.securable_name());
+  });
+  Diagnostics diags = Verify(mutated, admin_ctx_, &analysis);
+  EXPECT_TRUE(diags.HasCode(PlanVerifier::kPolicyMissing))
+      << diags.ToString();
+  EXPECT_TRUE(diags.ToStatus("verify").IsFailedPrecondition());
+}
+
+TEST_F(PlanVerifierTest, StrippedColumnMaskFlagsPV001) {
+  AnalysisResult analysis = Analyzed("SELECT ssn FROM main.s.customers",
+                                     admin_ctx_);
+  // Mutation: replace the mask Project's REDACT(ssn) with the raw column.
+  PlanPtr mutated = Rebuild(analysis.plan, [](const PlanPtr& p) -> PlanPtr {
+    if (p->kind() != PlanKind::kSecureView) return nullptr;
+    const auto& sv = static_cast<const SecureViewNode&>(*p);
+    if (sv.child()->kind() != PlanKind::kProject) return nullptr;
+    const auto& project = static_cast<const ProjectNode&>(*sv.child());
+    std::vector<ExprPtr> exprs = project.exprs();
+    exprs[1] = ColIdx("ssn", 1);  // ssn is column 1 of main.s.customers
+    return MakeSecureView(
+        MakeProject(project.child(), std::move(exprs), project.names()),
+        sv.securable_name());
+  });
+  Diagnostics diags = Verify(mutated, admin_ctx_, &analysis);
+  ASSERT_TRUE(diags.HasCode(PlanVerifier::kPolicyMissing))
+      << diags.ToString();
+  EXPECT_NE(diags.ToString().find("stripped"), std::string::npos);
+}
+
+TEST_F(PlanVerifierTest, BareScanOfPolicyTableFlagsPV001) {
+  // A scan leaf with no SecureView region at all — what a client submitting
+  // a pre-resolved plan would try in order to skip policy injection.
+  PolicyInspection info = platform_.catalog().InspectPolicies(
+      "admin", admin_ctx_.compute, "main.s.sales");
+  ASSERT_TRUE(info.found);
+  PlanPtr bare =
+      MakeResolvedScan("main.s.sales", info.storage_root, info.schema);
+  Diagnostics diags = Verify(bare, admin_ctx_);
+  EXPECT_TRUE(diags.HasCode(PlanVerifier::kPolicyMissing))
+      << diags.ToString();
+}
+
+// ---- V2 (PV002): contaminated / altered region ------------------------------
+
+TEST_F(PlanVerifierTest, ForeignOperatorInRegionFlagsPV002) {
+  AnalysisResult analysis = Analyzed("SELECT amount FROM main.s.sales",
+                                     admin_ctx_);
+  // Mutation: a Limit wedged between the barrier and the policy Filter.
+  PlanPtr mutated = Rebuild(analysis.plan, [](const PlanPtr& p) -> PlanPtr {
+    if (p->kind() != PlanKind::kSecureView) return nullptr;
+    const auto& sv = static_cast<const SecureViewNode&>(*p);
+    return MakeSecureView(MakeLimit(sv.child(), 1000), sv.securable_name());
+  });
+  Diagnostics diags = Verify(mutated, admin_ctx_, &analysis);
+  EXPECT_TRUE(diags.HasCode(PlanVerifier::kRegionContaminated))
+      << diags.ToString();
+}
+
+TEST_F(PlanVerifierTest, UserPredicatePushedBelowPolicyFilterFlagsPV002) {
+  AnalysisResult analysis = Analyzed("SELECT amount FROM main.s.sales",
+                                     admin_ctx_);
+  // Mutation: a (mis-ordered) pushdown sneaks a user predicate below the
+  // row filter, between it and the scan.
+  PlanPtr mutated = Rebuild(analysis.plan, [](const PlanPtr& p) -> PlanPtr {
+    if (p->kind() != PlanKind::kSecureView) return nullptr;
+    const auto& sv = static_cast<const SecureViewNode&>(*p);
+    if (sv.child()->kind() != PlanKind::kFilter) return nullptr;
+    const auto& policy = static_cast<const FilterNode&>(*sv.child());
+    ExprPtr user_pred =
+        BinOp(BinaryOpKind::kGt, ColIdx("amount", 1), LitInt(100));
+    return MakeSecureView(
+        MakeFilter(MakeFilter(policy.child(), user_pred),
+                   policy.condition()),
+        sv.securable_name());
+  });
+  Diagnostics diags = Verify(mutated, admin_ctx_, &analysis);
+  EXPECT_TRUE(diags.HasCode(PlanVerifier::kRegionContaminated))
+      << diags.ToString();
+}
+
+TEST_F(PlanVerifierTest, AlteredRowFilterPredicateFlagsPV002) {
+  AnalysisResult analysis = Analyzed("SELECT amount FROM main.s.sales",
+                                     admin_ctx_);
+  // Mutation: the filter op survives but its predicate was weakened.
+  PlanPtr mutated = Rebuild(analysis.plan, [](const PlanPtr& p) -> PlanPtr {
+    if (p->kind() != PlanKind::kSecureView) return nullptr;
+    const auto& sv = static_cast<const SecureViewNode&>(*p);
+    if (sv.child()->kind() != PlanKind::kFilter) return nullptr;
+    const auto& policy = static_cast<const FilterNode&>(*sv.child());
+    return MakeSecureView(
+        MakeFilter(policy.child(),
+                   Eq(ColIdx("region", 0), LitString("EU"))),
+        sv.securable_name());
+  });
+  Diagnostics diags = Verify(mutated, admin_ctx_, &analysis);
+  ASSERT_TRUE(diags.HasCode(PlanVerifier::kRegionContaminated))
+      << diags.ToString();
+  EXPECT_NE(diags.ToString().find("altered"), std::string::npos);
+}
+
+TEST_F(PlanVerifierTest, AlteredMaskExpressionFlagsPV002) {
+  AnalysisResult analysis = Analyzed("SELECT ssn FROM main.s.customers",
+                                     admin_ctx_);
+  // Mutation: the mask slot computes something other than the policy.
+  PlanPtr mutated = Rebuild(analysis.plan, [](const PlanPtr& p) -> PlanPtr {
+    if (p->kind() != PlanKind::kSecureView) return nullptr;
+    const auto& sv = static_cast<const SecureViewNode&>(*p);
+    if (sv.child()->kind() != PlanKind::kProject) return nullptr;
+    const auto& project = static_cast<const ProjectNode&>(*sv.child());
+    std::vector<ExprPtr> exprs = project.exprs();
+    exprs[1] = Func("UPPER", {ColIdx("ssn", 1)});
+    return MakeSecureView(
+        MakeProject(project.child(), std::move(exprs), project.names()),
+        sv.securable_name());
+  });
+  Diagnostics diags = Verify(mutated, admin_ctx_, &analysis);
+  EXPECT_TRUE(diags.HasCode(PlanVerifier::kRegionContaminated))
+      << diags.ToString();
+}
+
+// ---- V3 (PV003): trust-domain fusion ----------------------------------------
+
+TEST_F(PlanVerifierTest, CrossOwnerUdfPipelineFlagsPV003) {
+  AnalysisResult analysis = Analyzed("SELECT x FROM main.s.plain",
+                                     admin_ctx_);
+  // Mutation: a fused Project where bob's UDF output feeds alice's UDF in
+  // one expression — two trust domains in one sandbox dispatch.
+  ExprPtr fused = Udf("main.s.f_alice", "alice", TypeKind::kInt64,
+                      {Udf("main.s.g_bob", "bob", TypeKind::kInt64,
+                           {ColIdx("x", 0)})});
+  PlanPtr mutated = MakeProject(analysis.plan, {fused}, {"y"});
+  Diagnostics diags = Verify(mutated, admin_ctx_, &analysis);
+  EXPECT_TRUE(diags.HasCode(PlanVerifier::kTrustDomainFusion))
+      << diags.ToString();
+  // Same-owner nesting stays legal.
+  ExprPtr same_owner = Udf("main.s.f_alice", "alice", TypeKind::kInt64,
+                           {Udf("main.s.h_alice", "alice", TypeKind::kInt64,
+                                {ColIdx("x", 0)})});
+  Diagnostics clean =
+      Verify(MakeProject(analysis.plan, {same_owner}, {"y"}), admin_ctx_);
+  EXPECT_FALSE(clean.HasCode(PlanVerifier::kTrustDomainFusion))
+      << clean.ToString();
+}
+
+// ---- V4 (PV004): residual local scan on privileged compute ------------------
+
+TEST_F(PlanVerifierTest, LocalScanOfExternallyEnforcedTableFlagsPV004) {
+  ClusterHandle* dedicated =
+      platform_.CreateDedicatedCluster("eve", /*is_group=*/false);
+  ExecutionContext eve_ctx = *platform_.DirectContext(dedicated, "eve");
+  PolicyInspection info = platform_.catalog().InspectPolicies(
+      "admin", admin_ctx_.compute, "main.s.sales");
+  ASSERT_TRUE(info.found);
+  // On eve's dedicated cluster the catalog demands eFGAC for this table;
+  // a plan that still scans it locally (even with the region intact) is a
+  // policy bypass — the policy expressions would run on untrusted compute.
+  PlanPtr local_scan =
+      MakeResolvedScan("main.s.sales", info.storage_root, info.schema);
+  Diagnostics diags = Verify(local_scan, eve_ctx);
+  EXPECT_TRUE(diags.HasCode(PlanVerifier::kResidualLocalScan))
+      << diags.ToString();
+  // The same leaf as a RemoteScan is what the eFGAC rewrite produces: ok.
+  PlanPtr remote = MakeRemoteScan(MakeTableRef("main.s.sales"),
+                                  "serverless", info.schema);
+  Diagnostics clean = Verify(remote, eve_ctx);
+  EXPECT_TRUE(clean.empty()) << clean.ToString();
+}
+
+// ---- V5 (PV005): overbroad vended credentials -------------------------------
+
+TEST_F(PlanVerifierTest, WriteCapableCredentialFlagsPV005) {
+  AnalysisResult analysis = Analyzed("SELECT amount FROM main.s.sales",
+                                     admin_ctx_);
+  PolicyInspection info = platform_.catalog().InspectPolicies(
+      "admin", admin_ctx_.compute, "main.s.sales");
+  StorageCredential cred = platform_.authority().Issue(
+      "admin", admin_ctx_.compute.compute_id, {info.storage_root + "/*"},
+      /*allow_write=*/true, /*ttl_micros=*/60'000'000);
+  analysis.read_tokens["main.s.sales"] = cred.token_id;
+  Diagnostics diags = Verify(analysis.plan, admin_ctx_, &analysis);
+  ASSERT_TRUE(diags.HasCode(PlanVerifier::kOverbroadCredential))
+      << diags.ToString();
+  EXPECT_NE(diags.ToString().find("writes"), std::string::npos);
+}
+
+TEST_F(PlanVerifierTest, OverbroadPrefixCredentialFlagsPV005) {
+  AnalysisResult analysis = Analyzed("SELECT amount FROM main.s.sales",
+                                     admin_ctx_);
+  // A token unlocking the whole bucket instead of the table's root.
+  StorageCredential cred = platform_.authority().Issue(
+      "admin", admin_ctx_.compute.compute_id, {"/*"},
+      /*allow_write=*/false, /*ttl_micros=*/60'000'000);
+  analysis.read_tokens["main.s.sales"] = cred.token_id;
+  Diagnostics diags = Verify(analysis.plan, admin_ctx_, &analysis);
+  EXPECT_TRUE(diags.HasCode(PlanVerifier::kOverbroadCredential))
+      << diags.ToString();
+}
+
+TEST_F(PlanVerifierTest, ForeignPrincipalCredentialFlagsPV005) {
+  AnalysisResult analysis = Analyzed("SELECT amount FROM main.s.sales",
+                                     admin_ctx_);
+  PolicyInspection info = platform_.catalog().InspectPolicies(
+      "admin", admin_ctx_.compute, "main.s.sales");
+  // Right scope, wrong identity: the plan never scans the table as eve.
+  StorageCredential cred = platform_.authority().Issue(
+      "eve", admin_ctx_.compute.compute_id, {info.storage_root + "/*"},
+      /*allow_write=*/false, /*ttl_micros=*/60'000'000);
+  analysis.read_tokens["main.s.sales"] = cred.token_id;
+  Diagnostics diags = Verify(analysis.plan, admin_ctx_, &analysis);
+  ASSERT_TRUE(diags.HasCode(PlanVerifier::kOverbroadCredential))
+      << diags.ToString();
+  EXPECT_NE(diags.ToString().find("eve"), std::string::npos);
+}
+
+// ---- PV000: malformed input -------------------------------------------------
+
+TEST_F(PlanVerifierTest, UnresolvedRelationFlagsPV000) {
+  Diagnostics diags = Verify(MakeTableRef("main.s.sales"), admin_ctx_);
+  EXPECT_TRUE(diags.HasCode(PlanVerifier::kMalformed)) << diags.ToString();
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+TEST_F(PlanVerifierTest, UnresolvedColumnFlagsPV000) {
+  AnalysisResult analysis = Analyzed("SELECT x FROM main.s.plain",
+                                     admin_ctx_);
+  PlanPtr mutated =
+      MakeProject(analysis.plan, {Col("never_resolved")}, {"y"});
+  Diagnostics diags = Verify(mutated, admin_ctx_);
+  EXPECT_TRUE(diags.HasCode(PlanVerifier::kMalformed)) << diags.ToString();
+}
+
+// ---- Rewrite attribution (the LAKEGUARD_VERIFY_REWRITES hook) ---------------
+
+TEST_F(PlanVerifierTest, VerifyHookAttributesEachRewriteToItsRule) {
+  AnalysisResult analysis = Analyzed(
+      "SELECT amount + (1 + 2) AS v FROM main.s.sales WHERE amount > 10",
+      admin_ctx_);
+  Optimizer optimizer;
+  std::vector<std::string> rules;
+  optimizer.set_verify_hook([&](const PlanPtr& plan, const char* rule) {
+    EXPECT_NE(plan, nullptr);
+    rules.emplace_back(rule);
+    return Status::OK();
+  });
+  auto optimized = optimizer.Optimize(analysis.plan);
+  ASSERT_TRUE(optimized.ok()) << optimized.status();
+  ASSERT_FALSE(rules.empty());
+  for (const std::string& rule : rules) {
+    EXPECT_TRUE(rule == "fold_constants" || rule == "collapse_projects" ||
+                rule == "push_filter")
+        << "unknown rule name: " << rule;
+  }
+  // 1 + 2 in the user projection must fold, and the hook must see it.
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "fold_constants"),
+            rules.end());
+  // Single-step mode converges to the same fixpoint as batch mode.
+  Optimizer batch;
+  auto batch_optimized = batch.Optimize(analysis.plan);
+  ASSERT_TRUE(batch_optimized.ok());
+  EXPECT_TRUE((*optimized)->Equals(**batch_optimized));
+}
+
+TEST_F(PlanVerifierTest, VerifyHookFailureAbortsOptimization) {
+  AnalysisResult analysis = Analyzed(
+      "SELECT amount + (1 + 2) AS v FROM main.s.sales", admin_ctx_);
+  Optimizer optimizer;
+  optimizer.set_verify_hook([](const PlanPtr&, const char* rule) {
+    return Status::FailedPrecondition(std::string("verifier rejected '") +
+                                      rule + "'");
+  });
+  auto optimized = optimizer.Optimize(analysis.plan);
+  ASSERT_FALSE(optimized.ok());
+  EXPECT_TRUE(optimized.status().IsFailedPrecondition());
+  EXPECT_NE(optimized.status().message().find("rejected"),
+            std::string::npos);
+}
+
+// ---- Connect pre-admission call site ----------------------------------------
+
+TEST_F(PlanVerifierTest, ConnectRejectsPolicySkippingPlanBeforeAdmission) {
+  // The analyzer passes pre-resolved scans through untouched, so a client
+  // hand-crafting a ResolvedScan leaf skips policy injection entirely. The
+  // pre-admission verifier is what stands in the way: typed non-retryable
+  // kFailedPrecondition carrying the PV001 diagnostic.
+  PolicyInspection info = platform_.catalog().InspectPolicies(
+      "eve", admin_ctx_.compute, "main.s.sales");
+  ASSERT_TRUE(info.found);
+  auto eve = platform_.Connect(cluster_, "tok-eve");
+  ASSERT_TRUE(eve.ok()) << eve.status();
+  PlanPtr forged =
+      MakeResolvedScan("main.s.sales", info.storage_root, info.schema);
+  auto rows = eve->ExecutePlanRemote(forged);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_TRUE(rows.status().IsFailedPrecondition()) << rows.status();
+  EXPECT_NE(rows.status().message().find("PV001"), std::string::npos)
+      << rows.status();
+  // An honest plan over the same table still works for the same session.
+  auto honest = eve->Sql("SELECT amount FROM main.s.sales");
+  EXPECT_TRUE(honest.ok()) << honest.status();
+}
+
+}  // namespace
+}  // namespace lakeguard
