@@ -19,12 +19,18 @@ if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
   exit 1
 fi
 
+# src/ plus the security-sensitive out-of-tree surfaces: the adversarial
+# corpus and the catalog benchmark exercise locking and lifetime patterns
+# that the concurrency-* and bugprone-* checks exist to gate.
+EXTRA_FILES="tests/attack_test.cc tests/catalog_test.cc bench/bench_catalog.cc"
+
 FAILED=0
 while IFS= read -r file; do
   if ! "${TIDY}" -p "${BUILD_DIR}" --quiet "${file}"; then
     FAILED=1
   fi
-done < <(find src -name '*.cc' | sort)
+done < <({ find src -name '*.cc'; for f in ${EXTRA_FILES}; do
+             [ -f "${f}" ] && echo "${f}"; done; } | sort)
 
 if [ "${FAILED}" -ne 0 ]; then
   echo "lint: clang-tidy reported findings"

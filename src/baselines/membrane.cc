@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <queue>
 
+#include "common/sha256.h"
+#include "expr/functions.h"
+
 namespace lakeguard {
 
 SimResult RunMembraneSimulation(const std::vector<SimJob>& jobs,
@@ -64,6 +67,145 @@ SimResult RunPerUserClustersSimulation(const std::vector<SimJob>& jobs,
                                        size_t slots_per_user) {
   return RunPartitionedPools(jobs, slots_per_user,
                              [](const SimJob& job) { return job.user; });
+}
+
+namespace {
+
+/// Resolves a raw policy expression against the table schema only: column
+/// names become ColIdx references, builtin calls pass through, anything
+/// needing the catalog or a sandbox (cataloged UDFs) is rejected.
+Result<ExprPtr> ResolveAgainstSchema(const ExprPtr& raw,
+                                     const Schema& schema) {
+  Status failure = Status::OK();
+  ExprPtr resolved = RewriteExpr(raw, [&](const ExprPtr& e) -> ExprPtr {
+    if (!failure.ok()) return nullptr;
+    if (e->kind() == ExprKind::kColumnRef) {
+      const auto& ref = static_cast<const ColumnRefExpr&>(*e);
+      if (ref.resolved()) return nullptr;
+      int idx = schema.FindField(ref.name());
+      if (idx < 0) {
+        failure = Status::NotFound("policy references unknown column '" +
+                                   ref.name() + "'");
+        return nullptr;
+      }
+      return ColIdx(schema.field(static_cast<size_t>(idx)).name, idx);
+    }
+    if (e->kind() == ExprKind::kFunctionCall) {
+      const auto& call = static_cast<const FunctionCallExpr&>(*e);
+      if (!IsAggregateFunctionName(call.name()) &&
+          !LookupBuiltin(call.name()).ok()) {
+        failure = Status::Unimplemented(
+            "membrane baseline enforces builtin policy functions only; '" +
+            call.name() + "' would need a sandboxed UDF");
+      }
+    }
+    return nullptr;
+  });
+  if (!failure.ok()) return failure;
+  return resolved;
+}
+
+/// Keyed per-row integrity seal: SHA-256 over the seal key and every cell of
+/// the row. (A model of Membrane's authenticated shuffle channel — the point
+/// is the per-row crypto cost, not cryptographic novelty.)
+std::string SealRow(const RecordBatch& batch, size_t row,
+                    const std::string& key, size_t* bytes) {
+  std::string payload = key;
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    payload += '\x1f';
+    payload += batch.CellAt(row, c).ToString();
+  }
+  if (bytes != nullptr) *bytes += payload.size();
+  return Sha256::HexDigest(payload);
+}
+
+}  // namespace
+
+Result<Table> MembraneEnforceScan(
+    const Table& raw, const std::optional<RowFilterPolicy>& row_filter,
+    const std::vector<ColumnMaskPolicy>& column_masks, const EvalContext& ctx,
+    const std::string& seal_key, MembraneEnforceStats* stats) {
+  MembraneEnforceStats local;
+  MembraneEnforceStats& s = stats != nullptr ? *stats : local;
+
+  // Resolve policies once against the schema.
+  ExprPtr filter_expr;
+  if (row_filter.has_value()) {
+    if (!row_filter->predicate) {
+      return Status::InvalidArgument("row filter has no predicate");
+    }
+    LG_ASSIGN_OR_RETURN(filter_expr,
+                        ResolveAgainstSchema(row_filter->predicate,
+                                             raw.schema()));
+  }
+  struct ResolvedMask {
+    int column = -1;
+    ExprPtr expr;
+  };
+  std::vector<ResolvedMask> masks;
+  for (const ColumnMaskPolicy& mask : column_masks) {
+    ResolvedMask rm;
+    rm.column = raw.schema().FindField(mask.column);
+    if (rm.column < 0) {
+      return Status::InvalidArgument("mask references unknown column '" +
+                                     mask.column + "'");
+    }
+    if (!mask.mask_expr) {
+      return Status::InvalidArgument("mask has no expression");
+    }
+    LG_ASSIGN_OR_RETURN(rm.expr,
+                        ResolveAgainstSchema(mask.mask_expr, raw.schema()));
+    masks.push_back(std::move(rm));
+  }
+
+  Table out(raw.schema());
+  for (const RecordBatch& batch : raw.batches()) {
+    const size_t rows = batch.num_rows();
+    s.rows_in += rows;
+
+    // Untrusted side seals every row before it crosses the shuffle
+    // boundary...
+    std::vector<std::string> seals;
+    seals.reserve(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      seals.push_back(SealRow(batch, r, seal_key, &s.sealed_bytes));
+    }
+    s.seals_computed += rows;
+    // ...and the trusted side re-verifies each seal before enforcing
+    // policy on the row.
+    for (size_t r = 0; r < rows; ++r) {
+      if (SealRow(batch, r, seal_key, nullptr) != seals[r]) {
+        ++s.verify_failures;
+      }
+    }
+    s.seals_verified += rows;
+    if (s.verify_failures > 0) {
+      return Status::DataLoss(
+          "membrane integrity verification failed: a row was altered in "
+          "transit across the domain boundary");
+    }
+
+    RecordBatch visible = batch;
+    if (filter_expr) {
+      LG_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
+                          EvaluatePredicateMask(filter_expr, visible, ctx));
+      visible = ApplyMask(visible, mask);
+    }
+    if (!masks.empty() && visible.num_rows() > 0) {
+      std::vector<Column> columns = visible.columns();
+      for (const ResolvedMask& rm : masks) {
+        LG_ASSIGN_OR_RETURN(Column masked,
+                            EvaluateExpr(rm.expr, visible, ctx));
+        columns[static_cast<size_t>(rm.column)] = std::move(masked);
+      }
+      visible = RecordBatch(visible.schema(), std::move(columns));
+    }
+    s.rows_out += visible.num_rows();
+    if (visible.num_rows() > 0) {
+      LG_RETURN_IF_ERROR(out.AppendBatch(std::move(visible)));
+    }
+  }
+  return out;
 }
 
 }  // namespace lakeguard

@@ -1,7 +1,14 @@
 #ifndef LAKEGUARD_BASELINES_MEMBRANE_H_
 #define LAKEGUARD_BASELINES_MEMBRANE_H_
 
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/securable.h"
 #include "cluster/slot_pool.h"
+#include "columnar/table.h"
+#include "expr/evaluator.h"
 
 namespace lakeguard {
 
@@ -32,6 +39,36 @@ SimResult RunSharedPoolSimulation(const std::vector<SimJob>& jobs,
 /// Legacy per-user clusters: each user gets `slots_per_user` of their own.
 SimResult RunPerUserClustersSimulation(const std::vector<SimJob>& jobs,
                                        size_t slots_per_user);
+
+/// Cost accounting of one cryptographically enforced scan.
+struct MembraneEnforceStats {
+  size_t rows_in = 0;
+  size_t rows_out = 0;
+  /// Per-row integrity seals computed (rows_in) and re-verified at the
+  /// domain boundary (again rows_in) — the crypto tax of the architecture.
+  size_t seals_computed = 0;
+  size_t seals_verified = 0;
+  size_t sealed_bytes = 0;
+  size_t verify_failures = 0;
+};
+
+/// Membrane-style cryptographic FGAC enforcement of a table scan: every row
+/// crossing the trusted/untrusted domain boundary is sealed with a keyed
+/// SHA-256 digest, re-verified on the trusted side, then the row filter and
+/// column masks are applied by expression evaluation. Functionally
+/// equivalent to Lakeguard's in-plan enforcement (same visible rows for the
+/// same effective policy set) but pays a per-row crypto cost the in-plan
+/// path avoids — the overhead EXPERIMENTS.md quantifies.
+///
+/// `row_filter`/`column_masks` are the *effective* policies for the querying
+/// user (exempt masks already dropped), exactly what
+/// `UnityCatalog::ResolveRelation` releases under local enforcement. Policy
+/// expressions must use builtin functions only (cataloged UDFs would need a
+/// sandbox, which this baseline deliberately lacks).
+Result<Table> MembraneEnforceScan(
+    const Table& raw, const std::optional<RowFilterPolicy>& row_filter,
+    const std::vector<ColumnMaskPolicy>& column_masks, const EvalContext& ctx,
+    const std::string& seal_key, MembraneEnforceStats* stats);
 
 }  // namespace lakeguard
 

@@ -1,11 +1,32 @@
 #include "catalog/audit.h"
 
+#include <chrono>
+
 namespace lakeguard {
 
-void AuditLog::Record(const std::string& principal,
-                      const std::string& compute_id, const std::string& action,
-                      const std::string& securable, bool allowed,
-                      const std::string& detail) {
+AuditLog::AuditLog(Clock* clock) : clock_(clock) {
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+AuditLog::~AuditLog() {
+  {
+    MutexLock lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  // Flush-on-shutdown: anything still queued is committed before the log
+  // disappears (the flusher drained on its way out, but a Record racing the
+  // shutdown flag could have re-filled the queue).
+  MutexLock lock(mu_);
+  FlushLocked();
+}
+
+AuditEvent AuditLog::MakeEvent(const std::string& principal,
+                               const std::string& compute_id,
+                               const std::string& action,
+                               const std::string& securable, bool allowed,
+                               const std::string& detail) const {
   AuditEvent event;
   event.time_micros = clock_->NowMicros();
   event.principal = principal;
@@ -14,20 +35,85 @@ void AuditLog::Record(const std::string& principal,
   event.securable = securable;
   event.allowed = allowed;
   event.detail = detail;
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(std::move(event));
+  return event;
+}
+
+void AuditLog::Record(const std::string& principal,
+                      const std::string& compute_id, const std::string& action,
+                      const std::string& securable, bool allowed,
+                      const std::string& detail) {
+  AuditEvent event =
+      MakeEvent(principal, compute_id, action, securable, allowed, detail);
+  bool wake = false;
+  {
+    MutexLock lock(mu_);
+    if (pending_.size() >= kMaxPending) {
+      // Bounded + lossless: a full queue turns the recorder into the
+      // flusher (backpressure) rather than dropping audit events.
+      FlushLocked();
+    }
+    pending_.push_back(std::move(event));
+    wake = pending_.size() >= kMaxPending / 2;
+  }
+  if (wake) cv_.notify_one();
+}
+
+void AuditLog::RecordDurable(const std::string& principal,
+                             const std::string& compute_id,
+                             const std::string& action,
+                             const std::string& securable, bool allowed,
+                             const std::string& detail) {
+  AuditEvent event =
+      MakeEvent(principal, compute_id, action, securable, allowed, detail);
+  MutexLock lock(mu_);
+  // Drain queued events first so the committed log stays in record order,
+  // then commit this one synchronously — the caller publishes its catalog
+  // mutation only after we return (write-ahead ordering).
+  FlushLocked();
+  committed_.push_back(std::move(event));
+}
+
+void AuditLog::Flush() {
+  MutexLock lock(mu_);
+  FlushLocked();
+}
+
+void AuditLog::FlushLocked() const {
+  if (pending_.empty()) return;
+  committed_.insert(committed_.end(),
+                    std::make_move_iterator(pending_.begin()),
+                    std::make_move_iterator(pending_.end()));
+  pending_.clear();
+  ++flush_batches_;
+}
+
+// Condition-variable waiting releases/reacquires the capability in a way the
+// static analysis cannot follow; the loop is hand-checked.
+void AuditLog::FlusherLoop() LG_NO_THREAD_SAFETY_ANALYSIS {
+  MutexLock lock(mu_);
+  while (!shutdown_) {
+    // Wake on explicit signal (queue half full, shutdown) or periodically —
+    // a quiet catalog still gets its trail committed promptly.
+    cv_.wait_for(mu_, std::chrono::milliseconds(20), [this] {
+      return shutdown_ || pending_.size() >= kMaxPending / 2;
+    });
+    FlushLocked();
+  }
+  FlushLocked();
 }
 
 std::vector<AuditEvent> AuditLog::All() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return events_;
+  MutexLock lock(mu_);
+  FlushLocked();
+  return committed_;
 }
 
 std::vector<AuditEvent> AuditLog::ForPrincipal(
     const std::string& principal) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  FlushLocked();
   std::vector<AuditEvent> out;
-  for (const AuditEvent& e : events_) {
+  for (const AuditEvent& e : committed_) {
     if (e.principal == principal) out.push_back(e);
   }
   return out;
@@ -35,31 +121,47 @@ std::vector<AuditEvent> AuditLog::ForPrincipal(
 
 std::vector<AuditEvent> AuditLog::ForSecurable(
     const std::string& securable) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  FlushLocked();
   std::vector<AuditEvent> out;
-  for (const AuditEvent& e : events_) {
+  for (const AuditEvent& e : committed_) {
     if (e.securable == securable) out.push_back(e);
   }
   return out;
 }
 
 size_t AuditLog::DeniedCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  FlushLocked();
   size_t n = 0;
-  for (const AuditEvent& e : events_) {
+  for (const AuditEvent& e : committed_) {
     if (!e.allowed) ++n;
   }
   return n;
 }
 
 size_t AuditLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return events_.size();
+  MutexLock lock(mu_);
+  FlushLocked();
+  return committed_.size();
 }
 
 void AuditLog::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.clear();
+  MutexLock lock(mu_);
+  pending_.clear();
+  committed_.clear();
+}
+
+uint64_t AuditLog::flush_batches() const {
+  MutexLock lock(mu_);
+  return flush_batches_;
+}
+
+size_t AuditLog::DropPendingForCrashTest() {
+  MutexLock lock(mu_);
+  size_t dropped = pending_.size();
+  pending_.clear();
+  return dropped;
 }
 
 }  // namespace lakeguard

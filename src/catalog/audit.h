@@ -1,12 +1,14 @@
 #ifndef LAKEGUARD_CATALOG_AUDIT_H_
 #define LAKEGUARD_CATALOG_AUDIT_H_
 
+#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/clock.h"
+#include "core/thread_annotations.h"
 
 namespace lakeguard {
 
@@ -25,14 +27,43 @@ struct AuditEvent {
 };
 
 /// Append-only audit trail with simple query helpers.
+///
+/// Write model (scale-out catalog, ROADMAP item 5): query-path events
+/// (`Record`) land in a bounded in-memory queue and are committed in
+/// batches by a background flusher — the hot read path never pays the
+/// committed-log append. Catalog *mutations* (grants, revokes, DDL, policy
+/// changes) instead go through `RecordDurable`, which commits the event
+/// synchronously BEFORE the caller publishes the new catalog state:
+/// write-ahead ordering, so a crash after the mutation is acknowledged can
+/// never lose its audit record. The queue is bounded and lossless — a full
+/// queue makes the recording thread flush inline (backpressure, never a
+/// drop) — and the destructor drains everything (flush-on-shutdown).
 class AuditLog {
  public:
-  explicit AuditLog(Clock* clock) : clock_(clock) {}
+  explicit AuditLog(Clock* clock);
+  ~AuditLog();
 
+  AuditLog(const AuditLog&) = delete;
+  AuditLog& operator=(const AuditLog&) = delete;
+
+  /// Asynchronous: enqueues the event for batched commit. Used for
+  /// query-path decisions (resolution, credential vending, denials).
   void Record(const std::string& principal, const std::string& compute_id,
               const std::string& action, const std::string& securable,
               bool allowed, const std::string& detail = "");
 
+  /// Synchronous write-ahead record: drains the queue (preserving event
+  /// order) and commits this event before returning. Callers mutating
+  /// catalog state MUST call this before publishing the change.
+  void RecordDurable(const std::string& principal,
+                     const std::string& compute_id, const std::string& action,
+                     const std::string& securable, bool allowed,
+                     const std::string& detail = "");
+
+  /// Drains all queued events into the committed log.
+  void Flush();
+
+  // Query helpers flush first, so callers always observe a complete log.
   std::vector<AuditEvent> All() const;
   std::vector<AuditEvent> ForPrincipal(const std::string& principal) const;
   std::vector<AuditEvent> ForSecurable(const std::string& securable) const;
@@ -40,10 +71,35 @@ class AuditLog {
   size_t size() const;
   void Clear();
 
+  /// Number of batch commits the background flusher has performed.
+  uint64_t flush_batches() const;
+
+  /// Crash model hook (tests only): discards every queued-but-uncommitted
+  /// event, as a process crash between event creation and flush would.
+  /// Returns how many events were lost. Durable records are unaffected —
+  /// that is the write-ahead guarantee under test.
+  size_t DropPendingForCrashTest();
+
+  /// Queue capacity before a recorder must flush inline (backpressure).
+  static constexpr size_t kMaxPending = 256;
+
  private:
+  AuditEvent MakeEvent(const std::string& principal,
+                       const std::string& compute_id,
+                       const std::string& action, const std::string& securable,
+                       bool allowed, const std::string& detail) const;
+  void FlushLocked() const LG_REQUIRES(mu_);
+  void FlusherLoop();
+
   Clock* clock_;
-  mutable std::mutex mu_;
-  std::vector<AuditEvent> events_;
+  mutable Mutex mu_;
+  mutable std::condition_variable_any cv_;
+  // Mutable: const query helpers flush the queue before reading.
+  mutable std::vector<AuditEvent> pending_ LG_GUARDED_BY(mu_);
+  mutable std::vector<AuditEvent> committed_ LG_GUARDED_BY(mu_);
+  mutable uint64_t flush_batches_ LG_GUARDED_BY(mu_) = 0;
+  bool shutdown_ LG_GUARDED_BY(mu_) = false;
+  std::thread flusher_;
 };
 
 }  // namespace lakeguard

@@ -60,8 +60,29 @@ Result<Privilege> PrivilegeFromName(const std::string& name) {
   return Status::InvalidArgument("unknown privilege: " + name);
 }
 
+namespace {
+
+std::string ParentSchema(const std::vector<std::string>& parts) {
+  return parts[0] + "." + parts[1];
+}
+
+/// The unified existence-oracle message: identical for "does not exist" and
+/// "exists but you may not know that" (modulo the name the caller supplied).
+std::string InvisibleRelation(const std::string& name) {
+  return "relation '" + name + "' does not exist or is not visible to you";
+}
+
+std::string InvisibleFunction(const std::string& name) {
+  return "function '" + name + "' does not exist or is not visible to you";
+}
+
+}  // namespace
+
 UnityCatalog::UnityCatalog(Clock* clock, CredentialAuthority* authority)
-    : clock_(clock), authority_(authority), audit_(clock) {
+    : clock_(clock),
+      authority_(authority),
+      audit_(clock),
+      state_(std::make_shared<const CatalogState>()) {
   // The control plane holds a long-lived token covering the whole metastore
   // prefix. It backs trusted operations only (writing table parts on create,
   // MV refresh); query-path reads always use per-user vended tokens.
@@ -71,14 +92,27 @@ UnityCatalog::UnityCatalog(Clock* clock, CredentialAuthority* authority)
   system_token_ = cred.token_id;
 }
 
+std::shared_ptr<UnityCatalog::CatalogState> UnityCatalog::BeginMutation()
+    const {
+  return std::make_shared<CatalogState>(*Snapshot());
+}
+
+void UnityCatalog::Publish(std::shared_ptr<CatalogState> next) {
+  next->epoch = Snapshot()->epoch + 1;
+  state_.store(StatePtr(std::move(next)), std::memory_order_release);
+}
+
+uint64_t UnityCatalog::epoch() const { return Snapshot()->epoch; }
+
 void UnityCatalog::AddMetastoreAdmin(const std::string& user) {
-  std::lock_guard<std::mutex> lock(mu_);
-  admins_.insert(user);
+  MutexLock lock(writer_mu_);
+  auto next = BeginMutation();
+  next->admins.insert(user);
+  Publish(std::move(next));
 }
 
 bool UnityCatalog::IsMetastoreAdmin(const std::string& user) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return admins_.count(user) > 0;
+  return Snapshot()->admins.count(user) > 0;
 }
 
 Status UnityCatalog::SplitQualified(const std::string& full_name,
@@ -100,18 +134,20 @@ Status UnityCatalog::SplitQualified(const std::string& full_name,
 
 Status UnityCatalog::CreateCatalog(const std::string& as_user,
                                    const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!admins_.count(as_user)) {
+  MutexLock lock(writer_mu_);
+  auto next = BeginMutation();
+  if (!next->admins.count(as_user)) {
     audit_.Record(as_user, "", "CREATE_CATALOG", name, false,
                   "not a metastore admin");
     return Status::PermissionDenied("only metastore admins create catalogs");
   }
-  if (catalogs_.count(name)) {
+  if (next->catalogs.count(name)) {
     return Status::AlreadyExists("catalog '" + name + "' exists");
   }
-  catalogs_[name] = as_user;
-  owners_[name] = as_user;
-  audit_.Record(as_user, "", "CREATE_CATALOG", name, true);
+  next->catalogs[name] = as_user;
+  next->owners[name] = as_user;
+  audit_.RecordDurable(as_user, "", "CREATE_CATALOG", name, true);
+  Publish(std::move(next));
   return Status::OK();
 }
 
@@ -119,51 +155,48 @@ Status UnityCatalog::CreateSchema(const std::string& as_user,
                                   const std::string& full_name) {
   std::vector<std::string> parts;
   LG_RETURN_IF_ERROR(SplitQualified(full_name, &parts, 2));
-  std::lock_guard<std::mutex> lock(mu_);
-  auto cat = catalogs_.find(parts[0]);
-  if (cat == catalogs_.end()) {
+  MutexLock lock(writer_mu_);
+  auto next = BeginMutation();
+  auto cat = next->catalogs.find(parts[0]);
+  if (cat == next->catalogs.end()) {
     return Status::NotFound("catalog '" + parts[0] + "' does not exist");
   }
-  bool allowed = admins_.count(as_user) || cat->second == as_user ||
-                 PrincipalsHavePrivilege(
-                     {as_user}, parts[0], Privilege::kCreate);
+  bool allowed = next->admins.count(as_user) || cat->second == as_user ||
+                 PrincipalsHavePrivilege(*next, {as_user}, parts[0],
+                                         Privilege::kCreate);
   if (!allowed) {
     audit_.Record(as_user, "", "CREATE_SCHEMA", full_name, false);
     return Status::PermissionDenied("no CREATE on catalog '" + parts[0] + "'");
   }
-  if (schemas_.count(full_name)) {
+  if (next->schemas.count(full_name)) {
     return Status::AlreadyExists("schema '" + full_name + "' exists");
   }
-  schemas_[full_name] = as_user;
-  owners_[full_name] = as_user;
-  audit_.Record(as_user, "", "CREATE_SCHEMA", full_name, true);
+  next->schemas[full_name] = as_user;
+  next->owners[full_name] = as_user;
+  audit_.RecordDurable(as_user, "", "CREATE_SCHEMA", full_name, true);
+  Publish(std::move(next));
   return Status::OK();
 }
-
-namespace {
-std::string ParentSchema(const std::vector<std::string>& parts) {
-  return parts[0] + "." + parts[1];
-}
-}  // namespace
 
 Status UnityCatalog::CreateTable(const std::string& as_user, TableInfo info) {
   std::vector<std::string> parts;
   LG_RETURN_IF_ERROR(SplitQualified(info.full_name, &parts, 3));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(writer_mu_);
+  auto next = BeginMutation();
   std::string schema_name = ParentSchema(parts);
-  auto schema_it = schemas_.find(schema_name);
-  if (schema_it == schemas_.end()) {
+  auto schema_it = next->schemas.find(schema_name);
+  if (schema_it == next->schemas.end()) {
     return Status::NotFound("schema '" + schema_name + "' does not exist");
   }
-  bool allowed = admins_.count(as_user) || schema_it->second == as_user ||
-                 PrincipalsHavePrivilege({as_user}, schema_name,
+  bool allowed = next->admins.count(as_user) || schema_it->second == as_user ||
+                 PrincipalsHavePrivilege(*next, {as_user}, schema_name,
                                          Privilege::kCreate);
   if (!allowed) {
     audit_.Record(as_user, "", "CREATE_TABLE", info.full_name, false);
     return Status::PermissionDenied("no CREATE on schema '" + schema_name +
                                     "'");
   }
-  if (tables_.count(info.full_name) || views_.count(info.full_name)) {
+  if (next->tables.count(info.full_name) || next->views.count(info.full_name)) {
     return Status::AlreadyExists("relation '" + info.full_name + "' exists");
   }
   if (info.storage_root.empty()) {
@@ -171,33 +204,33 @@ Status UnityCatalog::CreateTable(const std::string& as_user, TableInfo info) {
                         parts[2];
   }
   info.owner = as_user;
-  owners_[info.full_name] = as_user;
-  tables_[info.full_name] = std::move(info);
-  audit_.Record(as_user, "", "CREATE_TABLE",
-                tables_.find(parts[0] + "." + parts[1] + "." + parts[2])
-                    ->second.full_name,
-                true);
+  std::string full_name = info.full_name;
+  next->owners[full_name] = as_user;
+  next->tables[full_name] = std::move(info);
+  audit_.RecordDurable(as_user, "", "CREATE_TABLE", full_name, true);
+  Publish(std::move(next));
   return Status::OK();
 }
 
 Status UnityCatalog::CreateView(const std::string& as_user, ViewInfo info) {
   std::vector<std::string> parts;
   LG_RETURN_IF_ERROR(SplitQualified(info.full_name, &parts, 3));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(writer_mu_);
+  auto next = BeginMutation();
   std::string schema_name = ParentSchema(parts);
-  auto schema_it = schemas_.find(schema_name);
-  if (schema_it == schemas_.end()) {
+  auto schema_it = next->schemas.find(schema_name);
+  if (schema_it == next->schemas.end()) {
     return Status::NotFound("schema '" + schema_name + "' does not exist");
   }
-  bool allowed = admins_.count(as_user) || schema_it->second == as_user ||
-                 PrincipalsHavePrivilege({as_user}, schema_name,
+  bool allowed = next->admins.count(as_user) || schema_it->second == as_user ||
+                 PrincipalsHavePrivilege(*next, {as_user}, schema_name,
                                          Privilege::kCreate);
   if (!allowed) {
     audit_.Record(as_user, "", "CREATE_VIEW", info.full_name, false);
     return Status::PermissionDenied("no CREATE on schema '" + schema_name +
                                     "'");
   }
-  if (tables_.count(info.full_name) || views_.count(info.full_name)) {
+  if (next->tables.count(info.full_name) || next->views.count(info.full_name)) {
     return Status::AlreadyExists("relation '" + info.full_name + "' exists");
   }
   if (info.materialized && info.storage_root.empty()) {
@@ -205,9 +238,11 @@ Status UnityCatalog::CreateView(const std::string& as_user, ViewInfo info) {
                         "/" + parts[2];
   }
   info.owner = as_user;
-  owners_[info.full_name] = as_user;
-  audit_.Record(as_user, "", "CREATE_VIEW", info.full_name, true);
-  views_[info.full_name] = std::move(info);
+  std::string full_name = info.full_name;
+  next->owners[full_name] = as_user;
+  next->views[full_name] = std::move(info);
+  audit_.RecordDurable(as_user, "", "CREATE_VIEW", full_name, true);
+  Publish(std::move(next));
   return Status::OK();
 }
 
@@ -216,27 +251,30 @@ Status UnityCatalog::CreateFunction(const std::string& as_user,
   std::vector<std::string> parts;
   LG_RETURN_IF_ERROR(SplitQualified(info.full_name, &parts, 3));
   LG_RETURN_IF_ERROR(ValidateBytecode(info.body));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(writer_mu_);
+  auto next = BeginMutation();
   std::string schema_name = ParentSchema(parts);
-  auto schema_it = schemas_.find(schema_name);
-  if (schema_it == schemas_.end()) {
+  auto schema_it = next->schemas.find(schema_name);
+  if (schema_it == next->schemas.end()) {
     return Status::NotFound("schema '" + schema_name + "' does not exist");
   }
-  bool allowed = admins_.count(as_user) || schema_it->second == as_user ||
-                 PrincipalsHavePrivilege({as_user}, schema_name,
+  bool allowed = next->admins.count(as_user) || schema_it->second == as_user ||
+                 PrincipalsHavePrivilege(*next, {as_user}, schema_name,
                                          Privilege::kCreate);
   if (!allowed) {
     audit_.Record(as_user, "", "CREATE_FUNCTION", info.full_name, false);
     return Status::PermissionDenied("no CREATE on schema '" + schema_name +
                                     "'");
   }
-  if (functions_.count(info.full_name)) {
+  if (next->functions.count(info.full_name)) {
     return Status::AlreadyExists("function '" + info.full_name + "' exists");
   }
   info.owner = as_user;
-  owners_[info.full_name] = as_user;
-  audit_.Record(as_user, "", "CREATE_FUNCTION", info.full_name, true);
-  functions_[info.full_name] = std::move(info);
+  std::string full_name = info.full_name;
+  next->owners[full_name] = as_user;
+  next->functions[full_name] = std::move(info);
+  audit_.RecordDurable(as_user, "", "CREATE_FUNCTION", full_name, true);
+  Publish(std::move(next));
   return Status::OK();
 }
 
@@ -244,52 +282,57 @@ Status UnityCatalog::CreateVolume(const std::string& as_user,
                                   VolumeInfo info) {
   std::vector<std::string> parts;
   LG_RETURN_IF_ERROR(SplitQualified(info.full_name, &parts, 3));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(writer_mu_);
+  auto next = BeginMutation();
   std::string schema_name = ParentSchema(parts);
-  if (!schemas_.count(schema_name)) {
+  if (!next->schemas.count(schema_name)) {
     return Status::NotFound("schema '" + schema_name + "' does not exist");
   }
-  if (volumes_.count(info.full_name)) {
+  if (next->volumes.count(info.full_name)) {
     return Status::AlreadyExists("volume '" + info.full_name + "' exists");
   }
   info.owner = as_user;
-  owners_[info.full_name] = as_user;
-  audit_.Record(as_user, "", "CREATE_VOLUME", info.full_name, true);
-  volumes_[info.full_name] = std::move(info);
+  std::string full_name = info.full_name;
+  next->owners[full_name] = as_user;
+  next->volumes[full_name] = std::move(info);
+  audit_.RecordDurable(as_user, "", "CREATE_VOLUME", full_name, true);
+  Publish(std::move(next));
   return Status::OK();
 }
 
 Status UnityCatalog::DropTable(const std::string& as_user,
                                const std::string& full_name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = tables_.find(full_name);
-  if (it == tables_.end()) {
+  MutexLock lock(writer_mu_);
+  auto next = BeginMutation();
+  auto it = next->tables.find(full_name);
+  if (it == next->tables.end()) {
     return Status::NotFound("table '" + full_name + "' does not exist");
   }
-  if (!admins_.count(as_user) && it->second.owner != as_user) {
+  if (!next->admins.count(as_user) && it->second.owner != as_user) {
     audit_.Record(as_user, "", "DROP_TABLE", full_name, false);
     return Status::PermissionDenied("only the owner drops a table");
   }
-  tables_.erase(it);
-  owners_.erase(full_name);
-  grants_.erase(full_name);
-  audit_.Record(as_user, "", "DROP_TABLE", full_name, true);
+  next->tables.erase(it);
+  next->owners.erase(full_name);
+  next->grants.erase(full_name);
+  audit_.RecordDurable(as_user, "", "DROP_TABLE", full_name, true);
+  Publish(std::move(next));
   return Status::OK();
 }
 
 Result<TableInfo> UnityCatalog::GetTable(const std::string& full_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = tables_.find(full_name);
-  if (it == tables_.end()) {
+  StatePtr state = Snapshot();
+  auto it = state->tables.find(full_name);
+  if (it == state->tables.end()) {
     return Status::NotFound("table '" + full_name + "' does not exist");
   }
   return it->second;
 }
 
 Result<ViewInfo> UnityCatalog::GetView(const std::string& full_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = views_.find(full_name);
-  if (it == views_.end()) {
+  StatePtr state = Snapshot();
+  auto it = state->views.find(full_name);
+  if (it == state->views.end()) {
     return Status::NotFound("view '" + full_name + "' does not exist");
   }
   return it->second;
@@ -297,18 +340,18 @@ Result<ViewInfo> UnityCatalog::GetView(const std::string& full_name) const {
 
 Result<VolumeInfo> UnityCatalog::GetVolume(
     const std::string& full_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = volumes_.find(full_name);
-  if (it == volumes_.end()) {
+  StatePtr state = Snapshot();
+  auto it = state->volumes.find(full_name);
+  if (it == state->volumes.end()) {
     return Status::NotFound("volume '" + full_name + "' does not exist");
   }
   return it->second;
 }
 
 std::vector<std::string> UnityCatalog::ListTables() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  StatePtr state = Snapshot();
   std::vector<std::string> out;
-  for (const auto& [name, info] : tables_) out.push_back(name);
+  for (const auto& [name, info] : state->tables) out.push_back(name);
   return out;
 }
 
@@ -316,9 +359,10 @@ Status UnityCatalog::SetMaterializationState(const std::string& view_name,
                                              bool fresh,
                                              const std::string& storage_root,
                                              const Schema& schema) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = views_.find(view_name);
-  if (it == views_.end()) {
+  MutexLock lock(writer_mu_);
+  auto next = BeginMutation();
+  auto it = next->views.find(view_name);
+  if (it == next->views.end()) {
     return Status::NotFound("view '" + view_name + "' does not exist");
   }
   if (!it->second.materialized) {
@@ -328,52 +372,59 @@ Status UnityCatalog::SetMaterializationState(const std::string& view_name,
   it->second.materialization_fresh = fresh;
   if (!storage_root.empty()) it->second.storage_root = storage_root;
   if (schema.num_fields() > 0) it->second.materialized_schema = schema;
+  Publish(std::move(next));
   return Status::OK();
 }
 
 Status UnityCatalog::Grant(const std::string& as_user,
                            const std::string& securable, Privilege privilege,
                            const std::string& principal) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto owner_it = owners_.find(securable);
-  if (owner_it == owners_.end()) {
+  MutexLock lock(writer_mu_);
+  auto next = BeginMutation();
+  auto owner_it = next->owners.find(securable);
+  if (owner_it == next->owners.end()) {
     return Status::NotFound("securable '" + securable + "' does not exist");
   }
-  bool allowed = admins_.count(as_user) || owner_it->second == as_user ||
-                 PrincipalsHavePrivilege({as_user}, securable,
+  bool allowed = next->admins.count(as_user) || owner_it->second == as_user ||
+                 PrincipalsHavePrivilege(*next, {as_user}, securable,
                                          Privilege::kManage);
   if (!allowed) {
     audit_.Record(as_user, "", "GRANT", securable, false,
                   std::string(PrivilegeName(privilege)) + " to " + principal);
     return Status::PermissionDenied("no MANAGE on '" + securable + "'");
   }
-  grants_[securable].push_back({principal, privilege});
-  audit_.Record(as_user, "", "GRANT", securable, true,
-                std::string(PrivilegeName(privilege)) + " to " + principal);
+  next->grants[securable].push_back({principal, privilege});
+  // Write-ahead: the grant is in the audit log before anyone can observe it.
+  audit_.RecordDurable(as_user, "", "GRANT", securable, true,
+                       std::string(PrivilegeName(privilege)) + " to " +
+                           principal);
+  Publish(std::move(next));
   return Status::OK();
 }
 
 Status UnityCatalog::Revoke(const std::string& as_user,
                             const std::string& securable, Privilege privilege,
                             const std::string& principal) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto owner_it = owners_.find(securable);
-  if (owner_it == owners_.end()) {
+  MutexLock lock(writer_mu_);
+  auto next = BeginMutation();
+  auto owner_it = next->owners.find(securable);
+  if (owner_it == next->owners.end()) {
     return Status::NotFound("securable '" + securable + "' does not exist");
   }
-  bool allowed = admins_.count(as_user) || owner_it->second == as_user ||
-                 PrincipalsHavePrivilege({as_user}, securable,
+  bool allowed = next->admins.count(as_user) || owner_it->second == as_user ||
+                 PrincipalsHavePrivilege(*next, {as_user}, securable,
                                          Privilege::kManage);
   if (!allowed) {
     return Status::PermissionDenied("no MANAGE on '" + securable + "'");
   }
-  auto& entries = grants_[securable];
+  auto& entries = next->grants[securable];
   for (auto it = entries.begin(); it != entries.end(); ++it) {
     if (it->principal == principal && it->privilege == privilege) {
       entries.erase(it);
-      audit_.Record(as_user, "", "REVOKE", securable, true,
-                    std::string(PrivilegeName(privilege)) + " from " +
-                        principal);
+      audit_.RecordDurable(as_user, "", "REVOKE", securable, true,
+                           std::string(PrivilegeName(privilege)) + " from " +
+                               principal);
+      Publish(std::move(next));
       return Status::OK();
     }
   }
@@ -393,10 +444,10 @@ std::vector<std::string> UnityCatalog::EffectivePrincipals(
 }
 
 bool UnityCatalog::PrincipalsHavePrivilege(
-    const std::vector<std::string>& principals, const std::string& securable,
-    Privilege privilege) const {
-  auto it = grants_.find(securable);
-  if (it == grants_.end()) return false;
+    const CatalogState& state, const std::vector<std::string>& principals,
+    const std::string& securable, Privilege privilege) {
+  auto it = state.grants.find(securable);
+  if (it == state.grants.end()) return false;
   for (const GrantEntry& entry : it->second) {
     if (entry.privilege != privilege) continue;
     for (const std::string& p : principals) {
@@ -406,43 +457,45 @@ bool UnityCatalog::PrincipalsHavePrivilege(
   return false;
 }
 
-bool UnityCatalog::PrincipalsOwn(const std::vector<std::string>& principals,
-                                 const std::string& securable) const {
-  auto it = owners_.find(securable);
-  if (it == owners_.end()) return false;
+bool UnityCatalog::PrincipalsOwn(const CatalogState& state,
+                                 const std::vector<std::string>& principals,
+                                 const std::string& securable) {
+  auto it = state.owners.find(securable);
+  if (it == state.owners.end()) return false;
   for (const std::string& p : principals) {
     if (it->second == p) return true;
   }
   return false;
 }
 
-bool UnityCatalog::CheckDataAccess(const std::string& user,
+bool UnityCatalog::CheckDataAccess(const CatalogState& state,
+                                   const std::string& user,
                                    const ComputeContext& compute,
                                    const std::string& securable,
                                    Privilege privilege,
                                    std::string* why) const {
   std::vector<std::string> principals = EffectivePrincipals(user, compute);
   // Admin bypass applies to the real user unless down-scoped.
-  if (compute.downscope_group.empty() && admins_.count(user)) return true;
-  if (PrincipalsOwn(principals, securable)) return true;
+  if (compute.downscope_group.empty() && state.admins.count(user)) return true;
+  if (PrincipalsOwn(state, principals, securable)) return true;
 
   std::vector<std::string> parts = SplitString(securable, '.');
   if (parts.size() == 3) {
-    if (!PrincipalsOwn(principals, parts[0]) &&
-        !PrincipalsHavePrivilege(principals, parts[0],
+    if (!PrincipalsOwn(state, principals, parts[0]) &&
+        !PrincipalsHavePrivilege(state, principals, parts[0],
                                  Privilege::kUseCatalog)) {
       if (why) *why = "missing USE CATALOG on '" + parts[0] + "'";
       return false;
     }
     std::string schema_name = parts[0] + "." + parts[1];
-    if (!PrincipalsOwn(principals, schema_name) &&
-        !PrincipalsHavePrivilege(principals, schema_name,
+    if (!PrincipalsOwn(state, principals, schema_name) &&
+        !PrincipalsHavePrivilege(state, principals, schema_name,
                                  Privilege::kUseSchema)) {
       if (why) *why = "missing USE SCHEMA on '" + schema_name + "'";
       return false;
     }
   }
-  if (!PrincipalsHavePrivilege(principals, securable, privilege)) {
+  if (!PrincipalsHavePrivilege(state, principals, securable, privilege)) {
     if (why) {
       *why = std::string("missing ") + PrivilegeName(privilege) + " on '" +
              securable + "'";
@@ -452,35 +505,64 @@ bool UnityCatalog::CheckDataAccess(const std::string& user,
   return true;
 }
 
+bool UnityCatalog::HasNamespaceVisibility(const CatalogState& state,
+                                          const std::string& user,
+                                          const ComputeContext& compute,
+                                          const std::string& securable) const {
+  std::vector<std::string> principals = EffectivePrincipals(user, compute);
+  if (compute.downscope_group.empty() && state.admins.count(user)) return true;
+  if (PrincipalsOwn(state, principals, securable)) return true;
+  std::vector<std::string> parts = SplitString(securable, '.');
+  if (parts.size() != 3) return true;
+  if (!PrincipalsOwn(state, principals, parts[0]) &&
+      !PrincipalsHavePrivilege(state, principals, parts[0],
+                               Privilege::kUseCatalog)) {
+    return false;
+  }
+  std::string schema_name = parts[0] + "." + parts[1];
+  if (!PrincipalsOwn(state, principals, schema_name) &&
+      !PrincipalsHavePrivilege(state, principals, schema_name,
+                               Privilege::kUseSchema)) {
+    return false;
+  }
+  return true;
+}
+
 bool UnityCatalog::HasPrivilege(const std::string& user,
                                 const std::string& securable,
                                 Privilege privilege) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  StatePtr state = Snapshot();
   ComputeContext none;
   none.downscope_group.clear();
-  return CheckDataAccess(user, none, securable, privilege, nullptr);
+  return CheckDataAccess(*state, user, none, securable, privilege, nullptr);
 }
 
 std::set<Privilege> UnityCatalog::EffectivePrivileges(
     const std::string& user, const std::string& securable) const {
+  // One snapshot for the whole enumeration — never mixes epochs.
+  StatePtr state = Snapshot();
+  ComputeContext none;
   std::set<Privilege> out;
   for (Privilege p :
        {Privilege::kUseCatalog, Privilege::kUseSchema, Privilege::kSelect,
         Privilege::kModify, Privilege::kExecute, Privilege::kCreate,
         Privilege::kManage, Privilege::kReadVolume, Privilege::kWriteVolume}) {
-    if (HasPrivilege(user, securable, p)) out.insert(p);
+    if (CheckDataAccess(*state, user, none, securable, p, nullptr)) {
+      out.insert(p);
+    }
   }
   return out;
 }
 
-Status UnityCatalog::RequireManage(const std::string& as_user,
+Status UnityCatalog::RequireManage(const CatalogState& state,
+                                   const std::string& as_user,
                                    const std::string& table) {
-  auto owner_it = owners_.find(table);
-  if (owner_it == owners_.end()) {
+  auto owner_it = state.owners.find(table);
+  if (owner_it == state.owners.end()) {
     return Status::NotFound("securable '" + table + "' does not exist");
   }
-  if (admins_.count(as_user) || owner_it->second == as_user ||
-      PrincipalsHavePrivilege({as_user}, table, Privilege::kManage)) {
+  if (state.admins.count(as_user) || owner_it->second == as_user ||
+      PrincipalsHavePrivilege(state, {as_user}, table, Privilege::kManage)) {
     return Status::OK();
   }
   return Status::PermissionDenied("no MANAGE on '" + table + "'");
@@ -489,40 +571,45 @@ Status UnityCatalog::RequireManage(const std::string& as_user,
 Status UnityCatalog::SetRowFilter(const std::string& as_user,
                                   const std::string& table,
                                   RowFilterPolicy policy) {
-  std::lock_guard<std::mutex> lock(mu_);
-  LG_RETURN_IF_ERROR(RequireManage(as_user, table));
-  auto it = tables_.find(table);
-  if (it == tables_.end()) {
+  MutexLock lock(writer_mu_);
+  auto next = BeginMutation();
+  LG_RETURN_IF_ERROR(RequireManage(*next, as_user, table));
+  auto it = next->tables.find(table);
+  if (it == next->tables.end()) {
     return Status::NotFound("table '" + table + "' does not exist");
   }
   if (!policy.predicate) {
     return Status::InvalidArgument("row filter predicate is required");
   }
   it->second.row_filter = std::move(policy);
-  audit_.Record(as_user, "", "SET_ROW_FILTER", table, true);
+  audit_.RecordDurable(as_user, "", "SET_ROW_FILTER", table, true);
+  Publish(std::move(next));
   return Status::OK();
 }
 
 Status UnityCatalog::ClearRowFilter(const std::string& as_user,
                                     const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
-  LG_RETURN_IF_ERROR(RequireManage(as_user, table));
-  auto it = tables_.find(table);
-  if (it == tables_.end()) {
+  MutexLock lock(writer_mu_);
+  auto next = BeginMutation();
+  LG_RETURN_IF_ERROR(RequireManage(*next, as_user, table));
+  auto it = next->tables.find(table);
+  if (it == next->tables.end()) {
     return Status::NotFound("table '" + table + "' does not exist");
   }
   it->second.row_filter.reset();
-  audit_.Record(as_user, "", "CLEAR_ROW_FILTER", table, true);
+  audit_.RecordDurable(as_user, "", "CLEAR_ROW_FILTER", table, true);
+  Publish(std::move(next));
   return Status::OK();
 }
 
 Status UnityCatalog::AddColumnMask(const std::string& as_user,
                                    const std::string& table,
                                    ColumnMaskPolicy policy) {
-  std::lock_guard<std::mutex> lock(mu_);
-  LG_RETURN_IF_ERROR(RequireManage(as_user, table));
-  auto it = tables_.find(table);
-  if (it == tables_.end()) {
+  MutexLock lock(writer_mu_);
+  auto next = BeginMutation();
+  LG_RETURN_IF_ERROR(RequireManage(*next, as_user, table));
+  auto it = next->tables.find(table);
+  if (it == next->tables.end()) {
     return Status::NotFound("table '" + table + "' does not exist");
   }
   if (it->second.schema.FindField(policy.column) < 0) {
@@ -533,47 +620,91 @@ Status UnityCatalog::AddColumnMask(const std::string& as_user,
     return Status::InvalidArgument("mask expression is required");
   }
   it->second.column_masks.push_back(std::move(policy));
-  audit_.Record(as_user, "", "ADD_COLUMN_MASK", table, true);
+  audit_.RecordDurable(as_user, "", "ADD_COLUMN_MASK", table, true);
+  Publish(std::move(next));
   return Status::OK();
 }
 
 Status UnityCatalog::ClearColumnMasks(const std::string& as_user,
                                       const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
-  LG_RETURN_IF_ERROR(RequireManage(as_user, table));
-  auto it = tables_.find(table);
-  if (it == tables_.end()) {
+  MutexLock lock(writer_mu_);
+  auto next = BeginMutation();
+  LG_RETURN_IF_ERROR(RequireManage(*next, as_user, table));
+  auto it = next->tables.find(table);
+  if (it == next->tables.end()) {
     return Status::NotFound("table '" + table + "' does not exist");
   }
   it->second.column_masks.clear();
-  audit_.Record(as_user, "", "CLEAR_COLUMN_MASKS", table, true);
+  audit_.RecordDurable(as_user, "", "CLEAR_COLUMN_MASKS", table, true);
+  Publish(std::move(next));
+  return Status::OK();
+}
+
+Status UnityCatalog::SetTablePolicies(
+    const std::string& as_user, const std::string& table,
+    std::optional<RowFilterPolicy> row_filter,
+    std::vector<ColumnMaskPolicy> column_masks) {
+  MutexLock lock(writer_mu_);
+  auto next = BeginMutation();
+  LG_RETURN_IF_ERROR(RequireManage(*next, as_user, table));
+  auto it = next->tables.find(table);
+  if (it == next->tables.end()) {
+    return Status::NotFound("table '" + table + "' does not exist");
+  }
+  if (row_filter && !row_filter->predicate) {
+    return Status::InvalidArgument("row filter predicate is required");
+  }
+  for (const ColumnMaskPolicy& mask : column_masks) {
+    if (it->second.schema.FindField(mask.column) < 0) {
+      return Status::InvalidArgument("table has no column '" + mask.column +
+                                     "'");
+    }
+    if (!mask.mask_expr) {
+      return Status::InvalidArgument("mask expression is required");
+    }
+  }
+  it->second.row_filter = std::move(row_filter);
+  it->second.column_masks = std::move(column_masks);
+  audit_.RecordDurable(as_user, "", "SET_TABLE_POLICIES", table, true);
+  Publish(std::move(next));
   return Status::OK();
 }
 
 Result<RelationResolution> UnityCatalog::ResolveRelation(
     const std::string& user, const ComputeContext& compute,
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // One pinned snapshot for every decision below: existence, privileges,
+  // enforcement mode, policy set. A concurrent policy change lands in a
+  // later epoch and cannot produce a mixed view here.
+  StatePtr state = Snapshot();
 
-  auto table_it = tables_.find(name);
-  auto view_it = views_.find(name);
-  if (table_it == tables_.end() && view_it == views_.end()) {
+  auto table_it = state->tables.find(name);
+  auto view_it = state->views.find(name);
+  if (table_it == state->tables.end() && view_it == state->views.end()) {
     audit_.Record(user, compute.compute_id, "RESOLVE_RELATION", name, false,
                   "not found");
-    return Status::NotFound("relation '" + name + "' does not exist");
+    return Status::NotFound(InvisibleRelation(name));
   }
 
   std::string why;
-  if (!CheckDataAccess(user, compute, name, Privilege::kSelect, &why)) {
+  if (!CheckDataAccess(*state, user, compute, name, Privilege::kSelect,
+                       &why)) {
+    // The audit trail records the true reason; the caller does not. Without
+    // namespace visibility the denial is indistinguishable from absence —
+    // otherwise error text would be an existence oracle over names the user
+    // may not even enumerate.
     audit_.Record(user, compute.compute_id, "RESOLVE_RELATION", name, false,
                   why);
+    if (!HasNamespaceVisibility(*state, user, compute, name)) {
+      return Status::NotFound(InvisibleRelation(name));
+    }
     return Status::PermissionDenied("user '" + user + "' cannot SELECT from '" +
                                     name + "': " + why);
   }
 
   RelationResolution res;
 
-  if (view_it != views_.end()) {
+  if (view_it != state->views.end()) {
     const ViewInfo& view = view_it->second;
     res.type = SecurableType::kView;
     res.view = view;
@@ -657,11 +788,12 @@ Result<RelationResolution> UnityCatalog::ResolveRelation(
 PolicyInspection UnityCatalog::InspectPolicies(const std::string& user,
                                                const ComputeContext& compute,
                                                const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  StatePtr state = Snapshot();
   PolicyInspection out;
+  out.epoch = state->epoch;
 
-  auto view_it = views_.find(name);
-  if (view_it != views_.end()) {
+  auto view_it = state->views.find(name);
+  if (view_it != state->views.end()) {
     const ViewInfo& view = view_it->second;
     out.found = true;
     out.owner = view.owner;
@@ -680,8 +812,8 @@ PolicyInspection UnityCatalog::InspectPolicies(const std::string& user,
     return out;
   }
 
-  auto table_it = tables_.find(name);
-  if (table_it == tables_.end()) return out;
+  auto table_it = state->tables.find(name);
+  if (table_it == state->tables.end()) return out;
   const TableInfo& table = table_it->second;
   out.found = true;
   out.is_table = true;
@@ -713,9 +845,9 @@ PolicyInspection UnityCatalog::InspectPolicies(const std::string& user,
 }
 
 Result<FunctionInfo> UnityCatalog::GetFunction(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = functions_.find(name);
-  if (it == functions_.end()) {
+  StatePtr state = Snapshot();
+  auto it = state->functions.find(name);
+  if (it == state->functions.end()) {
     return Status::NotFound("function '" + name + "' does not exist");
   }
   return it->second;
@@ -724,17 +856,21 @@ Result<FunctionInfo> UnityCatalog::GetFunction(const std::string& name) const {
 Result<FunctionInfo> UnityCatalog::ResolveFunction(
     const std::string& user, const ComputeContext& compute,
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = functions_.find(name);
-  if (it == functions_.end()) {
+  StatePtr state = Snapshot();
+  auto it = state->functions.find(name);
+  if (it == state->functions.end()) {
     audit_.Record(user, compute.compute_id, "RESOLVE_FUNCTION", name, false,
                   "not found");
-    return Status::NotFound("function '" + name + "' does not exist");
+    return Status::NotFound(InvisibleFunction(name));
   }
   std::string why;
-  if (!CheckDataAccess(user, compute, name, Privilege::kExecute, &why)) {
+  if (!CheckDataAccess(*state, user, compute, name, Privilege::kExecute,
+                       &why)) {
     audit_.Record(user, compute.compute_id, "RESOLVE_FUNCTION", name, false,
                   why);
+    if (!HasNamespaceVisibility(*state, user, compute, name)) {
+      return Status::NotFound(InvisibleFunction(name));
+    }
     return Status::PermissionDenied("user '" + user +
                                     "' cannot EXECUTE '" + name + "': " + why);
   }
@@ -745,13 +881,14 @@ Result<FunctionInfo> UnityCatalog::ResolveFunction(
 Result<StorageCredential> UnityCatalog::VendWriteCredential(
     const std::string& user, const ComputeContext& compute,
     const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = tables_.find(table);
-  if (it == tables_.end()) {
+  StatePtr state = Snapshot();
+  auto it = state->tables.find(table);
+  if (it == state->tables.end()) {
     return Status::NotFound("table '" + table + "' does not exist");
   }
   std::string why;
-  if (!CheckDataAccess(user, compute, table, Privilege::kModify, &why)) {
+  if (!CheckDataAccess(*state, user, compute, table, Privilege::kModify,
+                       &why)) {
     audit_.Record(user, compute.compute_id, "VEND_CREDENTIAL", table, false,
                   why);
     return Status::PermissionDenied("user '" + user + "' cannot MODIFY '" +
@@ -776,14 +913,14 @@ Result<StorageCredential> UnityCatalog::VendWriteCredential(
 Result<StorageCredential> UnityCatalog::VendVolumeCredential(
     const std::string& user, const ComputeContext& compute,
     const std::string& volume, bool write) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = volumes_.find(volume);
-  if (it == volumes_.end()) {
+  StatePtr state = Snapshot();
+  auto it = state->volumes.find(volume);
+  if (it == state->volumes.end()) {
     return Status::NotFound("volume '" + volume + "' does not exist");
   }
   Privilege needed = write ? Privilege::kWriteVolume : Privilege::kReadVolume;
   std::string why;
-  if (!CheckDataAccess(user, compute, volume, needed, &why)) {
+  if (!CheckDataAccess(*state, user, compute, volume, needed, &why)) {
     audit_.Record(user, compute.compute_id, "VEND_VOLUME_CREDENTIAL", volume,
                   false, why);
     return Status::PermissionDenied("user '" + user + "' lacks " +

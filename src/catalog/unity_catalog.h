@@ -1,8 +1,10 @@
 #ifndef LAKEGUARD_CATALOG_UNITY_CATALOG_H_
 #define LAKEGUARD_CATALOG_UNITY_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
-#include <mutex>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -13,6 +15,7 @@
 #include "catalog/securable.h"
 #include "common/clock.h"
 #include "common/status.h"
+#include "core/thread_annotations.h"
 #include "storage/credential.h"
 
 namespace lakeguard {
@@ -86,12 +89,26 @@ struct PolicyInspection {
   std::vector<ColumnMaskPolicy> column_masks;
   Schema schema;
   std::string storage_root;
+  /// Catalog epoch the inspection was answered from.
+  uint64_t epoch = 0;
 };
 
 /// The Unity Catalog analogue: one place that governs catalogs, schemas,
 /// tables, views, functions and volumes; resolves relations per
 /// (user, compute) pair; vends scoped storage credentials; and audits every
 /// decision (§3.1).
+///
+/// Concurrency model (scale-out catalog, ROADMAP item 5): all governance
+/// state lives in an immutable `CatalogState` published through an atomic
+/// shared_ptr. Readers pin a snapshot with one acquire-load — no lock, no
+/// contention with other readers — and observe a consistent point-in-time
+/// view for the whole operation (snapshot isolation: never a half-applied
+/// grant set or a row filter from one epoch with masks from another).
+/// Writers serialize on `writer_mu_`, copy the current state, mutate the
+/// copy, commit a write-ahead audit record (`AuditLog::RecordDurable`), and
+/// publish the new state with the epoch bumped by one. The epoch is the
+/// cache-invalidation signal: any plan prepared against epoch N must be
+/// re-verified if executed when the catalog has moved past N.
 class UnityCatalog {
  public:
   UnityCatalog(Clock* clock, CredentialAuthority* authority);
@@ -147,17 +164,30 @@ class UnityCatalog {
                        ColumnMaskPolicy policy);
   Status ClearColumnMasks(const std::string& as_user,
                           const std::string& table);
+  /// Replaces a table's whole policy set — row filter and all column masks —
+  /// in one epoch, so concurrent readers observe either the previous or the
+  /// new set, never a mixture.
+  Status SetTablePolicies(const std::string& as_user, const std::string& table,
+                          std::optional<RowFilterPolicy> row_filter,
+                          std::vector<ColumnMaskPolicy> column_masks);
 
   // -- Query-path API ------------------------------------------------------------
   /// Resolves `name` for `user` on `compute`: privilege checks (with group
   /// down-scoping when requested), enforcement-mode decision, policy release
   /// and user-bound credential vending. This is THE security decision point.
+  ///
+  /// Existence is itself governed: when the caller lacks namespace
+  /// visibility (USE CATALOG + USE SCHEMA) over `name`, the result is the
+  /// same NotFound — with the same message — as for a relation that does not
+  /// exist, so error text cannot be used as an existence oracle. The audit
+  /// trail records the true reason.
   Result<RelationResolution> ResolveRelation(const std::string& user,
                                              const ComputeContext& compute,
                                              const std::string& name);
 
   /// Resolves a cataloged function for execution (kExecute check). Returns
-  /// the function (body + trust-domain owner + egress allow-list).
+  /// the function (body + trust-domain owner + egress allow-list). The same
+  /// existence-oracle rule as `ResolveRelation` applies.
   Result<FunctionInfo> ResolveFunction(const std::string& user,
                                        const ComputeContext& compute,
                                        const std::string& name);
@@ -166,6 +196,7 @@ class UnityCatalog {
   /// no privilege check, no audit record, no credential vending. Intended
   /// for the PlanVerifier, which must observe the expected policy shape of a
   /// plan without changing any state the plan's execution depends on.
+  /// Answered entirely from one pinned snapshot.
   PolicyInspection InspectPolicies(const std::string& user,
                                    const ComputeContext& compute,
                                    const std::string& name) const;
@@ -199,6 +230,11 @@ class UnityCatalog {
   AuditLog& audit() { return audit_; }
   const AuditLog& audit() const { return audit_; }
 
+  /// Current catalog epoch: bumped by every published mutation. Plans bind
+  /// the epoch they were verified under; executing a plan whose epoch lags
+  /// the catalog requires re-verification (policy-change race hardening).
+  uint64_t epoch() const;
+
   /// Default TTL of vended credentials.
   static constexpr int64_t kCredentialTtlMicros = 3600LL * 1000 * 1000;
 
@@ -208,22 +244,60 @@ class UnityCatalog {
     Privilege privilege;
   };
 
+  /// One immutable, point-in-time version of all governance state. Readers
+  /// hold a shared_ptr to a published state; writers never mutate a
+  /// published state in place.
+  struct CatalogState {
+    uint64_t epoch = 0;
+    std::set<std::string> admins;
+    std::map<std::string, std::string> catalogs;  // name -> owner
+    std::map<std::string, std::string> schemas;   // "cat.schema" -> owner
+    std::map<std::string, TableInfo> tables;
+    std::map<std::string, ViewInfo> views;
+    std::map<std::string, FunctionInfo> functions;
+    std::map<std::string, VolumeInfo> volumes;
+    std::map<std::string, std::vector<GrantEntry>> grants;
+    std::map<std::string, std::string> owners;  // securable -> owner
+  };
+  using StatePtr = std::shared_ptr<const CatalogState>;
+
+  /// Pins the current published snapshot (acquire-load; lock-free).
+  StatePtr Snapshot() const { return state_.load(std::memory_order_acquire); }
+
+  /// Begins a mutation: copies the current state for in-place edits. The
+  /// caller must hold `writer_mu_` until `Publish`.
+  std::shared_ptr<CatalogState> BeginMutation() const
+      LG_REQUIRES(writer_mu_);
+  /// Publishes `next` as the new current state with the epoch bumped.
+  /// The caller must have committed its audit record first (write-ahead).
+  void Publish(std::shared_ptr<CatalogState> next) LG_REQUIRES(writer_mu_);
+
   /// Principals whose grants count for `user` under `compute` (the user and
   /// their groups, or exactly the down-scoped group).
   std::vector<std::string> EffectivePrincipals(
       const std::string& user, const ComputeContext& compute) const;
 
-  bool PrincipalsHavePrivilege(const std::vector<std::string>& principals,
-                               const std::string& securable,
-                               Privilege privilege) const;
-  bool PrincipalsOwn(const std::vector<std::string>& principals,
-                     const std::string& securable) const;
+  static bool PrincipalsHavePrivilege(
+      const CatalogState& state, const std::vector<std::string>& principals,
+      const std::string& securable, Privilege privilege);
+  static bool PrincipalsOwn(const CatalogState& state,
+                            const std::vector<std::string>& principals,
+                            const std::string& securable);
   /// Full access check for data objects: USE chain + object privilege.
-  bool CheckDataAccess(const std::string& user, const ComputeContext& compute,
+  bool CheckDataAccess(const CatalogState& state, const std::string& user,
+                       const ComputeContext& compute,
                        const std::string& securable, Privilege privilege,
                        std::string* why) const;
+  /// USE CATALOG + USE SCHEMA chain only — whether `user` may even learn
+  /// that `securable` exists (the existence-oracle boundary).
+  bool HasNamespaceVisibility(const CatalogState& state,
+                              const std::string& user,
+                              const ComputeContext& compute,
+                              const std::string& securable) const;
 
-  Status RequireManage(const std::string& as_user, const std::string& table);
+  static Status RequireManage(const CatalogState& state,
+                              const std::string& as_user,
+                              const std::string& table);
   Status SplitQualified(const std::string& full_name,
                         std::vector<std::string>* parts, size_t want) const;
 
@@ -233,16 +307,10 @@ class UnityCatalog {
   AuditLog audit_;
   std::string system_token_;
 
-  mutable std::mutex mu_;
-  std::set<std::string> admins_;
-  std::map<std::string, std::string> catalogs_;  // name -> owner
-  std::map<std::string, std::string> schemas_;   // "cat.schema" -> owner
-  std::map<std::string, TableInfo> tables_;
-  std::map<std::string, ViewInfo> views_;
-  std::map<std::string, FunctionInfo> functions_;
-  std::map<std::string, VolumeInfo> volumes_;
-  std::map<std::string, std::vector<GrantEntry>> grants_;
-  std::map<std::string, std::string> owners_;  // securable -> owner
+  /// Serializes writers. Readers never touch it: they go straight to
+  /// `state_`.
+  mutable Mutex writer_mu_;
+  std::atomic<StatePtr> state_;
 };
 
 }  // namespace lakeguard

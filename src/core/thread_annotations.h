@@ -2,6 +2,7 @@
 #define LAKEGUARD_CORE_THREAD_ANNOTATIONS_H_
 
 #include <mutex>
+#include <shared_mutex>
 
 /// Clang thread-safety-analysis capability attributes (-Wthread-safety),
 /// compiled away on every other compiler. libstdc++'s std::mutex carries no
@@ -23,10 +24,18 @@
 #define LG_PT_GUARDED_BY(x) LG_THREAD_ANNOTATION__(pt_guarded_by(x))
 #define LG_REQUIRES(...) \
   LG_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define LG_REQUIRES_SHARED(...) \
+  LG_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
 #define LG_ACQUIRE(...) \
   LG_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define LG_ACQUIRE_SHARED(...) \
+  LG_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
 #define LG_RELEASE(...) \
   LG_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define LG_RELEASE_SHARED(...) \
+  LG_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define LG_RELEASE_GENERIC(...) \
+  LG_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
 #define LG_TRY_ACQUIRE(...) \
   LG_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
 #define LG_EXCLUDES(...) LG_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
@@ -66,6 +75,55 @@ class LG_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex& mu_;
+};
+
+/// std::shared_mutex with the capability attribute: exclusive lock for
+/// writers, shared lock for readers. Satisfies SharedLockable, so it also
+/// works with std::shared_lock/std::unique_lock outside analysis.
+class LG_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() LG_ACQUIRE() { mu_.lock(); }
+  void unlock() LG_RELEASE() { mu_.unlock(); }
+  bool try_lock() LG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock_shared() LG_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() LG_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII shared (reader) lock over `SharedMutex`.
+class LG_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) LG_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderLock() LG_RELEASE_GENERIC() { mu_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII exclusive (writer) lock over `SharedMutex`.
+class LG_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) LG_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterLock() LG_RELEASE() { mu_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
 };
 
 }  // namespace lakeguard

@@ -43,6 +43,15 @@ struct AnalysisResult {
   std::map<std::string, std::string> read_tokens;
   /// function full name -> resolved definition (body, owner, egress).
   std::map<std::string, FunctionInfo> udfs;
+
+  /// Binding stamp: the identity and placement the plan was analyzed and
+  /// verified under, plus the catalog epoch at preparation time. Execution
+  /// rechecks these — a prepared plan replayed by a different principal or
+  /// compute is rejected outright, and one executed after the catalog moved
+  /// past `catalog_epoch` is re-verified against current policy.
+  std::string bound_principal;
+  std::string bound_compute_id;
+  uint64_t catalog_epoch = 0;
 };
 
 }  // namespace lakeguard

@@ -41,6 +41,11 @@ Result<PreparedQuery> QueryEngine::PreparePlan(const PlanPtr& plan,
   Analyzer analyzer(services_.catalog, context, services_.extensions);
   LG_ASSIGN_OR_RETURN(AnalysisResult analysis, analyzer.Analyze(out.rewritten));
   out.analysis = std::make_unique<AnalysisResult>(std::move(analysis));
+  // Bind the prepared plan to the identity, compute, and catalog epoch it
+  // was admitted under; ExecutePrepared rechecks all three.
+  out.analysis->bound_principal = context.user;
+  out.analysis->bound_compute_id = context.compute.compute_id;
+  out.analysis->catalog_epoch = services_.catalog->epoch();
 
   PlanVerifier verifier(services_.catalog);
   if (config_.verify.verify_after_analysis) {
@@ -111,6 +116,37 @@ Result<QueryResultStreamPtr> QueryEngine::ExecutePrepared(
         MakeTableIterator(std::move(result), config_.exec.batch_size);
     stream->schema_ = stream->iterator_->schema();
     return stream;
+  }
+
+  if (prepared.analysis != nullptr) {
+    // Replay hardening: a prepared plan is bound to the (principal, compute)
+    // pair it was admitted under. Handing it to another session for
+    // execution would run with the original user's vended credentials.
+    const AnalysisResult& analysis = *prepared.analysis;
+    if (!analysis.bound_principal.empty() &&
+        (analysis.bound_principal != context.user ||
+         analysis.bound_compute_id != context.compute.compute_id)) {
+      return Status::PermissionDenied(
+          "prepared plan is bound to principal '" + analysis.bound_principal +
+          "' on compute '" + analysis.bound_compute_id +
+          "'; execution as '" + context.user + "' on compute '" +
+          context.compute.compute_id + "' rejected");
+    }
+    // Policy-change race hardening: if the catalog has published any epoch
+    // beyond the one the plan was verified under, re-verify before running.
+    // A plan whose policy shape no longer matches current policy fails with
+    // the verifier's typed status instead of executing stale enforcement.
+    const uint64_t current_epoch = services_.catalog->epoch();
+    if (analysis.catalog_epoch != 0 &&
+        current_epoch != analysis.catalog_epoch) {
+      PlanVerifier verifier(services_.catalog);
+      LG_RETURN_IF_ERROR(verifier.VerifyToStatus(
+          prepared.optimized, context, prepared.analysis.get(),
+          "catalog changed since preparation (epoch " +
+              std::to_string(analysis.catalog_epoch) + " -> " +
+              std::to_string(current_epoch) +
+              "); plan re-verification failed"));
+    }
   }
 
   // Assemble in dependency order: the executor borrows the heap-pinned

@@ -85,12 +85,33 @@ class Checker {
       : catalog_(catalog), context_(context), analysis_(analysis) {}
 
   Diagnostics Run(const PlanPtr& plan) {
+    CheckContextBinding();
     Walk(plan, "", context_.user);
     CheckCredentials();
     return std::move(diags_);
   }
 
  private:
+  // ---- V6: analysis/context binding ---------------------------------------
+
+  void CheckContextBinding() {
+    if (analysis_ == nullptr || analysis_->bound_principal.empty()) return;
+    if (analysis_->bound_principal != context_.user) {
+      diags_.AddError(PlanVerifier::kContextMismatch, "(root)",
+                      "analysis is bound to principal '" +
+                          analysis_->bound_principal +
+                          "' but the plan is verified for execution as '" +
+                          context_.user + "'");
+    }
+    if (analysis_->bound_compute_id != context_.compute.compute_id) {
+      diags_.AddError(PlanVerifier::kContextMismatch, "(root)",
+                      "analysis is bound to compute '" +
+                          analysis_->bound_compute_id +
+                          "' but the plan is verified for execution on '" +
+                          context_.compute.compute_id + "'");
+    }
+  }
+
   // ---- plan walk ----------------------------------------------------------
 
   void Walk(const PlanPtr& plan, const std::string& parent,
@@ -233,6 +254,11 @@ class Checker {
               context_.compute.compute_id +
               "' but remains a local scan — it must be a RemoteScan leaf");
       return;
+    }
+    // Locally enforced scans of real storage must carry a vended credential
+    // (checked in CheckCredentials once all leaves are known).
+    if (!info.storage_root.empty()) {
+      needs_token_.insert(scan.table_name());
     }
     const bool policies_expected =
         info.row_filter.has_value() || !info.column_masks.empty();
@@ -436,6 +462,21 @@ class Checker {
     if (analysis_ == nullptr) return;
     const CredentialAuthority* authority = catalog_->credential_authority();
     if (authority == nullptr) return;
+    // Inverse direction first: every locally enforced scan must have had a
+    // credential vended by catalog resolution. A plan that arrives with
+    // pre-resolved scans (forged or replayed around the analyzer) has no
+    // entry here and is rejected before execution.
+    for (const std::string& table : needs_token_) {
+      if (analysis_->read_tokens.find(table) == analysis_->read_tokens.end()) {
+        auto path_it = scan_paths_.find(table);
+        diags_.AddError(PlanVerifier::kOverbroadCredential,
+                        path_it != scan_paths_.end() ? path_it->second : table,
+                        "scan of '" + table +
+                            "' carries no vended storage credential — the "
+                            "plan did not pass catalog resolution for this "
+                            "relation");
+      }
+    }
     for (const auto& [table, token] : analysis_->read_tokens) {
       auto path_it = scan_paths_.find(table);
       const std::string path =
@@ -495,6 +536,8 @@ class Checker {
   std::map<std::string, std::set<std::string>> scan_users_;
   std::map<std::string, std::string> scan_paths_;
   std::map<std::string, std::string> scan_roots_;
+  /// Locally enforced scans of real storage (must hold a vended token).
+  std::set<std::string> needs_token_;
 };
 
 }  // namespace

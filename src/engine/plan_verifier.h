@@ -40,7 +40,13 @@ struct PlanVerifierOptions {
 ///   V5 (PV005) vended credentials referenced by the plan carry no broader
 ///      scope than the scans need: read-only, principal-bound to the
 ///      effective (definer-aware) user, prefixes confined to the table's
-///      storage root.
+///      storage root — and, conversely, every locally enforced scan carries
+///      a vended credential at all (a pre-resolved scan smuggled into a
+///      plan without catalog resolution has none and is rejected);
+///   V6 (PV006) the analysis the plan executes with is bound to the same
+///      principal and compute as the execution context — a prepared plan
+///      replayed under another identity fails verification even if the
+///      engine-level replay check were bypassed.
 ///
 /// PV000 flags malformed input (unresolved relations/columns in a plan that
 /// claims to be analyzed). The verifier is read-only end to end: it uses
@@ -55,6 +61,7 @@ class PlanVerifier {
   static constexpr const char* kTrustDomainFusion = "PV003";
   static constexpr const char* kResidualLocalScan = "PV004";
   static constexpr const char* kOverbroadCredential = "PV005";
+  static constexpr const char* kContextMismatch = "PV006";
 
   explicit PlanVerifier(const UnityCatalog* catalog) : catalog_(catalog) {}
 

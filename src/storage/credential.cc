@@ -1,6 +1,9 @@
 #include "storage/credential.h"
 
-#include "common/id.h"
+#include <functional>
+#include <random>
+
+#include "common/sha256.h"
 #include "common/strings.h"
 
 namespace lakeguard {
@@ -19,34 +22,59 @@ const char* StorageOpName(StorageOp op) {
   return "?";
 }
 
+CredentialAuthority::CredentialAuthority(Clock* clock) : clock_(clock) {
+  // Per-authority random seed: token ids are SHA-256(seed, counter), so an
+  // attacker holding one valid token cannot predict or enumerate others.
+  std::random_device rd;
+  std::string seed;
+  for (int i = 0; i < 4; ++i) {
+    seed += std::to_string(static_cast<uint64_t>(rd())) + ":";
+  }
+  seed_ = std::move(seed);
+}
+
+CredentialAuthority::Shard& CredentialAuthority::ShardFor(
+    const std::string& token_id) const {
+  return shards_[std::hash<std::string>{}(token_id) % kShards];
+}
+
+std::string CredentialAuthority::NewTokenId() {
+  uint64_t n = counter_.fetch_add(1, std::memory_order_relaxed);
+  std::string digest = Sha256::HexDigest(seed_ + std::to_string(n));
+  return "tok-" + digest.substr(0, 16);
+}
+
 StorageCredential CredentialAuthority::Issue(
     const std::string& principal, const std::string& compute_id,
     std::vector<std::string> allowed_prefixes, bool allow_write,
     int64_t ttl_micros) {
   StorageCredential cred;
-  cred.token_id = IdGenerator::Next("tok");
+  cred.token_id = NewTokenId();
   cred.principal = principal;
   cred.compute_id = compute_id;
   cred.allowed_prefixes = std::move(allowed_prefixes);
   cred.allow_write = allow_write;
   cred.expires_at_micros = clock_->NowMicros() + ttl_micros;
 
-  std::lock_guard<std::mutex> lock(mu_);
-  tokens_[cred.token_id] = cred;
+  Shard& shard = ShardFor(cred.token_id);
+  WriterLock lock(shard.mu);
+  shard.tokens[cred.token_id] = cred;
   return cred;
 }
 
 void CredentialAuthority::Revoke(const std::string& token_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  tokens_.erase(token_id);
+  Shard& shard = ShardFor(token_id);
+  WriterLock lock(shard.mu);
+  shard.tokens.erase(token_id);
 }
 
 Result<std::string> CredentialAuthority::Authorize(const std::string& token_id,
                                                    const std::string& path,
                                                    StorageOp op) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = tokens_.find(token_id);
-  if (it == tokens_.end()) {
+  const Shard& shard = ShardFor(token_id);
+  ReaderLock lock(shard.mu);
+  auto it = shard.tokens.find(token_id);
+  if (it == shard.tokens.end()) {
     return Status::Unauthenticated("unknown or revoked storage token");
   }
   const StorageCredential& cred = it->second;
@@ -65,15 +93,20 @@ Result<std::string> CredentialAuthority::Authorize(const std::string& token_id,
 }
 
 size_t CredentialAuthority::ActiveTokenCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return tokens_.size();
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    ReaderLock lock(shard.mu);
+    n += shard.tokens.size();
+  }
+  return n;
 }
 
 Result<StorageCredential> CredentialAuthority::Inspect(
     const std::string& token_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = tokens_.find(token_id);
-  if (it == tokens_.end()) {
+  const Shard& shard = ShardFor(token_id);
+  ReaderLock lock(shard.mu);
+  auto it = shard.tokens.find(token_id);
+  if (it == shard.tokens.end()) {
     return Status::NotFound("unknown or revoked storage token");
   }
   return it->second;

@@ -1,14 +1,16 @@
 #ifndef LAKEGUARD_STORAGE_CREDENTIAL_H_
 #define LAKEGUARD_STORAGE_CREDENTIAL_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "core/thread_annotations.h"
 
 namespace lakeguard {
 
@@ -36,9 +38,18 @@ struct StorageCredential {
 /// registered here and not yet expired or revoked — modeling the cloud
 /// vendor's STS. The catalog is the sole issuer in a correctly-wired
 /// platform; tests also use it directly.
+///
+/// Concurrency: the token table is sharded by token-id hash, each shard
+/// behind its own reader-writer lock. Authorization (the per-storage-access
+/// hot path) takes only a shared lock on one shard, so concurrent reads
+/// never serialize against each other; Issue/Revoke take the exclusive lock
+/// on a single shard. Token ids are derived from a SHA-256 of a per-process
+/// random seed and a counter — unguessable, so holding one token gives no
+/// purchase on enumerating or forging others (confused-deputy hardening;
+/// the seed's sequential ids were an oracle).
 class CredentialAuthority {
  public:
-  explicit CredentialAuthority(Clock* clock) : clock_(clock) {}
+  explicit CredentialAuthority(Clock* clock);
 
   CredentialAuthority(const CredentialAuthority&) = delete;
   CredentialAuthority& operator=(const CredentialAuthority&) = delete;
@@ -66,10 +77,22 @@ class CredentialAuthority {
   /// referenced by a plan carry no broader scope than the plan needs.
   Result<StorageCredential> Inspect(const std::string& token_id) const;
 
+  static constexpr size_t kShards = 16;
+
  private:
+  struct Shard {
+    mutable SharedMutex mu;
+    std::unordered_map<std::string, StorageCredential> tokens
+        LG_GUARDED_BY(mu);
+  };
+
+  Shard& ShardFor(const std::string& token_id) const;
+  std::string NewTokenId();
+
   Clock* clock_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, StorageCredential> tokens_;
+  std::string seed_;
+  std::atomic<uint64_t> counter_{0};
+  mutable std::array<Shard, kShards> shards_;
 };
 
 }  // namespace lakeguard

