@@ -1,0 +1,368 @@
+// Fused policy evaluation (compile-then-execute scan evaluators) vs the
+// tree-walking interpreter. Three measurements:
+//
+//   1. Microbench: one policy-heavy batch pipeline — row filter + two
+//      column masks + pushed-down user filter — run (a) as the three
+//      interpreted passes the pre-fusion executor performed, (b) compiled
+//      fresh every query (cache miss), (c) compiled once (cache hit).
+//   2. End-to-end: the same policy region through the whole engine with
+//      `fuse_policies` off vs on.
+//   3. Cache behaviour: hit rate over repeated same-principal queries
+//      against the platform-wide PolicyEvalCache.
+//
+// Results are printed and written to BENCH_policy_eval.json.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "expr/compiler/compiler.h"
+#include "expr/compiler/policy_eval_cache.h"
+#include "expr/evaluator.h"
+
+namespace lakeguard {
+namespace bench {
+namespace {
+
+// ---- The policy-heavy region under test -------------------------------------
+
+Schema PolicySchema() {
+  return Schema({{"a", TypeKind::kInt64, true},
+                 {"b", TypeKind::kInt64, true},
+                 {"s", TypeKind::kString, true},
+                 {"d", TypeKind::kFloat64, true}});
+}
+
+RecordBatch MakeBatch(size_t rows) {
+  TableBuilder builder(PolicySchema());
+  for (size_t i = 0; i < rows; ++i) {
+    auto append = builder.AppendRow(
+        {Value::Int(static_cast<int64_t>(i)),
+         Value::Int(static_cast<int64_t>(i * 7 % 1000)),
+         Value::String("tenant-" + std::to_string(i % 97)),
+         Value::Double(static_cast<double>(i % 512) * 0.5)});
+    if (!append.ok()) std::abort();
+  }
+  auto combined = builder.Build().Combine();
+  if (!combined.ok()) std::abort();
+  return *combined;
+}
+
+/// Row filter: int-arithmetic heavy with one string comparison — the shape
+/// of a real multi-clause FGAC predicate (tenancy + range + bucketing +
+/// blocklist clauses ANDed together). Selectivity ~ 50%.
+ExprPtr RowFilter() {
+  ExprPtr tenancy =
+      BinOp(BinaryOpKind::kLt,
+            BinOp(BinaryOpKind::kMod, Col("a"), LitInt(100)), LitInt(50));
+  ExprPtr range = And(BinOp(BinaryOpKind::kGe, Col("b"), LitInt(10)),
+                      BinOp(BinaryOpKind::kLe,
+                            BinOp(BinaryOpKind::kMul, Col("b"), LitInt(3)),
+                            LitInt(2998)));
+  ExprPtr bucket = Not(Eq(
+      BinOp(BinaryOpKind::kMod,
+            BinOp(BinaryOpKind::kAdd,
+                  BinOp(BinaryOpKind::kMul, Col("a"), LitInt(7)), Col("b")),
+            LitInt(13)),
+      LitInt(0)));
+  ExprPtr blocklist = Not(Eq(Col("s"), LitString("tenant-13")));
+  return And(And(tenancy, range), And(bucket, blocklist));
+}
+
+/// Masks: redact the tenant string, clamp the measure column.
+std::vector<ExprPtr> ColumnMasks() {
+  std::vector<ExprPtr> masks(4);
+  masks[2] = std::make_shared<CaseExpr>(
+      std::vector<CaseExpr::Branch>{
+          {BinOp(BinaryOpKind::kGt, Col("b"), LitInt(500)),
+           LitString("REDACTED")}},
+      Col("s"));
+  masks[3] = std::make_shared<CaseExpr>(
+      std::vector<CaseExpr::Branch>{
+          {BinOp(BinaryOpKind::kGe, Col("d"), LitDouble(100.0)),
+           LitDouble(100.0)}},
+      Col("d"));
+  return masks;
+}
+
+/// Pushed-down user predicate (evaluated over the MASKED schema).
+ExprPtr UserFilter() {
+  return And(And(Eq(BinOp(BinaryOpKind::kMod, Col("a"), LitInt(3)), LitInt(0)),
+                 BinOp(BinaryOpKind::kLe, Col("d"), LitDouble(100.0))),
+             Not(Eq(BinOp(BinaryOpKind::kMod,
+                          BinOp(BinaryOpKind::kAdd, Col("a"), Col("b")),
+                          LitInt(5)),
+                    LitInt(4))));
+}
+
+/// The pre-fusion evaluation strategy, exactly as the interpreted operators
+/// perform it: three separate tree-walking passes with an intermediate
+/// materialization between each.
+size_t InterpretedPipeline(const ExprPtr& row_filter,
+                           const std::vector<ExprPtr>& masks,
+                           const ExprPtr& user_filter,
+                           const RecordBatch& batch, const EvalContext& ctx) {
+  auto keep = EvaluatePredicateMask(row_filter, batch, ctx);
+  if (!keep.ok()) std::abort();
+  RecordBatch filtered = batch.Filter(*keep);
+  std::vector<Column> cols;
+  cols.reserve(masks.size());
+  for (size_t i = 0; i < masks.size(); ++i) {
+    if (masks[i] == nullptr) {
+      cols.push_back(filtered.column(i));
+      continue;
+    }
+    auto col = EvaluateExpr(masks[i], filtered, ctx);
+    if (!col.ok()) std::abort();
+    cols.push_back(std::move(*col));
+  }
+  RecordBatch masked(filtered.schema(), std::move(cols));
+  auto user_keep = EvaluatePredicateMask(user_filter, masked, ctx);
+  if (!user_keep.ok()) std::abort();
+  return masked.Filter(*user_keep).num_rows();
+}
+
+size_t FusedPipeline(const FusedPolicyProgram& program,
+                     const CompiledExpr& user_filter, const RecordBatch& batch,
+                     const EvalContext& ctx) {
+  auto out = RunFusedPolicy(program, &user_filter, batch, ctx);
+  if (!out.ok()) std::abort();
+  return out->has_value() ? (*out)->num_rows() : 0;
+}
+
+FusedPolicyProgram CompileRegion(const Schema& schema) {
+  auto program = CompileFusedPolicy("main.b.data", "analyst", /*epoch=*/1,
+                                    schema, RowFilter(), ColumnMasks());
+  if (!program.ok()) std::abort();
+  return *program;
+}
+
+CompiledExpr CompileUser(const Schema& output_schema) {
+  auto user = CompileExpr(UserFilter(), output_schema);
+  if (!user.ok()) std::abort();
+  return *user;
+}
+
+// ---- google-benchmark registrations -----------------------------------------
+
+void BM_PolicyPipeline(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));  // 0=interp 1=fused 2=cached
+  const size_t rows = static_cast<size_t>(state.range(1));
+  RecordBatch batch = MakeBatch(rows);
+  EvalContext ctx;
+  ctx.current_user = "analyst";
+  ExprPtr row_filter = RowFilter();
+  std::vector<ExprPtr> masks = ColumnMasks();
+  ExprPtr user_filter = UserFilter();
+  FusedPolicyProgram program = CompileRegion(batch.schema());
+  CompiledExpr user = CompileUser(program.output_schema);
+  for (auto _ : state) {
+    size_t out_rows = 0;
+    switch (mode) {
+      case 0:
+        out_rows = InterpretedPipeline(row_filter, masks, user_filter, batch,
+                                       ctx);
+        break;
+      case 1: {  // compile per query: the cache-miss cost
+        FusedPolicyProgram fresh = CompileRegion(batch.schema());
+        CompiledExpr fresh_user = CompileUser(fresh.output_schema);
+        out_rows = FusedPipeline(fresh, fresh_user, batch, ctx);
+        break;
+      }
+      default:
+        out_rows = FusedPipeline(program, user, batch, ctx);
+        break;
+    }
+    benchmark::DoNotOptimize(out_rows);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rows) * state.iterations());
+}
+
+BENCHMARK(BM_PolicyPipeline)
+    ->ArgsProduct({{0, 1, 2}, {512, 1024, 4096}})
+    ->ArgNames({"mode", "rows"})
+    ->Unit(benchmark::kMicrosecond);
+
+// ---- Headline table + BENCH_policy_eval.json --------------------------------
+
+struct Measured {
+  double interpreted = 0, fused = 0, fused_cached = 0;  // rows/sec
+};
+
+Measured MeasureRows(size_t rows) {
+  RecordBatch batch = MakeBatch(rows);
+  EvalContext ctx;
+  ctx.current_user = "analyst";
+  ExprPtr row_filter = RowFilter();
+  std::vector<ExprPtr> masks = ColumnMasks();
+  ExprPtr user_filter = UserFilter();
+  FusedPolicyProgram program = CompileRegion(batch.schema());
+  CompiledExpr user = CompileUser(program.output_schema);
+
+  // Interleaved best-of-N windows: each round times all three modes
+  // back-to-back so machine-load drift cannot skew the ratios.
+  const int reps = static_cast<int>(std::max<size_t>(200'000 / rows, 3));
+  auto window_rate = [&](auto&& body) {
+    int64_t start = RealClock::Instance()->NowMicros();
+    for (int i = 0; i < reps; ++i) body();
+    int64_t micros = RealClock::Instance()->NowMicros() - start;
+    return static_cast<double>(rows) * reps * 1e6 /
+           static_cast<double>(std::max<int64_t>(micros, 1));
+  };
+  Measured m;
+  for (int round = 0; round < 9; ++round) {
+    m.interpreted = std::max(m.interpreted, window_rate([&] {
+      benchmark::DoNotOptimize(
+          InterpretedPipeline(row_filter, masks, user_filter, batch, ctx));
+    }));
+    m.fused = std::max(m.fused, window_rate([&] {
+      FusedPolicyProgram fresh = CompileRegion(batch.schema());
+      CompiledExpr fresh_user = CompileUser(fresh.output_schema);
+      benchmark::DoNotOptimize(FusedPipeline(fresh, fresh_user, batch, ctx));
+    }));
+    m.fused_cached = std::max(m.fused_cached, window_rate([&] {
+      benchmark::DoNotOptimize(FusedPipeline(program, user, batch, ctx));
+    }));
+  }
+  return m;
+}
+
+/// End-to-end engine latency for the governed query, fused vs interpreted,
+/// and the cache hit rate over `queries` repeated same-principal runs.
+struct EndToEnd {
+  double interpreted_ms = 0, fused_ms = 0;
+  PolicyEvalCache::Stats cache;
+  uint64_t queries = 0;
+};
+
+BenchEnv MakePolicyEnv(bool fuse_policies) {
+  QueryEngineConfig config;
+  config.exec.fuse_policies = fuse_policies;
+  BenchEnv env = MakeBenchEnv(config, /*rows=*/20'000, "tenant-");
+  (void)env.platform->AddUser("analyst");
+  env.MustSql("ALTER TABLE main.b.data SET ROW FILTER "
+              "(a % 100 < 50 AND b >= 10 AND b * 3 <= 2998 AND "
+              "NOT (a * 7 + b) % 13 = 0 AND NOT s = 'tenant-13')");
+  env.MustSql("ALTER TABLE main.b.data ALTER COLUMN s SET MASK "
+              "(CASE WHEN b > 500 THEN 'REDACTED' ELSE s END)");
+  env.MustSql("GRANT USE CATALOG ON main TO analyst");
+  env.MustSql("GRANT USE SCHEMA ON main.b TO analyst");
+  env.MustSql("GRANT SELECT ON main.b.data TO analyst");
+  return env;
+}
+
+EndToEnd MeasureEndToEnd() {
+  const char* sql = "SELECT a, b, s FROM main.b.data WHERE a % 3 = 0";
+  auto best_ms = [&](BenchEnv& env, const ExecutionContext& ctx) {
+    (void)env.cluster->engine->ExecuteSql(sql, ctx);  // warm-up / compile
+    int64_t best = INT64_MAX;
+    for (int rep = 0; rep < 7; ++rep) {
+      int64_t start = RealClock::Instance()->NowMicros();
+      auto result = env.cluster->engine->ExecuteSql(sql, ctx);
+      if (!result.ok()) std::abort();
+      best = std::min(best, RealClock::Instance()->NowMicros() - start);
+    }
+    return static_cast<double>(best) / 1000;
+  };
+
+  EndToEnd e;
+  {
+    BenchEnv off = MakePolicyEnv(/*fuse_policies=*/false);
+    ExecutionContext ctx = *off.platform->DirectContext(off.cluster, "analyst");
+    e.interpreted_ms = best_ms(off, ctx);
+  }
+  BenchEnv on = MakePolicyEnv(/*fuse_policies=*/true);
+  ExecutionContext ctx = *on.platform->DirectContext(on.cluster, "analyst");
+  e.fused_ms = best_ms(on, ctx);
+
+  // Hit-rate study: a fresh cache, then N identical same-principal queries.
+  on.platform->policy_cache().Clear();
+  PolicyEvalCache::Stats before = on.platform->policy_cache().stats();
+  e.queries = 200;
+  for (uint64_t i = 0; i < e.queries; ++i) {
+    auto result = on.cluster->engine->ExecuteSql(sql, ctx);
+    if (!result.ok()) std::abort();
+  }
+  PolicyEvalCache::Stats after = on.platform->policy_cache().stats();
+  e.cache.hits = after.hits - before.hits;
+  e.cache.misses = after.misses - before.misses;
+  e.cache.revalidations = after.revalidations - before.revalidations;
+  e.cache.invalidations = after.invalidations - before.invalidations;
+  e.cache.compiles = after.compiles - before.compiles;
+  return e;
+}
+
+void PrintAndWrite() {
+  std::printf("\n=== Fused policy evaluation: compiled scan evaluators vs "
+              "interpreter ===\n");
+  // Executor batch granularities: scans re-slice stored parts to
+  // ExecutionOptions::batch_size (default 1024), so these are the batch
+  // shapes the fused program actually sees in the engine.
+  const size_t curve_rows[] = {512, 1024, 4096};
+  Measured curve[3];
+  for (int i = 0; i < 3; ++i) {
+    curve[i] = MeasureRows(curve_rows[i]);
+    std::printf("  rows=%-6zu interpreted %10.0f rows/s | fused %10.0f "
+                "rows/s | fused+cached %10.0f rows/s | speedup %.2fx\n",
+                curve_rows[i], curve[i].interpreted, curve[i].fused,
+                curve[i].fused_cached,
+                curve[i].fused_cached / curve[i].interpreted);
+  }
+  EndToEnd e = MeasureEndToEnd();
+  const double denom =
+      static_cast<double>(std::max<uint64_t>(e.cache.hits + e.cache.misses, 1));
+  const double hit_rate = static_cast<double>(e.cache.hits) / denom;
+  std::printf("  end-to-end governed query: interpreted %.2f ms, fused "
+              "%.2f ms (%.2fx)\n",
+              e.interpreted_ms, e.fused_ms, e.interpreted_ms / e.fused_ms);
+  std::printf("  cache over %llu repeated queries: %llu hits / %llu misses "
+              "(%.2f%% hit rate), %llu compiles\n",
+              static_cast<unsigned long long>(e.queries),
+              static_cast<unsigned long long>(e.cache.hits),
+              static_cast<unsigned long long>(e.cache.misses), hit_rate * 100,
+              static_cast<unsigned long long>(e.cache.compiles));
+
+  FILE* f = std::fopen("BENCH_policy_eval.json", "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"microbench_curve\": [\n");
+  for (int i = 0; i < 3; ++i) {
+    std::fprintf(
+        f,
+        "    {\"rows\": %zu, \"interpreted_rows_per_sec\": %.0f, "
+        "\"fused_rows_per_sec\": %.0f, \"fused_cached_rows_per_sec\": %.0f, "
+        "\"speedup_fused_vs_interpreted\": %.2f, "
+        "\"speedup_fused_cached_vs_interpreted\": %.2f}%s\n",
+        curve_rows[i], curve[i].interpreted, curve[i].fused,
+        curve[i].fused_cached, curve[i].fused / curve[i].interpreted,
+        curve[i].fused_cached / curve[i].interpreted, i + 1 < 3 ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"end_to_end\": {\"interpreted_ms\": %.3f, \"fused_ms\": "
+               "%.3f, \"speedup\": %.2f},\n",
+               e.interpreted_ms, e.fused_ms, e.interpreted_ms / e.fused_ms);
+  std::fprintf(
+      f,
+      "  \"cache\": {\"queries\": %llu, \"hits\": %llu, \"misses\": %llu, "
+      "\"compiles\": %llu, \"hit_rate\": %.4f}\n}\n",
+      static_cast<unsigned long long>(e.queries),
+      static_cast<unsigned long long>(e.cache.hits),
+      static_cast<unsigned long long>(e.cache.misses),
+      static_cast<unsigned long long>(e.cache.compiles), hit_rate);
+  std::fclose(f);
+  std::printf("\nwrote BENCH_policy_eval.json\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lakeguard
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  lakeguard::bench::PrintAndWrite();
+  return 0;
+}

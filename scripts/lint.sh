@@ -21,8 +21,10 @@ fi
 
 # src/ plus the security-sensitive out-of-tree surfaces: the adversarial
 # corpus and the catalog benchmark exercise locking and lifetime patterns
-# that the concurrency-* and bugprone-* checks exist to gate.
-EXTRA_FILES="tests/attack_test.cc tests/catalog_test.cc bench/bench_catalog.cc"
+# that the concurrency-* and bugprone-* checks exist to gate; the policy-eval
+# benchmark drives the compiled-kernel surfaces (src/expr/compiler is covered
+# by the src/ find below).
+EXTRA_FILES="tests/attack_test.cc tests/catalog_test.cc bench/bench_catalog.cc bench/bench_policy_eval.cc"
 
 FAILED=0
 while IFS= read -r file; do

@@ -844,6 +844,40 @@ PolicyInspection UnityCatalog::InspectPolicies(const std::string& user,
   return out;
 }
 
+PolicyVersionStamp UnityCatalog::InspectPolicyStamp(
+    const std::string& user, const ComputeContext& compute,
+    const std::string& name) const {
+  StatePtr state = Snapshot();
+  PolicyVersionStamp out;
+  out.epoch = state->epoch;
+
+  auto table_it = state->tables.find(name);
+  if (table_it == state->tables.end()) return out;
+  const TableInfo& table = table_it->second;
+  if (table.HasFineGrainedPolicies() && compute.privileged_access) {
+    // Externally enforced: the policies never reach this engine, so there is
+    // no fused program to validate.
+    return out;
+  }
+  out.found = true;
+  // Slot 0 is always the row filter (null when the table has none) so that
+  // adding or dropping a filter shifts no mask slots.
+  out.policies.push_back(table.row_filter.has_value()
+                             ? table.row_filter->predicate
+                             : nullptr);
+  for (const ColumnMaskPolicy& mask : table.column_masks) {
+    bool exempt = false;
+    for (const std::string& group : mask.exempt_groups) {
+      if (users_.IsMember(user, group)) {
+        exempt = true;
+        break;
+      }
+    }
+    if (!exempt) out.policies.push_back(mask.mask_expr);
+  }
+  return out;
+}
+
 Result<FunctionInfo> UnityCatalog::GetFunction(const std::string& name) const {
   StatePtr state = Snapshot();
   auto it = state->functions.find(name);

@@ -16,6 +16,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "core/thread_annotations.h"
+#include "expr/compiler/policy_eval_cache.h"
 #include "storage/credential.h"
 
 namespace lakeguard {
@@ -200,6 +201,20 @@ class UnityCatalog {
   PolicyInspection InspectPolicies(const std::string& user,
                                    const ComputeContext& compute,
                                    const std::string& name) const;
+
+  /// Side-effect-free fingerprint of the *effective* policy set of a locally
+  /// enforced table for this (user, compute): the snapshot epoch plus the
+  /// pinned ExprPtrs of the row-filter predicate slot (null when absent) and
+  /// each non-exempt column mask, in catalog order. This is the
+  /// PolicyEvalCache invalidation hook: an entry compiled at epoch N is
+  /// revalidated after catalog drift by pointer-comparing this stamp —
+  /// unrelated DDL revalidates without recompiling, while any policy
+  /// replacement (even textually identical) produces fresh allocations and
+  /// forces a recompile. `found` is false for missing relations, logical
+  /// views, and externally enforced tables (nothing fusable to cache).
+  PolicyVersionStamp InspectPolicyStamp(const std::string& user,
+                                        const ComputeContext& compute,
+                                        const std::string& name) const;
 
   /// Plain metadata lookup of a cataloged function (no EXECUTE check, no
   /// audit). Verifier-only: resolving policy expressions for comparison.

@@ -21,6 +21,36 @@ Value Column::GetValue(size_t i) const {
   return Value::Null();
 }
 
+Column Column::FromInts(std::vector<int64_t> values,
+                        std::vector<uint8_t> valid) {
+  Column out;
+  out.kind_ = TypeKind::kInt64;
+  out.length_ = values.size();
+  out.ints_ = std::move(values);
+  out.valid_ = std::move(valid);
+  return out;
+}
+
+Column Column::FromDoubles(std::vector<double> values,
+                           std::vector<uint8_t> valid) {
+  Column out;
+  out.kind_ = TypeKind::kFloat64;
+  out.length_ = values.size();
+  out.doubles_ = std::move(values);
+  out.valid_ = std::move(valid);
+  return out;
+}
+
+Column Column::FromBools(std::vector<uint8_t> values,
+                         std::vector<uint8_t> valid) {
+  Column out;
+  out.kind_ = TypeKind::kBool;
+  out.length_ = values.size();
+  out.bools_ = std::move(values);
+  out.valid_ = std::move(valid);
+  return out;
+}
+
 size_t Column::NullCount() const {
   size_t n = 0;
   for (uint8_t v : valid_) {

@@ -31,6 +31,16 @@ class Column {
   /// Boxed accessor (slow path; prefer typed accessors in operators).
   Value GetValue(size_t i) const;
 
+  /// Bulk constructors for vectorized kernels that fill raw buffers by
+  /// index (no per-cell append branch). `valid` must match `values` in
+  /// length; cells with valid[i]==0 are NULL and their value is ignored.
+  static Column FromInts(std::vector<int64_t> values,
+                         std::vector<uint8_t> valid);
+  static Column FromDoubles(std::vector<double> values,
+                            std::vector<uint8_t> valid);
+  static Column FromBools(std::vector<uint8_t> values,
+                          std::vector<uint8_t> valid);
+
   /// Sum of null flags; used by stats and tests.
   size_t NullCount() const;
 

@@ -33,6 +33,10 @@ LakeguardPlatform::LakeguardPlatform(Options options)
   authority_ = std::make_unique<CredentialAuthority>(clock_);
   store_ = std::make_unique<ObjectStore>(authority_.get());
   catalog_ = std::make_unique<UnityCatalog>(clock_, authority_.get());
+  // One fused-policy program cache for the whole platform: compiled scan
+  // evaluators are shared across sessions and clusters (the cache key is
+  // per (table, principal, policy-version), never per session).
+  policy_cache_ = std::make_unique<PolicyEvalCache>();
   cluster_manager_ =
       std::make_unique<ClusterManager>(clock_, &catalog_->users());
 
@@ -110,6 +114,7 @@ std::unique_ptr<ClusterHandle> LakeguardPlatform::MakeHandle(Cluster* cluster,
   services.host_env = &cluster->driver_host().env();
   services.remote = efgac_remote_.get();  // null for the serverless handle
   services.extensions = &extensions_;
+  services.policy_cache = policy_cache_.get();
   handle->engine =
       std::make_unique<QueryEngine>(services, options_.engine_config);
   if (dedicated) {

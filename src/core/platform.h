@@ -105,6 +105,8 @@ class LakeguardPlatform {
   CredentialAuthority& authority() { return *authority_; }
   ObjectStore& store() { return *store_; }
   UnityCatalog& catalog() { return *catalog_; }
+  /// Platform-wide fused-policy program cache (shared by every engine).
+  PolicyEvalCache& policy_cache() { return *policy_cache_; }
   ClusterManager& clusters() { return *cluster_manager_; }
   ClusterHandle* serverless_handle() { return serverless_handle_.get(); }
 
@@ -119,6 +121,7 @@ class LakeguardPlatform {
   std::unique_ptr<CredentialAuthority> authority_;
   std::unique_ptr<ObjectStore> store_;
   std::unique_ptr<UnityCatalog> catalog_;
+  std::unique_ptr<PolicyEvalCache> policy_cache_;
   std::unique_ptr<ClusterManager> cluster_manager_;
 
   // Serverless backbone (eFGAC + gateway backends).

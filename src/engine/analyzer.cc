@@ -289,7 +289,9 @@ Result<PlanPtr> Analyzer::ResolveTableRef(const TableRefNode& node,
     LG_ASSIGN_OR_RETURN(
         ExprPtr predicate,
         ResolveExpr(res.row_filter->predicate, table_scope, out));
-    guarded = MakeFilter(std::move(guarded), std::move(predicate));
+    // The marker tags this predicate as catalog-injected so the executor can
+    // recognize the region as fusable; it is semantically transparent.
+    guarded = MakeFilter(std::move(guarded), FusedPolicy(std::move(predicate)));
   }
   if (!res.column_masks.empty()) {
     std::vector<ExprPtr> exprs;
@@ -301,6 +303,7 @@ Result<PlanPtr> Analyzer::ResolveTableRef(const TableRefNode& node,
         if (EqualsIgnoreCase(mask.column, field.name)) {
           LG_ASSIGN_OR_RETURN(column_expr,
                               ResolveExpr(mask.mask_expr, table_scope, out));
+          column_expr = FusedPolicy(std::move(column_expr));
           break;
         }
       }

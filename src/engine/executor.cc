@@ -6,7 +6,9 @@
 #include "columnar/spill.h"
 #include "common/strings.h"
 #include "engine/analyzer.h"
+#include "engine/plan_verifier.h"
 #include "expr/evaluator.h"
+#include "expr/compiler/policy_eval_cache.h"
 #include "storage/delta_table.h"
 #include "udf/vm.h"
 
@@ -1258,9 +1260,18 @@ Result<BatchIteratorPtr> Executor::OpenNode(const PlanPtr& plan) {
       return OpenSort(static_cast<const SortNode&>(*plan));
     case PlanKind::kLimit:
       return OpenLimit(static_cast<const LimitNode&>(*plan));
-    case PlanKind::kSecureView:
-      // Execution-time no-op; its meaning is an analysis/optimizer barrier.
-      return OpenNode(static_cast<const SecureViewNode&>(*plan).child());
+    case PlanKind::kSecureView: {
+      const auto& sv = static_cast<const SecureViewNode&>(*plan);
+      // Fast path: evaluate the whole policy region as one compiled, cached
+      // program. Falls through to the interpreted operators whenever the
+      // region is not fusable.
+      LG_ASSIGN_OR_RETURN(std::optional<BatchIteratorPtr> fused,
+                          TryOpenFusedScan(sv, nullptr));
+      if (fused.has_value()) return std::move(*fused);
+      // Otherwise an execution-time no-op; its meaning is an
+      // analysis/optimizer barrier.
+      return OpenNode(sv.child());
+    }
     case PlanKind::kExtension:
       return Status::FailedPrecondition(
           "extension node reached the executor without analysis: " +
@@ -1306,6 +1317,17 @@ Result<BatchIteratorPtr> Executor::OpenProject(const ProjectNode& node,
 }
 
 Result<BatchIteratorPtr> Executor::OpenFilter(const FilterNode& node) {
+  // A UDF-free user predicate directly above a fusable policy region is
+  // folded into the fused scan program (policies run first on raw values,
+  // the user predicate last on masked values — same order as the
+  // interpreted operators, one pass instead of three).
+  if (node.child()->kind() == PlanKind::kSecureView &&
+      !ContainsUdfCall(node.condition())) {
+    const auto& sv = static_cast<const SecureViewNode&>(*node.child());
+    LG_ASSIGN_OR_RETURN(std::optional<BatchIteratorPtr> fused,
+                        TryOpenFusedScan(sv, node.condition()));
+    if (fused.has_value()) return std::move(*fused);
+  }
   LG_ASSIGN_OR_RETURN(BatchIteratorPtr child, OpenNode(node.child()));
   Schema schema = child->schema();
   ExprPtr condition = node.condition();
@@ -1328,6 +1350,140 @@ Result<BatchIteratorPtr> Executor::OpenFilter(const FilterNode& node) {
   };
   return BatchIteratorPtr(std::make_unique<ExecIterators::StageIterator>(
       this, "filter", std::move(schema), std::move(child), std::move(fn)));
+}
+
+Result<std::optional<BatchIteratorPtr>> Executor::TryOpenFusedScan(
+    const SecureViewNode& sv, const ExprPtr& user_filter) {
+  if (!options_.fuse_policies || services_.policy_cache == nullptr ||
+      services_.catalog == nullptr) {
+    return std::optional<BatchIteratorPtr>();
+  }
+
+  // Match the exact policy-region shape the analyzer emits:
+  //   SecureView -> [Project(masks)] -> [Filter(row filter)] -> Scan.
+  // Anything else (optimizer experiments, adversarial plans, UDF-bearing
+  // policies) stays on the interpreted operators.
+  PlanPtr cur = sv.child();
+  const ProjectNode* mask_project = nullptr;
+  if (cur->kind() == PlanKind::kProject) {
+    mask_project = static_cast<const ProjectNode*>(cur.get());
+    cur = mask_project->child();
+  }
+  ExprPtr row_filter;
+  if (cur->kind() == PlanKind::kFilter) {
+    const auto& filter = static_cast<const FilterNode&>(*cur);
+    if (filter.condition()->kind() != ExprKind::kFusedPolicy) {
+      return std::optional<BatchIteratorPtr>();
+    }
+    row_filter = filter.condition();
+    cur = filter.child();
+  }
+  if (cur->kind() != PlanKind::kResolvedScan) return std::optional<BatchIteratorPtr>();
+  const auto& scan = static_cast<const ResolvedScanNode&>(*cur);
+  const Schema& raw = scan.schema();
+
+  // Collect per-column masks and build the policy-version key: the exact
+  // rendering of every policy expression in the region. Equal keys mean
+  // equal policy text — no hashing, no collisions.
+  std::vector<ExprPtr> masks(raw.num_fields());
+  std::string version;
+  if (row_filter != nullptr) {
+    if (ContainsUdfCall(row_filter)) return std::optional<BatchIteratorPtr>();
+    version += "F:" + StripFusedPolicyMarkers(row_filter)->ToString() + ";";
+  }
+  if (mask_project != nullptr) {
+    if (mask_project->exprs().size() != raw.num_fields()) return std::optional<BatchIteratorPtr>();
+    bool any_mask = false;
+    for (size_t i = 0; i < raw.num_fields(); ++i) {
+      const ExprPtr& e = mask_project->exprs()[i];
+      if (e->kind() == ExprKind::kFusedPolicy) {
+        if (ContainsUdfCall(e)) return std::optional<BatchIteratorPtr>();
+        masks[i] = e;
+        any_mask = true;
+        version += "M" + std::to_string(i) + ":" +
+                   StripFusedPolicyMarkers(e)->ToString() + ";";
+        continue;
+      }
+      // Unmasked columns must be plain positional passthroughs.
+      if (e->kind() != ExprKind::kColumnRef ||
+          static_cast<const ColumnRefExpr&>(*e).index() !=
+              static_cast<int>(i)) {
+        return std::optional<BatchIteratorPtr>();
+      }
+    }
+    if (!any_mask) mask_project = nullptr;
+  }
+  if (row_filter == nullptr && mask_project == nullptr) {
+    return std::optional<BatchIteratorPtr>();  // policy-free region: nothing to fuse
+  }
+
+  const std::string& table = scan.table_name();
+  const std::string& principal = context_.user;
+  const uint64_t epoch = services_.catalog->epoch();
+  UnityCatalog* catalog = services_.catalog;
+  const ComputeContext compute = context_.compute;
+  auto stamp_fn = [catalog, principal, compute,
+                   table]() -> Result<PolicyVersionStamp> {
+    return catalog->InspectPolicyStamp(principal, compute, table);
+  };
+  auto compile_fn = [&]() -> Result<FusedPolicyProgram> {
+    return CompileFusedPolicy(table, principal, epoch, raw, row_filter, masks);
+  };
+  auto lookup = services_.policy_cache->GetOrCompile(
+      table, principal, version, epoch, stamp_fn, compile_fn);
+  if (!lookup.ok()) return std::optional<BatchIteratorPtr>();  // uncompilable: interpreted fallback
+  if (lookup->hit) {
+    ++stats_.policy_cache_hits;
+  } else {
+    ++stats_.policy_cache_misses;
+  }
+  if (lookup->compiled) ++stats_.policy_compiles;
+  std::shared_ptr<const FusedPolicyProgram> program = lookup->program;
+
+  // PV007: every program taken from the cache must still be semantically
+  // equal to the plan's policy-dominated expressions (which PV001/PV002
+  // checked against the catalog). Runs per scan open, never per batch.
+  if (program->row_filter.has_value() != (row_filter != nullptr)) {
+    return std::optional<BatchIteratorPtr>();
+  }
+  if (row_filter != nullptr &&
+      !PlanVerifier::VerifyFusedProgram(*program->row_filter, row_filter)
+           .ok()) {
+    return std::optional<BatchIteratorPtr>();
+  }
+  if (program->columns.size() != masks.size()) return std::optional<BatchIteratorPtr>();
+  for (size_t i = 0; i < masks.size(); ++i) {
+    if (program->columns[i].masked != (masks[i] != nullptr)) {
+      return std::optional<BatchIteratorPtr>();
+    }
+    if (masks[i] != nullptr &&
+        !PlanVerifier::VerifyFusedProgram(*program->columns[i].program,
+                                          masks[i])
+             .ok()) {
+      return std::optional<BatchIteratorPtr>();
+    }
+  }
+
+  // The pushed-down user predicate compiles per query (it is not part of
+  // the cached policy program) against the post-mask schema.
+  std::shared_ptr<CompiledExpr> user_program;
+  if (user_filter != nullptr) {
+    auto compiled = CompileExpr(user_filter, program->output_schema);
+    if (!compiled.ok()) return std::optional<BatchIteratorPtr>();
+    user_program = std::make_shared<CompiledExpr>(std::move(*compiled));
+  }
+
+  LG_ASSIGN_OR_RETURN(BatchIteratorPtr source, OpenScan(scan));
+  EvalContext ctx = MakeEvalContext();
+  auto fn = [program, user_program,
+             ctx](RecordBatch batch) -> Result<std::optional<RecordBatch>> {
+    return RunFusedPolicy(*program, user_program.get(), batch, ctx);
+  };
+  Schema out_schema = program->output_schema;
+  return std::optional<BatchIteratorPtr>(
+      std::make_unique<ExecIterators::StageIterator>(
+          this, "fused_scan", std::move(out_schema), std::move(source),
+          std::move(fn)));
 }
 
 Result<Table> Executor::AggregateTable(const AggregateNode& node,

@@ -40,6 +40,10 @@ class RemoteQueryExecutor {
 struct ExecutionOptions {
   bool isolate_udfs = true;
   bool fuse_udfs = true;
+  /// Compiled policy-region evaluation (row filter + masks + pushed-down
+  /// user filter as one cached program per scan). Off = every policy region
+  /// runs on the interpreted operators — the oracle/ablation baseline.
+  bool fuse_policies = true;
   /// Upper bound on rows per batch flowing through the pipeline. Scan
   /// re-slices stored parts to this size; pipeline stages are batch-in /
   /// batch-out, so this caps per-operator resident memory.
@@ -64,6 +68,10 @@ struct EngineServices {
   RemoteQueryExecutor* remote = nullptr;
   /// Installed Connect protocol extensions (may be null).
   const class ExtensionRegistry* extensions = nullptr;
+  /// Shared cache of compiled per-(table, principal, policy-version) scan
+  /// evaluators. Null disables the fused path entirely (every policy region
+  /// then runs interpreted — the fallback/oracle mode).
+  PolicyEvalCache* policy_cache = nullptr;
 };
 
 /// Operator counters for one execution. Scan counters advance as batches
@@ -96,6 +104,10 @@ struct ExecutorStats {
   uint64_t spill_bytes = 0;      ///< bytes written across those runs
   uint64_t batch_shrinks = 0;    ///< ladder step 1: batch_size halvings
   uint64_t udf_batch_splits = 0; ///< sandbox arg batches split on byte cap
+  /// Fused policy evaluation (PolicyEvalCache) counters for this execution.
+  uint64_t policy_cache_hits = 0;    ///< fused programs served from cache
+  uint64_t policy_cache_misses = 0;  ///< lookups that found no valid entry
+  uint64_t policy_compiles = 0;      ///< fused programs compiled
 
   void OnEmit(const char* op) {
     ++batches_emitted;
@@ -162,6 +174,17 @@ class Executor {
   Result<BatchIteratorPtr> OpenProject(const ProjectNode& node,
                                        const PlanPtr& self);
   Result<BatchIteratorPtr> OpenFilter(const FilterNode& node);
+  /// Attempts the compiled fast path for a policy region: matches the exact
+  /// SecureView -> [mask Project] -> [policy Filter] -> Scan shape (with
+  /// FusedPolicyExpr markers on every policy expression), fetches or builds
+  /// the fused program through the shared PolicyEvalCache, verifies it
+  /// (PV007) when freshly compiled, and returns a single "fused_scan" stage
+  /// evaluating row filter + masks (+ the optional pushed-down UDF-free
+  /// `user_filter`) in one pass per batch. Returns nullopt — never an error
+  /// — whenever the region is not fusable, so callers fall back to the
+  /// interpreted operators.
+  Result<std::optional<BatchIteratorPtr>> TryOpenFusedScan(
+      const SecureViewNode& sv, const ExprPtr& user_filter);
   Result<BatchIteratorPtr> OpenAggregate(const AggregateNode& node,
                                          const PlanPtr& self);
   Result<BatchIteratorPtr> OpenJoin(const JoinNode& node);

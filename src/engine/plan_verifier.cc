@@ -69,12 +69,14 @@ Result<ExprPtr> ResolvePolicyExpr(const ExprPtr& raw, const Schema& schema,
   return resolved;
 }
 
-/// Expression equality modulo constant folding: the optimizer may have
-/// folded literal subtrees of a policy expression in place, which must still
-/// count as the same policy.
+/// Expression equality modulo constant folding and FusedPolicy markers: the
+/// optimizer may have folded literal subtrees of a policy expression in
+/// place, and the analyzer tags injected policy expressions with a
+/// semantically transparent marker — both must still count as the same
+/// policy.
 bool EquivalentExprs(const ExprPtr& a, const ExprPtr& b) {
-  ExprPtr fa = FoldPureConstants(a);
-  ExprPtr fb = FoldPureConstants(b);
+  ExprPtr fa = FoldPureConstants(StripFusedPolicyMarkers(a));
+  ExprPtr fb = FoldPureConstants(StripFusedPolicyMarkers(b));
   return fa->Equals(*fb);
 }
 
@@ -441,7 +443,7 @@ class Checker {
         continue;
       }
       if (EquivalentExprs(actual, *expected)) continue;
-      if (actual->kind() == ExprKind::kColumnRef) {
+      if (StripFusedPolicyMarkers(actual)->kind() == ExprKind::kColumnRef) {
         diags_.AddError(PlanVerifier::kPolicyMissing, path,
                         "mask for column '" + field.name + "' of '" +
                             securable +
@@ -554,6 +556,44 @@ Status PlanVerifier::VerifyToStatus(const PlanPtr& plan,
                                     const AnalysisResult* analysis,
                                     const std::string& label) const {
   return Verify(plan, context, analysis).ToStatus(label);
+}
+
+Status PlanVerifier::VerifyFusedProgram(const CompiledExpr& program,
+                                        const ExprPtr& expected) {
+  if (expected == nullptr) {
+    return Status::FailedPrecondition(
+        std::string(kFusedMismatch) +
+        ": fused program has no expected policy expression to verify "
+        "against");
+  }
+  auto decompiled = DecompileProgram(program);
+  if (!decompiled.ok()) {
+    return Status::FailedPrecondition(
+        std::string(kFusedMismatch) + ": fused program does not decompile: " +
+        decompiled.status().message());
+  }
+  if (!EquivalentExprs(*decompiled, expected)) {
+    return Status::FailedPrecondition(
+        std::string(kFusedMismatch) +
+        ": fused program implements " + (*decompiled)->ToString() +
+        " but the policy-dominated tree is " +
+        StripFusedPolicyMarkers(expected)->ToString());
+  }
+  auto recompiled = CompileExpr(*decompiled, program.input_schema);
+  if (!recompiled.ok()) {
+    return Status::FailedPrecondition(
+        std::string(kFusedMismatch) +
+        ": fused program's decompiled tree does not recompile: " +
+        recompiled.status().message());
+  }
+  if (!SameInstructionStream(*recompiled, program)) {
+    return Status::FailedPrecondition(
+        std::string(kFusedMismatch) +
+        ": fused program's instruction stream deviates from the canonical "
+        "compilation of " +
+        (*decompiled)->ToString());
+  }
+  return Status::OK();
 }
 
 }  // namespace lakeguard

@@ -62,6 +62,7 @@ class PlanVerifier {
   static constexpr const char* kResidualLocalScan = "PV004";
   static constexpr const char* kOverbroadCredential = "PV005";
   static constexpr const char* kContextMismatch = "PV006";
+  static constexpr const char* kFusedMismatch = "PV007";
 
   explicit PlanVerifier(const UnityCatalog* catalog) : catalog_(catalog) {}
 
@@ -77,6 +78,22 @@ class PlanVerifier {
   Status VerifyToStatus(const PlanPtr& plan, const ExecutionContext& context,
                         const AnalysisResult* analysis,
                         const std::string& label) const;
+
+  /// V7 (PV007): a fused scan evaluator must be semantically equal to the
+  /// policy-dominated expression it claims to implement. Three checks, all
+  /// from the instruction stream (never from the program's own `source`
+  /// back-pointer, which a mutation could leave untouched):
+  ///   1. the program decompiles cleanly;
+  ///   2. the decompiled tree is equivalent (modulo folding and markers) to
+  ///      `expected` — the plan-side policy tree PV001/PV002 already checked
+  ///      against the catalog;
+  ///   3. recompiling the decompiled tree reproduces the exact instruction
+  ///      stream — catching mutations equivalence over trees cannot see
+  ///      (kernel selection, result types, register wiring).
+  /// Runs once per compile (not per batch); the executor rejects the fused
+  /// path and falls back to interpreted evaluation on failure.
+  static Status VerifyFusedProgram(const CompiledExpr& program,
+                                   const ExprPtr& expected);
 
  private:
   const UnityCatalog* catalog_;

@@ -1,0 +1,428 @@
+#include "expr/compiler/compiler.h"
+
+#include <limits>
+
+#include "common/strings.h"
+#include "expr/functions.h"
+
+namespace lakeguard {
+
+namespace {
+
+/// Mirror of the interpreter's InferBinaryType, over already-resolved
+/// operand types (rule order matters: FLOAT64 wins over STRING for '+').
+TypeKind BinaryOutType(BinaryOpKind op, TypeKind lt, TypeKind rt) {
+  switch (op) {
+    case BinaryOpKind::kAdd:
+    case BinaryOpKind::kSub:
+    case BinaryOpKind::kMul:
+    case BinaryOpKind::kMod:
+      if (lt == TypeKind::kFloat64 || rt == TypeKind::kFloat64) {
+        return TypeKind::kFloat64;
+      }
+      if (op == BinaryOpKind::kAdd &&
+          (lt == TypeKind::kString || rt == TypeKind::kString)) {
+        return TypeKind::kString;
+      }
+      return TypeKind::kInt64;
+    case BinaryOpKind::kDiv:
+      return TypeKind::kFloat64;
+    default:
+      return TypeKind::kBool;
+  }
+}
+
+bool IsComparisonOp(BinaryOpKind op) {
+  switch (op) {
+    case BinaryOpKind::kEq:
+    case BinaryOpKind::kNe:
+    case BinaryOpKind::kLt:
+    case BinaryOpKind::kLe:
+    case BinaryOpKind::kGt:
+    case BinaryOpKind::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+FusedKernel PickKernel(BinaryOpKind op, TypeKind lt, TypeKind rt) {
+  if (op == BinaryOpKind::kAnd || op == BinaryOpKind::kOr) {
+    return (lt == TypeKind::kBool && rt == TypeKind::kBool)
+               ? FusedKernel::kBool3VL
+               : FusedKernel::kGeneric;
+  }
+  if (IsComparisonOp(op)) {
+    if (lt == TypeKind::kInt64 && rt == TypeKind::kInt64) {
+      return FusedKernel::kInt64Compare;
+    }
+    if (lt == TypeKind::kFloat64 && rt == TypeKind::kFloat64) {
+      return FusedKernel::kFloat64Compare;
+    }
+    if (lt == TypeKind::kString && rt == TypeKind::kString &&
+        (op == BinaryOpKind::kEq || op == BinaryOpKind::kNe)) {
+      return FusedKernel::kStringCompare;
+    }
+    return FusedKernel::kGeneric;
+  }
+  if (op == BinaryOpKind::kDiv) return FusedKernel::kGeneric;
+  // + - * %
+  return (lt == TypeKind::kInt64 && rt == TypeKind::kInt64)
+             ? FusedKernel::kInt64Arith
+             : FusedKernel::kGeneric;
+}
+
+class Lowerer {
+ public:
+  explicit Lowerer(const Schema& input) : input_(input) {}
+
+  /// Emits instructions for `expr` bottom-up; returns the result register.
+  Result<uint16_t> Lower(const ExprPtr& expr) {
+    switch (expr->kind()) {
+      case ExprKind::kFusedPolicy:
+        return Lower(static_cast<const FusedPolicyExpr&>(*expr).child());
+      case ExprKind::kLiteral: {
+        const Value& v = static_cast<const LiteralExpr&>(*expr).value();
+        FusedInstruction inst;
+        inst.op = FusedOpCode::kLoadConst;
+        inst.literal = v;
+        inst.out_type = v.type();
+        inst.row_invariant = true;
+        return Emit(std::move(inst));
+      }
+      case ExprKind::kColumnRef: {
+        const auto& ref = static_cast<const ColumnRefExpr&>(*expr);
+        int idx = ref.index();
+        if (idx < 0) idx = input_.FindField(ref.name());
+        if (idx < 0 || idx >= static_cast<int>(input_.num_fields())) {
+          return Status::NotFound("cannot compile unresolved column '" +
+                                  ref.name() + "' against schema " +
+                                  input_.ToString());
+        }
+        FusedInstruction inst;
+        inst.op = FusedOpCode::kLoadColumn;
+        inst.column_index = idx;
+        inst.ref_index = ref.index();
+        inst.name = ref.name();
+        inst.out_type = input_.field(static_cast<size_t>(idx)).type;
+        return Emit(std::move(inst));
+      }
+      case ExprKind::kBinaryOp: {
+        const auto& e = static_cast<const BinaryOpExpr&>(*expr);
+        LG_ASSIGN_OR_RETURN(uint16_t a, Lower(e.left()));
+        const TypeKind lt = reg_types_[a];
+        FusedInstruction inst;
+        inst.op = FusedOpCode::kBinary;
+        inst.bin_op = e.op();
+        inst.a = a;
+        TypeKind rt = TypeKind::kNull;
+        const ExprPtr rhs = StripFusedPolicyMarkers(e.right());
+        if (rhs->kind() == ExprKind::kLiteral) {
+          // Immediate operand: no splat register, the literal rides in the
+          // instruction (the compare-vs-constant shape of most policies).
+          inst.b = kNoReg;
+          inst.literal = static_cast<const LiteralExpr&>(*rhs).value();
+          rt = inst.literal.type();
+          inst.row_invariant = reg_invariant_[a];
+        } else {
+          LG_ASSIGN_OR_RETURN(uint16_t b, Lower(e.right()));
+          inst.b = b;
+          rt = reg_types_[b];
+          inst.row_invariant = reg_invariant_[a] && reg_invariant_[b];
+        }
+        inst.kernel = PickKernel(e.op(), lt, rt);
+        inst.out_type = BinaryOutType(e.op(), lt, rt);
+        return Emit(std::move(inst));
+      }
+      case ExprKind::kUnaryOp: {
+        const auto& e = static_cast<const UnaryOpExpr&>(*expr);
+        LG_ASSIGN_OR_RETURN(uint16_t a, Lower(e.child()));
+        FusedInstruction inst;
+        inst.op = FusedOpCode::kUnary;
+        inst.un_op = e.op();
+        inst.a = a;
+        inst.out_type =
+            e.op() == UnaryOpKind::kNot ? TypeKind::kBool : reg_types_[a];
+        inst.row_invariant = reg_invariant_[a];
+        return Emit(std::move(inst));
+      }
+      case ExprKind::kFunctionCall: {
+        const auto& e = static_cast<const FunctionCallExpr&>(*expr);
+        if (IsAggregateFunctionName(e.name())) {
+          return Status::InvalidArgument(
+              "aggregate function " + e.name() +
+              " cannot be compiled row-wise (analyzer must lift it)");
+        }
+        LG_ASSIGN_OR_RETURN(const BuiltinFunction* fn, LookupBuiltin(e.name()));
+        if (e.args().size() < fn->min_args ||
+            e.args().size() > fn->max_args) {
+          return Status::InvalidArgument("wrong argument count for " +
+                                         e.name());
+        }
+        FusedInstruction inst;
+        inst.op = FusedOpCode::kCall;
+        inst.name = e.name();
+        inst.fn = fn;
+        inst.row_invariant = true;
+        std::vector<TypeKind> arg_types;
+        for (const ExprPtr& arg : e.args()) {
+          LG_ASSIGN_OR_RETURN(uint16_t r, Lower(arg));
+          inst.args.push_back(r);
+          arg_types.push_back(reg_types_[r]);
+          inst.row_invariant = inst.row_invariant && reg_invariant_[r];
+        }
+        LG_ASSIGN_OR_RETURN(inst.out_type, fn->infer(arg_types));
+        return Emit(std::move(inst));
+      }
+      case ExprKind::kCast: {
+        const auto& e = static_cast<const CastExpr&>(*expr);
+        LG_ASSIGN_OR_RETURN(uint16_t a, Lower(e.child()));
+        FusedInstruction inst;
+        inst.op = FusedOpCode::kCast;
+        inst.a = a;
+        inst.cast_target = e.target();
+        inst.out_type = e.target();
+        inst.row_invariant = reg_invariant_[a];
+        return Emit(std::move(inst));
+      }
+      case ExprKind::kCase: {
+        const auto& e = static_cast<const CaseExpr&>(*expr);
+        FusedInstruction inst;
+        inst.op = FusedOpCode::kCase;
+        inst.row_invariant = true;
+        TypeKind result = TypeKind::kNull;
+        for (const CaseExpr::Branch& br : e.branches()) {
+          LG_ASSIGN_OR_RETURN(uint16_t c, Lower(br.condition));
+          LG_ASSIGN_OR_RETURN(uint16_t v, Lower(br.value));
+          inst.args.push_back(c);
+          inst.args.push_back(v);
+          inst.row_invariant = inst.row_invariant && reg_invariant_[c] &&
+                               reg_invariant_[v];
+          const TypeKind t = reg_types_[v];
+          if (result == TypeKind::kNull) result = t;
+          if (t == TypeKind::kFloat64 && result == TypeKind::kInt64) {
+            result = t;
+          }
+        }
+        if (e.else_value()) {
+          LG_ASSIGN_OR_RETURN(uint16_t el, Lower(e.else_value()));
+          inst.b = el;
+          inst.row_invariant = inst.row_invariant && reg_invariant_[el];
+          const TypeKind t = reg_types_[el];
+          if (result == TypeKind::kNull) result = t;
+          if (t == TypeKind::kFloat64 && result == TypeKind::kInt64) {
+            result = t;
+          }
+        }
+        inst.out_type = result;
+        return Emit(std::move(inst));
+      }
+      case ExprKind::kIn: {
+        const auto& e = static_cast<const InExpr&>(*expr);
+        LG_ASSIGN_OR_RETURN(uint16_t a, Lower(e.child()));
+        FusedInstruction inst;
+        inst.op = FusedOpCode::kIn;
+        inst.a = a;
+        inst.list = e.list();
+        inst.negated = e.negated();
+        inst.out_type = TypeKind::kBool;
+        inst.row_invariant = reg_invariant_[a];
+        return Emit(std::move(inst));
+      }
+      case ExprKind::kIsNull: {
+        const auto& e = static_cast<const IsNullExpr&>(*expr);
+        LG_ASSIGN_OR_RETURN(uint16_t a, Lower(e.child()));
+        FusedInstruction inst;
+        inst.op = FusedOpCode::kIsNull;
+        inst.a = a;
+        inst.negated = e.negated();
+        inst.out_type = TypeKind::kBool;
+        inst.row_invariant = reg_invariant_[a];
+        return Emit(std::move(inst));
+      }
+      case ExprKind::kLike: {
+        const auto& e = static_cast<const LikeExpr&>(*expr);
+        LG_ASSIGN_OR_RETURN(uint16_t a, Lower(e.child()));
+        FusedInstruction inst;
+        inst.op = FusedOpCode::kLike;
+        inst.a = a;
+        inst.pattern = e.pattern();
+        inst.negated = e.negated();
+        inst.out_type = TypeKind::kBool;
+        inst.row_invariant = reg_invariant_[a];
+        return Emit(std::move(inst));
+      }
+      case ExprKind::kUdfCall:
+        return Status::FailedPrecondition(
+            "UDF call cannot be compiled into a fused program; user code "
+            "runs only through the sandboxed UDF operator");
+    }
+    return Status::Internal("unreachable expr kind in compile");
+  }
+
+  std::vector<FusedInstruction> TakeInstrs() { return std::move(instrs_); }
+  size_t num_regs() const { return reg_types_.size(); }
+  TypeKind reg_type(uint16_t r) const { return reg_types_[r]; }
+
+ private:
+  Result<uint16_t> Emit(FusedInstruction inst) {
+    if (reg_types_.size() >= kNoReg) {
+      return Status::InvalidArgument("expression too large to compile");
+    }
+    const auto dst = static_cast<uint16_t>(reg_types_.size());
+    inst.dst = dst;
+    reg_types_.push_back(inst.out_type);
+    reg_invariant_.push_back(inst.row_invariant);
+    instrs_.push_back(std::move(inst));
+    return dst;
+  }
+
+  const Schema& input_;
+  std::vector<FusedInstruction> instrs_;
+  std::vector<TypeKind> reg_types_;
+  std::vector<uint8_t> reg_invariant_;
+};
+
+}  // namespace
+
+Result<CompiledExpr> CompileExpr(const ExprPtr& expr, const Schema& input) {
+  if (expr == nullptr) {
+    return Status::InvalidArgument("cannot compile null expression");
+  }
+  Lowerer lowerer(input);
+  LG_ASSIGN_OR_RETURN(uint16_t result, lowerer.Lower(expr));
+  CompiledExpr out;
+  out.input_schema = input;
+  out.result_reg = result;
+  out.out_type = lowerer.reg_type(result);
+  out.num_regs = static_cast<uint16_t>(lowerer.num_regs());
+  out.instrs = lowerer.TakeInstrs();
+  out.source = StripFusedPolicyMarkers(expr);
+  return out;
+}
+
+Result<ExprPtr> DecompileProgram(const CompiledExpr& program) {
+  std::vector<ExprPtr> regs(program.num_regs);
+  auto reg_at = [&](uint16_t r) -> Result<ExprPtr> {
+    if (r >= regs.size() || regs[r] == nullptr) {
+      return Status::DataLoss("program register " + std::to_string(r) +
+                              " read before being written");
+    }
+    return regs[r];
+  };
+  for (const FusedInstruction& inst : program.instrs) {
+    if (inst.dst >= regs.size()) {
+      return Status::DataLoss("program writes register out of range");
+    }
+    switch (inst.op) {
+      case FusedOpCode::kLoadColumn:
+        regs[inst.dst] =
+            std::make_shared<ColumnRefExpr>(inst.name, inst.ref_index);
+        break;
+      case FusedOpCode::kLoadConst:
+        regs[inst.dst] = Lit(inst.literal);
+        break;
+      case FusedOpCode::kBinary: {
+        LG_ASSIGN_OR_RETURN(ExprPtr l, reg_at(inst.a));
+        ExprPtr r;
+        if (inst.b == kNoReg) {
+          r = Lit(inst.literal);
+        } else {
+          LG_ASSIGN_OR_RETURN(r, reg_at(inst.b));
+        }
+        regs[inst.dst] = BinOp(inst.bin_op, std::move(l), std::move(r));
+        break;
+      }
+      case FusedOpCode::kUnary: {
+        LG_ASSIGN_OR_RETURN(ExprPtr c, reg_at(inst.a));
+        regs[inst.dst] =
+            std::make_shared<UnaryOpExpr>(inst.un_op, std::move(c));
+        break;
+      }
+      case FusedOpCode::kIsNull: {
+        LG_ASSIGN_OR_RETURN(ExprPtr c, reg_at(inst.a));
+        regs[inst.dst] =
+            std::make_shared<IsNullExpr>(std::move(c), inst.negated);
+        break;
+      }
+      case FusedOpCode::kIn: {
+        LG_ASSIGN_OR_RETURN(ExprPtr c, reg_at(inst.a));
+        regs[inst.dst] =
+            std::make_shared<InExpr>(std::move(c), inst.list, inst.negated);
+        break;
+      }
+      case FusedOpCode::kLike: {
+        LG_ASSIGN_OR_RETURN(ExprPtr c, reg_at(inst.a));
+        regs[inst.dst] = std::make_shared<LikeExpr>(std::move(c), inst.pattern,
+                                                    inst.negated);
+        break;
+      }
+      case FusedOpCode::kCast: {
+        LG_ASSIGN_OR_RETURN(ExprPtr c, reg_at(inst.a));
+        regs[inst.dst] = CastTo(std::move(c), inst.cast_target);
+        break;
+      }
+      case FusedOpCode::kCase: {
+        if (inst.args.size() % 2 != 0) {
+          return Status::DataLoss("malformed CASE instruction");
+        }
+        std::vector<CaseExpr::Branch> branches;
+        for (size_t k = 0; k + 1 < inst.args.size(); k += 2) {
+          CaseExpr::Branch b;
+          LG_ASSIGN_OR_RETURN(b.condition, reg_at(inst.args[k]));
+          LG_ASSIGN_OR_RETURN(b.value, reg_at(inst.args[k + 1]));
+          branches.push_back(std::move(b));
+        }
+        ExprPtr else_value;
+        if (inst.b != kNoReg) {
+          LG_ASSIGN_OR_RETURN(else_value, reg_at(inst.b));
+        }
+        regs[inst.dst] = std::make_shared<CaseExpr>(std::move(branches),
+                                                    std::move(else_value));
+        break;
+      }
+      case FusedOpCode::kCall: {
+        std::vector<ExprPtr> args;
+        for (uint16_t r : inst.args) {
+          LG_ASSIGN_OR_RETURN(ExprPtr a, reg_at(r));
+          args.push_back(std::move(a));
+        }
+        regs[inst.dst] = Func(inst.name, std::move(args));
+        break;
+      }
+    }
+  }
+  if (program.result_reg >= regs.size() ||
+      regs[program.result_reg] == nullptr) {
+    return Status::DataLoss("program result register never written");
+  }
+  return regs[program.result_reg];
+}
+
+bool SameInstructionStream(const CompiledExpr& a, const CompiledExpr& b) {
+  if (a.num_regs != b.num_regs || a.result_reg != b.result_reg ||
+      a.out_type != b.out_type || a.instrs.size() != b.instrs.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.instrs.size(); ++i) {
+    const FusedInstruction& x = a.instrs[i];
+    const FusedInstruction& y = b.instrs[i];
+    if (x.op != y.op || x.kernel != y.kernel || x.dst != y.dst ||
+        x.a != y.a || x.b != y.b || x.args != y.args ||
+        x.bin_op != y.bin_op || x.un_op != y.un_op ||
+        x.negated != y.negated || x.column_index != y.column_index ||
+        x.ref_index != y.ref_index || x.pattern != y.pattern ||
+        x.cast_target != y.cast_target || x.out_type != y.out_type ||
+        x.row_invariant != y.row_invariant ||
+        !(x.literal == y.literal) || x.list.size() != y.list.size() ||
+        !EqualsIgnoreCase(x.name, y.name)) {
+      return false;
+    }
+    for (size_t k = 0; k < x.list.size(); ++k) {
+      if (!(x.list[k] == y.list[k])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,36 @@
+#ifndef LAKEGUARD_EXPR_COMPILER_COMPILER_H_
+#define LAKEGUARD_EXPR_COMPILER_COMPILER_H_
+
+#include "expr/compiler/program.h"
+
+namespace lakeguard {
+
+/// Lowers `expr` into a flat register program resolved against `input`.
+/// FusedPolicyExpr markers are transparent (the compiled source is the
+/// marker-stripped tree). Refuses expressions the compiled path must never
+/// own: UdfCalls (user code runs only through the sandboxed physical UDF
+/// operator) and aggregate calls (lifted by the analyzer). Everything else
+/// the interpreter accepts is compilable; unsupported type combinations
+/// lower to the generic kernel with interpreter-identical semantics.
+///
+/// Lowering is deterministic and structure-preserving: compiling the tree
+/// DecompileProgram reconstructs yields an identical instruction stream,
+/// which is what lets PV007 re-canonicalize a cached program and reject any
+/// mutation.
+Result<CompiledExpr> CompileExpr(const ExprPtr& expr, const Schema& input);
+
+/// Reconstructs the expression tree a program encodes, from the instruction
+/// stream alone (never from CompiledExpr::source — a mutated program must
+/// decompile to a *different* tree so the PV007 equivalence check can see
+/// the mutation).
+Result<ExprPtr> DecompileProgram(const CompiledExpr& program);
+
+/// Field-by-field semantic equality of two instruction streams (register
+/// layout, opcodes, kernels, immediates, result types). Used by PV007 to
+/// compare a cached program against the re-canonicalized compile of its own
+/// decompiled tree.
+bool SameInstructionStream(const CompiledExpr& a, const CompiledExpr& b);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_EXPR_COMPILER_COMPILER_H_

@@ -1,0 +1,168 @@
+#include "expr/compiler/policy_eval_cache.h"
+
+namespace lakeguard {
+
+bool SameStamp(const PolicyVersionStamp& a, const PolicyVersionStamp& b) {
+  if (a.found != b.found || a.policies.size() != b.policies.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.policies.size(); ++i) {
+    if (a.policies[i].get() != b.policies[i].get()) return false;
+  }
+  return true;
+}
+
+Result<FusedPolicyProgram> CompileFusedPolicy(
+    std::string table, std::string principal, uint64_t epoch,
+    const Schema& input, const ExprPtr& row_filter,
+    const std::vector<ExprPtr>& column_masks) {
+  if (column_masks.size() != input.num_fields()) {
+    return Status::InvalidArgument(
+        "CompileFusedPolicy: one mask slot per input field required");
+  }
+  FusedPolicyProgram out;
+  out.table = std::move(table);
+  out.principal = std::move(principal);
+  out.compiled_epoch = epoch;
+  out.input_schema = input;
+  if (row_filter != nullptr) {
+    LG_ASSIGN_OR_RETURN(CompiledExpr rf, CompileExpr(row_filter, input));
+    out.row_filter = std::move(rf);
+  }
+  out.columns.resize(column_masks.size());
+  for (size_t i = 0; i < column_masks.size(); ++i) {
+    const FieldDef& field = input.field(i);
+    if (column_masks[i] == nullptr) {
+      out.output_schema.AddField(field);
+      continue;
+    }
+    LG_ASSIGN_OR_RETURN(CompiledExpr mask, CompileExpr(column_masks[i], input));
+    out.output_schema.AddField(FieldDef{field.name, mask.out_type, true});
+    out.columns[i].masked = true;
+    out.columns[i].program = std::move(mask);
+  }
+  return out;
+}
+
+Result<std::optional<RecordBatch>> RunFusedPolicy(
+    const FusedPolicyProgram& program, const CompiledExpr* user_filter,
+    const RecordBatch& raw, const EvalContext& ctx) {
+  // Stage 1: policy row filter over the raw batch.
+  RecordBatch filtered = raw;
+  if (program.row_filter.has_value()) {
+    LG_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
+                        RunProgramMask(*program.row_filter, raw, ctx));
+    const size_t kept = MaskCountSet(mask);
+    if (kept == 0) return std::optional<RecordBatch>();
+    if (kept != raw.num_rows()) filtered = raw.Filter(mask);
+  }
+  // Stage 2: column masks over the surviving rows.
+  RecordBatch masked = filtered;
+  bool any_masked = false;
+  for (const MaskSlot& slot : program.columns) {
+    if (slot.masked) {
+      any_masked = true;
+      break;
+    }
+  }
+  if (any_masked) {
+    std::vector<Column> cols;
+    cols.reserve(program.columns.size());
+    for (size_t i = 0; i < program.columns.size(); ++i) {
+      if (!program.columns[i].masked) {
+        cols.push_back(filtered.column(i));
+        continue;
+      }
+      LG_ASSIGN_OR_RETURN(
+          Column col, RunProgram(*program.columns[i].program, filtered, ctx));
+      cols.push_back(std::move(col));
+    }
+    masked = RecordBatch(program.output_schema, std::move(cols));
+  }
+  // Stage 3: pushed-down user predicate over the masked batch.
+  if (user_filter != nullptr) {
+    LG_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
+                        RunProgramMask(*user_filter, masked, ctx));
+    const size_t kept = MaskCountSet(mask);
+    if (kept == 0) return std::optional<RecordBatch>();
+    if (kept != masked.num_rows()) masked = masked.Filter(mask);
+  }
+  if (masked.num_rows() == 0) return std::optional<RecordBatch>();
+  return std::optional<RecordBatch>(std::move(masked));
+}
+
+Result<PolicyEvalCache::Lookup> PolicyEvalCache::GetOrCompile(
+    const std::string& table, const std::string& principal,
+    const std::string& version, uint64_t current_epoch,
+    const StampFn& stamp_fn, const CompileFn& compile_fn) {
+  std::string key;
+  key.reserve(table.size() + principal.size() + version.size() + 2);
+  key.append(table);
+  key.push_back('\x1f');
+  key.append(principal);
+  key.push_back('\x1f');
+  key.append(version);
+
+  Shard& shard = shards_[std::hash<std::string>{}(key) % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    Entry& entry = it->second;
+    if (entry.validated_epoch == current_epoch) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return Lookup{entry.program, /*hit=*/true, /*compiled=*/false};
+    }
+    // Epoch drifted since last validation: re-inspect the catalog and
+    // pointer-compare the effective policy set.
+    LG_ASSIGN_OR_RETURN(PolicyVersionStamp fresh, stamp_fn());
+    if (SameStamp(entry.stamp, fresh)) {
+      entry.validated_epoch = current_epoch;
+      revalidations_.fetch_add(1, std::memory_order_relaxed);
+      return Lookup{entry.program, /*hit=*/true, /*compiled=*/false};
+    }
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    shard.map.erase(it);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  LG_ASSIGN_OR_RETURN(PolicyVersionStamp stamp, stamp_fn());
+  LG_ASSIGN_OR_RETURN(FusedPolicyProgram compiled, compile_fn());
+  compiles_.fetch_add(1, std::memory_order_relaxed);
+  Entry entry;
+  entry.program =
+      std::make_shared<const FusedPolicyProgram>(std::move(compiled));
+  entry.stamp = std::move(stamp);
+  entry.validated_epoch = current_epoch;
+  Lookup result{entry.program, /*hit=*/false, /*compiled=*/true};
+  shard.map[key] = std::move(entry);
+  return result;
+}
+
+PolicyEvalCache::Stats PolicyEvalCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.revalidations = revalidations_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.compiles = compiles_.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t PolicyEvalCache::size() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.map.size();
+  }
+  return n;
+}
+
+void PolicyEvalCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,140 @@
+#ifndef LAKEGUARD_EXPR_COMPILER_POLICY_EVAL_CACHE_H_
+#define LAKEGUARD_EXPR_COMPILER_POLICY_EVAL_CACHE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/compiler/compiler.h"
+
+namespace lakeguard {
+
+/// Identity of the *effective* policy set a fused program was compiled from:
+/// the catalog epoch observed at inspection plus the exact ExprPtrs of the
+/// row filter and per-column masks after group-exemption resolution. The
+/// ExprPtrs are pinned (shared ownership), so pointer comparison is a sound
+/// same-policy check — a dropped-and-recreated identical policy produces a
+/// different allocation and therefore a (conservative) mismatch, never a
+/// false match.
+struct PolicyVersionStamp {
+  uint64_t epoch = 0;
+  bool found = false;
+  std::vector<ExprPtr> policies;
+};
+
+/// Pointer-equality of the effective policy sets (epoch is intentionally
+/// ignored: an epoch bump caused by an unrelated table must not invalidate
+/// this entry).
+bool SameStamp(const PolicyVersionStamp& a, const PolicyVersionStamp& b);
+
+/// One output column of a fused scan: either a passthrough of the raw input
+/// column or a compiled mask program evaluated over the (row-filtered) batch.
+struct MaskSlot {
+  bool masked = false;
+  std::optional<CompiledExpr> program;  // set iff masked
+};
+
+/// The fused evaluator for one (table, principal) scan: row-filter predicate
+/// and all column masks compiled against the raw table schema, executed as a
+/// single pass per batch by RunFusedPolicy.
+struct FusedPolicyProgram {
+  std::string table;
+  std::string principal;
+  uint64_t compiled_epoch = 0;
+  Schema input_schema;   // raw table schema the programs are resolved against
+  Schema output_schema;  // post-mask schema (field types follow mask types)
+  std::optional<CompiledExpr> row_filter;
+  std::vector<MaskSlot> columns;  // one per input field
+};
+
+/// Compiles a policy region into a fused program. `row_filter` may be null
+/// (no row policy); `column_masks` must have one entry per input field, with
+/// null meaning passthrough. Fails (so the caller falls back to interpreted
+/// evaluation) if any expression is uncompilable.
+Result<FusedPolicyProgram> CompileFusedPolicy(
+    std::string table, std::string principal, uint64_t epoch,
+    const Schema& input, const ExprPtr& row_filter,
+    const std::vector<ExprPtr>& column_masks);
+
+/// Evaluates one raw scan batch through the fused program: row filter on the
+/// RAW batch first (policy predicates must see pre-mask values), then column
+/// masks, then the optional pushed-down `user_filter` over the MASKED batch
+/// (user predicates must never see raw values). Returns nullopt when no rows
+/// survive. Passthrough columns are shared, not copied.
+Result<std::optional<RecordBatch>> RunFusedPolicy(
+    const FusedPolicyProgram& program, const CompiledExpr* user_filter,
+    const RecordBatch& raw, const EvalContext& ctx);
+
+/// Process-wide cache of fused policy programs keyed by
+/// (table, principal, policy-version). Shared across sessions; sharded for
+/// concurrent scans. Entries are validated against the catalog epoch by
+/// pointer-comparing pinned policy ExprPtrs (PolicyVersionStamp), so an
+/// epoch bump from an unrelated DDL revalidates cheaply while a real policy
+/// change recompiles before the very next scan.
+class PolicyEvalCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;           // epoch matched, no catalog work at all
+    uint64_t revalidations = 0;  // epoch drifted, stamp still matched
+    uint64_t misses = 0;         // no entry for the key
+    uint64_t invalidations = 0;  // entry found but policies changed
+    uint64_t compiles = 0;       // programs built (misses + invalidations)
+  };
+
+  struct Lookup {
+    std::shared_ptr<const FusedPolicyProgram> program;
+    bool hit = false;       // served without compiling
+    bool compiled = false;  // compile_fn ran for this call
+  };
+
+  using StampFn = std::function<Result<PolicyVersionStamp>()>;
+  using CompileFn = std::function<Result<FusedPolicyProgram>()>;
+
+  /// Returns the cached program for (table, principal, version) or compiles
+  /// one. `version` is the exact rendering of the plan's policy sources (no
+  /// hashing — equal keys mean equal policy text). `stamp_fn` is consulted
+  /// only when `current_epoch` differs from the entry's last validated
+  /// epoch; `compile_fn` only on miss or invalidation. The shard lock is
+  /// held across compilation so concurrent scans of the same key compile
+  /// once, not N times.
+  Result<Lookup> GetOrCompile(const std::string& table,
+                              const std::string& principal,
+                              const std::string& version,
+                              uint64_t current_epoch, const StampFn& stamp_fn,
+                              const CompileFn& compile_fn);
+
+  Stats stats() const;
+  size_t size() const;
+  void Clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const FusedPolicyProgram> program;
+    PolicyVersionStamp stamp;
+    uint64_t validated_epoch = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> map;
+  };
+
+  static constexpr size_t kShards = 8;
+  std::array<Shard, kShards> shards_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> revalidations_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> compiles_{0};
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_EXPR_COMPILER_POLICY_EVAL_CACHE_H_

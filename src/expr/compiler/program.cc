@@ -1,0 +1,547 @@
+#include "expr/compiler/program.h"
+
+#include "expr/functions.h"
+
+namespace lakeguard {
+
+namespace {
+
+/// Comparison outcome for `cmp` under `op`, where cmp is <0/0/>0.
+bool CompareOutcome(BinaryOpKind op, int cmp) {
+  switch (op) {
+    case BinaryOpKind::kEq:
+      return cmp == 0;
+    case BinaryOpKind::kNe:
+      return cmp != 0;
+    case BinaryOpKind::kLt:
+      return cmp < 0;
+    case BinaryOpKind::kLe:
+      return cmp <= 0;
+    case BinaryOpKind::kGt:
+      return cmp > 0;
+    case BinaryOpKind::kGe:
+      return cmp >= 0;
+    default:
+      return false;
+  }
+}
+
+/// Numeric comparison identical to Value::Compare: both sides widen to
+/// double (this is observable for int64 beyond 2^53, so the kernel must
+/// not compare the raw int64s).
+int NumericCompare(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+/// True when no cell of `c` is NULL — unlocks the branchless (and
+/// auto-vectorizable) kernel loops. One linear scan of the validity bytes;
+/// trivial next to the kernel work it gates.
+bool NoNulls(const Column& c) { return c.NullCount() == 0; }
+
+/// Appends src[i] without boxing through Value when the types line up
+/// (CASE/COALESCE-style row selection is the hot path for column masks).
+Status AppendCell(ColumnBuilder* b, TypeKind out, const Column& src,
+                  size_t i) {
+  if (src.IsNull(i)) {
+    b->AppendNull();
+    return Status::OK();
+  }
+  if (src.kind() == out) {
+    switch (out) {
+      case TypeKind::kInt64:
+        b->AppendInt(src.IntAt(i));
+        return Status::OK();
+      case TypeKind::kFloat64:
+        b->AppendDouble(src.DoubleAt(i));
+        return Status::OK();
+      case TypeKind::kBool:
+        b->AppendBool(src.BoolAt(i));
+        return Status::OK();
+      case TypeKind::kString:
+      case TypeKind::kBinary:
+        b->AppendString(src.StringAt(i));
+        return Status::OK();
+      default:
+        break;
+    }
+  }
+  return b->AppendValue(src.GetValue(i));
+}
+
+Result<Column> SplatValue(const Value& v, TypeKind col_type, size_t rows) {
+  ColumnBuilder b(col_type);
+  b.Reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    LG_RETURN_IF_ERROR(b.AppendValue(v));
+  }
+  return b.Finish();
+}
+
+/// Row-wise fallback identical to the tree interpreter's BinaryOp loop.
+Result<Column> GenericBinary(const FusedInstruction& inst, const Column& l,
+                             const Column* r, size_t rows) {
+  ColumnBuilder b(inst.out_type);
+  b.Reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    const Value rv = (r != nullptr) ? r->GetValue(i) : inst.literal;
+    LG_ASSIGN_OR_RETURN(Value v,
+                        EvalBinaryScalar(inst.bin_op, l.GetValue(i), rv));
+    LG_RETURN_IF_ERROR(b.AppendValue(v));
+  }
+  return b.Finish();
+}
+
+Result<Column> RunBinary(const FusedInstruction& inst, const Column& l,
+                         const Column* r, size_t rows) {
+  const bool imm = (r == nullptr);
+  switch (inst.kernel) {
+    case FusedKernel::kInt64Arith: {
+      if (l.kind() != TypeKind::kInt64 ||
+          (!imm && r->kind() != TypeKind::kInt64) ||
+          (imm && !inst.literal.is_int())) {
+        return GenericBinary(inst, l, r, rows);
+      }
+      const int64_t k = imm ? inst.literal.int_value() : 0;
+      // Raw-buffer kernel: index writes, no per-cell append branch. The op
+      // switch stays out of the row loop.
+      std::vector<int64_t> out(rows, 0);
+      std::vector<uint8_t> valid(rows, 1);
+      const bool dense = NoNulls(l) && (imm || NoNulls(*r));
+      auto run = [&](auto&& fn) {
+        if (dense) {  // branchless: the null check is hoisted out entirely
+          for (size_t i = 0; i < rows; ++i) {
+            fn(i, l.IntAt(i), imm ? k : r->IntAt(i));
+          }
+          return;
+        }
+        for (size_t i = 0; i < rows; ++i) {
+          if (l.IsNull(i) || (!imm && r->IsNull(i))) {
+            valid[i] = 0;
+            continue;
+          }
+          fn(i, l.IntAt(i), imm ? k : r->IntAt(i));
+        }
+      };
+      switch (inst.bin_op) {
+        case BinaryOpKind::kAdd:
+          run([&](size_t i, int64_t x, int64_t y) { out[i] = x + y; });
+          break;
+        case BinaryOpKind::kSub:
+          run([&](size_t i, int64_t x, int64_t y) { out[i] = x - y; });
+          break;
+        case BinaryOpKind::kMul:
+          run([&](size_t i, int64_t x, int64_t y) { out[i] = x * y; });
+          break;
+        case BinaryOpKind::kMod:
+          run([&](size_t i, int64_t x, int64_t y) {
+            if (y == 0) {
+              valid[i] = 0;
+            } else {
+              out[i] = x % y;
+            }
+          });
+          break;
+        default:
+          return Status::Internal("bad int64 arith op");
+      }
+      return Column::FromInts(std::move(out), std::move(valid));
+    }
+    case FusedKernel::kInt64Compare: {
+      if (l.kind() != TypeKind::kInt64 ||
+          (!imm && r->kind() != TypeKind::kInt64) ||
+          (imm && !inst.literal.is_int())) {
+        return GenericBinary(inst, l, r, rows);
+      }
+      const double k =
+          imm ? static_cast<double>(inst.literal.int_value()) : 0.0;
+      std::vector<uint8_t> out(rows, 0);
+      std::vector<uint8_t> valid(rows, 1);
+      const bool dense = NoNulls(l) && (imm || NoNulls(*r));
+      auto run = [&](auto&& cmp) {
+        // Widen to double exactly like Value::Compare (observable for
+        // int64 beyond 2^53 — the kernel must not compare raw int64s).
+        if (dense) {
+          for (size_t i = 0; i < rows; ++i) {
+            const double x = static_cast<double>(l.IntAt(i));
+            const double y = imm ? k : static_cast<double>(r->IntAt(i));
+            out[i] = cmp(x, y) ? 1 : 0;
+          }
+          return;
+        }
+        for (size_t i = 0; i < rows; ++i) {
+          if (l.IsNull(i) || (!imm && r->IsNull(i))) {
+            valid[i] = 0;
+            continue;
+          }
+          const double x = static_cast<double>(l.IntAt(i));
+          const double y = imm ? k : static_cast<double>(r->IntAt(i));
+          out[i] = cmp(x, y) ? 1 : 0;
+        }
+      };
+      switch (inst.bin_op) {
+        case BinaryOpKind::kEq:
+          run([](double x, double y) { return x == y; });
+          break;
+        case BinaryOpKind::kNe:
+          run([](double x, double y) { return x != y; });
+          break;
+        case BinaryOpKind::kLt:
+          run([](double x, double y) { return x < y; });
+          break;
+        case BinaryOpKind::kLe:
+          run([](double x, double y) { return x <= y; });
+          break;
+        case BinaryOpKind::kGt:
+          run([](double x, double y) { return x > y; });
+          break;
+        case BinaryOpKind::kGe:
+          run([](double x, double y) { return x >= y; });
+          break;
+        default:
+          return Status::Internal("bad int64 compare op");
+      }
+      return Column::FromBools(std::move(out), std::move(valid));
+    }
+    case FusedKernel::kFloat64Compare: {
+      if (l.kind() != TypeKind::kFloat64 ||
+          (!imm && r->kind() != TypeKind::kFloat64) ||
+          (imm && !inst.literal.is_double())) {
+        return GenericBinary(inst, l, r, rows);
+      }
+      const double k = imm ? inst.literal.double_value() : 0.0;
+      std::vector<uint8_t> out(rows, 0);
+      std::vector<uint8_t> valid(rows, 1);
+      for (size_t i = 0; i < rows; ++i) {
+        if (l.IsNull(i) || (!imm && r->IsNull(i))) {
+          valid[i] = 0;
+          continue;
+        }
+        const double y = imm ? k : r->DoubleAt(i);
+        out[i] = CompareOutcome(inst.bin_op, NumericCompare(l.DoubleAt(i), y))
+                     ? 1
+                     : 0;
+      }
+      return Column::FromBools(std::move(out), std::move(valid));
+    }
+    case FusedKernel::kStringCompare: {
+      if (l.kind() != TypeKind::kString ||
+          (!imm && r->kind() != TypeKind::kString) ||
+          (imm && !inst.literal.is_string())) {
+        return GenericBinary(inst, l, r, rows);
+      }
+      const std::string* k = imm ? &inst.literal.string_value() : nullptr;
+      const bool want_eq = (inst.bin_op == BinaryOpKind::kEq);
+      std::vector<uint8_t> out(rows, 0);
+      std::vector<uint8_t> valid(rows, 1);
+      for (size_t i = 0; i < rows; ++i) {
+        if (l.IsNull(i) || (!imm && r->IsNull(i))) {
+          valid[i] = 0;
+          continue;
+        }
+        const std::string& y = imm ? *k : r->StringAt(i);
+        const bool eq = (l.StringAt(i) == y);
+        out[i] = (eq == want_eq) ? 1 : 0;
+      }
+      return Column::FromBools(std::move(out), std::move(valid));
+    }
+    case FusedKernel::kBool3VL: {
+      if (l.kind() != TypeKind::kBool || imm ||
+          r->kind() != TypeKind::kBool) {
+        return GenericBinary(inst, l, r, rows);
+      }
+      const bool is_and = (inst.bin_op == BinaryOpKind::kAnd);
+      std::vector<uint8_t> out(rows, 0);
+      std::vector<uint8_t> valid(rows, 1);
+      if (is_and) {
+        for (size_t i = 0; i < rows; ++i) {
+          const bool ln = l.IsNull(i), rn = r->IsNull(i);
+          // false dominates NULL.
+          if ((!ln && !l.BoolAt(i)) || (!rn && !r->BoolAt(i))) {
+            out[i] = 0;
+          } else if (ln || rn) {
+            valid[i] = 0;
+          } else {
+            out[i] = 1;
+          }
+        }
+      } else {
+        for (size_t i = 0; i < rows; ++i) {
+          const bool ln = l.IsNull(i), rn = r->IsNull(i);
+          // true dominates NULL.
+          if ((!ln && l.BoolAt(i)) || (!rn && r->BoolAt(i))) {
+            out[i] = 1;
+          } else if (ln || rn) {
+            valid[i] = 0;
+          } else {
+            out[i] = 0;
+          }
+        }
+      }
+      return Column::FromBools(std::move(out), std::move(valid));
+    }
+    case FusedKernel::kGeneric:
+      return GenericBinary(inst, l, r, rows);
+  }
+  return Status::Internal("unreachable fused kernel");
+}
+
+Result<Column> RunCall(const FusedInstruction& inst, const std::vector<Column>& regs,
+                       size_t rows, const EvalContext& ctx) {
+  if (inst.fn == nullptr) {
+    return Status::Internal("kCall instruction without resolved builtin");
+  }
+  ColumnBuilder b(inst.out_type);
+  b.Reserve(rows);
+  std::vector<Value> row_args(inst.args.size());
+  if (inst.row_invariant) {
+    // Context functions (CURRENT_USER, IS_ACCOUNT_GROUP_MEMBER, ...) are
+    // evaluated exactly once per batch against the *current* EvalContext and
+    // splatted. They are deliberately never folded into the program at
+    // compile time: group membership can change without a catalog epoch
+    // bump, so binding them at compile would freeze stale identity state
+    // into the shared cache.
+    if (rows == 0) return b.Finish();
+    for (size_t j = 0; j < inst.args.size(); ++j) {
+      row_args[j] = regs[inst.args[j]].GetValue(0);
+    }
+    LG_ASSIGN_OR_RETURN(Value v, inst.fn->eval(row_args, ctx));
+    for (size_t i = 0; i < rows; ++i) {
+      LG_RETURN_IF_ERROR(b.AppendValue(v));
+    }
+    return b.Finish();
+  }
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < inst.args.size(); ++j) {
+      row_args[j] = regs[inst.args[j]].GetValue(i);
+    }
+    LG_ASSIGN_OR_RETURN(Value v, inst.fn->eval(row_args, ctx));
+    LG_RETURN_IF_ERROR(b.AppendValue(v));
+  }
+  return b.Finish();
+}
+
+}  // namespace
+
+Result<Column> RunProgram(const CompiledExpr& program, const RecordBatch& batch,
+                          const EvalContext& ctx) {
+  if (batch.num_columns() != program.input_schema.num_fields()) {
+    return Status::Internal(
+        "compiled program schema mismatch: compiled against " +
+        std::to_string(program.input_schema.num_fields()) +
+        " columns, batch has " + std::to_string(batch.num_columns()));
+  }
+  const size_t rows = batch.num_rows();
+  std::vector<Column> regs(program.num_regs);
+  for (const FusedInstruction& inst : program.instrs) {
+    if (inst.dst >= regs.size()) {
+      return Status::Internal("compiled program register out of range");
+    }
+    switch (inst.op) {
+      case FusedOpCode::kLoadColumn: {
+        if (inst.column_index < 0 ||
+            static_cast<size_t>(inst.column_index) >= batch.num_columns()) {
+          return Status::Internal("compiled program column out of range");
+        }
+        regs[inst.dst] = batch.column(static_cast<size_t>(inst.column_index));
+        break;
+      }
+      case FusedOpCode::kLoadConst: {
+        LG_ASSIGN_OR_RETURN(regs[inst.dst],
+                            SplatValue(inst.literal, inst.out_type, rows));
+        break;
+      }
+      case FusedOpCode::kBinary: {
+        if (inst.a >= regs.size() ||
+            (inst.b != kNoReg && inst.b >= regs.size())) {
+          return Status::Internal("compiled program operand out of range");
+        }
+        const Column* r = (inst.b == kNoReg) ? nullptr : &regs[inst.b];
+        LG_ASSIGN_OR_RETURN(regs[inst.dst],
+                            RunBinary(inst, regs[inst.a], r, rows));
+        break;
+      }
+      case FusedOpCode::kUnary: {
+        if (inst.a >= regs.size()) {
+          return Status::Internal("compiled program operand out of range");
+        }
+        const Column& c = regs[inst.a];
+        if (inst.un_op == UnaryOpKind::kNot) {
+          std::vector<uint8_t> out(rows, 0);
+          std::vector<uint8_t> valid(rows, 1);
+          for (size_t i = 0; i < rows; ++i) {
+            if (c.IsNull(i)) {
+              valid[i] = 0;
+            } else if (c.kind() != TypeKind::kBool) {
+              return Status::InvalidArgument("NOT requires BOOLEAN input");
+            } else {
+              out[i] = c.BoolAt(i) ? 0 : 1;
+            }
+          }
+          regs[inst.dst] = Column::FromBools(std::move(out), std::move(valid));
+          break;
+        }
+        ColumnBuilder b(c.kind());
+        b.Reserve(rows);
+        for (size_t i = 0; i < rows; ++i) {
+          if (c.IsNull(i)) {
+            b.AppendNull();
+          } else if (c.kind() == TypeKind::kInt64) {
+            b.AppendInt(-c.IntAt(i));
+          } else if (c.kind() == TypeKind::kFloat64) {
+            b.AppendDouble(-c.DoubleAt(i));
+          } else {
+            return Status::InvalidArgument("unary '-' requires numeric input");
+          }
+        }
+        regs[inst.dst] = b.Finish();
+        break;
+      }
+      case FusedOpCode::kIsNull: {
+        if (inst.a >= regs.size()) {
+          return Status::Internal("compiled program operand out of range");
+        }
+        const Column& c = regs[inst.a];
+        std::vector<uint8_t> out(rows, 0);
+        std::vector<uint8_t> valid(rows, 1);
+        for (size_t i = 0; i < rows; ++i) {
+          const bool is_null = c.IsNull(i);
+          out[i] = (inst.negated ? !is_null : is_null) ? 1 : 0;
+        }
+        regs[inst.dst] = Column::FromBools(std::move(out), std::move(valid));
+        break;
+      }
+      case FusedOpCode::kIn: {
+        if (inst.a >= regs.size()) {
+          return Status::Internal("compiled program operand out of range");
+        }
+        const Column& c = regs[inst.a];
+        ColumnBuilder b(TypeKind::kBool);
+        b.Reserve(rows);
+        for (size_t i = 0; i < rows; ++i) {
+          if (c.IsNull(i)) {
+            b.AppendNull();
+            continue;
+          }
+          const Value v = c.GetValue(i);
+          bool found = false;
+          for (const Value& item : inst.list) {
+            if (v.SqlEquals(item)) {
+              found = true;
+              break;
+            }
+          }
+          b.AppendBool(inst.negated ? !found : found);
+        }
+        regs[inst.dst] = b.Finish();
+        break;
+      }
+      case FusedOpCode::kLike: {
+        if (inst.a >= regs.size()) {
+          return Status::Internal("compiled program operand out of range");
+        }
+        const Column& c = regs[inst.a];
+        if (c.kind() != TypeKind::kString && c.kind() != TypeKind::kBinary &&
+            c.kind() != TypeKind::kNull) {
+          return Status::InvalidArgument("LIKE requires STRING input");
+        }
+        ColumnBuilder b(TypeKind::kBool);
+        b.Reserve(rows);
+        for (size_t i = 0; i < rows; ++i) {
+          if (c.IsNull(i)) {
+            b.AppendNull();
+            continue;
+          }
+          const bool hit = SqlLikeMatch(c.StringAt(i), inst.pattern);
+          b.AppendBool(inst.negated ? !hit : hit);
+        }
+        regs[inst.dst] = b.Finish();
+        break;
+      }
+      case FusedOpCode::kCast: {
+        if (inst.a >= regs.size()) {
+          return Status::Internal("compiled program operand out of range");
+        }
+        const Column& c = regs[inst.a];
+        ColumnBuilder b(inst.cast_target);
+        b.Reserve(rows);
+        for (size_t i = 0; i < rows; ++i) {
+          LG_ASSIGN_OR_RETURN(Value v, c.GetValue(i).CastTo(inst.cast_target));
+          LG_RETURN_IF_ERROR(b.AppendValue(v));
+        }
+        regs[inst.dst] = b.Finish();
+        break;
+      }
+      case FusedOpCode::kCase: {
+        if (inst.args.size() % 2 != 0) {
+          return Status::Internal("malformed CASE instruction");
+        }
+        for (uint16_t reg : inst.args) {
+          if (reg >= regs.size()) {
+            return Status::Internal("compiled program operand out of range");
+          }
+        }
+        if (inst.b != kNoReg && inst.b >= regs.size()) {
+          return Status::Internal("compiled program operand out of range");
+        }
+        const size_t num_branches = inst.args.size() / 2;
+        ColumnBuilder b(inst.out_type);
+        b.Reserve(rows);
+        for (size_t i = 0; i < rows; ++i) {
+          bool matched = false;
+          for (size_t k = 0; k < num_branches; ++k) {
+            const Column& c = regs[inst.args[2 * k]];
+            if (!c.IsNull(i) && c.kind() == TypeKind::kBool && c.BoolAt(i)) {
+              LG_RETURN_IF_ERROR(AppendCell(&b, inst.out_type,
+                                            regs[inst.args[2 * k + 1]], i));
+              matched = true;
+              break;
+            }
+          }
+          if (!matched) {
+            if (inst.b != kNoReg) {
+              LG_RETURN_IF_ERROR(AppendCell(&b, inst.out_type, regs[inst.b], i));
+            } else {
+              b.AppendNull();
+            }
+          }
+        }
+        regs[inst.dst] = b.Finish();
+        break;
+      }
+      case FusedOpCode::kCall: {
+        for (uint16_t reg : inst.args) {
+          if (reg >= regs.size()) {
+            return Status::Internal("compiled program operand out of range");
+          }
+        }
+        LG_ASSIGN_OR_RETURN(regs[inst.dst], RunCall(inst, regs, rows, ctx));
+        break;
+      }
+    }
+  }
+  if (program.result_reg >= regs.size()) {
+    return Status::Internal("compiled program result register out of range");
+  }
+  return std::move(regs[program.result_reg]);
+}
+
+Result<std::vector<uint8_t>> RunProgramMask(const CompiledExpr& program,
+                                            const RecordBatch& batch,
+                                            const EvalContext& ctx) {
+  LG_ASSIGN_OR_RETURN(Column c, RunProgram(program, batch, ctx));
+  if (c.kind() != TypeKind::kBool && c.kind() != TypeKind::kNull) {
+    return Status::InvalidArgument("predicate must be BOOLEAN, got " +
+                                   std::string(TypeKindName(c.kind())));
+  }
+  std::vector<uint8_t> mask(batch.num_rows(), 0);
+  for (size_t i = 0; i < mask.size(); ++i) {
+    mask[i] = (!c.IsNull(i) && c.kind() == TypeKind::kBool && c.BoolAt(i))
+                  ? 1
+                  : 0;
+  }
+  return mask;
+}
+
+}  // namespace lakeguard

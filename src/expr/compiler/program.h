@@ -1,0 +1,113 @@
+#ifndef LAKEGUARD_EXPR_COMPILER_PROGRAM_H_
+#define LAKEGUARD_EXPR_COMPILER_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "columnar/record_batch.h"
+#include "expr/evaluator.h"
+#include "expr/expr.h"
+
+namespace lakeguard {
+
+struct BuiltinFunction;
+
+/// Register-based bytecode for vectorized expression evaluation. A compiled
+/// program is a flat, type-resolved instruction list produced once per
+/// (expression, schema) pair by CompileExpr; RunProgram then executes it
+/// over every batch without tree walking, per-node type inference, or boxed
+/// Value construction on the common paths.
+///
+/// One instruction computes one whole column into its destination register.
+/// Operand registers are always written by earlier instructions (the
+/// compiler emits post-order), so execution is a single forward sweep.
+enum class FusedOpCode : uint8_t {
+  kLoadColumn = 0,  // dst = input column `column_index`
+  kLoadConst = 1,   // dst = literal splatted to batch length
+  kBinary = 2,      // dst = bin_op(reg a, reg b | literal), via `kernel`
+  kUnary = 3,       // dst = un_op(reg a)
+  kIsNull = 4,      // dst = (reg a IS [NOT] NULL)
+  kIn = 5,          // dst = reg a [NOT] IN literal list
+  kLike = 6,        // dst = reg a [NOT] LIKE pattern
+  kCast = 7,        // dst = CAST(reg a AS cast_target)
+  kCase = 8,        // args = [c0, v0, c1, v1, ...], b = else reg or kNoReg
+  kCall = 9,        // dst = builtin(args...); row-invariant calls splat
+};
+
+/// Kernel selected at compile time for a kBinary instruction. Typed kernels
+/// run tight loops over the columnar vectors; kGeneric falls back to the
+/// row-wise boxed semantics of the interpreter (EvalBinaryScalar), so every
+/// operator/type combination the interpreter accepts is also compilable.
+enum class FusedKernel : uint8_t {
+  kGeneric = 0,
+  kInt64Arith = 1,    // + - * % over (int64, int64)
+  kInt64Compare = 2,  // = <> < <= > >= over (int64, int64) -> bool
+  kFloat64Compare = 3,
+  kStringCompare = 4,  // = <> over (string, string) -> bool
+  kBool3VL = 5,        // AND / OR with SQL three-valued logic
+};
+
+/// Sentinel for "no register" (absent ELSE, immediate operand).
+inline constexpr uint16_t kNoReg = 0xFFFF;
+
+struct FusedInstruction {
+  FusedOpCode op = FusedOpCode::kLoadConst;
+  FusedKernel kernel = FusedKernel::kGeneric;
+  uint16_t dst = 0;
+  uint16_t a = kNoReg;
+  uint16_t b = kNoReg;
+  std::vector<uint16_t> args;  // kCall arguments / kCase condition-value pairs
+
+  BinaryOpKind bin_op = BinaryOpKind::kAdd;
+  UnaryOpKind un_op = UnaryOpKind::kNot;
+  bool negated = false;             // kIsNull / kIn / kLike
+  int column_index = -1;            // kLoadColumn: physical input ordinal
+  int ref_index = -1;               // kLoadColumn: source ColumnRef index()
+  std::string name;                 // kLoadColumn field name / kCall fn name
+  std::string pattern;              // kLike
+  Value literal;                    // kLoadConst / immediate kBinary operand
+  std::vector<Value> list;          // kIn
+  TypeKind cast_target = TypeKind::kNull;  // kCast
+
+  /// Result type resolved at compile time (what the interpreter would have
+  /// inferred per batch).
+  TypeKind out_type = TypeKind::kNull;
+  /// True when the instruction's value is independent of the input columns
+  /// (constants and context functions). Row-invariant kCall instructions are
+  /// evaluated once per batch and splatted — never constant-folded into the
+  /// program, because CURRENT_USER / group membership must bind at run time.
+  bool row_invariant = false;
+  /// Resolved builtin for kCall; re-resolved after deserialization-free
+  /// construction, never serialized.
+  const BuiltinFunction* fn = nullptr;
+};
+
+/// A compiled expression: the program, the schema it was resolved against,
+/// and the (marker-stripped) source tree it must stay semantically equal to.
+/// Plain aggregate so tests can mutate instructions to drive the PV007
+/// rejection path.
+struct CompiledExpr {
+  Schema input_schema;
+  std::vector<FusedInstruction> instrs;
+  uint16_t num_regs = 0;
+  uint16_t result_reg = 0;
+  TypeKind out_type = TypeKind::kNull;
+  ExprPtr source;
+};
+
+/// Executes `program` over `batch`, producing the result column. Exact
+/// drop-in for EvaluateExpr(program.source, batch, ctx).
+Result<Column> RunProgram(const CompiledExpr& program, const RecordBatch& batch,
+                          const EvalContext& ctx);
+
+/// Executes a predicate program to a selection mask with SQL WHERE
+/// semantics (NULL and non-true rows excluded) — drop-in for
+/// EvaluatePredicateMask.
+Result<std::vector<uint8_t>> RunProgramMask(const CompiledExpr& program,
+                                            const RecordBatch& batch,
+                                            const EvalContext& ctx);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_EXPR_COMPILER_PROGRAM_H_

@@ -42,9 +42,11 @@ Result<TypeKind> InferBinaryType(const BinaryOpExpr& e, const Schema& input) {
   return Status::Internal("unreachable binary op");
 }
 
+}  // namespace
+
 // ---- Row-wise value combination --------------------------------------------
 
-Result<Value> EvalBinaryValues(BinaryOpKind op, const Value& l,
+Result<Value> EvalBinaryScalar(BinaryOpKind op, const Value& l,
                                const Value& r) {
   // Three-valued logic for AND/OR must look at nulls specially.
   if (op == BinaryOpKind::kAnd) {
@@ -137,6 +139,8 @@ Result<Value> EvalBinaryValues(BinaryOpKind op, const Value& l,
   }
   return Status::Internal("unreachable binary op eval");
 }
+
+namespace {
 
 Result<int> ResolveColumn(const ColumnRefExpr& ref, const Schema& schema) {
   if (ref.resolved()) {
@@ -249,6 +253,9 @@ Result<TypeKind> InferExprType(const ExprPtr& expr, const Schema& input) {
       return TypeKind::kBool;
     case ExprKind::kUdfCall:
       return static_cast<const UdfCallExpr&>(*expr).return_type();
+    case ExprKind::kFusedPolicy:
+      return InferExprType(static_cast<const FusedPolicyExpr&>(*expr).child(),
+                           input);
   }
   return Status::Internal("unreachable expr kind");
 }
@@ -298,7 +305,7 @@ Result<Column> EvaluateExpr(const ExprPtr& expr, const RecordBatch& batch,
       b.Reserve(rows);
       for (size_t i = 0; i < rows; ++i) {
         LG_ASSIGN_OR_RETURN(
-            Value v, EvalBinaryValues(e.op(), l.GetValue(i), r.GetValue(i)));
+            Value v, EvalBinaryScalar(e.op(), l.GetValue(i), r.GetValue(i)));
         LG_RETURN_IF_ERROR(b.AppendValue(v));
       }
       return b.Finish();
@@ -481,6 +488,10 @@ Result<Column> EvaluateExpr(const ExprPtr& expr, const RecordBatch& batch,
       }
       return ctx.udf_evaluator->EvalUdf(e, args, rows, ctx);
     }
+    case ExprKind::kFusedPolicy:
+      // Transparent annotation: interpreted evaluation sees the child.
+      return EvaluateExpr(static_cast<const FusedPolicyExpr&>(*expr).child(),
+                          batch, ctx);
   }
   return Status::Internal("unreachable expr kind in eval");
 }

@@ -75,6 +75,13 @@ std::vector<uint8_t> BoolColumnToMask(const Column& column);
 /// True if `s` matches SQL LIKE `pattern` ('%' any run, '_' one char).
 bool SqlLikeMatch(const std::string& s, const std::string& pattern);
 
+/// Row-wise binary-operator semantics (three-valued AND/OR, NULL
+/// propagation, '+' concat, / and % by zero -> NULL). This is the single
+/// source of truth shared by the tree-walking interpreter and the generic
+/// kernel of compiled programs, so the two paths cannot drift.
+Result<Value> EvalBinaryScalar(BinaryOpKind op, const Value& l,
+                               const Value& r);
+
 }  // namespace lakeguard
 
 #endif  // LAKEGUARD_EXPR_EVALUATOR_H_

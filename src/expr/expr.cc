@@ -225,6 +225,15 @@ bool UdfCallExpr::Equals(const Expr& other) const {
   return true;
 }
 
+std::string FusedPolicyExpr::ToString() const {
+  return "POLICY[" + child_->ToString() + "]";
+}
+
+bool FusedPolicyExpr::Equals(const Expr& other) const {
+  if (other.kind() != ExprKind::kFusedPolicy) return false;
+  return child_->Equals(*static_cast<const FusedPolicyExpr&>(other).child_);
+}
+
 ExprPtr Lit(Value v) { return std::make_shared<LiteralExpr>(std::move(v)); }
 ExprPtr LitInt(int64_t v) { return Lit(Value::Int(v)); }
 ExprPtr LitDouble(double v) { return Lit(Value::Double(v)); }
@@ -262,6 +271,9 @@ ExprPtr Udf(std::string name, std::string owner, TypeKind return_type,
             std::vector<ExprPtr> args) {
   return std::make_shared<UdfCallExpr>(std::move(name), std::move(owner),
                                        return_type, std::move(args));
+}
+ExprPtr FusedPolicy(ExprPtr child) {
+  return std::make_shared<FusedPolicyExpr>(std::move(child));
 }
 
 void CollectColumnRefs(const ExprPtr& expr, std::vector<std::string>* out) {
@@ -385,6 +397,14 @@ ExprPtr RewriteExpr(const ExprPtr& expr,
       }
       break;
     }
+    case ExprKind::kFusedPolicy: {
+      const auto& e = static_cast<const FusedPolicyExpr&>(*expr);
+      ExprPtr c = RewriteExpr(e.child(), fn);
+      if (c != e.child()) {
+        with_children = std::make_shared<FusedPolicyExpr>(c);
+      }
+      break;
+    }
   }
   ExprPtr replaced = fn(with_children);
   return replaced ? replaced : with_children;
@@ -402,6 +422,13 @@ bool ExprContains(const ExprPtr& expr,
 bool ContainsUdfCall(const ExprPtr& expr) {
   return ExprContains(
       expr, [](const Expr& e) { return e.kind() == ExprKind::kUdfCall; });
+}
+
+ExprPtr StripFusedPolicyMarkers(const ExprPtr& expr) {
+  return RewriteExpr(expr, [](const ExprPtr& e) -> ExprPtr {
+    if (e->kind() != ExprKind::kFusedPolicy) return ExprPtr(nullptr);
+    return static_cast<const FusedPolicyExpr&>(*e).child();
+  });
 }
 
 }  // namespace lakeguard

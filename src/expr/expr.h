@@ -28,6 +28,7 @@ enum class ExprKind : uint8_t {
   kIsNull = 8,
   kLike = 9,
   kUdfCall = 10,
+  kFusedPolicy = 11,
 };
 
 enum class BinaryOpKind : uint8_t {
@@ -302,6 +303,27 @@ class UdfCallExpr : public Expr {
   std::vector<ExprPtr> args_;
 };
 
+/// Analyzer-emitted annotation marking a subtree as a *policy* expression
+/// (row-filter predicate or column mask) injected during FGAC rewrite, as
+/// opposed to user-authored query text. Semantically transparent: every
+/// evaluation and type-inference path sees straight through to the child.
+/// The executor uses the marker to recognize fusable policy regions and
+/// compile them into cached scan evaluators; the PlanVerifier strips it
+/// before structural comparison against catalog policies.
+class FusedPolicyExpr : public Expr {
+ public:
+  explicit FusedPolicyExpr(ExprPtr child)
+      : Expr(ExprKind::kFusedPolicy), child_(std::move(child)) {}
+  const ExprPtr& child() const { return child_; }
+
+  std::string ToString() const override;
+  bool Equals(const Expr& other) const override;
+  std::vector<ExprPtr> children() const override { return {child_}; }
+
+ private:
+  ExprPtr child_;
+};
+
 // ---- Factory helpers -------------------------------------------------------
 
 ExprPtr Lit(Value v);
@@ -321,6 +343,7 @@ ExprPtr Func(std::string name, std::vector<ExprPtr> args);
 ExprPtr CastTo(ExprPtr e, TypeKind target);
 ExprPtr Udf(std::string name, std::string owner, TypeKind return_type,
             std::vector<ExprPtr> args);
+ExprPtr FusedPolicy(ExprPtr child);
 
 // ---- Traversal utilities ---------------------------------------------------
 
@@ -338,6 +361,10 @@ bool ExprContains(const ExprPtr& expr,
 
 /// True if `expr` contains a UdfCall anywhere.
 bool ContainsUdfCall(const ExprPtr& expr);
+
+/// Removes every FusedPolicyExpr wrapper in `expr`, returning the bare
+/// tree. Identity (same pointer) when no markers are present.
+ExprPtr StripFusedPolicyMarkers(const ExprPtr& expr);
 
 }  // namespace lakeguard
 

@@ -135,12 +135,16 @@ void SerializeExpr(const ExprPtr& expr, ByteWriter* writer) {
       for (const ExprPtr& a : e.args()) SerializeExpr(a, writer);
       break;
     }
+    case ExprKind::kFusedPolicy:
+      SerializeExpr(static_cast<const FusedPolicyExpr&>(*expr).child(),
+                    writer);
+      break;
   }
 }
 
 Result<ExprPtr> DeserializeExpr(ByteReader* reader) {
   LG_ASSIGN_OR_RETURN(uint8_t kind_byte, reader->ReadByte());
-  if (kind_byte > static_cast<uint8_t>(ExprKind::kUdfCall)) {
+  if (kind_byte > static_cast<uint8_t>(ExprKind::kFusedPolicy)) {
     return Status::DataLoss("invalid expr kind " + std::to_string(kind_byte));
   }
   switch (static_cast<ExprKind>(kind_byte)) {
@@ -245,6 +249,10 @@ Result<ExprPtr> DeserializeExpr(ByteReader* reader) {
       }
       return Udf(std::move(name), std::move(owner),
                  static_cast<TypeKind>(ret), std::move(args));
+    }
+    case ExprKind::kFusedPolicy: {
+      LG_ASSIGN_OR_RETURN(ExprPtr c, DeserializeExpr(reader));
+      return FusedPolicy(std::move(c));
     }
   }
   return Status::Internal("unreachable expr kind");

@@ -415,5 +415,60 @@ TEST_F(AttackTest, A15_DeniedQueriesVendNothingAndAuditTruth) {
   EXPECT_TRUE(recorded);
 }
 
+// ---- A16: stale compiled-policy programs ------------------------------------
+
+TEST_F(AttackTest, A16_PolicyChangeInvalidatesCompiledScanEvaluators) {
+  // The fused path caches compiled per-(table, principal, policy-version)
+  // scan evaluators. If invalidation lagged the catalog, eve would keep
+  // reading under the OLD row filter after admin tightened it — a silent
+  // stale-policy leak that raises no error anywhere.
+  PolicyEvalCache::Stats start = platform_.policy_cache().stats();
+
+  // Warm the cache: region = 'US' admits exactly the (US, 120) row.
+  auto first = cluster_->engine->ExecuteSql(
+      "SELECT region, amount FROM main.s.sales", eve_ctx_);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto rows1 = first->Combine();
+  ASSERT_TRUE(rows1.ok());
+  ASSERT_EQ(rows1->num_rows(), 1u);
+  EXPECT_EQ(rows1->column(0).GetValue(0), Value::String("US"));
+  PolicyEvalCache::Stats warmed = platform_.policy_cache().stats();
+  ASSERT_GT(warmed.compiles, start.compiles)
+      << "fused path never engaged; the attack surface is untested";
+
+  // Same query again: served from cache, identical enforcement.
+  auto repeat = cluster_->engine->ExecuteSql(
+      "SELECT region, amount FROM main.s.sales", eve_ctx_);
+  ASSERT_TRUE(repeat.ok()) << repeat.status();
+  PolicyEvalCache::Stats cached = platform_.policy_cache().stats();
+  EXPECT_GT(cached.hits, warmed.hits);
+  EXPECT_EQ(cached.compiles, warmed.compiles);
+
+  // Admin flips the row filter (epoch bump). The VERY NEXT scan — same SQL,
+  // same principal, same session, no restart — must run a freshly compiled
+  // program and enforce the new policy.
+  Must("ALTER TABLE main.s.sales SET ROW FILTER (region = 'EU')");
+  auto second = cluster_->engine->ExecuteSql(
+      "SELECT region, amount FROM main.s.sales", eve_ctx_);
+  ASSERT_TRUE(second.ok()) << second.status();
+  auto rows2 = second->Combine();
+  ASSERT_TRUE(rows2.ok());
+  ASSERT_EQ(rows2->num_rows(), 1u) << "stale compiled policy leaked rows";
+  EXPECT_EQ(rows2->column(0).GetValue(0), Value::String("EU"));
+  EXPECT_EQ(rows2->column(1).GetValue(0), Value::Int(75));
+  PolicyEvalCache::Stats after = platform_.policy_cache().stats();
+  EXPECT_GT(after.compiles, cached.compiles)
+      << "post-change scan reused a compiled program for the old policy";
+
+  // Dropping the filter entirely must also take effect immediately.
+  Must("ALTER TABLE main.s.sales DROP ROW FILTER");
+  auto third = cluster_->engine->ExecuteSql(
+      "SELECT region, amount FROM main.s.sales", eve_ctx_);
+  ASSERT_TRUE(third.ok()) << third.status();
+  auto rows3 = third->Combine();
+  ASSERT_TRUE(rows3.ok());
+  EXPECT_EQ(rows3->num_rows(), 2u);
+}
+
 }  // namespace
 }  // namespace lakeguard

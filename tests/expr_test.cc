@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include "columnar/table.h"
+#include "engine/plan_verifier.h"
+#include "expr/compiler/compiler.h"
+#include "expr/compiler/policy_eval_cache.h"
 #include "expr/evaluator.h"
 #include "expr/expr.h"
 #include "expr/expr_serde.h"
@@ -526,6 +529,500 @@ TEST_P(ExprPropertyTest, CorruptedBytesErrorOrDecodeNeverCrash) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExprPropertyTest, ::testing::Range(0, 4));
+
+// ---- Fused policy evaluation: compiler, program, cache, PV007 ---------------
+//
+// The compiled path (src/expr/compiler) must be an exact drop-in for the
+// tree-walking interpreter: same values, same NULLs, same errors. The
+// interpreter is the differential-testing oracle throughout.
+
+Schema FusionSchema() {
+  return Schema({{"a", TypeKind::kInt64, true},
+                 {"b", TypeKind::kInt64, true},
+                 {"s", TypeKind::kString, true},
+                 {"d", TypeKind::kFloat64, true}});
+}
+
+EvalContext FusionCtx() {
+  EvalContext ctx;
+  ctx.current_user = "alice";
+  ctx.is_group_member = [](const std::string& user, const std::string& group) {
+    return user == "alice" && group == "admins";
+  };
+  return ctx;
+}
+
+/// Asserts interpreter and compiled program agree on `expr` over `batch`:
+/// equal columns when both succeed, failure on both sides otherwise.
+void ExpectSameEvaluation(const ExprPtr& expr, const RecordBatch& batch,
+                          const EvalContext& ctx) {
+  auto interpreted = EvaluateExpr(expr, batch, ctx);
+  auto program = CompileExpr(expr, batch.schema());
+  if (!program.ok()) {
+    EXPECT_FALSE(interpreted.ok())
+        << expr->ToString() << " compiles not at all but interprets fine: "
+        << program.status();
+    return;
+  }
+  auto compiled = RunProgram(*program, batch, ctx);
+  if (!interpreted.ok()) {
+    EXPECT_FALSE(compiled.ok())
+        << expr->ToString() << " interprets with error (" <<
+        interpreted.status() << ") but ran compiled";
+    return;
+  }
+  ASSERT_TRUE(compiled.ok()) << expr->ToString() << ": " << compiled.status();
+  ASSERT_EQ(interpreted->length(), compiled->length()) << expr->ToString();
+  for (size_t i = 0; i < interpreted->length(); ++i) {
+    EXPECT_TRUE(interpreted->GetValue(i) == compiled->GetValue(i))
+        << expr->ToString() << " row " << i << ": interpreter "
+        << interpreted->GetValue(i).ToString() << " vs compiled "
+        << compiled->GetValue(i).ToString();
+  }
+}
+
+TEST(FusionTest, CompiledMatchesInterpreterOnPolicyShapedExprs) {
+  RecordBatch batch = TestBatch();
+  EvalContext ctx = FusionCtx();
+  std::vector<ExprPtr> exprs = {
+      BinOp(BinaryOpKind::kLt, Col("a"), LitInt(3)),               // int cmp imm
+      BinOp(BinaryOpKind::kGe, Col("d"), LitDouble(0.0)),          // dbl cmp imm
+      Eq(Col("s"), LitString("alpha")),                            // str eq imm
+      And(BinOp(BinaryOpKind::kLt, Col("a"), LitInt(3)),
+          BinOp(BinaryOpKind::kGt, Col("b"), LitInt(5))),          // 3VL AND
+      Or(std::make_shared<IsNullExpr>(Col("b"), false),
+         Eq(Col("a"), LitInt(1))),                                 // 3VL OR
+      BinOp(BinaryOpKind::kAdd, Col("a"),
+            BinOp(BinaryOpKind::kMul, Col("b"), LitInt(2))),       // int arith
+      BinOp(BinaryOpKind::kDiv, Col("a"), LitInt(0)),              // /0 -> NULL
+      BinOp(BinaryOpKind::kMod, Col("b"), LitInt(0)),              // %0 -> NULL
+      BinOp(BinaryOpKind::kAdd, Col("s"), LitString("!")),         // str concat
+      Eq(Col("a"), Col("d")),                                      // mixed cmp
+      Not(Eq(Col("a"), LitInt(2))),
+      std::make_shared<InExpr>(
+          Col("a"), std::vector<Value>{Value::Int(1), Value::Int(3)}, false),
+      std::make_shared<LikeExpr>(Col("s"), "a%", false),
+      CastTo(Col("a"), TypeKind::kFloat64),
+      CastTo(Col("d"), TypeKind::kString),
+      std::make_shared<CaseExpr>(
+          std::vector<CaseExpr::Branch>{
+              {BinOp(BinaryOpKind::kGt, Col("a"), LitInt(1)), Col("b")}},
+          LitInt(-1)),
+      Func("UPPER", {Col("s")}),
+      Func("COALESCE", {Col("b"), LitInt(0)}),
+      Eq(Func("CURRENT_USER", {}), LitString("alice")),            // splat
+      Func("IS_ACCOUNT_GROUP_MEMBER", {LitString("admins")}),      // splat
+      FusedPolicy(BinOp(BinaryOpKind::kLt, Col("a"), LitInt(3))),  // marker
+  };
+  for (const ExprPtr& e : exprs) ExpectSameEvaluation(e, batch, ctx);
+}
+
+/// Random *evaluable* trees against FusionSchema (unlike RandomExprTree,
+/// which targets serde and produces unresolvable names on purpose).
+ExprPtr RandomEvaluable(ExprRng& rng, TypeKind want, int depth);
+
+ExprPtr RandomEvaluableInt(ExprRng& rng, int depth) {
+  if (depth <= 0 || rng.Below(3) == 0) {
+    switch (rng.Below(3)) {
+      case 0:
+        return LitInt(static_cast<int64_t>(rng.Below(100)) - 50);
+      case 1:
+        return Col("a");
+      default:
+        return Col("b");
+    }
+  }
+  switch (rng.Below(5)) {
+    case 0:
+      return BinOp(BinaryOpKind::kAdd, RandomEvaluable(rng, TypeKind::kInt64, depth - 1),
+                   RandomEvaluable(rng, TypeKind::kInt64, depth - 1));
+    case 1:
+      return BinOp(BinaryOpKind::kSub, RandomEvaluable(rng, TypeKind::kInt64, depth - 1),
+                   RandomEvaluable(rng, TypeKind::kInt64, depth - 1));
+    case 2:
+      return BinOp(BinaryOpKind::kMod, RandomEvaluable(rng, TypeKind::kInt64, depth - 1),
+                   RandomEvaluable(rng, TypeKind::kInt64, depth - 1));
+    case 3:
+      return Func("COALESCE", {RandomEvaluable(rng, TypeKind::kInt64, depth - 1),
+                               RandomEvaluable(rng, TypeKind::kInt64, depth - 1)});
+    default:
+      return std::make_shared<CaseExpr>(
+          std::vector<CaseExpr::Branch>{
+              {RandomEvaluable(rng, TypeKind::kBool, depth - 1),
+               RandomEvaluable(rng, TypeKind::kInt64, depth - 1)}},
+          RandomEvaluable(rng, TypeKind::kInt64, depth - 1));
+  }
+}
+
+ExprPtr RandomEvaluableDouble(ExprRng& rng, int depth) {
+  if (depth <= 0 || rng.Below(3) == 0) {
+    return rng.Below(2) == 0
+               ? Col("d")
+               : LitDouble(static_cast<double>(rng.Below(400)) * 0.25 - 50.0);
+  }
+  switch (rng.Below(3)) {
+    case 0:
+      return BinOp(BinaryOpKind::kDiv, RandomEvaluable(rng, TypeKind::kInt64, depth - 1),
+                   RandomEvaluable(rng, TypeKind::kInt64, depth - 1));
+    case 1:
+      return BinOp(BinaryOpKind::kAdd, RandomEvaluableDouble(rng, depth - 1),
+                   RandomEvaluable(rng, TypeKind::kInt64, depth - 1));
+    default:
+      return CastTo(RandomEvaluable(rng, TypeKind::kInt64, depth - 1),
+                    TypeKind::kFloat64);
+  }
+}
+
+ExprPtr RandomEvaluableString(ExprRng& rng, int depth) {
+  if (depth <= 0 || rng.Below(3) == 0) {
+    return rng.Below(2) == 0 ? Col("s")
+                             : LitString("v" + std::to_string(rng.Below(16)));
+  }
+  switch (rng.Below(3)) {
+    case 0:
+      return Func(rng.Below(2) == 0 ? "UPPER" : "LOWER",
+                  {RandomEvaluableString(rng, depth - 1)});
+    case 1:
+      return BinOp(BinaryOpKind::kAdd, RandomEvaluableString(rng, depth - 1),
+                   RandomEvaluableString(rng, depth - 1));
+    default:
+      return CastTo(RandomEvaluable(rng, TypeKind::kInt64, depth - 1),
+                    TypeKind::kString);
+  }
+}
+
+ExprPtr RandomEvaluableBool(ExprRng& rng, int depth) {
+  if (depth <= 0 || rng.Below(4) == 0) {
+    return rng.Below(4) == 0 ? LitBool(rng.Below(2) == 0)
+                             : Eq(Col("a"), LitInt(static_cast<int64_t>(
+                                                rng.Below(4))));
+  }
+  switch (rng.Below(8)) {
+    case 0:
+      return And(RandomEvaluableBool(rng, depth - 1),
+                 RandomEvaluableBool(rng, depth - 1));
+    case 1:
+      return Or(RandomEvaluableBool(rng, depth - 1),
+                RandomEvaluableBool(rng, depth - 1));
+    case 2:
+      return Not(RandomEvaluableBool(rng, depth - 1));
+    case 3: {
+      const BinaryOpKind cmps[] = {BinaryOpKind::kEq, BinaryOpKind::kNe,
+                                   BinaryOpKind::kLt, BinaryOpKind::kLe,
+                                   BinaryOpKind::kGt, BinaryOpKind::kGe};
+      const BinaryOpKind op = cmps[rng.Below(6)];
+      switch (rng.Below(3)) {
+        case 0:
+          return BinOp(op, RandomEvaluable(rng, TypeKind::kInt64, depth - 1),
+                       RandomEvaluable(rng, TypeKind::kInt64, depth - 1));
+        case 1:
+          return BinOp(op, RandomEvaluableDouble(rng, depth - 1),
+                       RandomEvaluableDouble(rng, depth - 1));
+        default:
+          // Mixed int/double comparison exercises the generic kernel.
+          return BinOp(op, RandomEvaluable(rng, TypeKind::kInt64, depth - 1),
+                       RandomEvaluableDouble(rng, depth - 1));
+      }
+    }
+    case 4:
+      return std::make_shared<IsNullExpr>(
+          RandomEvaluable(rng,
+                          rng.Below(2) == 0 ? TypeKind::kInt64
+                                            : TypeKind::kString,
+                          depth - 1),
+          rng.Below(2) == 0);
+    case 5:
+      return std::make_shared<InExpr>(
+          RandomEvaluable(rng, TypeKind::kInt64, depth - 1),
+          std::vector<Value>{Value::Int(static_cast<int64_t>(rng.Below(5))),
+                             Value::Null(),
+                             Value::Int(static_cast<int64_t>(rng.Below(40)))},
+          rng.Below(2) == 0);
+    case 6:
+      return std::make_shared<LikeExpr>(RandomEvaluableString(rng, depth - 1),
+                                        rng.Below(2) == 0 ? "a%" : "%a_",
+                                        rng.Below(2) == 0);
+    default:
+      return Eq(Func("CURRENT_USER", {}),
+                LitString(rng.Below(2) == 0 ? "alice" : "bob"));
+  }
+}
+
+ExprPtr RandomEvaluable(ExprRng& rng, TypeKind want, int depth) {
+  switch (want) {
+    case TypeKind::kInt64:
+      return RandomEvaluableInt(rng, depth);
+    case TypeKind::kFloat64:
+      return RandomEvaluableDouble(rng, depth);
+    case TypeKind::kString:
+      return RandomEvaluableString(rng, depth);
+    default:
+      return RandomEvaluableBool(rng, depth);
+  }
+}
+
+class FusionFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FusionFuzzTest, DifferentialInterpreterVsCompiled) {
+  ExprRng rng(0xF500 + GetParam());
+  RecordBatch batch = TestBatch();
+  EvalContext ctx = FusionCtx();
+  const TypeKind types[] = {TypeKind::kBool, TypeKind::kInt64,
+                            TypeKind::kFloat64, TypeKind::kString};
+  for (int i = 0; i < 150; ++i) {
+    ExprPtr e = RandomEvaluable(rng, types[rng.Below(4)], 4);
+    ExpectSameEvaluation(e, batch, ctx);
+  }
+}
+
+TEST_P(FusionFuzzTest, DifferentialPredicateMaskNullSemantics) {
+  ExprRng rng(0xF600 + GetParam());
+  RecordBatch batch = TestBatch();
+  EvalContext ctx = FusionCtx();
+  for (int i = 0; i < 100; ++i) {
+    ExprPtr pred = RandomEvaluableBool(rng, 4);
+    auto interpreted = EvaluatePredicateMask(pred, batch, ctx);
+    auto program = CompileExpr(pred, batch.schema());
+    ASSERT_TRUE(program.ok()) << pred->ToString();
+    auto compiled = RunProgramMask(*program, batch, ctx);
+    ASSERT_EQ(interpreted.ok(), compiled.ok()) << pred->ToString();
+    if (!interpreted.ok()) continue;
+    EXPECT_EQ(*interpreted, *compiled)
+        << pred->ToString() << ": NULL/false rows must be excluded "
+        << "identically by both paths";
+  }
+}
+
+TEST_P(FusionFuzzTest, DecompileRoundTripsAndRecompilesIdentically) {
+  ExprRng rng(0xF700 + GetParam());
+  const Schema schema = FusionSchema();
+  const TypeKind types[] = {TypeKind::kBool, TypeKind::kInt64,
+                            TypeKind::kFloat64, TypeKind::kString};
+  for (int i = 0; i < 100; ++i) {
+    ExprPtr e = RandomEvaluable(rng, types[rng.Below(4)], 4);
+    auto program = CompileExpr(e, schema);
+    ASSERT_TRUE(program.ok()) << e->ToString();
+    auto back = DecompileProgram(*program);
+    ASSERT_TRUE(back.ok()) << e->ToString();
+    EXPECT_TRUE((*back)->Equals(*e))
+        << "decompiled " << (*back)->ToString() << " from " << e->ToString();
+    auto again = CompileExpr(*back, schema);
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE(SameInstructionStream(*program, *again))
+        << "recompilation of the decompiled tree deviates for "
+        << e->ToString();
+  }
+}
+
+TEST_P(FusionFuzzTest, FusedPolicyMarkerSerdeRoundTrips) {
+  ExprRng rng(0xF800 + GetParam());
+  for (int i = 0; i < 60; ++i) {
+    // Markers can wrap any subtree the analyzer injects; serde must carry
+    // them through exactly (same property as the plain serde fuzz above).
+    ExprPtr inner = RandomExprTree(rng, 3);
+    ExprPtr original =
+        rng.Below(2) == 0 ? FusedPolicy(inner)
+                          : And(FusedPolicy(inner), FusedPolicy(LitBool(true)));
+    ByteWriter w;
+    SerializeExpr(original, &w);
+    ByteReader r(w.data());
+    auto back = DeserializeExpr(&r);
+    ASSERT_TRUE(back.ok()) << back.status();
+    ASSERT_TRUE(r.AtEnd());
+    EXPECT_TRUE((*back)->Equals(*original)) << original->ToString();
+    EXPECT_EQ((*back)->kind(), original->kind());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusionFuzzTest, ::testing::Range(0, 4));
+
+TEST(FusionTest, MarkerIsTransparentToEvaluationAndStrips) {
+  RecordBatch batch = TestBatch();
+  EvalContext ctx = FusionCtx();
+  ExprPtr bare = BinOp(BinaryOpKind::kLt, Col("a"), LitInt(3));
+  ExprPtr marked = FusedPolicy(bare);
+  EXPECT_EQ(marked->ToString(), "POLICY[" + bare->ToString() + "]");
+  EXPECT_FALSE(marked->Equals(*bare));  // structural equality sees the marker
+  EXPECT_TRUE(StripFusedPolicyMarkers(marked)->Equals(*bare));
+  // Identity (same node) when nothing to strip.
+  EXPECT_EQ(StripFusedPolicyMarkers(bare).get(), bare.get());
+  auto a = EvaluateExpr(bare, batch, ctx);
+  auto b = EvaluateExpr(marked, batch, ctx);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->length(); ++i) {
+    EXPECT_TRUE(a->GetValue(i) == b->GetValue(i));
+  }
+  auto ta = InferExprType(bare, batch.schema());
+  auto tb = InferExprType(marked, batch.schema());
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  EXPECT_EQ(*ta, *tb);
+}
+
+TEST(FusionTest, CompilerRefusesUdfCallsAndAggregates) {
+  const Schema schema = FusionSchema();
+  ExprPtr udf = Udf("f", "mallory", TypeKind::kInt64, {Col("a")});
+  EXPECT_FALSE(CompileExpr(udf, schema).ok());
+  EXPECT_FALSE(CompileExpr(Func("SUM", {Col("a")}), schema).ok());
+  EXPECT_FALSE(CompileExpr(Col("nope"), schema).ok());  // unresolvable
+}
+
+TEST(FusionTest, RunFusedPolicyOrdersFilterMaskUserPredicate) {
+  const Schema schema = FusionSchema();
+  RecordBatch batch = TestBatch();  // a: 1,2,3  b: 10,NULL,30
+  // Row filter sees RAW values; the user predicate sees MASKED values.
+  ExprPtr row_filter = BinOp(BinaryOpKind::kGt, Col("a"), LitInt(1));
+  std::vector<ExprPtr> masks(schema.num_fields());
+  masks[1] = LitInt(-1);  // mask column b entirely
+  auto program =
+      CompileFusedPolicy("t", "alice", 7, schema, row_filter, masks);
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->output_schema.field(1).type, TypeKind::kInt64);
+
+  // User predicate b = -1 matches every masked row but no raw row.
+  auto user = CompileExpr(Eq(Col("b"), LitInt(-1)), program->output_schema);
+  ASSERT_TRUE(user.ok());
+  auto out = RunFusedPolicy(*program, &*user, batch, FusionCtx());
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_TRUE(out->has_value());
+  EXPECT_EQ((*out)->num_rows(), 2u);  // rows a=2, a=3 survive the row filter
+  for (size_t i = 0; i < (*out)->num_rows(); ++i) {
+    EXPECT_EQ((*out)->column(1).GetValue(i), Value::Int(-1));
+  }
+
+  // A user predicate matching raw b values must see nothing (mask first).
+  auto raw_probe = CompileExpr(Eq(Col("b"), LitInt(30)),
+                               program->output_schema);
+  ASSERT_TRUE(raw_probe.ok());
+  auto none = RunFusedPolicy(*program, &*raw_probe, batch, FusionCtx());
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_value());
+}
+
+TEST(FusionTest, PolicyEvalCacheHitRevalidateInvalidate) {
+  PolicyEvalCache cache;
+  const Schema schema = FusionSchema();
+  ExprPtr policy_v1 = BinOp(BinaryOpKind::kGt, Col("a"), LitInt(0));
+  ExprPtr policy_v2 = BinOp(BinaryOpKind::kGt, Col("a"), LitInt(0));
+  int stamp_calls = 0;
+  int compile_calls = 0;
+  ExprPtr current_policy = policy_v1;
+  uint64_t stamp_epoch = 1;
+  auto stamp_fn = [&]() -> Result<PolicyVersionStamp> {
+    ++stamp_calls;
+    PolicyVersionStamp s;
+    s.epoch = stamp_epoch;
+    s.found = true;
+    s.policies = {current_policy};
+    return s;
+  };
+  auto compile_fn = [&]() -> Result<FusedPolicyProgram> {
+    ++compile_calls;
+    return CompileFusedPolicy("t", "alice", stamp_epoch, schema,
+                              current_policy,
+                              std::vector<ExprPtr>(schema.num_fields()));
+  };
+
+  // Miss -> compile.
+  auto first = cache.GetOrCompile("t", "alice", "v", 1, stamp_fn, compile_fn);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->hit);
+  EXPECT_TRUE(first->compiled);
+  EXPECT_EQ(compile_calls, 1);
+
+  // Same epoch -> pure hit, no catalog work.
+  const int stamps_before = stamp_calls;
+  auto second = cache.GetOrCompile("t", "alice", "v", 1, stamp_fn, compile_fn);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->hit);
+  EXPECT_FALSE(second->compiled);
+  EXPECT_EQ(stamp_calls, stamps_before);
+  EXPECT_EQ(second->program.get(), first->program.get());
+
+  // Epoch drift, same policy pointers -> revalidation, still no compile.
+  stamp_epoch = 2;
+  auto third = cache.GetOrCompile("t", "alice", "v", 2, stamp_fn, compile_fn);
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third->hit);
+  EXPECT_FALSE(third->compiled);
+  EXPECT_EQ(compile_calls, 1);
+
+  // Epoch drift with replaced policy (same text, fresh allocation) ->
+  // invalidation + recompile. This is the stale-compiled-policy defense.
+  current_policy = policy_v2;
+  stamp_epoch = 3;
+  auto fourth = cache.GetOrCompile("t", "alice", "v", 3, stamp_fn, compile_fn);
+  ASSERT_TRUE(fourth.ok());
+  EXPECT_FALSE(fourth->hit);
+  EXPECT_TRUE(fourth->compiled);
+  EXPECT_EQ(compile_calls, 2);
+  EXPECT_NE(fourth->program.get(), first->program.get());
+
+  // Distinct principals get distinct entries.
+  auto bob = cache.GetOrCompile("t", "bob", "v", 3, stamp_fn, compile_fn);
+  ASSERT_TRUE(bob.ok());
+  EXPECT_FALSE(bob->hit);
+
+  PolicyEvalCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.revalidations, 1u);
+  EXPECT_EQ(stats.misses, 2u);  // first lookup + bob
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.compiles, 3u);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(FusionTest, PV007RejectsMutatedFusedProgram) {
+  const Schema schema = FusionSchema();
+  ExprPtr policy = And(BinOp(BinaryOpKind::kLt, Col("a"), LitInt(3)),
+                       BinOp(BinaryOpKind::kGt, Col("b"), LitInt(5)));
+  auto program = CompileExpr(FusedPolicy(policy), schema);
+  ASSERT_TRUE(program.ok());
+
+  // Pristine program verifies (markers on the expected side are stripped).
+  EXPECT_TRUE(
+      PlanVerifier::VerifyFusedProgram(*program, FusedPolicy(policy)).ok());
+  EXPECT_TRUE(PlanVerifier::VerifyFusedProgram(*program, policy).ok());
+
+  // Mutation 1: weaken a comparison immediate (3 -> 300). The decompiled
+  // tree is no longer the cataloged policy.
+  CompiledExpr weakened = *program;
+  bool mutated = false;
+  for (FusedInstruction& inst : weakened.instrs) {
+    if (inst.op == FusedOpCode::kBinary && inst.b == kNoReg &&
+        inst.literal == Value::Int(3)) {
+      inst.literal = Value::Int(300);
+      mutated = true;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  Status s1 = PlanVerifier::VerifyFusedProgram(weakened, policy);
+  EXPECT_FALSE(s1.ok());
+  EXPECT_NE(s1.message().find("PV007"), std::string::npos) << s1;
+
+  // Mutation 2: flip a result type only. Tree equivalence cannot see this;
+  // the canonical-recompilation check must.
+  CompiledExpr retyped = *program;
+  retyped.instrs.front().out_type = TypeKind::kString;
+  Status s2 = PlanVerifier::VerifyFusedProgram(retyped, policy);
+  EXPECT_FALSE(s2.ok());
+  EXPECT_NE(s2.message().find("PV007"), std::string::npos) << s2;
+
+  // Mutation 3: reroute the result register to a subexpression.
+  CompiledExpr rerouted = *program;
+  ASSERT_GT(rerouted.result_reg, 0);
+  rerouted.result_reg = 0;
+  Status s3 = PlanVerifier::VerifyFusedProgram(rerouted, policy);
+  EXPECT_FALSE(s3.ok());
+  EXPECT_NE(s3.message().find("PV007"), std::string::npos) << s3;
+
+  // Wrong expected tree: a program for another policy must not verify.
+  Status s4 = PlanVerifier::VerifyFusedProgram(
+      *program, BinOp(BinaryOpKind::kLt, Col("a"), LitInt(4)));
+  EXPECT_FALSE(s4.ok());
+  EXPECT_NE(s4.message().find("PV007"), std::string::npos) << s4;
+}
 
 }  // namespace
 }  // namespace lakeguard
