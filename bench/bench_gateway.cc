@@ -1,0 +1,300 @@
+// Gateway resilience benchmark (BENCH_gateway.json).
+//
+// Opens 10,000 concurrent sessions for 8 tenants across a replica fleet
+// (max 2048 sessions per replica -> 5 replicas), then drives query load
+// through the gateway in three phases:
+//
+//   baseline         steady-state routing, no faults
+//   replica_kill     one replica is killed mid-run; affected clients must
+//                    complete after at most ONE typed retryable error
+//   rolling_upgrade  the whole fleet is drained and replaced under load
+//                    (live migration of every session)
+//
+// Each client query makes at most two attempts: one initial try and, if it
+// fails with a typed *retryable* status, one retry. Anything else — a
+// non-retryable failure, or a second consecutive failure — is a contract
+// violation. The bench asserts zero violations and zero lost sessions, and
+// reports throughput and p50/p99 latency per phase so the degradation
+// during failover and upgrade is visible.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/retry.h"
+#include "core/platform.h"
+
+namespace lakeguard {
+namespace bench {
+namespace {
+
+constexpr size_t kSessions = 10'000;
+constexpr size_t kTenants = 8;
+constexpr size_t kThreads = 8;
+constexpr size_t kQueriesPerThread = 400;
+
+struct PhaseResult {
+  std::string name;
+  double seconds = 0;
+  size_t queries = 0;
+  uint64_t retryable_errors = 0;
+  uint64_t violations = 0;
+  int64_t p50_us = 0;
+  int64_t p99_us = 0;
+};
+
+int64_t Percentile(std::vector<int64_t>* latencies, double p) {
+  if (latencies->empty()) return 0;
+  std::sort(latencies->begin(), latencies->end());
+  size_t index = static_cast<size_t>(p * (latencies->size() - 1));
+  return (*latencies)[index];
+}
+
+/// Runs kThreads workers, each issuing kQueriesPerThread queries against
+/// randomly chosen sessions with the two-attempt client contract. Returns
+/// latency/violation accounting; `disrupt` (may be empty) runs on the main
+/// thread while the workers hammer the gateway.
+PhaseResult RunPhase(const std::string& name, LakeguardPlatform* platform,
+                     const std::vector<std::string>& sessions,
+                     const std::function<void()>& disrupt) {
+  std::atomic<uint64_t> retryable{0};
+  std::atomic<uint64_t> violations{0};
+  std::mutex latency_mu;
+  std::vector<int64_t> latencies;
+  latencies.reserve(kThreads * kQueriesPerThread);
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      std::vector<int64_t> local;
+      local.reserve(kQueriesPerThread);
+      uint64_t rng = 0x9e3779b97f4a7c15ull * (t + 1);
+      for (size_t q = 0; q < kQueriesPerThread; ++q) {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        const std::string& session = sessions[rng % sessions.size()];
+        auto begin = std::chrono::steady_clock::now();
+        auto rows = platform->gateway().ExecuteSql(
+            session, "SELECT COUNT(*) AS n FROM main.g.t");
+        if (!rows.ok()) {
+          if (!IsTransientError(rows.status())) {
+            // Non-retryable failure: contract broken.
+            if (violations++ == 0) {
+              std::fprintf(stderr, "violation (non-retryable): %s\n",
+                           rows.status().ToString().c_str());
+            }
+            continue;
+          }
+          ++retryable;
+          rows = platform->gateway().ExecuteSql(
+              session, "SELECT COUNT(*) AS n FROM main.g.t");
+          if (!rows.ok()) {
+            // Second consecutive failure: contract broken.
+            if (violations++ == 0) {
+              std::fprintf(stderr, "violation (retry failed): %s\n",
+                           rows.status().ToString().c_str());
+            }
+            continue;
+          }
+        }
+        local.push_back(std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - begin)
+                            .count());
+      }
+      std::lock_guard<std::mutex> lock(latency_mu);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+    });
+  }
+  if (disrupt) disrupt();
+  for (std::thread& worker : workers) worker.join();
+
+  PhaseResult result;
+  result.name = name;
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  result.queries = latencies.size();
+  result.retryable_errors = retryable.load();
+  result.violations = violations.load();
+  result.p50_us = Percentile(&latencies, 0.50);
+  result.p99_us = Percentile(&latencies, 0.99);
+  return result;
+}
+
+void Run() {
+  LakeguardPlatform::Options options;
+  options.use_simulated_clock = false;
+  options.sandbox_cold_start_micros = 0;
+  options.gateway_config.max_sessions_per_backend = 2048;
+  options.gateway_config.backend_cold_start_micros = 0;
+  LakeguardPlatform platform(options);
+
+  (void)platform.AddUser("admin");
+  platform.AddMetastoreAdmin("admin");
+  platform.RegisterToken("tok-admin", "admin");
+  (void)platform.catalog().CreateCatalog("admin", "main");
+  (void)platform.catalog().CreateSchema("admin", "main.g");
+  ClusterHandle* setup = platform.CreateStandardCluster();
+  auto ctx = *platform.DirectContext(setup, "admin");
+  auto must = [&](const std::string& sql) {
+    auto result = setup->engine->ExecuteSql(sql, ctx);
+    if (!result.ok()) {
+      std::fprintf(stderr, "setup failed: %s\n  sql: %s\n",
+                   result.status().ToString().c_str(), sql.c_str());
+      std::abort();
+    }
+  };
+  must("CREATE TABLE main.g.t (x BIGINT)");
+  {
+    std::string sql = "INSERT INTO main.g.t VALUES ";
+    for (int i = 0; i < 100; ++i) {
+      if (i > 0) sql += ", ";
+      sql += "(" + std::to_string(i) + ")";
+    }
+    must(sql);
+  }
+  std::vector<std::string> tokens;
+  for (size_t t = 0; t < kTenants; ++t) {
+    std::string user = "tenant" + std::to_string(t);
+    (void)platform.AddUser(user);
+    platform.RegisterToken("tok-" + std::to_string(t), user);
+    must("GRANT USE CATALOG ON main TO " + user);
+    must("GRANT USE SCHEMA ON main.g TO " + user);
+    must("GRANT SELECT ON main.g.t TO " + user);
+    tokens.push_back("tok-" + std::to_string(t));
+  }
+
+  // ---- Phase 0: open 10k sessions ------------------------------------------
+  std::vector<std::string> sessions;
+  sessions.reserve(kSessions);
+  auto open_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < kSessions; ++i) {
+    auto session = platform.gateway().OpenSession(tokens[i % kTenants]);
+    if (!session.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   session.status().ToString().c_str());
+      std::abort();
+    }
+    sessions.push_back(*session);
+  }
+  double open_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - open_start)
+                            .count();
+  size_t replicas_before = platform.gateway().BackendCount();
+  std::printf("opened %zu sessions in %.2fs (%.0f/s) across %zu replicas\n",
+              kSessions, open_seconds, kSessions / open_seconds,
+              replicas_before);
+
+  // ---- Phase 1: baseline ---------------------------------------------------
+  PhaseResult baseline = RunPhase("baseline", &platform, sessions, nullptr);
+
+  // ---- Phase 2: replica kill mid-run ---------------------------------------
+  PhaseResult kill = RunPhase(
+      "replica_kill", &platform, sessions, [&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        std::vector<std::string> ids = platform.gateway().ReplicaIds();
+        if (!ids.empty()) (void)platform.gateway().KillReplica(ids[0]);
+      });
+
+  // ---- Phase 3: rolling upgrade under load ---------------------------------
+  PhaseResult upgrade = RunPhase(
+      "rolling_upgrade", &platform, sessions, [&] {
+        Status upgraded = platform.gateway().RollingUpgrade();
+        if (!upgraded.ok()) {
+          std::fprintf(stderr, "rolling upgrade failed: %s\n",
+                       upgraded.ToString().c_str());
+          std::abort();
+        }
+      });
+
+  // ---- Verify: zero lost sessions ------------------------------------------
+  size_t lost = 0;
+  for (const std::string& session : sessions) {
+    auto rows = platform.gateway().ExecuteSql(
+        session, "SELECT COUNT(*) AS n FROM main.g.t");
+    if (!rows.ok() && IsTransientError(rows.status())) {
+      rows = platform.gateway().ExecuteSql(
+          session, "SELECT COUNT(*) AS n FROM main.g.t");
+    }
+    if (!rows.ok()) ++lost;
+  }
+  GatewayStats stats = platform.gateway().stats();
+
+  const PhaseResult* phases[] = {&baseline, &kill, &upgrade};
+  for (const PhaseResult* phase : phases) {
+    std::printf(
+        "%-16s %6zu queries in %6.2fs (%7.0f qps)  p50 %6ld us  p99 %6ld us"
+        "  retryable %3lu  violations %lu\n",
+        phase->name.c_str(), phase->queries, phase->seconds,
+        phase->queries / phase->seconds,
+        static_cast<long>(phase->p50_us), static_cast<long>(phase->p99_us),
+        static_cast<unsigned long>(phase->retryable_errors),
+        static_cast<unsigned long>(phase->violations));
+  }
+  std::printf(
+      "migrations %lu  failovers %lu  mid-call retryables %lu  "
+      "drains %lu  lost sessions %zu\n",
+      static_cast<unsigned long>(stats.migrations),
+      static_cast<unsigned long>(stats.failovers),
+      static_cast<unsigned long>(stats.lost_placement_errors),
+      static_cast<unsigned long>(stats.drains_completed),
+      lost);
+
+  FILE* f = std::fopen("BENCH_gateway.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"sessions\": %zu,\n", kSessions);
+    std::fprintf(f, "  \"tenants\": %zu,\n", kTenants);
+    std::fprintf(f, "  \"replicas_initial\": %zu,\n", replicas_before);
+    std::fprintf(f, "  \"open_seconds\": %.3f,\n", open_seconds);
+    std::fprintf(f, "  \"open_sessions_per_sec\": %.0f,\n",
+                 kSessions / open_seconds);
+    std::fprintf(f, "  \"phases\": {\n");
+    for (size_t i = 0; i < 3; ++i) {
+      const PhaseResult& phase = *phases[i];
+      std::fprintf(f,
+                   "    \"%s\": {\"queries\": %zu, \"seconds\": %.3f, "
+                   "\"qps\": %.0f, \"p50_us\": %ld, \"p99_us\": %ld, "
+                   "\"retryable_errors\": %lu, \"violations\": %lu}%s\n",
+                   phase.name.c_str(), phase.queries, phase.seconds,
+                   phase.queries / phase.seconds,
+                   static_cast<long>(phase.p50_us),
+                   static_cast<long>(phase.p99_us),
+                   static_cast<unsigned long>(phase.retryable_errors),
+                   static_cast<unsigned long>(phase.violations),
+                   i + 1 < 3 ? "," : "");
+    }
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"migrations\": %lu,\n",
+                 static_cast<unsigned long>(stats.migrations));
+    std::fprintf(f, "  \"failovers\": %lu,\n",
+                 static_cast<unsigned long>(stats.failovers));
+    std::fprintf(f, "  \"mid_call_retryables\": %lu,\n",
+                 static_cast<unsigned long>(stats.lost_placement_errors));
+    std::fprintf(f, "  \"rolling_upgrades\": %lu,\n",
+                 static_cast<unsigned long>(stats.rolling_upgrades));
+    std::fprintf(f, "  \"lost_sessions\": %zu\n", lost);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+  }
+
+  if (lost != 0 || baseline.violations != 0 || kill.violations != 0 ||
+      upgrade.violations != 0) {
+    std::fprintf(stderr, "RESILIENCE CONTRACT VIOLATED\n");
+    std::abort();
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lakeguard
+
+int main() {
+  lakeguard::bench::Run();
+  return 0;
+}

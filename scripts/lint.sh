@@ -23,8 +23,9 @@ fi
 # corpus and the catalog benchmark exercise locking and lifetime patterns
 # that the concurrency-* and bugprone-* checks exist to gate; the policy-eval
 # benchmark drives the compiled-kernel surfaces (src/expr/compiler is covered
-# by the src/ find below).
-EXTRA_FILES="tests/attack_test.cc tests/catalog_test.cc bench/bench_catalog.cc bench/bench_policy_eval.cc"
+# by the src/ find below); the gateway suite and bench drive the replica
+# lifecycle / migration locking in src/serverless under threads.
+EXTRA_FILES="tests/attack_test.cc tests/catalog_test.cc tests/serverless_test.cc bench/bench_catalog.cc bench/bench_policy_eval.cc bench/bench_gateway.cc"
 
 FAILED=0
 while IFS= read -r file; do

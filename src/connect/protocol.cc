@@ -15,6 +15,7 @@ enum ReqField : uint32_t {
   kReqOperation = 6,
   kReqDeadlineMicros = 7,
   kReqCancelOperation = 8,
+  kReqStatement = 9,
 };
 enum RespField : uint32_t {
   kRespVersion = 1,
@@ -52,6 +53,9 @@ std::vector<uint8_t> EncodeRequest(const ConnectRequest& request) {
   }
   if (!request.cancel_operation_id.empty()) {
     w.PutTaggedString(kReqCancelOperation, request.cancel_operation_id);
+  }
+  if (!request.statement_id.empty()) {
+    w.PutTaggedString(kReqStatement, request.statement_id);
   }
   return w.Release();
 }
@@ -95,6 +99,10 @@ Result<ConnectRequest> DecodeRequest(const std::vector<uint8_t>& bytes) {
       }
       case kReqCancelOperation: {
         LG_ASSIGN_OR_RETURN(request.cancel_operation_id, r.ReadString());
+        break;
+      }
+      case kReqStatement: {
+        LG_ASSIGN_OR_RETURN(request.statement_id, r.ReadString());
         break;
       }
       default:

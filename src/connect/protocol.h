@@ -14,7 +14,7 @@ namespace lakeguard {
 /// *field-tagged* (proto-style): decoders skip unknown fields, so newer
 /// clients/servers interoperate with older ones — the versionless-workloads
 /// property of §6.3. Bump when adding fields; never renumber.
-inline constexpr uint32_t kConnectProtocolVersion = 4;
+inline constexpr uint32_t kConnectProtocolVersion = 5;
 
 /// ExecutePlan / AnalyzePlan request (§3.2.2). Exactly one of `plan_bytes`
 /// (a serialized unresolved relation) or `sql` (a command or query in text
@@ -35,6 +35,12 @@ struct ConnectRequest {
   /// operation (no plan/sql is executed). Cancelling an unknown or
   /// already-cancelled operation is a no-op that still answers OK.
   std::string cancel_operation_id;
+  /// When set, the request executes a server-side prepared statement (see
+  /// ConnectService::PrepareStatement) instead of carrying plan/sql. The
+  /// statement's binding stamps — principal, compute, catalog epoch — are
+  /// re-checked on every execution (v5; older servers skip the field and
+  /// answer "neither plan nor sql").
+  std::string statement_id;
 };
 
 /// One streamed result chunk: a serialized IPC batch frame.

@@ -189,7 +189,41 @@ ConnectResponse ConnectService::Execute(const ConnectRequest& request) {
   // non-retryable kFailedPrecondition here without ever consuming an
   // execution slot. Only verified plans compete for capacity.
   Result<PreparedQuery> prepared = Status::Internal("no request payload");
-  if (!request.plan_bytes.empty()) {
+  if (!request.statement_id.empty()) {
+    PreparedStatementRecord record;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = prepared_.find(request.statement_id);
+      if (it == prepared_.end()) {
+        return ErrorResponse(
+            Status::NotFound("no prepared statement " + request.statement_id),
+            operation_id);
+      }
+      if (it->second.session_id != session.session_id) {
+        return ErrorResponse(
+            Status::PermissionDenied("prepared statement " +
+                                     request.statement_id +
+                                     " belongs to a different session"),
+            operation_id);
+      }
+      record = it->second.record;
+      ++service_stats_.statement_executions;
+      if (record.catalog_epoch != 0 &&
+          record.catalog_epoch != catalog_->epoch()) {
+        ++service_stats_.statement_reverifications;
+      }
+    }
+    prepared = engine_->PrepareSql(record.sql, context);
+    if (prepared.ok() && prepared->analysis != nullptr) {
+      // Execution runs under the stamps recorded when the statement was
+      // prepared, not fresh ones: ExecutePrepared re-checks the principal/
+      // compute binding (PV006) and re-verifies against current policy on
+      // catalog-epoch drift.
+      prepared->analysis->bound_principal = record.bound_principal;
+      prepared->analysis->bound_compute_id = record.bound_compute_id;
+      prepared->analysis->catalog_epoch = record.catalog_epoch;
+    }
+  } else if (!request.plan_bytes.empty()) {
     auto plan = PlanFromBytes(request.plan_bytes);
     if (!plan.ok()) return ErrorResponse(plan.status(), operation_id);
     prepared = engine_->PreparePlan(*plan, context);
@@ -474,6 +508,18 @@ Result<ResultChunk> ConnectService::FetchChunk(const std::string& session_id,
   session_it->second.last_activity_micros = clock_->NowMicros();
   auto it = operations_.find(operation_id);
   if (it == operations_.end()) {
+    auto migrated = migrated_ops_.find(operation_id);
+    if (migrated != migrated_ops_.end() &&
+        migrated->second.session_id == session_id) {
+      // The operation moved here with its session but its result bytes did
+      // not (they lived on the source replica). Typed retryable: the client
+      // reattaches — re-executes under the same operation id and resumes at
+      // its next chunk index, exact because chunking is deterministic.
+      ++service_stats_.migrated_fetch_redirects;
+      return Status::Unavailable(
+          "operation " + operation_id +
+          " migrated with its session; reattach and re-execute");
+    }
     return Status::NotFound("no buffered operation " + operation_id);
   }
   if (it->second.session_id != session_id) {
@@ -637,6 +683,222 @@ void ConnectService::CloseOperation(const std::string& session_id,
   }
 }
 
+Result<std::string> ConnectService::PrepareStatement(
+    const std::string& session_id, const std::string& sql) {
+  SessionInfo session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end() || it->second.tombstoned) {
+      return Status::NotFound("no live session " + session_id);
+    }
+    it->second.last_activity_micros = clock_->NowMicros();
+    session = it->second;
+  }
+  ExecutionContext context;
+  context.user = session.user;
+  context.session_id = session.session_id;
+  context.compute = session.compute;
+  context.temp_views = session.temp_views;
+  // The full prepare pipeline (rewrite, analyze, verify) runs here once; a
+  // plan the PlanVerifier rejects never becomes a statement handle.
+  LG_ASSIGN_OR_RETURN(PreparedQuery prepared,
+                      engine_->PrepareSql(sql, context));
+  PreparedStatement stored;
+  stored.session_id = session_id;
+  stored.record.statement_id = IdGenerator::Next("stmt");
+  stored.record.sql = sql;
+  if (prepared.analysis != nullptr) {
+    stored.record.bound_principal = prepared.analysis->bound_principal;
+    stored.record.bound_compute_id = prepared.analysis->bound_compute_id;
+    stored.record.catalog_epoch = prepared.analysis->catalog_epoch;
+  } else {
+    // Commands carry no analysis; stamp from the session so the binding
+    // checks still gate who replays the handle.
+    stored.record.bound_principal = session.user;
+    stored.record.bound_compute_id = session.compute.compute_id;
+    stored.record.catalog_epoch = catalog_->epoch();
+  }
+  std::string statement_id = stored.record.statement_id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    prepared_[statement_id] = std::move(stored);
+    ++service_stats_.statements_prepared;
+  }
+  return statement_id;
+}
+
+Result<std::vector<uint8_t>> ConnectService::ExportSession(
+    const std::string& session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end() || it->second.tombstoned) {
+    return Status::NotFound("no live session " + session_id);
+  }
+  SessionSnapshot snapshot;
+  snapshot.user = it->second.user;
+  snapshot.source_epoch = catalog_->epoch();
+  if (it->second.temp_views != nullptr) {
+    snapshot.temp_views = *it->second.temp_views;
+  }
+  for (const auto& [id, stmt] : prepared_) {
+    if (stmt.session_id == session_id) {
+      snapshot.prepared.push_back(stmt.record);
+    }
+  }
+  for (const auto& [op_id, op] : operations_) {
+    if (op.session_id != session_id) continue;
+    OperationWatermark wm;
+    wm.operation_id = op_id;
+    wm.released_below = op.released_below;
+    wm.done = op.cancelled || op.Done();
+    snapshot.watermarks.push_back(std::move(wm));
+  }
+  ++service_stats_.sessions_exported;
+  return EncodeSessionSnapshot(snapshot);
+}
+
+Result<std::string> ConnectService::ImportSession(
+    const std::vector<uint8_t>& snapshot_bytes,
+    const std::string& auth_token) {
+  LG_ASSIGN_OR_RETURN(SessionSnapshot snapshot,
+                      DecodeSessionSnapshot(snapshot_bytes));
+  const uint64_t current_epoch = catalog_->epoch();
+  std::string user;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      ++service_stats_.drain_rejects;
+      return Status::Unavailable(
+          "service is draining; no new sessions are admitted");
+    }
+    auto it = tokens_.find(auth_token);
+    if (it == tokens_.end()) {
+      return Status::Unauthenticated("unknown auth token");
+    }
+    user = it->second;
+    for (const PreparedStatementRecord& record : snapshot.prepared) {
+      if (prepared_.count(record.statement_id) > 0) {
+        // The same snapshot landing twice on one replica is a replay, not a
+        // migration — the gateway never commits two imports of one session.
+        ++service_stats_.import_rejects;
+        return Status::FailedPrecondition(
+            "snapshot replay: statement " + record.statement_id +
+            " already exists on this replica");
+      }
+    }
+  }
+  auto reject = [&](Status status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++service_stats_.import_rejects;
+    return status;
+  };
+  if (user != snapshot.user) {
+    // A captured snapshot replayed under another identity: the session's
+    // privileges belong to whoever the token authenticates, and that must
+    // be the identity the state was serialized under.
+    return reject(Status::PermissionDenied(
+        "snapshot belongs to " + snapshot.user +
+        " but the token authenticates " + user));
+  }
+  if (snapshot.source_epoch > current_epoch) {
+    return reject(Status::FailedPrecondition(
+        "snapshot stamped with future catalog epoch " +
+        std::to_string(snapshot.source_epoch) + " (current " +
+        std::to_string(current_epoch) + "); refusing forged snapshot"));
+  }
+  for (const PreparedStatementRecord& record : snapshot.prepared) {
+    if (record.bound_principal != snapshot.user) {
+      return reject(Status::PermissionDenied(
+          "prepared statement " + record.statement_id +
+          " is bound to principal " + record.bound_principal +
+          ", not the session identity " + snapshot.user));
+    }
+    if (record.catalog_epoch > current_epoch) {
+      return reject(Status::FailedPrecondition(
+          "prepared statement " + record.statement_id +
+          " stamped with future catalog epoch " +
+          std::to_string(record.catalog_epoch)));
+    }
+  }
+  // Same admission as OpenSession: the destination's privilege scope is
+  // established fresh, never copied from the snapshot.
+  RetryPolicy admission_retry;
+  admission_retry.max_attempts = 3;
+  admission_retry.backoff.initial_micros = 10'000;
+  LG_ASSIGN_OR_RETURN(ComputeContext compute,
+                      RetryCall<ComputeContext>(
+                          admission_retry, clock_,
+                          [&] { return cluster_->AttachUser(user); }));
+
+  SessionInfo session;
+  session.session_id = IdGenerator::Next("sess");
+  session.user = user;
+  session.compute = compute;
+  session.created_micros = clock_->NowMicros();
+  session.last_activity_micros = session.created_micros;
+  session.temp_views = std::make_shared<std::map<std::string, std::string>>(
+      snapshot.temp_views);
+  std::string session_id = session.session_id;
+  auto temp_views = session.temp_views;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_[session_id] = std::move(session);
+  }
+
+  // Re-prepare every statement under the imported identity against the
+  // *current* catalog: analysis re-vends credentials and the PlanVerifier
+  // re-runs its invariants, so privileges revoked since the export surface
+  // here as typed non-retryable failures and abort the whole import.
+  ExecutionContext context;
+  context.user = user;
+  context.session_id = session_id;
+  context.compute = compute;
+  context.temp_views = temp_views;
+  std::vector<PreparedStatement> accepted;
+  for (const PreparedStatementRecord& record : snapshot.prepared) {
+    Result<PreparedQuery> reprepared =
+        engine_->PrepareSql(record.sql, context);
+    if (!reprepared.ok()) {
+      (void)CloseSession(session_id);
+      return reject(Status(reprepared.status().code(),
+                           "snapshot import rejected: statement " +
+                               record.statement_id +
+                               " failed re-verification: " +
+                               reprepared.status().message()));
+    }
+    PreparedStatement stored;
+    stored.session_id = session_id;
+    stored.record.statement_id = record.statement_id;
+    stored.record.sql = record.sql;
+    // Re-bound to the destination: the statement now belongs to this
+    // replica's compute and the epoch it was just re-verified under.
+    stored.record.bound_principal = user;
+    stored.record.bound_compute_id = compute.compute_id;
+    stored.record.catalog_epoch =
+        reprepared->analysis != nullptr ? reprepared->analysis->catalog_epoch
+                                        : current_epoch;
+    accepted.push_back(std::move(stored));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (PreparedStatement& stored : accepted) {
+      std::string id = stored.record.statement_id;
+      prepared_[id] = std::move(stored);
+    }
+    for (const OperationWatermark& wm : snapshot.watermarks) {
+      MigratedOperation migrated;
+      migrated.session_id = session_id;
+      migrated.released_below = wm.released_below;
+      migrated_ops_[wm.operation_id] = migrated;
+    }
+    ++service_stats_.sessions_imported;
+  }
+  catalog_->audit().Record(user, cluster_->id(), "IMPORT_SESSION",
+                           session_id, true);
+  return session_id;
+}
+
 Status ConnectService::CloseSession(const std::string& session_id) {
   MemoryGovernor* governor = nullptr;
   {
@@ -656,6 +918,14 @@ Status ConnectService::CloseSession(const std::string& session_id) {
       } else {
         ++op;
       }
+    }
+    for (auto stmt = prepared_.begin(); stmt != prepared_.end();) {
+      stmt = stmt->second.session_id == session_id ? prepared_.erase(stmt)
+                                                   : std::next(stmt);
+    }
+    for (auto mig = migrated_ops_.begin(); mig != migrated_ops_.end();) {
+      mig = mig->second.session_id == session_id ? migrated_ops_.erase(mig)
+                                                 : std::next(mig);
     }
     governor = governor_;
   }
@@ -692,6 +962,14 @@ size_t ConnectService::ExpireIdleSessions(int64_t idle_micros) {
         } else {
           ++op;
         }
+      }
+      for (auto stmt = prepared_.begin(); stmt != prepared_.end();) {
+        stmt = stmt->second.session_id == id ? prepared_.erase(stmt)
+                                             : std::next(stmt);
+      }
+      for (auto mig = migrated_ops_.begin(); mig != migrated_ops_.end();) {
+        mig = mig->second.session_id == id ? migrated_ops_.erase(mig)
+                                           : std::next(mig);
       }
       expired.push_back(id);
     }

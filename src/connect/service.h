@@ -12,6 +12,7 @@
 #include "cluster/cluster.h"
 #include "common/memory_budget.h"
 #include "connect/protocol.h"
+#include "connect/session_snapshot.h"
 #include "engine/engine.h"
 
 namespace lakeguard {
@@ -80,6 +81,18 @@ struct ConnectServiceStats {
   uint64_t completed_releases = 0;   ///< ops whose frames were freed on the
                                      ///< last-chunk fetch (not session expiry)
   uint64_t chunk_cache_peak_bytes = 0;  ///< high-water mark of cached bytes
+  // --- prepared statements & migration ---
+  uint64_t statements_prepared = 0;      ///< PrepareStatement successes
+  uint64_t statement_executions = 0;     ///< executions via statement_id
+  uint64_t statement_reverifications = 0;  ///< executions that hit the
+                                           ///< epoch-drift re-verify path
+  uint64_t sessions_exported = 0;        ///< ExportSession successes
+  uint64_t sessions_imported = 0;        ///< ImportSession successes
+  uint64_t import_rejects = 0;           ///< snapshots refused (identity or
+                                         ///< stamp mismatch, failed re-verify)
+  uint64_t migrated_fetch_redirects = 0;  ///< fetches of a migrated op
+                                          ///< answered with typed retryable
+                                          ///< kUnavailable (reattach steer)
 };
 
 /// The Spark Connect service of one cluster: authenticates tokens to users,
@@ -142,6 +155,31 @@ class ConnectService {
   size_t LiveOperationCount() const;
   /// True once draining and no operation is live — safe to stop the server.
   bool DrainComplete() const;
+
+  /// Prepares a SQL statement server-side: runs the full prepare pipeline
+  /// (rewrite, analyze, verify) once, records the binding stamps —
+  /// principal, compute, catalog epoch — and returns a statement id the
+  /// client executes by reference (`ConnectRequest::statement_id`). Every
+  /// execution re-checks the stamps: a principal or compute mismatch is
+  /// `kPermissionDenied`, and catalog-epoch drift re-verifies the plan
+  /// against current policy before running.
+  Result<std::string> PrepareStatement(const std::string& session_id,
+                                       const std::string& sql);
+
+  /// Serializes the session for live migration: identity, temp views,
+  /// prepared-statement binding stamps and chunk-cache ack watermarks. The
+  /// session keeps running — export is read-only; the gateway commits the
+  /// move only after the destination import succeeds.
+  Result<std::vector<uint8_t>> ExportSession(const std::string& session_id);
+
+  /// Rebuilds a session from a snapshot on this replica. The token must
+  /// authenticate to the snapshot's identity, and every prepared statement
+  /// is *re-prepared and re-verified* against the current catalog under the
+  /// imported identity (PV001–PV007) — a stale snapshot cannot resurrect
+  /// revoked privileges, and tampered binding stamps are rejected. All or
+  /// nothing: any failure leaves this replica without the session.
+  Result<std::string> ImportSession(const std::vector<uint8_t>& snapshot_bytes,
+                                    const std::string& auth_token);
 
   /// Closes the session, destroys its sandboxes, tombstones its operations.
   Status CloseSession(const std::string& session_id);
@@ -247,10 +285,25 @@ class ConnectService {
   UnityCatalog* catalog_;
   Clock* clock_;
 
+  /// One server-side prepared statement and the session that owns it.
+  struct PreparedStatement {
+    std::string session_id;
+    PreparedStatementRecord record;
+  };
+  /// Tombstone of an operation that migrated away with its session: fetches
+  /// answer typed retryable `kUnavailable` (steering the client onto the
+  /// reattach path) instead of `kNotFound`.
+  struct MigratedOperation {
+    std::string session_id;
+    uint64_t released_below = 0;
+  };
+
   mutable std::mutex mu_;
   std::map<std::string, std::string> tokens_;  // token -> user
   std::map<std::string, SessionInfo> sessions_;
   std::map<std::string, Operation> operations_;  // operation_id -> op
+  std::map<std::string, PreparedStatement> prepared_;  // statement_id -> stmt
+  std::map<std::string, MigratedOperation> migrated_ops_;
   ConnectServiceStats service_stats_;
   bool draining_ = false;
 

@@ -1,0 +1,182 @@
+#include "connect/session_snapshot.h"
+
+namespace lakeguard {
+
+namespace {
+// Field tags. Append-only; never renumber.
+enum SnapField : uint32_t {
+  kSnapUser = 1,
+  kSnapSourceEpoch = 2,
+  kSnapTempView = 3,   // repeated nested {name, definition}
+  kSnapPrepared = 4,   // repeated nested PreparedStatementRecord
+  kSnapWatermark = 5,  // repeated nested OperationWatermark
+};
+enum ViewField : uint32_t {
+  kViewName = 1,
+  kViewDefinition = 2,
+};
+enum StmtField : uint32_t {
+  kStmtId = 1,
+  kStmtSql = 2,
+  kStmtPrincipal = 3,
+  kStmtCompute = 4,
+  kStmtEpoch = 5,
+};
+enum WmField : uint32_t {
+  kWmOperation = 1,
+  kWmReleasedBelow = 2,
+  kWmDone = 3,
+};
+}  // namespace
+
+std::vector<uint8_t> EncodeSessionSnapshot(const SessionSnapshot& snapshot) {
+  ByteWriter w;
+  w.PutTaggedString(kSnapUser, snapshot.user);
+  w.PutTaggedVarint(kSnapSourceEpoch, snapshot.source_epoch);
+  for (const auto& [name, definition] : snapshot.temp_views) {
+    ByteWriter view;
+    view.PutTaggedString(kViewName, name);
+    view.PutTaggedString(kViewDefinition, definition);
+    w.PutTaggedMessage(kSnapTempView, view);
+  }
+  for (const PreparedStatementRecord& record : snapshot.prepared) {
+    ByteWriter stmt;
+    stmt.PutTaggedString(kStmtId, record.statement_id);
+    stmt.PutTaggedString(kStmtSql, record.sql);
+    stmt.PutTaggedString(kStmtPrincipal, record.bound_principal);
+    stmt.PutTaggedString(kStmtCompute, record.bound_compute_id);
+    stmt.PutTaggedVarint(kStmtEpoch, record.catalog_epoch);
+    w.PutTaggedMessage(kSnapPrepared, stmt);
+  }
+  for (const OperationWatermark& wm : snapshot.watermarks) {
+    ByteWriter mark;
+    mark.PutTaggedString(kWmOperation, wm.operation_id);
+    mark.PutTaggedVarint(kWmReleasedBelow, wm.released_below);
+    mark.PutTaggedBool(kWmDone, wm.done);
+    w.PutTaggedMessage(kSnapWatermark, mark);
+  }
+  return w.Release();
+}
+
+namespace {
+
+Result<PreparedStatementRecord> DecodeStatement(ByteReader* r) {
+  PreparedStatementRecord record;
+  while (!r->AtEnd()) {
+    LG_ASSIGN_OR_RETURN(ByteReader::Tag tag, r->ReadTag());
+    switch (tag.field) {
+      case kStmtId: {
+        LG_ASSIGN_OR_RETURN(record.statement_id, r->ReadString());
+        break;
+      }
+      case kStmtSql: {
+        LG_ASSIGN_OR_RETURN(record.sql, r->ReadString());
+        break;
+      }
+      case kStmtPrincipal: {
+        LG_ASSIGN_OR_RETURN(record.bound_principal, r->ReadString());
+        break;
+      }
+      case kStmtCompute: {
+        LG_ASSIGN_OR_RETURN(record.bound_compute_id, r->ReadString());
+        break;
+      }
+      case kStmtEpoch: {
+        LG_ASSIGN_OR_RETURN(record.catalog_epoch, r->ReadVarint());
+        break;
+      }
+      default:
+        LG_RETURN_IF_ERROR(r->SkipValue(tag.type));
+        break;
+    }
+  }
+  return record;
+}
+
+Result<OperationWatermark> DecodeWatermark(ByteReader* r) {
+  OperationWatermark wm;
+  while (!r->AtEnd()) {
+    LG_ASSIGN_OR_RETURN(ByteReader::Tag tag, r->ReadTag());
+    switch (tag.field) {
+      case kWmOperation: {
+        LG_ASSIGN_OR_RETURN(wm.operation_id, r->ReadString());
+        break;
+      }
+      case kWmReleasedBelow: {
+        LG_ASSIGN_OR_RETURN(wm.released_below, r->ReadVarint());
+        break;
+      }
+      case kWmDone: {
+        LG_ASSIGN_OR_RETURN(wm.done, r->ReadBool());
+        break;
+      }
+      default:
+        LG_RETURN_IF_ERROR(r->SkipValue(tag.type));
+        break;
+    }
+  }
+  return wm;
+}
+
+}  // namespace
+
+Result<SessionSnapshot> DecodeSessionSnapshot(
+    const std::vector<uint8_t>& bytes) {
+  SessionSnapshot snapshot;
+  ByteReader r(bytes);
+  while (!r.AtEnd()) {
+    LG_ASSIGN_OR_RETURN(ByteReader::Tag tag, r.ReadTag());
+    switch (tag.field) {
+      case kSnapUser: {
+        LG_ASSIGN_OR_RETURN(snapshot.user, r.ReadString());
+        break;
+      }
+      case kSnapSourceEpoch: {
+        LG_ASSIGN_OR_RETURN(snapshot.source_epoch, r.ReadVarint());
+        break;
+      }
+      case kSnapTempView: {
+        LG_ASSIGN_OR_RETURN(ByteReader nested, r.ReadMessage());
+        std::string name;
+        std::string definition;
+        while (!nested.AtEnd()) {
+          LG_ASSIGN_OR_RETURN(ByteReader::Tag vtag, nested.ReadTag());
+          switch (vtag.field) {
+            case kViewName: {
+              LG_ASSIGN_OR_RETURN(name, nested.ReadString());
+              break;
+            }
+            case kViewDefinition: {
+              LG_ASSIGN_OR_RETURN(definition, nested.ReadString());
+              break;
+            }
+            default:
+              LG_RETURN_IF_ERROR(nested.SkipValue(vtag.type));
+              break;
+          }
+        }
+        snapshot.temp_views[name] = definition;
+        break;
+      }
+      case kSnapPrepared: {
+        LG_ASSIGN_OR_RETURN(ByteReader nested, r.ReadMessage());
+        LG_ASSIGN_OR_RETURN(PreparedStatementRecord record,
+                            DecodeStatement(&nested));
+        snapshot.prepared.push_back(std::move(record));
+        break;
+      }
+      case kSnapWatermark: {
+        LG_ASSIGN_OR_RETURN(ByteReader nested, r.ReadMessage());
+        LG_ASSIGN_OR_RETURN(OperationWatermark wm, DecodeWatermark(&nested));
+        snapshot.watermarks.push_back(std::move(wm));
+        break;
+      }
+      default:
+        LG_RETURN_IF_ERROR(r.SkipValue(tag.type));
+        break;
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace lakeguard

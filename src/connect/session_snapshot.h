@@ -1,0 +1,61 @@
+#ifndef LAKEGUARD_CONNECT_SESSION_SNAPSHOT_H_
+#define LAKEGUARD_CONNECT_SESSION_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+
+namespace lakeguard {
+
+/// One prepared statement as carried across a migration: the SQL text plus
+/// the binding stamps it was admitted under (§4.2 of DESIGN.md; PV006). The
+/// destination replica re-prepares the SQL under the imported identity —
+/// re-running analysis, credential vending and the PlanVerifier against the
+/// *current* catalog — so a snapshot cannot resurrect privileges revoked
+/// after it was taken. The stamps are integrity-checked on import: a record
+/// bound to a principal other than the snapshot's session identity is a
+/// forgery and is rejected.
+struct PreparedStatementRecord {
+  std::string statement_id;
+  std::string sql;
+  std::string bound_principal;
+  std::string bound_compute_id;
+  uint64_t catalog_epoch = 0;
+};
+
+/// Ack watermark of one operation the client may still be fetching. The
+/// destination cannot replay result bytes it never produced; instead it
+/// answers fetches of a migrated operation with a typed retryable
+/// `kUnavailable`, steering the client onto the reattach path (re-execute
+/// under the same operation id, resume at its next chunk index — exact,
+/// because chunk boundaries are deterministic).
+struct OperationWatermark {
+  std::string operation_id;
+  uint64_t released_below = 0;
+  bool done = false;
+};
+
+/// Everything a session is, minus the replica it lives on: identity, the
+/// catalog epoch at export, temp views, prepared statements and operation
+/// watermarks. This is the unit the gateway moves during live migration and
+/// rolling upgrades.
+struct SessionSnapshot {
+  std::string user;
+  uint64_t source_epoch = 0;
+  std::map<std::string, std::string> temp_views;
+  std::vector<PreparedStatementRecord> prepared;
+  std::vector<OperationWatermark> watermarks;
+};
+
+// Tagged wire encoding (same append-only field-tag scheme as the Connect
+// protocol: unknown fields are skipped, so snapshot versions interoperate).
+std::vector<uint8_t> EncodeSessionSnapshot(const SessionSnapshot& snapshot);
+Result<SessionSnapshot> DecodeSessionSnapshot(
+    const std::vector<uint8_t>& bytes);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_CONNECT_SESSION_SNAPSHOT_H_

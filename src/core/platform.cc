@@ -1,6 +1,7 @@
 #include "core/platform.h"
 
 #include "common/id.h"
+#include "common/sha256.h"
 
 namespace lakeguard {
 
@@ -72,6 +73,17 @@ LakeguardPlatform::LakeguardPlatform(Options options)
         return std::make_unique<PlatformGatewayBackend>(handle);
       },
       options_.gateway_config);
+  // The gateway retains only token digests, never plaintext; migration and
+  // failover re-authenticate by exchanging a digest for the live token
+  // through this hook, so the platform's token registry stays the single
+  // owner of the secrets.
+  gateway_->set_token_revend_hook(
+      [this](const std::string& digest) -> Result<std::string> {
+        for (const auto& [token, user] : tokens_) {
+          if (Sha256::HexDigest(token) == digest) return token;
+        }
+        return Status::NotFound("no registered token matches the digest");
+      });
 }
 
 LakeguardPlatform::~LakeguardPlatform() = default;

@@ -1,131 +1,327 @@
 #include "serverless/gateway.h"
 
+#include <algorithm>
+
 #include "columnar/ipc.h"
 #include "common/fault.h"
 #include "common/id.h"
+#include "common/retry.h"
+#include "common/sha256.h"
 
 namespace lakeguard {
 
+namespace {
+
+/// Failure codes the circuit breaker attributes to the replica itself.
+/// Deliberately excludes kUnavailable: that code is this system's *flow
+/// control* vocabulary (drain rejects, chunk-cache backpressure, migrated-op
+/// reattach steers) and must not open breakers on healthy replicas.
+bool IsReplicaFailure(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kAborted:
+    case StatusCode::kInternal:
+    case StatusCode::kDataLoss:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Releases a fair-scheduler admission slot on scope exit.
+struct AdmissionRelease {
+  WeightedFairScheduler* scheduler = nullptr;
+  ~AdmissionRelease() {
+    if (scheduler != nullptr) scheduler->Release();
+  }
+};
+
+Status BackendError(const ConnectResponse& response) {
+  return Status(StatusCodeFromString(response.error_code),
+                "backend error [" + response.error_code +
+                    "]: " + response.error_message);
+}
+
+}  // namespace
+
+const char* ReplicaStateName(ReplicaState state) {
+  switch (state) {
+    case ReplicaState::kHealthy:
+      return "healthy";
+    case ReplicaState::kSuspect:
+      return "suspect";
+    case ReplicaState::kOpen:
+      return "open";
+    case ReplicaState::kDraining:
+      return "draining";
+    case ReplicaState::kRetired:
+      return "retired";
+  }
+  return "unknown";
+}
+
 SparkConnectGateway::SparkConnectGateway(Clock* clock, BackendFactory factory,
                                          GatewayConfig config)
-    : clock_(clock), factory_(std::move(factory)), config_(config) {}
+    : clock_(clock),
+      factory_(std::move(factory)),
+      config_(config),
+      scheduler_(clock, config.admission) {}
 
-Result<GatewayBackend*> SparkConnectGateway::AcquireBackend() {
-  // Count live sessions per backend from our own placements.
-  std::map<GatewayBackend*, size_t> load;
-  for (const auto& [id, placement] : placements_) {
-    ++load[placement.backend];
-  }
-  for (const auto& backend : backends_) {
-    if (load[backend.get()] < config_.max_sessions_per_backend) {
-      ++stats_.routed_to_existing;
-      return backend.get();
-    }
-  }
-  // All backends at capacity: provision a new one (cold start). Backend
-  // provisioning goes to the same cluster manager as sandbox provisioning
-  // and fails independently of the gateway (§6.2, Fig. 10).
+void SparkConnectGateway::set_token_revend_hook(TokenRevendHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  revend_hook_ = std::move(hook);
+}
+
+void SparkConnectGateway::SetTenantWeight(const std::string& tenant,
+                                          uint32_t weight) {
+  scheduler_.SetWeight(tenant, weight);
+}
+
+// ---------------------------------------------------------------------------
+// Ring & replica lifecycle
+// ---------------------------------------------------------------------------
+
+Result<SparkConnectGateway::Replica*>
+SparkConnectGateway::ProvisionReplicaLocked() {
+  // Backend provisioning goes to the same cluster manager as sandbox
+  // provisioning and fails independently of the gateway (§6.2, Fig. 10).
   LG_RETURN_IF_ERROR(fault::Inject("gateway.provision", clock_));
   clock_->AdvanceMicros(config_.backend_cold_start_micros);
-  backends_.push_back(factory_());
+  std::unique_ptr<GatewayBackend> backend = factory_();
+  auto replica = std::make_unique<Replica>();
+  replica->id = backend->id();
+  replica->backend = std::move(backend);
+  Replica* raw = replica.get();
+  replicas_.push_back(std::move(replica));
   ++stats_.backends_provisioned;
-  return backends_.back().get();
+  RebuildRingLocked();
+  return raw;
 }
 
-Result<std::string> SparkConnectGateway::OpenSession(
-    const std::string& auth_token) {
-  std::lock_guard<std::mutex> lock(mu_);
-  LG_ASSIGN_OR_RETURN(GatewayBackend * backend, AcquireBackend());
+void SparkConnectGateway::RebuildRingLocked() {
+  ring_.clear();
+  for (const auto& replica : replicas_) {
+    if (replica->state == ReplicaState::kRetired) continue;
+    for (size_t v = 0; v < config_.virtual_nodes; ++v) {
+      uint64_t point = Fnv1a64(replica->id + "#" + std::to_string(v));
+      ring_.emplace_back(point, replica.get());
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const std::pair<uint64_t, Replica*>& a,
+               const std::pair<uint64_t, Replica*>& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second->id < b.second->id;
+            });
+}
+
+SparkConnectGateway::Replica* SparkConnectGateway::RouteLocked(
+    const std::string& key, const Replica* exclude) const {
+  if (ring_.empty()) return nullptr;
+  const uint64_t hash = Fnv1a64(key);
+  auto start = std::lower_bound(
+      ring_.begin(), ring_.end(), hash,
+      [](const std::pair<uint64_t, Replica*>& point, uint64_t h) {
+        return point.first < h;
+      });
+  size_t index = static_cast<size_t>(start - ring_.begin()) % ring_.size();
+  for (size_t step = 0; step < ring_.size(); ++step) {
+    Replica* candidate = ring_[(index + step) % ring_.size()].second;
+    if (candidate == exclude) continue;
+    if (candidate->state != ReplicaState::kHealthy &&
+        candidate->state != ReplicaState::kSuspect) {
+      continue;  // draining/open/retired replicas take no new sessions
+    }
+    if (candidate->sessions >= config_.max_sessions_per_backend) continue;
+    return candidate;
+  }
+  return nullptr;
+}
+
+void SparkConnectGateway::KillReplicaLocked(Replica* replica) {
+  replica->state = ReplicaState::kRetired;
+  replica->sessions = 0;
+  ++stats_.replica_kills;
+  for (auto& [external_id, placement] : placements_) {
+    if (placement.replica == replica) {
+      placement.replica = nullptr;
+      placement.lost = true;
+    }
+  }
+  RebuildRingLocked();
+  ReapIfRetiredLocked(replica);
+}
+
+bool SparkConnectGateway::ReapIfRetiredLocked(Replica* replica) {
+  if (replica == nullptr || replica->state != ReplicaState::kRetired ||
+      replica->inflight > 0) {
+    return false;
+  }
+  for (auto it = replicas_.begin(); it != replicas_.end(); ++it) {
+    if (it->get() == replica) {
+      replicas_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Pin / unpin: every routed call holds its replica alive and feeds its
+// outcome back into the replica's health state.
+// ---------------------------------------------------------------------------
+
+Status SparkConnectGateway::FailoverPlacementLocked(
+    const std::string& external_session_id, Placement& placement) {
+  if (!revend_hook_) {
+    return Status::FailedPrecondition(
+        "session " + external_session_id +
+        " lost its replica and no token re-vend hook is installed");
+  }
+  LG_ASSIGN_OR_RETURN(std::string token, revend_hook_(placement.token_digest));
+  Replica* replica = RouteLocked(external_session_id, nullptr);
+  if (replica == nullptr) {
+    LG_ASSIGN_OR_RETURN(replica, ProvisionReplicaLocked());
+  }
   LG_ASSIGN_OR_RETURN(std::string internal_id,
-                      backend->service()->OpenSession(auth_token));
-  std::string external_id = IdGenerator::Next("xsess");
-  Placement placement;
-  placement.backend = backend;
+                      replica->backend->service()->OpenSession(token));
+  placement.replica = replica;
   placement.internal_session_id = internal_id;
-  placement.auth_token = auth_token;
-  placements_[external_id] = std::move(placement);
-  ++stats_.sessions_opened;
-  return external_id;
+  placement.lost = false;
+  ++replica->sessions;
+  ++stats_.failovers;
+  return Status::OK();
 }
 
-Result<Table> SparkConnectGateway::ExecuteSql(
-    const std::string& external_session_id, const std::string& sql) {
-  Placement placement;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = placements_.find(external_session_id);
-    if (it == placements_.end()) {
-      return Status::NotFound("no gateway session " + external_session_id);
-    }
-    placement = it->second;
-  }
-  ConnectRequest request;
-  request.session_id = placement.internal_session_id;
-  request.auth_token = placement.auth_token;
-  request.sql = sql;
-  ConnectResponse response = placement.backend->service()->Execute(request);
-  if (!response.ok) {
-    // Preserve the backend's typed code (audit: kInternal flattened every
-    // error, hiding permission denials from gateway callers).
-    return Status(StatusCodeFromString(response.error_code),
-                  "backend error [" + response.error_code + "]: " +
-                      response.error_message);
-  }
-  Table out(response.schema);
-  for (const ResultChunk& chunk : response.inline_chunks) {
-    auto batch = ipc::DeserializeBatch(chunk.frame);
-    if (!batch.ok()) return batch.status();
-    if (batch->num_rows() == 0) continue;
-    LG_RETURN_IF_ERROR(out.AppendBatch(std::move(*batch)));
-  }
-  for (uint64_t i = response.inline_chunks.size(); i < response.total_chunks;
-       ++i) {
-    LG_ASSIGN_OR_RETURN(ResultChunk chunk,
-                        placement.backend->service()->FetchChunk(
-                            placement.internal_session_id,
-                            response.operation_id, i));
-    LG_ASSIGN_OR_RETURN(RecordBatch batch, ipc::DeserializeBatch(chunk.frame));
-    if (batch.num_rows() > 0) {
-      LG_RETURN_IF_ERROR(out.AppendBatch(std::move(batch)));
-    }
-  }
-  return out;
-}
-
-Status SparkConnectGateway::MigrateSession(
+Result<SparkConnectGateway::Pinned> SparkConnectGateway::PinForCall(
     const std::string& external_session_id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = placements_.find(external_session_id);
   if (it == placements_.end()) {
-    return Status::NotFound("no gateway session " + external_session_id);
+    return Status::NotFound("unknown gateway session " + external_session_id);
   }
   Placement& placement = it->second;
-  // Find a different backend with capacity, provisioning one if needed.
-  std::map<GatewayBackend*, size_t> load;
-  for (const auto& [id, p] : placements_) ++load[p.backend];
-  GatewayBackend* target = nullptr;
-  for (const auto& backend : backends_) {
-    if (backend.get() != placement.backend &&
-        load[backend.get()] < config_.max_sessions_per_backend) {
-      target = backend.get();
-      break;
+  if (placement.lost || placement.replica == nullptr ||
+      placement.replica->state == ReplicaState::kRetired) {
+    LG_RETURN_IF_ERROR(FailoverPlacementLocked(external_session_id, placement));
+  }
+  Replica* replica = placement.replica;
+  Pinned pinned;
+  if (replica->state == ReplicaState::kOpen) {
+    const int64_t now = clock_->NowMicros();
+    if (now - replica->breaker_opened_at < config_.breaker_cooldown_micros ||
+        replica->probe_in_flight) {
+      ++stats_.breaker_fast_fails;
+      return Status::Unavailable("replica " + replica->id +
+                                 " circuit breaker open; retry later");
+    }
+    // Cooldown elapsed: this call is the half-open probe.
+    replica->probe_in_flight = true;
+    pinned.is_probe = true;
+    ++stats_.breaker_half_open_probes;
+  }
+  ++replica->inflight;
+  pinned.replica = replica;
+  pinned.service = replica->backend->service();
+  pinned.external_session_id = external_session_id;
+  pinned.internal_session_id = placement.internal_session_id;
+  pinned.user = placement.user;
+  return pinned;
+}
+
+Status SparkConnectGateway::UnpinAfterCall(Pinned& pinned, Status outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Replica* replica = pinned.replica;
+  --replica->inflight;
+  if (pinned.is_probe) replica->probe_in_flight = false;
+  if (replica->state == ReplicaState::kRetired) {
+    // The replica was killed while this call was in flight. This is the one
+    // typed retryable error an affected client observes: its next call
+    // fails over to a live replica.
+    ++stats_.lost_placement_errors;
+    if (outcome.ok()) {
+      outcome = Status::Unavailable("replica " + replica->id +
+                                    " terminated mid-call; retry");
+    }
+    ReapIfRetiredLocked(replica);
+    return outcome;
+  }
+  if (!outcome.ok()) {
+    auto it = placements_.find(pinned.external_session_id);
+    if (it != placements_.end() &&
+        (it->second.replica != replica ||
+         it->second.internal_session_id != pinned.internal_session_id)) {
+      // The session migrated away while this call was executing on the
+      // source copy (which the migration commit then closed). Like a
+      // replica kill, this is the one typed retryable error the affected
+      // client observes — its retry routes to the new placement. The
+      // failure is the migration's doing, not the replica's: it must not
+      // feed the breaker.
+      ++stats_.lost_placement_errors;
+      return Status::Unavailable("session " + pinned.external_session_id +
+                                 " migrated mid-call; retry");
     }
   }
-  if (target == nullptr) {
-    clock_->AdvanceMicros(config_.backend_cold_start_micros);
-    backends_.push_back(factory_());
-    ++stats_.backends_provisioned;
-    target = backends_.back().get();
+  const bool failure = !outcome.ok() && IsReplicaFailure(outcome);
+  if (pinned.is_probe) {
+    if (failure) {
+      replica->state = ReplicaState::kOpen;
+      replica->breaker_opened_at = clock_->NowMicros();
+      ++stats_.breaker_open_events;
+    } else {
+      replica->state = ReplicaState::kHealthy;
+      replica->consecutive_failures = 0;
+      ++stats_.breaker_closes;
+    }
+  } else if (failure) {
+    ++replica->consecutive_failures;
+    if (replica->consecutive_failures >= config_.breaker_failure_threshold &&
+        replica->state != ReplicaState::kOpen &&
+        replica->state != ReplicaState::kDraining) {
+      replica->state = ReplicaState::kOpen;
+      replica->breaker_opened_at = clock_->NowMicros();
+      ++stats_.breaker_open_events;
+    } else if (replica->state == ReplicaState::kHealthy) {
+      replica->state = ReplicaState::kSuspect;
+    }
+  } else if (outcome.ok()) {
+    replica->consecutive_failures = 0;
+    if (replica->state == ReplicaState::kSuspect) {
+      replica->state = ReplicaState::kHealthy;
+    }
   }
-  LG_ASSIGN_OR_RETURN(std::string new_internal,
-                      target->service()->OpenSession(placement.auth_token));
-  Status closed =
-      placement.backend->service()->CloseSession(placement.internal_session_id);
-  (void)closed;  // old backend may already be gone
-  placement.backend = target;
-  placement.internal_session_id = new_internal;
-  ++stats_.migrations;
-  return Status::OK();
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// Session lifecycle
+// ---------------------------------------------------------------------------
+
+Result<std::string> SparkConnectGateway::OpenSession(
+    const std::string& auth_token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string external_id = IdGenerator::Next("xsess");
+  Replica* replica = RouteLocked(external_id, nullptr);
+  if (replica != nullptr) {
+    ++stats_.routed_to_existing;
+  } else {
+    LG_ASSIGN_OR_RETURN(replica, ProvisionReplicaLocked());
+  }
+  LG_ASSIGN_OR_RETURN(std::string internal_id,
+                      replica->backend->service()->OpenSession(auth_token));
+  Placement placement;
+  placement.replica = replica;
+  placement.internal_session_id = internal_id;
+  // The plaintext token is deliberately NOT retained: only its digest,
+  // which the re-vend hook exchanges for a fresh token when migration or
+  // failover must re-authenticate.
+  placement.token_digest = Sha256::HexDigest(auth_token);
+  Result<SessionInfo> session =
+      replica->backend->service()->GetSession(internal_id);
+  if (session.ok()) placement.user = session->user;
+  placements_[external_id] = std::move(placement);
+  ++replica->sessions;
+  ++stats_.sessions_opened;
+  return external_id;
 }
 
 Status SparkConnectGateway::CloseSession(
@@ -133,35 +329,490 @@ Status SparkConnectGateway::CloseSession(
   std::lock_guard<std::mutex> lock(mu_);
   auto it = placements_.find(external_session_id);
   if (it == placements_.end()) {
-    return Status::NotFound("no gateway session " + external_session_id);
+    return Status::NotFound("unknown gateway session " + external_session_id);
   }
-  Status s = it->second.backend->service()->CloseSession(
-      it->second.internal_session_id);
+  Placement& placement = it->second;
+  Status closed = Status::OK();
+  if (!placement.lost && placement.replica != nullptr &&
+      placement.replica->state != ReplicaState::kRetired) {
+    closed = placement.replica->backend->service()->CloseSession(
+        placement.internal_session_id);
+    if (placement.replica->sessions > 0) --placement.replica->sessions;
+  }
+  // Zeroize the credential digest before the map entry is freed.
+  std::fill(placement.token_digest.begin(), placement.token_digest.end(), '0');
   placements_.erase(it);
-  return s;
+  return closed;
+}
+
+Status SparkConnectGateway::MigrateSession(
+    const std::string& external_session_id) {
+  Replica* source = nullptr;
+  Replica* target = nullptr;
+  ConnectService* source_service = nullptr;
+  ConnectService* target_service = nullptr;
+  std::string internal_id;
+  std::string digest;
+  TokenRevendHook hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = placements_.find(external_session_id);
+    if (it == placements_.end()) {
+      return Status::NotFound("unknown gateway session " + external_session_id);
+    }
+    Placement& placement = it->second;
+    if (placement.lost || placement.replica == nullptr ||
+        placement.replica->state == ReplicaState::kRetired) {
+      // The source replica is already gone — there is nothing to export.
+      // Re-place the session instead (counts as a failover).
+      return FailoverPlacementLocked(external_session_id, placement);
+    }
+    source = placement.replica;
+    internal_id = placement.internal_session_id;
+    digest = placement.token_digest;
+    target = RouteLocked(external_session_id, source);
+    if (target == nullptr) {
+      LG_ASSIGN_OR_RETURN(target, ProvisionReplicaLocked());
+    }
+    source_service = source->backend->service();
+    target_service = target->backend->service();
+    // Pin both ends for the whole protocol: neither replica can be torn
+    // down under an in-flight migration (the ScaleDown race).
+    ++source->inflight;
+    ++target->inflight;
+    hook = revend_hook_;
+  }
+  auto fail = [&](Status status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.migration_failures;
+    --source->inflight;
+    --target->inflight;
+    ReapIfRetiredLocked(source);
+    ReapIfRetiredLocked(target);
+    return status;
+  };
+  if (!hook) {
+    return fail(Status::FailedPrecondition(
+        "no token re-vend hook installed; migration cannot re-authenticate"));
+  }
+  Result<std::string> token = hook(digest);
+  if (!token.ok()) return fail(token.status());
+  Status serialize = fault::Inject("gateway.migrate.serialize", clock_);
+  if (!serialize.ok()) return fail(serialize);
+  Result<std::vector<uint8_t>> snapshot =
+      source_service->ExportSession(internal_id);
+  if (!snapshot.ok()) return fail(snapshot.status());
+  Result<std::string> imported =
+      target_service->ImportSession(*snapshot, *token);
+  if (!imported.ok()) return fail(imported.status());
+  Status replay = fault::Inject("gateway.migrate.replay", clock_);
+  if (!replay.ok()) {
+    // Cutover ack failed after the destination import: compensate by
+    // closing the imported session so nothing orphans or double-executes.
+    // The client's session stays fully live on the source replica.
+    (void)target_service->CloseSession(*imported);
+    return fail(replay);
+  }
+  bool placement_gone = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --source->inflight;
+    --target->inflight;
+    auto it = placements_.find(external_session_id);
+    if (it == placements_.end()) {
+      placement_gone = true;
+      ++stats_.migration_failures;
+    } else {
+      Placement& placement = it->second;
+      placement.replica = target;
+      placement.internal_session_id = *imported;
+      placement.lost = false;
+      if (source->state != ReplicaState::kRetired && source->sessions > 0) {
+        --source->sessions;
+      }
+      ++target->sessions;
+      ++stats_.migrations;
+    }
+    ReapIfRetiredLocked(source);
+    ReapIfRetiredLocked(target);
+  }
+  if (placement_gone) {
+    (void)target_service->CloseSession(*imported);
+    return Status::NotFound("session " + external_session_id +
+                            " was closed during migration");
+  }
+  (void)source_service->CloseSession(internal_id);
+  return Status::OK();
 }
 
 size_t SparkConnectGateway::ScaleDown() {
   std::lock_guard<std::mutex> lock(mu_);
-  std::map<GatewayBackend*, size_t> load;
-  for (const auto& [id, p] : placements_) ++load[p.backend];
+  bool changed = false;
+  // Reap retired replicas whose last pinned call has finished.
+  for (auto it = replicas_.begin(); it != replicas_.end();) {
+    if ((*it)->state == ReplicaState::kRetired && (*it)->inflight == 0) {
+      it = replicas_.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  size_t live = 0;
+  for (const auto& replica : replicas_) {
+    if (replica->state != ReplicaState::kRetired) ++live;
+  }
   size_t removed = 0;
-  for (auto it = backends_.begin();
-       it != backends_.end() && backends_.size() > config_.min_backends;) {
-    if (load[it->get()] == 0) {
-      it = backends_.erase(it);
+  for (auto it = replicas_.begin();
+       it != replicas_.end() && live > config_.min_backends;) {
+    Replica& replica = **it;
+    const bool idle = replica.sessions == 0 && replica.inflight == 0 &&
+                      (replica.state == ReplicaState::kHealthy ||
+                       replica.state == ReplicaState::kSuspect);
+    if (idle) {
+      it = replicas_.erase(it);
+      changed = true;
+      --live;
       ++removed;
       ++stats_.scale_downs;
     } else {
       ++it;
     }
   }
+  if (changed) RebuildRingLocked();
   return removed;
 }
 
+// ---------------------------------------------------------------------------
+// Failure & lifecycle operations
+// ---------------------------------------------------------------------------
+
+Status SparkConnectGateway::KillReplica(const std::string& replica_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& replica : replicas_) {
+    if (replica->id == replica_id &&
+        replica->state != ReplicaState::kRetired) {
+      KillReplicaLocked(replica.get());
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("unknown replica " + replica_id);
+}
+
+Status SparkConnectGateway::DrainReplica(const std::string& replica_id) {
+  ConnectService* service = nullptr;
+  std::vector<std::string> to_migrate;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Replica* replica = nullptr;
+    for (auto& r : replicas_) {
+      if (r->id == replica_id && r->state != ReplicaState::kRetired) {
+        replica = r.get();
+        break;
+      }
+    }
+    if (replica == nullptr) {
+      return Status::NotFound("unknown replica " + replica_id);
+    }
+    replica->state = ReplicaState::kDraining;
+    service = replica->backend->service();
+    for (const auto& [external_id, placement] : placements_) {
+      if (placement.replica == replica && !placement.lost) {
+        to_migrate.push_back(external_id);
+      }
+    }
+  }
+  // The backend stops admitting new sessions (typed kUnavailable) while the
+  // existing ones are moved off one by one.
+  service->BeginDrain();
+  for (const std::string& external_id : to_migrate) {
+    RetryPolicy policy;
+    policy.max_attempts = 3;
+    policy.backoff.initial_micros = 10'000;
+    Status migrated = RetryStatusCall(
+        policy, clock_, [&] { return MigrateSession(external_id); });
+    if (!migrated.ok() && !migrated.IsNotFound()) {
+      // Leave the replica draining; the operator (or the next upgrade pass)
+      // retries. Sessions already moved stay moved; the rest stay live on
+      // the source.
+      return migrated;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& r : replicas_) {
+      if (r->id == replica_id && r->state == ReplicaState::kDraining) {
+        Replica* replica = r.get();
+        replica->state = ReplicaState::kRetired;
+        RebuildRingLocked();
+        ++stats_.drains_completed;
+        ReapIfRetiredLocked(replica);
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status SparkConnectGateway::RollingUpgrade() {
+  std::vector<std::string> generation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& replica : replicas_) {
+      if (replica->state != ReplicaState::kRetired) {
+        generation.push_back(replica->id);
+      }
+    }
+  }
+  // Drain the old generation one replica at a time; migrations provision
+  // fresh (upgraded) replicas as capacity demands.
+  for (const std::string& replica_id : generation) {
+    Status drained = DrainReplica(replica_id);
+    if (!drained.ok() && !drained.IsNotFound()) return drained;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.rolling_upgrades;
+  return Status::OK();
+}
+
+size_t SparkConnectGateway::SweepReplicas() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.heartbeat_sweeps;
+  std::vector<Replica*> dead;
+  for (const auto& replica : replicas_) {
+    if (replica->state == ReplicaState::kRetired) continue;
+    Status heartbeat = fault::Inject("gateway.replica.crash", clock_);
+    if (!heartbeat.ok()) dead.push_back(replica.get());
+  }
+  for (Replica* replica : dead) KillReplicaLocked(replica);
+  return dead.size();
+}
+
+// ---------------------------------------------------------------------------
+// Query paths
+// ---------------------------------------------------------------------------
+
+Result<GatewayResultStream> SparkConnectGateway::OpenStream(
+    const std::string& external_session_id, const std::string& sql,
+    const std::string& statement_id) {
+  std::string tenant;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = placements_.find(external_session_id);
+    if (it == placements_.end()) {
+      return Status::NotFound("unknown gateway session " + external_session_id);
+    }
+    tenant = it->second.user;
+  }
+  AdmissionRelease release;
+  if (config_.admission.max_concurrent > 0) {
+    LG_RETURN_IF_ERROR(scheduler_.Admit(tenant));
+    release.scheduler = &scheduler_;
+  }
+  LG_ASSIGN_OR_RETURN(Pinned pinned, PinForCall(external_session_id));
+  ConnectRequest request;
+  request.session_id = pinned.internal_session_id;
+  request.sql = sql;
+  request.statement_id = statement_id;
+  request.operation_id = IdGenerator::Next("gop");
+  Status outcome = fault::Inject("gateway.route", clock_);
+  ConnectResponse response;
+  if (outcome.ok()) {
+    response = pinned.service->Execute(request);
+    outcome = response.ok ? Status::OK() : BackendError(response);
+  }
+  outcome = UnpinAfterCall(pinned, std::move(outcome));
+  LG_RETURN_IF_ERROR(outcome);
+  GatewayResultStream stream;
+  stream.gateway_ = this;
+  stream.external_session_id_ = external_session_id;
+  stream.sql_ = sql;
+  stream.statement_id_ = statement_id;
+  stream.operation_id_ = request.operation_id;
+  stream.schema_ = response.schema;
+  stream.server_streaming_ = response.streaming;
+  stream.total_chunks_ = response.total_chunks;
+  for (const ResultChunk& chunk : response.inline_chunks) {
+    if (!chunk.frame.empty()) {
+      LG_ASSIGN_OR_RETURN(RecordBatch batch, ipc::DeserializeBatch(chunk.frame));
+      stream.ready_.push_back(std::move(batch));
+    }
+    stream.next_chunk_ = chunk.chunk_index + 1;
+  }
+  if (!response.streaming) stream.done_ = true;  // inline mode is complete
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.streams_opened;
+  }
+  return stream;
+}
+
+Result<ResultChunk> SparkConnectGateway::FetchStreamChunk(
+    GatewayResultStream& stream) {
+  LG_ASSIGN_OR_RETURN(Pinned pinned, PinForCall(stream.external_session_id_));
+  Status outcome = fault::Inject("gateway.route", clock_);
+  Result<ResultChunk> chunk = outcome;
+  if (outcome.ok()) {
+    chunk = pinned.service->FetchChunk(
+        pinned.internal_session_id, stream.operation_id_, stream.next_chunk_);
+    outcome = chunk.ok() ? Status::OK() : chunk.status();
+  }
+  outcome = UnpinAfterCall(pinned, std::move(outcome));
+  if (!outcome.ok()) return outcome;
+  return chunk;
+}
+
+Status SparkConnectGateway::ResumeStream(GatewayResultStream& stream) {
+  // Reattach path: re-execute under the SAME operation id on whichever
+  // replica now hosts the session. On the original replica this reattaches
+  // to the buffered operation; on a new one (failover, migration) it is an
+  // exact re-execution — chunk boundaries are deterministic, so skipping to
+  // next_chunk_ resumes without loss or duplication.
+  LG_ASSIGN_OR_RETURN(Pinned pinned, PinForCall(stream.external_session_id_));
+  ConnectRequest request;
+  request.session_id = pinned.internal_session_id;
+  request.sql = stream.sql_;
+  request.statement_id = stream.statement_id_;
+  request.operation_id = stream.operation_id_;
+  ConnectResponse response = pinned.service->Execute(request);
+  Status outcome = response.ok ? Status::OK() : BackendError(response);
+  outcome = UnpinAfterCall(pinned, std::move(outcome));
+  LG_RETURN_IF_ERROR(outcome);
+  for (const ResultChunk& chunk : response.inline_chunks) {
+    if (chunk.chunk_index < stream.next_chunk_) continue;  // already consumed
+    if (!chunk.frame.empty()) {
+      LG_ASSIGN_OR_RETURN(RecordBatch batch, ipc::DeserializeBatch(chunk.frame));
+      stream.ready_.push_back(std::move(batch));
+    }
+    stream.next_chunk_ = chunk.chunk_index + 1;
+    if (chunk.last) stream.done_ = true;
+  }
+  stream.server_streaming_ = response.streaming;
+  if (!response.streaming) stream.done_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.stream_resumes;
+  }
+  return Status::OK();
+}
+
+Result<std::optional<RecordBatch>> GatewayResultStream::Next() {
+  bool resumed = false;
+  while (true) {
+    if (!ready_.empty()) {
+      RecordBatch batch = std::move(ready_.front());
+      ready_.pop_front();
+      if (batch.num_rows() == 0) continue;
+      return std::optional<RecordBatch>(std::move(batch));
+    }
+    if (done_) return std::optional<RecordBatch>();
+    Result<ResultChunk> chunk = gateway_->FetchStreamChunk(*this);
+    if (!chunk.ok()) {
+      // One resume per read: a replica loss or migration mid-stream costs
+      // the client at most one reattach, never a restart from chunk zero.
+      if (!IsTransientError(chunk.status()) || resumed) return chunk.status();
+      LG_RETURN_IF_ERROR(gateway_->ResumeStream(*this));
+      resumed = true;
+      continue;
+    }
+    ++next_chunk_;
+    if (chunk->last) done_ = true;
+    if (!chunk->frame.empty()) {
+      LG_ASSIGN_OR_RETURN(RecordBatch batch, ipc::DeserializeBatch(chunk->frame));
+      if (batch.num_rows() > 0) {
+        return std::optional<RecordBatch>(std::move(batch));
+      }
+    }
+  }
+}
+
+Result<Table> SparkConnectGateway::CollectStream(GatewayResultStream stream) {
+  Table table(stream.schema());
+  while (true) {
+    LG_ASSIGN_OR_RETURN(std::optional<RecordBatch> batch, stream.Next());
+    if (!batch.has_value()) break;
+    LG_RETURN_IF_ERROR(table.AppendBatch(std::move(*batch)));
+  }
+  return table;
+}
+
+Result<Table> SparkConnectGateway::ExecuteSql(
+    const std::string& external_session_id, const std::string& sql) {
+  LG_ASSIGN_OR_RETURN(GatewayResultStream stream,
+                      OpenStream(external_session_id, sql, ""));
+  return CollectStream(std::move(stream));
+}
+
+Result<GatewayResultStream> SparkConnectGateway::ExecuteSqlStreaming(
+    const std::string& external_session_id, const std::string& sql) {
+  return OpenStream(external_session_id, sql, "");
+}
+
+Result<std::string> SparkConnectGateway::PrepareStatement(
+    const std::string& external_session_id, const std::string& sql) {
+  LG_ASSIGN_OR_RETURN(Pinned pinned, PinForCall(external_session_id));
+  Result<std::string> statement =
+      pinned.service->PrepareStatement(pinned.internal_session_id, sql);
+  Status outcome = UnpinAfterCall(
+      pinned, statement.ok() ? Status::OK() : statement.status());
+  LG_RETURN_IF_ERROR(outcome);
+  return statement;
+}
+
+Result<Table> SparkConnectGateway::ExecuteStatement(
+    const std::string& external_session_id, const std::string& statement_id) {
+  LG_ASSIGN_OR_RETURN(GatewayResultStream stream,
+                      OpenStream(external_session_id, "", statement_id));
+  return CollectStream(std::move(stream));
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
 size_t SparkConnectGateway::BackendCount() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return backends_.size();
+  size_t live = 0;
+  for (const auto& replica : replicas_) {
+    if (replica->state != ReplicaState::kRetired) ++live;
+  }
+  return live;
+}
+
+std::vector<std::string> SparkConnectGateway::ReplicaIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> ids;
+  for (const auto& replica : replicas_) {
+    if (replica->state != ReplicaState::kRetired) {
+      ids.push_back(replica->id);
+    }
+  }
+  return ids;
+}
+
+Result<ReplicaState> SparkConnectGateway::ReplicaStateOf(
+    const std::string& replica_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& replica : replicas_) {
+    if (replica->id == replica_id) return replica->state;
+  }
+  return Status::NotFound("unknown replica " + replica_id);
+}
+
+Result<GatewaySessionInfo> SparkConnectGateway::SessionPlacement(
+    const std::string& external_session_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = placements_.find(external_session_id);
+  if (it == placements_.end()) {
+    return Status::NotFound("unknown gateway session " + external_session_id);
+  }
+  const Placement& placement = it->second;
+  GatewaySessionInfo info;
+  info.replica_id = placement.replica != nullptr ? placement.replica->id : "";
+  info.internal_session_id = placement.internal_session_id;
+  info.token_digest = placement.token_digest;
+  info.user = placement.user;
+  info.lost = placement.lost;
+  return info;
 }
 
 GatewayStats SparkConnectGateway::stats() const {

@@ -1,13 +1,16 @@
 #ifndef LAKEGUARD_SERVERLESS_GATEWAY_H_
 #define LAKEGUARD_SERVERLESS_GATEWAY_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "cluster/fair_scheduler.h"
 #include "columnar/table.h"
 #include "common/clock.h"
 #include "connect/service.h"
@@ -24,6 +27,21 @@ class GatewayBackend {
   virtual ConnectService* service() = 0;
 };
 
+/// Health lifecycle of one engine replica behind the gateway (DESIGN.md
+/// §13): healthy → suspect (failures below the breaker threshold) → open
+/// (breaker tripped: fast-fail, cooldown, single half-open probe) →
+/// draining (rolling upgrade: sessions migrating off) → retired (torn down;
+/// kept only while in-flight calls still pin it).
+enum class ReplicaState {
+  kHealthy,
+  kSuspect,
+  kOpen,
+  kDraining,
+  kRetired,
+};
+
+const char* ReplicaStateName(ReplicaState state);
+
 struct GatewayConfig {
   /// Session capacity before the autoscaler provisions a new backend.
   size_t max_sessions_per_backend = 8;
@@ -31,6 +49,17 @@ struct GatewayConfig {
   int64_t backend_cold_start_micros = 30'000'000;
   /// Backends kept warm even when idle.
   size_t min_backends = 1;
+  /// Points each replica contributes to the consistent-hash ring. More
+  /// points smooth the session distribution; membership changes only move
+  /// the sessions that hashed to the departed replica's arcs.
+  size_t virtual_nodes = 16;
+  /// Consecutive backend failures that trip a replica's circuit breaker.
+  size_t breaker_failure_threshold = 3;
+  /// How long an open breaker fast-fails before admitting one probe.
+  int64_t breaker_cooldown_micros = 10'000'000;
+  /// Per-tenant weighted-fair admission for routed queries
+  /// (max_concurrent == 0 disables it).
+  FairSchedulerConfig admission;
 };
 
 struct GatewayStats {
@@ -39,56 +68,236 @@ struct GatewayStats {
   uint64_t routed_to_existing = 0;
   uint64_t migrations = 0;
   uint64_t scale_downs = 0;
+  // --- failover ---
+  uint64_t replica_kills = 0;        ///< replicas declared dead (chaos/sweep)
+  uint64_t failovers = 0;            ///< sessions re-placed off a dead replica
+  uint64_t lost_placement_errors = 0;  ///< in-flight calls that got the one
+                                       ///< typed kUnavailable for a kill
+  // --- migration / upgrades ---
+  uint64_t migration_failures = 0;   ///< aborted migrations (session stayed
+                                     ///< on its source replica)
+  uint64_t drains_completed = 0;     ///< replicas fully drained and retired
+  uint64_t rolling_upgrades = 0;     ///< whole-fleet upgrade passes
+  // --- circuit breaker ---
+  uint64_t breaker_open_events = 0;
+  uint64_t breaker_fast_fails = 0;   ///< calls refused while a breaker is open
+  uint64_t breaker_half_open_probes = 0;
+  uint64_t breaker_closes = 0;
+  uint64_t heartbeat_sweeps = 0;     ///< SweepReplicas passes
+  // --- streaming ---
+  uint64_t streams_opened = 0;
+  uint64_t stream_resumes = 0;       ///< streams re-attached after a replica
+                                     ///< loss or migration mid-fetch
 };
 
-/// The regional Spark Connect Gateway (§6.2, Fig. 10): every workload of a
-/// workspace connects to one endpoint; the gateway tracks backend capacity
-/// and either routes to an existing Serverless backend or provisions a new
-/// one. Sessions get a stable *external* id; the gateway owns the mapping
-/// to (backend, internal session) and can migrate it without the client
-/// noticing.
+/// Placement introspection for tests and operators. The auth token itself is
+/// never stored — only its SHA-256 digest survives in the gateway.
+struct GatewaySessionInfo {
+  std::string replica_id;
+  std::string internal_session_id;
+  std::string token_digest;
+  std::string user;
+  bool lost = false;
+};
+
+class SparkConnectGateway;
+
+/// A lazily fetched result routed through the gateway: chunks are pulled
+/// from the hosting replica on demand (same memory profile as the Connect
+/// client's fetch loop — no whole-table materialization). If the replica
+/// dies or the session migrates mid-stream, `Next` resumes once through the
+/// reattach path: re-execute under the same operation id on the new replica
+/// and continue at the next chunk index — exact, because chunk boundaries
+/// are deterministic. Not thread-safe; one consumer per stream.
+class GatewayResultStream {
+ public:
+  GatewayResultStream(GatewayResultStream&&) = default;
+  GatewayResultStream& operator=(GatewayResultStream&&) = default;
+
+  const Schema& schema() const { return schema_; }
+  /// Next decoded batch, or nullopt at end of stream.
+  Result<std::optional<RecordBatch>> Next();
+
+ private:
+  friend class SparkConnectGateway;
+  GatewayResultStream() = default;
+
+  SparkConnectGateway* gateway_ = nullptr;
+  std::string external_session_id_;
+  std::string sql_;           // set for SQL-text streams
+  std::string statement_id_;  // set for prepared-statement streams
+  std::string operation_id_;
+  Schema schema_;
+  std::deque<RecordBatch> ready_;  ///< decoded but unconsumed batches
+  uint64_t next_chunk_ = 0;
+  uint64_t total_chunks_ = 0;  ///< meaningful only when !server_streaming_
+  bool server_streaming_ = false;
+  bool done_ = false;
+};
+
+/// The regional Spark Connect Gateway (§6.2, Fig. 10), rebuilt as a
+/// failure-tolerant routing tier over N engine replicas. Sessions get a
+/// stable *external* id consistent-hashed onto the replica ring; the
+/// gateway owns the mapping to (replica, internal session) and can move it
+/// — live migration for drains and rolling upgrades, failover re-placement
+/// after a replica death — without the client holding anything but the
+/// external id. Per-replica circuit breakers fast-fail typed `kUnavailable`
+/// while a replica misbehaves, and per-tenant weighted-fair admission keeps
+/// one tenant's burst from starving the rest.
 class SparkConnectGateway {
  public:
   using BackendFactory = std::function<std::unique_ptr<GatewayBackend>()>;
+  /// Re-vends the plaintext bearer token for a stored SHA-256 digest. The
+  /// gateway never retains tokens; migration and failover re-authenticate
+  /// through this hook (the platform's auth system owns the secrets).
+  using TokenRevendHook =
+      std::function<Result<std::string>(const std::string& token_digest)>;
 
   SparkConnectGateway(Clock* clock, BackendFactory factory,
                       GatewayConfig config = {});
+
+  void set_token_revend_hook(TokenRevendHook hook);
+  /// Weighted-fair share for a tenant (default weight 1).
+  void SetTenantWeight(const std::string& tenant, uint32_t weight);
 
   /// Workspace endpoint: authenticates (against the routed backend) and
   /// returns a stable external session id.
   Result<std::string> OpenSession(const std::string& auth_token);
 
-  /// Runs SQL on whichever backend currently hosts the session.
+  /// Runs SQL on whichever replica currently hosts the session and collects
+  /// the full result (streaming under the hood).
   Result<Table> ExecuteSql(const std::string& external_session_id,
                            const std::string& sql);
 
-  /// Seamlessly migrates a session to another backend (provisioning one if
-  /// needed). The external id — all the client holds — is unchanged (§6.2).
+  /// Streaming counterpart: chunks are produced lazily on the replica and
+  /// fetched on demand — gateway clients get the PR-2 memory profile.
+  Result<GatewayResultStream> ExecuteSqlStreaming(
+      const std::string& external_session_id, const std::string& sql);
+
+  /// Prepares a statement on the hosting replica; the returned handle
+  /// survives migration (re-verified on the destination).
+  Result<std::string> PrepareStatement(const std::string& external_session_id,
+                                       const std::string& sql);
+  /// Executes a prepared statement by handle (binding stamps re-checked).
+  Result<Table> ExecuteStatement(const std::string& external_session_id,
+                                 const std::string& statement_id);
+
+  /// Live-migrates a session to another replica (provisioning one if
+  /// needed): export on the source, re-verify + import on the destination,
+  /// commit only on success. A failed migration leaves the session exactly
+  /// where it was. The external id — all the client holds — is unchanged.
   Status MigrateSession(const std::string& external_session_id);
 
   Status CloseSession(const std::string& external_session_id);
 
-  /// Tears down backends with no live sessions (keeps `min_backends`).
+  /// Tears down idle replicas (no sessions, no in-flight calls), keeping
+  /// `min_backends`, and reaps retired replicas whose last pinned call has
+  /// finished.
   size_t ScaleDown();
 
+  // -- Failure & lifecycle ----------------------------------------------------
+  /// Declares a replica dead (chaos): its placements are marked lost and
+  /// fail over on their next call; in-flight calls observe exactly one
+  /// typed retryable `kUnavailable`.
+  Status KillReplica(const std::string& replica_id);
+  /// Rolling-upgrade drain: mark draining (backend stops admitting
+  /// sessions), migrate every session off, then retire the replica.
+  Status DrainReplica(const std::string& replica_id);
+  /// Drains and replaces every replica in sequence; sessions survive with
+  /// at most a migration pause each.
+  Status RollingUpgrade();
+  /// Heartbeat liveness sweep (the Dispatcher pattern): evaluates the
+  /// `gateway.replica.crash` fault point per replica and retires the ones
+  /// that fail. Returns how many replicas were declared dead.
+  size_t SweepReplicas();
+
+  // -- Introspection ----------------------------------------------------------
   size_t BackendCount() const;
+  std::vector<std::string> ReplicaIds() const;
+  Result<ReplicaState> ReplicaStateOf(const std::string& replica_id) const;
+  Result<GatewaySessionInfo> SessionPlacement(
+      const std::string& external_session_id) const;
   GatewayStats stats() const;
+  FairSchedulerStats admission_stats() const { return scheduler_.stats(); }
 
  private:
-  struct Placement {
-    GatewayBackend* backend = nullptr;
-    std::string internal_session_id;
-    std::string auth_token;  // kept to re-authenticate on migration
+  friend class GatewayResultStream;
+
+  struct Replica {
+    std::string id;
+    std::unique_ptr<GatewayBackend> backend;
+    ReplicaState state = ReplicaState::kHealthy;
+    size_t consecutive_failures = 0;
+    int64_t breaker_opened_at = 0;
+    bool probe_in_flight = false;
+    /// Calls currently executing against this backend outside mu_. A
+    /// retired replica is destroyed only when this drops to zero — the
+    /// ScaleDown-vs-inflight teardown race is structurally closed.
+    size_t inflight = 0;
+    size_t sessions = 0;
   };
 
-  /// Returns a backend with spare capacity, provisioning when necessary.
-  Result<GatewayBackend*> AcquireBackend();
+  struct Placement {
+    Replica* replica = nullptr;  // null once the replica was killed
+    std::string internal_session_id;
+    /// SHA-256 hex digest of the bearer token; the plaintext is re-vended
+    /// through the TokenRevendHook only when migration/failover must
+    /// re-authenticate, and the digest is zeroized on CloseSession.
+    std::string token_digest;
+    std::string user;
+    bool lost = false;
+  };
+
+  /// A call in flight against one replica: the replica stays pinned
+  /// (inflight refcount) until UnpinAfterCall.
+  struct Pinned {
+    Replica* replica = nullptr;
+    ConnectService* service = nullptr;
+    std::string external_session_id;
+    std::string internal_session_id;
+    std::string user;
+    bool is_probe = false;
+  };
+
+  Result<Replica*> ProvisionReplicaLocked();
+  void RebuildRingLocked();
+  /// Clockwise ring walk from `key`'s hash: first replica that is routable
+  /// (healthy/suspect), not `exclude`, and under its session cap.
+  Replica* RouteLocked(const std::string& key, const Replica* exclude) const;
+  /// Re-places a lost session on a live replica (re-vend token, open a new
+  /// internal session). Requires mu_ held.
+  Status FailoverPlacementLocked(const std::string& external_session_id,
+                                 Placement& placement);
+  /// Resolves the placement, fails over if the replica is gone, applies the
+  /// breaker gate, and pins the replica for a call outside mu_.
+  Result<Pinned> PinForCall(const std::string& external_session_id);
+  /// Unpins and folds the call outcome into the replica's health: breaker
+  /// accounting, retired-mid-call override (the one typed kUnavailable a
+  /// client of a killed replica observes), deferred reaping.
+  Status UnpinAfterCall(Pinned& pinned, Status outcome);
+  void KillReplicaLocked(Replica* replica);
+  /// Erases a retired replica once nothing pins it. `replica` is dangling
+  /// after this returns true.
+  bool ReapIfRetiredLocked(Replica* replica);
+  Result<GatewayResultStream> OpenStream(const std::string& external_session_id,
+                                         const std::string& sql,
+                                         const std::string& statement_id);
+  /// Fetches the stream's next chunk; resumes once through the reattach
+  /// path on replica loss or migration.
+  Result<ResultChunk> FetchStreamChunk(GatewayResultStream& stream);
+  Status ResumeStream(GatewayResultStream& stream);
+  Result<Table> CollectStream(GatewayResultStream stream);
 
   Clock* clock_;
   BackendFactory factory_;
   GatewayConfig config_;
+  TokenRevendHook revend_hook_;
+  WeightedFairScheduler scheduler_;
   mutable std::mutex mu_;
-  std::vector<std::unique_ptr<GatewayBackend>> backends_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  /// Consistent-hash ring: (point, replica), sorted by point. Rebuilt on
+  /// membership change only — state changes are filtered at walk time.
+  std::vector<std::pair<uint64_t, Replica*>> ring_;
   std::map<std::string, Placement> placements_;  // external id -> placement
   GatewayStats stats_;
 };

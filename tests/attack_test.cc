@@ -11,7 +11,9 @@
 //                       A6 mask-stripped scan (PV001), A13 cross-owner UDF
 //                       nesting (PV003)
 //   replay              A7 prepared plan as another principal, A8 across
-//                       compute, A9 across a policy change (epoch race)
+//                       compute, A9 across a policy change (epoch race),
+//                       A17 stale session snapshot vs revoked grants,
+//                       A18 tampered/forged migration snapshots
 //   confused deputy     A10 token scope escape + token guessing, A11
 //                       expired/revoked tokens, A14 write with read token
 //   side channels       A12 existence oracle, A15 denied queries vend
@@ -24,6 +26,7 @@
 #include <vector>
 
 #include "common/retry.h"
+#include "connect/session_snapshot.h"
 #include "core/platform.h"
 #include "engine/plan_verifier.h"
 #include "sandbox/host_env.h"
@@ -468,6 +471,83 @@ TEST_F(AttackTest, A16_PolicyChangeInvalidatesCompiledScanEvaluators) {
   auto rows3 = third->Combine();
   ASSERT_TRUE(rows3.ok());
   EXPECT_EQ(rows3->num_rows(), 2u);
+}
+
+// ---- A17/A18: migration snapshot replay and forgery -------------------------
+
+TEST_F(AttackTest, A17_StaleSnapshotReplayCannotResurrectRevokedGrants) {
+  // eve exports a session holding a prepared statement against a table she
+  // can read, admin revokes the grant, then eve replays the snapshot onto a
+  // fresh replica. The import must re-verify every prepared statement
+  // against the CURRENT catalog — the stale binding stamps in the snapshot
+  // carry no authority.
+  auto session = cluster_->service->OpenSession("tok-eve");
+  ASSERT_TRUE(session.ok());
+  auto statement = cluster_->service->PrepareStatement(
+      *session, "SELECT amount FROM main.s.sales");
+  ASSERT_TRUE(statement.ok()) << statement.status();
+  auto snapshot = cluster_->service->ExportSession(*session);
+  ASSERT_TRUE(snapshot.ok());
+
+  Must("REVOKE SELECT ON main.s.sales FROM eve");
+
+  ClusterHandle* dest = platform_.CreateStandardCluster();
+  size_t sessions_before = dest->service->ActiveSessionCount();
+  auto imported = dest->service->ImportSession(*snapshot, "tok-eve");
+  ExpectBlocked(imported.status(), StatusCode::kPermissionDenied,
+                /*retryable=*/false, "A17 stale snapshot replay");
+  // All-or-nothing: the rejected import leaves no half-built session.
+  EXPECT_EQ(dest->service->ActiveSessionCount(), sessions_before);
+  EXPECT_GE(dest->service->service_stats().import_rejects, 1u);
+}
+
+TEST_F(AttackTest, A18_TamperedSnapshotsAreRejectedAsForgeries) {
+  auto session = cluster_->service->OpenSession("tok-eve");
+  ASSERT_TRUE(session.ok());
+  auto statement = cluster_->service->PrepareStatement(
+      *session, "SELECT amount FROM main.s.sales");
+  ASSERT_TRUE(statement.ok()) << statement.status();
+  auto exported = cluster_->service->ExportSession(*session);
+  ASSERT_TRUE(exported.ok());
+  ClusterHandle* dest = platform_.CreateStandardCluster();
+
+  // Forgery 1: stamp the snapshot with a future catalog epoch to defeat
+  // epoch-based staleness checks. The destination knows the current epoch
+  // and refuses time travelers.
+  {
+    auto snapshot = DecodeSessionSnapshot(*exported);
+    ASSERT_TRUE(snapshot.ok());
+    snapshot->source_epoch = platform_.catalog().epoch() + 100;
+    auto imported = dest->service->ImportSession(
+        EncodeSessionSnapshot(*snapshot), "tok-eve");
+    ExpectBlocked(imported.status(), StatusCode::kFailedPrecondition,
+                  /*retryable=*/false, "A18 future-epoch forgery");
+  }
+
+  // Forgery 2: rebind a prepared-statement record to a different principal
+  // (hoping the destination trusts the per-record stamp over the session
+  // identity). Binding stamps must cohere with the snapshot's identity.
+  {
+    auto snapshot = DecodeSessionSnapshot(*exported);
+    ASSERT_TRUE(snapshot.ok());
+    ASSERT_FALSE(snapshot->prepared.empty());
+    snapshot->prepared[0].bound_principal = "alice";
+    auto imported = dest->service->ImportSession(
+        EncodeSessionSnapshot(*snapshot), "tok-eve");
+    ExpectBlocked(imported.status(), StatusCode::kPermissionDenied,
+                  /*retryable=*/false, "A18 rebound principal forgery");
+  }
+
+  // Forgery 3: replay eve's snapshot under a different (valid) identity.
+  // The token authenticates alice, the state belongs to eve — rejected.
+  {
+    platform_.RegisterToken("tok-alice", "alice");
+    auto imported = dest->service->ImportSession(*exported, "tok-alice");
+    ExpectBlocked(imported.status(), StatusCode::kPermissionDenied,
+                  /*retryable=*/false, "A18 cross-identity replay");
+  }
+  EXPECT_GE(dest->service->service_stats().import_rejects, 3u);
+  EXPECT_EQ(dest->service->ActiveSessionCount(), 0u);
 }
 
 }  // namespace

@@ -4,9 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include "columnar/ipc.h"
+#include "common/retry.h"
 #include "connect/client.h"
 #include "connect/protocol.h"
 #include "connect/service.h"
+#include "connect/session_snapshot.h"
 #include "core/platform.h"
 #include "udf/builder.h"
 
@@ -267,6 +270,244 @@ TEST_F(ConnectServiceTest, RpcOnGarbageBytesReturnsEncodedError) {
   auto response = DecodeResponse(response_bytes);
   ASSERT_TRUE(response.ok());
   EXPECT_FALSE(response->ok);
+}
+
+// ---- Protocol v5: statement ids --------------------------------------------------
+
+TEST(ProtocolTest, StatementIdRoundTrip) {
+  ConnectRequest request;
+  request.session_id = "sess-1";
+  request.auth_token = "tok";
+  request.statement_id = "stmt-42";
+  auto back = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->statement_id, "stmt-42");
+  EXPECT_TRUE(back->sql.empty());
+  EXPECT_TRUE(back->plan_bytes.empty());
+}
+
+// ---- Session snapshots -----------------------------------------------------------
+
+TEST(SessionSnapshotTest, RoundTripPreservesEveryField) {
+  SessionSnapshot snapshot;
+  snapshot.user = "alice";
+  snapshot.source_epoch = 17;
+  snapshot.temp_views["v"] = "SELECT 1";
+  PreparedStatementRecord record;
+  record.statement_id = "stmt-1";
+  record.sql = "SELECT x FROM main.s.t";
+  record.bound_principal = "alice";
+  record.bound_compute_id = "compute-9";
+  record.catalog_epoch = 16;
+  snapshot.prepared.push_back(record);
+  OperationWatermark watermark;
+  watermark.operation_id = "op-3";
+  watermark.released_below = 7;
+  watermark.done = false;
+  snapshot.watermarks.push_back(watermark);
+
+  auto back = DecodeSessionSnapshot(EncodeSessionSnapshot(snapshot));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->user, "alice");
+  EXPECT_EQ(back->source_epoch, 17u);
+  EXPECT_EQ(back->temp_views.at("v"), "SELECT 1");
+  ASSERT_EQ(back->prepared.size(), 1u);
+  EXPECT_EQ(back->prepared[0].statement_id, "stmt-1");
+  EXPECT_EQ(back->prepared[0].sql, "SELECT x FROM main.s.t");
+  EXPECT_EQ(back->prepared[0].bound_principal, "alice");
+  EXPECT_EQ(back->prepared[0].bound_compute_id, "compute-9");
+  EXPECT_EQ(back->prepared[0].catalog_epoch, 16u);
+  ASSERT_EQ(back->watermarks.size(), 1u);
+  EXPECT_EQ(back->watermarks[0].operation_id, "op-3");
+  EXPECT_EQ(back->watermarks[0].released_below, 7u);
+  EXPECT_FALSE(back->watermarks[0].done);
+}
+
+TEST(SessionSnapshotTest, TruncatedSnapshotRejected) {
+  SessionSnapshot snapshot;
+  snapshot.user = "alice";
+  snapshot.temp_views["v"] = "SELECT 1";
+  auto bytes = EncodeSessionSnapshot(snapshot);
+  bytes.resize(bytes.size() - 2);
+  EXPECT_FALSE(DecodeSessionSnapshot(bytes).ok());
+}
+
+// ---- Prepared statements ---------------------------------------------------------
+
+TEST_F(ConnectServiceTest, PreparedStatementLifecycle) {
+  auto session = cluster_->service->OpenSession("tok-alice");
+  ASSERT_TRUE(session.ok());
+  auto statement = cluster_->service->PrepareStatement(
+      *session, "SELECT COUNT(*) AS n FROM main.s.t");
+  ASSERT_TRUE(statement.ok()) << statement.status();
+
+  ConnectRequest request;
+  request.session_id = *session;
+  request.auth_token = "tok-alice";
+  request.statement_id = *statement;
+  ConnectResponse response = cluster_->service->Execute(request);
+  ASSERT_TRUE(response.ok) << response.error_message;
+  ASSERT_FALSE(response.inline_chunks.empty());
+  auto batch = ipc::DeserializeBatch(response.inline_chunks[0].frame);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->CellAt(0, 0).int_value(), 3);
+
+  // Another principal's session cannot execute the statement by id.
+  auto bob = cluster_->service->OpenSession("tok-bob");
+  ASSERT_TRUE(bob.ok());
+  ConnectRequest stolen = request;
+  stolen.session_id = *bob;
+  stolen.auth_token = "tok-bob";
+  ConnectResponse denied = cluster_->service->Execute(stolen);
+  EXPECT_FALSE(denied.ok);
+  EXPECT_EQ(StatusCodeFromString(denied.error_code),
+            StatusCode::kPermissionDenied)
+      << denied.error_code;
+
+  // Unknown statement ids are typed kNotFound.
+  ConnectRequest unknown = request;
+  unknown.statement_id = "stmt-never-prepared";
+  ConnectResponse missing = cluster_->service->Execute(unknown);
+  EXPECT_FALSE(missing.ok);
+  EXPECT_EQ(StatusCodeFromString(missing.error_code), StatusCode::kNotFound);
+
+  ConnectServiceStats stats = cluster_->service->service_stats();
+  EXPECT_EQ(stats.statements_prepared, 1u);
+  EXPECT_EQ(stats.statement_executions, 1u);
+}
+
+TEST_F(ConnectServiceTest, CatalogEpochDriftReverifiesPreparedStatement) {
+  auto session = cluster_->service->OpenSession("tok-alice");
+  ASSERT_TRUE(session.ok());
+  auto statement = cluster_->service->PrepareStatement(
+      *session, "SELECT COUNT(*) AS n FROM main.s.t");
+  ASSERT_TRUE(statement.ok());
+
+  // Any catalog change bumps the epoch; the next execution must re-verify
+  // the plan against current policy before running (and then succeed, since
+  // alice's grants are intact).
+  auto admin = platform_.Connect(cluster_, "tok-admin");
+  ASSERT_TRUE(admin.ok());
+  ASSERT_TRUE(admin->Sql("CREATE TABLE main.s.unrelated (y BIGINT)").ok());
+
+  ConnectRequest request;
+  request.session_id = *session;
+  request.auth_token = "tok-alice";
+  request.statement_id = *statement;
+  ConnectResponse response = cluster_->service->Execute(request);
+  ASSERT_TRUE(response.ok) << response.error_message;
+  EXPECT_EQ(cluster_->service->service_stats().statement_reverifications, 1u);
+}
+
+// ---- Session export / import -----------------------------------------------------
+
+TEST_F(ConnectServiceTest, ExportImportRoundTripPreservesSessionState) {
+  auto session = cluster_->service->OpenSession("tok-alice");
+  ASSERT_TRUE(session.ok());
+  ConnectRequest view;
+  view.session_id = *session;
+  view.auth_token = "tok-alice";
+  view.sql = "CREATE TEMP VIEW mine AS SELECT x FROM main.s.t WHERE x > 1";
+  ASSERT_TRUE(cluster_->service->Execute(view).ok);
+  auto statement = cluster_->service->PrepareStatement(
+      *session, "SELECT COUNT(*) AS n FROM mine");
+  ASSERT_TRUE(statement.ok()) << statement.status();
+
+  auto snapshot = cluster_->service->ExportSession(*session);
+  ASSERT_TRUE(snapshot.ok());
+  ClusterHandle* dest = platform_.CreateStandardCluster();
+  auto imported = dest->service->ImportSession(*snapshot, "tok-alice");
+  ASSERT_TRUE(imported.ok()) << imported.status();
+
+  // Identity, temp views and prepared statements all survived the move.
+  auto info = dest->service->GetSession(*imported);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->user, "alice");
+  ConnectRequest run;
+  run.session_id = *imported;
+  run.auth_token = "tok-alice";
+  run.statement_id = *statement;
+  ConnectResponse counted = dest->service->Execute(run);
+  ASSERT_TRUE(counted.ok) << counted.error_message;
+  auto batch = ipc::DeserializeBatch(counted.inline_chunks[0].frame);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->CellAt(0, 0).int_value(), 2);  // temp view filter applied
+  ConnectServiceStats stats = dest->service->service_stats();
+  EXPECT_EQ(stats.sessions_imported, 1u);
+  EXPECT_EQ(stats.statement_reverifications, 0u)
+      << "import re-stamped the statement at the current epoch";
+}
+
+TEST_F(ConnectServiceTest, MigratedOperationFetchRedirectsToReattach) {
+  auto admin = platform_.Connect(cluster_, "tok-admin");
+  ASSERT_TRUE(admin.ok());
+  ASSERT_TRUE(admin->Sql("CREATE TABLE main.s.big (x BIGINT)").ok());
+  for (int chunk = 0; chunk < 10; ++chunk) {
+    std::string sql = "INSERT INTO main.s.big VALUES ";
+    for (int i = 0; i < 500; ++i) {
+      if (i > 0) sql += ", ";
+      sql += "(" + std::to_string(chunk * 500 + i) + ")";
+    }
+    ASSERT_TRUE(admin->Sql(sql).ok());
+  }
+  ASSERT_TRUE(admin->Sql("GRANT SELECT ON main.s.big TO alice").ok());
+
+  auto session = cluster_->service->OpenSession("tok-alice");
+  ASSERT_TRUE(session.ok());
+  ConnectRequest request;
+  request.session_id = *session;
+  request.auth_token = "tok-alice";
+  request.sql = "SELECT x FROM main.s.big";
+  request.operation_id = "op-migrate-me";
+  ConnectResponse started = cluster_->service->Execute(request);
+  ASSERT_TRUE(started.ok) << started.error_message;
+  ASSERT_TRUE(started.streaming);  // 5000 rows exceed the inline limit
+  auto first = cluster_->service->FetchChunk(*session, "op-migrate-me", 0);
+  ASSERT_TRUE(first.ok()) << first.status();
+
+  auto snapshot = cluster_->service->ExportSession(*session);
+  ASSERT_TRUE(snapshot.ok());
+  ClusterHandle* dest = platform_.CreateStandardCluster();
+  auto imported = dest->service->ImportSession(*snapshot, "tok-alice");
+  ASSERT_TRUE(imported.ok()) << imported.status();
+
+  // The destination never produced this operation's bytes. Fetching it
+  // answers a typed retryable kUnavailable steering the client onto the
+  // reattach path — never silently wrong data.
+  auto redirected = dest->service->FetchChunk(*imported, "op-migrate-me", 1);
+  ASSERT_FALSE(redirected.ok());
+  EXPECT_TRUE(redirected.status().IsUnavailable()) << redirected.status();
+  EXPECT_TRUE(IsTransientError(redirected.status()));
+  EXPECT_EQ(dest->service->service_stats().migrated_fetch_redirects, 1u);
+
+  // Reattach: re-execute under the SAME operation id on the destination and
+  // drain everything. Chunk boundaries are deterministic, so the client
+  // resumes exactly where it left off; here we drain from the start and
+  // count every row once.
+  ConnectRequest reattach;
+  reattach.session_id = *imported;
+  reattach.auth_token = "tok-alice";
+  reattach.sql = "SELECT x FROM main.s.big";
+  reattach.operation_id = "op-migrate-me";
+  ConnectResponse resumed = dest->service->Execute(reattach);
+  ASSERT_TRUE(resumed.ok) << resumed.error_message;
+  size_t rows = 0;
+  for (const ResultChunk& inline_chunk : resumed.inline_chunks) {
+    auto batch = ipc::DeserializeBatch(inline_chunk.frame);
+    ASSERT_TRUE(batch.ok());
+    rows += batch->num_rows();
+  }
+  uint64_t next = resumed.inline_chunks.size();
+  while (true) {
+    auto chunk = dest->service->FetchChunk(*imported, "op-migrate-me", next);
+    ASSERT_TRUE(chunk.ok()) << chunk.status();
+    auto batch = ipc::DeserializeBatch(chunk->frame);
+    ASSERT_TRUE(batch.ok());
+    rows += batch->num_rows();
+    ++next;
+    if (chunk->last) break;
+  }
+  EXPECT_EQ(rows, 5000u);
 }
 
 }  // namespace

@@ -540,6 +540,131 @@ TEST_F(ChaosTest, GatewayProvisionFaultSurfacesThenRecovers) {
   ASSERT_TRUE(session.ok()) << session.status();
 }
 
+// Shared setup for the gateway chaos scenarios below: a platform with one
+// admin principal, a registered token, and a small queryable table.
+struct GatewayChaosEnv {
+  GatewayChaosEnv() {
+    EXPECT_TRUE(platform.AddUser("admin").ok());
+    platform.AddMetastoreAdmin("admin");
+    platform.RegisterToken("tok", "admin");
+    EXPECT_TRUE(platform.catalog().CreateCatalog("admin", "main").ok());
+    EXPECT_TRUE(platform.catalog().CreateSchema("admin", "main.g").ok());
+    ClusterHandle* setup = platform.CreateStandardCluster();
+    auto ctx = *platform.DirectContext(setup, "admin");
+    EXPECT_TRUE(
+        setup->engine->ExecuteSql("CREATE TABLE main.g.t (x BIGINT)", ctx)
+            .ok());
+    EXPECT_TRUE(setup->engine
+                    ->ExecuteSql("INSERT INTO main.g.t VALUES (1), (2), (3)",
+                                 ctx)
+                    .ok());
+  }
+  LakeguardPlatform platform;
+};
+
+TEST_F(ChaosTest, GatewayMigrateReplayFaultLeavesSessionOnSource) {
+  GatewayChaosEnv env;
+  auto session = env.platform.gateway().OpenSession("tok");
+  ASSERT_TRUE(session.ok());
+  std::string source =
+      env.platform.gateway().SessionPlacement(*session)->replica_id;
+  {
+    // The replay step fails after the snapshot was imported on the target:
+    // the gateway must compensate (close the imported copy) and leave the
+    // session bound to the source — no orphan, no double execution.
+    ScopedFault fault("gateway.migrate.replay", FaultPolicy::FailTimes(1));
+    Status migrated = env.platform.gateway().MigrateSession(*session);
+    ASSERT_FALSE(migrated.ok());
+    EXPECT_TRUE(IsTransientError(migrated)) << migrated;
+  }
+  auto placement = env.platform.gateway().SessionPlacement(*session);
+  ASSERT_TRUE(placement.ok());
+  EXPECT_EQ(placement->replica_id, source);
+  EXPECT_FALSE(placement->lost);
+  GatewayStats stats = env.platform.gateway().stats();
+  EXPECT_EQ(stats.migrations, 0u);
+  EXPECT_EQ(stats.migration_failures, 1u);
+  // The provisioned target carries no sessions; scale-down reclaims it,
+  // proving the failed migration left nothing behind.
+  EXPECT_EQ(env.platform.gateway().ScaleDown(), 1u);
+  // The session still works on the source, and a later migration succeeds.
+  auto rows = env.platform.gateway().ExecuteSql(
+      *session, "SELECT COUNT(*) AS n FROM main.g.t");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->Combine()->CellAt(0, 0).int_value(), 3);
+  ASSERT_TRUE(env.platform.gateway().MigrateSession(*session).ok());
+  EXPECT_NE(env.platform.gateway().SessionPlacement(*session)->replica_id,
+            source);
+}
+
+TEST_F(ChaosTest, GatewayMigrateSerializeFaultLeavesSessionOnSource) {
+  GatewayChaosEnv env;
+  auto session = env.platform.gateway().OpenSession("tok");
+  ASSERT_TRUE(session.ok());
+  std::string source =
+      env.platform.gateway().SessionPlacement(*session)->replica_id;
+  {
+    ScopedFault fault("gateway.migrate.serialize", FaultPolicy::FailTimes(1));
+    Status migrated = env.platform.gateway().MigrateSession(*session);
+    ASSERT_FALSE(migrated.ok());
+    EXPECT_TRUE(IsTransientError(migrated)) << migrated;
+  }
+  EXPECT_EQ(env.platform.gateway().SessionPlacement(*session)->replica_id,
+            source);
+  EXPECT_EQ(env.platform.gateway().stats().migration_failures, 1u);
+  auto rows = env.platform.gateway().ExecuteSql(
+      *session, "SELECT COUNT(*) AS n FROM main.g.t");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+}
+
+TEST_F(ChaosTest, GatewayReplicaCrashSweepFailsOverSessions) {
+  GatewayChaosEnv env;
+  auto session = env.platform.gateway().OpenSession("tok");
+  ASSERT_TRUE(session.ok());
+  std::string source =
+      env.platform.gateway().SessionPlacement(*session)->replica_id;
+  size_t killed;
+  {
+    // The heartbeat sweep detects one crashed replica and declares it dead.
+    ScopedFault fault("gateway.replica.crash", FaultPolicy::FailTimes(1));
+    killed = env.platform.gateway().SweepReplicas();
+  }
+  EXPECT_EQ(killed, 1u);
+  EXPECT_TRUE(env.platform.gateway().SessionPlacement(*session)->lost);
+  // The client's next call transparently re-homes the session.
+  auto rows = env.platform.gateway().ExecuteSql(
+      *session, "SELECT COUNT(*) AS n FROM main.g.t");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->Combine()->CellAt(0, 0).int_value(), 3);
+  GatewayStats stats = env.platform.gateway().stats();
+  EXPECT_EQ(stats.replica_kills, 1u);
+  EXPECT_EQ(stats.failovers, 1u);
+  EXPECT_NE(env.platform.gateway().SessionPlacement(*session)->replica_id,
+            source);
+}
+
+TEST_F(ChaosTest, GatewayRouteFaultSurfacesTypedThenRetrySucceeds) {
+  GatewayChaosEnv env;
+  auto session = env.platform.gateway().OpenSession("tok");
+  ASSERT_TRUE(session.ok());
+  {
+    ScopedFault fault("gateway.route", FaultPolicy::FailTimes(1));
+    auto rows = env.platform.gateway().ExecuteSql(*session, "SELECT 1");
+    ASSERT_FALSE(rows.ok());
+    EXPECT_TRUE(IsTransientError(rows.status())) << rows.status();
+  }
+  // One failure is below the breaker threshold; the retry goes straight
+  // through and the success resets the failure streak.
+  auto rows = env.platform.gateway().ExecuteSql(
+      *session, "SELECT COUNT(*) AS n FROM main.g.t");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  std::string replica =
+      env.platform.gateway().SessionPlacement(*session)->replica_id;
+  EXPECT_EQ(*env.platform.gateway().ReplicaStateOf(replica),
+            ReplicaState::kHealthy);
+  EXPECT_EQ(env.platform.gateway().stats().breaker_open_events, 0u);
+}
+
 TEST_F(ChaosTest, EveryConnectPathPointFailsOnceAndQueryStillSucceeds) {
   LakeguardPlatform platform;
   ASSERT_TRUE(platform.AddUser("admin").ok());
