@@ -146,7 +146,8 @@ void Report(const std::vector<CancelMeasurement>& cancels,
                 static_cast<long long>(m.clock_micros));
   }
 
-  FILE* f = std::fopen("BENCH_cancel.json", "w");
+  bench::AtomicJsonWriter writer("BENCH_cancel.json");
+  FILE* f = writer.file();
   if (!f) return;
   std::fprintf(f, "{\n  \"benchmark\": \"cancellation\",\n");
   std::fprintf(f, "  \"cancel_latency\": [\n");
@@ -173,7 +174,7 @@ void Report(const std::vector<CancelMeasurement>& cancels,
                  i + 1 < breakers.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  if (!writer.Commit()) std::fprintf(stderr, "failed to publish BENCH_cancel.json\n");
   std::printf("\nwrote BENCH_cancel.json\n");
 }
 

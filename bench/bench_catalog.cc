@@ -276,7 +276,8 @@ int main() {
       100.0 * static_cast<double>(staleness.lag_zero) /
           static_cast<double>(staleness.samples));
 
-  FILE* f = std::fopen("BENCH_catalog.json", "w");
+  bench::AtomicJsonWriter writer("BENCH_catalog.json");
+  FILE* f = writer.file();
   if (f == nullptr) return 1;
   std::fprintf(f, "{\n  \"scaling\": [\n");
   for (size_t i = 0; i < points.size(); ++i) {
@@ -306,7 +307,7 @@ int main() {
                static_cast<unsigned long long>(staleness.max_epoch_lag),
                static_cast<double>(staleness.lag_zero) /
                    static_cast<double>(staleness.samples));
-  std::fclose(f);
+  if (!writer.Commit()) std::fprintf(stderr, "failed to publish BENCH_catalog.json\n");
   std::printf("\nwrote BENCH_catalog.json\n");
   return 0;
 }

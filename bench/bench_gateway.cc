@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/retry.h"
 #include "core/platform.h"
 
@@ -245,7 +246,8 @@ void Run() {
       static_cast<unsigned long>(stats.drains_completed),
       lost);
 
-  FILE* f = std::fopen("BENCH_gateway.json", "w");
+  bench::AtomicJsonWriter writer("BENCH_gateway.json");
+  FILE* f = writer.file();
   if (f != nullptr) {
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"sessions\": %zu,\n", kSessions);
@@ -280,7 +282,9 @@ void Run() {
                  static_cast<unsigned long>(stats.rolling_upgrades));
     std::fprintf(f, "  \"lost_sessions\": %zu\n", lost);
     std::fprintf(f, "}\n");
-    std::fclose(f);
+    if (!writer.Commit()) {
+      std::fprintf(stderr, "failed to publish BENCH_gateway.json\n");
+    }
   }
 
   if (lost != 0 || baseline.violations != 0 || kill.violations != 0 ||

@@ -188,7 +188,8 @@ void Report(uint64_t working_set,
                 m.makespan_seconds);
   }
 
-  FILE* f = std::fopen("BENCH_memory.json", "w");
+  bench::AtomicJsonWriter writer("BENCH_memory.json");
+  FILE* f = writer.file();
   if (!f) return;
   std::fprintf(f, "{\n  \"benchmark\": \"memory_pressure\",\n");
   std::fprintf(f, "  \"working_set_bytes\": %llu,\n",
@@ -226,7 +227,7 @@ void Report(uint64_t working_set,
                  i + 1 < admissions.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  if (!writer.Commit()) std::fprintf(stderr, "failed to publish BENCH_memory.json\n");
   std::printf("\nwrote BENCH_memory.json\n");
 }
 

@@ -325,7 +325,8 @@ void PrintAndWrite() {
               static_cast<unsigned long long>(e.cache.misses), hit_rate * 100,
               static_cast<unsigned long long>(e.cache.compiles));
 
-  FILE* f = std::fopen("BENCH_policy_eval.json", "w");
+  bench::AtomicJsonWriter writer("BENCH_policy_eval.json");
+  FILE* f = writer.file();
   if (f == nullptr) return;
   std::fprintf(f, "{\n  \"microbench_curve\": [\n");
   for (int i = 0; i < 3; ++i) {
@@ -352,7 +353,7 @@ void PrintAndWrite() {
       static_cast<unsigned long long>(e.cache.hits),
       static_cast<unsigned long long>(e.cache.misses),
       static_cast<unsigned long long>(e.cache.compiles), hit_rate);
-  std::fclose(f);
+  if (!writer.Commit()) std::fprintf(stderr, "failed to publish BENCH_policy_eval.json\n");
   std::printf("\nwrote BENCH_policy_eval.json\n");
 }
 

@@ -1,0 +1,182 @@
+// Recovery-time benchmark for the crash-consistent durability subsystem
+// (DESIGN.md §14): how long a restarted platform takes to reopen its
+// catalog WAL + checkpoint and audit WAL, as a function of (a) how many
+// publishes the WAL holds and (b) how often checkpoints were taken.
+//
+// The curve this exists to show: without checkpoints recovery is linear in
+// WAL length (every CatalogImage replays); with checkpoints it is bounded
+// by the records since the last checkpoint, so the interval knob trades
+// steady-state publish overhead against restart time.
+//
+// Output: BENCH_recovery.json — one point per (checkpoint_interval,
+// wal_length) pair.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/platform.h"
+
+namespace lakeguard {
+namespace bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RecoveryPoint {
+  uint64_t checkpoint_interval = 0;
+  uint64_t wal_length = 0;  // catalog publishes before the restart
+  double publish_seconds = 0;
+  double recovery_seconds = 0;
+  uint64_t recovered_epoch = 0;
+  uint64_t audit_events = 0;
+  uint64_t sessions_recovered = 0;
+};
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+LakeguardPlatform::Options DurableOptions(const std::string& root,
+                                          uint64_t checkpoint_interval) {
+  LakeguardPlatform::Options options;
+  options.use_simulated_clock = false;
+  options.sandbox_cold_start_micros = 0;
+  options.durable_root = root;
+  options.catalog_checkpoint_every = checkpoint_interval;
+  return options;
+}
+
+void RegisterPrincipals(LakeguardPlatform* platform, bool fresh) {
+  (void)platform->AddUser("admin");
+  (void)platform->AddUser("alice");
+  platform->RegisterToken("tok-admin", "admin");
+  platform->RegisterToken("tok-alice", "alice");
+  if (fresh) platform->AddMetastoreAdmin("admin");
+}
+
+RecoveryPoint Measure(uint64_t checkpoint_interval, uint64_t wal_length,
+                      size_t sessions) {
+  std::string root =
+      (fs::temp_directory_path() /
+       ("lg-bench-recovery-" + std::to_string(::getpid()) + "-" +
+        std::to_string(checkpoint_interval) + "-" +
+        std::to_string(wal_length)))
+          .string();
+  fs::remove_all(root);
+
+  RecoveryPoint point;
+  point.checkpoint_interval = checkpoint_interval;
+  point.wal_length = wal_length;
+  {
+    auto platform = std::make_unique<LakeguardPlatform>(
+        DurableOptions(root, checkpoint_interval));
+    RegisterPrincipals(platform.get(), /*fresh=*/true);
+    UnityCatalog& catalog = platform->catalog();
+    (void)catalog.CreateCatalog("admin", "main");
+    (void)catalog.CreateSchema("admin", "main.s");
+    TableInfo info;
+    info.full_name = "main.s.t";
+    info.schema = Schema({{"x", TypeKind::kInt64, true}});
+    (void)catalog.CreateTable("admin", info);
+    ClusterHandle* cluster = platform->CreateStandardCluster();
+    for (size_t i = 0; i < sessions; ++i) {
+      auto session = cluster->service->OpenSession("tok-alice");
+      if (session.ok()) {
+        (void)cluster->service->PrepareStatement(
+            *session, "SELECT COUNT(*) AS n FROM main.s.t");
+      }
+    }
+    // Grant/revoke toggles keep the CatalogImage a constant size, so the
+    // curve isolates WAL length from image growth.
+    auto start = std::chrono::steady_clock::now();
+    uint64_t base = catalog.epoch();
+    while (catalog.epoch() - base < wal_length) {
+      (void)catalog.Grant("admin", "main.s.t", Privilege::kSelect, "alice");
+      (void)catalog.Revoke("admin", "main.s.t", Privilege::kSelect, "alice");
+    }
+    point.publish_seconds = Seconds(start);
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  auto platform = std::make_unique<LakeguardPlatform>(
+      DurableOptions(root, checkpoint_interval));
+  if (!platform->durability_status().ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 platform->durability_status().ToString().c_str());
+    std::abort();
+  }
+  RegisterPrincipals(platform.get(), /*fresh=*/false);
+  ClusterHandle* cluster = platform->CreateStandardCluster();
+  auto stats = cluster->service->RecoverSessions();
+  point.recovery_seconds = Seconds(start);
+  point.recovered_epoch = platform->catalog().epoch();
+  point.audit_events = platform->catalog().audit().size();
+  point.sessions_recovered = stats.ok() ? stats->recovered : 0;
+  platform.reset();
+  fs::remove_all(root);
+  return point;
+}
+
+int Run() {
+  const std::vector<uint64_t> intervals = {8, 64, 1u << 30};  // last = never
+  const std::vector<uint64_t> lengths = {128, 512, 2048};
+  constexpr size_t kSessions = 8;
+
+  std::vector<RecoveryPoint> points;
+  std::printf(
+      "%12s %10s %12s %12s %10s %8s %9s\n", "ckpt_every", "wal_len",
+      "publish_s", "recover_s", "epoch", "audit", "sessions");
+  for (uint64_t interval : intervals) {
+    for (uint64_t length : lengths) {
+      RecoveryPoint p = Measure(interval, length, kSessions);
+      std::printf("%12llu %10llu %12.4f %12.4f %10llu %8llu %9llu\n",
+                  static_cast<unsigned long long>(p.checkpoint_interval),
+                  static_cast<unsigned long long>(p.wal_length),
+                  p.publish_seconds, p.recovery_seconds,
+                  static_cast<unsigned long long>(p.recovered_epoch),
+                  static_cast<unsigned long long>(p.audit_events),
+                  static_cast<unsigned long long>(p.sessions_recovered));
+      points.push_back(p);
+    }
+  }
+
+  AtomicJsonWriter writer("BENCH_recovery.json");
+  FILE* f = writer.file();
+  if (f == nullptr) return 1;
+  std::fprintf(f, "{\n  \"points\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const RecoveryPoint& p = points[i];
+    std::fprintf(
+        f,
+        "    {\"checkpoint_interval\": %llu, \"wal_length\": %llu, "
+        "\"publish_seconds\": %.6f, \"recovery_seconds\": %.6f, "
+        "\"recovered_epoch\": %llu, \"audit_events\": %llu, "
+        "\"sessions_recovered\": %llu}%s\n",
+        static_cast<unsigned long long>(p.checkpoint_interval),
+        static_cast<unsigned long long>(p.wal_length), p.publish_seconds,
+        p.recovery_seconds, static_cast<unsigned long long>(p.recovered_epoch),
+        static_cast<unsigned long long>(p.audit_events),
+        static_cast<unsigned long long>(p.sessions_recovered),
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  if (!writer.Commit()) {
+    std::fprintf(stderr, "failed to publish BENCH_recovery.json\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lakeguard
+
+int main() { return lakeguard::bench::Run(); }

@@ -99,7 +99,8 @@ void Report(const std::vector<Measurement>& all) {
                 static_cast<unsigned long long>(m.peak_resident_batches),
                 m.peak_resident_bytes);
   }
-  FILE* f = std::fopen("BENCH_streaming.json", "w");
+  bench::AtomicJsonWriter writer("BENCH_streaming.json");
+  FILE* f = writer.file();
   if (!f) return;
   std::fprintf(f, "{\n  \"benchmark\": \"streaming_pipeline\",\n");
   std::fprintf(f, "  \"memory_proxy\": \"peak_resident_batches * measured_batch_bytes\",\n");
@@ -116,7 +117,7 @@ void Report(const std::vector<Measurement>& all) {
                  m.peak_resident_bytes, i + 1 < all.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  if (!writer.Commit()) std::fprintf(stderr, "failed to publish BENCH_streaming.json\n");
   std::printf("\nwrote BENCH_streaming.json\n");
 }
 

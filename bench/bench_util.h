@@ -1,6 +1,9 @@
 #ifndef LAKEGUARD_BENCH_BENCH_UTIL_H_
 #define LAKEGUARD_BENCH_BENCH_UTIL_H_
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <memory>
 #include <string>
 
@@ -9,6 +12,53 @@
 
 namespace lakeguard {
 namespace bench {
+
+/// Atomic BENCH_*.json publisher: the report is written to `<path>.tmp`,
+/// flushed and fsynced, and only then renamed over the final path — an
+/// interrupted or crashed benchmark never leaves a torn half-written JSON
+/// where a previous complete run's report used to be (same tmp-write →
+/// fsync → rename protocol as the durable stores). Destruction without
+/// `Commit` discards the tmp file.
+class AtomicJsonWriter {
+ public:
+  explicit AtomicJsonWriter(std::string path)
+      : path_(std::move(path)), tmp_(path_ + ".tmp") {
+    file_ = std::fopen(tmp_.c_str(), "w");
+  }
+
+  AtomicJsonWriter(const AtomicJsonWriter&) = delete;
+  AtomicJsonWriter& operator=(const AtomicJsonWriter&) = delete;
+
+  ~AtomicJsonWriter() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      std::remove(tmp_.c_str());
+    }
+  }
+
+  /// Null if the tmp file could not be opened.
+  FILE* file() { return file_; }
+
+  /// Flush + fsync + close + rename into place. False (and no final file
+  /// is touched) if any step fails.
+  bool Commit() {
+    if (file_ == nullptr) return false;
+    bool ok = std::fflush(file_) == 0;
+    ok = ::fsync(::fileno(file_)) == 0 && ok;
+    ok = std::fclose(file_) == 0 && ok;
+    file_ = nullptr;
+    if (!ok || std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+      std::remove(tmp_.c_str());
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  FILE* file_ = nullptr;
+};
 
 /// A ready-to-measure platform: admin user, catalog main.b, one standard
 /// cluster, and a data table with integer and string columns.

@@ -24,8 +24,10 @@ fi
 # that the concurrency-* and bugprone-* checks exist to gate; the policy-eval
 # benchmark drives the compiled-kernel surfaces (src/expr/compiler is covered
 # by the src/ find below); the gateway suite and bench drive the replica
-# lifecycle / migration locking in src/serverless under threads.
-EXTRA_FILES="tests/attack_test.cc tests/catalog_test.cc tests/serverless_test.cc bench/bench_catalog.cc bench/bench_policy_eval.cc bench/bench_gateway.cc"
+# lifecycle / migration locking in src/serverless under threads; the
+# recovery suite and bench drive the durable stores (src/storage/durable,
+# covered by the src/ find) through raw-fd and filesystem seams.
+EXTRA_FILES="tests/attack_test.cc tests/catalog_test.cc tests/serverless_test.cc tests/recovery_test.cc bench/bench_catalog.cc bench/bench_policy_eval.cc bench/bench_gateway.cc bench/bench_recovery.cc"
 
 FAILED=0
 while IFS= read -r file; do

@@ -1,25 +1,105 @@
 #include "catalog/audit.h"
 
+#include <algorithm>
 #include <chrono>
+#include <set>
+
+#include "common/fault.h"
 
 namespace lakeguard {
+
+std::vector<uint8_t> EncodeAuditEvent(const AuditEvent& event) {
+  ByteWriter writer;
+  writer.PutTaggedVarint(1, event.sequence);
+  writer.PutTaggedZigzag(2, event.time_micros);
+  writer.PutTaggedString(3, event.principal);
+  writer.PutTaggedString(4, event.compute_id);
+  writer.PutTaggedString(5, event.action);
+  writer.PutTaggedString(6, event.securable);
+  writer.PutTaggedBool(7, event.allowed);
+  writer.PutTaggedString(8, event.detail);
+  return writer.Release();
+}
+
+Result<AuditEvent> DecodeAuditEvent(const std::vector<uint8_t>& bytes) {
+  AuditEvent event;
+  ByteReader reader(bytes);
+  while (!reader.AtEnd()) {
+    LG_ASSIGN_OR_RETURN(auto tag, reader.ReadTag());
+    switch (tag.field) {
+      case 1: {
+        LG_ASSIGN_OR_RETURN(event.sequence, reader.ReadVarint());
+        break;
+      }
+      case 2: {
+        LG_ASSIGN_OR_RETURN(event.time_micros, reader.ReadZigzag());
+        break;
+      }
+      case 3: {
+        LG_ASSIGN_OR_RETURN(event.principal, reader.ReadString());
+        break;
+      }
+      case 4: {
+        LG_ASSIGN_OR_RETURN(event.compute_id, reader.ReadString());
+        break;
+      }
+      case 5: {
+        LG_ASSIGN_OR_RETURN(event.action, reader.ReadString());
+        break;
+      }
+      case 6: {
+        LG_ASSIGN_OR_RETURN(event.securable, reader.ReadString());
+        break;
+      }
+      case 7: {
+        LG_ASSIGN_OR_RETURN(event.allowed, reader.ReadBool());
+        break;
+      }
+      case 8: {
+        LG_ASSIGN_OR_RETURN(event.detail, reader.ReadString());
+        break;
+      }
+      default:
+        LG_RETURN_IF_ERROR(reader.SkipValue(tag.type));
+    }
+  }
+  if (event.sequence == 0) {
+    return Status::DataLoss("audit event without a sequence number");
+  }
+  return event;
+}
 
 AuditLog::AuditLog(Clock* clock) : clock_(clock) {
   flusher_ = std::thread([this] { FlusherLoop(); });
 }
 
-AuditLog::~AuditLog() {
-  {
-    MutexLock lock(mu_);
-    shutdown_ = true;
-  }
-  cv_.notify_all();
-  if (flusher_.joinable()) flusher_.join();
-  // Flush-on-shutdown: anything still queued is committed before the log
-  // disappears (the flusher drained on its way out, but a Record racing the
-  // shutdown flag could have re-filled the queue).
+AuditLog::~AuditLog() { (void)Shutdown(); }
+
+Status AuditLog::AttachDurability(
+    DurableLog* wal, const std::vector<ReplayedRecord>& replayed) {
   MutexLock lock(mu_);
-  FlushLocked();
+  std::set<uint64_t> seen;
+  for (const ReplayedRecord& record : replayed) {
+    Result<AuditEvent> decoded = DecodeAuditEvent(record.payload);
+    if (!decoded.ok()) {
+      return decoded.status().WithContext("replaying audit WAL record at LSN " +
+                                          std::to_string(record.lsn));
+    }
+    AuditEvent event = std::move(decoded).value();
+    if (event.sequence != record.stamp) {
+      return Status::DataLoss(
+          "audit WAL record stamp " + std::to_string(record.stamp) +
+          " disagrees with its event sequence " +
+          std::to_string(event.sequence));
+    }
+    // Dedup: an append that hit disk whose Sync was never acknowledged is
+    // retried by the flusher, producing an identical twin on disk.
+    if (!seen.insert(event.sequence).second) continue;
+    next_sequence_ = std::max(next_sequence_, event.sequence + 1);
+    committed_.push_back(std::move(event));
+  }
+  wal_ = wal;
+  return Status::OK();
 }
 
 AuditEvent AuditLog::MakeEvent(const std::string& principal,
@@ -47,10 +127,12 @@ void AuditLog::Record(const std::string& principal,
   bool wake = false;
   {
     MutexLock lock(mu_);
+    event.sequence = next_sequence_++;
     if (pending_.size() >= kMaxPending) {
       // Bounded + lossless: a full queue turns the recorder into the
-      // flusher (backpressure) rather than dropping audit events.
-      FlushLocked();
+      // flusher (backpressure) rather than dropping audit events. A flush
+      // failure leaves the events pending for retry — still no drop.
+      (void)FlushLocked();
     }
     pending_.push_back(std::move(event));
     wake = pending_.size() >= kMaxPending / 2;
@@ -58,33 +140,50 @@ void AuditLog::Record(const std::string& principal,
   if (wake) cv_.notify_one();
 }
 
-void AuditLog::RecordDurable(const std::string& principal,
-                             const std::string& compute_id,
-                             const std::string& action,
-                             const std::string& securable, bool allowed,
-                             const std::string& detail) {
+Status AuditLog::RecordDurable(const std::string& principal,
+                               const std::string& compute_id,
+                               const std::string& action,
+                               const std::string& securable, bool allowed,
+                               const std::string& detail) {
   AuditEvent event =
       MakeEvent(principal, compute_id, action, securable, allowed, detail);
   MutexLock lock(mu_);
-  // Drain queued events first so the committed log stays in record order,
-  // then commit this one synchronously — the caller publishes its catalog
-  // mutation only after we return (write-ahead ordering).
-  FlushLocked();
-  committed_.push_back(std::move(event));
+  // Queue this event behind anything already pending (committed log stays in
+  // record order) and drain the whole batch durably. The caller publishes
+  // its catalog mutation only after we return OK (write-ahead ordering).
+  event.sequence = next_sequence_++;
+  pending_.push_back(std::move(event));
+  return FlushLocked();
 }
 
-void AuditLog::Flush() {
+Status AuditLog::Flush() {
   MutexLock lock(mu_);
-  FlushLocked();
+  return FlushLocked();
 }
 
-void AuditLog::FlushLocked() const {
-  if (pending_.empty()) return;
+Status AuditLog::FlushLocked() const {
+  if (pending_.empty()) return Status::OK();
+  if (wal_ != nullptr) {
+    // Group commit: one WAL append per event, ONE fsync for the batch. Only
+    // a fully synced batch counts as committed; on any failure every event
+    // stays pending and the whole batch is retried (replay dedups by
+    // sequence the records whose append landed before the failure).
+    for (const AuditEvent& event : pending_) {
+      if (auto crash = fault::CheckCrash("audit.flush")) {
+        (void)crash;
+        return fault::Death("audit.flush");
+      }
+      LG_RETURN_IF_ERROR(
+          wal_->Append(event.sequence, EncodeAuditEvent(event)).status());
+    }
+    LG_RETURN_IF_ERROR(wal_->Sync());
+  }
   committed_.insert(committed_.end(),
                     std::make_move_iterator(pending_.begin()),
                     std::make_move_iterator(pending_.end()));
   pending_.clear();
   ++flush_batches_;
+  return Status::OK();
 }
 
 // Condition-variable waiting releases/reacquires the capability in a way the
@@ -93,25 +192,42 @@ void AuditLog::FlusherLoop() LG_NO_THREAD_SAFETY_ANALYSIS {
   MutexLock lock(mu_);
   while (!shutdown_) {
     // Wake on explicit signal (queue half full, shutdown) or periodically —
-    // a quiet catalog still gets its trail committed promptly.
+    // a quiet catalog still gets its trail committed promptly. Failed
+    // flushes leave events pending; the next tick retries.
     cv_.wait_for(mu_, std::chrono::milliseconds(20), [this] {
       return shutdown_ || pending_.size() >= kMaxPending / 2;
     });
-    FlushLocked();
+    (void)FlushLocked();
   }
-  FlushLocked();
+}
+
+Status AuditLog::Shutdown() {
+  if (!flusher_stopped_) {
+    {
+      MutexLock lock(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    if (flusher_.joinable()) flusher_.join();
+    flusher_stopped_ = true;
+  }
+  // Deterministic drain: everything recorded before this call is committed
+  // (or reported as a typed error) before we return — never a silent
+  // best-effort drop on teardown.
+  MutexLock lock(mu_);
+  return FlushLocked();
 }
 
 std::vector<AuditEvent> AuditLog::All() const {
   MutexLock lock(mu_);
-  FlushLocked();
+  (void)FlushLocked();
   return committed_;
 }
 
 std::vector<AuditEvent> AuditLog::ForPrincipal(
     const std::string& principal) const {
   MutexLock lock(mu_);
-  FlushLocked();
+  (void)FlushLocked();
   std::vector<AuditEvent> out;
   for (const AuditEvent& e : committed_) {
     if (e.principal == principal) out.push_back(e);
@@ -122,7 +238,7 @@ std::vector<AuditEvent> AuditLog::ForPrincipal(
 std::vector<AuditEvent> AuditLog::ForSecurable(
     const std::string& securable) const {
   MutexLock lock(mu_);
-  FlushLocked();
+  (void)FlushLocked();
   std::vector<AuditEvent> out;
   for (const AuditEvent& e : committed_) {
     if (e.securable == securable) out.push_back(e);
@@ -132,7 +248,7 @@ std::vector<AuditEvent> AuditLog::ForSecurable(
 
 size_t AuditLog::DeniedCount() const {
   MutexLock lock(mu_);
-  FlushLocked();
+  (void)FlushLocked();
   size_t n = 0;
   for (const AuditEvent& e : committed_) {
     if (!e.allowed) ++n;
@@ -142,7 +258,7 @@ size_t AuditLog::DeniedCount() const {
 
 size_t AuditLog::size() const {
   MutexLock lock(mu_);
-  FlushLocked();
+  (void)FlushLocked();
   return committed_.size();
 }
 

@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/serde.h"
 #include "core/thread_annotations.h"
+#include "storage/durable/durable_log.h"
 
 namespace lakeguard {
 
@@ -17,6 +19,10 @@ namespace lakeguard {
 /// identity, even when permissions were group-down-scoped (§4.2) or the
 /// request arrived via a cluster.
 struct AuditEvent {
+  /// Monotonic per-log sequence, assigned at enqueue. The durable replay
+  /// dedup key: a crash between WAL append and acknowledgment makes the
+  /// retried event appear twice on disk, and replay keeps one.
+  uint64_t sequence = 0;
   int64_t time_micros = 0;
   std::string principal;
   std::string compute_id;
@@ -25,6 +31,11 @@ struct AuditEvent {
   bool allowed = false;
   std::string detail;
 };
+
+/// Serializes one audit event with the tagged binary serde (WAL payload).
+std::vector<uint8_t> EncodeAuditEvent(const AuditEvent& event);
+/// Decodes an event; truncation or malformed fields are typed errors.
+Result<AuditEvent> DecodeAuditEvent(const std::vector<uint8_t>& bytes);
 
 /// Append-only audit trail with simple query helpers.
 ///
@@ -37,7 +48,14 @@ struct AuditEvent {
 /// write-ahead ordering, so a crash after the mutation is acknowledged can
 /// never lose its audit record. The queue is bounded and lossless — a full
 /// queue makes the recording thread flush inline (backpressure, never a
-/// drop) — and the destructor drains everything (flush-on-shutdown).
+/// drop) — and `Shutdown` (also run by the destructor) deterministically
+/// drains everything.
+///
+/// Durability: after `AttachDurability`, committing a batch means appending
+/// every event to the WAL and fsyncing ONCE for the whole batch (group
+/// commit) before the events count as committed. Events whose flush fails
+/// stay pending and are retried — durable-before-ack, lossless. Crash seam:
+/// `audit.flush`.
 class AuditLog {
  public:
   explicit AuditLog(Clock* clock);
@@ -46,6 +64,14 @@ class AuditLog {
   AuditLog(const AuditLog&) = delete;
   AuditLog& operator=(const AuditLog&) = delete;
 
+  /// Wires a write-ahead log under the committed stream and replays prior
+  /// records into it: `replayed` payloads (from `DurableLog::Open`) are
+  /// decoded, deduplicated by sequence, and become the recovered committed
+  /// prefix. Call before any traffic. A payload that fails to decode fails
+  /// the attach (`kDataLoss` — fail closed, no partial audit trail).
+  Status AttachDurability(DurableLog* wal,
+                          const std::vector<ReplayedRecord>& replayed);
+
   /// Asynchronous: enqueues the event for batched commit. Used for
   /// query-path decisions (resolution, credential vending, denials).
   void Record(const std::string& principal, const std::string& compute_id,
@@ -53,15 +79,22 @@ class AuditLog {
               bool allowed, const std::string& detail = "");
 
   /// Synchronous write-ahead record: drains the queue (preserving event
-  /// order) and commits this event before returning. Callers mutating
-  /// catalog state MUST call this before publishing the change.
-  void RecordDurable(const std::string& principal,
-                     const std::string& compute_id, const std::string& action,
-                     const std::string& securable, bool allowed,
-                     const std::string& detail = "");
+  /// order) and durably commits this event before returning. Callers
+  /// mutating catalog state MUST call this — and check the status — before
+  /// publishing the change; an error means the mutation must not publish.
+  Status RecordDurable(const std::string& principal,
+                       const std::string& compute_id,
+                       const std::string& action, const std::string& securable,
+                       bool allowed, const std::string& detail = "");
 
   /// Drains all queued events into the committed log.
-  void Flush();
+  Status Flush();
+
+  /// Deterministic shutdown: stops the background flusher, then drains the
+  /// queue. Idempotent; the destructor calls it. Returns the final drain
+  /// status (a simulated-death error means the tail stayed pending, exactly
+  /// as a real crash would leave it).
+  Status Shutdown();
 
   // Query helpers flush first, so callers always observe a complete log.
   std::vector<AuditEvent> All() const;
@@ -88,7 +121,8 @@ class AuditLog {
                        const std::string& compute_id,
                        const std::string& action, const std::string& securable,
                        bool allowed, const std::string& detail) const;
-  void FlushLocked() const LG_REQUIRES(mu_);
+  Status FlushLocked() const LG_REQUIRES(mu_);
+
   void FlusherLoop();
 
   Clock* clock_;
@@ -98,7 +132,10 @@ class AuditLog {
   mutable std::vector<AuditEvent> pending_ LG_GUARDED_BY(mu_);
   mutable std::vector<AuditEvent> committed_ LG_GUARDED_BY(mu_);
   mutable uint64_t flush_batches_ LG_GUARDED_BY(mu_) = 0;
+  mutable uint64_t next_sequence_ LG_GUARDED_BY(mu_) = 1;
+  DurableLog* wal_ LG_GUARDED_BY(mu_) = nullptr;
   bool shutdown_ LG_GUARDED_BY(mu_) = false;
+  bool flusher_stopped_ = false;  // accessed only by Shutdown/destructor
   std::thread flusher_;
 };
 

@@ -1,0 +1,468 @@
+#include "catalog/catalog_serde.h"
+
+#include <utility>
+
+#include "columnar/ipc.h"
+#include "expr/expr_serde.h"
+#include "udf/bytecode.h"
+
+namespace lakeguard {
+
+namespace {
+
+// Field numbers. Images must remain decodable across schema evolution, so
+// numbers are never reused — append only.
+enum ImageField : uint32_t {
+  kEpoch = 1,
+  kAdmin = 2,
+  kCatalogEntry = 3,
+  kSchemaEntry = 4,
+  kTableEntry = 5,
+  kViewEntry = 6,
+  kFunctionEntry = 7,
+  kVolumeEntry = 8,
+  kGrantSet = 9,
+  kOwnerEntry = 10,
+};
+
+void EncodePair(uint32_t field, const std::string& name,
+                const std::string& owner, ByteWriter* writer) {
+  ByteWriter nested;
+  nested.PutTaggedString(1, name);
+  nested.PutTaggedString(2, owner);
+  writer->PutTaggedMessage(field, nested);
+}
+
+Result<std::pair<std::string, std::string>> DecodePair(ByteReader* reader) {
+  std::pair<std::string, std::string> out;
+  while (!reader->AtEnd()) {
+    LG_ASSIGN_OR_RETURN(auto tag, reader->ReadTag());
+    switch (tag.field) {
+      case 1: {
+        LG_ASSIGN_OR_RETURN(out.first, reader->ReadString());
+        break;
+      }
+      case 2: {
+        LG_ASSIGN_OR_RETURN(out.second, reader->ReadString());
+        break;
+      }
+      default:
+        LG_RETURN_IF_ERROR(reader->SkipValue(tag.type));
+    }
+  }
+  return out;
+}
+
+void EncodeExprField(uint32_t field, const ExprPtr& expr, ByteWriter* writer) {
+  ByteWriter nested;
+  SerializeExpr(expr, &nested);
+  writer->PutTaggedMessage(field, nested);
+}
+
+Result<ExprPtr> DecodeExprField(ByteReader* reader) {
+  LG_ASSIGN_OR_RETURN(ByteReader sub, reader->ReadMessage());
+  return DeserializeExpr(&sub);
+}
+
+void EncodeMask(uint32_t field, const ColumnMaskPolicy& mask,
+                ByteWriter* writer) {
+  ByteWriter nested;
+  nested.PutTaggedString(1, mask.column);
+  EncodeExprField(2, mask.mask_expr, &nested);
+  for (const std::string& group : mask.exempt_groups) {
+    nested.PutTaggedString(3, group);
+  }
+  writer->PutTaggedMessage(field, nested);
+}
+
+Result<ColumnMaskPolicy> DecodeMask(ByteReader* reader) {
+  ColumnMaskPolicy mask;
+  while (!reader->AtEnd()) {
+    LG_ASSIGN_OR_RETURN(auto tag, reader->ReadTag());
+    switch (tag.field) {
+      case 1: {
+        LG_ASSIGN_OR_RETURN(mask.column, reader->ReadString());
+        break;
+      }
+      case 2: {
+        LG_ASSIGN_OR_RETURN(mask.mask_expr, DecodeExprField(reader));
+        break;
+      }
+      case 3: {
+        LG_ASSIGN_OR_RETURN(std::string group, reader->ReadString());
+        mask.exempt_groups.push_back(std::move(group));
+        break;
+      }
+      default:
+        LG_RETURN_IF_ERROR(reader->SkipValue(tag.type));
+    }
+  }
+  if (mask.mask_expr == nullptr) {
+    return Status::DataLoss("column mask without a mask expression");
+  }
+  return mask;
+}
+
+void EncodeTable(const TableInfo& table, ByteWriter* writer) {
+  ByteWriter nested;
+  nested.PutTaggedString(1, table.full_name);
+  nested.PutTaggedString(2, table.owner);
+  nested.PutTaggedString(3, table.storage_root);
+  ByteWriter schema;
+  ipc::SerializeSchema(table.schema, &schema);
+  nested.PutTaggedMessage(4, schema);
+  if (table.row_filter.has_value()) {
+    EncodeExprField(5, table.row_filter->predicate, &nested);
+  }
+  for (const ColumnMaskPolicy& mask : table.column_masks) {
+    EncodeMask(6, mask, &nested);
+  }
+  writer->PutTaggedMessage(kTableEntry, nested);
+}
+
+Result<TableInfo> DecodeTable(ByteReader* reader) {
+  TableInfo table;
+  while (!reader->AtEnd()) {
+    LG_ASSIGN_OR_RETURN(auto tag, reader->ReadTag());
+    switch (tag.field) {
+      case 1: {
+        LG_ASSIGN_OR_RETURN(table.full_name, reader->ReadString());
+        break;
+      }
+      case 2: {
+        LG_ASSIGN_OR_RETURN(table.owner, reader->ReadString());
+        break;
+      }
+      case 3: {
+        LG_ASSIGN_OR_RETURN(table.storage_root, reader->ReadString());
+        break;
+      }
+      case 4: {
+        LG_ASSIGN_OR_RETURN(ByteReader sub, reader->ReadMessage());
+        LG_ASSIGN_OR_RETURN(table.schema, ipc::DeserializeSchema(&sub));
+        break;
+      }
+      case 5: {
+        RowFilterPolicy policy;
+        LG_ASSIGN_OR_RETURN(policy.predicate, DecodeExprField(reader));
+        table.row_filter = std::move(policy);
+        break;
+      }
+      case 6: {
+        LG_ASSIGN_OR_RETURN(ByteReader sub, reader->ReadMessage());
+        LG_ASSIGN_OR_RETURN(ColumnMaskPolicy mask, DecodeMask(&sub));
+        table.column_masks.push_back(std::move(mask));
+        break;
+      }
+      default:
+        LG_RETURN_IF_ERROR(reader->SkipValue(tag.type));
+    }
+  }
+  return table;
+}
+
+void EncodeView(const ViewInfo& view, ByteWriter* writer) {
+  ByteWriter nested;
+  nested.PutTaggedString(1, view.full_name);
+  nested.PutTaggedString(2, view.owner);
+  nested.PutTaggedString(3, view.sql_text);
+  nested.PutTaggedBool(4, view.materialized);
+  nested.PutTaggedString(5, view.storage_root);
+  nested.PutTaggedBool(6, view.materialization_fresh);
+  ByteWriter schema;
+  ipc::SerializeSchema(view.materialized_schema, &schema);
+  nested.PutTaggedMessage(7, schema);
+  writer->PutTaggedMessage(kViewEntry, nested);
+}
+
+Result<ViewInfo> DecodeView(ByteReader* reader) {
+  ViewInfo view;
+  while (!reader->AtEnd()) {
+    LG_ASSIGN_OR_RETURN(auto tag, reader->ReadTag());
+    switch (tag.field) {
+      case 1: {
+        LG_ASSIGN_OR_RETURN(view.full_name, reader->ReadString());
+        break;
+      }
+      case 2: {
+        LG_ASSIGN_OR_RETURN(view.owner, reader->ReadString());
+        break;
+      }
+      case 3: {
+        LG_ASSIGN_OR_RETURN(view.sql_text, reader->ReadString());
+        break;
+      }
+      case 4: {
+        LG_ASSIGN_OR_RETURN(view.materialized, reader->ReadBool());
+        break;
+      }
+      case 5: {
+        LG_ASSIGN_OR_RETURN(view.storage_root, reader->ReadString());
+        break;
+      }
+      case 6: {
+        LG_ASSIGN_OR_RETURN(view.materialization_fresh, reader->ReadBool());
+        break;
+      }
+      case 7: {
+        LG_ASSIGN_OR_RETURN(ByteReader sub, reader->ReadMessage());
+        LG_ASSIGN_OR_RETURN(view.materialized_schema,
+                            ipc::DeserializeSchema(&sub));
+        break;
+      }
+      default:
+        LG_RETURN_IF_ERROR(reader->SkipValue(tag.type));
+    }
+  }
+  return view;
+}
+
+void EncodeFunction(const FunctionInfo& fn, ByteWriter* writer) {
+  ByteWriter nested;
+  nested.PutTaggedString(1, fn.full_name);
+  nested.PutTaggedString(2, fn.owner);
+  nested.PutTaggedVarint(3, static_cast<uint64_t>(fn.return_type));
+  nested.PutTaggedVarint(4, fn.num_args);
+  ByteWriter body;
+  SerializeBytecode(fn.body, &body);
+  nested.PutTaggedMessage(5, body);
+  for (const std::string& host : fn.allowed_egress) {
+    nested.PutTaggedString(6, host);
+  }
+  writer->PutTaggedMessage(kFunctionEntry, nested);
+}
+
+Result<FunctionInfo> DecodeFunction(ByteReader* reader) {
+  FunctionInfo fn;
+  while (!reader->AtEnd()) {
+    LG_ASSIGN_OR_RETURN(auto tag, reader->ReadTag());
+    switch (tag.field) {
+      case 1: {
+        LG_ASSIGN_OR_RETURN(fn.full_name, reader->ReadString());
+        break;
+      }
+      case 2: {
+        LG_ASSIGN_OR_RETURN(fn.owner, reader->ReadString());
+        break;
+      }
+      case 3: {
+        LG_ASSIGN_OR_RETURN(uint64_t kind, reader->ReadVarint());
+        fn.return_type = static_cast<TypeKind>(kind);
+        break;
+      }
+      case 4: {
+        LG_ASSIGN_OR_RETURN(uint64_t n, reader->ReadVarint());
+        fn.num_args = static_cast<uint32_t>(n);
+        break;
+      }
+      case 5: {
+        LG_ASSIGN_OR_RETURN(ByteReader sub, reader->ReadMessage());
+        LG_ASSIGN_OR_RETURN(fn.body, DeserializeBytecode(&sub));
+        break;
+      }
+      case 6: {
+        LG_ASSIGN_OR_RETURN(std::string host, reader->ReadString());
+        fn.allowed_egress.push_back(std::move(host));
+        break;
+      }
+      default:
+        LG_RETURN_IF_ERROR(reader->SkipValue(tag.type));
+    }
+  }
+  return fn;
+}
+
+void EncodeVolume(const VolumeInfo& volume, ByteWriter* writer) {
+  ByteWriter nested;
+  nested.PutTaggedString(1, volume.full_name);
+  nested.PutTaggedString(2, volume.owner);
+  nested.PutTaggedString(3, volume.storage_prefix);
+  writer->PutTaggedMessage(kVolumeEntry, nested);
+}
+
+Result<VolumeInfo> DecodeVolume(ByteReader* reader) {
+  VolumeInfo volume;
+  while (!reader->AtEnd()) {
+    LG_ASSIGN_OR_RETURN(auto tag, reader->ReadTag());
+    switch (tag.field) {
+      case 1: {
+        LG_ASSIGN_OR_RETURN(volume.full_name, reader->ReadString());
+        break;
+      }
+      case 2: {
+        LG_ASSIGN_OR_RETURN(volume.owner, reader->ReadString());
+        break;
+      }
+      case 3: {
+        LG_ASSIGN_OR_RETURN(volume.storage_prefix, reader->ReadString());
+        break;
+      }
+      default:
+        LG_RETURN_IF_ERROR(reader->SkipValue(tag.type));
+    }
+  }
+  return volume;
+}
+
+void EncodeGrantSet(const std::string& securable,
+                    const std::vector<GrantRecord>& grants,
+                    ByteWriter* writer) {
+  ByteWriter nested;
+  nested.PutTaggedString(1, securable);
+  for (const GrantRecord& grant : grants) {
+    ByteWriter entry;
+    entry.PutTaggedString(1, grant.principal);
+    entry.PutTaggedVarint(2, static_cast<uint64_t>(grant.privilege));
+    nested.PutTaggedMessage(2, entry);
+  }
+  writer->PutTaggedMessage(kGrantSet, nested);
+}
+
+Result<std::pair<std::string, std::vector<GrantRecord>>> DecodeGrantSet(
+    ByteReader* reader) {
+  std::pair<std::string, std::vector<GrantRecord>> out;
+  while (!reader->AtEnd()) {
+    LG_ASSIGN_OR_RETURN(auto tag, reader->ReadTag());
+    switch (tag.field) {
+      case 1: {
+        LG_ASSIGN_OR_RETURN(out.first, reader->ReadString());
+        break;
+      }
+      case 2: {
+        LG_ASSIGN_OR_RETURN(ByteReader sub, reader->ReadMessage());
+        GrantRecord grant;
+        while (!sub.AtEnd()) {
+          LG_ASSIGN_OR_RETURN(auto entry_tag, sub.ReadTag());
+          switch (entry_tag.field) {
+            case 1: {
+              LG_ASSIGN_OR_RETURN(grant.principal, sub.ReadString());
+              break;
+            }
+            case 2: {
+              LG_ASSIGN_OR_RETURN(uint64_t p, sub.ReadVarint());
+              if (p > static_cast<uint64_t>(Privilege::kWriteVolume)) {
+                return Status::DataLoss("grant record with unknown privilege " +
+                                        std::to_string(p));
+              }
+              grant.privilege = static_cast<Privilege>(p);
+              break;
+            }
+            default:
+              LG_RETURN_IF_ERROR(sub.SkipValue(entry_tag.type));
+          }
+        }
+        out.second.push_back(std::move(grant));
+        break;
+      }
+      default:
+        LG_RETURN_IF_ERROR(reader->SkipValue(tag.type));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeCatalogImage(const CatalogImage& image) {
+  ByteWriter writer;
+  writer.PutTaggedVarint(kEpoch, image.epoch);
+  for (const std::string& admin : image.admins) {
+    writer.PutTaggedString(kAdmin, admin);
+  }
+  for (const auto& [name, owner] : image.catalogs) {
+    EncodePair(kCatalogEntry, name, owner, &writer);
+  }
+  for (const auto& [name, owner] : image.schemas) {
+    EncodePair(kSchemaEntry, name, owner, &writer);
+  }
+  for (const auto& [name, table] : image.tables) EncodeTable(table, &writer);
+  for (const auto& [name, view] : image.views) EncodeView(view, &writer);
+  for (const auto& [name, fn] : image.functions) EncodeFunction(fn, &writer);
+  for (const auto& [name, volume] : image.volumes) {
+    EncodeVolume(volume, &writer);
+  }
+  for (const auto& [securable, grants] : image.grants) {
+    EncodeGrantSet(securable, grants, &writer);
+  }
+  for (const auto& [securable, owner] : image.owners) {
+    EncodePair(kOwnerEntry, securable, owner, &writer);
+  }
+  return writer.Release();
+}
+
+Result<CatalogImage> DecodeCatalogImage(const std::vector<uint8_t>& bytes) {
+  CatalogImage image;
+  ByteReader reader(bytes);
+  while (!reader.AtEnd()) {
+    LG_ASSIGN_OR_RETURN(auto tag, reader.ReadTag());
+    switch (tag.field) {
+      case kEpoch: {
+        LG_ASSIGN_OR_RETURN(image.epoch, reader.ReadVarint());
+        break;
+      }
+      case kAdmin: {
+        LG_ASSIGN_OR_RETURN(std::string admin, reader.ReadString());
+        image.admins.push_back(std::move(admin));
+        break;
+      }
+      case kCatalogEntry: {
+        LG_ASSIGN_OR_RETURN(ByteReader sub, reader.ReadMessage());
+        LG_ASSIGN_OR_RETURN(auto pair, DecodePair(&sub));
+        image.catalogs.insert(std::move(pair));
+        break;
+      }
+      case kSchemaEntry: {
+        LG_ASSIGN_OR_RETURN(ByteReader sub, reader.ReadMessage());
+        LG_ASSIGN_OR_RETURN(auto pair, DecodePair(&sub));
+        image.schemas.insert(std::move(pair));
+        break;
+      }
+      case kTableEntry: {
+        LG_ASSIGN_OR_RETURN(ByteReader sub, reader.ReadMessage());
+        LG_ASSIGN_OR_RETURN(TableInfo table, DecodeTable(&sub));
+        std::string key = table.full_name;
+        image.tables.emplace(std::move(key), std::move(table));
+        break;
+      }
+      case kViewEntry: {
+        LG_ASSIGN_OR_RETURN(ByteReader sub, reader.ReadMessage());
+        LG_ASSIGN_OR_RETURN(ViewInfo view, DecodeView(&sub));
+        std::string key = view.full_name;
+        image.views.emplace(std::move(key), std::move(view));
+        break;
+      }
+      case kFunctionEntry: {
+        LG_ASSIGN_OR_RETURN(ByteReader sub, reader.ReadMessage());
+        LG_ASSIGN_OR_RETURN(FunctionInfo fn, DecodeFunction(&sub));
+        std::string key = fn.full_name;
+        image.functions.emplace(std::move(key), std::move(fn));
+        break;
+      }
+      case kVolumeEntry: {
+        LG_ASSIGN_OR_RETURN(ByteReader sub, reader.ReadMessage());
+        LG_ASSIGN_OR_RETURN(VolumeInfo volume, DecodeVolume(&sub));
+        std::string key = volume.full_name;
+        image.volumes.emplace(std::move(key), std::move(volume));
+        break;
+      }
+      case kGrantSet: {
+        LG_ASSIGN_OR_RETURN(ByteReader sub, reader.ReadMessage());
+        LG_ASSIGN_OR_RETURN(auto grant_set, DecodeGrantSet(&sub));
+        image.grants.emplace(std::move(grant_set.first),
+                             std::move(grant_set.second));
+        break;
+      }
+      case kOwnerEntry: {
+        LG_ASSIGN_OR_RETURN(ByteReader sub, reader.ReadMessage());
+        LG_ASSIGN_OR_RETURN(auto pair, DecodePair(&sub));
+        image.owners.insert(std::move(pair));
+        break;
+      }
+      default:
+        LG_RETURN_IF_ERROR(reader.SkipValue(tag.type));
+    }
+  }
+  return image;
+}
+
+}  // namespace lakeguard

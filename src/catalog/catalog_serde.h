@@ -1,0 +1,49 @@
+#ifndef LAKEGUARD_CATALOG_CATALOG_SERDE_H_
+#define LAKEGUARD_CATALOG_CATALOG_SERDE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/securable.h"
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace lakeguard {
+
+/// One grant in a serializable catalog image.
+struct GrantRecord {
+  std::string principal;
+  Privilege privilege = Privilege::kSelect;
+};
+
+/// Serializable mirror of the catalog's full governance state. Durability is
+/// physical state-shipping: every published epoch writes the complete image
+/// to the WAL (catalog mutations are control-plane rare and the image is
+/// small), so recovery is "decode latest image" with no logical-replay
+/// interpreter to drift from the real mutation code.
+struct CatalogImage {
+  uint64_t epoch = 0;
+  std::vector<std::string> admins;
+  std::map<std::string, std::string> catalogs;  // name -> owner
+  std::map<std::string, std::string> schemas;   // "cat.schema" -> owner
+  std::map<std::string, TableInfo> tables;
+  std::map<std::string, ViewInfo> views;
+  std::map<std::string, FunctionInfo> functions;
+  std::map<std::string, VolumeInfo> volumes;
+  std::map<std::string, std::vector<GrantRecord>> grants;
+  std::map<std::string, std::string> owners;  // securable -> owner
+};
+
+/// Encodes `image` with the repo's tagged binary serde (unknown fields are
+/// skippable, so images survive forward schema evolution).
+std::vector<uint8_t> EncodeCatalogImage(const CatalogImage& image);
+
+/// Decodes an image; any truncation or malformed field is a typed error
+/// (`kDataLoss` for truncation), never a partially populated image.
+Result<CatalogImage> DecodeCatalogImage(const std::vector<uint8_t>& bytes);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_CATALOG_CATALOG_SERDE_H_

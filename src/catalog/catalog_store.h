@@ -1,0 +1,64 @@
+#ifndef LAKEGUARD_CATALOG_CATALOG_STORE_H_
+#define LAKEGUARD_CATALOG_CATALOG_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "catalog/catalog_serde.h"
+#include "common/status.h"
+#include "storage/durable/durable_log.h"
+
+namespace lakeguard {
+
+struct DurableCatalogStoreOptions {
+  std::string dir;
+  /// A checkpoint is written after this many logged publishes (bounds WAL
+  /// replay length at recovery).
+  uint64_t checkpoint_every = 64;
+  uint64_t max_segment_bytes = 256 * 1024;
+};
+
+/// Durable backing for the catalog's published epochs. Epoch and LSN move in
+/// lockstep — the image published as epoch N is the WAL record with LSN N
+/// and stamp N — which turns the WAL's strict-LSN-continuity check into an
+/// epoch-monotonicity check: a rolled-back checkpoint or a dropped record
+/// surfaces as `kDataLoss` at open, never as a silently older catalog.
+class DurableCatalogStore {
+ public:
+  /// Opens the store and recovers the newest durable image. Corruption,
+  /// tampering, or a lockstep violation fails the open with `kDataLoss`.
+  static Result<std::unique_ptr<DurableCatalogStore>> Open(
+      DurableCatalogStoreOptions options);
+
+  DurableCatalogStore(const DurableCatalogStore&) = delete;
+  DurableCatalogStore& operator=(const DurableCatalogStore&) = delete;
+
+  /// True when recovery found at least one durable epoch.
+  bool has_recovered_state() const { return has_recovered_; }
+  /// The newest recovered image (epoch 0 default image when none).
+  const CatalogImage& recovered() const { return recovered_; }
+  const DurableLogRecovery& recovery_info() const { return recovery_info_; }
+
+  /// Durably commits one published epoch (write-ahead: callers must not
+  /// expose the new state until this returns OK). `image.epoch` must be
+  /// exactly the next LSN. Periodically also writes a checkpoint.
+  Status LogPublish(const CatalogImage& image);
+
+  DurableLog& log() { return *log_; }
+
+ private:
+  explicit DurableCatalogStore(DurableCatalogStoreOptions options)
+      : options_(std::move(options)) {}
+
+  DurableCatalogStoreOptions options_;
+  std::unique_ptr<DurableLog> log_;
+  DurableLogRecovery recovery_info_;
+  bool has_recovered_ = false;
+  CatalogImage recovered_;
+  uint64_t appends_since_checkpoint_ = 0;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_CATALOG_CATALOG_STORE_H_

@@ -97,18 +97,99 @@ std::shared_ptr<UnityCatalog::CatalogState> UnityCatalog::BeginMutation()
   return std::make_shared<CatalogState>(*Snapshot());
 }
 
-void UnityCatalog::Publish(std::shared_ptr<CatalogState> next) {
+Status UnityCatalog::Publish(std::shared_ptr<CatalogState> next) {
   next->epoch = Snapshot()->epoch + 1;
+  if (store_ != nullptr) {
+    // Write-ahead: the image must be durable before anyone can observe the
+    // new epoch. On failure the mutation evaporates — the in-memory state
+    // was never touched, so the catalog is never ahead of its WAL.
+    LG_RETURN_IF_ERROR(store_->LogPublish(ToImage(*next)));
+  }
   state_.store(StatePtr(std::move(next)), std::memory_order_release);
+  return Status::OK();
+}
+
+CatalogImage UnityCatalog::ToImage(const CatalogState& state) {
+  CatalogImage image;
+  image.epoch = state.epoch;
+  image.admins.assign(state.admins.begin(), state.admins.end());
+  image.catalogs = state.catalogs;
+  image.schemas = state.schemas;
+  image.tables = state.tables;
+  image.views = state.views;
+  image.functions = state.functions;
+  image.volumes = state.volumes;
+  for (const auto& [securable, entries] : state.grants) {
+    std::vector<GrantRecord>& records = image.grants[securable];
+    for (const GrantEntry& entry : entries) {
+      records.push_back({entry.principal, entry.privilege});
+    }
+  }
+  image.owners = state.owners;
+  return image;
+}
+
+void UnityCatalog::FromImage(const CatalogImage& image, CatalogState* state) {
+  state->epoch = image.epoch;
+  state->admins.insert(image.admins.begin(), image.admins.end());
+  state->catalogs = image.catalogs;
+  state->schemas = image.schemas;
+  state->tables = image.tables;
+  state->views = image.views;
+  state->functions = image.functions;
+  state->volumes = image.volumes;
+  for (const auto& [securable, records] : image.grants) {
+    std::vector<GrantEntry>& entries = state->grants[securable];
+    for (const GrantRecord& record : records) {
+      entries.push_back({record.principal, record.privilege});
+    }
+  }
+  state->owners = image.owners;
+}
+
+Status UnityCatalog::AttachDurability(DurableCatalogStore* store) {
+  MutexLock lock(writer_mu_);
+  if (Snapshot()->epoch != 0) {
+    return Status::FailedPrecondition(
+        "durability must be attached before any catalog mutation");
+  }
+  if (store->has_recovered_state()) {
+    auto next = std::make_shared<CatalogState>();
+    FromImage(store->recovered(), next.get());
+    // Restores the EXACT last durably published epoch — plans bound to a
+    // newer (lost-in-crash, never-acknowledged) epoch will fail their epoch
+    // check rather than be silently mis-admitted.
+    state_.store(StatePtr(std::move(next)), std::memory_order_release);
+  }
+  store_ = store;
+  return Status::OK();
+}
+
+void UnityCatalog::Poison(Status status) {
+  MutexLock lock(writer_mu_);
+  poison_status_ = std::move(status);
+  poisoned_.store(true, std::memory_order_release);
+}
+
+Status UnityCatalog::health() const {
+  if (!poisoned_.load(std::memory_order_acquire)) return Status::OK();
+  MutexLock lock(writer_mu_);
+  return poison_status_;
+}
+
+Status UnityCatalog::HealthLocked() const {
+  if (!poisoned_.load(std::memory_order_acquire)) return Status::OK();
+  return poison_status_;
 }
 
 uint64_t UnityCatalog::epoch() const { return Snapshot()->epoch; }
 
-void UnityCatalog::AddMetastoreAdmin(const std::string& user) {
+Status UnityCatalog::AddMetastoreAdmin(const std::string& user) {
   MutexLock lock(writer_mu_);
+  LG_RETURN_IF_ERROR(HealthLocked());
   auto next = BeginMutation();
   next->admins.insert(user);
-  Publish(std::move(next));
+  return Publish(std::move(next));
 }
 
 bool UnityCatalog::IsMetastoreAdmin(const std::string& user) const {
@@ -135,6 +216,7 @@ Status UnityCatalog::SplitQualified(const std::string& full_name,
 Status UnityCatalog::CreateCatalog(const std::string& as_user,
                                    const std::string& name) {
   MutexLock lock(writer_mu_);
+  LG_RETURN_IF_ERROR(HealthLocked());
   auto next = BeginMutation();
   if (!next->admins.count(as_user)) {
     audit_.Record(as_user, "", "CREATE_CATALOG", name, false,
@@ -146,9 +228,9 @@ Status UnityCatalog::CreateCatalog(const std::string& as_user,
   }
   next->catalogs[name] = as_user;
   next->owners[name] = as_user;
-  audit_.RecordDurable(as_user, "", "CREATE_CATALOG", name, true);
-  Publish(std::move(next));
-  return Status::OK();
+  LG_RETURN_IF_ERROR(
+      audit_.RecordDurable(as_user, "", "CREATE_CATALOG", name, true));
+  return Publish(std::move(next));
 }
 
 Status UnityCatalog::CreateSchema(const std::string& as_user,
@@ -156,6 +238,7 @@ Status UnityCatalog::CreateSchema(const std::string& as_user,
   std::vector<std::string> parts;
   LG_RETURN_IF_ERROR(SplitQualified(full_name, &parts, 2));
   MutexLock lock(writer_mu_);
+  LG_RETURN_IF_ERROR(HealthLocked());
   auto next = BeginMutation();
   auto cat = next->catalogs.find(parts[0]);
   if (cat == next->catalogs.end()) {
@@ -173,15 +256,16 @@ Status UnityCatalog::CreateSchema(const std::string& as_user,
   }
   next->schemas[full_name] = as_user;
   next->owners[full_name] = as_user;
-  audit_.RecordDurable(as_user, "", "CREATE_SCHEMA", full_name, true);
-  Publish(std::move(next));
-  return Status::OK();
+  LG_RETURN_IF_ERROR(
+      audit_.RecordDurable(as_user, "", "CREATE_SCHEMA", full_name, true));
+  return Publish(std::move(next));
 }
 
 Status UnityCatalog::CreateTable(const std::string& as_user, TableInfo info) {
   std::vector<std::string> parts;
   LG_RETURN_IF_ERROR(SplitQualified(info.full_name, &parts, 3));
   MutexLock lock(writer_mu_);
+  LG_RETURN_IF_ERROR(HealthLocked());
   auto next = BeginMutation();
   std::string schema_name = ParentSchema(parts);
   auto schema_it = next->schemas.find(schema_name);
@@ -207,15 +291,16 @@ Status UnityCatalog::CreateTable(const std::string& as_user, TableInfo info) {
   std::string full_name = info.full_name;
   next->owners[full_name] = as_user;
   next->tables[full_name] = std::move(info);
-  audit_.RecordDurable(as_user, "", "CREATE_TABLE", full_name, true);
-  Publish(std::move(next));
-  return Status::OK();
+  LG_RETURN_IF_ERROR(
+      audit_.RecordDurable(as_user, "", "CREATE_TABLE", full_name, true));
+  return Publish(std::move(next));
 }
 
 Status UnityCatalog::CreateView(const std::string& as_user, ViewInfo info) {
   std::vector<std::string> parts;
   LG_RETURN_IF_ERROR(SplitQualified(info.full_name, &parts, 3));
   MutexLock lock(writer_mu_);
+  LG_RETURN_IF_ERROR(HealthLocked());
   auto next = BeginMutation();
   std::string schema_name = ParentSchema(parts);
   auto schema_it = next->schemas.find(schema_name);
@@ -241,9 +326,9 @@ Status UnityCatalog::CreateView(const std::string& as_user, ViewInfo info) {
   std::string full_name = info.full_name;
   next->owners[full_name] = as_user;
   next->views[full_name] = std::move(info);
-  audit_.RecordDurable(as_user, "", "CREATE_VIEW", full_name, true);
-  Publish(std::move(next));
-  return Status::OK();
+  LG_RETURN_IF_ERROR(
+      audit_.RecordDurable(as_user, "", "CREATE_VIEW", full_name, true));
+  return Publish(std::move(next));
 }
 
 Status UnityCatalog::CreateFunction(const std::string& as_user,
@@ -252,6 +337,7 @@ Status UnityCatalog::CreateFunction(const std::string& as_user,
   LG_RETURN_IF_ERROR(SplitQualified(info.full_name, &parts, 3));
   LG_RETURN_IF_ERROR(ValidateBytecode(info.body));
   MutexLock lock(writer_mu_);
+  LG_RETURN_IF_ERROR(HealthLocked());
   auto next = BeginMutation();
   std::string schema_name = ParentSchema(parts);
   auto schema_it = next->schemas.find(schema_name);
@@ -273,9 +359,9 @@ Status UnityCatalog::CreateFunction(const std::string& as_user,
   std::string full_name = info.full_name;
   next->owners[full_name] = as_user;
   next->functions[full_name] = std::move(info);
-  audit_.RecordDurable(as_user, "", "CREATE_FUNCTION", full_name, true);
-  Publish(std::move(next));
-  return Status::OK();
+  LG_RETURN_IF_ERROR(
+      audit_.RecordDurable(as_user, "", "CREATE_FUNCTION", full_name, true));
+  return Publish(std::move(next));
 }
 
 Status UnityCatalog::CreateVolume(const std::string& as_user,
@@ -283,6 +369,7 @@ Status UnityCatalog::CreateVolume(const std::string& as_user,
   std::vector<std::string> parts;
   LG_RETURN_IF_ERROR(SplitQualified(info.full_name, &parts, 3));
   MutexLock lock(writer_mu_);
+  LG_RETURN_IF_ERROR(HealthLocked());
   auto next = BeginMutation();
   std::string schema_name = ParentSchema(parts);
   if (!next->schemas.count(schema_name)) {
@@ -295,14 +382,15 @@ Status UnityCatalog::CreateVolume(const std::string& as_user,
   std::string full_name = info.full_name;
   next->owners[full_name] = as_user;
   next->volumes[full_name] = std::move(info);
-  audit_.RecordDurable(as_user, "", "CREATE_VOLUME", full_name, true);
-  Publish(std::move(next));
-  return Status::OK();
+  LG_RETURN_IF_ERROR(
+      audit_.RecordDurable(as_user, "", "CREATE_VOLUME", full_name, true));
+  return Publish(std::move(next));
 }
 
 Status UnityCatalog::DropTable(const std::string& as_user,
                                const std::string& full_name) {
   MutexLock lock(writer_mu_);
+  LG_RETURN_IF_ERROR(HealthLocked());
   auto next = BeginMutation();
   auto it = next->tables.find(full_name);
   if (it == next->tables.end()) {
@@ -315,9 +403,9 @@ Status UnityCatalog::DropTable(const std::string& as_user,
   next->tables.erase(it);
   next->owners.erase(full_name);
   next->grants.erase(full_name);
-  audit_.RecordDurable(as_user, "", "DROP_TABLE", full_name, true);
-  Publish(std::move(next));
-  return Status::OK();
+  LG_RETURN_IF_ERROR(
+      audit_.RecordDurable(as_user, "", "DROP_TABLE", full_name, true));
+  return Publish(std::move(next));
 }
 
 Result<TableInfo> UnityCatalog::GetTable(const std::string& full_name) const {
@@ -360,6 +448,7 @@ Status UnityCatalog::SetMaterializationState(const std::string& view_name,
                                              const std::string& storage_root,
                                              const Schema& schema) {
   MutexLock lock(writer_mu_);
+  LG_RETURN_IF_ERROR(HealthLocked());
   auto next = BeginMutation();
   auto it = next->views.find(view_name);
   if (it == next->views.end()) {
@@ -372,14 +461,14 @@ Status UnityCatalog::SetMaterializationState(const std::string& view_name,
   it->second.materialization_fresh = fresh;
   if (!storage_root.empty()) it->second.storage_root = storage_root;
   if (schema.num_fields() > 0) it->second.materialized_schema = schema;
-  Publish(std::move(next));
-  return Status::OK();
+  return Publish(std::move(next));
 }
 
 Status UnityCatalog::Grant(const std::string& as_user,
                            const std::string& securable, Privilege privilege,
                            const std::string& principal) {
   MutexLock lock(writer_mu_);
+  LG_RETURN_IF_ERROR(HealthLocked());
   auto next = BeginMutation();
   auto owner_it = next->owners.find(securable);
   if (owner_it == next->owners.end()) {
@@ -395,17 +484,17 @@ Status UnityCatalog::Grant(const std::string& as_user,
   }
   next->grants[securable].push_back({principal, privilege});
   // Write-ahead: the grant is in the audit log before anyone can observe it.
-  audit_.RecordDurable(as_user, "", "GRANT", securable, true,
-                       std::string(PrivilegeName(privilege)) + " to " +
-                           principal);
-  Publish(std::move(next));
-  return Status::OK();
+  LG_RETURN_IF_ERROR(audit_.RecordDurable(
+      as_user, "", "GRANT", securable, true,
+      std::string(PrivilegeName(privilege)) + " to " + principal));
+  return Publish(std::move(next));
 }
 
 Status UnityCatalog::Revoke(const std::string& as_user,
                             const std::string& securable, Privilege privilege,
                             const std::string& principal) {
   MutexLock lock(writer_mu_);
+  LG_RETURN_IF_ERROR(HealthLocked());
   auto next = BeginMutation();
   auto owner_it = next->owners.find(securable);
   if (owner_it == next->owners.end()) {
@@ -421,11 +510,10 @@ Status UnityCatalog::Revoke(const std::string& as_user,
   for (auto it = entries.begin(); it != entries.end(); ++it) {
     if (it->principal == principal && it->privilege == privilege) {
       entries.erase(it);
-      audit_.RecordDurable(as_user, "", "REVOKE", securable, true,
-                           std::string(PrivilegeName(privilege)) + " from " +
-                               principal);
-      Publish(std::move(next));
-      return Status::OK();
+      LG_RETURN_IF_ERROR(audit_.RecordDurable(
+          as_user, "", "REVOKE", securable, true,
+          std::string(PrivilegeName(privilege)) + " from " + principal));
+      return Publish(std::move(next));
     }
   }
   return Status::NotFound("no such grant to revoke");
@@ -572,6 +660,7 @@ Status UnityCatalog::SetRowFilter(const std::string& as_user,
                                   const std::string& table,
                                   RowFilterPolicy policy) {
   MutexLock lock(writer_mu_);
+  LG_RETURN_IF_ERROR(HealthLocked());
   auto next = BeginMutation();
   LG_RETURN_IF_ERROR(RequireManage(*next, as_user, table));
   auto it = next->tables.find(table);
@@ -582,14 +671,15 @@ Status UnityCatalog::SetRowFilter(const std::string& as_user,
     return Status::InvalidArgument("row filter predicate is required");
   }
   it->second.row_filter = std::move(policy);
-  audit_.RecordDurable(as_user, "", "SET_ROW_FILTER", table, true);
-  Publish(std::move(next));
-  return Status::OK();
+  LG_RETURN_IF_ERROR(
+      audit_.RecordDurable(as_user, "", "SET_ROW_FILTER", table, true));
+  return Publish(std::move(next));
 }
 
 Status UnityCatalog::ClearRowFilter(const std::string& as_user,
                                     const std::string& table) {
   MutexLock lock(writer_mu_);
+  LG_RETURN_IF_ERROR(HealthLocked());
   auto next = BeginMutation();
   LG_RETURN_IF_ERROR(RequireManage(*next, as_user, table));
   auto it = next->tables.find(table);
@@ -597,15 +687,16 @@ Status UnityCatalog::ClearRowFilter(const std::string& as_user,
     return Status::NotFound("table '" + table + "' does not exist");
   }
   it->second.row_filter.reset();
-  audit_.RecordDurable(as_user, "", "CLEAR_ROW_FILTER", table, true);
-  Publish(std::move(next));
-  return Status::OK();
+  LG_RETURN_IF_ERROR(
+      audit_.RecordDurable(as_user, "", "CLEAR_ROW_FILTER", table, true));
+  return Publish(std::move(next));
 }
 
 Status UnityCatalog::AddColumnMask(const std::string& as_user,
                                    const std::string& table,
                                    ColumnMaskPolicy policy) {
   MutexLock lock(writer_mu_);
+  LG_RETURN_IF_ERROR(HealthLocked());
   auto next = BeginMutation();
   LG_RETURN_IF_ERROR(RequireManage(*next, as_user, table));
   auto it = next->tables.find(table);
@@ -620,14 +711,15 @@ Status UnityCatalog::AddColumnMask(const std::string& as_user,
     return Status::InvalidArgument("mask expression is required");
   }
   it->second.column_masks.push_back(std::move(policy));
-  audit_.RecordDurable(as_user, "", "ADD_COLUMN_MASK", table, true);
-  Publish(std::move(next));
-  return Status::OK();
+  LG_RETURN_IF_ERROR(
+      audit_.RecordDurable(as_user, "", "ADD_COLUMN_MASK", table, true));
+  return Publish(std::move(next));
 }
 
 Status UnityCatalog::ClearColumnMasks(const std::string& as_user,
                                       const std::string& table) {
   MutexLock lock(writer_mu_);
+  LG_RETURN_IF_ERROR(HealthLocked());
   auto next = BeginMutation();
   LG_RETURN_IF_ERROR(RequireManage(*next, as_user, table));
   auto it = next->tables.find(table);
@@ -635,9 +727,9 @@ Status UnityCatalog::ClearColumnMasks(const std::string& as_user,
     return Status::NotFound("table '" + table + "' does not exist");
   }
   it->second.column_masks.clear();
-  audit_.RecordDurable(as_user, "", "CLEAR_COLUMN_MASKS", table, true);
-  Publish(std::move(next));
-  return Status::OK();
+  LG_RETURN_IF_ERROR(
+      audit_.RecordDurable(as_user, "", "CLEAR_COLUMN_MASKS", table, true));
+  return Publish(std::move(next));
 }
 
 Status UnityCatalog::SetTablePolicies(
@@ -645,6 +737,7 @@ Status UnityCatalog::SetTablePolicies(
     std::optional<RowFilterPolicy> row_filter,
     std::vector<ColumnMaskPolicy> column_masks) {
   MutexLock lock(writer_mu_);
+  LG_RETURN_IF_ERROR(HealthLocked());
   auto next = BeginMutation();
   LG_RETURN_IF_ERROR(RequireManage(*next, as_user, table));
   auto it = next->tables.find(table);
@@ -665,14 +758,16 @@ Status UnityCatalog::SetTablePolicies(
   }
   it->second.row_filter = std::move(row_filter);
   it->second.column_masks = std::move(column_masks);
-  audit_.RecordDurable(as_user, "", "SET_TABLE_POLICIES", table, true);
-  Publish(std::move(next));
-  return Status::OK();
+  LG_RETURN_IF_ERROR(
+      audit_.RecordDurable(as_user, "", "SET_TABLE_POLICIES", table, true));
+  return Publish(std::move(next));
 }
 
 Result<RelationResolution> UnityCatalog::ResolveRelation(
     const std::string& user, const ComputeContext& compute,
     const std::string& name) {
+  // Fail closed: a poisoned catalog authorizes nothing.
+  LG_RETURN_IF_ERROR(health());
   // One pinned snapshot for every decision below: existence, privileges,
   // enforcement mode, policy set. A concurrent policy change lands in a
   // later epoch and cannot produce a mixed view here.
@@ -890,6 +985,8 @@ Result<FunctionInfo> UnityCatalog::GetFunction(const std::string& name) const {
 Result<FunctionInfo> UnityCatalog::ResolveFunction(
     const std::string& user, const ComputeContext& compute,
     const std::string& name) {
+  // Fail closed: a poisoned catalog authorizes nothing.
+  LG_RETURN_IF_ERROR(health());
   StatePtr state = Snapshot();
   auto it = state->functions.find(name);
   if (it == state->functions.end()) {
@@ -915,6 +1012,8 @@ Result<FunctionInfo> UnityCatalog::ResolveFunction(
 Result<StorageCredential> UnityCatalog::VendWriteCredential(
     const std::string& user, const ComputeContext& compute,
     const std::string& table) {
+  // Fail closed: a poisoned catalog authorizes nothing.
+  LG_RETURN_IF_ERROR(health());
   StatePtr state = Snapshot();
   auto it = state->tables.find(table);
   if (it == state->tables.end()) {
@@ -947,6 +1046,8 @@ Result<StorageCredential> UnityCatalog::VendWriteCredential(
 Result<StorageCredential> UnityCatalog::VendVolumeCredential(
     const std::string& user, const ComputeContext& compute,
     const std::string& volume, bool write) {
+  // Fail closed: a poisoned catalog authorizes nothing.
+  LG_RETURN_IF_ERROR(health());
   StatePtr state = Snapshot();
   auto it = state->volumes.find(volume);
   if (it == state->volumes.end()) {

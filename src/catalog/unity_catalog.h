@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "catalog/audit.h"
+#include "catalog/catalog_store.h"
 #include "catalog/principal.h"
 #include "catalog/securable.h"
 #include "common/clock.h"
@@ -117,10 +118,27 @@ class UnityCatalog {
   UnityCatalog(const UnityCatalog&) = delete;
   UnityCatalog& operator=(const UnityCatalog&) = delete;
 
+  // -- Durability --------------------------------------------------------------
+  /// Wires a durable store under the publish path and restores its recovered
+  /// image (exact epoch included). Must run before any mutation: attaching
+  /// to a catalog that has already moved past epoch 0 is a
+  /// FailedPrecondition. After this, every publish is write-ahead logged and
+  /// a logging failure aborts the mutation unpublished (fail closed).
+  Status AttachDurability(DurableCatalogStore* store);
+
+  /// Puts the catalog into fail-closed mode: every subsequent mutation,
+  /// resolution and credential vend returns `status`. Used when recovery
+  /// finds corrupt durable state — a catalog that cannot trust its own
+  /// state must refuse to authorize anything.
+  void Poison(Status status);
+
+  /// OK, or the poison status when the catalog is in fail-closed mode.
+  Status health() const;
+
   // -- Principals ------------------------------------------------------------
   UserDirectory& users() { return users_; }
   const UserDirectory& users() const { return users_; }
-  void AddMetastoreAdmin(const std::string& user);
+  Status AddMetastoreAdmin(const std::string& user);
   bool IsMetastoreAdmin(const std::string& user) const;
 
   // -- Namespace management ----------------------------------------------------
@@ -283,9 +301,18 @@ class UnityCatalog {
   /// caller must hold `writer_mu_` until `Publish`.
   std::shared_ptr<CatalogState> BeginMutation() const
       LG_REQUIRES(writer_mu_);
-  /// Publishes `next` as the new current state with the epoch bumped.
+  /// Publishes `next` as the new current state with the epoch bumped. When a
+  /// durable store is attached, the full image is write-ahead logged FIRST —
+  /// a logging error leaves the in-memory state untouched (the epoch is
+  /// never ahead of the WAL), and the caller must propagate the failure.
   /// The caller must have committed its audit record first (write-ahead).
-  void Publish(std::shared_ptr<CatalogState> next) LG_REQUIRES(writer_mu_);
+  Status Publish(std::shared_ptr<CatalogState> next) LG_REQUIRES(writer_mu_);
+
+  /// OK, or the poison status (writer-side twin of `health()`).
+  Status HealthLocked() const LG_REQUIRES(writer_mu_);
+
+  static CatalogImage ToImage(const CatalogState& state);
+  static void FromImage(const CatalogImage& image, CatalogState* state);
 
   /// Principals whose grants count for `user` under `compute` (the user and
   /// their groups, or exactly the down-scoped group).
@@ -326,6 +353,9 @@ class UnityCatalog {
   /// `state_`.
   mutable Mutex writer_mu_;
   std::atomic<StatePtr> state_;
+  DurableCatalogStore* store_ LG_GUARDED_BY(writer_mu_) = nullptr;
+  std::atomic<bool> poisoned_{false};
+  Status poison_status_ LG_GUARDED_BY(writer_mu_);
 };
 
 }  // namespace lakeguard

@@ -1,0 +1,33 @@
+#ifndef LAKEGUARD_COMMON_CRC32_H_
+#define LAKEGUARD_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lakeguard {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the frame checksum
+/// of the durable WAL/checkpoint formats. Software table implementation; the
+/// durability layer's frames are small (one catalog image or audit event), so
+/// a hardware CRC is not worth a dependency.
+///
+/// `Extend` continues a running checksum so a frame's checksum can cover
+/// discontiguous header fields and payload without copying them into one
+/// buffer. Start from `kInitial`, finish with `Finish` (the usual final
+/// inversion).
+class Crc32 {
+ public:
+  static constexpr uint32_t kInitial = 0xFFFFFFFFu;
+
+  static uint32_t Extend(uint32_t crc, const void* data, size_t n);
+  static uint32_t Finish(uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+  /// One-shot checksum of a buffer.
+  static uint32_t Of(const void* data, size_t n) {
+    return Finish(Extend(kInitial, data, n));
+  }
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_COMMON_CRC32_H_

@@ -79,9 +79,55 @@ void FaultInjector::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, state] : points_) {
     if (state.armed) armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    if (state.crash_armed) {
+      crash_armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
     (void)name;
   }
   points_.clear();
+}
+
+void FaultInjector::ArmCrash(const std::string& point, CrashPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[point];
+  if (!state.crash_armed) {
+    state.crash_armed = true;
+    crash_armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  state.crash_policy = policy;
+  state.crash_fired = false;
+  state.crash_evaluations = 0;
+}
+
+void FaultInjector::DisarmCrash(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end() || !it->second.crash_armed) return;
+  it->second.crash_armed = false;
+  it->second.crash_fired = false;
+  it->second.crash_policy = CrashPolicy();
+  crash_armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::optional<CrashPolicy> FaultInjector::EvaluateCrash(
+    const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end() || !it->second.crash_armed) return std::nullopt;
+  PointState& state = it->second;
+  // A fired crash point keeps firing: the simulated process died, and any
+  // thread that reaches this point afterwards is a zombie that must not be
+  // allowed to touch the durable files again.
+  if (!state.crash_fired) {
+    if (state.crash_evaluations < state.crash_policy.skip_evaluations) {
+      ++state.crash_evaluations;
+      return std::nullopt;
+    }
+    state.crash_fired = true;
+    ++state.stats.faults_injected;
+  }
+  ++state.stats.evaluations;
+  return state.crash_policy;
 }
 
 Status FaultInjector::Inject(const std::string& point, Clock* clock) {
@@ -123,6 +169,24 @@ FaultPointStats FaultInjector::StatsFor(const std::string& point) const {
   auto it = points_.find(point);
   return it == points_.end() ? FaultPointStats() : it->second.stats;
 }
+
+namespace fault {
+
+namespace {
+constexpr const char kDeathPrefix[] = "simulated process death";
+}  // namespace
+
+Status Death(const std::string& point) {
+  return Status::Aborted(std::string(kDeathPrefix) + " at crash point '" +
+                         point + "'");
+}
+
+bool IsDeath(const Status& status) {
+  return status.code() == StatusCode::kAborted &&
+         status.message().rfind(kDeathPrefix, 0) == 0;
+}
+
+}  // namespace fault
 
 uint64_t FaultInjector::TotalInjected() const {
   std::lock_guard<std::mutex> lock(mu_);

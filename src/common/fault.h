@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,34 @@ struct FaultPolicy {
   }
 };
 
+/// How a simulated process death mangles the bytes in flight at a crash
+/// point. The durability code applies the effect itself (it owns the file
+/// descriptor), then aborts the operation with `fault::Death`.
+enum class CrashMode : uint8_t {
+  /// Die before any byte of the write reaches the file.
+  kBeforeWrite = 0,
+  /// Die mid-write: a prefix of the bytes lands on disk (torn tail).
+  kTornWrite = 1,
+  /// The write lands completely but one bit is flipped (media/firmware
+  /// corruption surfacing at the worst moment).
+  kBitFlip = 2,
+  /// The write (and any rename/fsync it belongs to) completes, then the
+  /// process dies before acknowledging — durable but unacked.
+  kAfterWrite = 3,
+};
+
+/// Arms one crash point for the deterministic crash–restart harness.
+struct CrashPolicy {
+  CrashMode mode = CrashMode::kBeforeWrite;
+  /// The crash fires on the (skip_evaluations + 1)-th evaluation; earlier
+  /// evaluations pass through. Lets a scenario kill the N-th WAL append.
+  uint64_t skip_evaluations = 0;
+  /// kTornWrite: fraction of the payload that lands before death, in [0, 1).
+  double torn_fraction = 0.5;
+  /// kBitFlip: which bit of the payload is flipped (index % payload bits).
+  uint64_t flip_bit = 7;
+};
+
 class FaultInjector {
  public:
   /// The process-wide instance (never destroyed; trivially leaked by design,
@@ -112,6 +141,23 @@ class FaultInjector {
     return armed_count_.load(std::memory_order_relaxed) > 0;
   }
 
+  // -- Crash simulation (durability harness) ---------------------------------
+  /// Arms `point` as a crash point. Independent of `Arm`: a point can carry
+  /// both a FaultPolicy and a CrashPolicy (they answer different questions —
+  /// "does this call fail?" vs "does the process die mid-write here?").
+  void ArmCrash(const std::string& point, CrashPolicy policy);
+  void DisarmCrash(const std::string& point);
+
+  /// Evaluates a crash point: nullopt when unarmed or still skipping;
+  /// otherwise the policy to apply. Once it fires it KEEPS firing for every
+  /// later evaluation while armed — a dead process stays dead, so zombie
+  /// threads (e.g. a background flusher) cannot keep writing to "disk".
+  std::optional<CrashPolicy> EvaluateCrash(const std::string& point);
+
+  bool AnyCrashArmed() const {
+    return crash_armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
   FaultPointStats StatsFor(const std::string& point) const;
   uint64_t TotalInjected() const;
 
@@ -121,6 +167,11 @@ class FaultInjector {
     bool armed = false;
     uint64_t rng_state = 0;
     FaultPointStats stats;
+    // Crash-point state (see ArmCrash).
+    CrashPolicy crash_policy;
+    bool crash_armed = false;
+    bool crash_fired = false;
+    uint64_t crash_evaluations = 0;
   };
 
   FaultInjector() = default;
@@ -128,6 +179,7 @@ class FaultInjector {
 
   mutable std::mutex mu_;
   std::atomic<int> armed_count_{0};
+  std::atomic<int> crash_armed_count_{0};
   uint64_t seed_ = 0x9e3779b97f4a7c15ULL;
   Clock* default_clock_ = nullptr;
   std::map<std::string, PointState> points_;
@@ -157,6 +209,25 @@ class ScopedFault {
   std::string point_;
 };
 
+/// RAII guard arming one crash point for the enclosing scope (the crash
+/// analogue of ScopedFault).
+class ScopedCrash {
+ public:
+  ScopedCrash(std::string point, CrashPolicy policy)
+      : point_(std::move(point)) {
+    FaultInjector::Instance().ArmCrash(point_, policy);
+  }
+  ~ScopedCrash() { FaultInjector::Instance().DisarmCrash(point_); }
+
+  ScopedCrash(const ScopedCrash&) = delete;
+  ScopedCrash& operator=(const ScopedCrash&) = delete;
+
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
 namespace fault {
 
 /// Shorthand for `FaultInjector::Instance().Inject(point, clock)`. The
@@ -167,6 +238,23 @@ inline Status Inject(const char* point, Clock* clock = nullptr) {
   if (!injector.AnyArmed()) return Status::OK();
   return injector.Inject(point, clock);
 }
+
+/// Evaluates a crash point (see FaultInjector::EvaluateCrash). The unarmed
+/// fast path is one relaxed atomic load.
+inline std::optional<CrashPolicy> CheckCrash(const char* point) {
+  FaultInjector& injector = FaultInjector::Instance();
+  if (!injector.AnyCrashArmed()) return std::nullopt;
+  return injector.EvaluateCrash(point);
+}
+
+/// The status a durable-layer operation returns after applying a crash
+/// effect: the simulated process is dead from this point on. kAborted so
+/// nothing upstream misreads it as corruption — the *recovery* path is what
+/// turns actually-corrupt state into kDataLoss.
+Status Death(const std::string& point);
+
+/// True iff `status` is a simulated process death from a crash point.
+bool IsDeath(const Status& status);
 
 }  // namespace fault
 

@@ -58,6 +58,14 @@ Result<std::string> ConnectService::OpenSession(
   {
     std::lock_guard<std::mutex> lock(mu_);
     sessions_[id] = std::move(session);
+    // Durable-before-ack: the session exists only if its snapshot does. A
+    // persist failure (including simulated process death) rolls the open
+    // back — the client never holds a session id that would vanish on
+    // restart.
+    if (Status persisted = PersistSessionLocked(id); !persisted.ok()) {
+      sessions_.erase(id);
+      return persisted.WithContext("persisting session snapshot");
+    }
   }
   catalog_->audit().Record(user, cluster_->id(), "OPEN_SESSION", id, true);
   return id;
@@ -722,7 +730,20 @@ Result<std::string> ConnectService::PrepareStatement(
   std::string statement_id = stored.record.statement_id;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    auto live = sessions_.find(session_id);
+    if (live == sessions_.end() || live->second.tombstoned) {
+      // The session was closed while we prepared; don't resurrect state.
+      return Status::NotFound("no live session " + session_id);
+    }
     prepared_[statement_id] = std::move(stored);
+    // Durable-before-ack: the statement handle is only returned once the
+    // session snapshot that contains it is on disk; a persist failure
+    // unwinds the statement.
+    if (Status persisted = PersistSessionLocked(session_id);
+        !persisted.ok()) {
+      prepared_.erase(statement_id);
+      return persisted.WithContext("persisting session snapshot");
+    }
     ++service_stats_.statements_prepared;
   }
   return statement_id;
@@ -735,27 +756,33 @@ Result<std::vector<uint8_t>> ConnectService::ExportSession(
   if (it == sessions_.end() || it->second.tombstoned) {
     return Status::NotFound("no live session " + session_id);
   }
+  SessionSnapshot snapshot = BuildSnapshotLocked(it->second);
+  ++service_stats_.sessions_exported;
+  return EncodeSessionSnapshot(snapshot);
+}
+
+SessionSnapshot ConnectService::BuildSnapshotLocked(
+    const SessionInfo& session) const {
   SessionSnapshot snapshot;
-  snapshot.user = it->second.user;
+  snapshot.user = session.user;
   snapshot.source_epoch = catalog_->epoch();
-  if (it->second.temp_views != nullptr) {
-    snapshot.temp_views = *it->second.temp_views;
+  if (session.temp_views != nullptr) {
+    snapshot.temp_views = *session.temp_views;
   }
   for (const auto& [id, stmt] : prepared_) {
-    if (stmt.session_id == session_id) {
+    if (stmt.session_id == session.session_id) {
       snapshot.prepared.push_back(stmt.record);
     }
   }
   for (const auto& [op_id, op] : operations_) {
-    if (op.session_id != session_id) continue;
+    if (op.session_id != session.session_id) continue;
     OperationWatermark wm;
     wm.operation_id = op_id;
     wm.released_below = op.released_below;
     wm.done = op.cancelled || op.Done();
     snapshot.watermarks.push_back(std::move(wm));
   }
-  ++service_stats_.sessions_exported;
-  return EncodeSessionSnapshot(snapshot);
+  return snapshot;
 }
 
 Result<std::string> ConnectService::ImportSession(
@@ -880,6 +907,7 @@ Result<std::string> ConnectService::ImportSession(
                                         : current_epoch;
     accepted.push_back(std::move(stored));
   }
+  Status persisted = Status::OK();
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (PreparedStatement& stored : accepted) {
@@ -892,7 +920,16 @@ Result<std::string> ConnectService::ImportSession(
       migrated.released_below = wm.released_below;
       migrated_ops_[wm.operation_id] = migrated;
     }
-    ++service_stats_.sessions_imported;
+    // Durable-before-ack: the import is acknowledged (and the gateway
+    // commits the move) only once the re-bound session is on disk.
+    persisted = PersistSessionLocked(session_id);
+    if (persisted.ok()) ++service_stats_.sessions_imported;
+  }
+  if (!persisted.ok()) {
+    // All or nothing: unwind the session (and its statements/watermarks)
+    // so this replica is left without any trace of the failed import.
+    (void)CloseSession(session_id);
+    return reject(persisted.WithContext("persisting imported session"));
   }
   catalog_->audit().Record(user, cluster_->id(), "IMPORT_SESSION",
                            session_id, true);
@@ -927,6 +964,7 @@ Status ConnectService::CloseSession(const std::string& session_id) {
       mig = mig->second.session_id == session_id ? migrated_ops_.erase(mig)
                                                  : std::next(mig);
     }
+    RemoveSnapshotLocked(session_id);
     governor = governor_;
   }
   // Destroy the session's sandboxes on every host and drop the session's
@@ -971,6 +1009,7 @@ size_t ConnectService::ExpireIdleSessions(int64_t idle_micros) {
         mig = mig->second.session_id == id ? migrated_ops_.erase(mig)
                                            : std::next(mig);
       }
+      RemoveSnapshotLocked(id);
       expired.push_back(id);
     }
     governor = governor_;
@@ -995,6 +1034,97 @@ Result<SessionInfo> ConnectService::GetSession(
     return Status::NotFound("no session " + session_id);
   }
   return it->second;
+}
+
+void ConnectService::AttachSessionStore(SnapshotStore* store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  session_store_ = store;
+}
+
+Status ConnectService::PersistSessionLocked(const std::string& session_id) {
+  if (session_store_ == nullptr) return Status::OK();
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end() || it->second.tombstoned) {
+    return Status::NotFound("no live session " + session_id);
+  }
+  LG_RETURN_IF_ERROR(session_store_->Put(
+      session_id, EncodeSessionSnapshot(BuildSnapshotLocked(it->second))));
+  ++service_stats_.snapshots_persisted;
+  return Status::OK();
+}
+
+void ConnectService::RemoveSnapshotLocked(const std::string& session_id) {
+  if (session_store_ == nullptr) return;
+  if (session_store_->Remove(session_id).ok()) {
+    ++service_stats_.snapshots_removed;
+  }
+}
+
+Result<SessionRecoveryStats> ConnectService::RecoverSessions() {
+  SnapshotStore* store;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    store = session_store_;
+  }
+  if (store == nullptr) {
+    return Status::FailedPrecondition(
+        "RecoverSessions requires an attached session store");
+  }
+  LG_ASSIGN_OR_RETURN(std::vector<SnapshotEntry> entries, store->LoadAll());
+  SessionRecoveryStats stats;
+  for (const SnapshotEntry& entry : entries) {
+    if (auto crash = fault::CheckCrash("snapshot.import")) {
+      // Simulated death mid-recovery: the snapshots not yet re-imported
+      // stay on disk untouched, so the next restart picks them up.
+      (void)crash;
+      return fault::Death("snapshot.import");
+    }
+    if (!entry.status.ok()) {
+      // Torn, bit-flipped or garbage snapshot: counted, never admitted.
+      // The file is left for forensics; it can never become a session.
+      ++stats.corrupt;
+      continue;
+    }
+    Result<SessionSnapshot> decoded = DecodeSessionSnapshot(entry.payload);
+    if (!decoded.ok()) {
+      ++stats.corrupt;
+      continue;
+    }
+    // Recovery re-authenticates: the snapshot's identity must still hold a
+    // registered token on this replica, exactly as a live migration would
+    // require. A user deprovisioned across the restart is rejected.
+    std::string token;
+    bool have_token = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [tok, user] : tokens_) {
+        if (user == decoded->user) {
+          token = tok;
+          have_token = true;
+          break;
+        }
+      }
+    }
+    if (!have_token) {
+      ++stats.rejected;
+      continue;
+    }
+    // The full import pipeline: all-or-nothing re-prepare, PV001–PV007
+    // re-verification against the current catalog, forged-stamp rejection.
+    // A successful import persists the session under its NEW id, after
+    // which the pre-restart snapshot is retired.
+    Result<std::string> imported = ImportSession(entry.payload, token);
+    if (imported.ok()) {
+      ++stats.recovered;
+      std::lock_guard<std::mutex> lock(mu_);
+      RemoveSnapshotLocked(entry.id);
+    } else if (fault::IsDeath(imported.status())) {
+      return imported.status();
+    } else {
+      ++stats.rejected;
+    }
+  }
+  return stats;
 }
 
 ConnectServiceStats ConnectService::service_stats() const {

@@ -14,6 +14,7 @@
 #include "connect/protocol.h"
 #include "connect/session_snapshot.h"
 #include "engine/engine.h"
+#include "storage/durable/snapshot_store.h"
 
 namespace lakeguard {
 
@@ -93,6 +94,19 @@ struct ConnectServiceStats {
   uint64_t migrated_fetch_redirects = 0;  ///< fetches of a migrated op
                                           ///< answered with typed retryable
                                           ///< kUnavailable (reattach steer)
+  // --- session durability ---
+  uint64_t snapshots_persisted = 0;  ///< session snapshots written durably
+  uint64_t snapshots_removed = 0;    ///< snapshots deleted on session close
+};
+
+/// Outcome of replaying persisted session snapshots after a restart. Every
+/// snapshot on disk lands in exactly one bucket; `corrupt` and `rejected`
+/// sessions are NOT admitted (fail closed).
+struct SessionRecoveryStats {
+  size_t recovered = 0;  ///< sessions re-imported and fully re-verified
+  size_t rejected = 0;   ///< decodable snapshots refused by re-verification
+                         ///< (revoked identity, stale/forged stamps, …)
+  size_t corrupt = 0;    ///< undecodable snapshots (torn/flipped/garbage)
 };
 
 /// The Spark Connect service of one cluster: authenticates tokens to users,
@@ -191,6 +205,25 @@ class ConnectService {
   Result<SessionInfo> GetSession(const std::string& session_id) const;
   size_t ActiveSessionCount() const;
 
+  // -- Durability --
+
+  /// Wires a durable snapshot store under the session map. From this point
+  /// every session-shaping mutation (open, prepare, import) persists the
+  /// owning session's snapshot BEFORE the mutation is acknowledged — a
+  /// persist failure rolls the mutation back — and closing or expiring a
+  /// session removes its snapshot. Call before any traffic.
+  void AttachSessionStore(SnapshotStore* store);
+
+  /// Replays persisted session snapshots after a restart. Each decodable
+  /// snapshot goes through the full ImportSession pipeline — identity
+  /// re-authentication (the token registry must be re-populated first),
+  /// all-or-nothing re-prepare, PV001–PV007 re-verification against the
+  /// *current* catalog — so recovery admits exactly what a live migration
+  /// would. Corrupt snapshots are counted and skipped, never admitted (fail
+  /// closed). Crash seam: `snapshot.import` (death aborts recovery; the
+  /// snapshots not yet re-imported survive on disk for the next restart).
+  Result<SessionRecoveryStats> RecoverSessions();
+
   /// Installs admission control for ExecutePlan (see ConnectAdmissionConfig).
   void set_admission_config(ConnectAdmissionConfig config) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -280,6 +313,22 @@ class ConnectService {
   ConnectResponse ErrorResponse(const Status& status,
                                 const std::string& operation_id) const;
 
+  /// Builds the migration/durability snapshot of one live session: identity,
+  /// catalog epoch, temp views, prepared-statement binding stamps and
+  /// operation ack watermarks. Requires mu_ held; read-only.
+  SessionSnapshot BuildSnapshotLocked(const SessionInfo& session) const;
+
+  /// Persists `session_id`'s snapshot to the attached store (no-op without
+  /// one). Requires mu_ held. Callers treat a failure as "mutation not
+  /// acknowledged" and roll back.
+  Status PersistSessionLocked(const std::string& session_id);
+
+  /// Removes `session_id`'s persisted snapshot (no-op without a store);
+  /// requires mu_ held. Best-effort: a closed session whose snapshot
+  /// lingers is re-verified (and typically replay-rejected) at recovery —
+  /// it can never resurrect privileges.
+  void RemoveSnapshotLocked(const std::string& session_id);
+
   QueryEngine* engine_;
   Cluster* cluster_;
   UnityCatalog* catalog_;
@@ -319,6 +368,9 @@ class ConnectService {
   size_t chunk_cache_bytes_ = 0;
 
   MemoryGovernor* governor_ = nullptr;
+
+  // --- session durability (guarded by mu_) ---
+  SnapshotStore* session_store_ = nullptr;
 };
 
 }  // namespace lakeguard

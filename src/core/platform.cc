@@ -34,6 +34,14 @@ LakeguardPlatform::LakeguardPlatform(Options options)
   authority_ = std::make_unique<CredentialAuthority>(clock_);
   store_ = std::make_unique<ObjectStore>(authority_.get());
   catalog_ = std::make_unique<UnityCatalog>(clock_, authority_.get());
+  if (!options_.durable_root.empty()) {
+    durability_status_ = OpenDurability();
+    if (!durability_status_.ok()) {
+      // Fail closed: a catalog that cannot prove what its last published
+      // state was must not authorize anything.
+      catalog_->Poison(durability_status_);
+    }
+  }
   // One fused-policy program cache for the whole platform: compiled scan
   // evaluators are shared across sessions and clusters (the cache key is
   // per (table, principal, policy-version), never per session).
@@ -101,8 +109,27 @@ Status LakeguardPlatform::AddUserToGroup(const std::string& user,
   return catalog_->users().AddUserToGroup(user, group);
 }
 
+Status LakeguardPlatform::OpenDurability() {
+  DurableCatalogStoreOptions catalog_options;
+  catalog_options.dir = options_.durable_root + "/catalog";
+  catalog_options.checkpoint_every = options_.catalog_checkpoint_every;
+  LG_ASSIGN_OR_RETURN(catalog_store_,
+                      DurableCatalogStore::Open(catalog_options));
+  DurableLogOptions audit_options;
+  audit_options.dir = options_.durable_root + "/audit";
+  DurableLogRecovery audit_recovery;
+  LG_ASSIGN_OR_RETURN(audit_wal_,
+                      DurableLog::Open(audit_options, &audit_recovery));
+  LG_RETURN_IF_ERROR(catalog_->audit().AttachDurability(
+      audit_wal_.get(), audit_recovery.records));
+  return catalog_->AttachDurability(catalog_store_.get());
+}
+
 void LakeguardPlatform::AddMetastoreAdmin(const std::string& user) {
-  catalog_->AddMetastoreAdmin(user);
+  // Durable mode can fail the publish (WAL error, simulated death); a
+  // platform that cannot record who its admins are fails closed.
+  Status status = catalog_->AddMetastoreAdmin(user);
+  if (!status.ok()) catalog_->Poison(status);
 }
 
 void LakeguardPlatform::RegisterToken(const std::string& token,
@@ -138,6 +165,24 @@ std::unique_ptr<ClusterHandle> LakeguardPlatform::MakeHandle(Cluster* cluster,
   handle->service->set_admission_config(options_.admission_config);
   handle->service->set_chunk_cache_limit_bytes(
       options_.chunk_cache_limit_bytes);
+  if (!options_.durable_root.empty() && durability_status_.ok()) {
+    // One snapshot store per cluster, keyed by creation ORDINAL (cluster
+    // ids come from a process-global generator and differ across
+    // restarts): a restarted platform that re-creates its clusters in the
+    // same order finds each service's sessions under the same directory
+    // and can RecoverSessions() once tokens are re-registered.
+    Result<std::unique_ptr<SnapshotStore>> session_store = SnapshotStore::Open(
+        options_.durable_root + "/sessions/backend-" +
+        std::to_string(session_stores_.size()));
+    if (session_store.ok()) {
+      session_stores_.push_back(std::move(session_store).value());
+      handle->service->AttachSessionStore(session_stores_.back().get());
+    } else {
+      durability_status_ =
+          session_store.status().WithContext("opening session store");
+      catalog_->Poison(durability_status_);
+    }
+  }
   for (const auto& [token, user] : tokens_) {
     handle->service->RegisterUserToken(token, user);
   }

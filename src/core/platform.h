@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "catalog/catalog_store.h"
 #include "cluster/cluster.h"
 #include "connect/client.h"
 #include "connect/service.h"
@@ -49,6 +50,15 @@ class LakeguardPlatform {
     ConnectAdmissionConfig admission_config;
     /// Byte cap on each ConnectService's cached result frames (0 = off).
     size_t chunk_cache_limit_bytes = 0;
+    /// Root directory for crash-consistent state (catalog WAL+checkpoints,
+    /// audit WAL, session snapshots). Empty (the default) keeps the
+    /// platform purely in-memory — zero behaviour change. Pointing two
+    /// consecutive platforms at the same root models a process restart:
+    /// the second recovers the first's published catalog epoch, audit
+    /// trail and persisted sessions.
+    std::string durable_root;
+    /// Catalog WAL appends between checkpoint snapshots (durable mode).
+    uint64_t catalog_checkpoint_every = 64;
   };
 
   LakeguardPlatform();
@@ -110,7 +120,21 @@ class LakeguardPlatform {
   ClusterManager& clusters() { return *cluster_manager_; }
   ClusterHandle* serverless_handle() { return serverless_handle_.get(); }
 
+  // -- Durability ---------------------------------------------------------------
+  /// OK when durability is off or recovery succeeded; otherwise the typed
+  /// recovery error (the catalog is then poisoned — fail closed, nothing
+  /// authorizes until the operator intervenes).
+  Status durability_status() const { return durability_status_; }
+  /// The catalog's durable store (null when durability is off).
+  DurableCatalogStore* catalog_store() { return catalog_store_.get(); }
+  /// The audit trail's write-ahead log (null when durability is off).
+  DurableLog* audit_wal() { return audit_wal_.get(); }
+
  private:
+  /// Opens the catalog store + audit WAL under durable_root, replays both
+  /// into the (freshly constructed) catalog. Any failure is returned and
+  /// the caller poisons the catalog.
+  Status OpenDurability();
   ClusterHandle* FinishClusterHandle(Cluster* cluster, bool dedicated);
   std::unique_ptr<ClusterHandle> MakeHandle(Cluster* cluster, bool dedicated);
 
@@ -120,6 +144,12 @@ class LakeguardPlatform {
   std::unique_ptr<MemoryGovernor> memory_governor_;
   std::unique_ptr<CredentialAuthority> authority_;
   std::unique_ptr<ObjectStore> store_;
+  // Durable stores are declared BEFORE the catalog: the catalog's AuditLog
+  // drains into the audit WAL from its destructor, so the WAL must be
+  // destroyed after it.
+  std::unique_ptr<DurableCatalogStore> catalog_store_;
+  std::unique_ptr<DurableLog> audit_wal_;
+  Status durability_status_;
   std::unique_ptr<UnityCatalog> catalog_;
   std::unique_ptr<PolicyEvalCache> policy_cache_;
   std::unique_ptr<ClusterManager> cluster_manager_;
@@ -132,6 +162,10 @@ class LakeguardPlatform {
   std::unique_ptr<SparkConnectGateway> gateway_;
   WorkloadEnvironmentRegistry workload_envs_;
   ExtensionRegistry extensions_;
+
+  // Declared before handles_ so every ConnectService dies before the
+  // snapshot store it writes to.
+  std::vector<std::unique_ptr<SnapshotStore>> session_stores_;
 
   std::vector<std::unique_ptr<ClusterHandle>> handles_;
   std::map<std::string, std::string> tokens_;  // token -> user

@@ -1,0 +1,32 @@
+#include "storage/durable/crash_points.h"
+
+namespace lakeguard {
+
+const std::vector<CrashPointInfo>& DurableCrashPoints() {
+  static const std::vector<CrashPointInfo>* points =
+      new std::vector<CrashPointInfo>{
+          {"wal.append", "death mid-append of one WAL record frame", true},
+          {"wal.fsync", "death around the group-commit fsync barrier", false},
+          {"checkpoint.write",
+           "death while writing the checkpoint tmp file (bit-flip here "
+           "publishes a corrupt checkpoint)",
+           true},
+          {"checkpoint.fsync",
+           "death between checkpoint tmp write and publish rename", false},
+          {"checkpoint.rename", "death around the checkpoint publish rename",
+           false},
+          {"audit.flush", "death mid-flush of the audit queue batch", false},
+          {"snapshot.write",
+           "death while writing a session snapshot tmp file", true},
+          {"snapshot.fsync",
+           "death between snapshot tmp write and publish rename", false},
+          {"snapshot.rename", "death around the snapshot publish rename",
+           false},
+          {"snapshot.import",
+           "death while re-importing recovered sessions after restart",
+           false},
+      };
+  return *points;
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,26 @@
+#ifndef LAKEGUARD_STORAGE_DURABLE_CRASH_POINTS_H_
+#define LAKEGUARD_STORAGE_DURABLE_CRASH_POINTS_H_
+
+#include <vector>
+
+namespace lakeguard {
+
+/// One named seam where the durability layer can simulate process death.
+/// The crash–restart harness iterates this catalog so that adding a crash
+/// point to the code automatically adds it to the recovery matrix.
+struct CrashPointInfo {
+  const char* name;
+  const char* description;
+  /// True when torn-write / bit-flip mangling is meaningful at this point
+  /// (the seam writes bytes); false for pure control-flow seams where only
+  /// before/after death applies.
+  bool writes_bytes;
+};
+
+/// The registered crash points of the durable subsystem, in the order the
+/// write path reaches them.
+const std::vector<CrashPointInfo>& DurableCrashPoints();
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_STORAGE_DURABLE_CRASH_POINTS_H_

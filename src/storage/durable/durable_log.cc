@@ -1,0 +1,429 @@
+#include "storage/durable/durable_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/crc32.h"
+#include "common/fault.h"
+#include "storage/durable/file_io.h"
+
+namespace lakeguard {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint64_t kCheckpointMagic = 0x4C474B5054303031ULL;  // "LGKPT001"
+constexpr size_t kFrameHeaderBytes = 24;
+constexpr size_t kCheckpointHeaderBytes = 40;
+/// Sanity bound on one record: a parsed length beyond this is garbage, not a
+/// huge record.
+constexpr uint64_t kMaxRecordBytes = 64ULL << 20;
+
+void PutFixed32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutFixed64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t GetFixed32(const uint8_t* p) {
+  uint32_t v = 0;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t GetFixed64(const uint8_t* p) {
+  uint64_t v = 0;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+std::string SegmentName(uint64_t first_lsn) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%020llu.seg",
+                static_cast<unsigned long long>(first_lsn));
+  return buf;
+}
+
+std::string CheckpointName(uint64_t seq) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "ckpt-%020llu.ckpt",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+/// Parses the numeric id out of `prefix-<20 digits>.<ext>`; false otherwise.
+bool ParseNumberedName(const std::string& name, const std::string& prefix,
+                       const std::string& ext, uint64_t* out) {
+  if (name.size() != prefix.size() + 20 + ext.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(prefix.size() + 20, ext.size(), ext) != 0) return false;
+  uint64_t v = 0;
+  for (size_t i = prefix.size(); i < prefix.size() + 20; ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+Result<std::vector<uint8_t>> ReadWholeFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::Internal("cannot open '" + path.string() + "' for read");
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::Internal("read failed for '" + path.string() + "'");
+  }
+  return bytes;
+}
+
+/// CRC of one record frame: lsn ‖ stamp ‖ payload (everything after the
+/// header's own crc field).
+uint32_t FrameCrc(const uint8_t* frame, size_t payload_len) {
+  return Crc32::Of(frame + 8, 16 + payload_len);
+}
+
+std::vector<uint8_t> BuildFrame(uint64_t lsn, uint64_t stamp,
+                                const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&frame, 0);  // crc patched below
+  PutFixed64(&frame, lsn);
+  PutFixed64(&frame, stamp);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  uint32_t crc = FrameCrc(frame.data(), payload.size());
+  std::memcpy(frame.data() + 4, &crc, 4);
+  return frame;
+}
+
+}  // namespace
+
+DurableLog::DurableLog(DurableLogOptions options)
+    : options_(std::move(options)) {}
+
+DurableLog::~DurableLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status DurableLog::DieLocked(const std::string& point) {
+  died_ = true;
+  death_point_ = point;
+  return fault::Death(point);
+}
+
+Status DurableLog::CheckAliveLocked() const {
+  if (died_) return fault::Death(death_point_);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<DurableLog>> DurableLog::Open(
+    DurableLogOptions options, DurableLogRecovery* recovery) {
+  DurableLogRecovery local;
+  if (recovery == nullptr) recovery = &local;
+  *recovery = DurableLogRecovery();
+
+  std::error_code ec;
+  fs::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create durable log directory '" +
+                            options.dir + "': " + ec.message());
+  }
+  recovery->stale_tmp_removed = RemoveStaleTmpFiles(options.dir);
+
+  std::vector<std::pair<uint64_t, fs::path>> checkpoints;
+  std::vector<std::pair<uint64_t, fs::path>> segments;
+  for (const auto& entry : fs::directory_iterator(options.dir)) {
+    const std::string name = entry.path().filename().string();
+    uint64_t id = 0;
+    if (ParseNumberedName(name, "ckpt-", ".ckpt", &id)) {
+      checkpoints.emplace_back(id, entry.path());
+    } else if (ParseNumberedName(name, "wal-", ".seg", &id)) {
+      segments.emplace_back(id, entry.path());
+    }
+  }
+  std::sort(checkpoints.begin(), checkpoints.end());
+  std::sort(segments.begin(), segments.end());
+
+  std::unique_ptr<DurableLog> log(new DurableLog(std::move(options)));
+
+  // --- Checkpoint: only the newest counts. An unreadable newest checkpoint
+  // is kDataLoss — falling back to an older one would silently roll the
+  // recovered state (and its privileges) backwards.
+  if (!checkpoints.empty()) {
+    const auto& [seq, path] = checkpoints.back();
+    LG_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadWholeFile(path));
+    if (bytes.size() < kCheckpointHeaderBytes) {
+      return Status::DataLoss("checkpoint '" + path.string() +
+                              "' is truncated (" +
+                              std::to_string(bytes.size()) + " bytes)");
+    }
+    const uint8_t* p = bytes.data();
+    if (GetFixed64(p) != kCheckpointMagic) {
+      return Status::DataLoss("checkpoint '" + path.string() +
+                              "' has a bad magic — corrupt or tampered");
+    }
+    uint64_t file_seq = GetFixed64(p + 8);
+    uint64_t covered = GetFixed64(p + 16);
+    uint64_t stamp = GetFixed64(p + 24);
+    uint32_t len = GetFixed32(p + 32);
+    uint32_t crc = GetFixed32(p + 36);
+    if (file_seq != seq) {
+      return Status::DataLoss(
+          "checkpoint '" + path.string() +
+          "' sequence does not match its filename — rollback or tampering");
+    }
+    if (bytes.size() - kCheckpointHeaderBytes != len) {
+      return Status::DataLoss("checkpoint '" + path.string() +
+                              "' payload length mismatch");
+    }
+    uint32_t actual = Crc32::Extend(Crc32::kInitial, p + 8, 24);
+    actual = Crc32::Finish(
+        Crc32::Extend(actual, p + kCheckpointHeaderBytes, len));
+    if (actual != crc) {
+      return Status::DataLoss("checkpoint '" + path.string() +
+                              "' fails its CRC — corrupt or tampered");
+    }
+    recovery->has_checkpoint = true;
+    recovery->checkpoint_seq = seq;
+    recovery->checkpoint_stamp = stamp;
+    recovery->checkpoint_covered_lsn = covered;
+    recovery->checkpoint_payload.assign(p + kCheckpointHeaderBytes,
+                                        p + kCheckpointHeaderBytes + len);
+    log->checkpoint_seq_ = seq;
+    log->checkpoint_covered_lsn_ = covered;
+    // Older checkpoints are pruned leftovers of interrupted GC.
+    for (size_t i = 0; i + 1 < checkpoints.size(); ++i) {
+      fs::remove(checkpoints[i].second, ec);
+    }
+  }
+
+  // --- WAL replay.
+  const uint64_t covered = log->checkpoint_covered_lsn_;
+  uint64_t expected = covered + 1;
+  for (size_t seg_index = 0; seg_index < segments.size(); ++seg_index) {
+    const auto& [first_lsn, path] = segments[seg_index];
+    const bool last_segment = seg_index + 1 == segments.size();
+    LG_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadWholeFile(path));
+    ++recovery->segments_scanned;
+    size_t pos = 0;
+    bool truncated_tail = false;
+    while (pos < bytes.size()) {
+      const size_t remaining = bytes.size() - pos;
+      const uint8_t* frame = bytes.data() + pos;
+      // Classify a bad frame: an unacked torn/flipped tail is recoverable
+      // only when it runs through EOF of the final segment. Anything else is
+      // mid-log corruption — acknowledged records may be affected, so the
+      // only safe answer is kDataLoss.
+      bool frame_ok = remaining >= kFrameHeaderBytes;
+      uint64_t len = 0;
+      if (frame_ok) {
+        len = GetFixed32(frame);
+        frame_ok = len <= kMaxRecordBytes &&
+                   kFrameHeaderBytes + len <= remaining;
+      }
+      bool reaches_eof = true;  // a short/oversized frame consumes the rest
+      if (frame_ok) {
+        uint32_t stored_crc = GetFixed32(frame + 4);
+        frame_ok = FrameCrc(frame, len) == stored_crc;
+        reaches_eof = pos + kFrameHeaderBytes + len == bytes.size();
+      }
+      if (!frame_ok) {
+        if (last_segment && reaches_eof) {
+          recovery->torn_bytes_discarded += bytes.size() - pos;
+          fs::resize_file(path, pos, ec);
+          if (ec) {
+            return Status::Internal("cannot truncate torn WAL tail of '" +
+                                    path.string() + "': " + ec.message());
+          }
+          truncated_tail = true;
+          break;
+        }
+        return Status::DataLoss(
+            "WAL record at '" + path.string() + "' offset " +
+            std::to_string(pos) +
+            " fails its frame check with valid data after it — corrupt or "
+            "tampered log, refusing to recover");
+      }
+      uint64_t lsn = GetFixed64(frame + 8);
+      uint64_t stamp = GetFixed64(frame + 16);
+      if (lsn > covered) {
+        if (lsn != expected) {
+          return Status::DataLoss(
+              "WAL LSN gap in '" + path.string() + "': expected " +
+              std::to_string(expected) + ", found " + std::to_string(lsn) +
+              " — stale-checkpoint rollback or missing segment");
+        }
+        ReplayedRecord record;
+        record.lsn = lsn;
+        record.stamp = stamp;
+        record.payload.assign(frame + kFrameHeaderBytes,
+                              frame + kFrameHeaderBytes + len);
+        recovery->records.push_back(std::move(record));
+        ++expected;
+      }
+      pos += kFrameHeaderBytes + len;
+    }
+    if (truncated_tail) break;
+  }
+  log->last_lsn_ = expected - 1;
+  log->last_synced_lsn_ = log->last_lsn_;
+
+  // --- Reopen the tail for appends.
+  for (const auto& [first_lsn, path] : segments) {
+    log->segment_first_lsns_.push_back(first_lsn);
+  }
+  if (segments.empty()) {
+    LG_RETURN_IF_ERROR(log->OpenSegmentLocked(log->last_lsn_ + 1));
+  } else {
+    const fs::path& tail = segments.back().second;
+    int fd = ::open(tail.string().c_str(), O_WRONLY | O_APPEND);
+    if (fd < 0) {
+      return Status::Internal("cannot reopen WAL segment '" + tail.string() +
+                              "' for append");
+    }
+    log->fd_ = fd;
+    log->segment_bytes_ = fs::file_size(tail, ec);
+  }
+  return log;
+}
+
+Status DurableLog::OpenSegmentLocked(uint64_t first_lsn) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  const std::string path =
+      (fs::path(options_.dir) / SegmentName(first_lsn)).string();
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot create WAL segment '" + path + "'");
+  }
+  fd_ = fd;
+  segment_bytes_ = 0;
+  segment_first_lsns_.push_back(first_lsn);
+  ++stats_.segments_created;
+  // The segment file itself must survive a crash right after creation.
+  return SyncDir(options_.dir);
+}
+
+Status DurableLog::RotateIfNeededLocked() {
+  if (segment_bytes_ < options_.max_segment_bytes) return Status::OK();
+  LG_RETURN_IF_ERROR(SyncFd(fd_));
+  return OpenSegmentLocked(last_lsn_ + 1);
+}
+
+Result<uint64_t> DurableLog::Append(uint64_t stamp,
+                                    const std::vector<uint8_t>& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LG_RETURN_IF_ERROR(CheckAliveLocked());
+  LG_RETURN_IF_ERROR(RotateIfNeededLocked());
+  const uint64_t lsn = last_lsn_ + 1;
+  std::vector<uint8_t> frame = BuildFrame(lsn, stamp, payload);
+  if (auto crash = fault::CheckCrash("wal.append")) {
+    if (crash->mode != CrashMode::kBeforeWrite) {
+      std::vector<uint8_t> mangled = ApplyCrashMangling(frame, *crash);
+      (void)WriteAllFd(fd_, mangled.data(), mangled.size());
+    }
+    return DieLocked("wal.append");
+  }
+  LG_RETURN_IF_ERROR(WriteAllFd(fd_, frame.data(), frame.size()));
+  segment_bytes_ += frame.size();
+  last_lsn_ = lsn;
+  ++stats_.appends;
+  stats_.bytes_appended += frame.size();
+  return lsn;
+}
+
+Status DurableLog::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  LG_RETURN_IF_ERROR(CheckAliveLocked());
+  if (auto crash = fault::CheckCrash("wal.fsync")) {
+    if (crash->mode == CrashMode::kAfterWrite) (void)SyncFd(fd_);
+    return DieLocked("wal.fsync");
+  }
+  LG_RETURN_IF_ERROR(SyncFd(fd_));
+  last_synced_lsn_ = last_lsn_;
+  ++stats_.syncs;
+  return Status::OK();
+}
+
+Status DurableLog::AppendSync(uint64_t stamp,
+                              const std::vector<uint8_t>& payload) {
+  LG_RETURN_IF_ERROR(Append(stamp, payload).status());
+  return Sync();
+}
+
+Status DurableLog::WriteCheckpoint(uint64_t stamp,
+                                   const std::vector<uint8_t>& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LG_RETURN_IF_ERROR(CheckAliveLocked());
+  // The checkpoint covers everything appended so far; make that durable
+  // first so GC can never delete records only the (not-yet-read) WAL holds.
+  LG_RETURN_IF_ERROR(SyncFd(fd_));
+  last_synced_lsn_ = last_lsn_;
+
+  const uint64_t seq = checkpoint_seq_ + 1;
+  std::vector<uint8_t> bytes;
+  bytes.reserve(kCheckpointHeaderBytes + payload.size());
+  PutFixed64(&bytes, kCheckpointMagic);
+  PutFixed64(&bytes, seq);
+  PutFixed64(&bytes, last_lsn_);
+  PutFixed64(&bytes, stamp);
+  PutFixed32(&bytes, static_cast<uint32_t>(payload.size()));
+  uint32_t crc = Crc32::Extend(Crc32::kInitial, bytes.data() + 8, 24);
+  crc = Crc32::Finish(Crc32::Extend(crc, payload.data(), payload.size()));
+  PutFixed32(&bytes, crc);
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+
+  const std::string path =
+      (fs::path(options_.dir) / CheckpointName(seq)).string();
+  Status published = WriteFileAtomic(path, bytes, "checkpoint");
+  if (fault::IsDeath(published)) {
+    died_ = true;
+    death_point_ = "checkpoint";
+    return published;
+  }
+  LG_RETURN_IF_ERROR(published);
+  const uint64_t covered = last_lsn_;
+  checkpoint_seq_ = seq;
+  checkpoint_covered_lsn_ = covered;
+  ++stats_.checkpoints_written;
+
+  // GC: start a fresh segment at covered+1, then every older segment is
+  // wholly covered by the checkpoint and can go, as can older checkpoints.
+  std::vector<uint64_t> old_segments = segment_first_lsns_;
+  segment_first_lsns_.clear();
+  LG_RETURN_IF_ERROR(OpenSegmentLocked(covered + 1));
+  std::error_code ec;
+  for (uint64_t first : old_segments) {
+    fs::remove(fs::path(options_.dir) / SegmentName(first), ec);
+    if (!ec) ++stats_.segments_deleted;
+  }
+  fs::remove(fs::path(options_.dir) / CheckpointName(seq - 1), ec);
+  return SyncDir(options_.dir);
+}
+
+uint64_t DurableLog::last_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_lsn_;
+}
+
+DurableLogStats DurableLog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,147 @@
+#ifndef LAKEGUARD_STORAGE_DURABLE_DURABLE_LOG_H_
+#define LAKEGUARD_STORAGE_DURABLE_DURABLE_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lakeguard {
+
+/// Options of one durable log directory.
+struct DurableLogOptions {
+  std::string dir;
+  /// Segment rotation threshold: a segment that reaches this many bytes is
+  /// sealed and a new one started (bounds replay work per segment and lets
+  /// checkpoint GC delete whole files).
+  uint64_t max_segment_bytes = 256 * 1024;
+};
+
+/// One record replayed at recovery.
+struct ReplayedRecord {
+  uint64_t lsn = 0;
+  /// Caller-defined monotonic stamp carried with the record — the catalog
+  /// stores its epoch here, the audit log its event sequence.
+  uint64_t stamp = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Everything `DurableLog::Open` recovered from disk. The caller rebuilds
+/// its in-memory state from the checkpoint payload (if any) plus the
+/// replayed records in LSN order.
+struct DurableLogRecovery {
+  bool has_checkpoint = false;
+  uint64_t checkpoint_seq = 0;
+  uint64_t checkpoint_stamp = 0;
+  uint64_t checkpoint_covered_lsn = 0;
+  std::vector<uint8_t> checkpoint_payload;
+  /// Records with lsn > checkpoint_covered_lsn, strictly consecutive.
+  std::vector<ReplayedRecord> records;
+  /// Bytes discarded from the final segment as an unacked torn/corrupt tail
+  /// (0 when the log was clean).
+  uint64_t torn_bytes_discarded = 0;
+  uint64_t segments_scanned = 0;
+  uint64_t stale_tmp_removed = 0;
+};
+
+struct DurableLogStats {
+  uint64_t appends = 0;
+  uint64_t syncs = 0;
+  uint64_t checkpoints_written = 0;
+  uint64_t segments_created = 0;
+  uint64_t segments_deleted = 0;
+  uint64_t bytes_appended = 0;
+};
+
+/// Segmented write-ahead log with periodic checkpoint snapshots.
+///
+/// Write path: `Append` frames the payload with a CRC32 and buffers it into
+/// the active segment (an OS write, no fsync); `Sync` is the group-commit
+/// barrier — callers append a batch and pay one fsync for all of it. A
+/// record is DURABLE only after the Sync that covers it returns; the replay
+/// contract below is what makes losing unsynced tail records safe.
+///
+/// Record frame (little-endian):
+///   u32 payload_len | u32 crc32(lsn ‖ stamp ‖ payload) | u64 lsn |
+///   u64 stamp | payload
+///
+/// Checkpoints: `WriteCheckpoint` publishes the caller's full-state payload
+/// via tmp-write → fsync → rename → dir-fsync, then garbage-collects
+/// segments wholly covered by it. Only the NEWEST checkpoint is ever used at
+/// recovery; an unreadable newest checkpoint is `kDataLoss`, never a silent
+/// fallback to an older (staler, possibly broader-privileged) one.
+///
+/// Replay rules (fail closed):
+///   * a frame that fails to parse and runs through end-of-file of the LAST
+///     segment is an unacked torn/flipped tail — truncated, recovery
+///     succeeds (those records were never acknowledged: their Sync never
+///     returned);
+///   * any bad frame with more bytes after it, or in a non-final segment, is
+///     mid-log corruption/tampering — `kDataLoss`;
+///   * LSNs must be strictly consecutive from `checkpoint_covered_lsn + 1`
+///     (gap or reorder — e.g. a rolled-back checkpoint next to a GC'd WAL —
+///     is `kDataLoss`).
+///
+/// Crash seams: `wal.append`, `wal.fsync`, `checkpoint.write`,
+/// `checkpoint.fsync`, `checkpoint.rename`. Once a crash fires, this object
+/// is dead: every later call returns the same simulated-death status without
+/// touching the files (a dead process writes nothing).
+class DurableLog {
+ public:
+  /// Opens (creating the directory if needed) and recovers. On corruption
+  /// the open itself fails with `kDataLoss` — the caller must fail closed,
+  /// not serve from a partially recovered log.
+  static Result<std::unique_ptr<DurableLog>> Open(DurableLogOptions options,
+                                                  DurableLogRecovery* recovery);
+
+  ~DurableLog();
+  DurableLog(const DurableLog&) = delete;
+  DurableLog& operator=(const DurableLog&) = delete;
+
+  /// Appends one record (buffered; durable only after the next `Sync`).
+  /// Returns the record's LSN.
+  Result<uint64_t> Append(uint64_t stamp, const std::vector<uint8_t>& payload);
+
+  /// Group-commit barrier: fsyncs the active segment.
+  Status Sync();
+
+  /// Append + Sync in one call (single-record commit).
+  Status AppendSync(uint64_t stamp, const std::vector<uint8_t>& payload);
+
+  /// Publishes `payload` as a checkpoint covering every record appended so
+  /// far, then deletes wholly covered segments and older checkpoints.
+  Status WriteCheckpoint(uint64_t stamp, const std::vector<uint8_t>& payload);
+
+  uint64_t last_lsn() const;
+  uint64_t next_lsn() const { return last_lsn() + 1; }
+  const std::string& dir() const { return options_.dir; }
+  DurableLogStats stats() const;
+
+ private:
+  explicit DurableLog(DurableLogOptions options);
+
+  Status OpenSegmentLocked(uint64_t first_lsn);
+  Status RotateIfNeededLocked();
+  Status DieLocked(const std::string& point);
+  Status CheckAliveLocked() const;
+
+  DurableLogOptions options_;
+  mutable std::mutex mu_;
+  int fd_ = -1;                   // active segment descriptor
+  uint64_t segment_bytes_ = 0;    // bytes in the active segment
+  uint64_t last_lsn_ = 0;
+  uint64_t last_synced_lsn_ = 0;
+  uint64_t checkpoint_seq_ = 0;
+  uint64_t checkpoint_covered_lsn_ = 0;
+  std::vector<uint64_t> segment_first_lsns_;  // sorted; last = active
+  bool died_ = false;
+  std::string death_point_;
+  DurableLogStats stats_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_STORAGE_DURABLE_DURABLE_LOG_H_

@@ -1,0 +1,160 @@
+#include "storage/durable/file_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/fault.h"
+
+namespace lakeguard {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " failed for '" + path +
+                          "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status WriteAllFd(int fd, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  while (n > 0) {
+    ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("write failed: ") +
+                              std::strerror(errno));
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status SyncFd(int fd) {
+  if (::fsync(fd) != 0) {
+    return Status::Internal(std::string("fsync failed: ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open(dir)", dir);
+  Status s = SyncFd(fd);
+  ::close(fd);
+  return s.ok() ? s : s.WithContext("fsync of directory '" + dir + "'");
+}
+
+std::vector<uint8_t> ApplyCrashMangling(const std::vector<uint8_t>& bytes,
+                                        const CrashPolicy& policy) {
+  switch (policy.mode) {
+    case CrashMode::kBeforeWrite:
+      return {};
+    case CrashMode::kTornWrite: {
+      if (bytes.empty()) return {};
+      double frac = policy.torn_fraction;
+      if (frac < 0.0) frac = 0.0;
+      if (frac >= 1.0) frac = 0.99;
+      size_t keep = static_cast<size_t>(
+          static_cast<double>(bytes.size()) * frac);
+      if (keep == 0) keep = 1;
+      if (keep >= bytes.size()) keep = bytes.size() - 1;
+      return std::vector<uint8_t>(bytes.begin(), bytes.begin() + keep);
+    }
+    case CrashMode::kBitFlip: {
+      std::vector<uint8_t> out = bytes;
+      if (!out.empty()) {
+        uint64_t bit = policy.flip_bit % (out.size() * 8);
+        out[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      }
+      return out;
+    }
+    case CrashMode::kAfterWrite:
+      return bytes;
+  }
+  return bytes;
+}
+
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<uint8_t>& bytes,
+                       const std::string& crash_prefix) {
+  const std::string tmp = path + ".tmp";
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+
+  std::vector<uint8_t> to_write = bytes;
+  bool die_after_publish = false;
+  if (auto crash = fault::CheckCrash((crash_prefix + ".write").c_str())) {
+    if (crash->mode == CrashMode::kBeforeWrite) {
+      return fault::Death(crash_prefix + ".write");
+    }
+    to_write = ApplyCrashMangling(bytes, *crash);
+    // Torn content never survives the rename barrier — the process dies with
+    // an unpublished tmp file. A flipped bit DOES survive publish (the write
+    // "completed", just wrong), and kAfterWrite publishes clean bytes; both
+    // then die after the rename so recovery must face the published file.
+    if (crash->mode == CrashMode::kTornWrite) {
+      int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd >= 0) {
+        (void)WriteAllFd(fd, to_write.data(), to_write.size());
+        ::close(fd);
+      }
+      return fault::Death(crash_prefix + ".write");
+    }
+    die_after_publish = true;
+  }
+
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open", tmp);
+  Status s = WriteAllFd(fd, to_write.data(), to_write.size());
+  if (!s.ok()) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return s.WithContext("writing '" + tmp + "'");
+  }
+
+  if (auto crash = fault::CheckCrash((crash_prefix + ".fsync").c_str())) {
+    bool after = crash->mode == CrashMode::kAfterWrite;
+    if (after) (void)SyncFd(fd);
+    ::close(fd);
+    // Either way the rename never happens: the tmp file is a stale leftover
+    // recovery must ignore.
+    return fault::Death(crash_prefix + ".fsync");
+  }
+  s = SyncFd(fd);
+  ::close(fd);
+  if (!s.ok()) return s.WithContext("fsync of '" + tmp + "'");
+
+  if (auto crash = fault::CheckCrash((crash_prefix + ".rename").c_str())) {
+    if (crash->mode != CrashMode::kAfterWrite) {
+      return fault::Death(crash_prefix + ".rename");
+    }
+    if (::rename(tmp.c_str(), path.c_str()) == 0) (void)SyncDir(dir);
+    return fault::Death(crash_prefix + ".rename");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Errno("rename", path);
+  }
+  LG_RETURN_IF_ERROR(SyncDir(dir));
+  if (die_after_publish) return fault::Death(crash_prefix + ".write");
+  return Status::OK();
+}
+
+size_t RemoveStaleTmpFiles(const std::string& dir) {
+  size_t removed = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".tmp") {
+      std::error_code rm_ec;
+      if (std::filesystem::remove(entry.path(), rm_ec)) ++removed;
+    }
+  }
+  return removed;
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,59 @@
+#ifndef LAKEGUARD_STORAGE_DURABLE_FILE_IO_H_
+#define LAKEGUARD_STORAGE_DURABLE_FILE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lakeguard {
+
+/// POSIX file primitives for the durability layer. Everything here goes
+/// through raw descriptors — not iostreams — because the crash-consistency
+/// story depends on controlling exactly when bytes reach the file and when
+/// fsync barriers happen. All paths are plain `std::filesystem`-style strings.
+
+/// Appends `n` bytes to the file at `fd`, retrying short writes.
+Status WriteAllFd(int fd, const void* data, size_t n);
+
+/// fsync barrier on an open descriptor.
+Status SyncFd(int fd);
+
+/// fsync on a directory — makes renames/creates/unlinks in it durable.
+Status SyncDir(const std::string& dir);
+
+/// Applies a crash policy's byte mangling to a buffer: returns the bytes
+/// that actually "reach disk" before the simulated death. kBeforeWrite
+/// returns empty; kTornWrite a prefix; kBitFlip the full buffer with one bit
+/// flipped; kAfterWrite the buffer unchanged (the caller then still dies,
+/// but after completing the write). Declared here so the WAL, checkpoint and
+/// snapshot writers share one definition of "torn" and "flipped".
+struct CrashPolicy;  // from common/fault.h
+std::vector<uint8_t> ApplyCrashMangling(const std::vector<uint8_t>& bytes,
+                                        const CrashPolicy& policy);
+
+/// Atomically publishes `bytes` at `path`: write to `<path>.tmp`, fsync the
+/// file, rename over `path`, fsync the parent directory. Readers therefore
+/// see either the previous file or the complete new one — never a partial
+/// write.
+///
+/// Crash seams (see common/fault.h): `<crash_prefix>.write` mangles or skips
+/// the tmp-file content, `<crash_prefix>.fsync` dies between write and
+/// rename, `<crash_prefix>.rename` dies around the publish rename. After any
+/// fired crash the function returns `fault::Death` and the caller must treat
+/// the process as dead. Note kBitFlip at `.write` completes the publish with
+/// corrupt content — that is the point: a published-but-corrupt file must be
+/// caught by the reader's checksum, fail closed.
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<uint8_t>& bytes,
+                       const std::string& crash_prefix);
+
+/// Removes every `*.tmp` leftover in `dir` (a crashed atomic write leaves
+/// its tmp file behind; it was never published, so recovery discards it).
+/// Returns how many were removed.
+size_t RemoveStaleTmpFiles(const std::string& dir);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_STORAGE_DURABLE_FILE_IO_H_

@@ -1,0 +1,127 @@
+#include "storage/durable/snapshot_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/crc32.h"
+#include "common/fault.h"
+#include "storage/durable/file_io.h"
+
+namespace lakeguard {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint64_t kSnapshotMagic = 0x4C47534E41503031ULL;  // "LGSNAP01"
+constexpr size_t kHeaderBytes = 16;
+
+std::string PathFor(const std::string& dir, const std::string& id) {
+  return (fs::path(dir) / (id + ".snap")).string();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SnapshotStore>> SnapshotStore::Open(
+    const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create snapshot directory '" + dir +
+                            "': " + ec.message());
+  }
+  std::unique_ptr<SnapshotStore> store(new SnapshotStore(dir));
+  store->stale_tmp_removed_ = RemoveStaleTmpFiles(dir);
+  return store;
+}
+
+Status SnapshotStore::CheckAliveLocked() const {
+  if (died_) return fault::Death(death_point_);
+  return Status::OK();
+}
+
+Status SnapshotStore::Put(const std::string& id,
+                          const std::vector<uint8_t>& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LG_RETURN_IF_ERROR(CheckAliveLocked());
+  std::vector<uint8_t> bytes;
+  bytes.reserve(kHeaderBytes + payload.size());
+  for (int i = 0; i < 8; ++i) {
+    bytes.push_back(static_cast<uint8_t>(kSnapshotMagic >> (8 * i)));
+  }
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  uint32_t crc = Crc32::Of(payload.data(), payload.size());
+  for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<uint8_t>(len >> (8 * i)));
+  for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<uint8_t>(crc >> (8 * i)));
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+
+  Status s = WriteFileAtomic(PathFor(dir_, id), bytes, "snapshot");
+  if (fault::IsDeath(s)) {
+    died_ = true;
+    death_point_ = "snapshot";
+  }
+  return s;
+}
+
+Status SnapshotStore::Remove(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LG_RETURN_IF_ERROR(CheckAliveLocked());
+  std::error_code ec;
+  fs::remove(PathFor(dir_, id), ec);
+  if (ec) {
+    return Status::Internal("cannot remove snapshot for '" + id +
+                            "': " + ec.message());
+  }
+  return SyncDir(dir_);
+}
+
+Result<std::vector<SnapshotEntry>> SnapshotStore::LoadAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LG_RETURN_IF_ERROR(CheckAliveLocked());
+  std::vector<SnapshotEntry> entries;
+  std::error_code ec;
+  for (const auto& dirent : fs::directory_iterator(dir_, ec)) {
+    if (dirent.path().extension() != ".snap") continue;
+    SnapshotEntry entry;
+    entry.id = dirent.path().stem().string();
+    std::ifstream in(dirent.path(), std::ios::binary);
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    const std::string name = dirent.path().string();
+    if (!in || in.bad()) {
+      entry.status = Status::Internal("cannot read snapshot '" + name + "'");
+    } else if (bytes.size() < kHeaderBytes) {
+      entry.status = Status::DataLoss("snapshot '" + name + "' is truncated");
+    } else {
+      uint64_t magic = 0;
+      uint32_t len = 0, crc = 0;
+      std::memcpy(&magic, bytes.data(), 8);
+      std::memcpy(&len, bytes.data() + 8, 4);
+      std::memcpy(&crc, bytes.data() + 12, 4);
+      if (magic != kSnapshotMagic) {
+        entry.status = Status::DataLoss("snapshot '" + name +
+                                        "' has a bad magic — corrupt or "
+                                        "tampered");
+      } else if (bytes.size() - kHeaderBytes != len) {
+        entry.status =
+            Status::DataLoss("snapshot '" + name + "' length mismatch");
+      } else if (Crc32::Of(bytes.data() + kHeaderBytes, len) != crc) {
+        entry.status = Status::DataLoss("snapshot '" + name +
+                                        "' fails its CRC — corrupt or "
+                                        "tampered");
+      } else {
+        entry.payload.assign(bytes.begin() + kHeaderBytes, bytes.end());
+      }
+    }
+    entries.push_back(std::move(entry));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const SnapshotEntry& a, const SnapshotEntry& b) {
+              return a.id < b.id;
+            });
+  return entries;
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,68 @@
+#ifndef LAKEGUARD_STORAGE_DURABLE_SNAPSHOT_STORE_H_
+#define LAKEGUARD_STORAGE_DURABLE_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lakeguard {
+
+/// One entry loaded back from a SnapshotStore directory. `status` is OK with
+/// the decoded payload, or a typed error (kDataLoss for a corrupt frame) —
+/// the caller decides per entry whether to reject or abort, but a corrupt
+/// entry NEVER yields a partially decoded payload.
+struct SnapshotEntry {
+  std::string id;
+  Status status = Status::OK();
+  std::vector<uint8_t> payload;
+};
+
+/// Directory of per-id snapshot files, each published atomically
+/// (tmp-write → fsync → rename → dir-fsync) and framed with a CRC32 so a
+/// flipped bit is detected at load rather than silently admitted.
+///
+/// File `<id>.snap`: u64 magic | u32 payload_len | u32 crc32(payload) |
+/// payload (little-endian).
+///
+/// Crash seams: `snapshot.write`, `snapshot.fsync`, `snapshot.rename`. Once
+/// a crash fires the store is dead and every later call returns the same
+/// simulated-death status.
+class SnapshotStore {
+ public:
+  static Result<std::unique_ptr<SnapshotStore>> Open(const std::string& dir);
+
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// Durably publishes `payload` under `id`, replacing any prior snapshot.
+  Status Put(const std::string& id, const std::vector<uint8_t>& payload);
+
+  /// Removes the snapshot for `id` (OK if absent).
+  Status Remove(const std::string& id);
+
+  /// Loads every `*.snap` file. Corrupt frames come back as entries with a
+  /// kDataLoss status, never as partial payloads.
+  Result<std::vector<SnapshotEntry>> LoadAll() const;
+
+  const std::string& dir() const { return dir_; }
+  uint64_t stale_tmp_removed() const { return stale_tmp_removed_; }
+
+ private:
+  explicit SnapshotStore(std::string dir) : dir_(std::move(dir)) {}
+
+  Status CheckAliveLocked() const;
+
+  std::string dir_;
+  uint64_t stale_tmp_removed_ = 0;
+  mutable std::mutex mu_;
+  bool died_ = false;
+  std::string death_point_;
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_STORAGE_DURABLE_SNAPSHOT_STORE_H_

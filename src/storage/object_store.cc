@@ -76,6 +76,20 @@ size_t ObjectStore::ObjectCount() const {
   return objects_.size();
 }
 
+std::map<std::string, std::vector<uint8_t>> ObjectStore::ExportObjects()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_;
+}
+
+void ObjectStore::ImportObjects(
+    std::map<std::string, std::vector<uint8_t>> objects) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [path, data] : objects) {
+    objects_[path] = std::move(data);
+  }
+}
+
 ObjectStoreStats ObjectStore::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;

@@ -52,6 +52,14 @@ class ObjectStore {
   bool Exists(const std::string& path) const;
   size_t ObjectCount() const;
 
+  /// Simulation hooks for crash–restart tests: real cloud storage survives
+  /// a control-plane restart, but this in-memory store dies with the
+  /// process. Export before tearing a platform down, import into the
+  /// restarted platform's store. Bypasses credential checks by design —
+  /// this models the storage medium itself, not a data path.
+  std::map<std::string, std::vector<uint8_t>> ExportObjects() const;
+  void ImportObjects(std::map<std::string, std::vector<uint8_t>> objects);
+
   ObjectStoreStats stats() const;
   void ResetStats();
 

@@ -18,15 +18,20 @@
 //                       expired/revoked tokens, A14 write with read token
 //   side channels       A12 existence oracle, A15 denied queries vend
 //                       nothing (and audit records the truth)
+//   durable state       A19 stale-checkpoint rollback (LSN-gap reject),
+//                       A20 tampered WAL record (CRC fails closed)
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/retry.h"
 #include "connect/session_snapshot.h"
+#include "storage/durable/durable_log.h"
 #include "core/platform.h"
 #include "engine/plan_verifier.h"
 #include "sandbox/host_env.h"
@@ -548,6 +553,141 @@ TEST_F(AttackTest, A18_TamperedSnapshotsAreRejectedAsForgeries) {
   }
   EXPECT_GE(dest->service->service_stats().import_rejects, 3u);
   EXPECT_EQ(dest->service->ActiveSessionCount(), 0u);
+}
+
+// ---- Durable-state attacks (A19–A20) ---------------------------------------------
+//
+// The attacker here has filesystem access to the durability directory — a
+// compromised operator or backup pipeline — and tries to use *restore* as a
+// privilege primitive: rolling the catalog back to a broader-privileged
+// past, or editing history in place. Both must fail closed with a typed
+// kDataLoss (DESIGN.md §14 replay rules), never a quiet recovery.
+
+class DurableAttackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("lg-attack-durable-" + std::to_string(::getpid()) + "-" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  static std::vector<uint8_t> Bytes(const std::string& s) {
+    return std::vector<uint8_t>(s.begin(), s.end());
+  }
+
+  std::string FindOne(const std::string& dir, const std::string& ext) {
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.path().extension() == ext) return entry.path().string();
+    }
+    return "";
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DurableAttackTest, A19_StaleCheckpointRollbackRejected) {
+  std::string wal_dir = dir_ + "/wal";
+  std::string stolen = dir_ + "/stolen.ckpt";
+  std::string ckpt_name;
+  {
+    DurableLogOptions options;
+    options.dir = wal_dir;
+    options.max_segment_bytes = 64;  // force rotation so GC deletes segments
+    DurableLogRecovery recovery;
+    auto log = DurableLog::Open(options, &recovery);
+    ASSERT_TRUE(log.ok());
+    for (uint64_t i = 1; i <= 10; ++i) {
+      ASSERT_TRUE((*log)->AppendSync(i, Bytes("broad-privilege-era")).ok());
+    }
+    // The attacker keeps a copy of the checkpoint from the era when they
+    // still held broad grants...
+    ASSERT_TRUE((*log)->WriteCheckpoint(10, Bytes("grants-incl-eve")).ok());
+    std::string old_ckpt = FindOne(wal_dir, ".ckpt");
+    ASSERT_FALSE(old_ckpt.empty());
+    std::filesystem::copy(old_ckpt, stolen);
+    ckpt_name = std::filesystem::path(old_ckpt).filename().string();
+    // ...then the revocation era is published and checkpointed (GC removes
+    // the covered segments and the old checkpoint).
+    for (uint64_t i = 11; i <= 20; ++i) {
+      ASSERT_TRUE((*log)->AppendSync(i, Bytes("revoked-era")).ok());
+    }
+    ASSERT_TRUE((*log)->WriteCheckpoint(20, Bytes("grants-excl-eve")).ok());
+    for (uint64_t i = 21; i <= 25; ++i) {
+      ASSERT_TRUE((*log)->AppendSync(i, Bytes("tail")).ok());
+    }
+  }
+  // The attack: swap the stale checkpoint back in over the newer one. The
+  // surviving tail segments start well past the stale checkpoint's covered
+  // LSN, so replay sees a gap — exactly what a rollback looks like.
+  std::string current = FindOne(wal_dir, ".ckpt");
+  ASSERT_FALSE(current.empty());
+  std::filesystem::remove(current);
+  std::filesystem::copy(stolen, wal_dir + "/" + ckpt_name);
+
+  DurableLogOptions options;
+  options.dir = wal_dir;
+  options.max_segment_bytes = 64;
+  DurableLogRecovery recovery;
+  auto log = DurableLog::Open(options, &recovery);
+  ASSERT_FALSE(log.ok()) << "stale-checkpoint rollback was admitted";
+  // Typed kDataLoss, never a quiet recovery. (kDataLoss is classified
+  // transient by the *wire* retry policy — a corrupted frame in transit is
+  // worth resending — but recovery never runs under RetryCall: the platform
+  // poisons the catalog and every later authorization repeats this error.)
+  EXPECT_EQ(log.status().code(), StatusCode::kDataLoss)
+      << "A19 stale checkpoint rollback: " << log.status();
+}
+
+TEST_F(DurableAttackTest, A20_TamperedWalRecordFailsClosed) {
+  std::string wal_dir = dir_ + "/wal";
+  {
+    DurableLogOptions options;
+    options.dir = wal_dir;
+    DurableLogRecovery recovery;
+    auto log = DurableLog::Open(options, &recovery);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->AppendSync(1, Bytes("GRANT SELECT TO alice")).ok());
+    ASSERT_TRUE((*log)->AppendSync(2, Bytes("REVOKE SELECT FROM eve")).ok());
+    ASSERT_TRUE((*log)->AppendSync(3, Bytes("unrelated publish")).ok());
+  }
+  // The attacker edits record 2 in place (REVOKE … eve → something
+  // harmless), hoping replay takes the bytes at face value. The frame CRC
+  // covers lsn ‖ stamp ‖ payload, and because valid records follow, this
+  // cannot be mistaken for an unacked torn tail: hard kDataLoss.
+  //
+  // NOTE: tampering with the FINAL record is physically indistinguishable
+  // from a torn unacked tail and is truncated instead — which is still
+  // fail-closed: truncation can only ever remove unacknowledged state,
+  // never fabricate it (an acked record's Sync returned before the copy).
+  std::string segment = FindOne(wal_dir, ".seg");
+  ASSERT_FALSE(segment.empty());
+  {
+    std::fstream file(segment,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    // Record 1 frame = 24-byte header + 21-byte payload = 45 bytes; byte
+    // 24+45+24+8 lands inside record 2's payload.
+    const std::streamoff offset = 45 + 24 + 8;
+    char byte = 0;
+    file.seekg(offset);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x20);
+    file.seekp(offset);
+    file.write(&byte, 1);
+  }
+  DurableLogOptions options;
+  options.dir = wal_dir;
+  DurableLogRecovery recovery;
+  auto log = DurableLog::Open(options, &recovery);
+  ASSERT_FALSE(log.ok()) << "tampered WAL record was replayed";
+  EXPECT_EQ(log.status().code(), StatusCode::kDataLoss)
+      << "A20 tampered WAL record: " << log.status();
 }
 
 }  // namespace

@@ -25,7 +25,7 @@ class CatalogTest : public ::testing::Test {
     EXPECT_TRUE(catalog_.users().AddUser("bob").ok());
     EXPECT_TRUE(catalog_.users().AddGroup("analysts").ok());
     EXPECT_TRUE(catalog_.users().AddUserToGroup("bob", "analysts").ok());
-    catalog_.AddMetastoreAdmin("admin");
+    EXPECT_TRUE(catalog_.AddMetastoreAdmin("admin").ok());
     EXPECT_TRUE(catalog_.CreateCatalog("admin", "main").ok());
     EXPECT_TRUE(catalog_.CreateSchema("admin", "main.s").ok());
 

@@ -332,6 +332,101 @@ TEST(SessionSnapshotTest, TruncatedSnapshotRejected) {
   EXPECT_FALSE(DecodeSessionSnapshot(bytes).ok());
 }
 
+/// A representative snapshot exercising every field of the serde.
+SessionSnapshot FuzzSeedSnapshot() {
+  SessionSnapshot snapshot;
+  snapshot.user = "alice";
+  snapshot.source_epoch = 42;
+  snapshot.temp_views["v1"] = "SELECT 1";
+  snapshot.temp_views["v2"] = "SELECT x FROM main.s.t WHERE x > 1";
+  for (int i = 0; i < 3; ++i) {
+    PreparedStatementRecord record;
+    record.statement_id = "stmt-" + std::to_string(i);
+    record.sql = "SELECT COUNT(*) FROM main.s.t" + std::to_string(i);
+    record.bound_principal = "alice";
+    record.bound_compute_id = "compute-" + std::to_string(i);
+    record.catalog_epoch = 40 + i;
+    snapshot.prepared.push_back(record);
+  }
+  OperationWatermark watermark;
+  watermark.operation_id = "op-7";
+  watermark.released_below = 12;
+  watermark.done = true;
+  snapshot.watermarks.push_back(watermark);
+  return snapshot;
+}
+
+// Property-style fuzz over the decode path: any malformed input — truncated
+// at EVERY possible length, any single bit flipped, or outright garbage —
+// must come back as a typed error or decode as a fully valid snapshot.
+// Never a crash, and never a partially populated result that a recovery
+// path could half-trust (a flip that survives decoding must still satisfy
+// the struct's own invariants, since recovery re-verifies everything
+// against the catalog anyway).
+
+TEST(SessionSnapshotFuzzTest, EveryTruncationIsTypedOrWhole) {
+  const std::vector<uint8_t> bytes = EncodeSessionSnapshot(FuzzSeedSnapshot());
+  for (size_t length = 0; length < bytes.size(); ++length) {
+    std::vector<uint8_t> cut(bytes.begin(), bytes.begin() + length);
+    auto decoded = DecodeSessionSnapshot(cut);
+    if (decoded.ok()) continue;  // a self-delimiting prefix is acceptable
+    EXPECT_FALSE(decoded.status().ToString().empty());
+    EXPECT_NE(decoded.status().code(), StatusCode::kOk);
+  }
+}
+
+TEST(SessionSnapshotFuzzTest, EverySingleBitFlipIsTypedOrValid) {
+  const std::vector<uint8_t> bytes = EncodeSessionSnapshot(FuzzSeedSnapshot());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> mutated = bytes;
+      mutated[i] = static_cast<uint8_t>(mutated[i] ^ (1u << bit));
+      auto decoded = DecodeSessionSnapshot(mutated);
+      if (!decoded.ok()) {
+        EXPECT_NE(decoded.status().code(), StatusCode::kOk);
+        continue;
+      }
+      // A flip may decode into a snapshot with *different* contents (e.g.
+      // a shortened string) — that is a complete decode of different data,
+      // and recovery re-verifies it against the catalog. What must hold is
+      // that the struct is whole: re-encoding and decoding it again is
+      // stable, which a partially populated result would not survive.
+      auto again = DecodeSessionSnapshot(EncodeSessionSnapshot(*decoded));
+      ASSERT_TRUE(again.ok()) << again.status();
+      EXPECT_EQ(again->user, decoded->user);
+      EXPECT_EQ(again->source_epoch, decoded->source_epoch);
+      EXPECT_EQ(again->temp_views, decoded->temp_views);
+      EXPECT_EQ(again->prepared.size(), decoded->prepared.size());
+      EXPECT_EQ(again->watermarks.size(), decoded->watermarks.size());
+    }
+  }
+}
+
+TEST(SessionSnapshotFuzzTest, GarbageBytesNeverDecode) {
+  // Deterministic xorshift garbage: no real snapshot framing, arbitrary
+  // lengths. All of it must be rejected with a typed status.
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<uint8_t>(state);
+  };
+  for (size_t round = 0; round < 64; ++round) {
+    std::vector<uint8_t> garbage(1 + (round * 7) % 513);
+    for (uint8_t& byte : garbage) byte = next();
+    auto decoded = DecodeSessionSnapshot(garbage);
+    if (decoded.ok()) {
+      // Vanishingly unlikely — but if framing coincidentally parses, the
+      // result must still be whole: round-trip stable, not partial.
+      auto again = DecodeSessionSnapshot(EncodeSessionSnapshot(*decoded));
+      EXPECT_TRUE(again.ok()) << again.status();
+      continue;
+    }
+    EXPECT_NE(decoded.status().code(), StatusCode::kOk);
+  }
+}
+
 // ---- Prepared statements ---------------------------------------------------------
 
 TEST_F(ConnectServiceTest, PreparedStatementLifecycle) {
