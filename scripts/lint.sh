@@ -26,8 +26,10 @@ fi
 # by the src/ find below); the gateway suite and bench drive the replica
 # lifecycle / migration locking in src/serverless under threads; the
 # recovery suite and bench drive the durable stores (src/storage/durable,
-# covered by the src/ find) through raw-fd and filesystem seams.
-EXTRA_FILES="tests/attack_test.cc tests/catalog_test.cc tests/serverless_test.cc tests/recovery_test.cc bench/bench_catalog.cc bench/bench_policy_eval.cc bench/bench_gateway.cc bench/bench_recovery.cc"
+# covered by the src/ find) through raw-fd and filesystem seams; the
+# bytecode-verifier suite and bench drive the admission analysis
+# (src/udf/verifier, covered by the src/ find) over adversarial programs.
+EXTRA_FILES="tests/attack_test.cc tests/catalog_test.cc tests/serverless_test.cc tests/recovery_test.cc tests/bytecode_verifier_test.cc bench/bench_catalog.cc bench/bench_policy_eval.cc bench/bench_gateway.cc bench/bench_recovery.cc bench/bench_verifier.cc"
 
 FAILED=0
 while IFS= read -r file; do

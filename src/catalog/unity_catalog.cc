@@ -1,6 +1,7 @@
 #include "catalog/unity_catalog.h"
 
 #include "common/strings.h"
+#include "udf/verifier/cache.h"
 
 namespace lakeguard {
 
@@ -335,7 +336,13 @@ Status UnityCatalog::CreateFunction(const std::string& as_user,
                                     FunctionInfo info) {
   std::vector<std::string> parts;
   LG_RETURN_IF_ERROR(SplitQualified(info.full_name, &parts, 3));
-  LG_RETURN_IF_ERROR(ValidateBytecode(info.body));
+  // Full static verification at registration: a malformed program never
+  // enters the catalog. Verification is policy-independent, so programs
+  // that loop, need capabilities, or move tainted data register fine —
+  // admission decides those per trust domain (and caches by program hash,
+  // which this call warms).
+  LG_RETURN_IF_ERROR(
+      VerifiedProgramCache::Global()->GetOrVerify(info.body).status());
   MutexLock lock(writer_mu_);
   LG_RETURN_IF_ERROR(HealthLocked());
   auto next = BeginMutation();

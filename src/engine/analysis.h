@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "catalog/securable.h"
@@ -43,6 +44,12 @@ struct AnalysisResult {
   std::map<std::string, std::string> read_tokens;
   /// function full name -> resolved definition (body, owner, egress).
   std::map<std::string, FunctionInfo> udfs;
+  /// Lower-cased names of columns protected by a mask or referenced by a row
+  /// filter on any scanned table. UDF arguments over these columns are taint
+  /// sources: the executor stamps `UdfInvocation::tainted_args` from this set
+  /// and the dispatcher refuses programs whose certificate lets such an
+  /// argument reach an exfiltration sink.
+  std::set<std::string> protected_columns;
 
   /// Binding stamp: the identity and placement the plan was analyzed and
   /// verified under, plus the catalog epoch at preparation time. Execution

@@ -16,6 +16,17 @@ std::string LastSegment(const std::string& name) {
   return dot == std::string::npos ? name : name.substr(dot + 1);
 }
 
+void CollectColumnNames(const ExprPtr& expr, std::set<std::string>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind() == ExprKind::kColumnRef) {
+    out->insert(
+        ToLowerAscii(static_cast<const ColumnRefExpr&>(*expr).name()));
+  }
+  for (const ExprPtr& child : expr->children()) {
+    CollectColumnNames(child, out);
+  }
+}
+
 }  // namespace
 
 Result<Schema> Analyzer::ResolvedSchema(const PlanPtr& plan) {
@@ -279,6 +290,15 @@ Result<PlanPtr> Analyzer::ResolveTableRef(const TableRefNode& node,
   const bool has_policies =
       res.row_filter.has_value() || !res.column_masks.empty();
   if (!has_policies) return scan;
+
+  // Record the protected columns (taint sources for UDF arguments): every
+  // masked column plus every column the row filter reads.
+  for (const ColumnMaskPolicy& mask : res.column_masks) {
+    out->protected_columns.insert(ToLowerAscii(mask.column));
+  }
+  if (res.row_filter.has_value()) {
+    CollectColumnNames(res.row_filter->predicate, &out->protected_columns);
+  }
 
   // Inject policies (Fig. 8): Filter for the row filter, Project for masks,
   // both under a SecureView barrier so user expressions can never be pushed

@@ -47,7 +47,8 @@ Result<PreparedQuery> QueryEngine::PreparePlan(const PlanPtr& plan,
   out.analysis->bound_compute_id = context.compute.compute_id;
   out.analysis->catalog_epoch = services_.catalog->epoch();
 
-  PlanVerifier verifier(services_.catalog);
+  PlanVerifier verifier(services_.catalog,
+                        /*check_udf_admission=*/config_.exec.isolate_udfs);
   if (config_.verify.verify_after_analysis) {
     LG_RETURN_IF_ERROR(verifier.VerifyToStatus(
         out.analysis->plan, context, out.analysis.get(),
@@ -139,7 +140,8 @@ Result<QueryResultStreamPtr> QueryEngine::ExecutePrepared(
     const uint64_t current_epoch = services_.catalog->epoch();
     if (analysis.catalog_epoch != 0 &&
         current_epoch != analysis.catalog_epoch) {
-      PlanVerifier verifier(services_.catalog);
+      PlanVerifier verifier(services_.catalog,
+                            /*check_udf_admission=*/config_.exec.isolate_udfs);
       LG_RETURN_IF_ERROR(verifier.VerifyToStatus(
           prepared.optimized, context, prepared.analysis.get(),
           "catalog changed since preparation (epoch " +

@@ -10,6 +10,7 @@
 #include "expr/evaluator.h"
 #include "expr/compiler/policy_eval_cache.h"
 #include "storage/delta_table.h"
+#include "udf/verifier/verifier.h"
 #include "udf/vm.h"
 
 namespace lakeguard {
@@ -173,6 +174,21 @@ std::vector<std::shared_ptr<const UdfCallExpr>> CollectUdfCalls(
   };
   for (const ExprPtr& e : exprs) walk(e);
   return calls;
+}
+
+/// True when `expr` reads any column whose (lower-cased) name is in
+/// `protected_names` — the taint-source test for UDF arguments.
+bool ExprTouchesProtected(const ExprPtr& expr,
+                          const std::set<std::string>& protected_names) {
+  if (expr == nullptr || protected_names.empty()) return false;
+  if (expr->kind() == ExprKind::kColumnRef) {
+    const auto& ref = static_cast<const ColumnRefExpr&>(*expr);
+    return protected_names.count(ToLowerAscii(ref.name())) > 0;
+  }
+  for (const ExprPtr& child : expr->children()) {
+    if (ExprTouchesProtected(child, protected_names)) return true;
+  }
+  return false;
 }
 
 /// Extracts pure equi-join key pairs from `cond`: a conjunction of
@@ -1738,6 +1754,15 @@ Result<std::vector<Column>> Executor::EvaluateWithUdfs(
         inv.bytecode = fn_it->second.body;
         inv.result_name = "__udf" + std::to_string(member);
         inv.result_type = p.call->return_type();
+        // Taint sources: argument positions fed from masked/filter-protected
+        // columns. The dispatcher's admission gate cross-checks these bits
+        // against the program's certified sink reachability.
+        for (size_t j = 0; j < p.call->args().size(); ++j) {
+          if (ExprTouchesProtected(p.call->args()[j],
+                                   analysis_->protected_columns)) {
+            inv.tainted_args |= UdfCertificate::ArgTaintBit(j);
+          }
+        }
         for (size_t j = 0; j < p.arg_columns.size(); ++j) {
           const ExprPtr& arg_expr = p.call->args()[j];
           size_t existing = arg_exprs_shipped.size();

@@ -6,6 +6,10 @@
 #include "common/strings.h"
 #include "engine/optimizer.h"
 #include "expr/functions.h"
+#include "sandbox/policy.h"
+#include "udf/verifier/cache.h"
+#include "udf/verifier/fused_check.h"
+#include "udf/verifier/verifier.h"
 
 namespace lakeguard {
 
@@ -80,16 +84,32 @@ bool EquivalentExprs(const ExprPtr& a, const ExprPtr& b) {
   return fa->Equals(*fb);
 }
 
+/// Collects (lower-cased) names of every column `expr` reads.
+void CollectColumnNames(const ExprPtr& expr, std::set<std::string>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind() == ExprKind::kColumnRef) {
+    out->insert(
+        ToLowerAscii(static_cast<const ColumnRefExpr&>(*expr).name()));
+  }
+  for (const ExprPtr& child : expr->children()) {
+    CollectColumnNames(child, out);
+  }
+}
+
 class Checker {
  public:
   Checker(const UnityCatalog* catalog, const ExecutionContext& context,
-          const AnalysisResult* analysis)
-      : catalog_(catalog), context_(context), analysis_(analysis) {}
+          const AnalysisResult* analysis, bool check_udf_admission)
+      : catalog_(catalog),
+        context_(context),
+        analysis_(analysis),
+        check_udf_admission_(check_udf_admission) {}
 
   Diagnostics Run(const PlanPtr& plan) {
     CheckContextBinding();
     Walk(plan, "", context_.user);
     CheckCredentials();
+    if (check_udf_admission_) CheckUdfAdmission();
     return std::move(diags_);
   }
 
@@ -210,6 +230,10 @@ class Checker {
       }
       if (e->kind() == ExprKind::kUdfCall) {
         const auto& call = static_cast<const UdfCallExpr&>(*e);
+        // Recorded for the V8 post-pass: admission is checked after the walk
+        // completes, once every scan has reported its protected columns.
+        udf_uses_.push_back(
+            {std::static_pointer_cast<const UdfCallExpr>(e), path});
         for (const ExprPtr& arg : call.args()) {
           bool crosses = ExprContains(arg, [&](const Expr& sub) {
             return sub.kind() == ExprKind::kUdfCall &&
@@ -261,6 +285,14 @@ class Checker {
     // (checked in CheckCredentials once all leaves are known).
     if (!info.storage_root.empty()) {
       needs_token_.insert(scan.table_name());
+    }
+    // Taint sources for the V8 post-pass: masked columns and the columns the
+    // row filter reads are protected for this user.
+    for (const ColumnMaskPolicy& m : info.column_masks) {
+      protected_columns_.insert(ToLowerAscii(m.column));
+    }
+    if (info.row_filter.has_value()) {
+      CollectColumnNames(info.row_filter->predicate, &protected_columns_);
     }
     const bool policies_expected =
         info.row_filter.has_value() || !info.column_masks.empty();
@@ -528,6 +560,82 @@ class Checker {
     }
   }
 
+  // ---- V8: bytecode-verifier certificates for every dispatched UDF --------
+
+  void CheckUdfAdmission() {
+    if (udf_uses_.empty()) return;
+    // Resolve every distinct function once; a vanished function is only a
+    // warning (execution fails closed on the unresolved body anyway).
+    std::map<std::string, FunctionInfo> functions;
+    std::set<std::string> unresolved;
+    for (const UdfUse& use : udf_uses_) {
+      const std::string& name = use.call->function_name();
+      if (functions.count(name) > 0 || unresolved.count(name) > 0) continue;
+      auto fn = catalog_->GetFunction(name);
+      if (!fn.ok()) {
+        unresolved.insert(name);
+        diags_.AddWarning(PlanVerifier::kUdfUnverified, use.path,
+                          "UDF '" + name +
+                              "' is no longer in the catalog: " +
+                              fn.status().message());
+        continue;
+      }
+      functions[name] = std::move(*fn);
+    }
+    // Per-owner sandbox policy, built the way the executor provisions it:
+    // locked down plus the union of the owner's egress allow-lists. The
+    // union is the *widest* policy the owner's sandbox can run under, so V8
+    // never rejects a program the dispatcher would admit.
+    std::map<std::string, SandboxPolicy> owner_policies;
+    for (const auto& [name, fn] : functions) {
+      auto [it, inserted] =
+          owner_policies.emplace(fn.owner, SandboxPolicy::LockedDown());
+      for (const std::string& host : fn.allowed_egress) {
+        it->second.egress_allow.push_back(host);
+      }
+    }
+    std::set<std::string> reported;  // (function, taint mask) dedup
+    for (const UdfUse& use : udf_uses_) {
+      auto fn_it = functions.find(use.call->function_name());
+      if (fn_it == functions.end()) continue;
+      const FunctionInfo& fn = fn_it->second;
+      uint64_t tainted = 0;
+      const auto& args = use.call->args();
+      for (size_t j = 0; j < args.size(); ++j) {
+        std::set<std::string> read;
+        CollectColumnNames(args[j], &read);
+        for (const std::string& name : read) {
+          if (protected_columns_.count(name) > 0) {
+            tainted |= UdfCertificate::ArgTaintBit(j);
+            break;
+          }
+        }
+      }
+      if (!reported.insert(fn.full_name + "#" + std::to_string(tainted))
+               .second) {
+        continue;
+      }
+      Result<UdfCertificate> cert =
+          VerifiedProgramCache::Global()->GetOrVerify(fn.body);
+      if (!cert.ok()) {
+        diags_.AddError(PlanVerifier::kUdfUnverified, use.path,
+                        "UDF '" + fn.full_name +
+                            "' fails bytecode verification: " +
+                            cert.status().message());
+        continue;
+      }
+      Status admit =
+          AdmitCertificate(*cert, owner_policies.at(fn.owner), tainted);
+      if (!admit.ok()) {
+        diags_.AddError(PlanVerifier::kUdfUnverified, use.path,
+                        "UDF '" + fn.full_name +
+                            "' cannot be admitted to the sandbox of trust "
+                            "domain '" +
+                            fn.owner + "': " + admit.message());
+      }
+    }
+  }
+
   const UnityCatalog* catalog_;
   const ExecutionContext& context_;
   const AnalysisResult* analysis_;
@@ -540,6 +648,15 @@ class Checker {
   std::map<std::string, std::string> scan_roots_;
   /// Locally enforced scans of real storage (must hold a vended token).
   std::set<std::string> needs_token_;
+  /// V8 bookkeeping: UDF call sites seen during the walk, and the
+  /// (lower-cased) protected column names reported by scan leaves.
+  struct UdfUse {
+    std::shared_ptr<const UdfCallExpr> call;
+    std::string path;
+  };
+  std::vector<UdfUse> udf_uses_;
+  std::set<std::string> protected_columns_;
+  const bool check_udf_admission_;
 };
 
 }  // namespace
@@ -547,7 +664,7 @@ class Checker {
 Diagnostics PlanVerifier::Verify(const PlanPtr& plan,
                                  const ExecutionContext& context,
                                  const AnalysisResult* analysis) const {
-  Checker checker(catalog_, context, analysis);
+  Checker checker(catalog_, context, analysis, check_udf_admission_);
   return checker.Run(plan);
 }
 
@@ -565,6 +682,16 @@ Status PlanVerifier::VerifyFusedProgram(const CompiledExpr& program,
         std::string(kFusedMismatch) +
         ": fused program has no expected policy expression to verify "
         "against");
+  }
+  // Structural verification first: register bounds, write-before-read
+  // discipline, known builtins, result-type agreement. A program that fails
+  // here is rejected before any attempt to reason about its semantics.
+  Status structural = VerifyCompiledProgram(program);
+  if (!structural.ok()) {
+    return Status::FailedPrecondition(
+        std::string(kFusedMismatch) +
+        ": fused program fails structural verification: " +
+        structural.message());
   }
   auto decompiled = DecompileProgram(program);
   if (!decompiled.ok()) {

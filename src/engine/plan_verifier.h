@@ -47,6 +47,13 @@ struct PlanVerifierOptions {
 ///      principal and compute as the execution context — a prepared plan
 ///      replayed under another identity fails verification even if the
 ///      engine-level replay check were bypassed.
+///   V8 (PV008) every sandbox-dispatched UDF in an admitted plan carries a
+///      bytecode-verifier certificate compatible with its trust domain's
+///      sandbox policy: the program verifies, its reachable host calls are
+///      granted, its cost bound fits the fuel budget, and no argument fed
+///      from a masked/filter-protected column can reach an exfiltration
+///      sink. Checked pre-admission so a hostile program is rejected before
+///      any sandbox is provisioned.
 ///
 /// PV000 flags malformed input (unresolved relations/columns in a plan that
 /// claims to be analyzed). The verifier is read-only end to end: it uses
@@ -63,8 +70,15 @@ class PlanVerifier {
   static constexpr const char* kOverbroadCredential = "PV005";
   static constexpr const char* kContextMismatch = "PV006";
   static constexpr const char* kFusedMismatch = "PV007";
+  static constexpr const char* kUdfUnverified = "PV008";
 
-  explicit PlanVerifier(const UnityCatalog* catalog) : catalog_(catalog) {}
+  /// `check_udf_admission` gates V8. On an engine that runs UDFs in-process
+  /// (`ExecutionOptions::isolate_udfs` off — the legacy-JVM baseline) there
+  /// is no sandbox or trust-domain policy to admit against, so PV008 is
+  /// skipped there; every other invariant still applies.
+  explicit PlanVerifier(const UnityCatalog* catalog,
+                        bool check_udf_admission = true)
+      : catalog_(catalog), check_udf_admission_(check_udf_admission) {}
 
   /// Checks V1..V5 over `plan` for the identity/compute in `context`.
   /// `analysis` (optional) supplies the vended read tokens for V5; without
@@ -97,6 +111,7 @@ class PlanVerifier {
 
  private:
   const UnityCatalog* catalog_;
+  const bool check_udf_admission_;
 };
 
 }  // namespace lakeguard

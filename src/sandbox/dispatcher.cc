@@ -161,6 +161,47 @@ Result<RecordBatch> Dispatcher::Dispatch(
   std::string key = session_id + "\n" + trust_domain;
   Sandbox* sandbox = nullptr;
   bool is_probe = false;
+  // Admission gate: every program is statically verified (certificate from
+  // the hash-keyed cache, so re-execution costs one lookup) and its
+  // certificate checked against this trust domain's policy and argument
+  // taint — *before* the lock, the breaker, and above all the provisioner.
+  // A rejected program consumes no sandbox, cold start, or batch transfer.
+  {
+    VerifiedProgramCache* cache;
+    {
+      MutexLock lock(mu_);
+      cache = verifier_cache_;
+    }
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    Status admission = Status::OK();
+    for (const UdfInvocation& inv : invocations) {
+      bool cache_hit = false;
+      Result<UdfCertificate> cert = cache->GetOrVerify(inv.bytecode, &cache_hit);
+      if (cache_hit) {
+        ++hits;
+      } else {
+        ++misses;
+      }
+      admission = cert.ok()
+                      ? AdmitCertificate(*cert, policy, inv.tainted_args)
+                      : cert.status();
+      if (!admission.ok()) {
+        admission = admission.WithContext("dispatching UDF '" +
+                                          inv.bytecode.name + "' for '" +
+                                          trust_domain + "'");
+        break;
+      }
+    }
+    MutexLock lock(mu_);
+    stats_.verifier_cache_hits += hits;
+    stats_.verifier_cache_misses += misses;
+    if (!admission.ok()) {
+      ++stats_.verifier_rejections;
+      return admission;
+    }
+    stats_.verifier_admissions += invocations.size();
+  }
   {
     MutexLock lock(mu_);
     if (max_batch_bytes_ > 0 && args.ByteSize() > max_batch_bytes_) {

@@ -12,6 +12,7 @@
 #include "common/retry.h"
 #include "core/thread_annotations.h"
 #include "sandbox/sandbox.h"
+#include "udf/verifier/cache.h"
 
 namespace lakeguard {
 
@@ -71,6 +72,11 @@ struct DispatcherStats {
   uint64_t breaker_closes = 0;           ///< half-open probe restored service
   // --- memory governance ---
   uint64_t oversized_batches = 0;  ///< dispatches refused by the byte cap
+  // --- bytecode verifier (admission gate) ---
+  uint64_t verifier_admissions = 0;   ///< programs admitted to a sandbox
+  uint64_t verifier_rejections = 0;   ///< dispatches refused pre-provisioning
+  uint64_t verifier_cache_hits = 0;   ///< certificate served from cache
+  uint64_t verifier_cache_misses = 0; ///< certificate verified on demand
 };
 
 /// Per-trust-domain circuit breaker tuning. `failure_threshold` consecutive
@@ -135,6 +141,13 @@ class Dispatcher {
   void set_max_batch_bytes(size_t bytes) {
     MutexLock lock(mu_);
     max_batch_bytes_ = bytes;
+  }
+
+  /// Replaces the verifier-certificate cache (tests isolate their stats
+  /// here). Defaults to the process-wide cache.
+  void set_verifier_cache(VerifiedProgramCache* cache) {
+    MutexLock lock(mu_);
+    verifier_cache_ = cache;
   }
 
   /// Returns the sandbox for (session, trust_domain), provisioning on first
@@ -214,6 +227,8 @@ class Dispatcher {
   RetryPolicy provision_retry_ LG_GUARDED_BY(mu_);
   BreakerConfig breaker_config_ LG_GUARDED_BY(mu_);
   size_t max_batch_bytes_ LG_GUARDED_BY(mu_) = 0;  // 0 = unlimited
+  VerifiedProgramCache* verifier_cache_ LG_GUARDED_BY(mu_) =
+      VerifiedProgramCache::Global();
 };
 
 }  // namespace lakeguard

@@ -23,6 +23,11 @@ struct UdfInvocation {
   std::vector<size_t> arg_indices;
   std::string result_name;
   TypeKind result_type = TypeKind::kNull;
+  /// Bit i set when the UDF's argument position i is bound to a
+  /// masked/filter-protected column (UdfCertificate::ArgTaintBit positions).
+  /// The dispatcher refuses admission when such an argument can reach an
+  /// exfiltration sink per the program's verifier certificate.
+  uint64_t tainted_args = 0;
 };
 
 /// Execution counters for one sandbox lifetime.

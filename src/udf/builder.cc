@@ -1,5 +1,7 @@
 #include "udf/builder.h"
 
+#include "udf/verifier/verifier.h"
+
 namespace lakeguard {
 
 UdfBuilder::UdfBuilder(std::string name, uint32_t num_args,
@@ -80,7 +82,13 @@ UdfBuilder& UdfBuilder::JumpTo(size_t target) {
 }
 
 Result<UdfBytecode> UdfBuilder::Build() {
-  LG_RETURN_IF_ERROR(ValidateBytecode(bc_));
+  // Full static verification, not just the structural baseline: a program
+  // that underflows the stack, falls off the end of code, or miscounts a
+  // host call's arity is a defect at assembly time. Capability needs,
+  // loops, and taint flows are *not* build errors — those are admission
+  // questions answered against a concrete trust domain (the certificate is
+  // recomputed from cache at dispatch).
+  LG_RETURN_IF_ERROR(VerifyBytecode(bc_).status());
   return bc_;
 }
 

@@ -1,0 +1,68 @@
+#include "udf/verifier/cache.h"
+
+#include "common/sha256.h"
+
+namespace lakeguard {
+
+Result<UdfCertificate> VerifiedProgramCache::GetOrVerify(const UdfBytecode& bc,
+                                                         bool* cache_hit) {
+  const std::string hash = ProgramSha256(bc);
+  Shard& shard = shards_[Fnv1a64(hash) % kShards];
+  {
+    MutexLock lock(shard.mu);
+    auto it = shard.entries.find(hash);
+    if (it != shard.entries.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (cache_hit != nullptr) *cache_hit = true;
+      if (!it->second.status.ok()) return it->second.status;
+      return it->second.cert;
+    }
+  }
+  // Verify outside the shard lock: two racing misses on the same hash both
+  // verify and insert the same (deterministic) outcome — harmless.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (cache_hit != nullptr) *cache_hit = false;
+  Result<UdfCertificate> verified = VerifyBytecode(bc);
+  Entry entry;
+  if (verified.ok()) {
+    entry.cert = *verified;
+    // GetOrVerify hashes the caller's bytes; a cached certificate must carry
+    // the same identity even if VerifyBytecode ever changed its hashing.
+    entry.cert.program_sha256 = hash;
+  } else {
+    entry.status = verified.status();
+  }
+  {
+    MutexLock lock(shard.mu);
+    shard.entries[hash] = std::move(entry);
+  }
+  if (!verified.ok()) return verified.status();
+  UdfCertificate cert = *verified;
+  cert.program_sha256 = hash;
+  return cert;
+}
+
+VerifierCacheStats VerifiedProgramCache::stats() const {
+  VerifierCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    stats.entries += shard.entries.size();
+  }
+  return stats;
+}
+
+void VerifiedProgramCache::Clear() {
+  for (Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    shard.entries.clear();
+  }
+}
+
+VerifiedProgramCache* VerifiedProgramCache::Global() {
+  static VerifiedProgramCache* instance = new VerifiedProgramCache();
+  return instance;
+}
+
+}  // namespace lakeguard

@@ -1,0 +1,65 @@
+#ifndef LAKEGUARD_UDF_VERIFIER_CACHE_H_
+#define LAKEGUARD_UDF_VERIFIER_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/thread_annotations.h"
+#include "udf/verifier/verifier.h"
+
+namespace lakeguard {
+
+struct VerifierCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t entries = 0;
+};
+
+/// Sharded cache of verification outcomes keyed by program hash. Because a
+/// `UdfCertificate` is policy-independent, one entry serves every trust
+/// domain, session, and call site that ships the same bytecode — the
+/// dispatcher's per-dispatch re-verification and PV008's pre-admission check
+/// both collapse to a hash + lookup. Negative outcomes (malformed programs)
+/// are cached too: a hostile client replaying a bad program pays a lookup,
+/// not a re-analysis.
+class VerifiedProgramCache {
+ public:
+  VerifiedProgramCache() = default;
+  VerifiedProgramCache(const VerifiedProgramCache&) = delete;
+  VerifiedProgramCache& operator=(const VerifiedProgramCache&) = delete;
+
+  /// Returns the cached verification outcome for `bc`, running the verifier
+  /// on a miss. `cache_hit` (optional) reports which path was taken.
+  Result<UdfCertificate> GetOrVerify(const UdfBytecode& bc,
+                                     bool* cache_hit = nullptr);
+
+  VerifierCacheStats stats() const;
+
+  /// Drops every entry (tests; certificates have no other invalidation —
+  /// the key is a content hash, so an entry can never go stale).
+  void Clear();
+
+  /// Process-wide instance shared by the dispatcher and PlanVerifier.
+  static VerifiedProgramCache* Global();
+
+ private:
+  struct Entry {
+    Status status = Status::OK();
+    UdfCertificate cert;
+  };
+  static constexpr size_t kShards = 8;
+  struct Shard {
+    mutable Mutex mu;
+    std::map<std::string, Entry> entries LG_GUARDED_BY(mu);
+  };
+
+  Shard shards_[kShards];
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_UDF_VERIFIER_CACHE_H_

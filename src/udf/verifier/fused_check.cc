@@ -1,0 +1,121 @@
+#include "udf/verifier/fused_check.h"
+
+#include <string>
+#include <vector>
+
+#include "expr/functions.h"
+
+namespace lakeguard {
+namespace {
+
+Status FusedError(size_t index, const std::string& what) {
+  return Status::InvalidArgument("fused program verifier: instruction " +
+                                 std::to_string(index) + ": " + what);
+}
+
+}  // namespace
+
+Status VerifyCompiledProgram(const CompiledExpr& program) {
+  if (program.instrs.empty()) {
+    return Status::InvalidArgument("fused program verifier: empty program");
+  }
+  if (program.num_regs == 0 || program.result_reg >= program.num_regs) {
+    return Status::InvalidArgument(
+        "fused program verifier: result register " +
+        std::to_string(program.result_reg) + " outside the register file of " +
+        std::to_string(program.num_regs));
+  }
+  std::vector<char> written(program.num_regs, 0);
+  TypeKind result_type = TypeKind::kNull;
+  bool result_written = false;
+
+  auto check_operand = [&](uint16_t reg, size_t index,
+                           const char* role) -> Status {
+    if (reg >= program.num_regs) {
+      return FusedError(index, std::string(role) + " register " +
+                                   std::to_string(reg) + " out of range");
+    }
+    if (!written[reg]) {
+      return FusedError(index, std::string(role) + " register " +
+                                   std::to_string(reg) +
+                                   " read before it is written");
+    }
+    return Status::OK();
+  };
+
+  for (size_t i = 0; i < program.instrs.size(); ++i) {
+    const FusedInstruction& ins = program.instrs[i];
+    if (ins.dst >= program.num_regs) {
+      return FusedError(i, "destination register " + std::to_string(ins.dst) +
+                               " out of range");
+    }
+    switch (ins.op) {
+      case FusedOpCode::kLoadColumn:
+        if (ins.column_index < 0 ||
+            static_cast<size_t>(ins.column_index) >=
+                program.input_schema.num_fields()) {
+          return FusedError(i, "column index " +
+                                   std::to_string(ins.column_index) +
+                                   " outside the input schema");
+        }
+        break;
+      case FusedOpCode::kLoadConst:
+        break;
+      case FusedOpCode::kBinary:
+        LG_RETURN_IF_ERROR(check_operand(ins.a, i, "left operand"));
+        if (ins.b != kNoReg) {
+          LG_RETURN_IF_ERROR(check_operand(ins.b, i, "right operand"));
+        }
+        break;
+      case FusedOpCode::kUnary:
+      case FusedOpCode::kIsNull:
+      case FusedOpCode::kIn:
+      case FusedOpCode::kLike:
+      case FusedOpCode::kCast:
+        LG_RETURN_IF_ERROR(check_operand(ins.a, i, "operand"));
+        break;
+      case FusedOpCode::kCase: {
+        if (ins.args.empty() || ins.args.size() % 2 != 0) {
+          return FusedError(i, "CASE needs non-empty condition/value pairs");
+        }
+        for (uint16_t reg : ins.args) {
+          LG_RETURN_IF_ERROR(check_operand(reg, i, "CASE operand"));
+        }
+        if (ins.b != kNoReg) {
+          LG_RETURN_IF_ERROR(check_operand(ins.b, i, "ELSE operand"));
+        }
+        break;
+      }
+      case FusedOpCode::kCall: {
+        // The fused ISA has no host opcode; the only indirect call door is
+        // the builtin table. An unresolvable name is a host-escape attempt
+        // (or corruption), not a fallback-to-interpreter situation.
+        if (!LookupBuiltin(ins.name).ok()) {
+          return FusedError(i, "call to unknown builtin '" + ins.name + "'");
+        }
+        for (uint16_t reg : ins.args) {
+          LG_RETURN_IF_ERROR(check_operand(reg, i, "call argument"));
+        }
+        break;
+      }
+    }
+    written[ins.dst] = 1;
+    if (ins.dst == program.result_reg) {
+      result_written = true;
+      result_type = ins.out_type;
+    }
+  }
+  if (!result_written) {
+    return Status::InvalidArgument(
+        "fused program verifier: result register is never written");
+  }
+  if (result_type != program.out_type) {
+    return Status::InvalidArgument(
+        std::string("fused program verifier: result register carries ") +
+        TypeKindName(result_type) + " but the program declares " +
+        TypeKindName(program.out_type));
+  }
+  return Status::OK();
+}
+
+}  // namespace lakeguard

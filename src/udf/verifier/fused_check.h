@@ -1,0 +1,31 @@
+#ifndef LAKEGUARD_UDF_VERIFIER_FUSED_CHECK_H_
+#define LAKEGUARD_UDF_VERIFIER_FUSED_CHECK_H_
+
+#include "common/status.h"
+#include "expr/compiler/program.h"
+
+namespace lakeguard {
+
+/// Structural verification of a compiled (fused) policy program — the
+/// FusedKernel leg of the bytecode verifier. Where PV007's three-check
+/// equivalence argument establishes the program computes the *right thing*,
+/// this pass establishes the program is *safe to run at all*, even if the
+/// equivalence machinery (decompiler, tree comparator) were itself wrong:
+///   - register discipline: every dst is in range and every operand register
+///     was written by an earlier instruction (the compiler's forward-sweep
+///     contract), so RunProgram never reads an uninitialized column;
+///   - no host escape: kCall may only name resolvable engine builtins — the
+///     fused ISA has no host-call opcode, and this pins the one indirect
+///     door shut;
+///   - input discipline: kLoadColumn indices stay inside the scan schema;
+///   - output discipline: the result register is written, and the last write
+///     to it carries the program's declared output type.
+///
+/// Returns typed kInvalidArgument naming the offending instruction; the
+/// caller (PV007) wraps it into a diagnostic and falls back to interpreted
+/// evaluation.
+Status VerifyCompiledProgram(const CompiledExpr& program);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_UDF_VERIFIER_FUSED_CHECK_H_

@@ -1,0 +1,497 @@
+#include "udf/verifier/verifier.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/sha256.h"
+
+namespace lakeguard {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Abstract domains.
+//
+// Types form a may-set lattice: a slot's mask holds every concrete type the
+// value could have on some path. Bottom (0) never reaches a pushed slot;
+// kTAny is the top. Joins are bitwise OR, so the fixpoint is monotone and
+// terminates (finite lattice, fixed stack heights).
+// ---------------------------------------------------------------------------
+
+enum : uint8_t {
+  kTNull = 1,
+  kTBool = 2,
+  kTInt = 4,
+  kTDouble = 8,
+  kTString = 16,
+  kTBinary = 32,
+  kTAny = 63,
+};
+
+/// Types Value::AsDouble accepts (plus null, which arith propagates).
+constexpr uint8_t kTNumericish = kTNull | kTBool | kTInt | kTDouble;
+/// Types AsCondition accepts (null coerces to false).
+constexpr uint8_t kTConditionish = kTNull | kTBool | kTInt;
+
+uint8_t TypeMaskOf(const Value& v) {
+  if (v.is_null()) return kTNull;
+  if (v.is_bool()) return kTBool;
+  if (v.is_int()) return kTInt;
+  if (v.is_double()) return kTDouble;
+  if (v.is_binary()) return kTBinary;
+  return kTString;
+}
+
+/// One abstract stack/local slot: what the value could be, and which
+/// arguments it could carry information from.
+struct Slot {
+  uint8_t type = kTAny;
+  uint64_t taint = 0;
+};
+
+struct AbsState {
+  std::vector<Slot> stack;
+  std::vector<Slot> locals;
+};
+
+/// Joins `from` into `into`. Heights must already have been checked equal.
+/// Returns true when `into` changed (the join gained types or taints).
+bool JoinInto(AbsState* into, const AbsState& from) {
+  bool changed = false;
+  for (size_t i = 0; i < into->stack.size(); ++i) {
+    Slot& s = into->stack[i];
+    const Slot& f = from.stack[i];
+    if ((f.type & ~s.type) != 0 || (f.taint & ~s.taint) != 0) changed = true;
+    s.type |= f.type;
+    s.taint |= f.taint;
+  }
+  for (size_t i = 0; i < into->locals.size(); ++i) {
+    Slot& s = into->locals[i];
+    const Slot& f = from.locals[i];
+    if ((f.type & ~s.type) != 0 || (f.taint & ~s.taint) != 0) changed = true;
+    s.type |= f.type;
+    s.taint |= f.taint;
+  }
+  return changed;
+}
+
+/// Host ABI the VM's SandboxHost enforces at run time: exact arity and the
+/// type of the value a successful call pushes.
+struct HostSig {
+  uint32_t argc;
+  uint8_t result_type;
+};
+
+Result<HostSig> HostSignature(HostFn fn) {
+  switch (fn) {
+    case HostFn::kReadFile:
+      return HostSig{1, kTString};
+    case HostFn::kWriteFile:
+      return HostSig{2, kTBool};
+    case HostFn::kHttpGet:
+      return HostSig{1, kTString};
+    case HostFn::kGetEnv:
+      return HostSig{1, kTString};
+    case HostFn::kClockNow:
+      return HostSig{0, kTInt};
+    case HostFn::kLog:
+      return HostSig{1, kTNull};
+  }
+  return Status::InvalidArgument("unknown host function id");
+}
+
+/// True when the host function can move data out of the sandbox — the taint
+/// sinks of the information-flow pass (§2.4 file escape, Fig. 6 egress).
+bool IsExfiltrationSink(HostFn fn) {
+  return fn == HostFn::kWriteFile || fn == HostFn::kHttpGet;
+}
+
+Status VerifierError(const UdfBytecode& bc, size_t pc, const std::string& what) {
+  return Status::InvalidArgument("bytecode verifier: UDF '" + bc.name + "': " +
+                                 what + " at pc " + std::to_string(pc));
+}
+
+/// Successor pcs of a (already structurally validated) instruction. kReturn
+/// has none; jumps go where they point; everything else falls through.
+void Successors(const Instruction& ins, size_t pc, size_t out[2], size_t* n) {
+  *n = 0;
+  switch (ins.op) {
+    case OpCode::kReturn:
+      break;
+    case OpCode::kJump:
+      out[(*n)++] = static_cast<size_t>(ins.operand);
+      break;
+    case OpCode::kJumpIfFalse:
+      out[(*n)++] = static_cast<size_t>(ins.operand);
+      out[(*n)++] = pc + 1;
+      break;
+    default:
+      out[(*n)++] = pc + 1;
+      break;
+  }
+}
+
+}  // namespace
+
+std::string ProgramSha256(const UdfBytecode& bc) {
+  ByteWriter writer;
+  SerializeBytecode(bc, &writer);
+  return Sha256::HexDigest(std::string_view(
+      reinterpret_cast<const char*>(writer.data().data()), writer.size()));
+}
+
+Result<UdfCertificate> VerifyBytecode(const UdfBytecode& bc) {
+  // Pass 1a: the structural baseline the serde layer already demands
+  // (operand/jump/index bounds, at least one return somewhere).
+  LG_RETURN_IF_ERROR(ValidateBytecode(bc));
+  // Pass 1b: exact host-call arity. ValidateBytecode tolerates any argc in
+  // [0,8]; the VM's host would trap at run time, so the verifier pins the
+  // ABI statically — VM and verifier must agree on what "invalid" means.
+  const size_t n = bc.code.size();
+  for (size_t pc = 0; pc < n; ++pc) {
+    const Instruction& ins = bc.code[pc];
+    if (ins.op != OpCode::kCallHost) continue;
+    LG_ASSIGN_OR_RETURN(HostSig sig,
+                        HostSignature(static_cast<HostFn>(ins.operand)));
+    if (static_cast<uint32_t>(ins.operand2) != sig.argc) {
+      return VerifierError(
+          bc, pc,
+          std::string("host call '") +
+              HostFnName(static_cast<HostFn>(ins.operand)) + "' takes " +
+              std::to_string(sig.argc) + " args, program pops " +
+              std::to_string(ins.operand2));
+    }
+  }
+
+  UdfCertificate cert;
+  cert.program_sha256 = ProgramSha256(bc);
+  cert.name = bc.name;
+  cert.num_args = bc.num_args;
+
+  // Passes 2–5 share one forward abstract-interpretation fixpoint: per-pc
+  // in-states over the type×taint slot lattice, worklist-driven.
+  std::vector<std::optional<AbsState>> in(n);
+  std::vector<char> reachable(n, 0);
+  std::deque<size_t> worklist;
+  {
+    AbsState entry;
+    entry.locals.assign(bc.num_locals, Slot{kTNull, 0});
+    in[0] = std::move(entry);
+    worklist.push_back(0);
+  }
+  bool return_reachable = false;
+  bool has_back_edge = false;
+  uint32_t max_height = 0;
+
+  auto pop = [&](AbsState* st, size_t pc) -> Result<Slot> {
+    if (st->stack.empty()) {
+      return VerifierError(bc, pc, "stack underflow");
+    }
+    Slot s = st->stack.back();
+    st->stack.pop_back();
+    return s;
+  };
+
+  while (!worklist.empty()) {
+    const size_t pc = worklist.front();
+    worklist.pop_front();
+    reachable[pc] = 1;
+    AbsState st = *in[pc];
+    const Instruction& ins = bc.code[pc];
+
+    switch (ins.op) {
+      case OpCode::kPushConst:
+        st.stack.push_back(
+            Slot{TypeMaskOf(bc.const_pool[static_cast<size_t>(ins.operand)]),
+                 0});
+        break;
+      case OpCode::kLoadArg:
+        st.stack.push_back(Slot{
+            kTAny,
+            UdfCertificate::ArgTaintBit(static_cast<uint32_t>(ins.operand))});
+        break;
+      case OpCode::kLoadLocal:
+        st.stack.push_back(st.locals[static_cast<size_t>(ins.operand)]);
+        break;
+      case OpCode::kStoreLocal: {
+        LG_ASSIGN_OR_RETURN(Slot v, pop(&st, pc));
+        st.locals[static_cast<size_t>(ins.operand)] = v;
+        break;
+      }
+      case OpCode::kDup: {
+        if (st.stack.empty()) return VerifierError(bc, pc, "stack underflow");
+        st.stack.push_back(st.stack.back());
+        break;
+      }
+      case OpCode::kPop: {
+        LG_ASSIGN_OR_RETURN(Slot v, pop(&st, pc));
+        (void)v;
+        break;
+      }
+      case OpCode::kAdd:
+      case OpCode::kSub:
+      case OpCode::kMul:
+      case OpCode::kDiv:
+      case OpCode::kMod: {
+        LG_ASSIGN_OR_RETURN(Slot b, pop(&st, pc));
+        LG_ASSIGN_OR_RETURN(Slot a, pop(&st, pc));
+        // Null propagates before coercion, so one stringy operand is only a
+        // *definite* error when the other can never be null either.
+        if ((a.type & kTNumericish) == 0 && (b.type & kTNull) == 0) {
+          return VerifierError(bc, pc, "arithmetic on a non-numeric operand");
+        }
+        if ((b.type & kTNumericish) == 0 && (a.type & kTNull) == 0) {
+          return VerifierError(bc, pc, "arithmetic on a non-numeric operand");
+        }
+        st.stack.push_back(
+            Slot{kTNull | kTInt | kTDouble, a.taint | b.taint});
+        break;
+      }
+      case OpCode::kNeg: {
+        LG_ASSIGN_OR_RETURN(Slot a, pop(&st, pc));
+        if ((a.type & kTNumericish) == 0) {
+          return VerifierError(bc, pc, "negation of a non-numeric operand");
+        }
+        st.stack.push_back(Slot{kTNull | kTInt | kTDouble, a.taint});
+        break;
+      }
+      case OpCode::kEq:
+      case OpCode::kNe:
+      case OpCode::kLt:
+      case OpCode::kLe:
+      case OpCode::kGt:
+      case OpCode::kGe: {
+        LG_ASSIGN_OR_RETURN(Slot b, pop(&st, pc));
+        LG_ASSIGN_OR_RETURN(Slot a, pop(&st, pc));
+        st.stack.push_back(Slot{kTNull | kTBool, a.taint | b.taint});
+        break;
+      }
+      case OpCode::kAnd:
+      case OpCode::kOr: {
+        LG_ASSIGN_OR_RETURN(Slot b, pop(&st, pc));
+        LG_ASSIGN_OR_RETURN(Slot a, pop(&st, pc));
+        if ((a.type & kTConditionish) == 0 || (b.type & kTConditionish) == 0) {
+          return VerifierError(bc, pc, "logical operand is not boolean-like");
+        }
+        st.stack.push_back(Slot{kTBool, a.taint | b.taint});
+        break;
+      }
+      case OpCode::kNot: {
+        LG_ASSIGN_OR_RETURN(Slot a, pop(&st, pc));
+        if ((a.type & kTConditionish) == 0) {
+          return VerifierError(bc, pc, "logical operand is not boolean-like");
+        }
+        st.stack.push_back(Slot{kTBool, a.taint});
+        break;
+      }
+      case OpCode::kConcat: {
+        LG_ASSIGN_OR_RETURN(Slot b, pop(&st, pc));
+        LG_ASSIGN_OR_RETURN(Slot a, pop(&st, pc));
+        st.stack.push_back(Slot{kTString, a.taint | b.taint});
+        break;
+      }
+      case OpCode::kSha256: {
+        // Declassification: a digest is the membrane baseline's sanctioned
+        // one-way exit from the taint lattice.
+        LG_ASSIGN_OR_RETURN(Slot a, pop(&st, pc));
+        (void)a;
+        st.stack.push_back(Slot{kTString, 0});
+        break;
+      }
+      case OpCode::kToString: {
+        LG_ASSIGN_OR_RETURN(Slot a, pop(&st, pc));
+        st.stack.push_back(Slot{kTString, a.taint});
+        break;
+      }
+      case OpCode::kToInt: {
+        LG_ASSIGN_OR_RETURN(Slot a, pop(&st, pc));
+        st.stack.push_back(Slot{kTNull | kTInt, a.taint});
+        break;
+      }
+      case OpCode::kToDouble: {
+        LG_ASSIGN_OR_RETURN(Slot a, pop(&st, pc));
+        st.stack.push_back(Slot{kTNull | kTDouble, a.taint});
+        break;
+      }
+      case OpCode::kLength: {
+        LG_ASSIGN_OR_RETURN(Slot a, pop(&st, pc));
+        st.stack.push_back(Slot{kTNull | kTInt, a.taint});
+        break;
+      }
+      case OpCode::kJump:
+        break;
+      case OpCode::kJumpIfFalse: {
+        LG_ASSIGN_OR_RETURN(Slot a, pop(&st, pc));
+        if ((a.type & kTConditionish) == 0) {
+          return VerifierError(bc, pc, "branch condition is not boolean-like");
+        }
+        break;
+      }
+      case OpCode::kCallHost: {
+        const HostFn fn = static_cast<HostFn>(ins.operand);
+        LG_ASSIGN_OR_RETURN(HostSig sig, HostSignature(fn));
+        if (st.stack.size() < sig.argc) {
+          return VerifierError(bc, pc, "stack underflow in host call");
+        }
+        uint64_t arg_taint = 0;
+        for (uint32_t i = 0; i < sig.argc; ++i) {
+          arg_taint |= st.stack.back().taint;
+          st.stack.pop_back();
+        }
+        cert.reachable_hosts |= uint32_t{1} << static_cast<uint32_t>(fn);
+        if (IsExfiltrationSink(fn)) cert.tainted_sink_args |= arg_taint;
+        st.stack.push_back(Slot{sig.result_type, 0});
+        break;
+      }
+      case OpCode::kReturn: {
+        if (st.stack.empty()) {
+          return VerifierError(bc, pc, "return with an empty stack");
+        }
+        return_reachable = true;
+        break;
+      }
+    }
+
+    max_height = std::max(max_height, static_cast<uint32_t>(st.stack.size()));
+
+    size_t succ[2];
+    size_t n_succ = 0;
+    Successors(ins, pc, succ, &n_succ);
+    for (size_t i = 0; i < n_succ; ++i) {
+      const size_t to = succ[i];
+      if (to >= n) {
+        // A reachable path runs past the last instruction — the VM's
+        // "fell off the end" trap, caught at admission instead.
+        return VerifierError(bc, pc, "execution can fall off the end of code");
+      }
+      if (to <= pc) has_back_edge = true;
+      if (!in[to].has_value()) {
+        in[to] = st;
+        worklist.push_back(to);
+      } else {
+        if (in[to]->stack.size() != st.stack.size()) {
+          return VerifierError(
+              bc, to,
+              "inconsistent stack height at join (" +
+                  std::to_string(in[to]->stack.size()) + " vs " +
+                  std::to_string(st.stack.size()) + ")");
+        }
+        if (JoinInto(&*in[to], st)) worklist.push_back(to);
+      }
+    }
+  }
+
+  cert.guaranteed_divergent = !return_reachable;
+  cert.max_stack_height = max_height;
+
+  if (has_back_edge) {
+    cert.worst_case_cost = kUnboundedCost;
+  } else {
+    // Reachable code is acyclic: the worst-case executed-instruction count
+    // is the longest path from the entry, by memoized DFS.
+    std::vector<int64_t> memo(n, -1);
+    // Iterative post-order to stay stack-safe on long programs.
+    std::vector<std::pair<size_t, int>> dfs;
+    dfs.emplace_back(0, 0);
+    while (!dfs.empty()) {
+      auto& [pc, phase] = dfs.back();
+      if (memo[pc] >= 0) {
+        dfs.pop_back();
+        continue;
+      }
+      if (phase == 0) {
+        phase = 1;
+        size_t succ[2];
+        size_t n_succ = 0;
+        Successors(bc.code[pc], pc, succ, &n_succ);
+        for (size_t i = 0; i < n_succ; ++i) {
+          if (memo[succ[i]] < 0) dfs.emplace_back(succ[i], 0);
+        }
+      } else {
+        size_t succ[2];
+        size_t n_succ = 0;
+        Successors(bc.code[pc], pc, succ, &n_succ);
+        int64_t best = 0;
+        for (size_t i = 0; i < n_succ; ++i) {
+          best = std::max(best, memo[succ[i]]);
+        }
+        memo[pc] = best + 1;
+        dfs.pop_back();
+      }
+    }
+    cert.worst_case_cost = memo[0];
+  }
+  return cert;
+}
+
+Status AdmitCertificate(const UdfCertificate& cert, const SandboxPolicy& policy,
+                        uint64_t tainted_args) {
+  if (cert.guaranteed_divergent) {
+    return Status::InvalidArgument(
+        "bytecode verifier: UDF '" + cert.name +
+        "' can never return: every reachable path loops forever; rejected at "
+        "admission");
+  }
+  for (uint32_t id = 0; id <= static_cast<uint32_t>(HostFn::kLog); ++id) {
+    if ((cert.reachable_hosts & (uint32_t{1} << id)) == 0) continue;
+    const HostFn fn = static_cast<HostFn>(id);
+    bool granted = false;
+    switch (fn) {
+      case HostFn::kReadFile:
+        granted = policy.allow_file_read;
+        break;
+      case HostFn::kWriteFile:
+        granted = policy.allow_file_write;
+        break;
+      case HostFn::kHttpGet:
+        granted = !policy.egress_allow.empty();
+        break;
+      case HostFn::kGetEnv:
+        granted = policy.allow_env_read;
+        break;
+      case HostFn::kClockNow:
+        granted = policy.allow_clock;
+        break;
+      case HostFn::kLog:
+        granted = true;
+        break;
+    }
+    if (!granted) {
+      return Status::PermissionDenied(
+          "bytecode verifier: UDF '" + cert.name + "' can reach host call '" +
+          HostFnName(fn) +
+          "' which the trust domain's policy does not grant; rejected before "
+          "sandbox provisioning");
+    }
+  }
+  const uint64_t leaked = cert.tainted_sink_args & tainted_args;
+  if (leaked != 0) {
+    uint32_t arg = 0;
+    while (arg < 64 && (leaked & (uint64_t{1} << arg)) == 0) ++arg;
+    return Status::PermissionDenied(
+        "bytecode verifier: UDF '" + cert.name + "' argument " +
+        std::to_string(arg) +
+        " is bound to a policy-protected column and can flow to an "
+        "exfiltration sink (write_file/http_get); rejected before sandbox "
+        "provisioning");
+  }
+  if (cert.worst_case_cost != kUnboundedCost &&
+      cert.worst_case_cost > policy.fuel) {
+    return Status::ResourceExhausted(
+        "bytecode verifier: UDF '" + cert.name + "' worst-case cost " +
+        std::to_string(cert.worst_case_cost) +
+        " exceeds the trust domain's fuel budget " +
+        std::to_string(policy.fuel));
+  }
+  if (cert.max_stack_height > policy.max_stack) {
+    return Status::ResourceExhausted(
+        "bytecode verifier: UDF '" + cert.name + "' needs stack depth " +
+        std::to_string(cert.max_stack_height) +
+        ", over the trust domain's limit of " +
+        std::to_string(policy.max_stack));
+  }
+  return Status::OK();
+}
+
+}  // namespace lakeguard

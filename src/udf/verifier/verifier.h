@@ -1,0 +1,109 @@
+#ifndef LAKEGUARD_UDF_VERIFIER_VERIFIER_H_
+#define LAKEGUARD_UDF_VERIFIER_VERIFIER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sandbox/policy.h"
+#include "udf/bytecode.h"
+
+namespace lakeguard {
+
+/// Sentinel worst-case cost for programs whose instruction count cannot be
+/// bounded statically (a reachable back edge / loop).
+inline constexpr int64_t kUnboundedCost = -1;
+
+/// The result of statically verifying one LGVM program — the admission
+/// ticket the dispatcher and PlanVerifier check against a concrete trust
+/// domain. Everything in here is *policy-independent*: it describes what the
+/// program could do on some execution, not whether any particular sandbox
+/// would allow it. That split is what makes certificates cacheable by
+/// program hash alone — one verification serves every (session, policy)
+/// pair that ships the same bytecode.
+struct UdfCertificate {
+  /// Hex SHA-256 of the serialized program (the cache key).
+  std::string program_sha256;
+  /// Program name (diagnostics only).
+  std::string name;
+  uint32_t num_args = 0;
+
+  /// Bitmask over `HostFn` ids of host calls on some statically reachable
+  /// path. A program that *could* call write_file is flagged here even if
+  /// no run ever takes that branch — admission is possibilistic (§2.4).
+  uint32_t reachable_hosts = 0;
+
+  /// Conservative upper bound on executed instructions, or kUnboundedCost
+  /// when a reachable back edge makes the count input-dependent.
+  int64_t worst_case_cost = 0;
+
+  /// True when no reachable path ends in kReturn: every execution either
+  /// loops forever or traps. Such a program can never produce a value and
+  /// is rejected at admission (it could only ever burn fuel).
+  bool guaranteed_divergent = false;
+
+  /// Maximum abstract operand-stack height over all reachable paths. Sound
+  /// because verification requires consistent stack heights at joins, so
+  /// loops cannot grow the stack.
+  uint32_t max_stack_height = 0;
+
+  /// Bit i set when argument i can flow into an exfiltration-capable host
+  /// sink (write_file or http_get) without passing through kSha256
+  /// declassification. Arguments ≥ 63 share the top bit (conservative).
+  uint64_t tainted_sink_args = 0;
+
+  /// True when the given argument position carries taint into a sink.
+  bool ArgFlowsToSink(uint32_t arg) const {
+    return (tainted_sink_args & ArgTaintBit(arg)) != 0;
+  }
+
+  /// Taint-lattice bit for argument `arg` (args ≥ 63 collapse to one bit).
+  static uint64_t ArgTaintBit(uint32_t arg) {
+    return arg < 63 ? (uint64_t{1} << arg) : (uint64_t{1} << 63);
+  }
+};
+
+/// Hex SHA-256 of the wire encoding of `bc` — the identity under which
+/// certificates are cached and PV008 matches plans to verified programs.
+std::string ProgramSha256(const UdfBytecode& bc);
+
+/// Statically verifies one LGVM program by forward abstract interpretation
+/// and returns its certificate. Five passes over one fixpoint:
+///   1. structure/CFG — opcode operand bounds, jump targets on instruction
+///      boundaries, const/arg/local indices in range, no reachable path
+///      falls off the end of code, kCallHost arity matches the host ABI;
+///   2. stack effect + types — stack heights meet consistently at joins,
+///      each opcode's operands can satisfy its dynamic checks (type lattice
+///      Bottom < {null,bool,int,double,string,binary} < Any), kReturn pops
+///      a value that exists;
+///   3. capabilities — the reachable HostFn set (recorded, checked at
+///      admission against the trust domain's policy);
+///   4. termination/cost — back-edge detection plus a worst-case
+///      instruction bound over the acyclic remainder (recorded; checked
+///      against the domain's fuel at admission);
+///   5. taint — arguments are sources, write_file/http_get call arguments
+///      are sinks, kSha256 declassifies (recorded per-arg; bound to
+///      protected columns at admission).
+///
+/// Rejection (typed kInvalidArgument) means the program is *malformed* —
+/// some execution would hit a VM integrity trap. Programs that merely need
+/// capabilities, loop forever, or move tainted data verify fine here; those
+/// are policy questions answered by `AdmitCertificate` at admission time.
+Result<UdfCertificate> VerifyBytecode(const UdfBytecode& bc);
+
+/// Admission check of a certificate against one trust domain's sandbox
+/// policy: typed rejection *before* any sandbox is provisioned.
+///   - guaranteed divergence        -> kInvalidArgument (can never succeed);
+///   - reachable host not granted   -> kPermissionDenied;
+///   - tainted arg reaches a sink   -> kPermissionDenied (`tainted_args` is
+///     the caller's bitmask of which argument positions are bound to
+///     masked/filter-protected columns, in UdfCertificate::ArgTaintBit
+///     positions);
+///   - finite worst-case cost over the domain's fuel, or stack need over
+///     its stack limit           -> kResourceExhausted (retryable: a larger
+///     budget could admit it, mirroring the oversized-batch contract).
+Status AdmitCertificate(const UdfCertificate& cert, const SandboxPolicy& policy,
+                        uint64_t tainted_args);
+
+}  // namespace lakeguard
+
+#endif  // LAKEGUARD_UDF_VERIFIER_VERIFIER_H_

@@ -78,8 +78,16 @@ Result<Value> ExecuteUdf(const UdfBytecode& bc, const std::vector<Value>& args,
   int64_t executed = 0;
   int64_t host_calls = 0;
 
-  auto pop = [&stack]() -> Result<Value> {
-    if (stack.empty()) return Status::Internal("UDF stack underflow");
+  // "vm integrity:" errors are structural violations a verified program can
+  // never hit — the bytecode verifier proves their absence, and the
+  // differential fuzz suite holds VM and verifier to that agreement. They
+  // are typed kInvalidArgument (a defect of the program, not of the engine).
+  auto integrity = [&bc](const std::string& what) {
+    return Status::InvalidArgument("vm integrity: UDF '" + bc.name +
+                                   "': " + what);
+  };
+  auto pop = [&stack, &integrity]() -> Result<Value> {
+    if (stack.empty()) return integrity("stack underflow");
     Value v = std::move(stack.back());
     stack.pop_back();
     return v;
@@ -100,21 +108,36 @@ Result<Value> ExecuteUdf(const UdfBytecode& bc, const std::vector<Value>& args,
     const Instruction& ins = bc.code[pc];
     switch (ins.op) {
       case OpCode::kPushConst:
+        if (ins.operand < 0 ||
+            static_cast<size_t>(ins.operand) >= bc.const_pool.size()) {
+          return integrity("const index out of range");
+        }
         stack.push_back(bc.const_pool[static_cast<size_t>(ins.operand)]);
         break;
       case OpCode::kLoadArg:
+        if (ins.operand < 0 || static_cast<size_t>(ins.operand) >= args.size()) {
+          return integrity("arg index out of range");
+        }
         stack.push_back(args[static_cast<size_t>(ins.operand)]);
         break;
       case OpCode::kLoadLocal:
+        if (ins.operand < 0 ||
+            static_cast<size_t>(ins.operand) >= locals.size()) {
+          return integrity("local index out of range");
+        }
         stack.push_back(locals[static_cast<size_t>(ins.operand)]);
         break;
       case OpCode::kStoreLocal: {
+        if (ins.operand < 0 ||
+            static_cast<size_t>(ins.operand) >= locals.size()) {
+          return integrity("local index out of range");
+        }
         LG_ASSIGN_OR_RETURN(Value v, pop());
         locals[static_cast<size_t>(ins.operand)] = std::move(v);
         break;
       }
       case OpCode::kDup:
-        if (stack.empty()) return Status::Internal("UDF stack underflow");
+        if (stack.empty()) return integrity("stack underflow");
         stack.push_back(stack.back());
         break;
       case OpCode::kPop: {
@@ -229,9 +252,15 @@ Result<Value> ExecuteUdf(const UdfBytecode& bc, const std::vector<Value>& args,
         break;
       }
       case OpCode::kJump:
+        if (ins.operand < 0 || static_cast<size_t>(ins.operand) >= n) {
+          return integrity("jump target out of range");
+        }
         pc = static_cast<size_t>(ins.operand);
         continue;
       case OpCode::kJumpIfFalse: {
+        if (ins.operand < 0 || static_cast<size_t>(ins.operand) >= n) {
+          return integrity("jump target out of range");
+        }
         LG_ASSIGN_OR_RETURN(Value a, pop());
         LG_ASSIGN_OR_RETURN(bool cond, AsCondition(a));
         if (!cond) {
@@ -241,8 +270,13 @@ Result<Value> ExecuteUdf(const UdfBytecode& bc, const std::vector<Value>& args,
         break;
       }
       case OpCode::kCallHost: {
+        if (ins.operand < 0 ||
+            ins.operand > static_cast<int32_t>(HostFn::kLog) ||
+            ins.operand2 < 0) {
+          return integrity("unknown host function");
+        }
         size_t argc = static_cast<size_t>(ins.operand2);
-        if (stack.size() < argc) return Status::Internal("UDF stack underflow");
+        if (stack.size() < argc) return integrity("stack underflow");
         std::vector<Value> host_args(argc);
         for (size_t i = argc; i > 0; --i) {
           host_args[i - 1] = std::move(stack.back());
@@ -279,7 +313,7 @@ Result<Value> ExecuteUdf(const UdfBytecode& bc, const std::vector<Value>& args,
     }
     ++pc;
   }
-  return Status::Internal("UDF '" + bc.name + "' fell off the end of code");
+  return integrity("fell off the end of code");
 }
 
 }  // namespace lakeguard

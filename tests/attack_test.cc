@@ -20,6 +20,10 @@
 //                       nothing (and audit records the truth)
 //   durable state       A19 stale-checkpoint rollback (LSN-gap reject),
 //                       A20 tampered WAL record (CRC fails closed)
+//   admission           A21 fuel-bomb / malformed bytecode rejected by the
+//                       static verifier before any sandbox exists, A22
+//                       taint exfiltration (masked column -> sink) rejected
+//                       statically at dispatch and at PV008
 
 #include <gtest/gtest.h>
 
@@ -34,10 +38,13 @@
 #include "storage/durable/durable_log.h"
 #include "core/platform.h"
 #include "engine/plan_verifier.h"
+#include "sandbox/dispatcher.h"
 #include "sandbox/host_env.h"
 #include "sandbox/sandbox.h"
 #include "sql/parser.h"
 #include "udf/builder.h"
+#include "udf/verifier/cache.h"
+#include "udf/verifier/verifier.h"
 
 namespace lakeguard {
 namespace {
@@ -688,6 +695,149 @@ TEST_F(DurableAttackTest, A20_TamperedWalRecordFailsClosed) {
   ASSERT_FALSE(log.ok()) << "tampered WAL record was replayed";
   EXPECT_EQ(log.status().code(), StatusCode::kDataLoss)
       << "A20 tampered WAL record: " << log.status();
+}
+
+// ---- Admission attacks against the bytecode verifier (A21–A22) --------------
+
+/// Dispatcher wired to its own certificate cache so the verifier counters
+/// observed here belong to this test alone.
+class VerifierAttackTest : public SandboxAttackTest {
+ protected:
+  VerifierAttackTest()
+      : provisioner_(&env_, &clock_), dispatcher_(&provisioner_, &clock_) {
+    dispatcher_.set_verifier_cache(&cache_);
+  }
+
+  LocalSandboxProvisioner provisioner_;
+  Dispatcher dispatcher_;
+  VerifiedProgramCache cache_;
+};
+
+TEST_F(VerifierAttackTest, A21_FuelBombAndMalformedBytecodeDieAtAdmission) {
+  // (a) Self-looping fuel bomb: no reachable path returns, so the program
+  // can only ever burn the domain's fuel. The certificate proves divergence
+  // and admission refuses it outright — no sandbox is provisioned to find
+  // out the hard way.
+  UdfInvocation spin = Invocation(canned::InfiniteLoopUdf());
+  spin.result_type = TypeKind::kInt64;
+  auto bomb = dispatcher_.Dispatch("sess-eve", "eve",
+                                   SandboxPolicy::LockedDown(), OneRowBatch(),
+                                   {spin});
+  ExpectBlocked(bomb.status(), StatusCode::kInvalidArgument,
+                /*retryable=*/false, "A21 fuel bomb");
+
+  // (b) Out-of-bounds jump, hand-assembled to bypass the builder: the
+  // classic "trap the interpreter mid-flight" probe dies statically.
+  UdfBytecode oob;
+  oob.name = "oob";
+  oob.return_type = TypeKind::kInt64;
+  oob.code.push_back({OpCode::kJump, 99, 0});
+  oob.code.push_back({OpCode::kReturn, 0, 0});
+  auto trap = dispatcher_.Dispatch("sess-eve", "eve",
+                                   SandboxPolicy::LockedDown(), OneRowBatch(),
+                                   {Invocation(std::move(oob))});
+  ExpectBlocked(trap.status(), StatusCode::kInvalidArgument,
+                /*retryable=*/false, "A21 OOB jump");
+
+  // Both rejections happened before provisioning: zero cold starts, zero
+  // live sandboxes, and the dispatcher accounted for both refusals.
+  EXPECT_EQ(dispatcher_.stats().cold_starts, 0u);
+  EXPECT_EQ(dispatcher_.ActiveSandboxCount(), 0u);
+  EXPECT_EQ(dispatcher_.stats().verifier_rejections, 2u);
+  EXPECT_EQ(dispatcher_.stats().verifier_admissions, 0u);
+}
+
+TEST_F(VerifierAttackTest, A22_TaintedSinkFlowRejectedBeforeProvisioning) {
+  // write_file("/tmp/pwned", "stolen:" + arg0) where arg0 is bound to a
+  // policy-protected column. The owner's policy legitimately grants file
+  // writes, so capability checking alone would admit this program — the
+  // per-argument taint flow is what kills it.
+  UdfBuilder b("exfil", 1, TypeKind::kBool);
+  b.PushConst(Value::String("/tmp/pwned"));
+  b.PushConst(Value::String("stolen:"));
+  b.LoadArg(0).Concat();
+  b.CallHost(HostFn::kWriteFile, 2);
+  b.Ret();
+  auto exfil = b.Build();
+  ASSERT_TRUE(exfil.ok()) << exfil.status();
+
+  SandboxPolicy writer = SandboxPolicy::LockedDown();
+  writer.allow_file_write = true;
+
+  UdfInvocation inv = Invocation(*exfil);
+  inv.result_type = TypeKind::kBool;
+  inv.arg_indices = {0};
+  inv.tainted_args = UdfCertificate::ArgTaintBit(0);
+  auto leak = dispatcher_.Dispatch("sess-eve", "eve", writer, OneRowBatch(),
+                                   {inv});
+  ExpectBlocked(leak.status(), StatusCode::kPermissionDenied,
+                /*retryable=*/false, "A22 taint exfiltration");
+  EXPECT_EQ(dispatcher_.stats().cold_starts, 0u);
+  EXPECT_EQ(dispatcher_.stats().verifier_rejections, 1u);
+  EXPECT_FALSE(env_.FileExists("/tmp/pwned"));
+
+  // Control 1: the identical program over an unprotected argument is
+  // admitted — the write is then a policy-granted capability, not a leak.
+  UdfInvocation clean = inv;
+  clean.tainted_args = 0;
+  auto granted = dispatcher_.Dispatch("sess-eve", "eve", writer,
+                                      OneRowBatch(), {clean});
+  EXPECT_TRUE(granted.ok()) << granted.status();
+
+  // Control 2: declassification — hashing the protected value before the
+  // write launders the taint, so fingerprint-style reporting stays legal.
+  UdfBuilder h("digest", 1, TypeKind::kBool);
+  h.PushConst(Value::String("/tmp/digest"));
+  h.LoadArg(0).Sha256Op();
+  h.CallHost(HostFn::kWriteFile, 2);
+  h.Ret();
+  auto digest = h.Build();
+  ASSERT_TRUE(digest.ok()) << digest.status();
+  UdfInvocation hashed = Invocation(*digest);
+  hashed.result_type = TypeKind::kBool;
+  hashed.arg_indices = {0};
+  hashed.tainted_args = UdfCertificate::ArgTaintBit(0);
+  auto declassified = dispatcher_.Dispatch("sess-eve", "eve", writer,
+                                           OneRowBatch(), {hashed});
+  EXPECT_TRUE(declassified.ok()) << declassified.status();
+}
+
+TEST_F(AttackTest, A22b_TaintedExfiltrationOverMaskedColumnDiesPV008) {
+  // End-to-end SQL leg: an owner-sanctioned egress UDF (its allow-list
+  // legitimately reaches a partner API) applied to a MASKED column. The
+  // capability is granted; the taint flow ssn -> http_get is not. PV008
+  // rejects the plan before any sandbox dispatch.
+  FunctionInfo fn;
+  fn.full_name = "main.s.report";
+  fn.num_args = 1;
+  fn.return_type = TypeKind::kString;
+  fn.body = canned::NetworkExfiltrationUdf("http://api.partner.example/q");
+  fn.allowed_egress = {"api.partner.example"};
+  ASSERT_TRUE(platform_.catalog().CreateFunction("admin", fn).ok());
+  Must("GRANT SELECT ON main.s.customers TO eve");
+  ASSERT_TRUE(platform_.catalog()
+                  .Grant("admin", "main.s.report", Privilege::kExecute, "eve")
+                  .ok());
+
+  auto eve = platform_.Connect(cluster_, "tok-eve");
+  ASSERT_TRUE(eve.ok()) << eve.status();
+  auto rows =
+      eve->Sql("SELECT main.s.report(ssn) AS r FROM main.s.customers");
+  ExpectBlocked(rows.status(), StatusCode::kFailedPrecondition,
+                /*retryable=*/false, "A22 PV008 taint");
+  EXPECT_NE(rows.status().message().find(PlanVerifier::kUdfUnverified),
+            std::string::npos)
+      << rows.status();
+
+  // Control: the same UDF over the UNMASKED column of the same table flows
+  // no protected data into the sink and runs fine — the admission gate
+  // rejects the flow, not the function.
+  cluster_->cluster->driver_host().env().RegisterHttpHandler(
+      "http://api.partner.example/",
+      [](const std::string&) { return "ack"; });
+  auto legal =
+      eve->Sql("SELECT main.s.report(name) AS r FROM main.s.customers");
+  EXPECT_TRUE(legal.ok()) << legal.status();
 }
 
 }  // namespace

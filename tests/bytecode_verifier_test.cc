@@ -1,0 +1,653 @@
+// Tests for src/udf/verifier: the admission-time bytecode verifier.
+//
+//  * certificate contents for the canned programs (hosts, cost, taint);
+//  * rejection of malformed programs, one mutation per verifier pass;
+//  * AdmitCertificate policy semantics (capability / divergence / taint /
+//    fuel / stack), with exact typed statuses and retryability;
+//  * the certificate cache (hit/miss accounting, negative caching);
+//  * differential fuzzing: >=10k random programs — every program the
+//    verifier ACCEPTS must execute in the LGVM without ever hitting a
+//    "vm integrity" trap or kInternal, and within its certified cost and
+//    stack bounds;
+//  * wire-level fuzzing: truncations and single-bit flips of serialized
+//    programs either fail to decode, fail to verify, or run safely.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/retry.h"
+#include "udf/builder.h"
+#include "udf/bytecode.h"
+#include "udf/verifier/cache.h"
+#include "udf/verifier/verifier.h"
+#include "udf/vm.h"
+
+namespace lakeguard {
+namespace {
+
+uint32_t HostBit(HostFn fn) { return uint32_t{1} << static_cast<uint32_t>(fn); }
+
+// ---- Certificates for the canned corpus -------------------------------------
+
+TEST(VerifierCertificateTest, SumUdfIsBenign) {
+  auto cert = VerifyBytecode(canned::SumUdf());
+  ASSERT_TRUE(cert.ok()) << cert.status();
+  EXPECT_FALSE(cert->guaranteed_divergent);
+  EXPECT_EQ(cert->reachable_hosts, 0u);
+  EXPECT_EQ(cert->tainted_sink_args, 0u);
+  EXPECT_NE(cert->worst_case_cost, kUnboundedCost);
+  EXPECT_GT(cert->worst_case_cost, 0);
+  EXPECT_GE(cert->max_stack_height, 2u);  // two operands meet at kAdd
+  EXPECT_EQ(cert->num_args, 2u);
+  EXPECT_EQ(cert->program_sha256, ProgramSha256(canned::SumUdf()));
+}
+
+TEST(VerifierCertificateTest, LoopingProgramHasUnboundedCost) {
+  // HashUdf iterates: a reachable back edge makes the instruction count
+  // input-independent but statically unbounded.
+  auto cert = VerifyBytecode(canned::HashUdf(10));
+  ASSERT_TRUE(cert.ok()) << cert.status();
+  EXPECT_FALSE(cert->guaranteed_divergent);
+  EXPECT_EQ(cert->worst_case_cost, kUnboundedCost);
+}
+
+TEST(VerifierCertificateTest, HostReachabilityIsRecorded) {
+  auto file = VerifyBytecode(canned::FileExfiltrationUdf("/etc/passwd"));
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->reachable_hosts, HostBit(HostFn::kReadFile));
+
+  auto env = VerifyBytecode(canned::EnvProbeUdf("SECRET"));
+  ASSERT_TRUE(env.ok());
+  EXPECT_EQ(env->reachable_hosts, HostBit(HostFn::kGetEnv));
+}
+
+TEST(VerifierCertificateTest, NetworkExfiltrationTaintsArgumentZero) {
+  auto cert = VerifyBytecode(canned::NetworkExfiltrationUdf("http://x/"));
+  ASSERT_TRUE(cert.ok());
+  EXPECT_EQ(cert->reachable_hosts, HostBit(HostFn::kHttpGet));
+  EXPECT_TRUE(cert->ArgFlowsToSink(0));
+}
+
+TEST(VerifierCertificateTest, Sha256Declassifies) {
+  // write_file("/r", sha256(arg0)): the sink is reachable but arg0's taint
+  // is laundered through the hash — no tainted sink argument.
+  UdfBuilder b("digest", 1, TypeKind::kBool);
+  b.PushConst(Value::String("/r"));
+  b.LoadArg(0).Sha256Op();
+  b.CallHost(HostFn::kWriteFile, 2);
+  b.Ret();
+  auto cert = VerifyBytecode(*b.Build());
+  ASSERT_TRUE(cert.ok());
+  EXPECT_EQ(cert->reachable_hosts, HostBit(HostFn::kWriteFile));
+  EXPECT_EQ(cert->tainted_sink_args, 0u);
+}
+
+TEST(VerifierCertificateTest, TaintSurvivesConcatAndConversions) {
+  // write_file("/r", "p" || to_string(arg1)): arg1 reaches the sink.
+  UdfBuilder b("leak", 2, TypeKind::kBool);
+  b.PushConst(Value::String("/r"));
+  b.PushConst(Value::String("p"));
+  b.LoadArg(1).ToStringOp().Concat();
+  b.CallHost(HostFn::kWriteFile, 2);
+  b.Ret();
+  auto cert = VerifyBytecode(*b.Build());
+  ASSERT_TRUE(cert.ok());
+  EXPECT_FALSE(cert->ArgFlowsToSink(0));
+  EXPECT_TRUE(cert->ArgFlowsToSink(1));
+}
+
+TEST(VerifierCertificateTest, InfiniteLoopIsGuaranteedDivergent) {
+  auto cert = VerifyBytecode(canned::InfiniteLoopUdf());
+  ASSERT_TRUE(cert.ok()) << cert.status();
+  EXPECT_TRUE(cert->guaranteed_divergent);
+  EXPECT_EQ(cert->worst_case_cost, kUnboundedCost);
+}
+
+// ---- Malformed programs: one mutation per verifier pass ---------------------
+
+UdfBytecode Raw(std::vector<Instruction> code, uint32_t args = 0,
+                uint32_t locals = 0, std::vector<Value> consts = {}) {
+  UdfBytecode bc;
+  bc.name = "raw";
+  bc.num_args = args;
+  bc.num_locals = locals;
+  bc.return_type = TypeKind::kInt64;
+  bc.const_pool = std::move(consts);
+  bc.code = std::move(code);
+  return bc;
+}
+
+TEST(VerifierRejectionTest, StructuralViolations) {
+  // Pass 1: CFG/bounds. Every rejection is typed kInvalidArgument.
+  EXPECT_TRUE(VerifyBytecode(Raw({})).status().IsInvalidArgument());
+  EXPECT_TRUE(VerifyBytecode(Raw({{OpCode::kJump, 99, 0},
+                                  {OpCode::kReturn, 0, 0}}))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(VerifyBytecode(Raw({{OpCode::kPushConst, 5, 0},
+                                  {OpCode::kReturn, 0, 0}}))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(VerifyBytecode(Raw({{OpCode::kLoadArg, 2, 0},
+                                  {OpCode::kReturn, 0, 0}},
+                                 /*args=*/1))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(VerifyBytecode(Raw({{OpCode::kLoadLocal, 0, 0},
+                                  {OpCode::kReturn, 0, 0}}))
+                  .status()
+                  .IsInvalidArgument());
+  // Falling off the end of code (no return on the fall-through path).
+  EXPECT_TRUE(VerifyBytecode(Raw({{OpCode::kPushConst, 0, 0},
+                                  {OpCode::kPop, 0, 0}},
+                                 0, 0, {Value::Int(1)}))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(VerifierRejectionTest, StackEffectViolations) {
+  // Pass 2: underflow and join-height mismatches.
+  EXPECT_TRUE(VerifyBytecode(Raw({{OpCode::kAdd, 0, 0},
+                                  {OpCode::kReturn, 0, 0}}))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(VerifyBytecode(Raw({{OpCode::kReturn, 0, 0}}))
+                  .status()
+                  .IsInvalidArgument());
+  // Unbalanced loop: the loop head is reached at heights 0 and 1.
+  EXPECT_TRUE(VerifyBytecode(Raw({{OpCode::kPushConst, 0, 0},
+                                  {OpCode::kJump, 0, 0},
+                                  {OpCode::kReturn, 0, 0}},
+                                 0, 0, {Value::Int(1)}))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(VerifierRejectionTest, TypeViolations) {
+  // Pass 2: abstract types. String can never satisfy AsCondition.
+  EXPECT_TRUE(VerifyBytecode(Raw({{OpCode::kPushConst, 0, 0},
+                                  {OpCode::kNot, 0, 0},
+                                  {OpCode::kReturn, 0, 0}},
+                                 0, 0, {Value::String("x")}))
+                  .status()
+                  .IsInvalidArgument());
+  // String + string arithmetic traps in the VM; the verifier sees it.
+  EXPECT_TRUE(VerifyBytecode(Raw({{OpCode::kPushConst, 0, 0},
+                                  {OpCode::kPushConst, 0, 0},
+                                  {OpCode::kAdd, 0, 0},
+                                  {OpCode::kReturn, 0, 0}},
+                                 0, 0, {Value::String("x")}))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(VerifierRejectionTest, HostCallViolations) {
+  // Pass 1b: unknown host id and wrong arity die statically.
+  EXPECT_TRUE(VerifyBytecode(Raw({{OpCode::kCallHost, 99, 0},
+                                  {OpCode::kReturn, 0, 0}}))
+                  .status()
+                  .IsInvalidArgument());
+  // read_file takes exactly one argument.
+  EXPECT_TRUE(VerifyBytecode(
+                  Raw({{OpCode::kPushConst, 0, 0},
+                       {OpCode::kPushConst, 0, 0},
+                       {OpCode::kCallHost,
+                        static_cast<int32_t>(HostFn::kReadFile), 2},
+                       {OpCode::kReturn, 0, 0}},
+                      0, 0, {Value::String("/p")}))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// ---- AdmitCertificate policy semantics --------------------------------------
+
+TEST(AdmissionTest, UngrantedCapabilityIsPermissionDenied) {
+  auto cert = VerifyBytecode(canned::FileExfiltrationUdf("/etc/passwd"));
+  ASSERT_TRUE(cert.ok());
+  Status denied =
+      AdmitCertificate(*cert, SandboxPolicy::LockedDown(), /*tainted=*/0);
+  EXPECT_TRUE(denied.IsPermissionDenied()) << denied;
+  EXPECT_FALSE(IsTransientError(denied));
+
+  SandboxPolicy reader = SandboxPolicy::LockedDown();
+  reader.allow_file_read = true;
+  EXPECT_TRUE(AdmitCertificate(*cert, reader, 0).ok());
+}
+
+TEST(AdmissionTest, GuaranteedDivergenceIsInvalidArgument) {
+  auto cert = VerifyBytecode(canned::InfiniteLoopUdf());
+  ASSERT_TRUE(cert.ok());
+  Status status =
+      AdmitCertificate(*cert, SandboxPolicy::LockedDown(), /*tainted=*/0);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status;
+  EXPECT_FALSE(IsTransientError(status));
+}
+
+TEST(AdmissionTest, TaintedSinkFlowIsPermissionDenied) {
+  auto cert = VerifyBytecode(canned::NetworkExfiltrationUdf("http://x/"));
+  ASSERT_TRUE(cert.ok());
+  SandboxPolicy egress = SandboxPolicy::WithEgress({"x"});
+  // Untainted binding: the owner sanctioned this egress, admission passes.
+  EXPECT_TRUE(AdmitCertificate(*cert, egress, 0).ok());
+  // The same program fed a protected column: rejected.
+  Status leak =
+      AdmitCertificate(*cert, egress, UdfCertificate::ArgTaintBit(0));
+  EXPECT_TRUE(leak.IsPermissionDenied()) << leak;
+}
+
+TEST(AdmissionTest, FiniteCostOverFuelIsRetryableExhaustion) {
+  auto cert = VerifyBytecode(canned::SumUdf());
+  ASSERT_TRUE(cert.ok());
+  SandboxPolicy tiny = SandboxPolicy::LockedDown();
+  tiny.fuel = 1;  // below any real program's straight-line cost
+  Status status = AdmitCertificate(*cert, tiny, 0);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted) << status;
+  EXPECT_TRUE(IsTransientError(status));
+
+  SandboxPolicy shallow = SandboxPolicy::LockedDown();
+  shallow.max_stack = 1;
+  Status deep = AdmitCertificate(*cert, shallow, 0);
+  EXPECT_EQ(deep.code(), StatusCode::kResourceExhausted) << deep;
+}
+
+// ---- Certificate cache ------------------------------------------------------
+
+TEST(VerifierCacheTest, HitMissAccountingAndNegativeCaching) {
+  VerifiedProgramCache cache;
+  bool hit = true;
+  auto first = cache.GetOrVerify(canned::SumUdf(), &hit);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(hit);
+  auto second = cache.GetOrVerify(canned::SumUdf(), &hit);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(second->program_sha256, first->program_sha256);
+
+  // Negative caching: a malformed program's rejection is also served from
+  // the cache (content addressing makes it safe — same bytes, same verdict).
+  UdfBytecode bad = Raw({{OpCode::kJump, 99, 0}, {OpCode::kReturn, 0, 0}});
+  EXPECT_FALSE(cache.GetOrVerify(bad, &hit).ok());
+  EXPECT_FALSE(hit);
+  EXPECT_FALSE(cache.GetOrVerify(bad, &hit).ok());
+  EXPECT_TRUE(hit);
+
+  VerifierCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(VerifierCacheTest, ConcurrentLookupsAreRaceFreeAndConsistent) {
+  // 8 threads hammer one cache with the same small population (valid and
+  // malformed programs interleaved). Under TSan this pins the sharded
+  // locking; everywhere it pins that concurrent first-lookups of one
+  // program all converge on one verdict and exactly one stored entry.
+  VerifiedProgramCache cache;
+  std::vector<UdfBytecode> population = {
+      canned::SumUdf(), canned::HashUdf(3), canned::InfiniteLoopUdf(),
+      Raw({{OpCode::kJump, 99, 0}, {OpCode::kReturn, 0, 0}}),
+      Raw({{OpCode::kAdd, 0, 0}, {OpCode::kReturn, 0, 0}})};
+  const size_t valid = 3;  // population[3..] must stay rejected
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  std::vector<std::thread> threads;
+  std::atomic<int> wrong_verdicts{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        size_t i = static_cast<size_t>(t + r) % population.size();
+        auto cert = cache.GetOrVerify(population[i]);
+        if (cert.ok() != (i < valid)) wrong_verdicts.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(wrong_verdicts.load(), 0);
+  VerifierCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, population.size());
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kRounds);
+  EXPECT_GE(stats.misses, population.size());
+}
+
+TEST(VerifierCacheTest, DistinctProgramsDistinctKeys) {
+  EXPECT_NE(ProgramSha256(canned::SumUdf()),
+            ProgramSha256(canned::HashUdf(3)));
+  // The hash covers the wire encoding: renaming alone changes identity.
+  UdfBytecode renamed = canned::SumUdf();
+  renamed.name = "other";
+  EXPECT_NE(ProgramSha256(renamed), ProgramSha256(canned::SumUdf()));
+}
+
+// ---- Differential fuzz: accepted => runs without integrity traps ------------
+
+/// Host that grants everything and answers with the ABI-declared result
+/// type — the most permissive environment an admitted program can meet, so
+/// any divergence between verifier and VM surfaces instead of being masked
+/// by a policy denial.
+class AbiHost : public HostInterface {
+ public:
+  Result<Value> CallHost(HostFn fn, const std::vector<Value>&) override {
+    switch (fn) {
+      case HostFn::kReadFile:
+      case HostFn::kHttpGet:
+      case HostFn::kGetEnv:
+        return Value::String("payload");
+      case HostFn::kWriteFile:
+        return Value::Bool(true);
+      case HostFn::kClockNow:
+        return Value::Int(1234);
+      case HostFn::kLog:
+        return Value::Null();
+    }
+    return Value::Null();
+  }
+};
+
+bool IsIntegrityTrap(const Status& status) {
+  return status.code() == StatusCode::kInternal ||
+         status.message().find("vm integrity:") != std::string::npos;
+}
+
+Value RandomValue(std::mt19937& rng) {
+  switch (rng() % 6) {
+    case 0: return Value::Null();
+    case 1: return Value::Bool(rng() % 2 == 0);
+    case 2: return Value::Int(static_cast<int64_t>(rng() % 1000) - 500);
+    case 3: return Value::Double((static_cast<double>(rng() % 1000)) / 7.0);
+    case 4: return Value::String(std::string(rng() % 5, 'a' + rng() % 26));
+    default: return Value::Binary(std::string(rng() % 4, '\x42'));
+  }
+}
+
+/// Random program generator, biased toward verifiable shapes (operands
+/// usually in range, a return usually reachable) so the accepted corpus is
+/// large enough to be meaningful.
+UdfBytecode RandomProgram(std::mt19937& rng) {
+  UdfBytecode bc;
+  bc.name = "fuzz";
+  bc.num_args = rng() % 4;
+  bc.num_locals = rng() % 3;
+  bc.return_type = TypeKind::kInt64;
+  const size_t num_consts = 1 + rng() % 4;
+  for (size_t i = 0; i < num_consts; ++i) {
+    bc.const_pool.push_back(RandomValue(rng));
+  }
+  const size_t len = 1 + rng() % 18;
+  for (size_t i = 0; i < len; ++i) {
+    Instruction ins;
+    ins.op = static_cast<OpCode>(rng() % (kMaxOpCode + 1));
+    switch (ins.op) {
+      case OpCode::kPushConst:
+        ins.operand = static_cast<int32_t>(rng() % (num_consts + 1));  // 1-in-n OOB
+        break;
+      case OpCode::kLoadArg:
+        ins.operand = static_cast<int32_t>(rng() % (bc.num_args + 1));
+        break;
+      case OpCode::kLoadLocal:
+      case OpCode::kStoreLocal:
+        ins.operand = static_cast<int32_t>(rng() % (bc.num_locals + 1));
+        break;
+      case OpCode::kJump:
+      case OpCode::kJumpIfFalse:
+        ins.operand = static_cast<int32_t>(rng() % (len + 2));  // may be OOB
+        break;
+      case OpCode::kCallHost:
+        ins.operand = static_cast<int32_t>(rng() % 7);   // may be unknown
+        ins.operand2 = static_cast<int32_t>(rng() % 3);  // may be wrong arity
+        break;
+      default:
+        break;
+    }
+    bc.code.push_back(ins);
+  }
+  bc.code.push_back({OpCode::kReturn, 0, 0});
+  return bc;
+}
+
+/// Stack-height-aware generator: emits only instructions that are valid at
+/// the current abstract stack height, with in-range operands and correct
+/// host arities. Straight-line (no jumps), so most outputs verify — this
+/// population drives the accepted half of the differential corpus.
+UdfBytecode StackAwareProgram(std::mt19937& rng) {
+  UdfBytecode bc;
+  bc.name = "fuzz_sl";
+  bc.num_args = rng() % 4;
+  bc.num_locals = rng() % 3;
+  bc.return_type = TypeKind::kInt64;
+  const size_t num_consts = 1 + rng() % 4;
+  for (size_t i = 0; i < num_consts; ++i) {
+    // Bias constants toward ints so arithmetic mostly type-checks.
+    switch (rng() % 8) {
+      case 0: bc.const_pool.push_back(Value::Null()); break;
+      case 1: bc.const_pool.push_back(Value::Bool(rng() % 2 == 0)); break;
+      case 2: bc.const_pool.push_back(Value::Double(0.5)); break;
+      case 3:
+        bc.const_pool.push_back(
+            Value::String(std::string(1 + rng() % 3, 'k')));
+        break;
+      default:
+        bc.const_pool.push_back(
+            Value::Int(static_cast<int64_t>(rng() % 100)));
+        break;
+    }
+  }
+  int height = 0;
+  const size_t len = 3 + rng() % 15;
+  for (size_t i = 0; i < len; ++i) {
+    Instruction ins;
+    const uint32_t roll = rng() % 100;
+    if (height == 0 || roll < 40) {
+      // Grow the stack.
+      if (bc.num_args > 0 && rng() % 3 == 0) {
+        ins = {OpCode::kLoadArg, static_cast<int32_t>(rng() % bc.num_args),
+               0};
+      } else if (bc.num_locals > 0 && rng() % 4 == 0) {
+        ins = {OpCode::kLoadLocal,
+               static_cast<int32_t>(rng() % bc.num_locals), 0};
+      } else {
+        ins = {OpCode::kPushConst, static_cast<int32_t>(rng() % num_consts),
+               0};
+      }
+      ++height;
+    } else if (height >= 2 && roll < 65) {
+      static constexpr OpCode kBinary[] = {
+          OpCode::kAdd, OpCode::kSub, OpCode::kMul, OpCode::kEq,
+          OpCode::kNe,  OpCode::kLt,  OpCode::kLe,  OpCode::kConcat};
+      ins = {kBinary[rng() % 8], 0, 0};
+      --height;
+    } else if (roll < 80) {
+      static constexpr OpCode kUnary[] = {
+          OpCode::kToString, OpCode::kToInt, OpCode::kToDouble,
+          OpCode::kSha256,   OpCode::kDup,   OpCode::kLength};
+      ins = {kUnary[rng() % 6], 0, 0};
+      if (ins.op == OpCode::kDup) ++height;
+    } else if (roll < 90 && bc.num_locals > 0) {
+      ins = {OpCode::kStoreLocal, static_cast<int32_t>(rng() % bc.num_locals),
+             0};
+      --height;
+    } else {
+      // Correct-arity host call.
+      static constexpr HostFn kFns[] = {HostFn::kClockNow, HostFn::kLog,
+                                        HostFn::kGetEnv, HostFn::kReadFile,
+                                        HostFn::kHttpGet, HostFn::kWriteFile};
+      HostFn fn = kFns[rng() % 6];
+      int argc = fn == HostFn::kClockNow ? 0
+                 : fn == HostFn::kWriteFile ? 2
+                                            : 1;
+      if (argc > height) {
+        ins = {OpCode::kPushConst, static_cast<int32_t>(rng() % num_consts),
+               0};
+        ++height;
+      } else {
+        ins = {OpCode::kCallHost, static_cast<int32_t>(fn), argc};
+        height -= argc;
+        ++height;
+      }
+    }
+    bc.code.push_back(ins);
+  }
+  if (height == 0) {
+    bc.code.push_back({OpCode::kPushConst, 0, 0});
+  }
+  bc.code.push_back({OpCode::kReturn, 0, 0});
+  return bc;
+}
+
+/// Mutation population: canned programs (including loops) with a few random
+/// instruction-level edits — operand nudges, opcode swaps, instruction
+/// swaps. Exercises the verifier on almost-valid programs with real CFGs.
+UdfBytecode MutatedCanned(std::mt19937& rng) {
+  UdfBytecode bc;
+  switch (rng() % 6) {
+    case 0: bc = canned::SumUdf(); break;
+    case 1: bc = canned::HashUdf(1 + rng() % 4); break;
+    case 2: bc = canned::NetworkExfiltrationUdf("http://x/"); break;
+    case 3: bc = canned::FileExfiltrationUdf("/p"); break;
+    case 4: bc = canned::SensorFeatureUdf(0.5, 1.0); break;
+    default: bc = canned::InfiniteLoopUdf(); break;
+  }
+  const size_t mutations = 1 + rng() % 3;
+  for (size_t m = 0; m < mutations && !bc.code.empty(); ++m) {
+    size_t at = rng() % bc.code.size();
+    switch (rng() % 4) {
+      case 0:
+        bc.code[at].operand += static_cast<int32_t>(rng() % 5) - 2;
+        break;
+      case 1:
+        bc.code[at].op = static_cast<OpCode>(rng() % (kMaxOpCode + 1));
+        break;
+      case 2:
+        bc.code[at].operand2 = static_cast<int32_t>(rng() % 3);
+        break;
+      default:
+        std::swap(bc.code[at], bc.code[rng() % bc.code.size()]);
+        break;
+    }
+  }
+  return bc;
+}
+
+TEST(DifferentialFuzzTest, AcceptedProgramsNeverTrapTheVm) {
+  std::mt19937 rng(0xC0FFEE);  // deterministic corpus
+  AbiHost host;
+  int accepted = 0;
+  int executed_ok = 0;
+  constexpr int kIterations = 12'000;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    // Three populations: uniform-random (mostly rejected — checks rejection
+    // typing), stack-aware straight-line (mostly accepted — checks the
+    // run-without-traps property), and mutated canned programs (real CFGs
+    // with loops, nudged off-spec).
+    UdfBytecode bc = iter % 3 == 0   ? RandomProgram(rng)
+                     : iter % 3 == 1 ? StackAwareProgram(rng)
+                                     : MutatedCanned(rng);
+    auto cert = VerifyBytecode(bc);
+    if (!cert.ok()) {
+      EXPECT_TRUE(cert.status().IsInvalidArgument())
+          << "rejections must be typed: " << cert.status();
+      continue;
+    }
+    ++accepted;
+
+    std::vector<Value> args;
+    for (uint32_t i = 0; i < bc.num_args; ++i) args.push_back(RandomValue(rng));
+
+    VmLimits limits;
+    limits.fuel = 200'000;  // bounds accepted-but-looping programs
+    // A sound max-stack certificate means the VM never needs more.
+    limits.max_stack = cert->max_stack_height;
+    VmStats stats;
+    auto result = ExecuteUdf(bc, args, &host, limits, &stats);
+    if (result.ok()) {
+      ++executed_ok;
+    } else {
+      ASSERT_FALSE(IsIntegrityTrap(result.status()))
+          << "verifier accepted a program the VM traps on: "
+          << result.status() << "\n(iteration " << iter << ")";
+      if (result.status().code() == StatusCode::kResourceExhausted) {
+        // Only statically unbounded programs may exhaust fuel — a
+        // finite-cost certificate under-approximating real cost would be a
+        // soundness hole. (Stack exhaustion is impossible: the limit above
+        // IS the certified bound.)
+        ASSERT_EQ(cert->worst_case_cost, kUnboundedCost)
+            << "finite-cost program exhausted resources: " << result.status();
+      }
+    }
+    if (cert->worst_case_cost != kUnboundedCost) {
+      EXPECT_LE(stats.instructions, cert->worst_case_cost)
+          << "executed more instructions than certified (iteration " << iter
+          << ")";
+      EXPECT_FALSE(cert->guaranteed_divergent);
+    }
+  }
+  // The generator bias must keep the accepted corpus meaningful.
+  EXPECT_GE(accepted, 1000) << "of " << kIterations;
+  EXPECT_GE(executed_ok, 300) << "of " << accepted << " accepted";
+  RecordProperty("accepted", accepted);
+  RecordProperty("executed_ok", executed_ok);
+}
+
+// ---- Wire-level fuzz: truncations and bit flips -----------------------------
+
+std::vector<uint8_t> Wire(const UdfBytecode& bc) {
+  ByteWriter writer;
+  SerializeBytecode(bc, &writer);
+  return writer.data();
+}
+
+void ExpectSafeDecode(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  auto decoded = DeserializeBytecode(&reader);
+  if (!decoded.ok()) return;  // rejected at the wire: safe
+  auto cert = VerifyBytecode(*decoded);
+  if (!cert.ok()) {
+    EXPECT_TRUE(cert.status().IsInvalidArgument()) << cert.status();
+    return;  // rejected at admission: safe
+  }
+  // Decoded AND verified: it must then run without integrity traps.
+  AbiHost host;
+  std::vector<Value> args(decoded->num_args, Value::Int(7));
+  VmLimits limits;
+  limits.fuel = 100'000;
+  auto result = ExecuteUdf(*decoded, args, &host, limits);
+  if (!result.ok()) {
+    EXPECT_FALSE(IsIntegrityTrap(result.status())) << result.status();
+  }
+}
+
+TEST(WireFuzzTest, TruncationsAreRejectedOrSafe) {
+  for (const UdfBytecode& bc :
+       {canned::SumUdf(), canned::HashUdf(4),
+        canned::NetworkExfiltrationUdf("http://x/")}) {
+    std::vector<uint8_t> bytes = Wire(bc);
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      ExpectSafeDecode(
+          std::vector<uint8_t>(bytes.begin(), bytes.begin() + cut));
+    }
+  }
+}
+
+TEST(WireFuzzTest, SingleBitFlipsAreRejectedOrSafe) {
+  for (const UdfBytecode& bc :
+       {canned::SumUdf(), canned::HashUdf(4),
+        canned::FileExfiltrationUdf("/etc/passwd")}) {
+    std::vector<uint8_t> bytes = Wire(bc);
+    for (size_t pos = 0; pos < bytes.size(); ++pos) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::vector<uint8_t> mutated = bytes;
+        mutated[pos] = static_cast<uint8_t>(mutated[pos] ^ (1u << bit));
+        ExpectSafeDecode(mutated);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lakeguard

@@ -1017,6 +1017,25 @@ TEST(FusionTest, PV007RejectsMutatedFusedProgram) {
   EXPECT_FALSE(s3.ok());
   EXPECT_NE(s3.message().find("PV007"), std::string::npos) << s3;
 
+  // Mutation 4: structural corruption — an operand register pointing past
+  // the register file. The structural pass rejects this before any
+  // decompilation is attempted (a corrupt stream must never be walked).
+  CompiledExpr corrupted = *program;
+  bool broke = false;
+  for (FusedInstruction& inst : corrupted.instrs) {
+    if (inst.op == FusedOpCode::kBinary && inst.b != kNoReg) {
+      inst.a = static_cast<uint16_t>(corrupted.num_regs + 7);
+      broke = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(broke);
+  Status s5 = PlanVerifier::VerifyFusedProgram(corrupted, policy);
+  EXPECT_FALSE(s5.ok());
+  EXPECT_NE(s5.message().find("structural verification"), std::string::npos)
+      << s5;
+  EXPECT_NE(s5.message().find("out of range"), std::string::npos) << s5;
+
   // Wrong expected tree: a program for another policy must not verify.
   Status s4 = PlanVerifier::VerifyFusedProgram(
       *program, BinOp(BinaryOpKind::kLt, Col("a"), LitInt(4)));

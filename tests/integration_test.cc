@@ -207,13 +207,16 @@ TEST_P(ContainmentTest, HostileUdfNeverReachesTheMachine) {
   std::string args = hostile.num_args == 0 ? "()" : "(ssn)";
   auto result = client->Sql("SELECT main.s.hostile" + args +
                             " AS r FROM main.s.sales");
-  // Every hostile program must FAIL — with permission_denied or
-  // resource_exhausted — and must not have altered the machine.
+  // Every hostile program must FAIL — statically at admission
+  // (failed_precondition from PV008, invalid_argument for guaranteed
+  // divergence) or dynamically in the sandbox (permission_denied,
+  // resource_exhausted) — and must not have altered the machine.
   ASSERT_FALSE(result.ok());
-  EXPECT_TRUE(result.status().message().find("permission_denied") !=
-                  std::string::npos ||
-              result.status().message().find("resource_exhausted") !=
-                  std::string::npos)
+  const std::string& message = result.status().message();
+  EXPECT_TRUE(message.find("permission_denied") != std::string::npos ||
+              message.find("resource_exhausted") != std::string::npos ||
+              message.find("failed_precondition") != std::string::npos ||
+              message.find("invalid_argument") != std::string::npos)
       << result.status();
   EXPECT_FALSE(host.FileExists("/tmp/pwned"));
   // No egress left the machine.

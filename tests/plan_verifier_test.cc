@@ -16,6 +16,7 @@
 #include "engine/optimizer.h"
 #include "engine/plan_verifier.h"
 #include "sql/parser.h"
+#include "udf/builder.h"
 
 namespace lakeguard {
 namespace {
@@ -89,6 +90,19 @@ class PlanVerifierTest : public ::testing::Test {
   void Must(const std::string& sql) {
     auto result = cluster_->engine->ExecuteSql(sql, admin_ctx_);
     ASSERT_TRUE(result.ok()) << sql << " -> " << result.status();
+  }
+
+  /// Registers `body` as an admin-owned cataloged function (V8 fixtures).
+  void MustCreateFunction(const std::string& full_name, UdfBytecode body,
+                          std::vector<std::string> egress = {}) {
+    FunctionInfo fn;
+    fn.full_name = full_name;
+    fn.num_args = body.num_args;
+    fn.return_type = body.return_type;
+    fn.body = std::move(body);
+    fn.allowed_egress = std::move(egress);
+    Status s = platform_.catalog().CreateFunction("admin", std::move(fn));
+    ASSERT_TRUE(s.ok()) << full_name << " -> " << s;
   }
 
   /// Analyzes `sql` as `ctx`, checking success.
@@ -365,6 +379,85 @@ TEST_F(PlanVerifierTest, ForeignPrincipalCredentialFlagsPV005) {
   ASSERT_TRUE(diags.HasCode(PlanVerifier::kOverbroadCredential))
       << diags.ToString();
   EXPECT_NE(diags.ToString().find("eve"), std::string::npos);
+}
+
+// ---- V8 (PV008): bytecode-admission of sandbox-dispatched UDFs --------------
+
+TEST_F(PlanVerifierTest, BenignCatalogedUdfProducesNoDiagnostics) {
+  MustCreateFunction("main.s.add2", canned::SumUdf());
+  AnalysisResult analysis = Analyzed(
+      "SELECT main.s.add2(amount, amount) AS v FROM main.s.sales",
+      admin_ctx_);
+  Diagnostics diags = Verify(analysis.plan, admin_ctx_, &analysis);
+  EXPECT_TRUE(diags.empty()) << diags.ToString();
+}
+
+TEST_F(PlanVerifierTest, DivergentUdfFlagsPV008) {
+  MustCreateFunction("main.s.spin", canned::InfiniteLoopUdf());
+  AnalysisResult analysis =
+      Analyzed("SELECT main.s.spin() AS v FROM main.s.plain", admin_ctx_);
+  Diagnostics diags = Verify(analysis.plan, admin_ctx_, &analysis);
+  ASSERT_TRUE(diags.HasCode(PlanVerifier::kUdfUnverified))
+      << diags.ToString();
+  EXPECT_NE(diags.ToString().find("can never return"), std::string::npos)
+      << diags.ToString();
+  // On an engine without UDF isolation (the legacy baseline) there is no
+  // sandbox to admit against: V8 is gated off, everything else still runs.
+  PlanVerifier legacy(&platform_.catalog(), /*check_udf_admission=*/false);
+  Diagnostics ungated = legacy.Verify(analysis.plan, admin_ctx_, &analysis);
+  EXPECT_FALSE(ungated.HasCode(PlanVerifier::kUdfUnverified))
+      << ungated.ToString();
+}
+
+TEST_F(PlanVerifierTest, UngrantedHostCapabilityFlagsPV008) {
+  MustCreateFunction("main.s.probe", canned::EnvProbeUdf("API_SECRET"));
+  AnalysisResult analysis =
+      Analyzed("SELECT main.s.probe() AS v FROM main.s.plain", admin_ctx_);
+  Diagnostics diags = Verify(analysis.plan, admin_ctx_, &analysis);
+  ASSERT_TRUE(diags.HasCode(PlanVerifier::kUdfUnverified))
+      << diags.ToString();
+  EXPECT_NE(diags.ToString().find("get_env"), std::string::npos)
+      << diags.ToString();
+}
+
+TEST_F(PlanVerifierTest, TaintedMaskedColumnIntoEgressSinkFlagsPV008) {
+  // The function's egress host IS granted: the capability check passes and
+  // only the information-flow check can (and must) reject the ssn binding.
+  MustCreateFunction(
+      "main.s.report",
+      canned::NetworkExfiltrationUdf("http://api.partner.example/q"),
+      {"api.partner.example"});
+  AnalysisResult analysis = Analyzed(
+      "SELECT main.s.report(ssn) AS r FROM main.s.customers", admin_ctx_);
+  Diagnostics diags = Verify(analysis.plan, admin_ctx_, &analysis);
+  ASSERT_TRUE(diags.HasCode(PlanVerifier::kUdfUnverified))
+      << diags.ToString();
+  EXPECT_NE(diags.ToString().find("policy-protected column"),
+            std::string::npos)
+      << diags.ToString();
+  // The same function over an unprotected column of the same table is
+  // admissible — the rejection is per-binding, not per-function.
+  AnalysisResult clean_analysis = Analyzed(
+      "SELECT main.s.report(name) AS r FROM main.s.customers", admin_ctx_);
+  Diagnostics clean =
+      Verify(clean_analysis.plan, admin_ctx_, &clean_analysis);
+  EXPECT_FALSE(clean.HasCode(PlanVerifier::kUdfUnverified))
+      << clean.ToString();
+}
+
+TEST_F(PlanVerifierTest, VanishedUdfIsAWarningNotAnError) {
+  AnalysisResult analysis = Analyzed("SELECT x FROM main.s.plain",
+                                     admin_ctx_);
+  // A call naming a function the catalog no longer holds: execution fails
+  // closed on the unresolved body, so the verifier only warns.
+  PlanPtr mutated = MakeProject(
+      analysis.plan,
+      {Udf("main.s.vanished", "admin", TypeKind::kInt64, {ColIdx("x", 0)})},
+      {"y"});
+  Diagnostics diags = Verify(mutated, admin_ctx_, &analysis);
+  EXPECT_FALSE(diags.HasErrors()) << diags.ToString();
+  EXPECT_TRUE(diags.HasCode(PlanVerifier::kUdfUnverified))
+      << diags.ToString();
 }
 
 // ---- PV000: malformed input -------------------------------------------------

@@ -173,15 +173,19 @@ TEST(VmTest, FuelLimitKillsInfiniteLoop) {
 }
 
 TEST(VmTest, StackLimitEnforced) {
-  UdfBuilder b("deep", 0, TypeKind::kInt64);
-  // Push in an unbounded loop.
-  size_t loop = b.Here();
-  b.PushConst(Value::Int(1));
-  b.JumpTo(loop);
-  b.PushConst(Value::Int(0)).Ret();
+  // Push in an unbounded loop. The verifier rejects this program (the loop
+  // head joins at two stack heights), so it is hand-assembled here to prove
+  // the VM's own depth limit still holds as defense in depth.
+  UdfBytecode bc;
+  bc.name = "deep";
+  bc.return_type = TypeKind::kInt64;
+  bc.const_pool.push_back(Value::Int(1));
+  bc.code.push_back({OpCode::kPushConst, 0, 0});
+  bc.code.push_back({OpCode::kJump, 0, 0});
+  bc.code.push_back({OpCode::kReturn, 0, 0});
   VmLimits limits;
   limits.max_stack = 100;
-  auto v = RunUdf(*b.Build(), {}, nullptr, limits);
+  auto v = RunUdf(bc, {}, nullptr, limits);
   EXPECT_EQ(v.status().code(), StatusCode::kResourceExhausted);
 }
 
